@@ -1,0 +1,119 @@
+//! Monte-Carlo accuracy evaluation of the approximations, following the
+//! paper's protocol (§5.2): draw uniform random operands in `[0, 1]`,
+//! convert to delay space, apply the approximation, convert back, and
+//! report the range-normalised RMS error against the exact importance-space
+//! operation.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use ta_delay_space::DelayValue;
+
+use crate::{NldeApprox, NlseApprox};
+
+/// Result of a Monte-Carlo accuracy run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AccuracyReport {
+    /// RMS error normalised by the range of exact results.
+    pub rmse: f64,
+    /// Worst absolute importance-space error observed.
+    pub max_abs_error: f64,
+    /// Number of samples evaluated.
+    pub samples: usize,
+}
+
+/// Measures nLSE approximation accuracy on `samples` uniform pairs from
+/// `[0, 1]²` (the paper uses one million).
+///
+/// The error is computed in importance space against exact addition and
+/// normalised by the exact results' range, matching Fig 11's metric.
+pub fn nlse_accuracy(approx: &NlseApprox, samples: usize, seed: u64) -> AccuracyReport {
+    accuracy_with(samples, seed, |a, b| {
+        let x = DelayValue::encode(a).expect("uniform sample is encodable");
+        let y = DelayValue::encode(b).expect("uniform sample is encodable");
+        (approx.eval(x, y).decode(), a + b)
+    })
+}
+
+/// Measures nLDE approximation accuracy on `samples` uniform pairs,
+/// subtracting the smaller value from the larger (the ordering the
+/// split-value renormalisation guarantees in hardware).
+pub fn nlde_accuracy(approx: &NldeApprox, samples: usize, seed: u64) -> AccuracyReport {
+    accuracy_with(samples, seed, |a, b| {
+        let (hi, lo) = if a >= b { (a, b) } else { (b, a) };
+        let x = DelayValue::encode(hi).expect("uniform sample is encodable");
+        let y = DelayValue::encode(lo).expect("uniform sample is encodable");
+        (approx.eval(x, y).decode(), hi - lo)
+    })
+}
+
+/// Measures accuracy of an arbitrary binary operation under the same
+/// protocol; `op(a, b)` returns `(approximate, exact)` in importance space.
+/// Exposed so the circuit-level noisy evaluations in `ta-circuits` can
+/// reuse the identical sampling and normalisation.
+pub fn accuracy_with(
+    samples: usize,
+    seed: u64,
+    mut op: impl FnMut(f64, f64) -> (f64, f64),
+) -> AccuracyReport {
+    assert!(samples > 0, "need at least one sample");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut sq = 0.0_f64;
+    let mut max_abs = 0.0_f64;
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for _ in 0..samples {
+        let a: f64 = rng.gen_range(0.0..1.0);
+        let b: f64 = rng.gen_range(0.0..1.0);
+        let (got, exact) = op(a, b);
+        let err = got - exact;
+        sq += err * err;
+        max_abs = max_abs.max(err.abs());
+        lo = lo.min(exact);
+        hi = hi.max(exact);
+    }
+    let range = (hi - lo).max(f64::MIN_POSITIVE);
+    AccuracyReport {
+        rmse: (sq / samples as f64).sqrt() / range,
+        max_abs_error: max_abs,
+        samples,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nlse_rmse_decreases_with_terms() {
+        let r3 = nlse_accuracy(&NlseApprox::fit(3), 20_000, 1);
+        let r8 = nlse_accuracy(&NlseApprox::fit(8), 20_000, 1);
+        assert!(r8.rmse < r3.rmse, "{} !< {}", r8.rmse, r3.rmse);
+        assert!(r8.rmse < 0.015, "8-term rmse {}", r8.rmse);
+    }
+
+    #[test]
+    fn nlde_rmse_decreases_with_terms() {
+        let r4 = nlde_accuracy(&NldeApprox::fit(4), 20_000, 2);
+        let r16 = nlde_accuracy(&NldeApprox::fit(16), 20_000, 2);
+        assert!(r16.rmse < r4.rmse, "{} !< {}", r16.rmse, r4.rmse);
+    }
+
+    #[test]
+    fn reports_are_seed_deterministic() {
+        let a = nlse_accuracy(&NlseApprox::fit(5), 5_000, 42);
+        let b = nlse_accuracy(&NlseApprox::fit(5), 5_000, 42);
+        assert_eq!(a, b);
+        let c = nlse_accuracy(&NlseApprox::fit(5), 5_000, 43);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn max_error_bounds_rmse() {
+        let r = nlse_accuracy(&NlseApprox::fit(6), 10_000, 3);
+        // Range of a+b on [0,1]² is ~2, so normalised rmse ≤ max/2·... just
+        // sanity: rmse (normalised) must not exceed max abs error.
+        assert!(r.rmse <= r.max_abs_error);
+        assert_eq!(r.samples, 10_000);
+    }
+}

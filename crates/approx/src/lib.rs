@@ -1,0 +1,102 @@
+//! Hardware-friendly approximations of delay-space addition and
+//! subtraction (paper §2.1–§2.2, Figs 3–5).
+//!
+//! The exact delay-space operations `nLSE` and `nLDE` cannot be realised
+//! directly with race-logic gates, but they can be approximated arbitrarily
+//! well with only `min`, `max`, `delay` and `inhibit`:
+//!
+//! * **nLSE** (addition): `min(x', y', max(x'+C_0, y'+D_0), …,
+//!   max(x'+C_{n-1}, y'+D_{n-1}))` — Eq. 6. Each `max`-term adds a "valley"
+//!   that pulls the plain-`min` bound down toward the true soft-min curve.
+//! * **nLDE** (subtraction): `min(inhibit(x'+E_0, y'+F_0), …)` — Eq. 7. Each
+//!   inhibit-term contributes one step of a staircase that tracks the
+//!   curve's blow-up near equal operands.
+//!
+//! The paper fits the constants with Pyomo + KNITRO; this crate substitutes
+//! a deterministic pure-Rust fitting stack (see [`optimizer`]) that exploits
+//! the same structural reduction the paper uses: by shift-invariance every
+//! two-input instance reduces to the one-dimensional representative slice
+//! `x' + y' = 0` (Fig 2), so constants are fitted on that slice and apply
+//! everywhere.
+//!
+//! ```
+//! use ta_approx::NlseApprox;
+//! use ta_delay_space::{DelayValue, ops};
+//!
+//! let approx = NlseApprox::fit(7); // 7 max-terms, cached
+//! let a = DelayValue::encode(0.3)?;
+//! let b = DelayValue::encode(0.4)?;
+//! let got = approx.eval(a, b).decode();
+//! let exact = ops::nlse(a, b).decode();
+//! assert!((got - exact).abs() < 0.02);
+//! # Ok::<(), ta_delay_space::EncodeError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod accuracy;
+mod nlde;
+mod nlse;
+pub mod optimizer;
+mod tables;
+
+pub use nlde::NldeApprox;
+pub use nlse::NlseApprox;
+
+/// One `(C_i, D_i)` max-term or `(E_i, F_i)` inhibit-term constant pair.
+pub type TermPair = (f64, f64);
+
+/// Exact representative slice of nLSE: `g(t) = nLSE(t, -t) = -ln(2·cosh t)`
+/// (the dashed curve of Fig 2 / Fig 3).
+pub fn nlse_slice_exact(t: f64) -> f64 {
+    // -ln(2 cosh t) = -|t| - ln(1 + e^(-2|t|)), stable for all t.
+    let a = t.abs();
+    -a - (-2.0 * a).exp().ln_1p()
+}
+
+/// Exact representative slice of nLDE: `h(t) = nLDE(-t, t) = -ln(2·sinh t)`
+/// for `t > 0` (the curve of Fig 5). Returns `+∞` at `t <= 0`.
+pub fn nlde_slice_exact(t: f64) -> f64 {
+    if t <= 0.0 {
+        return f64::INFINITY;
+    }
+    // 2 sinh t = e^t (1 - e^{-2t}), so -ln(2 sinh t) = -t - ln(1 - e^{-2t}).
+    -t - (-(-2.0 * t).exp()).ln_1p()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slice_exact_values() {
+        assert!((nlse_slice_exact(0.0) + 2.0_f64.ln()).abs() < 1e-12);
+        // Large t: converges to -t.
+        assert!((nlse_slice_exact(20.0) + 20.0).abs() < 1e-12);
+        // Symmetric.
+        assert_eq!(nlse_slice_exact(1.3), nlse_slice_exact(-1.3));
+    }
+
+    #[test]
+    fn nlde_slice_values() {
+        assert!(nlde_slice_exact(0.0).is_infinite());
+        assert!(nlde_slice_exact(-1.0).is_infinite());
+        // -ln(2 sinh 1).
+        assert!((nlde_slice_exact(1.0) + (2.0 * 1.0_f64.sinh()).ln()).abs() < 1e-12);
+        // Large t: converges to -t.
+        assert!((nlde_slice_exact(20.0) + 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn slice_matches_exact_ops() {
+        use ta_delay_space::{ops, DelayValue};
+        for i in 1..40 {
+            let t = i as f64 * 0.1;
+            let s = ops::nlse(DelayValue::from_delay(t), DelayValue::from_delay(-t));
+            assert!((s.delay() - nlse_slice_exact(t)).abs() < 1e-12);
+            let d = ops::nlde(DelayValue::from_delay(-t), DelayValue::from_delay(t)).unwrap();
+            assert!((d.delay() - nlde_slice_exact(t)).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,349 @@
+//! The min-of-inhibit nLDE approximation (Eq. 7) and its curve fit.
+
+use std::fmt;
+
+use ta_delay_space::DelayValue;
+
+use crate::{nlde_slice_exact, tables, TermPair};
+
+/// Upper end of the fitted slice domain; beyond it the exact curve is
+/// within `e^-8` of the plain `-t` asymptote.
+const FIT_DOMAIN: f64 = 4.0;
+/// Grid resolution for the fitting objective.
+const FIT_GRID: usize = 400;
+
+/// A fitted min-of-inhibit approximation of delay-space subtraction.
+///
+/// `eval(x, y)` computes `min_i inhibit(x + E_i, y + F_i)`: each term
+/// passes the (delayed) minuend only if it beats the (delayed) subtrahend,
+/// producing a staircase of slope `-1` segments that tracks nLDE's blow-up
+/// near equal operands (Fig 5). When the subtrahend dominates, every term
+/// inhibits and the output never fires — decoding to importance-space `0`,
+/// which is exactly what the split-value renormalisation of §2.2 needs.
+///
+/// ```
+/// use ta_approx::NldeApprox;
+/// use ta_delay_space::DelayValue;
+///
+/// let approx = NldeApprox::fit(8);
+/// let x = DelayValue::encode(0.9)?;
+/// let y = DelayValue::encode(0.4)?;
+/// let diff = approx.eval(x, y).decode();
+/// assert!((diff - 0.5).abs() < 0.05);
+/// # Ok::<(), ta_delay_space::EncodeError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct NldeApprox {
+    /// `(E_i, F_i)` pairs sorted by activation threshold `(E_i - F_i)/2`
+    /// ascending (blow-up steps first).
+    terms: Vec<TermPair>,
+}
+
+impl NldeApprox {
+    /// Fits `n ≥ 1` inhibit-terms to the representative slice. Results are
+    /// deterministic and cached process-wide.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn fit(n: usize) -> Self {
+        assert!(n >= 1, "at least one inhibit-term is required");
+        tables::cached_nlde(n, || NldeApprox {
+            terms: fit_terms(n),
+        })
+    }
+
+    /// Builds an approximation from explicit `(E_i, F_i)` constants.
+    pub fn from_terms(terms: Vec<TermPair>) -> Self {
+        assert!(!terms.is_empty(), "at least one inhibit-term is required");
+        let mut terms = terms;
+        terms.sort_by(|a, b| (a.0 - a.1).total_cmp(&(b.0 - b.1)));
+        NldeApprox { terms }
+    }
+
+    /// The fitted `(E_i, F_i)` constants.
+    pub fn terms(&self) -> &[TermPair] {
+        &self.terms
+    }
+
+    /// Number of inhibit-terms.
+    pub fn num_terms(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// The minimum time shift `K` that makes every constant realisable as a
+    /// physical delay (§2.3).
+    pub fn required_shift(&self) -> f64 {
+        self.terms
+            .iter()
+            .flat_map(|&(e, f)| [e, f])
+            .fold(0.0_f64, |k, v| k.max(-v))
+    }
+
+    /// Evaluates `x - y` in delay space (`x` is the minuend).
+    ///
+    /// Returns [`DelayValue::ZERO`] (never fires) when the subtrahend is
+    /// too close to — or larger than — the minuend for any term to pass.
+    pub fn eval(&self, x: DelayValue, y: DelayValue) -> DelayValue {
+        let mut best = DelayValue::ZERO;
+        for &(e, f) in &self.terms {
+            let term = x.delayed(e).inhibited_by(y.delayed(f));
+            best = best.min(term);
+        }
+        best
+    }
+
+    /// Evaluates the one-input representative slice `Ã(t) ≈ nLDE(-t, t)`
+    /// for `t > 0`. Returns `+∞` in the uncovered dead zone below the
+    /// smallest activation threshold.
+    pub fn eval_slice(&self, t: f64) -> f64 {
+        let mut best = f64::INFINITY;
+        for &(e, f) in &self.terms {
+            // data = -t + e, inhibitor = t + f; passes iff -t+e < t+f.
+            if -t + e < t + f {
+                best = best.min(-t + e);
+            }
+        }
+        best
+    }
+
+    /// The activation threshold of the most sensitive term: for operand
+    /// separations below this the output never fires (the staircase's dead
+    /// zone, visible in Fig 5 as the approximation topping out).
+    pub fn coverage_threshold(&self) -> f64 {
+        self.terms
+            .iter()
+            .map(|&(e, f)| (e - f) / 2.0)
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Maximum absolute slice error over the covered domain
+    /// `[threshold, 4]`, in delay units.
+    pub fn max_slice_error(&self) -> f64 {
+        let lo = self.coverage_threshold().max(1e-6);
+        let mut max_err = 0.0_f64;
+        for i in 0..FIT_GRID {
+            let t = lo + (FIT_DOMAIN - lo) * i as f64 / (FIT_GRID - 1) as f64;
+            let a = self.eval_slice(t);
+            if a.is_finite() {
+                max_err = max_err.max((a - nlde_slice_exact(t)).abs());
+            }
+        }
+        max_err
+    }
+
+    /// Importance-space RMS error under the paper's accuracy protocol
+    /// (uniform `[0,1]²` operands, larger minus smaller), computed by
+    /// deterministic quadrature — the fit's own model-selection objective.
+    pub fn importance_rms_error(&self) -> f64 {
+        protocol_rms(&self.terms)
+    }
+}
+
+impl fmt::Display for NldeApprox {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "nLDE~[{} inhibit-terms, K={:.3}]",
+            self.terms.len(),
+            self.required_shift()
+        )
+    }
+}
+
+/// Inverse of `φ(t) = -ln(1 - e^{-2t})`, the (positive, decreasing) gap
+/// between the exact slice and its `-t` asymptote.
+fn phi_inv(p: f64) -> f64 {
+    // p = -ln(1 - e^{-2t})  ⇒  t = -ln(1 - e^{-p}) / 2.
+    -(-(-p).exp()).ln_1p() / 2.0
+}
+
+/// Deterministic quadrature of the paper's accuracy protocol (§5.2):
+/// operands uniform on `[0, 1]²`, larger minus smaller, error measured in
+/// importance space. Used as the fit's model-selection objective.
+fn protocol_rms(terms: &[TermPair]) -> f64 {
+    const GRID: usize = 120;
+    let mut sq = 0.0_f64;
+    let mut count = 0usize;
+    for i in 0..GRID {
+        for j in 0..=i {
+            let a = (i as f64 + 0.5) / GRID as f64; // larger operand
+            let b = (j as f64 + 0.5) / GRID as f64;
+            let x = -a.ln(); // earlier edge (minuend)
+            let y = -b.ln();
+            let mut out = f64::INFINITY;
+            for &(e, f) in terms {
+                if x + e < y + f {
+                    out = out.min(x + e);
+                }
+            }
+            let approx_importance = if out.is_finite() { (-out).exp() } else { 0.0 };
+            let err = approx_importance - (a - b);
+            sq += err * err;
+            count += 1;
+        }
+    }
+    (sq / count as f64).sqrt()
+}
+
+/// Deterministic staircase fit. The Chebyshev-optimal staircase with a
+/// per-step delay-error budget `ε` is available in closed form: step
+/// boundaries sit where `φ(θ_i) = 2(n-i+1)·ε` and each step's offset is the
+/// Chebyshev centre of `φ` over its interval. That leaves a single free
+/// parameter — `ε`, which trades per-step error against the dead zone near
+/// equal operands — chosen by a deterministic sweep minimising the paper's
+/// own accuracy protocol ([`protocol_rms`]).
+fn fit_terms(n: usize) -> Vec<TermPair> {
+    let build = |eps: f64| -> Vec<TermPair> {
+        // φ(θ_i) = 2(n - i + 1)·ε  for i = 1..n (θ ascending).
+        let mut terms = Vec::with_capacity(n);
+        for i in 1..=n {
+            let phi_lo = 2.0 * (n - i + 1) as f64 * eps; // at θ_i
+            let phi_hi = 2.0 * (n - i) as f64 * eps; // at θ_{i+1} (0 at tail)
+            let theta_i = phi_inv(phi_lo);
+            let e_i = (phi_lo + phi_hi) / 2.0; // Chebyshev-centred offset
+            let f_i = e_i - 2.0 * theta_i;
+            terms.push((e_i, f_i));
+        }
+        terms
+    };
+
+    // 1-D deterministic sweep over the per-step error budget.
+    let mut best = build(0.05);
+    let mut best_obj = protocol_rms(&best);
+    let mut eps = 2e-4;
+    while eps < 0.7 {
+        let cand = build(eps);
+        let obj = protocol_rms(&cand);
+        if obj < best_obj {
+            best_obj = obj;
+            best = cand;
+        }
+        eps *= 1.07;
+    }
+    best.sort_by(|a, b| (a.0 - a.1).total_cmp(&(b.0 - b.1)));
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ta_delay_space::ops;
+
+    #[test]
+    fn error_decreases_with_terms() {
+        let errs: Vec<f64> = [2, 4, 8, 16]
+            .iter()
+            .map(|&n| NldeApprox::fit(n).importance_rms_error())
+            .collect();
+        for w in errs.windows(2) {
+            assert!(w[1] < w[0], "errors not decreasing: {errs:?}");
+        }
+    }
+
+    #[test]
+    fn coverage_improves_with_terms() {
+        // More terms push the dead zone closer to zero separation.
+        let a = NldeApprox::fit(4).coverage_threshold();
+        let b = NldeApprox::fit(16).coverage_threshold();
+        assert!(b < a, "{b} !< {a}");
+        assert!(b > 0.0);
+    }
+
+    #[test]
+    fn eval_matches_exact_subtraction() {
+        let approx = NldeApprox::fit(10);
+        for &(a, b) in &[(0.9, 0.1), (0.7, 0.4), (1.0, 0.05), (0.5, 0.25)] {
+            let x = DelayValue::encode(a).unwrap();
+            let y = DelayValue::encode(b).unwrap();
+            let got = approx.eval(x, y).decode();
+            assert!(
+                (got - (a - b)).abs() < 0.1,
+                "{a}-{b}: got {got}"
+            );
+        }
+    }
+
+    #[test]
+    fn eval_never_when_subtrahend_dominates() {
+        let approx = NldeApprox::fit(6);
+        let x = DelayValue::encode(0.2).unwrap();
+        let y = DelayValue::encode(0.8).unwrap();
+        assert!(approx.eval(x, y).is_never());
+    }
+
+    #[test]
+    fn eval_equal_operands_is_zero() {
+        let approx = NldeApprox::fit(6);
+        let x = DelayValue::encode(0.5).unwrap();
+        assert!(approx.eval(x, x).is_never()); // decodes to 0
+    }
+
+    #[test]
+    fn subtracting_zero_is_cheap() {
+        let approx = NldeApprox::fit(8);
+        let x = DelayValue::encode(0.5).unwrap();
+        let got = approx.eval(x, DelayValue::ZERO).decode();
+        // A never-firing subtrahend passes every term; the residual offset
+        // is the tail term's Chebyshev-centred E_n ≈ ε.
+        assert!((got - 0.5).abs() < 0.1, "got {got}");
+    }
+
+    #[test]
+    fn slice_reduction_matches_eval() {
+        let approx = NldeApprox::fit(8);
+        for &(c, t) in &[(0.0, 0.5), (2.0, 1.0), (-1.0, 0.3)] {
+            let full = approx.eval(
+                DelayValue::from_delay(c - t),
+                DelayValue::from_delay(c + t),
+            );
+            let slice = approx.eval_slice(t);
+            if slice.is_finite() {
+                assert!((full.delay() - (c + slice)).abs() < 1e-12, "c={c}, t={t}");
+            } else {
+                assert!(full.is_never());
+            }
+        }
+    }
+
+    #[test]
+    fn slice_error_within_exact_band() {
+        // Over the covered domain, 10 terms should track the exact curve
+        // to a fraction of a delay unit.
+        let approx = NldeApprox::fit(10);
+        assert!(approx.max_slice_error() < 0.5, "{}", approx.max_slice_error());
+    }
+
+    #[test]
+    fn nlde_inverts_nlse_approximately() {
+        let add = crate::NlseApprox::fit(10);
+        let sub = NldeApprox::fit(10);
+        let a = DelayValue::encode(0.6).unwrap();
+        let b = DelayValue::encode(0.3).unwrap();
+        let sum = add.eval(a, b);
+        let back = sub.eval(sum, b).decode();
+        assert!((back - 0.6).abs() < 0.15, "got {back}");
+        // And against the exact chain for reference.
+        let exact_back = sub.eval(ops::nlse(a, b), b).decode();
+        assert!((exact_back - 0.6).abs() < 0.1, "got {exact_back}");
+    }
+
+    #[test]
+    fn terms_sorted_by_threshold() {
+        let approx = NldeApprox::fit(7);
+        let th: Vec<f64> = approx.terms().iter().map(|&(e, f)| (e - f) / 2.0).collect();
+        for w in th.windows(2) {
+            assert!(w[0] <= w[1] + 1e-12);
+        }
+    }
+
+    #[test]
+    fn fit_is_cached_and_deterministic() {
+        assert_eq!(NldeApprox::fit(5), NldeApprox::fit(5));
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!format!("{}", NldeApprox::fit(2)).is_empty());
+    }
+}

@@ -1,0 +1,350 @@
+//! The min-of-max nLSE approximation (Eq. 6) and its curve fit.
+
+use std::fmt;
+
+use ta_delay_space::DelayValue;
+
+use crate::{nlse_slice_exact, tables, TermPair};
+
+/// Slice domain used for fitting and error reporting. Beyond `t = 4` the
+/// exact curve is within `e^-8 ≈ 3·10^-4` of the plain-min bound, which the
+/// approximation reproduces exactly, so a wider domain adds nothing.
+const FIT_DOMAIN: f64 = 4.0;
+/// Grid resolution for fitting objectives.
+const FIT_GRID: usize = 321;
+
+/// A fitted min-of-max approximation of delay-space addition.
+///
+/// `eval` computes `min(x', y', max(x'+C_i, y'+D_i), …)` with the operands
+/// pre-ordered by a (modelled) temporal comparator, so each term is stored
+/// once: the `C_i` apply to the *later* edge and the `D_i` to the
+/// *earlier* edge, matching the paper's "first operand always greater"
+/// convention (§2.1).
+///
+/// ```
+/// use ta_approx::NlseApprox;
+/// let a = NlseApprox::fit(4);
+/// assert_eq!(a.num_terms(), 4);
+/// // Worst-case slice error shrinks as terms are added (Fig 11a).
+/// assert!(NlseApprox::fit(8).max_slice_error() < a.max_slice_error());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct NlseApprox {
+    terms: Vec<TermPair>,
+}
+
+impl NlseApprox {
+    /// Fits `n ≥ 1` max-terms to the representative slice and returns the
+    /// approximation. Results are deterministic and cached process-wide, so
+    /// repeated calls are cheap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn fit(n: usize) -> Self {
+        assert!(n >= 1, "at least one max-term is required");
+        tables::cached_nlse(n, || NlseApprox {
+            terms: fit_terms(n),
+        })
+    }
+
+    /// Builds an approximation from explicit constants (e.g. for testing
+    /// hand-derived term sets such as Fig 3's `C_0 = D_0 = -1`).
+    pub fn from_terms(terms: Vec<TermPair>) -> Self {
+        assert!(!terms.is_empty(), "at least one max-term is required");
+        NlseApprox { terms }
+    }
+
+    /// The fitted `(C_i, D_i)` constants.
+    pub fn terms(&self) -> &[TermPair] {
+        &self.terms
+    }
+
+    /// Number of max-terms.
+    pub fn num_terms(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// The minimum time shift `K` that makes every constant realisable as a
+    /// physical delay (§2.3).
+    pub fn required_shift(&self) -> f64 {
+        self.terms
+            .iter()
+            .flat_map(|&(c, d)| [c, d])
+            .fold(0.0_f64, |k, v| k.max(-v))
+    }
+
+    /// Evaluates the approximation on two delay-space operands.
+    ///
+    /// Operand order does not matter: the (ideal) comparator sorts the
+    /// edges first.
+    pub fn eval(&self, x: DelayValue, y: DelayValue) -> DelayValue {
+        let (lo, hi) = if x <= y { (x, y) } else { (y, x) };
+        if lo.is_never() {
+            return DelayValue::ZERO; // both operands are zero
+        }
+        let mut best = lo;
+        for &(c, d) in &self.terms {
+            let term = hi.delayed(c).max(lo.delayed(d));
+            best = best.min(term);
+        }
+        best
+    }
+
+    /// Evaluates the one-input representative slice `Ã(t) ≈ nLSE(t, -t)`
+    /// (symmetric in `t`).
+    pub fn eval_slice(&self, t: f64) -> f64 {
+        let t = t.abs();
+        let mut best = -t;
+        for &(c, d) in &self.terms {
+            best = best.min((t + c).max(-t + d));
+        }
+        best
+    }
+
+    /// Maximum absolute slice error over the fitting domain `[0, 4]`,
+    /// in delay units.
+    pub fn max_slice_error(&self) -> f64 {
+        slice_errors(self).0
+    }
+
+    /// Root-mean-square slice error over the fitting domain, in delay
+    /// units.
+    pub fn rms_slice_error(&self) -> f64 {
+        slice_errors(self).1
+    }
+}
+
+impl fmt::Display for NlseApprox {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "nLSE~[{} max-terms, K={:.3}]", self.terms.len(), self.required_shift())
+    }
+}
+
+fn slice_errors(a: &NlseApprox) -> (f64, f64) {
+    let mut max_err = 0.0_f64;
+    let mut sq = 0.0_f64;
+    for i in 0..FIT_GRID {
+        let t = FIT_DOMAIN * i as f64 / (FIT_GRID - 1) as f64;
+        let e = a.eval_slice(t) - nlse_slice_exact(t);
+        max_err = max_err.max(e.abs());
+        sq += e * e;
+    }
+    (max_err, (sq / FIT_GRID as f64).sqrt())
+}
+
+/// Deterministic Chebyshev curve fit of `n` max-terms on the slice (the
+/// Pyomo+KNITRO substitute).
+///
+/// The min-of-max envelope on the slice is a zigzag of slope-`±1`
+/// segments: each term's `-t + D_i` arm descends into a valley at the
+/// term's vertex and its `t + C_i` arm ascends out of it, until the plain
+/// `min(x', y')` baseline takes over. For the exact curve
+/// `g(t) = -ln(2 cosh t)` both arm-error functions are analytically
+/// invertible:
+///
+/// * descending arm `-t + D`: error `D + ln(1 + e^{-2t})` (decreasing),
+/// * ascending arm `t + C`:  error `C + ln(1 + e^{+2t})` (increasing),
+///
+/// so for a given error budget `ε` the equioscillating zigzag
+/// (+ε at peaks, −ε at valleys) can be constructed left-to-right in closed
+/// form. The minimal feasible `ε` for `n` valleys is found by bisection,
+/// yielding the minimax-optimal constants directly — no local search, no
+/// local minima.
+fn fit_terms(n: usize) -> Vec<TermPair> {
+    // Feasibility: does an equioscillating zigzag with error ε terminate
+    // onto the baseline within at most n valleys?
+    let construct = |eps: f64| -> Option<Vec<TermPair>> {
+        let mut terms = Vec::with_capacity(n);
+        // First descending arm starts at the boundary peak (0, g(0)+ε).
+        let mut d = nlse_slice_exact(0.0) + eps; // D_1 = -ln2 + ε
+        for _ in 0..n {
+            // Valley: descending error D + ln(1+e^{-2t}) hits -ε.
+            let arg = (-d - eps).exp() - 1.0;
+            if arg <= 0.0 {
+                // The descending arm never dips to -ε: its error stays in
+                // (D, +ε] ⊆ (-ε, +ε] forever, so the curve is covered by a
+                // final term whose vertex sits far out on the tail. Any
+                // C with ln(1 + e^C) ≤ ε keeps the baseline handoff inside
+                // the band.
+                let c_far = ((eps).exp() - 1.0).ln() - 1e-9;
+                terms.push((c_far, d));
+                return Some(terms);
+            }
+            let t_v = -0.5 * arg.ln();
+            let c = d - 2.0 * t_v; // ascending arm through the valley
+            terms.push((c, d));
+            // Terminate if the ascending arm hands off to the baseline
+            // within the band: residual ln(1 + e^{C}) ≤ ε.
+            if c.exp().ln_1p() <= eps {
+                return Some(terms);
+            }
+            // Peak: ascending error C + ln(1+e^{2t}) hits +ε.
+            let parg = (eps - c).exp() - 1.0;
+            debug_assert!(parg > 0.0);
+            let t_p = 0.5 * parg.ln();
+            d = c + 2.0 * t_p; // next descending arm through the peak
+        }
+        // Ran out of terms (or broke early without handoff): check whether
+        // what we built already covers the curve.
+        match terms.last() {
+            Some(&(c, _)) if c.exp().ln_1p() <= eps => Some(terms),
+            _ => None,
+        }
+    };
+
+    // Bisection on ε: feasibility is monotone on (0, ln2/2). The upper
+    // bound is just below ln2/2, where the very first descending arm only
+    // exits the ±ε band far out on the tail — always feasible with one
+    // valley.
+    let mut lo = 1e-9;
+    let mut hi = 0.5 * 2.0_f64.ln() - 1e-9;
+    debug_assert!(construct(hi).is_some(), "upper bound must be feasible");
+    for _ in 0..80 {
+        let mid = 0.5 * (lo + hi);
+        if construct(mid).is_some() {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    let mut terms = construct(hi).expect("bisection kept hi feasible");
+    // If termination happened with fewer valleys than requested (possible
+    // only at degenerate ε), pad by splitting the last term — keeps the
+    // requested hardware shape without changing the function materially.
+    while terms.len() < n {
+        let &(c, d) = terms.last().expect("at least one term");
+        terms.push((c - 1e-3, d + 1e-3));
+    }
+    // Sort by C ascending: the canonical order used by the shared-chain
+    // hardware construction (largest C pairs with smallest D, Fig 6b).
+    terms.sort_by(|a, b| a.0.total_cmp(&b.0));
+    terms
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ta_delay_space::ops;
+
+    #[test]
+    fn single_term_beats_plain_min() {
+        let one = NlseApprox::fit(1);
+        // Plain min has worst-case error ln 2 at t = 0.
+        assert!(one.max_slice_error() < 2.0_f64.ln());
+        // And the fitted term should cut that error at least in half.
+        assert!(one.max_slice_error() < 0.5 * 2.0_f64.ln());
+    }
+
+    #[test]
+    fn error_decreases_with_terms() {
+        let errs: Vec<f64> = [1, 2, 4, 7]
+            .iter()
+            .map(|&n| NlseApprox::fit(n).max_slice_error())
+            .collect();
+        for w in errs.windows(2) {
+            assert!(w[1] < w[0], "errors not decreasing: {errs:?}");
+        }
+        // Seven terms: below 0.04 delay units (the minimax optimum for
+        // slope-±1 zigzags scales as ~ln2/(2n+1), so ≈ 0.046 is the
+        // theoretical ballpark and the fit must beat naive spacing).
+        assert!(errs[3] < 0.04, "7-term error {}", errs[3]);
+    }
+
+    #[test]
+    fn figure3_hand_constants() {
+        // Fig 3's illustrative single term C0 = D0 = -1 improves on min.
+        let approx = NlseApprox::from_terms(vec![(-1.0, -1.0)]);
+        let plain_min_err = 2.0_f64.ln();
+        assert!(approx.max_slice_error() < plain_min_err);
+    }
+
+    #[test]
+    fn eval_is_symmetric_and_bounded() {
+        let a = NlseApprox::fit(5);
+        let x = DelayValue::from_delay(0.7);
+        let y = DelayValue::from_delay(-0.9);
+        assert_eq!(a.eval(x, y), a.eval(y, x));
+        // Bounded above by min, below by exact nLSE minus fit error.
+        let v = a.eval(x, y);
+        assert!(v <= x.min(y));
+        let exact = ops::nlse(x, y);
+        assert!(v.delay() >= exact.delay() - a.max_slice_error() - 1e-9);
+    }
+
+    #[test]
+    fn eval_handles_never() {
+        let a = NlseApprox::fit(3);
+        let x = DelayValue::from_delay(1.0);
+        assert_eq!(a.eval(x, DelayValue::ZERO), x);
+        assert!(a.eval(DelayValue::ZERO, DelayValue::ZERO).is_never());
+    }
+
+    #[test]
+    fn eval_matches_slice_reduction() {
+        // Shift-invariance: eval(c+t, c-t) == c + eval_slice(t).
+        let a = NlseApprox::fit(6);
+        for &(c, t) in &[(0.0, 0.5), (3.0, 1.2), (-2.0, 0.01), (10.0, 2.5)] {
+            let full = a
+                .eval(
+                    DelayValue::from_delay(c + t),
+                    DelayValue::from_delay(c - t),
+                )
+                .delay();
+            let slice = c + a.eval_slice(t);
+            assert!((full - slice).abs() < 1e-12, "c={c}, t={t}");
+        }
+    }
+
+    #[test]
+    fn required_shift_nonnegative_and_covers_terms() {
+        let a = NlseApprox::fit(7);
+        let k = a.required_shift();
+        assert!(k >= 0.0);
+        for &(c, d) in a.terms() {
+            assert!(c + k >= -1e-12);
+            assert!(d + k >= -1e-12);
+        }
+    }
+
+    #[test]
+    fn fit_is_cached_and_deterministic() {
+        let a = NlseApprox::fit(5);
+        let b = NlseApprox::fit(5);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn terms_sorted_by_c() {
+        let a = NlseApprox::fit(6);
+        for w in a.terms().windows(2) {
+            assert!(w[0].0 <= w[1].0);
+        }
+    }
+
+    #[test]
+    fn importance_space_addition_error_small() {
+        // The headline behaviour: delay-space addition of values in [0,1]
+        // is accurate to ~1% with 7 terms.
+        let a = NlseApprox::fit(7);
+        let mut worst = 0.0_f64;
+        for i in 0..50 {
+            for j in 0..50 {
+                let u = (i as f64 + 0.5) / 50.0;
+                let v = (j as f64 + 0.5) / 50.0;
+                let du = DelayValue::encode(u).unwrap();
+                let dv = DelayValue::encode(v).unwrap();
+                let got = a.eval(du, dv).decode();
+                worst = worst.max((got - (u + v)).abs());
+            }
+        }
+        // Max slice error at 7 terms is ~0.034 delay units ⇒ ~3.5%
+        // relative, so the worst absolute error on sums up to 2 is ~0.07.
+        assert!(worst < 0.08, "worst importance error {worst}");
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!format!("{}", NlseApprox::fit(2)).is_empty());
+    }
+}

@@ -1,0 +1,230 @@
+//! Deterministic derivative-free optimisation used to fit approximation
+//! constants — the workspace's substitute for the paper's Pyomo + KNITRO
+//! pipeline.
+//!
+//! The fitting objectives are low-dimensional (2 constants per term),
+//! piecewise-smooth and cheap, so a robust pattern search is entirely
+//! adequate: [`compass_search`] performs cyclic coordinate descent with
+//! per-coordinate adaptive step sizes, and [`nelder_mead`] is provided for
+//! final polishing and for reuse by downstream crates.
+
+/// Cyclic coordinate pattern search ("compass search").
+///
+/// Minimises `f` starting from `x0`, probing `±step` along each coordinate,
+/// expanding steps on success and contracting on failure, until every
+/// coordinate's step falls below `tol` or `max_sweeps` is reached. Fully
+/// deterministic.
+///
+/// Returns `(best_x, best_f)`.
+pub fn compass_search<F>(
+    f: F,
+    x0: &[f64],
+    initial_step: f64,
+    tol: f64,
+    max_sweeps: usize,
+) -> (Vec<f64>, f64)
+where
+    F: Fn(&[f64]) -> f64,
+{
+    let n = x0.len();
+    let mut x = x0.to_vec();
+    let mut fx = f(&x);
+    let mut steps = vec![initial_step; n];
+    for _ in 0..max_sweeps {
+        let mut any_above_tol = false;
+        for i in 0..n {
+            if steps[i] < tol {
+                continue;
+            }
+            any_above_tol = true;
+            let orig = x[i];
+            let mut improved = false;
+            for dir in [1.0, -1.0] {
+                x[i] = orig + dir * steps[i];
+                let cand = f(&x);
+                if cand < fx {
+                    fx = cand;
+                    improved = true;
+                    // Greedily continue in the successful direction.
+                    loop {
+                        let further = x[i] + dir * steps[i];
+                        let prev = x[i];
+                        x[i] = further;
+                        let c2 = f(&x);
+                        if c2 < fx {
+                            fx = c2;
+                        } else {
+                            x[i] = prev;
+                            break;
+                        }
+                    }
+                    break;
+                }
+            }
+            if improved {
+                steps[i] *= 1.6;
+            } else {
+                x[i] = orig;
+                steps[i] *= 0.5;
+            }
+        }
+        if !any_above_tol {
+            break;
+        }
+    }
+    (x, fx)
+}
+
+/// Classic Nelder–Mead simplex minimisation.
+///
+/// Uses the standard (α=1, γ=2, ρ=0.5, σ=0.5) coefficients and a simplex
+/// seeded at `x0` with per-coordinate offsets `scale`. Terminates when the
+/// simplex's function spread falls below `tol` or after `max_iter`
+/// iterations. Deterministic.
+///
+/// Returns `(best_x, best_f)`.
+pub fn nelder_mead<F>(
+    f: F,
+    x0: &[f64],
+    scale: f64,
+    tol: f64,
+    max_iter: usize,
+) -> (Vec<f64>, f64)
+where
+    F: Fn(&[f64]) -> f64,
+{
+    let n = x0.len();
+    let mut simplex: Vec<Vec<f64>> = Vec::with_capacity(n + 1);
+    simplex.push(x0.to_vec());
+    for i in 0..n {
+        let mut p = x0.to_vec();
+        p[i] += scale;
+        simplex.push(p);
+    }
+    let mut values: Vec<f64> = simplex.iter().map(|p| f(p)).collect();
+
+    for _ in 0..max_iter {
+        // Order the simplex by value.
+        let mut order: Vec<usize> = (0..=n).collect();
+        order.sort_by(|&a, &b| values[a].total_cmp(&values[b]));
+        let best = order[0];
+        let worst = order[n];
+        let second_worst = order[n - 1];
+        if (values[worst] - values[best]).abs() < tol {
+            break;
+        }
+        // Centroid of all but the worst.
+        let mut centroid = vec![0.0; n];
+        for &idx in order.iter().take(n) {
+            for (c, &pi) in centroid.iter_mut().zip(&simplex[idx]) {
+                *c += pi / n as f64;
+            }
+        }
+        let reflect: Vec<f64> = centroid
+            .iter()
+            .zip(&simplex[worst])
+            .map(|(c, w)| c + (c - w))
+            .collect();
+        let f_reflect = f(&reflect);
+        if f_reflect < values[best] {
+            // Try expanding.
+            let expand: Vec<f64> = centroid
+                .iter()
+                .zip(&simplex[worst])
+                .map(|(c, w)| c + 2.0 * (c - w))
+                .collect();
+            let f_expand = f(&expand);
+            if f_expand < f_reflect {
+                simplex[worst] = expand;
+                values[worst] = f_expand;
+            } else {
+                simplex[worst] = reflect;
+                values[worst] = f_reflect;
+            }
+        } else if f_reflect < values[second_worst] {
+            simplex[worst] = reflect;
+            values[worst] = f_reflect;
+        } else {
+            // Contract.
+            let contract: Vec<f64> = centroid
+                .iter()
+                .zip(&simplex[worst])
+                .map(|(c, w)| c + 0.5 * (w - c))
+                .collect();
+            let f_contract = f(&contract);
+            if f_contract < values[worst] {
+                simplex[worst] = contract;
+                values[worst] = f_contract;
+            } else {
+                // Shrink toward the best point.
+                let best_p = simplex[best].clone();
+                for idx in 0..=n {
+                    if idx == best {
+                        continue;
+                    }
+                    for (pi, bi) in simplex[idx].iter_mut().zip(&best_p) {
+                        *pi = bi + 0.5 * (*pi - bi);
+                    }
+                    values[idx] = f(&simplex[idx]);
+                }
+            }
+        }
+    }
+    let mut best_i = 0;
+    for i in 1..=n {
+        if values[i] < values[best_i] {
+            best_i = i;
+        }
+    }
+    (simplex[best_i].clone(), values[best_i])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sphere(x: &[f64]) -> f64 {
+        x.iter().map(|v| v * v).sum()
+    }
+
+    fn rosenbrock(x: &[f64]) -> f64 {
+        (1.0 - x[0]).powi(2) + 100.0 * (x[1] - x[0] * x[0]).powi(2)
+    }
+
+    #[test]
+    fn compass_minimises_sphere() {
+        let (x, fx) = compass_search(sphere, &[3.0, -2.0, 1.5], 1.0, 1e-10, 500);
+        assert!(fx < 1e-12, "fx={fx}, x={x:?}");
+    }
+
+    #[test]
+    fn compass_handles_nonsmooth_objectives() {
+        // |x| + |y - 1| has a kink at the optimum — gradient methods choke,
+        // pattern search should not.
+        let f = |x: &[f64]| x[0].abs() + (x[1] - 1.0).abs();
+        let (x, fx) = compass_search(f, &[5.0, -5.0], 1.0, 1e-10, 500);
+        assert!(fx < 1e-8, "fx={fx}, x={x:?}");
+    }
+
+    #[test]
+    fn nelder_mead_minimises_rosenbrock() {
+        let (x, fx) = nelder_mead(rosenbrock, &[-1.2, 1.0], 0.5, 1e-14, 5000);
+        assert!(fx < 1e-8, "fx={fx}, x={x:?}");
+        assert!((x[0] - 1.0).abs() < 1e-3 && (x[1] - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn nelder_mead_minimises_sphere_high_dim() {
+        let x0 = vec![1.0; 6];
+        let (_, fx) = nelder_mead(sphere, &x0, 0.5, 1e-14, 20_000);
+        assert!(fx < 1e-6, "fx={fx}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = compass_search(rosenbrock, &[0.0, 0.0], 0.5, 1e-9, 300);
+        let b = compass_search(rosenbrock, &[0.0, 0.0], 0.5, 1e-9, 300);
+        assert_eq!(a.0, b.0);
+        assert_eq!(a.1, b.1);
+    }
+}

@@ -1,0 +1,67 @@
+//! Process-wide cache of fitted approximation constants.
+//!
+//! Fitting is deterministic but not free (a few milliseconds per term
+//! count), and experiment sweeps request the same term counts thousands of
+//! times, so fits are memoised per process.
+
+use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock};
+
+use crate::{NldeApprox, NlseApprox};
+
+fn nlse_cache() -> &'static Mutex<HashMap<usize, NlseApprox>> {
+    static CACHE: OnceLock<Mutex<HashMap<usize, NlseApprox>>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+fn nlde_cache() -> &'static Mutex<HashMap<usize, NldeApprox>> {
+    static CACHE: OnceLock<Mutex<HashMap<usize, NldeApprox>>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+pub(crate) fn cached_nlse(n: usize, fit: impl FnOnce() -> NlseApprox) -> NlseApprox {
+    if let Some(hit) = nlse_cache().lock().expect("cache poisoned").get(&n) {
+        return hit.clone();
+    }
+    // Fit outside the lock: fits can take milliseconds and callers may be
+    // concurrent test threads. A duplicated fit is deterministic, so the
+    // last writer wins with an identical value.
+    let fitted = fit();
+    nlse_cache()
+        .lock()
+        .expect("cache poisoned")
+        .insert(n, fitted.clone());
+    fitted
+}
+
+pub(crate) fn cached_nlde(n: usize, fit: impl FnOnce() -> NldeApprox) -> NldeApprox {
+    if let Some(hit) = nlde_cache().lock().expect("cache poisoned").get(&n) {
+        return hit.clone();
+    }
+    let fitted = fit();
+    nlde_cache()
+        .lock()
+        .expect("cache poisoned")
+        .insert(n, fitted.clone());
+    fitted
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{NldeApprox, NlseApprox};
+
+    #[test]
+    fn caches_are_consistent_across_threads() {
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                std::thread::spawn(|| {
+                    (NlseApprox::fit(3), NldeApprox::fit(3))
+                })
+            })
+            .collect();
+        let results: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for w in results.windows(2) {
+            assert_eq!(w[0], w[1]);
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! Property-based tests of the fitted approximations' structural
+//! guarantees, across the whole term-count range the evaluation sweeps.
+
+use proptest::prelude::*;
+use ta_approx::{nlse_slice_exact, NldeApprox, NlseApprox};
+use ta_delay_space::{ops, DelayValue};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn nlse_fit_error_within_reported_minimax(
+        n in 1usize..=20,
+        t in 0.0..4.0f64,
+    ) {
+        let a = NlseApprox::fit(n);
+        let err = (a.eval_slice(t) - nlse_slice_exact(t)).abs();
+        prop_assert!(err <= a.max_slice_error() + 1e-9);
+    }
+
+    #[test]
+    fn nlse_fit_constants_realisable_under_shift(n in 1usize..=20) {
+        let a = NlseApprox::fit(n);
+        let k = a.required_shift();
+        for &(c, d) in a.terms() {
+            prop_assert!(c + k >= -1e-12, "C={c} not covered by K={k}");
+            prop_assert!(d + k >= -1e-12, "D={d} not covered by K={k}");
+        }
+    }
+
+    #[test]
+    fn nlse_eval_agrees_with_two_input_reduction(
+        n in 1usize..=12,
+        c in -5.0..5.0f64,
+        d in 0.0..3.0f64,
+    ) {
+        // eval(c+d, c-d) must equal c + eval_slice(d): the shift identity
+        // that lets one fitted slice serve every operating point.
+        let a = NlseApprox::fit(n);
+        let full = a
+            .eval(DelayValue::from_delay(c + d), DelayValue::from_delay(c - d))
+            .delay();
+        prop_assert!((full - (c + a.eval_slice(d))).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nlse_approx_error_never_exceeds_plain_min(
+        n in 1usize..=20,
+        x in -3.0..3.0f64,
+        y in -3.0..3.0f64,
+    ) {
+        // Fitted approximations must dominate the zero-term baseline.
+        let a = NlseApprox::fit(n);
+        let exact = ops::nlse(DelayValue::from_delay(x), DelayValue::from_delay(y)).delay();
+        let approx = a.eval(DelayValue::from_delay(x), DelayValue::from_delay(y)).delay();
+        let min_err = (x.min(y) - exact).abs();
+        prop_assert!((approx - exact).abs() <= min_err + 1e-9);
+    }
+
+    #[test]
+    fn nlde_thresholds_positive_and_sorted(n in 1usize..=20) {
+        let d = NldeApprox::fit(n);
+        let th: Vec<f64> = d.terms().iter().map(|&(e, f)| (e - f) / 2.0).collect();
+        prop_assert!(th[0] > 0.0, "first threshold must leave a dead zone");
+        for w in th.windows(2) {
+            prop_assert!(w[0] <= w[1] + 1e-12);
+        }
+        prop_assert!((d.coverage_threshold() - th[0]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nlde_subtraction_result_never_exceeds_minuend(
+        n in 1usize..=20,
+        a in 0.01..1.0f64,
+        b in 0.0..1.0f64,
+    ) {
+        // In importance space, (a - b)~ ≤ a·e^ε: the staircase sits near
+        // or below the minuend, never wildly above it.
+        let d = NldeApprox::fit(n);
+        let (hi, lo) = if a >= b { (a, b) } else { (b, a) };
+        let out = d
+            .eval(
+                DelayValue::encode(hi).unwrap(),
+                DelayValue::encode(lo).unwrap(),
+            )
+            .decode();
+        prop_assert!(out <= hi * 1.25 + 1e-9, "{hi}-{lo} gave {out}");
+        prop_assert!(out >= 0.0);
+    }
+
+    #[test]
+    fn fits_are_process_deterministic(n in 1usize..=20) {
+        prop_assert_eq!(NlseApprox::fit(n), NlseApprox::fit(n));
+        prop_assert_eq!(NldeApprox::fit(n), NldeApprox::fit(n));
+    }
+}

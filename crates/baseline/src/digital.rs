@@ -1,0 +1,95 @@
+//! A conventional digital near-sensor pipeline: per-pixel ADC followed by
+//! fixed-point MACs.
+//!
+//! This is the "complete analog-to-digital conversion for each pixel"
+//! design point the paper's introduction argues against. It is not part of
+//! Table 3, but examples and ablation benches use it to show where the
+//! energy goes in a conventional design (the ADC dominates).
+
+use ta_image::{conv, Image, Kernel};
+
+/// Energy/accuracy model of the digital pipeline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DigitalModel {
+    /// ADC resolution in bits.
+    pub adc_bits: u32,
+    /// Energy per ADC conversion, picojoules (tens of pJ for a 10-bit
+    /// SAR at 65 nm).
+    pub adc_pj: f64,
+    /// Energy per 8-bit MAC, picojoules.
+    pub mac_pj: f64,
+}
+
+impl DigitalModel {
+    /// A representative 65 nm design point: 10-bit SAR ADC at ~40 pJ per
+    /// conversion, 8-bit digital MAC at ~0.4 pJ.
+    pub fn conventional_65nm() -> Self {
+        DigitalModel {
+            adc_bits: 10,
+            adc_pj: 40.0,
+            mac_pj: 0.4,
+        }
+    }
+
+    /// Energy per pixel per frame for one convolution, picojoules: one ADC
+    /// conversion per pixel plus the amortised MAC work.
+    pub fn energy_per_pixel_pj(&self, kernel: &Kernel, stride: usize) -> f64 {
+        assert!(stride > 0, "stride must be non-zero");
+        let ops_per_pixel =
+            (kernel.width() * kernel.height()) as f64 / (stride * stride) as f64;
+        self.adc_pj + self.mac_pj * ops_per_pixel
+    }
+
+    /// Runs the digital convolution: pixels quantised by the ADC, exact
+    /// arithmetic after that.
+    pub fn convolve(&self, image: &Image, kernel: &Kernel, stride: usize) -> Image {
+        let levels = (1u64 << self.adc_bits) as f64;
+        let quantised = image.map(|p| (p.clamp(0.0, 1.0) * (levels - 1.0)).round() / (levels - 1.0));
+        conv::convolve(&quantised, kernel, stride)
+    }
+}
+
+impl Default for DigitalModel {
+    fn default() -> Self {
+        DigitalModel::conventional_65nm()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ta_image::{metrics, synth};
+
+    #[test]
+    fn adc_dominates_energy() {
+        let m = DigitalModel::conventional_65nm();
+        let e = m.energy_per_pixel_pj(&Kernel::sobel_x(), 1);
+        assert!(e > m.adc_pj);
+        assert!(m.adc_pj / e > 0.9);
+    }
+
+    #[test]
+    fn quantisation_error_is_small_at_10_bits() {
+        let m = DigitalModel::conventional_65nm();
+        let img = synth::natural_image(64, 64, 3);
+        let k = Kernel::gaussian(5, 1.0);
+        let got = m.convolve(&img, &k, 1);
+        let exact = conv::convolve(&img, &k, 1);
+        assert!(metrics::normalized_rmse(&got, &exact) < 1e-3);
+    }
+
+    #[test]
+    fn fewer_bits_more_error() {
+        let coarse = DigitalModel {
+            adc_bits: 4,
+            ..DigitalModel::conventional_65nm()
+        };
+        let fine = DigitalModel::conventional_65nm();
+        let img = synth::natural_image(64, 64, 4);
+        let k = Kernel::box_filter(3);
+        let exact = conv::convolve(&img, &k, 1);
+        let e_coarse = metrics::normalized_rmse(&coarse.convolve(&img, &k, 1), &exact);
+        let e_fine = metrics::normalized_rmse(&fine.convolve(&img, &k, 1), &exact);
+        assert!(e_coarse > 10.0 * e_fine);
+    }
+}

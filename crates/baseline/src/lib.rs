@@ -1,0 +1,18 @@
+//! Baseline comparators for the delay-space convolution architecture.
+//!
+//! * [`pip`] — a functional + analytical model of the state-of-the-art
+//!   **processing-in-pixel (PIP)** convolutional imager SoC the paper
+//!   compares against in Table 3 (Lefebvre et al., ISSCC '21): in-sensor
+//!   current-domain MACs with 1.5-bit (ternary) weights, column ADC
+//!   readout, and the published energy/delay figures as calibration
+//!   anchors. We cannot re-measure silicon, so the model reproduces the
+//!   published per-configuration behaviour and scaling (see DESIGN.md §3).
+//! * [`digital`] — a conventional digital ADC + 8-bit MAC pipeline, the
+//!   "full analog-to-digital conversion for each pixel" strawman of the
+//!   paper's introduction, used by examples and ablations.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod digital;
+pub mod pip;

@@ -1,0 +1,14 @@
+//! Fig 2 bench: exact nLSE surface evaluation.
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let data = ta_experiments::fig02::compute(17);
+    ta_bench::print_experiment("Fig 2", &ta_experiments::fig02::render(&data));
+    c.bench_function("fig02/nlse_surface_17x17", |b| {
+        b.iter(|| ta_experiments::fig02::compute(black_box(17)))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

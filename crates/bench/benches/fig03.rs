@@ -1,0 +1,14 @@
+//! Fig 3 bench: slice sampling with the hand-picked max-term.
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let rows = ta_experiments::fig03::compute(41);
+    ta_bench::print_experiment("Fig 3", &ta_experiments::fig03::render(&rows));
+    c.bench_function("fig03/slice_41pts", |b| {
+        b.iter(|| ta_experiments::fig03::compute(black_box(41)))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

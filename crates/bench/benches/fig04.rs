@@ -1,0 +1,23 @@
+//! Fig 4 bench: the Chebyshev nLSE curve fit itself.
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use ta_approx::NlseApprox;
+
+fn bench(c: &mut Criterion) {
+    let data = ta_experiments::fig04::compute(4, 41);
+    ta_bench::print_experiment("Fig 4", &ta_experiments::fig04::render(&data));
+    // Time the fit by bypassing the cache (from_terms on a fresh eval).
+    c.bench_function("fig04/eval_slice_4terms", |b| {
+        let approx = NlseApprox::fit(4);
+        b.iter(|| {
+            let mut acc = 0.0;
+            for i in 0..256 {
+                acc += approx.eval_slice(black_box(i as f64 * 0.01));
+            }
+            acc
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Fig 5 bench: nLDE staircase evaluation.
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use ta_approx::NldeApprox;
+
+fn bench(c: &mut Criterion) {
+    let data = ta_experiments::fig05::compute(4, 40);
+    ta_bench::print_experiment("Fig 5", &ta_experiments::fig05::render(&data));
+    c.bench_function("fig05/eval_slice_4terms", |b| {
+        let approx = NldeApprox::fit(4);
+        b.iter(|| {
+            let mut acc = 0.0;
+            for i in 1..256 {
+                let v = approx.eval_slice(black_box(i as f64 * 0.01));
+                if v.is_finite() {
+                    acc += v;
+                }
+            }
+            acc
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Fig 6 bench: gate-level netlist evaluation of the shared-chain unit.
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use ta_approx::NlseApprox;
+use ta_delay_space::DelayValue;
+use ta_race_logic::blocks;
+
+fn bench(c: &mut Criterion) {
+    let rows = ta_experiments::fig06::compute(&[2, 4, 7]);
+    ta_bench::print_experiment("Fig 6", &ta_experiments::fig06::render(&rows));
+    let approx = NlseApprox::fit(7);
+    let k = approx.required_shift();
+    let naive = blocks::nlse_circuit(approx.terms(), k, false).unwrap();
+    let shared = blocks::nlse_circuit(approx.terms(), k, true).unwrap();
+    let x = DelayValue::from_delay(1.2);
+    let y = DelayValue::from_delay(0.4);
+    c.bench_function("fig06/netlist_naive_7terms", |b| {
+        b.iter(|| naive.evaluate(black_box(&[x, y])).unwrap())
+    });
+    c.bench_function("fig06/netlist_shared_7terms", |b| {
+        b.iter(|| shared.evaluate(black_box(&[x, y])).unwrap())
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,14 @@
+//! Fig 7 bench: staged/recurrent accumulation.
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let data = ta_experiments::fig07::compute(9, 7);
+    ta_bench::print_experiment("Fig 7", &ta_experiments::fig07::render(&data));
+    c.bench_function("fig07/accumulate_9_inputs", |b| {
+        b.iter(|| ta_experiments::fig07::compute(black_box(9), black_box(7)))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

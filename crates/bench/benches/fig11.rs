@@ -1,0 +1,23 @@
+//! Fig 11 bench: Monte-Carlo accuracy evaluation of the noisy unit.
+use criterion::{criterion_group, criterion_main, Criterion};
+use ta_circuits::{NoiseModel, UnitScale};
+
+fn bench(c: &mut Criterion) {
+    let terms = [1, 4, 7, 10];
+    let data = ta_experiments::fig11::compute(&terms, 4_000, 1);
+    ta_bench::print_experiment("Fig 11", &ta_experiments::fig11::render(&terms, &data));
+    c.bench_function("fig11/noisy_accuracy_1k_samples", |b| {
+        b.iter(|| {
+            ta_experiments::fig11::noisy_nlse_accuracy(
+                7,
+                NoiseModel::asplos24(10.0),
+                UnitScale::new(1.0, 50.0),
+                1_000,
+                9,
+            )
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

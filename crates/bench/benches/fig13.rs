@@ -1,0 +1,17 @@
+//! Fig 13 bench: the VTC-noise sensitivity sweep (quick grid).
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let params = ta_experiments::fig13::Params::quick(1);
+    let data = ta_experiments::fig13::compute(&params);
+    ta_bench::print_experiment("Fig 13 (quick grid)", &ta_experiments::fig13::render(&data));
+    let mut g = c.benchmark_group("fig13");
+    g.sample_size(10);
+    g.bench_function("vtc_noise_quick_grid", |b| {
+        b.iter(|| ta_experiments::fig13::compute(&params))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

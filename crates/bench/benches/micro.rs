@@ -1,0 +1,44 @@
+//! Micro-benches of the arithmetic kernels: exact vs approximate vs noisy
+//! nLSE, the nLDE staircase, split-value MACs, and the VTC.
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use ta_circuits::{NlseUnit, NoiseModel, UnitScale, VtcModel};
+use ta_delay_space::{ops, DelayValue, SplitValue};
+
+fn bench(c: &mut Criterion) {
+    let x = DelayValue::from_delay(0.8);
+    let y = DelayValue::from_delay(1.7);
+    c.bench_function("micro/nlse_exact", |b| {
+        b.iter(|| ops::nlse(black_box(x), black_box(y)))
+    });
+
+    let unit = NlseUnit::with_terms(7, UnitScale::new(1.0, 50.0));
+    c.bench_function("micro/nlse_approx_7terms", |b| {
+        b.iter(|| unit.eval_ideal(black_box(x), black_box(y)))
+    });
+
+    let model = NoiseModel::asplos24(10.0);
+    let mut rng = SmallRng::seed_from_u64(3);
+    c.bench_function("micro/nlse_noisy_7terms", |b| {
+        b.iter(|| {
+            let r = model.begin_eval(UnitScale::new(1.0, 50.0), &mut rng);
+            unit.eval_noisy(black_box(x), black_box(y), &r, &mut rng)
+        })
+    });
+
+    let a = SplitValue::encode_signed(0.6).unwrap();
+    let w = SplitValue::encode_signed(-0.25).unwrap();
+    c.bench_function("micro/split_mac", |b| {
+        b.iter(|| (black_box(a) * black_box(w) + black_box(a)).normalize())
+    });
+
+    let vtc = VtcModel::ideal(UnitScale::new(1.0, 50.0));
+    c.bench_function("micro/vtc_convert", |b| {
+        b.iter(|| vtc.convert_ideal(black_box(0.37)))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

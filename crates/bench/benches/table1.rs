@@ -1,0 +1,20 @@
+//! Table 1 bench: kernel construction.
+use criterion::{criterion_group, criterion_main, Criterion};
+use ta_image::Kernel;
+
+fn bench(c: &mut Criterion) {
+    ta_bench::print_experiment("Table 1", &ta_experiments::table1::render());
+    c.bench_function("table1/build_benchmark_kernels", |b| {
+        b.iter(|| {
+            (
+                Kernel::sobel_x(),
+                Kernel::sobel_y(),
+                Kernel::pyr_down_5x5(),
+                Kernel::gaussian(7, 0.0),
+            )
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

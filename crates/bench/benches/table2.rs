@@ -1,0 +1,26 @@
+//! Table 2 bench: one noisy benchmark frame through the architecture.
+use criterion::{criterion_group, criterion_main, Criterion};
+use ta_circuits::UnitScale;
+use ta_core::{exec, ArchConfig, Architecture, ArithmeticMode, SystemDescription};
+use ta_image::{synth, Kernel};
+
+fn bench(c: &mut Criterion) {
+    let rows = ta_experiments::table2::compute(48, 1, 1);
+    ta_bench::print_experiment("Table 2 (48x48 frames)", &ta_experiments::table2::render(&rows));
+    let desc = SystemDescription::new(48, 48, vec![Kernel::pyr_down_5x5()], 2).unwrap();
+    let arch =
+        Architecture::new(desc, ArchConfig::new(UnitScale::new(1.0, 50.0), 7, 20)).unwrap();
+    let img = synth::natural_image(48, 48, 3);
+    let mut g = c.benchmark_group("table2");
+    g.sample_size(20);
+    g.bench_function("pyr_down_noisy_frame_48x48", |b| {
+        b.iter(|| exec::run(&arch, &img, ArithmeticMode::DelayApproxNoisy, 7).unwrap())
+    });
+    g.bench_function("pyr_down_exact_frame_48x48", |b| {
+        b.iter(|| exec::run(&arch, &img, ArithmeticMode::DelayExact, 7).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Table 3 bench: the PIP comparison at bench scale.
+use criterion::{criterion_group, criterion_main, Criterion};
+use ta_baseline::pip::PipModel;
+use ta_image::{synth, Kernel};
+
+fn bench(c: &mut Criterion) {
+    let rows = ta_experiments::table3::compute(48, 1);
+    ta_bench::print_experiment("Table 3 (48x48 frames)", &ta_experiments::table3::render(&rows));
+    let img = synth::natural_image(48, 48, 2);
+    let pip = PipModel::asplos24();
+    let k = Kernel::edge_ternary(4, 4);
+    c.bench_function("table3/pip_functional_frame_48x48", |b| {
+        b.iter(|| pip.convolve(&img, &k, 2, 5))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,16 @@
+//! Criterion bench harness for the temporal-arithmetic reproduction.
+//!
+//! Each bench target regenerates one paper table/figure at a reduced size
+//! (printing its rows before measurement, so `cargo bench` doubles as a
+//! results run) and then times the computation that dominates it. The
+//! `micro` target times the arithmetic kernels themselves.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Prints a banner followed by an experiment's rendered output, once per
+/// bench process, so `cargo bench` output contains the regenerated rows.
+pub fn print_experiment(name: &str, rendered: &str) {
+    println!("\n===== {name} (regenerated at bench scale) =====");
+    println!("{rendered}");
+}

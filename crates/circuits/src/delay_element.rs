@@ -1,0 +1,206 @@
+//! Inverter-chain delay lines and the unit-scale mapping (§4.2).
+
+use std::fmt;
+
+/// The minimum delay of a single 65 nm inverter stage (≈ 10 ps); larger
+/// per-element delays are obtained by loading the inverter output with a
+/// ground transistor (Fig 8b) and are expressed as multiples of this.
+pub const MIN_INVERTER_DELAY_NS: f64 = 0.01;
+
+/// Maps abstract delay units onto physical time.
+///
+/// The paper's design-space exploration sweeps this across 1 ns, 5 ns and
+/// 10 ns per unit (§5.3): a larger unit scale stretches every constant of
+/// the approximations over more physical time, which buys noise margin at
+/// the cost of energy (delay-line energy is linear in realised delay).
+///
+/// ```
+/// use ta_circuits::UnitScale;
+/// let u = UnitScale::new(5.0, 50.0);
+/// assert_eq!(u.to_ns(2.0), 10.0);
+/// assert_eq!(u.element_delay_ns(), 0.5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UnitScale {
+    unit_ns: f64,
+    element_multiplier: f64,
+}
+
+impl UnitScale {
+    /// Creates a unit scale of `unit_ns` nanoseconds per abstract unit,
+    /// with delay elements of `element_multiplier ×` the minimal inverter
+    /// delay (the paper's evaluation fixes this at 50× except in Fig 11c).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both arguments are positive and finite, and
+    /// `element_multiplier ≥ 1`.
+    pub fn new(unit_ns: f64, element_multiplier: f64) -> Self {
+        assert!(
+            unit_ns.is_finite() && unit_ns > 0.0,
+            "unit scale must be positive"
+        );
+        assert!(
+            element_multiplier.is_finite() && element_multiplier >= 1.0,
+            "element delay cannot be below one minimal inverter"
+        );
+        UnitScale {
+            unit_ns,
+            element_multiplier,
+        }
+    }
+
+    /// The paper's default evaluation configuration: 1 ns units, 50×
+    /// minimal inverter delay.
+    pub fn default_1ns() -> Self {
+        UnitScale::new(1.0, 50.0)
+    }
+
+    /// Nanoseconds per abstract unit.
+    pub fn unit_ns(&self) -> f64 {
+        self.unit_ns
+    }
+
+    /// Per-element delay in nanoseconds.
+    pub fn element_delay_ns(&self) -> f64 {
+        MIN_INVERTER_DELAY_NS * self.element_multiplier
+    }
+
+    /// The element-delay multiplier relative to a minimal inverter.
+    pub fn element_multiplier(&self) -> f64 {
+        self.element_multiplier
+    }
+
+    /// Converts abstract units to nanoseconds.
+    pub fn to_ns(&self, units: f64) -> f64 {
+        units * self.unit_ns
+    }
+
+    /// Converts nanoseconds to abstract units.
+    pub fn to_units(&self, ns: f64) -> f64 {
+        ns / self.unit_ns
+    }
+}
+
+impl Default for UnitScale {
+    fn default() -> Self {
+        UnitScale::default_1ns()
+    }
+}
+
+impl fmt::Display for UnitScale {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ns/unit, {}× element delay",
+            self.unit_ns, self.element_multiplier
+        )
+    }
+}
+
+/// A hard-coded delay line: a chain of identically loaded inverters
+/// realising one nominal delay (Fig 8b).
+///
+/// ```
+/// use ta_circuits::{DelayLine, UnitScale};
+/// let line = DelayLine::new(2.0, UnitScale::new(1.0, 50.0));
+/// assert_eq!(line.nominal_ns(), 2.0);
+/// assert_eq!(line.element_count(), 4); // 2 ns / 0.5 ns per element
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DelayLine {
+    nominal_units: f64,
+    scale: UnitScale,
+}
+
+impl DelayLine {
+    /// A delay line of `nominal_units` abstract units under `scale`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nominal_units` is negative, NaN or infinite (an infinite
+    /// delay is "no wire", not a line).
+    pub fn new(nominal_units: f64, scale: UnitScale) -> Self {
+        assert!(
+            nominal_units.is_finite() && nominal_units >= 0.0,
+            "delay lines realise finite non-negative delays"
+        );
+        DelayLine {
+            nominal_units,
+            scale,
+        }
+    }
+
+    /// Nominal delay in abstract units.
+    pub fn nominal_units(&self) -> f64 {
+        self.nominal_units
+    }
+
+    /// Nominal delay in nanoseconds.
+    pub fn nominal_ns(&self) -> f64 {
+        self.scale.to_ns(self.nominal_units)
+    }
+
+    /// Number of inverter elements in the chain (at least one for any
+    /// non-zero delay).
+    pub fn element_count(&self) -> usize {
+        let ns = self.nominal_ns();
+        if ns == 0.0 {
+            0
+        } else {
+            (ns / self.scale.element_delay_ns()).ceil() as usize
+        }
+    }
+
+    /// The unit scale this line is built under.
+    pub fn scale(&self) -> UnitScale {
+        self.scale
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_scale_conversions_roundtrip() {
+        let u = UnitScale::new(5.0, 50.0);
+        assert_eq!(u.to_units(u.to_ns(3.2)), 3.2);
+        assert_eq!(u.element_delay_ns(), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_unit_scale_rejected() {
+        UnitScale::new(0.0, 50.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "minimal inverter")]
+    fn sub_minimal_element_rejected() {
+        UnitScale::new(1.0, 0.5);
+    }
+
+    #[test]
+    fn element_count_rounds_up() {
+        let u = UnitScale::new(1.0, 50.0); // 0.5 ns elements
+        assert_eq!(DelayLine::new(0.0, u).element_count(), 0);
+        assert_eq!(DelayLine::new(0.4, u).element_count(), 1);
+        assert_eq!(DelayLine::new(0.5, u).element_count(), 1);
+        assert_eq!(DelayLine::new(1.2, u).element_count(), 3);
+    }
+
+    #[test]
+    fn larger_elements_mean_fewer_of_them() {
+        let small = DelayLine::new(5.0, UnitScale::new(1.0, 1.0));
+        let large = DelayLine::new(5.0, UnitScale::new(1.0, 50.0));
+        assert_eq!(small.element_count(), 500);
+        assert_eq!(large.element_count(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn infinite_delay_rejected() {
+        DelayLine::new(f64::INFINITY, UnitScale::default_1ns());
+    }
+}

@@ -1,0 +1,346 @@
+//! Energy and area models (paper §5.1).
+//!
+//! The paper distils its SPICE results into two modelling assumptions,
+//! which this module encodes directly:
+//!
+//! 1. *"With physical delay elements, energy consumption scales linearly
+//!    with the magnitude of delay"* (§2.3) — so a delay line's per-event
+//!    energy is `delay_ns × delay_pj_per_ns`.
+//! 2. *"We assume that the delay elements dominate both the energy and
+//!    area and that the control logic is negligible"* (§5.1) — gates carry
+//!    only a small per-event charge.
+//!
+//! The absolute constants are calibrated once against the paper's
+//! published Sobel figures (Table 2 row 1 and Table 3) and then shared by
+//! every experiment; see DESIGN.md §5.4.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign};
+
+use crate::{DelayLine, UnitScale};
+
+/// Energy-per-operation constants (picojoules).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyModel {
+    /// Energy per nanosecond of delay exercised through an inverter chain
+    /// built from *reference-sized* (50× minimal) elements.
+    pub delay_pj_per_ns: f64,
+    /// How per-element switching energy grows with the element-delay
+    /// multiplier: `E_element ∝ multiplier^exponent`. Sub-linear (< 1),
+    /// because the ground transistor of Fig 8b starves current rather
+    /// than adding proportional capacitance — which is exactly why §5.2
+    /// says cutting chain sizes 50× "can" pay: fewer elements, each only
+    /// modestly more expensive.
+    pub element_energy_exponent: f64,
+    /// Energy per output event of an fa/la/inhibit gate.
+    pub gate_event_pj: f64,
+    /// Energy per voltage-to-time conversion (one pixel read).
+    pub vtc_pj: f64,
+    /// Energy per time-to-digital conversion.
+    pub tdc_pj: f64,
+}
+
+/// The element multiplier the `delay_pj_per_ns` constant is quoted at
+/// (the evaluation's 50× configuration).
+const REFERENCE_MULTIPLIER: f64 = 50.0;
+
+impl EnergyModel {
+    /// The calibrated 65 nm model.
+    ///
+    /// Anchors: the VTC and TDC costs come from the designs the paper
+    /// cites for Table 3 (a ~2.5 pJ low-power VTC and a ~5.5 pJ two-step
+    /// TDC — the per-pixel deltas visible between Table 3's "Energy" and
+    /// "Energy w/TDC" columns); `delay_pj_per_ns` is set so the Sobel
+    /// (1 ns, 7, 20) configuration lands in Table 2's ~10 µJ/frame range
+    /// on 150×150 inputs.
+    pub fn asplos24() -> Self {
+        EnergyModel {
+            delay_pj_per_ns: 3.3,
+            element_energy_exponent: 0.3,
+            gate_event_pj: 0.02,
+            vtc_pj: 2.5,
+            tdc_pj: 5.5,
+        }
+    }
+
+    /// Effective pJ per ns of delay for chains built at the given element
+    /// multiplier: `m^α` energy per element over `m` minimal delays gives
+    /// a `(m/50)^(α-1)` scaling of the reference figure — longer chains of
+    /// smaller elements burn more total energy for the same delay.
+    pub fn delay_pj_per_ns_at(&self, element_multiplier: f64) -> f64 {
+        assert!(
+            element_multiplier >= 1.0,
+            "element delay cannot be below one minimal inverter"
+        );
+        self.delay_pj_per_ns
+            * (element_multiplier / REFERENCE_MULTIPLIER)
+                .powf(self.element_energy_exponent - 1.0)
+    }
+
+    /// Energy of one event traversing a delay line.
+    pub fn delay_line_pj(&self, line: &DelayLine) -> f64 {
+        line.nominal_ns() * self.delay_pj_per_ns_at(line.scale().element_multiplier())
+    }
+
+    /// Energy of an event traversing `units` abstract units of delay
+    /// under `scale`.
+    pub fn delay_units_pj(&self, units: f64, scale: UnitScale) -> f64 {
+        scale.to_ns(units) * self.delay_pj_per_ns_at(scale.element_multiplier())
+    }
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        EnergyModel::asplos24()
+    }
+}
+
+/// Area-model constants.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AreaModel {
+    /// Layout area per transistor, including local routing, in µm².
+    pub transistor_um2: f64,
+    /// Transistors per delay element (inverter + ground load, Fig 8b).
+    pub transistors_per_element: f64,
+    /// Transistors per fa/la gate.
+    pub transistors_per_gate: f64,
+    /// Transistors per inhibit cell (two, per the race-logic literature).
+    pub transistors_per_inhibit: f64,
+}
+
+impl AreaModel {
+    /// The calibrated 65 nm model (anchored so Table 2's Sobel (1 ns)
+    /// configuration lands near 0.02 mm²). The per-transistor figure is
+    /// drawn-gate-area accounting (W×L plus minimal diffusion), matching
+    /// the paper's lean "typical transistor sizes" estimate rather than a
+    /// routed-layout figure.
+    pub fn asplos24() -> Self {
+        AreaModel {
+            transistor_um2: 0.04,
+            transistors_per_element: 3.0,
+            transistors_per_gate: 4.0,
+            transistors_per_inhibit: 2.0,
+        }
+    }
+
+    /// Area of one delay line in µm².
+    pub fn delay_line_um2(&self, line: &DelayLine) -> f64 {
+        line.element_count() as f64 * self.transistors_per_element * self.transistor_um2
+    }
+
+    /// Area of a delay of `units` abstract units under `scale`, in µm².
+    pub fn delay_units_um2(&self, units: f64, scale: UnitScale) -> f64 {
+        self.delay_line_um2(&DelayLine::new(units, scale))
+    }
+
+    /// Area of `n` two-input gates in µm².
+    pub fn gates_um2(&self, n: usize) -> f64 {
+        n as f64 * self.transistors_per_gate * self.transistor_um2
+    }
+}
+
+impl Default for AreaModel {
+    fn default() -> Self {
+        AreaModel::asplos24()
+    }
+}
+
+/// A per-category energy accumulator, so reports can break totals down the
+/// way the paper discusses them (delay lines vs converters).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EnergyTally {
+    /// Energy spent in delay lines (weights, approximation chains,
+    /// synchronisation and recurrence delays).
+    pub delay_pj: f64,
+    /// Energy spent in fa/la/inhibit gates.
+    pub gate_pj: f64,
+    /// Energy spent in voltage-to-time converters.
+    pub vtc_pj: f64,
+    /// Energy spent in time-to-digital converters.
+    pub tdc_pj: f64,
+}
+
+impl EnergyTally {
+    /// An empty tally.
+    pub fn new() -> Self {
+        EnergyTally::default()
+    }
+
+    /// Records an event traversing `units` of delay under `scale`.
+    pub fn add_delay_units(&mut self, units: f64, scale: UnitScale, model: &EnergyModel) {
+        if units.is_finite() && units > 0.0 {
+            self.delay_pj += model.delay_units_pj(units, scale);
+        }
+    }
+
+    /// Records `n` gate output events.
+    pub fn add_gate_events(&mut self, n: usize, model: &EnergyModel) {
+        self.gate_pj += n as f64 * model.gate_event_pj;
+    }
+
+    /// Records `n` VTC conversions.
+    pub fn add_vtc(&mut self, n: usize, model: &EnergyModel) {
+        self.vtc_pj += n as f64 * model.vtc_pj;
+    }
+
+    /// Records `n` TDC conversions.
+    pub fn add_tdc(&mut self, n: usize, model: &EnergyModel) {
+        self.tdc_pj += n as f64 * model.tdc_pj;
+    }
+
+    /// Total energy in picojoules.
+    pub fn total_pj(&self) -> f64 {
+        self.delay_pj + self.gate_pj + self.vtc_pj + self.tdc_pj
+    }
+
+    /// Total energy in microjoules (Table 2 / Fig 12 units).
+    pub fn total_uj(&self) -> f64 {
+        self.total_pj() * 1e-6
+    }
+}
+
+impl Add for EnergyTally {
+    type Output = EnergyTally;
+
+    fn add(self, rhs: EnergyTally) -> EnergyTally {
+        EnergyTally {
+            delay_pj: self.delay_pj + rhs.delay_pj,
+            gate_pj: self.gate_pj + rhs.gate_pj,
+            vtc_pj: self.vtc_pj + rhs.vtc_pj,
+            tdc_pj: self.tdc_pj + rhs.tdc_pj,
+        }
+    }
+}
+
+impl AddAssign for EnergyTally {
+    fn add_assign(&mut self, rhs: EnergyTally) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sum for EnergyTally {
+    fn sum<I: Iterator<Item = EnergyTally>>(iter: I) -> EnergyTally {
+        iter.fold(EnergyTally::default(), |a, b| a + b)
+    }
+}
+
+impl fmt::Display for EnergyTally {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:.3} µJ (delay {:.3}, gates {:.3}, VTC {:.3}, TDC {:.3})",
+            self.total_uj(),
+            self.delay_pj * 1e-6,
+            self.gate_pj * 1e-6,
+            self.vtc_pj * 1e-6,
+            self.tdc_pj * 1e-6
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn energy_linear_in_delay() {
+        let m = EnergyModel::asplos24();
+        let s = UnitScale::new(1.0, 50.0);
+        let e1 = m.delay_units_pj(1.0, s);
+        let e5 = m.delay_units_pj(5.0, s);
+        assert!((e5 / e1 - 5.0).abs() < 1e-12);
+        // And linear in unit scale too.
+        let e_scaled = m.delay_units_pj(1.0, UnitScale::new(10.0, 50.0));
+        assert!((e_scaled / e1 - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reference_multiplier_matches_headline_constant() {
+        let m = EnergyModel::asplos24();
+        assert!((m.delay_pj_per_ns_at(50.0) - m.delay_pj_per_ns).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bigger_elements_save_energy_sublinearly() {
+        // §5.2: "the size of the inverter chains can be cut by 50×" —
+        // fewer, slightly-costlier elements win on total energy.
+        let m = EnergyModel::asplos24();
+        let fine = m.delay_pj_per_ns_at(1.0);
+        let coarse = m.delay_pj_per_ns_at(50.0);
+        assert!(fine > coarse, "min-size chains must cost more per ns");
+        // But far less than the 50× element-count ratio: the per-element
+        // energy grows with the load.
+        assert!(fine / coarse < 50.0);
+        let huge = m.delay_pj_per_ns_at(200.0);
+        assert!(huge < coarse);
+    }
+
+    #[test]
+    #[should_panic(expected = "minimal inverter")]
+    fn sub_minimal_multiplier_rejected() {
+        EnergyModel::asplos24().delay_pj_per_ns_at(0.5);
+    }
+
+    #[test]
+    fn tally_accumulates_by_category() {
+        let m = EnergyModel::asplos24();
+        let s = UnitScale::new(1.0, 50.0);
+        let mut t = EnergyTally::new();
+        t.add_delay_units(3.0, s, &m);
+        t.add_gate_events(10, &m);
+        t.add_vtc(2, &m);
+        t.add_tdc(1, &m);
+        assert!((t.delay_pj - 3.0 * m.delay_pj_per_ns).abs() < 1e-12);
+        assert!((t.gate_pj - 10.0 * m.gate_event_pj).abs() < 1e-12);
+        assert!((t.vtc_pj - 2.0 * m.vtc_pj).abs() < 1e-12);
+        assert!((t.tdc_pj - m.tdc_pj).abs() < 1e-12);
+        let expected =
+            3.0 * m.delay_pj_per_ns + 10.0 * m.gate_event_pj + 2.0 * m.vtc_pj + m.tdc_pj;
+        assert!((t.total_pj() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tally_ignores_never_and_zero_delays() {
+        let m = EnergyModel::asplos24();
+        let s = UnitScale::default_1ns();
+        let mut t = EnergyTally::new();
+        t.add_delay_units(f64::INFINITY, s, &m);
+        t.add_delay_units(0.0, s, &m);
+        assert_eq!(t.total_pj(), 0.0);
+    }
+
+    #[test]
+    fn tally_addition() {
+        let m = EnergyModel::asplos24();
+        let _s = UnitScale::default_1ns();
+        let mut a = EnergyTally::new();
+        a.add_vtc(1, &m);
+        let mut b = EnergyTally::new();
+        b.add_tdc(1, &m);
+        let c: EnergyTally = [a, b].into_iter().sum();
+        assert!((c.total_pj() - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn area_of_delay_lines() {
+        let a = AreaModel::asplos24();
+        let s = UnitScale::new(1.0, 50.0); // 0.5 ns elements
+        // 5 units = 5 ns = 10 elements × 3 transistors × 0.04 µm².
+        assert!((a.delay_units_um2(5.0, s) - 1.2).abs() < 1e-9);
+        assert!((a.gates_um2(2) - 0.32).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bigger_elements_save_area() {
+        let a = AreaModel::asplos24();
+        let fine = a.delay_units_um2(5.0, UnitScale::new(1.0, 1.0));
+        let coarse = a.delay_units_um2(5.0, UnitScale::new(1.0, 50.0));
+        assert!(coarse < fine / 10.0);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!format!("{}", EnergyTally::new()).is_empty());
+    }
+}

@@ -1,0 +1,42 @@
+//! Circuit-level models of the delay-space hardware (paper §4.1–§4.2,
+//! §5.1–§5.2): inverter-chain delay elements, voltage-to-time and
+//! time-to-digital converters, jitter models, and the 65 nm-style energy
+//! and area models used by the architectural simulator.
+//!
+//! # Units
+//!
+//! Three unit systems meet in this crate; names keep them apart:
+//!
+//! * **abstract delay units** — the dimensionless delays of
+//!   [`ta_delay_space::DelayValue`]; all arithmetic happens here.
+//! * **nanoseconds** (`_ns`) — physical time. The [`UnitScale`] maps one
+//!   abstract unit onto physical time (the paper's 1 ns / 5 ns / 10 ns
+//!   sweep): `t_ns = units × unit_scale_ns`.
+//! * **picojoules** (`_pj`) and **square micrometres** (`_um2`) — energy
+//!   and area.
+//!
+//! # Calibration
+//!
+//! The models encode the paper's stated structure (energy linear in
+//! realised delay; delay elements dominate; RJ accumulates independently
+//! per element; PSIJ scales with supply swing). The absolute constants in
+//! [`EnergyModel::asplos24`] and [`AreaModel::asplos24`] are calibrated
+//! once against Table 2's Sobel rows and then reused unchanged everywhere
+//! — see DESIGN.md §3 and §5.4.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod delay_element;
+mod energy;
+mod noise;
+mod nlse_unit;
+mod tdc;
+mod vtc;
+
+pub use delay_element::{DelayLine, UnitScale};
+pub use energy::{AreaModel, EnergyModel, EnergyTally};
+pub use noise::{NoiseModel, NoiseRealization};
+pub use nlse_unit::{NldeUnit, NlseUnit};
+pub use tdc::TdcModel;
+pub use vtc::{StarvedInverterVtc, VtcModel};

@@ -1,0 +1,458 @@
+//! Functional hardware models of the shared-chain nLSE and nLDE
+//! approximation units (Fig 6b), with per-chain-segment noise injection
+//! and energy/area accounting.
+//!
+//! These are the models the full-image architectural simulator evaluates —
+//! they compute exactly what the gate-level netlists of
+//! `ta_race_logic::blocks` compute (a cross-check test asserts this), but
+//! without building a netlist per evaluation, and they know their own
+//! energy and area.
+
+use rand::Rng;
+use ta_approx::{NldeApprox, NlseApprox};
+use ta_delay_space::DelayValue;
+
+use crate::{AreaModel, EnergyModel, NoiseRealization, UnitScale};
+
+/// Realises one delay chain's taps under noise: segments between
+/// consecutive taps are independent delay lines, so tap jitters are
+/// cumulative along the chain (exactly as in the shared-chain hardware).
+fn noisy_taps<R: Rng>(
+    taps: &[f64],
+    realization: &NoiseRealization,
+    rng: &mut R,
+) -> Vec<f64> {
+    let mut order: Vec<usize> = (0..taps.len()).collect();
+    order.sort_by(|&a, &b| taps[a].total_cmp(&taps[b]));
+    let mut out = vec![0.0; taps.len()];
+    let mut prev_nominal = 0.0;
+    let mut prev_noisy = 0.0;
+    for &i in &order {
+        let seg = taps[i] - prev_nominal;
+        let noisy_seg = if seg > 0.0 {
+            realization.perturb_units(seg, rng)
+        } else {
+            0.0
+        };
+        prev_noisy += noisy_seg;
+        prev_nominal = taps[i];
+        out[i] = prev_noisy;
+    }
+    out
+}
+
+/// The shared-chain two-input nLSE approximation unit.
+///
+/// Output timing is `nLSẼ(x, y) + K` where `K` is the unit's inherent
+/// shift ([`NlseUnit::latency_units`]); the recurrence scheduler absorbs
+/// `K` into the cycle time (§3).
+#[derive(Debug, Clone)]
+pub struct NlseUnit {
+    approx: NlseApprox,
+    scale: UnitScale,
+    k_units: f64,
+    hi_taps: Vec<f64>,
+    lo_taps: Vec<f64>, // one per term, plus the min path at index n
+}
+
+impl NlseUnit {
+    /// Builds a unit for the given fitted approximation.
+    pub fn new(approx: NlseApprox, scale: UnitScale) -> Self {
+        let k = approx.required_shift();
+        let hi_taps: Vec<f64> = approx.terms().iter().map(|&(c, _)| c + k).collect();
+        let mut lo_taps: Vec<f64> = approx.terms().iter().map(|&(_, d)| d + k).collect();
+        lo_taps.push(k);
+        NlseUnit {
+            approx,
+            scale,
+            k_units: k,
+            hi_taps,
+            lo_taps,
+        }
+    }
+
+    /// Convenience: fits `terms` max-terms and builds the unit.
+    pub fn with_terms(terms: usize, scale: UnitScale) -> Self {
+        NlseUnit::new(NlseApprox::fit(terms), scale)
+    }
+
+    /// The unit's inherent time shift `K` (output = function + K), in
+    /// abstract units.
+    pub fn latency_units(&self) -> f64 {
+        self.k_units
+    }
+
+    /// The fitted approximation the unit implements.
+    pub fn approx(&self) -> &NlseApprox {
+        &self.approx
+    }
+
+    /// The unit scale the chains are built under.
+    pub fn scale(&self) -> UnitScale {
+        self.scale
+    }
+
+    /// Total nominal chain delay per fired input pair, in abstract units
+    /// (both shared chains end at their largest tap).
+    pub fn chain_delay_units(&self) -> f64 {
+        let hi_max = self.hi_taps.iter().cloned().fold(0.0_f64, f64::max);
+        let lo_max = self.lo_taps.iter().cloned().fold(0.0_f64, f64::max);
+        hi_max + lo_max
+    }
+
+    /// Ideal (noiseless) evaluation: the min-of-max approximation shifted
+    /// by `K`.
+    pub fn eval_ideal(&self, x: DelayValue, y: DelayValue) -> DelayValue {
+        self.approx.eval(x, y).delayed(self.k_units)
+    }
+
+    /// Noisy evaluation: every chain segment's delay is perturbed through
+    /// the given [`NoiseRealization`].
+    pub fn eval_noisy<R: Rng>(
+        &self,
+        x: DelayValue,
+        y: DelayValue,
+        realization: &NoiseRealization,
+        rng: &mut R,
+    ) -> DelayValue {
+        let (lo, hi) = if x <= y { (x, y) } else { (y, x) };
+        if lo.is_never() {
+            return DelayValue::ZERO;
+        }
+        let lo_taps = noisy_taps(&self.lo_taps, realization, rng);
+        let min_path = lo.delayed(lo_taps[self.approx.num_terms()]);
+        if hi.is_never() {
+            // Only the min path fires.
+            return min_path;
+        }
+        let hi_taps = noisy_taps(&self.hi_taps, realization, rng);
+        let mut best = min_path;
+        for i in 0..self.approx.num_terms() {
+            let term = hi.delayed(hi_taps[i]).max(lo.delayed(lo_taps[i]));
+            best = best.min(term);
+        }
+        best
+    }
+
+    /// Energy of one evaluation with `fired_inputs ∈ {0, 1, 2}` edges
+    /// actually arriving (a never-firing input leaves its chain silent).
+    ///
+    /// Race logic has a *near-minimal activity factor* (paper §1, after
+    /// the gated-race designs of the race-logic literature): once the
+    /// first-arrival output emits, in-flight edges beyond it are moot and
+    /// their chain tails are gated. The earlier (lo) chain always runs its
+    /// full length to produce the result; the later (hi) chain is
+    /// typically overtaken partway, modelled as a 30 % average traversal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fired_inputs > 2`.
+    pub fn energy_pj(&self, model: &EnergyModel, fired_inputs: usize) -> f64 {
+        assert!(fired_inputs <= 2, "a two-input unit fires at most two inputs");
+        if fired_inputs == 0 {
+            return 0.0;
+        }
+        let lo_max = self.lo_taps.iter().cloned().fold(0.0_f64, f64::max);
+        let hi_max = self.hi_taps.iter().cloned().fold(0.0_f64, f64::max);
+        let switched_units = if fired_inputs == 2 {
+            lo_max + 0.3 * hi_max
+        } else {
+            lo_max
+        };
+        let gate_events = 2 + self.approx.num_terms() + 1; // comparator + LAs + FA
+        model.delay_units_pj(switched_units, self.scale)
+            + gate_events as f64 * model.gate_event_pj
+    }
+
+    /// Static layout area of the unit in µm².
+    pub fn area_um2(&self, model: &AreaModel) -> f64 {
+        let lo_max = self.lo_taps.iter().cloned().fold(0.0_f64, f64::max);
+        let hi_max = self.hi_taps.iter().cloned().fold(0.0_f64, f64::max);
+        model.delay_units_um2(lo_max, self.scale)
+            + model.delay_units_um2(hi_max, self.scale)
+            + model.gates_um2(2 + self.approx.num_terms() + 1)
+    }
+}
+
+/// The shared-chain nLDE (delay-space subtraction) unit.
+#[derive(Debug, Clone)]
+pub struct NldeUnit {
+    approx: NldeApprox,
+    scale: UnitScale,
+    k_units: f64,
+    x_taps: Vec<f64>,
+    y_taps: Vec<f64>,
+}
+
+impl NldeUnit {
+    /// Builds a unit for the given fitted approximation.
+    pub fn new(approx: NldeApprox, scale: UnitScale) -> Self {
+        let k = approx.required_shift();
+        let x_taps: Vec<f64> = approx.terms().iter().map(|&(e, _)| e + k).collect();
+        let y_taps: Vec<f64> = approx.terms().iter().map(|&(_, f)| f + k).collect();
+        NldeUnit {
+            approx,
+            scale,
+            k_units: k,
+            x_taps,
+            y_taps,
+        }
+    }
+
+    /// Convenience: fits `terms` inhibit-terms and builds the unit.
+    pub fn with_terms(terms: usize, scale: UnitScale) -> Self {
+        NldeUnit::new(NldeApprox::fit(terms), scale)
+    }
+
+    /// The unit's inherent time shift `K`, in abstract units.
+    pub fn latency_units(&self) -> f64 {
+        self.k_units
+    }
+
+    /// The fitted approximation the unit implements.
+    pub fn approx(&self) -> &NldeApprox {
+        &self.approx
+    }
+
+    /// Ideal (noiseless) evaluation of `x - y`, shifted by `K`.
+    pub fn eval_ideal(&self, x: DelayValue, y: DelayValue) -> DelayValue {
+        self.approx.eval(x, y).delayed(self.k_units)
+    }
+
+    /// Noisy evaluation of `x - y` (minuend `x`).
+    pub fn eval_noisy<R: Rng>(
+        &self,
+        x: DelayValue,
+        y: DelayValue,
+        realization: &NoiseRealization,
+        rng: &mut R,
+    ) -> DelayValue {
+        if x.is_never() {
+            return DelayValue::ZERO;
+        }
+        let x_taps = noisy_taps(&self.x_taps, realization, rng);
+        if y.is_never() {
+            // No inhibitor: all terms pass; min over data taps.
+            let mut best = DelayValue::ZERO;
+            for &t in &x_taps {
+                best = best.min(x.delayed(t));
+            }
+            return best;
+        }
+        let y_taps = noisy_taps(&self.y_taps, realization, rng);
+        let mut best = DelayValue::ZERO;
+        for i in 0..self.approx.num_terms() {
+            let term = x.delayed(x_taps[i]).inhibited_by(y.delayed(y_taps[i]));
+            best = best.min(term);
+        }
+        best
+    }
+
+    /// Energy of one evaluation with `fired_inputs ∈ {0, 1, 2}` edges,
+    /// with the same winner-gated switching model as
+    /// [`NlseUnit::energy_pj`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fired_inputs > 2`.
+    pub fn energy_pj(&self, model: &EnergyModel, fired_inputs: usize) -> f64 {
+        assert!(fired_inputs <= 2, "a two-input unit fires at most two inputs");
+        if fired_inputs == 0 {
+            return 0.0;
+        }
+        let x_max = self.x_taps.iter().cloned().fold(0.0_f64, f64::max);
+        let y_max = self.y_taps.iter().cloned().fold(0.0_f64, f64::max);
+        let switched_units = if fired_inputs == 2 {
+            x_max + 0.3 * y_max
+        } else {
+            x_max
+        };
+        let gate_events = self.approx.num_terms() + 1; // inhibits + FA
+        model.delay_units_pj(switched_units, self.scale)
+            + gate_events as f64 * model.gate_event_pj
+    }
+
+    /// Static layout area of the unit in µm².
+    pub fn area_um2(&self, model: &AreaModel) -> f64 {
+        let x_max = self.x_taps.iter().cloned().fold(0.0_f64, f64::max);
+        let y_max = self.y_taps.iter().cloned().fold(0.0_f64, f64::max);
+        model.delay_units_um2(x_max, self.scale)
+            + model.delay_units_um2(y_max, self.scale)
+            + model.gates_um2(1)
+            + self.approx.num_terms() as f64
+                * model.transistors_per_inhibit
+                * model.transistor_um2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use ta_race_logic::blocks;
+
+    fn scale() -> UnitScale {
+        UnitScale::new(1.0, 50.0)
+    }
+
+    #[test]
+    fn ideal_matches_reference_formula() {
+        let unit = NlseUnit::with_terms(5, scale());
+        let k = unit.latency_units();
+        for &(tx, ty) in &[(0.0, 0.0), (1.0, 3.0), (4.0, 0.5)] {
+            let x = DelayValue::from_delay(tx);
+            let y = DelayValue::from_delay(ty);
+            let got = unit.eval_ideal(x, y);
+            let expect = blocks::nlse_min_of_max(x, y, unit.approx().terms()).delayed(k);
+            assert!((got.delay() - expect.delay()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn ideal_matches_gate_level_netlist() {
+        // The functional model and the Fig 6b netlist must agree exactly.
+        let unit = NlseUnit::with_terms(4, scale());
+        let k = unit.latency_units();
+        let circuit = blocks::nlse_circuit(unit.approx().terms(), k, true).unwrap();
+        for i in 0..40 {
+            let tx = i as f64 * 0.17;
+            let ty = ((i * 13) % 40) as f64 * 0.11;
+            let x = DelayValue::from_delay(tx);
+            let y = DelayValue::from_delay(ty);
+            let net = circuit.evaluate(&[x, y]).unwrap()[0];
+            let fun = unit.eval_ideal(x, y);
+            assert!((net.delay() - fun.delay()).abs() < 1e-9, "({tx},{ty})");
+        }
+    }
+
+    #[test]
+    fn noiseless_realization_equals_ideal() {
+        let unit = NlseUnit::with_terms(6, scale());
+        let r = NoiseRealization::ideal(scale());
+        let mut rng = SmallRng::seed_from_u64(1);
+        let x = DelayValue::from_delay(0.8);
+        let y = DelayValue::from_delay(2.1);
+        let a = unit.eval_noisy(x, y, &r, &mut rng);
+        let b = unit.eval_ideal(x, y);
+        assert!((a.delay() - b.delay()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noise_perturbs_but_tracks() {
+        use crate::NoiseModel;
+        let unit = NlseUnit::with_terms(6, scale());
+        let model = NoiseModel::asplos24(10.0);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let x = DelayValue::from_delay(1.0);
+        let y = DelayValue::from_delay(1.5);
+        let ideal = unit.eval_ideal(x, y).delay();
+        let n = 5000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let r = model.begin_eval(scale(), &mut rng);
+            sum += unit.eval_noisy(x, y, &r, &mut rng).delay();
+        }
+        let mean = sum / n as f64;
+        // Noisy mean within a couple of sigma-ish of ideal (min-of-max is
+        // biased slightly downward under noise).
+        assert!((mean - ideal).abs() < 0.1, "mean {mean} vs ideal {ideal}");
+    }
+
+    #[test]
+    fn never_inputs_handled() {
+        let unit = NlseUnit::with_terms(3, scale());
+        let r = NoiseRealization::ideal(scale());
+        let mut rng = SmallRng::seed_from_u64(3);
+        let x = DelayValue::from_delay(1.0);
+        let k = unit.latency_units();
+        let one = unit.eval_noisy(x, DelayValue::ZERO, &r, &mut rng);
+        assert!((one.delay() - (1.0 + k)).abs() < 1e-12);
+        assert!(unit
+            .eval_noisy(DelayValue::ZERO, DelayValue::ZERO, &r, &mut rng)
+            .is_never());
+    }
+
+    #[test]
+    fn energy_depends_on_fired_inputs() {
+        let unit = NlseUnit::with_terms(5, scale());
+        let m = EnergyModel::asplos24();
+        assert_eq!(unit.energy_pj(&m, 0), 0.0);
+        let one = unit.energy_pj(&m, 1);
+        let two = unit.energy_pj(&m, 2);
+        assert!(two > one && one > 0.0);
+        // Winner gating: both-fired switches well below the full static
+        // chain budget but above the lone-input case.
+        let full_budget = m.delay_units_pj(unit.chain_delay_units(), scale());
+        assert!(two < full_budget);
+        let k_only = m.delay_units_pj(unit.latency_units(), scale());
+        assert!(one >= k_only && one < k_only * 1.2);
+    }
+
+    #[test]
+    fn more_terms_cost_more_energy_and_area() {
+        let m = EnergyModel::asplos24();
+        let a = AreaModel::asplos24();
+        let small = NlseUnit::with_terms(3, scale());
+        let big = NlseUnit::with_terms(10, scale());
+        assert!(big.energy_pj(&m, 2) > small.energy_pj(&m, 2));
+        assert!(big.area_um2(&a) > small.area_um2(&a));
+    }
+
+    #[test]
+    fn nlde_ideal_matches_reference() {
+        let unit = NldeUnit::with_terms(8, scale());
+        let k = unit.latency_units();
+        for &(tx, ty) in &[(0.1, 0.5), (0.0, 3.0), (1.0, 1.05)] {
+            let x = DelayValue::from_delay(tx);
+            let y = DelayValue::from_delay(ty);
+            let got = unit.eval_ideal(x, y);
+            let expect = blocks::nlde_min_of_inhibit(x, y, unit.approx().terms()).delayed(k);
+            if expect.is_never() {
+                assert!(got.is_never());
+            } else {
+                assert!((got.delay() - expect.delay()).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn nlde_matches_gate_level_netlist() {
+        let unit = NldeUnit::with_terms(5, scale());
+        let k = unit.latency_units();
+        let circuit = blocks::nlde_circuit(unit.approx().terms(), k).unwrap();
+        for i in 0..40 {
+            let tx = i as f64 * 0.07;
+            let ty = tx + ((i * 7) % 40) as f64 * 0.05;
+            let x = DelayValue::from_delay(tx);
+            let y = DelayValue::from_delay(ty);
+            let net = circuit.evaluate(&[x, y]).unwrap()[0];
+            let fun = unit.eval_ideal(x, y);
+            if net.is_never() {
+                assert!(fun.is_never(), "({tx},{ty})");
+            } else {
+                assert!((net.delay() - fun.delay()).abs() < 1e-9, "({tx},{ty})");
+            }
+        }
+    }
+
+    #[test]
+    fn nlde_noisy_subtrahend_dominance_still_never() {
+        let unit = NldeUnit::with_terms(6, scale());
+        let r = NoiseRealization::ideal(scale());
+        let mut rng = SmallRng::seed_from_u64(4);
+        let x = DelayValue::from_delay(5.0);
+        let y = DelayValue::from_delay(1.0);
+        assert!(unit.eval_noisy(x, y, &r, &mut rng).is_never());
+    }
+
+    #[test]
+    fn chain_sharing_beats_naive_delay_budget() {
+        // The shared chain's total delay (≈ 2K per unit) must be well
+        // under the naive per-term budget (≈ n·K each side).
+        let unit = NlseUnit::with_terms(7, scale());
+        let k = unit.latency_units();
+        let naive_budget = 2.0 * 7.0 * k;
+        assert!(unit.chain_delay_units() < naive_budget / 3.0);
+    }
+}

@@ -1,0 +1,243 @@
+//! Timing-noise models: random jitter (RJ) and power-supply-induced jitter
+//! (PSIJ), following the structure of the paper's noise study (§5.2, after
+//! Mo et al., "Design methodologies for low-jitter CMOS clock
+//! distribution").
+
+use rand::Rng;
+use ta_race_logic::NormalSampler;
+
+use crate::UnitScale;
+
+/// Parametric jitter model for inverter-chain delay lines.
+///
+/// * **RJ**: each inverter contributes independent Gaussian jitter with
+///   `σ_element = rj_fraction × element_delay`. Over a chain realising a
+///   total delay `D` with elements of delay `d`, the variances add:
+///   `σ_chain = rj_fraction × √(d × D)` — so for a fixed total delay,
+///   *smaller* elements (longer chains) average the jitter down, which is
+///   exactly the area/noise trade-off of §4.2.
+/// * **PSIJ**: supply droop is common-mode across an evaluation. Each
+///   evaluation draws one relative supply excursion and every delay in
+///   that evaluation is scaled by it; the effective jitter is proportional
+///   to both the V_DD swing and the realised delay. It dominates unless
+///   the swing is controlled (Fig 11b).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NoiseModel {
+    /// Per-element RJ as a fraction of the element's delay.
+    pub rj_fraction: f64,
+    /// Relative delay sensitivity per millivolt of supply excursion.
+    pub psij_per_mv: f64,
+    /// Peak-to-peak V_DD swing in millivolts (the paper sweeps this and
+    /// settles on 10 mV for the main evaluation).
+    pub vdd_swing_mv: f64,
+}
+
+impl NoiseModel {
+    /// The calibrated model used across the evaluation: per-element RJ of
+    /// 1.5 % of the element delay and a supply sensitivity chosen so that
+    /// a 10 mV swing is a mild (but visible) perturbation while ≥ 50 mV
+    /// swings dominate the approximation constants — reproducing both the
+    /// qualitative bands of Fig 11b–d and the absolute RMSE levels of
+    /// Table 2 (≈ 0.04–0.07 at 1 ns, ≈ 0.03 at 5–10 ns).
+    pub fn asplos24(vdd_swing_mv: f64) -> Self {
+        NoiseModel {
+            rj_fraction: 0.015,
+            psij_per_mv: 0.0002,
+            vdd_swing_mv,
+        }
+    }
+
+    /// A noiseless model (all sources zero).
+    pub fn ideal() -> Self {
+        NoiseModel {
+            rj_fraction: 0.0,
+            psij_per_mv: 0.0,
+            vdd_swing_mv: 0.0,
+        }
+    }
+
+    /// Standard deviation (ns) of the RJ of one delay line of
+    /// `nominal_ns` total delay built from `element_ns` elements.
+    pub fn rj_sigma_ns(&self, nominal_ns: f64, element_ns: f64) -> f64 {
+        if nominal_ns <= 0.0 {
+            return 0.0;
+        }
+        self.rj_fraction * (element_ns * nominal_ns).sqrt()
+    }
+
+    /// Draws the common-mode supply factor for one evaluation: all delays
+    /// in the evaluation are multiplied by the returned value.
+    pub fn sample_psij_factor<R: Rng>(&self, rng: &mut R, sampler: &mut NormalSampler) -> f64 {
+        if self.psij_per_mv == 0.0 || self.vdd_swing_mv == 0.0 {
+            return 1.0;
+        }
+        // The swing is peak-to-peak; model the excursion as a Gaussian with
+        // σ = swing/4 (±2σ spans the swing), saturated at the rails.
+        let sigma_mv = self.vdd_swing_mv / 4.0;
+        let excursion = (sampler.sample(rng) * sigma_mv)
+            .clamp(-self.vdd_swing_mv / 2.0, self.vdd_swing_mv / 2.0);
+        1.0 + self.psij_per_mv * excursion
+    }
+
+    /// Begins one noisy evaluation: draws the evaluation's common-mode
+    /// PSIJ factor and returns a [`NoiseRealization`] that perturbs
+    /// individual delays.
+    pub fn begin_eval<R: Rng>(&self, scale: UnitScale, rng: &mut R) -> NoiseRealization {
+        let mut sampler = NormalSampler::new();
+        let psij_factor = self.sample_psij_factor(rng, &mut sampler);
+        NoiseRealization {
+            model: *self,
+            scale,
+            psij_factor,
+        }
+    }
+}
+
+/// The noise state of one hardware evaluation: a fixed common-mode PSIJ
+/// factor plus per-delay independent RJ sampling.
+#[derive(Debug, Clone, Copy)]
+pub struct NoiseRealization {
+    model: NoiseModel,
+    scale: UnitScale,
+    psij_factor: f64,
+}
+
+impl NoiseRealization {
+    /// A noiseless realization (useful as a default).
+    pub fn ideal(scale: UnitScale) -> Self {
+        NoiseRealization {
+            model: NoiseModel::ideal(),
+            scale,
+            psij_factor: 1.0,
+        }
+    }
+
+    /// The evaluation's common-mode supply factor.
+    pub fn psij_factor(&self) -> f64 {
+        self.psij_factor
+    }
+
+    /// Perturbs one delay given in abstract units, returning the realised
+    /// delay in abstract units (clamped at zero — a chain cannot advance
+    /// an edge).
+    pub fn perturb_units<R: Rng>(&self, nominal_units: f64, rng: &mut R) -> f64 {
+        if nominal_units <= 0.0 {
+            return nominal_units.max(0.0);
+        }
+        let nominal_ns = self.scale.to_ns(nominal_units);
+        let sigma_ns = self
+            .model
+            .rj_sigma_ns(nominal_ns, self.scale.element_delay_ns());
+        let mut sampler = NormalSampler::new();
+        let jitter_ns = if sigma_ns > 0.0 {
+            sigma_ns * sampler.sample(rng)
+        } else {
+            0.0
+        };
+        let realised_ns = (nominal_ns * self.psij_factor + jitter_ns).max(0.0);
+        self.scale.to_units(realised_ns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ideal_model_is_identity() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let r = NoiseModel::ideal().begin_eval(UnitScale::default_1ns(), &mut rng);
+        assert_eq!(r.psij_factor(), 1.0);
+        assert_eq!(r.perturb_units(3.0, &mut rng), 3.0);
+    }
+
+    #[test]
+    fn rj_sigma_scales_with_sqrt_of_element_and_total() {
+        let m = NoiseModel::asplos24(0.0);
+        let s1 = m.rj_sigma_ns(10.0, 0.01);
+        let s2 = m.rj_sigma_ns(10.0, 0.5); // 50× elements
+        assert!((s2 / s1 - 50.0_f64.sqrt()).abs() < 1e-9);
+        let s4 = m.rj_sigma_ns(40.0, 0.01);
+        assert!((s4 / s1 - 2.0).abs() < 1e-9);
+        assert_eq!(m.rj_sigma_ns(0.0, 0.5), 0.0);
+    }
+
+    #[test]
+    fn rj_statistics_match_model() {
+        let m = NoiseModel::asplos24(0.0); // no PSIJ
+        let scale = UnitScale::new(1.0, 50.0);
+        let mut rng = SmallRng::seed_from_u64(5);
+        let nominal = 4.0; // units = ns at this scale
+        let expect_sigma_ns = m.rj_sigma_ns(4.0, 0.5);
+        let n = 30_000;
+        let mut sum = 0.0;
+        let mut sq = 0.0;
+        for _ in 0..n {
+            let r = m.begin_eval(scale, &mut rng);
+            let v = r.perturb_units(nominal, &mut rng);
+            sum += v;
+            sq += v * v;
+        }
+        let mean = sum / n as f64;
+        let var = sq / n as f64 - mean * mean;
+        assert!((mean - nominal).abs() < 0.01, "mean {mean}");
+        assert!(
+            (var.sqrt() - expect_sigma_ns).abs() / expect_sigma_ns < 0.05,
+            "sigma {} vs {}",
+            var.sqrt(),
+            expect_sigma_ns
+        );
+    }
+
+    #[test]
+    fn psij_is_common_mode_within_an_eval() {
+        let m = NoiseModel {
+            rj_fraction: 0.0,
+            psij_per_mv: 0.002,
+            vdd_swing_mv: 100.0,
+        };
+        let scale = UnitScale::default_1ns();
+        let mut rng = SmallRng::seed_from_u64(7);
+        let r = m.begin_eval(scale, &mut rng);
+        // With RJ disabled, all delays in one eval scale identically.
+        let a = r.perturb_units(1.0, &mut rng);
+        let b = r.perturb_units(2.0, &mut rng);
+        assert!((b / a - 2.0).abs() < 1e-12);
+        assert_eq!(a, r.psij_factor());
+    }
+
+    #[test]
+    fn psij_spread_grows_with_swing() {
+        let scale = UnitScale::default_1ns();
+        let spread = |swing: f64| {
+            let m = NoiseModel::asplos24(swing);
+            let mut rng = SmallRng::seed_from_u64(11);
+            let mut lo = f64::INFINITY;
+            let mut hi = f64::NEG_INFINITY;
+            for _ in 0..2000 {
+                let f = m.begin_eval(scale, &mut rng).psij_factor();
+                lo = lo.min(f);
+                hi = hi.max(f);
+            }
+            hi - lo
+        };
+        assert!(spread(100.0) > 5.0 * spread(10.0));
+        assert_eq!(spread(0.0), 0.0);
+    }
+
+    #[test]
+    fn perturb_never_negative() {
+        let m = NoiseModel {
+            rj_fraction: 5.0, // absurdly noisy
+            psij_per_mv: 0.0,
+            vdd_swing_mv: 0.0,
+        };
+        let mut rng = SmallRng::seed_from_u64(3);
+        let r = m.begin_eval(UnitScale::default_1ns(), &mut rng);
+        for _ in 0..1000 {
+            assert!(r.perturb_units(0.1, &mut rng) >= 0.0);
+        }
+    }
+}

@@ -1,0 +1,157 @@
+//! Time-to-digital conversion: the exit from the temporal domain.
+//!
+//! When a delay-space result must re-enter the digital world, a TDC
+//! quantises the edge's arrival time — the *temporal equivalent of
+//! quantization* the paper's abstract refers to. Table 3's "w/TDC" columns
+//! account for this cost; the model here follows the two-step 16-bit,
+//! 2 ps-resolution TDC the paper cites (Enomoto et al.).
+
+use ta_delay_space::DelayValue;
+
+use crate::UnitScale;
+
+/// A behavioural time-to-digital converter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TdcModel {
+    bits: u32,
+    /// Least-significant-bit resolution in femtoseconds (integer, so the
+    /// model is `Eq`/hashable); 2 ps = 2000 fs.
+    lsb_fs: u64,
+}
+
+impl TdcModel {
+    /// The cited reference design: 16 bits at 2 ps resolution.
+    pub fn asplos24() -> Self {
+        TdcModel {
+            bits: 16,
+            lsb_fs: 2000,
+        }
+    }
+
+    /// A custom converter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is 0 or > 32, or `lsb_fs` is zero.
+    pub fn new(bits: u32, lsb_fs: u64) -> Self {
+        assert!(bits > 0 && bits <= 32, "supported TDC width is 1..=32 bits");
+        assert!(lsb_fs > 0, "TDC resolution must be non-zero");
+        TdcModel { bits, lsb_fs }
+    }
+
+    /// Resolution in nanoseconds.
+    pub fn lsb_ns(&self) -> f64 {
+        self.lsb_fs as f64 * 1e-6
+    }
+
+    /// Converter width in bits.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Full-scale range in nanoseconds.
+    pub fn full_scale_ns(&self) -> f64 {
+        self.lsb_ns() * ((1u64 << self.bits) - 1) as f64
+    }
+
+    /// Digitises an edge: returns the output code, saturating at full
+    /// scale. A never-firing edge reads as the all-ones code.
+    pub fn digitize(&self, edge: DelayValue, scale: UnitScale) -> u32 {
+        let max_code = ((1u64 << self.bits) - 1) as u32;
+        if edge.is_never() {
+            return max_code;
+        }
+        let ns = scale.to_ns(edge.delay()).max(0.0);
+        let code = (ns / self.lsb_ns()).round();
+        if code >= max_code as f64 {
+            max_code
+        } else {
+            code as u32
+        }
+    }
+
+    /// The value a digitised edge represents, back in abstract units —
+    /// i.e. `digitize` followed by reconstruction. This is the quantised
+    /// delay the rest of a digital pipeline would see.
+    pub fn quantize(&self, edge: DelayValue, scale: UnitScale) -> DelayValue {
+        if edge.is_never() {
+            return DelayValue::ZERO;
+        }
+        let code = self.digitize(edge, scale);
+        DelayValue::from_delay(scale.to_units(code as f64 * self.lsb_ns()))
+    }
+
+    /// Worst-case quantisation error in abstract units (half an LSB).
+    pub fn quantization_error_units(&self, scale: UnitScale) -> f64 {
+        scale.to_units(self.lsb_ns() / 2.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scale() -> UnitScale {
+        UnitScale::new(1.0, 50.0)
+    }
+
+    #[test]
+    fn reference_design_parameters() {
+        let t = TdcModel::asplos24();
+        assert_eq!(t.bits(), 16);
+        assert!((t.lsb_ns() - 0.002).abs() < 1e-12);
+        assert!((t.full_scale_ns() - 0.002 * 65535.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantization_rounds_to_lsb() {
+        let t = TdcModel::new(16, 2000);
+        let edge = DelayValue::from_delay(1.0005); // 1.0005 ns at 1 ns/unit
+        let q = t.quantize(edge, scale());
+        // Nearest 2 ps step: 1.000 ns.
+        assert!((q.delay() - 1.0).abs() < 1e-9, "{}", q.delay());
+        assert_eq!(t.digitize(edge, scale()), 500);
+    }
+
+    #[test]
+    fn saturation_at_full_scale() {
+        let t = TdcModel::new(4, 1_000_000); // 16 codes of 1 ns
+        let beyond = DelayValue::from_delay(100.0);
+        assert_eq!(t.digitize(beyond, scale()), 15);
+        assert!((t.quantize(beyond, scale()).delay() - 15.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn never_edge_reads_full_scale_code_but_stays_never() {
+        let t = TdcModel::asplos24();
+        assert_eq!(t.digitize(DelayValue::ZERO, scale()), 65535);
+        assert!(t.quantize(DelayValue::ZERO, scale()).is_never());
+    }
+
+    #[test]
+    fn quantization_error_bound_holds() {
+        let t = TdcModel::asplos24();
+        let bound = t.quantization_error_units(scale());
+        for i in 0..100 {
+            let d = DelayValue::from_delay(i as f64 * 0.0137);
+            let q = t.quantize(d, scale());
+            assert!((q.delay() - d.delay()).abs() <= bound + 1e-12);
+        }
+    }
+
+    #[test]
+    fn error_shrinks_with_larger_unit_scale() {
+        // Temporal quantization: a fixed-LSB TDC costs fewer *units* of
+        // error when each unit spans more physical time.
+        let t = TdcModel::asplos24();
+        let e1 = t.quantization_error_units(UnitScale::new(1.0, 50.0));
+        let e10 = t.quantization_error_units(UnitScale::new(10.0, 50.0));
+        assert!((e1 / e10 - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=32")]
+    fn zero_bits_rejected() {
+        TdcModel::new(0, 2000);
+    }
+}

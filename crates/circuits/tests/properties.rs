@@ -1,0 +1,141 @@
+//! Property-based tests of the circuit models' invariants.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use ta_circuits::{
+    EnergyModel, NldeUnit, NlseUnit, NoiseModel, NoiseRealization, TdcModel, UnitScale,
+    VtcModel,
+};
+use ta_delay_space::DelayValue;
+
+fn scale_strategy() -> impl Strategy<Value = UnitScale> {
+    (0.1..20.0f64, 1.0..200.0f64).prop_map(|(u, m)| UnitScale::new(u, m))
+}
+
+proptest! {
+    #[test]
+    fn vtc_transfer_is_monotone_and_in_range(
+        a in 0.0..1.0f64,
+        b in 0.0..1.0f64,
+        scale in scale_strategy(),
+    ) {
+        let vtc = VtcModel::ideal(scale);
+        let da = vtc.convert_ideal(a);
+        let db = vtc.convert_ideal(b);
+        // Larger pixel ⇒ earlier (or equal) edge.
+        if a >= b {
+            prop_assert!(da <= db);
+        }
+        // All edges land inside the converter's dynamic range.
+        prop_assert!(da.delay() >= 0.0);
+        prop_assert!(da.delay() <= vtc.max_delay_units() + 1e-12);
+    }
+
+    #[test]
+    fn tdc_roundtrip_error_bounded_by_half_lsb(
+        t in 0.0..50.0f64,
+        bits in 4u32..20,
+        lsb_fs in 500u64..1_000_000,
+        scale in scale_strategy(),
+    ) {
+        let tdc = TdcModel::new(bits, lsb_fs);
+        let edge = DelayValue::from_delay(t);
+        let q = tdc.quantize(edge, scale);
+        let in_range = scale.to_ns(t) <= tdc.full_scale_ns();
+        if in_range {
+            prop_assert!(
+                (q.delay() - t).abs() <= tdc.quantization_error_units(scale) + 1e-12,
+                "t={t}: quantised to {}", q.delay()
+            );
+        } else {
+            // Saturates at full scale, never beyond.
+            prop_assert!(scale.to_ns(q.delay()) <= tdc.full_scale_ns() + 1e-9);
+        }
+    }
+
+    #[test]
+    fn nlse_unit_output_respects_min_bounds(
+        x in -5.0..10.0f64,
+        y in -5.0..10.0f64,
+        terms in 1usize..10,
+    ) {
+        let unit = NlseUnit::with_terms(terms, UnitScale::default_1ns());
+        let out = unit.eval_ideal(DelayValue::from_delay(x), DelayValue::from_delay(y));
+        let k = unit.latency_units();
+        prop_assert!(out.delay() <= x.min(y) + k + 1e-12);
+        prop_assert!(out.delay() >= x.min(y) + k - 2.0_f64.ln() - 1e-12);
+    }
+
+    #[test]
+    fn nlde_unit_never_outputs_before_minuend(
+        x in 0.0..5.0f64,
+        gap in 0.0..5.0f64,
+        terms in 1usize..12,
+    ) {
+        let unit = NldeUnit::with_terms(terms, UnitScale::default_1ns());
+        let out = unit.eval_ideal(
+            DelayValue::from_delay(x),
+            DelayValue::from_delay(x + gap),
+        );
+        // A difference is never larger than the minuend: the output edge
+        // (shift included) cannot precede x + min(E_i) + K ≥ x.
+        if !out.is_never() {
+            prop_assert!(out.delay() >= x - 1e-12);
+        }
+    }
+
+    #[test]
+    fn noise_realization_never_negative_and_unbiased_at_zero(
+        nominal in 0.0..20.0f64,
+        seed in 0u64..500,
+        scale in scale_strategy(),
+    ) {
+        let model = NoiseModel::asplos24(10.0);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let r = model.begin_eval(scale, &mut rng);
+        let v = r.perturb_units(nominal, &mut rng);
+        prop_assert!(v >= 0.0);
+        // Zero delay stays exactly zero (no element, no jitter).
+        prop_assert_eq!(r.perturb_units(0.0, &mut rng), 0.0);
+    }
+
+    #[test]
+    fn ideal_realization_is_identity(
+        nominal in 0.0..20.0f64,
+        scale in scale_strategy(),
+    ) {
+        let r = NoiseRealization::ideal(scale);
+        let mut rng = SmallRng::seed_from_u64(0);
+        // Identity up to the to_ns/to_units roundtrip's 1-ulp rounding.
+        let v = r.perturb_units(nominal, &mut rng);
+        prop_assert!((v - nominal).abs() <= 1e-12 * (1.0 + nominal));
+    }
+
+    #[test]
+    fn unit_energy_monotone_in_terms_and_fired_inputs(
+        terms in 1usize..12,
+        scale in scale_strategy(),
+    ) {
+        let m = EnergyModel::asplos24();
+        let small = NlseUnit::with_terms(terms, scale);
+        let big = NlseUnit::with_terms(terms + 1, scale);
+        prop_assert!(big.energy_pj(&m, 2) >= small.energy_pj(&m, 2));
+        // A second fired input can only add switching (equality occurs for
+        // a single term whose hi-chain is a fraction of an element).
+        prop_assert!(small.energy_pj(&m, 2) >= small.energy_pj(&m, 1));
+        prop_assert_eq!(small.energy_pj(&m, 0), 0.0);
+    }
+
+    #[test]
+    fn delay_energy_scales_linearly(
+        units in 0.01..50.0f64,
+        factor in 1.0..10.0f64,
+        scale in scale_strategy(),
+    ) {
+        let m = EnergyModel::asplos24();
+        let e1 = m.delay_units_pj(units, scale);
+        let ef = m.delay_units_pj(units * factor, scale);
+        prop_assert!((ef / e1 - factor).abs() < 1e-9);
+    }
+}

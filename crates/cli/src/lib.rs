@@ -1,0 +1,402 @@
+//! Implementation of the `tconv` command-line tool: argument parsing and
+//! the subcommand drivers, kept in a library so they can be tested.
+//!
+//! Subcommands:
+//!
+//! * `run` — convolve a PGM image through the delay-space engine;
+//! * `describe` — print a compiled architecture's structure and costs;
+//! * `explore` — sweep term counts / unit scales and print the Pareto set;
+//! * `kernels` — list the built-in kernels.
+//!
+//! No third-party argument parser: flags are simple `--key value` pairs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::error::Error;
+use std::fmt;
+
+use ta_circuits::UnitScale;
+use ta_core::{exec, ArchConfig, Architecture, ArithmeticMode, SystemDescription};
+use ta_image::{conv, metrics, pgm, synth, Image, Kernel};
+
+/// A CLI failure with a user-facing message.
+#[derive(Debug)]
+pub struct CliError(String);
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl Error for CliError {}
+
+impl CliError {
+    // Deliberately returns the boxed trait object every call site wants.
+    #[allow(clippy::new_ret_no_self)]
+    fn new(msg: impl Into<String>) -> Box<dyn Error> {
+        Box::new(CliError(msg.into()))
+    }
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+tconv — delay-space convolution engine (temporal arithmetic, ASPLOS'24)
+
+USAGE:
+  tconv run --input in.pgm --kernel sobel [--output out.pgm] [options]
+  tconv run --demo [--kernel gauss] [options]      (synthetic input)
+  tconv describe --kernel sobel [--size 150] [options]
+  tconv explore [--kernel sobel] [--size 72] [options]
+  tconv kernels
+
+OPTIONS (run/describe/explore):
+  --kernel NAME     sobel | pyrdown | gauss | laplacian | sharpen | emboss | box3
+  --unit NS         unit scale in ns per delay unit        [default: 1]
+  --nlse N          number of nLSE max-terms               [default: 7]
+  --nlde N          number of nLDE inhibit-terms           [default: 20]
+  --mode MODE       importance | exact | approx | noisy    [default: noisy]
+  --seed N          noise seed                             [default: 0]
+  --size N          frame edge for --demo/describe/explore [default: 96]
+";
+
+/// Parsed `--key value` flags plus the subcommand.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    /// The subcommand word.
+    pub command: String,
+    flags: Vec<(String, String)>,
+    switches: Vec<String>,
+}
+
+impl Args {
+    /// Parses raw arguments (without the program name).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for a dangling `--flag` with no value when the
+    /// flag is not a known switch.
+    pub fn parse(raw: &[String]) -> Result<Args, Box<dyn Error>> {
+        let mut args = Args {
+            command: raw.first().cloned().unwrap_or_default(),
+            ..Args::default()
+        };
+        let switches = ["--demo", "--help"];
+        let mut i = 1;
+        while i < raw.len() {
+            let key = &raw[i];
+            if !key.starts_with("--") {
+                return Err(CliError::new(format!("unexpected argument {key:?}")));
+            }
+            if switches.contains(&key.as_str()) {
+                args.switches.push(key.clone());
+                i += 1;
+            } else if i + 1 < raw.len() {
+                args.flags.push((key.clone(), raw[i + 1].clone()));
+                i += 2;
+            } else {
+                return Err(CliError::new(format!("flag {key} needs a value")));
+            }
+        }
+        Ok(args)
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .rev()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn has(&self, switch: &str) -> bool {
+        self.switches.iter().any(|s| s == switch)
+    }
+
+    fn num<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, Box<dyn Error>> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| CliError::new(format!("{key} expects a number, got {v:?}"))),
+        }
+    }
+}
+
+/// Resolves a kernel-set name.
+///
+/// # Errors
+///
+/// Returns an error listing the valid names for an unknown one.
+pub fn kernel_set(name: &str) -> Result<(Vec<Kernel>, usize), Box<dyn Error>> {
+    Ok(match name {
+        "sobel" => (vec![Kernel::sobel_x(), Kernel::sobel_y()], 1),
+        "pyrdown" => (vec![Kernel::pyr_down_5x5()], 2),
+        "gauss" => (vec![Kernel::gaussian(7, 0.0)], 1),
+        "laplacian" => (vec![Kernel::laplacian()], 1),
+        "sharpen" => (vec![Kernel::sharpen()], 1),
+        "emboss" => (vec![Kernel::emboss()], 1),
+        "box3" => (vec![Kernel::box_filter(3)], 1),
+        other => {
+            return Err(CliError::new(format!(
+                "unknown kernel {other:?}; try: sobel pyrdown gauss laplacian sharpen emboss box3"
+            )))
+        }
+    })
+}
+
+fn mode_of(name: &str) -> Result<ArithmeticMode, Box<dyn Error>> {
+    Ok(match name {
+        "importance" => ArithmeticMode::ImportanceExact,
+        "exact" => ArithmeticMode::DelayExact,
+        "approx" => ArithmeticMode::DelayApprox,
+        "noisy" => ArithmeticMode::DelayApproxNoisy,
+        other => {
+            return Err(CliError::new(format!(
+                "unknown mode {other:?}; try: importance exact approx noisy"
+            )))
+        }
+    })
+}
+
+fn config_of(args: &Args) -> Result<ArchConfig, Box<dyn Error>> {
+    let unit: f64 = args.num("--unit", 1.0)?;
+    let nlse: usize = args.num("--nlse", 7)?;
+    let nlde: usize = args.num("--nlde", 20)?;
+    if unit <= 0.0 || nlse == 0 || nlde == 0 {
+        return Err(CliError::new("--unit/--nlse/--nlde must be positive"));
+    }
+    Ok(ArchConfig::new(UnitScale::new(unit, 50.0), nlse, nlde))
+}
+
+/// Entry point shared by the binary and the tests: runs a parsed command
+/// and returns the text to print.
+///
+/// # Errors
+///
+/// Returns a user-facing error for bad arguments or I/O failures.
+pub fn dispatch(args: &Args) -> Result<String, Box<dyn Error>> {
+    if args.has("--help") || args.command.is_empty() || args.command == "help" {
+        return Ok(USAGE.to_string());
+    }
+    match args.command.as_str() {
+        "run" => cmd_run(args),
+        "describe" => cmd_describe(args),
+        "explore" => cmd_explore(args),
+        "kernels" => Ok(cmd_kernels()),
+        other => Err(CliError::new(format!(
+            "unknown command {other:?} — try `tconv help`"
+        ))),
+    }
+}
+
+fn cmd_run(args: &Args) -> Result<String, Box<dyn Error>> {
+    let (kernels, stride) = kernel_set(args.get("--kernel").unwrap_or("sobel"))?;
+    let image = if args.has("--demo") {
+        let size: usize = args.num("--size", 96)?;
+        synth::natural_image(size, size, args.num("--seed", 0u64)?)
+    } else {
+        let path = args
+            .get("--input")
+            .ok_or_else(|| CliError::new("run needs --input in.pgm (or --demo)"))?;
+        pgm::load_pgm(path)?
+    };
+    let mode = mode_of(args.get("--mode").unwrap_or("noisy"))?;
+    let cfg = config_of(args)?;
+    let desc = SystemDescription::new(image.width(), image.height(), kernels.clone(), stride)?;
+    let arch = Architecture::new(desc, cfg)?;
+    let run = exec::run(&arch, &image, mode, args.num("--seed", 0u64)?)?;
+
+    let mut out = format!(
+        "{} on {}×{} ({} mode)\n",
+        kernels[0].name(),
+        image.width(),
+        image.height(),
+        mode
+    );
+    // The engine's VTC saturates pixels below its dynamic-range floor, so
+    // the software reference must see the same clipped frame (otherwise an
+    // exact run over an image containing true zeros would report phantom
+    // error). The importance mode bypasses the VTC and keeps raw pixels.
+    let reference_image = if mode == ArithmeticMode::ImportanceExact {
+        image.clone()
+    } else {
+        // Derive the floor from the compiled VTC rather than repeating its
+        // constant: max_delay_units = -ln(min_pixel).
+        let floor = (-arch.vtc().max_delay_units()).exp();
+        image.map(|p| p.clamp(0.0, 1.0).max(floor))
+    };
+    for (k, o) in kernels.iter().zip(&run.outputs) {
+        let reference = conv::convolve(&reference_image, k, stride);
+        out.push_str(&format!(
+            "  {:<10} {}×{}  nrmse vs software: {:.5}\n",
+            k.name(),
+            o.width(),
+            o.height(),
+            metrics::normalized_rmse(o, &reference)
+        ));
+    }
+    out.push_str(&format!("  energy: {}\n  timing: {}\n", run.energy, run.timing));
+
+    if let Some(path) = args.get("--output") {
+        // Normalise the first output into [0,1] for the graymap.
+        let o = &run.outputs[0];
+        let (lo, hi) = o.min_max();
+        let span = (hi - lo).max(1e-12);
+        let norm = o.map(|p| (p - lo) / span);
+        pgm::save_pgm(&norm, path)?;
+        out.push_str(&format!("  wrote {path} (first output, range-normalised)\n"));
+    }
+    Ok(out)
+}
+
+fn cmd_describe(args: &Args) -> Result<String, Box<dyn Error>> {
+    let (kernels, stride) = kernel_set(args.get("--kernel").unwrap_or("sobel"))?;
+    let size: usize = args.num("--size", 150)?;
+    let desc = SystemDescription::new(size, size, kernels, stride)?;
+    let arch = Architecture::new(desc, config_of(args)?)?;
+    Ok(arch.describe())
+}
+
+fn cmd_explore(args: &Args) -> Result<String, Box<dyn Error>> {
+    use ta_core::dse::{explore, SweepGrid};
+    let (kernels, stride) = kernel_set(args.get("--kernel").unwrap_or("sobel"))?;
+    let size: usize = args.num("--size", 72)?;
+    let desc = SystemDescription::new(size, size, kernels, stride)?;
+    let images: Vec<Image> = (0..2)
+        .map(|i| synth::natural_image(size, size, args.num("--seed", 0u64).unwrap_or(0) + i))
+        .collect();
+    let grid = SweepGrid {
+        nlse_terms: vec![5, 7, 10, 15],
+        nlde_terms: vec![10, 20],
+        unit_scales_ns: vec![1.0, 5.0, 10.0],
+        element_multiplier: 50.0,
+        seed: args.num("--seed", 0u64)?,
+    };
+    let mut points = explore(&desc, &images, &grid)?;
+    points.sort_by(|a, b| a.energy_uj.total_cmp(&b.energy_uj));
+    let mut out = format!(
+        "{:>9} {:>5} {:>5} {:>12} {:>9}  pareto\n",
+        "unit(ns)", "nLSE", "nLDE", "energy(µJ)", "RMSE"
+    );
+    for p in &points {
+        out.push_str(&format!(
+            "{:>9.0} {:>5} {:>5} {:>12.2} {:>9.4}  {}\n",
+            p.unit_ns,
+            p.nlse_terms,
+            p.nlde_terms,
+            p.energy_uj,
+            p.rmse,
+            if p.pareto { "*" } else { "" }
+        ));
+    }
+    Ok(out)
+}
+
+fn cmd_kernels() -> String {
+    let mut out = String::from("built-in kernel sets:\n");
+    for name in ["sobel", "pyrdown", "gauss", "laplacian", "sharpen", "emboss", "box3"] {
+        let (ks, stride) = kernel_set(name).expect("static names are valid");
+        out.push_str(&format!(
+            "  {:<10} {}×{}, stride {}, {} filter(s){}\n",
+            name,
+            ks[0].width(),
+            ks[0].height(),
+            stride,
+            ks.len(),
+            if ks.iter().any(|k| k.has_negative_weights()) {
+                ", split rails + nLDE"
+            } else {
+                ""
+            }
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(words: &[&str]) -> Args {
+        Args::parse(&words.iter().map(|s| s.to_string()).collect::<Vec<_>>()).unwrap()
+    }
+
+    #[test]
+    fn help_and_unknown_commands() {
+        assert!(dispatch(&argv(&["help"])).unwrap().contains("USAGE"));
+        assert!(dispatch(&argv(&[])).unwrap().contains("USAGE"));
+        assert!(dispatch(&argv(&["frobnicate"])).is_err());
+    }
+
+    #[test]
+    fn kernels_listing() {
+        let out = dispatch(&argv(&["kernels"])).unwrap();
+        for k in ["sobel", "pyrdown", "gauss", "laplacian"] {
+            assert!(out.contains(k));
+        }
+    }
+
+    #[test]
+    fn describe_sobel() {
+        let out = dispatch(&argv(&["describe", "--kernel", "sobel", "--size", "32"])).unwrap();
+        assert!(out.contains("MAC blocks"));
+        assert!(out.contains("nLSE tree"));
+    }
+
+    #[test]
+    fn run_demo_all_modes() {
+        for mode in ["importance", "exact", "approx", "noisy"] {
+            let out = dispatch(&argv(&[
+                "run", "--demo", "--size", "24", "--kernel", "box3", "--mode", mode,
+            ]))
+            .unwrap();
+            assert!(out.contains("nrmse"), "mode {mode}: {out}");
+        }
+    }
+
+    #[test]
+    fn run_pgm_roundtrip() {
+        let dir = std::env::temp_dir();
+        let input = dir.join("tconv_test_in.pgm");
+        let output = dir.join("tconv_test_out.pgm");
+        ta_image::pgm::save_pgm(&synth::natural_image(20, 20, 1), &input).unwrap();
+        let out = dispatch(&argv(&[
+            "run",
+            "--input",
+            input.to_str().unwrap(),
+            "--output",
+            output.to_str().unwrap(),
+            "--kernel",
+            "sharpen",
+            "--mode",
+            "approx",
+        ]))
+        .unwrap();
+        assert!(out.contains("wrote"));
+        let written = ta_image::pgm::load_pgm(&output).unwrap();
+        assert_eq!((written.width(), written.height()), (18, 18));
+        std::fs::remove_file(input).ok();
+        std::fs::remove_file(output).ok();
+    }
+
+    #[test]
+    fn bad_flags_error_cleanly() {
+        assert!(Args::parse(&["run".into(), "--unit".into()]).is_err());
+        assert!(dispatch(&argv(&["run", "--demo", "--kernel", "nope"])).is_err());
+        assert!(dispatch(&argv(&["run", "--demo", "--mode", "nope"])).is_err());
+        assert!(dispatch(&argv(&["run", "--demo", "--unit", "abc"])).is_err());
+        assert!(dispatch(&argv(&["run"])).is_err()); // no input, no demo
+    }
+
+    #[test]
+    fn explore_quick() {
+        let out = dispatch(&argv(&[
+            "explore", "--kernel", "box3", "--size", "24",
+        ]))
+        .unwrap();
+        assert!(out.contains("pareto"));
+        assert!(out.lines().count() > 10);
+    }
+}

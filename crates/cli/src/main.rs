@@ -1,0 +1,14 @@
+//! `tconv` — the delay-space convolution engine at the command line.
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let result = ta_cli::Args::parse(&raw).and_then(|args| ta_cli::dispatch(&args));
+    match result {
+        Ok(text) => print!("{text}"),
+        Err(e) => {
+            eprintln!("tconv: {e}");
+            eprintln!("run `tconv help` for usage");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! Internal calibration sweep: prints Table 2-style rows for the three
+//! benchmarks under the three Pareto configurations. Used to anchor the
+//! energy/area constants; the official reproduction lives in
+//! `ta-experiments`.
+use ta_core::*;
+use ta_image::{synth, Kernel, conv, metrics};
+
+fn main() {
+    let configs = [(1.0, 7usize, 20usize), (5.0, 10, 20), (10.0, 10, 20)];
+    let benches: Vec<(&str, Vec<Kernel>, usize)> = vec![
+        ("Sobel", vec![Kernel::sobel_x(), Kernel::sobel_y()], 1),
+        ("pyrDown", vec![Kernel::pyr_down_5x5()], 2),
+        ("GaussianBlur", vec![Kernel::gaussian(7, 0.0)], 1),
+    ];
+    let images = synth::eval_set(42);
+    for (name, kernels, stride) in &benches {
+        for &(u, ns, nd) in &configs {
+            let desc = SystemDescription::new(150, 150, kernels.clone(), *stride).unwrap();
+            let cfg = ArchConfig::new(ta_circuits::UnitScale::new(u, 50.0), ns, nd);
+            let arch = Architecture::new(desc, cfg).unwrap();
+            let mut errs = vec![];
+            for (i, img) in images.iter().enumerate() {
+                let run = exec::run(&arch, img, ArithmeticMode::DelayApproxNoisy, i as u64).unwrap();
+                let refs: Vec<_> = kernels.iter().map(|k| conv::convolve(img, k, *stride)).collect();
+                errs.push(run.pooled_rmse(&refs));
+            }
+            let rmse = metrics::pool_rmse(&errs);
+            let e = arch.energy_per_frame();
+            let t = arch.timing();
+            println!("{name:14} {u:4}ns,{ns:2},{nd:2}: area {:.3} mm2, {:7.2} uJ/frame, {:6.1} Mfps, RMSE {:.4}",
+                arch.area_mm2(), e.total_uj(), t.max_throughput_mfps(), rmse);
+        }
+    }
+}

@@ -1,0 +1,487 @@
+//! The compiled delay-space convolution architecture (§4).
+
+use ta_circuits::{EnergyTally, NldeUnit, NlseUnit, VtcModel};
+
+use crate::recurrence::RecurrenceSchedule;
+use crate::transform::DelayKernel;
+use crate::{tree, ArchConfig, SystemDescription, SystemError, TimingReport};
+
+/// A system description compiled against an architecture configuration:
+/// split-sign weight delay matrices, fitted approximation units, a solved
+/// recurrence schedule, and static area/energy/timing accounting.
+///
+/// Area, per-frame energy and timing are *static* properties: the
+/// hardware's delay lines have fixed nominal lengths and its switching
+/// pattern per frame is set by the kernel's zero/non-zero structure, not
+/// by pixel values (every pixel fires — the VTC saturates dark pixels at
+/// a finite maximum delay rather than dropping them).
+#[derive(Debug, Clone)]
+pub struct Architecture {
+    desc: SystemDescription,
+    cfg: ArchConfig,
+    nlse_unit: NlseUnit,
+    nlde_unit: Option<NldeUnit>,
+    delay_kernels: Vec<DelayKernel>,
+    vtc: VtcModel,
+    fan_in: usize,
+    tree_depth: u32,
+    schedule: RecurrenceSchedule,
+}
+
+impl Architecture {
+    /// Compiles `desc` under `cfg`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SystemError::Recurrence`] if no feasible cycle time
+    /// exists for the configuration.
+    pub fn new(desc: SystemDescription, cfg: ArchConfig) -> Result<Self, SystemError> {
+        let nlse_unit = NlseUnit::with_terms(cfg.nlse_terms, cfg.unit);
+        let delay_kernels: Vec<DelayKernel> =
+            desc.kernels().iter().map(DelayKernel::compile).collect();
+        let needs_split = delay_kernels.iter().any(|k| k.has_negative());
+        let nlde_unit = needs_split.then(|| NldeUnit::with_terms(cfg.nlde_terms, cfg.unit));
+
+        let vtc = VtcModel::ideal(cfg.unit)
+            .with_noise(cfg.vtc_pre_noise_frac, cfg.vtc_post_noise_ns);
+
+        // Tree: one leaf per kernel column plus the recurrent partial.
+        let fan_in = desc.kernel_width() + 1;
+        let tree_depth = tree::depth(fan_in);
+        let tree_latency = tree_depth as f64 * nlse_unit.latency_units();
+
+        // §3's second constraint: values may not outlive their reference
+        // frame. The cycle covers the VTC's full dynamic-range span; edges
+        // pushed past the frame boundary by weight delays carry importance
+        // below e^-cycle and are *truncated* — delay space's "less
+        // important contributions can be truncated at any time" property
+        // (§2), applied by the execution model in the approximate modes.
+        let schedule = RecurrenceSchedule::solve(
+            tree_latency,
+            vtc.max_delay_units(),
+            cfg.relaxation_units,
+        )?;
+
+        Ok(Architecture {
+            desc,
+            cfg,
+            nlse_unit,
+            nlde_unit,
+            delay_kernels,
+            vtc,
+            fan_in,
+            tree_depth,
+            schedule,
+        })
+    }
+
+    /// The system description this architecture implements.
+    pub fn desc(&self) -> &SystemDescription {
+        &self.desc
+    }
+
+    /// The configuration it was compiled under.
+    pub fn cfg(&self) -> &ArchConfig {
+        &self.cfg
+    }
+
+    /// The fitted nLSE approximation unit.
+    pub fn nlse_unit(&self) -> &NlseUnit {
+        &self.nlse_unit
+    }
+
+    /// The nLDE subtraction unit, present iff any kernel has negative
+    /// weights.
+    pub fn nlde_unit(&self) -> Option<&NldeUnit> {
+        self.nlde_unit.as_ref()
+    }
+
+    /// The compiled delay kernels (one per source kernel).
+    pub fn delay_kernels(&self) -> &[DelayKernel] {
+        &self.delay_kernels
+    }
+
+    /// The (noise-configured) VTC at the pixel interface.
+    pub fn vtc(&self) -> &VtcModel {
+        &self.vtc
+    }
+
+    /// Accumulation-tree fan-in (kernel width + the recurrent leaf).
+    pub fn tree_fan_in(&self) -> usize {
+        self.fan_in
+    }
+
+    /// Accumulation-tree depth in nLSE levels.
+    pub fn tree_depth(&self) -> u32 {
+        self.tree_depth
+    }
+
+    /// The solved recurrence schedule.
+    pub fn schedule(&self) -> &RecurrenceSchedule {
+        &self.schedule
+    }
+
+    /// Timing of the architecture.
+    pub fn timing(&self) -> TimingReport {
+        let cycle_ns = self.cfg.unit.to_ns(self.schedule.cycle_units);
+        // One cycle per image row, plus kernel_height cycles of drain for
+        // the last windows and the subtraction stage.
+        let cycles = self.desc.image_height() + self.desc.kernel_height();
+        TimingReport {
+            cycle_ns,
+            cycles_per_frame: cycles,
+            frame_delay_ns: cycle_ns * cycles as f64,
+        }
+    }
+
+    /// Static layout area in mm² (delay elements and gates; the pixel
+    /// array and its VTCs belong to the sensor, as in the paper's
+    /// accounting, which the delay-space architecture can sit entirely
+    /// outside of — unlike PIP).
+    pub fn area_mm2(&self) -> f64 {
+        let a = &self.cfg.area;
+        let scale = self.cfg.unit;
+        let unit_tree_area = self.nlse_unit.area_um2(a);
+        let k = self.nlse_unit.latency_units();
+        let balance_units = tree::static_balance_k_units(self.fan_in) * k;
+        let tree_area = (self.fan_in - 1) as f64 * unit_tree_area
+            + a.delay_units_um2(balance_units, scale)
+            + a.delay_units_um2(self.schedule.loop_delay_units, scale);
+
+        let blocks = self.desc.mac_blocks() as f64;
+        let accum = self.desc.accum_units_per_block() as f64;
+
+        let mut total_um2 = 0.0;
+        for dk in &self.delay_kernels {
+            for &rail in dk.rails() {
+                // Weight delay matrix: one line per finite path.
+                total_um2 +=
+                    blocks * a.delay_units_um2(dk.total_weight_delay_units(rail), scale);
+                // Accumulation units.
+                total_um2 += blocks * accum * tree_area;
+            }
+            if dk.has_negative() {
+                let nlde = self
+                    .nlde_unit
+                    .as_ref()
+                    .expect("split kernels imply an nLDE unit");
+                total_um2 += blocks * nlde.area_um2(a);
+            }
+        }
+        total_um2 * 1e-6
+    }
+
+    /// Per-frame energy, broken down by category. Independent of pixel
+    /// content and arithmetic mode (the same hardware switches the same
+    /// way; only edge *positions* differ).
+    pub fn energy_per_frame(&self) -> EnergyTally {
+        let e = &self.cfg.energy;
+        let scale = self.cfg.unit;
+        let mut tally = EnergyTally::new();
+
+        // Pixel interface: one VTC conversion per pixel, and (if
+        // configured) one TDC conversion per pixel (Table 3's accounting).
+        let pixels = self.desc.image_width() * self.desc.image_height();
+        tally.add_vtc(pixels, e);
+        if self.cfg.tdc.is_some() {
+            tally.add_tdc(pixels, e);
+        }
+
+        let (ow, oh) = self.desc.output_dims();
+        let outputs = (ow * oh) as f64;
+        let kh = self.desc.kernel_height();
+        let kw = self.desc.kernel_width();
+        let k_units = self.nlse_unit.latency_units();
+
+        for dk in &self.delay_kernels {
+            for &rail in dk.rails() {
+                // Per output window: kh cycles of weight delays + tree
+                // evaluations + recurrence loops.
+                let mut per_output = EnergyTally::new();
+                let mut partial_fires = false;
+                for ky in 0..kh {
+                    // Weight matrix delay lines exercised this cycle.
+                    per_output.add_delay_units(
+                        dk.row_weight_delay_units(rail, ky),
+                        scale,
+                        e,
+                    );
+                    // Tree switching for this cycle's leaf pattern.
+                    let mut fired: Vec<bool> = (0..kw)
+                        .map(|x| !dk.rail_delay(rail, x, ky).is_never())
+                        .collect();
+                    fired.push(partial_fires); // the recurrent leaf
+                    let profile = tree::firing_profile(&fired);
+                    for &fi in &profile.fired_inputs {
+                        // Unit energy covers its chains and gates together.
+                        per_output.delay_pj += self.nlse_unit.energy_pj(e, fi);
+                    }
+                    per_output.add_delay_units(
+                        profile.balance_k_units * k_units,
+                        scale,
+                        e,
+                    );
+                    let any_fired = fired.iter().any(|&f| f);
+                    partial_fires = partial_fires || any_fired;
+                    // The loop delay line fires between cycles.
+                    if ky + 1 < kh && partial_fires {
+                        per_output.add_delay_units(
+                            self.schedule.loop_delay_units,
+                            scale,
+                            e,
+                        );
+                    }
+                }
+                tally.delay_pj += per_output.delay_pj * outputs;
+                tally.gate_pj += per_output.gate_pj * outputs;
+            }
+            if dk.has_negative() {
+                let nlde = self
+                    .nlde_unit
+                    .as_ref()
+                    .expect("split kernels imply an nLDE unit");
+                tally.delay_pj += nlde.energy_pj(e, 2) * outputs;
+            }
+        }
+        tally
+    }
+
+    /// A human-readable structural description of the compiled engine —
+    /// the textual equivalent of the paper's Fig 9/10 block diagrams.
+    pub fn describe(&self) -> String {
+        let mut s = String::new();
+        let desc = &self.desc;
+        s.push_str(&format!(
+            "Delay-space convolution engine for {}×{} pixels\n",
+            desc.image_width(),
+            desc.image_height()
+        ));
+        s.push_str(&format!(
+            "  configuration : {} | {} nLSE max-terms (K = {:.3}u) | {} nLDE inhibit-terms\n",
+            self.cfg.unit,
+            self.cfg.nlse_terms,
+            self.nlse_unit.latency_units(),
+            self.cfg.nlde_terms,
+        ));
+        s.push_str(&format!(
+            "  MAC blocks    : {} along the row axis (1 + (W - kw)/stride), {} accumulation unit(s) each\n",
+            desc.mac_blocks(),
+            desc.accum_units_per_block()
+        ));
+        for dk in &self.delay_kernels {
+            s.push_str(&format!(
+                "  kernel {:12}: {}×{}, rails: {}{}, weight shift {:.3}u\n",
+                dk.name(),
+                dk.width(),
+                dk.height(),
+                dk.rails().len(),
+                if dk.has_negative() {
+                    " (split ⟨pos,neg⟩ + nLDE renormalisation)"
+                } else {
+                    ""
+                },
+                dk.weight_shift()
+            ));
+            for &rail in dk.rails() {
+                s.push_str(&format!(
+                    "      {:?} rail: {} weight delay paths ({:.2}u of delay line)\n",
+                    rail,
+                    dk.finite_paths(rail),
+                    dk.total_weight_delay_units(rail)
+                ));
+            }
+        }
+        s.push_str(&format!(
+            "  nLSE tree     : fan-in {} (kw + recurrent partial), depth {}, latency {:.3}u\n",
+            self.fan_in,
+            self.tree_depth,
+            self.schedule.tree_latency_units
+        ));
+        s.push_str(&format!(
+            "  recurrence    : cycle {:.3}u ({:.2} ns), loop delay {:.3}u, relaxation {:.3}u\n",
+            self.schedule.cycle_units,
+            self.cfg.unit.to_ns(self.schedule.cycle_units),
+            self.schedule.loop_delay_units,
+            self.schedule.relaxation_units
+        ));
+        s.push_str(&format!(
+            "  totals        : {:.4} mm², {:.3} µJ/frame, {}\n",
+            self.area_mm2(),
+            self.energy_per_frame().total_uj(),
+            self.timing()
+        ));
+        s
+    }
+
+    /// The constant delay offset carried by raw outputs in approximate
+    /// modes (before the optional nLDE stage): weight shift plus one
+    /// uncancelled tree latency. Exact modes carry only the weight shift.
+    pub(crate) fn output_shift_units(&self, kernel_idx: usize, approximate: bool) -> f64 {
+        let tree_latency = if approximate {
+            self.tree_depth as f64 * self.nlse_unit.latency_units()
+        } else {
+            0.0
+        };
+        self.delay_kernels[kernel_idx].weight_shift() + tree_latency
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ta_image::Kernel;
+
+    fn sobel_arch() -> Architecture {
+        let desc = SystemDescription::new(
+            150,
+            150,
+            vec![Kernel::sobel_x(), Kernel::sobel_y()],
+            1,
+        )
+        .unwrap();
+        Architecture::new(desc, ArchConfig::fast_1ns(7, 20)).unwrap()
+    }
+
+    #[test]
+    fn compiles_sobel_with_split_and_nlde() {
+        let arch = sobel_arch();
+        assert!(arch.nlde_unit().is_some());
+        assert_eq!(arch.tree_fan_in(), 4);
+        assert_eq!(arch.tree_depth(), 2);
+        assert!(arch.schedule().loop_delay_units >= 0.0);
+    }
+
+    #[test]
+    fn pyr_down_needs_no_nlde() {
+        let desc =
+            SystemDescription::new(150, 150, vec![Kernel::pyr_down_5x5()], 2).unwrap();
+        let arch = Architecture::new(desc, ArchConfig::fast_1ns(7, 20)).unwrap();
+        assert!(arch.nlde_unit().is_none());
+        assert_eq!(arch.tree_fan_in(), 6);
+        assert_eq!(arch.tree_depth(), 3);
+    }
+
+    #[test]
+    fn energy_scales_with_unit_scale() {
+        let desc =
+            SystemDescription::new(64, 64, vec![Kernel::pyr_down_5x5()], 2).unwrap();
+        let e1 = Architecture::new(
+            desc.clone(),
+            ArchConfig::new(ta_circuits::UnitScale::new(1.0, 50.0), 7, 20),
+        )
+        .unwrap()
+        .energy_per_frame();
+        let e5 = Architecture::new(
+            desc,
+            ArchConfig::new(ta_circuits::UnitScale::new(5.0, 50.0), 7, 20),
+        )
+        .unwrap()
+        .energy_per_frame();
+        // Delay-line energy is linear in unit scale (the small fixed
+        // per-gate charge folded into the units keeps it just under 5×);
+        // VTC/TDC energy is scale-independent.
+        let ratio = e5.delay_pj / e1.delay_pj;
+        assert!(ratio > 4.8 && ratio <= 5.0, "ratio {ratio}");
+        assert_eq!(e5.vtc_pj, e1.vtc_pj);
+    }
+
+    #[test]
+    fn energy_grows_with_terms() {
+        let desc =
+            SystemDescription::new(64, 64, vec![Kernel::pyr_down_5x5()], 2).unwrap();
+        let e5 = Architecture::new(desc.clone(), ArchConfig::fast_1ns(5, 20))
+            .unwrap()
+            .energy_per_frame();
+        let e20 = Architecture::new(desc, ArchConfig::fast_1ns(20, 20))
+            .unwrap()
+            .energy_per_frame();
+        assert!(e20.delay_pj > e5.delay_pj);
+    }
+
+    #[test]
+    fn gaussian_costs_more_than_pyr_down() {
+        // Table 2: GaussianBlur roughly doubles pyrDown's energy and area.
+        let pyr = Architecture::new(
+            SystemDescription::new(150, 150, vec![Kernel::pyr_down_5x5()], 2).unwrap(),
+            ArchConfig::fast_1ns(7, 20),
+        )
+        .unwrap();
+        let gauss = Architecture::new(
+            SystemDescription::new(150, 150, vec![Kernel::gaussian(7, 0.0)], 1).unwrap(),
+            ArchConfig::fast_1ns(7, 20),
+        )
+        .unwrap();
+        assert!(gauss.energy_per_frame().total_pj() > 1.5 * pyr.energy_per_frame().total_pj());
+        assert!(gauss.area_mm2() > 1.5 * pyr.area_mm2());
+    }
+
+    #[test]
+    fn pyr_down_and_gaussian_share_throughput() {
+        // Table 2: same tree height ⇒ same max throughput (§5.3).
+        let pyr = Architecture::new(
+            SystemDescription::new(150, 150, vec![Kernel::pyr_down_5x5()], 2).unwrap(),
+            ArchConfig::fast_1ns(7, 20),
+        )
+        .unwrap();
+        let gauss = Architecture::new(
+            SystemDescription::new(150, 150, vec![Kernel::gaussian(7, 0.0)], 1).unwrap(),
+            ArchConfig::fast_1ns(7, 20),
+        )
+        .unwrap();
+        assert_eq!(pyr.tree_depth(), gauss.tree_depth());
+        let tp = pyr.timing().max_throughput_mfps();
+        let tg = gauss.timing().max_throughput_mfps();
+        assert!((tp - tg).abs() / tp < 1e-9);
+    }
+
+    #[test]
+    fn area_in_plausible_band() {
+        // Table 2 anchors Sobel 1 ns at 0.02 mm²; the calibrated model
+        // should land within an order of magnitude.
+        let a = sobel_arch().area_mm2();
+        assert!(a > 0.002 && a < 0.2, "area {a} mm²");
+    }
+
+    #[test]
+    fn tdc_adds_per_pixel_energy() {
+        let desc =
+            SystemDescription::new(64, 64, vec![Kernel::pyr_down_5x5()], 2).unwrap();
+        let without = Architecture::new(desc.clone(), ArchConfig::fast_1ns(7, 20))
+            .unwrap()
+            .energy_per_frame();
+        let with = Architecture::new(
+            desc,
+            ArchConfig::fast_1ns(7, 20).with_tdc(ta_circuits::TdcModel::asplos24()),
+        )
+        .unwrap()
+        .energy_per_frame();
+        let delta_per_pixel = (with.total_pj() - without.total_pj()) / (64.0 * 64.0);
+        assert!((delta_per_pixel - 5.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn describe_mentions_every_stage() {
+        let s = sobel_arch().describe();
+        for needle in [
+            "MAC blocks",
+            "split ⟨pos,neg⟩",
+            "nLSE tree",
+            "recurrence",
+            "weight delay paths",
+            "totals",
+        ] {
+            assert!(s.contains(needle), "missing {needle:?} in:\n{s}");
+        }
+    }
+
+    #[test]
+    fn output_shift_accounting() {
+        let arch = sobel_arch();
+        let exact = arch.output_shift_units(0, false);
+        let approx = arch.output_shift_units(0, true);
+        // Sobel weight shift is ln 2; approx adds depth × K.
+        assert!((exact - 2.0_f64.ln()).abs() < 1e-12);
+        let k = arch.nlse_unit().latency_units();
+        assert!((approx - exact - 2.0 * k).abs() < 1e-12);
+    }
+}

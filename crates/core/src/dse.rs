@@ -1,0 +1,256 @@
+//! Design-space exploration (§5.3, Fig 12): sweep approximation term
+//! counts and unit scales, measure per-configuration energy and accuracy,
+//! and extract the Pareto-optimal frontier.
+
+use ta_circuits::UnitScale;
+use ta_image::{conv, metrics, Image};
+
+use crate::{exec, ArchConfig, Architecture, ArithmeticMode, SystemDescription, SystemError};
+
+/// The sweep grid. Defaults reproduce the paper's exploration: term
+/// counts {5, 7, 10, 15, 20} for both nLSE and nLDE, unit scales
+/// {1, 5, 10} ns, inverters at 50× minimal delay, 10 mV V_DD swing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepGrid {
+    /// nLSE max-term counts to sweep.
+    pub nlse_terms: Vec<usize>,
+    /// nLDE inhibit-term counts to sweep (collapsed to one point for
+    /// all-positive kernels, which build no subtraction unit).
+    pub nlde_terms: Vec<usize>,
+    /// Unit scales in nanoseconds.
+    pub unit_scales_ns: Vec<f64>,
+    /// Delay-element multiplier (× minimal inverter delay).
+    pub element_multiplier: f64,
+    /// Base seed for the noisy runs.
+    pub seed: u64,
+}
+
+impl Default for SweepGrid {
+    fn default() -> Self {
+        SweepGrid {
+            nlse_terms: vec![5, 7, 10, 15, 20],
+            nlde_terms: vec![5, 7, 10, 15, 20],
+            unit_scales_ns: vec![1.0, 5.0, 10.0],
+            element_multiplier: 50.0,
+            seed: 0,
+        }
+    }
+}
+
+/// One explored configuration with its measured cost and accuracy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DsePoint {
+    /// Unit scale in nanoseconds.
+    pub unit_ns: f64,
+    /// nLSE max-term count.
+    pub nlse_terms: usize,
+    /// nLDE inhibit-term count.
+    pub nlde_terms: usize,
+    /// Frame energy in microjoules (Fig 12's x-axis).
+    pub energy_uj: f64,
+    /// Pooled range-normalised RMSE over the evaluation images (Fig 12's
+    /// y-axis).
+    pub rmse: f64,
+    /// Whether the point lies on the Pareto-optimal frontier.
+    pub pareto: bool,
+}
+
+/// Runs the exploration: every grid configuration is compiled, executed in
+/// the noisy mode over `images`, and scored against software convolution.
+///
+/// # Errors
+///
+/// Propagates [`SystemError`] from architecture compilation.
+///
+/// # Panics
+///
+/// Panics if `images` is empty or an image mismatches `desc`'s geometry.
+pub fn explore(
+    desc: &SystemDescription,
+    images: &[Image],
+    grid: &SweepGrid,
+) -> Result<Vec<DsePoint>, SystemError> {
+    assert!(!images.is_empty(), "need at least one evaluation image");
+
+    // References once per image/kernel.
+    let references: Vec<Vec<Image>> = images
+        .iter()
+        .map(|img| {
+            desc.kernels()
+                .iter()
+                .map(|k| conv::convolve(img, k, desc.stride()))
+                .collect()
+        })
+        .collect();
+
+    let needs_nlde = desc.kernels().iter().any(|k| k.has_negative_weights());
+    let nlde_sweep: Vec<usize> = if needs_nlde {
+        grid.nlde_terms.clone()
+    } else {
+        vec![grid.nlde_terms.first().copied().unwrap_or(5)]
+    };
+
+    // Enumerate configurations, then measure them on a scoped thread pool
+    // (each configuration is independent and seeds are derived per image,
+    // so the result is identical to the sequential sweep).
+    let mut configs = Vec::new();
+    for &unit_ns in &grid.unit_scales_ns {
+        for &nlse in &grid.nlse_terms {
+            for &nlde in &nlde_sweep {
+                configs.push((unit_ns, nlse, nlde));
+            }
+        }
+    }
+    // Pre-fit the approximations serially: the fits are cached
+    // process-wide and fitting inside the pool would duplicate work.
+    for &(_, nlse, nlde) in &configs {
+        let _ = ta_approx::NlseApprox::fit(nlse);
+        let _ = ta_approx::NldeApprox::fit(nlde);
+    }
+
+    let measure = |&(unit_ns, nlse, nlde): &(f64, usize, usize)| -> Result<DsePoint, SystemError> {
+        let cfg = ArchConfig::new(
+            UnitScale::new(unit_ns, grid.element_multiplier),
+            nlse,
+            nlde,
+        );
+        let arch = Architecture::new(desc.clone(), cfg)?;
+        let mut per_image = Vec::with_capacity(images.len());
+        for (i, img) in images.iter().enumerate() {
+            let run = exec::run(
+                &arch,
+                img,
+                ArithmeticMode::DelayApproxNoisy,
+                grid.seed
+                    .wrapping_add(i as u64)
+                    .wrapping_mul(0x9e37_79b9_7f4a_7c15),
+            )
+            .expect("image geometry validated by caller");
+            per_image.push(run.pooled_rmse(&references[i]));
+        }
+        Ok(DsePoint {
+            unit_ns,
+            nlse_terms: nlse,
+            nlde_terms: nlde,
+            energy_uj: arch.energy_per_frame().total_uj(),
+            rmse: metrics::pool_rmse(&per_image),
+            pareto: false,
+        })
+    };
+
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(configs.len().max(1));
+    let mut points: Vec<DsePoint> = Vec::with_capacity(configs.len());
+    if workers <= 1 {
+        for c in &configs {
+            points.push(measure(c)?);
+        }
+    } else {
+        let results: Vec<Result<DsePoint, SystemError>> = std::thread::scope(|scope| {
+            let chunk = configs.len().div_ceil(workers);
+            let handles: Vec<_> = configs
+                .chunks(chunk)
+                .map(|slice| scope.spawn(move || slice.iter().map(measure).collect::<Vec<_>>()))
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("sweep worker panicked"))
+                .collect()
+        });
+        for r in results {
+            points.push(r?);
+        }
+    }
+    mark_pareto(&mut points);
+    Ok(points)
+}
+
+/// Marks the Pareto-optimal points (no other point is at least as good on
+/// both axes and strictly better on one).
+pub fn mark_pareto(points: &mut [DsePoint]) {
+    for i in 0..points.len() {
+        let p = points[i];
+        let dominated = points.iter().enumerate().any(|(j, q)| {
+            j != i
+                && q.energy_uj <= p.energy_uj
+                && q.rmse <= p.rmse
+                && (q.energy_uj < p.energy_uj || q.rmse < p.rmse)
+        });
+        points[i].pareto = !dominated;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ta_image::{synth, Kernel};
+
+    fn tiny_grid() -> SweepGrid {
+        SweepGrid {
+            nlse_terms: vec![3, 8],
+            nlde_terms: vec![6],
+            unit_scales_ns: vec![1.0, 5.0],
+            element_multiplier: 50.0,
+            seed: 1,
+        }
+    }
+
+    #[test]
+    fn explore_covers_grid_and_marks_pareto() {
+        let desc =
+            SystemDescription::new(24, 24, vec![Kernel::pyr_down_5x5()], 2).unwrap();
+        let images = vec![synth::natural_image(24, 24, 0)];
+        let points = explore(&desc, &images, &tiny_grid()).unwrap();
+        // Positive-only kernel collapses the nLDE axis: 2 terms × 2 units.
+        assert_eq!(points.len(), 4);
+        assert!(points.iter().any(|p| p.pareto));
+        // At a fixed unit scale, more terms must cost more energy.
+        let e3 = points
+            .iter()
+            .find(|p| p.unit_ns == 1.0 && p.nlse_terms == 3)
+            .unwrap()
+            .energy_uj;
+        let e8 = points
+            .iter()
+            .find(|p| p.unit_ns == 1.0 && p.nlse_terms == 8)
+            .unwrap()
+            .energy_uj;
+        assert!(e8 > e3);
+    }
+
+    #[test]
+    fn pareto_marking_logic() {
+        let mut pts = vec![
+            DsePoint {
+                unit_ns: 1.0,
+                nlse_terms: 1,
+                nlde_terms: 1,
+                energy_uj: 1.0,
+                rmse: 0.10,
+                pareto: false,
+            },
+            DsePoint {
+                unit_ns: 1.0,
+                nlse_terms: 2,
+                nlde_terms: 1,
+                energy_uj: 2.0,
+                rmse: 0.05,
+                pareto: false,
+            },
+            DsePoint {
+                unit_ns: 1.0,
+                nlse_terms: 3,
+                nlde_terms: 1,
+                energy_uj: 3.0,
+                rmse: 0.08, // dominated by the 2.0/0.05 point
+                pareto: false,
+            },
+        ];
+        mark_pareto(&mut pts);
+        assert!(pts[0].pareto);
+        assert!(pts[1].pareto);
+        assert!(!pts[2].pareto);
+    }
+}

@@ -1,0 +1,493 @@
+//! Executing images through a compiled architecture (§5.1).
+
+use std::error::Error;
+use std::fmt;
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use ta_delay_space::{ops, DelayValue};
+use ta_image::Image;
+
+use crate::transform::Rail;
+use crate::tree::{self, TreeOps};
+use crate::{Architecture, ArithmeticMode, RunResult};
+
+/// Errors raised while executing a frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ExecError {
+    /// The image does not match the architecture's pixel-array geometry.
+    DimensionMismatch {
+        /// Geometry the architecture was compiled for.
+        expected: (usize, usize),
+        /// Geometry of the supplied image.
+        got: (usize, usize),
+    },
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::DimensionMismatch { expected, got } => write!(
+                f,
+                "architecture compiled for {}×{} pixels, image is {}×{}",
+                expected.0, expected.1, got.0, got.1
+            ),
+        }
+    }
+}
+
+impl Error for ExecError {}
+
+/// Pushes one frame through the architecture under the given arithmetic
+/// mode. `seed` drives every stochastic element (VTC noise, RJ, PSIJ) and
+/// is ignored by deterministic modes.
+///
+/// # Errors
+///
+/// Returns [`ExecError::DimensionMismatch`] if the image does not match
+/// the compiled pixel-array geometry.
+pub fn run(
+    arch: &Architecture,
+    image: &Image,
+    mode: ArithmeticMode,
+    seed: u64,
+) -> Result<RunResult, ExecError> {
+    let desc = arch.desc();
+    if (image.width(), image.height()) != (desc.image_width(), desc.image_height()) {
+        return Err(ExecError::DimensionMismatch {
+            expected: (desc.image_width(), desc.image_height()),
+            got: (image.width(), image.height()),
+        });
+    }
+
+    let outputs = match mode {
+        ArithmeticMode::ImportanceExact => run_importance(arch, image),
+        _ => run_delay(arch, image, mode, seed),
+    };
+
+    Ok(RunResult {
+        outputs,
+        energy: arch.energy_per_frame(),
+        timing: arch.timing(),
+        mode,
+    })
+}
+
+/// Importance-space arithmetic routed through the engine's schedule: rail
+/// accumulators advance row by row exactly like the recurrent trees, and
+/// rails combine through a final subtraction — the paper's first
+/// verification mode.
+fn run_importance(arch: &Architecture, image: &Image) -> Vec<Image> {
+    let desc = arch.desc();
+    let stride = desc.stride();
+    let (ow, oh) = desc.output_dims();
+    desc.kernels()
+        .iter()
+        .map(|kernel| {
+            let (pos_k, neg_k) = kernel.split_signs();
+            Image::from_fn(ow, oh, |ox, oy| {
+                let mut pos = 0.0;
+                let mut neg = 0.0;
+                for ky in 0..kernel.height() {
+                    // One rolling-shutter cycle: this kernel row's products
+                    // join the running rail partials.
+                    for kx in 0..kernel.width() {
+                        let p = image.get(ox * stride + kx, oy * stride + ky);
+                        pos += pos_k.weight(kx, ky) * p;
+                        neg += neg_k.weight(kx, ky) * p;
+                    }
+                }
+                pos - neg
+            })
+        })
+        .collect()
+}
+
+/// Delay-space execution (exact, approximate or noisy hardware).
+fn run_delay(
+    arch: &Architecture,
+    image: &Image,
+    mode: ArithmeticMode,
+    seed: u64,
+) -> Vec<Image> {
+    let desc = arch.desc();
+    let cfg = arch.cfg();
+    let stride = desc.stride();
+    let (ow, oh) = desc.output_dims();
+    let kw = desc.kernel_width();
+    let kh = desc.kernel_height();
+    let noisy = mode == ArithmeticMode::DelayApproxNoisy;
+    let approximate = mode != ArithmeticMode::DelayExact;
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x7a11_5eed);
+
+    // Pixel readout: one VTC conversion per pixel (noise applied here for
+    // the noisy mode; the same converted value feeds every MAC block that
+    // uses the pixel, as in hardware).
+    let vtc = arch.vtc();
+    let pixel_delays: Vec<DelayValue> = image
+        .pixels()
+        .iter()
+        .map(|&p| {
+            if noisy {
+                vtc.convert(p, &mut rng)
+            } else {
+                vtc.convert_ideal(p)
+            }
+        })
+        .collect();
+    let pixel_at =
+        |x: usize, y: usize| -> DelayValue { pixel_delays[y * image.width() + x] };
+
+    let k_tree = if approximate {
+        arch.tree_depth() as f64 * arch.nlse_unit().latency_units()
+    } else {
+        0.0
+    };
+    let loop_delay = arch.schedule().loop_delay_units;
+    // Edges pushed past the reference-frame boundary carry importance
+    // below e^-cycle and are truncated by the hardware (see
+    // `Architecture::new`); the exact mode is the mathematical reference
+    // and keeps them.
+    let truncate_at = if approximate {
+        arch.schedule().cycle_units
+    } else {
+        f64::INFINITY
+    };
+
+    let mut outputs = Vec::with_capacity(desc.kernels().len());
+    for (k_idx, dk) in arch.delay_kernels().iter().enumerate() {
+        let shift = arch.output_shift_units(k_idx, approximate);
+        let mut out = Image::zeros(ow, oh);
+        let mut leaves: Vec<DelayValue> = Vec::with_capacity(kw + 1);
+
+        for oy in 0..oh {
+            for ox in 0..ow {
+                // Accumulate each rail through the recurrent schedule.
+                let mut rail_raw = [DelayValue::ZERO; 2];
+                for (r_i, &rail) in dk.rails().iter().enumerate() {
+                    let mut partial = DelayValue::ZERO; // no edge yet
+                    for ky in 0..kh {
+                        // One noise realization covers the whole cycle:
+                        // PSIJ is common-mode supply droop, so the weight
+                        // lines, the tree chains and the loop line of a
+                        // cycle all see the same excursion.
+                        let realization = noisy
+                            .then(|| cfg.noise.begin_eval(cfg.unit, &mut rng));
+                        leaves.clear();
+                        for kx in 0..kw {
+                            let w = dk.rail_delay(rail, kx, ky);
+                            if w.is_never() {
+                                leaves.push(DelayValue::ZERO);
+                            } else {
+                                let w_delay = match &realization {
+                                    Some(r) => r.perturb_units(w.delay(), &mut rng),
+                                    None => w.delay(),
+                                };
+                                let leaf = pixel_at(ox * stride + kx, oy * stride + ky)
+                                    .delayed(w_delay);
+                                leaves.push(if leaf.delay() > truncate_at {
+                                    DelayValue::ZERO
+                                } else {
+                                    leaf
+                                });
+                            }
+                        }
+                        leaves.push(partial);
+                        let raw = match mode {
+                            ArithmeticMode::DelayExact => {
+                                tree::eval(&TreeOps::Exact, &leaves, &mut rng)
+                            }
+                            ArithmeticMode::DelayApprox => tree::eval(
+                                &TreeOps::Approx(arch.nlse_unit()),
+                                &leaves,
+                                &mut rng,
+                            ),
+                            ArithmeticMode::DelayApproxNoisy => tree::eval(
+                                &TreeOps::Noisy(
+                                    arch.nlse_unit(),
+                                    realization
+                                        .as_ref()
+                                        .expect("noisy mode always has a realization"),
+                                ),
+                                &leaves,
+                                &mut rng,
+                            ),
+                            ArithmeticMode::ImportanceExact => unreachable!(),
+                        };
+                        if ky + 1 < kh {
+                            // Loop back: the reference-frame shift cancels
+                            // the tree latency; only loop-line jitter
+                            // survives into the value.
+                            let jitter = match (&realization, raw.is_never()) {
+                                (Some(r), false) => {
+                                    r.perturb_units(loop_delay, &mut rng) - loop_delay
+                                }
+                                _ => 0.0,
+                            };
+                            partial = if raw.is_never() {
+                                raw
+                            } else {
+                                raw.delayed(jitter - k_tree)
+                            };
+                        } else {
+                            partial = raw;
+                        }
+                    }
+                    rail_raw[r_i] = partial;
+                }
+
+                let value = combine_rails(arch, dk.rails(), rail_raw, mode, shift, &mut rng);
+                out.set(ox, oy, value);
+            }
+        }
+        outputs.push(out);
+    }
+    outputs
+}
+
+/// Renormalises the split rails through the subtraction unit and decodes
+/// to a signed importance-space value.
+fn combine_rails(
+    arch: &Architecture,
+    rails: &[Rail],
+    rail_raw: [DelayValue; 2],
+    mode: ArithmeticMode,
+    shift: f64,
+    rng: &mut SmallRng,
+) -> f64 {
+    let cfg = arch.cfg();
+    let decode = |edge: DelayValue, total_shift: f64| -> f64 {
+        let edge = match (cfg.tdc, mode) {
+            (Some(tdc), ArithmeticMode::DelayApprox | ArithmeticMode::DelayApproxNoisy) => {
+                tdc.quantize(edge, cfg.unit)
+            }
+            _ => edge,
+        };
+        edge.decode() * total_shift.exp()
+    };
+
+    if rails.len() == 1 {
+        return decode(rail_raw[0], shift);
+    }
+
+    // Split representation: route the dominant rail's difference out.
+    let (pos, neg) = (rail_raw[0], rail_raw[1]);
+    let (minuend, subtrahend, sign) = if pos <= neg {
+        (pos, neg, 1.0)
+    } else {
+        (neg, pos, -1.0)
+    };
+    match mode {
+        ArithmeticMode::DelayExact => {
+            let diff = ops::nlde(minuend, subtrahend)
+                .expect("operands ordered by the comparator");
+            sign * decode(diff, shift)
+        }
+        ArithmeticMode::DelayApprox => {
+            let unit = arch.nlde_unit().expect("split kernels carry an nLDE unit");
+            let diff = unit.eval_ideal(minuend, subtrahend);
+            sign * decode(diff, shift + unit.latency_units())
+        }
+        ArithmeticMode::DelayApproxNoisy => {
+            let unit = arch.nlde_unit().expect("split kernels carry an nLDE unit");
+            let realization = cfg.noise.begin_eval(cfg.unit, rng);
+            let diff = unit.eval_noisy(minuend, subtrahend, &realization, rng);
+            sign * decode(diff, shift + unit.latency_units())
+        }
+        ArithmeticMode::ImportanceExact => unreachable!("handled in run_importance"),
+    }
+}
+
+/// Pushes a sequence of frames through the architecture (a rolling camera
+/// stream): each frame gets a distinct derived seed, and the engine's
+/// per-frame energy and timing aggregate linearly — the pipelining claim
+/// of §5.3 (the engine never becomes the bottleneck; the camera does).
+///
+/// Returns one [`RunResult`] per frame.
+///
+/// # Errors
+///
+/// Returns [`ExecError::DimensionMismatch`] for the first frame that does
+/// not match the compiled geometry.
+pub fn run_sequence(
+    arch: &Architecture,
+    frames: &[Image],
+    mode: ArithmeticMode,
+    seed: u64,
+) -> Result<Vec<RunResult>, ExecError> {
+    frames
+        .iter()
+        .enumerate()
+        .map(|(i, frame)| {
+            run(
+                arch,
+                frame,
+                mode,
+                seed.wrapping_add((i as u64).wrapping_mul(0x9e37_79b9)),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ArchConfig, SystemDescription};
+    use ta_image::{conv, metrics, synth, Kernel};
+
+    fn arch_for(kernels: Vec<Kernel>, stride: usize, size: usize) -> Architecture {
+        let desc = SystemDescription::new(size, size, kernels, stride).unwrap();
+        Architecture::new(desc, ArchConfig::fast_1ns(7, 20)).unwrap()
+    }
+
+    #[test]
+    fn dimension_mismatch_rejected() {
+        let arch = arch_for(vec![Kernel::box_filter(3)], 1, 16);
+        let img = synth::natural_image(8, 8, 0);
+        assert!(matches!(
+            run(&arch, &img, ArithmeticMode::DelayExact, 0),
+            Err(ExecError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn importance_mode_equals_software_conv() {
+        let arch = arch_for(vec![Kernel::sobel_x(), Kernel::sobel_y()], 1, 24);
+        let img = synth::natural_image(24, 24, 1);
+        let result = run(&arch, &img, ArithmeticMode::ImportanceExact, 0).unwrap();
+        for (out, kernel) in result.outputs.iter().zip(arch.desc().kernels()) {
+            let reference = conv::convolve(&img, kernel, 1);
+            assert!(metrics::rmse(out, &reference) < 1e-12);
+        }
+    }
+
+    #[test]
+    fn delay_exact_equals_software_conv() {
+        // §5.1: exact delay-space ops reproduce software convolution after
+        // conversion back to importance space.
+        for kernels in [
+            vec![Kernel::pyr_down_5x5()],
+            vec![Kernel::sobel_x(), Kernel::sobel_y()],
+        ] {
+            let stride = if kernels[0].width() == 5 { 2 } else { 1 };
+            let arch = arch_for(kernels, stride, 24);
+            let img = synth::natural_image(24, 24, 2);
+            let result = run(&arch, &img, ArithmeticMode::DelayExact, 0).unwrap();
+            for (out, kernel) in result.outputs.iter().zip(arch.desc().kernels()) {
+                // The VTC's dynamic-range floor clips pixels below e^-6;
+                // compare against the convolution of the clipped image.
+                let clipped = img.map(|p| p.max((-6.0_f64).exp()));
+                let reference = conv::convolve(&clipped, kernel, stride);
+                let err = metrics::normalized_rmse(out, &reference);
+                assert!(err < 1e-9, "{}: nrmse {err}", kernel.name());
+            }
+        }
+    }
+
+    #[test]
+    fn approx_mode_tracks_reference_within_percent_band() {
+        let arch = arch_for(vec![Kernel::pyr_down_5x5()], 2, 32);
+        let img = synth::natural_image(32, 32, 3);
+        let result = run(&arch, &img, ArithmeticMode::DelayApprox, 0).unwrap();
+        let reference = conv::convolve(&img, &Kernel::pyr_down_5x5(), 2);
+        let err = metrics::normalized_rmse(&result.outputs[0], &reference);
+        assert!(err > 0.0, "approximation must not be exact");
+        assert!(err < 0.1, "nrmse {err}");
+    }
+
+    #[test]
+    fn approx_split_kernel_keeps_signs() {
+        let arch = arch_for(vec![Kernel::sobel_x()], 1, 24);
+        // A hard vertical edge: strong positive response at the edge.
+        let img = Image::from_fn(24, 24, |x, _| if x < 12 { 0.1 } else { 0.9 });
+        let result = run(&arch, &img, ArithmeticMode::DelayApprox, 0).unwrap();
+        let reference = conv::convolve(&img, &Kernel::sobel_x(), 1);
+        // Sign agreement on strong responses.
+        let out = &result.outputs[0];
+        for y in 0..out.height() {
+            for x in 0..out.width() {
+                let r = reference.get(x, y);
+                if r.abs() > 0.5 {
+                    assert!(
+                        out.get(x, y) * r > 0.0,
+                        "sign flip at ({x},{y}): {} vs {r}",
+                        out.get(x, y)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn noisy_mode_is_seeded_and_degrades_gracefully() {
+        let arch = arch_for(vec![Kernel::pyr_down_5x5()], 2, 32);
+        let img = synth::natural_image(32, 32, 4);
+        let a = run(&arch, &img, ArithmeticMode::DelayApproxNoisy, 42).unwrap();
+        let b = run(&arch, &img, ArithmeticMode::DelayApproxNoisy, 42).unwrap();
+        assert_eq!(a.outputs[0], b.outputs[0], "same seed, same frame");
+        let c = run(&arch, &img, ArithmeticMode::DelayApproxNoisy, 43).unwrap();
+        assert_ne!(a.outputs[0], c.outputs[0], "seeds must differ");
+
+        let reference = conv::convolve(&img, &Kernel::pyr_down_5x5(), 2);
+        let noisy_err = metrics::normalized_rmse(&a.outputs[0], &reference);
+        let clean = run(&arch, &img, ArithmeticMode::DelayApprox, 0).unwrap();
+        let clean_err = metrics::normalized_rmse(&clean.outputs[0], &reference);
+        assert!(noisy_err > clean_err * 0.5, "noise should not help much");
+        assert!(noisy_err < 0.2, "noisy nrmse {noisy_err}");
+    }
+
+    #[test]
+    fn sequences_aggregate_linearly_with_distinct_noise() {
+        let arch = arch_for(vec![Kernel::box_filter(3)], 1, 16);
+        let frames: Vec<_> = (0..3).map(|i| synth::natural_image(16, 16, i)).collect();
+        let runs = run_sequence(&arch, &frames, ArithmeticMode::DelayApproxNoisy, 7).unwrap();
+        assert_eq!(runs.len(), 3);
+        let total: f64 = runs.iter().map(|r| r.energy.total_pj()).sum();
+        assert!((total - 3.0 * runs[0].energy.total_pj()).abs() < 1e-9);
+        // Identical frames still draw different noise per position.
+        let same = vec![frames[0].clone(), frames[0].clone()];
+        let reruns = run_sequence(&arch, &same, ArithmeticMode::DelayApproxNoisy, 7).unwrap();
+        assert_ne!(reruns[0].outputs[0], reruns[1].outputs[0]);
+    }
+
+    #[test]
+    fn degenerate_geometries_run() {
+        // 1×1 kernel, stride larger than the kernel, image exactly
+        // kernel-sized.
+        for (kernels, stride, size) in [
+            (vec![Kernel::new("id", 1, 1, vec![0.5])], 3, 9),
+            (vec![Kernel::box_filter(3)], 5, 13),
+            (vec![Kernel::box_filter(3)], 1, 3),
+        ] {
+            let arch = arch_for(kernels.clone(), stride, size);
+            let img = synth::natural_image(size, size, 2);
+            let run = run(&arch, &img, ArithmeticMode::DelayExact, 0).unwrap();
+            let reference = conv::convolve(
+                &img.map(|p| p.max((-6.0_f64).exp())),
+                &kernels[0],
+                stride,
+            );
+            assert!(
+                metrics::normalized_rmse(&run.outputs[0], &reference) < 1e-9,
+                "{} s{stride} {size}px",
+                kernels[0].name()
+            );
+        }
+    }
+
+    #[test]
+    fn energy_identical_across_modes() {
+        let arch = arch_for(vec![Kernel::sobel_x()], 1, 16);
+        let img = synth::natural_image(16, 16, 5);
+        let e: Vec<f64> = ArithmeticMode::ALL
+            .iter()
+            .map(|&m| run(&arch, &img, m, 1).unwrap().energy.total_pj())
+            .collect();
+        for w in e.windows(2) {
+            assert_eq!(w[0], w[1]);
+        }
+        assert!(e[0] > 0.0);
+    }
+}

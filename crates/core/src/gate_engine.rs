@@ -1,0 +1,431 @@
+//! A gate-level compilation of the convolution engine: the same
+//! architecture the functional simulator models, but built out of actual
+//! race-logic netlists and executed edge by edge.
+//!
+//! This is the strongest verification layer in the workspace: the
+//! functional simulator (`exec`, fast, used for full evaluations) and the
+//! gate-level engine (this module, faithful, used on small frames) are
+//! produced from one [`Architecture`] and must agree to floating-point
+//! precision — asserted in tests and in `tests/hardware_stack.rs`.
+//!
+//! One netlist is compiled per (kernel, rail, kernel-row): the circuit of
+//! a single recurrence cycle, containing that row's weight delay lines and
+//! the accumulation tree (Fig 9's MAC block datapath for one cycle). The
+//! recurrence loop is the only piece modelled outside the netlists — a
+//! combinational netlist cannot contain its own feedback path; the loop's
+//! reference-frame algebra (value preserved, tree latency cancelled, §3)
+//! is applied between cycle evaluations exactly as the hardware's loop
+//! delay line does.
+
+use ta_delay_space::DelayValue;
+use ta_image::Image;
+use ta_race_logic::blocks::{self, TermPair};
+use ta_race_logic::{Circuit, CircuitBuilder};
+
+use crate::exec::ExecError;
+use crate::transform::Rail;
+use crate::Architecture;
+
+/// One compiled cycle netlist: the datapath a MAC block evaluates when a
+/// given kernel row's pixels arrive.
+#[derive(Debug, Clone)]
+struct CycleCircuit {
+    /// Inputs: `kw` pixel edges, then the recurrent partial, then one
+    /// always-never feed for absent weight paths.
+    circuit: Circuit,
+    /// The tree's uniform output shift for this netlist.
+    tree_shift: f64,
+}
+
+/// The gate-level engine compiled from an [`Architecture`].
+#[derive(Debug, Clone)]
+pub struct GateEngine {
+    /// `cycles[kernel][rail][ky]` — one netlist per kernel row per rail.
+    cycles: Vec<Vec<Vec<CycleCircuit>>>,
+    /// The subtraction netlist, if any kernel is split.
+    nlde: Option<(Circuit, f64)>,
+    /// Rails per kernel, mirroring the delay kernels.
+    rails: Vec<Vec<Rail>>,
+}
+
+impl GateEngine {
+    /// Compiles every cycle datapath of `arch` into race-logic netlists.
+    ///
+    /// # Panics
+    ///
+    /// Panics only on internal invariant violations (the architecture was
+    /// already validated at construction).
+    pub fn compile(arch: &Architecture) -> Self {
+        let terms: Vec<TermPair> = arch.nlse_unit().approx().terms().to_vec();
+        let k = arch.nlse_unit().latency_units();
+        let kw = arch.desc().kernel_width();
+
+        let mut cycles = Vec::new();
+        let mut rails = Vec::new();
+        for dk in arch.delay_kernels() {
+            let mut per_rail = Vec::new();
+            for &rail in dk.rails() {
+                let mut per_row = Vec::new();
+                for ky in 0..dk.height() {
+                    per_row.push(compile_cycle(dk, rail, ky, kw, &terms, k));
+                }
+                per_rail.push(per_row);
+            }
+            cycles.push(per_rail);
+            rails.push(dk.rails().to_vec());
+        }
+
+        let nlde = arch.nlde_unit().map(|unit| {
+            let nk = unit.latency_units();
+            let c = blocks::nlde_circuit(unit.approx().terms(), nk)
+                .expect("fitted constants are realisable");
+            (c, nk)
+        });
+
+        GateEngine {
+            cycles,
+            nlde,
+            rails,
+        }
+    }
+
+    /// Executes one frame through the compiled netlists (ideal delay
+    /// elements), producing decoded importance-space outputs — the
+    /// gate-level equivalent of `exec::run` in `DelayApprox` mode.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError::DimensionMismatch`] if the image does not
+    /// match the compiled geometry.
+    pub fn run(&self, arch: &Architecture, image: &Image) -> Result<Vec<Image>, ExecError> {
+        let desc = arch.desc();
+        if (image.width(), image.height()) != (desc.image_width(), desc.image_height()) {
+            return Err(ExecError::DimensionMismatch {
+                expected: (desc.image_width(), desc.image_height()),
+                got: (image.width(), image.height()),
+            });
+        }
+        let stride = desc.stride();
+        let (ow, oh) = desc.output_dims();
+        let kw = desc.kernel_width();
+        let kh = desc.kernel_height();
+        let truncate_at = arch.schedule().cycle_units;
+        let vtc = arch.vtc();
+
+        let mut outputs = Vec::with_capacity(self.cycles.len());
+        for (k_idx, per_rail) in self.cycles.iter().enumerate() {
+            let shift = arch.output_shift_units(k_idx, true);
+            let mut out = Image::zeros(ow, oh);
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut rail_raw = [DelayValue::ZERO; 2];
+                    for (r_i, per_row) in per_rail.iter().enumerate() {
+                        let mut partial = DelayValue::ZERO;
+                        for (ky, cycle) in per_row.iter().enumerate() {
+                            // Inputs: kw pixels, the partial, the never
+                            // feed, and the frame-boundary reference edge
+                            // gating late arrivals (ε keeps the inhibit's
+                            // strict comparison aligned with the
+                            // functional engine's inclusive one).
+                            let mut inputs = Vec::with_capacity(kw + 3);
+                            for kx in 0..kw {
+                                let p = vtc.convert_ideal(
+                                    image.get(ox * stride + kx, oy * stride + ky),
+                                );
+                                inputs.push(p);
+                            }
+                            inputs.push(partial);
+                            inputs.push(DelayValue::ZERO);
+                            inputs.push(DelayValue::from_delay(truncate_at + 1e-9));
+                            let raw = cycle
+                                .circuit
+                                .evaluate(&inputs)
+                                .expect("compiled arity matches")[0];
+                            partial = if ky + 1 < kh {
+                                if raw.is_never() {
+                                    raw
+                                } else {
+                                    // The loop delay line: value preserved,
+                                    // tree latency cancelled (§3).
+                                    raw.delayed(-cycle.tree_shift)
+                                }
+                            } else {
+                                raw
+                            };
+                        }
+                        rail_raw[r_i] = partial;
+                    }
+                    let value = self.combine(&self.rails[k_idx], rail_raw, shift);
+                    out.set(ox, oy, value);
+                }
+            }
+            outputs.push(out);
+        }
+        Ok(outputs)
+    }
+
+    /// Executes one frame with *noisy* delay elements: every delay gate in
+    /// every netlist is jittered through the architecture's RJ model via
+    /// the race-logic simulator's [`DelayPerturb`] hook (PSIJ, being
+    /// common-mode per evaluation, is sampled once per cycle netlist and
+    /// folded into the same hook).
+    ///
+    /// The functional engine's noisy mode consumes randomness in a
+    /// different order, so outputs are not bit-identical — tests compare
+    /// error statistics instead.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError::DimensionMismatch`] if the image does not
+    /// match the compiled geometry.
+    ///
+    /// [`DelayPerturb`]: ta_race_logic::DelayPerturb
+    pub fn run_noisy(
+        &self,
+        arch: &Architecture,
+        image: &Image,
+        seed: u64,
+    ) -> Result<Vec<Image>, ExecError> {
+        use rand::rngs::SmallRng;
+        use rand::SeedableRng;
+
+        let desc = arch.desc();
+        if (image.width(), image.height()) != (desc.image_width(), desc.image_height()) {
+            return Err(ExecError::DimensionMismatch {
+                expected: (desc.image_width(), desc.image_height()),
+                got: (image.width(), image.height()),
+            });
+        }
+        let cfg = arch.cfg();
+        let stride = desc.stride();
+        let (ow, oh) = desc.output_dims();
+        let kw = desc.kernel_width();
+        let kh = desc.kernel_height();
+        let truncate_at = arch.schedule().cycle_units;
+        let vtc = arch.vtc();
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x6a7e_0e19);
+
+        // Pixel readout once per frame, with VTC noise.
+        let pixel_delays: Vec<DelayValue> = image
+            .pixels()
+            .iter()
+            .map(|&p| vtc.convert(p, &mut rng))
+            .collect();
+        let pixel_at =
+            |x: usize, y: usize| -> DelayValue { pixel_delays[y * image.width() + x] };
+
+        let mut outputs = Vec::with_capacity(self.cycles.len());
+        for (k_idx, per_rail) in self.cycles.iter().enumerate() {
+            let shift = arch.output_shift_units(k_idx, true);
+            let mut out = Image::zeros(ow, oh);
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut rail_raw = [DelayValue::ZERO; 2];
+                    for (r_i, per_row) in per_rail.iter().enumerate() {
+                        let mut partial = DelayValue::ZERO;
+                        for (ky, cycle) in per_row.iter().enumerate() {
+                            let mut inputs = Vec::with_capacity(kw + 3);
+                            for kx in 0..kw {
+                                inputs.push(pixel_at(ox * stride + kx, oy * stride + ky));
+                            }
+                            inputs.push(partial);
+                            inputs.push(DelayValue::ZERO);
+                            inputs.push(DelayValue::from_delay(truncate_at + 1e-9));
+                            // One realization per cycle: common-mode PSIJ
+                            // covers the netlist and the loop line alike.
+                            let realization = cfg.noise.begin_eval(cfg.unit, &mut rng);
+                            let mut hook = PerturbHook {
+                                realization,
+                                rng: &mut rng,
+                            };
+                            let raw = cycle
+                                .circuit
+                                .evaluate_noisy(&inputs, &mut hook)
+                                .expect("compiled arity matches")[0];
+                            partial = if ky + 1 < kh {
+                                if raw.is_never() {
+                                    raw
+                                } else {
+                                    let loop_delay = arch.schedule().loop_delay_units;
+                                    let jitter = realization
+                                        .perturb_units(loop_delay, &mut rng)
+                                        - loop_delay;
+                                    raw.delayed(jitter - cycle.tree_shift)
+                                }
+                            } else {
+                                raw
+                            };
+                        }
+                        rail_raw[r_i] = partial;
+                    }
+                    let value = self.combine(&self.rails[k_idx], rail_raw, shift);
+                    out.set(ox, oy, value);
+                }
+            }
+            outputs.push(out);
+        }
+        Ok(outputs)
+    }
+
+    fn combine(&self, rails: &[Rail], rail_raw: [DelayValue; 2], shift: f64) -> f64 {
+        if rails.len() == 1 {
+            return rail_raw[0].decode() * shift.exp();
+        }
+        let (pos, neg) = (rail_raw[0], rail_raw[1]);
+        let (minuend, subtrahend, sign) = if pos <= neg {
+            (pos, neg, 1.0)
+        } else {
+            (neg, pos, -1.0)
+        };
+        let (circuit, nk) = self.nlde.as_ref().expect("split kernels carry an nLDE netlist");
+        let diff = circuit
+            .evaluate(&[minuend, subtrahend])
+            .expect("two-input netlist")[0];
+        sign * diff.decode() * (shift + nk).exp()
+    }
+}
+
+/// Adapts the architecture's noise realization to the race-logic
+/// simulator's per-delay-element hook.
+struct PerturbHook<'a> {
+    realization: ta_circuits::NoiseRealization,
+    rng: &'a mut rand::rngs::SmallRng,
+}
+
+impl ta_race_logic::DelayPerturb for PerturbHook<'_> {
+    fn perturb(&mut self, nominal: f64) -> f64 {
+        self.realization.perturb_units(nominal, self.rng)
+    }
+}
+
+/// Builds one cycle's netlist: weight delays on the firing columns feed a
+/// path-balanced nLSE tree together with the recurrent partial. Each
+/// weighted leaf is gated by an inhibit cell against the frame-boundary
+/// reference edge — the hardware form of §2's "less important
+/// contributions can be truncated at any time" (edges landing past the
+/// next reference frame never enter the tree).
+fn compile_cycle(
+    dk: &crate::transform::DelayKernel,
+    rail: Rail,
+    ky: usize,
+    kw: usize,
+    terms: &[TermPair],
+    k: f64,
+) -> CycleCircuit {
+    let mut b = CircuitBuilder::new();
+    let pixels: Vec<_> = (0..kw).map(|kx| b.input(format!("px{kx}"))).collect();
+    let partial = b.input("partial");
+    let never = b.input("never");
+    let boundary = b.input("frame_boundary");
+
+    let mut leaves = Vec::with_capacity(kw + 1);
+    for (kx, &px) in pixels.iter().enumerate() {
+        let w = dk.rail_delay(rail, kx, ky);
+        if w.is_never() {
+            leaves.push(never);
+        } else {
+            let weighted = b.delay(px, w.delay());
+            leaves.push(b.inhibit(weighted, boundary));
+        }
+    }
+    leaves.push(partial);
+
+    let out = blocks::build_nlse_tree(&mut b, &leaves, terms, k);
+    b.output("partial_out", out.node);
+    CycleCircuit {
+        circuit: b.build().expect("compiled datapaths are valid netlists"),
+        tree_shift: out.shift,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{exec, ArchConfig, ArithmeticMode, SystemDescription};
+    use ta_image::{metrics, synth, Kernel};
+
+    fn check_agreement(kernels: Vec<Kernel>, stride: usize, size: usize, seed: u64) {
+        let desc = SystemDescription::new(size, size, kernels, stride).unwrap();
+        let arch = Architecture::new(desc, ArchConfig::fast_1ns(4, 8)).unwrap();
+        let engine = GateEngine::compile(&arch);
+        let img = synth::natural_image(size, size, seed);
+        let gate_outs = engine.run(&arch, &img).unwrap();
+        let functional = exec::run(&arch, &img, ArithmeticMode::DelayApprox, 0).unwrap();
+        for (g, f) in gate_outs.iter().zip(&functional.outputs) {
+            assert!(
+                metrics::rmse(g, f) < 1e-9,
+                "gate-level and functional engines diverge: rmse {}",
+                metrics::rmse(g, f)
+            );
+        }
+    }
+
+    #[test]
+    fn gate_engine_matches_functional_positive_kernel() {
+        check_agreement(vec![Kernel::box_filter(3)], 1, 12, 1);
+        check_agreement(vec![Kernel::pyr_down_5x5()], 2, 13, 2);
+    }
+
+    #[test]
+    fn gate_engine_matches_functional_split_kernel() {
+        check_agreement(vec![Kernel::sobel_x()], 1, 10, 3);
+        check_agreement(vec![Kernel::laplacian()], 1, 10, 4);
+    }
+
+    #[test]
+    fn gate_engine_matches_functional_multi_kernel() {
+        check_agreement(vec![Kernel::sobel_x(), Kernel::sobel_y()], 1, 9, 5);
+    }
+
+    #[test]
+    fn noisy_gate_engine_tracks_functional_statistics() {
+        let size = 16;
+        let desc =
+            SystemDescription::new(size, size, vec![Kernel::pyr_down_5x5()], 2).unwrap();
+        let arch = Architecture::new(desc, ArchConfig::fast_1ns(7, 20)).unwrap();
+        let engine = GateEngine::compile(&arch);
+        let img = synth::natural_image(size, size, 8);
+        let reference = ta_image::conv::convolve(&img, &Kernel::pyr_down_5x5(), 2);
+
+        let gate_outs = engine.run_noisy(&arch, &img, 1).unwrap();
+        let gate_err = metrics::normalized_rmse(&gate_outs[0], &reference);
+        let functional = exec::run(&arch, &img, ArithmeticMode::DelayApproxNoisy, 1).unwrap();
+        let fun_err = metrics::normalized_rmse(&functional.outputs[0], &reference);
+        // Same noise model through two simulators: errors agree within a
+        // small multiplicative band (different RNG consumption order).
+        assert!(gate_err > 0.0 && fun_err > 0.0);
+        assert!(
+            gate_err < 4.0 * fun_err + 0.02 && fun_err < 4.0 * gate_err + 0.02,
+            "gate {gate_err} vs functional {fun_err}"
+        );
+        // Seeded determinism.
+        let again = engine.run_noisy(&arch, &img, 1).unwrap();
+        assert_eq!(gate_outs[0], again[0]);
+    }
+
+    #[test]
+    fn dimension_mismatch_propagates() {
+        let desc = SystemDescription::new(12, 12, vec![Kernel::box_filter(3)], 1).unwrap();
+        let arch = Architecture::new(desc, ArchConfig::fast_1ns(3, 5)).unwrap();
+        let engine = GateEngine::compile(&arch);
+        let img = synth::natural_image(8, 8, 0);
+        assert!(matches!(
+            engine.run(&arch, &img),
+            Err(ExecError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn compiled_netlists_have_expected_shape() {
+        let desc = SystemDescription::new(16, 16, vec![Kernel::sobel_x()], 1).unwrap();
+        let arch = Architecture::new(desc, ArchConfig::fast_1ns(5, 10)).unwrap();
+        let engine = GateEngine::compile(&arch);
+        // One kernel, two rails, three rows each.
+        assert_eq!(engine.cycles.len(), 1);
+        assert_eq!(engine.cycles[0].len(), 2);
+        assert_eq!(engine.cycles[0][0].len(), 3);
+        assert!(engine.nlde.is_some());
+        // Each cycle circuit takes kw + partial + never + boundary inputs.
+        assert_eq!(engine.cycles[0][0][0].circuit.input_count(), 6);
+    }
+}

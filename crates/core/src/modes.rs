@@ -1,0 +1,76 @@
+//! The simulator's arithmetic modes (§5.1's verification ladder).
+
+use std::fmt;
+
+/// How the architecture's arithmetic is evaluated.
+///
+/// The paper verifies its simulator by running the *same* compiled
+/// architecture under progressively more realistic arithmetic: the first
+/// two modes must reproduce software convolution exactly, the third shows
+/// pure approximation error, the fourth adds every hardware noise source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ArithmeticMode {
+    /// Importance-space reference arithmetic (`+`, `·` on `f64`) routed
+    /// through the architecture's schedule — must equal software
+    /// convolution bit-for-bit up to float associativity.
+    ImportanceExact,
+    /// Exact delay-space arithmetic (true nLSE/nLDE) — must equal software
+    /// convolution after decoding, up to floating-point rounding.
+    DelayExact,
+    /// The fitted min-of-max / min-of-inhibit hardware approximations with
+    /// ideal (noiseless) delay elements.
+    DelayApprox,
+    /// Approximation hardware plus RJ, PSIJ and VTC noise — the mode every
+    /// headline evaluation number uses.
+    DelayApproxNoisy,
+}
+
+impl ArithmeticMode {
+    /// All modes, in increasing realism.
+    pub const ALL: [ArithmeticMode; 4] = [
+        ArithmeticMode::ImportanceExact,
+        ArithmeticMode::DelayExact,
+        ArithmeticMode::DelayApprox,
+        ArithmeticMode::DelayApproxNoisy,
+    ];
+
+    /// Whether this mode draws random numbers (needs a seed).
+    pub fn is_stochastic(self) -> bool {
+        matches!(self, ArithmeticMode::DelayApproxNoisy)
+    }
+}
+
+impl fmt::Display for ArithmeticMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ArithmeticMode::ImportanceExact => "importance-exact",
+            ArithmeticMode::DelayExact => "delay-exact",
+            ArithmeticMode::DelayApprox => "delay-approx",
+            ArithmeticMode::DelayApproxNoisy => "delay-approx-noisy",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn only_noisy_mode_is_stochastic() {
+        assert!(ArithmeticMode::DelayApproxNoisy.is_stochastic());
+        assert!(!ArithmeticMode::DelayExact.is_stochastic());
+        assert!(!ArithmeticMode::ImportanceExact.is_stochastic());
+        assert!(!ArithmeticMode::DelayApprox.is_stochastic());
+    }
+
+    #[test]
+    fn display_distinct() {
+        let names: Vec<String> = ArithmeticMode::ALL.iter().map(|m| m.to_string()).collect();
+        for i in 0..names.len() {
+            for j in i + 1..names.len() {
+                assert_ne!(names[i], names[j]);
+            }
+        }
+    }
+}

@@ -1,0 +1,234 @@
+//! Recurrence scheduling (§3): reference-frame shifting, cycle timing, and
+//! the operating constraints of the output-to-input loop.
+//!
+//! A delay-space MAC needs state, but race logic is stateless. The paper's
+//! trick: with inputs arriving at a fixed interval `T` (one rolling-shutter
+//! row readout), the accumulation tree's output can be looped back into
+//! its own input through a delay of `T − K_tree`. The loop delay plus the
+//! next cycle's reference-frame shift cancel the tree's latency exactly,
+//! so the *value* of the partial sum carries across cycles unchanged — a
+//! stateless circuit acting as a classical state machine.
+
+use crate::SystemError;
+
+/// The timing solution of one recurrence loop.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecurrenceSchedule {
+    /// Inherent latency of the accumulation tree (`depth × K`), in units.
+    pub tree_latency_units: f64,
+    /// Largest possible input value, in units (a value may not extend past
+    /// the next reference frame — §3's second constraint).
+    pub max_input_units: f64,
+    /// Relaxation period between cycles so the previous cycle's falling
+    /// edge cannot interfere (§3's third constraint), in units.
+    pub relaxation_units: f64,
+    /// The cycle time `T`, in units.
+    pub cycle_units: f64,
+    /// The loop delay `T − K_tree`, in units.
+    pub loop_delay_units: f64,
+}
+
+impl RecurrenceSchedule {
+    /// Solves the minimal cycle time satisfying all three §3 constraints.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SystemError::Recurrence`] if the inputs are not finite,
+    /// or `relaxation_units` is negative.
+    pub fn solve(
+        tree_latency_units: f64,
+        max_input_units: f64,
+        relaxation_units: f64,
+    ) -> Result<Self, SystemError> {
+        if !tree_latency_units.is_finite() || tree_latency_units < 0.0 {
+            return Err(SystemError::Recurrence(format!(
+                "tree latency must be finite and non-negative, got {tree_latency_units}"
+            )));
+        }
+        if !max_input_units.is_finite() || max_input_units < 0.0 {
+            return Err(SystemError::Recurrence(format!(
+                "max input must be finite and non-negative, got {max_input_units}"
+            )));
+        }
+        if relaxation_units.is_nan() || relaxation_units < 0.0 {
+            return Err(SystemError::Recurrence(format!(
+                "relaxation period cannot be negative, got {relaxation_units}"
+            )));
+        }
+        // Row readout is pipelined with accumulation: while the tree
+        // settles row k, the VTCs convert row k+1, so the cycle is set by
+        // the longer of the two phases plus the relaxation period. The
+        // loop delay T − K_tree is then automatically realisable.
+        let cycle_units =
+            tree_latency_units.max(max_input_units) + relaxation_units;
+        Ok(RecurrenceSchedule {
+            tree_latency_units,
+            max_input_units,
+            relaxation_units,
+            cycle_units,
+            loop_delay_units: cycle_units - tree_latency_units,
+        })
+    }
+
+    /// Validates an externally imposed cycle time (e.g. a camera's actual
+    /// row readout period) against the constraints.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SystemError::Recurrence`] naming the violated constraint.
+    pub fn with_cycle(
+        tree_latency_units: f64,
+        max_input_units: f64,
+        relaxation_units: f64,
+        cycle_units: f64,
+    ) -> Result<Self, SystemError> {
+        let minimal = Self::solve(tree_latency_units, max_input_units, relaxation_units)?;
+        if cycle_units < minimal.cycle_units {
+            return Err(SystemError::Recurrence(format!(
+                "cycle {cycle_units} below the minimal feasible {}",
+                minimal.cycle_units
+            )));
+        }
+        Ok(RecurrenceSchedule {
+            cycle_units,
+            loop_delay_units: cycle_units - tree_latency_units,
+            ..minimal
+        })
+    }
+}
+
+/// A reference-frame synchronisation strategy for serialised inputs
+/// (Fig 7's three panels).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyncStrategy {
+    /// Fig 7a: every input gets its own delay line to the last input's
+    /// reference frame, then one wide nLSE evaluates everything at once.
+    DelayLines,
+    /// Fig 7b: compute-on-arrival — a chain of two-input nLSE blocks, each
+    /// holding the running partial until the next input lands.
+    Staged,
+    /// Fig 7c: the staged chain folded onto a single block whose output
+    /// loops back through one reference-shifting delay.
+    Recurrent,
+}
+
+/// Hardware cost of synchronising `n` serialised inputs arriving every
+/// `cycle_units`, for one strategy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SyncCost {
+    /// The strategy costed.
+    pub strategy: SyncStrategy,
+    /// Static delay-line length that must be built, in units.
+    pub delay_line_units: f64,
+    /// Number of two-input nLSE blocks instantiated.
+    pub nlse_blocks: usize,
+    /// Delay-line units *exercised* per completed accumulation (energy is
+    /// proportional to this).
+    pub exercised_units_per_result: f64,
+}
+
+/// Costs all three Fig 7 strategies for `n` inputs arriving every
+/// `cycle_units`, with nLSE blocks of latency `k_units`.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `cycle_units < k_units` (infeasible staging).
+pub fn sync_strategy_costs(n: usize, cycle_units: f64, k_units: f64) -> [SyncCost; 3] {
+    assert!(n >= 1, "need at least one input");
+    assert!(
+        cycle_units >= k_units,
+        "cycle must cover one block latency"
+    );
+    let nf = n as f64;
+    // Fig 7a: input i (0-based, last arrives at (n-1)·T) waits
+    // (n-1-i)·T ⇒ total T·n(n-1)/2 of delay line; the wide nLSE tree is
+    // modelled as (n-1) two-input blocks.
+    let a_lines = cycle_units * nf * (nf - 1.0) / 2.0;
+    let a = SyncCost {
+        strategy: SyncStrategy::DelayLines,
+        delay_line_units: a_lines,
+        nlse_blocks: n.saturating_sub(1),
+        exercised_units_per_result: a_lines,
+    };
+    // Fig 7b: each of the (n-1) stages holds its partial for T − K.
+    let stage_hold = cycle_units - k_units;
+    let b_lines = stage_hold * (nf - 1.0);
+    let b = SyncCost {
+        strategy: SyncStrategy::Staged,
+        delay_line_units: b_lines,
+        nlse_blocks: n.saturating_sub(1),
+        exercised_units_per_result: b_lines,
+    };
+    // Fig 7c: one block, one loop line of T − K reused (n-1) times.
+    let c = SyncCost {
+        strategy: SyncStrategy::Recurrent,
+        delay_line_units: stage_hold,
+        nlse_blocks: usize::from(n > 1), // one shared block, none for a lone input
+        exercised_units_per_result: stage_hold * (nf - 1.0),
+    };
+    [a, b, c]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solve_takes_the_binding_phase() {
+        // Tree latency binds: loop shrinks to the relaxation period.
+        let s = RecurrenceSchedule::solve(10.0, 4.0, 1.0).unwrap();
+        assert_eq!(s.cycle_units, 11.0);
+        assert_eq!(s.loop_delay_units, 1.0);
+        // Input span binds: the partial waits out the difference too.
+        let s = RecurrenceSchedule::solve(4.0, 10.0, 1.0).unwrap();
+        assert_eq!(s.cycle_units, 11.0);
+        assert_eq!(s.loop_delay_units, 7.0);
+    }
+
+    #[test]
+    fn loop_delay_never_negative() {
+        for (t, m, r) in [(5.0, 0.0, 0.0), (0.0, 9.0, 2.0), (3.3, 3.3, 0.1)] {
+            let s = RecurrenceSchedule::solve(t, m, r).unwrap();
+            assert!(s.loop_delay_units >= 0.0);
+            assert!(s.cycle_units >= s.tree_latency_units);
+            assert!(s.cycle_units >= s.max_input_units);
+        }
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        assert!(RecurrenceSchedule::solve(f64::NAN, 1.0, 0.0).is_err());
+        assert!(RecurrenceSchedule::solve(1.0, f64::INFINITY, 0.0).is_err());
+        assert!(RecurrenceSchedule::solve(1.0, 1.0, -0.5).is_err());
+    }
+
+    #[test]
+    fn external_cycle_validated() {
+        let ok = RecurrenceSchedule::with_cycle(5.0, 3.0, 1.0, 20.0).unwrap();
+        assert_eq!(ok.cycle_units, 20.0);
+        assert_eq!(ok.loop_delay_units, 15.0);
+        assert!(RecurrenceSchedule::with_cycle(5.0, 3.0, 1.0, 4.0).is_err());
+    }
+
+    #[test]
+    fn recurrence_wins_on_static_hardware() {
+        let [a, b, c] = sync_strategy_costs(9, 8.0, 3.0);
+        assert!(c.delay_line_units < b.delay_line_units);
+        assert!(b.delay_line_units < a.delay_line_units);
+        assert_eq!(c.nlse_blocks, 1);
+        assert_eq!(b.nlse_blocks, 8);
+        // Energy (exercised delay) of staged and recurrent match; the
+        // parallel delay-line approach pays quadratically.
+        assert_eq!(b.exercised_units_per_result, c.exercised_units_per_result);
+        assert!(a.exercised_units_per_result > b.exercised_units_per_result);
+    }
+
+    #[test]
+    fn single_input_degenerates() {
+        let [a, b, c] = sync_strategy_costs(1, 5.0, 2.0);
+        assert_eq!(a.delay_line_units, 0.0);
+        assert_eq!(b.nlse_blocks, 0);
+        assert_eq!(c.nlse_blocks, 0);
+        assert_eq!(c.exercised_units_per_result, 0.0);
+    }
+}

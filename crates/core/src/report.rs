@@ -1,0 +1,109 @@
+//! Run results and timing reports.
+
+use std::fmt;
+
+use ta_circuits::EnergyTally;
+use ta_image::Image;
+
+use crate::ArithmeticMode;
+
+/// Timing characteristics of a compiled architecture (Table 2's delay
+/// columns).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimingReport {
+    /// Recurrence cycle time (one rolling-shutter row), nanoseconds.
+    pub cycle_ns: f64,
+    /// Rows per frame including pipeline drain.
+    pub cycles_per_frame: usize,
+    /// Minimum frame latency, nanoseconds.
+    pub frame_delay_ns: f64,
+}
+
+impl TimingReport {
+    /// The paper's "Max Throughput (Mfps)" figure: the rate at which the
+    /// engine can accept row windows, in millions per second (the camera,
+    /// not the engine, is the practical limiter — §5.3).
+    pub fn max_throughput_mfps(&self) -> f64 {
+        1000.0 / self.cycle_ns
+    }
+
+    /// Frame delay in milliseconds (Table 3 units).
+    pub fn frame_delay_ms(&self) -> f64 {
+        self.frame_delay_ns * 1e-6
+    }
+}
+
+impl fmt::Display for TimingReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cycle {:.2} ns × {} rows = {:.2} µs/frame ({:.1} Mfps max)",
+            self.cycle_ns,
+            self.cycles_per_frame,
+            self.frame_delay_ns * 1e-3,
+            self.max_throughput_mfps()
+        )
+    }
+}
+
+/// The outcome of pushing one image through the architecture.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// One decoded output image per kernel, in importance space (signed
+    /// values for split kernels).
+    pub outputs: Vec<Image>,
+    /// Frame energy, broken down by category.
+    pub energy: EnergyTally,
+    /// Timing of the compiled architecture.
+    pub timing: TimingReport,
+    /// The arithmetic mode the run used.
+    pub mode: ArithmeticMode,
+}
+
+impl RunResult {
+    /// Range-normalised RMSE of each output against references computed by
+    /// software convolution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `references` has a different length or image shapes
+    /// mismatch.
+    pub fn normalized_rmse(&self, references: &[Image]) -> Vec<f64> {
+        assert_eq!(
+            self.outputs.len(),
+            references.len(),
+            "one reference per kernel output"
+        );
+        self.outputs
+            .iter()
+            .zip(references)
+            .map(|(o, r)| ta_image::metrics::normalized_rmse(o, r))
+            .collect()
+    }
+
+    /// Pooled (RMS over kernels) normalised RMSE against references.
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`RunResult::normalized_rmse`].
+    pub fn pooled_rmse(&self, references: &[Image]) -> f64 {
+        ta_image::metrics::pool_rmse(&self.normalized_rmse(references))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_and_delay_units() {
+        let t = TimingReport {
+            cycle_ns: 10.0,
+            cycles_per_frame: 153,
+            frame_delay_ns: 1530.0,
+        };
+        assert!((t.max_throughput_mfps() - 100.0).abs() < 1e-9);
+        assert!((t.frame_delay_ms() - 1.53e-3).abs() < 1e-12);
+        assert!(!format!("{t}").is_empty());
+    }
+}

@@ -1,0 +1,280 @@
+//! System descriptions and architecture configurations (§5.1).
+
+use std::error::Error;
+use std::fmt;
+
+use ta_circuits::{AreaModel, EnergyModel, NoiseModel, TdcModel, UnitScale};
+use ta_image::{conv, Kernel};
+
+/// Errors raised while validating a system description or compiling an
+/// architecture from it.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SystemError {
+    /// No kernels were supplied.
+    NoKernels,
+    /// The kernels do not all share one shape (the hard-coded engine
+    /// replicates one MAC block geometry).
+    MixedKernelShapes,
+    /// A kernel does not fit in the image at the given stride.
+    KernelDoesNotFit,
+    /// Stride was zero.
+    ZeroStride,
+    /// The recurrence constraints cannot be satisfied (e.g. a negative
+    /// loop delay); carries a human-readable explanation.
+    Recurrence(String),
+}
+
+impl fmt::Display for SystemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SystemError::NoKernels => write!(f, "at least one kernel is required"),
+            SystemError::MixedKernelShapes => {
+                write!(f, "all kernels must share one shape")
+            }
+            SystemError::KernelDoesNotFit => {
+                write!(f, "kernel does not fit in the image at this stride")
+            }
+            SystemError::ZeroStride => write!(f, "stride must be non-zero"),
+            SystemError::Recurrence(why) => write!(f, "recurrence constraint violated: {why}"),
+        }
+    }
+}
+
+impl Error for SystemError {}
+
+/// What the engine must compute: image geometry, filter bank, stride
+/// (the input to the paper's architectural simulator, §5.1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SystemDescription {
+    image_width: usize,
+    image_height: usize,
+    kernels: Vec<Kernel>,
+    stride: usize,
+}
+
+impl SystemDescription {
+    /// Validates and builds a system description.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SystemError`] if the kernel set is empty or
+    /// shape-mixed, the stride is zero, or the kernel does not fit.
+    pub fn new(
+        image_width: usize,
+        image_height: usize,
+        kernels: Vec<Kernel>,
+        stride: usize,
+    ) -> Result<Self, SystemError> {
+        if stride == 0 {
+            return Err(SystemError::ZeroStride);
+        }
+        let Some(first) = kernels.first() else {
+            return Err(SystemError::NoKernels);
+        };
+        let shape = (first.width(), first.height());
+        if kernels.iter().any(|k| (k.width(), k.height()) != shape) {
+            return Err(SystemError::MixedKernelShapes);
+        }
+        if conv::output_dims(image_width, image_height, first, stride).is_none() {
+            return Err(SystemError::KernelDoesNotFit);
+        }
+        Ok(SystemDescription {
+            image_width,
+            image_height,
+            kernels,
+            stride,
+        })
+    }
+
+    /// Image width in pixels.
+    pub fn image_width(&self) -> usize {
+        self.image_width
+    }
+
+    /// Image height in pixels (rows read out by the rolling shutter).
+    pub fn image_height(&self) -> usize {
+        self.image_height
+    }
+
+    /// The filter bank.
+    pub fn kernels(&self) -> &[Kernel] {
+        &self.kernels
+    }
+
+    /// Convolution stride.
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// Kernel width (all kernels share it).
+    pub fn kernel_width(&self) -> usize {
+        self.kernels[0].width()
+    }
+
+    /// Kernel height.
+    pub fn kernel_height(&self) -> usize {
+        self.kernels[0].height()
+    }
+
+    /// Output geometry per kernel.
+    pub fn output_dims(&self) -> (usize, usize) {
+        conv::output_dims(
+            self.image_width,
+            self.image_height,
+            &self.kernels[0],
+            self.stride,
+        )
+        .expect("validated at construction")
+    }
+
+    /// Number of MAC blocks along the row axis:
+    /// `1 + (pixel_width - filter_width)/stride` (§4.3).
+    pub fn mac_blocks(&self) -> usize {
+        (self.image_width - self.kernel_width()) / self.stride + 1
+    }
+
+    /// Accumulation units per MAC block: `ceil(filter_length / stride)`
+    /// (§4.3).
+    pub fn accum_units_per_block(&self) -> usize {
+        self.kernel_height().div_ceil(self.stride)
+    }
+}
+
+/// How the architecture is realised: approximation sizes, physical scale,
+/// noise environment and cost models (the configurable knobs of §5.1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArchConfig {
+    /// Physical time mapping (unit scale + delay-element multiplier).
+    pub unit: UnitScale,
+    /// Number of nLSE max-terms.
+    pub nlse_terms: usize,
+    /// Number of nLDE inhibit-terms (used only for kernels with negative
+    /// weights).
+    pub nlde_terms: usize,
+    /// Delay-element jitter environment.
+    pub noise: NoiseModel,
+    /// σ of pre-VTC (sensor, voltage-domain) noise as a fraction of full
+    /// scale.
+    pub vtc_pre_noise_frac: f64,
+    /// σ of post-VTC (time-domain) noise in nanoseconds.
+    pub vtc_post_noise_ns: f64,
+    /// Energy constants.
+    pub energy: EnergyModel,
+    /// Area constants.
+    pub area: AreaModel,
+    /// Optional output digitisation (Table 3's "w/TDC" accounting: one
+    /// conversion per pixel per frame).
+    pub tdc: Option<TdcModel>,
+    /// Extra relaxation period appended to each recurrence cycle, in
+    /// abstract units (§3's third operating constraint).
+    pub relaxation_units: f64,
+}
+
+impl ArchConfig {
+    /// A full configuration from the three swept knobs, with the paper's
+    /// defaults elsewhere: 50× element delay, 10 mV V_DD swing, no sensor
+    /// noise, calibrated energy/area models, one unit of relaxation.
+    pub fn new(unit: UnitScale, nlse_terms: usize, nlde_terms: usize) -> Self {
+        ArchConfig {
+            unit,
+            nlse_terms,
+            nlde_terms,
+            noise: NoiseModel::asplos24(10.0),
+            vtc_pre_noise_frac: 0.0,
+            vtc_post_noise_ns: 0.0,
+            energy: EnergyModel::asplos24(),
+            area: AreaModel::asplos24(),
+            tdc: None,
+            relaxation_units: 1.0,
+        }
+    }
+
+    /// The paper's 1 ns Pareto configuration shape: 1 ns units, 50×
+    /// element delay.
+    pub fn fast_1ns(nlse_terms: usize, nlde_terms: usize) -> Self {
+        ArchConfig::new(UnitScale::new(1.0, 50.0), nlse_terms, nlde_terms)
+    }
+
+    /// Replaces the noise model (e.g. a different V_DD swing).
+    pub fn with_noise(mut self, noise: NoiseModel) -> Self {
+        self.noise = noise;
+        self
+    }
+
+    /// Sets the VTC noise injection points (Fig 13 sweep).
+    pub fn with_vtc_noise(mut self, pre_frac: f64, post_ns: f64) -> Self {
+        self.vtc_pre_noise_frac = pre_frac;
+        self.vtc_post_noise_ns = post_ns;
+        self
+    }
+
+    /// Adds output digitisation (Table 3's "w/TDC" columns).
+    pub fn with_tdc(mut self, tdc: TdcModel) -> Self {
+        self.tdc = Some(tdc);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation_catches_bad_descriptions() {
+        assert_eq!(
+            SystemDescription::new(10, 10, vec![], 1).unwrap_err(),
+            SystemError::NoKernels
+        );
+        assert_eq!(
+            SystemDescription::new(10, 10, vec![Kernel::sobel_x()], 0).unwrap_err(),
+            SystemError::ZeroStride
+        );
+        assert_eq!(
+            SystemDescription::new(2, 2, vec![Kernel::sobel_x()], 1).unwrap_err(),
+            SystemError::KernelDoesNotFit
+        );
+        assert_eq!(
+            SystemDescription::new(
+                10,
+                10,
+                vec![Kernel::sobel_x(), Kernel::box_filter(5)],
+                1
+            )
+            .unwrap_err(),
+            SystemError::MixedKernelShapes
+        );
+    }
+
+    #[test]
+    fn geometry_helpers() {
+        let d = SystemDescription::new(150, 150, vec![Kernel::pyr_down_5x5()], 2).unwrap();
+        assert_eq!(d.output_dims(), (73, 73));
+        assert_eq!(d.mac_blocks(), 73);
+        assert_eq!(d.accum_units_per_block(), 3); // ceil(5/2)
+    }
+
+    #[test]
+    fn sobel_pair_accepted() {
+        let d = SystemDescription::new(
+            150,
+            150,
+            vec![Kernel::sobel_x(), Kernel::sobel_y()],
+            1,
+        )
+        .unwrap();
+        assert_eq!(d.mac_blocks(), 148);
+        assert_eq!(d.accum_units_per_block(), 3);
+        assert_eq!(d.kernels().len(), 2);
+    }
+
+    #[test]
+    fn config_builders() {
+        let cfg = ArchConfig::fast_1ns(7, 20)
+            .with_vtc_noise(0.01, 0.05)
+            .with_tdc(TdcModel::asplos24());
+        assert_eq!(cfg.nlse_terms, 7);
+        assert_eq!(cfg.vtc_pre_noise_frac, 0.01);
+        assert!(cfg.tdc.is_some());
+    }
+}

@@ -1,0 +1,260 @@
+//! The automated convolution → delay-space transformation (§4.4).
+//!
+//! A traditional kernel becomes a *filter weight delay matrix*: each
+//! weight `w` is realised as a delay line of `-ln|w|` units on the rail
+//! matching its sign; zero weights become infinite delays — "the path not
+//! existing". Weights with `|w| > 1` would need negative delays, so the
+//! whole matrix is shifted by a per-kernel constant (multiplicative
+//! rescaling in importance space) that the decoder removes again —
+//! delay-space's cheap dynamic-range trick (§2.1).
+
+use ta_delay_space::DelayValue;
+use ta_image::Kernel;
+
+/// A kernel compiled into split-sign delay-matrix form.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DelayKernel {
+    name: String,
+    width: usize,
+    height: usize,
+    /// Positive-rail delays, row-major (`ZERO` = absent path).
+    pos: Vec<DelayValue>,
+    /// Negative-rail delays, row-major.
+    neg: Vec<DelayValue>,
+    /// The uniform shift applied to every finite weight delay so all are
+    /// non-negative (realisable); decoding multiplies by `e^{shift}`.
+    weight_shift: f64,
+    has_negative: bool,
+}
+
+impl DelayKernel {
+    /// Compiles a kernel into delay-matrix form.
+    pub fn compile(kernel: &Kernel) -> Self {
+        // Shift = max over finite weights of ln|w| (i.e. -min of -ln|w|),
+        // at least 0 so weights ≤ 1 stay untouched.
+        let shift = kernel
+            .weights()
+            .iter()
+            .filter(|w| **w != 0.0)
+            .map(|w| w.abs().ln())
+            .fold(0.0_f64, f64::max);
+        let mut pos = Vec::with_capacity(kernel.weights().len());
+        let mut neg = Vec::with_capacity(kernel.weights().len());
+        for &w in kernel.weights() {
+            let delay = if w == 0.0 {
+                DelayValue::ZERO
+            } else {
+                DelayValue::from_delay(-w.abs().ln() + shift)
+            };
+            if w > 0.0 {
+                pos.push(delay);
+                neg.push(DelayValue::ZERO);
+            } else if w < 0.0 {
+                pos.push(DelayValue::ZERO);
+                neg.push(delay);
+            } else {
+                pos.push(DelayValue::ZERO);
+                neg.push(DelayValue::ZERO);
+            }
+        }
+        DelayKernel {
+            name: kernel.name().to_string(),
+            width: kernel.width(),
+            height: kernel.height(),
+            pos,
+            neg,
+            weight_shift: shift,
+            has_negative: kernel.has_negative_weights(),
+        }
+    }
+
+    /// Source kernel name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Kernel width.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Kernel height.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Whether the kernel needs the split representation and an nLDE
+    /// subtraction unit.
+    pub fn has_negative(&self) -> bool {
+        self.has_negative
+    }
+
+    /// The uniform per-kernel weight shift, in abstract units.
+    pub fn weight_shift(&self) -> f64 {
+        self.weight_shift
+    }
+
+    /// Delay of the positive-rail path at `(x, y)` (`ZERO` = no path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn pos_delay(&self, x: usize, y: usize) -> DelayValue {
+        assert!(x < self.width && y < self.height, "weight index out of bounds");
+        self.pos[y * self.width + x]
+    }
+
+    /// Delay of the negative-rail path at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn neg_delay(&self, x: usize, y: usize) -> DelayValue {
+        assert!(x < self.width && y < self.height, "weight index out of bounds");
+        self.neg[y * self.width + x]
+    }
+
+    /// Delay for the given rail at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn rail_delay(&self, rail: Rail, x: usize, y: usize) -> DelayValue {
+        match rail {
+            Rail::Pos => self.pos_delay(x, y),
+            Rail::Neg => self.neg_delay(x, y),
+        }
+    }
+
+    /// Number of finite (realised) weight paths on the given rail — what
+    /// the weight matrix actually builds and fires (§4.4: the split
+    /// representation keeps the path count equal to the non-zero weight
+    /// count).
+    pub fn finite_paths(&self, rail: Rail) -> usize {
+        let rail_delays = match rail {
+            Rail::Pos => &self.pos,
+            Rail::Neg => &self.neg,
+        };
+        rail_delays.iter().filter(|d| !d.is_never()).count()
+    }
+
+    /// Sum of all finite weight-path delays on a rail, in abstract units
+    /// (the per-activation delay-line energy of the weight matrix).
+    pub fn total_weight_delay_units(&self, rail: Rail) -> f64 {
+        let rail_delays = match rail {
+            Rail::Pos => &self.pos,
+            Rail::Neg => &self.neg,
+        };
+        rail_delays
+            .iter()
+            .filter(|d| !d.is_never())
+            .map(|d| d.delay())
+            .sum()
+    }
+
+    /// Sum of finite weight-path delays on a rail within one kernel row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `y` is out of bounds.
+    pub fn row_weight_delay_units(&self, rail: Rail, y: usize) -> f64 {
+        assert!(y < self.height, "kernel row out of bounds");
+        (0..self.width)
+            .map(|x| self.rail_delay(rail, x, y))
+            .filter(|d| !d.is_never())
+            .map(|d| d.delay())
+            .sum()
+    }
+
+    /// The rails this kernel instantiates.
+    pub fn rails(&self) -> &'static [Rail] {
+        if self.has_negative {
+            &[Rail::Pos, Rail::Neg]
+        } else {
+            &[Rail::Pos]
+        }
+    }
+}
+
+/// One side of the split value representation (§2.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Rail {
+    /// The positive-weight kernel.
+    Pos,
+    /// The negative-weight kernel.
+    Neg,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sobel_splits_by_sign() {
+        let dk = DelayKernel::compile(&Kernel::sobel_x());
+        assert!(dk.has_negative());
+        assert_eq!(dk.rails().len(), 2);
+        // Weight +1 at (2,0): delay = -ln(1) + shift = shift.
+        assert!((dk.pos_delay(2, 0).delay() - dk.weight_shift()).abs() < 1e-12);
+        // Weight -2 at (0,1): on neg rail with delay shift - ln2.
+        let d = dk.neg_delay(0, 1).delay();
+        assert!((d - (dk.weight_shift() - 2.0_f64.ln())).abs() < 1e-12);
+        // Zero weights are absent paths on both rails.
+        assert!(dk.pos_delay(1, 0).is_never());
+        assert!(dk.neg_delay(1, 0).is_never());
+    }
+
+    #[test]
+    fn shift_makes_all_paths_realisable() {
+        // Sobel's max |w| = 2 ⇒ shift = ln 2, every finite delay ≥ 0.
+        let dk = DelayKernel::compile(&Kernel::sobel_x());
+        assert!((dk.weight_shift() - 2.0_f64.ln()).abs() < 1e-12);
+        for y in 0..3 {
+            for x in 0..3 {
+                for rail in [Rail::Pos, Rail::Neg] {
+                    let d = dk.rail_delay(rail, x, y);
+                    assert!(d.is_never() || d.delay() >= 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sub_unit_kernels_need_no_shift() {
+        let dk = DelayKernel::compile(&Kernel::pyr_down_5x5());
+        assert_eq!(dk.weight_shift(), 0.0);
+        assert!(!dk.has_negative());
+        assert_eq!(dk.rails(), &[Rail::Pos]);
+    }
+
+    #[test]
+    fn path_counts_match_nonzero_weights() {
+        let dk = DelayKernel::compile(&Kernel::sobel_x());
+        // Sobel x: 3 positive, 3 negative, 3 zero weights.
+        assert_eq!(dk.finite_paths(Rail::Pos), 3);
+        assert_eq!(dk.finite_paths(Rail::Neg), 3);
+        let gk = DelayKernel::compile(&Kernel::gaussian(7, 1.5));
+        assert_eq!(gk.finite_paths(Rail::Pos), 49);
+        assert_eq!(gk.finite_paths(Rail::Neg), 0);
+    }
+
+    #[test]
+    fn decode_roundtrip_through_shift() {
+        // delay = -ln|w| + shift  ⇒  |w| = e^{-(delay - shift)}.
+        let k = Kernel::new("t", 2, 1, vec![3.0, 0.25]);
+        let dk = DelayKernel::compile(&k);
+        let w0 = (-(dk.pos_delay(0, 0).delay() - dk.weight_shift())).exp();
+        let w1 = (-(dk.pos_delay(1, 0).delay() - dk.weight_shift())).exp();
+        assert!((w0 - 3.0).abs() < 1e-12);
+        assert!((w1 - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn row_delay_sums() {
+        let dk = DelayKernel::compile(&Kernel::sobel_x());
+        // Row 0 pos rail: single weight +1 → delay = shift = ln 2.
+        assert!((dk.row_weight_delay_units(Rail::Pos, 0) - 2.0_f64.ln()).abs() < 1e-12);
+        // Row 1 pos rail: weight +2 → delay = 0 after shift.
+        assert!((dk.row_weight_delay_units(Rail::Pos, 1) - 0.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,52 @@
+//! Error types for encoding and renormalisation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when a real number cannot be encoded into delay space.
+///
+/// Only values in `[0, ∞)` have a delay-space image (`0` maps to an infinite
+/// delay). Negative values must go through [`crate::SplitValue`], and NaN is
+/// never representable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum EncodeError {
+    /// The input was negative; use [`crate::SplitValue::encode_signed`].
+    Negative,
+    /// The input was NaN.
+    NotANumber,
+}
+
+impl fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EncodeError::Negative => {
+                write!(f, "negative values need the split representation")
+            }
+            EncodeError::NotANumber => write!(f, "NaN is not encodable in delay space"),
+        }
+    }
+}
+
+impl Error for EncodeError {}
+
+/// Error returned by exact delay-space subtraction ([`crate::ops::nlde`])
+/// when the subtrahend is at least as large as the minuend in importance
+/// space, so the difference would be negative (or the inputs were invalid).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct NormalizeError {
+    /// Which side of the split pair dominated, for diagnostics.
+    pub dominant_is_second: bool,
+}
+
+impl fmt::Display for NormalizeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "nLDE undefined: second operand is not smaller than the first in importance space"
+        )
+    }
+}
+
+impl Error for NormalizeError {}

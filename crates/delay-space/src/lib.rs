@@ -1,0 +1,55 @@
+//! Negative-log *delay space*: the temporal number encoding at the heart of
+//! "Energy Efficient Convolutions with Temporal Arithmetic" (ASPLOS 2024).
+//!
+//! A non-negative real `x` in ordinary *importance space* is encoded as a
+//! rising edge occurring after a delay
+//!
+//! ```text
+//! x' = -ln(x)
+//! ```
+//!
+//! Under this mapping (Eqs. 1–5 of the paper):
+//!
+//! * multiplication becomes **addition of delays** (`x·y ↦ x' + y'`),
+//! * addition becomes the **negative log-sum-exp** `nLSE(x', y') =
+//!   -ln(e^-x' + e^-y')`,
+//! * subtraction becomes the **negative log-difference-exp** `nLDE(x', y') =
+//!   -ln(e^-x' - e^-y')`.
+//!
+//! Larger values map to *shorter* delays ("important values early"), zero
+//! maps to an infinite delay (an edge that never fires), and the encoding is
+//! a bijective ring homomorphism between `([0, ∞), +, ·)` and delay space.
+//!
+//! Negative numbers are handled by the dual-rail [`SplitValue`]
+//! representation `⟨x_pos, x_neg⟩` of §2.2 of the paper.
+//!
+//! # Quick example
+//!
+//! ```
+//! use ta_delay_space::{DelayValue, ops};
+//!
+//! let a = DelayValue::encode(0.25)?;
+//! let b = DelayValue::encode(0.5)?;
+//!
+//! // Multiplication is addition of delays.
+//! let prod = a + b;
+//! assert!((prod.decode() - 0.125).abs() < 1e-12);
+//!
+//! // Addition is nLSE.
+//! let sum = ops::nlse(a, b);
+//! assert!((sum.decode() - 0.75).abs() < 1e-12);
+//! # Ok::<(), ta_delay_space::EncodeError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+pub mod ops;
+pub mod ring;
+mod split;
+mod value;
+
+pub use error::{EncodeError, NormalizeError};
+pub use split::SplitValue;
+pub use value::DelayValue;

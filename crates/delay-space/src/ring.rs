@@ -1,0 +1,112 @@
+//! The ring-homomorphism view of delay space.
+//!
+//! §2 of the paper asks for "a bijective ring homomorphism of the reals":
+//! operations performed directly on encoded values must mirror the
+//! importance-space operations. This module packages that contract as
+//! checkable predicates, used by the property-based test-suite and exposed
+//! so downstream code (e.g. the architectural simulator's self-checks) can
+//! assert it on live data.
+
+use crate::{ops, DelayValue, SplitValue};
+
+/// Default tolerance (relative where meaningful) for homomorphism checks.
+///
+/// Exact nLSE/nLDE are stable to ~1e-12 relative error; the looser default
+/// absorbs decode/encode rounding at extreme magnitudes.
+pub const DEFAULT_TOLERANCE: f64 = 1e-9;
+
+/// Checks `encode(a·b) == encode(a) + encode(b)` within `tol` (absolute, in
+/// importance space).
+pub fn mul_homomorphic(a: f64, b: f64, tol: f64) -> bool {
+    let (Ok(ea), Ok(eb)) = (DelayValue::encode(a), DelayValue::encode(b)) else {
+        return false;
+    };
+    ((ea + eb).decode() - a * b).abs() <= tol * (1.0 + (a * b).abs())
+}
+
+/// Checks `encode(a+b) == nLSE(encode(a), encode(b))` within `tol`.
+pub fn add_homomorphic(a: f64, b: f64, tol: f64) -> bool {
+    let (Ok(ea), Ok(eb)) = (DelayValue::encode(a), DelayValue::encode(b)) else {
+        return false;
+    };
+    (ops::nlse(ea, eb).decode() - (a + b)).abs() <= tol * (1.0 + (a + b).abs())
+}
+
+/// Checks `encode(a-b) == nLDE(encode(a), encode(b))` within `tol`
+/// (requires `a >= b >= 0`).
+pub fn sub_homomorphic(a: f64, b: f64, tol: f64) -> bool {
+    let (Ok(ea), Ok(eb)) = (DelayValue::encode(a), DelayValue::encode(b)) else {
+        return false;
+    };
+    match ops::nlde(ea, eb) {
+        Ok(d) => (d.decode() - (a - b)).abs() <= tol * (1.0 + (a - b).abs()),
+        Err(_) => a < b,
+    }
+}
+
+/// Checks associativity of nLSE on raw delays within `tol` (in delay units).
+pub fn nlse_associative(x: f64, y: f64, z: f64, tol: f64) -> bool {
+    let (x, y, z) = (
+        DelayValue::from_delay(x),
+        DelayValue::from_delay(y),
+        DelayValue::from_delay(z),
+    );
+    let lhs = ops::nlse(ops::nlse(x, y), z);
+    let rhs = ops::nlse(x, ops::nlse(y, z));
+    (lhs.delay() - rhs.delay()).abs() <= tol
+}
+
+/// Checks commutativity of nLSE (exact — the implementation sorts operands).
+pub fn nlse_commutative(x: f64, y: f64) -> bool {
+    let (x, y) = (DelayValue::from_delay(x), DelayValue::from_delay(y));
+    ops::nlse(x, y) == ops::nlse(y, x)
+}
+
+/// Checks the shift-distributivity `nLSE(a+δ, b+δ) = nLSE(a,b)+δ` within
+/// `tol` (in delay units) — the identity the recurrence architecture of §3
+/// relies on.
+pub fn nlse_shift_invariant(x: f64, y: f64, delta: f64, tol: f64) -> bool {
+    let (x, y) = (DelayValue::from_delay(x), DelayValue::from_delay(y));
+    let lhs = ops::nlse(x.delayed(delta), y.delayed(delta));
+    let rhs = ops::nlse(x, y).delayed(delta);
+    (lhs.delay() - rhs.delay()).abs() <= tol
+}
+
+/// Checks that the signed [`SplitValue`] ring mirrors real arithmetic:
+/// `(a+b)·c == a·c + b·c` after a single final renormalisation.
+pub fn split_distributive(a: f64, b: f64, c: f64, tol: f64) -> bool {
+    let (Ok(sa), Ok(sb), Ok(sc)) = (
+        SplitValue::encode_signed(a),
+        SplitValue::encode_signed(b),
+        SplitValue::encode_signed(c),
+    ) else {
+        return false;
+    };
+    let lhs = ((sa + sb) * sc).normalize().decode_signed();
+    let rhs = (sa * sc + sb * sc).normalize().decode_signed();
+    let expected = (a + b) * c;
+    (lhs - expected).abs() <= tol * (1.0 + expected.abs())
+        && (rhs - expected).abs() <= tol * (1.0 + expected.abs())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spot_checks() {
+        assert!(mul_homomorphic(0.25, 0.5, DEFAULT_TOLERANCE));
+        assert!(add_homomorphic(0.25, 0.5, DEFAULT_TOLERANCE));
+        assert!(sub_homomorphic(0.5, 0.25, DEFAULT_TOLERANCE));
+        assert!(nlse_associative(0.1, -0.7, 2.0, 1e-10));
+        assert!(nlse_commutative(1.0, -1.0));
+        assert!(nlse_shift_invariant(0.3, 0.9, -4.0, 1e-10));
+        assert!(split_distributive(0.5, -0.25, 2.0, DEFAULT_TOLERANCE));
+    }
+
+    #[test]
+    fn sub_homomorphic_rejects_wrong_order_gracefully() {
+        // a < b: nlde errors, and the predicate accepts that as consistent.
+        assert!(sub_homomorphic(0.25, 0.5, DEFAULT_TOLERANCE));
+    }
+}

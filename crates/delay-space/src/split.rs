@@ -1,0 +1,299 @@
+//! Dual-rail split representation for signed values (§2.2 of the paper).
+
+use std::fmt;
+use std::ops::{Add, Mul, Neg, Sub};
+
+use crate::{ops, DelayValue, EncodeError};
+
+/// A signed value represented as a non-negative pair `⟨x_pos, x_neg⟩`.
+///
+/// If the value is positive, `pos` holds it and `neg` is zero; if negative,
+/// `neg` holds its absolute value; zero is `⟨0, 0⟩`. Both rails live in
+/// delay space, so zero rails are infinite delays — a rail that never fires
+/// is simply an absent wire, which is why the split representation costs no
+/// extra delay elements in hardware (§4.4).
+///
+/// Arithmetic keeps intermediate results *denormalised* (both rails may be
+/// non-zero); [`SplitValue::normalize`] applies the nLDE renormalisation
+/// once at the end of a computation, exactly as the architecture does once
+/// per convolution output.
+///
+/// ```
+/// use ta_delay_space::SplitValue;
+/// let a = SplitValue::encode_signed(0.5)?;
+/// let b = SplitValue::encode_signed(-0.75)?;
+/// let sum = (a + b).normalize();
+/// assert!((sum.decode_signed() + 0.25).abs() < 1e-12);
+/// # Ok::<(), ta_delay_space::EncodeError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SplitValue {
+    pos: DelayValue,
+    neg: DelayValue,
+}
+
+impl SplitValue {
+    /// The signed zero `⟨0, 0⟩`.
+    pub const ZERO: SplitValue = SplitValue {
+        pos: DelayValue::ZERO,
+        neg: DelayValue::ZERO,
+    };
+
+    /// Signed `1`.
+    pub const ONE: SplitValue = SplitValue {
+        pos: DelayValue::ONE,
+        neg: DelayValue::ZERO,
+    };
+
+    /// Encodes any real (positive, negative or zero) into the split form.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EncodeError::NotANumber`] for NaN.
+    pub fn encode_signed(x: f64) -> Result<Self, EncodeError> {
+        if x.is_nan() {
+            return Err(EncodeError::NotANumber);
+        }
+        if x >= 0.0 {
+            Ok(SplitValue {
+                pos: DelayValue::encode(x)?,
+                neg: DelayValue::ZERO,
+            })
+        } else {
+            Ok(SplitValue {
+                pos: DelayValue::ZERO,
+                neg: DelayValue::encode(-x)?,
+            })
+        }
+    }
+
+    /// Builds a split value from raw rails (which may be denormalised).
+    pub fn from_rails(pos: DelayValue, neg: DelayValue) -> Self {
+        SplitValue { pos, neg }
+    }
+
+    /// The positive rail.
+    pub fn pos(self) -> DelayValue {
+        self.pos
+    }
+
+    /// The negative rail.
+    // The name mirrors the paper's ⟨x_pos, x_neg⟩ notation; SplitValue also
+    // implements std::ops::Neg (rail swap), which is a different operation.
+    #[allow(clippy::should_implement_trait)]
+    pub fn neg(self) -> DelayValue {
+        self.neg
+    }
+
+    /// Decodes to a signed importance-space value (`pos - neg`).
+    pub fn decode_signed(self) -> f64 {
+        self.pos.decode() - self.neg.decode()
+    }
+
+    /// Whether the representation is normalised (at least one rail zero).
+    pub fn is_normalized(self) -> bool {
+        self.pos.is_never() || self.neg.is_never()
+    }
+
+    /// Renormalises so that at most one rail is non-zero, using exact nLDE —
+    /// the delay-space subtraction unit of §4.4.
+    ///
+    /// ```
+    /// use ta_delay_space::{DelayValue, SplitValue};
+    /// let denorm = SplitValue::from_rails(
+    ///     DelayValue::encode(0.9)?,
+    ///     DelayValue::encode(0.4)?,
+    /// );
+    /// let norm = denorm.normalize();
+    /// assert!(norm.is_normalized());
+    /// assert!((norm.decode_signed() - 0.5).abs() < 1e-12);
+    /// # Ok::<(), ta_delay_space::EncodeError>(())
+    /// ```
+    pub fn normalize(self) -> Self {
+        if self.pos <= self.neg {
+            // pos dominates (earlier edge = larger importance value).
+            let diff = ops::nlde(self.pos, self.neg).unwrap_or(DelayValue::ZERO);
+            SplitValue {
+                pos: diff,
+                neg: DelayValue::ZERO,
+            }
+        } else {
+            let diff = ops::nlde(self.neg, self.pos).unwrap_or(DelayValue::ZERO);
+            SplitValue {
+                pos: DelayValue::ZERO,
+                neg: diff,
+            }
+        }
+    }
+
+    /// Signed addition without renormalisation: rails add pairwise via nLSE.
+    pub fn add_denorm(self, rhs: SplitValue) -> SplitValue {
+        SplitValue {
+            pos: ops::nlse(self.pos, rhs.pos),
+            neg: ops::nlse(self.neg, rhs.neg),
+        }
+    }
+
+    /// Signed multiplication: the four rail products routed by sign
+    /// (`pos·pos + neg·neg → pos`, cross terms → `neg`).
+    pub fn mul_denorm(self, rhs: SplitValue) -> SplitValue {
+        SplitValue {
+            pos: ops::nlse(self.pos + rhs.pos, self.neg + rhs.neg),
+            neg: ops::nlse(self.pos + rhs.neg, self.neg + rhs.pos),
+        }
+    }
+}
+
+impl From<DelayValue> for SplitValue {
+    /// Lifts a non-negative delay-space value onto the positive rail.
+    fn from(v: DelayValue) -> Self {
+        SplitValue {
+            pos: v,
+            neg: DelayValue::ZERO,
+        }
+    }
+}
+
+impl Add for SplitValue {
+    type Output = SplitValue;
+
+    /// Denormalised signed addition (call [`SplitValue::normalize`] at the
+    /// end of the computation, as the hardware does).
+    fn add(self, rhs: SplitValue) -> SplitValue {
+        self.add_denorm(rhs)
+    }
+}
+
+impl Sub for SplitValue {
+    type Output = SplitValue;
+
+    /// Subtraction is addition of the negation: rails swap (§2.2).
+    fn sub(self, rhs: SplitValue) -> SplitValue {
+        self.add_denorm(-rhs)
+    }
+}
+
+impl Mul for SplitValue {
+    type Output = SplitValue;
+
+    fn mul(self, rhs: SplitValue) -> SplitValue {
+        self.mul_denorm(rhs)
+    }
+}
+
+impl Neg for SplitValue {
+    type Output = SplitValue;
+
+    fn neg(self) -> SplitValue {
+        SplitValue {
+            pos: self.neg,
+            neg: self.pos,
+        }
+    }
+}
+
+impl fmt::Display for SplitValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "⟨+{}, -{}⟩", self.pos.decode(), self.neg.decode())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn enc(x: f64) -> SplitValue {
+        SplitValue::encode_signed(x).unwrap()
+    }
+
+    #[test]
+    fn encode_routes_by_sign() {
+        let p = enc(0.5);
+        assert!((p.pos().decode() - 0.5).abs() < 1e-12);
+        assert!(p.neg().is_never());
+
+        let n = enc(-0.5);
+        assert!(n.pos().is_never());
+        assert!((n.neg().decode() - 0.5).abs() < 1e-12);
+
+        let z = enc(0.0);
+        assert!(z.pos().is_never() && z.neg().is_never());
+        assert_eq!(z, SplitValue::ZERO);
+    }
+
+    #[test]
+    fn decode_signed_roundtrip() {
+        for &x in &[-3.0, -0.25, 0.0, 0.125, 7.5] {
+            assert!((enc(x).decode_signed() - x).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn signed_addition() {
+        let s = (enc(0.5) + enc(-0.2)).normalize();
+        assert!(s.is_normalized());
+        assert!((s.decode_signed() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn signed_subtraction_flips_to_negative() {
+        let s = (enc(0.2) - enc(0.5)).normalize();
+        assert!((s.decode_signed() + 0.3).abs() < 1e-12);
+        assert!(s.pos().is_never());
+    }
+
+    #[test]
+    fn signed_multiplication_sign_table() {
+        for &(a, b) in &[(0.5, 0.5), (-0.5, 0.5), (0.5, -0.5), (-0.5, -0.5)] {
+            let p = (enc(a) * enc(b)).normalize();
+            assert!(
+                (p.decode_signed() - a * b).abs() < 1e-12,
+                "{a}*{b} gave {}",
+                p.decode_signed()
+            );
+        }
+    }
+
+    #[test]
+    fn zero_annihilates() {
+        let v = enc(-0.8) * SplitValue::ZERO;
+        assert!((v.normalize().decode_signed()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn neg_is_involution() {
+        let v = enc(0.7);
+        assert_eq!(-(-v), v);
+    }
+
+    #[test]
+    fn denormalized_dot_product_normalizes_once() {
+        // Emulates a convolution: accumulate many signed products
+        // denormalised, renormalise once (as §2.2 prescribes).
+        let xs = [0.3, 0.8, 0.1, 0.9];
+        let ws = [1.0, -2.0, 0.0, 0.5];
+        let mut acc = SplitValue::ZERO;
+        for (&x, &w) in xs.iter().zip(&ws) {
+            acc = acc + enc(x) * enc(w);
+        }
+        let expected: f64 = xs.iter().zip(&ws).map(|(x, w)| x * w).sum();
+        let got = acc.normalize();
+        assert!(got.is_normalized());
+        assert!((got.decode_signed() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalize_equal_rails_is_zero() {
+        let d = SplitValue::from_rails(
+            DelayValue::encode(0.4).unwrap(),
+            DelayValue::encode(0.4).unwrap(),
+        );
+        let n = d.normalize();
+        assert_eq!(n, SplitValue::ZERO);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!format!("{}", SplitValue::ZERO).is_empty());
+    }
+}

@@ -1,0 +1,353 @@
+//! The [`DelayValue`] newtype: a single rising edge in delay space.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Sub};
+
+use crate::EncodeError;
+
+/// A value encoded as a temporal delay: `x' = -ln(x)`.
+///
+/// The wrapped `f64` is the delay itself (in abstract *units*; the hardware
+/// layer maps one unit onto a physical time via the *unit scale*). It is
+/// guaranteed never to be NaN. `+∞` is a first-class citizen: it encodes
+/// importance-space `0`, an edge that never fires. Negative delays are legal
+/// — they encode importance-space values greater than `1` — because delay
+/// space is shift-invariant and hardware re-references them with a constant
+/// offset (§2.3 of the paper).
+///
+/// # Ordering
+///
+/// `DelayValue` is totally ordered by **delay** (earlier edge first). Note
+/// that this is the *reverse* of importance-space ordering: the smallest
+/// delay carries the largest value. [`DelayValue::min`]/[`max`] therefore
+/// implement race-logic first/last arrival on this encoding.
+///
+/// ```
+/// use ta_delay_space::DelayValue;
+/// let big = DelayValue::encode(0.9)?;
+/// let small = DelayValue::encode(0.1)?;
+/// assert!(big < small); // larger importance arrives earlier
+/// # Ok::<(), ta_delay_space::EncodeError>(())
+/// ```
+///
+/// [`max`]: DelayValue::max
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DelayValue(f64);
+
+impl DelayValue {
+    /// The additive identity of delay-space multiplication: zero delay,
+    /// which decodes to importance-space `1`.
+    pub const ONE: DelayValue = DelayValue(0.0);
+
+    /// The edge that never arrives: infinite delay, importance-space `0`.
+    pub const ZERO: DelayValue = DelayValue(f64::INFINITY);
+
+    /// Encodes a non-negative importance-space value as a delay.
+    ///
+    /// ```
+    /// use ta_delay_space::DelayValue;
+    /// let v = DelayValue::encode(std::f64::consts::E)?;
+    /// assert!((v.delay() + 1.0).abs() < 1e-12); // -ln(e) = -1
+    /// # Ok::<(), ta_delay_space::EncodeError>(())
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EncodeError::Negative`] for negative inputs and
+    /// [`EncodeError::NotANumber`] for NaN.
+    pub fn encode(x: f64) -> Result<Self, EncodeError> {
+        if x.is_nan() {
+            Err(EncodeError::NotANumber)
+        } else if x < 0.0 {
+            Err(EncodeError::Negative)
+        } else {
+            Ok(DelayValue(-x.ln()))
+        }
+    }
+
+    /// Wraps a raw delay (in abstract units).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delay` is NaN; every other `f64` (including `±∞`) is a
+    /// valid delay.
+    pub fn from_delay(delay: f64) -> Self {
+        assert!(!delay.is_nan(), "delay must not be NaN");
+        DelayValue(delay)
+    }
+
+    /// Decodes back to importance space: `x = e^(-x')`.
+    ///
+    /// ```
+    /// use ta_delay_space::DelayValue;
+    /// assert_eq!(DelayValue::ZERO.decode(), 0.0);
+    /// assert_eq!(DelayValue::ONE.decode(), 1.0);
+    /// ```
+    pub fn decode(self) -> f64 {
+        (-self.0).exp()
+    }
+
+    /// The raw delay in abstract units.
+    pub fn delay(self) -> f64 {
+        self.0
+    }
+
+    /// Whether the edge never fires (importance-space zero).
+    pub fn is_never(self) -> bool {
+        self.0 == f64::INFINITY
+    }
+
+    /// Shifts the edge later by `delta` units — a *delay element*.
+    ///
+    /// In importance space this is multiplication by `e^-delta`; the paper
+    /// uses it both for weight multiplication and for reference-frame
+    /// synchronisation.
+    pub fn delayed(self, delta: f64) -> Self {
+        debug_assert!(!delta.is_nan());
+        DelayValue(self.0 + delta)
+    }
+
+    /// First arrival (race-logic `fa`, an OR gate on rising edges): the
+    /// earlier of two edges, i.e. the **larger** importance-space value.
+    pub fn first_arrival(self, other: Self) -> Self {
+        if self.0 <= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Last arrival (race-logic `la`, an AND gate on rising edges): the
+    /// later of two edges, i.e. the **smaller** importance-space value.
+    pub fn last_arrival(self, other: Self) -> Self {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Race-logic `inhibit`: passes the data edge `self` only if it arrives
+    /// strictly before the inhibiting edge `inhibitor`; otherwise the output
+    /// never fires.
+    ///
+    /// ```
+    /// use ta_delay_space::DelayValue;
+    /// let data = DelayValue::from_delay(1.0);
+    /// let gate = DelayValue::from_delay(2.0);
+    /// assert_eq!(data.inhibited_by(gate), data);
+    /// assert!(gate.inhibited_by(data).is_never());
+    /// ```
+    pub fn inhibited_by(self, inhibitor: Self) -> Self {
+        if self.0 < inhibitor.0 {
+            self
+        } else {
+            DelayValue::ZERO
+        }
+    }
+
+    /// The minimum by delay (alias of [`first_arrival`]).
+    ///
+    /// [`first_arrival`]: DelayValue::first_arrival
+    pub fn min(self, other: Self) -> Self {
+        self.first_arrival(other)
+    }
+
+    /// The maximum by delay (alias of [`last_arrival`]).
+    ///
+    /// [`last_arrival`]: DelayValue::last_arrival
+    pub fn max(self, other: Self) -> Self {
+        self.last_arrival(other)
+    }
+}
+
+impl Default for DelayValue {
+    /// The default value is [`DelayValue::ZERO`] (importance-space `0`).
+    fn default() -> Self {
+        DelayValue::ZERO
+    }
+}
+
+impl Eq for DelayValue {}
+
+impl PartialOrd for DelayValue {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for DelayValue {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // NaN is excluded by construction, so total_cmp agrees with the
+        // IEEE order on every representable value.
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl fmt::Display for DelayValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_never() {
+            write!(f, "never (=0)")
+        } else {
+            write!(f, "{}u (={})", self.0, self.decode())
+        }
+    }
+}
+
+/// Delay-space multiplication: adding delays multiplies importance values.
+impl Add for DelayValue {
+    type Output = DelayValue;
+
+    fn add(self, rhs: DelayValue) -> DelayValue {
+        // ∞ + (-∞) cannot occur: -∞ encodes importance-space +∞, and
+        // 0 · ∞ is indeterminate; we saturate to "never" (zero), matching
+        // the hardware where a missing edge kills the whole path.
+        let d = self.0 + rhs.0;
+        if d.is_nan() {
+            DelayValue::ZERO
+        } else {
+            DelayValue(d)
+        }
+    }
+}
+
+impl AddAssign for DelayValue {
+    fn add_assign(&mut self, rhs: DelayValue) {
+        *self = *self + rhs;
+    }
+}
+
+/// Delay-space division: subtracting delays divides importance values.
+impl Sub for DelayValue {
+    type Output = DelayValue;
+
+    fn sub(self, rhs: DelayValue) -> DelayValue {
+        let d = self.0 - rhs.0;
+        if d.is_nan() {
+            DelayValue::ZERO
+        } else {
+            DelayValue(d)
+        }
+    }
+}
+
+/// Summing delay values multiplies their importance-space values
+/// (the empty product is [`DelayValue::ONE`]).
+impl Sum for DelayValue {
+    fn sum<I: Iterator<Item = DelayValue>>(iter: I) -> DelayValue {
+        iter.fold(DelayValue::ONE, |acc, v| acc + v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_rejects_bad_inputs() {
+        assert_eq!(DelayValue::encode(-1.0), Err(EncodeError::Negative));
+        assert_eq!(DelayValue::encode(f64::NAN), Err(EncodeError::NotANumber));
+    }
+
+    #[test]
+    fn encode_zero_is_never() {
+        let z = DelayValue::encode(0.0).unwrap();
+        assert!(z.is_never());
+        assert_eq!(z, DelayValue::ZERO);
+        assert_eq!(z.decode(), 0.0);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        for &x in &[1e-9, 0.001, 0.5, 1.0, 2.0, 1e6] {
+            let v = DelayValue::encode(x).unwrap();
+            assert!((v.decode() - x).abs() / x < 1e-12, "roundtrip failed for {x}");
+        }
+    }
+
+    #[test]
+    fn values_above_one_have_negative_delay() {
+        let v = DelayValue::encode(2.0).unwrap();
+        assert!(v.delay() < 0.0);
+    }
+
+    #[test]
+    fn importance_ordering_is_reversed() {
+        let hi = DelayValue::encode(0.9).unwrap();
+        let lo = DelayValue::encode(0.2).unwrap();
+        assert!(hi < lo);
+        assert_eq!(hi.first_arrival(lo), hi);
+        assert_eq!(hi.last_arrival(lo), lo);
+    }
+
+    #[test]
+    fn add_is_multiplication() {
+        let a = DelayValue::encode(0.25).unwrap();
+        let b = DelayValue::encode(0.5).unwrap();
+        assert!(((a + b).decode() - 0.125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sub_is_division() {
+        let a = DelayValue::encode(0.25).unwrap();
+        let b = DelayValue::encode(0.5).unwrap();
+        assert!(((a - b).decode() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_annihilates_products() {
+        let a = DelayValue::encode(0.25).unwrap();
+        assert!((a + DelayValue::ZERO).is_never());
+        assert_eq!((a + DelayValue::ZERO).decode(), 0.0);
+    }
+
+    #[test]
+    fn one_is_multiplicative_identity() {
+        let a = DelayValue::encode(0.3).unwrap();
+        assert_eq!(a + DelayValue::ONE, a);
+    }
+
+    #[test]
+    fn sum_folds_products() {
+        let vals = [0.5, 0.5, 0.25];
+        let prod: DelayValue = vals
+            .iter()
+            .map(|&x| DelayValue::encode(x).unwrap())
+            .sum();
+        assert!((prod.decode() - 0.0625).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inhibit_semantics() {
+        let early = DelayValue::from_delay(1.0);
+        let late = DelayValue::from_delay(5.0);
+        assert_eq!(early.inhibited_by(late), early);
+        assert!(late.inhibited_by(early).is_never());
+        // Simultaneous arrival inhibits (t_d < t_i required).
+        assert!(early.inhibited_by(early).is_never());
+        // A never-firing inhibitor passes everything.
+        assert_eq!(early.inhibited_by(DelayValue::ZERO), early);
+    }
+
+    #[test]
+    fn delayed_shifts_edge() {
+        let v = DelayValue::from_delay(1.5);
+        assert_eq!(v.delayed(2.5).delay(), 4.0);
+        // Delaying "never" is still never.
+        assert!(DelayValue::ZERO.delayed(3.0).is_never());
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!format!("{}", DelayValue::ZERO).is_empty());
+        assert!(!format!("{}", DelayValue::ONE).is_empty());
+    }
+
+    #[test]
+    fn send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DelayValue>();
+    }
+}

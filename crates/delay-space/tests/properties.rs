@@ -1,0 +1,142 @@
+//! Property-based tests of the delay-space ring invariants (paper §2).
+
+use proptest::prelude::*;
+use ta_delay_space::{ops, ring, DelayValue, SplitValue};
+
+/// Importance-space values spanning ten orders of magnitude plus zero.
+fn importance() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        5 => 1e-6..1e4_f64,
+        1 => Just(0.0),
+        1 => 1e-12..1e-6_f64,
+    ]
+}
+
+/// Signed importance-space values.
+fn signed() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        4 => -100.0..100.0_f64,
+        1 => Just(0.0),
+    ]
+}
+
+/// Raw delays (bounded so exp() does not fully underflow in comparisons).
+fn delay() -> impl Strategy<Value = f64> {
+    -50.0..50.0_f64
+}
+
+proptest! {
+    #[test]
+    fn encode_decode_roundtrips(x in importance()) {
+        let v = DelayValue::encode(x).unwrap();
+        let back = v.decode();
+        prop_assert!((back - x).abs() <= 1e-9 * (1.0 + x.abs()));
+    }
+
+    #[test]
+    fn multiplication_is_delay_addition(a in importance(), b in importance()) {
+        prop_assert!(ring::mul_homomorphic(a, b, ring::DEFAULT_TOLERANCE));
+    }
+
+    #[test]
+    fn addition_is_nlse(a in importance(), b in importance()) {
+        prop_assert!(ring::add_homomorphic(a, b, ring::DEFAULT_TOLERANCE));
+    }
+
+    #[test]
+    fn subtraction_is_nlde(a in importance(), b in importance()) {
+        let (hi, lo) = if a >= b { (a, b) } else { (b, a) };
+        prop_assert!(ring::sub_homomorphic(hi, lo, 1e-6));
+    }
+
+    #[test]
+    fn nlse_associative(x in delay(), y in delay(), z in delay()) {
+        prop_assert!(ring::nlse_associative(x, y, z, 1e-9));
+    }
+
+    #[test]
+    fn nlse_commutative(x in delay(), y in delay()) {
+        prop_assert!(ring::nlse_commutative(x, y));
+    }
+
+    #[test]
+    fn nlse_shift_invariant(x in delay(), y in delay(), d in delay()) {
+        prop_assert!(ring::nlse_shift_invariant(x, y, d, 1e-9));
+    }
+
+    #[test]
+    fn nlse_bounded_by_min_and_min_minus_ln2(x in delay(), y in delay()) {
+        let (dx, dy) = (DelayValue::from_delay(x), DelayValue::from_delay(y));
+        let s = ops::nlse(dx, dy).delay();
+        let m = x.min(y);
+        prop_assert!(s <= m + 1e-12);
+        prop_assert!(s >= m - 2f64.ln() - 1e-12);
+    }
+
+    #[test]
+    fn nlse_monotone_in_each_argument(x in delay(), y in delay(), bump in 0.0..5.0f64) {
+        let base = ops::nlse(DelayValue::from_delay(x), DelayValue::from_delay(y));
+        let later = ops::nlse(DelayValue::from_delay(x + bump), DelayValue::from_delay(y));
+        prop_assert!(later >= base);
+    }
+
+    #[test]
+    fn nlse_many_agrees_with_fold(xs in prop::collection::vec(delay(), 1..8)) {
+        let vals: Vec<_> = xs.iter().map(|&d| DelayValue::from_delay(d)).collect();
+        let flat = ops::nlse_many(&vals);
+        let folded = vals[1..]
+            .iter()
+            .fold(vals[0], |acc, &v| ops::nlse(acc, v));
+        prop_assert!((flat.delay() - folded.delay()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn split_ring_addition(a in signed(), b in signed()) {
+        let sa = SplitValue::encode_signed(a).unwrap();
+        let sb = SplitValue::encode_signed(b).unwrap();
+        let got = (sa + sb).normalize().decode_signed();
+        prop_assert!((got - (a + b)).abs() <= 1e-9 * (1.0 + (a + b).abs()));
+    }
+
+    #[test]
+    fn split_ring_multiplication(a in signed(), b in signed()) {
+        let sa = SplitValue::encode_signed(a).unwrap();
+        let sb = SplitValue::encode_signed(b).unwrap();
+        let got = (sa * sb).normalize().decode_signed();
+        prop_assert!((got - a * b).abs() <= 1e-9 * (1.0 + (a * b).abs()));
+    }
+
+    #[test]
+    fn split_ring_distributive(a in signed(), b in signed(), c in signed()) {
+        prop_assert!(ring::split_distributive(a, b, c, 1e-8));
+    }
+
+    #[test]
+    fn split_subtraction_roundtrip(a in signed(), b in signed()) {
+        let sa = SplitValue::encode_signed(a).unwrap();
+        let sb = SplitValue::encode_signed(b).unwrap();
+        let got = (sa - sb).normalize().decode_signed();
+        prop_assert!((got - (a - b)).abs() <= 1e-9 * (1.0 + (a - b).abs()));
+    }
+
+    #[test]
+    fn normalization_idempotent(a in signed(), b in signed()) {
+        let d = SplitValue::encode_signed(a).unwrap() + SplitValue::encode_signed(b).unwrap();
+        let once = d.normalize();
+        let twice = once.normalize();
+        prop_assert!(once.is_normalized());
+        prop_assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn inhibit_matches_spec(d in delay(), i in delay()) {
+        let data = DelayValue::from_delay(d);
+        let inhib = DelayValue::from_delay(i);
+        let out = data.inhibited_by(inhib);
+        if d < i {
+            prop_assert_eq!(out, data);
+        } else {
+            prop_assert!(out.is_never());
+        }
+    }
+}

@@ -1,0 +1,9 @@
+//! Regenerates the §4.2 element-size trade-off ablation.
+fn main() {
+    let rows = ta_experiments::ablation::compute(
+        96,
+        &ta_experiments::ablation::default_multipliers(),
+        ta_experiments::EXPERIMENT_SEED,
+    );
+    print!("{}", ta_experiments::ablation::render(&rows));
+}

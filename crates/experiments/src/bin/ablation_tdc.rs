@@ -1,0 +1,9 @@
+//! Regenerates the temporal-quantization (TDC resolution) ablation.
+fn main() {
+    let rows = ta_experiments::ablation::compute_tdc(
+        96,
+        &[2, 10, 50, 100, 200, 500, 1000, 2000, 5000],
+        ta_experiments::EXPERIMENT_SEED,
+    );
+    print!("{}", ta_experiments::ablation::render_tdc(&rows));
+}

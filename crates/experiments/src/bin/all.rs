@@ -1,0 +1,85 @@
+//! Runs every experiment at full size, printing each table/figure in
+//! order — the source of EXPERIMENTS.md's measured values.
+//!
+//! Pass `--quick` to downsize the slow sweeps.
+use ta_experiments as exp;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let seed = exp::EXPERIMENT_SEED;
+    let hr = "=".repeat(78);
+
+    println!("{hr}");
+    print!("{}", exp::fig02::render(&exp::fig02::compute(17)));
+    println!("{hr}");
+    print!("{}", exp::fig03::render(&exp::fig03::compute(41)));
+    println!("{hr}");
+    print!("{}", exp::fig04::render(&exp::fig04::compute(4, 41)));
+    println!("{hr}");
+    print!("{}", exp::fig05::render(&exp::fig05::compute(4, 40)));
+    println!("{hr}");
+    print!("{}", exp::fig06::render(&exp::fig06::compute(&[2, 4, 7, 10, 15, 20])));
+    println!("{hr}");
+    print!("{}", exp::fig07::render(&exp::fig07::compute(9, 7)));
+    println!("{hr}");
+    print!("{}", exp::fig08::render(&exp::fig08::compute(1.0, 24)));
+    println!("{hr}");
+    print!("{}", exp::fig09::render(&exp::fig09::compute(if quick { 64 } else { 150 })));
+    println!("{hr}");
+    let samples = if quick { 20_000 } else { 1_000_000 };
+    let terms = exp::fig11::default_terms();
+    print!(
+        "{}",
+        exp::fig11::render(&terms, &exp::fig11::compute(&terms, samples, seed))
+    );
+    println!("{hr}");
+    print!("{}", exp::table1::render());
+    println!("{hr}");
+    let (size, images) = if quick { (48, 1) } else { (150, 5) };
+    print!("{}", exp::table2::render(&exp::table2::compute(size, images, seed)));
+    println!("{hr}");
+    print!("{}", exp::table3::render(&exp::table3::compute(size, seed)));
+    println!("{hr}");
+    let f12 = if quick {
+        exp::fig12::Params::quick(seed)
+    } else {
+        exp::fig12::Params::full(seed)
+    };
+    print!("{}", exp::fig12::render(&exp::fig12::compute(&f12)));
+    println!("{hr}");
+    let f13 = if quick {
+        exp::fig13::Params::quick(seed)
+    } else {
+        exp::fig13::Params::full(seed)
+    };
+    print!("{}", exp::fig13::render(&exp::fig13::compute(&f13)));
+    println!("{hr}");
+    let abl_size = if quick { 48 } else { 96 };
+    print!(
+        "{}",
+        exp::ablation::render(&exp::ablation::compute(
+            abl_size,
+            &exp::ablation::default_multipliers(),
+            seed
+        ))
+    );
+    println!("{hr}");
+    print!(
+        "{}",
+        exp::ablation::render_tdc(&exp::ablation::compute_tdc(
+            abl_size,
+            &[2, 10, 50, 100, 200, 500, 1000, 2000, 5000],
+            seed
+        ))
+    );
+    println!("{hr}");
+    print!(
+        "{}",
+        exp::baseline_digital::render(&exp::baseline_digital::compute(if quick {
+            48
+        } else {
+            150
+        }))
+    );
+    println!("{hr}");
+}

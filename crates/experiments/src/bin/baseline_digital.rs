@@ -1,0 +1,5 @@
+//! Regenerates the extended digital-pipeline baseline comparison.
+fn main() {
+    let rows = ta_experiments::baseline_digital::compute(150);
+    print!("{}", ta_experiments::baseline_digital::render(&rows));
+}

@@ -1,0 +1,5 @@
+//! Regenerates Fig 2: the nLSE surface and its slice invariance.
+fn main() {
+    let data = ta_experiments::fig02::compute(17);
+    print!("{}", ta_experiments::fig02::render(&data));
+}

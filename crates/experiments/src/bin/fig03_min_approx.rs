@@ -1,0 +1,5 @@
+//! Regenerates Fig 3: the representative slice vs min vs one max-term.
+fn main() {
+    let rows = ta_experiments::fig03::compute(41);
+    print!("{}", ta_experiments::fig03::render(&rows));
+}

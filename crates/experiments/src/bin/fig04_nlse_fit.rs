@@ -1,0 +1,5 @@
+//! Regenerates Fig 4: the optimised four max-term nLSE fit.
+fn main() {
+    let data = ta_experiments::fig04::compute(4, 41);
+    print!("{}", ta_experiments::fig04::render(&data));
+}

@@ -1,0 +1,5 @@
+//! Regenerates Fig 5: the optimised four inhibit-term nLDE fit.
+fn main() {
+    let data = ta_experiments::fig05::compute(4, 40);
+    print!("{}", ta_experiments::fig05::render(&data));
+}

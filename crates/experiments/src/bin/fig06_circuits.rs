@@ -1,0 +1,5 @@
+//! Regenerates the Fig 6 circuit comparison (naive vs shared chains).
+fn main() {
+    let rows = ta_experiments::fig06::compute(&[2, 4, 7, 10, 15, 20]);
+    print!("{}", ta_experiments::fig06::render(&rows));
+}

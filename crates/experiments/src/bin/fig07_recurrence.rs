@@ -1,0 +1,5 @@
+//! Regenerates the Fig 7 synchronisation-strategy comparison.
+fn main() {
+    let data = ta_experiments::fig07::compute(9, 7);
+    print!("{}", ta_experiments::fig07::render(&data));
+}

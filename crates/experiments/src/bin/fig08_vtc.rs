@@ -1,0 +1,5 @@
+//! Regenerates Fig 8: the starved-inverter VTC transfer comparison.
+fn main() {
+    let data = ta_experiments::fig08::compute(1.0, 24);
+    print!("{}", ta_experiments::fig08::render(&data));
+}

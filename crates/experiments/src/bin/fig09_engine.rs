@@ -1,0 +1,5 @@
+//! Regenerates Figs 9/10: the compiled engine structure per benchmark.
+fn main() {
+    let entries = ta_experiments::fig09::compute(150);
+    print!("{}", ta_experiments::fig09::render(&entries));
+}

@@ -1,0 +1,13 @@
+//! Regenerates Fig 11: accuracy vs terms, noiseless and under PSIJ/RJ.
+//!
+//! The paper uses one million Monte-Carlo pairs per point; pass a smaller
+//! count as the first argument for a quicker run.
+fn main() {
+    let samples: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1_000_000);
+    let terms = ta_experiments::fig11::default_terms();
+    let data = ta_experiments::fig11::compute(&terms, samples, ta_experiments::EXPERIMENT_SEED);
+    print!("{}", ta_experiments::fig11::render(&terms, &data));
+}

@@ -1,0 +1,20 @@
+//! Regenerates Fig 12: the Sobel design-space exploration.
+//!
+//! Pass `--quick` for a reduced sweep; `--csv PATH` additionally writes
+//! machine-readable points for plotting.
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let params = if quick {
+        ta_experiments::fig12::Params::quick(ta_experiments::EXPERIMENT_SEED)
+    } else {
+        ta_experiments::fig12::Params::full(ta_experiments::EXPERIMENT_SEED)
+    };
+    let points = ta_experiments::fig12::compute(&params);
+    print!("{}", ta_experiments::fig12::render(&points));
+    if let Some(i) = args.iter().position(|a| a == "--csv") {
+        let path = args.get(i + 1).expect("--csv needs a path");
+        std::fs::write(path, ta_experiments::fig12::to_csv(&points)).expect("write csv");
+        println!("wrote {path}");
+    }
+}

@@ -1,0 +1,20 @@
+//! Regenerates Fig 13: the sensor/VTC noise sensitivity heatmap.
+//!
+//! Pass `--quick` for a reduced sweep; `--csv PATH` additionally writes
+//! the grid for plotting.
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let params = if quick {
+        ta_experiments::fig13::Params::quick(ta_experiments::EXPERIMENT_SEED)
+    } else {
+        ta_experiments::fig13::Params::full(ta_experiments::EXPERIMENT_SEED)
+    };
+    let data = ta_experiments::fig13::compute(&params);
+    print!("{}", ta_experiments::fig13::render(&data));
+    if let Some(i) = args.iter().position(|a| a == "--csv") {
+        let path = args.get(i + 1).expect("--csv needs a path");
+        std::fs::write(path, ta_experiments::fig13::to_csv(&data)).expect("write csv");
+        println!("wrote {path}");
+    }
+}

@@ -1,0 +1,4 @@
+//! Regenerates Table 1: the benchmark definitions.
+fn main() {
+    print!("{}", ta_experiments::table1::render());
+}

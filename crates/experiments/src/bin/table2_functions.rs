@@ -1,0 +1,9 @@
+//! Regenerates Table 2: per-benchmark area, energy, throughput, accuracy.
+//!
+//! Pass `--quick` for small frames.
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (size, images) = if quick { (48, 1) } else { (150, 5) };
+    let rows = ta_experiments::table2::compute(size, images, ta_experiments::EXPERIMENT_SEED);
+    print!("{}", ta_experiments::table2::render(&rows));
+}

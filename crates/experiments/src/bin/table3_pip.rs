@@ -1,0 +1,9 @@
+//! Regenerates Table 3: PIP vs delay space.
+//!
+//! Pass `--quick` for small frames.
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let size = if quick { 48 } else { 150 };
+    let rows = ta_experiments::table3::compute(size, ta_experiments::EXPERIMENT_SEED);
+    print!("{}", ta_experiments::table3::render(&rows));
+}

@@ -1,0 +1,102 @@
+//! Fig 2: the nLSE surface `s' = nLSE(x', y')` and its defining symmetry —
+//! every slice along `x' + y' = K` has the same shape.
+
+use ta_delay_space::{ops, DelayValue};
+
+/// The computed surface and the measured slice invariance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig02 {
+    /// `(x', y', nLSE(x', y'))` samples over the plotted domain.
+    pub surface: Vec<(f64, f64, f64)>,
+    /// Worst deviation between the `K = 0` representative slice and
+    /// re-centred slices at other `K` (should be ≈ 0: the invariance the
+    /// whole fitting strategy rests on).
+    pub slice_invariance_error: f64,
+}
+
+/// Samples the Fig 2 domain (`x', y' ∈ [-2, 2]`) at `n × n` points and
+/// verifies the slice invariance across `K ∈ {-2, -1, 1, 2}`.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn compute(n: usize) -> Fig02 {
+    assert!(n >= 2, "need at least a 2×2 grid");
+    let coord = |i: usize| -4.0 * i as f64 / (n - 1) as f64 + 2.0;
+    let mut surface = Vec::with_capacity(n * n);
+    for yi in 0..n {
+        for xi in 0..n {
+            let (x, y) = (coord(xi), coord(yi));
+            let s = ops::nlse(DelayValue::from_delay(x), DelayValue::from_delay(y));
+            surface.push((x, y, s.delay()));
+        }
+    }
+
+    // Slice invariance: nLSE(K/2 + t, K/2 - t) - K/2 == nLSE(t, -t).
+    let mut worst = 0.0_f64;
+    for k in [-2.0, -1.0, 1.0, 2.0] {
+        for i in 0..=100 {
+            let t = -2.0 + 4.0 * i as f64 / 100.0;
+            let shifted = ops::nlse(
+                DelayValue::from_delay(k / 2.0 + t),
+                DelayValue::from_delay(k / 2.0 - t),
+            )
+            .delay()
+                - k / 2.0;
+            let base = ops::nlse(DelayValue::from_delay(t), DelayValue::from_delay(-t)).delay();
+            worst = worst.max((shifted - base).abs());
+        }
+    }
+    Fig02 {
+        surface,
+        slice_invariance_error: worst,
+    }
+}
+
+/// Renders the surface as `x y nlse` triplets plus the invariance check.
+pub fn render(data: &Fig02) -> String {
+    let mut out = String::from(
+        "Fig 2 — nLSE(x', y') surface (x' y' s', gnuplot-ready)\n",
+    );
+    let mut last_y = f64::NAN;
+    for &(x, y, s) in &data.surface {
+        if y != last_y && !last_y.is_nan() {
+            out.push('\n'); // blank line between scanlines for splot
+        }
+        last_y = y;
+        out.push_str(&format!("{x:7.3} {y:7.3} {s:8.4}\n"));
+    }
+    out.push_str(&format!(
+        "\nslice-invariance worst error across K ∈ {{-2,-1,1,2}}: {:.3e}\n",
+        data.slice_invariance_error
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn surface_properties() {
+        let d = compute(9);
+        assert_eq!(d.surface.len(), 81);
+        // Surface lies below min(x', y') and within ln2 of it.
+        for &(x, y, s) in &d.surface {
+            assert!(s <= x.min(y) + 1e-12);
+            assert!(s >= x.min(y) - 2.0_f64.ln() - 1e-12);
+        }
+    }
+
+    #[test]
+    fn slices_are_invariant() {
+        assert!(compute(5).slice_invariance_error < 1e-10);
+    }
+
+    #[test]
+    fn render_is_plot_ready() {
+        let s = render(&compute(4));
+        assert!(s.contains("slice-invariance"));
+        assert!(s.lines().count() > 16);
+    }
+}

@@ -1,0 +1,96 @@
+//! Fig 3: the representative slice `nLSE(x', -x')`, its plain-`min` bound,
+//! and the improvement from the figure's single hand-picked max-term
+//! (`C₀ = D₀ = -1`).
+
+use ta_approx::{nlse_slice_exact, NlseApprox};
+
+/// One sampled column of the figure.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fig03Row {
+    /// Slice coordinate `x'`.
+    pub x: f64,
+    /// Exact `nLSE(x', -x')`.
+    pub exact: f64,
+    /// The plain `min(x', -x')` bound.
+    pub min_bound: f64,
+    /// `min(x', -x', max(x' - 1, -x' - 1))` — the figure's example term.
+    pub one_term: f64,
+}
+
+/// Samples Fig 3's domain `x' ∈ [-2, 2]` at `n` points.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn compute(n: usize) -> Vec<Fig03Row> {
+    assert!(n >= 2, "need at least two samples");
+    let approx = NlseApprox::from_terms(vec![(-1.0, -1.0)]);
+    (0..n)
+        .map(|i| {
+            let x = -2.0 + 4.0 * i as f64 / (n - 1) as f64;
+            Fig03Row {
+                x,
+                exact: nlse_slice_exact(x),
+                min_bound: x.min(-x),
+                one_term: approx.eval_slice(x),
+            }
+        })
+        .collect()
+}
+
+/// Renders the three curves side by side with their worst-case errors.
+pub fn render(rows: &[Fig03Row]) -> String {
+    let mut table_rows = Vec::new();
+    let mut worst_min = 0.0_f64;
+    let mut worst_term = 0.0_f64;
+    for r in rows {
+        worst_min = worst_min.max((r.min_bound - r.exact).abs());
+        worst_term = worst_term.max((r.one_term - r.exact).abs());
+        table_rows.push(vec![
+            format!("{:.3}", r.x),
+            format!("{:.4}", r.exact),
+            format!("{:.4}", r.min_bound),
+            format!("{:.4}", r.one_term),
+        ]);
+    }
+    let mut out = String::from("Fig 3 — nLSE slice vs min vs one max-term (C0=D0=-1)\n");
+    out.push_str(&crate::format_table(
+        &["x'", "nLSE(x',-x')", "min(x',-x')", "min+max-term"],
+        &table_rows,
+    ));
+    out.push_str(&format!(
+        "\nworst |error|: plain min = {worst_min:.4} (= ln 2 at x'=0), with max-term = {worst_term:.4}\n"
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_shape() {
+        let rows = compute(81);
+        // At x' = 0: exact = -ln2, min = 0, term = -1.
+        let mid = &rows[40];
+        assert!(mid.x.abs() < 1e-9);
+        assert!((mid.exact + 2.0_f64.ln()).abs() < 1e-12);
+        assert_eq!(mid.min_bound, 0.0);
+        assert!((mid.one_term + 1.0).abs() < 1e-12);
+        // The max-term improves the worst error.
+        let worst_min = rows
+            .iter()
+            .map(|r| (r.min_bound - r.exact).abs())
+            .fold(0.0_f64, f64::max);
+        let worst_term = rows
+            .iter()
+            .map(|r| (r.one_term - r.exact).abs())
+            .fold(0.0_f64, f64::max);
+        assert!(worst_term < worst_min);
+    }
+
+    #[test]
+    fn render_contains_errors() {
+        assert!(render(&compute(9)).contains("worst |error|"));
+    }
+}

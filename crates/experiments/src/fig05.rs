@@ -1,0 +1,105 @@
+//! Fig 5: the optimised four inhibit-term nLDE approximation — a staircase
+//! chasing a curve that blows up toward equal operands, which is why nLDE
+//! is intrinsically harder to approximate than nLSE.
+
+use ta_approx::{nlde_slice_exact, NldeApprox};
+
+/// The fitted approximation and its sampled curves.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig05 {
+    /// The fitted `(E_i, F_i)` constants.
+    pub terms: Vec<(f64, f64)>,
+    /// `(x', exact, approx)` samples over `(0, 2]`; the approximation is
+    /// `+∞` (never fires) inside the dead zone.
+    pub curve: Vec<(f64, f64, f64)>,
+    /// Smallest operand separation the staircase covers.
+    pub coverage_threshold: f64,
+}
+
+/// Fits `n_terms` inhibit-terms (the figure uses 4) and samples the slice.
+///
+/// # Panics
+///
+/// Panics if `n_terms == 0` or `samples < 2`.
+pub fn compute(n_terms: usize, samples: usize) -> Fig05 {
+    assert!(samples >= 2, "need at least two samples");
+    let approx = NldeApprox::fit(n_terms);
+    let curve = (1..=samples)
+        .map(|i| {
+            let x = 2.0 * i as f64 / samples as f64;
+            (x, nlde_slice_exact(x), approx.eval_slice(x))
+        })
+        .collect();
+    Fig05 {
+        terms: approx.terms().to_vec(),
+        curve,
+        coverage_threshold: approx.coverage_threshold(),
+    }
+}
+
+/// Renders the staircase fit.
+pub fn render(data: &Fig05) -> String {
+    let mut out = format!(
+        "Fig 5 — optimised {} inhibit-term nLDE approximation\n\nfitted constants (E_i, F_i) with activation thresholds:\n",
+        data.terms.len()
+    );
+    for (i, (e, f)) in data.terms.iter().enumerate() {
+        out.push_str(&format!(
+            "  term {i}: E = {e:+.4}, F = {f:+.4}  (activates at x' > {:.4})\n",
+            (e - f) / 2.0
+        ));
+    }
+    let rows: Vec<Vec<String>> = data
+        .curve
+        .iter()
+        .map(|&(x, e, a)| {
+            vec![
+                format!("{x:.3}"),
+                format!("{e:.4}"),
+                if a.is_finite() {
+                    format!("{a:.4}")
+                } else {
+                    "never".into()
+                },
+            ]
+        })
+        .collect();
+    out.push('\n');
+    out.push_str(&crate::format_table(&["x'", "nLDE(-x',x')", "approx"], &rows));
+    out.push_str(&format!(
+        "\ndead zone: separations below {:.4} units are not covered (the curve\nconverges to infinity at 0 while nLSE converges to -ln 2 — Fig 5's caption)\n",
+        data.coverage_threshold
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn staircase_tracks_outside_dead_zone() {
+        let d = compute(4, 40);
+        for &(x, e, a) in &d.curve {
+            if x > 2.0 * d.coverage_threshold {
+                assert!(a.is_finite(), "x={x} unexpectedly in dead zone");
+                assert!((a - e).abs() < 0.7, "x={x}: err {}", (a - e).abs());
+            }
+        }
+    }
+
+    #[test]
+    fn thresholds_ascend() {
+        let d = compute(4, 10);
+        let th: Vec<f64> = d.terms.iter().map(|(e, f)| (e - f) / 2.0).collect();
+        for w in th.windows(2) {
+            assert!(w[0] <= w[1] + 1e-12);
+        }
+        assert!((d.coverage_threshold - th[0]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn render_mentions_dead_zone() {
+        assert!(render(&compute(4, 8)).contains("dead zone"));
+    }
+}

@@ -1,0 +1,84 @@
+//! Figs 9 & 10: the hard-coded convolution engine and its scheduled pixel
+//! flow — rendered as the structural description of the compiled
+//! architecture for each Table 1 benchmark.
+
+use ta_circuits::UnitScale;
+use ta_core::{ArchConfig, Architecture, SystemDescription};
+
+use crate::table1;
+
+/// One compiled engine description.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig09Entry {
+    /// Benchmark name.
+    pub name: String,
+    /// The engine's structural description.
+    pub description: String,
+    /// Accumulation units activated per cycle (`⌈kh/stride⌉`, §4.3 ①).
+    pub active_rows_per_cycle: usize,
+    /// Cycles between consecutive outputs of one MAC block (§4.3 ⑤).
+    pub cycles_per_output: usize,
+}
+
+/// Compiles each benchmark at the (1 ns, 7, 20) configuration and
+/// describes the resulting engines.
+pub fn compute(size: usize) -> Vec<Fig09Entry> {
+    table1::benchmarks()
+        .into_iter()
+        .map(|b| {
+            let desc =
+                SystemDescription::new(size, size, b.kernels.clone(), b.stride)
+                    .expect("benchmarks fit the evaluation frame");
+            let arch = Architecture::new(
+                desc,
+                ArchConfig::new(UnitScale::new(1.0, 50.0), 7, 20),
+            )
+            .expect("feasible schedule");
+            Fig09Entry {
+                name: b.name.to_string(),
+                description: arch.describe(),
+                active_rows_per_cycle: arch.desc().accum_units_per_block(),
+                cycles_per_output: b.stride,
+            }
+        })
+        .collect()
+}
+
+/// Renders the engine descriptions.
+pub fn render(entries: &[Fig09Entry]) -> String {
+    let mut out = String::from(
+        "Figs 9/10 — the hard-coded convolution engine, per benchmark\n\n",
+    );
+    for e in entries {
+        out.push_str(&format!(
+            "## {}\n{}  schedule       : {} filter row(s) active per cycle; one output every {} cycle(s) per MAC block\n\n",
+            e.name, e.description, e.active_rows_per_cycle, e.cycles_per_output
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn engine_schedules_match_the_paper() {
+        let entries = compute(150);
+        // Sobel: 3 rows active at stride 1; pyrDown: ceil(5/2) = 3 at
+        // stride 2; Gaussian: 7 at stride 1.
+        assert_eq!(entries[0].active_rows_per_cycle, 3);
+        assert_eq!(entries[1].active_rows_per_cycle, 3);
+        assert_eq!(entries[2].active_rows_per_cycle, 7);
+        assert_eq!(entries[1].cycles_per_output, 2);
+    }
+
+    #[test]
+    fn render_contains_each_engine() {
+        let s = render(&compute(64));
+        for name in ["Sobel", "pyrDown", "GaussianBlur"] {
+            assert!(s.contains(name));
+        }
+        assert!(s.contains("MAC blocks"));
+    }
+}

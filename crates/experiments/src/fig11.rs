@@ -1,0 +1,345 @@
+//! Fig 11: approximation accuracy vs term count, noiseless and under the
+//! two hardware jitter sources.
+//!
+//! * **(a)** noiseless nLSE and nLDE RMSE vs term count (the paper's
+//!   "infinite precision" panel);
+//! * **(b)** nLSE accuracy vs terms under PSIJ for several V_DD swings;
+//! * **(c)** nLSE accuracy vs terms under RJ with *minimal* delay
+//!   elements, for several unit scales;
+//! * **(d)** the same with 50× elements — the configuration the rest of
+//!   the evaluation uses.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use ta_approx::accuracy::{self, AccuracyReport};
+use ta_approx::{NldeApprox, NlseApprox};
+use ta_circuits::{NldeUnit, NlseUnit, NoiseModel, UnitScale};
+use ta_delay_space::DelayValue;
+
+/// One accuracy-vs-terms series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Label shown in the legend (e.g. `"PSIJ 50 mV"`).
+    pub label: String,
+    /// `(terms, range-normalised RMSE)` points.
+    pub points: Vec<(usize, f64)>,
+}
+
+/// All four panels.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig11 {
+    /// Panel (a): noiseless nLSE and nLDE.
+    pub noiseless: Vec<Series>,
+    /// Panel (b): PSIJ sweep (V_DD swing).
+    pub psij: Vec<Series>,
+    /// Panel (c): RJ at minimal element delay (unit-scale sweep).
+    pub rj_minimal: Vec<Series>,
+    /// Panel (d): RJ at 50× element delay.
+    pub rj_50x: Vec<Series>,
+    /// Bonus panel (e): the nLDE noise trade-off the paper describes but
+    /// omits "due to space constraints" (§5.2) — RJ at 50× elements.
+    pub nlde_rj_50x: Vec<Series>,
+}
+
+/// Default term sweep of the figure.
+pub fn default_terms() -> Vec<usize> {
+    vec![1, 2, 3, 4, 5, 6, 7, 8, 10, 12, 15, 20]
+}
+
+/// Measures the Monte-Carlo accuracy of a *hardware* nLSE unit under a
+/// noise model: uniform `[0,1]²` operands, addition in delay space through
+/// `NlseUnit::eval_noisy`, range-normalised RMSE in importance space —
+/// the exact protocol of §5.2.
+pub fn noisy_nlse_accuracy(
+    terms: usize,
+    model: NoiseModel,
+    scale: UnitScale,
+    samples: usize,
+    seed: u64,
+) -> AccuracyReport {
+    let unit = NlseUnit::with_terms(terms, scale);
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xF1_611);
+    let k = unit.latency_units();
+    accuracy::accuracy_with(samples, seed, |a, b| {
+        let x = DelayValue::encode(a).expect("uniform sample is encodable");
+        let y = DelayValue::encode(b).expect("uniform sample is encodable");
+        let realization = model.begin_eval(scale, &mut rng);
+        let got = unit.eval_noisy(x, y, &realization, &mut rng).delayed(-k);
+        (got.decode(), a + b)
+    })
+}
+
+/// Measures a hardware nLDE unit's accuracy under noise: uniform pairs,
+/// larger minus smaller, through `NldeUnit::eval_noisy`.
+pub fn noisy_nlde_accuracy(
+    terms: usize,
+    model: NoiseModel,
+    scale: UnitScale,
+    samples: usize,
+    seed: u64,
+) -> AccuracyReport {
+    let unit = NldeUnit::with_terms(terms, scale);
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xF1_611D);
+    let k = unit.latency_units();
+    accuracy::accuracy_with(samples, seed, |a, b| {
+        let (hi, lo) = if a >= b { (a, b) } else { (b, a) };
+        let x = DelayValue::encode(hi).expect("uniform sample is encodable");
+        let y = DelayValue::encode(lo).expect("uniform sample is encodable");
+        let realization = model.begin_eval(scale, &mut rng);
+        let got = unit.eval_noisy(x, y, &realization, &mut rng).delayed(-k);
+        (got.decode(), hi - lo)
+    })
+}
+
+/// Computes all four panels with `samples` Monte-Carlo pairs per point
+/// (the paper uses one million).
+pub fn compute(terms: &[usize], samples: usize, seed: u64) -> Fig11 {
+    let noiseless = vec![
+        Series {
+            label: "nLSE (no noise)".into(),
+            points: terms
+                .iter()
+                .map(|&n| {
+                    (
+                        n,
+                        accuracy::nlse_accuracy(&NlseApprox::fit(n), samples, seed).rmse,
+                    )
+                })
+                .collect(),
+        },
+        Series {
+            label: "nLDE (no noise)".into(),
+            points: terms
+                .iter()
+                .map(|&n| {
+                    (
+                        n,
+                        accuracy::nlde_accuracy(&NldeApprox::fit(n), samples, seed).rmse,
+                    )
+                })
+                .collect(),
+        },
+    ];
+
+    // (b) PSIJ only: RJ disabled, swing swept, 1 ns / 50× reference scale.
+    let psij = [1.0, 10.0, 50.0, 100.0]
+        .iter()
+        .map(|&swing| {
+            let model = NoiseModel {
+                rj_fraction: 0.0,
+                ..NoiseModel::asplos24(swing)
+            };
+            Series {
+                label: format!("PSIJ, {swing:.0} mV swing"),
+                points: terms
+                    .iter()
+                    .map(|&n| {
+                        (
+                            n,
+                            noisy_nlse_accuracy(
+                                n,
+                                model,
+                                UnitScale::new(1.0, 50.0),
+                                samples,
+                                seed,
+                            )
+                            .rmse,
+                        )
+                    })
+                    .collect(),
+            }
+        })
+        .collect();
+
+    // (c)/(d) RJ only: PSIJ disabled, unit scale swept.
+    let rj_panel = |multiplier: f64| -> Vec<Series> {
+        [0.1, 1.0, 5.0, 10.0]
+            .iter()
+            .map(|&unit_ns| {
+                let model = NoiseModel {
+                    psij_per_mv: 0.0,
+                    ..NoiseModel::asplos24(0.0)
+                };
+                Series {
+                    label: format!("RJ, {unit_ns} ns unit"),
+                    points: terms
+                        .iter()
+                        .map(|&n| {
+                            (
+                                n,
+                                noisy_nlse_accuracy(
+                                    n,
+                                    model,
+                                    UnitScale::new(unit_ns, multiplier),
+                                    samples,
+                                    seed,
+                                )
+                                .rmse,
+                            )
+                        })
+                        .collect(),
+                }
+            })
+            .collect()
+    };
+
+    // Bonus panel (e): nLDE under RJ at 50× elements.
+    let nlde_rj_50x = [0.1, 1.0, 5.0, 10.0]
+        .iter()
+        .map(|&unit_ns| {
+            let model = NoiseModel {
+                psij_per_mv: 0.0,
+                ..NoiseModel::asplos24(0.0)
+            };
+            Series {
+                label: format!("nLDE RJ, {unit_ns} ns unit"),
+                points: terms
+                    .iter()
+                    .map(|&n| {
+                        (
+                            n,
+                            noisy_nlde_accuracy(
+                                n,
+                                model,
+                                UnitScale::new(unit_ns, 50.0),
+                                samples,
+                                seed,
+                            )
+                            .rmse,
+                        )
+                    })
+                    .collect(),
+            }
+        })
+        .collect();
+
+    Fig11 {
+        noiseless,
+        psij,
+        rj_minimal: rj_panel(1.0),
+        rj_50x: rj_panel(50.0),
+        nlde_rj_50x,
+    }
+}
+
+fn render_panel(title: &str, terms: &[usize], series: &[Series]) -> String {
+    let mut header: Vec<String> = vec!["terms".into()];
+    header.extend(series.iter().map(|s| s.label.clone()));
+    let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+    let rows: Vec<Vec<String>> = terms
+        .iter()
+        .enumerate()
+        .map(|(i, &n)| {
+            let mut row = vec![n.to_string()];
+            for s in series {
+                row.push(format!("{:.4}", s.points[i].1));
+            }
+            row
+        })
+        .collect();
+    format!("{title}\n{}\n", crate::format_table(&header_refs, &rows))
+}
+
+/// Renders all four panels.
+pub fn render(terms: &[usize], data: &Fig11) -> String {
+    let mut out = String::from("Fig 11 — approximation accuracy (range-normalised RMSE)\n\n");
+    out.push_str(&render_panel("(a) noiseless", terms, &data.noiseless));
+    out.push('\n');
+    out.push_str(&render_panel(
+        "(b) PSIJ (1 ns unit, 50× elements)",
+        terms,
+        &data.psij,
+    ));
+    out.push('\n');
+    out.push_str(&render_panel(
+        "(c) RJ, minimal element delay",
+        terms,
+        &data.rj_minimal,
+    ));
+    out.push('\n');
+    out.push_str(&render_panel("(d) RJ, 50× element delay", terms, &data.rj_50x));
+    out.push('\n');
+    out.push_str(&render_panel(
+        "(e) bonus: nLDE under RJ, 50× element delay (omitted from the paper for space)",
+        terms,
+        &data.nlde_rj_50x,
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const QUICK: usize = 4_000;
+
+    #[test]
+    fn noiseless_error_falls_then_plateaus() {
+        let terms = [1, 4, 8, 16];
+        let d = compute(&terms, QUICK, 1);
+        let nlse = &d.noiseless[0].points;
+        assert!(nlse[1].1 < nlse[0].1);
+        assert!(nlse[2].1 < nlse[1].1);
+        // Diminishing returns past ~8 terms (§5.2).
+        let gain_early = nlse[0].1 / nlse[2].1;
+        let gain_late = nlse[2].1 / nlse[3].1;
+        assert!(gain_early > 2.0 * gain_late);
+    }
+
+    #[test]
+    fn psij_orders_by_swing() {
+        let terms = [7];
+        let d = compute(&terms, QUICK, 2);
+        let at7: Vec<f64> = d.psij.iter().map(|s| s.points[0].1).collect();
+        assert!(at7[3] > at7[0], "100 mV must hurt more than 1 mV");
+    }
+
+    #[test]
+    fn rj_hurts_small_unit_scales_with_big_elements() {
+        let terms = [10];
+        let d = compute(&terms, QUICK, 3);
+        // 50× elements: 0.1 ns unit scale must be far worse than 10 ns.
+        let coarse: Vec<f64> = d.rj_50x.iter().map(|s| s.points[0].1).collect();
+        assert!(coarse[0] > 2.0 * coarse[3], "{coarse:?}");
+        // Minimal elements tame the worst case.
+        let fine: Vec<f64> = d.rj_minimal.iter().map(|s| s.points[0].1).collect();
+        assert!(fine[0] < coarse[0]);
+    }
+
+    #[test]
+    fn render_contains_all_panels() {
+        let terms = [2, 4];
+        let s = render(&terms, &compute(&terms, 500, 4));
+        for p in ["(a)", "(b)", "(c)", "(d)", "(e)"] {
+            assert!(s.contains(p));
+        }
+    }
+
+    #[test]
+    fn nlde_less_noise_sensitive_than_nlse() {
+        // §5.2: "the nLDE approximation is also affected by noise, but
+        // because there is a larger difference between its approximation
+        // constants, the noise impacts the accuracy to a lesser degree."
+        // Compare the noise-induced *excess* over each function's own
+        // noiseless floor at an aggressive RJ point.
+        let model = NoiseModel {
+            psij_per_mv: 0.0,
+            ..NoiseModel::asplos24(0.0)
+        };
+        let scale = UnitScale::new(0.1, 50.0);
+        let n = 10;
+        let nlse_floor =
+            accuracy::nlse_accuracy(&NlseApprox::fit(n), QUICK, 9).rmse;
+        let nlde_floor =
+            accuracy::nlde_accuracy(&NldeApprox::fit(n), QUICK, 9).rmse;
+        let nlse_noisy = noisy_nlse_accuracy(n, model, scale, QUICK, 9).rmse;
+        let nlde_noisy = noisy_nlde_accuracy(n, model, scale, QUICK, 9).rmse;
+        let nlse_excess = nlse_noisy / nlse_floor;
+        let nlde_excess = nlde_noisy / nlde_floor;
+        assert!(
+            nlde_excess < nlse_excess,
+            "nLDE degradation {nlde_excess:.2}× vs nLSE {nlse_excess:.2}×"
+        );
+    }
+}

@@ -1,0 +1,161 @@
+//! Fig 12: the Sobel design-space exploration — energy per frame against
+//! range-normalised RMSE for every (unit scale, nLSE terms, nLDE terms)
+//! configuration, with the Pareto frontier marked.
+
+use ta_core::dse::{self, DsePoint, SweepGrid};
+use ta_core::SystemDescription;
+use ta_image::{synth, Image, Kernel};
+
+/// Parameters of the exploration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Params {
+    /// Image edge length (the paper uses 150).
+    pub image_size: usize,
+    /// Number of evaluation images (the paper uses 5).
+    pub images: usize,
+    /// The sweep grid.
+    pub grid: SweepGrid,
+}
+
+impl Params {
+    /// The paper's full exploration: 150×150, five images, the default
+    /// grid (§5.3).
+    pub fn full(seed: u64) -> Self {
+        Params {
+            image_size: 150,
+            images: 5,
+            grid: SweepGrid {
+                seed,
+                ..SweepGrid::default()
+            },
+        }
+    }
+
+    /// A reduced exploration for tests and benches.
+    pub fn quick(seed: u64) -> Self {
+        Params {
+            image_size: 48,
+            images: 2,
+            grid: SweepGrid {
+                nlse_terms: vec![5, 10],
+                nlde_terms: vec![5, 20],
+                unit_scales_ns: vec![1.0, 5.0],
+                element_multiplier: 50.0,
+                seed,
+            },
+        }
+    }
+}
+
+/// Runs the exploration over the Sobel pair.
+///
+/// # Panics
+///
+/// Panics if the parameters produce an invalid system (e.g. image smaller
+/// than the kernel).
+pub fn compute(params: &Params) -> Vec<DsePoint> {
+    let desc = SystemDescription::new(
+        params.image_size,
+        params.image_size,
+        vec![Kernel::sobel_x(), Kernel::sobel_y()],
+        1,
+    )
+    .expect("Sobel fits any image ≥ 3×3");
+    let images: Vec<Image> = (0..params.images as u64)
+        .map(|i| synth::natural_image(params.image_size, params.image_size, params.grid.seed ^ i))
+        .collect();
+    dse::explore(&desc, &images, &params.grid).expect("grid configurations compile")
+}
+
+/// Renders the scatter as a table (sorted by energy) with Pareto markers.
+pub fn render(points: &[DsePoint]) -> String {
+    let mut sorted: Vec<&DsePoint> = points.iter().collect();
+    sorted.sort_by(|a, b| a.energy_uj.total_cmp(&b.energy_uj));
+    let rows: Vec<Vec<String>> = sorted
+        .iter()
+        .map(|p| {
+            vec![
+                format!("{:.0}", p.unit_ns),
+                p.nlse_terms.to_string(),
+                p.nlde_terms.to_string(),
+                format!("{:.2}", p.energy_uj),
+                format!("{:.4}", p.rmse),
+                if p.pareto { "*".into() } else { "".into() },
+            ]
+        })
+        .collect();
+    let mut out = String::from(
+        "Fig 12 — Sobel design-space exploration (* = Pareto-optimal frontier)\n",
+    );
+    out.push_str(&crate::format_table(
+        &["unit (ns)", "nLSE terms", "nLDE terms", "energy (µJ)", "RMSE", "Pareto"],
+        &rows,
+    ));
+    let frontier: Vec<String> = sorted
+        .iter()
+        .filter(|p| p.pareto)
+        .map(|p| format!("({:.0} ns, {}, {})", p.unit_ns, p.nlse_terms, p.nlde_terms))
+        .collect();
+    out.push_str(&format!("\nPareto frontier: {}\n", frontier.join(", ")));
+    out.push_str(
+        "paper's highlighted frontier points: (1 ns, 7, 20), (5 ns, 10, 20), (10 ns, 10, 20)\n",
+    );
+    out
+}
+
+/// Serialises the scatter as CSV (`unit_ns,nlse_terms,nlde_terms,
+/// energy_uj,rmse,pareto`) for external plotting.
+pub fn to_csv(points: &[DsePoint]) -> String {
+    let mut out = String::from("unit_ns,nlse_terms,nlde_terms,energy_uj,rmse,pareto\n");
+    for p in points {
+        out.push_str(&format!(
+            "{},{},{},{:.6},{:.6},{}\n",
+            p.unit_ns, p.nlse_terms, p.nlde_terms, p.energy_uj, p.rmse, p.pareto as u8
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_exploration_shape() {
+        let points = compute(&Params::quick(7));
+        // 2 units × 2 nLSE × 2 nLDE (Sobel has negatives).
+        assert_eq!(points.len(), 8);
+        // Energy groups by unit scale: every 5 ns point above every 1 ns.
+        let max1 = points
+            .iter()
+            .filter(|p| p.unit_ns == 1.0)
+            .map(|p| p.energy_uj)
+            .fold(0.0_f64, f64::max);
+        let min5 = points
+            .iter()
+            .filter(|p| p.unit_ns == 5.0)
+            .map(|p| p.energy_uj)
+            .fold(f64::INFINITY, f64::min);
+        assert!(min5 > max1);
+        // At least one Pareto point exists and the cheapest point is one.
+        assert!(points.iter().any(|p| p.pareto));
+    }
+
+    #[test]
+    fn csv_is_machine_readable() {
+        let points = compute(&Params::quick(9));
+        let csv = to_csv(&points);
+        assert_eq!(csv.lines().count(), points.len() + 1);
+        assert!(csv.starts_with("unit_ns,"));
+        for line in csv.lines().skip(1) {
+            assert_eq!(line.split(',').count(), 6);
+        }
+    }
+
+    #[test]
+    fn render_lists_frontier() {
+        let s = render(&compute(&Params::quick(8)));
+        assert!(s.contains("Pareto frontier:"));
+        assert!(s.contains('*'));
+    }
+}

@@ -1,0 +1,106 @@
+//! Reproduction harness: one driver per table and figure of
+//! *Energy Efficient Convolutions with Temporal Arithmetic* (ASPLOS 2024).
+//!
+//! Every module exposes a `compute(...)` function returning typed data and
+//! a `render(&data) -> String` producing the paper-style rows/series; the
+//! binaries in `src/bin/` print `render(compute(...))` at full size, tests
+//! and Criterion benches run the same code at reduced (`quick`) sizes.
+//!
+//! | Module | Paper artifact |
+//! |--------|----------------|
+//! | [`fig02`] | Fig 2 — the nLSE surface and its slice invariance |
+//! | [`fig03`] | Fig 3 — slice vs `min` vs one hand-picked max-term |
+//! | [`fig04`] | Fig 4 — optimised 4 max-term nLSE fit |
+//! | [`fig05`] | Fig 5 — optimised 4 inhibit-term nLDE fit |
+//! | [`fig06`] | Fig 6 — naive vs shared-chain nLSE circuits |
+//! | [`fig07`] | Fig 7 — synchronisation strategies & recurrence |
+//! | [`fig08`] | Fig 8 — starved-inverter VTC transfer fidelity |
+//! | [`fig09`] | Figs 9/10 — the compiled engine's structure & schedule |
+//! | [`fig11`] | Fig 11a–d — accuracy vs terms under PSIJ/RJ |
+//! | [`fig12`] | Fig 12 — Sobel design-space exploration + Pareto |
+//! | [`table1`] | Table 1 — benchmark definitions |
+//! | [`table2`] | Table 2 — area/energy/throughput/accuracy |
+//! | [`table3`] | Table 3 — PIP vs delay-space comparison |
+//! | [`ablation`] | §4.2's element-size trade-off and the TDC quantization sweep |
+//! | [`baseline_digital`] | extended baseline: conventional ADC pipeline vs delay space |
+//! | [`fig13`] | Fig 13 — sensor/VTC noise sensitivity heatmap |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablation;
+pub mod baseline_digital;
+pub mod fig02;
+pub mod fig03;
+pub mod fig04;
+pub mod fig05;
+pub mod fig06;
+pub mod fig07;
+pub mod fig08;
+pub mod fig09;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+
+/// Formats a fixed-width text table: a header row followed by data rows.
+/// Column widths adapt to the widest cell.
+pub fn format_table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), cols, "row width must match header");
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let push_row = |cells: Vec<&str>, out: &mut String| {
+        for (i, (cell, w)) in cells.iter().zip(&widths).enumerate() {
+            if i > 0 {
+                out.push_str("  ");
+            }
+            out.push_str(&format!("{cell:>w$}", w = w));
+        }
+        out.push('\n');
+    };
+    push_row(header.to_vec(), &mut out);
+    let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+    push_row(sep.iter().map(|s| s.as_str()).collect(), &mut out);
+    for row in rows {
+        push_row(row.iter().map(|s| s.as_str()).collect(), &mut out);
+    }
+    out
+}
+
+/// The fixed seed all full-size experiment binaries use, so EXPERIMENTS.md
+/// regenerates bit-identically.
+pub const EXPERIMENT_SEED: u64 = 0xA5F1_0540;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_formatting_aligns() {
+        let t = format_table(
+            &["a", "long"],
+            &[
+                vec!["1".into(), "2".into()],
+                vec!["100".into(), "x".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        let len = lines[0].len();
+        assert!(lines.iter().all(|l| l.len() == len));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_rows_panic() {
+        format_table(&["a"], &[vec!["1".into(), "2".into()]]);
+    }
+}

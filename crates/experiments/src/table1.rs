@@ -1,0 +1,90 @@
+//! Table 1: the convolution benchmarks and their filter configurations.
+
+use ta_image::Kernel;
+
+/// One benchmark row: `(function, description, kernels, stride)`.
+pub struct Benchmark {
+    /// Function name as the paper lists it.
+    pub name: &'static str,
+    /// The paper's description column.
+    pub description: &'static str,
+    /// The filter bank.
+    pub kernels: Vec<Kernel>,
+    /// Convolution stride.
+    pub stride: usize,
+}
+
+/// The three Table 1 benchmarks, built from this workspace's own kernel
+/// constructors.
+pub fn benchmarks() -> Vec<Benchmark> {
+    vec![
+        Benchmark {
+            name: "Sobel",
+            description: "Edge Detection",
+            kernels: vec![Kernel::sobel_x(), Kernel::sobel_y()],
+            stride: 1,
+        },
+        Benchmark {
+            name: "pyrDown",
+            description: "Blur and Downsample",
+            kernels: vec![Kernel::pyr_down_5x5()],
+            stride: 2,
+        },
+        Benchmark {
+            name: "GaussianBlur",
+            description: "Blur with Gaussian filter",
+            kernels: vec![Kernel::gaussian(7, 0.0)],
+            stride: 1,
+        },
+    ]
+}
+
+/// Renders Table 1.
+pub fn render() -> String {
+    let rows: Vec<Vec<String>> = benchmarks()
+        .iter()
+        .map(|b| {
+            let k = &b.kernels[0];
+            vec![
+                b.name.into(),
+                b.description.into(),
+                format!("{}x{}, {}, {}", k.width(), k.height(), b.stride, b.kernels.len()),
+                if b.kernels.iter().any(|k| k.has_negative_weights()) {
+                    "yes (split rails + nLDE)".into()
+                } else {
+                    "no".into()
+                },
+            ]
+        })
+        .collect();
+    let mut out = String::from("Table 1 — convolution benchmarks\n");
+    out.push_str(&crate::format_table(
+        &["Function", "Description", "Filter config (size, stride, #)", "negative weights"],
+        &rows,
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_paper_configs() {
+        let b = benchmarks();
+        assert_eq!(b.len(), 3);
+        assert_eq!((b[0].kernels[0].width(), b[0].stride, b[0].kernels.len()), (3, 1, 2));
+        assert_eq!((b[1].kernels[0].width(), b[1].stride, b[1].kernels.len()), (5, 2, 1));
+        assert_eq!((b[2].kernels[0].width(), b[2].stride, b[2].kernels.len()), (7, 1, 1));
+        // Only Sobel has negative weights (§5.3).
+        assert!(b[0].kernels[0].has_negative_weights());
+        assert!(!b[1].kernels[0].has_negative_weights());
+        assert!(!b[2].kernels[0].has_negative_weights());
+    }
+
+    #[test]
+    fn render_has_three_rows() {
+        let s = render();
+        assert!(s.contains("Sobel") && s.contains("pyrDown") && s.contains("GaussianBlur"));
+    }
+}

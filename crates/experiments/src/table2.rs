@@ -1,0 +1,156 @@
+//! Table 2: area, energy per frame, maximum throughput and accuracy of
+//! the three benchmarks under the three Pareto-frontier configurations.
+
+use ta_circuits::UnitScale;
+use ta_core::{exec, ArchConfig, Architecture, ArithmeticMode, SystemDescription};
+use ta_image::{conv, metrics, synth, Image};
+
+use crate::table1;
+
+/// The Pareto configurations Table 2 evaluates: `(unit ns, nLSE terms,
+/// nLDE terms)`.
+pub const CONFIGS: [(f64, usize, usize); 3] = [(1.0, 7, 20), (5.0, 10, 20), (10.0, 10, 20)];
+
+/// The paper's published Table 2 values for comparison:
+/// `(function, config index, area mm², energy µJ, throughput Mfps, RMSE)`.
+pub fn published() -> Vec<(&'static str, usize, f64, f64, f64, f64)> {
+    vec![
+        ("Sobel", 0, 0.02, 9.81, 71.0, 0.065),
+        ("Sobel", 1, 0.08, 48.1, 18.0, 0.029),
+        ("Sobel", 2, 0.149, 95.4, 9.0, 0.028),
+        ("pyrDown", 0, 0.004, 7.2, 55.0, 0.038),
+        ("pyrDown", 1, 0.134, 36.6, 12.0, 0.029),
+        ("pyrDown", 2, 0.236, 72.7, 6.0, 0.028),
+        ("GaussianBlur", 0, 0.008, 14.2, 55.0, 0.037),
+        ("GaussianBlur", 1, 0.273, 73.1, 12.0, 0.028),
+        ("GaussianBlur", 2, 0.481, 146.0, 6.0, 0.027),
+    ]
+}
+
+/// One measured Table 2 row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table2Row {
+    /// Benchmark function name.
+    pub function: String,
+    /// `(unit ns, nLSE terms, nLDE terms)`.
+    pub config: (f64, usize, usize),
+    /// Layout area, mm².
+    pub area_mm2: f64,
+    /// Energy per frame, µJ.
+    pub energy_uj: f64,
+    /// Maximum throughput, Mfps.
+    pub throughput_mfps: f64,
+    /// Pooled range-normalised RMSE over the evaluation images.
+    pub rmse: f64,
+}
+
+/// Measures every benchmark × configuration on `n_images` synthetic
+/// evaluation images of `size × size` pixels.
+///
+/// # Panics
+///
+/// Panics if `size` cannot fit the 7×7 Gaussian kernel.
+pub fn compute(size: usize, n_images: usize, seed: u64) -> Vec<Table2Row> {
+    let images: Vec<Image> = (0..n_images as u64)
+        .map(|i| synth::natural_image(size, size, seed ^ (i * 7919)))
+        .collect();
+    let mut rows = Vec::new();
+    for bench in table1::benchmarks() {
+        for &(unit_ns, nlse, nlde) in &CONFIGS {
+            let desc =
+                SystemDescription::new(size, size, bench.kernels.clone(), bench.stride)
+                    .expect("benchmark kernels fit the evaluation image");
+            let cfg = ArchConfig::new(UnitScale::new(unit_ns, 50.0), nlse, nlde);
+            let arch = Architecture::new(desc, cfg).expect("feasible schedule");
+            let mut per_image = Vec::new();
+            for (i, img) in images.iter().enumerate() {
+                let refs: Vec<Image> = bench
+                    .kernels
+                    .iter()
+                    .map(|k| conv::convolve(img, k, bench.stride))
+                    .collect();
+                let run = exec::run(&arch, img, ArithmeticMode::DelayApproxNoisy, seed + i as u64)
+                    .expect("geometry matches");
+                per_image.push(run.pooled_rmse(&refs));
+            }
+            rows.push(Table2Row {
+                function: bench.name.to_string(),
+                config: (unit_ns, nlse, nlde),
+                area_mm2: arch.area_mm2(),
+                energy_uj: arch.energy_per_frame().total_uj(),
+                throughput_mfps: arch.timing().max_throughput_mfps(),
+                rmse: metrics::pool_rmse(&per_image),
+            });
+        }
+    }
+    rows
+}
+
+/// Renders measured values next to the paper's (Table 2 format).
+pub fn render(rows: &[Table2Row]) -> String {
+    let paper = published();
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .enumerate()
+        .map(|(i, r)| {
+            let (_, _, p_area, p_e, p_t, p_r) = paper[i];
+            vec![
+                r.function.clone(),
+                format!("{:.0}ns,{},{}", r.config.0, r.config.1, r.config.2),
+                format!("{:.3} / {:.3}", r.area_mm2, p_area),
+                format!("{:.1} / {:.1}", r.energy_uj, p_e),
+                format!("{:.0} / {:.0}", r.throughput_mfps, p_t),
+                format!("{:.3} / {:.3}", r.rmse, p_r),
+            ]
+        })
+        .collect();
+    let mut out =
+        String::from("Table 2 — benchmark costs (measured / paper), 150×150 frames\n");
+    out.push_str(&crate::format_table(
+        &[
+            "Function",
+            "Arch",
+            "Area (mm²)",
+            "Energy (µJ/frame)",
+            "Max T'put (Mfps)",
+            "Acc. (RMSE)",
+        ],
+        &table,
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_table_reproduces_paper_ordering() {
+        // Small frames keep the test fast; orderings are scale-free.
+        let rows = compute(40, 1, 3);
+        assert_eq!(rows.len(), 9);
+        // Energy rises with unit scale within each benchmark.
+        for chunk in rows.chunks(3) {
+            assert!(chunk[1].energy_uj > chunk[0].energy_uj);
+            assert!(chunk[2].energy_uj > chunk[1].energy_uj);
+            // Accuracy improves (or holds) from 1 ns to 5 ns.
+            assert!(chunk[1].rmse < chunk[0].rmse * 1.15);
+            // Throughput falls with unit scale.
+            assert!(chunk[1].throughput_mfps < chunk[0].throughput_mfps);
+        }
+        // pyrDown and GaussianBlur share throughput (same tree height).
+        assert!(
+            (rows[3].throughput_mfps - rows[6].throughput_mfps).abs()
+                / rows[3].throughput_mfps
+                < 1e-9
+        );
+    }
+
+    #[test]
+    fn render_pairs_measured_and_paper() {
+        let rows = compute(32, 1, 4);
+        let s = render(&rows);
+        assert!(s.contains("measured / paper"));
+        assert!(s.lines().count() >= 11);
+    }
+}

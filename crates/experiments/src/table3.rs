@@ -1,0 +1,238 @@
+//! Table 3: the head-to-head against the processing-in-pixel (PIP)
+//! imager — energy per pixel per frame, frame delay, energy–delay product
+//! and accuracy for the 1.5-bit edge-detection convolution at six
+//! shape/stride configurations.
+
+use ta_baseline::pip::PipModel;
+use ta_circuits::{TdcModel, UnitScale};
+use ta_core::{exec, ArchConfig, Architecture, ArithmeticMode, SystemDescription};
+use ta_image::{conv, metrics, synth, Kernel};
+
+/// The delay-space configuration Table 3 uses (§5.3): 1 ns units,
+/// 10 max-terms, 20 inhibit-terms.
+pub const DELAY_SPACE_CONFIG: (f64, usize, usize) = (1.0, 10, 20);
+
+/// One comparison row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table3Row {
+    /// Kernel shape `(width, height)`.
+    pub shape: (usize, usize),
+    /// Stride.
+    pub stride: usize,
+    /// PIP energy per pixel per frame, pJ (silicon measurement).
+    pub pip_energy_pj: f64,
+    /// PIP frame delay, ms.
+    pub pip_delay_ms: f64,
+    /// PIP error, %RMSE (our functional PIP simulator).
+    pub pip_error_pct: f64,
+    /// Delay-space energy per pixel per frame (incl. VTC), pJ.
+    pub ds_energy_pj: f64,
+    /// Delay-space energy including TDC, pJ.
+    pub ds_energy_tdc_pj: f64,
+    /// Delay-space minimum frame delay, ms.
+    pub ds_delay_ms: f64,
+    /// Delay-space error, %RMSE.
+    pub ds_error_pct: f64,
+}
+
+impl Table3Row {
+    /// PIP's energy–delay product, pJ·ms.
+    pub fn pip_edp(&self) -> f64 {
+        self.pip_energy_pj * self.pip_delay_ms
+    }
+
+    /// Delay space's energy–delay product (no TDC), pJ·ms.
+    pub fn ds_edp(&self) -> f64 {
+        self.ds_energy_pj * self.ds_delay_ms
+    }
+
+    /// Delay space's energy–delay product with TDC, pJ·ms.
+    pub fn ds_edp_tdc(&self) -> f64 {
+        self.ds_energy_tdc_pj * self.ds_delay_ms
+    }
+}
+
+/// Runs the comparison on `size × size` frames (the paper uses the same
+/// 150×150 evaluation geometry).
+///
+/// # Panics
+///
+/// Panics if `size < 4`.
+pub fn compute(size: usize, seed: u64) -> Vec<Table3Row> {
+    assert!(size >= 4, "frames must fit the 4×4 kernel");
+    let pip = PipModel::asplos24();
+    let img = synth::natural_image(size, size, seed);
+    let pixels = (size * size) as f64;
+    let mut rows = Vec::new();
+
+    for (w, h) in [(2, 2), (2, 4), (4, 4)] {
+        for stride in [2, 4] {
+            let kernel = Kernel::edge_ternary(w, h);
+            // PIP side.
+            let pip_energy_pj = pip.energy_per_pixel_pj(&kernel, stride);
+            let pip_delay_ms = pip.frame_delay_ms(&kernel, stride);
+            let pip_error_pct = pip.percent_rmse(&img, &kernel, stride, seed);
+
+            // Delay-space side.
+            let (unit_ns, nlse, nlde) = DELAY_SPACE_CONFIG;
+            let desc = SystemDescription::new(size, size, vec![kernel.clone()], stride)
+                .expect("edge kernels fit the frame");
+            let base_cfg = ArchConfig::new(UnitScale::new(unit_ns, 50.0), nlse, nlde);
+            let arch = Architecture::new(desc.clone(), base_cfg.clone())
+                .expect("feasible schedule");
+            let arch_tdc = Architecture::new(
+                desc,
+                base_cfg.with_tdc(TdcModel::asplos24()),
+            )
+            .expect("feasible schedule");
+
+            let run = exec::run(&arch, &img, ArithmeticMode::DelayApproxNoisy, seed)
+                .expect("geometry matches");
+            let reference = conv::convolve(&img, &kernel, stride);
+            let ds_error_pct = metrics::percent_rmse(&run.outputs[0], &reference);
+
+            rows.push(Table3Row {
+                shape: (w, h),
+                stride,
+                pip_energy_pj,
+                pip_delay_ms,
+                pip_error_pct,
+                ds_energy_pj: arch.energy_per_frame().total_pj() / pixels,
+                ds_energy_tdc_pj: arch_tdc.energy_per_frame().total_pj() / pixels,
+                ds_delay_ms: run.timing.frame_delay_ms(),
+                ds_error_pct,
+            });
+        }
+    }
+    rows
+}
+
+/// The published delay-space columns for comparison:
+/// `(w, h, stride, energy, energy w/TDC, delay ms, error %)`.
+pub fn published_delay_space() -> [(usize, usize, usize, f64, f64, f64, f64); 6] {
+    [
+        (2, 2, 2, 16.4, 21.9, 7.35e-4, 3.69),
+        (2, 2, 4, 4.2, 9.8, 7.35e-4, 3.51),
+        (2, 4, 2, 21.3, 26.8, 7.35e-4, 3.02),
+        (2, 4, 4, 5.46, 11.0, 7.35e-4, 3.6),
+        (4, 4, 2, 41.0, 46.6, 1.47e-3, 2.8),
+        (4, 4, 4, 10.3, 15.9, 1.47e-3, 3.2),
+    ]
+}
+
+/// Renders the full comparison table.
+pub fn render(rows: &[Table3Row]) -> String {
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{}x{}", r.shape.0, r.shape.1),
+                r.stride.to_string(),
+                format!("{:.1}", r.pip_energy_pj),
+                format!("{:.1}", r.pip_delay_ms),
+                format!("{:.2e}", r.pip_edp()),
+                format!("{:.2}", r.pip_error_pct),
+                format!("{:.1}", r.ds_energy_pj),
+                format!("{:.1}", r.ds_energy_tdc_pj),
+                format!("{:.2e}", r.ds_delay_ms),
+                format!("{:.2e}", r.ds_edp()),
+                format!("{:.2e}", r.ds_edp_tdc()),
+                format!("{:.2}", r.ds_error_pct),
+            ]
+        })
+        .collect();
+    let mut out = String::from(
+        "Table 3 — PIP vs delay space (1.5-bit edge convolution; energies pJ/pixel/frame)\n",
+    );
+    out.push_str(&crate::format_table(
+        &[
+            "Shape", "Stride", "PIP E", "PIP D(ms)", "PIP ExD", "PIP %RMSE", "DS E",
+            "DS E+TDC", "DS D(ms)", "DS ExD", "DS ExD+TDC", "DS %RMSE",
+        ],
+        &table,
+    ));
+    // Headline claims.
+    let wins = rows.iter().filter(|r| r.ds_energy_pj < r.pip_energy_pj).count();
+    let edp_gain: f64 = rows
+        .iter()
+        .map(|r| r.pip_edp() / r.ds_edp())
+        .fold(f64::INFINITY, f64::min);
+    let ratio = |w, h| {
+        rows.iter()
+            .find(|r| r.shape == (w, h) && r.stride == 2)
+            .map(|r| r.ds_energy_pj / r.pip_energy_pj)
+            .unwrap_or(f64::NAN)
+    };
+    out.push_str(&format!(
+        "\ndelay space wins raw energy (temporal output) in {wins}/6 configurations;\nDS/PIP energy ratio at stride 2 falls with kernel area: {:.2} (2x2) -> {:.2} (2x4) -> {:.2} (4x4)\n(the paper's trend: 'as the convolution gets larger and the stride stays small,\nthe energy improvements of the delay space architecture become more significant');\nminimum energy-delay-product advantage: {edp_gain:.1e}x (paper: ~4 orders of magnitude)\n",
+        ratio(2, 2),
+        ratio(2, 4),
+        ratio(4, 4),
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delay_space_beats_pip_shape() {
+        let rows = compute(64, 5);
+        assert_eq!(rows.len(), 6);
+        for r in &rows {
+            // E×D product: orders of magnitude in delay space's favour
+            // (the paper's strongest claim; see EXPERIMENTS.md for the
+            // raw-energy calibration discussion).
+            assert!(r.ds_edp() < 1e-2 * r.pip_edp());
+        }
+        // Delay-space accuracy beats PIP's on aggregate (paper: ~3% vs
+        // ~5-8%; individual rows fluctuate with the noise seed).
+        let mean = |f: &dyn Fn(&Table3Row) -> f64| {
+            rows.iter().map(f).sum::<f64>() / rows.len() as f64
+        };
+        assert!(
+            mean(&|r| r.ds_error_pct) < mean(&|r| r.pip_error_pct),
+            "ds {} !< pip {}",
+            mean(&|r| r.ds_error_pct),
+            mean(&|r| r.pip_error_pct)
+        );
+        // The paper's scaling trend: delay space gains on PIP as the
+        // kernel grows at small stride.
+        let ratio = |w, h| {
+            let r = rows
+                .iter()
+                .find(|r| r.shape == (w, h) && r.stride == 2)
+                .unwrap();
+            r.ds_energy_pj / r.pip_energy_pj
+        };
+        assert!(ratio(4, 4) < ratio(2, 2));
+    }
+
+    #[test]
+    fn energy_grows_with_kernel_and_shrinks_with_stride() {
+        let rows = compute(48, 6);
+        let find = |w, h, s| {
+            rows.iter()
+                .find(|r| r.shape == (w, h) && r.stride == s)
+                .unwrap()
+        };
+        assert!(find(4, 4, 2).ds_energy_pj > find(2, 2, 2).ds_energy_pj);
+        assert!(find(2, 2, 4).ds_energy_pj < find(2, 2, 2).ds_energy_pj);
+    }
+
+    #[test]
+    fn tdc_premium_is_per_pixel() {
+        let rows = compute(48, 7);
+        for r in &rows {
+            let premium = r.ds_energy_tdc_pj - r.ds_energy_pj;
+            assert!((premium - 5.5).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn render_has_headline() {
+        let s = render(&compute(32, 8));
+        assert!(s.contains("energy-delay-product advantage"));
+    }
+}

@@ -1,0 +1,142 @@
+//! Reference software convolution (the importance-space ground truth).
+//!
+//! The paper's simulator is verified by checking that its importance-space
+//! and exact-delay-space modes "produce the exact same result as software
+//! convolution" (§5.1); this module *is* that software convolution.
+
+use crate::{Image, Kernel};
+
+/// Output dimensions of a valid (no-padding) convolution.
+///
+/// Returns `None` if the kernel does not fit in the image.
+pub fn output_dims(
+    image_w: usize,
+    image_h: usize,
+    kernel: &Kernel,
+    stride: usize,
+) -> Option<(usize, usize)> {
+    if stride == 0 || kernel.width() > image_w || kernel.height() > image_h {
+        return None;
+    }
+    Some((
+        (image_w - kernel.width()) / stride + 1,
+        (image_h - kernel.height()) / stride + 1,
+    ))
+}
+
+/// Convolves `image` with `kernel` using valid padding and the given
+/// stride. This is *correlation* in the signal-processing sense (no kernel
+/// flip), matching the filter-bank convention of CNNs and of the paper's
+/// filter-weight delay matrix.
+///
+/// # Panics
+///
+/// Panics if `stride == 0` or the kernel does not fit in the image.
+pub fn convolve(image: &Image, kernel: &Kernel, stride: usize) -> Image {
+    let (ow, oh) = output_dims(image.width(), image.height(), kernel, stride)
+        .expect("kernel must fit in the image and stride must be non-zero");
+    Image::from_fn(ow, oh, |ox, oy| {
+        let mut acc = 0.0;
+        for ky in 0..kernel.height() {
+            for kx in 0..kernel.width() {
+                acc += image.get(ox * stride + kx, oy * stride + ky) * kernel.weight(kx, ky);
+            }
+        }
+        acc
+    })
+}
+
+/// Convolves with several kernels at once (e.g. the Sobel x/y pair),
+/// returning one output image per kernel.
+///
+/// # Panics
+///
+/// Same contract as [`convolve`].
+pub fn convolve_multi(image: &Image, kernels: &[Kernel], stride: usize) -> Vec<Image> {
+    kernels.iter().map(|k| convolve(image, k, stride)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn output_dims_math() {
+        let k = Kernel::box_filter(3);
+        assert_eq!(output_dims(10, 8, &k, 1), Some((8, 6)));
+        assert_eq!(output_dims(10, 8, &k, 2), Some((4, 3)));
+        assert_eq!(output_dims(2, 8, &k, 1), None);
+        assert_eq!(output_dims(10, 8, &k, 0), None);
+    }
+
+    #[test]
+    fn identity_kernel_passthrough() {
+        let k = Kernel::new("id", 1, 1, vec![1.0]);
+        let img = Image::from_fn(4, 3, |x, y| (x * 10 + y) as f64);
+        assert_eq!(convolve(&img, &k, 1), img);
+    }
+
+    #[test]
+    fn hand_computed_3x3() {
+        // Image rows: 1 2 3 / 4 5 6 / 7 8 9, box kernel (all 1/9):
+        let img = Image::from_fn(3, 3, |x, y| (y * 3 + x + 1) as f64);
+        let k = Kernel::new("ones", 3, 3, vec![1.0; 9]);
+        let out = convolve(&img, &k, 1);
+        assert_eq!(out.width(), 1);
+        assert_eq!(out.get(0, 0), 45.0);
+    }
+
+    #[test]
+    fn sobel_on_vertical_edge() {
+        // Left half 0, right half 1: sobel_x responds, sobel_y silent.
+        let img = Image::from_fn(6, 6, |x, _| if x < 3 { 0.0 } else { 1.0 });
+        let gx = convolve(&img, &Kernel::sobel_x(), 1);
+        let gy = convolve(&img, &Kernel::sobel_y(), 1);
+        // Strongest response where the kernel straddles the edge.
+        let (_, max_gx) = gx.min_max();
+        assert_eq!(max_gx, 4.0);
+        let (min_gy, max_gy) = gy.min_max();
+        assert_eq!((min_gy, max_gy), (0.0, 0.0));
+    }
+
+    #[test]
+    fn stride_subsamples() {
+        let img = Image::from_fn(7, 7, |x, y| (x + y) as f64);
+        let k = Kernel::new("id", 1, 1, vec![1.0]);
+        let out = convolve(&img, &k, 2);
+        assert_eq!((out.width(), out.height()), (4, 4));
+        assert_eq!(out.get(1, 1), 4.0); // source pixel (2, 2)
+    }
+
+    #[test]
+    fn stride_matches_pyr_down_geometry() {
+        // 150×150 with 5×5 stride 2: (150-5)/2+1 = 73.
+        let img = Image::zeros(150, 150);
+        let out = convolve(&img, &Kernel::pyr_down_5x5(), 2);
+        assert_eq!((out.width(), out.height()), (73, 73));
+    }
+
+    #[test]
+    fn gaussian_preserves_constant_images() {
+        let img = Image::from_fn(10, 10, |_, _| 0.42);
+        let out = convolve(&img, &Kernel::gaussian(7, 1.2), 1);
+        for &p in out.pixels() {
+            assert!((p - 0.42).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn multi_kernel_matches_individual() {
+        let img = Image::from_fn(8, 8, |x, y| ((x * 31 + y * 17) % 7) as f64 / 7.0);
+        let ks = [Kernel::sobel_x(), Kernel::sobel_y()];
+        let multi = convolve_multi(&img, &ks, 1);
+        assert_eq!(multi[0], convolve(&img, &ks[0], 1));
+        assert_eq!(multi[1], convolve(&img, &ks[1], 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "must fit")]
+    fn oversized_kernel_panics() {
+        convolve(&Image::zeros(2, 2), &Kernel::box_filter(3), 1);
+    }
+}

@@ -1,0 +1,274 @@
+//! Dense grayscale image container.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error for invalid image construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ImageError {
+    /// Pixel buffer length does not equal `width × height`.
+    SizeMismatch {
+        /// Expected number of pixels.
+        expected: usize,
+        /// Supplied number of pixels.
+        got: usize,
+    },
+    /// Width or height was zero.
+    EmptyDimension,
+}
+
+impl fmt::Display for ImageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ImageError::SizeMismatch { expected, got } => {
+                write!(f, "pixel buffer holds {got} values, dimensions need {expected}")
+            }
+            ImageError::EmptyDimension => write!(f, "image dimensions must be non-zero"),
+        }
+    }
+}
+
+impl Error for ImageError {}
+
+/// A dense, row-major grayscale image with `f64` pixels.
+///
+/// Sensor pixels are normalised to `[0, 1]` by convention (the VTC models
+/// assume this range), but the container itself accepts any finite values —
+/// convolution *outputs* routinely leave `[0, 1]`.
+///
+/// ```
+/// use ta_image::Image;
+/// let img = Image::from_fn(4, 3, |x, y| (x + y) as f64 / 10.0);
+/// assert_eq!(img.width(), 4);
+/// assert_eq!(img.get(3, 2), 0.5);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Image {
+    width: usize,
+    height: usize,
+    pixels: Vec<f64>,
+}
+
+impl Image {
+    /// Creates an all-zero image.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn zeros(width: usize, height: usize) -> Self {
+        assert!(width > 0 && height > 0, "image dimensions must be non-zero");
+        Image {
+            width,
+            height,
+            pixels: vec![0.0; width * height],
+        }
+    }
+
+    /// Builds an image by evaluating `f(x, y)` for every pixel
+    /// (`x` = column, `y` = row).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn from_fn(width: usize, height: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        assert!(width > 0 && height > 0, "image dimensions must be non-zero");
+        let mut pixels = Vec::with_capacity(width * height);
+        for y in 0..height {
+            for x in 0..width {
+                pixels.push(f(x, y));
+            }
+        }
+        Image {
+            width,
+            height,
+            pixels,
+        }
+    }
+
+    /// Wraps an existing row-major pixel buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ImageError`] if the buffer length does not match the
+    /// dimensions or a dimension is zero.
+    pub fn from_pixels(width: usize, height: usize, pixels: Vec<f64>) -> Result<Self, ImageError> {
+        if width == 0 || height == 0 {
+            return Err(ImageError::EmptyDimension);
+        }
+        if pixels.len() != width * height {
+            return Err(ImageError::SizeMismatch {
+                expected: width * height,
+                got: pixels.len(),
+            });
+        }
+        Ok(Image {
+            width,
+            height,
+            pixels,
+        })
+    }
+
+    /// Image width (columns).
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Image height (rows).
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Pixel at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates are out of bounds.
+    pub fn get(&self, x: usize, y: usize) -> f64 {
+        assert!(x < self.width && y < self.height, "pixel out of bounds");
+        self.pixels[y * self.width + x]
+    }
+
+    /// Sets the pixel at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates are out of bounds.
+    pub fn set(&mut self, x: usize, y: usize, value: f64) {
+        assert!(x < self.width && y < self.height, "pixel out of bounds");
+        self.pixels[y * self.width + x] = value;
+    }
+
+    /// The underlying row-major pixel buffer.
+    pub fn pixels(&self) -> &[f64] {
+        &self.pixels
+    }
+
+    /// One row of pixels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `y` is out of bounds.
+    pub fn row(&self, y: usize) -> &[f64] {
+        assert!(y < self.height, "row out of bounds");
+        &self.pixels[y * self.width..(y + 1) * self.width]
+    }
+
+    /// Applies `f` to every pixel, returning a new image.
+    pub fn map(&self, mut f: impl FnMut(f64) -> f64) -> Image {
+        Image {
+            width: self.width,
+            height: self.height,
+            pixels: self.pixels.iter().map(|&p| f(p)).collect(),
+        }
+    }
+
+    /// Clamps all pixels into `[lo, hi]`.
+    pub fn clamped(&self, lo: f64, hi: f64) -> Image {
+        self.map(|p| p.clamp(lo, hi))
+    }
+
+    /// Minimum and maximum pixel values.
+    pub fn min_max(&self) -> (f64, f64) {
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for &p in &self.pixels {
+            lo = lo.min(p);
+            hi = hi.max(p);
+        }
+        (lo, hi)
+    }
+
+    /// Mean pixel value.
+    pub fn mean(&self) -> f64 {
+        self.pixels.iter().sum::<f64>() / self.pixels.len() as f64
+    }
+
+    /// Nearest-neighbour rescale to `new_width × new_height`, used to bring
+    /// synthetic dataset images to the evaluation's 150×150 geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either target dimension is zero.
+    pub fn resized(&self, new_width: usize, new_height: usize) -> Image {
+        assert!(new_width > 0 && new_height > 0, "image dimensions must be non-zero");
+        Image::from_fn(new_width, new_height, |x, y| {
+            let sx = x * self.width / new_width;
+            let sy = y * self.height / new_height;
+            self.get(sx, sy)
+        })
+    }
+}
+
+impl fmt::Display for Image {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Image({}×{})", self.width, self.height)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_fn_indexing_is_row_major() {
+        let img = Image::from_fn(3, 2, |x, y| (10 * y + x) as f64);
+        assert_eq!(img.pixels(), &[0.0, 1.0, 2.0, 10.0, 11.0, 12.0]);
+        assert_eq!(img.get(2, 1), 12.0);
+        assert_eq!(img.row(1), &[10.0, 11.0, 12.0]);
+    }
+
+    #[test]
+    fn from_pixels_validates() {
+        assert_eq!(
+            Image::from_pixels(2, 2, vec![0.0; 3]).unwrap_err(),
+            ImageError::SizeMismatch {
+                expected: 4,
+                got: 3
+            }
+        );
+        assert_eq!(
+            Image::from_pixels(0, 2, vec![]).unwrap_err(),
+            ImageError::EmptyDimension
+        );
+    }
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut img = Image::zeros(4, 4);
+        img.set(1, 3, 0.7);
+        assert_eq!(img.get(1, 3), 0.7);
+        assert_eq!(img.get(3, 1), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn get_out_of_bounds_panics() {
+        Image::zeros(2, 2).get(2, 0);
+    }
+
+    #[test]
+    fn map_and_clamp() {
+        let img = Image::from_fn(2, 2, |x, _| x as f64 * 2.0 - 0.5);
+        let c = img.clamped(0.0, 1.0);
+        assert_eq!(c.pixels(), &[0.0, 1.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn min_max_mean() {
+        let img = Image::from_fn(2, 2, |x, y| (x + 2 * y) as f64);
+        assert_eq!(img.min_max(), (0.0, 3.0));
+        assert_eq!(img.mean(), 1.5);
+    }
+
+    #[test]
+    fn resize_nearest() {
+        let img = Image::from_fn(4, 4, |x, _| x as f64);
+        let small = img.resized(2, 2);
+        assert_eq!(small.get(0, 0), 0.0);
+        assert_eq!(small.get(1, 1), 2.0);
+        let big = img.resized(8, 8);
+        assert_eq!(big.width(), 8);
+        assert_eq!(big.get(7, 0), 3.0);
+    }
+}

@@ -1,0 +1,344 @@
+//! Convolution kernels, including the paper's benchmark filters (Table 1).
+
+use std::fmt;
+
+/// A dense convolution kernel with `f64` weights.
+///
+/// Kernels are row-major like [`crate::Image`]. The benchmark constructors
+/// reproduce the filters of the paper's evaluation:
+///
+/// | Function (Table 1) | Constructor | Shape |
+/// |--------------------|-------------|-------|
+/// | Sobel (edge detection, 2 filters) | [`Kernel::sobel_x`], [`Kernel::sobel_y`] | 3×3 |
+/// | pyrDown (blur + downsample)       | [`Kernel::pyr_down_5x5`] | 5×5 |
+/// | GaussianBlur                      | [`Kernel::gaussian`] | 7×7 |
+/// | PIP 1.5-bit edge conv (Table 3)   | [`Kernel::edge_ternary`] | 2×2 … 4×4 |
+#[derive(Debug, Clone, PartialEq)]
+pub struct Kernel {
+    name: String,
+    width: usize,
+    height: usize,
+    weights: Vec<f64>,
+}
+
+impl Kernel {
+    /// Creates a kernel from row-major weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a dimension is zero or the weight count does not match.
+    pub fn new(name: impl Into<String>, width: usize, height: usize, weights: Vec<f64>) -> Self {
+        assert!(width > 0 && height > 0, "kernel dimensions must be non-zero");
+        assert_eq!(
+            weights.len(),
+            width * height,
+            "kernel weights must fill the given dimensions"
+        );
+        Kernel {
+            name: name.into(),
+            width,
+            height,
+            weights,
+        }
+    }
+
+    /// The horizontal Sobel derivative filter (OpenCV's `Sobel` with
+    /// `dx=1, dy=0`, 3×3 aperture).
+    pub fn sobel_x() -> Self {
+        Kernel::new(
+            "sobel_x",
+            3,
+            3,
+            vec![-1.0, 0.0, 1.0, -2.0, 0.0, 2.0, -1.0, 0.0, 1.0],
+        )
+    }
+
+    /// The vertical Sobel derivative filter (`dx=0, dy=1`).
+    pub fn sobel_y() -> Self {
+        Kernel::new(
+            "sobel_y",
+            3,
+            3,
+            vec![-1.0, -2.0, -1.0, 0.0, 0.0, 0.0, 1.0, 2.0, 1.0],
+        )
+    }
+
+    /// The 5×5 binomial kernel OpenCV's `pyrDown` uses (outer product of
+    /// `[1, 4, 6, 4, 1]/16`), applied with stride 2 in the benchmark.
+    pub fn pyr_down_5x5() -> Self {
+        let b = [1.0, 4.0, 6.0, 4.0, 1.0];
+        let mut w = Vec::with_capacity(25);
+        for &r in &b {
+            for &c in &b {
+                w.push(r * c / 256.0);
+            }
+        }
+        Kernel::new("pyrDown", 5, 5, w)
+    }
+
+    /// A normalised Gaussian blur kernel of odd `size` and standard
+    /// deviation `sigma` (OpenCV defaults `sigma = 0.3·((size-1)/2 - 1) +
+    /// 0.8` when `sigma <= 0`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is even or zero.
+    pub fn gaussian(size: usize, sigma: f64) -> Self {
+        assert!(size % 2 == 1 && size > 0, "gaussian kernel size must be odd");
+        let sigma = if sigma > 0.0 {
+            sigma
+        } else {
+            0.3 * ((size - 1) as f64 / 2.0 - 1.0) + 0.8
+        };
+        let c = (size / 2) as f64;
+        let mut w = Vec::with_capacity(size * size);
+        for y in 0..size {
+            for x in 0..size {
+                let dx = x as f64 - c;
+                let dy = y as f64 - c;
+                w.push((-(dx * dx + dy * dy) / (2.0 * sigma * sigma)).exp());
+            }
+        }
+        let sum: f64 = w.iter().sum();
+        for v in &mut w {
+            *v /= sum;
+        }
+        Kernel::new(format!("gaussian{size}x{size}"), size, size, w)
+    }
+
+    /// A normalised box (mean) filter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is zero.
+    pub fn box_filter(size: usize) -> Self {
+        assert!(size > 0, "box kernel size must be non-zero");
+        let v = 1.0 / (size * size) as f64;
+        Kernel::new(format!("box{size}x{size}"), size, size, vec![v; size * size])
+    }
+
+    /// The 3×3 discrete Laplacian (4-connected): a second-derivative edge
+    /// detector with a dominant negative centre — a harder case for the
+    /// split representation than Sobel because every output mixes rails.
+    pub fn laplacian() -> Self {
+        Kernel::new(
+            "laplacian",
+            3,
+            3,
+            vec![0.0, 1.0, 0.0, 1.0, -4.0, 1.0, 0.0, 1.0, 0.0],
+        )
+    }
+
+    /// A 3×3 sharpening kernel (identity plus Laplacian).
+    pub fn sharpen() -> Self {
+        Kernel::new(
+            "sharpen",
+            3,
+            3,
+            vec![0.0, -1.0, 0.0, -1.0, 5.0, -1.0, 0.0, -1.0, 0.0],
+        )
+    }
+
+    /// A 3×3 emboss kernel (diagonal derivative).
+    pub fn emboss() -> Self {
+        Kernel::new(
+            "emboss",
+            3,
+            3,
+            vec![-2.0, -1.0, 0.0, -1.0, 1.0, 1.0, 0.0, 1.0, 2.0],
+        )
+    }
+
+    /// The 1.5-bit ternary vertical-edge kernel used for the
+    /// processing-in-pixel comparison (Table 3): left columns `+1`, right
+    /// columns `-1`, middle column (odd widths) `0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a dimension is zero.
+    pub fn edge_ternary(width: usize, height: usize) -> Self {
+        assert!(width > 0 && height > 0, "kernel dimensions must be non-zero");
+        let mut w = Vec::with_capacity(width * height);
+        for _y in 0..height {
+            for x in 0..width {
+                let v = if 2 * x + 1 < width {
+                    1.0
+                } else if 2 * x + 1 > width {
+                    -1.0
+                } else {
+                    0.0
+                };
+                w.push(v);
+            }
+        }
+        Kernel::new(format!("edge{width}x{height}"), width, height, w)
+    }
+
+    /// Kernel name (used in reports).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Kernel width (columns).
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Kernel height (rows / filter length in the rolling-shutter sense).
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Row-major weights.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// The weight at kernel position `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates are out of bounds.
+    pub fn weight(&self, x: usize, y: usize) -> f64 {
+        assert!(x < self.width && y < self.height, "kernel index out of bounds");
+        self.weights[y * self.width + x]
+    }
+
+    /// One row of weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `y` is out of bounds.
+    pub fn row(&self, y: usize) -> &[f64] {
+        assert!(y < self.height, "kernel row out of bounds");
+        &self.weights[y * self.width..(y + 1) * self.width]
+    }
+
+    /// Whether any weight is negative — if so, the delay-space architecture
+    /// needs the split representation and an nLDE subtraction unit (§4.4).
+    pub fn has_negative_weights(&self) -> bool {
+        self.weights.iter().any(|&w| w < 0.0)
+    }
+
+    /// Sum of all weights.
+    pub fn sum(&self) -> f64 {
+        self.weights.iter().sum()
+    }
+
+    /// Splits into `(positive_part, negative_part)` with non-negative
+    /// weights each, such that `self = positive_part - negative_part`
+    /// (the split-kernel decomposition of §4.4).
+    pub fn split_signs(&self) -> (Kernel, Kernel) {
+        let pos: Vec<f64> = self.weights.iter().map(|&w| w.max(0.0)).collect();
+        let neg: Vec<f64> = self.weights.iter().map(|&w| (-w).max(0.0)).collect();
+        (
+            Kernel::new(format!("{}+", self.name), self.width, self.height, pos),
+            Kernel::new(format!("{}-", self.name), self.width, self.height, neg),
+        )
+    }
+}
+
+impl fmt::Display for Kernel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({}×{})", self.name, self.width, self.height)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sobel_pair_shapes() {
+        let sx = Kernel::sobel_x();
+        let sy = Kernel::sobel_y();
+        assert_eq!((sx.width(), sx.height()), (3, 3));
+        assert!(sx.has_negative_weights());
+        assert_eq!(sx.sum(), 0.0);
+        // sobel_y is sobel_x transposed.
+        for y in 0..3 {
+            for x in 0..3 {
+                assert_eq!(sx.weight(x, y), sy.weight(y, x));
+            }
+        }
+    }
+
+    #[test]
+    fn pyr_down_is_normalised_binomial() {
+        let k = Kernel::pyr_down_5x5();
+        assert!((k.sum() - 1.0).abs() < 1e-12);
+        assert!(!k.has_negative_weights());
+        assert!((k.weight(2, 2) - 36.0 / 256.0).abs() < 1e-12);
+        assert!((k.weight(0, 0) - 1.0 / 256.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gaussian_normalised_and_symmetric() {
+        let k = Kernel::gaussian(7, 1.5);
+        assert!((k.sum() - 1.0).abs() < 1e-12);
+        assert!(!k.has_negative_weights());
+        assert!(k.weight(3, 3) > k.weight(0, 0));
+        assert_eq!(k.weight(0, 3), k.weight(6, 3));
+        assert_eq!(k.weight(3, 0), k.weight(3, 6));
+    }
+
+    #[test]
+    fn gaussian_default_sigma_like_opencv() {
+        let a = Kernel::gaussian(7, 0.0);
+        let expect_sigma = 0.3 * (3.0 - 1.0) + 0.8;
+        let b = Kernel::gaussian(7, expect_sigma);
+        for (wa, wb) in a.weights().iter().zip(b.weights()) {
+            assert!((wa - wb).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "odd")]
+    fn gaussian_rejects_even_size() {
+        Kernel::gaussian(4, 1.0);
+    }
+
+    #[test]
+    fn edge_ternary_patterns() {
+        let k22 = Kernel::edge_ternary(2, 2);
+        assert_eq!(k22.weights(), &[1.0, -1.0, 1.0, -1.0]);
+        let k33 = Kernel::edge_ternary(3, 3);
+        assert_eq!(k33.row(0), &[1.0, 0.0, -1.0]);
+        let k44 = Kernel::edge_ternary(4, 4);
+        assert_eq!(k44.row(0), &[1.0, 1.0, -1.0, -1.0]);
+        assert!(k44.has_negative_weights());
+    }
+
+    #[test]
+    fn extended_kernels() {
+        let lap = Kernel::laplacian();
+        assert_eq!(lap.sum(), 0.0);
+        assert_eq!(lap.weight(1, 1), -4.0);
+        assert!(lap.has_negative_weights());
+        let sharp = Kernel::sharpen();
+        assert_eq!(sharp.sum(), 1.0);
+        assert_eq!(sharp.weight(1, 1), 5.0);
+        let emb = Kernel::emboss();
+        assert_eq!(emb.sum(), 1.0);
+        assert_eq!(emb.weight(0, 0), -2.0);
+        assert_eq!(emb.weight(2, 2), 2.0);
+    }
+
+    #[test]
+    fn split_signs_reconstructs() {
+        let k = Kernel::sobel_x();
+        let (p, n) = k.split_signs();
+        assert!(!p.has_negative_weights());
+        assert!(!n.has_negative_weights());
+        for i in 0..9 {
+            assert_eq!(p.weights()[i] - n.weights()[i], k.weights()[i]);
+        }
+    }
+
+    #[test]
+    fn box_filter_is_mean() {
+        let k = Kernel::box_filter(3);
+        assert!((k.sum() - 1.0).abs() < 1e-12);
+        assert_eq!(k.weight(1, 1), 1.0 / 9.0);
+    }
+}

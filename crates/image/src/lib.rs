@@ -1,0 +1,31 @@
+//! Image substrate: grayscale images, convolution kernels, a reference
+//! software convolution, synthetic datasets, and error metrics.
+//!
+//! This crate supplies everything the architectural evaluation needs from
+//! the image-processing world, implemented from scratch:
+//!
+//! * [`Image`] — a dense grayscale image with `f64` pixels in `[0, 1]`.
+//! * [`Kernel`] — convolution filters, with constructors for the paper's
+//!   benchmarks (Table 1): the OpenCV-style Sobel pair, `pyrDown`'s 5×5
+//!   binomial kernel, Gaussian blur, and the 1.5-bit ternary edge filter of
+//!   the processing-in-pixel comparison (Table 3).
+//! * [`conv`] — the reference importance-space convolution (valid padding,
+//!   arbitrary stride), the ground truth every simulator mode is verified
+//!   against (paper §5.1).
+//! * [`synth`] — a deterministic synthetic dataset with natural-image-like
+//!   statistics, substituting for Imagenette (see DESIGN.md §3).
+//! * [`metrics`] — RMSE and range-normalised RMSE.
+//! * [`pgm`] — dependency-free PGM (portable graymap) image I/O.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod conv;
+mod image;
+mod kernel;
+pub mod metrics;
+pub mod pgm;
+pub mod synth;
+
+pub use image::{Image, ImageError};
+pub use kernel::Kernel;

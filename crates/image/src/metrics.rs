@@ -1,0 +1,148 @@
+//! Error metrics used throughout the evaluation.
+//!
+//! The paper reports **range-normalised RMS error** (§5.2): the RMS of the
+//! pixel-wise difference between a measured output and the exact reference,
+//! divided by the range of the reference values. Table 3 additionally
+//! reports it as a percentage.
+
+use crate::Image;
+
+/// Plain (unnormalised) root-mean-square error between two images.
+///
+/// # Panics
+///
+/// Panics if the images have different dimensions.
+pub fn rmse(a: &Image, b: &Image) -> f64 {
+    assert_eq!(
+        (a.width(), a.height()),
+        (b.width(), b.height()),
+        "rmse needs equally sized images"
+    );
+    let sq: f64 = a
+        .pixels()
+        .iter()
+        .zip(b.pixels())
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum();
+    (sq / a.pixels().len() as f64).sqrt()
+}
+
+/// RMS error normalised by the range of the reference image `reference`
+/// (the paper's headline accuracy metric).
+///
+/// Returns plain RMSE if the reference's range is *degenerate* — zero, or
+/// pure floating-point cancellation noise (below `1e-12` absolute and
+/// below `1e-9` of the reference's magnitude). Without the floor, a
+/// constant-valued reference whose entries differ by a few ulps would
+/// normalise a harmless ~1e-16 error into an apparent ~0.2.
+///
+/// # Panics
+///
+/// Panics if the images have different dimensions.
+pub fn normalized_rmse(measured: &Image, reference: &Image) -> f64 {
+    let (lo, hi) = reference.min_max();
+    let range = hi - lo;
+    let magnitude = lo.abs().max(hi.abs());
+    let e = rmse(measured, reference);
+    if range > 1e-12 && range > 1e-9 * magnitude {
+        e / range
+    } else {
+        e
+    }
+}
+
+/// Range-normalised RMSE expressed as a percentage (Table 3's `%RMSE`).
+///
+/// # Panics
+///
+/// Panics if the images have different dimensions.
+pub fn percent_rmse(measured: &Image, reference: &Image) -> f64 {
+    100.0 * normalized_rmse(measured, reference)
+}
+
+/// Mean absolute error.
+///
+/// # Panics
+///
+/// Panics if the images have different dimensions.
+pub fn mae(a: &Image, b: &Image) -> f64 {
+    assert_eq!(
+        (a.width(), a.height()),
+        (b.width(), b.height()),
+        "mae needs equally sized images"
+    );
+    a.pixels()
+        .iter()
+        .zip(b.pixels())
+        .map(|(x, y)| (x - y).abs())
+        .sum::<f64>()
+        / a.pixels().len() as f64
+}
+
+/// Pools per-image normalised RMSEs into one score by RMS, the way the
+/// paper aggregates over its five evaluation images.
+pub fn pool_rmse(per_image: &[f64]) -> f64 {
+    if per_image.is_empty() {
+        return 0.0;
+    }
+    (per_image.iter().map(|e| e * e).sum::<f64>() / per_image.len() as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_images_zero_error() {
+        let a = Image::from_fn(5, 5, |x, y| (x * y) as f64);
+        assert_eq!(rmse(&a, &a), 0.0);
+        assert_eq!(normalized_rmse(&a, &a), 0.0);
+        assert_eq!(mae(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn hand_computed_rmse() {
+        let a = Image::from_pixels(2, 1, vec![0.0, 0.0]).unwrap();
+        let b = Image::from_pixels(2, 1, vec![3.0, 4.0]).unwrap();
+        // sqrt((9+16)/2) = sqrt(12.5)
+        assert!((rmse(&a, &b) - 12.5_f64.sqrt()).abs() < 1e-12);
+        assert_eq!(mae(&a, &b), 3.5);
+    }
+
+    #[test]
+    fn normalisation_uses_reference_range() {
+        let reference = Image::from_pixels(2, 1, vec![0.0, 2.0]).unwrap();
+        let measured = Image::from_pixels(2, 1, vec![0.2, 2.2]).unwrap();
+        assert!((normalized_rmse(&measured, &reference) - 0.1).abs() < 1e-12);
+        assert!((percent_rmse(&measured, &reference) - 10.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn zero_range_reference_falls_back_to_rmse() {
+        let reference = Image::from_pixels(2, 1, vec![1.0, 1.0]).unwrap();
+        let measured = Image::from_pixels(2, 1, vec![1.5, 1.5]).unwrap();
+        assert!((normalized_rmse(&measured, &reference) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cancellation_noise_range_is_treated_as_zero() {
+        // A "constant" reference whose entries differ only by float
+        // cancellation noise must not be used as a normaliser.
+        let reference = Image::from_pixels(2, 1, vec![1e-16, -3e-16]).unwrap();
+        let measured = Image::from_pixels(2, 1, vec![0.0, 0.0]).unwrap();
+        let e = normalized_rmse(&measured, &reference);
+        assert!(e < 1e-12, "degenerate range inflated the error to {e}");
+    }
+
+    #[test]
+    fn pooling() {
+        assert_eq!(pool_rmse(&[]), 0.0);
+        assert!((pool_rmse(&[3.0, 4.0]) - 12.5_f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "equally sized")]
+    fn size_mismatch_panics() {
+        rmse(&Image::zeros(2, 2), &Image::zeros(3, 2));
+    }
+}

@@ -1,0 +1,264 @@
+//! Portable graymap (PGM) I/O — real images in and out of the engine with
+//! no external dependencies.
+//!
+//! Both the ASCII (`P2`) and binary (`P5`, 8-bit) variants are supported
+//! for reading; writing emits binary `P5`. Pixels are normalised to
+//! `[0, 1]` on read (dividing by `maxval`) and quantised back on write.
+
+use std::error::Error;
+use std::fmt;
+use std::io::{BufRead, Write};
+use std::path::Path;
+
+use crate::Image;
+
+/// Errors raised by PGM parsing.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum PgmError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The file is not a P2/P5 graymap or violates the format.
+    Format(String),
+}
+
+impl fmt::Display for PgmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PgmError::Io(e) => write!(f, "i/o error: {e}"),
+            PgmError::Format(why) => write!(f, "malformed PGM: {why}"),
+        }
+    }
+}
+
+impl Error for PgmError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            PgmError::Io(e) => Some(e),
+            PgmError::Format(_) => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for PgmError {
+    fn from(e: std::io::Error) -> Self {
+        PgmError::Io(e)
+    }
+}
+
+/// Reads a PGM image (P2 or P5) from a reader.
+///
+/// # Errors
+///
+/// Returns [`PgmError`] on I/O failure or malformed content.
+pub fn read_pgm<R: BufRead>(mut reader: R) -> Result<Image, PgmError> {
+    let mut bytes = Vec::new();
+    reader.read_to_end(&mut bytes)?;
+    let mut cursor = 0usize;
+
+    let magic = read_token(&bytes, &mut cursor)
+        .ok_or_else(|| PgmError::Format("missing magic number".into()))?;
+    let binary = match magic.as_str() {
+        "P5" => true,
+        "P2" => false,
+        other => {
+            return Err(PgmError::Format(format!(
+                "unsupported magic {other:?} (want P2 or P5)"
+            )))
+        }
+    };
+
+    let mut dims = [0usize; 3];
+    for d in &mut dims {
+        let tok = read_token(&bytes, &mut cursor)
+            .ok_or_else(|| PgmError::Format("truncated header".into()))?;
+        *d = tok
+            .parse()
+            .map_err(|_| PgmError::Format(format!("bad header number {tok:?}")))?;
+    }
+    let [width, height, maxval] = dims;
+    if width == 0 || height == 0 {
+        return Err(PgmError::Format("zero dimension".into()));
+    }
+    if maxval == 0 || maxval > 65535 {
+        return Err(PgmError::Format(format!("maxval {maxval} out of range")));
+    }
+
+    let count = width * height;
+    let mut pixels = Vec::with_capacity(count);
+    if binary {
+        if maxval > 255 {
+            return Err(PgmError::Format("16-bit binary PGM not supported".into()));
+        }
+        // Exactly one whitespace byte separates the header from the raster.
+        if cursor < bytes.len() && bytes[cursor].is_ascii_whitespace() {
+            cursor += 1;
+        }
+        let raster = &bytes
+            .get(cursor..cursor + count)
+            .ok_or_else(|| PgmError::Format("truncated raster".into()))?;
+        if let Some(&bad) = raster.iter().find(|&&b| b as usize > maxval) {
+            return Err(PgmError::Format(format!("pixel {bad} exceeds maxval")));
+        }
+        pixels.extend(raster.iter().map(|&b| b as f64 / maxval as f64));
+    } else {
+        for _ in 0..count {
+            let tok = read_token(&bytes, &mut cursor)
+                .ok_or_else(|| PgmError::Format("truncated raster".into()))?;
+            let v: u32 = tok
+                .parse()
+                .map_err(|_| PgmError::Format(format!("bad pixel {tok:?}")))?;
+            if v as usize > maxval {
+                return Err(PgmError::Format(format!("pixel {v} exceeds maxval")));
+            }
+            pixels.push(v as f64 / maxval as f64);
+        }
+    }
+    Image::from_pixels(width, height, pixels)
+        .map_err(|e| PgmError::Format(e.to_string()))
+}
+
+/// Reads a PGM file from disk.
+///
+/// # Errors
+///
+/// Returns [`PgmError`] on I/O failure or malformed content.
+pub fn load_pgm(path: impl AsRef<Path>) -> Result<Image, PgmError> {
+    let file = std::fs::File::open(path)?;
+    read_pgm(std::io::BufReader::new(file))
+}
+
+/// Writes an image as binary `P5` PGM (8-bit); pixels are clamped to
+/// `[0, 1]` and quantised to 255 levels. A mut reference works as the
+/// writer.
+///
+/// # Errors
+///
+/// Returns [`PgmError::Io`] on write failure.
+pub fn write_pgm<W: Write>(image: &Image, mut writer: W) -> Result<(), PgmError> {
+    write!(writer, "P5\n{} {}\n255\n", image.width(), image.height())?;
+    let raster: Vec<u8> = image
+        .pixels()
+        .iter()
+        .map(|&p| (p.clamp(0.0, 1.0) * 255.0).round() as u8)
+        .collect();
+    writer.write_all(&raster)?;
+    Ok(())
+}
+
+/// Writes an image to a PGM file on disk.
+///
+/// # Errors
+///
+/// Returns [`PgmError::Io`] on write failure.
+pub fn save_pgm(image: &Image, path: impl AsRef<Path>) -> Result<(), PgmError> {
+    let file = std::fs::File::create(path)?;
+    write_pgm(image, std::io::BufWriter::new(file))
+}
+
+/// Reads one whitespace-delimited token, skipping `#` comments.
+fn read_token(bytes: &[u8], cursor: &mut usize) -> Option<String> {
+    // Skip whitespace and comments.
+    loop {
+        while *cursor < bytes.len() && bytes[*cursor].is_ascii_whitespace() {
+            *cursor += 1;
+        }
+        if *cursor < bytes.len() && bytes[*cursor] == b'#' {
+            while *cursor < bytes.len() && bytes[*cursor] != b'\n' {
+                *cursor += 1;
+            }
+        } else {
+            break;
+        }
+    }
+    let start = *cursor;
+    while *cursor < bytes.len() && !bytes[*cursor].is_ascii_whitespace() {
+        *cursor += 1;
+    }
+    if *cursor > start {
+        Some(String::from_utf8_lossy(&bytes[start..*cursor]).into_owned())
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ascii_roundtrip_through_binary_writer() {
+        let src = b"P2\n# a comment\n3 2\n255\n0 128 255\n64 32 16\n";
+        let img = read_pgm(&src[..]).unwrap();
+        assert_eq!((img.width(), img.height()), (3, 2));
+        assert!((img.get(1, 0) - 128.0 / 255.0).abs() < 1e-12);
+
+        let mut buf = Vec::new();
+        write_pgm(&img, &mut buf).unwrap();
+        let back = read_pgm(&buf[..]).unwrap();
+        for (a, b) in img.pixels().iter().zip(back.pixels()) {
+            assert!((a - b).abs() <= 1.0 / 255.0);
+        }
+    }
+
+    #[test]
+    fn binary_p5_reads() {
+        let mut src = b"P5\n2 2\n255\n".to_vec();
+        src.extend_from_slice(&[0, 255, 128, 64]);
+        let img = read_pgm(&src[..]).unwrap();
+        assert_eq!(img.get(0, 0), 0.0);
+        assert_eq!(img.get(1, 0), 1.0);
+        assert!((img.get(0, 1) - 128.0 / 255.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_malformed_inputs() {
+        assert!(matches!(
+            read_pgm(&b"P6\n1 1\n255\nxxx"[..]),
+            Err(PgmError::Format(_))
+        ));
+        assert!(matches!(
+            read_pgm(&b"P2\n2 2\n255\n0 1 2"[..]), // missing a pixel
+            Err(PgmError::Format(_))
+        ));
+        assert!(matches!(
+            read_pgm(&b"P5\n2 2\n255\n\x00\x01"[..]), // truncated raster
+            Err(PgmError::Format(_))
+        ));
+        assert!(matches!(
+            read_pgm(&b"P2\n0 2\n255\n"[..]),
+            Err(PgmError::Format(_))
+        ));
+        assert!(matches!(
+            read_pgm(&b"P2\n2 2\n255\n0 1 2 999"[..]), // pixel > maxval
+            Err(PgmError::Format(_))
+        ));
+    }
+
+    #[test]
+    fn binary_pixels_validated_against_maxval() {
+        let mut src = b"P5\n2 1\n100\n".to_vec();
+        src.extend_from_slice(&[50, 200]); // 200 > maxval 100
+        assert!(matches!(read_pgm(&src[..]), Err(PgmError::Format(_))));
+    }
+
+    #[test]
+    fn comments_anywhere_in_header() {
+        let src = b"P2 # magic\n# dims next\n2 # width\n1\n# maxval\n10\n5 10\n";
+        let img = read_pgm(&src[..]).unwrap();
+        assert_eq!(img.get(0, 0), 0.5);
+        assert_eq!(img.get(1, 0), 1.0);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let img = crate::synth::natural_image(20, 15, 3);
+        let path = std::env::temp_dir().join("ta_image_test_roundtrip.pgm");
+        save_pgm(&img, &path).unwrap();
+        let back = load_pgm(&path).unwrap();
+        assert_eq!((back.width(), back.height()), (20, 15));
+        let err = crate::metrics::rmse(&img, &back);
+        assert!(err <= 0.5 / 255.0 * 2.0, "quantisation error {err}");
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,302 @@
+//! Deterministic synthetic images standing in for the Imagenette dataset.
+//!
+//! The paper evaluates on five Imagenette photographs scaled to 150×150
+//! (§5.3). Photographs are not redistributable inside this repository, so
+//! we substitute procedurally generated images whose pixel statistics are
+//! natural-image-like: multi-octave value noise (1/f-style spectrum) plus
+//! smooth illumination gradients and a few hard-edged shapes, normalised to
+//! `[0, 1]`. The evaluation metric — range-normalised RMSE of the
+//! arithmetic — depends on pixel statistics, not semantics, so this
+//! preserves the experiments' behaviour (see DESIGN.md §3).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::Image;
+
+/// The image geometry the paper's evaluation uses.
+pub const EVAL_SIZE: usize = 150;
+
+/// Generates one natural-statistics synthetic image of the given size.
+///
+/// Deterministic in `seed`.
+///
+/// ```
+/// use ta_image::synth;
+/// let img = synth::natural_image(64, 64, 7);
+/// let (lo, hi) = img.min_max();
+/// assert!(lo >= 0.0 && hi <= 1.0);
+/// assert_eq!(img, synth::natural_image(64, 64, 7)); // reproducible
+/// ```
+///
+/// # Panics
+///
+/// Panics if either dimension is zero.
+pub fn natural_image(width: usize, height: usize, seed: u64) -> Image {
+    assert!(width > 0 && height > 0, "image dimensions must be non-zero");
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x5eed_1a7e_0000);
+
+    // Multi-octave value noise: each octave is a coarse random lattice
+    // upsampled with bilinear interpolation; amplitude halves per octave,
+    // giving the 1/f-flavoured spectrum of natural photographs.
+    let octaves = [(4usize, 0.5), (8, 0.25), (16, 0.125), (32, 0.0625)];
+    let mut fields = Vec::new();
+    for &(cells, amp) in &octaves {
+        let lattice: Vec<f64> = (0..(cells + 1) * (cells + 1))
+            .map(|_| rng.gen_range(0.0..1.0))
+            .collect();
+        fields.push((cells, amp, lattice));
+    }
+
+    // Illumination gradient.
+    let gx = rng.gen_range(-0.3..0.3);
+    let gy = rng.gen_range(-0.3..0.3);
+
+    // A few hard-edged rectangles and a disc — edge content for the edge
+    // detection benchmarks.
+    let n_shapes = rng.gen_range(2..5);
+    let shapes: Vec<(f64, f64, f64, f64, f64)> = (0..n_shapes)
+        .map(|_| {
+            (
+                rng.gen_range(0.0..1.0),  // cx
+                rng.gen_range(0.0..1.0),  // cy
+                rng.gen_range(0.05..0.3), // half-size
+                rng.gen_range(0.1..0.5),  // contrast
+                rng.gen_range(0.0..1.0),  // roundness selector
+            )
+        })
+        .collect();
+
+    let img = Image::from_fn(width, height, |x, y| {
+        let u = x as f64 / width as f64;
+        let v = y as f64 / height as f64;
+        let mut p = 0.5 + gx * (u - 0.5) + gy * (v - 0.5);
+        for (cells, amp, lattice) in &fields {
+            p += amp * (bilinear(lattice, *cells, u, v) - 0.5);
+        }
+        for &(cx, cy, r, c, round) in &shapes {
+            let inside = if round > 0.5 {
+                (u - cx).powi(2) + (v - cy).powi(2) < r * r
+            } else {
+                (u - cx).abs() < r && (v - cy).abs() < r
+            };
+            if inside {
+                p += c - 0.25;
+            }
+        }
+        p
+    });
+
+    // Normalise to [0, 1].
+    let (lo, hi) = img.min_max();
+    let span = (hi - lo).max(1e-12);
+    img.map(|p| (p - lo) / span)
+}
+
+/// The paper's five-image evaluation set at 150×150 (§5.3), deterministic
+/// in `seed`.
+pub fn eval_set(seed: u64) -> Vec<Image> {
+    (0..5)
+        .map(|i| natural_image(EVAL_SIZE, EVAL_SIZE, seed.wrapping_add(i)))
+        .collect()
+}
+
+/// Structured test scenes for exercising specific filter behaviours —
+/// used by examples and the ablation/noise studies alongside the
+/// natural-statistics generator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scene {
+    /// Vertical bars of alternating intensity (drives Sobel-x hard,
+    /// leaves Sobel-y silent).
+    VerticalBars {
+        /// Bar width in pixels.
+        period: usize,
+    },
+    /// A checkerboard (rich in both gradient directions).
+    Checkerboard {
+        /// Tile edge length in pixels.
+        tile: usize,
+    },
+    /// A smooth radial vignette (no hard edges — worst case for edge
+    /// detectors, best case for blurs).
+    Vignette,
+    /// Random bright discs on a dark field (blob-like foregrounds).
+    Blobs {
+        /// Number of discs.
+        count: usize,
+    },
+}
+
+/// Renders a structured scene. Deterministic in `seed` (only
+/// [`Scene::Blobs`] consumes randomness).
+///
+/// # Panics
+///
+/// Panics if a dimension or a scene parameter is zero.
+pub fn scene(kind: Scene, width: usize, height: usize, seed: u64) -> Image {
+    assert!(width > 0 && height > 0, "image dimensions must be non-zero");
+    match kind {
+        Scene::VerticalBars { period } => {
+            assert!(period > 0, "bar period must be non-zero");
+            Image::from_fn(width, height, |x, _| {
+                if (x / period) % 2 == 0 {
+                    0.15
+                } else {
+                    0.85
+                }
+            })
+        }
+        Scene::Checkerboard { tile } => {
+            assert!(tile > 0, "tile size must be non-zero");
+            Image::from_fn(width, height, |x, y| {
+                if (x / tile + y / tile) % 2 == 0 {
+                    0.1
+                } else {
+                    0.9
+                }
+            })
+        }
+        Scene::Vignette => Image::from_fn(width, height, |x, y| {
+            let dx = x as f64 / width as f64 - 0.5;
+            let dy = y as f64 / height as f64 - 0.5;
+            (1.0 - 1.6 * (dx * dx + dy * dy)).clamp(0.02, 1.0)
+        }),
+        Scene::Blobs { count } => {
+            assert!(count > 0, "need at least one blob");
+            let mut rng = SmallRng::seed_from_u64(seed ^ 0xb10b);
+            let blobs: Vec<(f64, f64, f64)> = (0..count)
+                .map(|_| {
+                    (
+                        rng.gen_range(0.1..0.9),
+                        rng.gen_range(0.1..0.9),
+                        rng.gen_range(0.03..0.15),
+                    )
+                })
+                .collect();
+            Image::from_fn(width, height, |x, y| {
+                let u = x as f64 / width as f64;
+                let v = y as f64 / height as f64;
+                let mut p = 0.08;
+                for &(cx, cy, r) in &blobs {
+                    let d2 = (u - cx).powi(2) + (v - cy).powi(2);
+                    p += 0.85 * (-d2 / (r * r)).exp();
+                }
+                p.min(1.0)
+            })
+        }
+    }
+}
+
+fn bilinear(lattice: &[f64], cells: usize, u: f64, v: f64) -> f64 {
+    let fx = u * cells as f64;
+    let fy = v * cells as f64;
+    let x0 = (fx as usize).min(cells - 1);
+    let y0 = (fy as usize).min(cells - 1);
+    let tx = fx - x0 as f64;
+    let ty = fy - y0 as f64;
+    let w = cells + 1;
+    let a = lattice[y0 * w + x0];
+    let b = lattice[y0 * w + x0 + 1];
+    let c = lattice[(y0 + 1) * w + x0];
+    let d = lattice[(y0 + 1) * w + x0 + 1];
+    a * (1.0 - tx) * (1.0 - ty) + b * tx * (1.0 - ty) + c * (1.0 - tx) * ty + d * tx * ty
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalised_and_reproducible() {
+        let a = natural_image(50, 40, 3);
+        let b = natural_image(50, 40, 3);
+        assert_eq!(a, b);
+        let (lo, hi) = a.min_max();
+        assert!((lo - 0.0).abs() < 1e-9);
+        assert!((hi - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn seeds_differ() {
+        assert_ne!(natural_image(32, 32, 1), natural_image(32, 32, 2));
+    }
+
+    #[test]
+    fn eval_set_is_five_150x150() {
+        let set = eval_set(42);
+        assert_eq!(set.len(), 5);
+        for img in &set {
+            assert_eq!((img.width(), img.height()), (EVAL_SIZE, EVAL_SIZE));
+        }
+        // Images within the set are distinct.
+        assert_ne!(set[0], set[1]);
+    }
+
+    #[test]
+    fn has_midtone_structure() {
+        // Natural-ish statistics: mean well inside (0,1), not a flat field.
+        let img = natural_image(100, 100, 9);
+        let mean = img.mean();
+        assert!(mean > 0.2 && mean < 0.8, "mean {mean}");
+        let var: f64 = img
+            .pixels()
+            .iter()
+            .map(|p| (p - mean) * (p - mean))
+            .sum::<f64>()
+            / img.pixels().len() as f64;
+        assert!(var > 0.005, "variance {var}");
+    }
+
+    #[test]
+    fn scenes_have_their_designed_structure() {
+        // Bars: constant along y, alternating along x.
+        let bars = scene(Scene::VerticalBars { period: 4 }, 32, 16, 0);
+        assert_eq!(bars.get(0, 0), bars.get(0, 15));
+        assert_ne!(bars.get(0, 0), bars.get(4, 0));
+        // Checkerboard alternates both ways.
+        let check = scene(Scene::Checkerboard { tile: 2 }, 16, 16, 0);
+        assert_ne!(check.get(0, 0), check.get(2, 0));
+        assert_ne!(check.get(0, 0), check.get(0, 2));
+        assert_eq!(check.get(0, 0), check.get(2, 2));
+        // Vignette: brightest at the centre, in range.
+        let vig = scene(Scene::Vignette, 33, 33, 0);
+        assert!(vig.get(16, 16) > vig.get(0, 0));
+        let (lo, hi) = vig.min_max();
+        assert!(lo >= 0.0 && hi <= 1.0);
+        // Blobs: reproducible and bounded.
+        let b1 = scene(Scene::Blobs { count: 3 }, 24, 24, 7);
+        let b2 = scene(Scene::Blobs { count: 3 }, 24, 24, 7);
+        assert_eq!(b1, b2);
+        let (lo, hi) = b1.min_max();
+        assert!(lo >= 0.0 && hi <= 1.0);
+    }
+
+    #[test]
+    fn bars_drive_only_one_sobel_direction() {
+        use crate::{conv, Kernel};
+        let bars = scene(Scene::VerticalBars { period: 5 }, 30, 30, 0);
+        let gx = conv::convolve(&bars, &Kernel::sobel_x(), 1);
+        let gy = conv::convolve(&bars, &Kernel::sobel_y(), 1);
+        let (_, max_gx) = gx.map(f64::abs).min_max();
+        let (_, max_gy) = gy.map(f64::abs).min_max();
+        assert!(max_gx > 1.0);
+        assert!(max_gy < 1e-12, "gy should be numerically silent: {max_gy}");
+    }
+
+    #[test]
+    fn neighbouring_pixels_correlate() {
+        // 1/f-style fields are spatially smooth: neighbour correlation must
+        // be far above white noise.
+        let img = natural_image(100, 100, 11);
+        let mean = img.mean();
+        let mut cov = 0.0;
+        let mut var = 0.0;
+        for y in 0..img.height() {
+            for x in 0..img.width() - 1 {
+                cov += (img.get(x, y) - mean) * (img.get(x + 1, y) - mean);
+                var += (img.get(x, y) - mean).powi(2);
+            }
+        }
+        assert!(cov / var > 0.7, "neighbour correlation {}", cov / var);
+    }
+}

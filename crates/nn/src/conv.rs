@@ -1,0 +1,353 @@
+//! Multi-channel temporal convolution layers.
+
+use ta_circuits::EnergyTally;
+use ta_core::{exec, ArchConfig, Architecture, ArithmeticMode, SystemDescription, SystemError};
+use ta_delay_space::SplitValue;
+use ta_image::{Image, Kernel};
+
+/// A 2-D convolution layer compiled onto delay-space engines.
+///
+/// Weights are organised `[out_channel][in_channel]`, each a [`Kernel`] of
+/// one shared shape. One [`Architecture`] is compiled per *input* channel
+/// (carrying that channel's slice of every output filter, exactly like the
+/// multi-kernel MAC blocks of §4.3); output channels are then summed
+/// across input channels with one extra delay-space addition stage, whose
+/// energy is accounted explicitly.
+#[derive(Debug, Clone)]
+pub struct TemporalConv2d {
+    weights: Vec<Vec<Kernel>>,
+    /// Per-output-channel bias, empty when the layer is unbiased. A bias
+    /// is delay-space-native: a constant edge at delay `-ln|b|` joining
+    /// the accumulation on the rail matching its sign — one more nLSE
+    /// leaf, no arithmetic unit.
+    bias: Vec<f64>,
+    stride: usize,
+    cfg: ArchConfig,
+    in_channels: usize,
+    out_channels: usize,
+}
+
+impl TemporalConv2d {
+    /// Builds a layer from `weights[out][in]` kernels.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SystemError`] if the weight grid is empty, ragged, or
+    /// shape-mixed, or the stride is zero.
+    pub fn new(
+        weights: Vec<Vec<Kernel>>,
+        stride: usize,
+        cfg: ArchConfig,
+    ) -> Result<Self, SystemError> {
+        if stride == 0 {
+            return Err(SystemError::ZeroStride);
+        }
+        let Some(first_row) = weights.first() else {
+            return Err(SystemError::NoKernels);
+        };
+        let in_channels = first_row.len();
+        if in_channels == 0 {
+            return Err(SystemError::NoKernels);
+        }
+        if weights.iter().any(|row| row.len() != in_channels) {
+            return Err(SystemError::MixedKernelShapes);
+        }
+        let shape = (first_row[0].width(), first_row[0].height());
+        if weights
+            .iter()
+            .flatten()
+            .any(|k| (k.width(), k.height()) != shape)
+        {
+            return Err(SystemError::MixedKernelShapes);
+        }
+        Ok(TemporalConv2d {
+            out_channels: weights.len(),
+            in_channels,
+            weights,
+            bias: Vec::new(),
+            stride,
+            cfg,
+        })
+    }
+
+    /// Adds a per-output-channel bias. In hardware each bias is one
+    /// constant reference edge (delay `-ln|b|` from the frame start)
+    /// feeding the output's accumulation — the cheapest parameter a
+    /// temporal layer can have.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bias.len() != out_channels` or any bias is non-finite.
+    pub fn with_bias(mut self, bias: Vec<f64>) -> Self {
+        assert_eq!(
+            bias.len(),
+            self.out_channels,
+            "one bias per output channel"
+        );
+        assert!(
+            bias.iter().all(|b| b.is_finite()),
+            "biases must be finite"
+        );
+        self.bias = bias;
+        self
+    }
+
+    /// The per-output-channel biases (empty when unbiased).
+    pub fn bias(&self) -> &[f64] {
+        &self.bias
+    }
+
+    /// Number of input channels.
+    pub fn in_channels(&self) -> usize {
+        self.in_channels
+    }
+
+    /// Number of output channels.
+    pub fn out_channels(&self) -> usize {
+        self.out_channels
+    }
+
+    /// Convolution stride.
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// Runs the layer. `input` holds one image per input channel (all the
+    /// same size); the result holds one feature map per output channel
+    /// plus the layer's energy.
+    ///
+    /// Feature values enter through the layer's VTC, whose range contract
+    /// is `[e^-6, 1]`: values outside it saturate. (In a real multi-layer
+    /// design the inter-stage rescale is a free reference shift in delay
+    /// space — §2.1; the saturation models staying within one reference
+    /// frame.)
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SystemError`] if the input geometry cannot host the
+    /// kernels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len() != in_channels` or the channel images have
+    /// mixed sizes.
+    pub fn forward(
+        &self,
+        input: &[Image],
+        mode: ArithmeticMode,
+        seed: u64,
+    ) -> Result<(Vec<Image>, EnergyTally), SystemError> {
+        assert_eq!(input.len(), self.in_channels, "one image per input channel");
+        let (w, h) = (input[0].width(), input[0].height());
+        assert!(
+            input.iter().all(|i| (i.width(), i.height()) == (w, h)),
+            "all channels must share one geometry"
+        );
+
+        let mut energy = EnergyTally::new();
+        // Per input channel: one engine carrying that channel's kernels
+        // for every output filter.
+        let mut per_in: Vec<Vec<Image>> = Vec::with_capacity(self.in_channels);
+        for (ci, channel) in input.iter().enumerate() {
+            let kernels: Vec<Kernel> = self
+                .weights
+                .iter()
+                .map(|row| row[ci].clone())
+                .collect();
+            let desc = SystemDescription::new(w, h, kernels, self.stride)?;
+            let arch = Architecture::new(desc, self.cfg.clone())?;
+            let run = exec::run(&arch, channel, mode, seed.wrapping_add(ci as u64))
+                .expect("geometry checked above");
+            energy += run.energy;
+            per_in.push(run.outputs);
+        }
+
+        // Channel summation: one more delay-space addition tree per output
+        // pixel. Functionally exact here (§3's staging makes the order
+        // immaterial); energetically it is (in_channels - 1) extra nLSE
+        // operations per output pixel, charged below. The optional bias
+        // joins the same stage as one constant edge per output.
+        let outputs: Vec<Image> = (0..self.out_channels)
+            .map(|co| {
+                let first = per_in[0][co].clone();
+                let summed = per_in[1..]
+                    .iter()
+                    .fold(first, |acc, maps| sum_images(&acc, &maps[co]));
+                match self.bias.get(co) {
+                    Some(&b) if b != 0.0 => {
+                        let bias = SplitValue::encode_signed(b)
+                            .expect("biases validated finite at construction");
+                        summed.map(|v| {
+                            let sv = SplitValue::encode_signed(v)
+                                .expect("finite feature value");
+                            (sv + bias).normalize().decode_signed()
+                        })
+                    }
+                    _ => summed,
+                }
+            })
+            .collect();
+        if self.in_channels > 1 {
+            let unit = ta_circuits::NlseUnit::with_terms(self.cfg.nlse_terms, self.cfg.unit);
+            let px = outputs[0].width() * outputs[0].height();
+            let merges = px * self.out_channels * (self.in_channels - 1);
+            // Signed sums run both rails through the adder.
+            energy.delay_pj += 2.0 * merges as f64 * unit.energy_pj(&self.cfg.energy, 2);
+        }
+        Ok((outputs, energy))
+    }
+}
+
+/// Element-wise signed addition through the split representation.
+fn sum_images(a: &Image, b: &Image) -> Image {
+    Image::from_fn(a.width(), a.height(), |x, y| {
+        let sa = SplitValue::encode_signed(a.get(x, y)).expect("finite feature value");
+        let sb = SplitValue::encode_signed(b.get(x, y)).expect("finite feature value");
+        (sa + sb).normalize().decode_signed()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ta_image::{conv, metrics, synth};
+
+    fn cfg() -> ArchConfig {
+        ArchConfig::fast_1ns(7, 20)
+    }
+
+    #[test]
+    fn validates_weight_grid() {
+        assert!(matches!(
+            TemporalConv2d::new(vec![], 1, cfg()),
+            Err(SystemError::NoKernels)
+        ));
+        assert!(matches!(
+            TemporalConv2d::new(vec![vec![]], 1, cfg()),
+            Err(SystemError::NoKernels)
+        ));
+        assert!(matches!(
+            TemporalConv2d::new(
+                vec![vec![Kernel::sobel_x()], vec![Kernel::sobel_x(), Kernel::sobel_y()]],
+                1,
+                cfg()
+            ),
+            Err(SystemError::MixedKernelShapes)
+        ));
+        assert!(matches!(
+            TemporalConv2d::new(
+                vec![vec![Kernel::sobel_x(), Kernel::box_filter(5)]],
+                1,
+                cfg()
+            ),
+            Err(SystemError::MixedKernelShapes)
+        ));
+        assert!(matches!(
+            TemporalConv2d::new(vec![vec![Kernel::sobel_x()]], 0, cfg()),
+            Err(SystemError::ZeroStride)
+        ));
+    }
+
+    #[test]
+    fn single_channel_matches_reference() {
+        let layer =
+            TemporalConv2d::new(vec![vec![Kernel::sobel_x()]], 1, cfg()).unwrap();
+        let img = synth::natural_image(24, 24, 1);
+        let (out, energy) = layer
+            .forward(std::slice::from_ref(&img), ArithmeticMode::DelayExact, 0)
+            .unwrap();
+        let clipped = img.map(|p| p.max((-6.0_f64).exp()));
+        let reference = conv::convolve(&clipped, &Kernel::sobel_x(), 1);
+        assert!(metrics::normalized_rmse(&out[0], &reference) < 1e-9);
+        assert!(energy.total_pj() > 0.0);
+    }
+
+    #[test]
+    fn multi_channel_sums_inputs() {
+        // Two input channels through identity-ish 1×1 kernels: output is
+        // w0·c0 + w1·c1.
+        let k = |v: f64| Kernel::new("w", 1, 1, vec![v]);
+        let layer =
+            TemporalConv2d::new(vec![vec![k(0.5), k(-0.25)]], 1, cfg()).unwrap();
+        let c0 = synth::natural_image(10, 10, 2).map(|p| p.max(0.01));
+        let c1 = synth::natural_image(10, 10, 3).map(|p| p.max(0.01));
+        let (out, _) = layer
+            .forward(&[c0.clone(), c1.clone()], ArithmeticMode::DelayExact, 0)
+            .unwrap();
+        for y in 0..10 {
+            for x in 0..10 {
+                let want = 0.5 * c0.get(x, y) - 0.25 * c1.get(x, y);
+                assert!((out[0].get(x, y) - want).abs() < 1e-9, "({x},{y})");
+            }
+        }
+    }
+
+    #[test]
+    fn bias_shifts_each_output_channel() {
+        let k = |v: f64| Kernel::new("w", 1, 1, vec![v]);
+        let layer = TemporalConv2d::new(vec![vec![k(1.0)], vec![k(1.0)]], 1, cfg())
+            .unwrap()
+            .with_bias(vec![0.25, -0.5]);
+        assert_eq!(layer.bias(), &[0.25, -0.5]);
+        let img = synth::natural_image(8, 8, 6).map(|p| p.max(0.01));
+        let (out, _) = layer
+            .forward(std::slice::from_ref(&img), ArithmeticMode::DelayExact, 0)
+            .unwrap();
+        for y in 0..8 {
+            for x in 0..8 {
+                let p = img.get(x, y);
+                assert!((out[0].get(x, y) - (p + 0.25)).abs() < 1e-9, "({x},{y})");
+                assert!((out[1].get(x, y) - (p - 0.5)).abs() < 1e-9, "({x},{y})");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one bias per output channel")]
+    fn bias_arity_checked() {
+        let layer =
+            TemporalConv2d::new(vec![vec![Kernel::sobel_x()]], 1, cfg()).unwrap();
+        let _ = layer.with_bias(vec![0.1, 0.2]);
+    }
+
+    #[test]
+    fn channel_merge_energy_is_charged() {
+        let k = || vec![Kernel::box_filter(3)];
+        let one = TemporalConv2d::new(vec![k()], 1, cfg()).unwrap();
+        let two = TemporalConv2d::new(vec![[k(), k()].concat()], 1, cfg()).unwrap();
+        let img = synth::natural_image(16, 16, 4);
+        let (_, e1) = one
+            .forward(std::slice::from_ref(&img), ArithmeticMode::DelayApprox, 0)
+            .unwrap();
+        let (_, e2) = two
+            .forward(&[img.clone(), img], ArithmeticMode::DelayApprox, 0)
+            .unwrap();
+        // Two channels: double the engine energy plus the merge stage.
+        assert!(e2.total_pj() > 2.0 * e1.total_pj());
+    }
+
+    #[test]
+    fn approx_mode_stays_close() {
+        let layer = TemporalConv2d::new(
+            vec![vec![Kernel::sobel_x()], vec![Kernel::sobel_y()]],
+            1,
+            cfg(),
+        )
+        .unwrap();
+        let img = synth::natural_image(24, 24, 5);
+        let (out, _) = layer
+            .forward(std::slice::from_ref(&img), ArithmeticMode::DelayApprox, 0)
+            .unwrap();
+        assert_eq!(out.len(), 2);
+        let reference = conv::convolve(&img, &Kernel::sobel_x(), 1);
+        assert!(metrics::normalized_rmse(&out[0], &reference) < 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "one image per input channel")]
+    fn wrong_channel_count_panics() {
+        let layer = TemporalConv2d::new(vec![vec![Kernel::sobel_x()]], 1, cfg()).unwrap();
+        let img = synth::natural_image(8, 8, 0);
+        let _ = layer.forward(&[img.clone(), img], ArithmeticMode::DelayExact, 0);
+    }
+}

@@ -1,0 +1,51 @@
+//! Temporal CNN layers on the delay-space convolution engine.
+//!
+//! The paper motivates delay-space arithmetic with convolutional neural
+//! networks and closes by proposing "additional computation in the
+//! temporal domain, such as more convolutional layers or min/max
+//! selections" (§5.3, §7). This crate implements exactly that extension:
+//!
+//! * [`TemporalConv2d`] — a multi-channel convolution layer compiled onto
+//!   [`ta_core::Architecture`] engines (one per input channel), with
+//!   delay-space channel summation;
+//! * [`relu`] — rectification, which is *free* in the dual-rail
+//!   representation: dropping the negative rail before renormalisation is
+//!   ReLU by construction (§2.2);
+//! * [`max_pool`] — max-pooling, which is a bare first-arrival (`fa`/OR)
+//!   gate on temporal edges: the earliest edge is the largest value;
+//! * [`avg_pool`] — mean pooling, one nLSE tree plus a fixed `ln(n)` delay
+//!   (division is free in the log domain);
+//! * [`TemporalNetwork`] — a sequential container with per-layer energy
+//!   accounting.
+//!
+//! ```
+//! use ta_nn::{Layer, TemporalConv2d, TemporalNetwork};
+//! use ta_core::{ArchConfig, ArithmeticMode};
+//! use ta_image::{synth, Kernel};
+//!
+//! let net = TemporalNetwork::new(vec![
+//!     Layer::Conv(TemporalConv2d::new(
+//!         vec![vec![Kernel::sobel_x()], vec![Kernel::sobel_y()]], // 2 out-channels × 1 in-channel
+//!         1,
+//!         ArchConfig::fast_1ns(7, 20),
+//!     )?),
+//!     Layer::Relu,
+//!     Layer::MaxPool2,
+//! ]);
+//! let input = vec![synth::natural_image(32, 32, 1)];
+//! let out = net.forward(&input, ArithmeticMode::DelayApprox, 0)?;
+//! assert_eq!(out.features.len(), 2);
+//! assert_eq!(out.features[0].width(), 15); // (32-3+1)/2
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod conv;
+mod network;
+mod pool;
+
+pub use conv::TemporalConv2d;
+pub use network::{ForwardResult, Layer, NnError, TemporalNetwork};
+pub use pool::{avg_pool, max_pool, min_pool, relu};

@@ -1,0 +1,273 @@
+//! Sequential temporal networks with per-layer energy accounting.
+
+use std::error::Error;
+use std::fmt;
+
+use ta_circuits::EnergyTally;
+use ta_core::{ArithmeticMode, SystemError};
+use ta_image::Image;
+
+use crate::{avg_pool, max_pool, relu, TemporalConv2d};
+
+/// One stage of a [`TemporalNetwork`].
+// Conv carries its compiled configuration inline; networks hold a handful
+// of layers, so the variant size imbalance is irrelevant.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone)]
+pub enum Layer {
+    /// A delay-space convolution layer.
+    Conv(TemporalConv2d),
+    /// Dual-rail rectification (free in hardware, §2.2).
+    Relu,
+    /// 2×2 stride-2 max-pooling (one `fa` gate per output).
+    MaxPool2,
+    /// 2×2 stride-2 average pooling (one 4-leaf nLSE tree plus a fixed
+    /// `ln 4` delay per output — division is free in the log domain).
+    AvgPool2,
+}
+
+/// Errors raised during a forward pass.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum NnError {
+    /// A convolution stage rejected the geometry it received.
+    System(SystemError),
+    /// A feature map became too small for the next stage.
+    FeatureMapTooSmall {
+        /// Index of the offending layer.
+        layer: usize,
+    },
+}
+
+impl fmt::Display for NnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NnError::System(e) => write!(f, "convolution stage failed: {e}"),
+            NnError::FeatureMapTooSmall { layer } => {
+                write!(f, "feature map too small entering layer {layer}")
+            }
+        }
+    }
+}
+
+impl Error for NnError {}
+
+impl From<SystemError> for NnError {
+    fn from(e: SystemError) -> Self {
+        NnError::System(e)
+    }
+}
+
+/// The outcome of a forward pass.
+#[derive(Debug, Clone)]
+pub struct ForwardResult {
+    /// Final feature maps, one per channel.
+    pub features: Vec<Image>,
+    /// Total energy across all layers.
+    pub energy: EnergyTally,
+    /// Energy per layer, in layer order (pooling and ReLU are ≈ free).
+    pub per_layer_energy: Vec<EnergyTally>,
+}
+
+/// A feed-forward stack of temporal layers.
+#[derive(Debug, Clone)]
+pub struct TemporalNetwork {
+    layers: Vec<Layer>,
+}
+
+impl TemporalNetwork {
+    /// Builds a network from its layers.
+    pub fn new(layers: Vec<Layer>) -> Self {
+        TemporalNetwork { layers }
+    }
+
+    /// The layer stack.
+    pub fn layers(&self) -> &[Layer] {
+        &self.layers
+    }
+
+    /// Runs the network on multi-channel input.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError`] if a stage's geometry is infeasible.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input` is empty.
+    pub fn forward(
+        &self,
+        input: &[Image],
+        mode: ArithmeticMode,
+        seed: u64,
+    ) -> Result<ForwardResult, NnError> {
+        assert!(!input.is_empty(), "need at least one input channel");
+        let mut features: Vec<Image> = input.to_vec();
+        let mut per_layer_energy = Vec::with_capacity(self.layers.len());
+        let mut energy = EnergyTally::new();
+
+        for (i, layer) in self.layers.iter().enumerate() {
+            match layer {
+                Layer::Conv(conv) => {
+                    let (out, e) =
+                        conv.forward(&features, mode, seed.wrapping_add(i as u64 * 101))?;
+                    features = out;
+                    energy += e;
+                    per_layer_energy.push(e);
+                }
+                Layer::Relu => {
+                    features = features.iter().map(relu).collect();
+                    per_layer_energy.push(EnergyTally::new());
+                }
+                Layer::MaxPool2 => {
+                    if features[0].width() < 2 || features[0].height() < 2 {
+                        return Err(NnError::FeatureMapTooSmall { layer: i });
+                    }
+                    features = features.iter().map(|f| max_pool(f, 2, 2)).collect();
+                    // One fa gate event per output pixel per channel.
+                    let mut e = EnergyTally::new();
+                    let px = features[0].width() * features[0].height();
+                    e.add_gate_events(px * features.len(), &ta_circuits::EnergyModel::asplos24());
+                    energy += e;
+                    per_layer_energy.push(e);
+                }
+                Layer::AvgPool2 => {
+                    if features[0].width() < 2 || features[0].height() < 2 {
+                        return Err(NnError::FeatureMapTooSmall { layer: i });
+                    }
+                    features = features.iter().map(|f| avg_pool(f, 2, 2)).collect();
+                    // Three nLSE merges plus a ln(4)-unit delay per output.
+                    let model = ta_circuits::EnergyModel::asplos24();
+                    let scale = ta_circuits::UnitScale::default_1ns();
+                    let unit = ta_circuits::NlseUnit::with_terms(7, scale);
+                    let mut e = EnergyTally::new();
+                    let px = features[0].width() * features[0].height();
+                    e.delay_pj +=
+                        (px * features.len()) as f64 * 3.0 * unit.energy_pj(&model, 2);
+                    e.add_delay_units(
+                        (px * features.len()) as f64 * 4.0_f64.ln(),
+                        scale,
+                        &model,
+                    );
+                    energy += e;
+                    per_layer_energy.push(e);
+                }
+            }
+        }
+        Ok(ForwardResult {
+            features,
+            energy,
+            per_layer_energy,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ta_core::ArchConfig;
+    use ta_image::{conv, synth, Kernel};
+
+    fn two_stage_net() -> TemporalNetwork {
+        TemporalNetwork::new(vec![
+            Layer::Conv(
+                TemporalConv2d::new(
+                    vec![vec![Kernel::sobel_x()], vec![Kernel::sobel_y()]],
+                    1,
+                    ArchConfig::fast_1ns(7, 20),
+                )
+                .unwrap(),
+            ),
+            Layer::Relu,
+            Layer::MaxPool2,
+            Layer::Conv(
+                TemporalConv2d::new(
+                    vec![vec![Kernel::box_filter(3), Kernel::box_filter(3)]],
+                    1,
+                    ArchConfig::fast_1ns(7, 20),
+                )
+                .unwrap(),
+            ),
+        ])
+    }
+
+    #[test]
+    fn forward_shapes_and_energy() {
+        let net = two_stage_net();
+        let input = vec![synth::natural_image(32, 32, 9)];
+        let out = net
+            .forward(&input, ArithmeticMode::DelayApprox, 0)
+            .unwrap();
+        // 32 → conv3 → 30 → pool → 15 → conv3 → 13, one fused channel.
+        assert_eq!(out.features.len(), 1);
+        assert_eq!((out.features[0].width(), out.features[0].height()), (13, 13));
+        assert_eq!(out.per_layer_energy.len(), 4);
+        assert!(out.per_layer_energy[0].total_pj() > 0.0);
+        assert_eq!(out.per_layer_energy[1].total_pj(), 0.0); // ReLU is free
+        let sum: f64 = out.per_layer_energy.iter().map(|e| e.total_pj()).sum();
+        assert!((sum - out.energy.total_pj()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exact_network_matches_software_reference() {
+        let net = two_stage_net();
+        let img = synth::natural_image(24, 24, 10).map(|p| p.max(0.01));
+        let out = net
+            .forward(std::slice::from_ref(&img), ArithmeticMode::DelayExact, 0)
+            .unwrap();
+
+        // Software reference with identical stages. Between stages the
+        // engine re-enters through the VTC, whose range contract is
+        // [min_pixel, 1] — the reference applies the same saturation.
+        let floor = (-6.0_f64).exp();
+        let gx = conv::convolve(&img, &Kernel::sobel_x(), 1);
+        let gy = conv::convolve(&img, &Kernel::sobel_y(), 1);
+        let p0 = crate::max_pool(&crate::relu(&gx), 2, 2).clamped(floor, 1.0);
+        let p1 = crate::max_pool(&crate::relu(&gy), 2, 2).clamped(floor, 1.0);
+        let s0 = conv::convolve(&p0, &Kernel::box_filter(3), 1);
+        let s1 = conv::convolve(&p1, &Kernel::box_filter(3), 1);
+        let want = Image::from_fn(s0.width(), s0.height(), |x, y| s0.get(x, y) + s1.get(x, y));
+
+        // Exact mode differs only by the VTC dynamic-range floor between
+        // stages (tiny pooled values below e^-6 saturate).
+        let err = ta_image::metrics::normalized_rmse(&out.features[0], &want);
+        assert!(err < 5e-3, "nrmse {err}");
+    }
+
+    #[test]
+    fn avg_pool_layer_means_and_charges_energy() {
+        let net = TemporalNetwork::new(vec![Layer::AvgPool2]);
+        let input = vec![synth::natural_image(8, 8, 2)];
+        let out = net
+            .forward(&input, ArithmeticMode::DelayExact, 0)
+            .unwrap();
+        assert_eq!((out.features[0].width(), out.features[0].height()), (4, 4));
+        let want = crate::avg_pool(&input[0], 2, 2);
+        assert_eq!(out.features[0], want);
+        // Unlike max-pooling, averaging pays real nLSE energy.
+        assert!(out.per_layer_energy[0].total_pj() > 0.0);
+    }
+
+    #[test]
+    fn too_small_feature_maps_error() {
+        let net = TemporalNetwork::new(vec![Layer::MaxPool2, Layer::MaxPool2, Layer::MaxPool2]);
+        let input = vec![synth::natural_image(4, 4, 1)];
+        let err = net
+            .forward(&input, ArithmeticMode::DelayExact, 0)
+            .unwrap_err();
+        assert!(matches!(err, NnError::FeatureMapTooSmall { layer: 2 }));
+    }
+
+    #[test]
+    fn noisy_forward_is_seeded() {
+        let net = two_stage_net();
+        let input = vec![synth::natural_image(24, 24, 11)];
+        let a = net
+            .forward(&input, ArithmeticMode::DelayApproxNoisy, 5)
+            .unwrap();
+        let b = net
+            .forward(&input, ArithmeticMode::DelayApproxNoisy, 5)
+            .unwrap();
+        assert_eq!(a.features[0], b.features[0]);
+    }
+}

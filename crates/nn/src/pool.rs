@@ -1,0 +1,156 @@
+//! Pooling and rectification in the temporal domain.
+//!
+//! These operations are the cheapest things race logic does:
+//!
+//! * **max** is a first-arrival — an OR gate on rising edges, because the
+//!   largest importance value carries the *shortest* delay;
+//! * **min** is a last-arrival — an AND gate;
+//! * **ReLU** is free: a dual-rail value's positive part *is* its ReLU, so
+//!   rectification just means not routing the negative rail onward.
+
+use ta_image::Image;
+
+/// 2×2-style max-pooling with the given window and stride (window = stride
+/// = 2 gives classic halving). In hardware this is one `fa` (OR) gate per
+/// output — no arithmetic at all.
+///
+/// # Panics
+///
+/// Panics if `window` or `stride` is zero, or the window does not fit.
+pub fn max_pool(input: &Image, window: usize, stride: usize) -> Image {
+    pool_by(input, window, stride, f64::max, f64::NEG_INFINITY)
+}
+
+/// Min-pooling: one `la` (AND) gate per output.
+///
+/// # Panics
+///
+/// Same contract as [`max_pool`].
+pub fn min_pool(input: &Image, window: usize, stride: usize) -> Image {
+    pool_by(input, window, stride, f64::min, f64::INFINITY)
+}
+
+fn pool_by(
+    input: &Image,
+    window: usize,
+    stride: usize,
+    merge: fn(f64, f64) -> f64,
+    identity: f64,
+) -> Image {
+    assert!(window > 0 && stride > 0, "window and stride must be non-zero");
+    assert!(
+        window <= input.width() && window <= input.height(),
+        "pooling window must fit the feature map"
+    );
+    let ow = (input.width() - window) / stride + 1;
+    let oh = (input.height() - window) / stride + 1;
+    Image::from_fn(ow, oh, |ox, oy| {
+        let mut acc = identity;
+        for wy in 0..window {
+            for wx in 0..window {
+                acc = merge(acc, input.get(ox * stride + wx, oy * stride + wy));
+            }
+        }
+        acc
+    })
+}
+
+/// Rectified linear unit. In the dual-rail representation this costs
+/// nothing: the positive rail of a renormalised `⟨x_pos, x_neg⟩` *is*
+/// `max(x, 0)`, so hardware simply leaves `x_neg` unrouted.
+pub fn relu(input: &Image) -> Image {
+    input.map(|v| v.max(0.0))
+}
+
+/// Average pooling. In delay space a window mean is one nLSE tree plus a
+/// single fixed delay of `ln(window²)` units (dividing by `n` is
+/// multiplying by `1/n`, i.e. delaying by `-ln(1/n)`), so it costs the
+/// same hardware as one extra accumulation stage — unlike digital
+/// pipelines where the divide is real work.
+///
+/// # Panics
+///
+/// Same contract as [`max_pool`].
+pub fn avg_pool(input: &Image, window: usize, stride: usize) -> Image {
+    let summed = pool_by(input, window, stride, |a, b| a + b, 0.0);
+    let n = (window * window) as f64;
+    summed.map(|v| v / n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp() -> Image {
+        Image::from_fn(4, 4, |x, y| (y * 4 + x) as f64)
+    }
+
+    #[test]
+    fn max_pool_2x2() {
+        let out = max_pool(&ramp(), 2, 2);
+        assert_eq!((out.width(), out.height()), (2, 2));
+        assert_eq!(out.get(0, 0), 5.0);
+        assert_eq!(out.get(1, 1), 15.0);
+    }
+
+    #[test]
+    fn min_pool_2x2() {
+        let out = min_pool(&ramp(), 2, 2);
+        assert_eq!(out.get(0, 0), 0.0);
+        assert_eq!(out.get(1, 1), 10.0);
+    }
+
+    #[test]
+    fn overlapping_windows() {
+        let out = max_pool(&ramp(), 2, 1);
+        assert_eq!((out.width(), out.height()), (3, 3));
+        assert_eq!(out.get(0, 0), 5.0);
+        assert_eq!(out.get(2, 2), 15.0);
+    }
+
+    #[test]
+    fn avg_pool_means_windows() {
+        let out = avg_pool(&ramp(), 2, 2);
+        assert_eq!(out.get(0, 0), (0.0 + 1.0 + 4.0 + 5.0) / 4.0);
+        assert_eq!(out.get(1, 1), (10.0 + 11.0 + 14.0 + 15.0) / 4.0);
+    }
+
+    #[test]
+    fn avg_pool_matches_delay_space_formulation() {
+        // mean = nLSE over the window followed by a +ln(n) delay.
+        use ta_delay_space::{ops, DelayValue};
+        let values = [0.2, 0.9, 0.4, 0.7];
+        let edges: Vec<DelayValue> =
+            values.iter().map(|&v| DelayValue::encode(v).unwrap()).collect();
+        let pooled = ops::nlse_many(&edges)
+            .delayed((values.len() as f64).ln())
+            .decode();
+        let mean = values.iter().sum::<f64>() / values.len() as f64;
+        assert!((pooled - mean).abs() < 1e-12);
+    }
+
+    #[test]
+    fn relu_clamps_negative() {
+        let img = Image::from_fn(2, 2, |x, y| x as f64 - y as f64);
+        let r = relu(&img);
+        assert_eq!(r.pixels(), &[0.0, 1.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn max_pool_matches_first_arrival_semantics() {
+        // fa on delay-space edges == max in importance space.
+        use ta_delay_space::DelayValue;
+        let values = [0.2, 0.9, 0.4, 0.7];
+        let edges: Vec<DelayValue> =
+            values.iter().map(|&v| DelayValue::encode(v).unwrap()).collect();
+        let first = edges.iter().copied().reduce(DelayValue::min).unwrap();
+        let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        assert!((first.decode() - max).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "must fit")]
+    fn oversized_window_panics() {
+        max_pool(&ramp(), 5, 1);
+    }
+}

@@ -1,0 +1,498 @@
+//! Classic race-logic computations (paper §2: "race logic has been shown
+//! to efficiently implement shortest path graph algorithms, decision
+//! trees, sorting networks…").
+//!
+//! These pre-date the delay-space encoding — they use the *linear* reading
+//! of arrival times — and are included both as evidence that the substrate
+//! is complete and as reusable building blocks (the temporal comparator
+//! network is what makes the paper's operand-ordering trick cheap).
+
+use ta_delay_space::DelayValue;
+
+use crate::circuit::{Circuit, CircuitBuilder, CircuitError, NodeId};
+
+/// Builds an odd-even transposition sorting network over `inputs`:
+/// output `i` fires at the `i`-th smallest arrival time. Each
+/// compare-exchange stage is one `fa` + one `la` gate — sorting with zero
+/// arithmetic, the signature race-logic trick.
+///
+/// Returns the sorted output nodes (earliest first).
+///
+/// # Panics
+///
+/// Panics if `inputs` is empty.
+pub fn build_sorting_network(b: &mut CircuitBuilder, inputs: &[NodeId]) -> Vec<NodeId> {
+    assert!(!inputs.is_empty(), "cannot sort zero edges");
+    let n = inputs.len();
+    let mut lanes = inputs.to_vec();
+    for round in 0..n {
+        let start = round % 2;
+        let mut k = start;
+        while k + 1 < n {
+            let (lo, hi) = (lanes[k], lanes[k + 1]);
+            lanes[k] = b.first_arrival(&[lo, hi]);
+            lanes[k + 1] = b.last_arrival(&[lo, hi]);
+            k += 2;
+        }
+    }
+    lanes
+}
+
+/// A complete temporal sorter as a standalone [`Circuit`] with inputs
+/// `x0..x{n-1}` and outputs `sorted0..` (earliest first).
+///
+/// # Errors
+///
+/// Returns a [`CircuitError`] if `n == 0` (via the builder's validation).
+pub fn sorting_circuit(n: usize) -> Result<Circuit, CircuitError> {
+    let mut b = CircuitBuilder::new();
+    let inputs: Vec<NodeId> = (0..n).map(|i| b.input(format!("x{i}"))).collect();
+    if n == 0 {
+        b.first_arrival(&[]); // records EmptyFanIn
+        return b.build();
+    }
+    let sorted = build_sorting_network(&mut b, &inputs);
+    for (i, node) in sorted.iter().enumerate() {
+        b.output(format!("sorted{i}"), *node);
+    }
+    b.build()
+}
+
+/// Builds the race-logic shortest-path engine for a directed grid DP (the
+/// DNA-alignment-style dynamic programming of Madhavan et al., ISCA '14):
+/// cell `(x, y)` fires when the cheapest monotone (right/down/diagonal)
+/// path from the origin reaches it, each step delayed by its cell cost.
+///
+/// `costs` is row-major, `width × height`; the returned circuit has one
+/// input (the start edge at the origin's reference time) and one output
+/// (`goal`) whose arrival time is `start + shortest_path_cost`.
+///
+/// # Panics
+///
+/// Panics if `costs.len() != width*height`, a dimension is zero, or any
+/// cost is negative/NaN (temporal delays cannot run backwards).
+pub fn grid_shortest_path(width: usize, height: usize, costs: &[f64]) -> Circuit {
+    assert!(width > 0 && height > 0, "grid dimensions must be non-zero");
+    assert_eq!(costs.len(), width * height, "one cost per grid cell");
+    assert!(
+        costs.iter().all(|c| c.is_finite() && *c >= 0.0),
+        "cell costs must be finite and non-negative"
+    );
+    let mut b = CircuitBuilder::new();
+    let start = b.input("start");
+
+    let mut nodes: Vec<NodeId> = Vec::with_capacity(width * height);
+    for y in 0..height {
+        for x in 0..width {
+            let cost = costs[y * width + x];
+            let entered = if x == 0 && y == 0 {
+                start
+            } else {
+                // Wavefront arrives from the earliest of the three
+                // monotone predecessors.
+                let mut preds = Vec::with_capacity(3);
+                if x > 0 {
+                    preds.push(nodes[y * width + (x - 1)]);
+                }
+                if y > 0 {
+                    preds.push(nodes[(y - 1) * width + x]);
+                }
+                if x > 0 && y > 0 {
+                    preds.push(nodes[(y - 1) * width + (x - 1)]);
+                }
+                b.first_arrival(&preds)
+            };
+            let fired = b.delay(entered, cost);
+            nodes.push(fired);
+        }
+    }
+    b.output("goal", nodes[width * height - 1]);
+    b.build().expect("grid DP netlists are valid by construction")
+}
+
+/// A binary decision tree over temporally-encoded features, after the
+/// boosted race trees of Tzimpragos et al. (ASPLOS '19, cited in §2).
+///
+/// Features arrive as edges whose delay linearly encodes the feature
+/// value. A split `feature_i < θ` is decided *without arithmetic*: an
+/// inhibit cell gated by a reference edge at delay `θ` fires iff the
+/// comparison holds; the opposite branch uses the mirrored cell. A leaf's
+/// activation is the `la` (AND) of its path conditions — it fires iff
+/// every comparison on the path holds — and each class output is the `fa`
+/// (OR) of its leaves. Exactly one leaf fires per evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TreeNode {
+    /// An internal split: `if feature[index] < threshold { lt } else { ge }`.
+    Split {
+        /// Feature index compared.
+        index: usize,
+        /// Threshold in delay units.
+        threshold: f64,
+        /// Subtree when `feature < threshold`.
+        lt: Box<TreeNode>,
+        /// Subtree when `feature >= threshold`.
+        ge: Box<TreeNode>,
+    },
+    /// A leaf voting for `class`.
+    Leaf {
+        /// Predicted class id.
+        class: usize,
+    },
+}
+
+impl TreeNode {
+    /// Software reference inference.
+    pub fn classify(&self, features: &[f64]) -> usize {
+        match self {
+            TreeNode::Leaf { class } => *class,
+            TreeNode::Split {
+                index,
+                threshold,
+                lt,
+                ge,
+            } => {
+                if features[*index] < *threshold {
+                    lt.classify(features)
+                } else {
+                    ge.classify(features)
+                }
+            }
+        }
+    }
+
+    fn max_class(&self) -> usize {
+        match self {
+            TreeNode::Leaf { class } => *class,
+            TreeNode::Split { lt, ge, .. } => lt.max_class().max(ge.max_class()),
+        }
+    }
+
+    fn feature_count(&self) -> usize {
+        match self {
+            TreeNode::Leaf { .. } => 0,
+            TreeNode::Split { index, lt, ge, .. } => (*index + 1)
+                .max(lt.feature_count())
+                .max(ge.feature_count()),
+        }
+    }
+}
+
+/// Compiles a decision tree into a race-logic [`Circuit`].
+///
+/// Inputs: one edge per feature (`f0..`), plus one `go` reference edge at
+/// the features' shared reference time. Outputs: one per class
+/// (`class0..`); the predicted class is the output that fires.
+///
+/// # Panics
+///
+/// Panics if any threshold is negative (delay-encoded features are
+/// non-negative).
+pub fn decision_tree_circuit(tree: &TreeNode) -> Circuit {
+    let n_features = tree.feature_count();
+    let n_classes = tree.max_class() + 1;
+    let mut b = CircuitBuilder::new();
+    let features: Vec<NodeId> = (0..n_features).map(|i| b.input(format!("f{i}"))).collect();
+    let go = b.input("go");
+
+    // Collect, per class, the la-of-conditions node for each leaf.
+    let mut class_leaves: Vec<Vec<NodeId>> = vec![Vec::new(); n_classes];
+    fn walk(
+        node: &TreeNode,
+        conditions: &mut Vec<NodeId>,
+        b: &mut CircuitBuilder,
+        features: &[NodeId],
+        go: NodeId,
+        class_leaves: &mut [Vec<NodeId>],
+    ) {
+        match node {
+            TreeNode::Leaf { class } => {
+                // The leaf fires iff all path conditions fired.
+                let activation = if conditions.is_empty() {
+                    go
+                } else {
+                    b.last_arrival(conditions)
+                };
+                class_leaves[*class].push(activation);
+            }
+            TreeNode::Split {
+                index,
+                threshold,
+                lt,
+                ge,
+            } => {
+                assert!(*threshold >= 0.0, "thresholds must be non-negative delays");
+                let reference = b.delay(go, *threshold);
+                // feature < θ: the feature edge beats the reference.
+                let lt_cond = b.inhibit(features[*index], reference);
+                // feature ≥ θ: the reference beats the feature — with a
+                // hair of margin so an exact tie routes to this branch,
+                // matching the software `<` (inhibit is strict on both
+                // sides, which would otherwise drop ties entirely).
+                let feature_margin = b.delay(features[*index], 1e-9);
+                let ge_cond = b.inhibit(reference, feature_margin);
+                conditions.push(lt_cond);
+                walk(lt, conditions, b, features, go, class_leaves);
+                conditions.pop();
+                conditions.push(ge_cond);
+                walk(ge, conditions, b, features, go, class_leaves);
+                conditions.pop();
+            }
+        }
+    }
+    let mut conditions = Vec::new();
+    walk(
+        tree,
+        &mut conditions,
+        &mut b,
+        &features,
+        go,
+        &mut class_leaves,
+    );
+
+    for (class, leaves) in class_leaves.iter().enumerate() {
+        if leaves.is_empty() {
+            // A class id with no leaf: emit a never output for uniformity.
+            let never = b.inhibit(go, go); // t_d < t_i is false at equality
+            b.output(format!("class{class}"), never);
+        } else {
+            let vote = b.first_arrival(leaves);
+            b.output(format!("class{class}"), vote);
+        }
+    }
+    b.build().expect("decision-tree netlists are valid by construction")
+}
+
+/// Runs temporal inference: features in delay units, returns the
+/// predicted class (the unique class output that fires).
+///
+/// # Errors
+///
+/// Propagates [`CircuitError`] from evaluation.
+///
+/// # Panics
+///
+/// Panics if no class output fires (cannot happen for a well-formed tree
+/// with features distinct from thresholds).
+pub fn decision_tree_infer(
+    circuit: &Circuit,
+    features: &[f64],
+) -> Result<usize, CircuitError> {
+    let mut inputs: Vec<DelayValue> =
+        features.iter().map(|&f| DelayValue::from_delay(f)).collect();
+    inputs.push(DelayValue::from_delay(0.0)); // the go edge
+    let outs = circuit.evaluate(&inputs)?;
+    Ok(outs
+        .iter()
+        .position(|o| !o.is_never())
+        .expect("exactly one leaf fires for in-range features"))
+}
+
+/// Software reference for [`grid_shortest_path`].
+pub fn grid_shortest_path_reference(width: usize, height: usize, costs: &[f64]) -> f64 {
+    assert_eq!(costs.len(), width * height, "one cost per grid cell");
+    let mut dp = vec![f64::INFINITY; width * height];
+    for y in 0..height {
+        for x in 0..width {
+            let c = costs[y * width + x];
+            let best_in = if x == 0 && y == 0 {
+                0.0
+            } else {
+                let mut m = f64::INFINITY;
+                if x > 0 {
+                    m = m.min(dp[y * width + x - 1]);
+                }
+                if y > 0 {
+                    m = m.min(dp[(y - 1) * width + x]);
+                }
+                if x > 0 && y > 0 {
+                    m = m.min(dp[(y - 1) * width + x - 1]);
+                }
+                m
+            };
+            dp[y * width + x] = best_in + c;
+        }
+    }
+    dp[width * height - 1]
+}
+
+/// Sorts edge times through [`sorting_circuit`] and decodes back —
+/// a convenience wrapper used by tests and examples.
+///
+/// # Errors
+///
+/// Propagates [`CircuitError`] from construction/evaluation.
+pub fn sort_times(times: &[f64]) -> Result<Vec<f64>, CircuitError> {
+    let circuit = sorting_circuit(times.len())?;
+    let inputs: Vec<DelayValue> = times.iter().map(|&t| DelayValue::from_delay(t)).collect();
+    Ok(circuit
+        .evaluate(&inputs)?
+        .into_iter()
+        .map(|v| v.delay())
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sorting_network_sorts() {
+        let times = [3.0, 1.0, 2.5, 0.5, 4.0, 0.7, 3.9];
+        let got = sort_times(&times).unwrap();
+        let mut want = times.to_vec();
+        want.sort_by(f64::total_cmp);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn sorting_handles_duplicates_and_never() {
+        let got = sort_times(&[2.0, 2.0, 1.0]).unwrap();
+        assert_eq!(got, vec![1.0, 2.0, 2.0]);
+        // A never-firing input sorts last.
+        let circuit = sorting_circuit(3).unwrap();
+        let out = circuit
+            .evaluate(&[
+                DelayValue::from_delay(1.0),
+                DelayValue::ZERO,
+                DelayValue::from_delay(0.5),
+            ])
+            .unwrap();
+        assert_eq!(out[0].delay(), 0.5);
+        assert_eq!(out[1].delay(), 1.0);
+        assert!(out[2].is_never());
+    }
+
+    #[test]
+    fn sorting_network_gate_count() {
+        // Odd-even transposition on n lanes: n rounds of ⌊n/2⌋-ish
+        // compare-exchanges, each one fa + one la.
+        let c = sorting_circuit(6).unwrap();
+        let s = c.stats();
+        assert_eq!(s.fa_gates, s.la_gates);
+        assert_eq!(s.fa_gates, 15); // 6 rounds alternating 3/2 exchanges
+        assert_eq!(s.delay_elements, 0); // sorting needs no arithmetic at all
+    }
+
+    #[test]
+    fn single_input_sorts_trivially() {
+        assert_eq!(sort_times(&[7.0]).unwrap(), vec![7.0]);
+    }
+
+    #[test]
+    fn grid_dp_matches_software_reference() {
+        let costs = [
+            1.0, 9.0, 1.0, //
+            1.0, 9.0, 1.0, //
+            1.0, 1.0, 1.0, //
+        ];
+        let circuit = grid_shortest_path(3, 3, &costs);
+        let out = circuit.evaluate(&[DelayValue::from_delay(0.0)]).unwrap()[0];
+        let want = grid_shortest_path_reference(3, 3, &costs);
+        assert!((out.delay() - want).abs() < 1e-12);
+        assert_eq!(want, 4.0); // down the left edge with one diagonal hop
+    }
+
+    #[test]
+    fn grid_dp_random_agreement() {
+        for seed in 0..10u64 {
+            let (w, h) = (5, 4);
+            let costs: Vec<f64> = (0..w * h)
+                .map(|i| {
+                    let x = (seed * 2654435761 + i as u64 * 40503).wrapping_mul(2654435761);
+                    (x % 1000) as f64 / 100.0
+                })
+                .collect();
+            let circuit = grid_shortest_path(w, h, &costs);
+            let got = circuit.evaluate(&[DelayValue::from_delay(0.0)]).unwrap()[0].delay();
+            let want = grid_shortest_path_reference(w, h, &costs);
+            assert!((got - want).abs() < 1e-9, "seed {seed}: {got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn grid_dp_respects_start_offset() {
+        let circuit = grid_shortest_path(2, 2, &[1.0, 1.0, 1.0, 1.0]);
+        let out = circuit.evaluate(&[DelayValue::from_delay(10.0)]).unwrap()[0];
+        // Diagonal path: 1 + 1 = 2 plus the start offset.
+        assert!((out.delay() - 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_costs_rejected() {
+        grid_shortest_path(2, 1, &[1.0, -2.0]);
+    }
+
+    fn demo_tree() -> TreeNode {
+        // if f0 < 2 { if f1 < 1 { class 0 } else { class 1 } }
+        // else      { if f0 < 4 { class 2 } else { class 0 } }
+        TreeNode::Split {
+            index: 0,
+            threshold: 2.0,
+            lt: Box::new(TreeNode::Split {
+                index: 1,
+                threshold: 1.0,
+                lt: Box::new(TreeNode::Leaf { class: 0 }),
+                ge: Box::new(TreeNode::Leaf { class: 1 }),
+            }),
+            ge: Box::new(TreeNode::Split {
+                index: 0,
+                threshold: 4.0,
+                lt: Box::new(TreeNode::Leaf { class: 2 }),
+                ge: Box::new(TreeNode::Leaf { class: 0 }),
+            }),
+        }
+    }
+
+    #[test]
+    fn decision_tree_matches_software_inference() {
+        let tree = demo_tree();
+        let circuit = decision_tree_circuit(&tree);
+        for &features in &[
+            [0.5, 0.5],
+            [0.5, 3.0],
+            [3.0, 0.0],
+            [5.0, 9.9],
+            [1.99, 0.99],
+            [2.0, 0.0], // tie on the first split routes to ge
+        ] {
+            let want = tree.classify(&features);
+            let got = decision_tree_infer(&circuit, &features).unwrap();
+            assert_eq!(got, want, "features {features:?}");
+        }
+    }
+
+    #[test]
+    fn decision_tree_exhaustive_grid_agreement() {
+        let tree = demo_tree();
+        let circuit = decision_tree_circuit(&tree);
+        for i in 0..30 {
+            for j in 0..30 {
+                let features = [i as f64 * 0.2, j as f64 * 0.11];
+                assert_eq!(
+                    decision_tree_infer(&circuit, &features).unwrap(),
+                    tree.classify(&features),
+                    "features {features:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn decision_tree_single_leaf() {
+        let tree = TreeNode::Leaf { class: 3 };
+        let circuit = decision_tree_circuit(&tree);
+        assert_eq!(circuit.output_names().len(), 4);
+        assert_eq!(decision_tree_infer(&circuit, &[]).unwrap(), 3);
+    }
+
+    #[test]
+    fn decision_tree_uses_no_arithmetic() {
+        // The whole classifier is comparisons and routing: delays exist
+        // only as threshold references, never as value arithmetic.
+        let circuit = decision_tree_circuit(&demo_tree());
+        let s = circuit.stats();
+        assert!(s.inhibit_cells >= 6); // two per split
+        assert_eq!(s.delay_elements, 6); // one θ reference + one margin per split
+    }
+}

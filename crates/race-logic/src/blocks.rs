@@ -1,0 +1,471 @@
+//! Ready-made temporal circuit blocks: the hardware nLSE/nLDE approximation
+//! units of §2.3 (Fig 6) and the accumulation trees of §4.3.
+//!
+//! All blocks operate in a time-shifted frame: a block configured with shift
+//! `k` produces `f(x', y') + k` where `f` is the approximated function. The
+//! shift makes every internal constant non-negative so it can be realised
+//! with physical delay elements, and downstream recurrence logic absorbs it
+//! into the cycle time (§3).
+
+use ta_delay_space::DelayValue;
+
+use crate::circuit::{Circuit, CircuitBuilder, CircuitError, NodeId};
+use crate::comparator::build_comparator;
+
+/// One max-term `(C_i, D_i)` of the min-of-max nLSE approximation (Eq. 6),
+/// or one inhibit-term `(E_i, F_i)` of the min-of-inhibit nLDE
+/// approximation (Eq. 7).
+pub type TermPair = (f64, f64);
+
+/// How operand ordering is handled by an nLSE block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OperandOrdering {
+    /// A temporal comparator sorts the inputs first, so each `(C, D)` term
+    /// is instantiated once (the paper's design: §2.3).
+    Comparator,
+    /// No comparator: every term is instantiated twice, mirrored, doubling
+    /// the max-term hardware. Kept for the ablation of the comparator
+    /// optimisation.
+    Mirrored,
+}
+
+/// Computes the time shift `K` required to make all constants of a term
+/// list non-negative (§2.3): `K ≥ -min(C_i, D_i)`, and at least 0.
+pub fn required_shift(terms: &[TermPair]) -> f64 {
+    terms
+        .iter()
+        .flat_map(|&(c, d)| [c, d])
+        .fold(0.0_f64, |k, v| k.max(-v))
+}
+
+/// A constructed approximation block inside a larger netlist.
+#[derive(Debug, Clone, Copy)]
+pub struct BlockOutput {
+    /// The node carrying the block's result edge.
+    pub node: NodeId,
+    /// The total time shift of the result relative to the mathematical
+    /// function: `out = f(x, y) + shift`.
+    pub shift: f64,
+}
+
+/// Builds the **naive** nLSE approximation of Fig 6a: every max-term owns a
+/// dedicated pair of delay elements.
+///
+/// The result edge is `nLSẼ(x, y) + k` where `nLSẼ` is the min-of-max
+/// approximation with the given `terms` and `k ≥` [`required_shift`].
+///
+/// # Panics
+///
+/// Panics if `terms` is empty or `k < required_shift(terms)` (the netlist
+/// would need negative delays).
+pub fn build_nlse_naive(
+    b: &mut CircuitBuilder,
+    x: NodeId,
+    y: NodeId,
+    terms: &[TermPair],
+    k: f64,
+    ordering: OperandOrdering,
+) -> BlockOutput {
+    assert!(!terms.is_empty(), "nLSE block needs at least one max-term");
+    assert!(
+        k >= required_shift(terms),
+        "shift k={k} below required {}",
+        required_shift(terms)
+    );
+    let mut fan_in = Vec::new();
+    match ordering {
+        OperandOrdering::Comparator => {
+            let (lo, hi) = build_comparator(b, x, y);
+            // min(x, y) + k comes straight off the comparator's first output.
+            let min_path = b.delay(lo, k);
+            fan_in.push(min_path);
+            for &(c, d) in terms {
+                let hi_d = b.delay(hi, c + k);
+                let lo_d = b.delay(lo, d + k);
+                fan_in.push(b.last_arrival(&[hi_d, lo_d]));
+            }
+        }
+        OperandOrdering::Mirrored => {
+            let xd = b.delay(x, k);
+            let yd = b.delay(y, k);
+            fan_in.push(xd);
+            fan_in.push(yd);
+            for &(c, d) in terms {
+                let a1 = b.delay(x, c + k);
+                let b1 = b.delay(y, d + k);
+                fan_in.push(b.last_arrival(&[a1, b1]));
+                let a2 = b.delay(x, d + k);
+                let b2 = b.delay(y, c + k);
+                fan_in.push(b.last_arrival(&[a2, b2]));
+            }
+        }
+    }
+    BlockOutput {
+        node: b.first_arrival(&fan_in),
+        shift: k,
+    }
+}
+
+/// Builds the **optimized shared-chain** nLSE approximation of Fig 6b: each
+/// input drives a single chain of delay elements and max-terms tap the
+/// chain at the appropriate cumulative delays, eliminating redundant delay.
+///
+/// Functionally identical to [`build_nlse_naive`] with
+/// [`OperandOrdering::Comparator`]; the difference is hardware cost — see
+/// [`Circuit::stats`].
+///
+/// # Panics
+///
+/// Same contract as [`build_nlse_naive`].
+pub fn build_nlse_shared(
+    b: &mut CircuitBuilder,
+    x: NodeId,
+    y: NodeId,
+    terms: &[TermPair],
+    k: f64,
+) -> BlockOutput {
+    assert!(!terms.is_empty(), "nLSE block needs at least one max-term");
+    assert!(
+        k >= required_shift(terms),
+        "shift k={k} below required {}",
+        required_shift(terms)
+    );
+    let (lo, hi) = build_comparator(b, x, y);
+
+    // Absolute tap delays needed on each chain.
+    let hi_taps: Vec<f64> = terms.iter().map(|&(c, _)| c + k).collect();
+    let mut lo_taps: Vec<f64> = terms.iter().map(|&(_, d)| d + k).collect();
+    lo_taps.push(k); // the min path
+
+    let hi_nodes = build_tapped_chain(b, hi, &hi_taps);
+    let lo_nodes = build_tapped_chain(b, lo, &lo_taps);
+
+    let mut fan_in = vec![lo_nodes[terms.len()]]; // the `lo + k` tap
+    for i in 0..terms.len() {
+        fan_in.push(b.last_arrival(&[hi_nodes[i], lo_nodes[i]]));
+    }
+    BlockOutput {
+        node: b.first_arrival(&fan_in),
+        shift: k,
+    }
+}
+
+/// Builds one delay chain with taps at the given absolute delays (any
+/// order); returns one node per requested tap, in request order. Duplicate
+/// delays share a tap.
+fn build_tapped_chain(b: &mut CircuitBuilder, input: NodeId, taps: &[f64]) -> Vec<NodeId> {
+    let mut order: Vec<usize> = (0..taps.len()).collect();
+    order.sort_by(|&i, &j| taps[i].total_cmp(&taps[j]));
+    let mut nodes = vec![input; taps.len()];
+    let mut cur = input;
+    let mut cur_delay = 0.0;
+    for &idx in &order {
+        let seg = taps[idx] - cur_delay;
+        if seg > 1e-12 {
+            cur = b.delay(cur, seg);
+            cur_delay = taps[idx];
+        }
+        nodes[idx] = cur;
+    }
+    nodes
+}
+
+/// Builds the nLDE (delay-space subtraction) approximation: a first-arrival
+/// over inhibit-terms (Eq. 7). The minuend `x` must arrive earlier than the
+/// subtrahend `y` for a meaningful result; otherwise all terms inhibit and
+/// the output never fires — which correctly decodes to importance-space 0
+/// or "needs rail swap" in the split representation.
+///
+/// The result edge is `nLDẼ(x, y) + k`.
+///
+/// # Panics
+///
+/// Panics if `terms` is empty or `k < required_shift(terms)`.
+pub fn build_nlde(
+    b: &mut CircuitBuilder,
+    x: NodeId,
+    y: NodeId,
+    terms: &[TermPair],
+    k: f64,
+) -> BlockOutput {
+    assert!(!terms.is_empty(), "nLDE block needs at least one inhibit-term");
+    assert!(
+        k >= required_shift(terms),
+        "shift k={k} below required {}",
+        required_shift(terms)
+    );
+    // Shared chains, as for nLSE: each input is delayed once per distinct tap.
+    let x_taps: Vec<f64> = terms.iter().map(|&(e, _)| e + k).collect();
+    let y_taps: Vec<f64> = terms.iter().map(|&(_, f)| f + k).collect();
+    let x_nodes = build_tapped_chain(b, x, &x_taps);
+    let y_nodes = build_tapped_chain(b, y, &y_taps);
+    let mut fan_in = Vec::with_capacity(terms.len());
+    for i in 0..terms.len() {
+        fan_in.push(b.inhibit(x_nodes[i], y_nodes[i]));
+    }
+    BlockOutput {
+        node: b.first_arrival(&fan_in),
+        shift: k,
+    }
+}
+
+/// Builds a balanced accumulation tree of two-input nLSE blocks (§4.3).
+///
+/// Whenever the tree is not fully symmetric, shallower paths are balanced
+/// with delays equal to the inherent shift of one nLSE block, inserted as
+/// deep in the tree as possible, so every input experiences the same total
+/// reference-frame shift. Returns the root and the tree's uniform shift
+/// (`levels × k`).
+///
+/// # Panics
+///
+/// Panics if `inputs` is empty or `terms` is empty.
+pub fn build_nlse_tree(
+    b: &mut CircuitBuilder,
+    inputs: &[NodeId],
+    terms: &[TermPair],
+    k: f64,
+) -> BlockOutput {
+    assert!(!inputs.is_empty(), "tree needs at least one input");
+    let (node, levels) = build_tree_rec(b, inputs, terms, k);
+    BlockOutput {
+        node,
+        shift: levels as f64 * k,
+    }
+}
+
+fn build_tree_rec(
+    b: &mut CircuitBuilder,
+    inputs: &[NodeId],
+    terms: &[TermPair],
+    k: f64,
+) -> (NodeId, u32) {
+    if inputs.len() == 1 {
+        return (inputs[0], 0);
+    }
+    let mid = inputs.len().div_ceil(2);
+    let (mut left, l_lv) = build_tree_rec(b, &inputs[..mid], terms, k);
+    let (mut right, r_lv) = build_tree_rec(b, &inputs[mid..], terms, k);
+    // Path-balance the shallower subtree (as deep as possible — right here,
+    // at the point where depths first diverge).
+    let levels = l_lv.max(r_lv);
+    if l_lv < levels {
+        left = b.delay(left, (levels - l_lv) as f64 * k);
+    }
+    if r_lv < levels {
+        right = b.delay(right, (levels - r_lv) as f64 * k);
+    }
+    let out = build_nlse_shared(b, left, right, terms, k);
+    (out.node, levels + 1)
+}
+
+/// Convenience: wraps a two-input nLSE block as a standalone [`Circuit`]
+/// with inputs `x`, `y` and output `nlse`.
+///
+/// # Errors
+///
+/// Returns any [`CircuitError`] raised during construction (e.g. a negative
+/// effective delay if `k` is too small).
+pub fn nlse_circuit(
+    terms: &[TermPair],
+    k: f64,
+    shared: bool,
+) -> Result<Circuit, CircuitError> {
+    let mut b = CircuitBuilder::new();
+    let x = b.input("x");
+    let y = b.input("y");
+    let out = if shared {
+        build_nlse_shared(&mut b, x, y, terms, k)
+    } else {
+        build_nlse_naive(&mut b, x, y, terms, k, OperandOrdering::Comparator)
+    };
+    b.output("nlse", out.node);
+    b.build()
+}
+
+/// Convenience: wraps an nLDE block as a standalone [`Circuit`] with inputs
+/// `x` (minuend), `y` (subtrahend) and output `nlde`.
+///
+/// # Errors
+///
+/// Returns any [`CircuitError`] raised during construction.
+pub fn nlde_circuit(terms: &[TermPair], k: f64) -> Result<Circuit, CircuitError> {
+    let mut b = CircuitBuilder::new();
+    let x = b.input("x");
+    let y = b.input("y");
+    let out = build_nlde(&mut b, x, y, terms, k);
+    b.output("nlde", out.node);
+    b.build()
+}
+
+/// Reference (software) evaluation of the min-of-max nLSE approximation
+/// with ordered operands, used to cross-check netlists and by the
+/// functional simulator.
+pub fn nlse_min_of_max(x: DelayValue, y: DelayValue, terms: &[TermPair]) -> DelayValue {
+    let (lo, hi) = if x <= y { (x, y) } else { (y, x) };
+    let mut best = lo;
+    for &(c, d) in terms {
+        let t = hi.delayed(c).max(lo.delayed(d));
+        best = best.min(t);
+    }
+    best
+}
+
+/// Reference (software) evaluation of the min-of-inhibit nLDE
+/// approximation, used to cross-check netlists and by the functional
+/// simulator.
+pub fn nlde_min_of_inhibit(x: DelayValue, y: DelayValue, terms: &[TermPair]) -> DelayValue {
+    let mut best = DelayValue::ZERO;
+    for &(e, f) in terms {
+        let t = x.delayed(e).inhibited_by(y.delayed(f));
+        best = best.min(t);
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TERMS: &[TermPair] = &[(-0.25, -0.25), (-1.0, -0.05)];
+
+    fn dv(t: f64) -> DelayValue {
+        DelayValue::from_delay(t)
+    }
+
+    #[test]
+    fn required_shift_covers_most_negative() {
+        assert!((required_shift(TERMS) - 1.0).abs() < 1e-12);
+        assert_eq!(required_shift(&[(0.5, 0.2)]), 0.0);
+    }
+
+    #[test]
+    fn naive_matches_reference() {
+        let k = required_shift(TERMS);
+        let c = nlse_circuit(TERMS, k, false).unwrap();
+        for &(tx, ty) in &[(0.0, 0.0), (0.3, 1.7), (2.0, -1.0), (5.0, 0.1)] {
+            let out = c.evaluate(&[dv(tx), dv(ty)]).unwrap()[0];
+            let expected = nlse_min_of_max(dv(tx), dv(ty), TERMS).delayed(k);
+            assert!(
+                (out.delay() - expected.delay()).abs() < 1e-9,
+                "({tx},{ty}): {} vs {}",
+                out.delay(),
+                expected.delay()
+            );
+        }
+    }
+
+    #[test]
+    fn shared_matches_naive_functionally() {
+        let k = required_shift(TERMS) + 0.5;
+        let naive = nlse_circuit(TERMS, k, false).unwrap();
+        let shared = nlse_circuit(TERMS, k, true).unwrap();
+        for i in 0..50 {
+            let tx = (i as f64) * 0.13 - 3.0;
+            let ty = ((i * 7) % 50) as f64 * 0.11 - 2.0;
+            let a = naive.evaluate(&[dv(tx), dv(ty)]).unwrap()[0];
+            let b = shared.evaluate(&[dv(tx), dv(ty)]).unwrap()[0];
+            assert!((a.delay() - b.delay()).abs() < 1e-9, "({tx},{ty})");
+        }
+    }
+
+    #[test]
+    fn shared_uses_less_delay() {
+        let k = required_shift(TERMS);
+        let naive = nlse_circuit(TERMS, k, false).unwrap().stats();
+        let shared = nlse_circuit(TERMS, k, true).unwrap().stats();
+        assert!(shared.total_delay_units < naive.total_delay_units);
+        assert!(shared.delay_elements <= naive.delay_elements);
+    }
+
+    #[test]
+    fn mirrored_handles_both_orders_without_comparator() {
+        let k = required_shift(TERMS);
+        let mut b = CircuitBuilder::new();
+        let x = b.input("x");
+        let y = b.input("y");
+        let out = build_nlse_naive(&mut b, x, y, TERMS, k, OperandOrdering::Mirrored);
+        b.output("o", out.node);
+        let c = b.build().unwrap();
+        let a = c.evaluate(&[dv(0.5), dv(2.0)]).unwrap()[0];
+        let bb = c.evaluate(&[dv(2.0), dv(0.5)]).unwrap()[0];
+        assert_eq!(a, bb);
+        let expected = nlse_min_of_max(dv(0.5), dv(2.0), TERMS).delayed(k);
+        assert!((a.delay() - expected.delay()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nlde_circuit_matches_reference() {
+        let terms: &[TermPair] = &[(0.1, -0.4), (0.7, 0.2), (1.6, 1.5)];
+        let k = required_shift(terms);
+        let c = nlde_circuit(terms, k).unwrap();
+        for &(tx, ty) in &[(0.0, 0.5), (0.0, 3.0), (1.0, 1.1), (2.0, 1.0)] {
+            let out = c.evaluate(&[dv(tx), dv(ty)]).unwrap()[0];
+            let expected = nlde_min_of_inhibit(dv(tx), dv(ty), terms).delayed(k);
+            if expected.is_never() {
+                assert!(out.is_never(), "({tx},{ty})");
+            } else {
+                assert!((out.delay() - expected.delay()).abs() < 1e-9, "({tx},{ty})");
+            }
+        }
+    }
+
+    #[test]
+    fn nlde_never_fires_when_subtrahend_dominates() {
+        let terms: &[TermPair] = &[(0.0, 0.0)];
+        let c = nlde_circuit(terms, 0.0).unwrap();
+        // y earlier than x: all inhibit terms kill the data edge.
+        let out = c.evaluate(&[dv(2.0), dv(1.0)]).unwrap()[0];
+        assert!(out.is_never());
+    }
+
+    #[test]
+    fn tree_is_balanced_and_shifts_uniformly() {
+        let k = required_shift(TERMS);
+        let mut b = CircuitBuilder::new();
+        let inputs: Vec<NodeId> = (0..5).map(|i| b.input(format!("i{i}"))).collect();
+        let out = build_nlse_tree(&mut b, &inputs, TERMS, k);
+        b.output("sum", out.node);
+        let c = b.build().unwrap();
+        // 5 inputs → ceil(log2(5)) = 3 levels.
+        assert!((out.shift - 3.0 * k).abs() < 1e-12);
+
+        // Feeding all-equal edges: result should be below min (it's a sum).
+        let t = 2.0;
+        let got = c.evaluate(&[dv(t); 5]).unwrap()[0];
+        // Exact sum of 5 equal values: t - ln 5 (+shift); approximation is
+        // close but we only check it lies in the plausible band.
+        assert!(got.delay() < t + out.shift);
+        assert!(got.delay() > t - (5.0_f64).ln() - 0.5 + out.shift);
+    }
+
+    #[test]
+    fn tree_single_input_is_identity() {
+        let mut b = CircuitBuilder::new();
+        let x = b.input("x");
+        let out = build_nlse_tree(&mut b, &[x], TERMS, 1.0);
+        b.output("o", out.node);
+        let c = b.build().unwrap();
+        assert_eq!(out.shift, 0.0);
+        assert_eq!(c.evaluate(&[dv(3.0)]).unwrap()[0], dv(3.0));
+    }
+
+    #[test]
+    fn reference_nlse_improves_on_plain_min() {
+        // Even hand-picked terms must beat the bare-min approximation
+        // (whose worst error is ln 2) and stay within that bound.
+        use ta_delay_space::ops;
+        let mut worst_terms = 0.0_f64;
+        let mut worst_min = 0.0_f64;
+        for i in 0..100 {
+            let tx = i as f64 * 0.05;
+            let ty = 2.0 - i as f64 * 0.03;
+            let approx = nlse_min_of_max(dv(tx), dv(ty), TERMS);
+            let exact = ops::nlse(dv(tx), dv(ty));
+            worst_terms = worst_terms.max((approx.delay() - exact.delay()).abs());
+            worst_min = worst_min.max((tx.min(ty) - exact.delay()).abs());
+        }
+        assert!(worst_terms < worst_min, "{worst_terms} !< {worst_min}");
+        assert!(worst_terms <= 2.0_f64.ln() + 1e-12);
+    }
+}

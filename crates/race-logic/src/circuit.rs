@@ -1,0 +1,569 @@
+//! The temporal netlist: construction, validation and simulation.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use ta_delay_space::DelayValue;
+
+use crate::gate::Gate;
+use crate::noise::{DelayPerturb, NoNoise};
+
+/// Identifier of a node (input or gate output) inside one [`Circuit`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(usize);
+
+impl NodeId {
+    /// The dense index of this node, usable for side tables.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    Input { name: String },
+    Gate(Gate),
+}
+
+/// Errors raised while building or evaluating a [`Circuit`].
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CircuitError {
+    /// A gate referenced a node id that does not exist.
+    DanglingNode(usize),
+    /// The netlist contains a combinational cycle. Recurrence must be
+    /// scheduled across evaluation cycles (paper §3), not wired as a loop.
+    Cycle,
+    /// A delay element was given a negative nominal delay.
+    NegativeDelay(f64),
+    /// `evaluate` was called with the wrong number of input edges.
+    InputArity {
+        /// Inputs the circuit declares.
+        expected: usize,
+        /// Inputs supplied by the caller.
+        got: usize,
+    },
+    /// A gate with empty fan-in was constructed.
+    EmptyFanIn,
+}
+
+impl fmt::Display for CircuitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CircuitError::DanglingNode(id) => write!(f, "gate references unknown node {id}"),
+            CircuitError::Cycle => write!(
+                f,
+                "combinational cycle: recurrence must be scheduled across cycles, not wired"
+            ),
+            CircuitError::NegativeDelay(d) => {
+                write!(f, "delay elements cannot advance edges (got {d})")
+            }
+            CircuitError::InputArity { expected, got } => {
+                write!(f, "expected {expected} input edges, got {got}")
+            }
+            CircuitError::EmptyFanIn => write!(f, "gate must have at least one fan-in"),
+        }
+    }
+}
+
+impl Error for CircuitError {}
+
+/// Incrementally builds a [`Circuit`].
+///
+/// Nodes are appended in construction order, which is also a valid
+/// topological order because gates may only reference already-created
+/// nodes — the builder rejects anything else, so cycles cannot form.
+#[derive(Debug, Default)]
+pub struct CircuitBuilder {
+    nodes: Vec<Node>,
+    outputs: Vec<(String, NodeId)>,
+    inputs: Vec<NodeId>,
+    error: Option<CircuitError>,
+}
+
+impl CircuitBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn push(&mut self, node: Node) -> NodeId {
+        let id = NodeId(self.nodes.len());
+        self.nodes.push(node);
+        id
+    }
+
+    fn check_ref(&mut self, id: NodeId) {
+        if id.0 >= self.nodes.len() && self.error.is_none() {
+            self.error = Some(CircuitError::DanglingNode(id.0));
+        }
+    }
+
+    /// Declares a primary input edge.
+    pub fn input(&mut self, name: impl Into<String>) -> NodeId {
+        let id = self.push(Node::Input { name: name.into() });
+        self.inputs.push(id);
+        id
+    }
+
+    /// Adds a first-arrival (OR / temporal min) gate.
+    pub fn first_arrival(&mut self, fan_in: &[NodeId]) -> NodeId {
+        if fan_in.is_empty() && self.error.is_none() {
+            self.error = Some(CircuitError::EmptyFanIn);
+        }
+        for &n in fan_in {
+            self.check_ref(n);
+        }
+        self.push(Node::Gate(Gate::FirstArrival(fan_in.to_vec())))
+    }
+
+    /// Adds a last-arrival (AND / temporal max) gate.
+    pub fn last_arrival(&mut self, fan_in: &[NodeId]) -> NodeId {
+        if fan_in.is_empty() && self.error.is_none() {
+            self.error = Some(CircuitError::EmptyFanIn);
+        }
+        for &n in fan_in {
+            self.check_ref(n);
+        }
+        self.push(Node::Gate(Gate::LastArrival(fan_in.to_vec())))
+    }
+
+    /// Adds an inhibit cell: passes `data` only if it beats `inhibitor`.
+    pub fn inhibit(&mut self, data: NodeId, inhibitor: NodeId) -> NodeId {
+        self.check_ref(data);
+        self.check_ref(inhibitor);
+        self.push(Node::Gate(Gate::Inhibit { data, inhibitor }))
+    }
+
+    /// Adds a fixed delay element of `delta ≥ 0` units.
+    pub fn delay(&mut self, input: NodeId, delta: f64) -> NodeId {
+        self.check_ref(input);
+        if (delta < 0.0 || delta.is_nan()) && self.error.is_none() {
+            self.error = Some(CircuitError::NegativeDelay(delta));
+        }
+        self.push(Node::Gate(Gate::Delay { input, delta }))
+    }
+
+    /// Adds a chain of delay elements and returns the tap after each
+    /// segment, in order. Used by the shared-chain nLSE block (Fig 6b).
+    pub fn delay_chain(&mut self, input: NodeId, segments: &[f64]) -> Vec<NodeId> {
+        let mut taps = Vec::with_capacity(segments.len());
+        let mut cur = input;
+        for &seg in segments {
+            cur = self.delay(cur, seg);
+            taps.push(cur);
+        }
+        taps
+    }
+
+    /// Marks a node as a named primary output.
+    pub fn output(&mut self, name: impl Into<String>, node: NodeId) {
+        self.check_ref(node);
+        self.outputs.push((name.into(), node));
+    }
+
+    /// Finalises the netlist.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first construction error recorded by the builder
+    /// (dangling reference, negative delay, empty fan-in).
+    pub fn build(self) -> Result<Circuit, CircuitError> {
+        if let Some(e) = self.error {
+            return Err(e);
+        }
+        Ok(Circuit {
+            nodes: self.nodes,
+            outputs: self.outputs,
+            inputs: self.inputs,
+        })
+    }
+}
+
+/// Per-circuit static statistics used by the energy/area models and the
+/// Fig 6a-vs-6b ablation.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct CircuitStats {
+    /// Number of primary inputs.
+    pub inputs: usize,
+    /// Number of fa (OR) gates.
+    pub fa_gates: usize,
+    /// Number of la (AND) gates.
+    pub la_gates: usize,
+    /// Number of inhibit cells.
+    pub inhibit_cells: usize,
+    /// Number of discrete delay elements.
+    pub delay_elements: usize,
+    /// Sum of nominal delays over all delay elements, in abstract units.
+    /// Energy of a delay line is proportional to this (paper §2.3).
+    pub total_delay_units: f64,
+}
+
+/// An immutable, validated temporal netlist.
+#[derive(Debug, Clone)]
+pub struct Circuit {
+    nodes: Vec<Node>,
+    outputs: Vec<(String, NodeId)>,
+    inputs: Vec<NodeId>,
+}
+
+impl Circuit {
+    /// Number of primary inputs, in declaration order.
+    pub fn input_count(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// Names of the primary inputs, in declaration order.
+    pub fn input_names(&self) -> Vec<&str> {
+        self.inputs
+            .iter()
+            .map(|id| match &self.nodes[id.0] {
+                Node::Input { name } => name.as_str(),
+                Node::Gate(_) => unreachable!("inputs list only holds input nodes"),
+            })
+            .collect()
+    }
+
+    /// Names of the primary outputs, in declaration order.
+    pub fn output_names(&self) -> Vec<&str> {
+        self.outputs.iter().map(|(n, _)| n.as_str()).collect()
+    }
+
+    /// Static gate/delay statistics of the netlist.
+    pub fn stats(&self) -> CircuitStats {
+        let mut s = CircuitStats {
+            inputs: self.inputs.len(),
+            ..CircuitStats::default()
+        };
+        for node in &self.nodes {
+            match node {
+                Node::Input { .. } => {}
+                Node::Gate(Gate::FirstArrival(_)) => s.fa_gates += 1,
+                Node::Gate(Gate::LastArrival(_)) => s.la_gates += 1,
+                Node::Gate(Gate::Inhibit { .. }) => s.inhibit_cells += 1,
+                Node::Gate(Gate::Delay { delta, .. }) => {
+                    s.delay_elements += 1;
+                    s.total_delay_units += delta;
+                }
+            }
+        }
+        s
+    }
+
+    /// Evaluates the circuit with ideal (noiseless) delay elements.
+    ///
+    /// `inputs` are the arrival times of the primary inputs in declaration
+    /// order; the result holds the output edges in output-declaration order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::InputArity`] on input-count mismatch.
+    pub fn evaluate(&self, inputs: &[DelayValue]) -> Result<Vec<DelayValue>, CircuitError> {
+        self.evaluate_noisy(inputs, &mut NoNoise)
+    }
+
+    /// Evaluates the circuit, perturbing every delay element through
+    /// `noise` — the hook the RJ/PSIJ jitter models plug into.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::InputArity`] on input-count mismatch.
+    pub fn evaluate_noisy(
+        &self,
+        inputs: &[DelayValue],
+        noise: &mut dyn DelayPerturb,
+    ) -> Result<Vec<DelayValue>, CircuitError> {
+        if inputs.len() != self.inputs.len() {
+            return Err(CircuitError::InputArity {
+                expected: self.inputs.len(),
+                got: inputs.len(),
+            });
+        }
+        let mut times: Vec<DelayValue> = vec![DelayValue::ZERO; self.nodes.len()];
+        let mut next_input = 0;
+        for (idx, node) in self.nodes.iter().enumerate() {
+            times[idx] = match node {
+                Node::Input { .. } => {
+                    let v = inputs[next_input];
+                    next_input += 1;
+                    v
+                }
+                Node::Gate(Gate::FirstArrival(ins)) => ins
+                    .iter()
+                    .map(|n| times[n.0])
+                    .min()
+                    .unwrap_or(DelayValue::ZERO),
+                Node::Gate(Gate::LastArrival(ins)) => ins
+                    .iter()
+                    .map(|n| times[n.0])
+                    .max()
+                    .unwrap_or(DelayValue::ZERO),
+                Node::Gate(Gate::Inhibit { data, inhibitor }) => {
+                    times[data.0].inhibited_by(times[inhibitor.0])
+                }
+                Node::Gate(Gate::Delay { input, delta }) => {
+                    let in_t = times[input.0];
+                    if in_t.is_never() {
+                        in_t
+                    } else {
+                        in_t.delayed(noise.perturb(*delta).max(0.0))
+                    }
+                }
+            };
+        }
+        Ok(self.outputs.iter().map(|(_, n)| times[n.0]).collect())
+    }
+
+    /// Exports the netlist in Graphviz DOT format for visual inspection
+    /// (`dot -Tsvg`). Inputs are boxes, outputs double circles; delay
+    /// elements carry their nominal delay as the edge-adjacent label.
+    pub fn to_dot(&self) -> String {
+        let mut s = String::from("digraph race_logic {\n  rankdir=LR;\n");
+        for (idx, node) in self.nodes.iter().enumerate() {
+            match node {
+                Node::Input { name } => {
+                    s.push_str(&format!("  n{idx} [shape=box, label=\"{name}\"];\n"));
+                }
+                Node::Gate(Gate::FirstArrival(ins)) => {
+                    s.push_str(&format!("  n{idx} [label=\"fa\"];\n"));
+                    for i in ins {
+                        s.push_str(&format!("  n{} -> n{idx};\n", i.0));
+                    }
+                }
+                Node::Gate(Gate::LastArrival(ins)) => {
+                    s.push_str(&format!("  n{idx} [label=\"la\"];\n"));
+                    for i in ins {
+                        s.push_str(&format!("  n{} -> n{idx};\n", i.0));
+                    }
+                }
+                Node::Gate(Gate::Inhibit { data, inhibitor }) => {
+                    s.push_str(&format!("  n{idx} [label=\"inh\"];\n"));
+                    s.push_str(&format!("  n{} -> n{idx} [label=\"d\"];\n", data.0));
+                    s.push_str(&format!(
+                        "  n{} -> n{idx} [label=\"i\", style=dashed];\n",
+                        inhibitor.0
+                    ));
+                }
+                Node::Gate(Gate::Delay { input, delta }) => {
+                    s.push_str(&format!(
+                        "  n{idx} [shape=cds, label=\"+{delta:.2}u\"];\n"
+                    ));
+                    s.push_str(&format!("  n{} -> n{idx};\n", input.0));
+                }
+            }
+        }
+        for (name, node) in &self.outputs {
+            s.push_str(&format!(
+                "  out_{name} [shape=doublecircle, label=\"{name}\"];\n  n{} -> out_{name};\n",
+                node.0
+            ));
+        }
+        s.push_str("}\n");
+        s
+    }
+
+    /// Evaluates the circuit and additionally records every node's edge
+    /// time as a [`crate::Trace`], renderable as a text waveform.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::InputArity`] on input-count mismatch.
+    pub fn evaluate_traced(
+        &self,
+        inputs: &[DelayValue],
+    ) -> Result<(Vec<DelayValue>, crate::Trace), CircuitError> {
+        if inputs.len() != self.inputs.len() {
+            return Err(CircuitError::InputArity {
+                expected: self.inputs.len(),
+                got: inputs.len(),
+            });
+        }
+        let mut times: Vec<DelayValue> = vec![DelayValue::ZERO; self.nodes.len()];
+        let mut entries = Vec::with_capacity(self.nodes.len());
+        let mut next_input = 0;
+        for (idx, node) in self.nodes.iter().enumerate() {
+            let (time, label) = match node {
+                Node::Input { name } => {
+                    let v = inputs[next_input];
+                    next_input += 1;
+                    (v, name.clone())
+                }
+                Node::Gate(Gate::FirstArrival(ins)) => (
+                    ins.iter().map(|n| times[n.0]).min().unwrap_or(DelayValue::ZERO),
+                    format!("fa#{idx}"),
+                ),
+                Node::Gate(Gate::LastArrival(ins)) => (
+                    ins.iter().map(|n| times[n.0]).max().unwrap_or(DelayValue::ZERO),
+                    format!("la#{idx}"),
+                ),
+                Node::Gate(Gate::Inhibit { data, inhibitor }) => (
+                    times[data.0].inhibited_by(times[inhibitor.0]),
+                    format!("inh#{idx}"),
+                ),
+                Node::Gate(Gate::Delay { input, delta }) => {
+                    let in_t = times[input.0];
+                    let t = if in_t.is_never() { in_t } else { in_t.delayed(*delta) };
+                    (t, format!("dly#{idx}(+{delta:.2})"))
+                }
+            };
+            times[idx] = time;
+            entries.push(crate::trace::TraceEntry { label, time });
+        }
+        let outs = self.outputs.iter().map(|(_, n)| times[n.0]).collect();
+        Ok((outs, crate::Trace::new(entries)))
+    }
+
+    /// Evaluates and returns outputs keyed by name.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Circuit::evaluate`].
+    pub fn evaluate_named(
+        &self,
+        inputs: &[DelayValue],
+    ) -> Result<HashMap<String, DelayValue>, CircuitError> {
+        let vals = self.evaluate(inputs)?;
+        Ok(self
+            .outputs
+            .iter()
+            .map(|(n, _)| n.clone())
+            .zip(vals)
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dv(t: f64) -> DelayValue {
+        DelayValue::from_delay(t)
+    }
+
+    #[test]
+    fn fa_la_delay_semantics() {
+        let mut b = CircuitBuilder::new();
+        let x = b.input("x");
+        let y = b.input("y");
+        let mn = b.first_arrival(&[x, y]);
+        let mx = b.last_arrival(&[x, y]);
+        let d = b.delay(mn, 1.5);
+        b.output("min", mn);
+        b.output("max", mx);
+        b.output("min+1.5", d);
+        let c = b.build().unwrap();
+        let out = c.evaluate(&[dv(2.0), dv(5.0)]).unwrap();
+        assert_eq!(out, vec![dv(2.0), dv(5.0), dv(3.5)]);
+    }
+
+    #[test]
+    fn inhibit_in_circuit() {
+        let mut b = CircuitBuilder::new();
+        let d = b.input("data");
+        let i = b.input("inh");
+        let g = b.inhibit(d, i);
+        b.output("g", g);
+        let c = b.build().unwrap();
+        assert_eq!(c.evaluate(&[dv(1.0), dv(2.0)]).unwrap()[0], dv(1.0));
+        assert!(c.evaluate(&[dv(2.0), dv(1.0)]).unwrap()[0].is_never());
+    }
+
+    #[test]
+    fn never_propagates_through_delay() {
+        let mut b = CircuitBuilder::new();
+        let x = b.input("x");
+        let d = b.delay(x, 10.0);
+        b.output("d", d);
+        let c = b.build().unwrap();
+        assert!(c.evaluate(&[DelayValue::ZERO]).unwrap()[0].is_never());
+    }
+
+    #[test]
+    fn negative_delay_rejected() {
+        let mut b = CircuitBuilder::new();
+        let x = b.input("x");
+        b.delay(x, -1.0);
+        assert_eq!(b.build().unwrap_err(), CircuitError::NegativeDelay(-1.0));
+    }
+
+    #[test]
+    fn empty_fan_in_rejected() {
+        let mut b = CircuitBuilder::new();
+        b.first_arrival(&[]);
+        assert_eq!(b.build().unwrap_err(), CircuitError::EmptyFanIn);
+    }
+
+    #[test]
+    fn input_arity_checked() {
+        let mut b = CircuitBuilder::new();
+        let x = b.input("x");
+        b.output("x", x);
+        let c = b.build().unwrap();
+        assert_eq!(
+            c.evaluate(&[]).unwrap_err(),
+            CircuitError::InputArity {
+                expected: 1,
+                got: 0
+            }
+        );
+    }
+
+    #[test]
+    fn delay_chain_taps() {
+        let mut b = CircuitBuilder::new();
+        let x = b.input("x");
+        let taps = b.delay_chain(x, &[1.0, 2.0, 3.0]);
+        for (i, &t) in taps.iter().enumerate() {
+            b.output(format!("t{i}"), t);
+        }
+        let c = b.build().unwrap();
+        let out = c.evaluate(&[dv(0.0)]).unwrap();
+        assert_eq!(out, vec![dv(1.0), dv(3.0), dv(6.0)]);
+        let stats = c.stats();
+        assert_eq!(stats.delay_elements, 3);
+        assert!((stats.total_delay_units - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_counts_gates() {
+        let mut b = CircuitBuilder::new();
+        let x = b.input("x");
+        let y = b.input("y");
+        let f = b.first_arrival(&[x, y]);
+        let l = b.last_arrival(&[x, y]);
+        let i = b.inhibit(f, l);
+        b.output("o", i);
+        let c = b.build().unwrap();
+        let s = c.stats();
+        assert_eq!((s.inputs, s.fa_gates, s.la_gates, s.inhibit_cells), (2, 1, 1, 1));
+    }
+
+    #[test]
+    fn dot_export_covers_all_node_kinds() {
+        let mut b = CircuitBuilder::new();
+        let x = b.input("x");
+        let y = b.input("y");
+        let f = b.first_arrival(&[x, y]);
+        let l = b.last_arrival(&[x, y]);
+        let d = b.delay(f, 1.5);
+        let i = b.inhibit(d, l);
+        b.output("res", i);
+        let dot = b.build().unwrap().to_dot();
+        for needle in ["digraph", "shape=box", "\"fa\"", "\"la\"", "+1.50u", "\"inh\"", "doublecircle"] {
+            assert!(dot.contains(needle), "missing {needle} in:\n{dot}");
+        }
+        // Every edge references declared nodes.
+        assert_eq!(dot.matches("->").count(), 8);
+    }
+
+    #[test]
+    fn named_outputs() {
+        let mut b = CircuitBuilder::new();
+        let x = b.input("x");
+        b.output("echo", x);
+        let c = b.build().unwrap();
+        let m = c.evaluate_named(&[dv(4.0)]).unwrap();
+        assert_eq!(m["echo"], dv(4.0));
+    }
+}

@@ -1,0 +1,68 @@
+//! The temporal comparator: sorting two edges in time.
+//!
+//! §2.3 of the paper places a "temporal comparator circuit" (Smith,
+//! ISCA '18) at the input of the nLSE approximation hardware so the operands
+//! arrive ordered, which halves the number of max-terms required. On a
+//! single-rising-edge encoding the comparator's two outputs are exactly
+//! first-arrival and last-arrival of the inputs; this module exposes both a
+//! functional version and a netlist constructor.
+
+use ta_delay_space::DelayValue;
+
+use crate::circuit::{CircuitBuilder, NodeId};
+
+/// Functionally sorts two edges: returns `(earlier, later)`.
+///
+/// ```
+/// use ta_delay_space::DelayValue;
+/// use ta_race_logic::sort_edges;
+/// let a = DelayValue::from_delay(4.0);
+/// let b = DelayValue::from_delay(1.0);
+/// assert_eq!(sort_edges(a, b), (b, a));
+/// ```
+pub fn sort_edges(x: DelayValue, y: DelayValue) -> (DelayValue, DelayValue) {
+    (x.first_arrival(y), x.last_arrival(y))
+}
+
+/// Builds the comparator in netlist form: `(first, last)` output nodes.
+///
+/// In hardware this is one OR and one AND gate on the rising edges.
+pub fn build_comparator(b: &mut CircuitBuilder, x: NodeId, y: NodeId) -> (NodeId, NodeId) {
+    let first = b.first_arrival(&[x, y]);
+    let last = b.last_arrival(&[x, y]);
+    (first, last)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn functional_and_netlist_agree() {
+        let mut b = CircuitBuilder::new();
+        let x = b.input("x");
+        let y = b.input("y");
+        let (f, l) = build_comparator(&mut b, x, y);
+        b.output("first", f);
+        b.output("last", l);
+        let c = b.build().unwrap();
+
+        for &(tx, ty) in &[(1.0, 2.0), (2.0, 1.0), (3.0, 3.0), (0.5, f64::INFINITY)] {
+            let dx = DelayValue::from_delay(tx);
+            let dy = DelayValue::from_delay(ty);
+            let out = c.evaluate(&[dx, dy]).unwrap();
+            let (first, last) = sort_edges(dx, dy);
+            assert_eq!(out[0], first);
+            assert_eq!(out[1], last);
+        }
+    }
+
+    #[test]
+    fn sorted_outputs_are_ordered() {
+        let a = DelayValue::from_delay(-2.0);
+        let b = DelayValue::from_delay(5.0);
+        let (f, l) = sort_edges(b, a);
+        assert!(f <= l);
+        assert_eq!(f, a);
+    }
+}

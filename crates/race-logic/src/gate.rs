@@ -1,0 +1,48 @@
+//! Gate-level primitives of the temporal netlist.
+
+use crate::circuit::NodeId;
+
+/// A race-logic gate: each node of a [`crate::Circuit`] is either an input
+/// or one of these.
+///
+/// The four primitives are logically complete for temporal functions
+/// (Smith, ISCA '18) and, on rising edges, map to ordinary CMOS: `fa` is an
+/// OR gate, `la` an AND gate, `inhibit` a two-transistor cell, and delays
+/// are inverter chains.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Gate {
+    /// First arrival of the fan-in: the earliest edge (temporal `min`).
+    FirstArrival(Vec<NodeId>),
+    /// Last arrival of the fan-in: the latest edge (temporal `max`).
+    LastArrival(Vec<NodeId>),
+    /// Passes `data`'s edge only if it arrives strictly before
+    /// `inhibitor`'s; otherwise never fires.
+    Inhibit {
+        /// The gated data edge.
+        data: NodeId,
+        /// The inhibiting edge.
+        inhibitor: NodeId,
+    },
+    /// A fixed delay element: shifts the input edge later by `delta` units.
+    ///
+    /// `delta` must be non-negative — hardware cannot advance an edge.
+    /// (Negative *constants* in the approximation formulas are absorbed
+    /// into the `K` time shift of §2.3 before reaching the netlist.)
+    Delay {
+        /// The delayed node.
+        input: NodeId,
+        /// Nominal delay in abstract units (≥ 0).
+        delta: f64,
+    },
+}
+
+impl Gate {
+    /// The fan-in nodes of this gate, in a fixed order.
+    pub fn fan_in(&self) -> Vec<NodeId> {
+        match self {
+            Gate::FirstArrival(ins) | Gate::LastArrival(ins) => ins.clone(),
+            Gate::Inhibit { data, inhibitor } => vec![*data, *inhibitor],
+            Gate::Delay { input, .. } => vec![*input],
+        }
+    }
+}

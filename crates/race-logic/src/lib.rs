@@ -1,0 +1,54 @@
+//! Race-logic substrate: temporal primitives and a netlist-level simulator.
+//!
+//! Race logic encodes information in the *arrival time* of voltage edges and
+//! computes with four primitives (paper §2): **first arrival** (`fa`, an OR
+//! gate on rising edges — a temporal `min`), **last arrival** (`la`, an AND
+//! gate — a temporal `max`), **delay**, and **inhibit**. This crate provides
+//!
+//! * an edge-level [`Circuit`] representation with a topological simulator
+//!   ([`CircuitBuilder`]), including per-delay-element noise injection and
+//!   delay/area accounting,
+//! * the temporal comparator (edge sorter) of Smith's space-time algebra,
+//! * ready-made circuit blocks ([`blocks`]) for the paper's nLSE and nLDE
+//!   approximations in both the naive (Fig 6a) and the optimized
+//!   shared-delay-chain (Fig 6b) forms,
+//! * the classic pre-arithmetic race-logic applications ([`apps`]):
+//!   temporal sorting networks and grid shortest-path dynamic programming.
+//!
+//! Edges are represented by [`ta_delay_space::DelayValue`]: the wrapped
+//! number is the edge's arrival time relative to the reference frame, and
+//! `+∞` is an edge that never fires.
+//!
+//! ```
+//! use ta_race_logic::CircuitBuilder;
+//! use ta_delay_space::DelayValue;
+//!
+//! let mut b = CircuitBuilder::new();
+//! let x = b.input("x");
+//! let y = b.input("y");
+//! let first = b.first_arrival(&[x, y]);
+//! let shifted = b.delay(first, 2.0);
+//! b.output("out", shifted);
+//! let circuit = b.build()?;
+//!
+//! let out = circuit.evaluate(&[DelayValue::from_delay(3.0), DelayValue::from_delay(1.0)])?;
+//! assert_eq!(out[0], DelayValue::from_delay(3.0)); // min(3,1) + 2
+//! # Ok::<(), ta_race_logic::CircuitError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod apps;
+pub mod blocks;
+mod circuit;
+mod comparator;
+mod gate;
+mod noise;
+mod trace;
+
+pub use circuit::{Circuit, CircuitBuilder, CircuitError, CircuitStats, NodeId};
+pub use comparator::sort_edges;
+pub use gate::Gate;
+pub use noise::{DelayPerturb, GaussianJitter, NoNoise, NormalSampler};
+pub use trace::{Trace, TraceEntry};

@@ -1,0 +1,143 @@
+//! Delay-element noise injection hooks.
+
+pub use normal::NormalSampler;
+
+/// A perturbation applied to each delay element's nominal delay during
+/// simulation.
+///
+/// Implementations receive the nominal delay in abstract units and return
+/// the *actual* delay of that element for this evaluation. The circuit
+/// simulator clamps results at zero (an inverter chain cannot advance an
+/// edge).
+pub trait DelayPerturb {
+    /// Returns the realised delay for an element with the given nominal
+    /// delay.
+    fn perturb(&mut self, nominal: f64) -> f64;
+}
+
+/// Ideal delay elements: no jitter.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoNoise;
+
+impl DelayPerturb for NoNoise {
+    fn perturb(&mut self, nominal: f64) -> f64 {
+        nominal
+    }
+}
+
+/// Gaussian jitter with standard deviation `sigma(nominal)`.
+///
+/// This is the generic hook used by the circuit-level RJ/PSIJ models in
+/// `ta-circuits`; the closure decides how jitter scales with the element's
+/// nominal delay.
+pub struct GaussianJitter<F, R> {
+    sigma_of: F,
+    rng: R,
+    sampler: NormalSampler,
+}
+
+impl<F, R> std::fmt::Debug for GaussianJitter<F, R> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GaussianJitter").finish_non_exhaustive()
+    }
+}
+
+impl<F, R> GaussianJitter<F, R>
+where
+    F: FnMut(f64) -> f64,
+    R: rand::Rng,
+{
+    /// Creates a jitter source; `sigma_of(nominal)` gives the standard
+    /// deviation for an element with that nominal delay.
+    pub fn new(sigma_of: F, rng: R) -> Self {
+        GaussianJitter {
+            sigma_of,
+            rng,
+            sampler: NormalSampler::new(),
+        }
+    }
+}
+
+impl<F, R> DelayPerturb for GaussianJitter<F, R>
+where
+    F: FnMut(f64) -> f64,
+    R: rand::Rng,
+{
+    fn perturb(&mut self, nominal: f64) -> f64 {
+        let sigma = (self.sigma_of)(nominal);
+        nominal + sigma * self.sampler.sample(&mut self.rng)
+    }
+}
+
+/// Minimal standard-normal sampling (Marsaglia polar method) so that the
+/// workspace does not need `rand_distr`.
+pub mod normal {
+    /// Samples standard-normal deviates; caches the spare value of each
+    /// polar-method round.
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct NormalSampler {
+        spare: Option<f64>,
+    }
+
+    impl NormalSampler {
+        /// Creates a sampler with an empty cache.
+        pub fn new() -> Self {
+            NormalSampler { spare: None }
+        }
+
+        /// Draws one standard-normal sample using `rng`.
+        pub fn sample<R: rand::Rng>(&mut self, rng: &mut R) -> f64 {
+            if let Some(s) = self.spare.take() {
+                return s;
+            }
+            loop {
+                let u: f64 = rng.gen_range(-1.0..1.0);
+                let v: f64 = rng.gen_range(-1.0..1.0);
+                let s = u * u + v * v;
+                if s > 0.0 && s < 1.0 {
+                    let factor = (-2.0 * s.ln() / s).sqrt();
+                    self.spare = Some(v * factor);
+                    return u * factor;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn no_noise_is_identity() {
+        let mut n = NoNoise;
+        assert_eq!(n.perturb(3.25), 3.25);
+    }
+
+    #[test]
+    fn gaussian_jitter_statistics() {
+        let rng = SmallRng::seed_from_u64(7);
+        let mut j = GaussianJitter::new(|_| 0.1, rng);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| j.perturb(5.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var =
+            samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / (n as f64 - 1.0);
+        assert!((mean - 5.0).abs() < 0.01, "mean {mean}");
+        assert!((var.sqrt() - 0.1).abs() < 0.01, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn sigma_scales_with_nominal() {
+        let rng = SmallRng::seed_from_u64(9);
+        // sigma = 10% of nominal.
+        let mut j = GaussianJitter::new(|d| 0.1 * d, rng);
+        let n = 20_000;
+        let small: f64 = (0..n).map(|_| (j.perturb(1.0) - 1.0).powi(2)).sum::<f64>() / n as f64;
+        let large: f64 =
+            (0..n).map(|_| (j.perturb(10.0) - 10.0).powi(2)).sum::<f64>() / n as f64;
+        assert!((large.sqrt() / small.sqrt() - 10.0).abs() < 0.5);
+    }
+}

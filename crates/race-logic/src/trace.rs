@@ -1,0 +1,136 @@
+//! Edge-time tracing: capture when every node of a circuit fires and
+//! render the result as a text waveform — the temporal equivalent of a
+//! logic-analyzer view, for debugging netlists.
+
+use ta_delay_space::DelayValue;
+
+/// The firing record of one evaluation: one entry per node, in
+/// topological (construction) order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trace {
+    entries: Vec<TraceEntry>,
+}
+
+/// One node's firing record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEntry {
+    /// Node label: input name, or `fa#k`/`la#k`/`inh#k`/`dly#k(+Δ)`.
+    pub label: String,
+    /// The node's edge time ([`DelayValue::ZERO`] = never fired).
+    pub time: DelayValue,
+}
+
+impl Trace {
+    pub(crate) fn new(entries: Vec<TraceEntry>) -> Self {
+        Trace { entries }
+    }
+
+    /// All entries in topological order.
+    pub fn entries(&self) -> &[TraceEntry] {
+        &self.entries
+    }
+
+    /// The latest finite edge time in the trace (0 if nothing fired).
+    pub fn horizon(&self) -> f64 {
+        self.entries
+            .iter()
+            .filter(|e| !e.time.is_never())
+            .map(|e| e.time.delay())
+            .fold(0.0_f64, f64::max)
+    }
+
+    /// Renders an ASCII waveform: one row per node, `_` before the edge,
+    /// `|` at the edge, `▔` after it, and `never` for silent nodes.
+    /// `columns` sets the time-axis resolution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `columns == 0`.
+    pub fn render(&self, columns: usize) -> String {
+        assert!(columns > 0, "need at least one column");
+        let horizon = self.horizon().max(1e-12);
+        let label_w = self
+            .entries
+            .iter()
+            .map(|e| e.label.len())
+            .max()
+            .unwrap_or(0);
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:label_w$}  0{}{:.3}u\n",
+            "",
+            " ".repeat(columns.saturating_sub(6)),
+            horizon
+        ));
+        for e in &self.entries {
+            out.push_str(&format!("{:label_w$}  ", e.label));
+            if e.time.is_never() {
+                out.push_str(&"_".repeat(columns));
+                out.push_str("  (never)");
+            } else {
+                // Edges at negative times (values > 1) clamp to column 0.
+                let pos = ((e.time.delay() / horizon) * (columns - 1) as f64)
+                    .round()
+                    .clamp(0.0, (columns - 1) as f64) as usize;
+                out.push_str(&"_".repeat(pos));
+                out.push('|');
+                out.push_str(&"▔".repeat(columns - 1 - pos));
+                out.push_str(&format!("  ({:.3}u)", e.time.delay()));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CircuitBuilder;
+
+    #[test]
+    fn traced_evaluation_records_every_node() {
+        let mut b = CircuitBuilder::new();
+        let x = b.input("x");
+        let y = b.input("y");
+        let f = b.first_arrival(&[x, y]);
+        let d = b.delay(f, 2.0);
+        let g = b.inhibit(d, y);
+        b.output("out", g);
+        let c = b.build().unwrap();
+        let (outs, trace) = c
+            .evaluate_traced(&[DelayValue::from_delay(1.0), DelayValue::from_delay(5.0)])
+            .unwrap();
+        assert_eq!(outs.len(), 1);
+        assert_eq!(trace.entries().len(), 5);
+        assert_eq!(trace.entries()[0].label, "x");
+        assert_eq!(trace.entries()[2].time, DelayValue::from_delay(1.0)); // fa
+        assert_eq!(trace.entries()[3].time, DelayValue::from_delay(3.0)); // delay
+        // The horizon is the latest finite edge anywhere — here the `y`
+        // input at 5.0, which outlives the output path.
+        assert_eq!(trace.horizon(), 5.0);
+    }
+
+    #[test]
+    fn waveform_marks_edges_and_silence() {
+        let mut b = CircuitBuilder::new();
+        let x = b.input("sig");
+        let i = b.input("gate");
+        let blocked = b.inhibit(i, x); // gate arrives after sig ⇒ never
+        b.output("o", blocked);
+        let c = b.build().unwrap();
+        let (_, trace) = c
+            .evaluate_traced(&[DelayValue::from_delay(0.5), DelayValue::from_delay(4.0)])
+            .unwrap();
+        let w = trace.render(20);
+        assert!(w.contains('|'), "waveform must mark firing edges:\n{w}");
+        assert!(w.contains("(never)"), "silent nodes must be flagged:\n{w}");
+        assert!(w.lines().count() >= 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one column")]
+    fn zero_columns_panics() {
+        Trace::new(vec![]).render(0);
+    }
+}

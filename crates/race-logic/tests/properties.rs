@@ -1,0 +1,136 @@
+//! Property-based tests of temporal-circuit invariants.
+//!
+//! The key algebraic facts race logic computes with:
+//!
+//! * circuits built from `fa`/`la`/`delay` are **monotone** (delaying an
+//!   input can never advance an output) and **time-invariant** (shifting
+//!   all inputs by δ shifts all outputs by δ — the reference-frame
+//!   property the recurrence architecture exploits);
+//! * `inhibit` breaks global monotonicity (a later inhibitor lets data
+//!   through) but stays monotone in its *data* input.
+
+use proptest::prelude::*;
+use ta_delay_space::DelayValue;
+use ta_race_logic::{blocks, CircuitBuilder, NodeId};
+
+/// A recipe for a random 3-input fa/la/delay circuit.
+#[derive(Debug, Clone)]
+struct Recipe {
+    ops: Vec<(u8, usize, usize, f64)>, // (kind, src_a, src_b, delay)
+}
+
+fn recipe() -> impl Strategy<Value = Recipe> {
+    prop::collection::vec((0u8..3, 0usize..64, 0usize..64, 0.0..3.0f64), 1..12)
+        .prop_map(|ops| Recipe { ops })
+}
+
+/// Builds the circuit described by a recipe on top of 3 inputs; node
+/// indices in the recipe wrap over currently available nodes.
+fn build(recipe: &Recipe) -> (ta_race_logic::Circuit, usize) {
+    let mut b = CircuitBuilder::new();
+    let mut nodes: Vec<NodeId> = (0..3).map(|i| b.input(format!("i{i}"))).collect();
+    for &(kind, a, bb, d) in &recipe.ops {
+        let na = nodes[a % nodes.len()];
+        let nb = nodes[bb % nodes.len()];
+        let out = match kind {
+            0 => b.first_arrival(&[na, nb]),
+            1 => b.last_arrival(&[na, nb]),
+            _ => b.delay(na, d),
+        };
+        nodes.push(out);
+    }
+    let last = *nodes.last().expect("at least the inputs exist");
+    b.output("out", last);
+    (b.build().expect("recipe circuits are valid"), 3)
+}
+
+fn times(ts: [f64; 3]) -> Vec<DelayValue> {
+    ts.iter().map(|&t| DelayValue::from_delay(t)).collect()
+}
+
+proptest! {
+    #[test]
+    fn monotone_circuits_never_advance_outputs(
+        r in recipe(),
+        t in [0.0..5.0f64, 0.0..5.0f64, 0.0..5.0f64],
+        which in 0usize..3,
+        bump in 0.0..4.0f64,
+    ) {
+        let (c, _) = build(&r);
+        let base = c.evaluate(&times(t)).unwrap()[0];
+        let mut later = t;
+        later[which] += bump;
+        let bumped = c.evaluate(&times(later)).unwrap()[0];
+        prop_assert!(bumped >= base, "{bumped:?} earlier than {base:?}");
+    }
+
+    #[test]
+    fn fa_la_delay_circuits_are_time_invariant(
+        r in recipe(),
+        t in [0.0..5.0f64, 0.0..5.0f64, 0.0..5.0f64],
+        shift in 0.0..10.0f64,
+    ) {
+        let (c, _) = build(&r);
+        let base = c.evaluate(&times(t)).unwrap()[0];
+        let shifted = c
+            .evaluate(&times([t[0] + shift, t[1] + shift, t[2] + shift]))
+            .unwrap()[0];
+        prop_assert!(
+            (shifted.delay() - base.delay() - shift).abs() < 1e-9,
+            "shift leaked: {} vs {} + {shift}",
+            shifted.delay(),
+            base.delay()
+        );
+    }
+
+    #[test]
+    fn inhibit_is_monotone_in_data(
+        data in 0.0..5.0f64,
+        inhibitor in 0.0..5.0f64,
+        bump in 0.0..4.0f64,
+    ) {
+        let d = DelayValue::from_delay(data);
+        let i = DelayValue::from_delay(inhibitor);
+        let base = d.inhibited_by(i);
+        let later = DelayValue::from_delay(data + bump).inhibited_by(i);
+        prop_assert!(later >= base);
+    }
+
+    #[test]
+    fn nlse_block_is_shift_equivariant_and_symmetric(
+        x in 0.0..6.0f64,
+        y in 0.0..6.0f64,
+        shift in 0.0..5.0f64,
+        terms in 1usize..6,
+    ) {
+        let approx = ta_approx::NlseApprox::fit(terms);
+        let k = approx.required_shift();
+        let c = blocks::nlse_circuit(approx.terms(), k, true).unwrap();
+        let ev = |a: f64, b: f64| {
+            c.evaluate(&[DelayValue::from_delay(a), DelayValue::from_delay(b)])
+                .unwrap()[0]
+                .delay()
+        };
+        // Symmetric (the comparator sorts).
+        prop_assert!((ev(x, y) - ev(y, x)).abs() < 1e-12);
+        // Shift-equivariant: the reference-frame identity in gates.
+        prop_assert!((ev(x + shift, y + shift) - ev(x, y) - shift).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nlse_block_bounded_by_min_plus_shift(
+        x in 0.0..6.0f64,
+        y in 0.0..6.0f64,
+        terms in 1usize..6,
+    ) {
+        let approx = ta_approx::NlseApprox::fit(terms);
+        let k = approx.required_shift();
+        let c = blocks::nlse_circuit(approx.terms(), k, true).unwrap();
+        let out = c
+            .evaluate(&[DelayValue::from_delay(x), DelayValue::from_delay(y)])
+            .unwrap()[0]
+            .delay();
+        prop_assert!(out <= x.min(y) + k + 1e-12);
+        prop_assert!(out >= x.min(y) + k - 2.0_f64.ln() - 1e-12);
+    }
+}

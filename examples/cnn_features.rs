@@ -1,0 +1,74 @@
+//! A small temporal CNN feature extractor — the paper's closing
+//! suggestion ("more convolutional layers or min/max selections" in the
+//! temporal domain) made concrete: Sobel features → free dual-rail ReLU →
+//! first-arrival max-pool → a smoothing convolution, with per-layer energy.
+//!
+//! ```sh
+//! cargo run --release --example cnn_features
+//! ```
+
+use temporal_conv::core::{ArchConfig, ArithmeticMode};
+use temporal_conv::image::{synth, Kernel};
+use temporal_conv::nn::{Layer, TemporalConv2d, TemporalNetwork};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let net = TemporalNetwork::new(vec![
+        // Layer 0: 1 input channel → 2 edge-feature channels.
+        Layer::Conv(TemporalConv2d::new(
+            vec![vec![Kernel::sobel_x()], vec![Kernel::sobel_y()]],
+            1,
+            ArchConfig::fast_1ns(7, 20),
+        )?),
+        // Layer 1: ReLU — free: the dual-rail positive wire *is* max(x,0).
+        Layer::Relu,
+        // Layer 2: 2×2 max-pool — one first-arrival (OR) gate per output.
+        Layer::MaxPool2,
+        // Layer 3: fuse the two edge channels with a smoothing kernel and
+        // a small bias (one constant reference edge in hardware).
+        Layer::Conv(
+            TemporalConv2d::new(
+                vec![vec![Kernel::gaussian(3, 0.8), Kernel::gaussian(3, 0.8)]],
+                1,
+                ArchConfig::fast_1ns(7, 20),
+            )?
+            .with_bias(vec![0.05]),
+        ),
+    ]);
+
+    let input = vec![synth::natural_image(96, 96, 33)];
+    println!("input: 96×96 grayscale frame, 1 channel\n");
+
+    for mode in [ArithmeticMode::DelayExact, ArithmeticMode::DelayApproxNoisy] {
+        let out = net.forward(&input, mode, 17)?;
+        println!("mode {mode}:");
+        println!(
+            "  output: {} channel(s) of {}×{}",
+            out.features.len(),
+            out.features[0].width(),
+            out.features[0].height()
+        );
+        let names = ["conv Sobel×2", "ReLU", "max-pool 2×2", "conv fuse"];
+        for (name, e) in names.iter().zip(&out.per_layer_energy) {
+            println!("  {name:<14} {:.4} µJ", e.total_uj());
+        }
+        println!("  total          {:.4} µJ", out.energy.total_uj());
+        let (lo, hi) = out.features[0].min_max();
+        println!("  feature range  [{lo:.3}, {hi:.3}]\n");
+    }
+
+    // Average pooling, for contrast, pays real nLSE energy (division is a
+    // free ln(n) delay, but the window sum is an accumulation tree).
+    let avg_variant = TemporalNetwork::new(vec![Layer::AvgPool2]);
+    let pooled = avg_variant.forward(&input, ArithmeticMode::DelayExact, 0)?;
+    println!(
+        "for contrast, a 2×2 avg-pool of the raw frame: {}×{}, {:.4} µJ (nLSE tree + ln4 delay)\n",
+        pooled.features[0].width(),
+        pooled.features[0].height(),
+        pooled.energy.total_uj()
+    );
+
+    println!("ReLU and pooling cost (almost) nothing: rectification drops a wire and");
+    println!("max-pooling is a single OR gate racing four edges — the computations the");
+    println!("temporal domain gets for free.");
+    Ok(())
+}

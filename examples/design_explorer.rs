@@ -1,0 +1,64 @@
+//! Interactive-scale design-space exploration: sweeps term counts and
+//! unit scales for a kernel of your choice and prints the Pareto frontier
+//! (a miniature of the paper's Fig 12 study).
+//!
+//! ```sh
+//! cargo run --release --example design_explorer [sobel|pyrdown|gauss]
+//! ```
+
+use temporal_conv::core::dse::{explore, SweepGrid};
+use temporal_conv::core::SystemDescription;
+use temporal_conv::image::{synth, Kernel};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "sobel".into());
+    let (kernels, stride) = match which.as_str() {
+        "pyrdown" => (vec![Kernel::pyr_down_5x5()], 2),
+        "gauss" => (vec![Kernel::gaussian(7, 0.0)], 1),
+        _ => (vec![Kernel::sobel_x(), Kernel::sobel_y()], 1),
+    };
+    println!("exploring {} (stride {stride})\n", kernels[0].name());
+
+    let size = 72;
+    let desc = SystemDescription::new(size, size, kernels, stride)?;
+    let images = vec![
+        synth::natural_image(size, size, 100),
+        synth::natural_image(size, size, 101),
+    ];
+    let grid = SweepGrid {
+        nlse_terms: vec![5, 7, 10, 15],
+        nlde_terms: vec![10, 20],
+        unit_scales_ns: vec![1.0, 5.0, 10.0],
+        element_multiplier: 50.0,
+        seed: 9,
+    };
+    let mut points = explore(&desc, &images, &grid)?;
+    points.sort_by(|a, b| a.energy_uj.total_cmp(&b.energy_uj));
+
+    println!(
+        "{:>9} {:>6} {:>6} {:>12} {:>9}  pareto",
+        "unit (ns)", "nLSE", "nLDE", "energy (µJ)", "RMSE"
+    );
+    for p in &points {
+        println!(
+            "{:>9.0} {:>6} {:>6} {:>12.2} {:>9.4}  {}",
+            p.unit_ns,
+            p.nlse_terms,
+            p.nlde_terms,
+            p.energy_uj,
+            p.rmse,
+            if p.pareto { "◆" } else { "" }
+        );
+    }
+
+    let best = points
+        .iter()
+        .filter(|p| p.pareto)
+        .min_by(|a, b| a.rmse.total_cmp(&b.rmse))
+        .expect("frontier is never empty");
+    println!(
+        "\nmost accurate frontier point: ({:.0} ns, {} nLSE terms, {} nLDE terms) at {:.2} µJ, RMSE {:.4}",
+        best.unit_ns, best.nlse_terms, best.nlde_terms, best.energy_uj, best.rmse
+    );
+    Ok(())
+}

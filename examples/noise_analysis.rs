@@ -1,0 +1,67 @@
+//! Noise robustness analysis: how sensor noise, VTC non-idealities,
+//! supply jitter and random jitter each degrade a pyrDown convolution —
+//! plus the behavioural starved-inverter VTC's deviation from the ideal
+//! negative-log transfer.
+//!
+//! ```sh
+//! cargo run --release --example noise_analysis
+//! ```
+
+use temporal_conv::circuits::{NoiseModel, StarvedInverterVtc, UnitScale};
+use temporal_conv::core::{exec, ArchConfig, Architecture, ArithmeticMode, SystemDescription};
+use temporal_conv::image::{conv, metrics, synth, Kernel};
+
+const SIZE: usize = 80;
+
+fn run_with(cfg: ArchConfig, seed: u64) -> Result<f64, Box<dyn std::error::Error>> {
+    let image = synth::natural_image(SIZE, SIZE, 55);
+    let desc = SystemDescription::new(SIZE, SIZE, vec![Kernel::pyr_down_5x5()], 2)?;
+    let arch = Architecture::new(desc, cfg)?;
+    let run = exec::run(&arch, &image, ArithmeticMode::DelayApproxNoisy, seed)?;
+    let reference = conv::convolve(&image, &Kernel::pyr_down_5x5(), 2);
+    Ok(metrics::normalized_rmse(&run.outputs[0], &reference))
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let base = ArchConfig::fast_1ns(10, 20);
+    println!("pyrDown, {SIZE}×{SIZE}, (1 ns, 10 max-terms); normalised RMSE per noise source\n");
+
+    let ideal = ArchConfig::fast_1ns(10, 20).with_noise(NoiseModel::ideal());
+    println!("{:<42} {:.4}", "approximation only (no noise)", run_with(ideal, 1)?);
+    println!("{:<42} {:.4}", "baseline (RJ + PSIJ at 10 mV)", run_with(base.clone(), 1)?);
+
+    for swing in [50.0, 100.0, 200.0] {
+        let cfg = ArchConfig::fast_1ns(10, 20).with_noise(NoiseModel::asplos24(swing));
+        println!("{:<42} {:.4}", format!("V_DD swing {swing:.0} mV"), run_with(cfg, 1)?);
+    }
+
+    for pre in [0.05, 0.15, 0.30] {
+        let cfg = base.clone().with_vtc_noise(pre, 0.0);
+        println!(
+            "{:<42} {:.4}",
+            format!("sensor noise σ = {:.0}% of range", pre * 100.0),
+            run_with(cfg, 1)?
+        );
+    }
+
+    for post in [0.1, 0.3, 0.5] {
+        let cfg = base.clone().with_vtc_noise(0.0, post);
+        println!(
+            "{:<42} {:.4}",
+            format!("VTC timing noise σ = {post} ns"),
+            run_with(cfg, 1)?
+        );
+    }
+
+    // The starved-inverter transfer curve (Fig 8a) vs the ideal -ln.
+    println!("\nstarved-inverter VTC calibration (behavioural model of Fig 8a):");
+    for unit_ns in [1.0, 5.0] {
+        let si = StarvedInverterVtc::calibrated(UnitScale::new(unit_ns, 50.0));
+        println!(
+            "  {unit_ns} ns/unit: worst deviation from -ln over the dynamic range = {:.3} units",
+            si.max_deviation_units()
+        );
+    }
+    println!("\npost-VTC noise lives in the log domain — its importance-space impact is\nexponential, which is why the 0.5 ns row degrades so much faster (§5.4).");
+    Ok(())
+}

@@ -1,0 +1,32 @@
+//! Umbrella crate for the `temporal-conv` workspace: energy-efficient
+//! convolutions with temporal (delay-space) arithmetic.
+//!
+//! Re-exports every layer of the reproduction of Gretsch et al.,
+//! *Energy Efficient Convolutions with Temporal Arithmetic* (ASPLOS 2024):
+//!
+//! * [`delay_space`] — the negative-log encoding and exact nLSE/nLDE ring.
+//! * [`race_logic`] — temporal primitives and the netlist simulator.
+//! * [`approx`] — min-of-max / min-of-inhibit approximations and the
+//!   constant-fitting optimizer.
+//! * [`circuits`] — delay elements, VTC/TDC, jitter and energy/area models.
+//! * [`image`] — images, kernels, reference convolution, synthetic data.
+//! * [`nn`] — temporal CNN layers (conv, free dual-rail ReLU, fa-gate pooling).
+//! * [`baseline`] — the processing-in-pixel comparator model.
+//! * [`core`] — the delay-space convolution architecture and simulator.
+//! * [`experiments`] — drivers regenerating every paper table and figure.
+//!
+//! See `README.md` for a walkthrough and `examples/quickstart.rs` for the
+//! fastest end-to-end tour.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use ta_approx as approx;
+pub use ta_baseline as baseline;
+pub use ta_circuits as circuits;
+pub use ta_core as core;
+pub use ta_delay_space as delay_space;
+pub use ta_experiments as experiments;
+pub use ta_image as image;
+pub use ta_nn as nn;
+pub use ta_race_logic as race_logic;

@@ -1,0 +1,118 @@
+//! Property-based integration tests: random kernels and images through
+//! the whole stack, checking the invariants that hold regardless of
+//! configuration.
+
+use proptest::prelude::*;
+use temporal_conv::core::{exec, ArchConfig, Architecture, ArithmeticMode, SystemDescription};
+use temporal_conv::image::{conv, Image, Kernel};
+
+/// Random small kernels with mixed-sign weights (including zeros).
+fn kernel_strategy() -> impl Strategy<Value = Kernel> {
+    (1usize..=4, 1usize..=4)
+        .prop_flat_map(|(w, h)| {
+            (
+                Just(w),
+                Just(h),
+                prop::collection::vec(
+                    prop_oneof![
+                        3 => -2.0..2.0f64,
+                        1 => Just(0.0),
+                    ],
+                    w * h,
+                ),
+            )
+        })
+        .prop_map(|(w, h, weights)| Kernel::new("prop", w, h, weights))
+}
+
+/// Random small images with pixels in the VTC's dynamic range.
+fn image_strategy() -> impl Strategy<Value = Image> {
+    prop::collection::vec(0.01..1.0f64, 144).prop_map(|px| Image::from_pixels(12, 12, px).unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn delay_exact_always_matches_software_conv(
+        kernel in kernel_strategy(),
+        image in image_strategy(),
+        stride in 1usize..=2,
+    ) {
+        let desc = match SystemDescription::new(12, 12, vec![kernel.clone()], stride) {
+            Ok(d) => d,
+            Err(_) => return Ok(()), // kernel/stride does not fit: not this test's concern
+        };
+        let arch = Architecture::new(desc, ArchConfig::fast_1ns(5, 8)).unwrap();
+        let run = exec::run(&arch, &image, ArithmeticMode::DelayExact, 0).unwrap();
+        let reference = conv::convolve(&image, &kernel, stride);
+        for y in 0..reference.height() {
+            for x in 0..reference.width() {
+                let got = run.outputs[0].get(x, y);
+                let want = reference.get(x, y);
+                prop_assert!(
+                    (got - want).abs() <= 1e-9 * (1.0 + want.abs()),
+                    "({x},{y}): {got} vs {want}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn energy_and_area_are_positive_and_config_monotone(
+        kernel in kernel_strategy(),
+        stride in 1usize..=2,
+    ) {
+        let desc = match SystemDescription::new(12, 12, vec![kernel], stride) {
+            Ok(d) => d,
+            Err(_) => return Ok(()),
+        };
+        let small = Architecture::new(desc.clone(), ArchConfig::fast_1ns(3, 5)).unwrap();
+        let large = Architecture::new(desc, ArchConfig::fast_1ns(12, 5)).unwrap();
+        prop_assert!(small.energy_per_frame().total_pj() > 0.0);
+        prop_assert!(small.area_mm2() > 0.0);
+        // More max-terms never reduce energy or area.
+        prop_assert!(large.energy_per_frame().total_pj() >= small.energy_per_frame().total_pj());
+        prop_assert!(large.area_mm2() >= small.area_mm2());
+    }
+
+    #[test]
+    fn noisy_runs_are_reproducible_per_seed(
+        image in image_strategy(),
+        seed in 0u64..1000,
+    ) {
+        let desc =
+            SystemDescription::new(12, 12, vec![Kernel::box_filter(3)], 1).unwrap();
+        let arch = Architecture::new(desc, ArchConfig::fast_1ns(4, 5)).unwrap();
+        let a = exec::run(&arch, &image, ArithmeticMode::DelayApproxNoisy, seed).unwrap();
+        let b = exec::run(&arch, &image, ArithmeticMode::DelayApproxNoisy, seed).unwrap();
+        prop_assert_eq!(&a.outputs[0], &b.outputs[0]);
+    }
+
+    #[test]
+    fn approx_error_bounded_by_accumulated_minimax(
+        image in image_strategy(),
+    ) {
+        // Box filter: all-positive, so every output is a pure nLSE tree
+        // result whose delay error is at most ops × per-op minimax error.
+        let desc =
+            SystemDescription::new(12, 12, vec![Kernel::box_filter(3)], 1).unwrap();
+        let arch = Architecture::new(desc, ArchConfig::fast_1ns(8, 5)).unwrap();
+        let run = exec::run(&arch, &image, ArithmeticMode::DelayApprox, 0).unwrap();
+        let reference = conv::convolve(&image, &Kernel::box_filter(3), 1);
+        let eps = arch.nlse_unit().approx().max_slice_error();
+        let ops = 9.0; // 8 merges + headroom
+        for y in 0..reference.height() {
+            for x in 0..reference.width() {
+                let got = run.outputs[0].get(x, y);
+                let want = reference.get(x, y);
+                // Relative error bound from accumulated delay error.
+                let bound = ((ops * eps).exp() - 1.0) * want.abs() + 1e-6;
+                prop_assert!(
+                    (got - want).abs() <= bound,
+                    "({x},{y}): {got} vs {want} (bound {bound})"
+                );
+            }
+        }
+    }
+}

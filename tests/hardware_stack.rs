@@ -1,0 +1,192 @@
+//! Integration across the hardware stack: the gate-level netlists of
+//! `ta-race-logic`, the functional unit models of `ta-circuits`, and the
+//! architecture-level simulator of `ta-core` must all agree on the same
+//! arithmetic.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use temporal_conv::circuits::{NldeUnit, NlseUnit, NoiseRealization, UnitScale};
+use temporal_conv::delay_space::{ops, DelayValue, SplitValue};
+use temporal_conv::race_logic::{blocks, CircuitBuilder};
+
+#[test]
+fn three_layers_of_nlse_agree() {
+    // Formula ≡ functional unit ≡ gate-level netlist, across term counts.
+    for terms in [2, 5, 9] {
+        let scale = UnitScale::new(1.0, 50.0);
+        let unit = NlseUnit::with_terms(terms, scale);
+        let k = unit.latency_units();
+        let circuit = blocks::nlse_circuit(unit.approx().terms(), k, true).unwrap();
+        let mut rng = SmallRng::seed_from_u64(terms as u64);
+        for _ in 0..200 {
+            let x = DelayValue::from_delay(rng.gen_range(0.0..6.0));
+            let y = DelayValue::from_delay(rng.gen_range(0.0..6.0));
+            let formula = blocks::nlse_min_of_max(x, y, unit.approx().terms()).delayed(k);
+            let functional = unit.eval_ideal(x, y);
+            let netlist = circuit.evaluate(&[x, y]).unwrap()[0];
+            assert!((formula.delay() - functional.delay()).abs() < 1e-9);
+            assert!((functional.delay() - netlist.delay()).abs() < 1e-9);
+        }
+    }
+}
+
+#[test]
+fn three_layers_of_nlde_agree() {
+    for terms in [4, 10, 20] {
+        let scale = UnitScale::new(1.0, 50.0);
+        let unit = NldeUnit::with_terms(terms, scale);
+        let k = unit.latency_units();
+        let circuit = blocks::nlde_circuit(unit.approx().terms(), k).unwrap();
+        let mut rng = SmallRng::seed_from_u64(100 + terms as u64);
+        for _ in 0..200 {
+            let x = DelayValue::from_delay(rng.gen_range(0.0..4.0));
+            let y = DelayValue::from_delay(x.delay() + rng.gen_range(0.0..4.0));
+            let functional = unit.eval_ideal(x, y);
+            let netlist = circuit.evaluate(&[x, y]).unwrap()[0];
+            match (functional.is_never(), netlist.is_never()) {
+                (true, true) => {}
+                (false, false) => {
+                    assert!((functional.delay() - netlist.delay()).abs() < 1e-9)
+                }
+                _ => panic!("dead-zone disagreement at x={x}, y={y}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn split_mac_through_approximate_hardware() {
+    // A signed dot product computed three ways: pure f64, exact delay
+    // space (SplitValue), and the approximate hardware units.
+    let xs = [0.31, 0.78, 0.12, 0.55, 0.92];
+    let ws = [0.8, -1.5, 0.0, 2.0, -0.4];
+    let expected: f64 = xs.iter().zip(&ws).map(|(x, w)| x * w).sum();
+
+    // Exact delay space.
+    let mut acc = SplitValue::ZERO;
+    for (&x, &w) in xs.iter().zip(&ws) {
+        acc = acc
+            + SplitValue::encode_signed(x).unwrap() * SplitValue::encode_signed(w).unwrap();
+    }
+    let exact = acc.normalize().decode_signed();
+    assert!((exact - expected).abs() < 1e-9);
+
+    // Approximate hardware: accumulate each rail with an nLSE unit,
+    // renormalise with an nLDE unit (the §4.4 datapath).
+    let scale = UnitScale::new(1.0, 50.0);
+    let add = NlseUnit::with_terms(10, scale);
+    let sub = NldeUnit::with_terms(20, scale);
+    let k = add.latency_units();
+    let mut pos = DelayValue::ZERO;
+    let mut neg = DelayValue::ZERO;
+    for (&x, &w) in xs.iter().zip(&ws) {
+        if w == 0.0 {
+            continue; // absent path
+        }
+        let term = DelayValue::encode(x).unwrap() + DelayValue::encode(w.abs()).unwrap();
+        if w > 0.0 {
+            pos = add.eval_ideal(pos, term).delayed(-k);
+        } else {
+            neg = add.eval_ideal(neg, term).delayed(-k);
+        }
+    }
+    let (minuend, subtrahend, sign) = if pos <= neg {
+        (pos, neg, 1.0)
+    } else {
+        (neg, pos, -1.0)
+    };
+    let got = sign
+        * sub
+            .eval_ideal(minuend, subtrahend)
+            .delayed(-sub.latency_units())
+            .decode();
+    assert!(
+        (got - expected).abs() < 0.12,
+        "hardware MAC {got} vs {expected}"
+    );
+}
+
+#[test]
+fn noise_injection_is_consistent_between_layers() {
+    // A netlist evaluated with a jitter hook and the functional unit under
+    // an ideal realization bracket the same nominal value.
+    let scale = UnitScale::new(1.0, 50.0);
+    let unit = NlseUnit::with_terms(6, scale);
+    let x = DelayValue::from_delay(1.0);
+    let y = DelayValue::from_delay(1.4);
+    let nominal = unit.eval_ideal(x, y);
+    let r = NoiseRealization::ideal(scale);
+    let mut rng = SmallRng::seed_from_u64(4);
+    let quiet = unit.eval_noisy(x, y, &r, &mut rng);
+    assert!((nominal.delay() - quiet.delay()).abs() < 1e-12);
+}
+
+#[test]
+fn recurrent_fold_matches_wide_tree_netlist() {
+    // §3: an n-input accumulation staged through a 2-input unit equals the
+    // wide tree built in gates, up to the fitted function itself.
+    let scale = UnitScale::new(1.0, 50.0);
+    let unit = NlseUnit::with_terms(5, scale);
+    let k = unit.latency_units();
+    let inputs: Vec<DelayValue> = (0..6)
+        .map(|i| DelayValue::from_delay(0.4 + 0.7 * i as f64))
+        .collect();
+
+    // Wide tree in gates.
+    let mut b = CircuitBuilder::new();
+    let nodes: Vec<_> = (0..inputs.len())
+        .map(|i| b.input(format!("x{i}")))
+        .collect();
+    let out = blocks::build_nlse_tree(&mut b, &nodes, unit.approx().terms(), k);
+    b.output("sum", out.node);
+    let circuit = b.build().unwrap();
+    let tree_val = circuit.evaluate(&inputs).unwrap()[0].delayed(-out.shift);
+
+    // Exact reference.
+    let exact = ops::nlse_many(&inputs);
+    assert!(
+        (tree_val.delay() - exact.delay()).abs() < 6.0 * unit.approx().max_slice_error(),
+        "tree {} vs exact {}",
+        tree_val.delay(),
+        exact.delay()
+    );
+
+    // Staged recurrent fold through the same unit.
+    let mut acc = inputs[0];
+    for &v in &inputs[1..] {
+        acc = unit.eval_ideal(acc, v).delayed(-k);
+    }
+    assert!(
+        (acc.delay() - exact.delay()).abs() < 6.0 * unit.approx().max_slice_error(),
+        "fold {} vs exact {}",
+        acc.delay(),
+        exact.delay()
+    );
+}
+
+#[test]
+fn gate_level_engine_matches_functional_engine_end_to_end() {
+    // The apex of the verification pyramid: the whole convolution engine
+    // compiled to race-logic netlists agrees with the functional
+    // simulator on complete frames, across kernel families.
+    use temporal_conv::core::{exec, ArchConfig, Architecture, ArithmeticMode, GateEngine,
+                              SystemDescription};
+    use temporal_conv::image::{metrics, synth, Kernel};
+
+    for (kernels, stride) in [
+        (vec![Kernel::sobel_x(), Kernel::sobel_y()], 1usize),
+        (vec![Kernel::pyr_down_5x5()], 2),
+        (vec![Kernel::sharpen()], 1),
+    ] {
+        let size = 14;
+        let desc = SystemDescription::new(size, size, kernels, stride).unwrap();
+        let arch = Architecture::new(desc, ArchConfig::fast_1ns(5, 12)).unwrap();
+        let engine = GateEngine::compile(&arch);
+        let img = synth::natural_image(size, size, 31);
+        let gates = engine.run(&arch, &img).unwrap();
+        let functional = exec::run(&arch, &img, ArithmeticMode::DelayApprox, 0).unwrap();
+        for (g, f) in gates.iter().zip(&functional.outputs) {
+            assert!(metrics::rmse(g, f) < 1e-9, "engines diverge: {}", metrics::rmse(g, f));
+        }
+    }
+}

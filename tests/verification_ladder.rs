@@ -1,0 +1,120 @@
+//! The paper's §5.1 verification strategy as an end-to-end integration
+//! test: the same compiled architecture must reproduce software
+//! convolution exactly under importance-space and exact delay-space
+//! arithmetic, and degrade gracefully through the approximate and noisy
+//! modes.
+
+use temporal_conv::core::{exec, ArchConfig, Architecture, ArithmeticMode, SystemDescription};
+use temporal_conv::image::{conv, metrics, synth, Image, Kernel};
+
+fn ladder_for(kernels: Vec<Kernel>, stride: usize) -> Vec<(ArithmeticMode, f64)> {
+    let size = 40;
+    let image = synth::natural_image(size, size, 11);
+    // Compare against the convolution of the VTC-clipped image: pixels
+    // below the converter's dynamic-range floor saturate by design.
+    let clipped = image.map(|p| p.max((-6.0_f64).exp()));
+    let references: Vec<Image> = kernels
+        .iter()
+        .map(|k| conv::convolve(&clipped, k, stride))
+        .collect();
+    let desc = SystemDescription::new(size, size, kernels, stride).unwrap();
+    let arch = Architecture::new(desc, ArchConfig::fast_1ns(7, 20)).unwrap();
+    ArithmeticMode::ALL
+        .iter()
+        .map(|&mode| {
+            let run = exec::run(&arch, &image, mode, 5).unwrap();
+            (mode, run.pooled_rmse(&references))
+        })
+        .collect()
+}
+
+#[test]
+fn exact_modes_reproduce_software_convolution() {
+    for (kernels, stride) in [
+        (vec![Kernel::sobel_x(), Kernel::sobel_y()], 1),
+        (vec![Kernel::pyr_down_5x5()], 2),
+        (vec![Kernel::gaussian(7, 0.0)], 1),
+        (vec![Kernel::edge_ternary(2, 2)], 2),
+        (vec![Kernel::box_filter(3)], 3),
+    ] {
+        let name = kernels[0].name().to_string();
+        let ladder = ladder_for(kernels, stride);
+        // ImportanceExact compares against the *unclipped* arithmetic, so
+        // allow only the clipping residue; DelayExact must match to
+        // floating-point noise.
+        assert!(
+            ladder[0].1 < 2e-3,
+            "{name}: importance-exact error {}",
+            ladder[0].1
+        );
+        assert!(
+            ladder[1].1 < 1e-9,
+            "{name}: delay-exact error {}",
+            ladder[1].1
+        );
+    }
+}
+
+#[test]
+fn realism_costs_accuracy_monotonically() {
+    for (kernels, stride) in [
+        (vec![Kernel::pyr_down_5x5()], 2),
+        (vec![Kernel::sobel_x()], 1),
+    ] {
+        let name = kernels[0].name().to_string();
+        let ladder = ladder_for(kernels, stride);
+        let exact = ladder[1].1;
+        let approx = ladder[2].1;
+        let noisy = ladder[3].1;
+        assert!(approx > exact, "{name}: approximation must not be free");
+        assert!(
+            noisy > 0.8 * approx,
+            "{name}: noise should not help ({noisy} vs {approx})"
+        );
+        assert!(noisy < 0.2, "{name}: noisy error {noisy} implausibly large");
+    }
+}
+
+#[test]
+fn split_kernel_outputs_are_signed() {
+    // Sobel responses must carry both signs through the dual-rail path.
+    let size = 24;
+    let image = Image::from_fn(size, size, |x, _| if x < 12 { 0.2 } else { 0.8 });
+    let desc = SystemDescription::new(size, size, vec![Kernel::sobel_x()], 1).unwrap();
+    let arch = Architecture::new(desc, ArchConfig::fast_1ns(7, 20)).unwrap();
+    let run = exec::run(&arch, &image, ArithmeticMode::DelayApprox, 0).unwrap();
+    let out = &run.outputs[0];
+    let (lo, hi) = out.min_max();
+    assert!(hi > 0.5, "rising edge must respond positively, max {hi}");
+    assert_eq!(lo, 0.0, "no falling edges in this scene");
+
+    let flipped = Image::from_fn(size, size, |x, _| if x < 12 { 0.8 } else { 0.2 });
+    let desc = SystemDescription::new(size, size, vec![Kernel::sobel_x()], 1).unwrap();
+    let arch = Architecture::new(desc, ArchConfig::fast_1ns(7, 20)).unwrap();
+    let run = exec::run(&arch, &flipped, ArithmeticMode::DelayApprox, 0).unwrap();
+    let (lo, _) = run.outputs[0].min_max();
+    assert!(lo < -0.5, "falling edge must respond negatively, min {lo}");
+}
+
+#[test]
+fn metrics_and_modes_compose_across_crates() {
+    // Cross-crate smoke: energy identical across modes, geometry follows
+    // conv::output_dims, timing is finite and positive.
+    let size = 32;
+    let image = synth::natural_image(size, size, 3);
+    let desc = SystemDescription::new(size, size, vec![Kernel::pyr_down_5x5()], 2).unwrap();
+    let arch = Architecture::new(desc.clone(), ArchConfig::fast_1ns(5, 10)).unwrap();
+    let (ow, oh) = desc.output_dims();
+    let mut energies = Vec::new();
+    for mode in ArithmeticMode::ALL {
+        let run = exec::run(&arch, &image, mode, 9).unwrap();
+        assert_eq!((run.outputs[0].width(), run.outputs[0].height()), (ow, oh));
+        assert!(run.timing.frame_delay_ns > 0.0);
+        energies.push(run.energy.total_pj());
+    }
+    assert!(energies.windows(2).all(|w| w[0] == w[1]));
+    assert!(
+        metrics::normalized_rmse(&synth::natural_image(ow, oh, 0), &synth::natural_image(ow, oh, 0))
+            == 0.0
+    );
+}
