@@ -156,6 +156,15 @@ impl DelayLine {
     pub fn scale(&self) -> UnitScale {
         self.scale
     }
+
+    /// The line after multiplicative drift of its nominal delay (aging,
+    /// local IR drop): `nominal × (1 + fraction)`. Drift below `-100 %`
+    /// saturates at a zero-delay line — an inverter chain cannot advance
+    /// edges — so the result is always a valid [`DelayLine`].
+    pub fn drifted(&self, fraction: f64) -> DelayLine {
+        let factor = (1.0 + fraction).max(0.0);
+        DelayLine::new(self.nominal_units * factor, self.scale)
+    }
 }
 
 #[cfg(test)]
@@ -202,5 +211,16 @@ mod tests {
     #[should_panic(expected = "finite")]
     fn infinite_delay_rejected() {
         DelayLine::new(f64::INFINITY, UnitScale::default_1ns());
+    }
+
+    #[test]
+    fn drift_scales_nominal_and_saturates_at_zero() {
+        let line = DelayLine::new(2.0, UnitScale::default_1ns());
+        assert_eq!(line.drifted(0.25).nominal_units(), 2.5);
+        assert_eq!(line.drifted(-0.5).nominal_units(), 1.0);
+        assert_eq!(line.drifted(0.0), line);
+        // Below -100%: a chain cannot advance edges.
+        assert_eq!(line.drifted(-1.5).nominal_units(), 0.0);
+        assert_eq!(line.drifted(-1.5).element_count(), 0);
     }
 }

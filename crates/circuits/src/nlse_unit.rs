@@ -115,20 +115,62 @@ impl NlseUnit {
         realization: &NoiseRealization,
         rng: &mut R,
     ) -> DelayValue {
+        self.eval_noisy_drifted(x, y, realization, rng, 0.0)
+    }
+
+    /// Noisy evaluation on chains that have additionally drifted by the
+    /// multiplicative `fraction` of [`NlseUnit::eval_drifted`] — jitter is
+    /// realised on top of the drifted nominals, as in aged hardware.
+    pub fn eval_noisy_drifted<R: Rng>(
+        &self,
+        x: DelayValue,
+        y: DelayValue,
+        realization: &NoiseRealization,
+        rng: &mut R,
+        fraction: f64,
+    ) -> DelayValue {
+        let factor = (1.0 + fraction).max(0.0);
         let (lo, hi) = if x <= y { (x, y) } else { (y, x) };
         if lo.is_never() {
             return DelayValue::ZERO;
         }
-        let lo_taps = noisy_taps(&self.lo_taps, realization, rng);
+        let lo_nominal: Vec<f64> = self.lo_taps.iter().map(|t| t * factor).collect();
+        let lo_taps = noisy_taps(&lo_nominal, realization, rng);
         let min_path = lo.delayed(lo_taps[self.approx.num_terms()]);
         if hi.is_never() {
             // Only the min path fires.
             return min_path;
         }
-        let hi_taps = noisy_taps(&self.hi_taps, realization, rng);
+        let hi_nominal: Vec<f64> = self.hi_taps.iter().map(|t| t * factor).collect();
+        let hi_taps = noisy_taps(&hi_nominal, realization, rng);
         let mut best = min_path;
         for i in 0..self.approx.num_terms() {
             let term = hi.delayed(hi_taps[i]).max(lo.delayed(lo_taps[i]));
+            best = best.min(term);
+        }
+        best
+    }
+
+    /// Evaluation under uniform multiplicative drift of the shared chains:
+    /// every tap realises `tap × (1 + fraction)`, the signature of aging or
+    /// IR drop on the chain's common supply. Drift below `-100 %` saturates
+    /// the chains at zero delay. `fraction = 0` reproduces the tap-exact
+    /// ideal evaluation.
+    pub fn eval_drifted(&self, x: DelayValue, y: DelayValue, fraction: f64) -> DelayValue {
+        let factor = (1.0 + fraction).max(0.0);
+        let (lo, hi) = if x <= y { (x, y) } else { (y, x) };
+        if lo.is_never() {
+            return DelayValue::ZERO;
+        }
+        let min_path = lo.delayed(self.lo_taps[self.approx.num_terms()] * factor);
+        if hi.is_never() {
+            return min_path;
+        }
+        let mut best = min_path;
+        for i in 0..self.approx.num_terms() {
+            let term = hi
+                .delayed(self.hi_taps[i] * factor)
+                .max(lo.delayed(self.lo_taps[i] * factor));
             best = best.min(term);
         }
         best
@@ -227,10 +269,25 @@ impl NldeUnit {
         realization: &NoiseRealization,
         rng: &mut R,
     ) -> DelayValue {
+        self.eval_noisy_drifted(x, y, realization, rng, 0.0)
+    }
+
+    /// Noisy evaluation of `x - y` on chains drifted by the multiplicative
+    /// `fraction` of [`NldeUnit::eval_drifted`].
+    pub fn eval_noisy_drifted<R: Rng>(
+        &self,
+        x: DelayValue,
+        y: DelayValue,
+        realization: &NoiseRealization,
+        rng: &mut R,
+        fraction: f64,
+    ) -> DelayValue {
+        let factor = (1.0 + fraction).max(0.0);
         if x.is_never() {
             return DelayValue::ZERO;
         }
-        let x_taps = noisy_taps(&self.x_taps, realization, rng);
+        let x_nominal: Vec<f64> = self.x_taps.iter().map(|t| t * factor).collect();
+        let x_taps = noisy_taps(&x_nominal, realization, rng);
         if y.is_never() {
             // No inhibitor: all terms pass; min over data taps.
             let mut best = DelayValue::ZERO;
@@ -239,10 +296,35 @@ impl NldeUnit {
             }
             return best;
         }
-        let y_taps = noisy_taps(&self.y_taps, realization, rng);
+        let y_nominal: Vec<f64> = self.y_taps.iter().map(|t| t * factor).collect();
+        let y_taps = noisy_taps(&y_nominal, realization, rng);
         let mut best = DelayValue::ZERO;
         for i in 0..self.approx.num_terms() {
             let term = x.delayed(x_taps[i]).inhibited_by(y.delayed(y_taps[i]));
+            best = best.min(term);
+        }
+        best
+    }
+
+    /// Evaluation of `x - y` under uniform multiplicative drift of both
+    /// tap chains, as in [`NlseUnit::eval_drifted`].
+    pub fn eval_drifted(&self, x: DelayValue, y: DelayValue, fraction: f64) -> DelayValue {
+        let factor = (1.0 + fraction).max(0.0);
+        if x.is_never() {
+            return DelayValue::ZERO;
+        }
+        if y.is_never() {
+            let mut best = DelayValue::ZERO;
+            for &t in &self.x_taps {
+                best = best.min(x.delayed(t * factor));
+            }
+            return best;
+        }
+        let mut best = DelayValue::ZERO;
+        for i in 0..self.approx.num_terms() {
+            let term = x
+                .delayed(self.x_taps[i] * factor)
+                .inhibited_by(y.delayed(self.y_taps[i] * factor));
             best = best.min(term);
         }
         best
@@ -444,6 +526,65 @@ mod tests {
         let x = DelayValue::from_delay(5.0);
         let y = DelayValue::from_delay(1.0);
         assert!(unit.eval_noisy(x, y, &r, &mut rng).is_never());
+    }
+
+    #[test]
+    fn zero_drift_matches_ideal() {
+        let nlse = NlseUnit::with_terms(6, scale());
+        let nlde = NldeUnit::with_terms(6, scale());
+        for i in 0..20 {
+            let x = DelayValue::from_delay(i as f64 * 0.23);
+            let y = DelayValue::from_delay(((i * 11) % 20) as f64 * 0.19);
+            let a = nlse.eval_drifted(x, y, 0.0);
+            let b = nlse.eval_ideal(x, y);
+            assert!((a.delay() - b.delay()).abs() < 1e-12);
+            let a = nlde.eval_drifted(x, y.delayed(2.0), 0.0);
+            let b = nlde.eval_ideal(x, y.delayed(2.0));
+            if b.is_never() {
+                assert!(a.is_never());
+            } else {
+                assert!((a.delay() - b.delay()).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn drifted_unit_matches_drifted_netlist() {
+        // Uniform drift on the functional unit's taps must equal the
+        // gate-level netlist with the same drift fraction planned on every
+        // delay element — the consistency the two engines rely on.
+        use ta_race_logic::FaultPlan;
+        let unit = NlseUnit::with_terms(4, scale());
+        let k = unit.latency_units();
+        let circuit = blocks::nlse_circuit(unit.approx().terms(), k, true).unwrap();
+        for &fraction in &[0.0, 0.2, -0.3, -1.5] {
+            let mut plan = FaultPlan::new();
+            for (node, _) in circuit.delay_elements() {
+                plan.set_delay_drift(node, fraction);
+            }
+            for i in 0..25 {
+                let x = DelayValue::from_delay(i as f64 * 0.21);
+                let y = DelayValue::from_delay(((i * 17) % 25) as f64 * 0.13);
+                let (net, _) = circuit
+                    .evaluate_faulty(&[x, y], &mut ta_race_logic::NoNoise, &plan)
+                    .unwrap();
+                let fun = unit.eval_drifted(x, y, fraction);
+                assert!(
+                    (net[0].delay() - fun.delay()).abs() < 1e-9,
+                    "fraction {fraction}, inputs ({x:?},{y:?})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn positive_drift_slows_output() {
+        let unit = NlseUnit::with_terms(5, scale());
+        let x = DelayValue::from_delay(1.0);
+        let y = DelayValue::from_delay(2.0);
+        let ideal = unit.eval_drifted(x, y, 0.0).delay();
+        assert!(unit.eval_drifted(x, y, 0.3).delay() > ideal);
+        assert!(unit.eval_drifted(x, y, -0.3).delay() < ideal);
     }
 
     #[test]

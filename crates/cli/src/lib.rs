@@ -6,9 +6,13 @@
 //! * `run` — convolve a PGM image through the delay-space engine;
 //! * `describe` — print a compiled architecture's structure and costs;
 //! * `explore` — sweep term counts / unit scales and print the Pareto set;
+//! * `faults` — run a seeded fault-injection campaign and print the
+//!   degradation report;
 //! * `kernels` — list the built-in kernels.
 //!
 //! No third-party argument parser: flags are simple `--key value` pairs.
+//! Every failure path surfaces as a typed [`CliError`] — bad user input
+//! prints one friendly line, never a panic backtrace.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -17,26 +21,110 @@ use std::error::Error;
 use std::fmt;
 
 use ta_circuits::UnitScale;
-use ta_core::{exec, ArchConfig, Architecture, ArithmeticMode, SystemDescription};
+use ta_core::campaign::{self, CampaignConfig};
+use ta_core::{
+    exec, ArchConfig, Architecture, ArithmeticMode, FaultError, SystemDescription, SystemError,
+};
+use ta_image::pgm::PgmError;
 use ta_image::{conv, metrics, pgm, synth, Image, Kernel};
 
-/// A CLI failure with a user-facing message.
+/// Every way a `tconv` invocation can fail, typed so the binary can print
+/// a single clean diagnostic line (and tests can assert on the cause).
 #[derive(Debug)]
-pub struct CliError(String);
+#[non_exhaustive]
+pub enum CliError {
+    /// A positional argument appeared where a `--flag` was expected.
+    UnexpectedArgument(String),
+    /// A `--flag` was given without its value.
+    MissingValue(String),
+    /// A flag's value failed to parse as the expected number.
+    InvalidNumber {
+        /// The flag.
+        flag: String,
+        /// The offending value.
+        value: String,
+    },
+    /// The subcommand word is not one of the known commands.
+    UnknownCommand(String),
+    /// `--kernel` named no built-in kernel set.
+    UnknownKernel(String),
+    /// `--mode` named no arithmetic mode.
+    UnknownMode(String),
+    /// A flag combination is out of range (e.g. `--unit 0`).
+    InvalidConfig(String),
+    /// `run` was invoked with neither `--input` nor `--demo`.
+    MissingInput,
+    /// PGM I/O failed.
+    Image(PgmError),
+    /// The system description or architecture could not be compiled.
+    System(SystemError),
+    /// The engine rejected the run.
+    Exec(exec::ExecError),
+    /// The fault campaign configuration was invalid.
+    Fault(FaultError),
+}
 
 impl fmt::Display for CliError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(&self.0)
+        match self {
+            CliError::UnexpectedArgument(a) => write!(f, "unexpected argument {a:?}"),
+            CliError::MissingValue(flag) => write!(f, "flag {flag} needs a value"),
+            CliError::InvalidNumber { flag, value } => {
+                write!(f, "{flag} expects a number, got {value:?}")
+            }
+            CliError::UnknownCommand(c) => {
+                write!(f, "unknown command {c:?} — try `tconv help`")
+            }
+            CliError::UnknownKernel(k) => write!(
+                f,
+                "unknown kernel {k:?}; try: sobel pyrdown gauss laplacian sharpen emboss box3"
+            ),
+            CliError::UnknownMode(m) => {
+                write!(f, "unknown mode {m:?}; try: importance exact approx noisy")
+            }
+            CliError::InvalidConfig(why) => f.write_str(why),
+            CliError::MissingInput => f.write_str("run needs --input in.pgm (or --demo)"),
+            CliError::Image(e) => write!(f, "image i/o: {e}"),
+            CliError::System(e) => write!(f, "architecture: {e}"),
+            CliError::Exec(e) => write!(f, "execution: {e}"),
+            CliError::Fault(e) => write!(f, "fault campaign: {e}"),
+        }
     }
 }
 
-impl Error for CliError {}
+impl Error for CliError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CliError::Image(e) => Some(e),
+            CliError::System(e) => Some(e),
+            CliError::Exec(e) => Some(e),
+            CliError::Fault(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
-impl CliError {
-    // Deliberately returns the boxed trait object every call site wants.
-    #[allow(clippy::new_ret_no_self)]
-    fn new(msg: impl Into<String>) -> Box<dyn Error> {
-        Box::new(CliError(msg.into()))
+impl From<PgmError> for CliError {
+    fn from(e: PgmError) -> Self {
+        CliError::Image(e)
+    }
+}
+
+impl From<SystemError> for CliError {
+    fn from(e: SystemError) -> Self {
+        CliError::System(e)
+    }
+}
+
+impl From<exec::ExecError> for CliError {
+    fn from(e: exec::ExecError) -> Self {
+        CliError::Exec(e)
+    }
+}
+
+impl From<FaultError> for CliError {
+    fn from(e: FaultError) -> Self {
+        CliError::Fault(e)
     }
 }
 
@@ -49,9 +137,10 @@ USAGE:
   tconv run --demo [--kernel gauss] [options]      (synthetic input)
   tconv describe --kernel sobel [--size 150] [options]
   tconv explore [--kernel sobel] [--size 72] [options]
+  tconv faults [--kernel sobel] [--size 24] [options]
   tconv kernels
 
-OPTIONS (run/describe/explore):
+OPTIONS (run/describe/explore/faults):
   --kernel NAME     sobel | pyrdown | gauss | laplacian | sharpen | emboss | box3
   --unit NS         unit scale in ns per delay unit        [default: 1]
   --nlse N          number of nLSE max-terms               [default: 7]
@@ -59,6 +148,13 @@ OPTIONS (run/describe/explore):
   --mode MODE       importance | exact | approx | noisy    [default: noisy]
   --seed N          noise seed                             [default: 0]
   --size N          frame edge for --demo/describe/explore [default: 96]
+
+OPTIONS (faults):
+  --rates LIST      comma-separated per-site fault rates   [default: 0,0.01,0.05,0.1]
+  --trials N        fault-map draws per rate               [default: 3]
+  --drift F         delay-drift magnitude (fraction)       [default: 0.2]
+  --advance U       spurious-early advance (units)         [default: 0.5]
+  --pixel-sites N   pixel sites probed in the sensitivity scan [default: 12]
 ";
 
 /// Parsed `--key value` flags plus the subcommand.
@@ -75,9 +171,10 @@ impl Args {
     ///
     /// # Errors
     ///
-    /// Returns an error for a dangling `--flag` with no value when the
-    /// flag is not a known switch.
-    pub fn parse(raw: &[String]) -> Result<Args, Box<dyn Error>> {
+    /// Returns [`CliError::MissingValue`] for a dangling `--flag` with no
+    /// value when the flag is not a known switch, and
+    /// [`CliError::UnexpectedArgument`] for stray positional words.
+    pub fn parse(raw: &[String]) -> Result<Args, CliError> {
         let mut args = Args {
             command: raw.first().cloned().unwrap_or_default(),
             ..Args::default()
@@ -87,7 +184,7 @@ impl Args {
         while i < raw.len() {
             let key = &raw[i];
             if !key.starts_with("--") {
-                return Err(CliError::new(format!("unexpected argument {key:?}")));
+                return Err(CliError::UnexpectedArgument(key.clone()));
             }
             if switches.contains(&key.as_str()) {
                 args.switches.push(key.clone());
@@ -96,7 +193,7 @@ impl Args {
                 args.flags.push((key.clone(), raw[i + 1].clone()));
                 i += 2;
             } else {
-                return Err(CliError::new(format!("flag {key} needs a value")));
+                return Err(CliError::MissingValue(key.clone()));
             }
         }
         Ok(args)
@@ -114,12 +211,13 @@ impl Args {
         self.switches.iter().any(|s| s == switch)
     }
 
-    fn num<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, Box<dyn Error>> {
+    fn num<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, CliError> {
         match self.get(key) {
             None => Ok(default),
-            Some(v) => v
-                .parse()
-                .map_err(|_| CliError::new(format!("{key} expects a number, got {v:?}"))),
+            Some(v) => v.parse().map_err(|_| CliError::InvalidNumber {
+                flag: key.to_string(),
+                value: v.to_string(),
+            }),
         }
     }
 }
@@ -128,8 +226,8 @@ impl Args {
 ///
 /// # Errors
 ///
-/// Returns an error listing the valid names for an unknown one.
-pub fn kernel_set(name: &str) -> Result<(Vec<Kernel>, usize), Box<dyn Error>> {
+/// Returns [`CliError::UnknownKernel`] for an unknown name.
+pub fn kernel_set(name: &str) -> Result<(Vec<Kernel>, usize), CliError> {
     Ok(match name {
         "sobel" => (vec![Kernel::sobel_x(), Kernel::sobel_y()], 1),
         "pyrdown" => (vec![Kernel::pyr_down_5x5()], 2),
@@ -138,34 +236,28 @@ pub fn kernel_set(name: &str) -> Result<(Vec<Kernel>, usize), Box<dyn Error>> {
         "sharpen" => (vec![Kernel::sharpen()], 1),
         "emboss" => (vec![Kernel::emboss()], 1),
         "box3" => (vec![Kernel::box_filter(3)], 1),
-        other => {
-            return Err(CliError::new(format!(
-                "unknown kernel {other:?}; try: sobel pyrdown gauss laplacian sharpen emboss box3"
-            )))
-        }
+        other => return Err(CliError::UnknownKernel(other.to_string())),
     })
 }
 
-fn mode_of(name: &str) -> Result<ArithmeticMode, Box<dyn Error>> {
+fn mode_of(name: &str) -> Result<ArithmeticMode, CliError> {
     Ok(match name {
         "importance" => ArithmeticMode::ImportanceExact,
         "exact" => ArithmeticMode::DelayExact,
         "approx" => ArithmeticMode::DelayApprox,
         "noisy" => ArithmeticMode::DelayApproxNoisy,
-        other => {
-            return Err(CliError::new(format!(
-                "unknown mode {other:?}; try: importance exact approx noisy"
-            )))
-        }
+        other => return Err(CliError::UnknownMode(other.to_string())),
     })
 }
 
-fn config_of(args: &Args) -> Result<ArchConfig, Box<dyn Error>> {
+fn config_of(args: &Args) -> Result<ArchConfig, CliError> {
     let unit: f64 = args.num("--unit", 1.0)?;
     let nlse: usize = args.num("--nlse", 7)?;
     let nlde: usize = args.num("--nlde", 20)?;
     if unit <= 0.0 || nlse == 0 || nlde == 0 {
-        return Err(CliError::new("--unit/--nlse/--nlde must be positive"));
+        return Err(CliError::InvalidConfig(
+            "--unit/--nlse/--nlde must be positive".into(),
+        ));
     }
     Ok(ArchConfig::new(UnitScale::new(unit, 50.0), nlse, nlde))
 }
@@ -175,8 +267,8 @@ fn config_of(args: &Args) -> Result<ArchConfig, Box<dyn Error>> {
 ///
 /// # Errors
 ///
-/// Returns a user-facing error for bad arguments or I/O failures.
-pub fn dispatch(args: &Args) -> Result<String, Box<dyn Error>> {
+/// Returns a [`CliError`] for bad arguments or I/O failures.
+pub fn dispatch(args: &Args) -> Result<String, CliError> {
     if args.has("--help") || args.command.is_empty() || args.command == "help" {
         return Ok(USAGE.to_string());
     }
@@ -184,22 +276,19 @@ pub fn dispatch(args: &Args) -> Result<String, Box<dyn Error>> {
         "run" => cmd_run(args),
         "describe" => cmd_describe(args),
         "explore" => cmd_explore(args),
+        "faults" => cmd_faults(args),
         "kernels" => Ok(cmd_kernels()),
-        other => Err(CliError::new(format!(
-            "unknown command {other:?} — try `tconv help`"
-        ))),
+        other => Err(CliError::UnknownCommand(other.to_string())),
     }
 }
 
-fn cmd_run(args: &Args) -> Result<String, Box<dyn Error>> {
+fn cmd_run(args: &Args) -> Result<String, CliError> {
     let (kernels, stride) = kernel_set(args.get("--kernel").unwrap_or("sobel"))?;
     let image = if args.has("--demo") {
         let size: usize = args.num("--size", 96)?;
         synth::natural_image(size, size, args.num("--seed", 0u64)?)
     } else {
-        let path = args
-            .get("--input")
-            .ok_or_else(|| CliError::new("run needs --input in.pgm (or --demo)"))?;
+        let path = args.get("--input").ok_or(CliError::MissingInput)?;
         pgm::load_pgm(path)?
     };
     let mode = mode_of(args.get("--mode").unwrap_or("noisy"))?;
@@ -251,7 +340,7 @@ fn cmd_run(args: &Args) -> Result<String, Box<dyn Error>> {
     Ok(out)
 }
 
-fn cmd_describe(args: &Args) -> Result<String, Box<dyn Error>> {
+fn cmd_describe(args: &Args) -> Result<String, CliError> {
     let (kernels, stride) = kernel_set(args.get("--kernel").unwrap_or("sobel"))?;
     let size: usize = args.num("--size", 150)?;
     let desc = SystemDescription::new(size, size, kernels, stride)?;
@@ -259,20 +348,21 @@ fn cmd_describe(args: &Args) -> Result<String, Box<dyn Error>> {
     Ok(arch.describe())
 }
 
-fn cmd_explore(args: &Args) -> Result<String, Box<dyn Error>> {
+fn cmd_explore(args: &Args) -> Result<String, CliError> {
     use ta_core::dse::{explore, SweepGrid};
     let (kernels, stride) = kernel_set(args.get("--kernel").unwrap_or("sobel"))?;
     let size: usize = args.num("--size", 72)?;
+    let seed: u64 = args.num("--seed", 0u64)?;
     let desc = SystemDescription::new(size, size, kernels, stride)?;
     let images: Vec<Image> = (0..2)
-        .map(|i| synth::natural_image(size, size, args.num("--seed", 0u64).unwrap_or(0) + i))
+        .map(|i| synth::natural_image(size, size, seed + i))
         .collect();
     let grid = SweepGrid {
         nlse_terms: vec![5, 7, 10, 15],
         nlde_terms: vec![10, 20],
         unit_scales_ns: vec![1.0, 5.0, 10.0],
         element_multiplier: 50.0,
-        seed: args.num("--seed", 0u64)?,
+        seed,
     };
     let mut points = explore(&desc, &images, &grid)?;
     points.sort_by(|a, b| a.energy_uj.total_cmp(&b.energy_uj));
@@ -294,23 +384,67 @@ fn cmd_explore(args: &Args) -> Result<String, Box<dyn Error>> {
     Ok(out)
 }
 
+/// `tconv faults` — a seeded fault-injection campaign on a demo frame (or
+/// a PGM via `--input`): rate sweep plus per-site sensitivity.
+fn cmd_faults(args: &Args) -> Result<String, CliError> {
+    let (kernels, stride) = kernel_set(args.get("--kernel").unwrap_or("sobel"))?;
+    let seed: u64 = args.num("--seed", 0u64)?;
+    let image = match args.get("--input") {
+        Some(path) => pgm::load_pgm(path)?,
+        None => {
+            let size: usize = args.num("--size", 24)?;
+            synth::natural_image(size, size, seed)
+        }
+    };
+    // Ideal-approximation hardware by default: fault effects stand out
+    // against a deterministic background.
+    let mode = mode_of(args.get("--mode").unwrap_or("approx"))?;
+    let rates_raw = args.get("--rates").unwrap_or("0,0.01,0.05,0.1");
+    let rates: Vec<f64> = rates_raw
+        .split(',')
+        .map(|tok| {
+            tok.trim().parse().map_err(|_| CliError::InvalidNumber {
+                flag: "--rates".into(),
+                value: tok.to_string(),
+            })
+        })
+        .collect::<Result<_, _>>()?;
+    if rates.is_empty() {
+        return Err(CliError::InvalidConfig("--rates needs at least one rate".into()));
+    }
+    let cfg = CampaignConfig {
+        mode,
+        seed,
+        rates,
+        trials_per_rate: args.num("--trials", 3usize)?,
+        drift_fraction: args.num("--drift", 0.2f64)?,
+        early_advance_units: args.num("--advance", 0.5f64)?,
+        max_pixel_sites: args.num("--pixel-sites", 12usize)?,
+    };
+    let desc = SystemDescription::new(image.width(), image.height(), kernels, stride)?;
+    let arch = Architecture::new(desc, config_of(args)?)?;
+    let report = campaign::run_campaign(&arch, &image, &cfg)?;
+    Ok(report.to_string())
+}
+
 fn cmd_kernels() -> String {
     let mut out = String::from("built-in kernel sets:\n");
     for name in ["sobel", "pyrdown", "gauss", "laplacian", "sharpen", "emboss", "box3"] {
-        let (ks, stride) = kernel_set(name).expect("static names are valid");
-        out.push_str(&format!(
-            "  {:<10} {}×{}, stride {}, {} filter(s){}\n",
-            name,
-            ks[0].width(),
-            ks[0].height(),
-            stride,
-            ks.len(),
-            if ks.iter().any(|k| k.has_negative_weights()) {
-                ", split rails + nLDE"
-            } else {
-                ""
-            }
-        ));
+        if let Ok((ks, stride)) = kernel_set(name) {
+            out.push_str(&format!(
+                "  {:<10} {}×{}, stride {}, {} filter(s){}\n",
+                name,
+                ks[0].width(),
+                ks[0].height(),
+                stride,
+                ks.len(),
+                if ks.iter().any(|k| k.has_negative_weights()) {
+                    ", split rails + nLDE"
+                } else {
+                    ""
+                }
+            ));
+        }
     }
     out
 }
@@ -327,7 +461,10 @@ mod tests {
     fn help_and_unknown_commands() {
         assert!(dispatch(&argv(&["help"])).unwrap().contains("USAGE"));
         assert!(dispatch(&argv(&[])).unwrap().contains("USAGE"));
-        assert!(dispatch(&argv(&["frobnicate"])).is_err());
+        assert!(matches!(
+            dispatch(&argv(&["frobnicate"])),
+            Err(CliError::UnknownCommand(_))
+        ));
     }
 
     #[test]
@@ -382,12 +519,38 @@ mod tests {
     }
 
     #[test]
-    fn bad_flags_error_cleanly() {
-        assert!(Args::parse(&["run".into(), "--unit".into()]).is_err());
-        assert!(dispatch(&argv(&["run", "--demo", "--kernel", "nope"])).is_err());
-        assert!(dispatch(&argv(&["run", "--demo", "--mode", "nope"])).is_err());
-        assert!(dispatch(&argv(&["run", "--demo", "--unit", "abc"])).is_err());
-        assert!(dispatch(&argv(&["run"])).is_err()); // no input, no demo
+    fn bad_flags_raise_typed_errors() {
+        assert!(matches!(
+            Args::parse(&["run".into(), "--unit".into()]),
+            Err(CliError::MissingValue(_))
+        ));
+        assert!(matches!(
+            Args::parse(&["run".into(), "stray".into()]),
+            Err(CliError::UnexpectedArgument(_))
+        ));
+        assert!(matches!(
+            dispatch(&argv(&["run", "--demo", "--kernel", "nope"])),
+            Err(CliError::UnknownKernel(_))
+        ));
+        assert!(matches!(
+            dispatch(&argv(&["run", "--demo", "--mode", "nope"])),
+            Err(CliError::UnknownMode(_))
+        ));
+        assert!(matches!(
+            dispatch(&argv(&["run", "--demo", "--unit", "abc"])),
+            Err(CliError::InvalidNumber { .. })
+        ));
+        assert!(matches!(
+            dispatch(&argv(&["run"])),
+            Err(CliError::MissingInput)
+        ));
+        assert!(matches!(
+            dispatch(&argv(&["run", "--input", "/no/such/file.pgm"])),
+            Err(CliError::Image(_))
+        ));
+        // Every error renders a non-empty, single-line-friendly message.
+        let e = dispatch(&argv(&["run", "--demo", "--unit", "abc"])).unwrap_err();
+        assert!(!e.to_string().is_empty());
     }
 
     #[test]
@@ -398,5 +561,34 @@ mod tests {
         .unwrap();
         assert!(out.contains("pareto"));
         assert!(out.lines().count() > 10);
+    }
+
+    #[test]
+    fn faults_campaign_runs_and_reproduces() {
+        let cmd = [
+            "faults", "--kernel", "box3", "--size", "10", "--rates", "0,0.2",
+            "--trials", "2", "--pixel-sites", "4", "--seed", "5",
+        ];
+        let a = dispatch(&argv(&cmd)).unwrap();
+        let b = dispatch(&argv(&cmd)).unwrap();
+        assert_eq!(a, b, "seeded campaigns must reproduce bit-identically");
+        assert!(a.contains("rate sweep"));
+        assert!(a.contains("site sensitivity"));
+    }
+
+    #[test]
+    fn faults_rejects_bad_configuration() {
+        assert!(matches!(
+            dispatch(&argv(&["faults", "--size", "10", "--rates", "0,abc"])),
+            Err(CliError::InvalidNumber { .. })
+        ));
+        assert!(matches!(
+            dispatch(&argv(&["faults", "--size", "10", "--rates", "1.5"])),
+            Err(CliError::Exec(_)) | Err(CliError::Fault(_))
+        ));
+        assert!(matches!(
+            dispatch(&argv(&["faults", "--size", "10", "--mode", "importance"])),
+            Err(CliError::Exec(_))
+        ));
     }
 }

@@ -1,0 +1,370 @@
+//! Fault-injection campaigns: seeded sweeps over fault rates and
+//! per-site sensitivity analysis.
+//!
+//! A campaign measures *graceful degradation*: it runs the fault-free
+//! engine once as its own reference, then replays the same frame with
+//! sampled [`FaultMap`]s and reports how far the outputs drift, both as
+//! range-normalised RMSE and as structural similarity
+//! ([`ta_image::metrics::ssim`]). Everything is derived deterministically
+//! from the campaign seed — the same architecture, frame, configuration
+//! and seed reproduce the identical report, fault sites included.
+
+use std::fmt;
+
+use ta_image::{metrics, Image};
+
+use crate::exec::{self, ExecError};
+use crate::fault::{FaultKind, FaultMap, FaultModel, FaultSite, FaultStats};
+use crate::{enumerate_sites, Architecture, ArithmeticMode};
+
+/// Configuration of one fault campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignConfig {
+    /// Arithmetic mode under test (must not be
+    /// [`ArithmeticMode::ImportanceExact`]).
+    pub mode: ArithmeticMode,
+    /// Execution seed for the engine's own stochastic elements.
+    pub seed: u64,
+    /// Per-site fault rates to sweep.
+    pub rates: Vec<f64>,
+    /// Independent fault-map draws per rate point.
+    pub trials_per_rate: usize,
+    /// Drift magnitude for sampled drift faults (sign drawn per site).
+    pub drift_fraction: f64,
+    /// Advance of sampled spurious-early edges, abstract units.
+    pub early_advance_units: f64,
+    /// Cap on pixel sites in the sensitivity scan, sampled at an even
+    /// stride. Weight lines and shared chains are always scanned; pixel
+    /// arrays grow with the frame and would dominate the campaign.
+    pub max_pixel_sites: usize,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            mode: ArithmeticMode::DelayApprox,
+            seed: 0,
+            rates: vec![0.0, 0.001, 0.01, 0.05, 0.1],
+            trials_per_rate: 3,
+            drift_fraction: 0.2,
+            early_advance_units: 0.5,
+            max_pixel_sites: 16,
+        }
+    }
+}
+
+/// Aggregate degradation at one fault rate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RatePoint {
+    /// Per-site fault probability.
+    pub rate: f64,
+    /// Fault-map draws aggregated here.
+    pub trials: usize,
+    /// Mean number of faulted sites per trial.
+    pub mean_sites: f64,
+    /// Mean pooled range-normalised RMSE against the fault-free run.
+    pub mean_rmse: f64,
+    /// Worst trial's pooled RMSE.
+    pub worst_rmse: f64,
+    /// Mean SSIM (over kernels and trials) against the fault-free run.
+    pub mean_ssim: f64,
+    /// Degradation counters summed over the trials.
+    pub stats: FaultStats,
+}
+
+/// Degradation caused by a single fault at a single site.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SiteSensitivity {
+    /// The faulted site.
+    pub site: FaultSite,
+    /// The representative fault injected there.
+    pub kind: FaultKind,
+    /// Pooled range-normalised RMSE against the fault-free run.
+    pub rmse: f64,
+    /// Mean SSIM over kernels against the fault-free run.
+    pub ssim: f64,
+    /// The run's degradation counters.
+    pub stats: FaultStats,
+}
+
+/// The full, reproducible outcome of a campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignReport {
+    /// Mode the campaign ran in.
+    pub mode: ArithmeticMode,
+    /// Campaign seed (fault sampling and execution).
+    pub seed: u64,
+    /// One aggregate per swept rate, in sweep order.
+    pub rate_sweep: Vec<RatePoint>,
+    /// Single-fault sensitivity per scanned site, most damaging first.
+    pub site_sensitivity: Vec<SiteSensitivity>,
+    /// Pixel sites scanned / pixel sites in the architecture (the scan
+    /// strides the array when capped, and says so rather than silently
+    /// claiming full coverage).
+    pub pixel_sites_scanned: (usize, usize),
+}
+
+impl fmt::Display for CampaignReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "fault campaign ({:?}, seed {})", self.mode, self.seed)?;
+        writeln!(f, "rate sweep:")?;
+        writeln!(
+            f,
+            "  {:>7}  {:>6}  {:>11}  {:>11}  {:>9}  {:>6}  {:>5}",
+            "rate", "sites", "nRMSE mean", "nRMSE worst", "SSIM", "edges", "sat"
+        )?;
+        for p in &self.rate_sweep {
+            writeln!(
+                f,
+                "  {:>7.4}  {:>6.1}  {:>11.6}  {:>11.6}  {:>9.4}  {:>6}  {:>5}",
+                p.rate,
+                p.mean_sites,
+                p.mean_rmse,
+                p.worst_rmse,
+                p.mean_ssim,
+                p.stats.edges_faulted,
+                p.stats.saturations
+            )?;
+        }
+        let shown = self.site_sensitivity.len().min(12);
+        writeln!(
+            f,
+            "site sensitivity (top {shown} of {} scanned; {} of {} pixel sites sampled):",
+            self.site_sensitivity.len(),
+            self.pixel_sites_scanned.0,
+            self.pixel_sites_scanned.1
+        )?;
+        writeln!(
+            f,
+            "  {:>16}  {:>16}  {:>11}  {:>9}",
+            "site", "kind", "nRMSE", "SSIM"
+        )?;
+        for s in &self.site_sensitivity[..shown] {
+            writeln!(
+                f,
+                "  {:>16}  {:>16}  {:>11.6}  {:>9.4}",
+                s.site.to_string(),
+                s.kind.to_string(),
+                s.rmse,
+                s.ssim
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Splits `base` into independent per-(a, b) streams deterministically.
+fn derive_seed(base: u64, a: u64, b: u64) -> u64 {
+    base ^ a
+        .wrapping_add(1)
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        ^ b.wrapping_add(1).wrapping_mul(0xd1b5_4a32_d192_ed03)
+}
+
+/// Degradation of `result` against the fault-free `baseline`: pooled
+/// normalised RMSE and mean SSIM over kernel outputs.
+fn degradation(result: &[Image], baseline: &[Image]) -> (f64, f64) {
+    let rmses: Vec<f64> = result
+        .iter()
+        .zip(baseline)
+        .map(|(o, b)| metrics::normalized_rmse(o, b))
+        .collect();
+    let ssim = result
+        .iter()
+        .zip(baseline)
+        .map(|(o, b)| metrics::ssim(o, b))
+        .sum::<f64>()
+        / result.len() as f64;
+    (metrics::pool_rmse(&rmses), ssim)
+}
+
+/// The representative fault for a site's sensitivity probe: the hardest
+/// edge fault for elements that carry their own edge, the configured
+/// drift for shared chains.
+fn probe_kind(site: FaultSite, cfg: &CampaignConfig) -> FaultKind {
+    match site {
+        FaultSite::WeightLine { .. } | FaultSite::Pixel { .. } => FaultKind::StuckAtNever,
+        _ => FaultKind::DelayDrift {
+            fraction: cfg.drift_fraction,
+        },
+    }
+}
+
+/// Runs a full campaign for one frame: a fault-free reference run, the
+/// rate sweep, then the per-site sensitivity scan.
+///
+/// # Errors
+///
+/// Propagates [`ExecError`] from the underlying runs — geometry mismatch,
+/// an invalid rate in `cfg.rates`, or an unsupported mode.
+pub fn run_campaign(
+    arch: &Architecture,
+    image: &Image,
+    cfg: &CampaignConfig,
+) -> Result<CampaignReport, ExecError> {
+    let baseline = exec::run(arch, image, cfg.mode, cfg.seed)?;
+
+    let mut rate_sweep = Vec::with_capacity(cfg.rates.len());
+    for (r_idx, &rate) in cfg.rates.iter().enumerate() {
+        let model = FaultModel {
+            rate,
+            drift_fraction: cfg.drift_fraction,
+            early_advance_units: cfg.early_advance_units,
+        }
+        .validated()
+        .map_err(ExecError::from)?;
+        let mut point = RatePoint {
+            rate,
+            trials: cfg.trials_per_rate,
+            mean_sites: 0.0,
+            mean_rmse: 0.0,
+            worst_rmse: 0.0,
+            mean_ssim: 0.0,
+            stats: FaultStats::default(),
+        };
+        for trial in 0..cfg.trials_per_rate {
+            let map = model.sample(arch, derive_seed(cfg.seed, r_idx as u64, trial as u64));
+            let run = exec::run_faulty(arch, image, cfg.mode, cfg.seed, &map)?;
+            let (rmse, ssim) = degradation(&run.outputs, &baseline.outputs);
+            point.mean_sites += map.len() as f64;
+            point.mean_rmse += rmse;
+            point.worst_rmse = point.worst_rmse.max(rmse);
+            point.mean_ssim += ssim;
+            point.stats.sites_injected += run.fault_stats.sites_injected;
+            point.stats.edges_faulted += run.fault_stats.edges_faulted;
+            point.stats.events_dropped += run.fault_stats.events_dropped;
+            point.stats.saturations += run.fault_stats.saturations;
+        }
+        let n = cfg.trials_per_rate.max(1) as f64;
+        point.mean_sites /= n;
+        point.mean_rmse /= n;
+        point.mean_ssim /= n;
+        rate_sweep.push(point);
+    }
+
+    // Sensitivity: one run per site with a single representative fault.
+    // Pixel sites are strided down to the configured cap.
+    let all_sites = enumerate_sites(arch);
+    let total_pixels = all_sites
+        .iter()
+        .filter(|s| matches!(s, FaultSite::Pixel { .. }))
+        .count();
+    let pixel_stride = if cfg.max_pixel_sites == 0 {
+        usize::MAX
+    } else {
+        total_pixels.div_ceil(cfg.max_pixel_sites).max(1)
+    };
+    let mut pixel_idx = 0usize;
+    let mut scanned_pixels = 0usize;
+    let mut site_sensitivity = Vec::new();
+    for site in all_sites {
+        if matches!(site, FaultSite::Pixel { .. }) {
+            let keep = pixel_idx.is_multiple_of(pixel_stride);
+            pixel_idx += 1;
+            if !keep {
+                continue;
+            }
+            scanned_pixels += 1;
+        }
+        let kind = probe_kind(site, cfg);
+        let mut map = FaultMap::new();
+        map.insert(site, kind).map_err(ExecError::from)?;
+        let run = exec::run_faulty(arch, image, cfg.mode, cfg.seed, &map)?;
+        let (rmse, ssim) = degradation(&run.outputs, &baseline.outputs);
+        site_sensitivity.push(SiteSensitivity {
+            site,
+            kind,
+            rmse,
+            ssim,
+            stats: run.fault_stats,
+        });
+    }
+    site_sensitivity.sort_by(|a, b| {
+        b.rmse
+            .partial_cmp(&a.rmse)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.site.cmp(&b.site))
+    });
+
+    Ok(CampaignReport {
+        mode: cfg.mode,
+        seed: cfg.seed,
+        rate_sweep,
+        site_sensitivity,
+        pixel_sites_scanned: (scanned_pixels, total_pixels),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ArchConfig, SystemDescription};
+    use ta_image::{synth, Kernel};
+
+    fn small_campaign_cfg() -> CampaignConfig {
+        CampaignConfig {
+            rates: vec![0.0, 0.3],
+            trials_per_rate: 2,
+            max_pixel_sites: 4,
+            ..CampaignConfig::default()
+        }
+    }
+
+    fn arch() -> Architecture {
+        let desc = SystemDescription::new(8, 8, vec![Kernel::box_filter(3)], 1).unwrap();
+        Architecture::new(desc, ArchConfig::fast_1ns(4, 8)).unwrap()
+    }
+
+    #[test]
+    fn campaign_is_reproducible() {
+        let arch = arch();
+        let img = synth::natural_image(8, 8, 1);
+        let cfg = small_campaign_cfg();
+        let a = run_campaign(&arch, &img, &cfg).unwrap();
+        let b = run_campaign(&arch, &img, &cfg).unwrap();
+        assert_eq!(a, b, "same seed must reproduce the identical report");
+        let c = run_campaign(
+            &arch,
+            &img,
+            &CampaignConfig { seed: 1, ..cfg },
+        )
+        .unwrap();
+        assert_ne!(a, c, "a different seed must explore different faults");
+    }
+
+    #[test]
+    fn rate_zero_is_pristine_and_rates_degrade() {
+        let arch = arch();
+        let img = synth::natural_image(8, 8, 2);
+        let report = run_campaign(&arch, &img, &small_campaign_cfg()).unwrap();
+        let zero = &report.rate_sweep[0];
+        assert_eq!(zero.rate, 0.0);
+        assert_eq!(zero.mean_rmse, 0.0);
+        assert!((zero.mean_ssim - 1.0).abs() < 1e-12);
+        assert_eq!(zero.stats, FaultStats::default());
+        let hot = &report.rate_sweep[1];
+        assert!(hot.mean_sites > 0.0);
+        assert!(hot.mean_rmse > 0.0, "faults at 30 % must move the output");
+        assert!(hot.mean_rmse.is_finite() && hot.worst_rmse >= hot.mean_rmse);
+    }
+
+    #[test]
+    fn sensitivity_is_sorted_and_respects_pixel_cap() {
+        let arch = arch();
+        let img = synth::natural_image(8, 8, 3);
+        let cfg = small_campaign_cfg();
+        let report = run_campaign(&arch, &img, &cfg).unwrap();
+        assert!(report
+            .site_sensitivity
+            .windows(2)
+            .all(|w| w[0].rmse >= w[1].rmse));
+        let (scanned, total) = report.pixel_sites_scanned;
+        assert_eq!(total, 64);
+        assert!(scanned <= cfg.max_pixel_sites + 1, "{scanned}");
+        // 9 weight lines + tree + loop always scanned.
+        assert!(report.site_sensitivity.len() >= 11);
+        let display = report.to_string();
+        assert!(display.contains("rate sweep"));
+        assert!(display.contains("site sensitivity"));
+    }
+}

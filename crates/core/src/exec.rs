@@ -8,13 +8,15 @@ use rand::SeedableRng;
 
 use ta_delay_space::{ops, DelayValue};
 use ta_image::Image;
+use ta_race_logic::FaultObservation;
 
+use crate::fault::{FaultError, FaultKind, FaultMap, FaultStats};
 use crate::transform::Rail;
 use crate::tree::{self, TreeOps};
 use crate::{Architecture, ArithmeticMode, RunResult};
 
 /// Errors raised while executing a frame.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
 pub enum ExecError {
     /// The image does not match the architecture's pixel-array geometry.
@@ -24,6 +26,8 @@ pub enum ExecError {
         /// Geometry of the supplied image.
         got: (usize, usize),
     },
+    /// A fault-injection request could not be honoured.
+    Fault(FaultError),
 }
 
 impl fmt::Display for ExecError {
@@ -34,11 +38,18 @@ impl fmt::Display for ExecError {
                 "architecture compiled for {}×{} pixels, image is {}×{}",
                 expected.0, expected.1, got.0, got.1
             ),
+            ExecError::Fault(e) => write!(f, "fault injection: {e}"),
         }
     }
 }
 
 impl Error for ExecError {}
+
+impl From<FaultError> for ExecError {
+    fn from(e: FaultError) -> Self {
+        ExecError::Fault(e)
+    }
+}
 
 /// Pushes one frame through the architecture under the given arithmetic
 /// mode. `seed` drives every stochastic element (VTC noise, RJ, PSIJ) and
@@ -62,9 +73,11 @@ pub fn run(
         });
     }
 
+    let no_faults = FaultMap::new();
+    let mut stats = FaultStats::default();
     let outputs = match mode {
         ArithmeticMode::ImportanceExact => run_importance(arch, image),
-        _ => run_delay(arch, image, mode, seed),
+        _ => run_delay(arch, image, mode, seed, &no_faults, &mut stats),
     };
 
     Ok(RunResult {
@@ -72,6 +85,54 @@ pub fn run(
         energy: arch.energy_per_frame(),
         timing: arch.timing(),
         mode,
+        fault_stats: stats,
+    })
+}
+
+/// Pushes one frame through the architecture with the given faults
+/// injected. The same [`FaultMap`] drives [`crate::GateEngine::run_faulty`]
+/// identically, so the two engines stay cross-checkable under injection.
+///
+/// With an empty map the arithmetic is bit-identical to [`run`]; fault
+/// effects saturate into representable delay-space values and are counted
+/// in the result's [`FaultStats`] instead of producing NaN or panics.
+///
+/// # Errors
+///
+/// [`ExecError::DimensionMismatch`] on geometry mismatch, and
+/// [`ExecError::Fault`] with [`FaultError::UnsupportedMode`] for
+/// [`ArithmeticMode::ImportanceExact`] — pure importance-space arithmetic
+/// models no hardware elements to fault.
+pub fn run_faulty(
+    arch: &Architecture,
+    image: &Image,
+    mode: ArithmeticMode,
+    seed: u64,
+    faults: &FaultMap,
+) -> Result<RunResult, ExecError> {
+    if mode == ArithmeticMode::ImportanceExact {
+        return Err(FaultError::UnsupportedMode(mode).into());
+    }
+    let desc = arch.desc();
+    if (image.width(), image.height()) != (desc.image_width(), desc.image_height()) {
+        return Err(ExecError::DimensionMismatch {
+            expected: (desc.image_width(), desc.image_height()),
+            got: (image.width(), image.height()),
+        });
+    }
+
+    let mut stats = FaultStats {
+        sites_injected: faults.len(),
+        ..FaultStats::default()
+    };
+    let outputs = run_delay(arch, image, mode, seed, faults, &mut stats);
+
+    Ok(RunResult {
+        outputs,
+        energy: arch.energy_per_frame(),
+        timing: arch.timing(),
+        mode,
+        fault_stats: stats,
     })
 }
 
@@ -105,12 +166,17 @@ fn run_importance(arch: &Architecture, image: &Image) -> Vec<Image> {
         .collect()
 }
 
-/// Delay-space execution (exact, approximate or noisy hardware).
+/// Delay-space execution (exact, approximate or noisy hardware), with
+/// optional site-addressed fault injection. Every fault lookup keeps the
+/// fault-free expression verbatim in its `None` arm, so an empty map is
+/// bit-identical to the unfaulted engine.
 fn run_delay(
     arch: &Architecture,
     image: &Image,
     mode: ArithmeticMode,
     seed: u64,
+    faults: &FaultMap,
+    stats: &mut FaultStats,
 ) -> Vec<Image> {
     let desc = arch.desc();
     let cfg = arch.cfg();
@@ -124,16 +190,28 @@ fn run_delay(
 
     // Pixel readout: one VTC conversion per pixel (noise applied here for
     // the noisy mode; the same converted value feeds every MAC block that
-    // uses the pixel, as in hardware).
+    // uses the pixel, as in hardware). Pixel faults hit the converted
+    // edge, so every reader of the pixel sees the same faulted value.
     let vtc = arch.vtc();
+    let img_w = image.width();
     let pixel_delays: Vec<DelayValue> = image
         .pixels()
         .iter()
-        .map(|&p| {
-            if noisy {
+        .enumerate()
+        .map(|(i, &p)| {
+            let v = if noisy {
                 vtc.convert(p, &mut rng)
             } else {
                 vtc.convert_ideal(p)
+            };
+            match faults.pixel_fault(i % img_w, i / img_w) {
+                None => v,
+                Some(fault) => {
+                    let mut obs = FaultObservation::default();
+                    let v = fault.apply(v, &mut obs);
+                    stats.absorb_observation(obs);
+                    v
+                }
             }
         })
         .collect();
@@ -167,6 +245,7 @@ fn run_delay(
                 // Accumulate each rail through the recurrent schedule.
                 let mut rail_raw = [DelayValue::ZERO; 2];
                 for (r_i, &rail) in dk.rails().iter().enumerate() {
+                    let tree_drift = faults.tree_drift(k_idx, rail);
                     let mut partial = DelayValue::ZERO; // no edge yet
                     for ky in 0..kh {
                         // One noise realization covers the whole cycle:
@@ -181,12 +260,35 @@ fn run_delay(
                             if w.is_never() {
                                 leaves.push(DelayValue::ZERO);
                             } else {
-                                let w_delay = match &realization {
-                                    Some(r) => r.perturb_units(w.delay(), &mut rng),
-                                    None => w.delay(),
+                                let weight_fault =
+                                    faults.weight_fault(k_idx, rail, ky, kx);
+                                let nominal = match weight_fault {
+                                    Some(FaultKind::DelayDrift { fraction }) => {
+                                        let factor = 1.0 + fraction;
+                                        if factor < 0.0 {
+                                            // A delay line cannot advance
+                                            // edges: saturate at zero.
+                                            stats.saturations += 1;
+                                            0.0
+                                        } else {
+                                            w.delay() * factor
+                                        }
+                                    }
+                                    _ => w.delay(),
                                 };
-                                let leaf = pixel_at(ox * stride + kx, oy * stride + ky)
+                                let w_delay = match &realization {
+                                    Some(r) => r.perturb_units(nominal, &mut rng),
+                                    None => nominal,
+                                };
+                                let mut leaf = pixel_at(ox * stride + kx, oy * stride + ky)
                                     .delayed(w_delay);
+                                if let Some(fault) =
+                                    weight_fault.and_then(FaultKind::edge_fault)
+                                {
+                                    let mut obs = FaultObservation::default();
+                                    leaf = fault.apply(leaf, &mut obs);
+                                    stats.absorb_observation(obs);
+                                }
                                 leaves.push(if leaf.delay() > truncate_at {
                                     DelayValue::ZERO
                                 } else {
@@ -197,23 +299,50 @@ fn run_delay(
                         leaves.push(partial);
                         let raw = match mode {
                             ArithmeticMode::DelayExact => {
+                                // Exact mode evaluates the tree as pure
+                                // mathematics: there are no chains for a
+                                // tree-drift fault to age.
                                 tree::eval(&TreeOps::Exact, &leaves, &mut rng)
                             }
-                            ArithmeticMode::DelayApprox => tree::eval(
-                                &TreeOps::Approx(arch.nlse_unit()),
-                                &leaves,
-                                &mut rng,
-                            ),
-                            ArithmeticMode::DelayApproxNoisy => tree::eval(
-                                &TreeOps::Noisy(
-                                    arch.nlse_unit(),
-                                    realization
-                                        .as_ref()
-                                        .expect("noisy mode always has a realization"),
+                            ArithmeticMode::DelayApprox => match tree_drift {
+                                None => tree::eval(
+                                    &TreeOps::Approx(arch.nlse_unit()),
+                                    &leaves,
+                                    &mut rng,
                                 ),
-                                &leaves,
-                                &mut rng,
-                            ),
+                                Some(f) => {
+                                    if 1.0 + f < 0.0 {
+                                        stats.saturations += 1;
+                                    }
+                                    tree::eval(
+                                        &TreeOps::Drifted(arch.nlse_unit(), f),
+                                        &leaves,
+                                        &mut rng,
+                                    )
+                                }
+                            },
+                            ArithmeticMode::DelayApproxNoisy => {
+                                let r = realization
+                                    .as_ref()
+                                    .expect("noisy mode always has a realization");
+                                match tree_drift {
+                                    None => tree::eval(
+                                        &TreeOps::Noisy(arch.nlse_unit(), r),
+                                        &leaves,
+                                        &mut rng,
+                                    ),
+                                    Some(f) => {
+                                        if 1.0 + f < 0.0 {
+                                            stats.saturations += 1;
+                                        }
+                                        tree::eval(
+                                            &TreeOps::NoisyDrifted(arch.nlse_unit(), r, f),
+                                            &leaves,
+                                            &mut rng,
+                                        )
+                                    }
+                                }
+                            }
                             ArithmeticMode::ImportanceExact => unreachable!(),
                         };
                         if ky + 1 < kh {
@@ -226,10 +355,31 @@ fn run_delay(
                                 }
                                 _ => 0.0,
                             };
-                            partial = if raw.is_never() {
-                                raw
-                            } else {
-                                raw.delayed(jitter - k_tree)
+                            partial = match faults.loop_drift(k_idx, rail) {
+                                None => {
+                                    if raw.is_never() {
+                                        raw
+                                    } else {
+                                        raw.delayed(jitter - k_tree)
+                                    }
+                                }
+                                Some(fraction) => {
+                                    // The drifted loop line realises
+                                    // loop_delay × (1 + fraction) while the
+                                    // reference-frame shift still cancels
+                                    // the nominal; the excess survives.
+                                    let excess = if 1.0 + fraction < 0.0 {
+                                        stats.saturations += 1;
+                                        -loop_delay
+                                    } else {
+                                        loop_delay * fraction
+                                    };
+                                    if raw.is_never() {
+                                        raw
+                                    } else {
+                                        raw.delayed(jitter + excess - k_tree)
+                                    }
+                                }
                             };
                         } else {
                             partial = raw;
@@ -238,7 +388,9 @@ fn run_delay(
                     rail_raw[r_i] = partial;
                 }
 
-                let value = combine_rails(arch, dk.rails(), rail_raw, mode, shift, &mut rng);
+                let value = combine_rails(
+                    arch, k_idx, dk.rails(), rail_raw, mode, shift, faults, stats, &mut rng,
+                );
                 out.set(ox, oy, value);
             }
         }
@@ -249,12 +401,16 @@ fn run_delay(
 
 /// Renormalises the split rails through the subtraction unit and decodes
 /// to a signed importance-space value.
+#[allow(clippy::too_many_arguments)]
 fn combine_rails(
     arch: &Architecture,
+    k_idx: usize,
     rails: &[Rail],
     rail_raw: [DelayValue; 2],
     mode: ArithmeticMode,
     shift: f64,
+    faults: &FaultMap,
+    stats: &mut FaultStats,
     rng: &mut SmallRng,
 ) -> f64 {
     let cfg = arch.cfg();
@@ -281,19 +437,40 @@ fn combine_rails(
     };
     match mode {
         ArithmeticMode::DelayExact => {
+            // Exact subtraction is pure mathematics; an nLDE-chain drift
+            // fault has no hardware to act on here.
             let diff = ops::nlde(minuend, subtrahend)
                 .expect("operands ordered by the comparator");
             sign * decode(diff, shift)
         }
         ArithmeticMode::DelayApprox => {
             let unit = arch.nlde_unit().expect("split kernels carry an nLDE unit");
-            let diff = unit.eval_ideal(minuend, subtrahend);
+            let diff = match faults.nlde_drift(k_idx) {
+                None => unit.eval_ideal(minuend, subtrahend),
+                Some(f) => {
+                    if 1.0 + f < 0.0 {
+                        stats.saturations += 1;
+                    }
+                    unit.eval_drifted(minuend, subtrahend, f)
+                }
+            };
+            // The decoder's shift stays nominal: the fixed readout cannot
+            // know the chains drifted, which is exactly how drift becomes
+            // output error.
             sign * decode(diff, shift + unit.latency_units())
         }
         ArithmeticMode::DelayApproxNoisy => {
             let unit = arch.nlde_unit().expect("split kernels carry an nLDE unit");
             let realization = cfg.noise.begin_eval(cfg.unit, rng);
-            let diff = unit.eval_noisy(minuend, subtrahend, &realization, rng);
+            let diff = match faults.nlde_drift(k_idx) {
+                None => unit.eval_noisy(minuend, subtrahend, &realization, rng),
+                Some(f) => {
+                    if 1.0 + f < 0.0 {
+                        stats.saturations += 1;
+                    }
+                    unit.eval_noisy_drifted(minuend, subtrahend, &realization, rng, f)
+                }
+            };
             sign * decode(diff, shift + unit.latency_units())
         }
         ArithmeticMode::ImportanceExact => unreachable!("handled in run_importance"),
@@ -334,6 +511,7 @@ pub fn run_sequence(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::{FaultModel, FaultSite};
     use crate::{ArchConfig, SystemDescription};
     use ta_image::{conv, metrics, synth, Kernel};
 
@@ -489,5 +667,104 @@ mod tests {
             assert_eq!(w[0], w[1]);
         }
         assert!(e[0] > 0.0);
+    }
+
+    #[test]
+    fn empty_fault_map_is_bit_identical() {
+        // Acceptance gate of the fault subsystem: with no faults injected,
+        // every delay mode's output carries the exact same bits as the
+        // fault-free engine.
+        let arch = arch_for(vec![Kernel::sobel_x(), Kernel::sobel_y()], 1, 12);
+        let img = synth::natural_image(12, 12, 6);
+        let empty = FaultMap::new();
+        for mode in [
+            ArithmeticMode::DelayExact,
+            ArithmeticMode::DelayApprox,
+            ArithmeticMode::DelayApproxNoisy,
+        ] {
+            let plain = run(&arch, &img, mode, 11).unwrap();
+            let faulty = run_faulty(&arch, &img, mode, 11, &empty).unwrap();
+            for (a, b) in plain.outputs.iter().zip(&faulty.outputs) {
+                for (pa, pb) in a.pixels().iter().zip(b.pixels()) {
+                    assert_eq!(pa.to_bits(), pb.to_bits(), "{mode:?}");
+                }
+            }
+            assert_eq!(faulty.fault_stats, FaultStats::default());
+        }
+    }
+
+    #[test]
+    fn importance_mode_rejects_faults() {
+        let arch = arch_for(vec![Kernel::box_filter(3)], 1, 8);
+        let img = synth::natural_image(8, 8, 0);
+        assert!(matches!(
+            run_faulty(
+                &arch,
+                &img,
+                ArithmeticMode::ImportanceExact,
+                0,
+                &FaultMap::new()
+            ),
+            Err(ExecError::Fault(FaultError::UnsupportedMode(_)))
+        ));
+    }
+
+    #[test]
+    fn faulty_runs_are_seeded_and_reproducible() {
+        let arch = arch_for(vec![Kernel::sobel_x()], 1, 12);
+        let img = synth::natural_image(12, 12, 7);
+        let map = FaultModel::with_rate(0.05).unwrap().sample(&arch, 3);
+        assert!(!map.is_empty());
+        let a = run_faulty(&arch, &img, ArithmeticMode::DelayApproxNoisy, 9, &map).unwrap();
+        let b = run_faulty(&arch, &img, ArithmeticMode::DelayApproxNoisy, 9, &map).unwrap();
+        assert_eq!(a.outputs[0], b.outputs[0]);
+        assert_eq!(a.fault_stats, b.fault_stats);
+        assert_eq!(a.fault_stats.sites_injected, map.len());
+    }
+
+    #[test]
+    fn stuck_weight_degrades_but_never_panics_or_nans() {
+        let arch = arch_for(vec![Kernel::sobel_x()], 1, 12);
+        let img = synth::natural_image(12, 12, 8);
+        let clean = run(&arch, &img, ArithmeticMode::DelayApprox, 0).unwrap();
+        let reference = conv::convolve(&img, &Kernel::sobel_x(), 1);
+
+        let mut map = FaultMap::new();
+        map.insert(
+            FaultSite::WeightLine { kernel: 0, rail: Rail::Pos, ky: 0, kx: 2 },
+            FaultKind::StuckAtNever,
+        )
+        .unwrap();
+        let faulty = run_faulty(&arch, &img, ArithmeticMode::DelayApprox, 0, &map).unwrap();
+        assert!(faulty.outputs[0].pixels().iter().all(|p| p.is_finite()));
+        assert!(faulty.fault_stats.edges_faulted > 0);
+        let clean_err = metrics::normalized_rmse(&clean.outputs[0], &reference);
+        let faulty_err = metrics::normalized_rmse(&faulty.outputs[0], &reference);
+        assert!(
+            faulty_err > clean_err,
+            "a stuck weight line must hurt accuracy: {faulty_err} vs {clean_err}"
+        );
+    }
+
+    #[test]
+    fn drift_faults_saturate_gracefully() {
+        let arch = arch_for(vec![Kernel::pyr_down_5x5()], 2, 16);
+        let img = synth::natural_image(16, 16, 9);
+        let mut map = FaultMap::new();
+        // Below -100%: the loop line and a weight line saturate at zero
+        // delay rather than advancing edges.
+        map.insert(
+            FaultSite::LoopLine { kernel: 0, rail: Rail::Pos },
+            FaultKind::DelayDrift { fraction: -2.0 },
+        )
+        .unwrap();
+        map.insert(
+            FaultSite::WeightLine { kernel: 0, rail: Rail::Pos, ky: 2, kx: 2 },
+            FaultKind::DelayDrift { fraction: -3.0 },
+        )
+        .unwrap();
+        let faulty = run_faulty(&arch, &img, ArithmeticMode::DelayApprox, 0, &map).unwrap();
+        assert!(faulty.outputs[0].pixels().iter().all(|p| p.is_finite()));
+        assert!(faulty.fault_stats.saturations > 0);
     }
 }

@@ -1,0 +1,636 @@
+//! Architectural fault model: site-addressed fault injection across both
+//! execution engines, with seeded reproducible campaigns.
+//!
+//! The race-logic layer injects faults by netlist node index
+//! ([`ta_race_logic::FaultPlan`]); this module names faults by what the
+//! hardware element *is* — a weight delay line, a pixel's VTC output, an
+//! accumulation-tree chain, the recurrence loop line, the subtraction
+//! unit — so one [`FaultMap`] can be lowered consistently onto both the
+//! functional simulator ([`crate::exec::run_faulty`]) and the gate-level
+//! engine ([`crate::GateEngine::run_faulty`]), which must agree under
+//! injection just as they do fault-free.
+//!
+//! [`FaultModel`] draws a reproducible [`FaultMap`] from a seed: the same
+//! architecture, model parameters and seed always select the same fault
+//! sites with the same fault kinds, so campaign reports are replayable.
+
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use ta_race_logic::EdgeFault;
+
+use crate::transform::Rail;
+use crate::Architecture;
+
+/// A physical element of the compiled architecture that can fault.
+///
+/// Ordered so that [`FaultMap`] iteration (and therefore campaign
+/// reports) is deterministic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[non_exhaustive]
+pub enum FaultSite {
+    /// The weight delay line of kernel `kernel`, rail `rail`, at kernel
+    /// position `(kx, ky)`. Accepts every [`FaultKind`].
+    WeightLine {
+        /// Kernel index in the system description.
+        kernel: usize,
+        /// Rail the weight path sits on.
+        rail: Rail,
+        /// Kernel row.
+        ky: usize,
+        /// Kernel column.
+        kx: usize,
+    },
+    /// The VTC output of pixel `(x, y)`: the converted edge every MAC
+    /// block reading this pixel sees. Accepts edge faults only — a pixel
+    /// has no delay line to drift.
+    Pixel {
+        /// Pixel column.
+        x: usize,
+        /// Pixel row.
+        y: usize,
+    },
+    /// The shared delay chains of one accumulation tree (all nLSE blocks
+    /// and balancing elements of kernel `kernel`, rail `rail`). Accepts
+    /// [`FaultKind::DelayDrift`] only.
+    TreeChain {
+        /// Kernel index.
+        kernel: usize,
+        /// Rail of the tree.
+        rail: Rail,
+    },
+    /// The recurrence loop delay line of kernel `kernel`, rail `rail`.
+    /// Accepts [`FaultKind::DelayDrift`] only.
+    LoopLine {
+        /// Kernel index.
+        kernel: usize,
+        /// Rail of the loop.
+        rail: Rail,
+    },
+    /// The subtraction (nLDE) unit's tap chains of kernel `kernel`.
+    /// Accepts [`FaultKind::DelayDrift`] only.
+    NldeChain {
+        /// Kernel index.
+        kernel: usize,
+    },
+}
+
+impl fmt::Display for FaultSite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let rail_tag = |r: Rail| match r {
+            Rail::Pos => "pos",
+            Rail::Neg => "neg",
+        };
+        match self {
+            FaultSite::WeightLine { kernel, rail, ky, kx } => {
+                write!(f, "k{kernel}.{}.w[{ky}][{kx}]", rail_tag(*rail))
+            }
+            FaultSite::Pixel { x, y } => write!(f, "pixel({x},{y})"),
+            FaultSite::TreeChain { kernel, rail } => {
+                write!(f, "k{kernel}.{}.tree", rail_tag(*rail))
+            }
+            FaultSite::LoopLine { kernel, rail } => {
+                write!(f, "k{kernel}.{}.loop", rail_tag(*rail))
+            }
+            FaultSite::NldeChain { kernel } => write!(f, "k{kernel}.nlde"),
+        }
+    }
+}
+
+/// What goes wrong at a fault site.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum FaultKind {
+    /// The element's output edge never fires (hard open).
+    StuckAtNever,
+    /// The element's output edge fires with the reference edge (short).
+    StuckAtZero,
+    /// The event is swallowed (marginal latch).
+    DropEvent,
+    /// A spurious edge fires early by `advance_units` (crosstalk).
+    SpuriousEarly {
+        /// How many abstract units early the spurious edge fires.
+        advance_units: f64,
+    },
+    /// The element's nominal delay drifts multiplicatively to
+    /// `nominal × (1 + fraction)` (aging, IR drop).
+    DelayDrift {
+        /// Signed drift fraction; below `-1` saturates at zero delay.
+        fraction: f64,
+    },
+}
+
+impl FaultKind {
+    /// The netlist-level edge fault this kind lowers to, or `None` for
+    /// drift (which lowers to a delay-nominal change instead).
+    pub fn edge_fault(self) -> Option<EdgeFault> {
+        match self {
+            FaultKind::StuckAtNever => Some(EdgeFault::StuckAtNever),
+            FaultKind::StuckAtZero => Some(EdgeFault::StuckAtZero),
+            FaultKind::DropEvent => Some(EdgeFault::DropEvent),
+            FaultKind::SpuriousEarly { advance_units } => {
+                Some(EdgeFault::SpuriousEarly(advance_units))
+            }
+            FaultKind::DelayDrift { .. } => None,
+        }
+    }
+
+    fn is_drift(self) -> bool {
+        matches!(self, FaultKind::DelayDrift { .. })
+    }
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultKind::StuckAtNever => write!(f, "stuck-at-never"),
+            FaultKind::StuckAtZero => write!(f, "stuck-at-0"),
+            FaultKind::DropEvent => write!(f, "drop-event"),
+            FaultKind::SpuriousEarly { advance_units } => {
+                write!(f, "spurious-early({advance_units:.3})")
+            }
+            FaultKind::DelayDrift { fraction } => {
+                write!(f, "drift({:+.1}%)", fraction * 100.0)
+            }
+        }
+    }
+}
+
+/// Errors of fault-model construction and fault-map assembly.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum FaultError {
+    /// The per-site fault probability is outside `[0, 1]`.
+    InvalidRate(f64),
+    /// The spurious-early advance is negative or non-finite.
+    InvalidAdvance(f64),
+    /// The drift fraction is non-finite.
+    InvalidDrift(f64),
+    /// The fault kind cannot occur at the site (e.g. drift on a pixel,
+    /// an edge fault on a shared chain).
+    KindSiteMismatch {
+        /// The offending site.
+        site: FaultSite,
+        /// The kind that does not apply there.
+        kind: FaultKind,
+    },
+    /// Fault injection was requested in an arithmetic mode with no
+    /// hardware to fault.
+    UnsupportedMode(crate::ArithmeticMode),
+}
+
+impl fmt::Display for FaultError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultError::InvalidRate(r) => {
+                write!(f, "fault rate must be a probability in [0, 1], got {r}")
+            }
+            FaultError::InvalidAdvance(a) => {
+                write!(f, "spurious-early advance must be finite and ≥ 0, got {a}")
+            }
+            FaultError::InvalidDrift(d) => write!(f, "drift fraction must be finite, got {d}"),
+            FaultError::KindSiteMismatch { site, kind } => {
+                write!(f, "fault kind {kind} cannot occur at site {site}")
+            }
+            FaultError::UnsupportedMode(m) => {
+                write!(f, "mode {m:?} models no hardware elements to fault")
+            }
+        }
+    }
+}
+
+impl Error for FaultError {}
+
+/// A concrete, validated assignment of faults to architectural sites.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultMap {
+    faults: BTreeMap<FaultSite, FaultKind>,
+}
+
+impl FaultMap {
+    /// An empty map (no faults; engines behave bit-identically to their
+    /// fault-free entry points).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Assigns `kind` to `site`, replacing any previous fault there.
+    ///
+    /// # Errors
+    ///
+    /// [`FaultError::KindSiteMismatch`] when the kind cannot physically
+    /// occur at the site: pixels have no delay line to drift, and the
+    /// shared chains (tree, loop, nLDE) are modelled for drift only.
+    pub fn insert(&mut self, site: FaultSite, kind: FaultKind) -> Result<(), FaultError> {
+        let ok = match site {
+            FaultSite::WeightLine { .. } => true,
+            FaultSite::Pixel { .. } => !kind.is_drift(),
+            FaultSite::TreeChain { .. } | FaultSite::LoopLine { .. } | FaultSite::NldeChain { .. } => {
+                kind.is_drift()
+            }
+        };
+        if !ok {
+            return Err(FaultError::KindSiteMismatch { site, kind });
+        }
+        self.faults.insert(site, kind);
+        Ok(())
+    }
+
+    /// The fault at `site`, if any.
+    pub fn get(&self, site: FaultSite) -> Option<FaultKind> {
+        self.faults.get(&site).copied()
+    }
+
+    /// Iterates faults in deterministic site order.
+    pub fn iter(&self) -> impl Iterator<Item = (FaultSite, FaultKind)> + '_ {
+        self.faults.iter().map(|(&s, &k)| (s, k))
+    }
+
+    /// Number of faulted sites.
+    pub fn len(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// Whether the map injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Fault on the given weight line, if any.
+    pub fn weight_fault(
+        &self,
+        kernel: usize,
+        rail: Rail,
+        ky: usize,
+        kx: usize,
+    ) -> Option<FaultKind> {
+        self.get(FaultSite::WeightLine { kernel, rail, ky, kx })
+    }
+
+    /// Edge fault on the given pixel's VTC output, if any.
+    pub fn pixel_fault(&self, x: usize, y: usize) -> Option<EdgeFault> {
+        self.get(FaultSite::Pixel { x, y })
+            .and_then(FaultKind::edge_fault)
+    }
+
+    /// Drift fraction of the given accumulation tree, if any.
+    pub fn tree_drift(&self, kernel: usize, rail: Rail) -> Option<f64> {
+        match self.get(FaultSite::TreeChain { kernel, rail }) {
+            Some(FaultKind::DelayDrift { fraction }) => Some(fraction),
+            _ => None,
+        }
+    }
+
+    /// Drift fraction of the given loop line, if any.
+    pub fn loop_drift(&self, kernel: usize, rail: Rail) -> Option<f64> {
+        match self.get(FaultSite::LoopLine { kernel, rail }) {
+            Some(FaultKind::DelayDrift { fraction }) => Some(fraction),
+            _ => None,
+        }
+    }
+
+    /// Drift fraction of the given kernel's nLDE unit, if any.
+    pub fn nlde_drift(&self, kernel: usize) -> Option<f64> {
+        match self.get(FaultSite::NldeChain { kernel }) {
+            Some(FaultKind::DelayDrift { fraction }) => Some(fraction),
+            _ => None,
+        }
+    }
+}
+
+/// Enumerates every fault site the compiled architecture exposes, in the
+/// deterministic order campaigns and sampling use: per kernel, per rail,
+/// the finite weight lines (row-major), then the tree chain, the loop
+/// line (multi-row kernels only), the nLDE chain (split kernels only),
+/// and finally the pixel array (row-major).
+pub fn enumerate_sites(arch: &Architecture) -> Vec<FaultSite> {
+    let mut sites = Vec::new();
+    for (k_idx, dk) in arch.delay_kernels().iter().enumerate() {
+        for &rail in dk.rails() {
+            for ky in 0..dk.height() {
+                for kx in 0..dk.width() {
+                    if !dk.rail_delay(rail, kx, ky).is_never() {
+                        sites.push(FaultSite::WeightLine { kernel: k_idx, rail, ky, kx });
+                    }
+                }
+            }
+            sites.push(FaultSite::TreeChain { kernel: k_idx, rail });
+            if dk.height() > 1 {
+                sites.push(FaultSite::LoopLine { kernel: k_idx, rail });
+            }
+        }
+        if dk.has_negative() {
+            sites.push(FaultSite::NldeChain { kernel: k_idx });
+        }
+    }
+    let desc = arch.desc();
+    for y in 0..desc.image_height() {
+        for x in 0..desc.image_width() {
+            sites.push(FaultSite::Pixel { x, y });
+        }
+    }
+    sites
+}
+
+/// A stochastic fault environment: per-site Bernoulli fault occurrence
+/// with fixed fault-magnitude parameters. [`FaultModel::sample`] draws a
+/// reproducible [`FaultMap`] from a seed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultModel {
+    /// Per-site fault probability in `[0, 1]`.
+    pub rate: f64,
+    /// Magnitude of delay drift at drifted sites; the sampled sign is
+    /// random per site.
+    pub drift_fraction: f64,
+    /// Advance of spurious-early edges, in abstract units.
+    pub early_advance_units: f64,
+}
+
+impl FaultModel {
+    /// A model faulting each site with probability `rate`, with default
+    /// magnitudes: ±20 % drift, 0.5-unit early edges.
+    ///
+    /// # Errors
+    ///
+    /// [`FaultError::InvalidRate`] unless `rate ∈ [0, 1]`.
+    pub fn with_rate(rate: f64) -> Result<Self, FaultError> {
+        FaultModel {
+            rate,
+            drift_fraction: 0.2,
+            early_advance_units: 0.5,
+        }
+        .validated()
+    }
+
+    /// Validates all parameters.
+    ///
+    /// # Errors
+    ///
+    /// The first violated constraint: rate a probability, advance finite
+    /// and non-negative, drift finite.
+    pub fn validated(self) -> Result<Self, FaultError> {
+        if !(0.0..=1.0).contains(&self.rate) || self.rate.is_nan() {
+            return Err(FaultError::InvalidRate(self.rate));
+        }
+        if !self.early_advance_units.is_finite() || self.early_advance_units < 0.0 {
+            return Err(FaultError::InvalidAdvance(self.early_advance_units));
+        }
+        if !self.drift_fraction.is_finite() {
+            return Err(FaultError::InvalidDrift(self.drift_fraction));
+        }
+        Ok(self)
+    }
+
+    /// The fault kinds this model can place at `site`, in selection order.
+    fn kinds_for(&self, site: FaultSite) -> Vec<FaultKind> {
+        let edge = [
+            FaultKind::StuckAtNever,
+            FaultKind::StuckAtZero,
+            FaultKind::DropEvent,
+            FaultKind::SpuriousEarly {
+                advance_units: self.early_advance_units,
+            },
+        ];
+        match site {
+            FaultSite::WeightLine { .. } => {
+                let mut all = edge.to_vec();
+                all.push(FaultKind::DelayDrift {
+                    fraction: self.drift_fraction,
+                });
+                all
+            }
+            FaultSite::Pixel { .. } => edge.to_vec(),
+            FaultSite::TreeChain { .. } | FaultSite::LoopLine { .. } | FaultSite::NldeChain { .. } => {
+                vec![FaultKind::DelayDrift {
+                    fraction: self.drift_fraction,
+                }]
+            }
+        }
+    }
+
+    /// Draws a fault map for `arch` from `seed`. Deterministic: the same
+    /// architecture, parameters and seed produce the same map.
+    pub fn sample(&self, arch: &Architecture, seed: u64) -> FaultMap {
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0xfa17_ca57);
+        let mut map = FaultMap::new();
+        for site in enumerate_sites(arch) {
+            if !rng.gen_bool(self.rate) {
+                continue;
+            }
+            let kinds = self.kinds_for(site);
+            let mut kind = kinds[rng.gen_range(0..kinds.len())];
+            if let FaultKind::DelayDrift { fraction } = &mut kind {
+                // Drift ages either way; draw the sign per site.
+                if rng.gen_bool(0.5) {
+                    *fraction = -*fraction;
+                }
+            }
+            map.insert(site, kind)
+                .expect("kinds_for only offers site-compatible kinds");
+        }
+        map
+    }
+}
+
+/// Counters of graceful-degradation events observed during one faulty
+/// run, surfaced in [`crate::RunResult`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Sites carrying a fault in the active map.
+    pub sites_injected: usize,
+    /// Edge-fault applications over the run (a persistent fault applies
+    /// once per evaluation that reads the element).
+    pub edges_faulted: usize,
+    /// Events swallowed by drop faults.
+    pub events_dropped: usize,
+    /// Values clamped back into representable delay space instead of
+    /// going negative/NaN (saturating arithmetic).
+    pub saturations: usize,
+}
+
+impl FaultStats {
+    /// Folds a netlist-level observation into the run counters.
+    pub fn absorb_observation(&mut self, obs: ta_race_logic::FaultObservation) {
+        self.edges_faulted += obs.edges_faulted;
+        self.events_dropped += obs.events_dropped;
+        self.saturations += obs.saturations;
+    }
+}
+
+impl fmt::Display for FaultStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} faulted sites, {} edge faults applied, {} events dropped, {} saturations",
+            self.sites_injected, self.edges_faulted, self.events_dropped, self.saturations
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ArchConfig, SystemDescription};
+    use ta_image::Kernel;
+
+    fn arch() -> Architecture {
+        let desc = SystemDescription::new(8, 8, vec![Kernel::sobel_x()], 1).unwrap();
+        Architecture::new(desc, ArchConfig::fast_1ns(4, 8)).unwrap()
+    }
+
+    #[test]
+    fn site_enumeration_covers_architecture() {
+        let arch = arch();
+        let sites = enumerate_sites(&arch);
+        // Sobel x: 3 finite paths per rail, tree + loop per rail, one
+        // nLDE, 64 pixels.
+        let weights = sites
+            .iter()
+            .filter(|s| matches!(s, FaultSite::WeightLine { .. }))
+            .count();
+        assert_eq!(weights, 6);
+        assert_eq!(
+            sites
+                .iter()
+                .filter(|s| matches!(s, FaultSite::TreeChain { .. }))
+                .count(),
+            2
+        );
+        assert_eq!(
+            sites
+                .iter()
+                .filter(|s| matches!(s, FaultSite::LoopLine { .. }))
+                .count(),
+            2
+        );
+        assert_eq!(
+            sites
+                .iter()
+                .filter(|s| matches!(s, FaultSite::NldeChain { .. }))
+                .count(),
+            1
+        );
+        assert_eq!(
+            sites
+                .iter()
+                .filter(|s| matches!(s, FaultSite::Pixel { .. }))
+                .count(),
+            64
+        );
+    }
+
+    #[test]
+    fn kind_site_compatibility_enforced() {
+        let mut map = FaultMap::new();
+        let drift = FaultKind::DelayDrift { fraction: 0.1 };
+        assert!(map
+            .insert(FaultSite::Pixel { x: 0, y: 0 }, drift)
+            .is_err());
+        assert!(map
+            .insert(
+                FaultSite::TreeChain { kernel: 0, rail: Rail::Pos },
+                FaultKind::StuckAtNever
+            )
+            .is_err());
+        assert!(map
+            .insert(
+                FaultSite::WeightLine { kernel: 0, rail: Rail::Pos, ky: 0, kx: 0 },
+                drift
+            )
+            .is_ok());
+        assert!(map
+            .insert(FaultSite::Pixel { x: 1, y: 2 }, FaultKind::DropEvent)
+            .is_ok());
+        assert_eq!(map.len(), 2);
+    }
+
+    #[test]
+    fn model_validation() {
+        assert!(FaultModel::with_rate(0.0).is_ok());
+        assert!(FaultModel::with_rate(1.0).is_ok());
+        assert!(matches!(
+            FaultModel::with_rate(1.5),
+            Err(FaultError::InvalidRate(_))
+        ));
+        assert!(matches!(
+            FaultModel {
+                rate: 0.1,
+                drift_fraction: f64::NAN,
+                early_advance_units: 0.5
+            }
+            .validated(),
+            Err(FaultError::InvalidDrift(_))
+        ));
+        assert!(matches!(
+            FaultModel {
+                rate: 0.1,
+                drift_fraction: 0.2,
+                early_advance_units: -1.0
+            }
+            .validated(),
+            Err(FaultError::InvalidAdvance(_))
+        ));
+    }
+
+    #[test]
+    fn sampling_is_seeded_and_reproducible() {
+        let arch = arch();
+        let model = FaultModel::with_rate(0.1).unwrap();
+        let a = model.sample(&arch, 7);
+        let b = model.sample(&arch, 7);
+        assert_eq!(a, b, "same seed must select identical fault sites");
+        let c = model.sample(&arch, 8);
+        assert_ne!(a, c, "different seeds must explore different sites");
+    }
+
+    #[test]
+    fn rate_zero_samples_nothing_rate_one_faults_everything() {
+        let arch = arch();
+        assert!(FaultModel::with_rate(0.0)
+            .unwrap()
+            .sample(&arch, 3)
+            .is_empty());
+        let full = FaultModel::with_rate(1.0).unwrap().sample(&arch, 3);
+        assert_eq!(full.len(), enumerate_sites(&arch).len());
+    }
+
+    #[test]
+    fn accessors_match_inserted_faults() {
+        let mut map = FaultMap::new();
+        map.insert(
+            FaultSite::LoopLine { kernel: 0, rail: Rail::Neg },
+            FaultKind::DelayDrift { fraction: -0.3 },
+        )
+        .unwrap();
+        map.insert(
+            FaultSite::NldeChain { kernel: 0 },
+            FaultKind::DelayDrift { fraction: 0.4 },
+        )
+        .unwrap();
+        map.insert(
+            FaultSite::Pixel { x: 3, y: 1 },
+            FaultKind::SpuriousEarly { advance_units: 0.25 },
+        )
+        .unwrap();
+        assert_eq!(map.loop_drift(0, Rail::Neg), Some(-0.3));
+        assert_eq!(map.loop_drift(0, Rail::Pos), None);
+        assert_eq!(map.nlde_drift(0), Some(0.4));
+        assert_eq!(map.pixel_fault(3, 1), Some(EdgeFault::SpuriousEarly(0.25)));
+        assert_eq!(map.pixel_fault(0, 0), None);
+        assert_eq!(map.tree_drift(0, Rail::Pos), None);
+    }
+
+    #[test]
+    fn displays_are_stable() {
+        let site = FaultSite::WeightLine { kernel: 1, rail: Rail::Neg, ky: 2, kx: 0 };
+        assert_eq!(site.to_string(), "k1.neg.w[2][0]");
+        assert_eq!(
+            FaultKind::DelayDrift { fraction: -0.25 }.to_string(),
+            "drift(-25.0%)"
+        );
+        assert_eq!(FaultSite::Pixel { x: 4, y: 5 }.to_string(), "pixel(4,5)");
+    }
+}

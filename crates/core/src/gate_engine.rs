@@ -20,9 +20,10 @@
 use ta_delay_space::DelayValue;
 use ta_image::Image;
 use ta_race_logic::blocks::{self, TermPair};
-use ta_race_logic::{Circuit, CircuitBuilder};
+use ta_race_logic::{Circuit, CircuitBuilder, FaultObservation, FaultPlan, NoNoise};
 
 use crate::exec::ExecError;
+use crate::fault::{FaultKind, FaultMap, FaultStats};
 use crate::transform::Rail;
 use crate::Architecture;
 
@@ -35,6 +36,10 @@ struct CycleCircuit {
     circuit: Circuit,
     /// The tree's uniform output shift for this netlist.
     tree_shift: f64,
+    /// Netlist node index of each weight delay line, by kernel column
+    /// (`None` for absent paths) — the anchor fault injection uses to
+    /// address individual weight lines inside the netlist.
+    weight_nodes: Vec<Option<usize>>,
 }
 
 /// The gate-level engine compiled from an [`Architecture`].
@@ -267,6 +272,214 @@ impl GateEngine {
         Ok(outputs)
     }
 
+    /// Executes one frame with the given faults lowered onto the compiled
+    /// netlists (ideal delay elements otherwise) — the gate-level
+    /// counterpart of [`crate::exec::run_faulty`] in `DelayApprox` mode.
+    /// Both engines lower one [`FaultMap`] the same way, so they must
+    /// still agree under injection; with an empty map the outputs are
+    /// bit-identical to [`GateEngine::run`].
+    ///
+    /// Returns the decoded outputs together with the run's
+    /// [`FaultStats`]. The *values* match the functional engine; the
+    /// counters may differ (this engine re-reads faulted pixels per
+    /// window instead of once per frame).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError::DimensionMismatch`] if the image does not
+    /// match the compiled geometry.
+    pub fn run_faulty(
+        &self,
+        arch: &Architecture,
+        image: &Image,
+        faults: &FaultMap,
+    ) -> Result<(Vec<Image>, FaultStats), ExecError> {
+        let desc = arch.desc();
+        if (image.width(), image.height()) != (desc.image_width(), desc.image_height()) {
+            return Err(ExecError::DimensionMismatch {
+                expected: (desc.image_width(), desc.image_height()),
+                got: (image.width(), image.height()),
+            });
+        }
+        let stride = desc.stride();
+        let (ow, oh) = desc.output_dims();
+        let kw = desc.kernel_width();
+        let kh = desc.kernel_height();
+        let truncate_at = arch.schedule().cycle_units;
+        let loop_delay = arch.schedule().loop_delay_units;
+        let vtc = arch.vtc();
+        let mut stats = FaultStats {
+            sites_injected: faults.len(),
+            ..FaultStats::default()
+        };
+
+        // Pixel readout once per frame: the faulted VTC edge is shared by
+        // every window reading the pixel, as in the functional engine.
+        let img_w = image.width();
+        let pixel_delays: Vec<DelayValue> = image
+            .pixels()
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| {
+                let v = vtc.convert_ideal(p);
+                match faults.pixel_fault(i % img_w, i / img_w) {
+                    None => v,
+                    Some(fault) => {
+                        let mut obs = FaultObservation::default();
+                        let v = fault.apply(v, &mut obs);
+                        stats.absorb_observation(obs);
+                        v
+                    }
+                }
+            })
+            .collect();
+        let pixel_at =
+            |x: usize, y: usize| -> DelayValue { pixel_delays[y * image.width() + x] };
+
+        // Lower the map onto each cycle netlist once up front.
+        let plans: Vec<Vec<Vec<FaultPlan>>> = self
+            .cycles
+            .iter()
+            .enumerate()
+            .map(|(k_idx, per_rail)| {
+                per_rail
+                    .iter()
+                    .enumerate()
+                    .map(|(r_i, per_row)| {
+                        let rail = self.rails[k_idx][r_i];
+                        per_row
+                            .iter()
+                            .enumerate()
+                            .map(|(ky, cycle)| cycle_plan(cycle, faults, k_idx, rail, ky))
+                            .collect()
+                    })
+                    .collect()
+            })
+            .collect();
+        let nlde_plans: Vec<Option<FaultPlan>> = self
+            .cycles
+            .iter()
+            .enumerate()
+            .map(|(k_idx, _)| {
+                let fraction = faults.nlde_drift(k_idx)?;
+                let (circuit, _) = self.nlde.as_ref()?;
+                let mut plan = FaultPlan::new();
+                for (idx, _) in circuit.delay_elements() {
+                    plan.set_delay_drift(idx, fraction);
+                }
+                Some(plan)
+            })
+            .collect();
+
+        let mut outputs = Vec::with_capacity(self.cycles.len());
+        for (k_idx, per_rail) in self.cycles.iter().enumerate() {
+            let shift = arch.output_shift_units(k_idx, true);
+            let mut out = Image::zeros(ow, oh);
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut rail_raw = [DelayValue::ZERO; 2];
+                    for (r_i, per_row) in per_rail.iter().enumerate() {
+                        let rail = self.rails[k_idx][r_i];
+                        let mut partial = DelayValue::ZERO;
+                        for (ky, cycle) in per_row.iter().enumerate() {
+                            let mut inputs = Vec::with_capacity(kw + 3);
+                            for kx in 0..kw {
+                                inputs.push(pixel_at(ox * stride + kx, oy * stride + ky));
+                            }
+                            inputs.push(partial);
+                            inputs.push(DelayValue::ZERO);
+                            inputs.push(DelayValue::from_delay(truncate_at + 1e-9));
+                            let plan = &plans[k_idx][r_i][ky];
+                            let raw = if plan.is_empty() {
+                                cycle
+                                    .circuit
+                                    .evaluate(&inputs)
+                                    .expect("compiled arity matches")[0]
+                            } else {
+                                let (outs, obs) = cycle
+                                    .circuit
+                                    .evaluate_faulty(&inputs, &mut NoNoise, plan)
+                                    .expect("compiled arity matches");
+                                stats.absorb_observation(obs);
+                                outs[0]
+                            };
+                            partial = if ky + 1 < kh {
+                                if raw.is_never() {
+                                    raw
+                                } else {
+                                    match faults.loop_drift(k_idx, rail) {
+                                        None => raw.delayed(-cycle.tree_shift),
+                                        Some(fraction) => {
+                                            // The drifted loop line realises
+                                            // loop_delay × (1 + fraction);
+                                            // the reference-frame shift
+                                            // still cancels the nominal.
+                                            let excess = if 1.0 + fraction < 0.0 {
+                                                stats.saturations += 1;
+                                                -loop_delay
+                                            } else {
+                                                loop_delay * fraction
+                                            };
+                                            raw.delayed(excess - cycle.tree_shift)
+                                        }
+                                    }
+                                }
+                            } else {
+                                raw
+                            };
+                        }
+                        rail_raw[r_i] = partial;
+                    }
+                    let value = self.combine_faulty(
+                        &self.rails[k_idx],
+                        rail_raw,
+                        shift,
+                        nlde_plans[k_idx].as_ref(),
+                        &mut stats,
+                    );
+                    out.set(ox, oy, value);
+                }
+            }
+            outputs.push(out);
+        }
+        Ok((outputs, stats))
+    }
+
+    fn combine_faulty(
+        &self,
+        rails: &[Rail],
+        rail_raw: [DelayValue; 2],
+        shift: f64,
+        nlde_plan: Option<&FaultPlan>,
+        stats: &mut FaultStats,
+    ) -> f64 {
+        if rails.len() == 1 {
+            return rail_raw[0].decode() * shift.exp();
+        }
+        let (pos, neg) = (rail_raw[0], rail_raw[1]);
+        let (minuend, subtrahend, sign) = if pos <= neg {
+            (pos, neg, 1.0)
+        } else {
+            (neg, pos, -1.0)
+        };
+        let (circuit, nk) = self.nlde.as_ref().expect("split kernels carry an nLDE netlist");
+        let diff = match nlde_plan {
+            None => circuit
+                .evaluate(&[minuend, subtrahend])
+                .expect("two-input netlist")[0],
+            Some(plan) => {
+                let (outs, obs) = circuit
+                    .evaluate_faulty(&[minuend, subtrahend], &mut NoNoise, plan)
+                    .expect("two-input netlist");
+                stats.absorb_observation(obs);
+                outs[0]
+            }
+        };
+        // The decoder's shift stays nominal even under drift, mirroring
+        // the functional engine's fixed readout.
+        sign * diff.decode() * (shift + nk).exp()
+    }
+
     fn combine(&self, rails: &[Rail], rail_raw: [DelayValue; 2], shift: f64) -> f64 {
         if rails.len() == 1 {
             return rail_raw[0].decode() * shift.exp();
@@ -319,12 +532,15 @@ fn compile_cycle(
     let boundary = b.input("frame_boundary");
 
     let mut leaves = Vec::with_capacity(kw + 1);
+    let mut weight_nodes = Vec::with_capacity(kw);
     for (kx, &px) in pixels.iter().enumerate() {
         let w = dk.rail_delay(rail, kx, ky);
         if w.is_never() {
             leaves.push(never);
+            weight_nodes.push(None);
         } else {
             let weighted = b.delay(px, w.delay());
+            weight_nodes.push(Some(weighted.index()));
             leaves.push(b.inhibit(weighted, boundary));
         }
     }
@@ -335,12 +551,52 @@ fn compile_cycle(
     CycleCircuit {
         circuit: b.build().expect("compiled datapaths are valid netlists"),
         tree_shift: out.shift,
+        weight_nodes,
     }
+}
+
+/// Lowers the architectural fault map onto one cycle netlist: weight-line
+/// faults land on the recorded weight delay nodes, and a tree-chain drift
+/// lands on every *other* delay element of the netlist — the nLSE taps
+/// and path-balancing chains, i.e. the shared tree hardware. An empty
+/// result means the netlist evaluates on its fault-free fast path.
+fn cycle_plan(
+    cycle: &CycleCircuit,
+    faults: &FaultMap,
+    k_idx: usize,
+    rail: Rail,
+    ky: usize,
+) -> FaultPlan {
+    let mut plan = FaultPlan::new();
+    for (kx, node) in cycle.weight_nodes.iter().enumerate() {
+        let Some(idx) = node else { continue };
+        match faults.weight_fault(k_idx, rail, ky, kx) {
+            None => {}
+            Some(FaultKind::DelayDrift { fraction }) => plan.set_delay_drift(*idx, fraction),
+            Some(kind) => {
+                let fault = kind
+                    .edge_fault()
+                    .expect("non-drift kinds lower to edge faults");
+                plan.set_edge_fault(*idx, fault);
+            }
+        }
+    }
+    if let Some(fraction) = faults.tree_drift(k_idx, rail) {
+        let weight_idx: std::collections::HashSet<usize> =
+            cycle.weight_nodes.iter().flatten().copied().collect();
+        for (idx, _) in cycle.circuit.delay_elements() {
+            if !weight_idx.contains(&idx) {
+                plan.set_delay_drift(idx, fraction);
+            }
+        }
+    }
+    plan
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::{FaultModel, FaultSite};
     use crate::{exec, ArchConfig, ArithmeticMode, SystemDescription};
     use ta_image::{metrics, synth, Kernel};
 
@@ -401,6 +657,112 @@ mod tests {
         // Seeded determinism.
         let again = engine.run_noisy(&arch, &img, 1).unwrap();
         assert_eq!(gate_outs[0], again[0]);
+    }
+
+    #[test]
+    fn empty_fault_map_is_bit_identical_to_run() {
+        let desc = SystemDescription::new(10, 10, vec![Kernel::sobel_x()], 1).unwrap();
+        let arch = Architecture::new(desc, ArchConfig::fast_1ns(4, 8)).unwrap();
+        let engine = GateEngine::compile(&arch);
+        let img = synth::natural_image(10, 10, 6);
+        let clean = engine.run(&arch, &img).unwrap();
+        let (faulty, stats) = engine.run_faulty(&arch, &img, &FaultMap::new()).unwrap();
+        for (a, b) in clean.iter().zip(&faulty) {
+            for (pa, pb) in a.pixels().iter().zip(b.pixels()) {
+                assert_eq!(pa.to_bits(), pb.to_bits());
+            }
+        }
+        assert_eq!(stats, FaultStats::default());
+    }
+
+    #[test]
+    fn engines_agree_under_every_fault_class() {
+        // One instance of every fault class on a split kernel: both
+        // engines lower the same map and must still agree.
+        let desc = SystemDescription::new(10, 10, vec![Kernel::sobel_x()], 1).unwrap();
+        let arch = Architecture::new(desc, ArchConfig::fast_1ns(4, 8)).unwrap();
+        let engine = GateEngine::compile(&arch);
+        let img = synth::natural_image(10, 10, 7);
+        let mut map = FaultMap::new();
+        map.insert(
+            FaultSite::WeightLine { kernel: 0, rail: Rail::Pos, ky: 0, kx: 2 },
+            FaultKind::StuckAtNever,
+        )
+        .unwrap();
+        map.insert(
+            FaultSite::WeightLine { kernel: 0, rail: Rail::Neg, ky: 1, kx: 0 },
+            FaultKind::DelayDrift { fraction: 0.3 },
+        )
+        .unwrap();
+        map.insert(
+            FaultSite::WeightLine { kernel: 0, rail: Rail::Pos, ky: 2, kx: 2 },
+            FaultKind::SpuriousEarly { advance_units: 0.4 },
+        )
+        .unwrap();
+        map.insert(FaultSite::Pixel { x: 4, y: 5 }, FaultKind::StuckAtZero)
+            .unwrap();
+        map.insert(FaultSite::Pixel { x: 2, y: 7 }, FaultKind::DropEvent)
+            .unwrap();
+        map.insert(
+            FaultSite::TreeChain { kernel: 0, rail: Rail::Pos },
+            FaultKind::DelayDrift { fraction: -0.2 },
+        )
+        .unwrap();
+        map.insert(
+            FaultSite::LoopLine { kernel: 0, rail: Rail::Neg },
+            FaultKind::DelayDrift { fraction: 0.15 },
+        )
+        .unwrap();
+        map.insert(
+            FaultSite::NldeChain { kernel: 0 },
+            FaultKind::DelayDrift { fraction: 0.25 },
+        )
+        .unwrap();
+
+        let (gate_outs, gate_stats) = engine.run_faulty(&arch, &img, &map).unwrap();
+        let functional =
+            exec::run_faulty(&arch, &img, ArithmeticMode::DelayApprox, 0, &map).unwrap();
+        for (g, f) in gate_outs.iter().zip(&functional.outputs) {
+            assert!(
+                metrics::rmse(g, f) < 1e-9,
+                "engines diverge under injection: rmse {}",
+                metrics::rmse(g, f)
+            );
+        }
+        assert!(gate_stats.edges_faulted > 0);
+        assert!(functional.fault_stats.edges_faulted > 0);
+        // The injection visibly moved the output.
+        let clean = engine.run(&arch, &img).unwrap();
+        assert!(metrics::rmse(&gate_outs[0], &clean[0]) > 1e-6);
+    }
+
+    #[test]
+    fn engines_agree_under_sampled_maps() {
+        // Campaign-style sampled maps on a single-rail multi-row kernel
+        // (loop line + deep tree) and on a split kernel.
+        for (kernels, stride, size) in [
+            (vec![Kernel::pyr_down_5x5()], 2, 11),
+            (vec![Kernel::sobel_x(), Kernel::sobel_y()], 1, 8),
+        ] {
+            let desc = SystemDescription::new(size, size, kernels, stride).unwrap();
+            let arch = Architecture::new(desc, ArchConfig::fast_1ns(4, 8)).unwrap();
+            let engine = GateEngine::compile(&arch);
+            let img = synth::natural_image(size, size, 9);
+            for seed in 0..3 {
+                let map = FaultModel::with_rate(0.1).unwrap().sample(&arch, seed);
+                let (gate_outs, _) = engine.run_faulty(&arch, &img, &map).unwrap();
+                let functional =
+                    exec::run_faulty(&arch, &img, ArithmeticMode::DelayApprox, 0, &map)
+                        .unwrap();
+                for (g, f) in gate_outs.iter().zip(&functional.outputs) {
+                    assert!(
+                        metrics::rmse(g, f) < 1e-9,
+                        "seed {seed}: engines diverge: rmse {}",
+                        metrics::rmse(g, f)
+                    );
+                }
+            }
+        }
     }
 
     #[test]

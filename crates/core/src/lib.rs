@@ -40,7 +40,9 @@
 #![warn(missing_docs)]
 
 mod arch;
+pub mod campaign;
 pub mod dse;
+pub mod fault;
 pub mod gate_engine;
 pub mod exec;
 mod modes;
@@ -51,6 +53,7 @@ pub mod transform;
 mod tree;
 
 pub use arch::Architecture;
+pub use fault::{enumerate_sites, FaultError, FaultKind, FaultMap, FaultModel, FaultSite, FaultStats};
 pub use gate_engine::GateEngine;
 pub use modes::ArithmeticMode;
 pub use report::{RunResult, TimingReport};

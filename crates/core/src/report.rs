@@ -58,6 +58,9 @@ pub struct RunResult {
     pub timing: TimingReport,
     /// The arithmetic mode the run used.
     pub mode: ArithmeticMode,
+    /// Graceful-degradation counters accumulated during the run; all-zero
+    /// outside fault-injection campaigns.
+    pub fault_stats: crate::fault::FaultStats,
 }
 
 impl RunResult {

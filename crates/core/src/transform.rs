@@ -177,7 +177,7 @@ impl DelayKernel {
 }
 
 /// One side of the split value representation (§2.2).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Rail {
     /// The positive-weight kernel.
     Pos,

@@ -19,14 +19,32 @@ pub(crate) enum TreeOps<'a> {
     Approx(&'a NlseUnit),
     /// Approximation hardware with noisy delay elements.
     Noisy(&'a NlseUnit, &'a NoiseRealization),
+    /// Approximation hardware whose shared chains (unit taps and the
+    /// balancing delay lines alike) have drifted by a multiplicative
+    /// fraction — the tree-chain fault-injection path.
+    Drifted(&'a NlseUnit, f64),
+    /// Drifted chains with noisy delay elements on top.
+    NoisyDrifted(&'a NlseUnit, &'a NoiseRealization, f64),
 }
 
 impl TreeOps<'_> {
-    /// The per-level latency `K` in abstract units.
+    /// The per-level latency `K` in abstract units (the *design* latency:
+    /// drift perturbs realised delays, not the balancing structure).
     fn k(&self) -> f64 {
         match self {
             TreeOps::Exact => 0.0,
-            TreeOps::Approx(u) | TreeOps::Noisy(u, _) => u.latency_units(),
+            TreeOps::Approx(u)
+            | TreeOps::Noisy(u, _)
+            | TreeOps::Drifted(u, _)
+            | TreeOps::NoisyDrifted(u, _, _) => u.latency_units(),
+        }
+    }
+
+    /// The multiplicative factor drift applies to realised chain delays.
+    fn drift_factor(&self) -> f64 {
+        match self {
+            TreeOps::Exact | TreeOps::Approx(_) | TreeOps::Noisy(..) => 1.0,
+            TreeOps::Drifted(_, f) | TreeOps::NoisyDrifted(_, _, f) => (1.0 + f).max(0.0),
         }
     }
 
@@ -35,6 +53,8 @@ impl TreeOps<'_> {
             TreeOps::Exact => ops::nlse(a, b),
             TreeOps::Approx(u) => u.eval_ideal(a, b),
             TreeOps::Noisy(u, r) => u.eval_noisy(a, b, r, rng),
+            TreeOps::Drifted(u, f) => u.eval_drifted(a, b, *f),
+            TreeOps::NoisyDrifted(u, r, f) => u.eval_noisy_drifted(a, b, r, rng, *f),
         }
     }
 
@@ -45,6 +65,10 @@ impl TreeOps<'_> {
         match self {
             TreeOps::Exact | TreeOps::Approx(_) => v.delayed(units),
             TreeOps::Noisy(_, r) => v.delayed(r.perturb_units(units, rng)),
+            TreeOps::Drifted(..) => v.delayed(units * self.drift_factor()),
+            TreeOps::NoisyDrifted(_, r, _) => {
+                v.delayed(r.perturb_units(units * self.drift_factor(), rng))
+            }
         }
     }
 }
@@ -265,6 +289,52 @@ mod tests {
         assert_eq!(static_balance_k_units(4), 0.0);
         // 5 leaves: left=3 (one balance), right=2 (depth 1, balanced 1).
         assert_eq!(static_balance_k_units(5), 2.0);
+    }
+
+    #[test]
+    fn zero_drift_tree_equals_approx() {
+        let unit = NlseUnit::with_terms(5, UnitScale::default_1ns());
+        let leaves: Vec<DelayValue> = [0.4, 0.9, 1.3, 2.2, 0.05]
+            .iter()
+            .map(|&t| dv(t))
+            .collect();
+        let a = eval(&TreeOps::Approx(&unit), &leaves, &mut rng());
+        let b = eval(&TreeOps::Drifted(&unit, 0.0), &leaves, &mut rng());
+        assert!((a.delay() - b.delay()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn drifted_tree_matches_drifted_netlist() {
+        use ta_race_logic::{blocks, CircuitBuilder, FaultPlan, NoNoise};
+        let unit = NlseUnit::with_terms(4, UnitScale::default_1ns());
+        let k = unit.latency_units();
+
+        let mut b = CircuitBuilder::new();
+        let ins: Vec<_> = (0..5).map(|i| b.input(format!("i{i}"))).collect();
+        let out = blocks::build_nlse_tree(&mut b, &ins, unit.approx().terms(), k);
+        b.output("o", out.node);
+        let circuit = b.build().unwrap();
+
+        let leaves: Vec<DelayValue> = [0.5, 2.2, 1.1, 0.05, 3.0]
+            .iter()
+            .map(|&t| dv(t))
+            .collect();
+        for &fraction in &[0.15, -0.4, -2.0] {
+            let mut plan = FaultPlan::new();
+            for (node, _) in circuit.delay_elements() {
+                plan.set_delay_drift(node, fraction);
+            }
+            let (net, _) = circuit
+                .evaluate_faulty(&leaves, &mut NoNoise, &plan)
+                .unwrap();
+            let fun = eval(&TreeOps::Drifted(&unit, fraction), &leaves, &mut rng());
+            assert!(
+                (net[0].delay() - fun.delay()).abs() < 1e-9,
+                "fraction {fraction}: netlist {} vs functional {}",
+                net[0].delay(),
+                fun.delay()
+            );
+        }
     }
 
     #[test]

@@ -82,4 +82,10 @@ fn main() {
         }))
     );
     println!("{hr}");
+    let fs_size = if quick { 12 } else { 24 };
+    print!(
+        "{}",
+        exp::fault_sweep::render(&exp::fault_sweep::compute(fs_size, seed))
+    );
+    println!("{hr}");
 }

@@ -1,0 +1,5 @@
+//! Regenerates the fault-injection sweep (robustness extension).
+fn main() {
+    let report = ta_experiments::fault_sweep::compute(24, ta_experiments::EXPERIMENT_SEED);
+    print!("{}", ta_experiments::fault_sweep::render(&report));
+}

@@ -24,12 +24,14 @@
 //! | [`ablation`] | §4.2's element-size trade-off and the TDC quantization sweep |
 //! | [`baseline_digital`] | extended baseline: conventional ADC pipeline vs delay space |
 //! | [`fig13`] | Fig 13 — sensor/VTC noise sensitivity heatmap |
+//! | [`fault_sweep`] | robustness extension — fault-rate sweep + site sensitivity |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod ablation;
 pub mod baseline_digital;
+pub mod fault_sweep;
 pub mod fig02;
 pub mod fig03;
 pub mod fig04;

@@ -79,6 +79,65 @@ pub fn mae(a: &Image, b: &Image) -> f64 {
         / a.pixels().len() as f64
 }
 
+/// Mean structural similarity (SSIM) of `measured` against `reference`,
+/// averaged over sliding uniform windows.
+///
+/// Used by the fault-injection campaigns to report perceptual degradation
+/// alongside RMSE: a stuck line that shifts a constant offset barely moves
+/// SSIM, while one that destroys structure collapses it. The dynamic range
+/// `L` is taken from the reference (floored at a small epsilon so a
+/// constant reference does not divide by zero); windows are 7×7 uniform,
+/// shrunk to the whole image when it is smaller. Returns 1.0 for identical
+/// images; values near 0 (or negative) indicate destroyed structure.
+///
+/// # Panics
+///
+/// Panics if the images have different dimensions or are empty.
+pub fn ssim(measured: &Image, reference: &Image) -> f64 {
+    assert_eq!(
+        (measured.width(), measured.height()),
+        (reference.width(), reference.height()),
+        "ssim needs equally sized images"
+    );
+    let (w, h) = (reference.width(), reference.height());
+    assert!(w > 0 && h > 0, "ssim needs a non-empty image");
+    let win_w = w.min(7);
+    let win_h = h.min(7);
+    let (lo, hi) = reference.min_max();
+    let l = (hi - lo).max(1e-12);
+    let c1 = (0.01 * l) * (0.01 * l);
+    let c2 = (0.03 * l) * (0.03 * l);
+
+    let mut total = 0.0;
+    let mut windows = 0usize;
+    for oy in 0..=(h - win_h) {
+        for ox in 0..=(w - win_w) {
+            let n = (win_w * win_h) as f64;
+            let (mut sx, mut sy, mut sxx, mut syy, mut sxy) = (0.0, 0.0, 0.0, 0.0, 0.0);
+            for dy in 0..win_h {
+                for dx in 0..win_w {
+                    let x = measured.get(ox + dx, oy + dy);
+                    let y = reference.get(ox + dx, oy + dy);
+                    sx += x;
+                    sy += y;
+                    sxx += x * x;
+                    syy += y * y;
+                    sxy += x * y;
+                }
+            }
+            let mx = sx / n;
+            let my = sy / n;
+            let vx = (sxx / n - mx * mx).max(0.0);
+            let vy = (syy / n - my * my).max(0.0);
+            let cov = sxy / n - mx * my;
+            total += ((2.0 * mx * my + c1) * (2.0 * cov + c2))
+                / ((mx * mx + my * my + c1) * (vx + vy + c2));
+            windows += 1;
+        }
+    }
+    total / windows as f64
+}
+
 /// Pools per-image normalised RMSEs into one score by RMS, the way the
 /// paper aggregates over its five evaluation images.
 pub fn pool_rmse(per_image: &[f64]) -> f64 {
@@ -144,5 +203,36 @@ mod tests {
     #[should_panic(expected = "equally sized")]
     fn size_mismatch_panics() {
         rmse(&Image::zeros(2, 2), &Image::zeros(3, 2));
+    }
+
+    #[test]
+    fn ssim_identical_is_one() {
+        let a = Image::from_fn(12, 12, |x, y| ((x * 7 + y * 3) % 11) as f64 / 10.0);
+        assert!((ssim(&a, &a) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ssim_orders_degradation() {
+        let reference = Image::from_fn(16, 16, |x, y| ((x + y) % 5) as f64 / 4.0);
+        let mild = Image::from_fn(16, 16, |x, y| {
+            reference.get(x, y) + if (x + y) % 2 == 0 { 0.02 } else { -0.02 }
+        });
+        let severe = Image::from_fn(16, 16, |x, y| ((x * y) % 3) as f64 / 2.0);
+        let s_mild = ssim(&mild, &reference);
+        let s_severe = ssim(&severe, &reference);
+        assert!(s_mild > s_severe, "{s_mild} vs {s_severe}");
+        assert!(s_mild < 1.0 && s_mild > 0.8);
+        assert!(s_severe < 0.8);
+    }
+
+    #[test]
+    fn ssim_handles_tiny_and_constant_images() {
+        // Smaller than the 7×7 window: falls back to one whole-image
+        // window. Constant reference: the range floor avoids NaN.
+        let a = Image::from_fn(3, 3, |x, _| x as f64);
+        assert!((ssim(&a, &a) - 1.0).abs() < 1e-12);
+        let c = Image::from_pixels(4, 4, vec![0.5; 16]).unwrap();
+        let s = ssim(&c, &c);
+        assert!(s.is_finite() && (s - 1.0).abs() < 1e-9);
     }
 }

@@ -84,7 +84,19 @@ pub fn read_pgm<R: BufRead>(mut reader: R) -> Result<Image, PgmError> {
         return Err(PgmError::Format(format!("maxval {maxval} out of range")));
     }
 
-    let count = width * height;
+    let count = width
+        .checked_mul(height)
+        .ok_or_else(|| PgmError::Format("image dimensions overflow".into()))?;
+    // Every raster pixel needs at least one byte in either encoding, so a
+    // forged header promising more pixels than the file holds (e.g.
+    // "999999999 999999999") must fail here, cleanly, before the pixel
+    // buffer is allocated — not exhaust memory.
+    let remaining = bytes.len().saturating_sub(cursor);
+    if count > remaining {
+        return Err(PgmError::Format(format!(
+            "header promises {count} pixels but only {remaining} bytes follow"
+        )));
+    }
     let mut pixels = Vec::with_capacity(count);
     if binary {
         if maxval > 255 {
@@ -95,7 +107,7 @@ pub fn read_pgm<R: BufRead>(mut reader: R) -> Result<Image, PgmError> {
             cursor += 1;
         }
         let raster = &bytes
-            .get(cursor..cursor + count)
+            .get(cursor..cursor.saturating_add(count))
             .ok_or_else(|| PgmError::Format("truncated raster".into()))?;
         if let Some(&bad) = raster.iter().find(|&&b| b as usize > maxval) {
             return Err(PgmError::Format(format!("pixel {bad} exceeds maxval")));
@@ -233,6 +245,67 @@ mod tests {
             read_pgm(&b"P2\n2 2\n255\n0 1 2 999"[..]), // pixel > maxval
             Err(PgmError::Format(_))
         ));
+    }
+
+    #[test]
+    fn truncated_headers_error_not_panic() {
+        for src in [
+            &b""[..],
+            &b"P2"[..],
+            &b"P2\n3"[..],
+            &b"P2\n3 2"[..],
+            &b"P5\n2 2\n"[..],
+            &b"P2\n# only a comment"[..],
+        ] {
+            assert!(
+                matches!(read_pgm(src), Err(PgmError::Format(_))),
+                "accepted truncated header {src:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_and_oversized_maxval_rejected() {
+        assert!(matches!(
+            read_pgm(&b"P2\n1 1\n0\n0"[..]),
+            Err(PgmError::Format(_))
+        ));
+        assert!(matches!(
+            read_pgm(&b"P2\n1 1\n70000\n0"[..]),
+            Err(PgmError::Format(_))
+        ));
+    }
+
+    #[test]
+    fn oversized_dimensions_fail_before_allocating() {
+        // A forged header promising ~10^18 pixels must produce a clean
+        // format error, not an out-of-memory abort.
+        for src in [
+            &b"P2\n999999999 999999999\n255\n0"[..],
+            &b"P5\n999999999 999999999\n255\n\x00"[..],
+            &b"P2\n18446744073709551615 2\n255\n0"[..], // width > usize
+        ] {
+            assert!(
+                matches!(read_pgm(src), Err(PgmError::Format(_))),
+                "accepted oversized dims {src:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn non_numeric_tokens_rejected() {
+        for src in [
+            &b"P2\nwide 2\n255\n0 0"[..],
+            &b"P2\n2 tall\n255\n0 0"[..],
+            &b"P2\n2 1\nmax\n0 0"[..],
+            &b"P2\n2 1\n255\nzero 1"[..],
+            &b"P2\n2 1\n255\n-3 1"[..], // negative pixel
+        ] {
+            assert!(
+                matches!(read_pgm(src), Err(PgmError::Format(_))),
+                "accepted non-numeric token {src:?}"
+            );
+        }
     }
 
     #[test]

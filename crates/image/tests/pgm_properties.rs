@@ -1,0 +1,83 @@
+//! Property tests of the PGM reader/writer: the P2 (ASCII) and P5
+//! (binary) encodings of the same raster must decode to the same image,
+//! and a write/read round trip must be lossless at 8-bit quantisation.
+
+use proptest::prelude::*;
+use ta_image::{pgm, Image};
+
+/// A random 8-bit raster with its dimensions.
+fn raster() -> impl Strategy<Value = (usize, usize, Vec<u8>)> {
+    (1usize..=12, 1usize..=12).prop_flat_map(|(w, h)| {
+        proptest::collection::vec(0u8..=255, w * h).prop_map(move |px| (w, h, px))
+    })
+}
+
+/// Serialises a raster as ASCII P2.
+fn as_p2(w: usize, h: usize, px: &[u8]) -> Vec<u8> {
+    let mut s = format!("P2\n{w} {h}\n255\n");
+    for (i, p) in px.iter().enumerate() {
+        s.push_str(&p.to_string());
+        s.push(if (i + 1) % w == 0 { '\n' } else { ' ' });
+    }
+    s.into_bytes()
+}
+
+/// Serialises a raster as binary P5.
+fn as_p5(w: usize, h: usize, px: &[u8]) -> Vec<u8> {
+    let mut bytes = format!("P5\n{w} {h}\n255\n").into_bytes();
+    bytes.extend_from_slice(px);
+    bytes
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn p2_and_p5_decode_identically(r in raster()) {
+        let (w, h, px) = r;
+        let ascii = pgm::read_pgm(&as_p2(w, h, &px)[..]).unwrap();
+        let binary = pgm::read_pgm(&as_p5(w, h, &px)[..]).unwrap();
+        prop_assert_eq!((ascii.width(), ascii.height()), (w, h));
+        for (a, b) in ascii.pixels().iter().zip(binary.pixels()) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn write_read_roundtrip_is_lossless_at_8_bit(r in raster()) {
+        let (w, h, px) = r;
+        let img = pgm::read_pgm(&as_p5(w, h, &px)[..]).unwrap();
+        let mut buf = Vec::new();
+        pgm::write_pgm(&img, &mut buf).unwrap();
+        let back = pgm::read_pgm(&buf[..]).unwrap();
+        prop_assert_eq!((back.width(), back.height()), (w, h));
+        // Pixels already on the 8-bit grid survive the round trip exactly.
+        for (a, b) in img.pixels().iter().zip(back.pixels()) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn random_bytes_never_panic(bytes in proptest::collection::vec(0u8..=255, 0..64)) {
+        // Any byte soup either parses or returns PgmError — never panics.
+        let _ = pgm::read_pgm(&bytes[..]);
+    }
+
+    #[test]
+    fn corrupted_valid_files_never_panic(r in raster(), cut in 0usize..=40) {
+        let (w, h, px) = r;
+        let full = as_p5(w, h, &px);
+        let truncated = &full[..full.len().saturating_sub(cut)];
+        let _ = pgm::read_pgm(truncated);
+    }
+}
+
+#[test]
+fn images_survive_via_image_from_fn() {
+    // Anchor the property tests against one concrete hand-built frame.
+    let img = Image::from_fn(3, 2, |x, y| (x + y) as f64 / 4.0);
+    let mut buf = Vec::new();
+    pgm::write_pgm(&img, &mut buf).unwrap();
+    let back = pgm::read_pgm(&buf[..]).unwrap();
+    assert_eq!((back.width(), back.height()), (3, 2));
+}

@@ -6,6 +6,7 @@ use std::fmt;
 
 use ta_delay_space::DelayValue;
 
+use crate::fault::{FaultObservation, FaultPlan};
 use crate::gate::Gate;
 use crate::noise::{DelayPerturb, NoNoise};
 
@@ -315,6 +316,107 @@ impl Circuit {
         Ok(self.outputs.iter().map(|(_, n)| times[n.0]).collect())
     }
 
+    /// Evaluates the circuit under a [`FaultPlan`], perturbing delay
+    /// elements through `noise` as in [`Circuit::evaluate_noisy`].
+    ///
+    /// Node-addressed edge faults replace the computed edge of the
+    /// targeted node after its gate function runs; drift fractions scale
+    /// the nominal delay of targeted delay elements before the noise
+    /// perturbation. With an empty plan the arithmetic is identical to
+    /// `evaluate_noisy` expression-for-expression, so fault-rate-zero
+    /// campaigns stay bit-identical to fault-free runs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::InputArity`] on input-count mismatch.
+    pub fn evaluate_faulty(
+        &self,
+        inputs: &[DelayValue],
+        noise: &mut dyn DelayPerturb,
+        plan: &FaultPlan,
+    ) -> Result<(Vec<DelayValue>, FaultObservation), CircuitError> {
+        if inputs.len() != self.inputs.len() {
+            return Err(CircuitError::InputArity {
+                expected: self.inputs.len(),
+                got: inputs.len(),
+            });
+        }
+        let mut obs = FaultObservation::default();
+        let mut times: Vec<DelayValue> = vec![DelayValue::ZERO; self.nodes.len()];
+        let mut next_input = 0;
+        for (idx, node) in self.nodes.iter().enumerate() {
+            let computed = match node {
+                Node::Input { .. } => {
+                    let v = inputs[next_input];
+                    next_input += 1;
+                    v
+                }
+                Node::Gate(Gate::FirstArrival(ins)) => ins
+                    .iter()
+                    .map(|n| times[n.0])
+                    .min()
+                    .unwrap_or(DelayValue::ZERO),
+                Node::Gate(Gate::LastArrival(ins)) => ins
+                    .iter()
+                    .map(|n| times[n.0])
+                    .max()
+                    .unwrap_or(DelayValue::ZERO),
+                Node::Gate(Gate::Inhibit { data, inhibitor }) => {
+                    times[data.0].inhibited_by(times[inhibitor.0])
+                }
+                Node::Gate(Gate::Delay { input, delta }) => {
+                    let in_t = times[input.0];
+                    if in_t.is_never() {
+                        in_t
+                    } else {
+                        let nominal = match plan.delay_drift(idx) {
+                            None => *delta,
+                            Some(fraction) => {
+                                let factor = 1.0 + fraction;
+                                if factor < 0.0 {
+                                    // Drift below -100% would advance the
+                                    // edge; a delay line cannot, so it
+                                    // saturates at zero delay.
+                                    obs.saturations += 1;
+                                    0.0
+                                } else {
+                                    delta * factor
+                                }
+                            }
+                        };
+                        in_t.delayed(noise.perturb(nominal).max(0.0))
+                    }
+                }
+            };
+            times[idx] = match plan.edge_fault(idx) {
+                None => computed,
+                Some(fault) => fault.apply(computed, &mut obs),
+            };
+        }
+        let outs = self.outputs.iter().map(|(_, n)| times[n.0]).collect();
+        Ok((outs, obs))
+    }
+
+    /// The delay elements of the netlist as `(node_index, nominal_delta)`
+    /// pairs in topological order — the side table higher layers use to
+    /// lower architectural fault sites onto concrete nodes.
+    pub fn delay_elements(&self) -> Vec<(usize, f64)> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter_map(|(idx, node)| match node {
+                Node::Gate(Gate::Delay { delta, .. }) => Some((idx, *delta)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Total number of nodes (inputs and gates); node indices addressable
+    /// by a [`FaultPlan`] are `0..node_count()`.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
     /// Exports the netlist in Graphviz DOT format for visual inspection
     /// (`dot -Tsvg`). Inputs are boxes, outputs double circles; delay
     /// elements carry their nominal delay as the edge-adjacent label.
@@ -555,6 +657,82 @@ mod tests {
         }
         // Every edge references declared nodes.
         assert_eq!(dot.matches("->").count(), 8);
+    }
+
+    #[test]
+    fn empty_fault_plan_is_bit_identical() {
+        let mut b = CircuitBuilder::new();
+        let x = b.input("x");
+        let y = b.input("y");
+        let f = b.first_arrival(&[x, y]);
+        let d = b.delay(f, 0.3);
+        let i = b.inhibit(d, y);
+        b.output("o", i);
+        b.output("d", d);
+        let c = b.build().unwrap();
+        let ins = [dv(1.7), dv(2.9)];
+        let plain = c.evaluate(&ins).unwrap();
+        let (faulty, obs) = c
+            .evaluate_faulty(&ins, &mut NoNoise, &FaultPlan::new())
+            .unwrap();
+        for (a, b) in plain.iter().zip(&faulty) {
+            assert_eq!(a.delay().to_bits(), b.delay().to_bits());
+        }
+        assert_eq!(obs, crate::fault::FaultObservation::default());
+    }
+
+    #[test]
+    fn stuck_at_never_on_fan_in_changes_min() {
+        let mut b = CircuitBuilder::new();
+        let x = b.input("x");
+        let y = b.input("y");
+        let f = b.first_arrival(&[x, y]);
+        b.output("min", f);
+        let c = b.build().unwrap();
+        // Knock out the earlier input: the min falls through to the later.
+        let mut plan = FaultPlan::new();
+        plan.set_edge_fault(x.index(), crate::fault::EdgeFault::StuckAtNever);
+        let (out, obs) = c
+            .evaluate_faulty(&[dv(1.0), dv(4.0)], &mut NoNoise, &plan)
+            .unwrap();
+        assert_eq!(out[0], dv(4.0));
+        assert_eq!(obs.edges_faulted, 1);
+    }
+
+    #[test]
+    fn delay_drift_scales_nominal_and_saturates() {
+        let mut b = CircuitBuilder::new();
+        let x = b.input("x");
+        let d = b.delay(x, 2.0);
+        b.output("d", d);
+        let c = b.build().unwrap();
+        let node = c.delay_elements()[0].0;
+
+        let mut plan = FaultPlan::new();
+        plan.set_delay_drift(node, 0.5);
+        let (out, obs) = c.evaluate_faulty(&[dv(1.0)], &mut NoNoise, &plan).unwrap();
+        assert_eq!(out[0], dv(4.0)); // 1 + 2·(1+0.5)
+        assert_eq!(obs.saturations, 0);
+
+        // Drift below -100% saturates the line at zero delay.
+        let mut plan = FaultPlan::new();
+        plan.set_delay_drift(node, -1.5);
+        let (out, obs) = c.evaluate_faulty(&[dv(1.0)], &mut NoNoise, &plan).unwrap();
+        assert_eq!(out[0], dv(1.0));
+        assert_eq!(obs.saturations, 1);
+    }
+
+    #[test]
+    fn delay_elements_table_matches_stats() {
+        let mut b = CircuitBuilder::new();
+        let x = b.input("x");
+        let taps = b.delay_chain(x, &[1.0, 2.0]);
+        b.output("t", taps[1]);
+        let c = b.build().unwrap();
+        let table = c.delay_elements();
+        assert_eq!(table.len(), c.stats().delay_elements);
+        assert_eq!(table.iter().map(|&(_, d)| d).sum::<f64>(), 3.0);
+        assert!(table.iter().all(|&(idx, _)| idx < c.node_count()));
     }
 
     #[test]

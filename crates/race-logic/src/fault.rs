@@ -1,0 +1,219 @@
+//! Discrete fault injection at the netlist level.
+//!
+//! Analog timing noise (RJ/PSIJ, [`crate::noise`]) perturbs every delay
+//! element a little; *faults* are the other failure class a race-logic
+//! accelerator exhibits: an edge stuck at "never" (broken wire) or stuck
+//! at the reference edge (shorted line), an event dropped by a marginal
+//! latch, a spurious early edge from crosstalk, and slow multiplicative
+//! drift of a delay line's nominal value (aging, local IR drop).
+//!
+//! A [`FaultPlan`] addresses faults by *node index* inside one
+//! [`crate::Circuit`], so higher layers that know the architectural
+//! meaning of each node (weight line, tree stage, …) can lower their
+//! site-level fault maps onto the netlist and the engine applies them
+//! during evaluation. Fault application never produces NaN and never
+//! panics: out-of-range results saturate to representable delay-space
+//! values and the clamp is counted in [`FaultObservation`].
+
+use std::collections::HashMap;
+
+use ta_delay_space::DelayValue;
+
+/// A discrete fault on one netlist node's output edge.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum EdgeFault {
+    /// The edge never fires (stuck-at-∞ in delay space).
+    StuckAtNever,
+    /// The edge fires with the reference edge (stuck-at-0 delay).
+    StuckAtZero,
+    /// The event is swallowed this evaluation — observably the same edge
+    /// value as [`EdgeFault::StuckAtNever`] but tallied separately, the
+    /// way a transient drop differs from a hard open in a campaign report.
+    DropEvent,
+    /// A spurious edge fires `advance` units earlier than computed. If
+    /// nothing would have fired, the spurious edge fires at `advance`
+    /// after the reference edge; results before the reference edge
+    /// saturate to it.
+    SpuriousEarly(f64),
+}
+
+impl EdgeFault {
+    /// Applies the fault to a computed edge, tallying into `obs`.
+    pub fn apply(self, computed: DelayValue, obs: &mut FaultObservation) -> DelayValue {
+        obs.edges_faulted += 1;
+        match self {
+            EdgeFault::StuckAtNever => DelayValue::ZERO,
+            EdgeFault::StuckAtZero => DelayValue::from_delay(0.0),
+            EdgeFault::DropEvent => {
+                obs.events_dropped += 1;
+                DelayValue::ZERO
+            }
+            EdgeFault::SpuriousEarly(advance) => {
+                if computed.is_never() {
+                    return DelayValue::from_delay(advance.max(0.0));
+                }
+                let t = computed.delay() - advance;
+                if t < 0.0 {
+                    obs.saturations += 1;
+                    DelayValue::from_delay(0.0)
+                } else {
+                    DelayValue::from_delay(t)
+                }
+            }
+        }
+    }
+}
+
+/// Node-indexed fault assignment for one netlist.
+///
+/// Built by layers that know what each node means architecturally; the
+/// plan itself is purely structural. An empty plan makes
+/// [`crate::Circuit::evaluate_faulty`] equivalent to
+/// [`crate::Circuit::evaluate_noisy`].
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    edge_faults: HashMap<usize, EdgeFault>,
+    delay_drift: HashMap<usize, f64>,
+}
+
+impl FaultPlan {
+    /// Creates an empty plan.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.edge_faults.is_empty() && self.delay_drift.is_empty()
+    }
+
+    /// Sets an edge fault on the node at `node_index` (replacing any
+    /// previous fault there).
+    pub fn set_edge_fault(&mut self, node_index: usize, fault: EdgeFault) {
+        self.edge_faults.insert(node_index, fault);
+    }
+
+    /// Sets a multiplicative drift *fraction* on the delay element at
+    /// `node_index`: its nominal delay becomes `delta × (1 + fraction)`.
+    /// Fractions below `-1` would make the line advance edges; evaluation
+    /// clamps the realised delay at zero and counts a saturation.
+    pub fn set_delay_drift(&mut self, node_index: usize, fraction: f64) {
+        self.delay_drift.insert(node_index, fraction);
+    }
+
+    /// The edge fault on `node_index`, if any.
+    pub fn edge_fault(&self, node_index: usize) -> Option<EdgeFault> {
+        self.edge_faults.get(&node_index).copied()
+    }
+
+    /// The drift fraction on `node_index`, if any.
+    pub fn delay_drift(&self, node_index: usize) -> Option<f64> {
+        self.delay_drift.get(&node_index).copied()
+    }
+
+    /// Number of faulted nodes (edge faults plus drifted delay elements).
+    pub fn len(&self) -> usize {
+        self.edge_faults.len() + self.delay_drift.len()
+    }
+}
+
+/// Counters of fault effects observed during one evaluation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultObservation {
+    /// Node edges replaced by an [`EdgeFault`].
+    pub edges_faulted: usize,
+    /// Events swallowed by [`EdgeFault::DropEvent`].
+    pub events_dropped: usize,
+    /// Results clamped back into representable delay space (early edges
+    /// that would precede the reference edge, drifted delays that would
+    /// have gone negative).
+    pub saturations: usize,
+}
+
+impl FaultObservation {
+    /// Accumulates another observation into this one.
+    pub fn absorb(&mut self, other: FaultObservation) {
+        self.edges_faulted += other.edges_faulted;
+        self.events_dropped += other.events_dropped;
+        self.saturations += other.saturations;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dv(t: f64) -> DelayValue {
+        DelayValue::from_delay(t)
+    }
+
+    #[test]
+    fn edge_fault_semantics() {
+        let mut obs = FaultObservation::default();
+        assert!(EdgeFault::StuckAtNever.apply(dv(1.0), &mut obs).is_never());
+        assert_eq!(EdgeFault::StuckAtZero.apply(dv(1.0), &mut obs), dv(0.0));
+        assert!(EdgeFault::DropEvent.apply(dv(1.0), &mut obs).is_never());
+        assert_eq!(obs.edges_faulted, 3);
+        assert_eq!(obs.events_dropped, 1);
+        assert_eq!(obs.saturations, 0);
+    }
+
+    #[test]
+    fn spurious_early_advances_and_saturates() {
+        let mut obs = FaultObservation::default();
+        // Plain advance.
+        assert_eq!(EdgeFault::SpuriousEarly(0.5).apply(dv(2.0), &mut obs), dv(1.5));
+        assert_eq!(obs.saturations, 0);
+        // Would precede the reference edge: saturates to it.
+        assert_eq!(EdgeFault::SpuriousEarly(5.0).apply(dv(2.0), &mut obs), dv(0.0));
+        assert_eq!(obs.saturations, 1);
+        // Phantom edge where nothing would have fired.
+        assert_eq!(
+            EdgeFault::SpuriousEarly(0.7).apply(DelayValue::ZERO, &mut obs),
+            dv(0.7)
+        );
+        // Never produces NaN even for pathological advances.
+        let v = EdgeFault::SpuriousEarly(f64::INFINITY).apply(dv(1.0), &mut obs);
+        assert!(!v.delay().is_nan());
+    }
+
+    #[test]
+    fn plan_bookkeeping() {
+        let mut plan = FaultPlan::new();
+        assert!(plan.is_empty());
+        plan.set_edge_fault(3, EdgeFault::StuckAtNever);
+        plan.set_delay_drift(5, 0.25);
+        assert!(!plan.is_empty());
+        assert_eq!(plan.len(), 2);
+        assert_eq!(plan.edge_fault(3), Some(EdgeFault::StuckAtNever));
+        assert_eq!(plan.edge_fault(4), None);
+        assert_eq!(plan.delay_drift(5), Some(0.25));
+        // Replacement, not accumulation.
+        plan.set_edge_fault(3, EdgeFault::StuckAtZero);
+        assert_eq!(plan.edge_fault(3), Some(EdgeFault::StuckAtZero));
+        assert_eq!(plan.len(), 2);
+    }
+
+    #[test]
+    fn observations_absorb() {
+        let mut a = FaultObservation {
+            edges_faulted: 1,
+            events_dropped: 0,
+            saturations: 2,
+        };
+        a.absorb(FaultObservation {
+            edges_faulted: 3,
+            events_dropped: 1,
+            saturations: 0,
+        });
+        assert_eq!(
+            a,
+            FaultObservation {
+                edges_faulted: 4,
+                events_dropped: 1,
+                saturations: 2
+            }
+        );
+    }
+}

@@ -43,12 +43,14 @@ pub mod apps;
 pub mod blocks;
 mod circuit;
 mod comparator;
+mod fault;
 mod gate;
 mod noise;
 mod trace;
 
 pub use circuit::{Circuit, CircuitBuilder, CircuitError, CircuitStats, NodeId};
 pub use comparator::sort_edges;
+pub use fault::{EdgeFault, FaultObservation, FaultPlan};
 pub use gate::Gate;
 pub use noise::{DelayPerturb, GaussianJitter, NoNoise, NormalSampler};
 pub use trace::{Trace, TraceEntry};

@@ -1,0 +1,184 @@
+//! Workspace-local stand-in for the parts of the `criterion` crate used
+//! by this repository's benches.
+//!
+//! The build environment has no network access, so the real `criterion`
+//! crate cannot be fetched. The benches only need `Criterion`,
+//! `criterion_group!`/`criterion_main!`, benchmark groups with
+//! `sample_size`, and `Bencher::iter`, so that is what this provides:
+//! a wall-clock timer that reports mean ns/iteration to stdout. When the
+//! binary is run without the `--bench` flag (e.g. under `cargo test`),
+//! each benchmark executes a single iteration as a smoke test, mirroring
+//! real criterion's test-mode behaviour.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Re-export for bench code that imports `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Entry point handed to each benchmark function.
+pub struct Criterion {
+    bench_mode: bool,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            bench_mode: std::env::args().any(|a| a == "--bench"),
+            sample_size: 50,
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            bench_mode: self.bench_mode,
+            sample_size: self.sample_size,
+            iters: 0,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut bencher);
+        bencher.report(id);
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one named benchmark inside the group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        self.criterion.bench_function(&full, f);
+        self
+    }
+
+    /// Finishes the group (kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Times a closure over repeated iterations.
+pub struct Bencher {
+    bench_mode: bool,
+    sample_size: usize,
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly, timing each batch.
+    pub fn iter<O, F>(&mut self, mut f: F)
+    where
+        F: FnMut() -> O,
+    {
+        if !self.bench_mode {
+            // Test mode (`cargo test`): one smoke iteration, untimed.
+            black_box(f());
+            self.iters += 1;
+            return;
+        }
+        // Warm-up.
+        for _ in 0..3 {
+            black_box(f());
+        }
+        let start = Instant::now();
+        for _ in 0..self.sample_size {
+            black_box(f());
+        }
+        self.elapsed += start.elapsed();
+        self.iters += self.sample_size as u64;
+    }
+
+    fn report(&self, id: &str) {
+        if !self.bench_mode {
+            println!("{id}: ok (test mode, 1 iteration)");
+            return;
+        }
+        if self.iters == 0 {
+            println!("{id}: no iterations recorded");
+            return;
+        }
+        let ns_per_iter = self.elapsed.as_nanos() as f64 / self.iters as f64;
+        println!("{id}: {ns_per_iter:.1} ns/iter ({} iterations)", self.iters);
+    }
+}
+
+/// Collects benchmark functions into one group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `main` for a bench binary from group runners.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = Criterion {
+            bench_mode: false,
+            sample_size: 5,
+        };
+        let mut ran = 0u32;
+        c.bench_function("unit", |b| b.iter(|| ran += 1));
+        assert!(ran >= 1);
+    }
+
+    #[test]
+    fn groups_share_configuration() {
+        let mut c = Criterion {
+            bench_mode: true,
+            sample_size: 50,
+        };
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(2);
+        let mut ran = 0u32;
+        g.bench_function("inner", |b| b.iter(|| ran += 1));
+        g.finish();
+        assert!(ran >= 2);
+    }
+}

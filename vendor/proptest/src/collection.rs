@@ -1,0 +1,70 @@
+//! Collection strategies (subset of `proptest::collection`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use core::ops::Range;
+use rand::Rng;
+
+/// Acceptable length specifications for [`vec`]: a fixed length or a
+/// half-open range of lengths.
+#[derive(Debug, Clone)]
+pub struct SizeRange(Range<usize>);
+
+impl From<usize> for SizeRange {
+    fn from(len: usize) -> Self {
+        SizeRange(len..len + 1)
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(range: Range<usize>) -> Self {
+        SizeRange(range)
+    }
+}
+
+/// Generates `Vec`s whose elements come from `element` and whose length
+/// is drawn from `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// Result of [`vec`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        let range = self.size.0.clone();
+        assert!(!range.is_empty(), "vec strategy with empty size range");
+        let len = if range.end - range.start == 1 {
+            range.start
+        } else {
+            rng.gen_range(range)
+        };
+        (0..len).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::new_rng;
+
+    #[test]
+    fn fixed_and_ranged_lengths() {
+        let mut rng = new_rng("collection_unit");
+        for _ in 0..200 {
+            assert_eq!(vec(0.0..1.0f64, 7).sample(&mut rng).len(), 7);
+            let v = vec(0u8..5, 1..4).sample(&mut rng);
+            assert!((1..4).contains(&v.len()));
+        }
+    }
+}

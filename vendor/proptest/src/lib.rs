@@ -1,0 +1,119 @@
+//! Workspace-local stand-in for the parts of the `proptest` crate used by
+//! this repository.
+//!
+//! The build environment has no network access, so the real `proptest`
+//! crate cannot be fetched. This crate provides the same *interface* for
+//! the features the workspace's property tests use — the `proptest!`
+//! macro (with optional `#![proptest_config(...)]`), range / tuple /
+//! array / `Just` / `prop_oneof!` / `prop_map` / `prop_flat_map`
+//! strategies, `prop::collection::vec`, and the `prop_assert*` macros —
+//! backed by a simple seeded sampler. Unlike real proptest there is no
+//! shrinking and no failure persistence: a failing case panics with the
+//! values embedded in the assertion message. Case counts honour the
+//! `PROPTEST_CASES` environment variable and `ProptestConfig::with_cases`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![allow(clippy::type_complexity)]
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The common imports property tests are written against.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// Mirrors `proptest::prelude::prop`, the module-style entry point
+    /// (`prop::collection::vec(...)`).
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Declares property tests. Each `fn name(arg in strategy, ...) { body }`
+/// item becomes a `#[test]` that samples its arguments from the given
+/// strategies for a number of cases and runs the body, which may
+/// `return Ok(())` early or fall off the end.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr) $( $(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cfg: $crate::test_runner::ProptestConfig = $cfg;
+                let __cases = $crate::test_runner::case_count(&__cfg);
+                let mut __rng = $crate::test_runner::new_rng(stringify!($name));
+                for __case in 0..__cases {
+                    $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut __rng);)*
+                    #[allow(unreachable_code, clippy::diverging_sub_expression)]
+                    let __outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| { $body Ok(()) })();
+                    if let ::core::result::Result::Err(e) = __outcome {
+                        panic!("property test {} failed at case {}: {}", stringify!($name), __case, e);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a property test (no shrinking: panics with
+/// the formatted message on failure).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+/// Picks one of several strategies, optionally weighted
+/// (`prop_oneof![3 => a, 1 => b]` or `prop_oneof![a, b]`).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strat:expr),+ $(,)?) => {{
+        let mut __union = $crate::strategy::Union::new();
+        $(
+            {
+                let __s = $strat;
+                __union = __union.arm(
+                    $weight as u32,
+                    ::std::boxed::Box::new(move |rng: &mut $crate::test_runner::TestRng| {
+                        $crate::strategy::Strategy::sample(&__s, rng)
+                    }),
+                );
+            }
+        )+
+        __union
+    }};
+    ($($strat:expr),+ $(,)?) => {
+        $crate::prop_oneof![$(1 => $strat),+]
+    };
+}

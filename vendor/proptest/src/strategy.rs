@@ -1,0 +1,239 @@
+//! Value-generation strategies (subset of `proptest::strategy`).
+
+use crate::test_runner::TestRng;
+use core::ops::{Range, RangeInclusive};
+use rand::{Rng, SampleUniform};
+
+/// A way of generating test values (no shrinking support).
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Builds a second strategy from each generated value and samples it.
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Result of [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// Result of [`Strategy::prop_flat_map`].
+#[derive(Debug, Clone)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, S2, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (self.f)(self.inner.sample(rng)).sample(rng)
+    }
+}
+
+impl<T: SampleUniform + Clone> Strategy for Range<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+macro_rules! impl_inclusive_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                if hi < <$t>::MAX {
+                    rng.gen_range(lo..hi + 1)
+                } else if lo > <$t>::MIN {
+                    // Shift down one so the half-open range stays in type.
+                    rng.gen_range(lo - 1..hi) + 1
+                } else {
+                    // Full type domain: no half-open equivalent exists.
+                    rng.next_u64() as $t
+                }
+            }
+        }
+    )*};
+}
+
+impl_inclusive_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_inclusive_float {
+    ($($t:ty),*) => {$(
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                lo + (rng.next_f64() as $t) * (hi - lo)
+            }
+        }
+    )*};
+}
+
+impl_inclusive_float!(f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+impl<S: Strategy, const N: usize> Strategy for [S; N] {
+    type Value = [S::Value; N];
+
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        core::array::from_fn(|i| self[i].sample(rng))
+    }
+}
+
+/// A weighted union of strategies, built by [`prop_oneof!`](crate::prop_oneof).
+pub struct Union<T> {
+    total_weight: u32,
+    arms: Vec<(u32, Box<dyn Fn(&mut TestRng) -> T>)>,
+}
+
+impl<T> Union<T> {
+    /// Creates an empty union (must gain at least one arm before sampling).
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Self {
+        Union {
+            total_weight: 0,
+            arms: Vec::new(),
+        }
+    }
+
+    /// Adds one weighted arm.
+    pub fn arm(mut self, weight: u32, sampler: Box<dyn Fn(&mut TestRng) -> T>) -> Self {
+        assert!(weight > 0, "union arm weight must be positive");
+        self.total_weight += weight;
+        self.arms.push((weight, sampler));
+        self
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        assert!(!self.arms.is_empty(), "union has no arms");
+        let mut pick = rng.gen_range(0u32..self.total_weight);
+        for (weight, sampler) in &self.arms {
+            if pick < *weight {
+                return sampler(rng);
+            }
+            pick -= weight;
+        }
+        unreachable!("weights cover the sampled index")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::new_rng;
+
+    #[test]
+    fn ranges_tuples_arrays_and_maps_sample_in_bounds() {
+        let mut rng = new_rng("strategy_unit");
+        for _ in 0..500 {
+            let v = (0.5..2.0f64).sample(&mut rng);
+            assert!((0.5..2.0).contains(&v));
+            let n = (1usize..=4).sample(&mut rng);
+            assert!((1..=4).contains(&n));
+            let (a, b) = (0u8..3, -1.0..1.0f64).sample(&mut rng);
+            assert!(a < 3 && (-1.0..1.0).contains(&b));
+            let arr = [0.0..5.0f64, 0.0..5.0f64].sample(&mut rng);
+            assert!(arr.iter().all(|x| (0.0..5.0).contains(x)));
+            let doubled = (1usize..10).prop_map(|x| x * 2).sample(&mut rng);
+            assert!(doubled % 2 == 0 && doubled < 20);
+            let flat = (1usize..3)
+                .prop_flat_map(|n| crate::collection::vec(0.0..1.0f64, n))
+                .sample(&mut rng);
+            assert!(!flat.is_empty() && flat.len() < 3);
+        }
+    }
+
+    #[test]
+    fn union_honours_weights_roughly() {
+        let union = Union::new()
+            .arm(3, Box::new(|_rng: &mut TestRng| true))
+            .arm(1, Box::new(|_rng: &mut TestRng| false));
+        let mut rng = new_rng("union_unit");
+        let hits = (0..4000).filter(|_| union.sample(&mut rng)).count();
+        assert!((2700..3300).contains(&hits), "weighted arm hit {hits}/4000");
+    }
+}

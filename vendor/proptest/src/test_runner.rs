@@ -1,0 +1,68 @@
+//! Test-execution plumbing (subset of `proptest::test_runner`).
+
+use rand::SeedableRng;
+
+/// The generator property tests sample from.
+pub type TestRng = rand::rngs::SmallRng;
+
+/// Per-block configuration (subset of `proptest::test_runner::ProptestConfig`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases each test runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Resolves the case count for one test: the `PROPTEST_CASES` environment
+/// variable overrides the block configuration.
+pub fn case_count(cfg: &ProptestConfig) -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(cfg.cases)
+}
+
+/// Creates the deterministic generator for one named test. Seeded from
+/// the test name so distinct tests explore distinct streams while every
+/// run of the same test is reproducible.
+pub fn new_rng(test_name: &str) -> TestRng {
+    // FNV-1a over the test name.
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in test_name.bytes() {
+        hash ^= byte as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    TestRng::seed_from_u64(hash)
+}
+
+/// Failure type property-test bodies may return early with
+/// (`return Ok(())` to skip a case is the only use in this workspace).
+#[derive(Debug, Clone)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// An explicit rejection/failure with a message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError(message.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
