@@ -257,10 +257,7 @@ mod tests {
             let x = DelayValue::encode(a).unwrap();
             let y = DelayValue::encode(b).unwrap();
             let got = approx.eval(x, y).decode();
-            assert!(
-                (got - (a - b)).abs() < 0.1,
-                "{a}-{b}: got {got}"
-            );
+            assert!((got - (a - b)).abs() < 0.1, "{a}-{b}: got {got}");
         }
     }
 
@@ -293,10 +290,7 @@ mod tests {
     fn slice_reduction_matches_eval() {
         let approx = NldeApprox::fit(8);
         for &(c, t) in &[(0.0, 0.5), (2.0, 1.0), (-1.0, 0.3)] {
-            let full = approx.eval(
-                DelayValue::from_delay(c - t),
-                DelayValue::from_delay(c + t),
-            );
+            let full = approx.eval(DelayValue::from_delay(c - t), DelayValue::from_delay(c + t));
             let slice = approx.eval_slice(t);
             if slice.is_finite() {
                 assert!((full.delay() - (c + slice)).abs() < 1e-12, "c={c}, t={t}");
@@ -311,7 +305,11 @@ mod tests {
         // Over the covered domain, 10 terms should track the exact curve
         // to a fraction of a delay unit.
         let approx = NldeApprox::fit(10);
-        assert!(approx.max_slice_error() < 0.5, "{}", approx.max_slice_error());
+        assert!(
+            approx.max_slice_error() < 0.5,
+            "{}",
+            approx.max_slice_error()
+        );
     }
 
     #[test]

@@ -117,7 +117,12 @@ impl NlseApprox {
 
 impl fmt::Display for NlseApprox {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "nLSE~[{} max-terms, K={:.3}]", self.terms.len(), self.required_shift())
+        write!(
+            f,
+            "nLSE~[{} max-terms, K={:.3}]",
+            self.terms.len(),
+            self.required_shift()
+        )
     }
 }
 
@@ -286,10 +291,7 @@ mod tests {
         let a = NlseApprox::fit(6);
         for &(c, t) in &[(0.0, 0.5), (3.0, 1.2), (-2.0, 0.01), (10.0, 2.5)] {
             let full = a
-                .eval(
-                    DelayValue::from_delay(c + t),
-                    DelayValue::from_delay(c - t),
-                )
+                .eval(DelayValue::from_delay(c + t), DelayValue::from_delay(c - t))
                 .delay();
             let slice = c + a.eval_slice(t);
             assert!((full - slice).abs() < 1e-12, "c={c}, t={t}");

@@ -83,13 +83,7 @@ where
 /// iterations. Deterministic.
 ///
 /// Returns `(best_x, best_f)`.
-pub fn nelder_mead<F>(
-    f: F,
-    x0: &[f64],
-    scale: f64,
-    tol: f64,
-    max_iter: usize,
-) -> (Vec<f64>, f64)
+pub fn nelder_mead<F>(f: F, x0: &[f64], scale: f64, tol: f64, max_iter: usize) -> (Vec<f64>, f64)
 where
     F: Fn(&[f64]) -> f64,
 {

@@ -53,11 +53,7 @@ mod tests {
     #[test]
     fn caches_are_consistent_across_threads() {
         let handles: Vec<_> = (0..4)
-            .map(|_| {
-                std::thread::spawn(|| {
-                    (NlseApprox::fit(3), NldeApprox::fit(3))
-                })
-            })
+            .map(|_| std::thread::spawn(|| (NlseApprox::fit(3), NldeApprox::fit(3))))
             .collect();
         let results: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
         for w in results.windows(2) {

@@ -35,8 +35,7 @@ impl DigitalModel {
     /// conversion per pixel plus the amortised MAC work.
     pub fn energy_per_pixel_pj(&self, kernel: &Kernel, stride: usize) -> f64 {
         assert!(stride > 0, "stride must be non-zero");
-        let ops_per_pixel =
-            (kernel.width() * kernel.height()) as f64 / (stride * stride) as f64;
+        let ops_per_pixel = (kernel.width() * kernel.height()) as f64 / (stride * stride) as f64;
         self.adc_pj + self.mac_pj * ops_per_pixel
     }
 
@@ -44,7 +43,8 @@ impl DigitalModel {
     /// arithmetic after that.
     pub fn convolve(&self, image: &Image, kernel: &Kernel, stride: usize) -> Image {
         let levels = (1u64 << self.adc_bits) as f64;
-        let quantised = image.map(|p| (p.clamp(0.0, 1.0) * (levels - 1.0)).round() / (levels - 1.0));
+        let quantised =
+            image.map(|p| (p.clamp(0.0, 1.0) * (levels - 1.0)).round() / (levels - 1.0));
         conv::convolve(&quantised, kernel, stride)
     }
 }

@@ -10,9 +10,16 @@
 //! * [`digital`] — a conventional digital ADC + 8-bit MAC pipeline, the
 //!   "full analog-to-digital conversion for each pixel" strawman of the
 //!   paper's introduction, used by examples and ablations.
+//! * [`mod@reference`] — the [`ReferenceEngine`] trait: a deterministic
+//!   digital path usable for output validation and graceful fallback by
+//!   the supervised runtime (`ta-runtime`), implemented by
+//!   [`DigitalReference`] over the [`digital`] model.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod digital;
 pub mod pip;
+pub mod reference;
+
+pub use reference::{DigitalReference, ReferenceEngine};

@@ -225,7 +225,10 @@ mod tests {
     #[test]
     fn ternary_quantization() {
         let t = ternary_quantize(&Kernel::sobel_x());
-        assert_eq!(t.weights(), &[-1.0, 0.0, 1.0, -1.0, 0.0, 1.0, -1.0, 0.0, 1.0]);
+        assert_eq!(
+            t.weights(),
+            &[-1.0, 0.0, 1.0, -1.0, 0.0, 1.0, -1.0, 0.0, 1.0]
+        );
     }
 
     #[test]
@@ -242,10 +245,10 @@ mod tests {
     #[test]
     fn energy_superlinear_in_kernel_area() {
         let m = PipModel::asplos24();
-        let per_op_22 =
-            m.energy_per_pixel_pj(&Kernel::edge_ternary(2, 2), 2) / PipModel::ops_per_pixel(&Kernel::edge_ternary(2, 2), 2);
-        let per_op_44 =
-            m.energy_per_pixel_pj(&Kernel::edge_ternary(4, 4), 2) / PipModel::ops_per_pixel(&Kernel::edge_ternary(4, 4), 2);
+        let per_op_22 = m.energy_per_pixel_pj(&Kernel::edge_ternary(2, 2), 2)
+            / PipModel::ops_per_pixel(&Kernel::edge_ternary(2, 2), 2);
+        let per_op_44 = m.energy_per_pixel_pj(&Kernel::edge_ternary(4, 4), 2)
+            / PipModel::ops_per_pixel(&Kernel::edge_ternary(4, 4), 2);
         assert!(per_op_44 > per_op_22 * 1.3);
     }
 
@@ -327,10 +330,7 @@ mod tests {
         assert_eq!(m.convolve(&img, &k, 2, 3), m.convolve(&img, &k, 2, 3));
         // With a fine ADC the seed-dependent analog noise is visible
         // (the production 3-bit ADC rounds most of it away).
-        let fine = PipModel {
-            adc_bits: 12,
-            ..m
-        };
+        let fine = PipModel { adc_bits: 12, ..m };
         assert_ne!(fine.convolve(&img, &k, 2, 3), fine.convolve(&img, &k, 2, 4));
     }
 

@@ -1,0 +1,159 @@
+//! The reference-engine abstraction: a deterministic digital path that can
+//! stand in for the temporal engine.
+//!
+//! Hybrid temporal accelerators are deployed with a conventional digital
+//! datapath alongside the fast approximate temporal one (cf. *Enhanced
+//! Hybrid Temporal Computing*, *Tempus Core*): the digital path validates
+//! the temporal outputs and serves as the fallback when a frame fails.
+//! [`ReferenceEngine`] is that contract — given a frame, produce the
+//! outputs a trustworthy engine would — and [`DigitalReference`] is its
+//! production implementation over [`DigitalModel`].
+
+use ta_image::{Image, Kernel};
+
+use crate::digital::DigitalModel;
+
+/// A deterministic engine that produces trusted reference outputs for a
+/// frame: one output image per kernel, in the same order the temporal
+/// engine emits them.
+///
+/// Implementations must be pure functions of the image (same input, same
+/// output) so that validation and fallback are reproducible.
+pub trait ReferenceEngine: Send + Sync {
+    /// Computes the reference outputs for `image`, one per kernel.
+    fn reference_outputs(&self, image: &Image) -> Vec<Image>;
+
+    /// Energy this engine would spend on one `width × height` frame, in
+    /// picojoules — lets supervisors account the cost of falling back.
+    fn energy_per_frame_pj(&self, width: usize, height: usize) -> f64;
+
+    /// A short human-readable name for reports.
+    fn name(&self) -> &str;
+}
+
+/// The conventional digital pipeline as a reference engine: per-pixel ADC
+/// plus fixed-point MACs for each kernel.
+///
+/// An optional pixel floor mirrors the temporal engine's VTC dynamic-range
+/// clipping so that validation compares like with like (the temporal
+/// engine cannot see pixels below `e^-max_delay`; without the floor every
+/// true-zero pixel would count as error).
+#[derive(Debug, Clone)]
+pub struct DigitalReference {
+    model: DigitalModel,
+    kernels: Vec<Kernel>,
+    stride: usize,
+    pixel_floor: Option<f64>,
+}
+
+impl DigitalReference {
+    /// Builds a reference engine over `model` for the given kernel set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kernels` is empty or `stride` is zero — the same
+    /// preconditions the temporal system description enforces with typed
+    /// errors at its own boundary.
+    pub fn new(model: DigitalModel, kernels: Vec<Kernel>, stride: usize) -> Self {
+        assert!(!kernels.is_empty(), "at least one kernel is required");
+        assert!(stride > 0, "stride must be non-zero");
+        DigitalReference {
+            model,
+            kernels,
+            stride,
+            pixel_floor: None,
+        }
+    }
+
+    /// Clamps input pixels to at least `floor` before convolving, mirroring
+    /// the temporal engine's VTC dynamic-range floor (`e^-max_delay`).
+    #[must_use]
+    pub fn with_pixel_floor(mut self, floor: f64) -> Self {
+        self.pixel_floor = Some(floor);
+        self
+    }
+
+    /// The kernel set this reference convolves.
+    pub fn kernels(&self) -> &[Kernel] {
+        &self.kernels
+    }
+
+    /// The convolution stride.
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+}
+
+impl ReferenceEngine for DigitalReference {
+    fn reference_outputs(&self, image: &Image) -> Vec<Image> {
+        let floored = self
+            .pixel_floor
+            .map(|floor| image.map(|p| p.clamp(0.0, 1.0).max(floor)));
+        let input = floored.as_ref().unwrap_or(image);
+        self.kernels
+            .iter()
+            .map(|k| self.model.convolve(input, k, self.stride))
+            .collect()
+    }
+
+    fn energy_per_frame_pj(&self, width: usize, height: usize) -> f64 {
+        let pixels = (width * height) as f64;
+        self.kernels
+            .iter()
+            .map(|k| self.model.energy_per_pixel_pj(k, self.stride) * pixels)
+            .sum()
+    }
+
+    fn name(&self) -> &str {
+        "digital-adc-mac"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ta_image::{conv, metrics, synth};
+
+    fn engine() -> DigitalReference {
+        DigitalReference::new(
+            DigitalModel::conventional_65nm(),
+            vec![Kernel::sobel_x(), Kernel::sobel_y()],
+            1,
+        )
+    }
+
+    #[test]
+    fn outputs_match_digital_convolution_per_kernel() {
+        let img = synth::natural_image(16, 16, 1);
+        let outs = engine().reference_outputs(&img);
+        assert_eq!(outs.len(), 2);
+        let expect = DigitalModel::conventional_65nm().convolve(&img, &Kernel::sobel_x(), 1);
+        assert_eq!(outs[0], expect);
+        // 10-bit quantisation keeps the reference close to exact software
+        // convolution.
+        let exact = conv::convolve(&img, &Kernel::sobel_y(), 1);
+        assert!(metrics::normalized_rmse(&outs[1], &exact) < 1e-2);
+    }
+
+    #[test]
+    fn pixel_floor_clips_like_the_vtc() {
+        let mut img = Image::zeros(8, 8);
+        img.set(3, 3, 0.5);
+        let floor = (-6.0_f64).exp();
+        let plain = engine().reference_outputs(&img);
+        let floored = engine().with_pixel_floor(floor).reference_outputs(&img);
+        assert_ne!(plain[0], floored[0], "the floor must lift true zeros");
+        let clipped = img.map(|p| p.clamp(0.0, 1.0).max(floor));
+        let expect = DigitalModel::conventional_65nm().convolve(&clipped, &Kernel::sobel_x(), 1);
+        assert_eq!(floored[0], expect);
+    }
+
+    #[test]
+    fn deterministic_and_energy_positive() {
+        let img = synth::natural_image(12, 12, 2);
+        let e = engine();
+        assert_eq!(e.reference_outputs(&img), e.reference_outputs(&img));
+        assert!(e.energy_per_frame_pj(12, 12) > 0.0);
+        assert!(!e.name().is_empty());
+    }
+}

@@ -4,7 +4,10 @@ use criterion::{criterion_group, criterion_main, Criterion};
 fn bench(c: &mut Criterion) {
     let params = ta_experiments::fig12::Params::quick(1);
     let points = ta_experiments::fig12::compute(&params);
-    ta_bench::print_experiment("Fig 12 (quick grid)", &ta_experiments::fig12::render(&points));
+    ta_bench::print_experiment(
+        "Fig 12 (quick grid)",
+        &ta_experiments::fig12::render(&points),
+    );
     let mut g = c.benchmark_group("fig12");
     g.sample_size(10);
     g.bench_function("dse_quick_grid", |b| {

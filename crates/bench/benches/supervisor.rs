@@ -1,0 +1,83 @@
+//! Supervisor-overhead bench: raw `exec::run` versus the same frame
+//! through `ta_runtime::Supervisor` (finite-validation, no timeout, no
+//! retry pressure). The supervised path's cost over raw execution is the
+//! price of dependability; the target is <10% on a clean frame.
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use ta_core::{exec, ArchConfig, Architecture, ArithmeticMode, SystemDescription};
+use ta_image::{synth, Kernel};
+use ta_runtime::{Engine, Supervisor, SupervisorConfig, TemporalEngine};
+
+const SIZE: usize = 32;
+
+fn arch() -> Architecture {
+    let desc = SystemDescription::new(SIZE, SIZE, vec![Kernel::sobel_x()], 1)
+        .expect("sobel fits the frame");
+    Architecture::new(desc, ArchConfig::fast_1ns(7, 20)).expect("feasible schedule")
+}
+
+fn bench(c: &mut Criterion) {
+    let arch = arch();
+    let img = synth::natural_image(SIZE, SIZE, 1);
+    let engine: Arc<dyn Engine> = Arc::new(TemporalEngine::new(
+        arch.clone(),
+        ArithmeticMode::DelayApprox,
+    ));
+    let supervisor = Supervisor::new(SupervisorConfig::default());
+
+    // Side-by-side single-frame timing summary (the <10% overhead check
+    // documented in DESIGN.md §5.8), printed like the other benches.
+    // Interleaved rounds with a warmup, best round per path: robust to
+    // frequency scaling and scheduling noise.
+    let mut run_raw = || {
+        black_box(exec::run(&arch, &img, ArithmeticMode::DelayApprox, 0).expect("clean run"));
+    };
+    let mut run_supervised = || {
+        black_box(
+            supervisor
+                .run_one(&engine, &img, 0, 0)
+                .expect("valid configuration"),
+        );
+    };
+    let round = |f: &mut dyn FnMut(), iters: usize| {
+        let start = std::time::Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        start.elapsed().as_secs_f64() / iters as f64
+    };
+    round(&mut run_raw, 5);
+    round(&mut run_supervised, 5);
+    let (mut raw_s, mut supervised_s) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..8 {
+        raw_s = raw_s.min(round(&mut run_raw, 10));
+        supervised_s = supervised_s.min(round(&mut run_supervised, 10));
+    }
+    ta_bench::print_experiment(
+        "Supervisor overhead",
+        &format!(
+            "raw exec::run        {:8.3} ms/frame\nsupervised run_one   {:8.3} ms/frame\noverhead             {:+8.1}%\n",
+            raw_s * 1e3,
+            supervised_s * 1e3,
+            (supervised_s / raw_s - 1.0) * 100.0,
+        ),
+    );
+
+    c.bench_function("supervisor/raw_exec_32x32", |b| {
+        b.iter(|| exec::run(&arch, black_box(&img), ArithmeticMode::DelayApprox, 0))
+    });
+    c.bench_function("supervisor/supervised_32x32", |b| {
+        b.iter(|| supervisor.run_one(&engine, black_box(&img), 0, 0))
+    });
+    c.bench_function("supervisor/batch8_32x32", |b| {
+        let frames: Vec<_> = (0..8)
+            .map(|i| synth::natural_image(SIZE, SIZE, i))
+            .collect();
+        b.iter(|| supervisor.run_batch(&engine, black_box(&frames), 0))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -6,10 +6,12 @@ use ta_image::{synth, Kernel};
 
 fn bench(c: &mut Criterion) {
     let rows = ta_experiments::table2::compute(48, 1, 1);
-    ta_bench::print_experiment("Table 2 (48x48 frames)", &ta_experiments::table2::render(&rows));
+    ta_bench::print_experiment(
+        "Table 2 (48x48 frames)",
+        &ta_experiments::table2::render(&rows),
+    );
     let desc = SystemDescription::new(48, 48, vec![Kernel::pyr_down_5x5()], 2).unwrap();
-    let arch =
-        Architecture::new(desc, ArchConfig::new(UnitScale::new(1.0, 50.0), 7, 20)).unwrap();
+    let arch = Architecture::new(desc, ArchConfig::new(UnitScale::new(1.0, 50.0), 7, 20)).unwrap();
     let img = synth::natural_image(48, 48, 3);
     let mut g = c.benchmark_group("table2");
     g.sample_size(20);

@@ -5,7 +5,10 @@ use ta_image::{synth, Kernel};
 
 fn bench(c: &mut Criterion) {
     let rows = ta_experiments::table3::compute(48, 1);
-    ta_bench::print_experiment("Table 3 (48x48 frames)", &ta_experiments::table3::render(&rows));
+    ta_bench::print_experiment(
+        "Table 3 (48x48 frames)",
+        &ta_experiments::table3::render(&rows),
+    );
     let img = synth::natural_image(48, 48, 2);
     let pip = PipModel::asplos24();
     let k = Kernel::edge_ternary(4, 4);

@@ -74,8 +74,7 @@ impl EnergyModel {
             "element delay cannot be below one minimal inverter"
         );
         self.delay_pj_per_ns
-            * (element_multiplier / REFERENCE_MULTIPLIER)
-                .powf(self.element_energy_exponent - 1.0)
+            * (element_multiplier / REFERENCE_MULTIPLIER).powf(self.element_energy_exponent - 1.0)
     }
 
     /// Energy of one event traversing a delay line.
@@ -295,8 +294,7 @@ mod tests {
         assert!((t.gate_pj - 10.0 * m.gate_event_pj).abs() < 1e-12);
         assert!((t.vtc_pj - 2.0 * m.vtc_pj).abs() < 1e-12);
         assert!((t.tdc_pj - m.tdc_pj).abs() < 1e-12);
-        let expected =
-            3.0 * m.delay_pj_per_ns + 10.0 * m.gate_event_pj + 2.0 * m.vtc_pj + m.tdc_pj;
+        let expected = 3.0 * m.delay_pj_per_ns + 10.0 * m.gate_event_pj + 2.0 * m.vtc_pj + m.tdc_pj;
         assert!((t.total_pj() - expected).abs() < 1e-12);
     }
 
@@ -326,7 +324,7 @@ mod tests {
     fn area_of_delay_lines() {
         let a = AreaModel::asplos24();
         let s = UnitScale::new(1.0, 50.0); // 0.5 ns elements
-        // 5 units = 5 ns = 10 elements × 3 transistors × 0.04 µm².
+                                           // 5 units = 5 ns = 10 elements × 3 transistors × 0.04 µm².
         assert!((a.delay_units_um2(5.0, s) - 1.2).abs() < 1e-9);
         assert!((a.gates_um2(2) - 0.32).abs() < 1e-12);
     }

@@ -29,14 +29,14 @@
 
 mod delay_element;
 mod energy;
-mod noise;
 mod nlse_unit;
+mod noise;
 mod tdc;
 mod vtc;
 
 pub use delay_element::{DelayLine, UnitScale};
 pub use energy::{AreaModel, EnergyModel, EnergyTally};
-pub use noise::{NoiseModel, NoiseRealization};
 pub use nlse_unit::{NldeUnit, NlseUnit};
+pub use noise::{NoiseModel, NoiseRealization};
 pub use tdc::TdcModel;
 pub use vtc::{StarvedInverterVtc, VtcModel};

@@ -17,11 +17,7 @@ use crate::{AreaModel, EnergyModel, NoiseRealization, UnitScale};
 /// Realises one delay chain's taps under noise: segments between
 /// consecutive taps are independent delay lines, so tap jitters are
 /// cumulative along the chain (exactly as in the shared-chain hardware).
-fn noisy_taps<R: Rng>(
-    taps: &[f64],
-    realization: &NoiseRealization,
-    rng: &mut R,
-) -> Vec<f64> {
+fn noisy_taps<R: Rng>(taps: &[f64], realization: &NoiseRealization, rng: &mut R) -> Vec<f64> {
     let mut order: Vec<usize> = (0..taps.len()).collect();
     order.sort_by(|&a, &b| taps[a].total_cmp(&taps[b]));
     let mut out = vec![0.0; taps.len()];
@@ -190,7 +186,10 @@ impl NlseUnit {
     ///
     /// Panics if `fired_inputs > 2`.
     pub fn energy_pj(&self, model: &EnergyModel, fired_inputs: usize) -> f64 {
-        assert!(fired_inputs <= 2, "a two-input unit fires at most two inputs");
+        assert!(
+            fired_inputs <= 2,
+            "a two-input unit fires at most two inputs"
+        );
         if fired_inputs == 0 {
             return 0.0;
         }
@@ -202,8 +201,7 @@ impl NlseUnit {
             lo_max
         };
         let gate_events = 2 + self.approx.num_terms() + 1; // comparator + LAs + FA
-        model.delay_units_pj(switched_units, self.scale)
-            + gate_events as f64 * model.gate_event_pj
+        model.delay_units_pj(switched_units, self.scale) + gate_events as f64 * model.gate_event_pj
     }
 
     /// Static layout area of the unit in µm².
@@ -338,7 +336,10 @@ impl NldeUnit {
     ///
     /// Panics if `fired_inputs > 2`.
     pub fn energy_pj(&self, model: &EnergyModel, fired_inputs: usize) -> f64 {
-        assert!(fired_inputs <= 2, "a two-input unit fires at most two inputs");
+        assert!(
+            fired_inputs <= 2,
+            "a two-input unit fires at most two inputs"
+        );
         if fired_inputs == 0 {
             return 0.0;
         }
@@ -350,8 +351,7 @@ impl NldeUnit {
             x_max
         };
         let gate_events = self.approx.num_terms() + 1; // inhibits + FA
-        model.delay_units_pj(switched_units, self.scale)
-            + gate_events as f64 * model.gate_event_pj
+        model.delay_units_pj(switched_units, self.scale) + gate_events as f64 * model.gate_event_pj
     }
 
     /// Static layout area of the unit in µm².
@@ -361,9 +361,7 @@ impl NldeUnit {
         model.delay_units_um2(x_max, self.scale)
             + model.delay_units_um2(y_max, self.scale)
             + model.gates_um2(1)
-            + self.approx.num_terms() as f64
-                * model.transistors_per_inhibit
-                * model.transistor_um2
+            + self.approx.num_terms() as f64 * model.transistors_per_inhibit * model.transistor_um2
     }
 }
 

@@ -277,7 +277,11 @@ mod tests {
         let si = StarvedInverterVtc::calibrated(scale());
         // The behavioural curve should track -ln within a fraction of a
         // unit across ~8.7 bits of dynamic range.
-        assert!(si.max_deviation_units() < 0.6, "{}", si.max_deviation_units());
+        assert!(
+            si.max_deviation_units() < 0.6,
+            "{}",
+            si.max_deviation_units()
+        );
         // And must be monotone decreasing.
         let mut prev = f64::INFINITY;
         for i in 1..=50 {

@@ -4,8 +4,7 @@ use proptest::prelude::*;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use ta_circuits::{
-    EnergyModel, NldeUnit, NlseUnit, NoiseModel, NoiseRealization, TdcModel, UnitScale,
-    VtcModel,
+    EnergyModel, NldeUnit, NlseUnit, NoiseModel, NoiseRealization, TdcModel, UnitScale, VtcModel,
 };
 use ta_delay_space::DelayValue;
 

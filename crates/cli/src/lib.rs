@@ -8,11 +8,16 @@
 //! * `explore` — sweep term counts / unit scales and print the Pareto set;
 //! * `faults` — run a seeded fault-injection campaign and print the
 //!   degradation report;
+//! * `batch` — push a directory of PGM frames (or synthetic frames)
+//!   through the supervised runtime: validation, timeouts, retry, and
+//!   digital fallback, with a health report;
 //! * `kernels` — list the built-in kernels.
 //!
 //! No third-party argument parser: flags are simple `--key value` pairs.
 //! Every failure path surfaces as a typed [`CliError`] — bad user input
-//! prints one friendly line, never a panic backtrace.
+//! prints one friendly line, never a panic backtrace — and each variant
+//! maps to a distinct documented process exit code
+//! ([`CliError::exit_code`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -62,6 +67,41 @@ pub enum CliError {
     Exec(exec::ExecError),
     /// The fault campaign configuration was invalid.
     Fault(FaultError),
+    /// The supervised runtime was misconfigured.
+    Runtime(ta_runtime::RuntimeError),
+    /// A supervised batch left frames with no usable output; carries the
+    /// full batch report so the diagnostics are not lost.
+    BatchFailed {
+        /// Frames with no usable output.
+        failed: usize,
+        /// The rendered batch report.
+        report: String,
+    },
+}
+
+impl CliError {
+    /// The process exit code for this error, one distinct code per
+    /// variant (see the `EXIT CODES` section of [`USAGE`]). Code 1 is
+    /// left unused so a generic abort cannot be confused with a typed
+    /// failure.
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            CliError::UnexpectedArgument(_) => 2,
+            CliError::MissingValue(_) => 3,
+            CliError::InvalidNumber { .. } => 4,
+            CliError::UnknownCommand(_) => 5,
+            CliError::UnknownKernel(_) => 6,
+            CliError::UnknownMode(_) => 7,
+            CliError::InvalidConfig(_) => 8,
+            CliError::MissingInput => 9,
+            CliError::Image(_) => 10,
+            CliError::System(_) => 11,
+            CliError::Exec(_) => 12,
+            CliError::Fault(_) => 13,
+            CliError::Runtime(_) => 14,
+            CliError::BatchFailed { .. } => 15,
+        }
+    }
 }
 
 impl fmt::Display for CliError {
@@ -88,6 +128,13 @@ impl fmt::Display for CliError {
             CliError::System(e) => write!(f, "architecture: {e}"),
             CliError::Exec(e) => write!(f, "execution: {e}"),
             CliError::Fault(e) => write!(f, "fault campaign: {e}"),
+            CliError::Runtime(e) => write!(f, "runtime: {e}"),
+            CliError::BatchFailed { failed, report } => {
+                write!(
+                    f,
+                    "{report}\nbatch: {failed} frame(s) produced no usable output"
+                )
+            }
         }
     }
 }
@@ -99,6 +146,7 @@ impl Error for CliError {
             CliError::System(e) => Some(e),
             CliError::Exec(e) => Some(e),
             CliError::Fault(e) => Some(e),
+            CliError::Runtime(e) => Some(e),
             _ => None,
         }
     }
@@ -128,6 +176,23 @@ impl From<FaultError> for CliError {
     }
 }
 
+impl From<ta_runtime::RuntimeError> for CliError {
+    fn from(e: ta_runtime::RuntimeError) -> Self {
+        CliError::Runtime(e)
+    }
+}
+
+impl From<ta_core::Error> for CliError {
+    fn from(e: ta_core::Error) -> Self {
+        match e {
+            ta_core::Error::System(e) => CliError::System(e),
+            ta_core::Error::Exec(e) => CliError::Exec(e),
+            ta_core::Error::Fault(e) => CliError::Fault(e),
+            other => CliError::InvalidConfig(other.to_string()),
+        }
+    }
+}
+
 /// Usage text.
 pub const USAGE: &str = "\
 tconv — delay-space convolution engine (temporal arithmetic, ASPLOS'24)
@@ -138,6 +203,8 @@ USAGE:
   tconv describe --kernel sobel [--size 150] [options]
   tconv explore [--kernel sobel] [--size 72] [options]
   tconv faults [--kernel sobel] [--size 24] [options]
+  tconv batch --input-dir frames/ [--output-dir out/] [options]
+  tconv batch --demo [--frames 8] [options]
   tconv kernels
 
 OPTIONS (run/describe/explore/faults):
@@ -155,6 +222,25 @@ OPTIONS (faults):
   --drift F         delay-drift magnitude (fraction)       [default: 0.2]
   --advance U       spurious-early advance (units)         [default: 0.5]
   --pixel-sites N   pixel sites probed in the sensitivity scan [default: 12]
+
+OPTIONS (batch — supervised runtime):
+  --frames N        synthetic frames with --demo           [default: 8]
+  --tolerance F     reject outputs beyond F nRMSE vs the digital reference
+  --timeout-ms N    per-attempt watchdog budget (0 = off)  [default: 0]
+  --retries N       retries after the first attempt        [default: 2]
+  --fallback NAME   reference | exact | none               [default: reference]
+  --fault-rate F    inject transient faults at this per-site rate [default: 0]
+  --workers N       worker threads (0 = one per core)      [default: 0]
+
+EXIT CODES:
+  0 success; 1 unused (generic abort)
+  2 unexpected argument      3 flag missing its value
+  4 malformed number         5 unknown command
+  6 unknown kernel           7 unknown mode
+  8 invalid configuration    9 missing input
+  10 image i/o failed        11 architecture rejected
+  12 execution rejected      13 fault campaign invalid
+  14 runtime misconfigured   15 batch left failed frames
 ";
 
 /// Parsed `--key value` flags plus the subcommand.
@@ -277,6 +363,7 @@ pub fn dispatch(args: &Args) -> Result<String, CliError> {
         "describe" => cmd_describe(args),
         "explore" => cmd_explore(args),
         "faults" => cmd_faults(args),
+        "batch" => cmd_batch(args),
         "kernels" => Ok(cmd_kernels()),
         other => Err(CliError::UnknownCommand(other.to_string())),
     }
@@ -326,7 +413,10 @@ fn cmd_run(args: &Args) -> Result<String, CliError> {
             metrics::normalized_rmse(o, &reference)
         ));
     }
-    out.push_str(&format!("  energy: {}\n  timing: {}\n", run.energy, run.timing));
+    out.push_str(&format!(
+        "  energy: {}\n  timing: {}\n",
+        run.energy, run.timing
+    ));
 
     if let Some(path) = args.get("--output") {
         // Normalise the first output into [0,1] for the graymap.
@@ -335,7 +425,9 @@ fn cmd_run(args: &Args) -> Result<String, CliError> {
         let span = (hi - lo).max(1e-12);
         let norm = o.map(|p| (p - lo) / span);
         pgm::save_pgm(&norm, path)?;
-        out.push_str(&format!("  wrote {path} (first output, range-normalised)\n"));
+        out.push_str(&format!(
+            "  wrote {path} (first output, range-normalised)\n"
+        ));
     }
     Ok(out)
 }
@@ -410,7 +502,9 @@ fn cmd_faults(args: &Args) -> Result<String, CliError> {
         })
         .collect::<Result<_, _>>()?;
     if rates.is_empty() {
-        return Err(CliError::InvalidConfig("--rates needs at least one rate".into()));
+        return Err(CliError::InvalidConfig(
+            "--rates needs at least one rate".into(),
+        ));
     }
     let cfg = CampaignConfig {
         mode,
@@ -427,9 +521,195 @@ fn cmd_faults(args: &Args) -> Result<String, CliError> {
     Ok(report.to_string())
 }
 
+/// `tconv batch` — supervised batch execution: a directory of PGM frames
+/// (or `--demo` synthetic frames) through the temporal engine under
+/// validation, watchdog timeouts, seeded retry, and graceful fallback.
+fn cmd_batch(args: &Args) -> Result<String, CliError> {
+    use std::sync::Arc;
+    use std::time::Duration;
+    use ta_baseline::digital::DigitalModel;
+    use ta_baseline::DigitalReference;
+    use ta_core::FaultModel;
+    use ta_runtime::{
+        Engine, Fallback, FaultyTemporalEngine, RetryPolicy, Supervisor, SupervisorConfig,
+        TemporalEngine, ValidationPolicy,
+    };
+
+    let (kernels, stride) = kernel_set(args.get("--kernel").unwrap_or("sobel"))?;
+    let mode = mode_of(args.get("--mode").unwrap_or("noisy"))?;
+    let seed: u64 = args.num("--seed", 0u64)?;
+
+    // Collect the input frames: every *.pgm under --input-dir in name
+    // order, or synthetic frames with --demo.
+    let (names, images): (Vec<String>, Vec<Image>) = if let Some(dir) = args.get("--input-dir") {
+        let mut paths: Vec<std::path::PathBuf> = std::fs::read_dir(dir)
+            .map_err(|e| CliError::Image(PgmError::Io(e)))?
+            .filter_map(Result::ok)
+            .map(|entry| entry.path())
+            .filter(|p| p.extension().is_some_and(|e| e.eq_ignore_ascii_case("pgm")))
+            .collect();
+        paths.sort();
+        if paths.is_empty() {
+            return Err(CliError::InvalidConfig(format!("no .pgm frames in {dir}")));
+        }
+        let mut names = Vec::new();
+        let mut images = Vec::new();
+        for p in paths {
+            names.push(
+                p.file_name()
+                    .map(|n| n.to_string_lossy().into_owned())
+                    .unwrap_or_default(),
+            );
+            images.push(pgm::load_pgm(&p)?);
+        }
+        (names, images)
+    } else if args.has("--demo") {
+        let count: usize = args.num("--frames", 8)?;
+        let size: usize = args.num("--size", 48)?;
+        (
+            (0..count).map(|i| format!("demo-{i:03}.pgm")).collect(),
+            (0..count)
+                .map(|i| synth::natural_image(size, size, seed.wrapping_add(i as u64)))
+                .collect(),
+        )
+    } else {
+        return Err(CliError::MissingInput);
+    };
+
+    // The architecture is compiled once for the batch, so every frame
+    // must share the first frame's geometry.
+    let (w, h) = (images[0].width(), images[0].height());
+    if let Some((name, img)) = names
+        .iter()
+        .zip(&images)
+        .find(|(_, img)| (img.width(), img.height()) != (w, h))
+    {
+        return Err(CliError::InvalidConfig(format!(
+            "frame {name} is {}×{} but the batch is {w}×{h}",
+            img.width(),
+            img.height()
+        )));
+    }
+    let desc = SystemDescription::new(w, h, kernels.clone(), stride)?;
+    let arch = Architecture::new(desc, config_of(args)?)?;
+
+    let fault_rate: f64 = args.num("--fault-rate", 0.0)?;
+    let engine: Arc<dyn Engine> = if fault_rate > 0.0 {
+        let model = FaultModel::with_rate(fault_rate).map_err(CliError::Fault)?;
+        Arc::new(FaultyTemporalEngine::new(
+            arch.clone(),
+            mode,
+            model,
+            seed ^ 0xFA,
+        ))
+    } else {
+        Arc::new(TemporalEngine::new(arch.clone(), mode))
+    };
+
+    let tolerance: Option<f64> = match args.get("--tolerance") {
+        None => None,
+        Some(v) => Some(v.parse().map_err(|_| CliError::InvalidNumber {
+            flag: "--tolerance".into(),
+            value: v.to_string(),
+        })?),
+    };
+    let timeout_ms: u64 = args.num("--timeout-ms", 0u64)?;
+    let fallback_name = args.get("--fallback").unwrap_or("reference");
+    let reference = Arc::new(
+        DigitalReference::new(DigitalModel::conventional_65nm(), kernels.clone(), stride)
+            .with_pixel_floor((-arch.vtc().max_delay_units()).exp()),
+    );
+
+    let mut supervisor = Supervisor::new(SupervisorConfig {
+        validation: ValidationPolicy {
+            require_finite: true,
+            nrmse_tolerance: tolerance,
+        },
+        timeout: (timeout_ms > 0).then(|| Duration::from_millis(timeout_ms)),
+        retry: RetryPolicy {
+            max_retries: args.num("--retries", 2u32)?,
+            ..RetryPolicy::default()
+        },
+        workers: args.num("--workers", 0usize)?,
+        seed,
+    })
+    .with_reference(reference);
+    supervisor = match fallback_name {
+        "reference" => supervisor.with_fallback(Fallback::Reference),
+        "exact" => supervisor.with_fallback(Fallback::Engine(Arc::new(TemporalEngine::new(
+            arch.clone(),
+            ArithmeticMode::DelayExact,
+        )))),
+        "none" => supervisor,
+        other => {
+            return Err(CliError::InvalidConfig(format!(
+                "unknown --fallback {other:?}; try: reference exact none"
+            )))
+        }
+    };
+
+    let batch = supervisor.run_batch(&engine, &images, seed)?;
+
+    let mut out = format!(
+        "supervised batch: {} frame(s) of {w}×{h} through {} ({mode} mode)\n",
+        images.len(),
+        engine.name(),
+    );
+    for (name, report) in names.iter().zip(&batch.reports) {
+        out.push_str(&format!(
+            "  {:<16} {:<9} attempts {} latency {:.2} ms\n",
+            name,
+            match &report.status {
+                ta_runtime::FrameStatus::Ok => "ok".to_string(),
+                ta_runtime::FrameStatus::Degraded { fallback, .. } =>
+                    format!("degraded({fallback})"),
+                ta_runtime::FrameStatus::Failed { .. } => "FAILED".to_string(),
+            },
+            report.attempts,
+            report.latency.as_secs_f64() * 1e3,
+        ));
+        for line in &report.log {
+            out.push_str(&format!("      {line}\n"));
+        }
+    }
+    out.push_str(&format!("{}\n", batch.health));
+
+    if let Some(dir) = args.get("--output-dir") {
+        std::fs::create_dir_all(dir).map_err(|e| CliError::Image(PgmError::Io(e)))?;
+        let mut written = 0usize;
+        for (name, outputs) in names.iter().zip(&batch.outputs) {
+            let Some(outputs) = outputs else { continue };
+            // First output, range-normalised, like `tconv run --output`.
+            let o = &outputs[0];
+            let (lo, hi) = o.min_max();
+            let span = (hi - lo).max(1e-12);
+            let norm = o.map(|p| (p - lo) / span);
+            pgm::save_pgm(&norm, std::path::Path::new(dir).join(name))?;
+            written += 1;
+        }
+        out.push_str(&format!("wrote {written} frame(s) to {dir}\n"));
+    }
+
+    if batch.health.failed > 0 {
+        return Err(CliError::BatchFailed {
+            failed: batch.health.failed,
+            report: out,
+        });
+    }
+    Ok(out)
+}
+
 fn cmd_kernels() -> String {
     let mut out = String::from("built-in kernel sets:\n");
-    for name in ["sobel", "pyrdown", "gauss", "laplacian", "sharpen", "emboss", "box3"] {
+    for name in [
+        "sobel",
+        "pyrdown",
+        "gauss",
+        "laplacian",
+        "sharpen",
+        "emboss",
+        "box3",
+    ] {
         if let Ok((ks, stride)) = kernel_set(name) {
             out.push_str(&format!(
                 "  {:<10} {}×{}, stride {}, {} filter(s){}\n",
@@ -555,10 +835,7 @@ mod tests {
 
     #[test]
     fn explore_quick() {
-        let out = dispatch(&argv(&[
-            "explore", "--kernel", "box3", "--size", "24",
-        ]))
-        .unwrap();
+        let out = dispatch(&argv(&["explore", "--kernel", "box3", "--size", "24"])).unwrap();
         assert!(out.contains("pareto"));
         assert!(out.lines().count() > 10);
     }
@@ -566,8 +843,19 @@ mod tests {
     #[test]
     fn faults_campaign_runs_and_reproduces() {
         let cmd = [
-            "faults", "--kernel", "box3", "--size", "10", "--rates", "0,0.2",
-            "--trials", "2", "--pixel-sites", "4", "--seed", "5",
+            "faults",
+            "--kernel",
+            "box3",
+            "--size",
+            "10",
+            "--rates",
+            "0,0.2",
+            "--trials",
+            "2",
+            "--pixel-sites",
+            "4",
+            "--seed",
+            "5",
         ];
         let a = dispatch(&argv(&cmd)).unwrap();
         let b = dispatch(&argv(&cmd)).unwrap();

@@ -8,7 +8,9 @@ fn main() {
         Err(e) => {
             eprintln!("tconv: {e}");
             eprintln!("run `tconv help` for usage");
-            std::process::exit(1);
+            // One documented exit code per error class — see the EXIT
+            // CODES section of `tconv help`.
+            std::process::exit(e.exit_code());
         }
     }
 }

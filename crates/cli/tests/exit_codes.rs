@@ -1,0 +1,238 @@
+//! Process-level tests: every `CliError` variant maps to its documented
+//! exit code, and the supervised `batch` subcommand degrades gracefully
+//! instead of aborting.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use std::process::{Command, Output};
+
+fn tconv(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_tconv"))
+        .args(args)
+        .output()
+        .expect("spawn tconv")
+}
+
+fn exit_code(args: &[&str]) -> i32 {
+    tconv(args).status.code().expect("no exit code (signal?)")
+}
+
+#[test]
+fn success_paths_exit_zero() {
+    assert_eq!(exit_code(&["help"]), 0);
+    assert_eq!(exit_code(&["kernels"]), 0);
+    assert_eq!(
+        exit_code(&["run", "--demo", "--size", "16", "--kernel", "box3", "--mode", "approx"]),
+        0
+    );
+}
+
+#[test]
+fn each_error_class_has_its_documented_code() {
+    // 2 unexpected argument
+    assert_eq!(exit_code(&["run", "stray"]), 2);
+    // 3 flag missing its value
+    assert_eq!(exit_code(&["run", "--unit"]), 3);
+    // 4 malformed number
+    assert_eq!(exit_code(&["run", "--demo", "--unit", "abc"]), 4);
+    // 5 unknown command
+    assert_eq!(exit_code(&["frobnicate"]), 5);
+    // 6 unknown kernel
+    assert_eq!(exit_code(&["run", "--demo", "--kernel", "nope"]), 6);
+    // 7 unknown mode
+    assert_eq!(exit_code(&["run", "--demo", "--mode", "nope"]), 7);
+    // 8 invalid configuration
+    assert_eq!(exit_code(&["run", "--demo", "--unit", "0"]), 8);
+    // 9 missing input
+    assert_eq!(exit_code(&["run"]), 9);
+    // 10 image i/o
+    assert_eq!(exit_code(&["run", "--input", "/no/such/file.pgm"]), 10);
+    // 12 execution rejected (fault campaign in importance mode)
+    assert_eq!(
+        exit_code(&["faults", "--size", "10", "--mode", "importance"]),
+        12
+    );
+    // 13 fault model invalid (rate out of range); the `faults` campaign
+    // wraps this inside ExecError, so `batch --fault-rate` is the direct
+    // surface.
+    assert_eq!(
+        exit_code(&[
+            "batch",
+            "--demo",
+            "--frames",
+            "1",
+            "--size",
+            "16",
+            "--fault-rate",
+            "1.5"
+        ]),
+        13
+    );
+}
+
+#[test]
+fn stderr_carries_one_friendly_line() {
+    let out = tconv(&["run", "--demo", "--kernel", "nope"]);
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.starts_with("tconv: unknown kernel"), "stderr: {err}");
+    assert!(err.contains("tconv help"), "stderr: {err}");
+}
+
+#[test]
+fn batch_demo_degrades_gracefully_and_exits_zero() {
+    // A brutal transient fault environment with a tight tolerance: frames
+    // that fail validation after one retry are served by the digital
+    // reference, so the process still succeeds with zero aborts.
+    let out = tconv(&[
+        "batch",
+        "--demo",
+        "--frames",
+        "4",
+        "--size",
+        "16",
+        "--kernel",
+        "box3",
+        "--mode",
+        "approx",
+        "--fault-rate",
+        "0.05",
+        "--tolerance",
+        "0.000001",
+        "--retries",
+        "1",
+        "--fallback",
+        "reference",
+        "--seed",
+        "7",
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("degraded(digital-adc-mac)"), "{text}");
+    assert!(text.contains("failed 0"), "{text}");
+}
+
+#[test]
+fn batch_without_fallback_exits_fifteen_with_report() {
+    let out = tconv(&[
+        "batch",
+        "--demo",
+        "--frames",
+        "2",
+        "--size",
+        "16",
+        "--kernel",
+        "box3",
+        "--mode",
+        "approx",
+        "--fault-rate",
+        "0.05",
+        "--tolerance",
+        "0.000001",
+        "--retries",
+        "0",
+        "--fallback",
+        "none",
+        "--seed",
+        "7",
+    ]);
+    assert_eq!(out.status.code(), Some(15), "{out:?}");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("FAILED"), "stderr: {err}");
+    assert!(err.contains("produced no usable output"), "stderr: {err}");
+}
+
+#[test]
+fn batch_reports_reproduce_under_fixed_seed() {
+    let args = [
+        "batch",
+        "--demo",
+        "--frames",
+        "4",
+        "--size",
+        "16",
+        "--kernel",
+        "box3",
+        "--mode",
+        "noisy",
+        "--fault-rate",
+        "0.02",
+        "--tolerance",
+        "0.05",
+        "--retries",
+        "2",
+        "--seed",
+        "11",
+        "--workers",
+        "3",
+    ];
+    let a = tconv(&args);
+    let b = tconv(&args);
+    assert_eq!(a.status.code(), b.status.code());
+    let strip_latency = |raw: &[u8]| {
+        // Latency figures are wall-clock and legitimately vary run to
+        // run; everything else must be bit-identical.
+        String::from_utf8_lossy(raw)
+            .lines()
+            .map(|l| l.split("latency").next().unwrap_or(l).to_owned())
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    assert_eq!(strip_latency(&a.stdout), strip_latency(&b.stdout));
+}
+
+#[test]
+fn batch_roundtrips_a_directory_of_frames() {
+    let dir = std::env::temp_dir().join(format!("tconv_batch_{}", std::process::id()));
+    let in_dir = dir.join("in");
+    let out_dir = dir.join("out");
+    std::fs::create_dir_all(&in_dir).unwrap();
+    for i in 0..3 {
+        let img = ta_image::synth::natural_image(16, 16, i);
+        ta_image::pgm::save_pgm(&img, in_dir.join(format!("frame-{i}.pgm"))).unwrap();
+    }
+    let out = tconv(&[
+        "batch",
+        "--input-dir",
+        in_dir.to_str().unwrap(),
+        "--output-dir",
+        out_dir.to_str().unwrap(),
+        "--kernel",
+        "box3",
+        "--mode",
+        "approx",
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("ok 3"), "{text}");
+    assert!(text.contains("wrote 3 frame(s)"), "{text}");
+    for i in 0..3 {
+        let written = ta_image::pgm::load_pgm(out_dir.join(format!("frame-{i}.pgm"))).unwrap();
+        assert_eq!((written.width(), written.height()), (14, 14));
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn batch_rejects_mixed_frame_sizes_with_invalid_config_code() {
+    let dir = std::env::temp_dir().join(format!("tconv_mixed_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    ta_image::pgm::save_pgm(
+        &ta_image::synth::natural_image(16, 16, 0),
+        dir.join("a.pgm"),
+    )
+    .unwrap();
+    ta_image::pgm::save_pgm(
+        &ta_image::synth::natural_image(20, 20, 1),
+        dir.join("b.pgm"),
+    )
+    .unwrap();
+    let code = exit_code(&[
+        "batch",
+        "--input-dir",
+        dir.to_str().unwrap(),
+        "--kernel",
+        "box3",
+    ]);
+    assert_eq!(code, 8);
+    std::fs::remove_dir_all(&dir).ok();
+}

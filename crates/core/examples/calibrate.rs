@@ -2,8 +2,12 @@
 //! benchmarks under the three Pareto configurations. Used to anchor the
 //! energy/area constants; the official reproduction lives in
 //! `ta-experiments`.
+
+// Examples are exempt from the panic-free library guarantee.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use ta_core::*;
-use ta_image::{synth, Kernel, conv, metrics};
+use ta_image::{conv, metrics, synth, Kernel};
 
 fn main() {
     let configs = [(1.0, 7usize, 20usize), (5.0, 10, 20), (10.0, 10, 20)];
@@ -20,8 +24,12 @@ fn main() {
             let arch = Architecture::new(desc, cfg).unwrap();
             let mut errs = vec![];
             for (i, img) in images.iter().enumerate() {
-                let run = exec::run(&arch, img, ArithmeticMode::DelayApproxNoisy, i as u64).unwrap();
-                let refs: Vec<_> = kernels.iter().map(|k| conv::convolve(img, k, *stride)).collect();
+                let run =
+                    exec::run(&arch, img, ArithmeticMode::DelayApproxNoisy, i as u64).unwrap();
+                let refs: Vec<_> = kernels
+                    .iter()
+                    .map(|k| conv::convolve(img, k, *stride))
+                    .collect();
                 errs.push(run.pooled_rmse(&refs));
             }
             let rmse = metrics::pool_rmse(&errs);

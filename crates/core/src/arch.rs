@@ -42,8 +42,8 @@ impl Architecture {
         let needs_split = delay_kernels.iter().any(|k| k.has_negative());
         let nlde_unit = needs_split.then(|| NldeUnit::with_terms(cfg.nlde_terms, cfg.unit));
 
-        let vtc = VtcModel::ideal(cfg.unit)
-            .with_noise(cfg.vtc_pre_noise_frac, cfg.vtc_post_noise_ns);
+        let vtc =
+            VtcModel::ideal(cfg.unit).with_noise(cfg.vtc_pre_noise_frac, cfg.vtc_post_noise_ns);
 
         // Tree: one leaf per kernel column plus the recurrent partial.
         let fan_in = desc.kernel_width() + 1;
@@ -56,11 +56,8 @@ impl Architecture {
         // below e^-cycle and are *truncated* — delay space's "less
         // important contributions can be truncated at any time" property
         // (§2), applied by the execution model in the approximate modes.
-        let schedule = RecurrenceSchedule::solve(
-            tree_latency,
-            vtc.max_delay_units(),
-            cfg.relaxation_units,
-        )?;
+        let schedule =
+            RecurrenceSchedule::solve(tree_latency, vtc.max_delay_units(), cfg.relaxation_units)?;
 
         Ok(Architecture {
             desc,
@@ -155,16 +152,14 @@ impl Architecture {
         for dk in &self.delay_kernels {
             for &rail in dk.rails() {
                 // Weight delay matrix: one line per finite path.
-                total_um2 +=
-                    blocks * a.delay_units_um2(dk.total_weight_delay_units(rail), scale);
+                total_um2 += blocks * a.delay_units_um2(dk.total_weight_delay_units(rail), scale);
                 // Accumulation units.
                 total_um2 += blocks * accum * tree_area;
             }
             if dk.has_negative() {
-                let nlde = self
-                    .nlde_unit
-                    .as_ref()
-                    .expect("split kernels imply an nLDE unit");
+                let Some(nlde) = self.nlde_unit.as_ref() else {
+                    unreachable!("split kernels imply an nLDE unit")
+                };
                 total_um2 += blocks * nlde.area_um2(a);
             }
         }
@@ -201,11 +196,7 @@ impl Architecture {
                 let mut partial_fires = false;
                 for ky in 0..kh {
                     // Weight matrix delay lines exercised this cycle.
-                    per_output.add_delay_units(
-                        dk.row_weight_delay_units(rail, ky),
-                        scale,
-                        e,
-                    );
+                    per_output.add_delay_units(dk.row_weight_delay_units(rail, ky), scale, e);
                     // Tree switching for this cycle's leaf pattern.
                     let mut fired: Vec<bool> = (0..kw)
                         .map(|x| !dk.rail_delay(rail, x, ky).is_never())
@@ -216,30 +207,21 @@ impl Architecture {
                         // Unit energy covers its chains and gates together.
                         per_output.delay_pj += self.nlse_unit.energy_pj(e, fi);
                     }
-                    per_output.add_delay_units(
-                        profile.balance_k_units * k_units,
-                        scale,
-                        e,
-                    );
+                    per_output.add_delay_units(profile.balance_k_units * k_units, scale, e);
                     let any_fired = fired.iter().any(|&f| f);
                     partial_fires = partial_fires || any_fired;
                     // The loop delay line fires between cycles.
                     if ky + 1 < kh && partial_fires {
-                        per_output.add_delay_units(
-                            self.schedule.loop_delay_units,
-                            scale,
-                            e,
-                        );
+                        per_output.add_delay_units(self.schedule.loop_delay_units, scale, e);
                     }
                 }
                 tally.delay_pj += per_output.delay_pj * outputs;
                 tally.gate_pj += per_output.gate_pj * outputs;
             }
             if dk.has_negative() {
-                let nlde = self
-                    .nlde_unit
-                    .as_ref()
-                    .expect("split kernels imply an nLDE unit");
+                let Some(nlde) = self.nlde_unit.as_ref() else {
+                    unreachable!("split kernels imply an nLDE unit")
+                };
                 tally.delay_pj += nlde.energy_pj(e, 2) * outputs;
             }
         }
@@ -293,9 +275,7 @@ impl Architecture {
         }
         s.push_str(&format!(
             "  nLSE tree     : fan-in {} (kw + recurrent partial), depth {}, latency {:.3}u\n",
-            self.fan_in,
-            self.tree_depth,
-            self.schedule.tree_latency_units
+            self.fan_in, self.tree_depth, self.schedule.tree_latency_units
         ));
         s.push_str(&format!(
             "  recurrence    : cycle {:.3}u ({:.2} ns), loop delay {:.3}u, relaxation {:.3}u\n",
@@ -328,17 +308,14 @@ impl Architecture {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
     use super::*;
     use ta_image::Kernel;
 
     fn sobel_arch() -> Architecture {
-        let desc = SystemDescription::new(
-            150,
-            150,
-            vec![Kernel::sobel_x(), Kernel::sobel_y()],
-            1,
-        )
-        .unwrap();
+        let desc = SystemDescription::new(150, 150, vec![Kernel::sobel_x(), Kernel::sobel_y()], 1)
+            .unwrap();
         Architecture::new(desc, ArchConfig::fast_1ns(7, 20)).unwrap()
     }
 
@@ -353,8 +330,7 @@ mod tests {
 
     #[test]
     fn pyr_down_needs_no_nlde() {
-        let desc =
-            SystemDescription::new(150, 150, vec![Kernel::pyr_down_5x5()], 2).unwrap();
+        let desc = SystemDescription::new(150, 150, vec![Kernel::pyr_down_5x5()], 2).unwrap();
         let arch = Architecture::new(desc, ArchConfig::fast_1ns(7, 20)).unwrap();
         assert!(arch.nlde_unit().is_none());
         assert_eq!(arch.tree_fan_in(), 6);
@@ -363,8 +339,7 @@ mod tests {
 
     #[test]
     fn energy_scales_with_unit_scale() {
-        let desc =
-            SystemDescription::new(64, 64, vec![Kernel::pyr_down_5x5()], 2).unwrap();
+        let desc = SystemDescription::new(64, 64, vec![Kernel::pyr_down_5x5()], 2).unwrap();
         let e1 = Architecture::new(
             desc.clone(),
             ArchConfig::new(ta_circuits::UnitScale::new(1.0, 50.0), 7, 20),
@@ -387,8 +362,7 @@ mod tests {
 
     #[test]
     fn energy_grows_with_terms() {
-        let desc =
-            SystemDescription::new(64, 64, vec![Kernel::pyr_down_5x5()], 2).unwrap();
+        let desc = SystemDescription::new(64, 64, vec![Kernel::pyr_down_5x5()], 2).unwrap();
         let e5 = Architecture::new(desc.clone(), ArchConfig::fast_1ns(5, 20))
             .unwrap()
             .energy_per_frame();
@@ -444,8 +418,7 @@ mod tests {
 
     #[test]
     fn tdc_adds_per_pixel_energy() {
-        let desc =
-            SystemDescription::new(64, 64, vec![Kernel::pyr_down_5x5()], 2).unwrap();
+        let desc = SystemDescription::new(64, 64, vec![Kernel::pyr_down_5x5()], 2).unwrap();
         let without = Architecture::new(desc.clone(), ArchConfig::fast_1ns(7, 20))
             .unwrap()
             .energy_per_frame();

@@ -155,9 +155,7 @@ impl fmt::Display for CampaignReport {
 
 /// Splits `base` into independent per-(a, b) streams deterministically.
 fn derive_seed(base: u64, a: u64, b: u64) -> u64 {
-    base ^ a
-        .wrapping_add(1)
-        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+    base ^ a.wrapping_add(1).wrapping_mul(0x9e37_79b9_7f4a_7c15)
         ^ b.wrapping_add(1).wrapping_mul(0xd1b5_4a32_d192_ed03)
 }
 
@@ -297,6 +295,8 @@ pub fn run_campaign(
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
     use super::*;
     use crate::{ArchConfig, SystemDescription};
     use ta_image::{synth, Kernel};
@@ -323,12 +323,7 @@ mod tests {
         let a = run_campaign(&arch, &img, &cfg).unwrap();
         let b = run_campaign(&arch, &img, &cfg).unwrap();
         assert_eq!(a, b, "same seed must reproduce the identical report");
-        let c = run_campaign(
-            &arch,
-            &img,
-            &CampaignConfig { seed: 1, ..cfg },
-        )
-        .unwrap();
+        let c = run_campaign(&arch, &img, &CampaignConfig { seed: 1, ..cfg }).unwrap();
         assert_ne!(a, c, "a different seed must explore different faults");
     }
 

@@ -5,7 +5,7 @@
 use ta_circuits::UnitScale;
 use ta_image::{conv, metrics, Image};
 
-use crate::{exec, ArchConfig, Architecture, ArithmeticMode, SystemDescription, SystemError};
+use crate::{exec, ArchConfig, Architecture, ArithmeticMode, Error, SystemDescription};
 
 /// The sweep grid. Defaults reproduce the paper's exploration: term
 /// counts {5, 7, 10, 15, 20} for both nLSE and nLDE, unit scales
@@ -60,16 +60,18 @@ pub struct DsePoint {
 ///
 /// # Errors
 ///
-/// Propagates [`SystemError`] from architecture compilation.
+/// Propagates [`crate::SystemError`] from architecture compilation and
+/// [`crate::exec::ExecError`] from evaluation runs (e.g. an image that
+/// mismatches `desc`'s geometry), both through the unified [`Error`].
 ///
 /// # Panics
 ///
-/// Panics if `images` is empty or an image mismatches `desc`'s geometry.
+/// Panics if `images` is empty.
 pub fn explore(
     desc: &SystemDescription,
     images: &[Image],
     grid: &SweepGrid,
-) -> Result<Vec<DsePoint>, SystemError> {
+) -> Result<Vec<DsePoint>, Error> {
     assert!(!images.is_empty(), "need at least one evaluation image");
 
     // References once per image/kernel.
@@ -108,12 +110,8 @@ pub fn explore(
         let _ = ta_approx::NldeApprox::fit(nlde);
     }
 
-    let measure = |&(unit_ns, nlse, nlde): &(f64, usize, usize)| -> Result<DsePoint, SystemError> {
-        let cfg = ArchConfig::new(
-            UnitScale::new(unit_ns, grid.element_multiplier),
-            nlse,
-            nlde,
-        );
+    let measure = |&(unit_ns, nlse, nlde): &(f64, usize, usize)| -> Result<DsePoint, Error> {
+        let cfg = ArchConfig::new(UnitScale::new(unit_ns, grid.element_multiplier), nlse, nlde);
         let arch = Architecture::new(desc.clone(), cfg)?;
         let mut per_image = Vec::with_capacity(images.len());
         for (i, img) in images.iter().enumerate() {
@@ -124,8 +122,7 @@ pub fn explore(
                 grid.seed
                     .wrapping_add(i as u64)
                     .wrapping_mul(0x9e37_79b9_7f4a_7c15),
-            )
-            .expect("image geometry validated by caller");
+            )?;
             per_image.push(run.pooled_rmse(&references[i]));
         }
         Ok(DsePoint {
@@ -148,7 +145,7 @@ pub fn explore(
             points.push(measure(c)?);
         }
     } else {
-        let results: Vec<Result<DsePoint, SystemError>> = std::thread::scope(|scope| {
+        let results: Vec<Result<DsePoint, Error>> = std::thread::scope(|scope| {
             let chunk = configs.len().div_ceil(workers);
             let handles: Vec<_> = configs
                 .chunks(chunk)
@@ -156,7 +153,12 @@ pub fn explore(
                 .collect();
             handles
                 .into_iter()
-                .flat_map(|h| h.join().expect("sweep worker panicked"))
+                .flat_map(|h| {
+                    // A panicking worker is a bug in the engine itself;
+                    // re-raise the original payload instead of masking it.
+                    h.join()
+                        .unwrap_or_else(|payload| std::panic::resume_unwind(payload))
+                })
                 .collect()
         });
         for r in results {
@@ -184,6 +186,8 @@ pub fn mark_pareto(points: &mut [DsePoint]) {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
     use super::*;
     use ta_image::{synth, Kernel};
 
@@ -199,8 +203,7 @@ mod tests {
 
     #[test]
     fn explore_covers_grid_and_marks_pareto() {
-        let desc =
-            SystemDescription::new(24, 24, vec![Kernel::pyr_down_5x5()], 2).unwrap();
+        let desc = SystemDescription::new(24, 24, vec![Kernel::pyr_down_5x5()], 2).unwrap();
         let images = vec![synth::natural_image(24, 24, 0)];
         let points = explore(&desc, &images, &tiny_grid()).unwrap();
         // Positive-only kernel collapses the nLDE axis: 2 terms × 2 units.

@@ -1,0 +1,108 @@
+//! The unified `ta-core` error taxonomy.
+//!
+//! Every fallible operation on the run path — compiling a
+//! [`crate::SystemDescription`] into an [`crate::Architecture`], executing
+//! a frame, configuring fault injection, validating a result — surfaces
+//! through one of the module-level error types. [`Error`] unifies them so
+//! callers that drive the whole pipeline (the CLI, the supervised runtime)
+//! can hold a single error type without flattening the cause chain.
+
+use std::error::Error as StdError;
+use std::fmt;
+
+use crate::exec::ExecError;
+use crate::fault::FaultError;
+use crate::report::ValidationError;
+use crate::system::SystemError;
+
+/// Any error the `ta-core` pipeline can produce, from system description
+/// to validated run result.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Error {
+    /// The system description or architecture could not be compiled.
+    System(SystemError),
+    /// The engine rejected or failed the run.
+    Exec(ExecError),
+    /// A fault-injection request was invalid.
+    Fault(FaultError),
+    /// A run completed but its output failed validation.
+    Validation(ValidationError),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::System(e) => write!(f, "architecture: {e}"),
+            Error::Exec(e) => write!(f, "execution: {e}"),
+            Error::Fault(e) => write!(f, "fault injection: {e}"),
+            Error::Validation(e) => write!(f, "validation: {e}"),
+        }
+    }
+}
+
+impl StdError for Error {
+    fn source(&self) -> Option<&(dyn StdError + 'static)> {
+        match self {
+            Error::System(e) => Some(e),
+            Error::Exec(e) => Some(e),
+            Error::Fault(e) => Some(e),
+            Error::Validation(e) => Some(e),
+        }
+    }
+}
+
+impl From<SystemError> for Error {
+    fn from(e: SystemError) -> Self {
+        Error::System(e)
+    }
+}
+
+impl From<ExecError> for Error {
+    fn from(e: ExecError) -> Self {
+        Error::Exec(e)
+    }
+}
+
+impl From<FaultError> for Error {
+    fn from(e: FaultError) -> Self {
+        Error::Fault(e)
+    }
+}
+
+impl From<ValidationError> for Error {
+    fn from(e: ValidationError) -> Self {
+        Error::Validation(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)]
+
+    use super::*;
+
+    #[test]
+    fn displays_carry_cause() {
+        let e = Error::from(SystemError::NoKernels);
+        assert!(e.to_string().contains("architecture"));
+        assert!(e.source().is_some());
+
+        let e = Error::from(ExecError::DimensionMismatch {
+            expected: (8, 8),
+            got: (4, 4),
+        });
+        assert!(e.to_string().contains("execution"));
+
+        let e = Error::from(FaultError::InvalidRate(2.0));
+        assert!(e.to_string().contains("fault"));
+
+        let e = Error::from(ValidationError::NonFinite {
+            kernel: 0,
+            x: 1,
+            y: 2,
+            value_kind: "NaN",
+        });
+        assert!(e.to_string().contains("validation"));
+    }
+}

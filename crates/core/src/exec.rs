@@ -215,8 +215,7 @@ fn run_delay(
             }
         })
         .collect();
-    let pixel_at =
-        |x: usize, y: usize| -> DelayValue { pixel_delays[y * image.width() + x] };
+    let pixel_at = |x: usize, y: usize| -> DelayValue { pixel_delays[y * image.width() + x] };
 
     let k_tree = if approximate {
         arch.tree_depth() as f64 * arch.nlse_unit().latency_units()
@@ -252,16 +251,14 @@ fn run_delay(
                         // PSIJ is common-mode supply droop, so the weight
                         // lines, the tree chains and the loop line of a
                         // cycle all see the same excursion.
-                        let realization = noisy
-                            .then(|| cfg.noise.begin_eval(cfg.unit, &mut rng));
+                        let realization = noisy.then(|| cfg.noise.begin_eval(cfg.unit, &mut rng));
                         leaves.clear();
                         for kx in 0..kw {
                             let w = dk.rail_delay(rail, kx, ky);
                             if w.is_never() {
                                 leaves.push(DelayValue::ZERO);
                             } else {
-                                let weight_fault =
-                                    faults.weight_fault(k_idx, rail, ky, kx);
+                                let weight_fault = faults.weight_fault(k_idx, rail, ky, kx);
                                 let nominal = match weight_fault {
                                     Some(FaultKind::DelayDrift { fraction }) => {
                                         let factor = 1.0 + fraction;
@@ -280,11 +277,9 @@ fn run_delay(
                                     Some(r) => r.perturb_units(nominal, &mut rng),
                                     None => nominal,
                                 };
-                                let mut leaf = pixel_at(ox * stride + kx, oy * stride + ky)
-                                    .delayed(w_delay);
-                                if let Some(fault) =
-                                    weight_fault.and_then(FaultKind::edge_fault)
-                                {
+                                let mut leaf =
+                                    pixel_at(ox * stride + kx, oy * stride + ky).delayed(w_delay);
+                                if let Some(fault) = weight_fault.and_then(FaultKind::edge_fault) {
                                     let mut obs = FaultObservation::default();
                                     leaf = fault.apply(leaf, &mut obs);
                                     stats.absorb_observation(obs);
@@ -322,9 +317,9 @@ fn run_delay(
                                 }
                             },
                             ArithmeticMode::DelayApproxNoisy => {
-                                let r = realization
-                                    .as_ref()
-                                    .expect("noisy mode always has a realization");
+                                let Some(r) = realization.as_ref() else {
+                                    unreachable!("noisy mode always has a realization")
+                                };
                                 match tree_drift {
                                     None => tree::eval(
                                         &TreeOps::Noisy(arch.nlse_unit(), r),
@@ -389,7 +384,15 @@ fn run_delay(
                 }
 
                 let value = combine_rails(
-                    arch, k_idx, dk.rails(), rail_raw, mode, shift, faults, stats, &mut rng,
+                    arch,
+                    k_idx,
+                    dk.rails(),
+                    rail_raw,
+                    mode,
+                    shift,
+                    faults,
+                    stats,
+                    &mut rng,
                 );
                 out.set(ox, oy, value);
             }
@@ -438,13 +441,17 @@ fn combine_rails(
     match mode {
         ArithmeticMode::DelayExact => {
             // Exact subtraction is pure mathematics; an nLDE-chain drift
-            // fault has no hardware to act on here.
-            let diff = ops::nlde(minuend, subtrahend)
-                .expect("operands ordered by the comparator");
+            // fault has no hardware to act on here. The comparator above
+            // ordered the operands, so nLDE cannot fail; if the invariant
+            // ever broke, saturating to "never" mirrors the hardware
+            // (a missing edge, not a crash).
+            let diff = ops::nlde(minuend, subtrahend).unwrap_or(DelayValue::ZERO);
             sign * decode(diff, shift)
         }
         ArithmeticMode::DelayApprox => {
-            let unit = arch.nlde_unit().expect("split kernels carry an nLDE unit");
+            let Some(unit) = arch.nlde_unit() else {
+                unreachable!("split kernels carry an nLDE unit")
+            };
             let diff = match faults.nlde_drift(k_idx) {
                 None => unit.eval_ideal(minuend, subtrahend),
                 Some(f) => {
@@ -460,7 +467,9 @@ fn combine_rails(
             sign * decode(diff, shift + unit.latency_units())
         }
         ArithmeticMode::DelayApproxNoisy => {
-            let unit = arch.nlde_unit().expect("split kernels carry an nLDE unit");
+            let Some(unit) = arch.nlde_unit() else {
+                unreachable!("split kernels carry an nLDE unit")
+            };
             let realization = cfg.noise.begin_eval(cfg.unit, rng);
             let diff = match faults.nlde_drift(k_idx) {
                 None => unit.eval_noisy(minuend, subtrahend, &realization, rng),
@@ -510,6 +519,8 @@ pub fn run_sequence(
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
     use super::*;
     use crate::fault::{FaultModel, FaultSite};
     use crate::{ArchConfig, SystemDescription};
@@ -642,11 +653,8 @@ mod tests {
             let arch = arch_for(kernels.clone(), stride, size);
             let img = synth::natural_image(size, size, 2);
             let run = run(&arch, &img, ArithmeticMode::DelayExact, 0).unwrap();
-            let reference = conv::convolve(
-                &img.map(|p| p.max((-6.0_f64).exp())),
-                &kernels[0],
-                stride,
-            );
+            let reference =
+                conv::convolve(&img.map(|p| p.max((-6.0_f64).exp())), &kernels[0], stride);
             assert!(
                 metrics::normalized_rmse(&run.outputs[0], &reference) < 1e-9,
                 "{} s{stride} {size}px",
@@ -731,7 +739,12 @@ mod tests {
 
         let mut map = FaultMap::new();
         map.insert(
-            FaultSite::WeightLine { kernel: 0, rail: Rail::Pos, ky: 0, kx: 2 },
+            FaultSite::WeightLine {
+                kernel: 0,
+                rail: Rail::Pos,
+                ky: 0,
+                kx: 2,
+            },
             FaultKind::StuckAtNever,
         )
         .unwrap();
@@ -754,12 +767,20 @@ mod tests {
         // Below -100%: the loop line and a weight line saturate at zero
         // delay rather than advancing edges.
         map.insert(
-            FaultSite::LoopLine { kernel: 0, rail: Rail::Pos },
+            FaultSite::LoopLine {
+                kernel: 0,
+                rail: Rail::Pos,
+            },
             FaultKind::DelayDrift { fraction: -2.0 },
         )
         .unwrap();
         map.insert(
-            FaultSite::WeightLine { kernel: 0, rail: Rail::Pos, ky: 2, kx: 2 },
+            FaultSite::WeightLine {
+                kernel: 0,
+                rail: Rail::Pos,
+                ky: 2,
+                kx: 2,
+            },
             FaultKind::DelayDrift { fraction: -3.0 },
         )
         .unwrap();

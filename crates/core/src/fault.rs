@@ -85,7 +85,12 @@ impl fmt::Display for FaultSite {
             Rail::Neg => "neg",
         };
         match self {
-            FaultSite::WeightLine { kernel, rail, ky, kx } => {
+            FaultSite::WeightLine {
+                kernel,
+                rail,
+                ky,
+                kx,
+            } => {
                 write!(f, "k{kernel}.{}.w[{ky}][{kx}]", rail_tag(*rail))
             }
             FaultSite::Pixel { x, y } => write!(f, "pixel({x},{y})"),
@@ -228,9 +233,9 @@ impl FaultMap {
         let ok = match site {
             FaultSite::WeightLine { .. } => true,
             FaultSite::Pixel { .. } => !kind.is_drift(),
-            FaultSite::TreeChain { .. } | FaultSite::LoopLine { .. } | FaultSite::NldeChain { .. } => {
-                kind.is_drift()
-            }
+            FaultSite::TreeChain { .. }
+            | FaultSite::LoopLine { .. }
+            | FaultSite::NldeChain { .. } => kind.is_drift(),
         };
         if !ok {
             return Err(FaultError::KindSiteMismatch { site, kind });
@@ -267,7 +272,12 @@ impl FaultMap {
         ky: usize,
         kx: usize,
     ) -> Option<FaultKind> {
-        self.get(FaultSite::WeightLine { kernel, rail, ky, kx })
+        self.get(FaultSite::WeightLine {
+            kernel,
+            rail,
+            ky,
+            kx,
+        })
     }
 
     /// Edge fault on the given pixel's VTC output, if any.
@@ -313,13 +323,24 @@ pub fn enumerate_sites(arch: &Architecture) -> Vec<FaultSite> {
             for ky in 0..dk.height() {
                 for kx in 0..dk.width() {
                     if !dk.rail_delay(rail, kx, ky).is_never() {
-                        sites.push(FaultSite::WeightLine { kernel: k_idx, rail, ky, kx });
+                        sites.push(FaultSite::WeightLine {
+                            kernel: k_idx,
+                            rail,
+                            ky,
+                            kx,
+                        });
                     }
                 }
             }
-            sites.push(FaultSite::TreeChain { kernel: k_idx, rail });
+            sites.push(FaultSite::TreeChain {
+                kernel: k_idx,
+                rail,
+            });
             if dk.height() > 1 {
-                sites.push(FaultSite::LoopLine { kernel: k_idx, rail });
+                sites.push(FaultSite::LoopLine {
+                    kernel: k_idx,
+                    rail,
+                });
             }
         }
         if dk.has_negative() {
@@ -403,7 +424,9 @@ impl FaultModel {
                 all
             }
             FaultSite::Pixel { .. } => edge.to_vec(),
-            FaultSite::TreeChain { .. } | FaultSite::LoopLine { .. } | FaultSite::NldeChain { .. } => {
+            FaultSite::TreeChain { .. }
+            | FaultSite::LoopLine { .. }
+            | FaultSite::NldeChain { .. } => {
                 vec![FaultKind::DelayDrift {
                     fraction: self.drift_fraction,
                 }]
@@ -428,8 +451,11 @@ impl FaultModel {
                     *fraction = -*fraction;
                 }
             }
-            map.insert(site, kind)
-                .expect("kinds_for only offers site-compatible kinds");
+            // `kinds_for` only offers site-compatible kinds, so the insert
+            // cannot fail; a broken invariant surfaces in debug builds and
+            // degrades to "site skipped" in release.
+            let inserted = map.insert(site, kind);
+            debug_assert!(inserted.is_ok(), "kinds_for offered an incompatible kind");
         }
         map
     }
@@ -472,6 +498,8 @@ impl fmt::Display for FaultStats {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
     use super::*;
     use crate::{ArchConfig, SystemDescription};
     use ta_image::Kernel;
@@ -526,18 +554,24 @@ mod tests {
     fn kind_site_compatibility_enforced() {
         let mut map = FaultMap::new();
         let drift = FaultKind::DelayDrift { fraction: 0.1 };
-        assert!(map
-            .insert(FaultSite::Pixel { x: 0, y: 0 }, drift)
-            .is_err());
+        assert!(map.insert(FaultSite::Pixel { x: 0, y: 0 }, drift).is_err());
         assert!(map
             .insert(
-                FaultSite::TreeChain { kernel: 0, rail: Rail::Pos },
+                FaultSite::TreeChain {
+                    kernel: 0,
+                    rail: Rail::Pos
+                },
                 FaultKind::StuckAtNever
             )
             .is_err());
         assert!(map
             .insert(
-                FaultSite::WeightLine { kernel: 0, rail: Rail::Pos, ky: 0, kx: 0 },
+                FaultSite::WeightLine {
+                    kernel: 0,
+                    rail: Rail::Pos,
+                    ky: 0,
+                    kx: 0
+                },
                 drift
             )
             .is_ok());
@@ -601,7 +635,10 @@ mod tests {
     fn accessors_match_inserted_faults() {
         let mut map = FaultMap::new();
         map.insert(
-            FaultSite::LoopLine { kernel: 0, rail: Rail::Neg },
+            FaultSite::LoopLine {
+                kernel: 0,
+                rail: Rail::Neg,
+            },
             FaultKind::DelayDrift { fraction: -0.3 },
         )
         .unwrap();
@@ -612,7 +649,9 @@ mod tests {
         .unwrap();
         map.insert(
             FaultSite::Pixel { x: 3, y: 1 },
-            FaultKind::SpuriousEarly { advance_units: 0.25 },
+            FaultKind::SpuriousEarly {
+                advance_units: 0.25,
+            },
         )
         .unwrap();
         assert_eq!(map.loop_drift(0, Rail::Neg), Some(-0.3));
@@ -625,7 +664,12 @@ mod tests {
 
     #[test]
     fn displays_are_stable() {
-        let site = FaultSite::WeightLine { kernel: 1, rail: Rail::Neg, ky: 2, kx: 0 };
+        let site = FaultSite::WeightLine {
+            kernel: 1,
+            rail: Rail::Neg,
+            ky: 2,
+            kx: 0,
+        };
         assert_eq!(site.to_string(), "k1.neg.w[2][0]");
         assert_eq!(
             FaultKind::DelayDrift { fraction: -0.25 }.to_string(),

@@ -17,6 +17,12 @@
 //! is applied between cycle evaluations exactly as the hardware's loop
 //! delay line does.
 
+// The netlist compiler establishes structural invariants (arity, presence
+// of the nLDE circuit for split kernels) that the evaluator then relies
+// on; the `expect`s below document those invariants rather than guard
+// user input, and converting them to `Result` would obscure the datapath.
+#![allow(clippy::expect_used)]
+
 use ta_delay_space::DelayValue;
 use ta_image::Image;
 use ta_race_logic::blocks::{self, TermPair};
@@ -134,9 +140,8 @@ impl GateEngine {
                             // functional engine's inclusive one).
                             let mut inputs = Vec::with_capacity(kw + 3);
                             for kx in 0..kw {
-                                let p = vtc.convert_ideal(
-                                    image.get(ox * stride + kx, oy * stride + ky),
-                                );
+                                let p = vtc
+                                    .convert_ideal(image.get(ox * stride + kx, oy * stride + ky));
                                 inputs.push(p);
                             }
                             inputs.push(partial);
@@ -216,8 +221,7 @@ impl GateEngine {
             .iter()
             .map(|&p| vtc.convert(p, &mut rng))
             .collect();
-        let pixel_at =
-            |x: usize, y: usize| -> DelayValue { pixel_delays[y * image.width() + x] };
+        let pixel_at = |x: usize, y: usize| -> DelayValue { pixel_delays[y * image.width() + x] };
 
         let mut outputs = Vec::with_capacity(self.cycles.len());
         for (k_idx, per_rail) in self.cycles.iter().enumerate() {
@@ -252,8 +256,7 @@ impl GateEngine {
                                     raw
                                 } else {
                                     let loop_delay = arch.schedule().loop_delay_units;
-                                    let jitter = realization
-                                        .perturb_units(loop_delay, &mut rng)
+                                    let jitter = realization.perturb_units(loop_delay, &mut rng)
                                         - loop_delay;
                                     raw.delayed(jitter - cycle.tree_shift)
                                 }
@@ -333,8 +336,7 @@ impl GateEngine {
                 }
             })
             .collect();
-        let pixel_at =
-            |x: usize, y: usize| -> DelayValue { pixel_delays[y * image.width() + x] };
+        let pixel_at = |x: usize, y: usize| -> DelayValue { pixel_delays[y * image.width() + x] };
 
         // Lower the map onto each cycle netlist once up front.
         let plans: Vec<Vec<Vec<FaultPlan>>> = self
@@ -462,7 +464,10 @@ impl GateEngine {
         } else {
             (neg, pos, -1.0)
         };
-        let (circuit, nk) = self.nlde.as_ref().expect("split kernels carry an nLDE netlist");
+        let (circuit, nk) = self
+            .nlde
+            .as_ref()
+            .expect("split kernels carry an nLDE netlist");
         let diff = match nlde_plan {
             None => circuit
                 .evaluate(&[minuend, subtrahend])
@@ -490,7 +495,10 @@ impl GateEngine {
         } else {
             (neg, pos, -1.0)
         };
-        let (circuit, nk) = self.nlde.as_ref().expect("split kernels carry an nLDE netlist");
+        let (circuit, nk) = self
+            .nlde
+            .as_ref()
+            .expect("split kernels carry an nLDE netlist");
         let diff = circuit
             .evaluate(&[minuend, subtrahend])
             .expect("two-input netlist")[0];
@@ -595,6 +603,8 @@ fn cycle_plan(
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
     use super::*;
     use crate::fault::{FaultModel, FaultSite};
     use crate::{exec, ArchConfig, ArithmeticMode, SystemDescription};
@@ -636,8 +646,7 @@ mod tests {
     #[test]
     fn noisy_gate_engine_tracks_functional_statistics() {
         let size = 16;
-        let desc =
-            SystemDescription::new(size, size, vec![Kernel::pyr_down_5x5()], 2).unwrap();
+        let desc = SystemDescription::new(size, size, vec![Kernel::pyr_down_5x5()], 2).unwrap();
         let arch = Architecture::new(desc, ArchConfig::fast_1ns(7, 20)).unwrap();
         let engine = GateEngine::compile(&arch);
         let img = synth::natural_image(size, size, 8);
@@ -685,17 +694,32 @@ mod tests {
         let img = synth::natural_image(10, 10, 7);
         let mut map = FaultMap::new();
         map.insert(
-            FaultSite::WeightLine { kernel: 0, rail: Rail::Pos, ky: 0, kx: 2 },
+            FaultSite::WeightLine {
+                kernel: 0,
+                rail: Rail::Pos,
+                ky: 0,
+                kx: 2,
+            },
             FaultKind::StuckAtNever,
         )
         .unwrap();
         map.insert(
-            FaultSite::WeightLine { kernel: 0, rail: Rail::Neg, ky: 1, kx: 0 },
+            FaultSite::WeightLine {
+                kernel: 0,
+                rail: Rail::Neg,
+                ky: 1,
+                kx: 0,
+            },
             FaultKind::DelayDrift { fraction: 0.3 },
         )
         .unwrap();
         map.insert(
-            FaultSite::WeightLine { kernel: 0, rail: Rail::Pos, ky: 2, kx: 2 },
+            FaultSite::WeightLine {
+                kernel: 0,
+                rail: Rail::Pos,
+                ky: 2,
+                kx: 2,
+            },
             FaultKind::SpuriousEarly { advance_units: 0.4 },
         )
         .unwrap();
@@ -704,12 +728,18 @@ mod tests {
         map.insert(FaultSite::Pixel { x: 2, y: 7 }, FaultKind::DropEvent)
             .unwrap();
         map.insert(
-            FaultSite::TreeChain { kernel: 0, rail: Rail::Pos },
+            FaultSite::TreeChain {
+                kernel: 0,
+                rail: Rail::Pos,
+            },
             FaultKind::DelayDrift { fraction: -0.2 },
         )
         .unwrap();
         map.insert(
-            FaultSite::LoopLine { kernel: 0, rail: Rail::Neg },
+            FaultSite::LoopLine {
+                kernel: 0,
+                rail: Rail::Neg,
+            },
             FaultKind::DelayDrift { fraction: 0.15 },
         )
         .unwrap();
@@ -752,8 +782,7 @@ mod tests {
                 let map = FaultModel::with_rate(0.1).unwrap().sample(&arch, seed);
                 let (gate_outs, _) = engine.run_faulty(&arch, &img, &map).unwrap();
                 let functional =
-                    exec::run_faulty(&arch, &img, ArithmeticMode::DelayApprox, 0, &map)
-                        .unwrap();
+                    exec::run_faulty(&arch, &img, ArithmeticMode::DelayApprox, 0, &map).unwrap();
                 for (g, f) in gate_outs.iter().zip(&functional.outputs) {
                     assert!(
                         metrics::rmse(g, f) < 1e-9,

@@ -42,9 +42,10 @@
 mod arch;
 pub mod campaign;
 pub mod dse;
+mod error;
+pub mod exec;
 pub mod fault;
 pub mod gate_engine;
-pub mod exec;
 mod modes;
 pub mod recurrence;
 mod report;
@@ -53,8 +54,11 @@ pub mod transform;
 mod tree;
 
 pub use arch::Architecture;
-pub use fault::{enumerate_sites, FaultError, FaultKind, FaultMap, FaultModel, FaultSite, FaultStats};
+pub use error::Error;
+pub use fault::{
+    enumerate_sites, FaultError, FaultKind, FaultMap, FaultModel, FaultSite, FaultStats,
+};
 pub use gate_engine::GateEngine;
 pub use modes::ArithmeticMode;
-pub use report::{RunResult, TimingReport};
+pub use report::{RunResult, TimingReport, ValidationError};
 pub use system::{ArchConfig, SystemDescription, SystemError};

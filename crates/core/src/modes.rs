@@ -54,6 +54,8 @@ impl fmt::Display for ArithmeticMode {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
     use super::*;
 
     #[test]

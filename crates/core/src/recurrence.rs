@@ -59,8 +59,7 @@ impl RecurrenceSchedule {
         // settles row k, the VTCs convert row k+1, so the cycle is set by
         // the longer of the two phases plus the relaxation period. The
         // loop delay T − K_tree is then automatically realisable.
-        let cycle_units =
-            tree_latency_units.max(max_input_units) + relaxation_units;
+        let cycle_units = tree_latency_units.max(max_input_units) + relaxation_units;
         Ok(RecurrenceSchedule {
             tree_latency_units,
             max_input_units,
@@ -135,10 +134,7 @@ pub struct SyncCost {
 /// Panics if `n == 0` or `cycle_units < k_units` (infeasible staging).
 pub fn sync_strategy_costs(n: usize, cycle_units: f64, k_units: f64) -> [SyncCost; 3] {
     assert!(n >= 1, "need at least one input");
-    assert!(
-        cycle_units >= k_units,
-        "cycle must cover one block latency"
-    );
+    assert!(cycle_units >= k_units, "cycle must cover one block latency");
     let nf = n as f64;
     // Fig 7a: input i (0-based, last arrives at (n-1)·T) waits
     // (n-1-i)·T ⇒ total T·n(n-1)/2 of delay line; the wide nLSE tree is
@@ -171,6 +167,8 @@ pub fn sync_strategy_costs(n: usize, cycle_units: f64, k_units: f64) -> [SyncCos
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
     use super::*;
 
     #[test]

@@ -1,11 +1,76 @@
-//! Run results and timing reports.
+//! Run results, timing reports and output validation.
 
+use std::error::Error as StdError;
 use std::fmt;
 
 use ta_circuits::EnergyTally;
 use ta_image::Image;
 
 use crate::ArithmeticMode;
+
+/// Why a completed run's output was rejected by validation.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ValidationError {
+    /// An output pixel is NaN or infinite.
+    NonFinite {
+        /// Kernel output the pixel belongs to.
+        kernel: usize,
+        /// Pixel column.
+        x: usize,
+        /// Pixel row.
+        y: usize,
+        /// `"NaN"` or `"infinite"`, for the diagnostic.
+        value_kind: &'static str,
+    },
+    /// An output drifted beyond the configured nRMSE tolerance against
+    /// its reference.
+    ToleranceExceeded {
+        /// Kernel output that drifted.
+        kernel: usize,
+        /// Measured range-normalised RMSE.
+        nrmse: f64,
+        /// Configured tolerance.
+        tolerance: f64,
+    },
+    /// The number or shape of reference images does not match the outputs.
+    ReferenceMismatch {
+        /// Number of outputs in the run.
+        outputs: usize,
+        /// Number of references supplied.
+        references: usize,
+    },
+}
+
+impl fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidationError::NonFinite {
+                kernel,
+                x,
+                y,
+                value_kind,
+            } => write!(
+                f,
+                "kernel {kernel} output has {value_kind} pixel at ({x},{y})"
+            ),
+            ValidationError::ToleranceExceeded {
+                kernel,
+                nrmse,
+                tolerance,
+            } => write!(
+                f,
+                "kernel {kernel} output nRMSE {nrmse:.6} exceeds tolerance {tolerance:.6}"
+            ),
+            ValidationError::ReferenceMismatch {
+                outputs,
+                references,
+            } => write!(f, "{outputs} outputs but {references} reference image(s)"),
+        }
+    }
+}
+
+impl StdError for ValidationError {}
 
 /// Timing characteristics of a compiled architecture (Table 2's delay
 /// columns).
@@ -92,11 +157,155 @@ impl RunResult {
     pub fn pooled_rmse(&self, references: &[Image]) -> f64 {
         ta_image::metrics::pool_rmse(&self.normalized_rmse(references))
     }
+
+    /// Validation hook: every output pixel must be a finite number.
+    ///
+    /// The temporal engines are designed to saturate rather than produce
+    /// NaN/Inf, so a non-finite pixel means the frame is unusable (e.g. a
+    /// poisoned input or a bug) and must not propagate into reports.
+    ///
+    /// # Errors
+    ///
+    /// [`ValidationError::NonFinite`] naming the first offending pixel.
+    pub fn validate_finite(&self) -> Result<(), ValidationError> {
+        for (kernel, out) in self.outputs.iter().enumerate() {
+            for (i, &p) in out.pixels().iter().enumerate() {
+                if !p.is_finite() {
+                    return Err(ValidationError::NonFinite {
+                        kernel,
+                        x: i % out.width(),
+                        y: i / out.width(),
+                        value_kind: if p.is_nan() { "NaN" } else { "infinite" },
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Validation hook: every output must be finite *and* stay within
+    /// `tolerance` range-normalised RMSE of its reference image.
+    ///
+    /// # Errors
+    ///
+    /// [`ValidationError::ReferenceMismatch`] if `references` does not
+    /// pair up with the outputs, [`ValidationError::NonFinite`] for a
+    /// NaN/Inf pixel, and [`ValidationError::ToleranceExceeded`] for the
+    /// first output that drifts beyond the tolerance.
+    pub fn validate_against(
+        &self,
+        references: &[Image],
+        tolerance: f64,
+    ) -> Result<(), ValidationError> {
+        if references.len() != self.outputs.len()
+            || self
+                .outputs
+                .iter()
+                .zip(references)
+                .any(|(o, r)| (o.width(), o.height()) != (r.width(), r.height()))
+        {
+            return Err(ValidationError::ReferenceMismatch {
+                outputs: self.outputs.len(),
+                references: references.len(),
+            });
+        }
+        self.validate_finite()?;
+        for (kernel, (out, reference)) in self.outputs.iter().zip(references).enumerate() {
+            let nrmse = ta_image::metrics::normalized_rmse(out, reference);
+            // NaN on either side must reject, so compare through
+            // partial_cmp rather than `<=`.
+            let within = matches!(
+                nrmse.partial_cmp(&tolerance),
+                Some(std::cmp::Ordering::Less | std::cmp::Ordering::Equal)
+            );
+            if !within {
+                return Err(ValidationError::ToleranceExceeded {
+                    kernel,
+                    nrmse,
+                    tolerance,
+                });
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
+
+    fn result_with(outputs: Vec<Image>) -> RunResult {
+        RunResult {
+            outputs,
+            energy: EnergyTally::default(),
+            timing: TimingReport {
+                cycle_ns: 1.0,
+                cycles_per_frame: 1,
+                frame_delay_ns: 1.0,
+            },
+            mode: ArithmeticMode::DelayApprox,
+            fault_stats: crate::fault::FaultStats::default(),
+        }
+    }
+
+    #[test]
+    fn validate_finite_pinpoints_bad_pixels() {
+        let mut img = Image::zeros(3, 2);
+        img.set(2, 1, f64::NAN);
+        let r = result_with(vec![Image::zeros(3, 2), img]);
+        assert_eq!(
+            r.validate_finite(),
+            Err(ValidationError::NonFinite {
+                kernel: 1,
+                x: 2,
+                y: 1,
+                value_kind: "NaN"
+            })
+        );
+        let mut img = Image::zeros(2, 2);
+        img.set(0, 0, f64::INFINITY);
+        let r = result_with(vec![img]);
+        assert!(matches!(
+            r.validate_finite(),
+            Err(ValidationError::NonFinite {
+                value_kind: "infinite",
+                ..
+            })
+        ));
+        assert_eq!(
+            result_with(vec![Image::zeros(2, 2)]).validate_finite(),
+            Ok(())
+        );
+    }
+
+    #[test]
+    fn validate_against_enforces_tolerance_and_shape() {
+        let reference = Image::from_fn(2, 2, |x, y| (x + y) as f64);
+        let close = reference.map(|p| p + 0.001);
+        let far = reference.map(|p| p + 1.0);
+        assert_eq!(
+            result_with(vec![close.clone()])
+                .validate_against(std::slice::from_ref(&reference), 0.01),
+            Ok(())
+        );
+        assert!(matches!(
+            result_with(vec![far]).validate_against(std::slice::from_ref(&reference), 0.01),
+            Err(ValidationError::ToleranceExceeded { kernel: 0, .. })
+        ));
+        assert!(matches!(
+            result_with(vec![close.clone()]).validate_against(&[], 0.01),
+            Err(ValidationError::ReferenceMismatch { .. })
+        ));
+        assert!(matches!(
+            result_with(vec![close]).validate_against(&[Image::zeros(3, 3)], 0.01),
+            Err(ValidationError::ReferenceMismatch { .. })
+        ));
+        // A NaN tolerance rejects rather than silently passing.
+        let r = result_with(vec![reference.clone()]);
+        assert!(r.validate_against(&[reference], f64::NAN).is_err());
+    }
 
     #[test]
     fn throughput_and_delay_units() {

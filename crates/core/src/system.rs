@@ -119,13 +119,15 @@ impl SystemDescription {
 
     /// Output geometry per kernel.
     pub fn output_dims(&self) -> (usize, usize) {
-        conv::output_dims(
+        match conv::output_dims(
             self.image_width,
             self.image_height,
             &self.kernels[0],
             self.stride,
-        )
-        .expect("validated at construction")
+        ) {
+            Some(dims) => dims,
+            None => unreachable!("geometry validated at construction"),
+        }
     }
 
     /// Number of MAC blocks along the row axis:
@@ -218,6 +220,8 @@ impl ArchConfig {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
     use super::*;
 
     #[test]
@@ -235,13 +239,8 @@ mod tests {
             SystemError::KernelDoesNotFit
         );
         assert_eq!(
-            SystemDescription::new(
-                10,
-                10,
-                vec![Kernel::sobel_x(), Kernel::box_filter(5)],
-                1
-            )
-            .unwrap_err(),
+            SystemDescription::new(10, 10, vec![Kernel::sobel_x(), Kernel::box_filter(5)], 1)
+                .unwrap_err(),
             SystemError::MixedKernelShapes
         );
     }
@@ -256,13 +255,8 @@ mod tests {
 
     #[test]
     fn sobel_pair_accepted() {
-        let d = SystemDescription::new(
-            150,
-            150,
-            vec![Kernel::sobel_x(), Kernel::sobel_y()],
-            1,
-        )
-        .unwrap();
+        let d = SystemDescription::new(150, 150, vec![Kernel::sobel_x(), Kernel::sobel_y()], 1)
+            .unwrap();
         assert_eq!(d.mac_blocks(), 148);
         assert_eq!(d.accum_units_per_block(), 3);
         assert_eq!(d.kernels().len(), 2);

@@ -100,7 +100,10 @@ impl DelayKernel {
     ///
     /// Panics if out of bounds.
     pub fn pos_delay(&self, x: usize, y: usize) -> DelayValue {
-        assert!(x < self.width && y < self.height, "weight index out of bounds");
+        assert!(
+            x < self.width && y < self.height,
+            "weight index out of bounds"
+        );
         self.pos[y * self.width + x]
     }
 
@@ -110,7 +113,10 @@ impl DelayKernel {
     ///
     /// Panics if out of bounds.
     pub fn neg_delay(&self, x: usize, y: usize) -> DelayValue {
-        assert!(x < self.width && y < self.height, "weight index out of bounds");
+        assert!(
+            x < self.width && y < self.height,
+            "weight index out of bounds"
+        );
         self.neg[y * self.width + x]
     }
 
@@ -187,6 +193,8 @@ pub enum Rail {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
     use super::*;
 
     #[test]

@@ -87,20 +87,12 @@ pub(crate) fn depth(fan_in: usize) -> u32 {
 
 /// Evaluates the tree over `leaves`, returning the root edge (including
 /// the uniform `depth × K` shift for approximate modes).
-pub(crate) fn eval(
-    ops: &TreeOps<'_>,
-    leaves: &[DelayValue],
-    rng: &mut SmallRng,
-) -> DelayValue {
+pub(crate) fn eval(ops: &TreeOps<'_>, leaves: &[DelayValue], rng: &mut SmallRng) -> DelayValue {
     assert!(!leaves.is_empty(), "tree needs at least one leaf");
     eval_rec(ops, leaves, rng).0
 }
 
-fn eval_rec(
-    ops: &TreeOps<'_>,
-    leaves: &[DelayValue],
-    rng: &mut SmallRng,
-) -> (DelayValue, u32) {
+fn eval_rec(ops: &TreeOps<'_>, leaves: &[DelayValue], rng: &mut SmallRng) -> (DelayValue, u32) {
     if leaves.len() == 1 {
         return (leaves[0], 0);
     }
@@ -176,6 +168,8 @@ pub(crate) fn static_balance_k_units(fan_in: usize) -> f64 {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
     use super::*;
     use rand::SeedableRng;
     use ta_circuits::UnitScale;
@@ -201,10 +195,7 @@ mod tests {
 
     #[test]
     fn exact_tree_is_nary_nlse() {
-        let leaves: Vec<DelayValue> = [0.3, 1.2, 0.7, 2.0, 0.1]
-            .iter()
-            .map(|&t| dv(t))
-            .collect();
+        let leaves: Vec<DelayValue> = [0.3, 1.2, 0.7, 2.0, 0.1].iter().map(|&t| dv(t)).collect();
         let got = eval(&TreeOps::Exact, &leaves, &mut rng());
         let expect = ops::nlse_many(&leaves);
         assert!((got.delay() - expect.delay()).abs() < 1e-12);
@@ -239,10 +230,7 @@ mod tests {
         b.output("o", out.node);
         let circuit = b.build().unwrap();
 
-        let leaves: Vec<DelayValue> = [0.5, 2.2, 1.1, 0.05, 3.0]
-            .iter()
-            .map(|&t| dv(t))
-            .collect();
+        let leaves: Vec<DelayValue> = [0.5, 2.2, 1.1, 0.05, 3.0].iter().map(|&t| dv(t)).collect();
         let net = circuit.evaluate(&leaves).unwrap()[0];
         let fun = eval(&TreeOps::Approx(&unit), &leaves, &mut rng());
         assert!(
@@ -259,7 +247,12 @@ mod tests {
         let tree_ops = TreeOps::Approx(&unit);
         let k = unit.latency_units();
         // Single firing leaf in a 4-leaf tree: output = leaf + depth·K.
-        let leaves = vec![DelayValue::ZERO, dv(1.5), DelayValue::ZERO, DelayValue::ZERO];
+        let leaves = vec![
+            DelayValue::ZERO,
+            dv(1.5),
+            DelayValue::ZERO,
+            DelayValue::ZERO,
+        ];
         let got = eval(&tree_ops, &leaves, &mut rng());
         assert!((got.delay() - (1.5 + 2.0 * k)).abs() < 1e-9);
         // All-never: never.
@@ -294,10 +287,7 @@ mod tests {
     #[test]
     fn zero_drift_tree_equals_approx() {
         let unit = NlseUnit::with_terms(5, UnitScale::default_1ns());
-        let leaves: Vec<DelayValue> = [0.4, 0.9, 1.3, 2.2, 0.05]
-            .iter()
-            .map(|&t| dv(t))
-            .collect();
+        let leaves: Vec<DelayValue> = [0.4, 0.9, 1.3, 2.2, 0.05].iter().map(|&t| dv(t)).collect();
         let a = eval(&TreeOps::Approx(&unit), &leaves, &mut rng());
         let b = eval(&TreeOps::Drifted(&unit, 0.0), &leaves, &mut rng());
         assert!((a.delay() - b.delay()).abs() < 1e-12);
@@ -315,10 +305,7 @@ mod tests {
         b.output("o", out.node);
         let circuit = b.build().unwrap();
 
-        let leaves: Vec<DelayValue> = [0.5, 2.2, 1.1, 0.05, 3.0]
-            .iter()
-            .map(|&t| dv(t))
-            .collect();
+        let leaves: Vec<DelayValue> = [0.5, 2.2, 1.1, 0.05, 3.0].iter().map(|&t| dv(t)).collect();
         for &fraction in &[0.15, -0.4, -2.0] {
             let mut plan = FaultPlan::new();
             for (node, _) in circuit.delay_elements() {

@@ -31,6 +31,11 @@ pub fn nlse(x: DelayValue, y: DelayValue) -> DelayValue {
         // x + 0 = x.
         return m;
     }
+    if m.delay() == f64::NEG_INFINITY {
+        // Importance-space ∞ absorbs any addend; without this guard the
+        // spread `big − m` is NaN when both operands are −∞.
+        return m;
+    }
     let d = big.delay() - m.delay();
     DelayValue::from_delay(m.delay() - (-d).exp().ln_1p())
 }
@@ -99,6 +104,10 @@ pub fn nlse_many(values: &[DelayValue]) -> DelayValue {
     if m.is_never() {
         return DelayValue::ZERO;
     }
+    if m.delay() == f64::NEG_INFINITY {
+        // Importance-space ∞ absorbs the whole sum (cf. `nlse`).
+        return m;
+    }
     let mut acc = 0.0_f64;
     for &v in values {
         if !v.is_never() {
@@ -129,6 +138,8 @@ pub fn nlse_shifted(x: DelayValue, y: DelayValue, delta: f64) -> DelayValue {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
     use super::*;
 
     fn enc(x: f64) -> DelayValue {

@@ -91,6 +91,8 @@ pub fn split_distributive(a: f64, b: f64, c: f64, tol: f64) -> bool {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
     use super::*;
 
     #[test]

@@ -200,6 +200,8 @@ impl fmt::Display for SplitValue {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
     use super::*;
 
     fn enc(x: f64) -> SplitValue {

@@ -243,6 +243,8 @@ impl Sum for DelayValue {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
     use super::*;
 
     #[test]
@@ -263,7 +265,10 @@ mod tests {
     fn encode_decode_roundtrip() {
         for &x in &[1e-9, 0.001, 0.5, 1.0, 2.0, 1e6] {
             let v = DelayValue::encode(x).unwrap();
-            assert!((v.decode() - x).abs() / x < 1e-12, "roundtrip failed for {x}");
+            assert!(
+                (v.decode() - x).abs() / x < 1e-12,
+                "roundtrip failed for {x}"
+            );
         }
     }
 
@@ -312,10 +317,7 @@ mod tests {
     #[test]
     fn sum_folds_products() {
         let vals = [0.5, 0.5, 0.25];
-        let prod: DelayValue = vals
-            .iter()
-            .map(|&x| DelayValue::encode(x).unwrap())
-            .sum();
+        let prod: DelayValue = vals.iter().map(|&x| DelayValue::encode(x).unwrap()).sum();
         assert!((prod.decode() - 0.0625).abs() < 1e-12);
     }
 

@@ -1,5 +1,7 @@
 //! Property-based tests of the delay-space ring invariants (paper §2).
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use proptest::prelude::*;
 use ta_delay_space::{ops, ring, DelayValue, SplitValue};
 
@@ -138,5 +140,107 @@ proptest! {
         } else {
             prop_assert!(out.is_never());
         }
+    }
+}
+
+/// Edge-of-representation importance values: signed zeros, infinities,
+/// subnormals, extreme magnitudes. Everything a hostile frame or an
+/// upstream bug could push through the encoder.
+fn edge_signed() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        Just(0.0),
+        Just(-0.0),
+        Just(f64::INFINITY),
+        Just(f64::NEG_INFINITY),
+        Just(f64::MIN_POSITIVE), // smallest normal
+        Just(-f64::MIN_POSITIVE),
+        Just(5e-324), // smallest subnormal
+        Just(-5e-324),
+        Just(f64::MIN_POSITIVE / 8.0), // mid-range subnormal
+        Just(f64::MAX),
+        Just(-f64::MAX),
+        1e-320..1e-300_f64,
+        -1.0..1.0_f64,
+    ]
+}
+
+/// No rail of `v` may hold a NaN delay.
+fn rails_not_nan(v: SplitValue) -> bool {
+    !v.pos().delay().is_nan() && !v.neg().delay().is_nan()
+}
+
+proptest! {
+    // The satellite guarantee: ±0.0, infinities and subnormals survive
+    // encode → nLSE/nLDE → renormalise without a panic and without
+    // manufacturing NaN. (Infinite importance legitimately decodes back
+    // to ±∞; what must never appear is NaN.)
+
+    #[test]
+    fn edge_values_encode_without_panic_or_nan(x in edge_signed()) {
+        let v = SplitValue::encode_signed(x).unwrap();
+        prop_assert!(rails_not_nan(v));
+        prop_assert!(!v.decode_signed().is_nan());
+        // Signed zeros land exactly on the canonical zero.
+        if x == 0.0 {
+            prop_assert!(v.pos().is_never() && v.neg().is_never());
+            prop_assert_eq!(v.decode_signed(), 0.0);
+        }
+    }
+
+    #[test]
+    fn edge_values_survive_nlse_nlde_renormalise(a in edge_signed(), b in edge_signed()) {
+        let sa = SplitValue::encode_signed(a).unwrap();
+        let sb = SplitValue::encode_signed(b).unwrap();
+
+        // Rail-level exact ops: nLSE on every rail pairing, nLDE on the
+        // ordered pairings it is defined for.
+        for (x, y) in [
+            (sa.pos(), sb.pos()),
+            (sa.pos(), sb.neg()),
+            (sa.neg(), sb.pos()),
+            (sa.neg(), sb.neg()),
+        ] {
+            prop_assert!(!ops::nlse(x, y).delay().is_nan());
+            prop_assert!(!ops::nlse_many(&[x, y, x]).delay().is_nan());
+            if let Ok(d) = ops::nlde(x, y) {
+                prop_assert!(!d.delay().is_nan());
+            }
+        }
+
+        // Split-level pipeline: add, multiply, renormalise.
+        let sum = sa.add_denorm(sb);
+        prop_assert!(rails_not_nan(sum));
+        let prod = sa.mul_denorm(sb);
+        prop_assert!(rails_not_nan(prod));
+        for v in [sum, prod] {
+            let norm = v.normalize();
+            prop_assert!(norm.is_normalized());
+            prop_assert!(rails_not_nan(norm));
+            prop_assert!(!norm.decode_signed().is_nan());
+        }
+    }
+
+    #[test]
+    fn infinite_importance_absorbs_in_nlse(x in edge_signed()) {
+        // ∞ + anything = ∞ on a single rail (the guard that keeps
+        // −∞ delays from turning into NaN spreads).
+        let inf = DelayValue::encode(f64::INFINITY).unwrap();
+        let v = SplitValue::encode_signed(x).unwrap();
+        prop_assert_eq!(ops::nlse(inf, v.pos()), inf);
+        prop_assert_eq!(ops::nlse(v.pos(), inf), inf);
+        prop_assert_eq!(ops::nlse_many(&[inf, v.pos(), inf]), inf);
+    }
+
+    #[test]
+    fn subnormals_roundtrip_within_float_error(x in prop_oneof![Just(5e-324), Just(f64::MIN_POSITIVE), 1e-320..1e-300_f64]) {
+        // Subnormal importance encodes to a large finite delay and decodes
+        // back to the same magnitude bucket: never 0-collapsed to NaN,
+        // never a panic.
+        let v = DelayValue::encode(x).unwrap();
+        prop_assert!(v.delay().is_finite());
+        let back = v.decode();
+        prop_assert!(back > 0.0 && back.is_finite());
+        // ln/exp of subnormals is lossy, but stays within a factor of 2.
+        prop_assert!(back / x > 0.5 && back / x < 2.0);
     }
 }

@@ -74,9 +74,8 @@ pub fn render(rows: &[AblationRow]) -> String {
             ]
         })
         .collect();
-    let mut out = String::from(
-        "Ablation — delay-element size (pyrDown, 1 ns unit, 10 max-terms)\n",
-    );
+    let mut out =
+        String::from("Ablation — delay-element size (pyrDown, 1 ns unit, 10 max-terms)\n");
     out.push_str(&crate::format_table(
         &["element delay", "energy (µJ)", "area (mm²)", "RMSE"],
         &table,

@@ -43,18 +43,14 @@ pub fn compute(size: usize) -> Vec<DigitalRow> {
         .map(|b| {
             let mut ops_per_pixel = 0.0;
             for k in &b.kernels {
-                ops_per_pixel +=
-                    (k.width() * k.height()) as f64 / (b.stride * b.stride) as f64;
+                ops_per_pixel += (k.width() * k.height()) as f64 / (b.stride * b.stride) as f64;
             }
             // The filter bank shares one ADC pass; each kernel adds MACs.
             let digital = |m: &DigitalModel| m.adc_pj + m.mac_pj * ops_per_pixel;
             let desc = SystemDescription::new(size, size, b.kernels.clone(), b.stride)
                 .expect("benchmarks fit the frame");
-            let arch = Architecture::new(
-                desc,
-                ArchConfig::new(UnitScale::new(1.0, 50.0), 7, 20),
-            )
-            .expect("feasible schedule");
+            let arch = Architecture::new(desc, ArchConfig::new(UnitScale::new(1.0, 50.0), 7, 20))
+                .expect("feasible schedule");
             DigitalRow {
                 name: b.name.to_string(),
                 ops_per_pixel,
@@ -117,7 +113,11 @@ mod tests {
         for r in &rows {
             assert!(r.digital_sar_pj < r.digital_pipeline_pj);
             let mac_part = r.digital_sar_pj - 40.0;
-            assert!(mac_part / r.digital_sar_pj < 0.5, "{}: MACs dominate?", r.name);
+            assert!(
+                mac_part / r.digital_sar_pj < 0.5,
+                "{}: MACs dominate?",
+                r.name
+            );
         }
         // pyrDown (lightest ops/px) is the temporal engine's best case:
         // it beats the pipeline-ADC design.
@@ -133,7 +133,13 @@ mod tests {
     #[test]
     fn render_has_three_rows() {
         let s = render(&compute(48));
-        assert_eq!(s.lines().filter(|l| !l.contains("digital") && (l.contains("yes") || l.contains("no") || l.contains("vs pipeline"))).count(), 3);
+        assert_eq!(
+            s.lines()
+                .filter(|l| !l.contains("digital")
+                    && (l.contains("yes") || l.contains("no") || l.contains("vs pipeline")))
+                .count(),
+            3
+        );
         assert!(s.contains("crossover"));
     }
 }

@@ -18,13 +18,19 @@ fn main() {
     println!("{hr}");
     print!("{}", exp::fig05::render(&exp::fig05::compute(4, 40)));
     println!("{hr}");
-    print!("{}", exp::fig06::render(&exp::fig06::compute(&[2, 4, 7, 10, 15, 20])));
+    print!(
+        "{}",
+        exp::fig06::render(&exp::fig06::compute(&[2, 4, 7, 10, 15, 20]))
+    );
     println!("{hr}");
     print!("{}", exp::fig07::render(&exp::fig07::compute(9, 7)));
     println!("{hr}");
     print!("{}", exp::fig08::render(&exp::fig08::compute(1.0, 24)));
     println!("{hr}");
-    print!("{}", exp::fig09::render(&exp::fig09::compute(if quick { 64 } else { 150 })));
+    print!(
+        "{}",
+        exp::fig09::render(&exp::fig09::compute(if quick { 64 } else { 150 }))
+    );
     println!("{hr}");
     let samples = if quick { 20_000 } else { 1_000_000 };
     let terms = exp::fig11::default_terms();
@@ -36,7 +42,10 @@ fn main() {
     print!("{}", exp::table1::render());
     println!("{hr}");
     let (size, images) = if quick { (48, 1) } else { (150, 5) };
-    print!("{}", exp::table2::render(&exp::table2::compute(size, images, seed)));
+    print!(
+        "{}",
+        exp::table2::render(&exp::table2::compute(size, images, seed))
+    );
     println!("{hr}");
     print!("{}", exp::table3::render(&exp::table3::compute(size, seed)));
     println!("{hr}");
@@ -86,6 +95,17 @@ fn main() {
     print!(
         "{}",
         exp::fault_sweep::render(&exp::fault_sweep::compute(fs_size, seed))
+    );
+    println!("{hr}");
+    let (res_size, res_frames) = if quick { (10, 4) } else { (24, 16) };
+    print!(
+        "{}",
+        exp::resilience::render(&exp::resilience::compute(
+            res_size,
+            res_frames,
+            &exp::resilience::default_rates(),
+            seed
+        ))
     );
     println!("{hr}");
 }

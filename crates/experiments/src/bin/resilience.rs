@@ -1,0 +1,12 @@
+//! Regenerates the supervised-resilience sweep (robustness extension):
+//! the fault campaign replayed through the supervised runtime.
+fn main() {
+    use ta_experiments::resilience;
+    let report = resilience::compute(
+        24,
+        16,
+        &resilience::default_rates(),
+        ta_experiments::EXPERIMENT_SEED,
+    );
+    print!("{}", resilience::render(&report));
+}

@@ -55,9 +55,7 @@ pub fn compute(n: usize) -> Fig02 {
 
 /// Renders the surface as `x y nlse` triplets plus the invariance check.
 pub fn render(data: &Fig02) -> String {
-    let mut out = String::from(
-        "Fig 2 — nLSE(x', y') surface (x' y' s', gnuplot-ready)\n",
-    );
+    let mut out = String::from("Fig 2 — nLSE(x', y') surface (x' y' s', gnuplot-ready)\n");
     let mut last_y = f64::NAN;
     for &(x, y, s) in &data.surface {
         if y != last_y && !last_y.is_nan() {

@@ -65,7 +65,10 @@ pub fn render(data: &Fig05) -> String {
         })
         .collect();
     out.push('\n');
-    out.push_str(&crate::format_table(&["x'", "nLDE(-x',x')", "approx"], &rows));
+    out.push_str(&crate::format_table(
+        &["x'", "nLDE(-x',x')", "approx"],
+        &rows,
+    ));
     out.push_str(&format!(
         "\ndead zone: separations below {:.4} units are not covered (the curve\nconverges to infinity at 0 while nLSE converges to -ln 2 — Fig 5's caption)\n",
         data.coverage_threshold

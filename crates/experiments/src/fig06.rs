@@ -35,8 +35,14 @@ pub fn compute(term_counts: &[usize]) -> Vec<Fig06Row> {
             let mut b = CircuitBuilder::new();
             let x = b.input("x");
             let y = b.input("y");
-            let out =
-                blocks::build_nlse_naive(&mut b, x, y, approx.terms(), k, OperandOrdering::Mirrored);
+            let out = blocks::build_nlse_naive(
+                &mut b,
+                x,
+                y,
+                approx.terms(),
+                k,
+                OperandOrdering::Mirrored,
+            );
             b.output("nlse", out.node);
             let mirrored = b.build().expect("valid netlist");
 
@@ -68,12 +74,18 @@ pub fn render(rows: &[Fig06Row]) -> String {
         .map(|r| {
             vec![
                 r.terms.to_string(),
-                format!("{} el / {:.1}u", r.naive.delay_elements, r.naive.total_delay_units),
+                format!(
+                    "{} el / {:.1}u",
+                    r.naive.delay_elements, r.naive.total_delay_units
+                ),
                 format!(
                     "{} el / {:.1}u",
                     r.shared.delay_elements, r.shared.total_delay_units
                 ),
-                format!("{:.2}×", r.naive.total_delay_units / r.shared.total_delay_units),
+                format!(
+                    "{:.2}×",
+                    r.naive.total_delay_units / r.shared.total_delay_units
+                ),
                 format!(
                     "{} el / {:.1}u",
                     r.mirrored.delay_elements, r.mirrored.total_delay_units

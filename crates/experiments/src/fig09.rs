@@ -26,14 +26,10 @@ pub fn compute(size: usize) -> Vec<Fig09Entry> {
     table1::benchmarks()
         .into_iter()
         .map(|b| {
-            let desc =
-                SystemDescription::new(size, size, b.kernels.clone(), b.stride)
-                    .expect("benchmarks fit the evaluation frame");
-            let arch = Architecture::new(
-                desc,
-                ArchConfig::new(UnitScale::new(1.0, 50.0), 7, 20),
-            )
-            .expect("feasible schedule");
+            let desc = SystemDescription::new(size, size, b.kernels.clone(), b.stride)
+                .expect("benchmarks fit the evaluation frame");
+            let arch = Architecture::new(desc, ArchConfig::new(UnitScale::new(1.0, 50.0), 7, 20))
+                .expect("feasible schedule");
             Fig09Entry {
                 name: b.name.to_string(),
                 description: arch.describe(),
@@ -46,9 +42,7 @@ pub fn compute(size: usize) -> Vec<Fig09Entry> {
 
 /// Renders the engine descriptions.
 pub fn render(entries: &[Fig09Entry]) -> String {
-    let mut out = String::from(
-        "Figs 9/10 — the hard-coded convolution engine, per benchmark\n\n",
-    );
+    let mut out = String::from("Figs 9/10 — the hard-coded convolution engine, per benchmark\n\n");
     for e in entries {
         out.push_str(&format!(
             "## {}\n{}  schedule       : {} filter row(s) active per cycle; one output every {} cycle(s) per MAC block\n\n",

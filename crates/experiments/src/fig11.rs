@@ -137,14 +137,8 @@ pub fn compute(terms: &[usize], samples: usize, seed: u64) -> Fig11 {
                     .map(|&n| {
                         (
                             n,
-                            noisy_nlse_accuracy(
-                                n,
-                                model,
-                                UnitScale::new(1.0, 50.0),
-                                samples,
-                                seed,
-                            )
-                            .rmse,
+                            noisy_nlse_accuracy(n, model, UnitScale::new(1.0, 50.0), samples, seed)
+                                .rmse,
                         )
                     })
                     .collect(),
@@ -258,7 +252,11 @@ pub fn render(terms: &[usize], data: &Fig11) -> String {
         &data.rj_minimal,
     ));
     out.push('\n');
-    out.push_str(&render_panel("(d) RJ, 50× element delay", terms, &data.rj_50x));
+    out.push_str(&render_panel(
+        "(d) RJ, 50× element delay",
+        terms,
+        &data.rj_50x,
+    ));
     out.push('\n');
     out.push_str(&render_panel(
         "(e) bonus: nLDE under RJ, 50× element delay (omitted from the paper for space)",
@@ -329,10 +327,8 @@ mod tests {
         };
         let scale = UnitScale::new(0.1, 50.0);
         let n = 10;
-        let nlse_floor =
-            accuracy::nlse_accuracy(&NlseApprox::fit(n), QUICK, 9).rmse;
-        let nlde_floor =
-            accuracy::nlde_accuracy(&NldeApprox::fit(n), QUICK, 9).rmse;
+        let nlse_floor = accuracy::nlse_accuracy(&NlseApprox::fit(n), QUICK, 9).rmse;
+        let nlde_floor = accuracy::nlde_accuracy(&NldeApprox::fit(n), QUICK, 9).rmse;
         let nlse_noisy = noisy_nlse_accuracy(n, model, scale, QUICK, 9).rmse;
         let nlde_noisy = noisy_nlde_accuracy(n, model, scale, QUICK, 9).rmse;
         let nlse_excess = nlse_noisy / nlse_floor;

@@ -84,11 +84,17 @@ pub fn render(points: &[DsePoint]) -> String {
             ]
         })
         .collect();
-    let mut out = String::from(
-        "Fig 12 — Sobel design-space exploration (* = Pareto-optimal frontier)\n",
-    );
+    let mut out =
+        String::from("Fig 12 — Sobel design-space exploration (* = Pareto-optimal frontier)\n");
     out.push_str(&crate::format_table(
-        &["unit (ns)", "nLSE terms", "nLDE terms", "energy (µJ)", "RMSE", "Pareto"],
+        &[
+            "unit (ns)",
+            "nLSE terms",
+            "nLDE terms",
+            "energy (µJ)",
+            "RMSE",
+            "Pareto",
+        ],
         &rows,
     ));
     let frontier: Vec<String> = sorted

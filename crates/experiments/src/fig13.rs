@@ -69,9 +69,8 @@ pub fn compute(params: &Params) -> Fig13 {
                 .post_ns
                 .iter()
                 .map(|&post| {
-                    let desc =
-                        SystemDescription::new(size, size, vec![kernel.clone()], 2)
-                            .expect("pyrDown fits the frame");
+                    let desc = SystemDescription::new(size, size, vec![kernel.clone()], 2)
+                        .expect("pyrDown fits the frame");
                     let cfg = ArchConfig::new(UnitScale::new(1.0, 50.0), 10, 20)
                         .with_vtc_noise(pre / 100.0, post);
                     let arch = Architecture::new(desc, cfg).expect("feasible schedule");
@@ -169,6 +168,11 @@ mod tests {
         let d = compute(&Params::quick(5));
         let s = render(&d);
         assert!(s.contains("pre%"));
-        assert!(s.lines().filter(|l| l.starts_with(' ') || l.contains('.')).count() >= 3);
+        assert!(
+            s.lines()
+                .filter(|l| l.starts_with(' ') || l.contains('.'))
+                .count()
+                >= 3
+        );
     }
 }

@@ -25,6 +25,7 @@
 //! | [`baseline_digital`] | extended baseline: conventional ADC pipeline vs delay space |
 //! | [`fig13`] | Fig 13 — sensor/VTC noise sensitivity heatmap |
 //! | [`fault_sweep`] | robustness extension — fault-rate sweep + site sensitivity |
+//! | [`resilience`] | robustness extension — the fault campaign replayed through the supervised runtime |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -43,6 +44,7 @@ pub mod fig09;
 pub mod fig11;
 pub mod fig12;
 pub mod fig13;
+pub mod resilience;
 pub mod table1;
 pub mod table2;
 pub mod table3;
@@ -89,10 +91,7 @@ mod tests {
     fn table_formatting_aligns() {
         let t = format_table(
             &["a", "long"],
-            &[
-                vec!["1".into(), "2".into()],
-                vec!["100".into(), "x".into()],
-            ],
+            &[vec!["1".into(), "2".into()], vec!["100".into(), "x".into()]],
         );
         let lines: Vec<&str> = t.lines().collect();
         assert_eq!(lines.len(), 4);

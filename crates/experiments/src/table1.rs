@@ -48,7 +48,13 @@ pub fn render() -> String {
             vec![
                 b.name.into(),
                 b.description.into(),
-                format!("{}x{}, {}, {}", k.width(), k.height(), b.stride, b.kernels.len()),
+                format!(
+                    "{}x{}, {}, {}",
+                    k.width(),
+                    k.height(),
+                    b.stride,
+                    b.kernels.len()
+                ),
                 if b.kernels.iter().any(|k| k.has_negative_weights()) {
                     "yes (split rails + nLDE)".into()
                 } else {
@@ -59,7 +65,12 @@ pub fn render() -> String {
         .collect();
     let mut out = String::from("Table 1 — convolution benchmarks\n");
     out.push_str(&crate::format_table(
-        &["Function", "Description", "Filter config (size, stride, #)", "negative weights"],
+        &[
+            "Function",
+            "Description",
+            "Filter config (size, stride, #)",
+            "negative weights",
+        ],
         &rows,
     ));
     out
@@ -73,9 +84,18 @@ mod tests {
     fn matches_paper_configs() {
         let b = benchmarks();
         assert_eq!(b.len(), 3);
-        assert_eq!((b[0].kernels[0].width(), b[0].stride, b[0].kernels.len()), (3, 1, 2));
-        assert_eq!((b[1].kernels[0].width(), b[1].stride, b[1].kernels.len()), (5, 2, 1));
-        assert_eq!((b[2].kernels[0].width(), b[2].stride, b[2].kernels.len()), (7, 1, 1));
+        assert_eq!(
+            (b[0].kernels[0].width(), b[0].stride, b[0].kernels.len()),
+            (3, 1, 2)
+        );
+        assert_eq!(
+            (b[1].kernels[0].width(), b[1].stride, b[1].kernels.len()),
+            (5, 2, 1)
+        );
+        assert_eq!(
+            (b[2].kernels[0].width(), b[2].stride, b[2].kernels.len()),
+            (7, 1, 1)
+        );
         // Only Sobel has negative weights (§5.3).
         assert!(b[0].kernels[0].has_negative_weights());
         assert!(!b[1].kernels[0].has_negative_weights());

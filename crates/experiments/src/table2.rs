@@ -57,9 +57,8 @@ pub fn compute(size: usize, n_images: usize, seed: u64) -> Vec<Table2Row> {
     let mut rows = Vec::new();
     for bench in table1::benchmarks() {
         for &(unit_ns, nlse, nlde) in &CONFIGS {
-            let desc =
-                SystemDescription::new(size, size, bench.kernels.clone(), bench.stride)
-                    .expect("benchmark kernels fit the evaluation image");
+            let desc = SystemDescription::new(size, size, bench.kernels.clone(), bench.stride)
+                .expect("benchmark kernels fit the evaluation image");
             let cfg = ArchConfig::new(UnitScale::new(unit_ns, 50.0), nlse, nlde);
             let arch = Architecture::new(desc, cfg).expect("feasible schedule");
             let mut per_image = Vec::new();
@@ -69,8 +68,13 @@ pub fn compute(size: usize, n_images: usize, seed: u64) -> Vec<Table2Row> {
                     .iter()
                     .map(|k| conv::convolve(img, k, bench.stride))
                     .collect();
-                let run = exec::run(&arch, img, ArithmeticMode::DelayApproxNoisy, seed + i as u64)
-                    .expect("geometry matches");
+                let run = exec::run(
+                    &arch,
+                    img,
+                    ArithmeticMode::DelayApproxNoisy,
+                    seed + i as u64,
+                )
+                .expect("geometry matches");
                 per_image.push(run.pooled_rmse(&refs));
             }
             rows.push(Table2Row {
@@ -104,8 +108,7 @@ pub fn render(rows: &[Table2Row]) -> String {
             ]
         })
         .collect();
-    let mut out =
-        String::from("Table 2 — benchmark costs (measured / paper), 150×150 frames\n");
+    let mut out = String::from("Table 2 — benchmark costs (measured / paper), 150×150 frames\n");
     out.push_str(&crate::format_table(
         &[
             "Function",
@@ -140,8 +143,7 @@ mod tests {
         }
         // pyrDown and GaussianBlur share throughput (same tree height).
         assert!(
-            (rows[3].throughput_mfps - rows[6].throughput_mfps).abs()
-                / rows[3].throughput_mfps
+            (rows[3].throughput_mfps - rows[6].throughput_mfps).abs() / rows[3].throughput_mfps
                 < 1e-9
         );
     }

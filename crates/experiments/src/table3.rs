@@ -78,13 +78,10 @@ pub fn compute(size: usize, seed: u64) -> Vec<Table3Row> {
             let desc = SystemDescription::new(size, size, vec![kernel.clone()], stride)
                 .expect("edge kernels fit the frame");
             let base_cfg = ArchConfig::new(UnitScale::new(unit_ns, 50.0), nlse, nlde);
-            let arch = Architecture::new(desc.clone(), base_cfg.clone())
+            let arch =
+                Architecture::new(desc.clone(), base_cfg.clone()).expect("feasible schedule");
+            let arch_tdc = Architecture::new(desc, base_cfg.with_tdc(TdcModel::asplos24()))
                 .expect("feasible schedule");
-            let arch_tdc = Architecture::new(
-                desc,
-                base_cfg.with_tdc(TdcModel::asplos24()),
-            )
-            .expect("feasible schedule");
 
             let run = exec::run(&arch, &img, ArithmeticMode::DelayApproxNoisy, seed)
                 .expect("geometry matches");
@@ -146,13 +143,26 @@ pub fn render(rows: &[Table3Row]) -> String {
     );
     out.push_str(&crate::format_table(
         &[
-            "Shape", "Stride", "PIP E", "PIP D(ms)", "PIP ExD", "PIP %RMSE", "DS E",
-            "DS E+TDC", "DS D(ms)", "DS ExD", "DS ExD+TDC", "DS %RMSE",
+            "Shape",
+            "Stride",
+            "PIP E",
+            "PIP D(ms)",
+            "PIP ExD",
+            "PIP %RMSE",
+            "DS E",
+            "DS E+TDC",
+            "DS D(ms)",
+            "DS ExD",
+            "DS ExD+TDC",
+            "DS %RMSE",
         ],
         &table,
     ));
     // Headline claims.
-    let wins = rows.iter().filter(|r| r.ds_energy_pj < r.pip_energy_pj).count();
+    let wins = rows
+        .iter()
+        .filter(|r| r.ds_energy_pj < r.pip_energy_pj)
+        .count();
     let edp_gain: f64 = rows
         .iter()
         .map(|r| r.pip_edp() / r.ds_edp())
@@ -188,9 +198,8 @@ mod tests {
         }
         // Delay-space accuracy beats PIP's on aggregate (paper: ~3% vs
         // ~5-8%; individual rows fluctuate with the noise seed).
-        let mean = |f: &dyn Fn(&Table3Row) -> f64| {
-            rows.iter().map(f).sum::<f64>() / rows.len() as f64
-        };
+        let mean =
+            |f: &dyn Fn(&Table3Row) -> f64| rows.iter().map(f).sum::<f64>() / rows.len() as f64;
         assert!(
             mean(&|r| r.ds_error_pct) < mean(&|r| r.pip_error_pct),
             "ds {} !< pip {}",

@@ -22,7 +22,10 @@ impl fmt::Display for ImageError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ImageError::SizeMismatch { expected, got } => {
-                write!(f, "pixel buffer holds {got} values, dimensions need {expected}")
+                write!(
+                    f,
+                    "pixel buffer holds {got} values, dimensions need {expected}"
+                )
             }
             ImageError::EmptyDimension => write!(f, "image dimensions must be non-zero"),
         }
@@ -191,7 +194,10 @@ impl Image {
     ///
     /// Panics if either target dimension is zero.
     pub fn resized(&self, new_width: usize, new_height: usize) -> Image {
-        assert!(new_width > 0 && new_height > 0, "image dimensions must be non-zero");
+        assert!(
+            new_width > 0 && new_height > 0,
+            "image dimensions must be non-zero"
+        );
         Image::from_fn(new_width, new_height, |x, y| {
             let sx = x * self.width / new_width;
             let sy = y * self.height / new_height;

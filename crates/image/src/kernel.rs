@@ -28,7 +28,10 @@ impl Kernel {
     ///
     /// Panics if a dimension is zero or the weight count does not match.
     pub fn new(name: impl Into<String>, width: usize, height: usize, weights: Vec<f64>) -> Self {
-        assert!(width > 0 && height > 0, "kernel dimensions must be non-zero");
+        assert!(
+            width > 0 && height > 0,
+            "kernel dimensions must be non-zero"
+        );
         assert_eq!(
             weights.len(),
             width * height,
@@ -84,7 +87,10 @@ impl Kernel {
     ///
     /// Panics if `size` is even or zero.
     pub fn gaussian(size: usize, sigma: f64) -> Self {
-        assert!(size % 2 == 1 && size > 0, "gaussian kernel size must be odd");
+        assert!(
+            size % 2 == 1 && size > 0,
+            "gaussian kernel size must be odd"
+        );
         let sigma = if sigma > 0.0 {
             sigma
         } else {
@@ -114,7 +120,12 @@ impl Kernel {
     pub fn box_filter(size: usize) -> Self {
         assert!(size > 0, "box kernel size must be non-zero");
         let v = 1.0 / (size * size) as f64;
-        Kernel::new(format!("box{size}x{size}"), size, size, vec![v; size * size])
+        Kernel::new(
+            format!("box{size}x{size}"),
+            size,
+            size,
+            vec![v; size * size],
+        )
     }
 
     /// The 3×3 discrete Laplacian (4-connected): a second-derivative edge
@@ -157,7 +168,10 @@ impl Kernel {
     ///
     /// Panics if a dimension is zero.
     pub fn edge_ternary(width: usize, height: usize) -> Self {
-        assert!(width > 0 && height > 0, "kernel dimensions must be non-zero");
+        assert!(
+            width > 0 && height > 0,
+            "kernel dimensions must be non-zero"
+        );
         let mut w = Vec::with_capacity(width * height);
         for _y in 0..height {
             for x in 0..width {
@@ -200,7 +214,10 @@ impl Kernel {
     ///
     /// Panics if the coordinates are out of bounds.
     pub fn weight(&self, x: usize, y: usize) -> f64 {
-        assert!(x < self.width && y < self.height, "kernel index out of bounds");
+        assert!(
+            x < self.width && y < self.height,
+            "kernel index out of bounds"
+        );
         self.weights[y * self.width + x]
     }
 

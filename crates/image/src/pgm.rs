@@ -126,8 +126,7 @@ pub fn read_pgm<R: BufRead>(mut reader: R) -> Result<Image, PgmError> {
             pixels.push(v as f64 / maxval as f64);
         }
     }
-    Image::from_pixels(width, height, pixels)
-        .map_err(|e| PgmError::Format(e.to_string()))
+    Image::from_pixels(width, height, pixels).map_err(|e| PgmError::Format(e.to_string()))
 }
 
 /// Reads a PGM file from disk.

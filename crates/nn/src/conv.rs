@@ -79,15 +79,8 @@ impl TemporalConv2d {
     ///
     /// Panics if `bias.len() != out_channels` or any bias is non-finite.
     pub fn with_bias(mut self, bias: Vec<f64>) -> Self {
-        assert_eq!(
-            bias.len(),
-            self.out_channels,
-            "one bias per output channel"
-        );
-        assert!(
-            bias.iter().all(|b| b.is_finite()),
-            "biases must be finite"
-        );
+        assert_eq!(bias.len(), self.out_channels, "one bias per output channel");
+        assert!(bias.iter().all(|b| b.is_finite()), "biases must be finite");
         self.bias = bias;
         self
     }
@@ -149,11 +142,7 @@ impl TemporalConv2d {
         // for every output filter.
         let mut per_in: Vec<Vec<Image>> = Vec::with_capacity(self.in_channels);
         for (ci, channel) in input.iter().enumerate() {
-            let kernels: Vec<Kernel> = self
-                .weights
-                .iter()
-                .map(|row| row[ci].clone())
-                .collect();
+            let kernels: Vec<Kernel> = self.weights.iter().map(|row| row[ci].clone()).collect();
             let desc = SystemDescription::new(w, h, kernels, self.stride)?;
             let arch = Architecture::new(desc, self.cfg.clone())?;
             let run = exec::run(&arch, channel, mode, seed.wrapping_add(ci as u64))
@@ -178,8 +167,7 @@ impl TemporalConv2d {
                         let bias = SplitValue::encode_signed(b)
                             .expect("biases validated finite at construction");
                         summed.map(|v| {
-                            let sv = SplitValue::encode_signed(v)
-                                .expect("finite feature value");
+                            let sv = SplitValue::encode_signed(v).expect("finite feature value");
                             (sv + bias).normalize().decode_signed()
                         })
                     }
@@ -228,7 +216,10 @@ mod tests {
         ));
         assert!(matches!(
             TemporalConv2d::new(
-                vec![vec![Kernel::sobel_x()], vec![Kernel::sobel_x(), Kernel::sobel_y()]],
+                vec![
+                    vec![Kernel::sobel_x()],
+                    vec![Kernel::sobel_x(), Kernel::sobel_y()]
+                ],
                 1,
                 cfg()
             ),
@@ -250,8 +241,7 @@ mod tests {
 
     #[test]
     fn single_channel_matches_reference() {
-        let layer =
-            TemporalConv2d::new(vec![vec![Kernel::sobel_x()]], 1, cfg()).unwrap();
+        let layer = TemporalConv2d::new(vec![vec![Kernel::sobel_x()]], 1, cfg()).unwrap();
         let img = synth::natural_image(24, 24, 1);
         let (out, energy) = layer
             .forward(std::slice::from_ref(&img), ArithmeticMode::DelayExact, 0)
@@ -267,8 +257,7 @@ mod tests {
         // Two input channels through identity-ish 1×1 kernels: output is
         // w0·c0 + w1·c1.
         let k = |v: f64| Kernel::new("w", 1, 1, vec![v]);
-        let layer =
-            TemporalConv2d::new(vec![vec![k(0.5), k(-0.25)]], 1, cfg()).unwrap();
+        let layer = TemporalConv2d::new(vec![vec![k(0.5), k(-0.25)]], 1, cfg()).unwrap();
         let c0 = synth::natural_image(10, 10, 2).map(|p| p.max(0.01));
         let c1 = synth::natural_image(10, 10, 3).map(|p| p.max(0.01));
         let (out, _) = layer
@@ -305,8 +294,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "one bias per output channel")]
     fn bias_arity_checked() {
-        let layer =
-            TemporalConv2d::new(vec![vec![Kernel::sobel_x()]], 1, cfg()).unwrap();
+        let layer = TemporalConv2d::new(vec![vec![Kernel::sobel_x()]], 1, cfg()).unwrap();
         let _ = layer.with_bias(vec![0.1, 0.2]);
     }
 

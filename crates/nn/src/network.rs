@@ -142,13 +142,8 @@ impl TemporalNetwork {
                     let unit = ta_circuits::NlseUnit::with_terms(7, scale);
                     let mut e = EnergyTally::new();
                     let px = features[0].width() * features[0].height();
-                    e.delay_pj +=
-                        (px * features.len()) as f64 * 3.0 * unit.energy_pj(&model, 2);
-                    e.add_delay_units(
-                        (px * features.len()) as f64 * 4.0_f64.ln(),
-                        scale,
-                        &model,
-                    );
+                    e.delay_pj += (px * features.len()) as f64 * 3.0 * unit.energy_pj(&model, 2);
+                    e.add_delay_units((px * features.len()) as f64 * 4.0_f64.ln(), scale, &model);
                     energy += e;
                     per_layer_energy.push(e);
                 }
@@ -195,12 +190,13 @@ mod tests {
     fn forward_shapes_and_energy() {
         let net = two_stage_net();
         let input = vec![synth::natural_image(32, 32, 9)];
-        let out = net
-            .forward(&input, ArithmeticMode::DelayApprox, 0)
-            .unwrap();
+        let out = net.forward(&input, ArithmeticMode::DelayApprox, 0).unwrap();
         // 32 → conv3 → 30 → pool → 15 → conv3 → 13, one fused channel.
         assert_eq!(out.features.len(), 1);
-        assert_eq!((out.features[0].width(), out.features[0].height()), (13, 13));
+        assert_eq!(
+            (out.features[0].width(), out.features[0].height()),
+            (13, 13)
+        );
         assert_eq!(out.per_layer_energy.len(), 4);
         assert!(out.per_layer_energy[0].total_pj() > 0.0);
         assert_eq!(out.per_layer_energy[1].total_pj(), 0.0); // ReLU is free
@@ -238,9 +234,7 @@ mod tests {
     fn avg_pool_layer_means_and_charges_energy() {
         let net = TemporalNetwork::new(vec![Layer::AvgPool2]);
         let input = vec![synth::natural_image(8, 8, 2)];
-        let out = net
-            .forward(&input, ArithmeticMode::DelayExact, 0)
-            .unwrap();
+        let out = net.forward(&input, ArithmeticMode::DelayExact, 0).unwrap();
         assert_eq!((out.features[0].width(), out.features[0].height()), (4, 4));
         let want = crate::avg_pool(&input[0], 2, 2);
         assert_eq!(out.features[0], want);

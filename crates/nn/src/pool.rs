@@ -37,7 +37,10 @@ fn pool_by(
     merge: fn(f64, f64) -> f64,
     identity: f64,
 ) -> Image {
-    assert!(window > 0 && stride > 0, "window and stride must be non-zero");
+    assert!(
+        window > 0 && stride > 0,
+        "window and stride must be non-zero"
+    );
     assert!(
         window <= input.width() && window <= input.height(),
         "pooling window must fit the feature map"
@@ -120,8 +123,10 @@ mod tests {
         // mean = nLSE over the window followed by a +ln(n) delay.
         use ta_delay_space::{ops, DelayValue};
         let values = [0.2, 0.9, 0.4, 0.7];
-        let edges: Vec<DelayValue> =
-            values.iter().map(|&v| DelayValue::encode(v).unwrap()).collect();
+        let edges: Vec<DelayValue> = values
+            .iter()
+            .map(|&v| DelayValue::encode(v).unwrap())
+            .collect();
         let pooled = ops::nlse_many(&edges)
             .delayed((values.len() as f64).ln())
             .decode();
@@ -141,8 +146,10 @@ mod tests {
         // fa on delay-space edges == max in importance space.
         use ta_delay_space::DelayValue;
         let values = [0.2, 0.9, 0.4, 0.7];
-        let edges: Vec<DelayValue> =
-            values.iter().map(|&v| DelayValue::encode(v).unwrap()).collect();
+        let edges: Vec<DelayValue> = values
+            .iter()
+            .map(|&v| DelayValue::encode(v).unwrap())
+            .collect();
         let first = edges.iter().copied().reduce(DelayValue::min).unwrap();
         let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         assert!((first.decode() - max).abs() < 1e-12);

@@ -107,7 +107,8 @@ pub fn grid_shortest_path(width: usize, height: usize, costs: &[f64]) -> Circuit
         }
     }
     b.output("goal", nodes[width * height - 1]);
-    b.build().expect("grid DP netlists are valid by construction")
+    b.build()
+        .expect("grid DP netlists are valid by construction")
 }
 
 /// A binary decision tree over temporally-encoded features, after the
@@ -170,9 +171,9 @@ impl TreeNode {
     fn feature_count(&self) -> usize {
         match self {
             TreeNode::Leaf { .. } => 0,
-            TreeNode::Split { index, lt, ge, .. } => (*index + 1)
-                .max(lt.feature_count())
-                .max(ge.feature_count()),
+            TreeNode::Split { index, lt, ge, .. } => {
+                (*index + 1).max(lt.feature_count()).max(ge.feature_count())
+            }
         }
     }
 }
@@ -259,7 +260,8 @@ pub fn decision_tree_circuit(tree: &TreeNode) -> Circuit {
             b.output(format!("class{class}"), vote);
         }
     }
-    b.build().expect("decision-tree netlists are valid by construction")
+    b.build()
+        .expect("decision-tree netlists are valid by construction")
 }
 
 /// Runs temporal inference: features in delay units, returns the
@@ -273,12 +275,11 @@ pub fn decision_tree_circuit(tree: &TreeNode) -> Circuit {
 ///
 /// Panics if no class output fires (cannot happen for a well-formed tree
 /// with features distinct from thresholds).
-pub fn decision_tree_infer(
-    circuit: &Circuit,
-    features: &[f64],
-) -> Result<usize, CircuitError> {
-    let mut inputs: Vec<DelayValue> =
-        features.iter().map(|&f| DelayValue::from_delay(f)).collect();
+pub fn decision_tree_infer(circuit: &Circuit, features: &[f64]) -> Result<usize, CircuitError> {
+    let mut inputs: Vec<DelayValue> = features
+        .iter()
+        .map(|&f| DelayValue::from_delay(f))
+        .collect();
     inputs.push(DelayValue::from_delay(0.0)); // the go edge
     let outs = circuit.evaluate(&inputs)?;
     Ok(outs

@@ -188,7 +188,10 @@ pub fn build_nlde(
     terms: &[TermPair],
     k: f64,
 ) -> BlockOutput {
-    assert!(!terms.is_empty(), "nLDE block needs at least one inhibit-term");
+    assert!(
+        !terms.is_empty(),
+        "nLDE block needs at least one inhibit-term"
+    );
     assert!(
         k >= required_shift(terms),
         "shift k={k} below required {}",
@@ -266,11 +269,7 @@ fn build_tree_rec(
 ///
 /// Returns any [`CircuitError`] raised during construction (e.g. a negative
 /// effective delay if `k` is too small).
-pub fn nlse_circuit(
-    terms: &[TermPair],
-    k: f64,
-    shared: bool,
-) -> Result<Circuit, CircuitError> {
+pub fn nlse_circuit(terms: &[TermPair], k: f64, shared: bool) -> Result<Circuit, CircuitError> {
     let mut b = CircuitBuilder::new();
     let x = b.input("x");
     let y = b.input("y");

@@ -448,9 +448,7 @@ impl Circuit {
                     ));
                 }
                 Node::Gate(Gate::Delay { input, delta }) => {
-                    s.push_str(&format!(
-                        "  n{idx} [shape=cds, label=\"+{delta:.2}u\"];\n"
-                    ));
+                    s.push_str(&format!("  n{idx} [shape=cds, label=\"+{delta:.2}u\"];\n"));
                     s.push_str(&format!("  n{} -> n{idx};\n", input.0));
                 }
             }
@@ -492,11 +490,17 @@ impl Circuit {
                     (v, name.clone())
                 }
                 Node::Gate(Gate::FirstArrival(ins)) => (
-                    ins.iter().map(|n| times[n.0]).min().unwrap_or(DelayValue::ZERO),
+                    ins.iter()
+                        .map(|n| times[n.0])
+                        .min()
+                        .unwrap_or(DelayValue::ZERO),
                     format!("fa#{idx}"),
                 ),
                 Node::Gate(Gate::LastArrival(ins)) => (
-                    ins.iter().map(|n| times[n.0]).max().unwrap_or(DelayValue::ZERO),
+                    ins.iter()
+                        .map(|n| times[n.0])
+                        .max()
+                        .unwrap_or(DelayValue::ZERO),
                     format!("la#{idx}"),
                 ),
                 Node::Gate(Gate::Inhibit { data, inhibitor }) => (
@@ -505,7 +509,11 @@ impl Circuit {
                 ),
                 Node::Gate(Gate::Delay { input, delta }) => {
                     let in_t = times[input.0];
-                    let t = if in_t.is_never() { in_t } else { in_t.delayed(*delta) };
+                    let t = if in_t.is_never() {
+                        in_t
+                    } else {
+                        in_t.delayed(*delta)
+                    };
                     (t, format!("dly#{idx}(+{delta:.2})"))
                 }
             };
@@ -638,7 +646,10 @@ mod tests {
         b.output("o", i);
         let c = b.build().unwrap();
         let s = c.stats();
-        assert_eq!((s.inputs, s.fa_gates, s.la_gates, s.inhibit_cells), (2, 1, 1, 1));
+        assert_eq!(
+            (s.inputs, s.fa_gates, s.la_gates, s.inhibit_cells),
+            (2, 1, 1, 1)
+        );
     }
 
     #[test]
@@ -652,7 +663,15 @@ mod tests {
         let i = b.inhibit(d, l);
         b.output("res", i);
         let dot = b.build().unwrap().to_dot();
-        for needle in ["digraph", "shape=box", "\"fa\"", "\"la\"", "+1.50u", "\"inh\"", "doublecircle"] {
+        for needle in [
+            "digraph",
+            "shape=box",
+            "\"fa\"",
+            "\"la\"",
+            "+1.50u",
+            "\"inh\"",
+            "doublecircle",
+        ] {
             assert!(dot.contains(needle), "missing {needle} in:\n{dot}");
         }
         // Every edge references declared nodes.

@@ -163,10 +163,16 @@ mod tests {
     fn spurious_early_advances_and_saturates() {
         let mut obs = FaultObservation::default();
         // Plain advance.
-        assert_eq!(EdgeFault::SpuriousEarly(0.5).apply(dv(2.0), &mut obs), dv(1.5));
+        assert_eq!(
+            EdgeFault::SpuriousEarly(0.5).apply(dv(2.0), &mut obs),
+            dv(1.5)
+        );
         assert_eq!(obs.saturations, 0);
         // Would precede the reference edge: saturates to it.
-        assert_eq!(EdgeFault::SpuriousEarly(5.0).apply(dv(2.0), &mut obs), dv(0.0));
+        assert_eq!(
+            EdgeFault::SpuriousEarly(5.0).apply(dv(2.0), &mut obs),
+            dv(0.0)
+        );
         assert_eq!(obs.saturations, 1);
         // Phantom edge where nothing would have fired.
         assert_eq!(

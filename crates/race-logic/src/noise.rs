@@ -123,8 +123,7 @@ mod tests {
         let n = 20_000;
         let samples: Vec<f64> = (0..n).map(|_| j.perturb(5.0)).collect();
         let mean = samples.iter().sum::<f64>() / n as f64;
-        let var =
-            samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / (n as f64 - 1.0);
+        let var = samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / (n as f64 - 1.0);
         assert!((mean - 5.0).abs() < 0.01, "mean {mean}");
         assert!((var.sqrt() - 0.1).abs() < 0.01, "std {}", var.sqrt());
     }
@@ -136,8 +135,10 @@ mod tests {
         let mut j = GaussianJitter::new(|d| 0.1 * d, rng);
         let n = 20_000;
         let small: f64 = (0..n).map(|_| (j.perturb(1.0) - 1.0).powi(2)).sum::<f64>() / n as f64;
-        let large: f64 =
-            (0..n).map(|_| (j.perturb(10.0) - 10.0).powi(2)).sum::<f64>() / n as f64;
+        let large: f64 = (0..n)
+            .map(|_| (j.perturb(10.0) - 10.0).powi(2))
+            .sum::<f64>()
+            / n as f64;
         assert!((large.sqrt() / small.sqrt() - 10.0).abs() < 0.5);
     }
 }

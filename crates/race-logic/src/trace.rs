@@ -106,8 +106,8 @@ mod tests {
         assert_eq!(trace.entries()[0].label, "x");
         assert_eq!(trace.entries()[2].time, DelayValue::from_delay(1.0)); // fa
         assert_eq!(trace.entries()[3].time, DelayValue::from_delay(3.0)); // delay
-        // The horizon is the latest finite edge anywhere — here the `y`
-        // input at 5.0, which outlives the output path.
+                                                                          // The horizon is the latest finite edge anywhere — here the `y`
+                                                                          // input at 5.0, which outlives the output path.
         assert_eq!(trace.horizon(), 5.0);
     }
 

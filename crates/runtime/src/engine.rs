@@ -1,0 +1,186 @@
+//! The [`Engine`] contract and its temporal implementations.
+
+use ta_core::{exec, Architecture, ArithmeticMode, FaultModel, RunResult};
+use ta_image::Image;
+
+/// Mixes an attempt (or frame) index into a base seed.
+///
+/// The same splitmix-style constants the fault campaigns use, so derived
+/// streams are decorrelated from each other and from the base stream while
+/// remaining a pure function of `(base, index)` — the property that makes
+/// supervised retry counts reproducible regardless of thread scheduling.
+pub fn derive_seed(base: u64, index: u64) -> u64 {
+    base ^ (index.wrapping_add(1)).wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        ^ (index.wrapping_add(1)).wrapping_mul(0xd1b5_4a32_d192_ed03)
+}
+
+/// One frame's worth of work that the supervisor can run, time-bound,
+/// retry and validate.
+///
+/// `seed` is the frame's derived seed and `attempt` the zero-based retry
+/// index; implementations should fold `attempt` into their stochastic
+/// state so a retry re-rolls transient noise/faults instead of replaying
+/// the identical failure.
+pub trait Engine: Send + Sync {
+    /// Runs one frame and returns its result.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ta_core::Error`] the underlying engine reports; the
+    /// supervisor treats an error as a failed attempt.
+    fn run_frame(
+        &self,
+        image: &Image,
+        seed: u64,
+        attempt: u32,
+    ) -> Result<RunResult, ta_core::Error>;
+
+    /// Short name for health reports and logs.
+    fn name(&self) -> &str {
+        "engine"
+    }
+}
+
+/// The production temporal engine: [`exec::run`] over a compiled
+/// [`Architecture`] in a fixed [`ArithmeticMode`].
+#[derive(Debug, Clone)]
+pub struct TemporalEngine {
+    arch: Architecture,
+    mode: ArithmeticMode,
+}
+
+impl TemporalEngine {
+    /// Wraps `arch` running in `mode`.
+    pub fn new(arch: Architecture, mode: ArithmeticMode) -> Self {
+        TemporalEngine { arch, mode }
+    }
+
+    /// The compiled architecture.
+    pub fn arch(&self) -> &Architecture {
+        &self.arch
+    }
+
+    /// The arithmetic mode every frame runs in.
+    pub fn mode(&self) -> ArithmeticMode {
+        self.mode
+    }
+}
+
+impl Engine for TemporalEngine {
+    fn run_frame(
+        &self,
+        image: &Image,
+        seed: u64,
+        attempt: u32,
+    ) -> Result<RunResult, ta_core::Error> {
+        // Re-roll the stochastic elements (VTC noise, jitter) on retry:
+        // a transient glitch should not recur deterministically.
+        let seed = derive_seed(seed, u64::from(attempt));
+        exec::run(&self.arch, image, self.mode, seed).map_err(Into::into)
+    }
+
+    fn name(&self) -> &str {
+        "temporal"
+    }
+}
+
+/// A temporal engine under fault injection: every attempt samples a fresh
+/// [`FaultMap`](ta_core::FaultMap) from the model, so faults are
+/// *transient* — a retry sees a different fault realisation, which is
+/// exactly the scenario supervised retry exists for.
+#[derive(Debug, Clone)]
+pub struct FaultyTemporalEngine {
+    arch: Architecture,
+    mode: ArithmeticMode,
+    model: FaultModel,
+    fault_seed: u64,
+}
+
+impl FaultyTemporalEngine {
+    /// Wraps `arch` in `mode` with transient faults drawn from `model`.
+    ///
+    /// `fault_seed` decorrelates the fault stream from the arithmetic
+    /// noise stream.
+    pub fn new(
+        arch: Architecture,
+        mode: ArithmeticMode,
+        model: FaultModel,
+        fault_seed: u64,
+    ) -> Self {
+        FaultyTemporalEngine {
+            arch,
+            mode,
+            model,
+            fault_seed,
+        }
+    }
+
+    /// The compiled architecture.
+    pub fn arch(&self) -> &Architecture {
+        &self.arch
+    }
+}
+
+impl Engine for FaultyTemporalEngine {
+    fn run_frame(
+        &self,
+        image: &Image,
+        seed: u64,
+        attempt: u32,
+    ) -> Result<RunResult, ta_core::Error> {
+        let attempt = u64::from(attempt);
+        let map = self
+            .model
+            .sample(&self.arch, derive_seed(self.fault_seed ^ seed, attempt));
+        let run_seed = derive_seed(seed, attempt);
+        exec::run_faulty(&self.arch, image, self.mode, run_seed, &map).map_err(Into::into)
+    }
+
+    fn name(&self) -> &str {
+        "temporal+faults"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
+    use super::*;
+    use ta_core::{ArchConfig, SystemDescription};
+    use ta_image::{synth, Kernel};
+
+    fn arch() -> Architecture {
+        let desc = SystemDescription::new(12, 12, vec![Kernel::sobel_x()], 1).unwrap();
+        Architecture::new(desc, ArchConfig::fast_1ns(7, 20)).unwrap()
+    }
+
+    #[test]
+    fn derive_seed_is_deterministic_and_spreads() {
+        assert_eq!(derive_seed(7, 0), derive_seed(7, 0));
+        assert_ne!(derive_seed(7, 0), derive_seed(7, 1));
+        assert_ne!(derive_seed(7, 0), derive_seed(8, 0));
+    }
+
+    #[test]
+    fn temporal_engine_runs_and_reseeds_attempts() {
+        let e = TemporalEngine::new(arch(), ArithmeticMode::DelayApproxNoisy);
+        let img = synth::natural_image(12, 12, 3);
+        let a = e.run_frame(&img, 1, 0).unwrap();
+        let b = e.run_frame(&img, 1, 0).unwrap();
+        let c = e.run_frame(&img, 1, 1).unwrap();
+        assert_eq!(a.outputs, b.outputs, "same attempt, same stream");
+        assert_ne!(a.outputs, c.outputs, "retry re-rolls the noise");
+    }
+
+    #[test]
+    fn faulty_engine_rerolls_faults_per_attempt() {
+        let model = FaultModel::with_rate(0.05).unwrap();
+        let e = FaultyTemporalEngine::new(arch(), ArithmeticMode::DelayApprox, model, 99);
+        let img = synth::natural_image(12, 12, 4);
+        let a = e.run_frame(&img, 1, 0).unwrap();
+        let b = e.run_frame(&img, 1, 1).unwrap();
+        // Different fault realisations will essentially never agree on
+        // every injected-fault count.
+        assert!(a.fault_stats != b.fault_stats || a.outputs != b.outputs);
+    }
+}

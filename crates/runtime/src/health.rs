@@ -1,0 +1,241 @@
+//! Per-frame outcome reports and per-batch health aggregation.
+
+use std::fmt;
+use std::time::Duration;
+
+use ta_image::Image;
+
+use crate::supervisor::FailureKind;
+
+/// Final disposition of one supervised frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FrameStatus {
+    /// The primary engine produced validated outputs (possibly after
+    /// retries — see [`FrameReport::attempts`]).
+    Ok,
+    /// The retry budget was exhausted and the frame's outputs come from a
+    /// fallback engine instead.
+    Degraded {
+        /// Name of the fallback that produced the outputs.
+        fallback: String,
+        /// The failure that exhausted the primary engine's budget.
+        cause: FailureKind,
+    },
+    /// No usable output: the retry budget was exhausted and no fallback
+    /// was configured (or the fallback itself failed validation).
+    Failed {
+        /// The final failure.
+        cause: FailureKind,
+    },
+}
+
+impl FrameStatus {
+    /// True for [`FrameStatus::Ok`].
+    pub fn is_ok(&self) -> bool {
+        matches!(self, FrameStatus::Ok)
+    }
+
+    /// True for [`FrameStatus::Degraded`].
+    pub fn is_degraded(&self) -> bool {
+        matches!(self, FrameStatus::Degraded { .. })
+    }
+
+    /// True for [`FrameStatus::Failed`].
+    pub fn is_failed(&self) -> bool {
+        matches!(self, FrameStatus::Failed { .. })
+    }
+}
+
+impl fmt::Display for FrameStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameStatus::Ok => write!(f, "ok"),
+            FrameStatus::Degraded { fallback, cause } => {
+                write!(f, "degraded via {fallback} (after {cause})")
+            }
+            FrameStatus::Failed { cause } => write!(f, "FAILED: {cause}"),
+        }
+    }
+}
+
+/// What happened to one frame under supervision.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrameReport {
+    /// Index of the frame within the batch.
+    pub frame: usize,
+    /// Final disposition.
+    pub status: FrameStatus,
+    /// Attempts made on the primary engine (1 = no retries).
+    pub attempts: u32,
+    /// Wall-clock time from first attempt to final disposition, including
+    /// backoff sleeps and any fallback run.
+    pub latency: Duration,
+    /// One line per failed attempt, for diagnostics.
+    pub log: Vec<String>,
+}
+
+/// Latency percentiles over a batch, in seconds.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct LatencyStats {
+    /// Median frame latency.
+    pub p50_s: f64,
+    /// 90th-percentile frame latency.
+    pub p90_s: f64,
+    /// 99th-percentile frame latency.
+    pub p99_s: f64,
+    /// Worst frame latency.
+    pub max_s: f64,
+    /// Mean frame latency.
+    pub mean_s: f64,
+}
+
+impl LatencyStats {
+    /// Nearest-rank percentiles over `latencies` (empty input → zeros).
+    pub fn from_durations(latencies: &[Duration]) -> Self {
+        if latencies.is_empty() {
+            return LatencyStats::default();
+        }
+        let mut secs: Vec<f64> = latencies.iter().map(Duration::as_secs_f64).collect();
+        secs.sort_by(f64::total_cmp);
+        let rank = |q: f64| {
+            let n = secs.len();
+            let idx = ((q * n as f64).ceil() as usize).clamp(1, n) - 1;
+            secs[idx]
+        };
+        LatencyStats {
+            p50_s: rank(0.50),
+            p90_s: rank(0.90),
+            p99_s: rank(0.99),
+            max_s: secs[secs.len() - 1],
+            mean_s: secs.iter().sum::<f64>() / secs.len() as f64,
+        }
+    }
+}
+
+/// Aggregated health of one supervised batch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HealthReport {
+    /// Frames in the batch.
+    pub frames: usize,
+    /// Frames whose primary engine succeeded (first try or after retry).
+    pub ok: usize,
+    /// Frames that needed more than one attempt, whatever their final
+    /// disposition.
+    pub retried: usize,
+    /// Frames served by the fallback engine.
+    pub degraded: usize,
+    /// Frames with no usable output.
+    pub failed: usize,
+    /// Total attempts made on the primary engine across the batch.
+    pub total_attempts: u64,
+    /// Latency distribution across frames.
+    pub latency: LatencyStats,
+}
+
+impl HealthReport {
+    /// Aggregates per-frame reports into batch health.
+    pub fn from_reports(reports: &[FrameReport]) -> Self {
+        let latencies: Vec<Duration> = reports.iter().map(|r| r.latency).collect();
+        HealthReport {
+            frames: reports.len(),
+            ok: reports.iter().filter(|r| r.status.is_ok()).count(),
+            retried: reports.iter().filter(|r| r.attempts > 1).count(),
+            degraded: reports.iter().filter(|r| r.status.is_degraded()).count(),
+            failed: reports.iter().filter(|r| r.status.is_failed()).count(),
+            total_attempts: reports.iter().map(|r| u64::from(r.attempts)).sum(),
+            latency: LatencyStats::from_durations(&latencies),
+        }
+    }
+
+    /// True when every frame produced usable output (ok or degraded).
+    pub fn all_served(&self) -> bool {
+        self.failed == 0
+    }
+}
+
+impl fmt::Display for HealthReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "frames {}: ok {}, retried {}, degraded {}, failed {} ({} attempts total)",
+            self.frames, self.ok, self.retried, self.degraded, self.failed, self.total_attempts
+        )?;
+        write!(
+            f,
+            "latency p50 {:.3} ms, p90 {:.3} ms, p99 {:.3} ms, max {:.3} ms",
+            self.latency.p50_s * 1e3,
+            self.latency.p90_s * 1e3,
+            self.latency.p99_s * 1e3,
+            self.latency.max_s * 1e3,
+        )
+    }
+}
+
+/// Everything a supervised batch produced.
+#[derive(Debug, Clone)]
+pub struct BatchResult {
+    /// Per-frame outputs (one image per kernel); `None` only for frames
+    /// whose status is [`FrameStatus::Failed`].
+    pub outputs: Vec<Option<Vec<Image>>>,
+    /// Per-frame dispositions, in frame order.
+    pub reports: Vec<FrameReport>,
+    /// Aggregated batch health.
+    pub health: HealthReport,
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
+    use super::*;
+
+    fn report(frame: usize, status: FrameStatus, attempts: u32, ms: u64) -> FrameReport {
+        FrameReport {
+            frame,
+            status,
+            attempts,
+            latency: Duration::from_millis(ms),
+            log: vec![],
+        }
+    }
+
+    #[test]
+    fn health_counts_partition_the_batch() {
+        let cause = FailureKind::Timeout {
+            budget: Duration::from_millis(5),
+        };
+        let reports = vec![
+            report(0, FrameStatus::Ok, 1, 10),
+            report(1, FrameStatus::Ok, 3, 30),
+            report(
+                2,
+                FrameStatus::Degraded {
+                    fallback: "digital".into(),
+                    cause: cause.clone(),
+                },
+                4,
+                40,
+            ),
+            report(3, FrameStatus::Failed { cause }, 4, 20),
+        ];
+        let h = HealthReport::from_reports(&reports);
+        assert_eq!(
+            (h.frames, h.ok, h.retried, h.degraded, h.failed),
+            (4, 2, 3, 1, 1)
+        );
+        assert_eq!(h.total_attempts, 12);
+        assert!(!h.all_served());
+        assert!(format!("{h}").contains("ok 2"));
+    }
+
+    #[test]
+    fn latency_percentiles_nearest_rank() {
+        let d: Vec<Duration> = (1..=100).map(Duration::from_millis).collect();
+        let s = LatencyStats::from_durations(&d);
+        assert!((s.p50_s - 0.050).abs() < 1e-12);
+        assert!((s.p90_s - 0.090).abs() < 1e-12);
+        assert!((s.p99_s - 0.099).abs() < 1e-12);
+        assert!((s.max_s - 0.100).abs() < 1e-12);
+        assert_eq!(LatencyStats::from_durations(&[]), LatencyStats::default());
+    }
+}

@@ -1,0 +1,45 @@
+//! Supervised execution runtime for temporal convolution jobs.
+//!
+//! The temporal engine is an *approximate* accelerator: its outputs carry
+//! mode- and noise-dependent error, its hardware model can be subjected to
+//! fault injection, and in a deployment it shares the pipeline with a
+//! conventional digital path (DESIGN.md §5.8). This crate is the layer
+//! that makes batch execution dependable anyway:
+//!
+//! * **Validation** — every frame's outputs are checked for NaN/Inf and,
+//!   when a [`ReferenceEngine`](ta_baseline::ReferenceEngine) is attached,
+//!   for nRMSE drift beyond a configured tolerance
+//!   ([`ValidationPolicy`]).
+//! * **Watchdog timeouts** — each attempt runs on its own worker thread;
+//!   if it misses its deadline the supervisor abandons it and moves on
+//!   ([`SupervisorConfig::timeout`]).
+//! * **Seeded retry** — failed attempts are retried with exponential
+//!   backoff plus deterministic jitter; all randomness derives from the
+//!   batch seed, so retried/degraded counts reproduce exactly
+//!   ([`RetryPolicy`]).
+//! * **Panic isolation** — a panicking job is caught per attempt and
+//!   treated as one more failure, never aborting the batch.
+//! * **Graceful degradation** — once the retry budget is exhausted, the
+//!   frame falls back to a trusted engine (exact-mode temporal or the
+//!   digital reference) and is marked [`FrameStatus::Degraded`] rather
+//!   than lost ([`Fallback`]).
+//! * **Health reporting** — per-batch ok/retried/degraded/failed counts
+//!   and latency percentiles ([`HealthReport`]).
+//!
+//! The entry point is [`Supervisor::run_batch`]; [`TemporalEngine`] and
+//! [`FaultyTemporalEngine`] adapt `ta_core::exec` to the [`Engine`]
+//! contract.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod health;
+pub mod supervisor;
+
+pub use engine::{derive_seed, Engine, FaultyTemporalEngine, TemporalEngine};
+pub use health::{BatchResult, FrameReport, FrameStatus, HealthReport, LatencyStats};
+pub use supervisor::{
+    FailureKind, Fallback, RetryPolicy, RuntimeError, Supervisor, SupervisorConfig,
+    ValidationPolicy,
+};

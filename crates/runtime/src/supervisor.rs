@@ -1,0 +1,597 @@
+//! The supervisor: validation, watchdog timeouts, seeded retry with
+//! exponential backoff, panic isolation, and graceful degradation.
+
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex, PoisonError};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use rand::{rngs::SmallRng, Rng, SeedableRng};
+use ta_baseline::ReferenceEngine;
+use ta_core::{RunResult, ValidationError};
+use ta_image::Image;
+
+use crate::engine::{derive_seed, Engine};
+use crate::health::{BatchResult, FrameReport, FrameStatus, HealthReport};
+
+/// Why one attempt (or a whole frame) failed.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum FailureKind {
+    /// The attempt missed its watchdog deadline and was abandoned.
+    Timeout {
+        /// The per-attempt budget that was exceeded.
+        budget: Duration,
+    },
+    /// The attempt panicked; the payload's message, if printable.
+    Panic(String),
+    /// The engine returned a typed error.
+    Engine(ta_core::Error),
+    /// The outputs were produced but rejected by validation.
+    Validation(ValidationError),
+}
+
+impl fmt::Display for FailureKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FailureKind::Timeout { budget } => {
+                write!(f, "timeout (budget {:.1} ms)", budget.as_secs_f64() * 1e3)
+            }
+            FailureKind::Panic(msg) => write!(f, "panic: {msg}"),
+            FailureKind::Engine(e) => write!(f, "engine error: {e}"),
+            FailureKind::Validation(e) => write!(f, "validation rejected output: {e}"),
+        }
+    }
+}
+
+/// Output-acceptance rules applied to every attempt.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ValidationPolicy {
+    /// Reject outputs containing NaN/Inf pixels.
+    pub require_finite: bool,
+    /// Reject outputs whose per-kernel nRMSE against the digital
+    /// reference exceeds this tolerance. Requires a reference engine to
+    /// be attached to the supervisor.
+    pub nrmse_tolerance: Option<f64>,
+}
+
+impl Default for ValidationPolicy {
+    fn default() -> Self {
+        ValidationPolicy {
+            require_finite: true,
+            nrmse_tolerance: None,
+        }
+    }
+}
+
+/// Retry budget and backoff shape.
+///
+/// Attempt `k` (zero-based) that fails sleeps
+/// `min(base_backoff · 2^k, max_backoff)` scaled by a jitter factor drawn
+/// uniformly from `[1 − jitter, 1 + jitter)` before the next attempt. All
+/// jitter derives from the batch seed, so schedules are reproducible.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Retries after the first attempt (`0` = no retry).
+    pub max_retries: u32,
+    /// Backoff before the first retry.
+    pub base_backoff: Duration,
+    /// Cap on the exponentially growing backoff.
+    pub max_backoff: Duration,
+    /// Relative jitter amplitude in `[0, 1]`.
+    pub jitter: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 2,
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(100),
+            jitter: 0.5,
+        }
+    }
+}
+
+/// Where a frame's outputs come from once the retry budget is exhausted.
+#[derive(Clone)]
+pub enum Fallback {
+    /// Re-run the frame through a trusted engine (typically the temporal
+    /// engine in an exact arithmetic mode).
+    Engine(Arc<dyn Engine>),
+    /// Serve the attached [`ReferenceEngine`]'s outputs directly.
+    Reference,
+}
+
+impl fmt::Debug for Fallback {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Fallback::Engine(e) => write!(f, "Fallback::Engine({})", e.name()),
+            Fallback::Reference => write!(f, "Fallback::Reference"),
+        }
+    }
+}
+
+/// Supervisor knobs. `Default` gives finite-only validation, no timeout,
+/// two retries, and one worker per available core.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SupervisorConfig {
+    /// Output-acceptance rules.
+    pub validation: ValidationPolicy,
+    /// Per-attempt watchdog budget; `None` disables the watchdog (and the
+    /// per-attempt worker thread it needs).
+    pub timeout: Option<Duration>,
+    /// Retry budget and backoff shape.
+    pub retry: RetryPolicy,
+    /// Worker threads for batch execution; `0` = one per available core.
+    pub workers: usize,
+    /// Base seed for backoff jitter (frame seeds derive from the batch
+    /// seed passed to [`Supervisor::run_batch`]).
+    pub seed: u64,
+}
+
+/// Supervisor misconfiguration detected before any frame runs.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum RuntimeError {
+    /// A feature needing the digital reference was enabled without
+    /// attaching a reference engine.
+    MissingReference(&'static str),
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::MissingReference(what) => write!(
+                f,
+                "{what} requires a reference engine (Supervisor::with_reference)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+/// The supervised batch executor. See the crate docs for the contract.
+#[derive(Clone)]
+pub struct Supervisor {
+    cfg: SupervisorConfig,
+    reference: Option<Arc<dyn ReferenceEngine>>,
+    fallback: Option<Fallback>,
+}
+
+impl fmt::Debug for Supervisor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Supervisor")
+            .field("cfg", &self.cfg)
+            .field("reference", &self.reference.as_ref().map(|r| r.name()))
+            .field("fallback", &self.fallback)
+            .finish()
+    }
+}
+
+impl Supervisor {
+    /// Builds a supervisor with the given configuration and no reference
+    /// engine or fallback.
+    pub fn new(cfg: SupervisorConfig) -> Self {
+        Supervisor {
+            cfg,
+            reference: None,
+            fallback: None,
+        }
+    }
+
+    /// Attaches the trusted digital reference used for nRMSE validation
+    /// and [`Fallback::Reference`].
+    #[must_use]
+    pub fn with_reference(mut self, reference: Arc<dyn ReferenceEngine>) -> Self {
+        self.reference = Some(reference);
+        self
+    }
+
+    /// Configures graceful degradation once the retry budget is spent.
+    #[must_use]
+    pub fn with_fallback(mut self, fallback: Fallback) -> Self {
+        self.fallback = Some(fallback);
+        self
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &SupervisorConfig {
+        &self.cfg
+    }
+
+    fn check_config(&self) -> Result<(), RuntimeError> {
+        if self.cfg.validation.nrmse_tolerance.is_some() && self.reference.is_none() {
+            return Err(RuntimeError::MissingReference("nRMSE validation"));
+        }
+        if matches!(self.fallback, Some(Fallback::Reference)) && self.reference.is_none() {
+            return Err(RuntimeError::MissingReference("reference fallback"));
+        }
+        Ok(())
+    }
+
+    /// Supervises one frame: attempts, validation, retry, fallback.
+    ///
+    /// `frame` indexes the frame within its batch; the frame's engine seed
+    /// is `derive_seed(batch_seed, frame)`, so single-frame and batch runs
+    /// agree.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError`] if the configuration needs a reference engine
+    /// that was not attached. Per-frame failures are *not* errors: they
+    /// are reported in the returned [`FrameReport`].
+    pub fn run_one(
+        &self,
+        engine: &Arc<dyn Engine>,
+        image: &Image,
+        frame: usize,
+        batch_seed: u64,
+    ) -> Result<(Option<Vec<Image>>, FrameReport), RuntimeError> {
+        self.check_config()?;
+        Ok(self.supervise_frame(engine, image, frame, batch_seed))
+    }
+
+    /// Runs a batch of frames across the configured worker pool.
+    ///
+    /// Every frame gets a seed derived from `batch_seed` and its index,
+    /// and backoff jitter derives from the configuration seed and the
+    /// index — so ok/retried/degraded/failed counts are a pure function
+    /// of `(inputs, config, seeds)`, independent of thread scheduling.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError`] on misconfiguration (detected before any frame
+    /// runs). Per-frame failures are reported in the [`BatchResult`],
+    /// never as process aborts.
+    pub fn run_batch(
+        &self,
+        engine: &Arc<dyn Engine>,
+        frames: &[Image],
+        batch_seed: u64,
+    ) -> Result<BatchResult, RuntimeError> {
+        self.check_config()?;
+        let n = frames.len();
+        let workers = match self.cfg.workers {
+            0 => thread::available_parallelism().map_or(1, usize::from),
+            w => w,
+        }
+        .clamp(1, n.max(1));
+
+        type Slot = Option<(Option<Vec<Image>>, FrameReport)>;
+        let slots: Vec<Mutex<Slot>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let done = self.supervise_frame(engine, &frames[i], i, batch_seed);
+                    *slots[i].lock().unwrap_or_else(PoisonError::into_inner) = Some(done);
+                });
+            }
+        });
+
+        let mut outputs = Vec::with_capacity(n);
+        let mut reports = Vec::with_capacity(n);
+        for slot in slots {
+            let Some((out, report)) = slot.into_inner().unwrap_or_else(PoisonError::into_inner)
+            else {
+                unreachable!("every slot is filled before the scope ends")
+            };
+            outputs.push(out);
+            reports.push(report);
+        }
+        let health = HealthReport::from_reports(&reports);
+        Ok(BatchResult {
+            outputs,
+            reports,
+            health,
+        })
+    }
+
+    fn supervise_frame(
+        &self,
+        engine: &Arc<dyn Engine>,
+        image: &Image,
+        frame: usize,
+        batch_seed: u64,
+    ) -> (Option<Vec<Image>>, FrameReport) {
+        let started = Instant::now();
+        let frame_seed = derive_seed(batch_seed, frame as u64);
+        let mut jitter_rng = SmallRng::seed_from_u64(derive_seed(self.cfg.seed, frame as u64));
+        let references = self.references_for(image);
+        let mut log = Vec::new();
+        let mut attempts = 0;
+        let mut last_failure = None;
+
+        while attempts <= self.cfg.retry.max_retries {
+            let attempt = attempts;
+            attempts += 1;
+            let failure = match self.attempt(engine, image, frame_seed, attempt) {
+                Ok(run) => match self.validate(&run, references.as_deref()) {
+                    Ok(()) => {
+                        return (
+                            Some(run.outputs),
+                            FrameReport {
+                                frame,
+                                status: FrameStatus::Ok,
+                                attempts,
+                                latency: started.elapsed(),
+                                log,
+                            },
+                        );
+                    }
+                    Err(v) => FailureKind::Validation(v),
+                },
+                Err(f) => f,
+            };
+            log.push(format!("attempt {attempt}: {failure}"));
+            last_failure = Some(failure);
+            if attempts <= self.cfg.retry.max_retries {
+                thread::sleep(self.backoff(attempt, &mut jitter_rng));
+            }
+        }
+
+        let Some(cause) = last_failure else {
+            unreachable!("the loop records a failure before exiting")
+        };
+        let (out, status) = self.degrade(image, references, cause, &mut log);
+        (
+            out,
+            FrameReport {
+                frame,
+                status,
+                attempts,
+                latency: started.elapsed(),
+                log,
+            },
+        )
+    }
+
+    /// Reference outputs for validation / fallback, if either needs them.
+    fn references_for(&self, image: &Image) -> Option<Vec<Image>> {
+        let needed = self.cfg.validation.nrmse_tolerance.is_some()
+            || matches!(self.fallback, Some(Fallback::Reference));
+        if !needed {
+            return None;
+        }
+        self.reference.as_ref().map(|r| r.reference_outputs(image))
+    }
+
+    /// One attempt, panic-isolated and (when configured) watchdogged.
+    fn attempt(
+        &self,
+        engine: &Arc<dyn Engine>,
+        image: &Image,
+        seed: u64,
+        attempt: u32,
+    ) -> Result<RunResult, FailureKind> {
+        match self.cfg.timeout {
+            None => unwind_to_failure(catch_unwind(AssertUnwindSafe(|| {
+                engine.run_frame(image, seed, attempt)
+            }))),
+            Some(budget) => {
+                let (tx, rx) = mpsc::channel();
+                let worker_engine = Arc::clone(engine);
+                let worker_image = image.clone();
+                let spawned = thread::Builder::new()
+                    .name(format!("ta-runtime-attempt-{attempt}"))
+                    .spawn(move || {
+                        let out = catch_unwind(AssertUnwindSafe(|| {
+                            worker_engine.run_frame(&worker_image, seed, attempt)
+                        }));
+                        // The supervisor may have timed out and dropped
+                        // the receiver; that is fine.
+                        let _ = tx.send(out);
+                    });
+                if let Err(e) = spawned {
+                    return Err(FailureKind::Panic(format!("failed to spawn worker: {e}")));
+                }
+                match rx.recv_timeout(budget) {
+                    Ok(out) => unwind_to_failure(out),
+                    // The attempt thread is abandoned: it still holds its
+                    // clones and will exit on its own, but the frame's
+                    // budget is spent.
+                    Err(mpsc::RecvTimeoutError::Timeout) => Err(FailureKind::Timeout { budget }),
+                    Err(mpsc::RecvTimeoutError::Disconnected) => Err(FailureKind::Panic(
+                        "worker thread died without reporting".into(),
+                    )),
+                }
+            }
+        }
+    }
+
+    fn validate(
+        &self,
+        run: &RunResult,
+        references: Option<&[Image]>,
+    ) -> Result<(), ValidationError> {
+        match (self.cfg.validation.nrmse_tolerance, references) {
+            (Some(tol), Some(refs)) => run.validate_against(refs, tol),
+            _ => {
+                if self.cfg.validation.require_finite {
+                    run.validate_finite()
+                } else {
+                    Ok(())
+                }
+            }
+        }
+    }
+
+    fn backoff(&self, failed_attempt: u32, rng: &mut SmallRng) -> Duration {
+        let r = &self.cfg.retry;
+        let base = r.base_backoff.as_secs_f64();
+        let cap = r.max_backoff.as_secs_f64();
+        let exp = base * 2f64.powi(failed_attempt.min(30) as i32);
+        let jitter = if r.jitter > 0.0 {
+            // Drawn even when the backoff is zero so the jitter stream
+            // stays aligned across configurations.
+            1.0 + r.jitter.min(1.0) * rng.gen_range(-1.0..1.0)
+        } else {
+            1.0
+        };
+        Duration::from_secs_f64((exp.min(cap) * jitter).max(0.0))
+    }
+
+    /// Retry budget exhausted: produce fallback output if configured.
+    fn degrade(
+        &self,
+        image: &Image,
+        references: Option<Vec<Image>>,
+        cause: FailureKind,
+        log: &mut Vec<String>,
+    ) -> (Option<Vec<Image>>, FrameStatus) {
+        match &self.fallback {
+            None => (None, FrameStatus::Failed { cause }),
+            Some(Fallback::Reference) => {
+                let refs = references
+                    .or_else(|| self.reference.as_ref().map(|r| r.reference_outputs(image)));
+                let Some(outs) = refs else {
+                    // check_config guarantees a reference is attached.
+                    unreachable!("Fallback::Reference without a reference engine")
+                };
+                let name = self
+                    .reference
+                    .as_ref()
+                    .map_or_else(|| "reference".to_owned(), |r| r.name().to_owned());
+                log.push(format!("fallback: served by {name}"));
+                (
+                    Some(outs),
+                    FrameStatus::Degraded {
+                        fallback: name,
+                        cause,
+                    },
+                )
+            }
+            Some(Fallback::Engine(fb)) => {
+                // The fallback engine is trusted by configuration, so it
+                // gets one panic-isolated, watchdogged attempt and only a
+                // finite-ness safety net — not the drift tolerance, which
+                // may be unsatisfiable under the fault that got us here.
+                let seed = derive_seed(self.cfg.seed, 0xfb);
+                match self.attempt(fb, image, seed, 0) {
+                    Ok(run) => {
+                        if self.cfg.validation.require_finite {
+                            if let Err(v) = run.validate_finite() {
+                                log.push(format!("fallback {} rejected: {v}", fb.name()));
+                                return (
+                                    None,
+                                    FrameStatus::Failed {
+                                        cause: FailureKind::Validation(v),
+                                    },
+                                );
+                            }
+                        }
+                        log.push(format!("fallback: served by {}", fb.name()));
+                        (
+                            Some(run.outputs),
+                            FrameStatus::Degraded {
+                                fallback: fb.name().to_owned(),
+                                cause,
+                            },
+                        )
+                    }
+                    Err(f) => {
+                        log.push(format!("fallback {} failed: {f}", fb.name()));
+                        (None, FrameStatus::Failed { cause: f })
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Collapses `catch_unwind`'s nesting into the supervisor's failure type.
+fn unwind_to_failure(
+    out: Result<Result<RunResult, ta_core::Error>, Box<dyn std::any::Any + Send>>,
+) -> Result<RunResult, FailureKind> {
+    match out {
+        Ok(Ok(run)) => Ok(run),
+        Ok(Err(e)) => Err(FailureKind::Engine(e)),
+        Err(payload) => Err(FailureKind::Panic(panic_message(payload.as_ref()))),
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
+    use super::*;
+
+    #[test]
+    fn backoff_grows_caps_and_reproduces() {
+        let sup = Supervisor::new(SupervisorConfig {
+            retry: RetryPolicy {
+                max_retries: 5,
+                base_backoff: Duration::from_millis(10),
+                max_backoff: Duration::from_millis(40),
+                jitter: 0.0,
+            },
+            ..SupervisorConfig::default()
+        });
+        let mut rng = SmallRng::seed_from_u64(0);
+        assert_eq!(sup.backoff(0, &mut rng), Duration::from_millis(10));
+        assert_eq!(sup.backoff(1, &mut rng), Duration::from_millis(20));
+        assert_eq!(sup.backoff(2, &mut rng), Duration::from_millis(40));
+        assert_eq!(
+            sup.backoff(3, &mut rng),
+            Duration::from_millis(40),
+            "capped"
+        );
+
+        let jittered = Supervisor::new(SupervisorConfig {
+            retry: RetryPolicy {
+                jitter: 0.5,
+                ..RetryPolicy::default()
+            },
+            ..SupervisorConfig::default()
+        });
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        assert_eq!(jittered.backoff(0, &mut a), jittered.backoff(0, &mut b));
+    }
+
+    #[test]
+    fn misconfiguration_is_reported_before_running() {
+        let sup = Supervisor::new(SupervisorConfig {
+            validation: ValidationPolicy {
+                require_finite: true,
+                nrmse_tolerance: Some(0.1),
+            },
+            ..SupervisorConfig::default()
+        });
+        assert_eq!(
+            sup.check_config(),
+            Err(RuntimeError::MissingReference("nRMSE validation"))
+        );
+        let sup = Supervisor::new(SupervisorConfig::default()).with_fallback(Fallback::Reference);
+        assert!(matches!(
+            sup.check_config(),
+            Err(RuntimeError::MissingReference(_))
+        ));
+        assert!(!format!("{}", RuntimeError::MissingReference("x")).is_empty());
+    }
+
+    #[test]
+    fn panic_messages_are_extracted() {
+        assert_eq!(panic_message(&"boom"), "boom");
+        assert_eq!(panic_message(&"boom".to_owned()), "boom");
+        assert_eq!(panic_message(&42_u32), "opaque panic payload");
+    }
+}

@@ -1,0 +1,354 @@
+//! End-to-end supervision scenarios: hung jobs, panics, poisoned outputs,
+//! drift rejection, graceful degradation, and reproducibility.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use ta_baseline::{DigitalReference, ReferenceEngine};
+use ta_core::{
+    exec, ArchConfig, Architecture, ArithmeticMode, FaultModel, RunResult, SystemDescription,
+};
+use ta_image::{synth, Image, Kernel};
+use ta_runtime::{
+    Engine, FailureKind, Fallback, FaultyTemporalEngine, FrameStatus, RetryPolicy, Supervisor,
+    SupervisorConfig, TemporalEngine, ValidationPolicy,
+};
+
+const W: usize = 12;
+const H: usize = 12;
+
+fn arch() -> Architecture {
+    let desc = SystemDescription::new(W, H, vec![Kernel::sobel_x()], 1).unwrap();
+    Architecture::new(desc, ArchConfig::fast_1ns(7, 20)).unwrap()
+}
+
+fn reference() -> Arc<DigitalReference> {
+    let floor = (-arch().vtc().max_delay_units()).exp();
+    Arc::new(
+        DigitalReference::new(
+            ta_baseline::digital::DigitalModel::conventional_65nm(),
+            vec![Kernel::sobel_x()],
+            1,
+        )
+        .with_pixel_floor(floor),
+    )
+}
+
+fn good_result() -> RunResult {
+    let img = synth::natural_image(W, H, 0);
+    exec::run(&arch(), &img, ArithmeticMode::DelayApprox, 0).unwrap()
+}
+
+fn frames(n: usize) -> Vec<Image> {
+    (0..n)
+        .map(|i| synth::natural_image(W, H, i as u64))
+        .collect()
+}
+
+/// What a scripted engine does on a given attempt.
+#[derive(Clone, Copy)]
+enum Behaviour {
+    Ok,
+    Nan,
+    Panic,
+    Err,
+    Hang,
+}
+
+/// A deterministic engine whose behaviour is scripted per attempt index;
+/// attempts beyond the script succeed.
+struct Scripted {
+    script: Vec<Behaviour>,
+    good: RunResult,
+    calls: AtomicU32,
+}
+
+impl Scripted {
+    fn new(script: Vec<Behaviour>) -> Arc<Self> {
+        Arc::new(Scripted {
+            script,
+            good: good_result(),
+            calls: AtomicU32::new(0),
+        })
+    }
+}
+
+impl Engine for Scripted {
+    fn run_frame(
+        &self,
+        _image: &Image,
+        _seed: u64,
+        attempt: u32,
+    ) -> Result<RunResult, ta_core::Error> {
+        self.calls.fetch_add(1, Ordering::SeqCst);
+        match self
+            .script
+            .get(attempt as usize)
+            .copied()
+            .unwrap_or(Behaviour::Ok)
+        {
+            Behaviour::Ok => Ok(self.good.clone()),
+            Behaviour::Nan => {
+                let mut r = self.good.clone();
+                r.outputs[0].set(0, 0, f64::NAN);
+                Ok(r)
+            }
+            Behaviour::Panic => panic!("scripted panic on attempt {attempt}"),
+            Behaviour::Err => Err(ta_core::exec::ExecError::DimensionMismatch {
+                expected: (W, H),
+                got: (0, 0),
+            }
+            .into()),
+            Behaviour::Hang => {
+                std::thread::sleep(Duration::from_secs(30));
+                Ok(self.good.clone())
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        "scripted"
+    }
+}
+
+fn fast_retry(max_retries: u32) -> RetryPolicy {
+    RetryPolicy {
+        max_retries,
+        base_backoff: Duration::ZERO,
+        max_backoff: Duration::ZERO,
+        jitter: 0.0,
+    }
+}
+
+#[test]
+fn watchdog_cancels_hung_job_at_deadline() {
+    let sup = Supervisor::new(SupervisorConfig {
+        timeout: Some(Duration::from_millis(50)),
+        retry: fast_retry(0),
+        ..SupervisorConfig::default()
+    });
+    let engine: Arc<dyn Engine> = Scripted::new(vec![Behaviour::Hang]);
+    let img = synth::natural_image(W, H, 1);
+    let started = Instant::now();
+    let (out, report) = sup.run_one(&engine, &img, 0, 7).unwrap();
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "the hung job must be abandoned at its deadline, not joined"
+    );
+    assert!(out.is_none());
+    assert_eq!(
+        report.status,
+        FrameStatus::Failed {
+            cause: FailureKind::Timeout {
+                budget: Duration::from_millis(50)
+            }
+        }
+    );
+    assert_eq!(report.attempts, 1);
+}
+
+#[test]
+fn panics_are_isolated_and_retried_to_success() {
+    let sup = Supervisor::new(SupervisorConfig {
+        retry: fast_retry(2),
+        ..SupervisorConfig::default()
+    });
+    let engine: Arc<dyn Engine> = Scripted::new(vec![Behaviour::Panic, Behaviour::Ok]);
+    let img = synth::natural_image(W, H, 1);
+    let (out, report) = sup.run_one(&engine, &img, 0, 7).unwrap();
+    assert!(out.is_some());
+    assert_eq!(report.status, FrameStatus::Ok);
+    assert_eq!(report.attempts, 2);
+    assert!(report.log[0].contains("panic"), "log: {:?}", report.log);
+}
+
+#[test]
+fn nan_outputs_are_rejected_then_retried() {
+    let sup = Supervisor::new(SupervisorConfig {
+        retry: fast_retry(1),
+        ..SupervisorConfig::default()
+    });
+    let engine: Arc<dyn Engine> = Scripted::new(vec![Behaviour::Nan, Behaviour::Ok]);
+    let img = synth::natural_image(W, H, 1);
+    let (out, report) = sup.run_one(&engine, &img, 0, 7).unwrap();
+    assert_eq!(report.status, FrameStatus::Ok);
+    assert_eq!(report.attempts, 2);
+    assert!(out.unwrap()[0].pixels().iter().all(|p| p.is_finite()));
+    assert!(report.log[0].contains("NaN"), "log: {:?}", report.log);
+}
+
+#[test]
+fn exhausted_budget_falls_back_to_reference() {
+    let sup = Supervisor::new(SupervisorConfig {
+        retry: fast_retry(1),
+        ..SupervisorConfig::default()
+    })
+    .with_reference(reference())
+    .with_fallback(Fallback::Reference);
+    let engine: Arc<dyn Engine> =
+        Scripted::new(vec![Behaviour::Err, Behaviour::Err, Behaviour::Err]);
+    let imgs = frames(3);
+    let batch = sup.run_batch(&engine, &imgs, 7).unwrap();
+    assert_eq!(batch.health.degraded, 3);
+    assert_eq!(batch.health.failed, 0);
+    assert!(batch.health.all_served());
+    for (i, out) in batch.outputs.iter().enumerate() {
+        let out = out.as_ref().expect("degraded frames still carry outputs");
+        assert_eq!(out, &reference().reference_outputs(&imgs[i]));
+        assert!(matches!(
+            &batch.reports[i].status,
+            FrameStatus::Degraded {
+                cause: FailureKind::Engine(_),
+                ..
+            }
+        ));
+    }
+}
+
+#[test]
+fn exhausted_budget_falls_back_to_exact_engine() {
+    let fallback: Arc<dyn Engine> =
+        Arc::new(TemporalEngine::new(arch(), ArithmeticMode::DelayExact));
+    let sup = Supervisor::new(SupervisorConfig {
+        retry: fast_retry(0),
+        ..SupervisorConfig::default()
+    })
+    .with_fallback(Fallback::Engine(fallback));
+    let engine: Arc<dyn Engine> = Scripted::new(vec![Behaviour::Nan, Behaviour::Nan]);
+    let img = synth::natural_image(W, H, 2);
+    let (out, report) = sup.run_one(&engine, &img, 0, 7).unwrap();
+    let FrameStatus::Degraded { fallback, cause } = &report.status else {
+        panic!("expected degraded, got {:?}", report.status)
+    };
+    assert_eq!(fallback, "temporal");
+    assert!(matches!(cause, FailureKind::Validation(_)));
+    let exact = exec::run(&arch(), &img, ArithmeticMode::DelayExact, 0).unwrap();
+    assert_eq!(out.unwrap(), exact.outputs);
+}
+
+#[test]
+fn no_fallback_means_failed_but_never_aborts() {
+    let sup = Supervisor::new(SupervisorConfig {
+        retry: fast_retry(1),
+        ..SupervisorConfig::default()
+    });
+    let engine: Arc<dyn Engine> =
+        Scripted::new(vec![Behaviour::Panic, Behaviour::Panic, Behaviour::Panic]);
+    let batch = sup.run_batch(&engine, &frames(2), 7).unwrap();
+    assert_eq!(batch.health.failed, 2);
+    assert_eq!(batch.health.retried, 2);
+    assert!(batch.outputs.iter().all(Option::is_none));
+    for r in &batch.reports {
+        assert!(matches!(
+            &r.status,
+            FrameStatus::Failed {
+                cause: FailureKind::Panic(_)
+            }
+        ));
+        assert_eq!(r.attempts, 2);
+        assert_eq!(r.log.len(), 2);
+    }
+}
+
+#[test]
+fn drift_beyond_tolerance_is_degraded_via_reference() {
+    // A heavy transient fault environment pushes many frames past a tight
+    // tolerance; every one of them must be served by the reference.
+    let model = FaultModel::with_rate(0.02).unwrap();
+    let engine: Arc<dyn Engine> = Arc::new(FaultyTemporalEngine::new(
+        arch(),
+        ArithmeticMode::DelayApprox,
+        model,
+        0xFA,
+    ));
+    let sup = Supervisor::new(SupervisorConfig {
+        validation: ValidationPolicy {
+            require_finite: true,
+            nrmse_tolerance: Some(1e-6),
+        },
+        retry: fast_retry(1),
+        ..SupervisorConfig::default()
+    })
+    .with_reference(reference())
+    .with_fallback(Fallback::Reference);
+    let batch = sup.run_batch(&engine, &frames(4), 21).unwrap();
+    assert!(batch.health.all_served());
+    assert!(
+        batch.health.degraded > 0,
+        "a 2% transient fault rate should exceed a 1e-6 tolerance: {:?}",
+        batch.health
+    );
+    assert!(batch.outputs.iter().all(Option::is_some));
+}
+
+#[test]
+fn health_counts_reproduce_across_runs_and_worker_counts() {
+    let model = FaultModel::with_rate(0.01).unwrap();
+    let engine: Arc<dyn Engine> = Arc::new(FaultyTemporalEngine::new(
+        arch(),
+        ArithmeticMode::DelayApproxNoisy,
+        model,
+        0xFA,
+    ));
+    let sup_for = |workers: usize| {
+        Supervisor::new(SupervisorConfig {
+            validation: ValidationPolicy {
+                require_finite: true,
+                nrmse_tolerance: Some(0.05),
+            },
+            retry: fast_retry(2),
+            workers,
+            seed: 5,
+            ..SupervisorConfig::default()
+        })
+        .with_reference(reference())
+        .with_fallback(Fallback::Reference)
+    };
+    let imgs = frames(6);
+    let a = sup_for(1).run_batch(&engine, &imgs, 99).unwrap();
+    let b = sup_for(4).run_batch(&engine, &imgs, 99).unwrap();
+    let c = sup_for(4).run_batch(&engine, &imgs, 99).unwrap();
+    // Counts and per-frame statuses are a pure function of (inputs,
+    // config, seed) — thread scheduling must not leak in.
+    let statuses = |r: &ta_runtime::BatchResult| {
+        r.reports
+            .iter()
+            .map(|f| (f.status.clone(), f.attempts))
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(statuses(&a), statuses(&b));
+    assert_eq!(statuses(&b), statuses(&c));
+    assert_eq!(a.health.ok, b.health.ok);
+    assert_eq!(a.health.degraded, b.health.degraded);
+    for (x, y) in a.outputs.iter().zip(&b.outputs) {
+        assert_eq!(x, y);
+    }
+}
+
+#[test]
+fn clean_batch_is_all_ok_with_sane_latency_stats() {
+    let engine: Arc<dyn Engine> =
+        Arc::new(TemporalEngine::new(arch(), ArithmeticMode::DelayApprox));
+    let sup = Supervisor::new(SupervisorConfig::default());
+    let batch = sup.run_batch(&engine, &frames(5), 3).unwrap();
+    assert_eq!(batch.health.ok, 5);
+    assert_eq!(batch.health.retried, 0);
+    assert_eq!(batch.health.total_attempts, 5);
+    assert!(batch.health.latency.max_s >= batch.health.latency.p50_s);
+    assert!(batch.health.latency.p50_s > 0.0);
+    let display = format!("{}", batch.health);
+    assert!(display.contains("ok 5"), "{display}");
+}
+
+#[test]
+fn empty_batch_is_healthy() {
+    let engine: Arc<dyn Engine> =
+        Arc::new(TemporalEngine::new(arch(), ArithmeticMode::DelayApprox));
+    let sup = Supervisor::new(SupervisorConfig::default());
+    let batch = sup.run_batch(&engine, &[], 3).unwrap();
+    assert_eq!(batch.health.frames, 0);
+    assert!(batch.health.all_served());
+}

@@ -17,15 +17,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let desc = SystemDescription::new(SIZE, SIZE, kernels.clone(), 1)?;
     let arch = Architecture::new(desc, ArchConfig::fast_1ns(7, 20))?;
 
-    let references: Vec<Image> = kernels.iter().map(|k| conv::convolve(&image, k, 1)).collect();
+    let references: Vec<Image> = kernels
+        .iter()
+        .map(|k| conv::convolve(&image, k, 1))
+        .collect();
 
     println!("Sobel edge detection, {SIZE}×{SIZE} frame, (1 ns, 7 max-terms, 20 inhibit-terms)\n");
-    println!("{:<20} {:>12} {:>12}", "arithmetic mode", "gx RMSE", "gy RMSE");
+    println!(
+        "{:<20} {:>12} {:>12}",
+        "arithmetic mode", "gx RMSE", "gy RMSE"
+    );
     let mut final_run = None;
     for mode in ArithmeticMode::ALL {
         let run = exec::run(&arch, &image, mode, 7)?;
         let errs = run.normalized_rmse(&references);
-        println!("{:<20} {:>12.6} {:>12.6}", mode.to_string(), errs[0], errs[1]);
+        println!(
+            "{:<20} {:>12.6} {:>12.6}",
+            mode.to_string(),
+            errs[0],
+            errs[1]
+        );
         if mode == ArithmeticMode::DelayApproxNoisy {
             final_run = Some(run);
         }

@@ -62,7 +62,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ArchConfig::fast_1ns(10, 20).with_tdc(TdcModel::asplos24()),
     )?;
     let temporal = stage1.energy.total_uj() + stage2.energy.total_uj();
-    let digitised = arch1_tdc.energy_per_frame().total_uj() + arch2_tdc.energy_per_frame().total_uj();
+    let digitised =
+        arch1_tdc.energy_per_frame().total_uj() + arch2_tdc.energy_per_frame().total_uj();
     println!(
         "\nstaying temporal between stages: {temporal:.2} µJ\ndigitising after each stage:     {digitised:.2} µJ  ({:.1}% more)",
         (digitised / temporal - 1.0) * 100.0

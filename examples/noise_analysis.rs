@@ -27,12 +27,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("pyrDown, {SIZE}×{SIZE}, (1 ns, 10 max-terms); normalised RMSE per noise source\n");
 
     let ideal = ArchConfig::fast_1ns(10, 20).with_noise(NoiseModel::ideal());
-    println!("{:<42} {:.4}", "approximation only (no noise)", run_with(ideal, 1)?);
-    println!("{:<42} {:.4}", "baseline (RJ + PSIJ at 10 mV)", run_with(base.clone(), 1)?);
+    println!(
+        "{:<42} {:.4}",
+        "approximation only (no noise)",
+        run_with(ideal, 1)?
+    );
+    println!(
+        "{:<42} {:.4}",
+        "baseline (RJ + PSIJ at 10 mV)",
+        run_with(base.clone(), 1)?
+    );
 
     for swing in [50.0, 100.0, 200.0] {
         let cfg = ArchConfig::fast_1ns(10, 20).with_noise(NoiseModel::asplos24(swing));
-        println!("{:<42} {:.4}", format!("V_DD swing {swing:.0} mV"), run_with(cfg, 1)?);
+        println!(
+            "{:<42} {:.4}",
+            format!("V_DD swing {swing:.0} mV"),
+            run_with(cfg, 1)?
+        );
     }
 
     for pre in [0.05, 0.15, 0.30] {

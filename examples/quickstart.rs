@@ -14,16 +14,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let a = DelayValue::encode(0.25)?;
     let b = DelayValue::encode(0.5)?;
     println!("0.25 encodes to a delay of {:.4} units", a.delay());
-    println!("0.50 encodes to a delay of {:.4} units (earlier!)", b.delay());
+    println!(
+        "0.50 encodes to a delay of {:.4} units (earlier!)",
+        b.delay()
+    );
 
     // 2. Multiplication is delay addition; addition is nLSE.
     println!("0.25 × 0.5  = {:.4}  (delays add)", (a + b).decode());
-    println!("0.25 + 0.5  = {:.4}  (negative log-sum-exp)", ops::nlse(a, b).decode());
+    println!(
+        "0.25 + 0.5  = {:.4}  (negative log-sum-exp)",
+        ops::nlse(a, b).decode()
+    );
 
     // 3. Signed values ride dual rails; one nLDE renormalises at the end.
     let p = SplitValue::encode_signed(0.8)?;
     let n = SplitValue::encode_signed(-0.3)?;
-    println!("0.8 + (-0.3) = {:.4}  (split rails)", (p + n).normalize().decode_signed());
+    println!(
+        "0.8 + (-0.3) = {:.4}  (split rails)",
+        (p + n).normalize().decode_signed()
+    );
 
     // 4. Hardware approximates nLSE with min/max/delay only.
     let approx = temporal_conv::approx::NlseApprox::fit(7);

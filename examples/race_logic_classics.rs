@@ -9,8 +9,8 @@
 
 use temporal_conv::delay_space::DelayValue;
 use temporal_conv::race_logic::apps::{
-    decision_tree_circuit, decision_tree_infer, grid_shortest_path,
-    grid_shortest_path_reference, sort_times, sorting_circuit, TreeNode,
+    decision_tree_circuit, decision_tree_infer, grid_shortest_path, grid_shortest_path_reference,
+    sort_times, sorting_circuit, TreeNode,
 };
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -44,7 +44,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         goal.delay(),
         grid_shortest_path_reference(w, h, &costs)
     );
-    println!("  {} fa gates, {} delay elements\n", circuit.stats().fa_gates, circuit.stats().delay_elements);
+    println!(
+        "  {} fa gates, {} delay elements\n",
+        circuit.stats().fa_gates,
+        circuit.stats().delay_elements
+    );
 
     // 3. Decision-tree inference with inhibit gates (Tzimpragos et al.,
     //    ASPLOS '19): thresholds are reference edges, branches are races.

@@ -65,8 +65,7 @@ fn split_mac_through_approximate_hardware() {
     // Exact delay space.
     let mut acc = SplitValue::ZERO;
     for (&x, &w) in xs.iter().zip(&ws) {
-        acc = acc
-            + SplitValue::encode_signed(x).unwrap() * SplitValue::encode_signed(w).unwrap();
+        acc = acc + SplitValue::encode_signed(x).unwrap() * SplitValue::encode_signed(w).unwrap();
     }
     let exact = acc.normalize().decode_signed();
     assert!((exact - expected).abs() < 1e-9);
@@ -169,8 +168,9 @@ fn gate_level_engine_matches_functional_engine_end_to_end() {
     // The apex of the verification pyramid: the whole convolution engine
     // compiled to race-logic netlists agrees with the functional
     // simulator on complete frames, across kernel families.
-    use temporal_conv::core::{exec, ArchConfig, Architecture, ArithmeticMode, GateEngine,
-                              SystemDescription};
+    use temporal_conv::core::{
+        exec, ArchConfig, Architecture, ArithmeticMode, GateEngine, SystemDescription,
+    };
     use temporal_conv::image::{metrics, synth, Kernel};
 
     for (kernels, stride) in [
@@ -186,7 +186,11 @@ fn gate_level_engine_matches_functional_engine_end_to_end() {
         let gates = engine.run(&arch, &img).unwrap();
         let functional = exec::run(&arch, &img, ArithmeticMode::DelayApprox, 0).unwrap();
         for (g, f) in gates.iter().zip(&functional.outputs) {
-            assert!(metrics::rmse(g, f) < 1e-9, "engines diverge: {}", metrics::rmse(g, f));
+            assert!(
+                metrics::rmse(g, f) < 1e-9,
+                "engines diverge: {}",
+                metrics::rmse(g, f)
+            );
         }
     }
 }

@@ -114,7 +114,9 @@ fn metrics_and_modes_compose_across_crates() {
     }
     assert!(energies.windows(2).all(|w| w[0] == w[1]));
     assert!(
-        metrics::normalized_rmse(&synth::natural_image(ow, oh, 0), &synth::natural_image(ow, oh, 0))
-            == 0.0
+        metrics::normalized_rmse(
+            &synth::natural_image(ow, oh, 0),
+            &synth::natural_image(ow, oh, 0)
+        ) == 0.0
     );
 }
