@@ -1,0 +1,109 @@
+//! Telemetry-overhead bench: `exec::run_uninstrumented` (no telemetry
+//! epilogue at all) versus the normal instrumented `exec::run` with a
+//! no-op trace sink installed. Both execute the *same* hot-kernel
+//! monomorphisation — the per-leaf counters and stage clocks live only in
+//! the profiling twin, and the common path takes its op counts from the
+//! closed form — so the measured difference is exactly the always-on
+//! telemetry work (census fill, wall clock, metric publication). The
+//! budget documented in DESIGN.md §5.9 is <2%.
+//!
+//! Under `--bench` the 2% budget is *asserted*, so a regression that
+//! makes the disabled-telemetry path expensive fails CI rather than
+//! drifting in silently. (Under `cargo test` the vendored criterion runs
+//! single smoke iterations, far too noisy to gate on, so the assertion
+//! is skipped.)
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use ta_core::{exec, ArchConfig, Architecture, ArithmeticMode, SystemDescription};
+use ta_image::{synth, Kernel};
+
+const SIZE: usize = 32;
+
+fn arch() -> Architecture {
+    let desc = SystemDescription::new(SIZE, SIZE, vec![Kernel::sobel_x()], 1)
+        .expect("sobel fits the frame");
+    Architecture::new(desc, ArchConfig::fast_1ns(7, 20)).expect("feasible schedule")
+}
+
+fn bench(c: &mut Criterion) {
+    // A no-op sink: wants_records() is false, so the tracer's fast path
+    // (two relaxed atomic loads) short-circuits every span and event.
+    // This is the configuration the 2% budget is defined against.
+    ta_telemetry::tracer().install(Arc::new(ta_telemetry::NullSink));
+    ta_telemetry::tracer().set_profiling(false);
+
+    let round = |f: &mut dyn FnMut(), iters: usize| {
+        let start = std::time::Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        start.elapsed().as_secs_f64() / iters as f64
+    };
+    // This bench resolves a single-digit-percent delta, which is below
+    // the bias ASLR-dependent data placement alone introduces (an A/A
+    // comparison of the same function against itself swings ~±1%). So:
+    // several independent repetitions, each with freshly allocated
+    // architecture and frame (new heap placement), each interleaving
+    // best-of-8 rounds per path, and the reported overhead is the median
+    // across repetitions.
+    let mut samples = Vec::new();
+    let (mut bare_best, mut instrumented_best) = (f64::INFINITY, f64::INFINITY);
+    for rep in 0..7u64 {
+        let arch = arch();
+        let img = synth::natural_image(SIZE, SIZE, 1 + rep);
+        let mut run_bare = || {
+            black_box(
+                exec::run_uninstrumented(&arch, &img, ArithmeticMode::DelayApprox, 0)
+                    .expect("clean run"),
+            );
+        };
+        let mut run_instrumented = || {
+            black_box(exec::run(&arch, &img, ArithmeticMode::DelayApprox, 0).expect("clean run"));
+        };
+        round(&mut run_bare, 5);
+        round(&mut run_instrumented, 5);
+        let (mut bare_s, mut instrumented_s) = (f64::INFINITY, f64::INFINITY);
+        for _ in 0..8 {
+            bare_s = bare_s.min(round(&mut run_bare, 15));
+            instrumented_s = instrumented_s.min(round(&mut run_instrumented, 15));
+        }
+        samples.push(instrumented_s / bare_s - 1.0);
+        bare_best = bare_best.min(bare_s);
+        instrumented_best = instrumented_best.min(instrumented_s);
+    }
+    samples.sort_by(f64::total_cmp);
+    let overhead = samples[samples.len() / 2];
+    let bare_s = bare_best;
+    let instrumented_s = instrumented_best;
+    ta_bench::print_experiment(
+        "Telemetry overhead (no-op sink)",
+        &format!(
+            "uninstrumented twin  {:8.3} ms/frame\ninstrumented run     {:8.3} ms/frame\noverhead             {:+8.2}%  (budget <2%)\n",
+            bare_s * 1e3,
+            instrumented_s * 1e3,
+            overhead * 100.0,
+        ),
+    );
+    let bench_mode = std::env::args().any(|a| a == "--bench");
+    assert!(
+        !bench_mode || overhead < 0.02,
+        "telemetry overhead budget blown: {:.2}% >= 2% (bare {:.3} ms, instrumented {:.3} ms)",
+        overhead * 100.0,
+        bare_s * 1e3,
+        instrumented_s * 1e3,
+    );
+
+    let arch = arch();
+    let img = synth::natural_image(SIZE, SIZE, 1);
+    c.bench_function("telemetry/uninstrumented_32x32", |b| {
+        b.iter(|| exec::run_uninstrumented(&arch, black_box(&img), ArithmeticMode::DelayApprox, 0))
+    });
+    c.bench_function("telemetry/instrumented_nullsink_32x32", |b| {
+        b.iter(|| exec::run(&arch, black_box(&img), ArithmeticMode::DelayApprox, 0))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -77,6 +77,19 @@ pub enum CliError {
         /// The rendered batch report.
         report: String,
     },
+    /// A telemetry artifact (`--trace`, `--metrics`, `--vcd`) could not
+    /// be written.
+    Telemetry(std::io::Error),
+    /// `profile` found a dynamic op count that disagrees with the static
+    /// census — the simulator and the energy model have diverged.
+    ProfileMismatch {
+        /// Which op class disagreed.
+        what: &'static str,
+        /// The count the simulator observed.
+        dynamic: u64,
+        /// The count the energy model expected.
+        expected: u64,
+    },
 }
 
 impl CliError {
@@ -100,6 +113,8 @@ impl CliError {
             CliError::Fault(_) => 13,
             CliError::Runtime(_) => 14,
             CliError::BatchFailed { .. } => 15,
+            CliError::Telemetry(_) => 16,
+            CliError::ProfileMismatch { .. } => 17,
         }
     }
 }
@@ -135,6 +150,15 @@ impl fmt::Display for CliError {
                     "{report}\nbatch: {failed} frame(s) produced no usable output"
                 )
             }
+            CliError::Telemetry(e) => write!(f, "telemetry output: {e}"),
+            CliError::ProfileMismatch {
+                what,
+                dynamic,
+                expected,
+            } => write!(
+                f,
+                "profile: {what} diverged — simulator counted {dynamic}, energy model expects {expected}"
+            ),
         }
     }
 }
@@ -147,6 +171,7 @@ impl Error for CliError {
             CliError::Exec(e) => Some(e),
             CliError::Fault(e) => Some(e),
             CliError::Runtime(e) => Some(e),
+            CliError::Telemetry(e) => Some(e),
             _ => None,
         }
     }
@@ -205,6 +230,7 @@ USAGE:
   tconv faults [--kernel sobel] [--size 24] [options]
   tconv batch --input-dir frames/ [--output-dir out/] [options]
   tconv batch --demo [--frames 8] [options]
+  tconv profile --demo [--kernel sobel] [--vcd wave.vcd] [options]
   tconv kernels
 
 OPTIONS (run/describe/explore/faults):
@@ -222,6 +248,14 @@ OPTIONS (faults):
   --drift F         delay-drift magnitude (fraction)       [default: 0.2]
   --advance U       spurious-early advance (units)         [default: 0.5]
   --pixel-sites N   pixel sites probed in the sensitivity scan [default: 12]
+
+OPTIONS (profile — per-stage time/energy/op breakdown):
+  --vcd PATH        dump a first-cycle netlist waveform as VCD (GTKWave)
+  (profile also accepts the run options above; default mode: approx)
+
+TELEMETRY (any command):
+  --trace PATH      write structured span/event records as JSON lines
+  --metrics PATH    write a Prometheus-text metrics snapshot on exit
 
 OPTIONS (batch — supervised runtime):
   --frames N        synthetic frames with --demo           [default: 8]
@@ -241,6 +275,7 @@ EXIT CODES:
   10 image i/o failed        11 architecture rejected
   12 execution rejected      13 fault campaign invalid
   14 runtime misconfigured   15 batch left failed frames
+  16 telemetry write failed  17 profile census mismatch
 ";
 
 /// Parsed `--key value` flags plus the subcommand.
@@ -351,6 +386,11 @@ fn config_of(args: &Args) -> Result<ArchConfig, CliError> {
 /// Entry point shared by the binary and the tests: runs a parsed command
 /// and returns the text to print.
 ///
+/// The global telemetry flags are honoured for every command: `--trace
+/// PATH` installs a JSONL trace sink before the command runs, and
+/// `--metrics PATH` writes a Prometheus-text metrics snapshot after it
+/// finishes (even a failing command leaves its partial metrics behind).
+///
 /// # Errors
 ///
 /// Returns a [`CliError`] for bad arguments or I/O failures.
@@ -358,15 +398,26 @@ pub fn dispatch(args: &Args) -> Result<String, CliError> {
     if args.has("--help") || args.command.is_empty() || args.command == "help" {
         return Ok(USAGE.to_string());
     }
-    match args.command.as_str() {
+    if let Some(path) = args.get("--trace") {
+        let sink = ta_telemetry::JsonlSink::create(path).map_err(CliError::Telemetry)?;
+        ta_telemetry::tracer().install(std::sync::Arc::new(sink));
+    }
+    let result = match args.command.as_str() {
         "run" => cmd_run(args),
         "describe" => cmd_describe(args),
         "explore" => cmd_explore(args),
         "faults" => cmd_faults(args),
         "batch" => cmd_batch(args),
+        "profile" => cmd_profile(args),
         "kernels" => Ok(cmd_kernels()),
         other => Err(CliError::UnknownCommand(other.to_string())),
+    };
+    ta_telemetry::tracer().flush();
+    if let Some(path) = args.get("--metrics") {
+        std::fs::write(path, ta_telemetry::metrics().to_prometheus())
+            .map_err(CliError::Telemetry)?;
     }
+    result
 }
 
 fn cmd_run(args: &Args) -> Result<String, CliError> {
@@ -699,6 +750,181 @@ fn cmd_batch(args: &Args) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// `tconv profile` — run one frame with per-stage profiling on and print
+/// a stage-by-stage breakdown of wall-clock time, modelled energy and op
+/// counts, cross-checking the simulator's dynamic counters against the
+/// energy model's static census.
+fn cmd_profile(args: &Args) -> Result<String, CliError> {
+    let (kernels, stride) = kernel_set(args.get("--kernel").unwrap_or("sobel"))?;
+    let seed: u64 = args.num("--seed", 0u64)?;
+    let image = match args.get("--input") {
+        Some(path) => pgm::load_pgm(path)?,
+        None => {
+            let size: usize = args.num("--size", 48)?;
+            synth::natural_image(size, size, seed)
+        }
+    };
+    let mode = mode_of(args.get("--mode").unwrap_or("approx"))?;
+    if mode == ArithmeticMode::ImportanceExact {
+        return Err(CliError::InvalidConfig(
+            "profile needs a delay-space mode: exact | approx | noisy".into(),
+        ));
+    }
+    let desc = SystemDescription::new(image.width(), image.height(), kernels.clone(), stride)?;
+    let arch = Architecture::new(desc, config_of(args)?)?;
+
+    ta_telemetry::tracer().set_profiling(true);
+    let run = exec::run(&arch, &image, mode, seed)?;
+    let stages = run.stages.unwrap_or_default();
+    let energy = arch.stage_energy();
+    let census = arch.op_census();
+    let ops = run.ops;
+
+    // The acceptance cross-check: every data-independent op the simulator
+    // performed must be an op the energy model charged for, and vice
+    // versa. (Edge events and TDC decodes are data/mode-dependent and are
+    // reported without a static expectation.)
+    for (what, dynamic, expected) in [
+        (
+            "vtc conversions",
+            ops.vtc_conversions,
+            census.vtc_conversions,
+        ),
+        ("nLSE ops", ops.nlse_ops, census.nlse_ops),
+        ("nLDE ops", ops.nlde_ops, census.nlde_ops),
+    ] {
+        if dynamic != expected {
+            return Err(CliError::ProfileMismatch {
+                what,
+                dynamic,
+                expected,
+            });
+        }
+    }
+
+    let us = |d: std::time::Duration| d.as_secs_f64() * 1e6;
+    let mut out = format!(
+        "profile: {} on {}×{} ({mode} mode), 1 frame\n",
+        kernels[0].name(),
+        image.width(),
+        image.height(),
+    );
+    out.push_str(&format!(
+        "  {:<16} {:>10} {:>13}  {}\n",
+        "stage", "time(µs)", "energy(pJ)", "ops"
+    ));
+    let rows: [(&str, Option<f64>, f64, String); 6] = [
+        (
+            "vtc encode",
+            Some(us(stages.vtc_encode)),
+            energy.vtc_pj,
+            format!("{} conversions", ops.vtc_conversions),
+        ),
+        (
+            "weight matrix",
+            Some(us(stages.delay_matrix)),
+            energy.weight_matrix_pj,
+            format!("{} edge events", ops.edge_events),
+        ),
+        (
+            "nlse tree",
+            Some(us(stages.nlse_tree)),
+            energy.nlse_tree_pj,
+            format!("{} nLSE ops", ops.nlse_ops),
+        ),
+        ("recurrence loop", None, energy.loop_pj, String::new()),
+        (
+            "nlde renorm",
+            Some(us(stages.nlde_renorm)),
+            energy.nlde_pj,
+            format!("{} nLDE ops", ops.nlde_ops),
+        ),
+        (
+            "tdc decode",
+            None,
+            energy.tdc_pj,
+            format!("{} conversions", ops.tdc_conversions),
+        ),
+    ];
+    for (name, time, pj, ops_text) in &rows {
+        let time_text = time.map_or_else(|| "—".to_string(), |t| format!("{t:.1}"));
+        out.push_str(&format!(
+            "  {name:<16} {time_text:>10} {pj:>13.1}  {ops_text}\n"
+        ));
+    }
+    out.push_str(&format!(
+        "  {:<16} {:>10.1} {:>13.1}\n",
+        "total",
+        us(stages.total()),
+        energy.total_pj(),
+    ));
+    out.push_str(&format!(
+        "op census: dynamic counts match static expectation (vtc {}, nlse {}, nlde {})\n",
+        ops.vtc_conversions, ops.nlse_ops, ops.nlde_ops
+    ));
+    let frame = run.energy.total_pj();
+    out.push_str(&format!(
+        "energy report agreement: {frame:.1} pJ/frame (stage buckets fold to the same tally)\n"
+    ));
+
+    if let Some(path) = args.get("--vcd") {
+        write_profile_vcd(&arch, &image, path)?;
+        out.push_str(&format!("wrote {path} (first-cycle netlist waveform)\n"));
+    }
+    Ok(out)
+}
+
+/// Compiles the first recurrence cycle of kernel 0 (first rail) into a
+/// race-logic netlist, evaluates it on the frame's top-left window, and
+/// dumps every node's edge time as a VCD waveform.
+fn write_profile_vcd(
+    arch: &Architecture,
+    image: &ta_image::Image,
+    path: &str,
+) -> Result<(), CliError> {
+    use ta_delay_space::DelayValue;
+    use ta_race_logic::{blocks, CircuitBuilder};
+
+    let dk = &arch.delay_kernels()[0];
+    let rail = dk.rails()[0];
+    let kw = arch.desc().kernel_width();
+    let terms = arch.nlse_unit().approx().terms().to_vec();
+    let k = arch.nlse_unit().latency_units();
+
+    let mut b = CircuitBuilder::new();
+    let pixels: Vec<_> = (0..kw).map(|kx| b.input(format!("px{kx}"))).collect();
+    let boundary = b.input("frame_boundary");
+    let mut leaves = Vec::new();
+    for (kx, &px) in pixels.iter().enumerate() {
+        let w = dk.rail_delay(rail, kx, 0);
+        if w.is_never() {
+            continue;
+        }
+        let weighted = b.delay(px, w.delay());
+        leaves.push(b.inhibit(weighted, boundary));
+    }
+    if leaves.is_empty() {
+        // A kernel row with no firing weights on this rail has no
+        // datapath to dump; trace the raw pixel edges instead.
+        leaves = pixels.clone();
+    }
+    let tree = blocks::build_nlse_tree(&mut b, &leaves, &terms, k);
+    b.output("row0", tree.node);
+    let circuit = b
+        .build()
+        .map_err(|e| CliError::InvalidConfig(format!("vcd netlist: {e}")))?;
+
+    let vtc = arch.vtc();
+    let mut inputs: Vec<DelayValue> = (0..kw)
+        .map(|kx| vtc.convert_ideal(image.get(kx, 0)))
+        .collect();
+    inputs.push(DelayValue::from_delay(arch.schedule().cycle_units + 1e-9));
+    let (_, trace) = circuit
+        .evaluate_traced(&inputs)
+        .map_err(|e| CliError::InvalidConfig(format!("vcd evaluation: {e}")))?;
+    std::fs::write(path, trace.to_vcd(arch.cfg().unit.unit_ns())).map_err(CliError::Telemetry)
+}
+
 fn cmd_kernels() -> String {
     let mut out = String::from("built-in kernel sets:\n");
     for name in [
@@ -831,6 +1057,106 @@ mod tests {
         // Every error renders a non-empty, single-line-friendly message.
         let e = dispatch(&argv(&["run", "--demo", "--unit", "abc"])).unwrap_err();
         assert!(!e.to_string().is_empty());
+    }
+
+    #[test]
+    fn profile_demo_prints_breakdown_and_verifies_census() {
+        let out = dispatch(&argv(&[
+            "profile", "--demo", "--size", "20", "--kernel", "sobel",
+        ]))
+        .unwrap();
+        assert!(out.contains("stage"), "{out}");
+        for stage in [
+            "vtc encode",
+            "weight matrix",
+            "nlse tree",
+            "nlde renorm",
+            "total",
+        ] {
+            assert!(out.contains(stage), "missing {stage}:\n{out}");
+        }
+        assert!(
+            out.contains("op census: dynamic counts match static expectation"),
+            "{out}"
+        );
+        // 20×20 input → 400 VTC conversions, whatever the kernel.
+        assert!(out.contains("400 conversions"), "{out}");
+    }
+
+    #[test]
+    fn profile_rejects_importance_mode() {
+        assert!(matches!(
+            dispatch(&argv(&[
+                "profile",
+                "--demo",
+                "--size",
+                "16",
+                "--mode",
+                "importance"
+            ])),
+            Err(CliError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn profile_writes_a_parseable_vcd() {
+        let path = std::env::temp_dir().join("tconv_test_profile.vcd");
+        let out = dispatch(&argv(&[
+            "profile",
+            "--demo",
+            "--size",
+            "16",
+            "--kernel",
+            "box3",
+            "--vcd",
+            path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("wrote"), "{out}");
+        let vcd = std::fs::read_to_string(&path).unwrap();
+        assert!(vcd.contains("$timescale 1ps $end"), "{vcd}");
+        assert!(vcd.contains("$enddefinitions $end"), "{vcd}");
+        let stamps: Vec<u64> = vcd
+            .lines()
+            .filter(|l| l.starts_with('#'))
+            .map(|l| l[1..].parse().unwrap())
+            .collect();
+        assert!(stamps.windows(2).all(|w| w[0] < w[1]), "{stamps:?}");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn metrics_and_trace_flags_write_artifacts() {
+        let dir = std::env::temp_dir();
+        let metrics = dir.join("tconv_test_metrics.prom");
+        let trace = dir.join("tconv_test_trace.jsonl");
+        dispatch(&argv(&[
+            "profile",
+            "--demo",
+            "--size",
+            "16",
+            "--kernel",
+            "box3",
+            "--trace",
+            trace.to_str().unwrap(),
+            "--metrics",
+            metrics.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let prom = std::fs::read_to_string(&metrics).unwrap();
+        assert!(
+            prom.contains("# TYPE ta_core_frames_total counter"),
+            "{prom}"
+        );
+        assert!(prom.contains("ta_core_nlse_ops_total"), "{prom}");
+        let jsonl = std::fs::read_to_string(&trace).unwrap();
+        assert!(jsonl.lines().any(|l| l.contains("\"exec.run\"")), "{jsonl}");
+        // Every line is a JSON object.
+        assert!(jsonl
+            .lines()
+            .all(|l| l.starts_with('{') && l.ends_with('}')));
+        std::fs::remove_file(metrics).ok();
+        std::fs::remove_file(trace).ok();
     }
 
     #[test]

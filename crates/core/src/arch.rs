@@ -2,6 +2,7 @@
 
 use ta_circuits::{EnergyTally, NldeUnit, NlseUnit, VtcModel};
 
+use crate::census::{OpCounts, StageEnergy};
 use crate::recurrence::RecurrenceSchedule;
 use crate::transform::DelayKernel;
 use crate::{tree, ArchConfig, SystemDescription, SystemError, TimingReport};
@@ -168,19 +169,32 @@ impl Architecture {
 
     /// Per-frame energy, broken down by category. Independent of pixel
     /// content and arithmetic mode (the same hardware switches the same
-    /// way; only edge *positions* differ).
+    /// way; only edge *positions* differ). Derived from
+    /// [`Architecture::stage_energy`], which carries the per-stage
+    /// attribution.
     pub fn energy_per_frame(&self) -> EnergyTally {
+        self.stage_energy().tally()
+    }
+
+    /// Per-frame energy attributed to pipeline stages (VTC, weight
+    /// matrix, nLSE trees, recurrence loops, nLDE, TDC). The stage
+    /// buckets fold back into [`Architecture::energy_per_frame`]'s
+    /// category tally via [`StageEnergy::tally`].
+    pub fn stage_energy(&self) -> StageEnergy {
         let e = &self.cfg.energy;
         let scale = self.cfg.unit;
-        let mut tally = EnergyTally::new();
+        let mut stages = StageEnergy::default();
 
         // Pixel interface: one VTC conversion per pixel, and (if
         // configured) one TDC conversion per pixel (Table 3's accounting).
         let pixels = self.desc.image_width() * self.desc.image_height();
-        tally.add_vtc(pixels, e);
+        let mut converters = EnergyTally::new();
+        converters.add_vtc(pixels, e);
         if self.cfg.tdc.is_some() {
-            tally.add_tdc(pixels, e);
+            converters.add_tdc(pixels, e);
         }
+        stages.vtc_pj = converters.vtc_pj;
+        stages.tdc_pj = converters.tdc_pj;
 
         let (ow, oh) = self.desc.output_dims();
         let outputs = (ow * oh) as f64;
@@ -191,12 +205,15 @@ impl Architecture {
         for dk in &self.delay_kernels {
             for &rail in dk.rails() {
                 // Per output window: kh cycles of weight delays + tree
-                // evaluations + recurrence loops.
-                let mut per_output = EnergyTally::new();
+                // evaluations + recurrence loops, each accumulated into
+                // its own stage bucket.
+                let mut per_weight = EnergyTally::new();
+                let mut per_tree = EnergyTally::new();
+                let mut per_loop = EnergyTally::new();
                 let mut partial_fires = false;
                 for ky in 0..kh {
                     // Weight matrix delay lines exercised this cycle.
-                    per_output.add_delay_units(dk.row_weight_delay_units(rail, ky), scale, e);
+                    per_weight.add_delay_units(dk.row_weight_delay_units(rail, ky), scale, e);
                     // Tree switching for this cycle's leaf pattern.
                     let mut fired: Vec<bool> = (0..kw)
                         .map(|x| !dk.rail_delay(rail, x, ky).is_never())
@@ -205,27 +222,60 @@ impl Architecture {
                     let profile = tree::firing_profile(&fired);
                     for &fi in &profile.fired_inputs {
                         // Unit energy covers its chains and gates together.
-                        per_output.delay_pj += self.nlse_unit.energy_pj(e, fi);
+                        per_tree.delay_pj += self.nlse_unit.energy_pj(e, fi);
                     }
-                    per_output.add_delay_units(profile.balance_k_units * k_units, scale, e);
+                    per_tree.add_delay_units(profile.balance_k_units * k_units, scale, e);
                     let any_fired = fired.iter().any(|&f| f);
                     partial_fires = partial_fires || any_fired;
                     // The loop delay line fires between cycles.
                     if ky + 1 < kh && partial_fires {
-                        per_output.add_delay_units(self.schedule.loop_delay_units, scale, e);
+                        per_loop.add_delay_units(self.schedule.loop_delay_units, scale, e);
                     }
                 }
-                tally.delay_pj += per_output.delay_pj * outputs;
-                tally.gate_pj += per_output.gate_pj * outputs;
+                stages.weight_matrix_pj += per_weight.delay_pj * outputs;
+                stages.nlse_tree_pj += per_tree.delay_pj * outputs;
+                stages.loop_pj += per_loop.delay_pj * outputs;
             }
             if dk.has_negative() {
                 let Some(nlde) = self.nlde_unit.as_ref() else {
                     unreachable!("split kernels imply an nLDE unit")
                 };
-                tally.delay_pj += nlde.energy_pj(e, 2) * outputs;
+                stages.nlde_pj += nlde.energy_pj(e, 2) * outputs;
             }
         }
-        tally
+        stages
+    }
+
+    /// The static operation census: how many temporal-arithmetic ops one
+    /// frame *must* perform, derived from the compiled geometry alone.
+    /// The data-independent counts (VTC conversions, nLSE tree nodes,
+    /// nLDE renormalisations) match the dynamic [`OpCounts`] accumulated
+    /// by [`crate::exec::run`] exactly — the invariant `tconv profile`
+    /// verifies. Edge events are data-dependent and reported as zero
+    /// here.
+    pub fn op_census(&self) -> OpCounts {
+        let pixels = (self.desc.image_width() * self.desc.image_height()) as u64;
+        let (ow, oh) = self.desc.output_dims();
+        let outputs = (ow * oh) as u64;
+        let kh = self.desc.kernel_height() as u64;
+        // One nLSE op per internal tree node: fan_in leaves → fan_in − 1
+        // nodes, per cycle, per rail.
+        let per_tree = (self.fan_in - 1) as u64;
+        let mut nlse_ops = 0u64;
+        let mut nlde_ops = 0u64;
+        for dk in &self.delay_kernels {
+            nlse_ops += dk.rails().len() as u64 * outputs * kh * per_tree;
+            if dk.has_negative() {
+                nlde_ops += outputs;
+            }
+        }
+        OpCounts {
+            vtc_conversions: pixels,
+            tdc_conversions: if self.cfg.tdc.is_some() { pixels } else { 0 },
+            edge_events: 0,
+            nlse_ops,
+            nlde_ops,
+        }
     }
 
     /// A human-readable structural description of the compiled engine —

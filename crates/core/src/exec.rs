@@ -2,6 +2,7 @@
 
 use std::error::Error;
 use std::fmt;
+use std::time::Instant;
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -10,6 +11,7 @@ use ta_delay_space::{ops, DelayValue};
 use ta_image::Image;
 use ta_race_logic::FaultObservation;
 
+use crate::census::{self, OpCounts, StageProfile};
 use crate::fault::{FaultError, FaultKind, FaultMap, FaultStats};
 use crate::transform::Rail;
 use crate::tree::{self, TreeOps};
@@ -73,11 +75,71 @@ pub fn run(
         });
     }
 
+    let started = Instant::now();
     let no_faults = FaultMap::new();
     let mut stats = FaultStats::default();
-    let outputs = match mode {
-        ArithmeticMode::ImportanceExact => run_importance(arch, image),
-        _ => run_delay(arch, image, mode, seed, &no_faults, &mut stats),
+    let (outputs, ops, stages) = match mode {
+        ArithmeticMode::ImportanceExact => (run_importance(arch, image), OpCounts::default(), None),
+        // Dispatch once per frame on the profiling flag: the profiling
+        // twin carries the genuine per-leaf/per-cycle counters and the
+        // stage clocks; the common twin runs the bare kernel and takes
+        // its (deterministic, data-independent) op counts from the
+        // closed form instead — validated against the genuine counters
+        // by the census tests, and free on the hot path.
+        _ if ta_telemetry::tracer().profiling() => {
+            run_delay::<true>(arch, image, mode, seed, &no_faults, &mut stats)
+        }
+        _ => {
+            let (outputs, _, stages) =
+                run_delay::<false>(arch, image, mode, seed, &no_faults, &mut stats);
+            (outputs, census::expected_ops(arch, mode), stages)
+        }
+    };
+
+    let result = RunResult {
+        outputs,
+        energy: arch.energy_per_frame(),
+        timing: arch.timing(),
+        mode,
+        fault_stats: stats,
+        ops,
+        stages,
+    };
+    census::publish_frame(&result, started.elapsed());
+    Ok(result)
+}
+
+/// Twin of [`run`] without the telemetry epilogue (no op-count census, no
+/// wall clock, no metric publication), so the `telemetry` criterion bench
+/// can measure instrumentation overhead against a bare baseline living in
+/// the same binary. The hot kernel is the *same* monomorphisation the
+/// instrumented path executes — the measured delta is exactly the
+/// telemetry work, not code-placement luck between two near-identical
+/// function copies. Not intended for normal use: the result's
+/// [`RunResult::ops`] is all zeros.
+///
+/// # Errors
+///
+/// Same contract as [`run`].
+pub fn run_uninstrumented(
+    arch: &Architecture,
+    image: &Image,
+    mode: ArithmeticMode,
+    seed: u64,
+) -> Result<RunResult, ExecError> {
+    let desc = arch.desc();
+    if (image.width(), image.height()) != (desc.image_width(), desc.image_height()) {
+        return Err(ExecError::DimensionMismatch {
+            expected: (desc.image_width(), desc.image_height()),
+            got: (image.width(), image.height()),
+        });
+    }
+
+    let no_faults = FaultMap::new();
+    let mut stats = FaultStats::default();
+    let (outputs, ops, stages) = match mode {
+        ArithmeticMode::ImportanceExact => (run_importance(arch, image), OpCounts::default(), None),
+        _ => run_delay::<false>(arch, image, mode, seed, &no_faults, &mut stats),
     };
 
     Ok(RunResult {
@@ -86,6 +148,8 @@ pub fn run(
         timing: arch.timing(),
         mode,
         fault_stats: stats,
+        ops,
+        stages,
     })
 }
 
@@ -121,19 +185,31 @@ pub fn run_faulty(
         });
     }
 
+    let started = Instant::now();
     let mut stats = FaultStats {
         sites_injected: faults.len(),
         ..FaultStats::default()
     };
-    let outputs = run_delay(arch, image, mode, seed, faults, &mut stats);
+    let (outputs, ops, stages) = if ta_telemetry::tracer().profiling() {
+        run_delay::<true>(arch, image, mode, seed, faults, &mut stats)
+    } else {
+        let (outputs, _, stages) = run_delay::<false>(arch, image, mode, seed, faults, &mut stats);
+        // Faults never change the data-independent op counts: trees are
+        // evaluated (and charged) whether or not their edges fire.
+        (outputs, census::expected_ops(arch, mode), stages)
+    };
 
-    Ok(RunResult {
+    let result = RunResult {
         outputs,
         energy: arch.energy_per_frame(),
         timing: arch.timing(),
         mode,
         fault_stats: stats,
-    })
+        ops,
+        stages,
+    };
+    census::publish_frame(&result, started.elapsed());
+    Ok(result)
 }
 
 /// Importance-space arithmetic routed through the engine's schedule: rail
@@ -170,14 +246,22 @@ fn run_importance(arch: &Architecture, image: &Image) -> Vec<Image> {
 /// optional site-addressed fault injection. Every fault lookup keeps the
 /// fault-free expression verbatim in its `None` arm, so an empty map is
 /// bit-identical to the unfaulted engine.
-fn run_delay(
+///
+/// `PROF` selects the profiling twin: genuine per-leaf/per-cycle op
+/// counters plus per-stage wall clocks (an `Instant` pair per inner-loop
+/// stage — too expensive even to branch on dynamically, so the caller
+/// dispatches on the tracer's profiling flag once per frame and the
+/// common twin monomorphises every hook away). Instrumentation is purely
+/// observational — it never touches the RNG stream or the arithmetic, so
+/// both twins are bit-identical.
+fn run_delay<const PROF: bool>(
     arch: &Architecture,
     image: &Image,
     mode: ArithmeticMode,
     seed: u64,
     faults: &FaultMap,
     stats: &mut FaultStats,
-) -> Vec<Image> {
+) -> (Vec<Image>, OpCounts, Option<StageProfile>) {
     let desc = arch.desc();
     let cfg = arch.cfg();
     let stride = desc.stride();
@@ -187,6 +271,17 @@ fn run_delay(
     let noisy = mode == ArithmeticMode::DelayApproxNoisy;
     let approximate = mode != ArithmeticMode::DelayExact;
     let mut rng = SmallRng::seed_from_u64(seed ^ 0x7a11_5eed);
+
+    let mut counts = OpCounts::default();
+    // The per-leaf/per-cycle counters live in scalar locals (not `counts`
+    // fields) so they stay in registers across the inner loops; `counts`
+    // is threaded by `&mut` through `combine_rails`, which would force
+    // reloads around every call.
+    let mut edge_events: u64 = 0;
+    let mut nlse_ops: u64 = 0;
+    let mut stage = StageProfile::default();
+    let stage_clock = || -> Option<Instant> { PROF.then(Instant::now) };
+    let t_vtc = stage_clock();
 
     // Pixel readout: one VTC conversion per pixel (noise applied here for
     // the noisy mode; the same converted value feeds every MAC block that
@@ -215,6 +310,12 @@ fn run_delay(
             }
         })
         .collect();
+    if let Some(t) = t_vtc {
+        stage.vtc_encode = t.elapsed();
+    }
+    if PROF {
+        counts.vtc_conversions = pixel_delays.len() as u64;
+    }
     let pixel_at = |x: usize, y: usize| -> DelayValue { pixel_delays[y * image.width() + x] };
 
     let k_tree = if approximate {
@@ -252,6 +353,7 @@ fn run_delay(
                         // lines, the tree chains and the loop line of a
                         // cycle all see the same excursion.
                         let realization = noisy.then(|| cfg.noise.begin_eval(cfg.unit, &mut rng));
+                        let t_matrix = stage_clock();
                         leaves.clear();
                         for kx in 0..kw {
                             let w = dk.rail_delay(rail, kx, ky);
@@ -284,14 +386,30 @@ fn run_delay(
                                     leaf = fault.apply(leaf, &mut obs);
                                     stats.absorb_observation(obs);
                                 }
-                                leaves.push(if leaf.delay() > truncate_at {
+                                let leaf = if leaf.delay() > truncate_at {
                                     DelayValue::ZERO
                                 } else {
                                     leaf
-                                });
+                                };
+                                // Edge events are data-dependent and feed
+                                // no energy cross-check; a branchless add
+                                // on the branch that already exists.
+                                if PROF {
+                                    edge_events += u64::from(!leaf.is_never());
+                                }
+                                leaves.push(leaf);
                             }
                         }
+                        if PROF {
+                            edge_events += u64::from(!partial.is_never());
+                            // One nLSE op per internal tree node.
+                            nlse_ops += leaves.len() as u64;
+                        }
                         leaves.push(partial);
+                        if let Some(t) = t_matrix {
+                            stage.delay_matrix += t.elapsed();
+                        }
+                        let t_tree = stage_clock();
                         let raw = match mode {
                             ArithmeticMode::DelayExact => {
                                 // Exact mode evaluates the tree as pure
@@ -340,6 +458,9 @@ fn run_delay(
                             }
                             ArithmeticMode::ImportanceExact => unreachable!(),
                         };
+                        if let Some(t) = t_tree {
+                            stage.nlse_tree += t.elapsed();
+                        }
                         if ky + 1 < kh {
                             // Loop back: the reference-frame shift cancels
                             // the tree latency; only loop-line jitter
@@ -383,7 +504,8 @@ fn run_delay(
                     rail_raw[r_i] = partial;
                 }
 
-                let value = combine_rails(
+                let t_renorm = stage_clock();
+                let value = combine_rails::<PROF>(
                     arch,
                     k_idx,
                     dk.rails(),
@@ -392,20 +514,28 @@ fn run_delay(
                     shift,
                     faults,
                     stats,
+                    &mut counts,
                     &mut rng,
                 );
+                if let Some(t) = t_renorm {
+                    stage.nlde_renorm += t.elapsed();
+                }
                 out.set(ox, oy, value);
             }
         }
         outputs.push(out);
     }
-    outputs
+    if PROF {
+        counts.edge_events = edge_events;
+        counts.nlse_ops = nlse_ops;
+    }
+    (outputs, counts, PROF.then_some(stage))
 }
 
 /// Renormalises the split rails through the subtraction unit and decodes
 /// to a signed importance-space value.
 #[allow(clippy::too_many_arguments)]
-fn combine_rails(
+fn combine_rails<const PROF: bool>(
     arch: &Architecture,
     k_idx: usize,
     rails: &[Rail],
@@ -414,9 +544,25 @@ fn combine_rails(
     shift: f64,
     faults: &FaultMap,
     stats: &mut FaultStats,
+    counts: &mut OpCounts,
     rng: &mut SmallRng,
 ) -> f64 {
     let cfg = arch.cfg();
+    if PROF {
+        if rails.len() == 2 {
+            counts.nlde_ops += 1;
+        }
+        // The decode closure below quantises through the TDC once per
+        // combine in the approximate modes.
+        if cfg.tdc.is_some()
+            && matches!(
+                mode,
+                ArithmeticMode::DelayApprox | ArithmeticMode::DelayApproxNoisy
+            )
+        {
+            counts.tdc_conversions += 1;
+        }
+    }
     let decode = |edge: DelayValue, total_shift: f64| -> f64 {
         let edge = match (cfg.tdc, mode) {
             (Some(tdc), ArithmeticMode::DelayApprox | ArithmeticMode::DelayApproxNoisy) => {

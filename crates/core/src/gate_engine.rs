@@ -122,6 +122,9 @@ impl GateEngine {
         let kh = desc.kernel_height();
         let truncate_at = arch.schedule().cycle_units;
         let vtc = arch.vtc();
+        let mut span = ta_telemetry::tracer().span("gate_engine.run");
+        let mut cycle_evals: u64 = 0;
+        let mut nlde_evals: u64 = 0;
 
         let mut outputs = Vec::with_capacity(self.cycles.len());
         for (k_idx, per_rail) in self.cycles.iter().enumerate() {
@@ -147,6 +150,7 @@ impl GateEngine {
                             inputs.push(partial);
                             inputs.push(DelayValue::ZERO);
                             inputs.push(DelayValue::from_delay(truncate_at + 1e-9));
+                            cycle_evals += 1;
                             let raw = cycle
                                 .circuit
                                 .evaluate(&inputs)
@@ -165,12 +169,19 @@ impl GateEngine {
                         }
                         rail_raw[r_i] = partial;
                     }
+                    if self.rails[k_idx].len() == 2 {
+                        nlde_evals += 1;
+                    }
                     let value = self.combine(&self.rails[k_idx], rail_raw, shift);
                     out.set(ox, oy, value);
                 }
             }
             outputs.push(out);
         }
+        span.add_field("cycle_evals", cycle_evals);
+        span.add_field("nlde_evals", nlde_evals);
+        drop(span);
+        crate::census::publish_gate(cycle_evals, nlde_evals);
         Ok(outputs)
     }
 
@@ -213,6 +224,9 @@ impl GateEngine {
         let kh = desc.kernel_height();
         let truncate_at = arch.schedule().cycle_units;
         let vtc = arch.vtc();
+        let mut span = ta_telemetry::tracer().span("gate_engine.run_noisy");
+        let mut cycle_evals: u64 = 0;
+        let mut nlde_evals: u64 = 0;
         let mut rng = SmallRng::seed_from_u64(seed ^ 0x6a7e_0e19);
 
         // Pixel readout once per frame, with VTC noise.
@@ -247,6 +261,7 @@ impl GateEngine {
                                 realization,
                                 rng: &mut rng,
                             };
+                            cycle_evals += 1;
                             let raw = cycle
                                 .circuit
                                 .evaluate_noisy(&inputs, &mut hook)
@@ -266,12 +281,19 @@ impl GateEngine {
                         }
                         rail_raw[r_i] = partial;
                     }
+                    if self.rails[k_idx].len() == 2 {
+                        nlde_evals += 1;
+                    }
                     let value = self.combine(&self.rails[k_idx], rail_raw, shift);
                     out.set(ox, oy, value);
                 }
             }
             outputs.push(out);
         }
+        span.add_field("cycle_evals", cycle_evals);
+        span.add_field("nlde_evals", nlde_evals);
+        drop(span);
+        crate::census::publish_gate(cycle_evals, nlde_evals);
         Ok(outputs)
     }
 
@@ -311,6 +333,9 @@ impl GateEngine {
         let truncate_at = arch.schedule().cycle_units;
         let loop_delay = arch.schedule().loop_delay_units;
         let vtc = arch.vtc();
+        let mut span = ta_telemetry::tracer().span("gate_engine.run_faulty");
+        let mut cycle_evals: u64 = 0;
+        let mut nlde_evals: u64 = 0;
         let mut stats = FaultStats {
             sites_injected: faults.len(),
             ..FaultStats::default()
@@ -392,6 +417,7 @@ impl GateEngine {
                             inputs.push(DelayValue::ZERO);
                             inputs.push(DelayValue::from_delay(truncate_at + 1e-9));
                             let plan = &plans[k_idx][r_i][ky];
+                            cycle_evals += 1;
                             let raw = if plan.is_empty() {
                                 cycle
                                     .circuit
@@ -432,6 +458,9 @@ impl GateEngine {
                         }
                         rail_raw[r_i] = partial;
                     }
+                    if self.rails[k_idx].len() == 2 {
+                        nlde_evals += 1;
+                    }
                     let value = self.combine_faulty(
                         &self.rails[k_idx],
                         rail_raw,
@@ -444,6 +473,10 @@ impl GateEngine {
             }
             outputs.push(out);
         }
+        span.add_field("cycle_evals", cycle_evals);
+        span.add_field("edges_faulted", stats.edges_faulted);
+        drop(span);
+        crate::census::publish_gate(cycle_evals, nlde_evals);
         Ok((outputs, stats))
     }
 

@@ -41,6 +41,7 @@
 
 mod arch;
 pub mod campaign;
+pub mod census;
 pub mod dse;
 mod error;
 pub mod exec;
@@ -54,6 +55,7 @@ pub mod transform;
 mod tree;
 
 pub use arch::Architecture;
+pub use census::{OpCounts, StageEnergy, StageProfile};
 pub use error::Error;
 pub use fault::{
     enumerate_sites, FaultError, FaultKind, FaultMap, FaultModel, FaultSite, FaultStats,

@@ -126,6 +126,15 @@ pub struct RunResult {
     /// Graceful-degradation counters accumulated during the run; all-zero
     /// outside fault-injection campaigns.
     pub fault_stats: crate::fault::FaultStats,
+    /// Dynamic operation counts observed while the frame executed
+    /// (all-zero for [`ArithmeticMode::ImportanceExact`], which models no
+    /// hardware). The data-independent counts match
+    /// [`crate::Architecture::op_census`] exactly.
+    pub ops: crate::census::OpCounts,
+    /// Per-stage wall-clock times, present only when the global tracer's
+    /// profiling flag was on during the run (see
+    /// [`ta_telemetry::Tracer::set_profiling`]).
+    pub stages: Option<crate::census::StageProfile>,
 }
 
 impl RunResult {
@@ -247,6 +256,8 @@ mod tests {
             },
             mode: ArithmeticMode::DelayApprox,
             fault_stats: crate::fault::FaultStats::default(),
+            ops: crate::census::OpCounts::default(),
+            stages: None,
         }
     }
 

@@ -19,6 +19,8 @@ use ta_image::{synth, Kernel};
 /// nLDE unit — every faultable element class) on one `size × size`
 /// synthetic frame in ideal-approximation mode.
 pub fn compute(size: usize, seed: u64) -> CampaignReport {
+    let mut span = ta_telemetry::tracer().span("experiments.fault_sweep");
+    span.add_field("size", size);
     let desc = SystemDescription::new(size, size, vec![Kernel::sobel_x()], 1)
         .expect("sobel fits the frame");
     let arch = Architecture::new(desc, ArchConfig::fast_1ns(7, 20)).expect("feasible schedule");

@@ -68,6 +68,9 @@ pub fn default_rates() -> Vec<f64> {
 /// mode, at each fault `rate`, with nRMSE validation against the digital
 /// reference and reference fallback.
 pub fn compute(size: usize, frames: usize, rates: &[f64], seed: u64) -> ResilienceReport {
+    let mut span = ta_telemetry::tracer().span("experiments.resilience");
+    span.add_field("frames", frames);
+    span.add_field("rates", rates.len());
     let desc = SystemDescription::new(size, size, vec![Kernel::sobel_x()], 1)
         .expect("sobel fits the frame");
     let arch = Architecture::new(desc, ArchConfig::fast_1ns(7, 20)).expect("feasible schedule");

@@ -70,6 +70,11 @@ pub struct FrameReport {
     /// Wall-clock time from first attempt to final disposition, including
     /// backoff sleeps and any fallback run.
     pub latency: Duration,
+    /// Wall-clock time of each primary-engine attempt, in attempt order.
+    /// A timed-out attempt records exactly its watchdog budget: the worker
+    /// is abandoned at the deadline, so the budget *is* what the attempt
+    /// cost the frame (the thread's own runtime is off the books).
+    pub attempt_latencies: Vec<Duration>,
     /// One line per failed attempt, for diagnostics.
     pub log: Vec<String>,
 }
@@ -90,24 +95,21 @@ pub struct LatencyStats {
 }
 
 impl LatencyStats {
-    /// Nearest-rank percentiles over `latencies` (empty input → zeros).
+    /// Nearest-rank percentiles over `latencies` (empty input → zeros),
+    /// computed on the shared [`ta_telemetry::ExactHistogram`] so every
+    /// layer of the stack derives percentiles the same way.
     pub fn from_durations(latencies: &[Duration]) -> Self {
-        if latencies.is_empty() {
+        let hist = ta_telemetry::ExactHistogram::from_durations(latencies);
+        if hist.is_empty() {
             return LatencyStats::default();
         }
-        let mut secs: Vec<f64> = latencies.iter().map(Duration::as_secs_f64).collect();
-        secs.sort_by(f64::total_cmp);
-        let rank = |q: f64| {
-            let n = secs.len();
-            let idx = ((q * n as f64).ceil() as usize).clamp(1, n) - 1;
-            secs[idx]
-        };
+        let ranks = hist.percentiles(&[0.50, 0.90, 0.99]);
         LatencyStats {
-            p50_s: rank(0.50),
-            p90_s: rank(0.90),
-            p99_s: rank(0.99),
-            max_s: secs[secs.len() - 1],
-            mean_s: secs.iter().sum::<f64>() / secs.len() as f64,
+            p50_s: ranks[0],
+            p90_s: ranks[1],
+            p99_s: ranks[2],
+            max_s: hist.max(),
+            mean_s: hist.mean(),
         }
     }
 }
@@ -195,6 +197,7 @@ mod tests {
             status,
             attempts,
             latency: Duration::from_millis(ms),
+            attempt_latencies: vec![Duration::from_millis(ms)],
             log: vec![],
         }
     }

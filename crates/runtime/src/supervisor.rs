@@ -302,18 +302,33 @@ impl Supervisor {
         frame: usize,
         batch_seed: u64,
     ) -> (Option<Vec<Image>>, FrameReport) {
+        let (out, report) = self.supervise_frame_inner(engine, image, frame, batch_seed);
+        publish_report(&report);
+        (out, report)
+    }
+
+    fn supervise_frame_inner(
+        &self,
+        engine: &Arc<dyn Engine>,
+        image: &Image,
+        frame: usize,
+        batch_seed: u64,
+    ) -> (Option<Vec<Image>>, FrameReport) {
         let started = Instant::now();
         let frame_seed = derive_seed(batch_seed, frame as u64);
         let mut jitter_rng = SmallRng::seed_from_u64(derive_seed(self.cfg.seed, frame as u64));
         let references = self.references_for(image);
         let mut log = Vec::new();
         let mut attempts = 0;
+        let mut attempt_latencies = Vec::new();
         let mut last_failure = None;
 
         while attempts <= self.cfg.retry.max_retries {
             let attempt = attempts;
             attempts += 1;
-            let failure = match self.attempt(engine, image, frame_seed, attempt) {
+            let (outcome, took) = self.attempt(engine, image, frame_seed, attempt);
+            attempt_latencies.push(took);
+            let failure = match outcome {
                 Ok(run) => match self.validate(&run, references.as_deref()) {
                     Ok(()) => {
                         return (
@@ -323,6 +338,7 @@ impl Supervisor {
                                 status: FrameStatus::Ok,
                                 attempts,
                                 latency: started.elapsed(),
+                                attempt_latencies,
                                 log,
                             },
                         );
@@ -331,6 +347,11 @@ impl Supervisor {
                 },
                 Err(f) => f,
             };
+            if matches!(failure, FailureKind::Timeout { .. }) {
+                ta_telemetry::metrics()
+                    .counter("ta_runtime_timeouts_total")
+                    .inc();
+            }
             log.push(format!("attempt {attempt}: {failure}"));
             last_failure = Some(failure);
             if attempts <= self.cfg.retry.max_retries {
@@ -349,6 +370,7 @@ impl Supervisor {
                 status,
                 attempts,
                 latency: started.elapsed(),
+                attempt_latencies,
                 log,
             },
         )
@@ -365,17 +387,24 @@ impl Supervisor {
     }
 
     /// One attempt, panic-isolated and (when configured) watchdogged.
+    /// Returns the outcome together with what the attempt cost the frame
+    /// in wall-clock time; a timed-out attempt costs exactly its watchdog
+    /// budget (the abandoned worker's further runtime is not the frame's).
     fn attempt(
         &self,
         engine: &Arc<dyn Engine>,
         image: &Image,
         seed: u64,
         attempt: u32,
-    ) -> Result<RunResult, FailureKind> {
+    ) -> (Result<RunResult, FailureKind>, Duration) {
+        let clock = Instant::now();
         match self.cfg.timeout {
-            None => unwind_to_failure(catch_unwind(AssertUnwindSafe(|| {
-                engine.run_frame(image, seed, attempt)
-            }))),
+            None => {
+                let out = unwind_to_failure(catch_unwind(AssertUnwindSafe(|| {
+                    engine.run_frame(image, seed, attempt)
+                })));
+                (out, clock.elapsed())
+            }
             Some(budget) => {
                 let (tx, rx) = mpsc::channel();
                 let worker_engine = Arc::clone(engine);
@@ -391,17 +420,25 @@ impl Supervisor {
                         let _ = tx.send(out);
                     });
                 if let Err(e) = spawned {
-                    return Err(FailureKind::Panic(format!("failed to spawn worker: {e}")));
+                    return (
+                        Err(FailureKind::Panic(format!("failed to spawn worker: {e}"))),
+                        clock.elapsed(),
+                    );
                 }
                 match rx.recv_timeout(budget) {
-                    Ok(out) => unwind_to_failure(out),
+                    Ok(out) => (unwind_to_failure(out), clock.elapsed()),
                     // The attempt thread is abandoned: it still holds its
                     // clones and will exit on its own, but the frame's
                     // budget is spent.
-                    Err(mpsc::RecvTimeoutError::Timeout) => Err(FailureKind::Timeout { budget }),
-                    Err(mpsc::RecvTimeoutError::Disconnected) => Err(FailureKind::Panic(
-                        "worker thread died without reporting".into(),
-                    )),
+                    Err(mpsc::RecvTimeoutError::Timeout) => {
+                        (Err(FailureKind::Timeout { budget }), budget)
+                    }
+                    Err(mpsc::RecvTimeoutError::Disconnected) => (
+                        Err(FailureKind::Panic(
+                            "worker thread died without reporting".into(),
+                        )),
+                        clock.elapsed(),
+                    ),
                 }
             }
         }
@@ -450,6 +487,9 @@ impl Supervisor {
         match &self.fallback {
             None => (None, FrameStatus::Failed { cause }),
             Some(Fallback::Reference) => {
+                ta_telemetry::metrics()
+                    .counter("ta_runtime_fallback_runs_total")
+                    .inc();
                 let refs = references
                     .or_else(|| self.reference.as_ref().map(|r| r.reference_outputs(image)));
                 let Some(outs) = refs else {
@@ -475,7 +515,10 @@ impl Supervisor {
                 // finite-ness safety net — not the drift tolerance, which
                 // may be unsatisfiable under the fault that got us here.
                 let seed = derive_seed(self.cfg.seed, 0xfb);
-                match self.attempt(fb, image, seed, 0) {
+                ta_telemetry::metrics()
+                    .counter("ta_runtime_fallback_runs_total")
+                    .inc();
+                match self.attempt(fb, image, seed, 0).0 {
                     Ok(run) => {
                         if self.cfg.validation.require_finite {
                             if let Err(v) = run.validate_finite() {
@@ -505,6 +548,55 @@ impl Supervisor {
             }
         }
     }
+}
+
+/// Publishes one frame's disposition into the global telemetry: a handful
+/// of atomic counter/histogram updates per *frame* unconditionally, plus
+/// per-frame and per-attempt spans when a live trace sink is installed.
+fn publish_report(report: &FrameReport) {
+    let m = ta_telemetry::metrics();
+    m.counter("ta_runtime_frames_total").inc();
+    m.counter("ta_runtime_attempts_total")
+        .add(u64::from(report.attempts));
+    if report.attempts > 1 {
+        m.counter("ta_runtime_retries_total")
+            .add(u64::from(report.attempts - 1));
+    }
+    match &report.status {
+        FrameStatus::Ok => {}
+        FrameStatus::Degraded { .. } => m.counter("ta_runtime_degraded_total").inc(),
+        FrameStatus::Failed { .. } => m.counter("ta_runtime_failed_total").inc(),
+    }
+    let attempt_hist = m.histogram("ta_runtime_attempt_seconds");
+    for &took in &report.attempt_latencies {
+        attempt_hist.observe_duration(took);
+    }
+    m.histogram("ta_runtime_frame_seconds")
+        .observe_duration(report.latency);
+
+    let tracer = ta_telemetry::tracer();
+    if !tracer.active() {
+        return;
+    }
+    for (i, &took) in report.attempt_latencies.iter().enumerate() {
+        tracer.record_span(
+            "supervisor.attempt",
+            took,
+            vec![("frame", report.frame.into()), ("attempt", i.into())],
+        );
+    }
+    tracer.record_span(
+        "supervisor.frame",
+        report.latency,
+        vec![
+            ("frame", report.frame.into()),
+            ("attempts", u64::from(report.attempts).into()),
+            (
+                "status",
+                ta_telemetry::FieldValue::Str(report.status.to_string()),
+            ),
+        ],
+    );
 }
 
 /// Collapses `catch_unwind`'s nesting into the supervisor's failure type.

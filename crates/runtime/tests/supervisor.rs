@@ -151,6 +151,39 @@ fn watchdog_cancels_hung_job_at_deadline() {
 }
 
 #[test]
+fn timed_out_attempt_records_the_watchdog_budget_as_its_latency() {
+    // The worker is abandoned at the deadline, so the attempt's cost to
+    // the frame is exactly the budget — not zero (the old behaviour lost
+    // per-attempt timing for timeouts) and not the hung worker's runtime.
+    let budget = Duration::from_millis(40);
+    let sup = Supervisor::new(SupervisorConfig {
+        timeout: Some(budget),
+        retry: fast_retry(0),
+        ..SupervisorConfig::default()
+    });
+    let engine: Arc<dyn Engine> = Scripted::new(vec![Behaviour::Hang]);
+    let img = synth::natural_image(W, H, 1);
+    let (_, report) = sup.run_one(&engine, &img, 0, 7).unwrap();
+    assert_eq!(report.attempt_latencies, vec![budget]);
+    assert!(report.latency >= budget);
+}
+
+#[test]
+fn successful_attempts_record_their_own_latencies() {
+    let sup = Supervisor::new(SupervisorConfig {
+        retry: fast_retry(2),
+        ..SupervisorConfig::default()
+    });
+    let engine: Arc<dyn Engine> = Scripted::new(vec![Behaviour::Err, Behaviour::Ok]);
+    let img = synth::natural_image(W, H, 1);
+    let (_, report) = sup.run_one(&engine, &img, 0, 7).unwrap();
+    assert_eq!(report.attempts, 2);
+    assert_eq!(report.attempt_latencies.len(), 2);
+    let total: Duration = report.attempt_latencies.iter().sum();
+    assert!(total <= report.latency);
+}
+
+#[test]
 fn panics_are_isolated_and_retried_to_success() {
     let sup = Supervisor::new(SupervisorConfig {
         retry: fast_retry(2),

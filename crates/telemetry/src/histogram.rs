@@ -1,0 +1,413 @@
+//! Histograms: a lock-free fixed-bucket histogram for live metrics, and
+//! an exact sample-storing histogram for small-batch percentile reports.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Fixed-bucket histogram with atomic counters.
+///
+/// Buckets are defined by ascending upper bounds (Prometheus `le`
+/// semantics: a sample lands in the first bucket whose bound is ≥ the
+/// value), plus an implicit `+Inf` overflow bucket. Quantiles are derived
+/// by nearest-rank over the cumulative bucket counts, so they are upper
+/// bounds accurate to one bucket width; the exact observed minimum and
+/// maximum are tracked separately and clamp the estimate.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    /// One counter per bound, plus the overflow bucket.
+    counts: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum_bits: AtomicU64,
+    min_bits: AtomicU64,
+    max_bits: AtomicU64,
+}
+
+/// Point-in-time copy of a histogram's state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Ascending bucket upper bounds (`+Inf` overflow implicit).
+    pub bounds: Vec<f64>,
+    /// Per-bucket counts, aligned with `bounds` plus one overflow slot.
+    pub counts: Vec<u64>,
+    /// Total samples observed.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: f64,
+    /// Smallest sample (0 when empty).
+    pub min: f64,
+    /// Largest sample (0 when empty).
+    pub max: f64,
+}
+
+impl Histogram {
+    /// A histogram over the given ascending upper bounds. Bounds are
+    /// sorted and deduplicated defensively; non-finite bounds are
+    /// dropped (the overflow bucket already covers `+Inf`).
+    pub fn new(bounds: &[f64]) -> Self {
+        let mut bounds: Vec<f64> = bounds.iter().copied().filter(|b| b.is_finite()).collect();
+        bounds.sort_by(f64::total_cmp);
+        bounds.dedup();
+        let counts = (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect();
+        Histogram {
+            bounds,
+            counts,
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0f64.to_bits()),
+            min_bits: AtomicU64::new(f64::INFINITY.to_bits()),
+            max_bits: AtomicU64::new(f64::NEG_INFINITY.to_bits()),
+        }
+    }
+
+    /// `count` geometrically spaced bounds starting at `start` (factor
+    /// `factor` between neighbours) — the usual latency-histogram shape.
+    pub fn exponential(start: f64, factor: f64, count: usize) -> Self {
+        let mut bounds = Vec::with_capacity(count);
+        let mut b = start;
+        for _ in 0..count {
+            bounds.push(b);
+            b *= factor;
+        }
+        Histogram::new(&bounds)
+    }
+
+    /// Records one sample. Non-finite samples are counted in the
+    /// overflow bucket but excluded from sum/min/max.
+    pub fn observe(&self, v: f64) {
+        let idx = self
+            .bounds
+            .partition_point(|&b| b < v)
+            .min(self.bounds.len());
+        let idx = if v.is_finite() {
+            idx
+        } else {
+            self.bounds.len()
+        };
+        self.counts[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        if v.is_finite() {
+            fetch_update_f64(&self.sum_bits, |s| s + v);
+            fetch_update_f64(&self.min_bits, |m| m.min(v));
+            fetch_update_f64(&self.max_bits, |m| m.max(v));
+        }
+    }
+
+    /// Records a duration in seconds.
+    pub fn observe_duration(&self, d: Duration) {
+        self.observe(d.as_secs_f64());
+    }
+
+    /// Total samples observed.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all finite samples.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.sum_bits.load(Ordering::Relaxed))
+    }
+
+    /// Mean of all finite samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum() / n as f64
+        }
+    }
+
+    /// Smallest finite sample (0 when empty).
+    pub fn min(&self) -> f64 {
+        let m = f64::from_bits(self.min_bits.load(Ordering::Relaxed));
+        if m.is_finite() {
+            m
+        } else {
+            0.0
+        }
+    }
+
+    /// Largest finite sample (0 when empty).
+    pub fn max(&self) -> f64 {
+        let m = f64::from_bits(self.max_bits.load(Ordering::Relaxed));
+        if m.is_finite() {
+            m
+        } else {
+            0.0
+        }
+    }
+
+    /// Nearest-rank quantile estimate: the upper bound of the bucket
+    /// holding the rank-`⌈q·n⌉` sample, clamped to the observed min/max
+    /// (so a saturating bucket cannot report a value never seen).
+    /// Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let snap = self.snapshot();
+        if snap.count == 0 {
+            return 0.0;
+        }
+        let target = ((q * snap.count as f64).ceil() as u64).clamp(1, snap.count);
+        let mut cumulative = 0u64;
+        for (i, c) in snap.counts.iter().enumerate() {
+            cumulative += c;
+            if cumulative >= target {
+                let bound = snap.bounds.get(i).copied().unwrap_or(snap.max);
+                return bound.clamp(snap.min, snap.max);
+            }
+        }
+        snap.max
+    }
+
+    /// Copies out the current state.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            bounds: self.bounds.clone(),
+            counts: self
+                .counts
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
+            count: self.count(),
+            sum: self.sum(),
+            min: self.min(),
+            max: self.max(),
+        }
+    }
+}
+
+/// CAS loop updating an `f64` stored as bits in an `AtomicU64`.
+fn fetch_update_f64(cell: &AtomicU64, f: impl Fn(f64) -> f64) {
+    let mut cur = cell.load(Ordering::Relaxed);
+    loop {
+        let next = f(f64::from_bits(cur)).to_bits();
+        match cell.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(seen) => cur = seen,
+        }
+    }
+}
+
+/// Exact sample-storing histogram with nearest-rank percentiles — the
+/// single definition of the percentile math previously duplicated in
+/// `ta-runtime::health`. Suited to batch-sized sample sets where exact
+/// answers matter more than constant memory.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ExactHistogram {
+    samples: Vec<f64>,
+}
+
+impl ExactHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        ExactHistogram::default()
+    }
+
+    /// Builds from raw samples.
+    pub fn from_samples(samples: &[f64]) -> Self {
+        ExactHistogram {
+            samples: samples.to_vec(),
+        }
+    }
+
+    /// Builds from durations (seconds).
+    pub fn from_durations(durations: &[Duration]) -> Self {
+        ExactHistogram {
+            samples: durations.iter().map(Duration::as_secs_f64).collect(),
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: f64) {
+        self.samples.push(v);
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Mean of the samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.samples.iter().sum::<f64>() / self.samples.len() as f64
+        }
+    }
+
+    /// Largest sample (0 when empty).
+    pub fn max(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.samples
+                .iter()
+                .copied()
+                .fold(f64::NEG_INFINITY, f64::max)
+        }
+    }
+
+    /// Nearest-rank percentiles for each quantile in `qs` (sorted once).
+    /// Empty input yields zeros — matching the health-report convention.
+    pub fn percentiles(&self, qs: &[f64]) -> Vec<f64> {
+        if self.samples.is_empty() {
+            return vec![0.0; qs.len()];
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(f64::total_cmp);
+        let n = sorted.len();
+        qs.iter()
+            .map(|&q| {
+                let idx = ((q * n as f64).ceil() as usize).clamp(1, n) - 1;
+                sorted[idx]
+            })
+            .collect()
+    }
+
+    /// Single nearest-rank percentile (see [`ExactHistogram::percentiles`]).
+    pub fn percentile(&self, q: f64) -> f64 {
+        self.percentiles(&[q])[0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
+    use super::*;
+
+    #[test]
+    fn empty_histogram_reports_zeros() {
+        let h = Histogram::new(&[1.0, 2.0]);
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.sum(), 0.0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.min(), 0.0);
+        assert_eq!(h.max(), 0.0);
+        assert_eq!(h.quantile(0.5), 0.0);
+    }
+
+    #[test]
+    fn single_sample_pins_every_quantile() {
+        let h = Histogram::new(&[1.0, 10.0, 100.0]);
+        h.observe(7.0);
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            // Bucket bound is 10, but min/max clamping recovers the
+            // exact single sample.
+            assert_eq!(h.quantile(q), 7.0, "q={q}");
+        }
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.min(), 7.0);
+        assert_eq!(h.max(), 7.0);
+    }
+
+    #[test]
+    fn bucket_boundaries_are_le_semantics() {
+        let h = Histogram::new(&[1.0, 2.0]);
+        h.observe(1.0); // lands in the le=1 bucket
+        h.observe(1.5); // le=2
+        h.observe(2.0); // le=2
+        h.observe(9.0); // overflow
+        let snap = h.snapshot();
+        assert_eq!(snap.counts, vec![1, 2, 1]);
+        assert_eq!(snap.count, 4);
+    }
+
+    #[test]
+    fn saturating_overflow_bucket_clamps_to_observed_max() {
+        // Every sample overflows the largest bound: the quantile must
+        // report the observed max, not infinity.
+        let h = Histogram::new(&[0.001]);
+        for v in [5.0, 6.0, 7.0] {
+            h.observe(v);
+        }
+        assert_eq!(h.quantile(0.5), 7.0);
+        assert_eq!(h.quantile(0.99), 7.0);
+        assert_eq!(h.max(), 7.0);
+    }
+
+    #[test]
+    fn quantiles_track_nearest_rank_within_bucket_width() {
+        let h = Histogram::exponential(0.001, 2.0, 12);
+        for ms in 1..=100u64 {
+            h.observe(ms as f64 / 1000.0);
+        }
+        // p50 over 1..=100 ms is 50 ms; the covering bucket bound is
+        // 64 ms.
+        let p50 = h.quantile(0.5);
+        assert!((0.05..=0.064).contains(&p50), "p50={p50}");
+        assert!(h.quantile(1.0) <= 0.1 + 1e-12);
+        assert!((h.mean() - 0.0505).abs() < 1e-9);
+    }
+
+    #[test]
+    fn non_finite_samples_count_but_do_not_poison_stats() {
+        let h = Histogram::new(&[1.0]);
+        h.observe(0.5);
+        h.observe(f64::INFINITY);
+        h.observe(f64::NAN);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.sum(), 0.5);
+        assert_eq!(h.max(), 0.5);
+    }
+
+    #[test]
+    fn concurrent_observations_are_not_lost() {
+        let h = Histogram::exponential(1.0, 2.0, 8);
+        std::thread::scope(|scope| {
+            for t in 0..8 {
+                let h = &h;
+                scope.spawn(move || {
+                    for i in 0..1000 {
+                        h.observe((t * 1000 + i) as f64 % 37.0);
+                    }
+                });
+            }
+        });
+        assert_eq!(h.count(), 8000);
+        let snap = h.snapshot();
+        assert_eq!(snap.counts.iter().sum::<u64>(), 8000);
+    }
+
+    #[test]
+    fn exact_histogram_matches_manual_nearest_rank() {
+        let mut e = ExactHistogram::new();
+        for ms in 1..=100u64 {
+            e.record(ms as f64 / 1000.0);
+        }
+        let ps = e.percentiles(&[0.5, 0.9, 0.99]);
+        assert!((ps[0] - 0.050).abs() < 1e-12);
+        assert!((ps[1] - 0.090).abs() < 1e-12);
+        assert!((ps[2] - 0.099).abs() < 1e-12);
+        assert!((e.max() - 0.100).abs() < 1e-12);
+        assert!((e.mean() - 0.0505).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exact_histogram_edge_cases() {
+        let empty = ExactHistogram::new();
+        assert!(empty.is_empty());
+        assert_eq!(empty.percentiles(&[0.5, 0.99]), vec![0.0, 0.0]);
+        assert_eq!(empty.max(), 0.0);
+        assert_eq!(empty.mean(), 0.0);
+
+        let single = ExactHistogram::from_samples(&[4.2]);
+        assert_eq!(single.len(), 1);
+        for q in [0.0, 0.5, 1.0] {
+            assert_eq!(single.percentile(q), 4.2);
+        }
+    }
+
+    #[test]
+    fn exact_histogram_from_durations_round_trips() {
+        let d: Vec<Duration> = (1..=10).map(Duration::from_millis).collect();
+        let e = ExactHistogram::from_durations(&d);
+        assert_eq!(e.len(), 10);
+        assert!((e.percentile(0.5) - 0.005).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,75 @@
+//! Observability for the temporal-computing stack (DESIGN.md §5.9).
+//!
+//! The paper's claims are quantitative — per-stage energy, delay-line
+//! activity, latency under supervision — so the simulator needs a way to
+//! *watch* a run, not just read a post-hoc report. This crate provides
+//! that layer with zero external dependencies:
+//!
+//! * **Tracing** ([`tracer()`], [`span!`]): RAII span guards and one-shot
+//!   events with wall-clock timing and typed metadata, delivered to a
+//!   pluggable [`TraceSink`] — in-memory ring buffer ([`RingSink`]),
+//!   JSONL file ([`JsonlSink`]), or human-readable stderr
+//!   ([`StderrSink`]). With the default [`NullSink`] the tracer reports
+//!   itself inactive and instrumented code skips all work.
+//! * **Metrics** ([`metrics()`]): a process-global [`Registry`] of
+//!   [`Counter`]s, [`Gauge`]s, and fixed-bucket [`Histogram`]s, exported
+//!   as Prometheus exposition text or a JSON snapshot.
+//! * **Exact percentiles** ([`ExactHistogram`]): the nearest-rank
+//!   percentile math shared with `ta-runtime`'s health reports.
+//! * **Waveforms** ([`VcdBuilder`]): value-change-dump export of signal
+//!   arrival times, viewable in GTKWave.
+//!
+//! Overhead budget: instrumented hot paths must stay within 2% of their
+//! uninstrumented twins when no real sink is installed (enforced by the
+//! `telemetry` criterion bench). The design keeps the disabled path to a
+//! pair of relaxed atomic loads.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod histogram;
+pub mod metrics;
+pub mod sink;
+pub mod tracer;
+pub mod vcd;
+
+pub use histogram::{ExactHistogram, Histogram, HistogramSnapshot};
+pub use metrics::{Counter, Gauge, Registry};
+pub use sink::{
+    EventRecord, FieldValue, JsonlSink, NullSink, RingSink, SpanRecord, StderrSink, TraceSink,
+};
+pub use tracer::{SpanGuard, Tracer};
+pub use vcd::VcdBuilder;
+
+use std::sync::OnceLock;
+
+/// The process-global tracer. Inactive (null sink, disabled) until a sink
+/// is installed with [`Tracer::install`].
+pub fn tracer() -> &'static Tracer {
+    static TRACER: OnceLock<Tracer> = OnceLock::new();
+    TRACER.get_or_init(Tracer::new)
+}
+
+/// The process-global metrics registry. Always live: recording into it is
+/// a handful of atomic operations, so instrumented code updates it
+/// unconditionally and `to_prometheus`/`to_json` snapshots reflect the
+/// whole process.
+pub fn metrics() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(Registry::new)
+}
+
+/// Opens an RAII span on the global tracer: `span!("name")` or
+/// `span!("name", "pixels" => 4096u64)`. Fields are recorded only when
+/// the tracer is active, so arguments should be cheap to evaluate.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::tracer().span($name)
+    };
+    ($name:expr, $($key:expr => $value:expr),+ $(,)?) => {{
+        let mut guard = $crate::tracer().span($name);
+        $(guard.add_field($key, $value);)+
+        guard
+    }};
+}

@@ -1,0 +1,281 @@
+//! Metrics registry: named counters, gauges, and histograms with
+//! Prometheus-text and JSON snapshot exporters.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use crate::histogram::Histogram;
+use crate::sink::{json_string, lock_clean};
+
+/// Monotonic counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Increments by one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Increments by `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Floating-point gauge (set to a level, or accumulated — e.g. energy in
+/// picojoules, which is fractional and so does not fit [`Counter`]).
+#[derive(Debug)]
+pub struct Gauge(AtomicU64);
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Gauge(AtomicU64::new(0f64.to_bits()))
+    }
+}
+
+impl Gauge {
+    /// Sets the gauge.
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Adds `v` to the gauge (CAS loop).
+    pub fn add(&self, v: f64) {
+        let mut cur = self.0.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + v).to_bits();
+            match self
+                .0
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// Name-keyed registry of metric instruments. Get-or-create lookups hand
+/// out `Arc`s, so hot paths resolve a metric once and update it
+/// lock-free thereafter.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+}
+
+/// Default latency-histogram bounds: 1 µs to ~65 s, geometric ×2.
+fn default_latency_bounds() -> Histogram {
+    Histogram::exponential(1e-6, 2.0, 27)
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Gets or creates the counter `name`. Names should follow
+    /// Prometheus conventions (`snake_case`, `_total` suffix for
+    /// counters).
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        lock_clean(&self.counters)
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// Gets or creates the gauge `name`.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        lock_clean(&self.gauges)
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// Gets or creates the histogram `name` with default latency-shaped
+    /// buckets (1 µs … ~65 s, ×2). The first caller's buckets win.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        lock_clean(&self.histograms)
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(default_latency_bounds()))
+            .clone()
+    }
+
+    /// Gets or creates the histogram `name` with explicit bucket upper
+    /// bounds (only used on first creation).
+    pub fn histogram_with(&self, name: &str, bounds: &[f64]) -> Arc<Histogram> {
+        lock_clean(&self.histograms)
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(Histogram::new(bounds)))
+            .clone()
+    }
+
+    /// Convenience: observes `d` (in seconds) into histogram `name`.
+    pub fn observe_duration(&self, name: &str, d: Duration) {
+        self.histogram(name).observe_duration(d);
+    }
+
+    /// Renders the registry in the Prometheus text exposition format.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, c) in lock_clean(&self.counters).iter() {
+            out.push_str(&format!("# TYPE {name} counter\n{name} {}\n", c.get()));
+        }
+        for (name, g) in lock_clean(&self.gauges).iter() {
+            out.push_str(&format!("# TYPE {name} gauge\n{name} {}\n", g.get()));
+        }
+        for (name, h) in lock_clean(&self.histograms).iter() {
+            let snap = h.snapshot();
+            out.push_str(&format!("# TYPE {name} histogram\n"));
+            let mut cumulative = 0u64;
+            for (i, bound) in snap.bounds.iter().enumerate() {
+                cumulative += snap.counts[i];
+                out.push_str(&format!("{name}_bucket{{le=\"{bound}\"}} {cumulative}\n"));
+            }
+            out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {}\n", snap.count));
+            out.push_str(&format!("{name}_sum {}\n", snap.sum));
+            out.push_str(&format!("{name}_count {}\n", snap.count));
+        }
+        out
+    }
+
+    /// Renders the registry as one JSON object:
+    /// `{"counters":{..},"gauges":{..},"histograms":{..}}` with derived
+    /// p50/p90/p99 per histogram.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"counters\":{");
+        let counters = lock_clean(&self.counters);
+        for (i, (name, c)) in counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{}:{}", json_string(name), c.get()));
+        }
+        drop(counters);
+        out.push_str("},\"gauges\":{");
+        let gauges = lock_clean(&self.gauges);
+        for (i, (name, g)) in gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let v = g.get();
+            let v = if v.is_finite() {
+                v.to_string()
+            } else {
+                "null".to_string()
+            };
+            out.push_str(&format!("{}:{v}", json_string(name)));
+        }
+        drop(gauges);
+        out.push_str("},\"histograms\":{");
+        let histograms = lock_clean(&self.histograms);
+        for (i, (name, h)) in histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let snap = h.snapshot();
+            out.push_str(&format!(
+                "{}:{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"p50\":{},\"p90\":{},\"p99\":{}}}",
+                json_string(name),
+                snap.count,
+                snap.sum,
+                snap.min,
+                snap.max,
+                h.quantile(0.50),
+                h.quantile(0.90),
+                h.quantile(0.99),
+            ));
+        }
+        drop(histograms);
+        out.push_str("}}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
+    use super::*;
+
+    #[test]
+    fn get_or_create_returns_the_same_instrument() {
+        let r = Registry::new();
+        r.counter("a_total").inc();
+        r.counter("a_total").add(2);
+        assert_eq!(r.counter("a_total").get(), 3);
+        r.gauge("g").set(1.5);
+        r.gauge("g").add(1.0);
+        assert!((r.gauge("g").get() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn concurrent_counter_increments_from_scoped_workers() {
+        let r = Registry::new();
+        let c = r.counter("races_total");
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let c = c.clone();
+                scope.spawn(move || {
+                    for _ in 0..10_000 {
+                        c.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(r.counter("races_total").get(), 80_000);
+    }
+
+    #[test]
+    fn prometheus_exposition_shape() {
+        let r = Registry::new();
+        r.counter("frames_total").add(3);
+        r.gauge("energy_pj").set(12.5);
+        let h = r.histogram_with("latency_seconds", &[0.01, 0.1]);
+        h.observe(0.005);
+        h.observe(0.05);
+        h.observe(5.0);
+        let text = r.to_prometheus();
+        assert!(text.contains("# TYPE frames_total counter\nframes_total 3\n"));
+        assert!(text.contains("# TYPE energy_pj gauge\nenergy_pj 12.5\n"));
+        assert!(text.contains("# TYPE latency_seconds histogram\n"));
+        assert!(text.contains("latency_seconds_bucket{le=\"0.01\"} 1\n"));
+        assert!(text.contains("latency_seconds_bucket{le=\"0.1\"} 2\n"));
+        assert!(text.contains("latency_seconds_bucket{le=\"+Inf\"} 3\n"));
+        assert!(text.contains("latency_seconds_count 3\n"));
+        // Every non-comment line is `name[{labels}] value`.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            assert_eq!(line.split_whitespace().count(), 2, "bad line: {line}");
+        }
+    }
+
+    #[test]
+    fn json_snapshot_contains_derived_percentiles() {
+        let r = Registry::new();
+        r.counter("n_total").inc();
+        let h = r.histogram("lat");
+        for ms in 1..=10u64 {
+            h.observe(ms as f64 / 1000.0);
+        }
+        let json = r.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"n_total\":1"));
+        assert!(json.contains("\"lat\":{\"count\":10"));
+        assert!(json.contains("\"p50\":"));
+    }
+}

@@ -1,0 +1,376 @@
+//! Trace records and the pluggable sinks that receive them.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// One typed metadata value attached to a span or event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldValue {
+    /// An unsigned count.
+    U64(u64),
+    /// A measurement.
+    F64(f64),
+    /// A label.
+    Str(String),
+}
+
+impl From<u64> for FieldValue {
+    fn from(v: u64) -> Self {
+        FieldValue::U64(v)
+    }
+}
+
+impl From<usize> for FieldValue {
+    fn from(v: usize) -> Self {
+        FieldValue::U64(v as u64)
+    }
+}
+
+impl From<f64> for FieldValue {
+    fn from(v: f64) -> Self {
+        FieldValue::F64(v)
+    }
+}
+
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> Self {
+        FieldValue::Str(v.to_string())
+    }
+}
+
+impl From<String> for FieldValue {
+    fn from(v: String) -> Self {
+        FieldValue::Str(v)
+    }
+}
+
+impl fmt::Display for FieldValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FieldValue::U64(v) => write!(f, "{v}"),
+            FieldValue::F64(v) => write!(f, "{v}"),
+            FieldValue::Str(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+impl FieldValue {
+    /// Renders the value as a JSON fragment (numbers bare, strings
+    /// escaped; non-finite floats become JSON `null`).
+    pub fn to_json(&self) -> String {
+        match self {
+            FieldValue::U64(v) => v.to_string(),
+            FieldValue::F64(v) if v.is_finite() => v.to_string(),
+            FieldValue::F64(_) => "null".to_string(),
+            FieldValue::Str(v) => json_string(v),
+        }
+    }
+}
+
+/// A completed span: a named region of work with wall-clock extent.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanRecord {
+    /// Span name (dotted hierarchy by convention, e.g. `exec.nlse_tree`).
+    pub name: &'static str,
+    /// Start offset from the tracer's epoch.
+    pub start: Duration,
+    /// Wall-clock duration of the span.
+    pub duration: Duration,
+    /// Attached metadata, in insertion order.
+    pub fields: Vec<(&'static str, FieldValue)>,
+}
+
+/// A one-shot event: a named instant with metadata.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EventRecord {
+    /// Event name.
+    pub name: &'static str,
+    /// Offset from the tracer's epoch.
+    pub at: Duration,
+    /// Attached metadata, in insertion order.
+    pub fields: Vec<(&'static str, FieldValue)>,
+}
+
+/// Destination for trace records. Implementations must be cheap and
+/// thread-safe: records arrive from worker threads mid-computation.
+pub trait TraceSink: Send + Sync {
+    /// Whether this sink actually keeps records. The tracer caches the
+    /// answer at install time: a `false` here (the [`NullSink`]) turns
+    /// every instrumentation site into a pair of relaxed atomic loads.
+    fn wants_records(&self) -> bool {
+        true
+    }
+
+    /// Receives one completed span.
+    fn record_span(&self, span: &SpanRecord);
+
+    /// Receives one event.
+    fn record_event(&self, event: &EventRecord);
+
+    /// Flushes any buffered output (file sinks). Default: nothing.
+    fn flush(&self) {}
+}
+
+/// The do-nothing sink installed by default; reports itself inert.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn wants_records(&self) -> bool {
+        false
+    }
+
+    fn record_span(&self, _span: &SpanRecord) {}
+
+    fn record_event(&self, _event: &EventRecord) {}
+}
+
+/// Bounded in-memory sink: keeps the most recent records, dropping the
+/// oldest on overflow. Useful for tests and for `tconv profile`.
+#[derive(Debug)]
+pub struct RingSink {
+    capacity: usize,
+    spans: Mutex<VecDeque<SpanRecord>>,
+    events: Mutex<VecDeque<EventRecord>>,
+}
+
+impl RingSink {
+    /// A ring buffer holding at most `capacity` spans and events each.
+    pub fn new(capacity: usize) -> Self {
+        RingSink {
+            capacity: capacity.max(1),
+            spans: Mutex::new(VecDeque::new()),
+            events: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Snapshot of the buffered spans, oldest first.
+    pub fn spans(&self) -> Vec<SpanRecord> {
+        lock_clean(&self.spans).iter().cloned().collect()
+    }
+
+    /// Snapshot of the buffered events, oldest first.
+    pub fn events(&self) -> Vec<EventRecord> {
+        lock_clean(&self.events).iter().cloned().collect()
+    }
+}
+
+impl TraceSink for RingSink {
+    fn record_span(&self, span: &SpanRecord) {
+        let mut q = lock_clean(&self.spans);
+        if q.len() == self.capacity {
+            q.pop_front();
+        }
+        q.push_back(span.clone());
+    }
+
+    fn record_event(&self, event: &EventRecord) {
+        let mut q = lock_clean(&self.events);
+        if q.len() == self.capacity {
+            q.pop_front();
+        }
+        q.push_back(event.clone());
+    }
+}
+
+/// Structured file sink: one JSON object per line (JSONL), suitable for
+/// `jq` or downstream ingestion.
+#[derive(Debug)]
+pub struct JsonlSink {
+    out: Mutex<BufWriter<File>>,
+}
+
+impl JsonlSink {
+    /// Creates (truncating) the trace file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the I/O error if the file cannot be created.
+    pub fn create<P: AsRef<Path>>(path: P) -> io::Result<Self> {
+        Ok(JsonlSink {
+            out: Mutex::new(BufWriter::new(File::create(path)?)),
+        })
+    }
+
+    fn write_line(&self, line: String) {
+        let mut out = lock_clean(&self.out);
+        // A full disk mid-trace must not take the traced computation
+        // down with it; the final flush in `TraceSink::flush` is the
+        // caller's chance to notice.
+        let _ = writeln!(out, "{line}");
+    }
+}
+
+impl TraceSink for JsonlSink {
+    fn record_span(&self, span: &SpanRecord) {
+        let mut line = format!(
+            "{{\"type\":\"span\",\"name\":{},\"start_us\":{},\"duration_us\":{}",
+            json_string(span.name),
+            span.start.as_micros(),
+            span.duration.as_micros()
+        );
+        append_fields(&mut line, &span.fields);
+        line.push('}');
+        self.write_line(line);
+    }
+
+    fn record_event(&self, event: &EventRecord) {
+        let mut line = format!(
+            "{{\"type\":\"event\",\"name\":{},\"at_us\":{}",
+            json_string(event.name),
+            event.at.as_micros()
+        );
+        append_fields(&mut line, &event.fields);
+        line.push('}');
+        self.write_line(line);
+    }
+
+    fn flush(&self) {
+        let _ = lock_clean(&self.out).flush();
+    }
+}
+
+/// Human-readable sink printing one line per record to stderr.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct StderrSink;
+
+impl TraceSink for StderrSink {
+    fn record_span(&self, span: &SpanRecord) {
+        let mut line = format!(
+            "[{:>12.3} ms] span  {:<24} {:>10.3} ms",
+            span.start.as_secs_f64() * 1e3,
+            span.name,
+            span.duration.as_secs_f64() * 1e3
+        );
+        for (k, v) in &span.fields {
+            line.push_str(&format!(" {k}={v}"));
+        }
+        eprintln!("{line}");
+    }
+
+    fn record_event(&self, event: &EventRecord) {
+        let mut line = format!(
+            "[{:>12.3} ms] event {:<24}",
+            event.at.as_secs_f64() * 1e3,
+            event.name
+        );
+        for (k, v) in &event.fields {
+            line.push_str(&format!(" {k}={v}"));
+        }
+        eprintln!("{line}");
+    }
+}
+
+fn append_fields(line: &mut String, fields: &[(&'static str, FieldValue)]) {
+    for (k, v) in fields {
+        line.push(',');
+        line.push_str(&json_string(k));
+        line.push(':');
+        line.push_str(&v.to_json());
+    }
+}
+
+/// Escapes `s` into a quoted JSON string literal.
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Locks a mutex, recovering the data if a panicking holder poisoned it
+/// (telemetry must never compound an unrelated failure).
+pub(crate) fn lock_clean<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
+    use super::*;
+
+    #[test]
+    fn json_string_escapes_specials() {
+        assert_eq!(json_string("plain"), "\"plain\"");
+        assert_eq!(json_string("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        assert_eq!(json_string("line\nbreak\ttab"), "\"line\\nbreak\\ttab\"");
+        assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn field_value_json_forms() {
+        assert_eq!(FieldValue::from(3u64).to_json(), "3");
+        assert_eq!(FieldValue::from(2.5).to_json(), "2.5");
+        assert_eq!(FieldValue::from(f64::NAN).to_json(), "null");
+        assert_eq!(FieldValue::from("x\"y").to_json(), "\"x\\\"y\"");
+    }
+
+    #[test]
+    fn ring_sink_drops_oldest() {
+        let sink = RingSink::new(2);
+        for i in 0..4u64 {
+            sink.record_span(&SpanRecord {
+                name: "s",
+                start: Duration::from_micros(i),
+                duration: Duration::ZERO,
+                fields: vec![],
+            });
+        }
+        let spans = sink.spans();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].start, Duration::from_micros(2));
+        assert_eq!(spans[1].start, Duration::from_micros(3));
+    }
+
+    #[test]
+    fn null_sink_is_inert() {
+        assert!(!NullSink.wants_records());
+        assert!(RingSink::new(4).wants_records());
+    }
+
+    #[test]
+    fn jsonl_sink_writes_parseable_lines() {
+        let path = std::env::temp_dir().join("ta_telemetry_sink_test.jsonl");
+        let sink = JsonlSink::create(&path).unwrap();
+        sink.record_span(&SpanRecord {
+            name: "exec.run",
+            start: Duration::from_micros(10),
+            duration: Duration::from_micros(250),
+            fields: vec![("mode", "approx".into()), ("ops", 42u64.into())],
+        });
+        sink.record_event(&EventRecord {
+            name: "retry",
+            at: Duration::from_micros(11),
+            fields: vec![],
+        });
+        sink.flush();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("{\"type\":\"span\",\"name\":\"exec.run\""));
+        assert!(lines[0].contains("\"ops\":42"));
+        assert!(lines[0].ends_with('}'));
+        assert!(lines[1].contains("\"type\":\"event\""));
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,269 @@
+//! The span/event collector: active-flag gating, RAII guards, and sink
+//! dispatch.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, RwLock};
+use std::time::{Duration, Instant};
+
+use crate::sink::{EventRecord, FieldValue, NullSink, SpanRecord, TraceSink};
+
+/// Thread-safe span/event collector.
+///
+/// The tracer is *inactive* until both hold: tracing is enabled and the
+/// installed sink wants records (the default [`NullSink`] does not).
+/// Inactive, every instrumentation site costs two relaxed atomic loads
+/// and no clock reads — the property the `telemetry` bench enforces.
+pub struct Tracer {
+    epoch: Instant,
+    enabled: AtomicBool,
+    /// Cached `sink.wants_records()`, refreshed on install.
+    sink_live: AtomicBool,
+    /// Opt-in fine-grained stage timing (used by `exec` to decide whether
+    /// to clock inner-loop stages; see `tconv profile`).
+    profiling: AtomicBool,
+    sink: RwLock<Arc<dyn TraceSink>>,
+}
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tracer")
+            .field("enabled", &self.enabled.load(Ordering::Relaxed))
+            .field("sink_live", &self.sink_live.load(Ordering::Relaxed))
+            .field("profiling", &self.profiling.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
+impl Tracer {
+    /// A fresh tracer: null sink, disabled, not profiling.
+    pub(crate) fn new() -> Self {
+        Tracer {
+            epoch: Instant::now(),
+            enabled: AtomicBool::new(false),
+            sink_live: AtomicBool::new(false),
+            profiling: AtomicBool::new(false),
+            sink: RwLock::new(Arc::new(NullSink)),
+        }
+    }
+
+    /// Installs `sink` and enables tracing. Replaces any previous sink
+    /// (which is flushed first).
+    pub fn install(&self, sink: Arc<dyn TraceSink>) {
+        let live = sink.wants_records();
+        {
+            let mut slot = match self.sink.write() {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            slot.flush();
+            *slot = sink;
+        }
+        self.sink_live.store(live, Ordering::Release);
+        self.enabled.store(true, Ordering::Release);
+    }
+
+    /// Enables or disables tracing without touching the sink.
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Release);
+    }
+
+    /// Turns fine-grained stage profiling on or off.
+    pub fn set_profiling(&self, on: bool) {
+        self.profiling.store(on, Ordering::Release);
+    }
+
+    /// True when instrumented code should measure per-stage timings.
+    pub fn profiling(&self) -> bool {
+        self.profiling.load(Ordering::Relaxed)
+    }
+
+    /// True when records will actually reach a sink. Instrumentation
+    /// sites check this before doing any measuring work.
+    pub fn active(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed) && self.sink_live.load(Ordering::Relaxed)
+    }
+
+    /// Offset of `at` from the tracer's epoch (zero if `at` predates it).
+    fn offset(&self, at: Instant) -> Duration {
+        at.saturating_duration_since(self.epoch)
+    }
+
+    fn with_sink(&self, f: impl FnOnce(&dyn TraceSink)) {
+        let slot = match self.sink.read() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        f(slot.as_ref());
+    }
+
+    /// Opens an RAII span. When the tracer is inactive the guard is inert
+    /// (no clock read, drops for free).
+    pub fn span(&self, name: &'static str) -> SpanGuard<'_> {
+        SpanGuard {
+            tracer: self,
+            name,
+            start: self.active().then(Instant::now),
+            fields: Vec::new(),
+        }
+    }
+
+    /// Records a span whose duration the caller measured itself — the
+    /// aggregate-stage pattern: hot loops accumulate a `Duration` locally
+    /// and emit one span per frame instead of thousands of guards.
+    pub fn record_span(
+        &self,
+        name: &'static str,
+        duration: Duration,
+        fields: Vec<(&'static str, FieldValue)>,
+    ) {
+        if !self.active() {
+            return;
+        }
+        let end = Instant::now();
+        let start = self.offset(end).saturating_sub(duration);
+        let record = SpanRecord {
+            name,
+            start,
+            duration,
+            fields,
+        };
+        self.with_sink(|s| s.record_span(&record));
+    }
+
+    /// Records a one-shot event.
+    pub fn event(&self, name: &'static str, fields: Vec<(&'static str, FieldValue)>) {
+        if !self.active() {
+            return;
+        }
+        let record = EventRecord {
+            name,
+            at: self.offset(Instant::now()),
+            fields,
+        };
+        self.with_sink(|s| s.record_event(&record));
+    }
+
+    /// Flushes the installed sink.
+    pub fn flush(&self) {
+        self.with_sink(|s| s.flush());
+    }
+}
+
+/// RAII guard returned by [`Tracer::span`]; emits a [`SpanRecord`] with
+/// the elapsed wall time when dropped (if the tracer was active when the
+/// span opened).
+#[derive(Debug)]
+pub struct SpanGuard<'a> {
+    tracer: &'a Tracer,
+    name: &'static str,
+    start: Option<Instant>,
+    fields: Vec<(&'static str, FieldValue)>,
+}
+
+impl SpanGuard<'_> {
+    /// Attaches a metadata field (no-op on inert guards).
+    pub fn add_field(&mut self, key: &'static str, value: impl Into<FieldValue>) {
+        if self.start.is_some() {
+            self.fields.push((key, value.into()));
+        }
+    }
+
+    /// True when this guard will emit a record on drop.
+    pub fn is_recording(&self) -> bool {
+        self.start.is_some()
+    }
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        let Some(start) = self.start else { return };
+        let record = SpanRecord {
+            name: self.name,
+            start: self.tracer.offset(start),
+            duration: start.elapsed(),
+            fields: std::mem::take(&mut self.fields),
+        };
+        self.tracer.with_sink(|s| s.record_span(&record));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
+    use super::*;
+    use crate::sink::RingSink;
+
+    #[test]
+    fn inactive_tracer_emits_nothing() {
+        let tracer = Tracer::new();
+        assert!(!tracer.active());
+        {
+            let mut g = tracer.span("quiet");
+            assert!(!g.is_recording());
+            g.add_field("ignored", 1u64);
+        }
+        tracer.event("quiet", vec![]);
+        // Install a ring afterwards: it must start empty.
+        let ring = Arc::new(RingSink::new(8));
+        tracer.install(ring.clone());
+        assert!(ring.spans().is_empty() && ring.events().is_empty());
+    }
+
+    #[test]
+    fn spans_and_events_reach_the_sink() {
+        let tracer = Tracer::new();
+        let ring = Arc::new(RingSink::new(8));
+        tracer.install(ring.clone());
+        assert!(tracer.active());
+        {
+            let mut g = tracer.span("work");
+            g.add_field("n", 7u64);
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        tracer.record_span("agg", Duration::from_millis(5), vec![("k", 1.5.into())]);
+        tracer.event("tick", vec![("what", "test".into())]);
+
+        let spans = ring.spans();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].name, "work");
+        assert!(spans[0].duration >= Duration::from_millis(2));
+        assert_eq!(spans[0].fields, vec![("n", FieldValue::U64(7))]);
+        assert_eq!(spans[1].name, "agg");
+        assert_eq!(spans[1].duration, Duration::from_millis(5));
+        let events = ring.events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].name, "tick");
+    }
+
+    #[test]
+    fn disabling_stops_collection() {
+        let tracer = Tracer::new();
+        let ring = Arc::new(RingSink::new(8));
+        tracer.install(ring.clone());
+        tracer.set_enabled(false);
+        assert!(!tracer.active());
+        drop(tracer.span("off"));
+        assert!(ring.spans().is_empty());
+        tracer.set_enabled(true);
+        drop(tracer.span("on"));
+        assert_eq!(ring.spans().len(), 1);
+    }
+
+    #[test]
+    fn concurrent_spans_from_scoped_threads() {
+        let tracer = Tracer::new();
+        let ring = Arc::new(RingSink::new(1024));
+        tracer.install(ring.clone());
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..50 {
+                        drop(tracer.span("worker"));
+                    }
+                });
+            }
+        });
+        assert_eq!(ring.spans().len(), 200);
+    }
+}

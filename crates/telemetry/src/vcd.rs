@@ -1,0 +1,169 @@
+//! Value-change-dump (VCD) export of signal arrival times.
+//!
+//! Race logic encodes values as *edge arrival times*, so a netlist
+//! evaluation is naturally a waveform: every signal is a 1-bit wire that
+//! rises once, at its arrival time, or never. This module renders that
+//! picture in the IEEE 1364 VCD text format, viewable in GTKWave.
+
+use std::collections::BTreeMap;
+
+/// Builds a VCD document from single-rise wires.
+#[derive(Debug, Clone)]
+pub struct VcdBuilder {
+    module: String,
+    /// `(name, rise time in ps)`; `None` = the wire never fires.
+    wires: Vec<(String, Option<u64>)>,
+}
+
+impl VcdBuilder {
+    /// A builder whose signals live under `$scope module <module>`.
+    pub fn new(module: &str) -> Self {
+        VcdBuilder {
+            module: sanitize(module),
+            wires: Vec::new(),
+        }
+    }
+
+    /// Adds a 1-bit wire rising at `rise_ps` picoseconds (`None` for a
+    /// wire that never fires and stays 0). Names are sanitised to the
+    /// identifier characters VCD allows.
+    pub fn wire(&mut self, name: &str, rise_ps: Option<u64>) {
+        self.wires.push((sanitize(name), rise_ps));
+    }
+
+    /// Number of wires added so far.
+    pub fn len(&self) -> usize {
+        self.wires.len()
+    }
+
+    /// True when no wires were added.
+    pub fn is_empty(&self) -> bool {
+        self.wires.is_empty()
+    }
+
+    /// Renders the VCD document. Timestamps are emitted in strictly
+    /// ascending order as the format requires.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("$version ta-telemetry temporal waveform export $end\n");
+        out.push_str("$timescale 1ps $end\n");
+        out.push_str(&format!("$scope module {} $end\n", self.module));
+        for (i, (name, _)) in self.wires.iter().enumerate() {
+            out.push_str(&format!("$var wire 1 {} {name} $end\n", id_code(i)));
+        }
+        out.push_str("$upscope $end\n$enddefinitions $end\n");
+
+        // Initial values: wires rising at t=0 start high.
+        out.push_str("$dumpvars\n");
+        for (i, (_, rise)) in self.wires.iter().enumerate() {
+            let initial = u8::from(*rise == Some(0));
+            out.push_str(&format!("{initial}{}\n", id_code(i)));
+        }
+        out.push_str("$end\n");
+
+        // Group the remaining rises by timestamp, ascending.
+        let mut by_time: BTreeMap<u64, Vec<usize>> = BTreeMap::new();
+        for (i, (_, rise)) in self.wires.iter().enumerate() {
+            if let Some(t) = rise {
+                if *t > 0 {
+                    by_time.entry(*t).or_default().push(i);
+                }
+            }
+        }
+        for (t, wires) in by_time {
+            out.push_str(&format!("#{t}\n"));
+            for i in wires {
+                out.push_str(&format!("1{}\n", id_code(i)));
+            }
+        }
+        out
+    }
+}
+
+/// The VCD short identifier for wire `n`: base-94 over the printable
+/// ASCII range `!`..=`~`, as the format prescribes.
+pub fn id_code(mut n: usize) -> String {
+    let mut code = String::new();
+    loop {
+        code.push((b'!' + (n % 94) as u8) as char);
+        n /= 94;
+        if n == 0 {
+            break;
+        }
+        n -= 1;
+    }
+    code
+}
+
+/// VCD identifiers cannot contain whitespace; anything unprintable or
+/// blank becomes `_`.
+fn sanitize(name: &str) -> String {
+    let s: String = name
+        .chars()
+        .map(|c| {
+            if c.is_ascii_graphic() && c != '$' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    if s.is_empty() {
+        "_".to_string()
+    } else {
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
+    use super::*;
+
+    #[test]
+    fn id_codes_are_unique_and_printable() {
+        let mut seen = std::collections::HashSet::new();
+        for n in 0..500 {
+            let code = id_code(n);
+            assert!(code.chars().all(|c| ('!'..='~').contains(&c)));
+            assert!(seen.insert(code));
+        }
+        assert_eq!(id_code(0), "!");
+        assert_eq!(id_code(93), "~");
+        assert_eq!(id_code(94), "!!");
+    }
+
+    #[test]
+    fn render_produces_ordered_timestamps() {
+        let mut b = VcdBuilder::new("netlist");
+        b.wire("late", Some(3000));
+        b.wire("early", Some(1000));
+        b.wire("at zero", Some(0));
+        b.wire("never", None);
+        let vcd = b.render();
+
+        assert!(vcd.contains("$timescale 1ps $end"));
+        assert!(vcd.contains("$scope module netlist $end"));
+        assert!(vcd.contains("$var wire 1 ! late $end"));
+        assert!(vcd.contains("$var wire 1 # at_zero $end"));
+        assert!(vcd.contains("$enddefinitions $end"));
+
+        let times: Vec<u64> = vcd
+            .lines()
+            .filter_map(|l| l.strip_prefix('#'))
+            .map(|t| t.parse().unwrap())
+            .collect();
+        assert_eq!(times, vec![1000, 3000]);
+
+        // `at zero` is high in $dumpvars; `never` stays 0 throughout.
+        let dump: Vec<&str> = vcd
+            .lines()
+            .skip_while(|l| *l != "$dumpvars")
+            .take_while(|l| *l != "$end")
+            .collect();
+        assert!(dump.contains(&"1#"));
+        assert!(dump.contains(&"0$"));
+        assert!(!vcd.contains("\n1$"));
+    }
+}
