@@ -257,6 +257,11 @@ TELEMETRY (any command):
   --trace PATH      write structured span/event records as JSON lines
   --metrics PATH    write a Prometheus-text metrics snapshot on exit
 
+PARALLELISM (any command):
+  --threads N       worker threads for the frame engine and every sweep
+                    (0 = one per core; results are bit-identical at any
+                    thread count)                          [default: 0]
+
 OPTIONS (batch — supervised runtime):
   --frames N        synthetic frames with --demo           [default: 8]
   --tolerance F     reject outputs beyond F nRMSE vs the digital reference
@@ -390,6 +395,8 @@ fn config_of(args: &Args) -> Result<ArchConfig, CliError> {
 /// PATH` installs a JSONL trace sink before the command runs, and
 /// `--metrics PATH` writes a Prometheus-text metrics snapshot after it
 /// finishes (even a failing command leaves its partial metrics behind).
+/// `--threads N` sizes the shared worker pool for every command (0 = one
+/// worker per core); outputs are bit-identical at any thread count.
 ///
 /// # Errors
 ///
@@ -398,6 +405,7 @@ pub fn dispatch(args: &Args) -> Result<String, CliError> {
     if args.has("--help") || args.command.is_empty() || args.command == "help" {
         return Ok(USAGE.to_string());
     }
+    ta_pool::set_threads(args.num("--threads", 0usize)?);
     if let Some(path) = args.get("--trace") {
         let sink = ta_telemetry::JsonlSink::create(path).map_err(CliError::Telemetry)?;
         ta_telemetry::tracer().install(std::sync::Arc::new(sink));
@@ -986,6 +994,24 @@ mod tests {
         let out = dispatch(&argv(&["describe", "--kernel", "sobel", "--size", "32"])).unwrap();
         assert!(out.contains("MAC blocks"));
         assert!(out.contains("nLSE tree"));
+    }
+
+    #[test]
+    fn threads_flag_is_global_and_deterministic() {
+        // The rendered report embeds the run's numeric results, so equal
+        // strings across worker counts means equal outputs. Leaves the
+        // process-global default behind on purpose: every thread count
+        // must produce identical results anyway.
+        let base = ["run", "--demo", "--size", "24", "--mode", "noisy"];
+        let with = |n: &str| {
+            let mut v = base.to_vec();
+            v.extend(["--threads", n]);
+            dispatch(&argv(&v)).unwrap()
+        };
+        let one = with("1");
+        assert_eq!(one, with("2"), "1 vs 2 workers");
+        assert_eq!(one, with("8"), "1 vs 8 workers");
+        ta_pool::set_threads(0);
     }
 
     #[test]

@@ -15,6 +15,7 @@ use ta_image::{metrics, Image};
 
 use crate::exec::{self, ExecError};
 use crate::fault::{FaultKind, FaultMap, FaultModel, FaultSite, FaultStats};
+use crate::seed::{derive_seed, Domain};
 use crate::{enumerate_sites, Architecture, ArithmeticMode};
 
 /// Configuration of one fault campaign.
@@ -153,12 +154,6 @@ impl fmt::Display for CampaignReport {
     }
 }
 
-/// Splits `base` into independent per-(a, b) streams deterministically.
-fn derive_seed(base: u64, a: u64, b: u64) -> u64 {
-    base ^ a.wrapping_add(1).wrapping_mul(0x9e37_79b9_7f4a_7c15)
-        ^ b.wrapping_add(1).wrapping_mul(0xd1b5_4a32_d192_ed03)
-}
-
 /// Degradation of `result` against the fault-free `baseline`: pooled
 /// normalised RMSE and mean SSIM over kernel outputs.
 fn degradation(result: &[Image], baseline: &[Image]) -> (f64, f64) {
@@ -201,16 +196,40 @@ pub fn run_campaign(
     cfg: &CampaignConfig,
 ) -> Result<CampaignReport, ExecError> {
     let baseline = exec::run(arch, image, cfg.mode, cfg.seed)?;
+    let pool = ta_pool::Pool::current();
+
+    // Validate every rate up front (cheap, and keeps error order stable),
+    // then fan the (rate, trial) grid out over the pool: each trial's
+    // fault map is sampled from a seed derived from its flat index, so
+    // the grid is a pure function of the campaign seed and the schedule
+    // cannot change what is sampled. Per-trial results come back in
+    // index order and are folded serially, keeping every f64 sum in the
+    // same order as the serial engine.
+    let models = cfg
+        .rates
+        .iter()
+        .map(|&rate| {
+            FaultModel {
+                rate,
+                drift_fraction: cfg.drift_fraction,
+                early_advance_units: cfg.early_advance_units,
+            }
+            .validated()
+            .map_err(ExecError::from)
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    let trials = pool.map(cfg.rates.len() * cfg.trials_per_rate, |flat| {
+        let r_idx = flat / cfg.trials_per_rate.max(1);
+        let map =
+            models[r_idx].sample(arch, derive_seed(cfg.seed, Domain::FaultTrial, flat as u64));
+        let run = exec::run_faulty(arch, image, cfg.mode, cfg.seed, &map)?;
+        let (rmse, ssim) = degradation(&run.outputs, &baseline.outputs);
+        Ok::<_, ExecError>((map.len(), rmse, ssim, run.fault_stats))
+    });
 
     let mut rate_sweep = Vec::with_capacity(cfg.rates.len());
-    for (r_idx, &rate) in cfg.rates.iter().enumerate() {
-        let model = FaultModel {
-            rate,
-            drift_fraction: cfg.drift_fraction,
-            early_advance_units: cfg.early_advance_units,
-        }
-        .validated()
-        .map_err(ExecError::from)?;
+    let mut trials = trials.into_iter();
+    for &rate in &cfg.rates {
         let mut point = RatePoint {
             rate,
             trials: cfg.trials_per_rate,
@@ -220,18 +239,15 @@ pub fn run_campaign(
             mean_ssim: 0.0,
             stats: FaultStats::default(),
         };
-        for trial in 0..cfg.trials_per_rate {
-            let map = model.sample(arch, derive_seed(cfg.seed, r_idx as u64, trial as u64));
-            let run = exec::run_faulty(arch, image, cfg.mode, cfg.seed, &map)?;
-            let (rmse, ssim) = degradation(&run.outputs, &baseline.outputs);
-            point.mean_sites += map.len() as f64;
+        for _ in 0..cfg.trials_per_rate {
+            let (sites, rmse, ssim, stats) = trials
+                .next()
+                .unwrap_or_else(|| unreachable!("trial grid sized rates × trials"))?;
+            point.mean_sites += sites as f64;
             point.mean_rmse += rmse;
             point.worst_rmse = point.worst_rmse.max(rmse);
             point.mean_ssim += ssim;
-            point.stats.sites_injected += run.fault_stats.sites_injected;
-            point.stats.edges_faulted += run.fault_stats.edges_faulted;
-            point.stats.events_dropped += run.fault_stats.events_dropped;
-            point.stats.saturations += run.fault_stats.saturations;
+            point.stats.merge(&stats);
         }
         let n = cfg.trials_per_rate.max(1) as f64;
         point.mean_sites /= n;
@@ -254,7 +270,7 @@ pub fn run_campaign(
     };
     let mut pixel_idx = 0usize;
     let mut scanned_pixels = 0usize;
-    let mut site_sensitivity = Vec::new();
+    let mut scan: Vec<(FaultSite, FaultKind)> = Vec::new();
     for site in all_sites {
         if matches!(site, FaultSite::Pixel { .. }) {
             let keep = pixel_idx.is_multiple_of(pixel_stride);
@@ -264,19 +280,28 @@ pub fn run_campaign(
             }
             scanned_pixels += 1;
         }
-        let kind = probe_kind(site, cfg);
-        let mut map = FaultMap::new();
-        map.insert(site, kind).map_err(ExecError::from)?;
-        let run = exec::run_faulty(arch, image, cfg.mode, cfg.seed, &map)?;
-        let (rmse, ssim) = degradation(&run.outputs, &baseline.outputs);
-        site_sensitivity.push(SiteSensitivity {
-            site,
-            kind,
-            rmse,
-            ssim,
-            stats: run.fault_stats,
-        });
+        scan.push((site, probe_kind(site, cfg)));
     }
+    // Each probe is an independent single-fault run against the shared
+    // baseline — a pure function of its (site, kind) pair — so the scan
+    // fans out over the pool and collects in site order before sorting.
+    let mut site_sensitivity = pool
+        .map(scan.len(), |i| {
+            let (site, kind) = scan[i];
+            let mut map = FaultMap::new();
+            map.insert(site, kind).map_err(ExecError::from)?;
+            let run = exec::run_faulty(arch, image, cfg.mode, cfg.seed, &map)?;
+            let (rmse, ssim) = degradation(&run.outputs, &baseline.outputs);
+            Ok::<_, ExecError>(SiteSensitivity {
+                site,
+                kind,
+                rmse,
+                ssim,
+                stats: run.fault_stats,
+            })
+        })
+        .into_iter()
+        .collect::<Result<Vec<_>, _>>()?;
     site_sensitivity.sort_by(|a, b| {
         b.rmse
             .partial_cmp(&a.rmse)

@@ -5,6 +5,7 @@
 use ta_circuits::UnitScale;
 use ta_image::{conv, metrics, Image};
 
+use crate::seed::{derive_seed, Domain};
 use crate::{exec, ArchConfig, Architecture, ArithmeticMode, Error, SystemDescription};
 
 /// The sweep grid. Defaults reproduce the paper's exploration: term
@@ -119,9 +120,7 @@ pub fn explore(
                 &arch,
                 img,
                 ArithmeticMode::DelayApproxNoisy,
-                grid.seed
-                    .wrapping_add(i as u64)
-                    .wrapping_mul(0x9e37_79b9_7f4a_7c15),
+                derive_seed(grid.seed, Domain::Dse, i as u64),
             )?;
             per_image.push(run.pooled_rmse(&references[i]));
         }
@@ -135,36 +134,14 @@ pub fn explore(
         })
     };
 
-    let workers = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(configs.len().max(1));
-    let mut points: Vec<DsePoint> = Vec::with_capacity(configs.len());
-    if workers <= 1 {
-        for c in &configs {
-            points.push(measure(c)?);
-        }
-    } else {
-        let results: Vec<Result<DsePoint, Error>> = std::thread::scope(|scope| {
-            let chunk = configs.len().div_ceil(workers);
-            let handles: Vec<_> = configs
-                .chunks(chunk)
-                .map(|slice| scope.spawn(move || slice.iter().map(measure).collect::<Vec<_>>()))
-                .collect();
-            handles
-                .into_iter()
-                .flat_map(|h| {
-                    // A panicking worker is a bug in the engine itself;
-                    // re-raise the original payload instead of masking it.
-                    h.join()
-                        .unwrap_or_else(|payload| std::panic::resume_unwind(payload))
-                })
-                .collect()
-        });
-        for r in results {
-            points.push(r?);
-        }
-    }
+    // Fan the grid out over the shared pool: each configuration is an
+    // independent measurement (per-image seeds are derived, so results
+    // do not depend on which worker runs which point), and the pool
+    // re-raises any worker panic on this thread.
+    let mut points = ta_pool::Pool::current()
+        .map(configs.len(), |i| measure(&configs[i]))
+        .into_iter()
+        .collect::<Result<Vec<DsePoint>, Error>>()?;
     mark_pareto(&mut points);
     Ok(points)
 }

@@ -2,7 +2,7 @@
 
 use std::error::Error;
 use std::fmt;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -13,6 +13,7 @@ use ta_race_logic::FaultObservation;
 
 use crate::census::{self, OpCounts, StageProfile};
 use crate::fault::{FaultError, FaultKind, FaultMap, FaultStats};
+use crate::seed::{derive_seed, Domain};
 use crate::transform::Rail;
 use crate::tree::{self, TreeOps};
 use crate::{Architecture, ArithmeticMode, RunResult};
@@ -242,18 +243,56 @@ fn run_importance(arch: &Architecture, image: &Image) -> Vec<Image> {
         .collect()
 }
 
+/// Per-worker accumulator for the parallel row stage: output rows plus
+/// every counter the serial engine used to update in place. Workers fill
+/// private instances; [`run_delay`] merges them once at join, so the
+/// merged totals are exact (the census tests compare them against the
+/// closed-form op counts) and identical at any worker count.
+struct RowAcc {
+    /// `(flat item index, output row)` pairs, reassembled by the caller.
+    rows: Vec<(usize, Vec<f64>)>,
+    counts: OpCounts,
+    stats: FaultStats,
+    stage: StageProfile,
+}
+
+impl RowAcc {
+    fn new() -> Self {
+        RowAcc {
+            rows: Vec::new(),
+            counts: OpCounts::default(),
+            stats: FaultStats::default(),
+            stage: StageProfile::default(),
+        }
+    }
+}
+
 /// Delay-space execution (exact, approximate or noisy hardware), with
 /// optional site-addressed fault injection. Every fault lookup keeps the
 /// fault-free expression verbatim in its `None` arm, so an empty map is
 /// bit-identical to the unfaulted engine.
 ///
+/// The frame is data-parallel and runs on [`ta_pool::Pool::current`]:
+/// stage 1 converts pixels through the VTC one *image row* per work
+/// item; stage 2 evaluates the recurrent MAC trees one *(kernel, output
+/// row)* per work item. Determinism at every worker count is structural:
+/// each work item seeds its own `SmallRng` from
+/// [`derive_seed`]`(seed, domain, item)` — [`Domain::VtcRow`] for stage
+/// 1, [`Domain::TreeRow`] for stage 2 — so no RNG state crosses an item
+/// boundary and the schedule cannot influence a single draw. All other
+/// mutable state (fault counters, op counts, stage clocks) accumulates
+/// per worker in [`RowAcc`] and merges order-insensitively at join.
+///
 /// `PROF` selects the profiling twin: genuine per-leaf/per-cycle op
-/// counters plus per-stage wall clocks (an `Instant` pair per inner-loop
+/// counters plus per-stage clocks (an `Instant` pair per inner-loop
 /// stage — too expensive even to branch on dynamically, so the caller
 /// dispatches on the tracer's profiling flag once per frame and the
-/// common twin monomorphises every hook away). Instrumentation is purely
-/// observational — it never touches the RNG stream or the arithmetic, so
-/// both twins are bit-identical.
+/// common twin monomorphises every hook away). Stage durations are the
+/// *sum of per-worker busy time* — CPU-seconds, not wall-clock — which
+/// coincides with the old meaning on one thread and keeps the per-stage
+/// energy attribution thread-count-independent. Instrumentation is
+/// purely observational — it never touches the RNG streams or the
+/// arithmetic, so both twins are bit-identical.
 fn run_delay<const PROF: bool>(
     arch: &Architecture,
     image: &Image,
@@ -270,53 +309,66 @@ fn run_delay<const PROF: bool>(
     let kh = desc.kernel_height();
     let noisy = mode == ArithmeticMode::DelayApproxNoisy;
     let approximate = mode != ArithmeticMode::DelayExact;
-    let mut rng = SmallRng::seed_from_u64(seed ^ 0x7a11_5eed);
+    let pool = ta_pool::Pool::current();
 
     let mut counts = OpCounts::default();
-    // The per-leaf/per-cycle counters live in scalar locals (not `counts`
-    // fields) so they stay in registers across the inner loops; `counts`
-    // is threaded by `&mut` through `combine_rails`, which would force
-    // reloads around every call.
-    let mut edge_events: u64 = 0;
-    let mut nlse_ops: u64 = 0;
     let mut stage = StageProfile::default();
     let stage_clock = || -> Option<Instant> { PROF.then(Instant::now) };
-    let t_vtc = stage_clock();
 
-    // Pixel readout: one VTC conversion per pixel (noise applied here for
-    // the noisy mode; the same converted value feeds every MAC block that
-    // uses the pixel, as in hardware). Pixel faults hit the converted
-    // edge, so every reader of the pixel sees the same faulted value.
+    // Stage 1 — pixel readout, parallel over image rows: one VTC
+    // conversion per pixel (noise applied here for the noisy mode, from
+    // the row's derived stream; the same converted value feeds every MAC
+    // block that uses the pixel, as in hardware). Pixel faults hit the
+    // converted edge, so every reader of the pixel sees the same faulted
+    // value.
     let vtc = arch.vtc();
     let img_w = image.width();
-    let pixel_delays: Vec<DelayValue> = image
-        .pixels()
-        .iter()
-        .enumerate()
-        .map(|(i, &p)| {
-            let v = if noisy {
-                vtc.convert(p, &mut rng)
-            } else {
-                vtc.convert_ideal(p)
-            };
-            match faults.pixel_fault(i % img_w, i / img_w) {
-                None => v,
-                Some(fault) => {
-                    let mut obs = FaultObservation::default();
-                    let v = fault.apply(v, &mut obs);
-                    stats.absorb_observation(obs);
-                    v
-                }
+    let img_h = image.height();
+    let mut pixel_delays: Vec<DelayValue> = vec![DelayValue::ZERO; img_w * img_h];
+    for (acc_rows, acc_stats, busy) in pool.run(
+        img_h,
+        || (Vec::new(), FaultStats::default(), Duration::ZERO),
+        |y, (acc_rows, acc_stats, busy): &mut (Vec<(usize, Vec<DelayValue>)>, _, _)| {
+            let t_vtc = stage_clock();
+            let mut rng = SmallRng::seed_from_u64(derive_seed(seed, Domain::VtcRow, y as u64));
+            let row: Vec<DelayValue> = image
+                .row(y)
+                .iter()
+                .enumerate()
+                .map(|(x, &p)| {
+                    let v = if noisy {
+                        vtc.convert(p, &mut rng)
+                    } else {
+                        vtc.convert_ideal(p)
+                    };
+                    match faults.pixel_fault(x, y) {
+                        None => v,
+                        Some(fault) => {
+                            let mut obs = FaultObservation::default();
+                            let v = fault.apply(v, &mut obs);
+                            acc_stats.absorb_observation(obs);
+                            v
+                        }
+                    }
+                })
+                .collect();
+            acc_rows.push((y, row));
+            if let Some(t) = t_vtc {
+                *busy += t.elapsed();
             }
-        })
-        .collect();
-    if let Some(t) = t_vtc {
-        stage.vtc_encode = t.elapsed();
+        },
+    ) {
+        stats.merge(&acc_stats);
+        stage.vtc_encode += busy;
+        for (y, row) in acc_rows {
+            pixel_delays[y * img_w..(y + 1) * img_w].copy_from_slice(&row);
+        }
     }
     if PROF {
         counts.vtc_conversions = pixel_delays.len() as u64;
     }
-    let pixel_at = |x: usize, y: usize| -> DelayValue { pixel_delays[y * image.width() + x] };
+    let pixel_delays = &pixel_delays;
+    let pixel_at = move |x: usize, y: usize| -> DelayValue { pixel_delays[y * img_w + x] };
 
     let k_tree = if approximate {
         arch.tree_depth() as f64 * arch.nlse_unit().latency_units()
@@ -334,200 +386,228 @@ fn run_delay<const PROF: bool>(
         f64::INFINITY
     };
 
-    let mut outputs = Vec::with_capacity(desc.kernels().len());
-    for (k_idx, dk) in arch.delay_kernels().iter().enumerate() {
-        let shift = arch.output_shift_units(k_idx, approximate);
-        let mut out = Image::zeros(ow, oh);
+    // Stage 2 — tree evaluation, parallel over (kernel, output row)
+    // items. Flat item index `item = k_idx * oh + oy` names both the
+    // output row and its RNG stream.
+    let delay_kernels = arch.delay_kernels();
+    let shifts: Vec<f64> = (0..delay_kernels.len())
+        .map(|k_idx| arch.output_shift_units(k_idx, approximate))
+        .collect();
+    let row_accs = pool.run(delay_kernels.len() * oh, RowAcc::new, |item, acc| {
+        let k_idx = item / oh;
+        let oy = item % oh;
+        let dk = &delay_kernels[k_idx];
+        let shift = shifts[k_idx];
+        let mut rng = SmallRng::seed_from_u64(derive_seed(seed, Domain::TreeRow, item as u64));
+        // The per-leaf/per-cycle counters live in scalar locals (not
+        // `acc.counts` fields) so they stay in registers across the
+        // inner loops; `acc.counts` is threaded by `&mut` through
+        // `combine_rails`, which would force reloads around every call.
+        let mut edge_events: u64 = 0;
+        let mut nlse_ops: u64 = 0;
         let mut leaves: Vec<DelayValue> = Vec::with_capacity(kw + 1);
+        let mut row_out: Vec<f64> = Vec::with_capacity(ow);
 
-        for oy in 0..oh {
-            for ox in 0..ow {
-                // Accumulate each rail through the recurrent schedule.
-                let mut rail_raw = [DelayValue::ZERO; 2];
-                for (r_i, &rail) in dk.rails().iter().enumerate() {
-                    let tree_drift = faults.tree_drift(k_idx, rail);
-                    let mut partial = DelayValue::ZERO; // no edge yet
-                    for ky in 0..kh {
-                        // One noise realization covers the whole cycle:
-                        // PSIJ is common-mode supply droop, so the weight
-                        // lines, the tree chains and the loop line of a
-                        // cycle all see the same excursion.
-                        let realization = noisy.then(|| cfg.noise.begin_eval(cfg.unit, &mut rng));
-                        let t_matrix = stage_clock();
-                        leaves.clear();
-                        for kx in 0..kw {
-                            let w = dk.rail_delay(rail, kx, ky);
-                            if w.is_never() {
-                                leaves.push(DelayValue::ZERO);
-                            } else {
-                                let weight_fault = faults.weight_fault(k_idx, rail, ky, kx);
-                                let nominal = match weight_fault {
-                                    Some(FaultKind::DelayDrift { fraction }) => {
-                                        let factor = 1.0 + fraction;
-                                        if factor < 0.0 {
-                                            // A delay line cannot advance
-                                            // edges: saturate at zero.
-                                            stats.saturations += 1;
-                                            0.0
-                                        } else {
-                                            w.delay() * factor
-                                        }
+        for ox in 0..ow {
+            // Accumulate each rail through the recurrent schedule.
+            let mut rail_raw = [DelayValue::ZERO; 2];
+            for (r_i, &rail) in dk.rails().iter().enumerate() {
+                let tree_drift = faults.tree_drift(k_idx, rail);
+                let mut partial = DelayValue::ZERO; // no edge yet
+                for ky in 0..kh {
+                    // One noise realization covers the whole cycle:
+                    // PSIJ is common-mode supply droop, so the weight
+                    // lines, the tree chains and the loop line of a
+                    // cycle all see the same excursion.
+                    let realization = noisy.then(|| cfg.noise.begin_eval(cfg.unit, &mut rng));
+                    let t_matrix = stage_clock();
+                    leaves.clear();
+                    for kx in 0..kw {
+                        let w = dk.rail_delay(rail, kx, ky);
+                        if w.is_never() {
+                            leaves.push(DelayValue::ZERO);
+                        } else {
+                            let weight_fault = faults.weight_fault(k_idx, rail, ky, kx);
+                            let nominal = match weight_fault {
+                                Some(FaultKind::DelayDrift { fraction }) => {
+                                    let factor = 1.0 + fraction;
+                                    if factor < 0.0 {
+                                        // A delay line cannot advance
+                                        // edges: saturate at zero.
+                                        acc.stats.saturations += 1;
+                                        0.0
+                                    } else {
+                                        w.delay() * factor
                                     }
-                                    _ => w.delay(),
-                                };
-                                let w_delay = match &realization {
-                                    Some(r) => r.perturb_units(nominal, &mut rng),
-                                    None => nominal,
-                                };
-                                let mut leaf =
-                                    pixel_at(ox * stride + kx, oy * stride + ky).delayed(w_delay);
-                                if let Some(fault) = weight_fault.and_then(FaultKind::edge_fault) {
-                                    let mut obs = FaultObservation::default();
-                                    leaf = fault.apply(leaf, &mut obs);
-                                    stats.absorb_observation(obs);
                                 }
-                                let leaf = if leaf.delay() > truncate_at {
-                                    DelayValue::ZERO
-                                } else {
-                                    leaf
-                                };
-                                // Edge events are data-dependent and feed
-                                // no energy cross-check; a branchless add
-                                // on the branch that already exists.
-                                if PROF {
-                                    edge_events += u64::from(!leaf.is_never());
+                                _ => w.delay(),
+                            };
+                            let w_delay = match &realization {
+                                Some(r) => r.perturb_units(nominal, &mut rng),
+                                None => nominal,
+                            };
+                            let mut leaf =
+                                pixel_at(ox * stride + kx, oy * stride + ky).delayed(w_delay);
+                            if let Some(fault) = weight_fault.and_then(FaultKind::edge_fault) {
+                                let mut obs = FaultObservation::default();
+                                leaf = fault.apply(leaf, &mut obs);
+                                acc.stats.absorb_observation(obs);
+                            }
+                            let leaf = if leaf.delay() > truncate_at {
+                                DelayValue::ZERO
+                            } else {
+                                leaf
+                            };
+                            // Edge events are data-dependent and feed
+                            // no energy cross-check; a branchless add
+                            // on the branch that already exists.
+                            if PROF {
+                                edge_events += u64::from(!leaf.is_never());
+                            }
+                            leaves.push(leaf);
+                        }
+                    }
+                    if PROF {
+                        edge_events += u64::from(!partial.is_never());
+                        // One nLSE op per internal tree node.
+                        nlse_ops += leaves.len() as u64;
+                    }
+                    leaves.push(partial);
+                    if let Some(t) = t_matrix {
+                        acc.stage.delay_matrix += t.elapsed();
+                    }
+                    let t_tree = stage_clock();
+                    let raw = match mode {
+                        ArithmeticMode::DelayExact => {
+                            // Exact mode evaluates the tree as pure
+                            // mathematics: there are no chains for a
+                            // tree-drift fault to age.
+                            tree::eval(&TreeOps::Exact, &leaves, &mut rng)
+                        }
+                        ArithmeticMode::DelayApprox => match tree_drift {
+                            None => {
+                                tree::eval(&TreeOps::Approx(arch.nlse_unit()), &leaves, &mut rng)
+                            }
+                            Some(f) => {
+                                if 1.0 + f < 0.0 {
+                                    acc.stats.saturations += 1;
                                 }
-                                leaves.push(leaf);
+                                tree::eval(
+                                    &TreeOps::Drifted(arch.nlse_unit(), f),
+                                    &leaves,
+                                    &mut rng,
+                                )
                             }
-                        }
-                        if PROF {
-                            edge_events += u64::from(!partial.is_never());
-                            // One nLSE op per internal tree node.
-                            nlse_ops += leaves.len() as u64;
-                        }
-                        leaves.push(partial);
-                        if let Some(t) = t_matrix {
-                            stage.delay_matrix += t.elapsed();
-                        }
-                        let t_tree = stage_clock();
-                        let raw = match mode {
-                            ArithmeticMode::DelayExact => {
-                                // Exact mode evaluates the tree as pure
-                                // mathematics: there are no chains for a
-                                // tree-drift fault to age.
-                                tree::eval(&TreeOps::Exact, &leaves, &mut rng)
-                            }
-                            ArithmeticMode::DelayApprox => match tree_drift {
+                        },
+                        ArithmeticMode::DelayApproxNoisy => {
+                            let Some(r) = realization.as_ref() else {
+                                unreachable!("noisy mode always has a realization")
+                            };
+                            match tree_drift {
                                 None => tree::eval(
-                                    &TreeOps::Approx(arch.nlse_unit()),
+                                    &TreeOps::Noisy(arch.nlse_unit(), r),
                                     &leaves,
                                     &mut rng,
                                 ),
                                 Some(f) => {
                                     if 1.0 + f < 0.0 {
-                                        stats.saturations += 1;
+                                        acc.stats.saturations += 1;
                                     }
                                     tree::eval(
-                                        &TreeOps::Drifted(arch.nlse_unit(), f),
+                                        &TreeOps::NoisyDrifted(arch.nlse_unit(), r, f),
                                         &leaves,
                                         &mut rng,
                                     )
                                 }
-                            },
-                            ArithmeticMode::DelayApproxNoisy => {
-                                let Some(r) = realization.as_ref() else {
-                                    unreachable!("noisy mode always has a realization")
-                                };
-                                match tree_drift {
-                                    None => tree::eval(
-                                        &TreeOps::Noisy(arch.nlse_unit(), r),
-                                        &leaves,
-                                        &mut rng,
-                                    ),
-                                    Some(f) => {
-                                        if 1.0 + f < 0.0 {
-                                            stats.saturations += 1;
-                                        }
-                                        tree::eval(
-                                            &TreeOps::NoisyDrifted(arch.nlse_unit(), r, f),
-                                            &leaves,
-                                            &mut rng,
-                                        )
-                                    }
+                            }
+                        }
+                        ArithmeticMode::ImportanceExact => unreachable!(),
+                    };
+                    if let Some(t) = t_tree {
+                        acc.stage.nlse_tree += t.elapsed();
+                    }
+                    if ky + 1 < kh {
+                        // Loop back: the reference-frame shift cancels
+                        // the tree latency; only loop-line jitter
+                        // survives into the value.
+                        let jitter = match (&realization, raw.is_never()) {
+                            (Some(r), false) => r.perturb_units(loop_delay, &mut rng) - loop_delay,
+                            _ => 0.0,
+                        };
+                        partial = match faults.loop_drift(k_idx, rail) {
+                            None => {
+                                if raw.is_never() {
+                                    raw
+                                } else {
+                                    raw.delayed(jitter - k_tree)
                                 }
                             }
-                            ArithmeticMode::ImportanceExact => unreachable!(),
+                            Some(fraction) => {
+                                // The drifted loop line realises
+                                // loop_delay × (1 + fraction) while the
+                                // reference-frame shift still cancels
+                                // the nominal; the excess survives.
+                                let excess = if 1.0 + fraction < 0.0 {
+                                    acc.stats.saturations += 1;
+                                    -loop_delay
+                                } else {
+                                    loop_delay * fraction
+                                };
+                                if raw.is_never() {
+                                    raw
+                                } else {
+                                    raw.delayed(jitter + excess - k_tree)
+                                }
+                            }
                         };
-                        if let Some(t) = t_tree {
-                            stage.nlse_tree += t.elapsed();
-                        }
-                        if ky + 1 < kh {
-                            // Loop back: the reference-frame shift cancels
-                            // the tree latency; only loop-line jitter
-                            // survives into the value.
-                            let jitter = match (&realization, raw.is_never()) {
-                                (Some(r), false) => {
-                                    r.perturb_units(loop_delay, &mut rng) - loop_delay
-                                }
-                                _ => 0.0,
-                            };
-                            partial = match faults.loop_drift(k_idx, rail) {
-                                None => {
-                                    if raw.is_never() {
-                                        raw
-                                    } else {
-                                        raw.delayed(jitter - k_tree)
-                                    }
-                                }
-                                Some(fraction) => {
-                                    // The drifted loop line realises
-                                    // loop_delay × (1 + fraction) while the
-                                    // reference-frame shift still cancels
-                                    // the nominal; the excess survives.
-                                    let excess = if 1.0 + fraction < 0.0 {
-                                        stats.saturations += 1;
-                                        -loop_delay
-                                    } else {
-                                        loop_delay * fraction
-                                    };
-                                    if raw.is_never() {
-                                        raw
-                                    } else {
-                                        raw.delayed(jitter + excess - k_tree)
-                                    }
-                                }
-                            };
-                        } else {
-                            partial = raw;
-                        }
+                    } else {
+                        partial = raw;
                     }
-                    rail_raw[r_i] = partial;
                 }
+                rail_raw[r_i] = partial;
+            }
 
-                let t_renorm = stage_clock();
-                let value = combine_rails::<PROF>(
-                    arch,
-                    k_idx,
-                    dk.rails(),
-                    rail_raw,
-                    mode,
-                    shift,
-                    faults,
-                    stats,
-                    &mut counts,
-                    &mut rng,
-                );
-                if let Some(t) = t_renorm {
-                    stage.nlde_renorm += t.elapsed();
-                }
+            let t_renorm = stage_clock();
+            let value = combine_rails::<PROF>(
+                arch,
+                k_idx,
+                dk.rails(),
+                rail_raw,
+                mode,
+                shift,
+                faults,
+                &mut acc.stats,
+                &mut acc.counts,
+                &mut rng,
+            );
+            if let Some(t) = t_renorm {
+                acc.stage.nlde_renorm += t.elapsed();
+            }
+            row_out.push(value);
+        }
+        if PROF {
+            acc.counts.edge_events += edge_events;
+            acc.counts.nlse_ops += nlse_ops;
+        }
+        acc.rows.push((item, row_out));
+    });
+
+    let mut outputs: Vec<Image> = (0..delay_kernels.len())
+        .map(|_| Image::zeros(ow, oh))
+        .collect();
+    for acc in row_accs {
+        stats.merge(&acc.stats);
+        if PROF {
+            counts += acc.counts;
+            stage += acc.stage;
+        }
+        for (item, row) in acc.rows {
+            let out = &mut outputs[item / oh];
+            let oy = item % oh;
+            for (ox, &value) in row.iter().enumerate() {
                 out.set(ox, oy, value);
             }
         }
-        outputs.push(out);
-    }
-    if PROF {
-        counts.edge_events = edge_events;
-        counts.nlse_ops = nlse_ops;
     }
     (outputs, counts, PROF.then_some(stage))
 }
@@ -657,7 +737,7 @@ pub fn run_sequence(
                 arch,
                 frame,
                 mode,
-                seed.wrapping_add((i as u64).wrapping_mul(0x9e37_79b9)),
+                derive_seed(seed, Domain::Frame, i as u64),
             )
         })
         .collect()
@@ -771,6 +851,29 @@ mod tests {
         let clean_err = metrics::normalized_rmse(&clean.outputs[0], &reference);
         assert!(noisy_err > clean_err * 0.5, "noise should not help much");
         assert!(noisy_err < 0.2, "noisy nrmse {noisy_err}");
+    }
+
+    #[test]
+    fn related_seeds_produce_independent_noise() {
+        // Regression for the old `seed ^ 0x7a11_5eed` purpose fold: the
+        // engine xor'ed a constant into the caller's seed, so seeds `s`
+        // and `s ^ 0x7a11_5eed` collapsed onto the identical noise
+        // stream. Derived per-row streams must keep them independent.
+        let arch = arch_for(vec![Kernel::pyr_down_5x5()], 2, 32);
+        let img = synth::natural_image(32, 32, 4);
+        let s = 42u64;
+        let a = run(&arch, &img, ArithmeticMode::DelayApproxNoisy, s).unwrap();
+        let b = run(
+            &arch,
+            &img,
+            ArithmeticMode::DelayApproxNoisy,
+            s ^ 0x7a11_5eed,
+        )
+        .unwrap();
+        assert_ne!(
+            a.outputs[0], b.outputs[0],
+            "xor-related seeds must not alias onto one noise stream"
+        );
     }
 
     #[test]

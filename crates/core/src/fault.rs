@@ -484,6 +484,17 @@ impl FaultStats {
         self.events_dropped += obs.events_dropped;
         self.saturations += obs.saturations;
     }
+
+    /// Folds another set of counters into this one. Used to merge the
+    /// per-worker stats the parallel frame engine accumulates: every
+    /// field is an order-insensitive sum, so the merged totals are
+    /// identical at any worker count.
+    pub fn merge(&mut self, other: &FaultStats) {
+        self.sites_injected += other.sites_injected;
+        self.edges_faulted += other.edges_faulted;
+        self.events_dropped += other.events_dropped;
+        self.saturations += other.saturations;
+    }
 }
 
 impl fmt::Display for FaultStats {

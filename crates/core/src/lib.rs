@@ -50,6 +50,7 @@ pub mod gate_engine;
 mod modes;
 pub mod recurrence;
 mod report;
+pub mod seed;
 mod system;
 pub mod transform;
 mod tree;

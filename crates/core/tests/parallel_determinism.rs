@@ -1,0 +1,87 @@
+//! Golden determinism tests for the parallel frame engine (ISSUE 4
+//! acceptance gate): every `ArithmeticMode`, with and without injected
+//! faults, must produce *bit-identical* outputs at 1, 2 and 8 workers —
+//! and identical to the serial reference (the 1-worker inline path runs
+//! the very same per-item code with no pool threads at all).
+//!
+//! Everything lives in ONE test function on purpose: the worker count is
+//! a process-global (`ta_pool::set_threads`), so sweeping it from
+//! concurrently-running `#[test]` functions would race. One function in
+//! its own integration binary gives the sweep a private process.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use ta_core::fault::FaultModel;
+use ta_core::{exec, ArchConfig, Architecture, ArithmeticMode, RunResult, SystemDescription};
+use ta_image::{synth, Kernel};
+
+fn assert_bit_identical(a: &RunResult, b: &RunResult, what: &str) {
+    assert_eq!(a.outputs.len(), b.outputs.len(), "{what}: kernel count");
+    for (k, (ia, ib)) in a.outputs.iter().zip(&b.outputs).enumerate() {
+        for (i, (pa, pb)) in ia.pixels().iter().zip(ib.pixels()).enumerate() {
+            assert_eq!(
+                pa.to_bits(),
+                pb.to_bits(),
+                "{what}: kernel {k} pixel {i}: {pa} vs {pb}"
+            );
+        }
+    }
+    assert_eq!(a.fault_stats, b.fault_stats, "{what}: fault stats");
+    assert_eq!(a.ops, b.ops, "{what}: op counts");
+}
+
+#[test]
+fn outputs_bit_identical_across_worker_counts() {
+    // Split-rail (sobel) and single-rail (pyrdown via box) kernels, a
+    // stride-2 geometry, and enough rows that 8 workers actually split
+    // the frame.
+    let cases = [
+        (vec![Kernel::sobel_x(), Kernel::sobel_y()], 1usize, 24usize),
+        (vec![Kernel::pyr_down_5x5()], 2, 32),
+    ];
+    let modes = [
+        ArithmeticMode::ImportanceExact,
+        ArithmeticMode::DelayExact,
+        ArithmeticMode::DelayApprox,
+        ArithmeticMode::DelayApproxNoisy,
+    ];
+
+    for (kernels, stride, size) in cases {
+        let desc =
+            SystemDescription::new(size, size, kernels.clone(), stride).expect("geometry is valid");
+        let arch = Architecture::new(desc, ArchConfig::fast_1ns(7, 20)).expect("schedule fits");
+        let img = synth::natural_image(size, size, 11);
+        let faults = FaultModel::with_rate(0.05)
+            .expect("rate is a probability")
+            .sample(&arch, 3);
+        assert!(!faults.is_empty(), "fault case must actually inject");
+
+        for mode in modes {
+            // Serial reference, recorded before any pool runs.
+            ta_pool::set_threads(1);
+            let reference = exec::run(&arch, &img, mode, 42).expect("serial run");
+            let faulty_reference = (mode != ArithmeticMode::ImportanceExact)
+                .then(|| exec::run_faulty(&arch, &img, mode, 42, &faults).expect("serial faulty"));
+
+            for threads in [1usize, 2, 8] {
+                ta_pool::set_threads(threads);
+                let parallel = exec::run(&arch, &img, mode, 42).expect("parallel run");
+                assert_bit_identical(
+                    &reference,
+                    &parallel,
+                    &format!("{}@{threads} threads, {mode:?}", kernels[0].name()),
+                );
+                if let Some(ref fr) = faulty_reference {
+                    let parallel_faulty =
+                        exec::run_faulty(&arch, &img, mode, 42, &faults).expect("parallel faulty");
+                    assert_bit_identical(
+                        fr,
+                        &parallel_faulty,
+                        &format!("{}@{threads} threads, {mode:?}, faulty", kernels[0].name()),
+                    );
+                }
+            }
+        }
+    }
+    ta_pool::set_threads(0);
+}

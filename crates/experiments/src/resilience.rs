@@ -103,9 +103,14 @@ pub fn compute(size: usize, frames: usize, rates: &[f64], seed: u64) -> Resilien
             .fold(0.0_f64, f64::max);
     let retries = 2;
 
-    let points = rates
-        .iter()
-        .map(|&rate| {
+    // One supervised batch per rate, fanned out over the shared pool:
+    // every batch is a pure function of (rate, seed), and inside a pool
+    // worker the supervisor's own frame fan-out runs inline, so the
+    // sweep parallelises at the coarsest useful grain without
+    // oversubscribing. Results come back in rate order.
+    let points = ta_pool::Pool::current()
+        .map(rates.len(), |r_idx| {
+            let rate = rates[r_idx];
             let engine: Arc<dyn Engine> = if rate > 0.0 {
                 let model = FaultModel::with_rate(rate).expect("rate is a probability");
                 Arc::new(FaultyTemporalEngine::new(
@@ -149,6 +154,7 @@ pub fn compute(size: usize, frames: usize, rates: &[f64], seed: u64) -> Resilien
                 total_attempts: batch.health.total_attempts,
             }
         })
+        .into_iter()
         .collect();
 
     ResilienceReport {

@@ -14,6 +14,15 @@ use ta_image::Image;
 /// = 2 gives classic halving). In hardware this is one `fa` (OR) gate per
 /// output — no arithmetic at all.
 ///
+/// **Truncation semantics**: the output is
+/// `⌊(w − window) / stride⌋ + 1` × `⌊(h − window) / stride⌋ + 1` — only
+/// window placements that fit entirely inside the input produce an
+/// output. When `stride` does not divide `w − window` (or the height
+/// analogue), the trailing columns/rows that cannot seat a full window
+/// are *dropped*, never padded or partially pooled; every output value
+/// therefore aggregates exactly `window²` input pixels. A 1×1 window
+/// with stride 1 is the identity.
+///
 /// # Panics
 ///
 /// Panics if `window` or `stride` is zero, or the window does not fit.
@@ -22,6 +31,9 @@ pub fn max_pool(input: &Image, window: usize, stride: usize) -> Image {
 }
 
 /// Min-pooling: one `la` (AND) gate per output.
+///
+/// Output geometry and truncation semantics are exactly [`max_pool`]'s:
+/// trailing rows/columns that cannot seat a full window are dropped.
 ///
 /// # Panics
 ///

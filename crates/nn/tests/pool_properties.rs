@@ -1,0 +1,107 @@
+//! Property tests for the temporal pooling layers: `max_pool` and
+//! `min_pool` must agree with a naive reference implementation on every
+//! geometry — including windows/strides that do not divide the input
+//! (trailing rows and columns are truncated, never padded) and the
+//! degenerate 1×1 window.
+
+use proptest::prelude::*;
+use ta_image::Image;
+use ta_nn::{max_pool, min_pool};
+
+/// A random feature map plus a (window, stride) pair guaranteed to fit,
+/// biased so non-dividing remainders are common.
+fn pool_case() -> impl Strategy<Value = (Image, usize, usize)> {
+    (1usize..=12, 1usize..=12)
+        .prop_flat_map(|(w, h)| {
+            let window = 1..=w.min(h);
+            (Just((w, h)), window, 1usize..=4)
+        })
+        .prop_flat_map(|((w, h), window, stride)| {
+            proptest::collection::vec(-100.0f64..100.0, w * h).prop_map(move |px| {
+                let img = Image::from_fn(w, h, |x, y| px[y * w + x]);
+                (img, window, stride)
+            })
+        })
+}
+
+/// The obvious quadratic-loop reference: every fully-seated window,
+/// truncating placements that run past the edge.
+fn reference_pool(
+    input: &Image,
+    window: usize,
+    stride: usize,
+    merge: fn(f64, f64) -> f64,
+) -> Image {
+    let ow = (input.width() - window) / stride + 1;
+    let oh = (input.height() - window) / stride + 1;
+    Image::from_fn(ow, oh, |ox, oy| {
+        let mut best = input.get(ox * stride, oy * stride);
+        for wy in 0..window {
+            for wx in 0..window {
+                best = merge(best, input.get(ox * stride + wx, oy * stride + wy));
+            }
+        }
+        best
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn max_pool_matches_naive_reference(case in pool_case()) {
+        let (img, window, stride) = case;
+        let got = max_pool(&img, window, stride);
+        let want = reference_pool(&img, window, stride, f64::max);
+        prop_assert_eq!((got.width(), got.height()), (want.width(), want.height()));
+        for (a, b) in got.pixels().iter().zip(want.pixels()) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn min_pool_matches_naive_reference(case in pool_case()) {
+        let (img, window, stride) = case;
+        let got = min_pool(&img, window, stride);
+        let want = reference_pool(&img, window, stride, f64::min);
+        prop_assert_eq!((got.width(), got.height()), (want.width(), want.height()));
+        for (a, b) in got.pixels().iter().zip(want.pixels()) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn output_dims_follow_truncation_formula(case in pool_case()) {
+        let (img, window, stride) = case;
+        let out = max_pool(&img, window, stride);
+        prop_assert_eq!(out.width(), (img.width() - window) / stride + 1);
+        prop_assert_eq!(out.height(), (img.height() - window) / stride + 1);
+    }
+
+    #[test]
+    fn unit_window_stride_one_is_identity(
+        wh in (1usize..=8, 1usize..=8),
+        seed in 0u64..1000,
+    ) {
+        let (w, h) = wh;
+        let img = Image::from_fn(w, h, |x, y| {
+            ((x as u64 * 31 + y as u64 * 17 + seed) % 97) as f64 - 48.0
+        });
+        for pooled in [max_pool(&img, 1, 1), min_pool(&img, 1, 1)] {
+            prop_assert_eq!((pooled.width(), pooled.height()), (w, h));
+            for (a, b) in pooled.pixels().iter().zip(img.pixels()) {
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn max_dominates_min(case in pool_case()) {
+        let (img, window, stride) = case;
+        let hi = max_pool(&img, window, stride);
+        let lo = min_pool(&img, window, stride);
+        for (a, b) in hi.pixels().iter().zip(lo.pixels()) {
+            prop_assert!(a >= b);
+        }
+    }
+}

@@ -3,13 +3,13 @@
 
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc, Mutex, PoisonError};
+use std::sync::{mpsc, Arc};
 use std::thread;
 use std::time::{Duration, Instant};
 
 use rand::{rngs::SmallRng, Rng, SeedableRng};
 use ta_baseline::ReferenceEngine;
+use ta_core::seed::{derive_seed as derive_stream_seed, Domain as SeedDomain};
 use ta_core::{RunResult, ValidationError};
 use ta_image::Image;
 
@@ -255,35 +255,18 @@ impl Supervisor {
     ) -> Result<BatchResult, RuntimeError> {
         self.check_config()?;
         let n = frames.len();
-        let workers = match self.cfg.workers {
-            0 => thread::available_parallelism().map_or(1, usize::from),
-            w => w,
-        }
-        .clamp(1, n.max(1));
-
-        type Slot = Option<(Option<Vec<Image>>, FrameReport)>;
-        let slots: Vec<Mutex<Slot>> = (0..n).map(|_| Mutex::new(None)).collect();
-        let next = AtomicUsize::new(0);
-        thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        break;
-                    }
-                    let done = self.supervise_frame(engine, &frames[i], i, batch_seed);
-                    *slots[i].lock().unwrap_or_else(PoisonError::into_inner) = Some(done);
-                });
-            }
+        // The shared pool supplies the worker fan-out (cfg.workers == 0
+        // means the pool default) and hands results back in frame order.
+        // Frame-level parallelism composes with the engine's own row
+        // parallelism: inside a pool worker the nested frame kernel runs
+        // inline, so the machine is never oversubscribed.
+        let results = ta_pool::Pool::new(self.cfg.workers).map(n, |i| {
+            self.supervise_frame(engine, &frames[i], i, batch_seed)
         });
 
         let mut outputs = Vec::with_capacity(n);
         let mut reports = Vec::with_capacity(n);
-        for slot in slots {
-            let Some((out, report)) = slot.into_inner().unwrap_or_else(PoisonError::into_inner)
-            else {
-                unreachable!("every slot is filled before the scope ends")
-            };
+        for (out, report) in results {
             outputs.push(out);
             reports.push(report);
         }
@@ -316,7 +299,15 @@ impl Supervisor {
     ) -> (Option<Vec<Image>>, FrameReport) {
         let started = Instant::now();
         let frame_seed = derive_seed(batch_seed, frame as u64);
-        let mut jitter_rng = SmallRng::seed_from_u64(derive_seed(self.cfg.seed, frame as u64));
+        // Backoff jitter draws from its own domain-separated stream: the
+        // old `derive_seed(self.cfg.seed, frame)` collided with the frame
+        // seeds whenever `cfg.seed == batch_seed`, coupling retry timing
+        // to the engine's noise.
+        let mut jitter_rng = SmallRng::seed_from_u64(derive_stream_seed(
+            self.cfg.seed,
+            SeedDomain::Backoff,
+            frame as u64,
+        ));
         let references = self.references_for(image);
         let mut log = Vec::new();
         let mut attempts = 0;
@@ -409,9 +400,15 @@ impl Supervisor {
                 let (tx, rx) = mpsc::channel();
                 let worker_engine = Arc::clone(engine);
                 let worker_image = image.clone();
+                // Thread-locals do not inherit: if this supervision is
+                // already running on a pool worker, hand the marker to
+                // the watchdogged attempt thread so the engine's nested
+                // frame parallelism stays inline there too.
+                let in_pool = ta_pool::in_worker();
                 let spawned = thread::Builder::new()
                     .name(format!("ta-runtime-attempt-{attempt}"))
                     .spawn(move || {
+                        let _pool_marker = in_pool.then(ta_pool::enter_worker);
                         let out = catch_unwind(AssertUnwindSafe(|| {
                             worker_engine.run_frame(&worker_image, seed, attempt)
                         }));
@@ -657,6 +654,24 @@ mod tests {
         let mut a = SmallRng::seed_from_u64(7);
         let mut b = SmallRng::seed_from_u64(7);
         assert_eq!(jittered.backoff(0, &mut a), jittered.backoff(0, &mut b));
+    }
+
+    #[test]
+    fn backoff_jitter_stream_never_aliases_frame_seeds() {
+        // Regression: the jitter RNG used to seed from the same
+        // `derive_seed(seed, frame)` as the frame seeds, so running with
+        // `cfg.seed == batch_seed` made retry timing draw from the exact
+        // stream driving the engine's noise. The jitter stream now lives
+        // in its own derivation domain.
+        for seed in [0u64, 7, 42, u64::MAX] {
+            for frame in 0..64u64 {
+                assert_ne!(
+                    derive_stream_seed(seed, SeedDomain::Backoff, frame),
+                    derive_seed(seed, frame),
+                    "seed {seed} frame {frame}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -232,12 +232,30 @@ impl ExactHistogram {
     }
 
     /// Mean of the samples (0 when empty).
+    ///
+    /// Uses Neumaier's compensated summation: a naive running sum loses
+    /// the small samples entirely once the accumulator is dominated by
+    /// large ones (mixing nanosecond and multi-second latencies spans
+    /// ~1e10), whereas the compensated sum keeps the rounding error
+    /// bounded independently of sample count and magnitude spread.
     pub fn mean(&self) -> f64 {
         if self.samples.is_empty() {
-            0.0
-        } else {
-            self.samples.iter().sum::<f64>() / self.samples.len() as f64
+            return 0.0;
         }
+        let mut sum = 0.0_f64;
+        let mut compensation = 0.0_f64;
+        for &v in &self.samples {
+            let t = sum + v;
+            // Whichever operand was smaller had its low bits rounded
+            // away in `t`; recover them into the compensation term.
+            compensation += if sum.abs() >= v.abs() {
+                (sum - t) + v
+            } else {
+                (v - t) + sum
+            };
+            sum = t;
+        }
+        (sum + compensation) / self.samples.len() as f64
     }
 
     /// Largest sample (0 when empty).
@@ -386,6 +404,39 @@ mod tests {
         assert!((ps[2] - 0.099).abs() < 1e-12);
         assert!((e.max() - 0.100).abs() < 1e-12);
         assert!((e.mean() - 0.0505).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exact_histogram_mean_survives_magnitude_spread() {
+        // Regression for the naive running sum: interleave ±1e8 pairs
+        // (which cancel exactly) with many small samples ~8 orders of
+        // magnitude down. Naively, each small sample is absorbed into an
+        // accumulator sitting at 1e8 and loses its low bits; thousands
+        // of repetitions accumulate an error far above 1e-12, which is
+        // exactly what the compensated sum must not do.
+        let small = 0.123_456_789_012_345_6;
+        let mut e = ExactHistogram::new();
+        let reps = 4000;
+        for _ in 0..reps {
+            e.record(1.0e8);
+            e.record(small);
+            e.record(-1.0e8);
+        }
+        let expected = small / 3.0;
+        assert!(
+            (e.mean() - expected).abs() < 1e-12,
+            "mean {} expected {expected}",
+            e.mean()
+        );
+
+        // Same data through a naive sum, to pin that the test would
+        // actually catch the bug.
+        let naive: f64 =
+            (0..reps).flat_map(|_| [1.0e8, small, -1.0e8]).sum::<f64>() / (3 * reps) as f64;
+        assert!(
+            (naive - expected).abs() > 1e-12,
+            "spread too small to distinguish naive from compensated"
+        );
     }
 
     #[test]
