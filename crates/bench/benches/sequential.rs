@@ -1,0 +1,169 @@
+//! Sequential-throughput bench for the compiled plan executor (DESIGN.md
+//! §5.11): ms/frame of the serial recursive reference engine
+//! (`ta_core::reference`, the pre-plan evaluation strategy kept as an
+//! oracle) against the planned executor with rolling-shutter row reuse,
+//! both pinned to 1 worker so the comparison isolates the plan/cache win
+//! from pool scaling.
+//!
+//! Results land in `BENCH_core.json` at the repository root. Knobs match
+//! `parallel.rs`:
+//!
+//! * `--bench` (criterion's own flag): full-size frames and the JSON
+//!   artifact; without it (plain `cargo test`) everything shrinks to a
+//!   single smoke iteration and no file is written.
+//! * `TA_BENCH_SMOKE=1`: CI smoke mode — 64×64 frames and fewer rounds,
+//!   still writing the JSON artifact so the job can upload it.
+//!
+//! Two hard assertions whenever the artifact is written:
+//!
+//! * the two engines are bit-identical on the benched frame (a perf win
+//!   bought with different bits would be a bug, not an optimisation);
+//! * the planned path is no slower than the reference (>= 1.0× in full
+//!   mode, >= 0.9× in smoke mode where frames are small enough for timer
+//!   noise to matter).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
+use ta_core::fault::FaultMap;
+use ta_core::{exec, reference, ArchConfig, Architecture, ArithmeticMode, SystemDescription};
+use ta_image::{synth, Image, Kernel};
+
+fn bench_mode() -> bool {
+    std::env::args().any(|a| a == "--bench")
+}
+
+fn smoke_mode() -> bool {
+    std::env::var("TA_BENCH_SMOKE").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+fn arch_for(size: usize) -> Architecture {
+    let desc = SystemDescription::new(size, size, vec![Kernel::sobel_x()], 1)
+        .expect("sobel fits the frame");
+    Architecture::new(desc, ArchConfig::fast_1ns(7, 20)).expect("feasible schedule")
+}
+
+/// Best-of-`rounds` seconds per frame for the planned executor at 1 worker.
+fn planned_seconds(arch: &Architecture, img: &Image, rounds: usize) -> f64 {
+    ta_pool::set_threads(1);
+    black_box(exec::run(arch, img, ArithmeticMode::DelayApprox, 0).expect("clean run"));
+    let mut best = f64::INFINITY;
+    for _ in 0..rounds {
+        let start = Instant::now();
+        black_box(exec::run(arch, img, ArithmeticMode::DelayApprox, 0).expect("clean run"));
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// Best-of-`rounds` seconds per frame for the serial recursive reference.
+fn reference_seconds(arch: &Architecture, img: &Image, rounds: usize) -> f64 {
+    let clean = FaultMap::new();
+    black_box(
+        reference::run_frame(arch, img, ArithmeticMode::DelayApprox, 0, &clean)
+            .expect("reference run"),
+    );
+    let mut best = f64::INFINITY;
+    for _ in 0..rounds {
+        let start = Instant::now();
+        black_box(
+            reference::run_frame(arch, img, ArithmeticMode::DelayApprox, 0, &clean)
+                .expect("reference run"),
+        );
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// Bitwise comparison of the two engines' outputs on the benched frame.
+fn bit_identical(arch: &Architecture, img: &Image) -> bool {
+    ta_pool::set_threads(1);
+    let planned = exec::run(arch, img, ArithmeticMode::DelayApprox, 0).expect("planned run");
+    let oracle = reference::run_frame(arch, img, ArithmeticMode::DelayApprox, 0, &FaultMap::new())
+        .expect("reference run");
+    planned.ops == oracle.ops
+        && planned.fault_stats == oracle.fault_stats
+        && planned.outputs.iter().zip(&oracle.outputs).all(|(a, b)| {
+            a.pixels()
+                .iter()
+                .zip(b.pixels())
+                .all(|(pa, pb)| pa.to_bits() == pb.to_bits())
+        })
+}
+
+fn bench(c: &mut Criterion) {
+    let full = bench_mode();
+    let smoke = smoke_mode();
+    let (size, rounds) = match (full, smoke) {
+        (_, true) => (64, 3),
+        (true, false) => (256, 5),
+        (false, false) => (32, 1),
+    };
+    let arch = arch_for(size);
+    let img = synth::natural_image(size, size, 1);
+    let cores = std::thread::available_parallelism().map_or(1, usize::from);
+
+    let identical = bit_identical(&arch, &img);
+    let ref_s = reference_seconds(&arch, &img, rounds);
+    let plan_s = planned_seconds(&arch, &img, rounds);
+    ta_pool::set_threads(0);
+    let speedup = ref_s / plan_s;
+
+    ta_bench::print_experiment(
+        "Sequential plan-executor throughput",
+        &format!(
+            "sobel-x approx {size}×{size}, 1 worker, best of {rounds} rounds\n\
+             recursive reference  {:9.3} ms/frame\n\
+             planned + row reuse  {:9.3} ms/frame  ({speedup:.2}×)\n\
+             bit-identical outputs: {identical}\n",
+            ref_s * 1e3,
+            plan_s * 1e3,
+        ),
+    );
+
+    if full || smoke {
+        let json = format!(
+            "{{\n  \"bench\": \"sequential_plan\",\n  \"kernel\": \"sobel_x\",\n  \
+             \"mode\": \"DelayApprox\",\n  \"frame\": {size},\n  \"rounds\": {rounds},\n  \
+             \"host_cores\": {cores},\n  \"smoke\": {smoke},\n  \
+             \"ms_per_frame\": {{\"reference\": {:.6}, \"planned\": {:.6}}},\n  \
+             \"speedup\": {speedup:.4},\n  \"bit_identical\": {identical}\n}}\n",
+            ref_s * 1e3,
+            plan_s * 1e3,
+        );
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_core.json");
+        std::fs::write(path, json).expect("write BENCH_core.json");
+        assert!(
+            identical,
+            "planned executor must match the reference bit-for-bit"
+        );
+        // Smoke frames are small enough that timer noise can eat a few
+        // percent; full-size frames must show the plan at least breaking
+        // even at 1 thread (the row cache should put it well ahead).
+        let floor = if smoke { 0.9 } else { 1.0 };
+        assert!(
+            speedup >= floor,
+            "planned executor regressed vs reference: {speedup:.3}x (floor {floor}x)"
+        );
+    }
+
+    c.bench_function(&format!("sequential/planned_{size}x{size}"), |b| {
+        ta_pool::set_threads(1);
+        b.iter(|| exec::run(&arch, black_box(&img), ArithmeticMode::DelayApprox, 0));
+    });
+    c.bench_function(&format!("sequential/reference_{size}x{size}"), |b| {
+        b.iter(|| {
+            reference::run_frame(
+                &arch,
+                black_box(&img),
+                ArithmeticMode::DelayApprox,
+                0,
+                &FaultMap::new(),
+            )
+        });
+    });
+    ta_pool::set_threads(0);
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -782,7 +782,16 @@ fn cmd_profile(args: &Args) -> Result<String, CliError> {
     let arch = Architecture::new(desc, config_of(args)?)?;
 
     ta_telemetry::tracer().set_profiling(true);
+    // Plan-cache counters are process-cumulative; snapshot around the run
+    // so the report shows this frame's delta.
+    let m = ta_telemetry::metrics();
+    let (computed, reused) = (
+        m.counter("ta_core_plan_rows_computed_total"),
+        m.counter("ta_core_plan_rows_reused_total"),
+    );
+    let (computed0, reused0) = (computed.get(), reused.get());
     let run = exec::run(&arch, &image, mode, seed)?;
+    let (rows_computed, rows_reused) = (computed.get() - computed0, reused.get() - reused0);
     let stages = run.stages.unwrap_or_default();
     let energy = arch.stage_energy();
     let census = arch.op_census();
@@ -873,6 +882,15 @@ fn cmd_profile(args: &Args) -> Result<String, CliError> {
     let frame = run.energy.total_pj();
     out.push_str(&format!(
         "energy report agreement: {frame:.1} pJ/frame (stage buckets fold to the same tally)\n"
+    ));
+    let uses = rows_computed + rows_reused;
+    let hit_pct = if uses == 0 {
+        0.0
+    } else {
+        rows_reused as f64 / uses as f64 * 100.0
+    };
+    out.push_str(&format!(
+        "plan cache: {rows_computed} row cells computed, {rows_reused} reused ({hit_pct:.1}% of {uses} uses)\n"
     ));
 
     if let Some(path) = args.get("--vcd") {

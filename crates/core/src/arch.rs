@@ -3,6 +3,7 @@
 use ta_circuits::{EnergyTally, NldeUnit, NlseUnit, VtcModel};
 
 use crate::census::{OpCounts, StageEnergy};
+use crate::plan::FramePlan;
 use crate::recurrence::RecurrenceSchedule;
 use crate::transform::DelayKernel;
 use crate::{tree, ArchConfig, SystemDescription, SystemError, TimingReport};
@@ -27,6 +28,7 @@ pub struct Architecture {
     fan_in: usize,
     tree_depth: u32,
     schedule: RecurrenceSchedule,
+    plan: FramePlan,
 }
 
 impl Architecture {
@@ -60,6 +62,11 @@ impl Architecture {
         let schedule =
             RecurrenceSchedule::solve(tree_latency, vtc.max_delay_units(), cfg.relaxation_units)?;
 
+        // Everything the frame engine's hot loop needs that is fixed at
+        // design time — flattened tree program, row classes, finite tap
+        // lists — is compiled once here (DESIGN.md §5.11).
+        let plan = FramePlan::compile(&delay_kernels, fan_in);
+
         Ok(Architecture {
             desc,
             cfg,
@@ -70,6 +77,7 @@ impl Architecture {
             fan_in,
             tree_depth,
             schedule,
+            plan,
         })
     }
 
@@ -117,6 +125,11 @@ impl Architecture {
     /// The solved recurrence schedule.
     pub fn schedule(&self) -> &RecurrenceSchedule {
         &self.schedule
+    }
+
+    /// The compiled execution plan the frame engine runs from.
+    pub fn plan(&self) -> &FramePlan {
+        &self.plan
     }
 
     /// Timing of the architecture.

@@ -231,6 +231,18 @@ pub(crate) fn publish_frame(result: &RunResult, wall: Duration) {
     );
 }
 
+/// Publishes one frame's row-cell cache census (DESIGN.md §5.11): how
+/// many shareable row cells the plan executor evaluated vs. served from
+/// the frame-local cache. Always-on counters, like the frame census —
+/// two atomic adds per frame. Surfaced by `tconv profile`.
+pub(crate) fn publish_plan_cache(cache: crate::plan::PlanCacheStats) {
+    let m = ta_telemetry::metrics();
+    m.counter("ta_core_plan_rows_computed_total")
+        .add(cache.computed);
+    m.counter("ta_core_plan_rows_reused_total")
+        .add(cache.reused);
+}
+
 /// Publishes one gate-level evaluation into the global telemetry.
 pub(crate) fn publish_gate(cycle_evals: u64, nlde_evals: u64) {
     let m = ta_telemetry::metrics();

@@ -2,20 +2,23 @@
 
 use std::error::Error;
 use std::fmt;
+use std::sync::OnceLock;
 use std::time::{Duration, Instant};
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
+use ta_circuits::{NlseUnit, NoiseRealization};
 use ta_delay_space::{ops, DelayValue};
 use ta_image::Image;
 use ta_race_logic::FaultObservation;
 
 use crate::census::{self, OpCounts, StageProfile};
 use crate::fault::{FaultError, FaultKind, FaultMap, FaultStats};
+use crate::plan::{PlanCacheStats, RailPlan, Src};
 use crate::seed::{derive_seed, Domain};
 use crate::transform::Rail;
-use crate::tree::{self, TreeOps};
+use crate::tree::TreeOps;
 use crate::{Architecture, ArithmeticMode, RunResult};
 
 /// Errors raised while executing a frame.
@@ -88,11 +91,15 @@ pub fn run(
         // closed form instead — validated against the genuine counters
         // by the census tests, and free on the hot path.
         _ if ta_telemetry::tracer().profiling() => {
-            run_delay::<true>(arch, image, mode, seed, &no_faults, &mut stats)
+            let (outputs, ops, stages, cache) =
+                run_delay::<true>(arch, image, mode, seed, &no_faults, &mut stats);
+            census::publish_plan_cache(cache);
+            (outputs, ops, stages)
         }
         _ => {
-            let (outputs, _, stages) =
+            let (outputs, _, stages, cache) =
                 run_delay::<false>(arch, image, mode, seed, &no_faults, &mut stats);
+            census::publish_plan_cache(cache);
             (outputs, census::expected_ops(arch, mode), stages)
         }
     };
@@ -140,7 +147,13 @@ pub fn run_uninstrumented(
     let mut stats = FaultStats::default();
     let (outputs, ops, stages) = match mode {
         ArithmeticMode::ImportanceExact => (run_importance(arch, image), OpCounts::default(), None),
-        _ => run_delay::<false>(arch, image, mode, seed, &no_faults, &mut stats),
+        _ => {
+            // The cache census is deliberately dropped: this twin exists
+            // to measure the bare kernel without telemetry work.
+            let (outputs, ops, stages, _) =
+                run_delay::<false>(arch, image, mode, seed, &no_faults, &mut stats);
+            (outputs, ops, stages)
+        }
     };
 
     Ok(RunResult {
@@ -192,9 +205,14 @@ pub fn run_faulty(
         ..FaultStats::default()
     };
     let (outputs, ops, stages) = if ta_telemetry::tracer().profiling() {
-        run_delay::<true>(arch, image, mode, seed, faults, &mut stats)
+        let (outputs, ops, stages, cache) =
+            run_delay::<true>(arch, image, mode, seed, faults, &mut stats);
+        census::publish_plan_cache(cache);
+        (outputs, ops, stages)
     } else {
-        let (outputs, _, stages) = run_delay::<false>(arch, image, mode, seed, faults, &mut stats);
+        let (outputs, _, stages, cache) =
+            run_delay::<false>(arch, image, mode, seed, faults, &mut stats);
+        census::publish_plan_cache(cache);
         // Faults never change the data-independent op counts: trees are
         // evaluated (and charged) whether or not their edges fire.
         (outputs, census::expected_ops(arch, mode), stages)
@@ -217,7 +235,7 @@ pub fn run_faulty(
 /// accumulators advance row by row exactly like the recurrent trees, and
 /// rails combine through a final subtraction — the paper's first
 /// verification mode.
-fn run_importance(arch: &Architecture, image: &Image) -> Vec<Image> {
+pub(crate) fn run_importance(arch: &Architecture, image: &Image) -> Vec<Image> {
     let desc = arch.desc();
     let stride = desc.stride();
     let (ow, oh) = desc.output_dims();
@@ -254,6 +272,11 @@ struct RowAcc {
     counts: OpCounts,
     stats: FaultStats,
     stage: StageProfile,
+    /// Row cells this worker computed (cache first-uses plus faulted-row
+    /// bypasses) and served from the frame-local cache. The totals are
+    /// schedule-independent even though the split between workers is not.
+    rows_computed: u64,
+    rows_reused: u64,
 }
 
 impl RowAcc {
@@ -263,6 +286,8 @@ impl RowAcc {
             counts: OpCounts::default(),
             stats: FaultStats::default(),
             stage: StageProfile::default(),
+            rows_computed: 0,
+            rows_reused: 0,
         }
     }
 }
@@ -275,13 +300,20 @@ impl RowAcc {
 /// The frame is data-parallel and runs on [`ta_pool::Pool::current`]:
 /// stage 1 converts pixels through the VTC one *image row* per work
 /// item; stage 2 evaluates the recurrent MAC trees one *(kernel, output
-/// row)* per work item. Determinism at every worker count is structural:
-/// each work item seeds its own `SmallRng` from
+/// row)* per work item, driven by the architecture's compiled
+/// [`crate::plan::FramePlan`] — a flat, cache-friendly encoding of the
+/// balanced nLSE tree with the per-level balancing delays and finite tap
+/// lists precomputed at `Architecture::new` time, executed iteratively
+/// instead of by recursive descent. The partial-free part of each cycle
+/// (the *row cell*) is shared across stride-shifted output rows through
+/// a frame-local cache (DESIGN.md §5.11). Determinism at every worker
+/// count is structural: each work item seeds its own `SmallRng` from
 /// [`derive_seed`]`(seed, domain, item)` — [`Domain::VtcRow`] for stage
-/// 1, [`Domain::TreeRow`] for stage 2 — so no RNG state crosses an item
-/// boundary and the schedule cannot influence a single draw. All other
-/// mutable state (fault counters, op counts, stage clocks) accumulates
-/// per worker in [`RowAcc`] and merges order-insensitively at join.
+/// 1, [`Domain::TreeRow`] for stage 2, [`Domain::RowCycle`] for the
+/// shared row cells — so no RNG state crosses an item boundary and the
+/// schedule cannot influence a single draw. All other mutable state
+/// (fault counters, op counts, stage clocks) accumulates per worker in
+/// [`RowAcc`] and merges order-insensitively at join.
 ///
 /// `PROF` selects the profiling twin: genuine per-leaf/per-cycle op
 /// counters plus per-stage clocks (an `Instant` pair per inner-loop
@@ -300,9 +332,8 @@ fn run_delay<const PROF: bool>(
     seed: u64,
     faults: &FaultMap,
     stats: &mut FaultStats,
-) -> (Vec<Image>, OpCounts, Option<StageProfile>) {
+) -> (Vec<Image>, OpCounts, Option<StageProfile>, PlanCacheStats) {
     let desc = arch.desc();
-    let cfg = arch.cfg();
     let stride = desc.stride();
     let (ow, oh) = desc.output_dims();
     let kw = desc.kernel_width();
@@ -367,8 +398,7 @@ fn run_delay<const PROF: bool>(
     if PROF {
         counts.vtc_conversions = pixel_delays.len() as u64;
     }
-    let pixel_delays = &pixel_delays;
-    let pixel_at = move |x: usize, y: usize| -> DelayValue { pixel_delays[y * img_w + x] };
+    let pixel_delays: &[DelayValue] = &pixel_delays;
 
     let k_tree = if approximate {
         arch.tree_depth() as f64 * arch.nlse_unit().latency_units()
@@ -386,155 +416,195 @@ fn run_delay<const PROF: bool>(
         f64::INFINITY
     };
 
-    // Stage 2 — tree evaluation, parallel over (kernel, output row)
-    // items. Flat item index `item = k_idx * oh + oy` names both the
-    // output row and its RNG stream.
+    // Stage 2 — tree evaluation over the compiled plan (see `plan`),
+    // parallel over (kernel, output row) items. Flat item index
+    // `item = k_idx * oh + oy` names both the output row and its RNG
+    // stream. Each cycle splits at the recurrent spine: the partial-free
+    // *row cell* — weighted, truncated leaves plus every row-node
+    // reduction, exported as the balanced spine inputs for all output
+    // columns — is a pure function of `(kernel, rail, weight-row class,
+    // input row)` drawing from its own [`Domain::RowCycle`] stream, so
+    // the stride-shifted output rows whose windows overlap share it
+    // through a frame-local `OnceLock` cache, bit-identically in every
+    // arithmetic mode. Weight-faulted rows bypass the cache (their value
+    // differs) but draw the *same* stream as their clean twin, so fault
+    // injection never re-rolls the noise.
+    let plan = arch.plan();
+    let n_spine = plan.tree.spine.len();
     let delay_kernels = arch.delay_kernels();
     let shifts: Vec<f64> = (0..delay_kernels.len())
         .map(|k_idx| arch.output_shift_units(k_idx, approximate))
         .collect();
+    // Per-work-item stream seeds, precomputed once per frame.
+    let tree_seeds: Vec<u64> = (0..delay_kernels.len() * oh)
+        .map(|item| derive_seed(seed, Domain::TreeRow, item as u64))
+        .collect();
+    // Per-level balancing delays with the unit latency K pre-applied
+    // (all zero in the exact mode) — indexed by skipped levels, bit-for-
+    // bit the recursive engine's `(levels − l) as f64 * K`.
+    let lvl_units = plan.balance_units(if approximate {
+        arch.nlse_unit().latency_units()
+    } else {
+        0.0
+    });
+
+    // Weight faults per (kernel, rail, weight row), hoisted out of the
+    // hot loop: `None` marks a clean (cacheable) row, `Some` carries the
+    // per-tap overlay for the inline path.
+    type TapOverlay = Option<Vec<Option<FaultKind>>>;
+    let fault_rows: Option<Vec<Vec<Vec<TapOverlay>>>> = (!faults.is_empty()).then(|| {
+        plan.kernels
+            .iter()
+            .enumerate()
+            .map(|(k_idx, kp)| {
+                kp.rails
+                    .iter()
+                    .map(|rp| {
+                        (0..kh)
+                            .map(|ky| {
+                                let tf: Vec<Option<FaultKind>> = rp.taps[ky]
+                                    .finite
+                                    .iter()
+                                    .map(|&(kx, _)| {
+                                        faults.weight_fault(k_idx, rp.rail, ky, kx as usize)
+                                    })
+                                    .collect();
+                                tf.iter().any(Option::is_some).then_some(tf)
+                            })
+                            .collect()
+                    })
+                    .collect()
+            })
+            .collect()
+    });
+
+    // The frame-local row-cell cache: one slot per (kernel, rail, class,
+    // input row). `OnceLock` keeps concurrent workers deterministic: the
+    // cell is a pure function of its key, so whoever computes it first
+    // stores the bits every other worker would have.
+    let cells: Vec<OnceLock<RowCell>> = std::iter::repeat_with(OnceLock::new)
+        .take(plan.row_classes() * img_h)
+        .collect();
+
+    let ctx = CellCtx {
+        arch,
+        faults,
+        mode,
+        noisy,
+        seed,
+        truncate_at,
+        kw,
+        lvl_units: &lvl_units,
+        pixel_delays,
+        img_w,
+        img_h,
+        ow,
+        stride,
+    };
+
     let row_accs = pool.run(delay_kernels.len() * oh, RowAcc::new, |item, acc| {
         let k_idx = item / oh;
         let oy = item % oh;
-        let dk = &delay_kernels[k_idx];
+        let kp = &plan.kernels[k_idx];
         let shift = shifts[k_idx];
-        let mut rng = SmallRng::seed_from_u64(derive_seed(seed, Domain::TreeRow, item as u64));
+        let mut rng = SmallRng::seed_from_u64(tree_seeds[item]);
         // The per-leaf/per-cycle counters live in scalar locals (not
         // `acc.counts` fields) so they stay in registers across the
         // inner loops; `acc.counts` is threaded by `&mut` through
         // `combine_rails`, which would force reloads around every call.
         let mut edge_events: u64 = 0;
         let mut nlse_ops: u64 = 0;
-        let mut leaves: Vec<DelayValue> = Vec::with_capacity(kw + 1);
-        let mut row_out: Vec<f64> = Vec::with_capacity(ow);
+        let mut rail_vals: [Vec<DelayValue>; 2] = [Vec::new(), Vec::new()];
 
-        for ox in 0..ow {
-            // Accumulate each rail through the recurrent schedule.
-            let mut rail_raw = [DelayValue::ZERO; 2];
-            for (r_i, &rail) in dk.rails().iter().enumerate() {
-                let tree_drift = faults.tree_drift(k_idx, rail);
-                let mut partial = DelayValue::ZERO; // no edge yet
-                for ky in 0..kh {
-                    // One noise realization covers the whole cycle:
-                    // PSIJ is common-mode supply droop, so the weight
-                    // lines, the tree chains and the loop line of a
-                    // cycle all see the same excursion.
-                    let realization = noisy.then(|| cfg.noise.begin_eval(cfg.unit, &mut rng));
-                    let t_matrix = stage_clock();
-                    leaves.clear();
-                    for kx in 0..kw {
-                        let w = dk.rail_delay(rail, kx, ky);
-                        if w.is_never() {
-                            leaves.push(DelayValue::ZERO);
+        for (rail_i, rp) in kp.rails.iter().enumerate() {
+            let tree_drift = faults.tree_drift(k_idx, rp.rail);
+            // The recursive engine counted one saturation per tree
+            // evaluation; the exact mode has no chains to age.
+            let drift_saturates =
+                mode != ArithmeticMode::DelayExact && tree_drift.is_some_and(|f| 1.0 + f < 0.0);
+            let loop_drift = faults.loop_drift(k_idx, rp.rail);
+            let mut partials = vec![DelayValue::ZERO; ow]; // no edges yet
+            for ky in 0..kh {
+                let r = oy * stride + ky;
+                let overlay = fault_rows
+                    .as_ref()
+                    .and_then(|fr| fr[k_idx][rail_i][ky].as_deref());
+                let inline_cell;
+                let cell: &RowCell = match overlay {
+                    None => {
+                        // Clean row: serve the (kernel, rail, class, r)
+                        // cell from the cache, computing it on first use
+                        // from the class representative's taps.
+                        let class = rp.class_of[ky] as usize;
+                        let idx = (rp.cell_base + class) * img_h + r;
+                        let mut fresh = false;
+                        let cell = cells[idx].get_or_init(|| {
+                            fresh = true;
+                            compute_row_cell::<PROF>(
+                                &ctx,
+                                k_idx,
+                                rp,
+                                rp.class_rep[class] as usize,
+                                r,
+                                None,
+                                acc,
+                            )
+                        });
+                        if fresh {
+                            acc.rows_computed += 1;
                         } else {
-                            let weight_fault = faults.weight_fault(k_idx, rail, ky, kx);
-                            let nominal = match weight_fault {
-                                Some(FaultKind::DelayDrift { fraction }) => {
-                                    let factor = 1.0 + fraction;
-                                    if factor < 0.0 {
-                                        // A delay line cannot advance
-                                        // edges: saturate at zero.
-                                        acc.stats.saturations += 1;
-                                        0.0
-                                    } else {
-                                        w.delay() * factor
-                                    }
-                                }
-                                _ => w.delay(),
-                            };
-                            let w_delay = match &realization {
-                                Some(r) => r.perturb_units(nominal, &mut rng),
-                                None => nominal,
-                            };
-                            let mut leaf =
-                                pixel_at(ox * stride + kx, oy * stride + ky).delayed(w_delay);
-                            if let Some(fault) = weight_fault.and_then(FaultKind::edge_fault) {
-                                let mut obs = FaultObservation::default();
-                                leaf = fault.apply(leaf, &mut obs);
-                                acc.stats.absorb_observation(obs);
-                            }
-                            let leaf = if leaf.delay() > truncate_at {
-                                DelayValue::ZERO
-                            } else {
-                                leaf
-                            };
-                            // Edge events are data-dependent and feed
-                            // no energy cross-check; a branchless add
-                            // on the branch that already exists.
-                            if PROF {
-                                edge_events += u64::from(!leaf.is_never());
-                            }
-                            leaves.push(leaf);
+                            acc.rows_reused += 1;
                         }
+                        cell
                     }
+                    Some(overlay) => {
+                        // Faulted row: same stream, fresh value.
+                        inline_cell =
+                            compute_row_cell::<PROF>(&ctx, k_idx, rp, ky, r, Some(overlay), acc);
+                        acc.rows_computed += 1;
+                        &inline_cell
+                    }
+                };
+
+                let ops = tree_mode_ops(
+                    mode,
+                    arch.nlse_unit(),
+                    tree_drift,
+                    cell.realization.as_ref(),
+                );
+                if PROF {
+                    edge_events += cell.edges;
+                    // One nLSE op per internal node, charged on *every*
+                    // use: the hardware in every MAC block still
+                    // switches — only the simulator reuses — which keeps
+                    // the dynamic census equal to the static one.
+                    nlse_ops += (plan.tree.row_nodes.len() + n_spine) as u64 * ow as u64;
+                }
+                let t_tree = stage_clock();
+                for (ox, partial) in partials.iter_mut().enumerate() {
+                    if drift_saturates {
+                        acc.stats.saturations += 1;
+                    }
+                    let mut s = *partial;
                     if PROF {
-                        edge_events += u64::from(!partial.is_never());
-                        // One nLSE op per internal tree node.
-                        nlse_ops += leaves.len() as u64;
+                        edge_events += u64::from(!s.is_never());
                     }
-                    leaves.push(partial);
-                    if let Some(t) = t_matrix {
-                        acc.stage.delay_matrix += t.elapsed();
+                    for (s_i, step) in plan.tree.spine.iter().enumerate() {
+                        s = ops.balance(s, lvl_units[step.spine_bal as usize], &mut rng);
+                        s = ops.combine(cell.vals[ox * n_spine + s_i], s, &mut rng);
                     }
-                    let t_tree = stage_clock();
-                    let raw = match mode {
-                        ArithmeticMode::DelayExact => {
-                            // Exact mode evaluates the tree as pure
-                            // mathematics: there are no chains for a
-                            // tree-drift fault to age.
-                            tree::eval(&TreeOps::Exact, &leaves, &mut rng)
-                        }
-                        ArithmeticMode::DelayApprox => match tree_drift {
-                            None => {
-                                tree::eval(&TreeOps::Approx(arch.nlse_unit()), &leaves, &mut rng)
-                            }
-                            Some(f) => {
-                                if 1.0 + f < 0.0 {
-                                    acc.stats.saturations += 1;
-                                }
-                                tree::eval(
-                                    &TreeOps::Drifted(arch.nlse_unit(), f),
-                                    &leaves,
-                                    &mut rng,
-                                )
-                            }
-                        },
-                        ArithmeticMode::DelayApproxNoisy => {
-                            let Some(r) = realization.as_ref() else {
-                                unreachable!("noisy mode always has a realization")
-                            };
-                            match tree_drift {
-                                None => tree::eval(
-                                    &TreeOps::Noisy(arch.nlse_unit(), r),
-                                    &leaves,
-                                    &mut rng,
-                                ),
-                                Some(f) => {
-                                    if 1.0 + f < 0.0 {
-                                        acc.stats.saturations += 1;
-                                    }
-                                    tree::eval(
-                                        &TreeOps::NoisyDrifted(arch.nlse_unit(), r, f),
-                                        &leaves,
-                                        &mut rng,
-                                    )
-                                }
-                            }
-                        }
-                        ArithmeticMode::ImportanceExact => unreachable!(),
-                    };
-                    if let Some(t) = t_tree {
-                        acc.stage.nlse_tree += t.elapsed();
-                    }
+                    let raw = s;
                     if ky + 1 < kh {
                         // Loop back: the reference-frame shift cancels
                         // the tree latency; only loop-line jitter
                         // survives into the value.
-                        let jitter = match (&realization, raw.is_never()) {
-                            (Some(r), false) => r.perturb_units(loop_delay, &mut rng) - loop_delay,
+                        let jitter = match (&cell.realization, raw.is_never()) {
+                            (Some(rz), false) => {
+                                rz.perturb_units(loop_delay, &mut rng) - loop_delay
+                            }
                             _ => 0.0,
                         };
-                        partial = match faults.loop_drift(k_idx, rail) {
+                        *partial = match loop_drift {
                             None => {
                                 if raw.is_never() {
                                     raw
@@ -561,17 +631,32 @@ fn run_delay<const PROF: bool>(
                             }
                         };
                     } else {
-                        partial = raw;
+                        *partial = raw;
                     }
                 }
-                rail_raw[r_i] = partial;
+                if let Some(t) = t_tree {
+                    acc.stage.nlse_tree += t.elapsed();
+                }
             }
+            rail_vals[rail_i] = partials;
+        }
 
-            let t_renorm = stage_clock();
-            let value = combine_rails::<PROF>(
+        let t_renorm = stage_clock();
+        let rails = delay_kernels[k_idx].rails();
+        let mut row_out: Vec<f64> = Vec::with_capacity(ow);
+        for (ox, &pos_raw) in rail_vals[0].iter().enumerate() {
+            let rail_raw = [
+                pos_raw,
+                if rails.len() == 2 {
+                    rail_vals[1][ox]
+                } else {
+                    DelayValue::ZERO
+                },
+            ];
+            row_out.push(combine_rails::<PROF>(
                 arch,
                 k_idx,
-                dk.rails(),
+                rails,
                 rail_raw,
                 mode,
                 shift,
@@ -579,11 +664,10 @@ fn run_delay<const PROF: bool>(
                 &mut acc.stats,
                 &mut acc.counts,
                 &mut rng,
-            );
-            if let Some(t) = t_renorm {
-                acc.stage.nlde_renorm += t.elapsed();
-            }
-            row_out.push(value);
+            ));
+        }
+        if let Some(t) = t_renorm {
+            acc.stage.nlde_renorm += t.elapsed();
         }
         if PROF {
             acc.counts.edge_events += edge_events;
@@ -595,8 +679,11 @@ fn run_delay<const PROF: bool>(
     let mut outputs: Vec<Image> = (0..delay_kernels.len())
         .map(|_| Image::zeros(ow, oh))
         .collect();
+    let mut cache = PlanCacheStats::default();
     for acc in row_accs {
         stats.merge(&acc.stats);
+        cache.computed += acc.rows_computed;
+        cache.reused += acc.rows_reused;
         if PROF {
             counts += acc.counts;
             stage += acc.stage;
@@ -609,13 +696,200 @@ fn run_delay<const PROF: bool>(
             }
         }
     }
-    (outputs, counts, PROF.then_some(stage))
+    (outputs, counts, PROF.then_some(stage), cache)
+}
+
+/// One row cell: the balanced spine inputs for every output column plus
+/// the cycle's noise realization and its data-dependent profiling
+/// counters — everything an output row consumes from the shareable part
+/// of a cycle.
+struct RowCell {
+    /// `ow × spine_len` balanced spine inputs, output-column major.
+    vals: Vec<DelayValue>,
+    /// The cycle's common-mode noise realization (noisy mode only); the
+    /// spine pass and loop line of every consuming output row see the
+    /// same supply excursion the row's weight lines saw.
+    realization: Option<NoiseRealization>,
+    /// Finite leaves that fired (post-truncation), added to the census on
+    /// *every* use so reuse keeps the dynamic counters exact.
+    edges: u64,
+}
+
+/// Immutable per-frame context shared by every row-cell computation.
+struct CellCtx<'a> {
+    arch: &'a Architecture,
+    faults: &'a FaultMap,
+    mode: ArithmeticMode,
+    noisy: bool,
+    seed: u64,
+    truncate_at: f64,
+    kw: usize,
+    lvl_units: &'a [f64],
+    pixel_delays: &'a [DelayValue],
+    img_w: usize,
+    img_h: usize,
+    ow: usize,
+    stride: usize,
+}
+
+/// Selects the tree-node arithmetic for one cycle: mode × tree-chain
+/// drift fault × noise realization. The exact mode evaluates pure
+/// mathematics — there are no chains for drift to age.
+pub(crate) fn tree_mode_ops<'a>(
+    mode: ArithmeticMode,
+    unit: &'a NlseUnit,
+    tree_drift: Option<f64>,
+    realization: Option<&'a NoiseRealization>,
+) -> TreeOps<'a> {
+    match (mode, tree_drift, realization) {
+        (ArithmeticMode::DelayExact, ..) => TreeOps::Exact,
+        (ArithmeticMode::DelayApprox, None, _) => TreeOps::Approx(unit),
+        (ArithmeticMode::DelayApprox, Some(f), _) => TreeOps::Drifted(unit, f),
+        (ArithmeticMode::DelayApproxNoisy, None, Some(rz)) => TreeOps::Noisy(unit, rz),
+        (ArithmeticMode::DelayApproxNoisy, Some(f), Some(rz)) => TreeOps::NoisyDrifted(unit, rz, f),
+        (ArithmeticMode::DelayApproxNoisy, _, None) | (ArithmeticMode::ImportanceExact, ..) => {
+            unreachable!("noisy cycles carry a realization; importance mode never reaches trees")
+        }
+    }
+}
+
+/// Resolves a tree-program operand against the current scratch arrays.
+#[inline]
+fn fetch(src: Src, leaves: &[DelayValue], nodes: &[DelayValue]) -> DelayValue {
+    match src {
+        Src::Leaf(i) => leaves[i as usize],
+        Src::Node(i) => nodes[i as usize],
+    }
+}
+
+/// Evaluates one row cell — the cycle's weighted, truncated leaves and
+/// every partial-free tree reduction for all output columns, exported as
+/// the balanced spine inputs. Draws exclusively from the cell's own
+/// [`Domain::RowCycle`] stream (indexed by the cell's slot), making the
+/// result a pure function of `(kernel, rail, class, input row)` — the
+/// property both the cache and the reference engine rely on. `ky` is the
+/// weight row whose taps (and, via `overlay`, faults) apply: the class
+/// representative for cached cells, the consuming row itself for the
+/// faulted inline path.
+#[allow(clippy::too_many_arguments)]
+fn compute_row_cell<const PROF: bool>(
+    ctx: &CellCtx<'_>,
+    k_idx: usize,
+    rp: &RailPlan,
+    ky: usize,
+    r: usize,
+    overlay: Option<&[Option<FaultKind>]>,
+    acc: &mut RowAcc,
+) -> RowCell {
+    let cfg = ctx.arch.cfg();
+    let plan = ctx.arch.plan();
+    let class = rp.class_of[ky] as usize;
+    let cell_idx = (rp.cell_base + class) * ctx.img_h + r;
+    let mut rng = SmallRng::seed_from_u64(derive_seed(ctx.seed, Domain::RowCycle, cell_idx as u64));
+    // One noise realization covers the whole cycle: PSIJ is common-mode
+    // supply droop, so the weight lines, tree chains and loop line of a
+    // cycle all see the same excursion — and because the cell is keyed
+    // by what it computes, every output row sharing it sees that same
+    // excursion, which is exactly what makes reuse bit-identical.
+    let realization = ctx.noisy.then(|| cfg.noise.begin_eval(cfg.unit, &mut rng));
+    let tree_drift = ctx.faults.tree_drift(k_idx, rp.rail);
+    let ops = tree_mode_ops(
+        ctx.mode,
+        ctx.arch.nlse_unit(),
+        tree_drift,
+        realization.as_ref(),
+    );
+    let n_spine = plan.tree.spine.len();
+    let mut vals = vec![DelayValue::ZERO; ctx.ow * n_spine];
+    let mut leaves = vec![DelayValue::ZERO; ctx.kw];
+    let mut nodes = vec![DelayValue::ZERO; plan.tree.row_nodes.len()];
+    let mut edges: u64 = 0;
+    let taps = &rp.taps[ky];
+
+    for ox in 0..ctx.ow {
+        let t_matrix = PROF.then(Instant::now);
+        for slot in leaves.iter_mut() {
+            *slot = DelayValue::ZERO;
+        }
+        for (t_i, &(kx, w_units)) in taps.finite.iter().enumerate() {
+            let weight_fault = overlay.and_then(|tf| tf[t_i]);
+            let nominal = match weight_fault {
+                Some(FaultKind::DelayDrift { fraction }) => {
+                    let factor = 1.0 + fraction;
+                    if factor < 0.0 {
+                        // A delay line cannot advance edges: saturate
+                        // at zero.
+                        acc.stats.saturations += 1;
+                        0.0
+                    } else {
+                        w_units * factor
+                    }
+                }
+                _ => w_units,
+            };
+            let w_delay = match &realization {
+                Some(rz) => rz.perturb_units(nominal, &mut rng),
+                None => nominal,
+            };
+            let mut leaf =
+                ctx.pixel_delays[r * ctx.img_w + ox * ctx.stride + kx as usize].delayed(w_delay);
+            if let Some(fault) = weight_fault.and_then(FaultKind::edge_fault) {
+                let mut obs = FaultObservation::default();
+                leaf = fault.apply(leaf, &mut obs);
+                acc.stats.absorb_observation(obs);
+            }
+            let leaf = if leaf.delay() > ctx.truncate_at {
+                DelayValue::ZERO
+            } else {
+                leaf
+            };
+            // Edge events are data-dependent and feed no energy
+            // cross-check; a branchless add on the hot path.
+            if PROF {
+                edges += u64::from(!leaf.is_never());
+            }
+            leaves[kx as usize] = leaf;
+        }
+        if let Some(t) = t_matrix {
+            acc.stage.delay_matrix += t.elapsed();
+        }
+        let t_tree = PROF.then(Instant::now);
+        for n_i in 0..nodes.len() {
+            let node = plan.tree.row_nodes[n_i];
+            let a = ops.balance(
+                fetch(node.left, &leaves, &nodes),
+                ctx.lvl_units[node.left_bal as usize],
+                &mut rng,
+            );
+            let b = ops.balance(
+                fetch(node.right, &leaves, &nodes),
+                ctx.lvl_units[node.right_bal as usize],
+                &mut rng,
+            );
+            nodes[n_i] = ops.combine(a, b, &mut rng);
+        }
+        for (s_i, step) in plan.tree.spine.iter().enumerate() {
+            vals[ox * n_spine + s_i] = ops.balance(
+                fetch(step.input, &leaves, &nodes),
+                ctx.lvl_units[step.input_bal as usize],
+                &mut rng,
+            );
+        }
+        if let Some(t) = t_tree {
+            acc.stage.nlse_tree += t.elapsed();
+        }
+    }
+    RowCell {
+        vals,
+        realization,
+        edges,
+    }
 }
 
 /// Renormalises the split rails through the subtraction unit and decodes
 /// to a signed importance-space value.
 #[allow(clippy::too_many_arguments)]
-fn combine_rails<const PROF: bool>(
+pub(crate) fn combine_rails<const PROF: bool>(
     arch: &Architecture,
     k_idx: usize,
     rails: &[Rail],

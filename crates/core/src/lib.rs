@@ -48,7 +48,10 @@ pub mod exec;
 pub mod fault;
 pub mod gate_engine;
 mod modes;
+pub mod plan;
 pub mod recurrence;
+#[cfg(any(test, feature = "reference"))]
+pub mod reference;
 mod report;
 pub mod seed;
 mod system;
@@ -63,5 +66,6 @@ pub use fault::{
 };
 pub use gate_engine::GateEngine;
 pub use modes::ArithmeticMode;
+pub use plan::{FramePlan, PlanCacheStats};
 pub use report::{RunResult, TimingReport, ValidationError};
 pub use system::{ArchConfig, SystemDescription, SystemError};

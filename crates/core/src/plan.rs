@@ -1,0 +1,443 @@
+//! Compiled execution plans for the frame engine (DESIGN.md §5.11).
+//!
+//! The architecture's hot structure is fixed the moment the kernels are
+//! compiled: the path-balanced nLSE tree topology, the per-level balancing
+//! delays, the split-sign weight delay matrix, and — because the partial
+//! accumulator re-enters the tree as its *last* leaf — the partition of
+//! tree nodes into partial-free "row" nodes and the recurrent "spine"
+//! (the rightmost root-to-partial path). `exec::run_delay` used to
+//! re-derive all of it recursively per output pixel per cycle; a
+//! [`FramePlan`] derives it exactly once, when [`crate::Architecture`] is
+//! built, into flat arrays an iterative kernel can walk.
+//!
+//! Two structural facts make the plan more than a constant-fold:
+//!
+//! * **Row cells.** Everything a cycle computes *before* the partial
+//!   joins in — the weighted, truncated leaves and every row-node
+//!   reduction, exported as the balanced left inputs of the spine — is a
+//!   pure function of `(kernel, rail, weight row, input row)`. Kernel
+//!   rows with bit-identical per-rail weight delays (both rows of a box
+//!   filter; rows 0 and 2 of `sobel_x`; the mirrored rows of the
+//!   Gaussian pyramid tap) collapse onto one *row class*, so the cell is
+//!   keyed `(kernel, rail, class, input row)` and shared by every output
+//!   row whose rolling-shutter window covers that input row.
+//! * **Domain-keyed noise.** Seeding the cell's draws from
+//!   [`crate::seed::Domain::RowCycle`] with the cell's own flat index —
+//!   instead of the consuming output row's stream — makes the cell's
+//!   value independent of *who* computes it. Reuse (or recomputation,
+//!   which is the same thing under counter-based RNG) is therefore
+//!   bit-identical in all four arithmetic modes, not just the
+//!   deterministic ones.
+//!
+//! The plan is mode-independent: balancing is stored as integer skipped
+//! levels with the per-level latency `K` pre-applied into a small
+//! per-level units table (`FramePlan::balance_units`) — index with the
+//! level count at run time, exactly reproducing the recursive engine's
+//! `(levels − l) as f64 * K` arithmetic bit for bit.
+
+use std::collections::HashMap;
+
+use crate::transform::{DelayKernel, Rail};
+
+/// Where a tree-program operand comes from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Src {
+    /// Leaf slot `kx` of the current cycle's weight row.
+    Leaf(u16),
+    /// The output of an earlier row node (program order index).
+    Node(u16),
+}
+
+/// One partial-free nLSE node, in evaluation (post)order: both operands
+/// are leaves or earlier row nodes, so the node belongs to the shareable
+/// row cell.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct RowNode {
+    pub left: Src,
+    /// Skipped levels to balance under the left operand.
+    pub left_bal: u32,
+    pub right: Src,
+    pub right_bal: u32,
+}
+
+/// One node on the recurrent spine, bottom-up (deepest first). Its left
+/// operand comes from the row cell — *already balanced* by
+/// [`SpineStep::input_bal`] in the row pass, so the stored value is
+/// oy-independent — and its right operand is the running spine value
+/// (the raw partial at the first step).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct SpineStep {
+    pub input: Src,
+    /// Skipped levels balanced onto the row-side input (applied in the
+    /// row pass, drawn from the row stream).
+    pub input_bal: u32,
+    /// Skipped levels balanced onto the running spine value (applied in
+    /// the spine pass, drawn from the consuming item's stream).
+    pub spine_bal: u32,
+}
+
+/// The flattened path-balanced nLSE tree over `kw + 1` leaves (the last
+/// leaf is the recurrent partial), split into row nodes and spine steps.
+/// Mirrors `tree::eval`'s recursion exactly: left subtree takes
+/// `ceil(n/2)` leaves, shallower subtrees are balanced by one latency per
+/// skipped level, applied at the parent.
+#[derive(Debug, Clone)]
+pub(crate) struct TreeProgram {
+    pub row_nodes: Vec<RowNode>,
+    pub spine: Vec<SpineStep>,
+    /// Tree depth in levels (for the balance-units table).
+    pub depth: u32,
+}
+
+enum Built {
+    /// A partial-free subtree: its value lives in the row cell.
+    Row(Src, u32),
+    /// The subtree containing the partial leaf: its value is the running
+    /// spine accumulator.
+    Spine(u32),
+}
+
+impl TreeProgram {
+    /// Compiles the tree over `fan_in` leaves (`fan_in = kw + 1`; the
+    /// partial is leaf `fan_in - 1`).
+    pub(crate) fn compile(fan_in: usize) -> TreeProgram {
+        assert!(fan_in >= 2, "recurrent tree needs a weight and a partial");
+        let mut program = TreeProgram {
+            row_nodes: Vec::new(),
+            spine: Vec::new(),
+            depth: 0,
+        };
+        match program.build(0, fan_in, fan_in - 1) {
+            Built::Spine(levels) => program.depth = levels,
+            Built::Row(..) => unreachable!("the root range contains the partial leaf"),
+        }
+        program
+    }
+
+    fn build(&mut self, lo: usize, hi: usize, partial: usize) -> Built {
+        if hi - lo == 1 {
+            return if lo == partial {
+                Built::Spine(0)
+            } else {
+                Built::Row(Src::Leaf(lo as u16), 0)
+            };
+        }
+        let mid = (hi - lo).div_ceil(2);
+        let left = self.build(lo, lo + mid, partial);
+        let right = self.build(lo + mid, hi, partial);
+        match (left, right) {
+            (Built::Row(ls, ll), Built::Row(rs, rl)) => {
+                let lv = ll.max(rl);
+                self.row_nodes.push(RowNode {
+                    left: ls,
+                    left_bal: lv - ll,
+                    right: rs,
+                    right_bal: lv - rl,
+                });
+                Built::Row(Src::Node((self.row_nodes.len() - 1) as u16), lv + 1)
+            }
+            (Built::Row(ls, ll), Built::Spine(rl)) => {
+                let lv = ll.max(rl);
+                self.spine.push(SpineStep {
+                    input: ls,
+                    input_bal: lv - ll,
+                    spine_bal: lv - rl,
+                });
+                Built::Spine(lv + 1)
+            }
+            // The partial is the *last* leaf and the split is contiguous,
+            // so it can only ever sit in a right subtree.
+            (Built::Spine(_), _) => unreachable!("partial leaf escaped the right spine"),
+        }
+    }
+}
+
+/// One kernel row's finite weight taps: `(kx, delay units)` with the
+/// never-weights (zero coefficients on this rail) pre-filtered — the
+/// executor fills a zero-initialised leaf scratch and writes only these.
+#[derive(Debug, Clone)]
+pub(crate) struct RowTaps {
+    pub finite: Vec<(u16, f64)>,
+}
+
+/// Per-(kernel, rail) plan: the row-class partition of its weight rows
+/// plus this rail's slice of the global row-cell index space.
+#[derive(Debug, Clone)]
+pub(crate) struct RailPlan {
+    pub rail: Rail,
+    /// Row class of each weight row `ky` (first-occurrence order).
+    pub class_of: Vec<u32>,
+    /// Representative `ky` per class (the first row of the class).
+    pub class_rep: Vec<u16>,
+    /// Finite taps per weight row `ky`.
+    pub taps: Vec<RowTaps>,
+    /// Global row-cell base: cell index = `(cell_base + class) * image
+    /// height + input row`. Also the [`crate::seed::Domain::RowCycle`]
+    /// stream base, so noise streams are a static property of the plan.
+    pub cell_base: usize,
+}
+
+/// Per-kernel plan (one [`RailPlan`] per rail, in `DelayKernel::rails()`
+/// order).
+#[derive(Debug, Clone)]
+pub(crate) struct KernelPlan {
+    pub rails: Vec<RailPlan>,
+}
+
+/// The compiled execution plan: flattened tree program, per-rail row
+/// classes and tap lists, and the row-cell index space. Built once in
+/// [`crate::Architecture::new`]; consumed by `exec::run_delay`.
+#[derive(Debug, Clone)]
+pub struct FramePlan {
+    pub(crate) tree: TreeProgram,
+    pub(crate) kernels: Vec<KernelPlan>,
+    /// Total distinct `(kernel, rail, class)` triples — the number of
+    /// row cells per input row.
+    pub(crate) classes_total: usize,
+}
+
+/// Row-cell cache accounting for one executed frame, merged from the
+/// per-worker tallies. The totals are schedule-independent: which worker
+/// computes a cell varies, but every (cell, use) pair is classified the
+/// same way at any worker count. Published to the metrics registry as
+/// `ta_core_plan_rows_computed_total` / `ta_core_plan_rows_reused_total`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlanCacheStats {
+    /// Row cells evaluated from scratch: cache first-uses plus
+    /// weight-faulted rows, which bypass the cache.
+    pub computed: u64,
+    /// Cell uses served from the frame-local cache.
+    pub reused: u64,
+}
+
+impl FramePlan {
+    /// Compiles the plan from the split-sign delay kernels. `fan_in` is
+    /// the tree fan-in (`kernel width + 1`).
+    pub(crate) fn compile(delay_kernels: &[DelayKernel], fan_in: usize) -> FramePlan {
+        let tree = TreeProgram::compile(fan_in);
+        let mut cell_base = 0usize;
+        let kernels = delay_kernels
+            .iter()
+            .map(|dk| {
+                let rails = dk
+                    .rails()
+                    .iter()
+                    .map(|&rail| {
+                        let plan = RailPlan::compile(dk, rail, cell_base);
+                        cell_base += plan.class_rep.len();
+                        plan
+                    })
+                    .collect();
+                KernelPlan { rails }
+            })
+            .collect();
+        FramePlan {
+            tree,
+            kernels,
+            classes_total: cell_base,
+        }
+    }
+
+    /// The per-level balancing delay table for a given unit latency:
+    /// `balance_units(k)[levels]` reproduces the recursive engine's
+    /// `levels as f64 * k` bit for bit. (`k` is zero in the exact mode,
+    /// collapsing every entry to zero.)
+    pub(crate) fn balance_units(&self, k: f64) -> Vec<f64> {
+        (0..=self.tree.depth)
+            .map(|levels| levels as f64 * k)
+            .collect()
+    }
+
+    /// Number of row classes summed over every kernel and rail — the
+    /// width of the row-cell table (cells per input image row).
+    #[must_use]
+    pub fn row_classes(&self) -> usize {
+        self.classes_total
+    }
+
+    /// Nodes on the recurrent spine (evaluated per output row) vs. total
+    /// internal tree nodes — the shareable fraction of the tree is
+    /// `1 - spine/total`.
+    #[must_use]
+    pub fn spine_len(&self) -> usize {
+        self.tree.spine.len()
+    }
+}
+
+impl RailPlan {
+    fn compile(dk: &DelayKernel, rail: Rail, cell_base: usize) -> RailPlan {
+        let (kw, kh) = (dk.width(), dk.height());
+        let mut ids: HashMap<Vec<u64>, u32> = HashMap::new();
+        let mut class_of = Vec::with_capacity(kh);
+        let mut class_rep = Vec::new();
+        let mut taps = Vec::with_capacity(kh);
+        for ky in 0..kh {
+            let bits: Vec<u64> = (0..kw)
+                .map(|kx| dk.rail_delay(rail, kx, ky).delay().to_bits())
+                .collect();
+            let next = class_rep.len() as u32;
+            let id = *ids.entry(bits).or_insert(next);
+            if id == next {
+                class_rep.push(ky as u16);
+            }
+            class_of.push(id);
+            taps.push(RowTaps {
+                finite: (0..kw)
+                    .filter_map(|kx| {
+                        let w = dk.rail_delay(rail, kx, ky);
+                        (!w.is_never()).then(|| (kx as u16, w.delay()))
+                    })
+                    .collect(),
+            });
+        }
+        RailPlan {
+            rail,
+            class_of,
+            class_rep,
+            taps,
+            cell_base,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
+    use super::*;
+    use crate::tree;
+    use ta_image::Kernel;
+
+    fn program_total_nodes(p: &TreeProgram) -> usize {
+        p.row_nodes.len() + p.spine.len()
+    }
+
+    #[test]
+    fn program_matches_tree_shape() {
+        // fan_in leaves → fan_in − 1 internal nodes, depth from tree.rs.
+        for fan_in in 2..=12 {
+            let p = TreeProgram::compile(fan_in);
+            assert_eq!(program_total_nodes(&p), fan_in - 1, "fan_in {fan_in}");
+            assert_eq!(p.depth, tree::depth(fan_in), "fan_in {fan_in}");
+            assert!(!p.spine.is_empty(), "partial always reaches the root");
+        }
+    }
+
+    #[test]
+    fn spine_is_rightmost_path() {
+        // fan_in 4 (3×3 kernels): leaves 0,1,2 + partial 3.
+        // Tree: ((0,1),(2,P)) → one row node, spine [(leaf 2), (node 0)].
+        let p = TreeProgram::compile(4);
+        assert_eq!(p.row_nodes.len(), 1);
+        assert_eq!(p.spine.len(), 2);
+        assert_eq!(p.row_nodes[0].left, Src::Leaf(0));
+        assert_eq!(p.row_nodes[0].right, Src::Leaf(1));
+        assert_eq!(p.spine[0].input, Src::Leaf(2));
+        assert_eq!(p.spine[1].input, Src::Node(0));
+        // Balanced tree of 4: no balancing anywhere.
+        assert!(p
+            .row_nodes
+            .iter()
+            .all(|n| n.left_bal == 0 && n.right_bal == 0));
+        assert!(p.spine.iter().all(|s| s.input_bal == 0 && s.spine_bal == 0));
+    }
+
+    #[test]
+    fn fan_in_six_balances_partial() {
+        // fan_in 6 (5×5 kernels): left subtree (0,1,2) is depth 2, right
+        // subtree (3,4,P) splits (3,4) vs P — both root inputs depth 2.
+        let p = TreeProgram::compile(6);
+        assert_eq!(p.row_nodes.len(), 3);
+        assert_eq!(p.spine.len(), 2);
+        assert_eq!(p.depth, 3);
+        // Left subtree of the root has 3 leaves → depth 2; the right has
+        // 3 leaves incl. the partial → depth 2; root balances nothing.
+        assert_eq!(p.spine[1].input_bal, 0);
+        assert_eq!(p.spine[1].spine_bal, 0);
+    }
+
+    #[test]
+    fn minimal_fan_in_is_pure_spine() {
+        // 1×1 kernel: one weight + partial, no row nodes at all.
+        let p = TreeProgram::compile(2);
+        assert!(p.row_nodes.is_empty());
+        assert_eq!(p.spine.len(), 1);
+        assert_eq!(p.spine[0].input, Src::Leaf(0));
+    }
+
+    #[test]
+    fn sobel_x_rows_share_a_class() {
+        // sobel_x rows (1,0,-1),(2,0,-2),(1,0,-1): rows 0 and 2 are
+        // identical on both rails → 2 classes per rail.
+        let dk = DelayKernel::compile(&Kernel::sobel_x());
+        let plan = FramePlan::compile(std::slice::from_ref(&dk), 4);
+        for rail_plan in &plan.kernels[0].rails {
+            assert_eq!(rail_plan.class_of, vec![0, 1, 0], "{:?}", rail_plan.rail);
+            assert_eq!(rail_plan.class_rep, vec![0, 1]);
+        }
+        assert_eq!(plan.row_classes(), 4); // 2 classes × 2 rails
+    }
+
+    #[test]
+    fn box_filter_collapses_to_one_class() {
+        let dk = DelayKernel::compile(&Kernel::box_filter(3));
+        let plan = FramePlan::compile(std::slice::from_ref(&dk), 4);
+        assert_eq!(plan.kernels[0].rails.len(), 1);
+        assert_eq!(plan.kernels[0].rails[0].class_of, vec![0, 0, 0]);
+        assert_eq!(plan.row_classes(), 1);
+    }
+
+    #[test]
+    fn pyr_down_mirror_rows_share_classes() {
+        // The 5×5 binomial pyramid tap: rows 0/4 and 1/3 mirror.
+        let dk = DelayKernel::compile(&Kernel::pyr_down_5x5());
+        let plan = FramePlan::compile(std::slice::from_ref(&dk), 6);
+        let classes = &plan.kernels[0].rails[0].class_of;
+        assert_eq!(classes[0], classes[4]);
+        assert_eq!(classes[1], classes[3]);
+        assert_eq!(plan.kernels[0].rails[0].class_rep.len(), 3);
+    }
+
+    #[test]
+    fn cell_bases_are_disjoint() {
+        let kernels = [Kernel::sobel_x(), Kernel::sobel_y()];
+        let dks: Vec<DelayKernel> = kernels.iter().map(DelayKernel::compile).collect();
+        let plan = FramePlan::compile(&dks, 4);
+        let mut seen = Vec::new();
+        for kp in &plan.kernels {
+            for rp in &kp.rails {
+                for class in 0..rp.class_rep.len() {
+                    seen.push(rp.cell_base + class);
+                }
+            }
+        }
+        let total = seen.len();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), total, "cell indices must never collide");
+        assert_eq!(total, plan.row_classes());
+    }
+
+    #[test]
+    fn taps_match_kernel_and_balance_table_matches_tree() {
+        let dk = DelayKernel::compile(&Kernel::sobel_x());
+        let plan = FramePlan::compile(std::slice::from_ref(&dk), 4);
+        let pos = &plan.kernels[0].rails[0];
+        // Each sobel_x rail carries exactly one finite tap per row; the
+        // stored delays are the kernel's own, in kx order.
+        for (ky, taps) in pos.taps.iter().enumerate() {
+            let expect: Vec<(u16, f64)> = (0..3)
+                .filter_map(|kx| {
+                    let w = dk.rail_delay(pos.rail, kx, ky);
+                    (!w.is_never()).then(|| (kx as u16, w.delay()))
+                })
+                .collect();
+            assert_eq!(taps.finite, expect, "row {ky}");
+            assert_eq!(taps.finite.len(), 1);
+        }
+        let units = plan.balance_units(1.5);
+        assert_eq!(units.len(), plan.tree.depth as usize + 1);
+        assert_eq!(units[0], 0.0);
+        assert_eq!(units[2], 2.0 * 1.5);
+    }
+}

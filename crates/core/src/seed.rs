@@ -42,6 +42,11 @@ pub enum Domain {
     FaultTrial = 6,
     /// Per-site runs in the campaign sensitivity scan.
     FaultSite = 7,
+    /// Per-(kernel, rail, weight-row class, input-row) noise streams for
+    /// the plan executor's shared row cells (`exec`/`plan`): keying the
+    /// draws by what the row *is* rather than which output row consumes
+    /// it is what makes row reuse bit-identical in the noisy mode.
+    RowCycle = 8,
 }
 
 /// Derives an independent stream seed from `(base, domain, index)`.
@@ -76,6 +81,7 @@ mod tests {
             Domain::Dse,
             Domain::FaultTrial,
             Domain::FaultSite,
+            Domain::RowCycle,
         ];
         for (i, &a) in domains.iter().enumerate() {
             for &b in &domains[i + 1..] {

@@ -30,7 +30,10 @@ pub(crate) enum TreeOps<'a> {
 impl TreeOps<'_> {
     /// The per-level latency `K` in abstract units (the *design* latency:
     /// drift perturbs realised delays, not the balancing structure).
-    fn k(&self) -> f64 {
+    /// The iterative executor pre-applies `K` into the plan's balance
+    /// table instead; only the recursive reference engine still asks.
+    #[cfg(any(test, feature = "reference"))]
+    pub(crate) fn k(&self) -> f64 {
         match self {
             TreeOps::Exact => 0.0,
             TreeOps::Approx(u)
@@ -48,7 +51,7 @@ impl TreeOps<'_> {
         }
     }
 
-    fn combine(&self, a: DelayValue, b: DelayValue, rng: &mut SmallRng) -> DelayValue {
+    pub(crate) fn combine(&self, a: DelayValue, b: DelayValue, rng: &mut SmallRng) -> DelayValue {
         match self {
             TreeOps::Exact => ops::nlse(a, b),
             TreeOps::Approx(u) => u.eval_ideal(a, b),
@@ -58,7 +61,7 @@ impl TreeOps<'_> {
         }
     }
 
-    fn balance(&self, v: DelayValue, units: f64, rng: &mut SmallRng) -> DelayValue {
+    pub(crate) fn balance(&self, v: DelayValue, units: f64, rng: &mut SmallRng) -> DelayValue {
         if units == 0.0 || v.is_never() {
             return v;
         }
@@ -86,12 +89,16 @@ pub(crate) fn depth(fan_in: usize) -> u32 {
 }
 
 /// Evaluates the tree over `leaves`, returning the root edge (including
-/// the uniform `depth × K` shift for approximate modes).
+/// the uniform `depth × K` shift for approximate modes). Superseded on
+/// the hot path by the compiled plan (`crate::plan`); kept for the unit
+/// tests that pin the tree semantics the plan must reproduce.
+#[cfg(test)]
 pub(crate) fn eval(ops: &TreeOps<'_>, leaves: &[DelayValue], rng: &mut SmallRng) -> DelayValue {
     assert!(!leaves.is_empty(), "tree needs at least one leaf");
     eval_rec(ops, leaves, rng).0
 }
 
+#[cfg(test)]
 fn eval_rec(ops: &TreeOps<'_>, leaves: &[DelayValue], rng: &mut SmallRng) -> (DelayValue, u32) {
     if leaves.len() == 1 {
         return (leaves[0], 0);

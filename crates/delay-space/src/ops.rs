@@ -81,12 +81,25 @@ pub fn nlde(x: DelayValue, y: DelayValue) -> Result<DelayValue, NormalizeError> 
     Ok(DelayValue::from_delay(x.delay() - ln_term))
 }
 
+/// Below this spread, `exp(m − v)` underflows to exactly `+0.0`
+/// (`ln(2^-1075)` ≈ −745.133, pinned by a unit test at this cutoff), so
+/// the term can be skipped without changing a single bit of the
+/// accumulator — adding `+0.0` to a non-negative sum is the identity.
+/// Deliberately below the true threshold: between ≈−744.44 and the
+/// threshold `exp` still returns subnormals, which *do* perturb the sum.
+const EXP_UNDERFLOW: f64 = -745.2;
+
 /// n-ary exact nLSE: delay-space sum of any number of operands.
 ///
 /// Uses a single stable pass pivoted on the earliest edge rather than a
 /// fold, so the result is independent of operand order to machine
 /// precision. The empty sum is importance-space `0`
 /// ([`DelayValue::ZERO`]).
+///
+/// Terms more than `EXP_UNDERFLOW` units behind the pivot are skipped
+/// (their `exp` is exactly `+0.0`), and a sum the pivot fully dominates
+/// returns the pivot without touching `ln` at all — both shortcuts are
+/// bit-identical to the plain fold, pinned by a property test.
 ///
 /// ```
 /// use ta_delay_space::{DelayValue, ops};
@@ -108,11 +121,23 @@ pub fn nlse_many(values: &[DelayValue]) -> DelayValue {
         // Importance-space ∞ absorbs the whole sum (cf. `nlse`).
         return m;
     }
+    if values.len() == 1 {
+        // The pivot's own term is exp(0) = 1 and m − ln(1) = m.
+        return m;
+    }
     let mut acc = 0.0_f64;
     for &v in values {
         if !v.is_never() {
-            acc += (m.delay() - v.delay()).exp();
+            let d = m.delay() - v.delay();
+            if d >= EXP_UNDERFLOW {
+                acc += d.exp();
+            }
         }
+    }
+    if acc == 1.0 {
+        // Min-dominated: every other term was never or underflowed, so
+        // only the pivot's exp(0) survived; ln(1) = 0.
+        return m;
     }
     DelayValue::from_delay(m.delay() - acc.ln())
 }
@@ -233,6 +258,32 @@ mod tests {
         let mut rev = vals.clone();
         rev.reverse();
         assert!((nlse_many(&rev).decode() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exp_underflow_cutoff_is_sound() {
+        // The skip is bit-identical only if exp() at the cutoff is
+        // *exactly* +0.0. Just above the true threshold (≈ −745.133)
+        // exp() still returns subnormals, which must not be skipped.
+        assert_eq!(EXP_UNDERFLOW.exp(), 0.0);
+        assert_eq!(EXP_UNDERFLOW.exp().to_bits(), 0.0_f64.to_bits());
+        assert!((-745.0_f64).exp() > 0.0, "subnormal terms still count");
+    }
+
+    #[test]
+    fn nlse_many_single_element_is_identity() {
+        let a = enc(0.37);
+        assert_eq!(nlse_many(&[a]).delay().to_bits(), a.delay().to_bits());
+    }
+
+    #[test]
+    fn nlse_many_min_dominated_returns_pivot() {
+        // The far term is > 745 units behind: its exp underflows to zero
+        // and the sum is exactly the pivot.
+        let a = DelayValue::from_delay(0.0);
+        let far = DelayValue::from_delay(800.0);
+        let s = nlse_many(&[a, far, DelayValue::ZERO]);
+        assert_eq!(s.delay().to_bits(), a.delay().to_bits());
     }
 
     #[test]

@@ -244,3 +244,47 @@ proptest! {
         prop_assert!(back / x > 0.5 && back / x < 2.0);
     }
 }
+
+/// The plain unskipped fold `nlse_many` used before its underflow and
+/// min-dominated shortcuts — the bit-exactness oracle for them.
+fn nlse_many_unskipped(values: &[DelayValue]) -> DelayValue {
+    let Some(&m) = values.iter().min() else {
+        return DelayValue::ZERO;
+    };
+    if m.is_never() {
+        return DelayValue::ZERO;
+    }
+    if m.delay() == f64::NEG_INFINITY {
+        return m;
+    }
+    let mut acc = 0.0_f64;
+    for &v in values {
+        if !v.is_never() {
+            acc += (m.delay() - v.delay()).exp();
+        }
+    }
+    DelayValue::from_delay(m.delay() - acc.ln())
+}
+
+/// Operands that exercise every `nlse_many` shortcut: ordinary delays,
+/// delays so late their term underflows against any ordinary pivot
+/// (spread > 745), and never-values.
+fn shortcut_value() -> impl Strategy<Value = DelayValue> {
+    prop_oneof![
+        4 => (-50.0..50.0_f64).prop_map(DelayValue::from_delay),
+        2 => (700.0..900.0_f64).prop_map(DelayValue::from_delay),
+        1 => Just(DelayValue::ZERO),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn nlse_many_shortcuts_are_bit_identical(
+        vals in proptest::collection::vec(shortcut_value(), 1..12)
+    ) {
+        let fast = ops::nlse_many(&vals);
+        let slow = nlse_many_unskipped(&vals);
+        prop_assert_eq!(fast.delay().to_bits(), slow.delay().to_bits());
+        prop_assert_eq!(fast.is_never(), slow.is_never());
+    }
+}
