@@ -11,6 +11,9 @@
 //! * `batch` — push a directory of PGM frames (or synthetic frames)
 //!   through the supervised runtime: validation, timeouts, retry, and
 //!   digital fallback, with a health report;
+//! * `serve` — run the fault-tolerant streaming convolution service
+//!   (length-prefixed binary protocol over TCP and/or a Unix socket,
+//!   graceful SIGTERM drain);
 //! * `kernels` — list the built-in kernels.
 //!
 //! No third-party argument parser: flags are simple `--key value` pairs.
@@ -80,6 +83,8 @@ pub enum CliError {
     /// A telemetry artifact (`--trace`, `--metrics`, `--vcd`) could not
     /// be written.
     Telemetry(std::io::Error),
+    /// The streaming service could not bind or run.
+    Serve(ta_serve::ServeError),
     /// `profile` found a dynamic op count that disagrees with the static
     /// census — the simulator and the energy model have diverged.
     ProfileMismatch {
@@ -115,6 +120,7 @@ impl CliError {
             CliError::BatchFailed { .. } => 15,
             CliError::Telemetry(_) => 16,
             CliError::ProfileMismatch { .. } => 17,
+            CliError::Serve(_) => 18,
         }
     }
 }
@@ -151,6 +157,7 @@ impl fmt::Display for CliError {
                 )
             }
             CliError::Telemetry(e) => write!(f, "telemetry output: {e}"),
+            CliError::Serve(e) => write!(f, "serve: {e}"),
             CliError::ProfileMismatch {
                 what,
                 dynamic,
@@ -172,6 +179,7 @@ impl Error for CliError {
             CliError::Fault(e) => Some(e),
             CliError::Runtime(e) => Some(e),
             CliError::Telemetry(e) => Some(e),
+            CliError::Serve(e) => Some(e),
             _ => None,
         }
     }
@@ -231,6 +239,7 @@ USAGE:
   tconv batch --input-dir frames/ [--output-dir out/] [options]
   tconv batch --demo [--frames 8] [options]
   tconv profile --demo [--kernel sobel] [--vcd wave.vcd] [options]
+  tconv serve [--tcp 127.0.0.1:0] [--uds /run/tconv.sock] [--chaos]
   tconv kernels
 
 OPTIONS (run/describe/explore/faults):
@@ -271,6 +280,23 @@ OPTIONS (batch — supervised runtime):
   --fault-rate F    inject transient faults at this per-site rate [default: 0]
   --workers N       worker threads (0 = one per core)      [default: 0]
 
+OPTIONS (serve — fault-tolerant streaming convolution service):
+  --tcp ADDR        TCP listen address, or `none`          [default: 127.0.0.1:0]
+  --uds PATH        also listen on a Unix-domain socket
+  --credits N       per-connection flow-control window     [default: 4]
+  --max-connections N  concurrent connections before shed  [default: 32]
+  --max-inflight N  global in-flight frame cap             [default: 8]
+  --tenant-pending N   per-tenant pending frame cap        [default: 4]
+  --deadline-ms N   default per-frame deadline             [default: 10000]
+  --idle-ms N       idle connection timeout                [default: 30000]
+  --strikes N       protocol violations before quarantine  [default: 3]
+  --plan-cache N    compiled plans cached per connection   [default: 4]
+  --chaos           honour chaos directives in submissions (testing only)
+  Prints `listening on ADDR` as soon as each endpoint is bound. SIGTERM
+  or SIGINT drains gracefully: in-flight frames finish, new work is shed
+  with busy(draining), connected clients get a goodbye, and the process
+  exits 0.
+
 EXIT CODES:
   0 success; 1 unused (generic abort)
   2 unexpected argument      3 flag missing its value
@@ -281,6 +307,7 @@ EXIT CODES:
   12 execution rejected      13 fault campaign invalid
   14 runtime misconfigured   15 batch left failed frames
   16 telemetry write failed  17 profile census mismatch
+  18 serve failed to bind or run
 ";
 
 /// Parsed `--key value` flags plus the subcommand.
@@ -305,7 +332,7 @@ impl Args {
             command: raw.first().cloned().unwrap_or_default(),
             ..Args::default()
         };
-        let switches = ["--demo", "--help"];
+        let switches = ["--demo", "--help", "--chaos"];
         let mut i = 1;
         while i < raw.len() {
             let key = &raw[i];
@@ -417,6 +444,7 @@ pub fn dispatch(args: &Args) -> Result<String, CliError> {
         "faults" => cmd_faults(args),
         "batch" => cmd_batch(args),
         "profile" => cmd_profile(args),
+        "serve" => cmd_serve(args),
         "kernels" => Ok(cmd_kernels()),
         other => Err(CliError::UnknownCommand(other.to_string())),
     };
@@ -951,6 +979,62 @@ fn write_profile_vcd(
     std::fs::write(path, trace.to_vcd(arch.cfg().unit.unit_ns())).map_err(CliError::Telemetry)
 }
 
+/// `tconv serve` — run the streaming convolution service until SIGTERM
+/// (or SIGINT) drains it. Announces each bound endpoint on stdout as
+/// `listening on ADDR` before blocking, so wrappers can discover an
+/// ephemeral port; returns the drain summary as the command output.
+fn cmd_serve(args: &Args) -> Result<String, CliError> {
+    use std::io::Write as _;
+    use std::time::Duration;
+    use ta_serve::{ServeConfig, Server};
+
+    let defaults = ServeConfig::default();
+    let tcp = match args.get("--tcp") {
+        Some("none") => None,
+        Some(addr) => Some(addr.to_string()),
+        None => defaults.tcp.clone(),
+    };
+    let cfg = ServeConfig {
+        tcp,
+        uds: args.get("--uds").map(std::path::PathBuf::from),
+        credits: args.num("--credits", defaults.credits)?,
+        max_connections: args.num("--max-connections", defaults.max_connections)?,
+        max_inflight: args.num("--max-inflight", defaults.max_inflight)?,
+        tenant_pending: args.num("--tenant-pending", defaults.tenant_pending)?,
+        default_deadline: Duration::from_millis(args.num("--deadline-ms", 10_000u64)?),
+        idle_timeout: Duration::from_millis(args.num("--idle-ms", 30_000u64)?),
+        strikes: args.num("--strikes", defaults.strikes)?,
+        chaos_enabled: args.has("--chaos"),
+        plan_cache: args.num("--plan-cache", defaults.plan_cache)?,
+        ..defaults
+    };
+
+    ta_serve::signal::install_term_handler();
+    let server = Server::bind(cfg).map_err(CliError::Serve)?;
+
+    // Announce endpoints before blocking in the accept loop: wrappers
+    // (and the process-level tests) parse these lines to find the port.
+    let mut stdout = std::io::stdout();
+    if let Some(addr) = server.local_addr() {
+        let _ = writeln!(stdout, "listening on {addr}");
+    }
+    if let Some(path) = args.get("--uds") {
+        let _ = writeln!(stdout, "listening on uds:{path}");
+    }
+    let _ = stdout.flush();
+
+    let summary = server.run().map_err(CliError::Serve)?;
+    Ok(format!(
+        "serve: drained cleanly — {} connection(s) open at drain, \
+         {} frame(s) completed, {} shed, {} failed, {} forced close(s)\n",
+        summary.connections_at_drain,
+        summary.completed,
+        summary.shed,
+        summary.failed,
+        summary.forced_closes,
+    ))
+}
+
 fn cmd_kernels() -> String {
     let mut out = String::from("built-in kernel sets:\n");
     for name in [
@@ -1232,6 +1316,34 @@ mod tests {
         assert_eq!(a, b, "seeded campaigns must reproduce bit-identically");
         assert!(a.contains("rate sweep"));
         assert!(a.contains("site sensitivity"));
+    }
+
+    #[test]
+    fn serve_without_listeners_is_a_typed_error() {
+        let e = dispatch(&argv(&["serve", "--tcp", "none"])).unwrap_err();
+        assert!(matches!(e, CliError::Serve(_)), "{e}");
+        assert_eq!(e.exit_code(), 18);
+    }
+
+    #[test]
+    fn serve_drains_on_handle_and_reports_summary() {
+        // In-process drain path: run the service on an ephemeral port and
+        // stop it via the SIGTERM latch (the real signal handler sets the
+        // same flag).
+        ta_serve::signal::set_term_requested(false);
+        let done = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let done2 = done.clone();
+        let runner = std::thread::spawn(move || {
+            let out = dispatch(&argv(&["serve", "--tcp", "127.0.0.1:0"]));
+            done2.store(true, std::sync::atomic::Ordering::SeqCst);
+            out
+        });
+        std::thread::sleep(std::time::Duration::from_millis(150));
+        assert!(!done.load(std::sync::atomic::Ordering::SeqCst));
+        ta_serve::signal::set_term_requested(true);
+        let out = runner.join().unwrap().unwrap();
+        ta_serve::signal::set_term_requested(false);
+        assert!(out.contains("drained cleanly"), "{out}");
     }
 
     #[test]

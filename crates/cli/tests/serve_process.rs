@@ -1,0 +1,107 @@
+//! Process-level contract for `tconv serve`: the binary announces its
+//! endpoint on stdout, serves frames over the wire, and a SIGTERM drains
+//! it to exit code 0 with connected clients told goodbye.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use std::io::{BufRead, BufReader};
+use std::process::{Command, Stdio};
+use std::time::{Duration, Instant};
+
+use ta_serve::wire::{ArchSpec, Chaos, Request, Response, Submit, MODE_EXACT};
+use ta_serve::Client;
+
+fn demo_submit(id: u64) -> Submit {
+    let (w, h) = (8u32, 8u32);
+    let n = (w * h) as usize;
+    Submit {
+        id,
+        spec: ArchSpec {
+            kernel: "box3".to_string(),
+            mode: MODE_EXACT,
+            unit_ns: 1.0,
+            nlse_terms: 7,
+            nlde_terms: 20,
+            fault_rate: 0.0,
+        },
+        seed: 7,
+        deadline_ms: 5_000,
+        want_outputs: false,
+        chaos: Chaos::None,
+        width: w,
+        height: h,
+        pixels: (0..n)
+            .map(|i| 0.05 + 0.9 * (i as f64) / (n as f64))
+            .collect(),
+    }
+}
+
+#[test]
+fn sigterm_drains_the_server_process_to_exit_zero() {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_tconv"))
+        .args(["serve", "--tcp", "127.0.0.1:0"])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn tconv serve");
+
+    // The first stdout line announces the bound (ephemeral) endpoint.
+    let stdout = child.stdout.take().expect("child stdout");
+    let mut reader = BufReader::new(stdout);
+    let mut announce = String::new();
+    reader.read_line(&mut announce).expect("announce line");
+    let addr = announce
+        .trim()
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("unexpected announce line: {announce:?}"))
+        .to_string();
+
+    // The service answers real work over the announced endpoint.
+    let mut client = Client::connect_tcp(&addr, "proc-test").expect("connect");
+    client
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("read timeout");
+    match client.submit(demo_submit(1)).expect("submit") {
+        Response::Done { id: 1, .. } => {}
+        other => panic!("expected Done for frame 1, got {other:?}"),
+    }
+    match client.call(&Request::Ping { nonce: 99 }).expect("ping") {
+        Response::Pong { nonce: 99 } => {}
+        other => panic!("expected Pong(99), got {other:?}"),
+    }
+
+    // SIGTERM → graceful drain: the still-connected client is told
+    // goodbye, and the process exits 0.
+    let pid = child.id().to_string();
+    let killed = Command::new("kill")
+        .args(["-TERM", &pid])
+        .status()
+        .expect("send SIGTERM");
+    assert!(killed.success(), "kill -TERM {pid} failed");
+
+    match client.recv().expect("drain goodbye") {
+        Response::Bye { drained: true } => {}
+        other => panic!("expected Bye{{drained: true}}, got {other:?}"),
+    }
+
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let status = loop {
+        if let Some(status) = child.try_wait().expect("try_wait") {
+            break status;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "server did not exit after SIGTERM"
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    };
+    assert_eq!(status.code(), Some(0), "clean drain must exit 0");
+
+    // The drain summary lands on stdout after the announce line.
+    let mut rest = String::new();
+    for line in reader.lines() {
+        rest.push_str(&line.expect("stdout line"));
+        rest.push('\n');
+    }
+    assert!(rest.contains("drained cleanly"), "{rest}");
+}

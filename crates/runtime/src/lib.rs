@@ -36,6 +36,7 @@
 pub mod engine;
 pub mod health;
 pub mod supervisor;
+pub mod watchdog;
 
 pub use engine::{derive_seed, Engine, FaultyTemporalEngine, TemporalEngine};
 pub use health::{BatchResult, FrameReport, FrameStatus, HealthReport, LatencyStats};
@@ -43,3 +44,4 @@ pub use supervisor::{
     FailureKind, Fallback, RetryPolicy, RuntimeError, Supervisor, SupervisorConfig,
     ValidationPolicy,
 };
+pub use watchdog::{AttemptSlot, AttemptWait};

@@ -3,7 +3,7 @@
 
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::{mpsc, Arc};
+use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
 
@@ -15,6 +15,7 @@ use ta_image::Image;
 
 use crate::engine::{derive_seed, Engine};
 use crate::health::{BatchResult, FrameReport, FrameStatus, HealthReport};
+use crate::watchdog::{AttemptSlot, AttemptWait};
 
 /// Why one attempt (or a whole frame) failed.
 #[derive(Debug, Clone, PartialEq)]
@@ -298,6 +299,11 @@ impl Supervisor {
         batch_seed: u64,
     ) -> (Option<Vec<Image>>, FrameReport) {
         let started = Instant::now();
+        // One generation-tagged result slot serves every attempt of this
+        // frame (and the fallback run): an abandoned hung worker from an
+        // earlier attempt is invalidated at its timeout and cannot write
+        // into the slot once it has been reused.
+        let slot = AttemptSlot::new();
         let frame_seed = derive_seed(batch_seed, frame as u64);
         // Backoff jitter draws from its own domain-separated stream: the
         // old `derive_seed(self.cfg.seed, frame)` collided with the frame
@@ -317,7 +323,7 @@ impl Supervisor {
         while attempts <= self.cfg.retry.max_retries {
             let attempt = attempts;
             attempts += 1;
-            let (outcome, took) = self.attempt(engine, image, frame_seed, attempt);
+            let (outcome, took) = self.attempt(&slot, engine, image, frame_seed, attempt);
             attempt_latencies.push(took);
             let failure = match outcome {
                 Ok(run) => match self.validate(&run, references.as_deref()) {
@@ -353,7 +359,7 @@ impl Supervisor {
         let Some(cause) = last_failure else {
             unreachable!("the loop records a failure before exiting")
         };
-        let (out, status) = self.degrade(image, references, cause, &mut log);
+        let (out, status) = self.degrade(&slot, image, references, cause, &mut log);
         (
             out,
             FrameReport {
@@ -381,8 +387,14 @@ impl Supervisor {
     /// Returns the outcome together with what the attempt cost the frame
     /// in wall-clock time; a timed-out attempt costs exactly its watchdog
     /// budget (the abandoned worker's further runtime is not the frame's).
+    ///
+    /// All watchdogged attempts of one frame share `slot`: the slot's
+    /// generation tag guarantees an abandoned worker from an earlier
+    /// attempt can never publish into a later attempt's result
+    /// (see [`crate::watchdog`]).
     fn attempt(
         &self,
+        slot: &AttemptSlot,
         engine: &Arc<dyn Engine>,
         image: &Image,
         seed: u64,
@@ -397,7 +409,6 @@ impl Supervisor {
                 (out, clock.elapsed())
             }
             Some(budget) => {
-                let (tx, rx) = mpsc::channel();
                 let worker_engine = Arc::clone(engine);
                 let worker_image = image.clone();
                 // Thread-locals do not inherit: if this supervision is
@@ -405,35 +416,27 @@ impl Supervisor {
                 // the watchdogged attempt thread so the engine's nested
                 // frame parallelism stays inline there too.
                 let in_pool = ta_pool::in_worker();
-                let spawned = thread::Builder::new()
-                    .name(format!("ta-runtime-attempt-{attempt}"))
-                    .spawn(move || {
-                        let _pool_marker = in_pool.then(ta_pool::enter_worker);
-                        let out = catch_unwind(AssertUnwindSafe(|| {
-                            worker_engine.run_frame(&worker_image, seed, attempt)
-                        }));
-                        // The supervisor may have timed out and dropped
-                        // the receiver; that is fine.
-                        let _ = tx.send(out);
-                    });
-                if let Err(e) = spawned {
-                    return (
-                        Err(FailureKind::Panic(format!("failed to spawn worker: {e}"))),
-                        clock.elapsed(),
-                    );
-                }
-                match rx.recv_timeout(budget) {
-                    Ok(out) => (unwind_to_failure(out), clock.elapsed()),
-                    // The attempt thread is abandoned: it still holds its
-                    // clones and will exit on its own, but the frame's
-                    // budget is spent.
-                    Err(mpsc::RecvTimeoutError::Timeout) => {
-                        (Err(FailureKind::Timeout { budget }), budget)
+                let wait = slot.run_with_budget(
+                    format!("ta-runtime-attempt-{attempt}"),
+                    budget,
+                    in_pool,
+                    move || worker_engine.run_frame(&worker_image, seed, attempt),
+                );
+                match wait {
+                    AttemptWait::Completed(Ok(out)) => {
+                        (out.map_err(FailureKind::Engine), clock.elapsed())
                     }
-                    Err(mpsc::RecvTimeoutError::Disconnected) => (
-                        Err(FailureKind::Panic(
-                            "worker thread died without reporting".into(),
-                        )),
+                    AttemptWait::Completed(Err(payload)) => (
+                        Err(FailureKind::Panic(panic_message(payload.as_ref()))),
+                        clock.elapsed(),
+                    ),
+                    // The attempt thread is abandoned: the slot bumped its
+                    // generation first, so whatever the worker eventually
+                    // produces is discarded at the slot, and the frame's
+                    // budget is spent.
+                    AttemptWait::TimedOut => (Err(FailureKind::Timeout { budget }), budget),
+                    AttemptWait::SpawnFailed(e) => (
+                        Err(FailureKind::Panic(format!("failed to spawn worker: {e}"))),
                         clock.elapsed(),
                     ),
                 }
@@ -476,6 +479,7 @@ impl Supervisor {
     /// Retry budget exhausted: produce fallback output if configured.
     fn degrade(
         &self,
+        slot: &AttemptSlot,
         image: &Image,
         references: Option<Vec<Image>>,
         cause: FailureKind,
@@ -515,7 +519,7 @@ impl Supervisor {
                 ta_telemetry::metrics()
                     .counter("ta_runtime_fallback_runs_total")
                     .inc();
-                match self.attempt(fb, image, seed, 0).0 {
+                match self.attempt(slot, fb, image, seed, 0).0 {
                     Ok(run) => {
                         if self.cfg.validation.require_finite {
                             if let Err(v) = run.validate_finite() {

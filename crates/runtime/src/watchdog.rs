@@ -1,0 +1,268 @@
+//! Generation-tagged watchdog slot for supervised attempts.
+//!
+//! The supervisor gives every attempt a wall-clock budget. When the
+//! budget expires the attempt's worker thread is *abandoned* — it may
+//! still be deep inside the engine and cannot be cancelled. The hazard is
+//! what happens when that hung worker eventually finishes: if the
+//! completion path can still reach the frame's result slot, a stale
+//! attempt can overwrite the output of the attempt (or fallback) that
+//! legitimately served the frame, corrupting a frame that was already
+//! reported healthy.
+//!
+//! [`AttemptSlot`] closes that window with a generation tag. One slot
+//! lives for the whole supervised frame and is reused by every attempt
+//! (and the fallback run):
+//!
+//! * each [`AttemptSlot::run_with_budget`] call bumps the generation and
+//!   clears the slot before spawning its worker;
+//! * the worker re-checks the generation *under the slot lock* before
+//!   publishing: a worker whose generation is no longer current discards
+//!   its result, counts itself in `ta_runtime_stale_attempts_total`, and
+//!   exits without touching the slot;
+//! * a timeout bumps the generation at the moment of abandonment
+//!   (join-or-detach: completed workers are joined, abandoned ones are
+//!   detached *after* being invalidated, so there is no interleaving in
+//!   which a stale write lands).
+
+use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread;
+use std::time::Duration;
+
+/// A stale or live attempt's payload: `Ok` carries the closure's return
+/// value, `Err` the panic payload.
+type Published = Result<Box<dyn Any + Send>, Box<dyn Any + Send>>;
+
+#[derive(Default)]
+struct State {
+    /// Current attempt generation; bumped on every run and on timeout.
+    generation: u64,
+    /// The current generation's published outcome, if it finished in
+    /// budget.
+    outcome: Option<Published>,
+}
+
+struct Inner {
+    state: Mutex<State>,
+    done: Condvar,
+}
+
+/// How one budgeted attempt ended.
+pub enum AttemptWait<T> {
+    /// The worker finished within budget: its return value, or the panic
+    /// payload it died with.
+    Completed(Result<T, Box<dyn Any + Send>>),
+    /// The budget expired; the worker was invalidated and detached. Its
+    /// eventual completion cannot write into this slot.
+    TimedOut,
+    /// The worker thread could not be spawned at all.
+    SpawnFailed(std::io::Error),
+}
+
+/// A reusable, generation-tagged result slot for watchdogged attempts.
+/// See the module docs for the protocol.
+pub struct AttemptSlot {
+    inner: Arc<Inner>,
+}
+
+impl Default for AttemptSlot {
+    fn default() -> Self {
+        AttemptSlot::new()
+    }
+}
+
+impl AttemptSlot {
+    /// A fresh slot at generation zero.
+    pub fn new() -> Self {
+        AttemptSlot {
+            inner: Arc::new(Inner {
+                state: Mutex::new(State::default()),
+                done: Condvar::new(),
+            }),
+        }
+    }
+
+    /// Runs `work` on a named worker thread and waits up to `budget` for
+    /// it to publish. `mark_pool_worker` propagates the caller's
+    /// [`ta_pool`] worker flag onto the worker thread (thread-locals do
+    /// not inherit), preserving the no-nested-parallelism guarantee
+    /// across the hop.
+    pub fn run_with_budget<T: Send + 'static>(
+        &self,
+        thread_name: String,
+        budget: Duration,
+        mark_pool_worker: bool,
+        work: impl FnOnce() -> T + Send + 'static,
+    ) -> AttemptWait<T> {
+        let generation = {
+            let mut state = lock_clean(&self.inner.state);
+            state.generation += 1;
+            state.outcome = None;
+            state.generation
+        };
+
+        let inner = Arc::clone(&self.inner);
+        let spawned = thread::Builder::new().name(thread_name).spawn(move || {
+            let _pool_marker = mark_pool_worker.then(ta_pool::enter_worker);
+            let out = catch_unwind(AssertUnwindSafe(work));
+            let published: Published = match out {
+                Ok(v) => Ok(Box::new(v) as Box<dyn Any + Send>),
+                Err(payload) => Err(payload),
+            };
+            let mut state = lock_clean(&inner.state);
+            if state.generation == generation {
+                state.outcome = Some(published);
+                drop(state);
+                inner.done.notify_all();
+            } else {
+                // This worker was abandoned by a timeout: its slot has
+                // been reused (or invalidated). Dropping the result here,
+                // under the lock that guards the generation, is what
+                // makes a stale write impossible.
+                drop(state);
+                ta_telemetry::metrics()
+                    .counter("ta_runtime_stale_attempts_total")
+                    .inc();
+                let tracer = ta_telemetry::tracer();
+                if tracer.active() {
+                    tracer.event(
+                        "supervisor.stale_attempt",
+                        vec![("generation", generation.into())],
+                    );
+                }
+            }
+        });
+        let handle = match spawned {
+            Ok(h) => h,
+            Err(e) => return AttemptWait::SpawnFailed(e),
+        };
+
+        let state = lock_clean(&self.inner.state);
+        let (mut state, wait) = match self
+            .inner
+            .done
+            .wait_timeout_while(state, budget, |s| s.outcome.is_none())
+        {
+            Ok(pair) => pair,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        if let Some(published) = state.outcome.take() {
+            drop(state);
+            // The worker has published and is exiting; join it so a
+            // completed-in-budget attempt never leaves a detached thread.
+            let _ = handle.join();
+            return AttemptWait::Completed(reclaim::<T>(published));
+        }
+        debug_assert!(wait.timed_out());
+        // Invalidate *before* detaching: any later completion by this
+        // worker sees a newer generation and discards itself.
+        state.generation += 1;
+        drop(state);
+        drop(handle);
+        AttemptWait::TimedOut
+    }
+}
+
+/// Downcasts a published outcome back to the caller's concrete type.
+fn reclaim<T: 'static>(published: Published) -> Result<T, Box<dyn Any + Send>> {
+    match published {
+        Ok(boxed) => match boxed.downcast::<T>() {
+            Ok(v) => Ok(*v),
+            // The slot is cleared before each run and writes are
+            // generation-checked, so the published value is always the
+            // type this very call stored.
+            Err(_) => unreachable!("attempt slot published a foreign type"),
+        },
+        Err(payload) => Err(payload),
+    }
+}
+
+/// Poison-tolerant lock: the state is a plain value that is always left
+/// consistent, so a panicking peer must not wedge the watchdog.
+fn lock_clean<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn completion_within_budget_returns_the_value() {
+        let slot = AttemptSlot::new();
+        match slot.run_with_budget("t".into(), Duration::from_secs(5), false, || 41 + 1) {
+            AttemptWait::Completed(Ok(v)) => assert_eq!(v, 42),
+            _ => panic!("expected completion"),
+        }
+    }
+
+    #[test]
+    fn panic_is_reported_not_propagated() {
+        let slot = AttemptSlot::new();
+        match slot
+            .run_with_budget::<()>("t".into(), Duration::from_secs(5), false, || panic!("boom"))
+        {
+            AttemptWait::Completed(Err(payload)) => {
+                assert_eq!(payload.downcast_ref::<&str>(), Some(&"boom"));
+            }
+            _ => panic!("expected a caught panic"),
+        }
+    }
+
+    #[test]
+    fn timeout_detaches_and_stale_write_is_discarded() {
+        let slot = AttemptSlot::new();
+        let stale = ta_telemetry::metrics().counter("ta_runtime_stale_attempts_total");
+        let before = stale.get();
+
+        // Attempt 1 stalls far past its budget, then "completes" with a
+        // poison value.
+        match slot.run_with_budget("stall".into(), Duration::from_millis(20), false, || {
+            thread::sleep(Duration::from_millis(120));
+            0xdead_u64
+        }) {
+            AttemptWait::TimedOut => {}
+            _ => panic!("expected timeout"),
+        }
+
+        // Attempt 2 reuses the same slot and takes long enough that the
+        // stalled worker finishes *while attempt 2 is in flight* — the
+        // reuse window the generation tag exists to close.
+        match slot.run_with_budget("retry".into(), Duration::from_secs(5), false, || {
+            thread::sleep(Duration::from_millis(150));
+            0xf00d_u64
+        }) {
+            AttemptWait::Completed(Ok(v)) => assert_eq!(v, 0xf00d, "stale write must not win"),
+            _ => panic!("expected completion"),
+        }
+
+        // The stalled worker observed its invalidation and counted
+        // itself stale (it finished ~30 ms into attempt 2).
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        while stale.get() < before + 1 && std::time::Instant::now() < deadline {
+            thread::sleep(Duration::from_millis(5));
+        }
+        assert!(stale.get() > before, "stale completion must be counted");
+    }
+
+    #[test]
+    fn generations_are_monotonic_across_reuse() {
+        let slot = AttemptSlot::new();
+        let seen = Arc::new(AtomicU64::new(0));
+        for i in 0..5u64 {
+            let seen = Arc::clone(&seen);
+            match slot.run_with_budget("g".into(), Duration::from_secs(5), false, move || {
+                seen.fetch_add(1, Ordering::Relaxed);
+                i
+            }) {
+                AttemptWait::Completed(Ok(v)) => assert_eq!(v, i),
+                _ => panic!("expected completion"),
+            }
+        }
+        assert_eq!(seen.load(Ordering::Relaxed), 5);
+    }
+}

@@ -1,0 +1,127 @@
+//! Regression: an abandoned hung attempt must never write into a reused
+//! frame slot (join-or-detach with a generation tag).
+//!
+//! The scenario: attempt 0 stalls past its watchdog budget and — crucially
+//! — eventually *completes* with poison outputs while attempt 1 is still
+//! in flight on the same frame. Before the generation-tagged
+//! [`ta_runtime::AttemptSlot`], a completion path that could still reach
+//! the frame's result slot would let the stale attempt's outputs overwrite
+//! the retry's.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use ta_core::{ArchConfig, Architecture, ArithmeticMode, SystemDescription};
+use ta_image::{synth, Image, Kernel};
+use ta_runtime::{
+    Engine, FrameStatus, RetryPolicy, Supervisor, SupervisorConfig, TemporalEngine,
+    ValidationPolicy,
+};
+
+fn arch(size: usize) -> Architecture {
+    let desc = SystemDescription::new(size, size, vec![Kernel::box_filter(3)], 1).unwrap();
+    Architecture::new(desc, ArchConfig::fast_1ns(7, 20)).unwrap()
+}
+
+/// Attempt 0 stalls well past the watchdog budget and then completes with
+/// *poison* outputs (the frame convolved from a corrupted input). Later
+/// attempts answer promptly with the true outputs, but slowly enough that
+/// the stalled worker finishes mid-retry — the exact reuse window the
+/// generation tag closes.
+struct StallThenPoisonEngine {
+    inner: TemporalEngine,
+    poison: Image,
+    stall: Duration,
+    retry_delay: Duration,
+    calls: AtomicU32,
+}
+
+impl Engine for StallThenPoisonEngine {
+    fn run_frame(
+        &self,
+        image: &Image,
+        seed: u64,
+        attempt: u32,
+    ) -> Result<ta_core::RunResult, ta_core::Error> {
+        self.calls.fetch_add(1, Ordering::SeqCst);
+        if attempt == 0 {
+            thread::sleep(self.stall);
+            return self.inner.run_frame(&self.poison, seed, attempt);
+        }
+        thread::sleep(self.retry_delay);
+        self.inner.run_frame(image, seed, attempt)
+    }
+
+    fn name(&self) -> &str {
+        "stall-then-poison"
+    }
+}
+
+#[test]
+fn abandoned_attempt_cannot_poison_the_reused_slot() {
+    let size = 12;
+    let arch = arch(size);
+    let image = synth::natural_image(size, size, 3);
+    let poison = image.map(|p| 1.0 - p);
+
+    let engine: Arc<dyn Engine> = Arc::new(StallThenPoisonEngine {
+        inner: TemporalEngine::new(arch.clone(), ArithmeticMode::DelayExact),
+        poison,
+        // The stalled worker completes ~50 ms after its 100 ms budget
+        // expired, i.e. squarely inside attempt 1's ~80 ms runtime
+        // (attempt 1 runs from ~t=102 to ~t=182; the stale completion
+        // lands at ~t=150).
+        stall: Duration::from_millis(150),
+        retry_delay: Duration::from_millis(80),
+        calls: AtomicU32::new(0),
+    });
+
+    let stale = ta_telemetry::metrics().counter("ta_runtime_stale_attempts_total");
+    let stale_before = stale.get();
+
+    let supervisor = Supervisor::new(SupervisorConfig {
+        validation: ValidationPolicy::default(),
+        timeout: Some(Duration::from_millis(100)),
+        retry: RetryPolicy {
+            max_retries: 2,
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(2),
+            jitter: 0.0,
+        },
+        workers: 1,
+        seed: 9,
+    });
+
+    let (outputs, report) = supervisor.run_one(&engine, &image, 0, 9).unwrap();
+
+    // Attempt 0 timed out; attempt 1 served the frame.
+    assert_eq!(report.status, FrameStatus::Ok, "log: {:?}", report.log);
+    assert_eq!(report.attempts, 2, "log: {:?}", report.log);
+    assert!(
+        report.log[0].contains("timeout"),
+        "attempt 0 must be a watchdog timeout: {:?}",
+        report.log
+    );
+
+    // The outputs are bit-identical to a clean attempt-1 run on the true
+    // image — the stale poison completion did not leak into the slot.
+    let expect = TemporalEngine::new(arch, ArithmeticMode::DelayExact)
+        .run_frame(&image, ta_runtime::derive_seed(9, 0), 1)
+        .unwrap();
+    assert_eq!(outputs.unwrap(), expect.outputs);
+
+    // The abandoned worker eventually finished and was discarded as
+    // stale, observably.
+    let deadline = Instant::now() + Duration::from_secs(2);
+    while stale.get() < stale_before + 1 && Instant::now() < deadline {
+        thread::sleep(Duration::from_millis(5));
+    }
+    assert!(
+        stale.get() > stale_before,
+        "the stalled worker's completion must be counted stale"
+    );
+}

@@ -1,0 +1,181 @@
+//! Multi-tenant admission control.
+//!
+//! Two nested gates protect the engine from overload: a global in-flight
+//! cap (total frames executing or queued across all connections) and a
+//! per-tenant pending cap (so one aggressive tenant cannot starve the
+//! rest). Both are RAII: dropping the [`Permit`] releases the slots, so
+//! every exit path — success, engine failure, panic unwinding through the
+//! executor — returns capacity.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+
+use crate::wire::ShedReason;
+
+/// Maximum accepted tenant-name length after sanitisation.
+const MAX_TENANT: usize = 64;
+
+/// Normalises a client-supplied tenant name to a metrics-safe label:
+/// `[A-Za-z0-9_-]`, everything else mapped to `_`, truncated to 64
+/// bytes, empty mapped to `"anon"`.
+pub fn sanitize_tenant(raw: &str) -> String {
+    let cleaned: String = raw
+        .chars()
+        .take(MAX_TENANT)
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == '-' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    if cleaned.is_empty() {
+        "anon".to_string()
+    } else {
+        cleaned
+    }
+}
+
+struct Shared {
+    max_inflight: usize,
+    tenant_pending: usize,
+    inflight: AtomicUsize,
+    per_tenant: Mutex<BTreeMap<String, usize>>,
+}
+
+/// The admission controller: shared across every connection.
+#[derive(Clone)]
+pub struct Admission {
+    shared: Arc<Shared>,
+}
+
+/// An admitted frame's capacity reservation; dropping it releases both
+/// the global slot and the tenant slot.
+pub struct Permit {
+    shared: Arc<Shared>,
+    tenant: String,
+}
+
+impl Admission {
+    /// Creates a controller with a global in-flight cap and a per-tenant
+    /// pending cap (both forced to at least 1).
+    pub fn new(max_inflight: usize, tenant_pending: usize) -> Self {
+        Admission {
+            shared: Arc::new(Shared {
+                max_inflight: max_inflight.max(1),
+                tenant_pending: tenant_pending.max(1),
+                inflight: AtomicUsize::new(0),
+                per_tenant: Mutex::new(BTreeMap::new()),
+            }),
+        }
+    }
+
+    /// Tries to admit one frame for `tenant` (already sanitised).
+    ///
+    /// # Errors
+    ///
+    /// [`ShedReason::Overloaded`] when the global cap is reached,
+    /// [`ShedReason::TenantQueueFull`] when this tenant's cap is reached.
+    pub fn admit(&self, tenant: &str) -> Result<Permit, ShedReason> {
+        let s = &self.shared;
+        // Reserve the global slot first (cheap, lock-free), then the
+        // tenant slot; back out the global slot on tenant rejection.
+        let mut current = s.inflight.load(Ordering::Relaxed);
+        loop {
+            if current >= s.max_inflight {
+                return Err(ShedReason::Overloaded);
+            }
+            match s.inflight.compare_exchange_weak(
+                current,
+                current + 1,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(seen) => current = seen,
+            }
+        }
+        let mut map = s.per_tenant.lock().unwrap_or_else(PoisonError::into_inner);
+        let pending = map.entry(tenant.to_string()).or_insert(0);
+        if *pending >= s.tenant_pending {
+            drop(map);
+            s.inflight.fetch_sub(1, Ordering::AcqRel);
+            return Err(ShedReason::TenantQueueFull);
+        }
+        *pending += 1;
+        drop(map);
+        Ok(Permit {
+            shared: s.clone(),
+            tenant: tenant.to_string(),
+        })
+    }
+
+    /// Frames currently admitted across all tenants.
+    pub fn inflight(&self) -> usize {
+        self.shared.inflight.load(Ordering::Acquire)
+    }
+}
+
+impl Drop for Permit {
+    fn drop(&mut self) {
+        let mut map = self
+            .shared
+            .per_tenant
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        if let Some(pending) = map.get_mut(&self.tenant) {
+            *pending = pending.saturating_sub(1);
+            if *pending == 0 {
+                map.remove(&self.tenant);
+            }
+        }
+        drop(map);
+        self.shared.inflight.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
+    use super::*;
+
+    #[test]
+    fn tenant_names_are_sanitised() {
+        assert_eq!(sanitize_tenant("cam-0"), "cam-0");
+        assert_eq!(sanitize_tenant("a b/c\"d"), "a_b_c_d");
+        assert_eq!(sanitize_tenant(""), "anon");
+        assert_eq!(sanitize_tenant(&"x".repeat(200)).len(), MAX_TENANT);
+    }
+
+    #[test]
+    fn global_cap_sheds_overloaded() {
+        let adm = Admission::new(2, 8);
+        let _a = adm.admit("t1").unwrap();
+        let _b = adm.admit("t2").unwrap();
+        assert!(matches!(adm.admit("t3"), Err(ShedReason::Overloaded)));
+        assert_eq!(adm.inflight(), 2);
+    }
+
+    #[test]
+    fn tenant_cap_sheds_queue_full_and_backs_out_global_slot() {
+        let adm = Admission::new(8, 1);
+        let _a = adm.admit("t1").unwrap();
+        assert!(matches!(adm.admit("t1"), Err(ShedReason::TenantQueueFull)));
+        // The failed admit must not leak its global reservation.
+        assert_eq!(adm.inflight(), 1);
+        let _b = adm.admit("t2").unwrap();
+        assert_eq!(adm.inflight(), 2);
+    }
+
+    #[test]
+    fn dropping_a_permit_releases_both_slots() {
+        let adm = Admission::new(1, 1);
+        let p = adm.admit("t1").unwrap();
+        drop(p);
+        assert_eq!(adm.inflight(), 0);
+        let _again = adm.admit("t1").unwrap();
+    }
+}

@@ -1,0 +1,154 @@
+//! `ta-serve-load`: drive a `tconv serve` instance and emit
+//! `BENCH_serve.json`.
+//!
+//! ```text
+//! ta-serve-load [--addr HOST:PORT] [--out PATH] [--frames N]
+//!               [--sweep 1,2,4] [--deadline-ms N] [--burst N]
+//! ```
+//!
+//! Without `--addr` the tool spawns a hermetic in-process server (chaos
+//! enabled, ephemeral port), benches it, and drains it — the mode CI's
+//! `serve-smoke` job uses so the bench needs no orchestration.
+
+use std::process::ExitCode;
+use std::thread;
+
+use ta_serve::loadgen::{self, LoadConfig};
+use ta_serve::{ServeConfig, Server};
+
+struct Args {
+    addr: Option<String>,
+    out: String,
+    frames: usize,
+    sweep: Vec<usize>,
+    deadline_ms: u32,
+    burst: usize,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        addr: None,
+        out: "BENCH_serve.json".to_string(),
+        frames: 20,
+        sweep: vec![1, 2, 4],
+        deadline_ms: 2000,
+        burst: 16,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |flag: &str| it.next().ok_or_else(|| format!("{flag} needs a value"));
+        match flag.as_str() {
+            "--addr" => args.addr = Some(value("--addr")?),
+            "--out" => args.out = value("--out")?,
+            "--frames" => {
+                args.frames = value("--frames")?
+                    .parse()
+                    .map_err(|_| "--frames: not a number".to_string())?;
+            }
+            "--sweep" => {
+                args.sweep = value("--sweep")?
+                    .split(',')
+                    .map(|s| s.trim().parse::<usize>())
+                    .collect::<Result<_, _>>()
+                    .map_err(|_| "--sweep: comma-separated numbers".to_string())?;
+            }
+            "--deadline-ms" => {
+                args.deadline_ms = value("--deadline-ms")?
+                    .parse()
+                    .map_err(|_| "--deadline-ms: not a number".to_string())?;
+            }
+            "--burst" => {
+                args.burst = value("--burst")?
+                    .parse()
+                    .map_err(|_| "--burst: not a number".to_string())?;
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: ta-serve-load [--addr HOST:PORT] [--out PATH] [--frames N] \
+                     [--sweep 1,2,4] [--deadline-ms N] [--burst N]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    if args.sweep.is_empty() {
+        return Err("--sweep must name at least one connection count".to_string());
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(why) => {
+            eprintln!("ta-serve-load: {why}");
+            return ExitCode::from(2);
+        }
+    };
+
+    // Hermetic mode: no --addr → run our own server for the bench.
+    let (addr, hermetic) = match &args.addr {
+        Some(a) => (a.clone(), None),
+        None => {
+            let server = match Server::bind(ServeConfig {
+                chaos_enabled: true,
+                ..ServeConfig::default()
+            }) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("ta-serve-load: cannot start hermetic server: {e}");
+                    return ExitCode::from(1);
+                }
+            };
+            let addr = match server.local_addr() {
+                Some(a) => a.to_string(),
+                None => {
+                    eprintln!("ta-serve-load: hermetic server has no TCP address");
+                    return ExitCode::from(1);
+                }
+            };
+            let handle = server.handle();
+            let runner = thread::spawn(move || server.run());
+            (addr, Some((handle, runner)))
+        }
+    };
+
+    let cfg = LoadConfig {
+        addr: addr.clone(),
+        frames_per_conn: args.frames,
+        sweep: args.sweep.clone(),
+        deadline_ms: args.deadline_ms,
+        overload_burst: args.burst,
+        ..LoadConfig::default()
+    };
+    let result = loadgen::run(&cfg);
+
+    if let Some((handle, runner)) = hermetic {
+        handle.begin_drain();
+        match runner.join() {
+            Ok(Ok(summary)) => eprintln!(
+                "ta-serve-load: hermetic server drained ({} completed, {} shed)",
+                summary.completed, summary.shed
+            ),
+            Ok(Err(e)) => eprintln!("ta-serve-load: hermetic server error: {e}"),
+            Err(_) => eprintln!("ta-serve-load: hermetic server panicked"),
+        }
+    }
+
+    let report = match result {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("ta-serve-load: bench failed: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    let json = report.to_json();
+    if let Err(e) = std::fs::write(&args.out, &json) {
+        eprintln!("ta-serve-load: cannot write {}: {e}", args.out);
+        return ExitCode::from(1);
+    }
+    println!("{json}");
+    eprintln!("ta-serve-load: wrote {}", args.out);
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,148 @@
+//! Per-connection rolling plan cache.
+//!
+//! Compiling an `Architecture` (delay tables, NLSE/NLDE series, the
+//! `FramePlan`) costs orders of magnitude more than running one frame
+//! through it, so a streaming client that alternates between a handful of
+//! specs must not recompile per request. Each connection keeps a small
+//! LRU of [`CompiledArch`] keyed by [`crate::wire::ArchSpec::arch_hash`]
+//! (which folds in frame geometry, so a resized stream misses cleanly
+//! instead of running a stale plan).
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use crate::spec::{CompiledArch, SpecError};
+use crate::wire::ArchSpec;
+
+/// A rolling least-recently-used cache of compiled plans.
+pub struct PlanCache {
+    capacity: usize,
+    /// Most-recently-used at the back.
+    entries: VecDeque<Arc<CompiledArch>>,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl PlanCache {
+    /// Creates a cache holding at most `capacity` compiled plans
+    /// (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        PlanCache {
+            capacity: capacity.max(1),
+            entries: VecDeque::new(),
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Returns the compiled plan for `spec` at `width`×`height`, compiling
+    /// (and possibly evicting the least-recently-used entry) on a miss.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SpecError`] from compilation; a failed compile is not
+    /// cached.
+    pub fn get(
+        &mut self,
+        spec: &ArchSpec,
+        width: u32,
+        height: u32,
+    ) -> Result<Arc<CompiledArch>, SpecError> {
+        let hash = spec.arch_hash(width, height);
+        if let Some(pos) = self.entries.iter().position(|e| e.hash == hash) {
+            self.hits += 1;
+            // Refresh recency: move to the back.
+            if let Some(entry) = self.entries.remove(pos) {
+                self.entries.push_back(entry.clone());
+                return Ok(entry);
+            }
+        }
+        self.misses += 1;
+        let compiled = Arc::new(CompiledArch::compile(spec, width, height)?);
+        if self.entries.len() == self.capacity {
+            self.entries.pop_front();
+            self.evictions += 1;
+        }
+        self.entries.push_back(compiled.clone());
+        Ok(compiled)
+    }
+
+    /// Plans currently resident.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no plan is resident.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Lifetime (hits, misses, evictions) for this cache.
+    pub fn stats(&self) -> (u64, u64, u64) {
+        (self.hits, self.misses, self.evictions)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
+    use super::*;
+    use crate::wire::MODE_EXACT;
+
+    fn spec(kernel: &str) -> ArchSpec {
+        ArchSpec {
+            kernel: kernel.into(),
+            mode: MODE_EXACT,
+            unit_ns: 1.0,
+            nlse_terms: 7,
+            nlde_terms: 20,
+            fault_rate: 0.0,
+        }
+    }
+
+    #[test]
+    fn hit_returns_the_same_plan() {
+        let mut cache = PlanCache::new(2);
+        let a = cache.get(&spec("box3"), 8, 8).unwrap();
+        let b = cache.get(&spec("box3"), 8, 8).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.stats(), (1, 1, 0));
+    }
+
+    #[test]
+    fn geometry_is_part_of_the_key() {
+        let mut cache = PlanCache::new(4);
+        let a = cache.get(&spec("box3"), 8, 8).unwrap();
+        let b = cache.get(&spec("box3"), 8, 12).unwrap();
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn lru_evicts_the_coldest_plan() {
+        let mut cache = PlanCache::new(2);
+        cache.get(&spec("box3"), 8, 8).unwrap();
+        cache.get(&spec("sharpen"), 8, 8).unwrap();
+        // Touch box3 so sharpen is now coldest.
+        cache.get(&spec("box3"), 8, 8).unwrap();
+        cache.get(&spec("emboss"), 8, 8).unwrap();
+        assert_eq!(cache.len(), 2);
+        let (_, misses, evictions) = cache.stats();
+        assert_eq!((misses, evictions), (3, 1));
+        // box3 survived the eviction, sharpen did not.
+        cache.get(&spec("box3"), 8, 8).unwrap();
+        assert_eq!(cache.stats().0, 2);
+        cache.get(&spec("sharpen"), 8, 8).unwrap();
+        assert_eq!(cache.stats().1, 4);
+    }
+
+    #[test]
+    fn failed_compiles_are_not_cached() {
+        let mut cache = PlanCache::new(2);
+        assert!(cache.get(&spec("nope"), 8, 8).is_err());
+        assert!(cache.is_empty());
+    }
+}

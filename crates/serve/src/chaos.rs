@@ -1,0 +1,101 @@
+//! Chaos-injection engine wrapper.
+//!
+//! When the server runs with chaos enabled (tests, CI smoke, staging), a
+//! request may carry a [`Chaos`] directive; the executor then wraps the
+//! compiled engine in a [`ChaosEngine`] that panics or stalls the first
+//! `n` attempts before delegating. Because injection is keyed on the
+//! attempt number, the supervisor's retry ladder recovers and the
+//! completed frame remains bit-identical to an undisturbed run at the
+//! surviving attempt — the invariant the chaos suite pins.
+
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use ta_image::Image;
+use ta_runtime::Engine;
+
+use crate::wire::Chaos;
+
+/// An engine decorator that injects faults into early attempts.
+pub struct ChaosEngine {
+    inner: Arc<dyn Engine>,
+    chaos: Chaos,
+}
+
+impl ChaosEngine {
+    /// Wraps `inner` with the request's chaos directive.
+    pub fn new(inner: Arc<dyn Engine>, chaos: Chaos) -> Self {
+        ChaosEngine { inner, chaos }
+    }
+}
+
+impl Engine for ChaosEngine {
+    fn run_frame(
+        &self,
+        image: &Image,
+        seed: u64,
+        attempt: u32,
+    ) -> Result<ta_core::RunResult, ta_core::Error> {
+        match self.chaos {
+            Chaos::None => {}
+            Chaos::PanicAttempts { n } => {
+                if attempt < n {
+                    panic!("chaos: injected panic on attempt {attempt}");
+                }
+            }
+            Chaos::StallAttempts { n, ms } => {
+                if attempt < n {
+                    thread::sleep(Duration::from_millis(u64::from(ms)));
+                }
+            }
+        }
+        self.inner.run_frame(image, seed, attempt)
+    }
+
+    fn name(&self) -> &str {
+        "chaos"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
+    use super::*;
+    use ta_core::{ArchConfig, Architecture, ArithmeticMode, SystemDescription};
+    use ta_image::{synth, Kernel};
+    use ta_runtime::TemporalEngine;
+
+    fn engine() -> Arc<dyn Engine> {
+        let desc = SystemDescription::new(8, 8, vec![Kernel::box_filter(3)], 1).unwrap();
+        let arch = Architecture::new(desc, ArchConfig::fast_1ns(7, 20)).unwrap();
+        Arc::new(TemporalEngine::new(arch, ArithmeticMode::DelayExact))
+    }
+
+    #[test]
+    fn panics_then_delegates_bit_identically() {
+        let inner = engine();
+        let img = synth::natural_image(8, 8, 1);
+        let clean = inner.run_frame(&img, 7, 1).unwrap();
+        let chaotic = ChaosEngine::new(inner, Chaos::PanicAttempts { n: 1 });
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            chaotic.run_frame(&img, 7, 0)
+        }));
+        assert!(caught.is_err());
+        let survived = chaotic.run_frame(&img, 7, 1).unwrap();
+        assert_eq!(survived.outputs, clean.outputs);
+    }
+
+    #[test]
+    fn stall_delays_but_does_not_corrupt() {
+        let inner = engine();
+        let img = synth::natural_image(8, 8, 1);
+        let clean = inner.run_frame(&img, 7, 0).unwrap();
+        let chaotic = ChaosEngine::new(inner, Chaos::StallAttempts { n: 1, ms: 10 });
+        let start = std::time::Instant::now();
+        let out = chaotic.run_frame(&img, 7, 0).unwrap();
+        assert!(start.elapsed() >= Duration::from_millis(10));
+        assert_eq!(out.outputs, clean.outputs);
+    }
+}

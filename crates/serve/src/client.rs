@@ -1,0 +1,197 @@
+//! A small blocking client for the serve protocol — used by the load
+//! generator, the chaos suite, and anyone scripting against `tconv
+//! serve`.
+
+use std::fmt;
+use std::io;
+use std::net::TcpStream;
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+use std::time::Duration;
+
+use crate::stream::Stream;
+use crate::wire::{
+    read_frame, write_frame, ProtocolError, ReadError, Request, Response, Submit, PROTO_VERSION,
+};
+
+/// Client-side failure.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ClientError {
+    /// Transport-level failure.
+    Io(io::Error),
+    /// The server's bytes violated the protocol.
+    Protocol(ProtocolError),
+    /// The server closed the connection.
+    Closed,
+    /// The handshake was not answered with a Welcome.
+    Handshake(String),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "i/o: {e}"),
+            ClientError::Protocol(e) => write!(f, "protocol: {e}"),
+            ClientError::Closed => f.write_str("connection closed"),
+            ClientError::Handshake(why) => write!(f, "handshake failed: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<ReadError> for ClientError {
+    fn from(e: ReadError) -> Self {
+        match e {
+            ReadError::Eof => ClientError::Closed,
+            ReadError::Protocol(p) => ClientError::Protocol(p),
+            ReadError::Io(e) => ClientError::Io(e),
+        }
+    }
+}
+
+/// One connected, handshaken session.
+pub struct Client {
+    stream: Stream,
+    /// Credits granted by the server's Welcome.
+    pub credits: u32,
+    /// Frame ceiling granted by the server's Welcome.
+    pub max_frame: u32,
+    /// Server build identity.
+    pub server: String,
+}
+
+impl Client {
+    /// Connects over TCP and performs the Hello/Welcome handshake.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`] on connect, transport, or handshake failure.
+    pub fn connect_tcp(addr: &str, tenant: &str) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        Self::handshake(Stream::Tcp(stream), tenant)
+    }
+
+    /// Connects over a Unix-domain socket and handshakes.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`] on connect, transport, or handshake failure.
+    pub fn connect_uds(path: &Path, tenant: &str) -> Result<Client, ClientError> {
+        let stream = UnixStream::connect(path)?;
+        Self::handshake(Stream::Unix(stream), tenant)
+    }
+
+    fn handshake(mut stream: Stream, tenant: &str) -> Result<Client, ClientError> {
+        write_frame(
+            &mut stream,
+            &Request::Hello {
+                proto: PROTO_VERSION,
+                tenant: tenant.to_string(),
+            }
+            .encode(),
+        )?;
+        let payload = read_frame(&mut stream, crate::wire::HARD_MAX_FRAME)?;
+        match Response::decode(&payload).map_err(ClientError::Protocol)? {
+            Response::Welcome {
+                credits,
+                max_frame,
+                server,
+                ..
+            } => Ok(Client {
+                stream,
+                credits,
+                max_frame,
+                server,
+            }),
+            Response::Error { message, .. } => Err(ClientError::Handshake(message)),
+            Response::Busy { reason, .. } => Err(ClientError::Handshake(reason.to_string())),
+            other => Err(ClientError::Handshake(format!(
+                "unexpected reply {other:?}"
+            ))),
+        }
+    }
+
+    /// Bounds how long [`Client::recv`] blocks.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket-option failure.
+    pub fn set_read_timeout(&self, t: Option<Duration>) -> io::Result<()> {
+        self.stream.set_read_timeout(t)
+    }
+
+    /// Sends one request without waiting for the reply (pipelining).
+    ///
+    /// # Errors
+    ///
+    /// Transport failures.
+    pub fn send(&mut self, req: &Request) -> Result<(), ClientError> {
+        write_frame(&mut self.stream, &req.encode())?;
+        Ok(())
+    }
+
+    /// Receives one response.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`] on transport, close, or protocol violation.
+    pub fn recv(&mut self) -> Result<Response, ClientError> {
+        let payload = read_frame(&mut self.stream, crate::wire::HARD_MAX_FRAME)?;
+        Response::decode(&payload).map_err(ClientError::Protocol)
+    }
+
+    /// Sends one request and waits for one response.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`] as for [`Client::send`] / [`Client::recv`].
+    pub fn call(&mut self, req: &Request) -> Result<Response, ClientError> {
+        self.send(req)?;
+        self.recv()
+    }
+
+    /// Submits one frame and waits for its response.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`] as for [`Client::call`].
+    pub fn submit(&mut self, sub: Submit) -> Result<Response, ClientError> {
+        self.call(&Request::Submit(sub))
+    }
+
+    /// Writes raw bytes to the socket (chaos testing: garbage injection).
+    ///
+    /// # Errors
+    ///
+    /// Transport failures.
+    pub fn send_raw(&mut self, bytes: &[u8]) -> Result<(), ClientError> {
+        use std::io::Write;
+        self.stream.write_all(bytes)?;
+        self.stream.flush()?;
+        Ok(())
+    }
+
+    /// Polite goodbye; returns the server's Bye when it arrives.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`] as for [`Client::call`].
+    pub fn goodbye(mut self) -> Result<Response, ClientError> {
+        self.call(&Request::Goodbye)
+    }
+
+    /// Drops the connection without saying goodbye (chaos testing:
+    /// mid-request disconnects).
+    pub fn abort(self) {
+        self.stream.shutdown();
+    }
+}

@@ -1,0 +1,50 @@
+//! Server-lifecycle errors (distinct from per-request failures, which
+//! travel on the wire as typed responses).
+
+use std::fmt;
+use std::io;
+
+/// Why the server could not start or run.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ServeError {
+    /// A listener could not be bound.
+    Bind {
+        /// Which endpoint (rendered address/path).
+        endpoint: String,
+        /// The underlying I/O failure.
+        source: io::Error,
+    },
+    /// The configuration is unusable (no listeners, zero credits, …).
+    Config(String),
+    /// A lifecycle-level I/O failure (accept loop, socket cleanup).
+    Io(io::Error),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Bind { endpoint, source } => {
+                write!(f, "cannot bind {endpoint}: {source}")
+            }
+            ServeError::Config(why) => write!(f, "bad serve configuration: {why}"),
+            ServeError::Io(e) => write!(f, "server i/o: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Bind { source, .. } => Some(source),
+            ServeError::Io(e) => Some(e),
+            ServeError::Config(_) => None,
+        }
+    }
+}
+
+impl From<io::Error> for ServeError {
+    fn from(e: io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}

@@ -1,0 +1,48 @@
+//! `ta-serve`: a fault-tolerant streaming convolution service.
+//!
+//! Long-running processes need more than a batch runner: this crate turns
+//! the supervised temporal-convolution runtime into a server that speaks
+//! a length-prefixed binary protocol over TCP and Unix-domain sockets,
+//! executes frames through [`ta_runtime::Supervisor`] (watchdog, retries,
+//! graceful degradation to the digital reference), and protects itself
+//! from overload and malformed clients:
+//!
+//! * **Protocol** ([`wire`]) — hand-rolled total codec; every malformed
+//!   byte stream maps to a typed [`wire::ProtocolError`], never a panic.
+//! * **Plan reuse** ([`cache`]) — per-connection rolling LRU of compiled
+//!   architectures keyed by [`wire::ArchSpec::arch_hash`].
+//! * **Admission** ([`admission`]) — global in-flight cap plus bounded
+//!   per-tenant queues; RAII permits so capacity cannot leak.
+//! * **Backpressure** — credit-based flow control per connection plus
+//!   typed [`wire::Response::Busy`] shedding with retry hints.
+//! * **Supervision** ([`server`]) — per-request deadlines propagated into
+//!   the watchdog, idle timeouts, slow-loris defence, malformed-frame
+//!   quarantine, and a graceful SIGTERM drain that answers every
+//!   in-flight frame before exiting.
+//! * **Chaos** ([`chaos`]) — opt-in fault directives carried by requests,
+//!   so the chaos suite can exercise panic isolation, watchdog timeouts,
+//!   and fallback end to end over the real wire.
+//!
+//! Determinism contract: a completed frame's outputs are a pure function
+//! of `(spec, seed, pixels, retry policy)` — bit-identical to a serial
+//! [`ta_runtime::Supervisor::run_one`] with the same inputs, regardless
+//! of connection interleaving or injected chaos.
+
+pub mod admission;
+pub mod cache;
+pub mod chaos;
+pub mod client;
+pub mod error;
+pub mod loadgen;
+pub mod server;
+pub mod signal;
+pub mod spec;
+pub mod stream;
+pub mod wire;
+
+pub use client::{Client, ClientError};
+pub use error::ServeError;
+pub use loadgen::{BenchReport, LoadConfig};
+pub use server::{DrainSummary, ServeConfig, Server, ServerHandle};
+pub use spec::{CompiledArch, ExecPolicy, SpecError};
+pub use wire::{ProtocolError, Request, Response, Submit};

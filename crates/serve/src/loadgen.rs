@@ -1,0 +1,426 @@
+//! Load generation against a running server: throughput/latency sweeps
+//! over several connection counts plus a deliberate overload phase, the
+//! numbers behind `BENCH_serve.json`.
+
+use std::sync::Mutex;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use ta_telemetry::ExactHistogram;
+
+use crate::client::{Client, ClientError};
+use crate::wire::{ArchSpec, Chaos, Request, Response, Submit, MODE_EXACT};
+
+/// What to drive at the server.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Server TCP address.
+    pub addr: String,
+    /// Kernel set each frame runs.
+    pub kernel: String,
+    /// Frame width.
+    pub width: u32,
+    /// Frame height.
+    pub height: u32,
+    /// Frames per connection per sweep point.
+    pub frames_per_conn: usize,
+    /// Connection counts to sweep (the bench contract wants ≥ 3).
+    pub sweep: Vec<usize>,
+    /// Per-request deadline in ms (0 = server default).
+    pub deadline_ms: u32,
+    /// Overload phase: submissions pipelined per connection *without*
+    /// reading responses, deliberately overrunning the credit window.
+    /// 0 skips the phase.
+    pub overload_burst: usize,
+    /// Connections used in the overload phase.
+    pub overload_connections: usize,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        LoadConfig {
+            addr: "127.0.0.1:0".to_string(),
+            kernel: "box3".to_string(),
+            width: 16,
+            height: 16,
+            frames_per_conn: 20,
+            sweep: vec![1, 2, 4],
+            deadline_ms: 2000,
+            overload_burst: 16,
+            overload_connections: 4,
+        }
+    }
+}
+
+/// One sweep point's aggregate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepResult {
+    /// Concurrent connections driven.
+    pub connections: usize,
+    /// Submissions sent.
+    pub frames: u64,
+    /// Done responses (ok or degraded).
+    pub completed: u64,
+    /// Done responses served by a fallback.
+    pub degraded: u64,
+    /// Busy responses.
+    pub shed: u64,
+    /// Error responses.
+    pub failed: u64,
+    /// Median round-trip latency of completed frames, µs.
+    pub p50_us: f64,
+    /// 99th-percentile round-trip latency of completed frames, µs.
+    pub p99_us: f64,
+    /// Completed frames per wall-clock second for the phase.
+    pub frames_per_sec: f64,
+    /// True when the completed-frame p99 sat within the deadline.
+    pub within_deadline_p99: bool,
+}
+
+/// The overload phase's aggregate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OverloadResult {
+    /// Connections driven.
+    pub connections: usize,
+    /// Submissions sent.
+    pub attempts: u64,
+    /// Done responses.
+    pub completed: u64,
+    /// Busy responses (overload protection engaging).
+    pub shed: u64,
+    /// shed / attempts.
+    pub shed_fraction: f64,
+}
+
+/// Everything `BENCH_serve.json` carries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchReport {
+    /// Target endpoint.
+    pub endpoint: String,
+    /// Kernel driven.
+    pub kernel: String,
+    /// Frame geometry.
+    pub width: u32,
+    /// Frame geometry.
+    pub height: u32,
+    /// Deadline applied to every submission, ms.
+    pub deadline_ms: u32,
+    /// One entry per sweep point.
+    pub sweeps: Vec<SweepResult>,
+    /// The overload phase, when run.
+    pub overload: Option<OverloadResult>,
+}
+
+impl BenchReport {
+    /// Renders the report as the `BENCH_serve.json` document (hand-rolled;
+    /// the workspace carries no JSON dependency).
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str("  \"bench\": \"serve\",\n");
+        s.push_str(&format!("  \"endpoint\": \"{}\",\n", self.endpoint));
+        s.push_str(&format!("  \"kernel\": \"{}\",\n", self.kernel));
+        s.push_str(&format!("  \"width\": {},\n", self.width));
+        s.push_str(&format!("  \"height\": {},\n", self.height));
+        s.push_str(&format!("  \"deadline_ms\": {},\n", self.deadline_ms));
+        s.push_str("  \"sweeps\": [\n");
+        for (i, sw) in self.sweeps.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"connections\": {}, \"frames\": {}, \"completed\": {}, \
+                 \"degraded\": {}, \"shed\": {}, \"failed\": {}, \
+                 \"p50_us\": {:.1}, \"p99_us\": {:.1}, \"frames_per_sec\": {:.2}, \
+                 \"within_deadline_p99\": {}}}{}\n",
+                sw.connections,
+                sw.frames,
+                sw.completed,
+                sw.degraded,
+                sw.shed,
+                sw.failed,
+                sw.p50_us,
+                sw.p99_us,
+                sw.frames_per_sec,
+                sw.within_deadline_p99,
+                if i + 1 < self.sweeps.len() { "," } else { "" },
+            ));
+        }
+        s.push_str("  ],\n");
+        match &self.overload {
+            Some(o) => s.push_str(&format!(
+                "  \"overload\": {{\"connections\": {}, \"attempts\": {}, \
+                 \"completed\": {}, \"shed\": {}, \"shed_fraction\": {:.4}}}\n",
+                o.connections, o.attempts, o.completed, o.shed, o.shed_fraction,
+            )),
+            None => s.push_str("  \"overload\": null\n"),
+        }
+        s.push('}');
+        s.push('\n');
+        s
+    }
+}
+
+fn spec_for(cfg: &LoadConfig) -> ArchSpec {
+    ArchSpec {
+        kernel: cfg.kernel.clone(),
+        mode: MODE_EXACT,
+        unit_ns: 1.0,
+        nlse_terms: 7,
+        nlde_terms: 20,
+        fault_rate: 0.0,
+    }
+}
+
+fn frame_pixels(cfg: &LoadConfig, seed: u64) -> Vec<f64> {
+    ta_image::synth::natural_image(cfg.width as usize, cfg.height as usize, seed)
+        .pixels()
+        .to_vec()
+}
+
+struct WorkerTally {
+    completed: u64,
+    degraded: u64,
+    shed: u64,
+    failed: u64,
+    latencies: Vec<Duration>,
+}
+
+/// Runs the full bench: one sweep per connection count, then the
+/// overload phase.
+///
+/// # Errors
+///
+/// [`ClientError`] when the server cannot be reached at all; per-request
+/// failures are tallied, not raised.
+pub fn run(cfg: &LoadConfig) -> Result<BenchReport, ClientError> {
+    // Fail fast (and warm the server's plan cache) before timing anything.
+    let mut probe = Client::connect_tcp(&cfg.addr, "loadgen-probe")?;
+    let warm = Submit {
+        id: 0,
+        spec: spec_for(cfg),
+        seed: 1,
+        deadline_ms: 0,
+        want_outputs: false,
+        chaos: Chaos::None,
+        width: cfg.width,
+        height: cfg.height,
+        pixels: frame_pixels(cfg, 1),
+    };
+    let _ = probe.submit(warm)?;
+    let _ = probe.goodbye();
+
+    let mut sweeps = Vec::new();
+    for &conns in &cfg.sweep {
+        sweeps.push(run_sweep(cfg, conns)?);
+    }
+    let overload = if cfg.overload_burst > 0 {
+        Some(run_overload(cfg)?)
+    } else {
+        None
+    };
+    Ok(BenchReport {
+        endpoint: cfg.addr.clone(),
+        kernel: cfg.kernel.clone(),
+        width: cfg.width,
+        height: cfg.height,
+        deadline_ms: cfg.deadline_ms,
+        sweeps,
+        overload,
+    })
+}
+
+fn run_sweep(cfg: &LoadConfig, conns: usize) -> Result<SweepResult, ClientError> {
+    let tallies: Mutex<Vec<WorkerTally>> = Mutex::new(Vec::new());
+    let started = Instant::now();
+    thread::scope(|scope| {
+        for c in 0..conns {
+            let tallies = &tallies;
+            scope.spawn(move || {
+                let mut tally = WorkerTally {
+                    completed: 0,
+                    degraded: 0,
+                    shed: 0,
+                    failed: 0,
+                    latencies: Vec::with_capacity(cfg.frames_per_conn),
+                };
+                let tenant = format!("load-{c}");
+                if let Ok(mut client) = Client::connect_tcp(&cfg.addr, &tenant) {
+                    for f in 0..cfg.frames_per_conn {
+                        let seed = (c as u64) << 32 | f as u64;
+                        let sub = Submit {
+                            id: f as u64,
+                            spec: spec_for(cfg),
+                            seed,
+                            deadline_ms: cfg.deadline_ms,
+                            want_outputs: false,
+                            chaos: Chaos::None,
+                            width: cfg.width,
+                            height: cfg.height,
+                            pixels: frame_pixels(cfg, seed),
+                        };
+                        let t0 = Instant::now();
+                        match client.submit(sub) {
+                            Ok(Response::Done { degraded, .. }) => {
+                                tally.completed += 1;
+                                if degraded {
+                                    tally.degraded += 1;
+                                }
+                                tally.latencies.push(t0.elapsed());
+                            }
+                            Ok(Response::Busy { .. }) => tally.shed += 1,
+                            _ => tally.failed += 1,
+                        }
+                    }
+                    let _ = client.goodbye();
+                } else {
+                    tally.failed += cfg.frames_per_conn as u64;
+                }
+                if let Ok(mut all) = tallies.lock() {
+                    all.push(tally);
+                }
+            });
+        }
+    });
+    let wall = started.elapsed();
+    let all = tallies.into_inner().unwrap_or_default();
+    let mut latencies = Vec::new();
+    let (mut completed, mut degraded, mut shed, mut failed) = (0, 0, 0, 0);
+    for t in all {
+        completed += t.completed;
+        degraded += t.degraded;
+        shed += t.shed;
+        failed += t.failed;
+        latencies.extend(t.latencies);
+    }
+    let hist = ExactHistogram::from_durations(&latencies);
+    let (p50_us, p99_us) = if hist.is_empty() {
+        (0.0, 0.0)
+    } else {
+        let ps = hist.percentiles(&[0.50, 0.99]);
+        (ps[0] * 1e6, ps[1] * 1e6)
+    };
+    Ok(SweepResult {
+        connections: conns,
+        frames: (conns * cfg.frames_per_conn) as u64,
+        completed,
+        degraded,
+        shed,
+        failed,
+        p50_us,
+        p99_us,
+        frames_per_sec: if wall.as_secs_f64() > 0.0 {
+            completed as f64 / wall.as_secs_f64()
+        } else {
+            0.0
+        },
+        within_deadline_p99: completed == 0 || p99_us <= f64::from(cfg.deadline_ms) * 1e3,
+    })
+}
+
+fn run_overload(cfg: &LoadConfig) -> Result<OverloadResult, ClientError> {
+    let conns = cfg.overload_connections.max(1);
+    let tallies: Mutex<Vec<(u64, u64, u64)>> = Mutex::new(Vec::new());
+    thread::scope(|scope| {
+        for c in 0..conns {
+            let tallies = &tallies;
+            scope.spawn(move || {
+                let (mut completed, mut shed, mut attempts) = (0u64, 0u64, 0u64);
+                let tenant = format!("burst-{c}");
+                if let Ok(mut client) = Client::connect_tcp(&cfg.addr, &tenant) {
+                    // Pipeline the whole burst first: everything past the
+                    // credit window must come back Busy, not hang.
+                    for f in 0..cfg.overload_burst {
+                        let seed = 0xB000_0000u64 | (c as u64) << 16 | f as u64;
+                        let sub = Submit {
+                            id: f as u64,
+                            spec: spec_for(cfg),
+                            seed,
+                            deadline_ms: cfg.deadline_ms,
+                            want_outputs: false,
+                            chaos: Chaos::None,
+                            width: cfg.width,
+                            height: cfg.height,
+                            pixels: frame_pixels(cfg, seed),
+                        };
+                        if client.send(&Request::Submit(sub)).is_ok() {
+                            attempts += 1;
+                        }
+                    }
+                    let _ = client.set_read_timeout(Some(Duration::from_secs(30)));
+                    for _ in 0..attempts {
+                        match client.recv() {
+                            Ok(Response::Done { .. }) => completed += 1,
+                            Ok(Response::Busy { .. }) => shed += 1,
+                            Ok(_) => {}
+                            Err(_) => break,
+                        }
+                    }
+                    let _ = client.goodbye();
+                }
+                if let Ok(mut all) = tallies.lock() {
+                    all.push((attempts, completed, shed));
+                }
+            });
+        }
+    });
+    let all = tallies.into_inner().unwrap_or_default();
+    let (mut attempts, mut completed, mut shed) = (0, 0, 0);
+    for (a, c, s) in all {
+        attempts += a;
+        completed += c;
+        shed += s;
+    }
+    Ok(OverloadResult {
+        connections: conns,
+        attempts,
+        completed,
+        shed,
+        shed_fraction: if attempts > 0 {
+            shed as f64 / attempts as f64
+        } else {
+            0.0
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
+    use super::*;
+
+    #[test]
+    fn report_renders_valid_json_shape() {
+        let report = BenchReport {
+            endpoint: "127.0.0.1:9".into(),
+            kernel: "box3".into(),
+            width: 16,
+            height: 16,
+            deadline_ms: 2000,
+            sweeps: vec![SweepResult {
+                connections: 1,
+                frames: 10,
+                completed: 10,
+                degraded: 0,
+                shed: 0,
+                failed: 0,
+                p50_us: 120.0,
+                p99_us: 340.0,
+                frames_per_sec: 80.0,
+                within_deadline_p99: true,
+            }],
+            overload: Some(OverloadResult {
+                connections: 4,
+                attempts: 64,
+                completed: 40,
+                shed: 24,
+                shed_fraction: 0.375,
+            }),
+        };
+        let json = report.to_json();
+        assert!(json.contains("\"bench\": \"serve\""));
+        assert!(json.contains("\"shed_fraction\": 0.3750"));
+        assert!(json.contains("\"within_deadline_p99\": true"));
+        // Balanced braces/brackets (cheap structural sanity).
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+}

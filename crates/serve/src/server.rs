@@ -1,0 +1,1103 @@
+//! The streaming convolution server.
+//!
+//! Thread shape: one accept loop (the caller's thread, inside
+//! [`Server::run`]) plus, per connection, a *reader* thread and an
+//! *executor* loop. The reader owns the receive half: it deframes and
+//! decodes messages in timeout slices (so idle, slow-loris, and shutdown
+//! are all observed within ~100 ms), stamps each submission with
+//! receive-time admission verdicts that only the reader can make
+//! (credit overrun, drain cutoff), and forwards connection events over an
+//! in-process channel. The executor owns the send half and processes
+//! events strictly in order — frames on one connection are serial (each
+//! runs under a [`ta_pool::enter_worker`] guard, keeping supervised
+//! execution deterministic), while separate connections execute in
+//! parallel.
+//!
+//! Overload protection is layered: connection cap at accept, per-client
+//! credit window at receive, global + per-tenant admission at execute,
+//! per-request deadlines before and during execution. Every rejection is
+//! a typed [`Response::Busy`] with a retry hint — the server sheds load,
+//! it never stalls or drops a request silently.
+//!
+//! Graceful drain (SIGTERM or [`ServerHandle::begin_drain`]): stop
+//! admitting connections and submissions, answer every frame received
+//! before the cutoff, then send each client [`Response::Bye`] with
+//! `drained = true` and exit cleanly.
+
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener};
+use std::os::unix::net::UnixListener;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{mpsc, Arc, Mutex, PoisonError};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use ta_image::Image;
+use ta_runtime::FrameStatus;
+use ta_telemetry::FieldValue;
+
+use crate::admission::{sanitize_tenant, Admission, Permit};
+use crate::cache::PlanCache;
+use crate::chaos::ChaosEngine;
+use crate::error::ServeError;
+use crate::signal;
+use crate::spec::ExecPolicy;
+use crate::stream::Stream;
+use crate::wire::{
+    output_checksum, parse_header, Chaos, ErrorCode, HealthSnapshot, OutputPlane, ProtocolError,
+    Request, Response, ShedReason, Submit, PROTO_VERSION,
+};
+
+/// Build identity announced in [`Response::Welcome`].
+pub const SERVER_NAME: &str = concat!("ta-serve/", env!("CARGO_PKG_VERSION"));
+
+/// Poll slice for the accept loop.
+const ACCEPT_POLL: Duration = Duration::from_millis(5);
+
+/// Read-timeout slice for connection readers: the upper bound on how
+/// stale an idle/slow/shutdown observation can be.
+const READ_SLICE: Duration = Duration::from_millis(25);
+
+/// How long drain waits for readers to observe shutdown and executors to
+/// say goodbye before force-closing sockets.
+const DRAIN_GOODBYE_GRACE: Duration = Duration::from_secs(3);
+
+/// Retry hint attached to [`Response::Busy`] replies, per shed class.
+fn retry_hint_ms(reason: ShedReason) -> u32 {
+    match reason {
+        ShedReason::ConnectionLimit => 200,
+        ShedReason::TenantQueueFull | ShedReason::Overloaded => 50,
+        ShedReason::CreditOverrun => 10,
+        ShedReason::Draining => 1000,
+        ShedReason::Expired => 0,
+    }
+}
+
+/// Tunables for one server instance.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// TCP listen address (e.g. `127.0.0.1:0`); `None` disables TCP.
+    pub tcp: Option<String>,
+    /// Unix-domain socket path; `None` disables UDS.
+    pub uds: Option<PathBuf>,
+    /// Flow-control window: submissions a client may have outstanding.
+    pub credits: u32,
+    /// Largest accepted frame payload in bytes.
+    pub max_frame: u32,
+    /// Concurrent connections before accept-time shedding.
+    pub max_connections: usize,
+    /// Global in-flight frame cap (admission).
+    pub max_inflight: usize,
+    /// Per-tenant pending frame cap (admission).
+    pub tenant_pending: usize,
+    /// Deadline applied when a submission carries `deadline_ms == 0`.
+    pub default_deadline: Duration,
+    /// Close connections with no traffic for this long.
+    pub idle_timeout: Duration,
+    /// Receive budget for one frame's bytes (slow-loris defence).
+    pub frame_recv_budget: Duration,
+    /// Decode-level protocol violations tolerated before quarantine.
+    pub strikes: u32,
+    /// Retry/backoff shape for supervised execution.
+    pub policy: ExecPolicy,
+    /// Whether chaos directives in submissions are honoured.
+    pub chaos_enabled: bool,
+    /// Compiled plans cached per connection.
+    pub plan_cache: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            tcp: Some("127.0.0.1:0".to_string()),
+            uds: None,
+            credits: 4,
+            max_frame: 16 * 1024 * 1024,
+            max_connections: 32,
+            max_inflight: 8,
+            tenant_pending: 4,
+            default_deadline: Duration::from_secs(10),
+            idle_timeout: Duration::from_secs(30),
+            frame_recv_budget: Duration::from_secs(5),
+            strikes: 3,
+            policy: ExecPolicy::default(),
+            chaos_enabled: false,
+            plan_cache: 4,
+        }
+    }
+}
+
+/// Counters backing health snapshots (mirrored into the telemetry
+/// registry; kept separately so a snapshot never races a scrape).
+#[derive(Default)]
+struct Stats {
+    accepted: AtomicU64,
+    completed: AtomicU64,
+    degraded: AtomicU64,
+    shed: AtomicU64,
+    failed: AtomicU64,
+    protocol_errors: AtomicU64,
+}
+
+struct Shared {
+    cfg: ServeConfig,
+    admission: Admission,
+    stats: Stats,
+    draining: AtomicBool,
+    shutdown: AtomicBool,
+    connections: AtomicUsize,
+    /// Submissions received but not yet answered (any response counts);
+    /// drain completes when this reaches zero.
+    pending: AtomicUsize,
+    /// Shutdown-capable handles to every open connection, for force-close.
+    conn_streams: Mutex<BTreeMap<u64, Stream>>,
+    next_conn: AtomicU64,
+}
+
+impl Shared {
+    fn health(&self) -> HealthSnapshot {
+        let draining = self.draining.load(Ordering::SeqCst);
+        HealthSnapshot {
+            ready: !draining && !self.shutdown.load(Ordering::SeqCst),
+            draining,
+            connections: self.connections.load(Ordering::SeqCst) as u32,
+            in_flight: self.pending.load(Ordering::SeqCst) as u32,
+            accepted: self.stats.accepted.load(Ordering::Relaxed),
+            completed: self.stats.completed.load(Ordering::Relaxed),
+            degraded: self.stats.degraded.load(Ordering::Relaxed),
+            shed: self.stats.shed.load(Ordering::Relaxed),
+            failed: self.stats.failed.load(Ordering::Relaxed),
+            protocol_errors: self.stats.protocol_errors.load(Ordering::Relaxed),
+        }
+    }
+
+    fn count_shed(&self, reason: ShedReason) {
+        self.stats.shed.fetch_add(1, Ordering::Relaxed);
+        ta_telemetry::metrics()
+            .labeled_counter("ta_serve_shed_total", "reason", reason.label())
+            .inc();
+    }
+
+    fn count_protocol_error(&self, err: &ProtocolError) {
+        self.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+        ta_telemetry::metrics()
+            .labeled_counter(
+                "ta_serve_protocol_errors_total",
+                "code",
+                &err.code().to_string(),
+            )
+            .inc();
+    }
+}
+
+/// Control/observation handle, clonable and usable from any thread while
+/// [`Server::run`] blocks.
+#[derive(Clone)]
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+}
+
+impl ServerHandle {
+    /// Begins a graceful drain: new connections and submissions are shed
+    /// with [`ShedReason::Draining`]; frames already received complete.
+    pub fn begin_drain(&self) {
+        self.shared.draining.store(true, Ordering::SeqCst);
+    }
+
+    /// True once drain has begun.
+    pub fn is_draining(&self) -> bool {
+        self.shared.draining.load(Ordering::SeqCst)
+    }
+
+    /// Current health/readiness snapshot.
+    pub fn health(&self) -> HealthSnapshot {
+        self.shared.health()
+    }
+}
+
+/// What the drain answered for, reported by [`Server::run`] on exit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DrainSummary {
+    /// Connections open when drain began.
+    pub connections_at_drain: usize,
+    /// Frames completed with usable output over the server's lifetime.
+    pub completed: u64,
+    /// Requests shed over the server's lifetime.
+    pub shed: u64,
+    /// Frames that produced no usable output.
+    pub failed: u64,
+    /// Connections force-closed because they did not acknowledge
+    /// shutdown within the grace period.
+    pub forced_closes: usize,
+}
+
+/// A bound, not-yet-running server.
+pub struct Server {
+    shared: Arc<Shared>,
+    tcp: Option<TcpListener>,
+    uds: Option<UnixListener>,
+    uds_path: Option<PathBuf>,
+    local_addr: Option<SocketAddr>,
+}
+
+impl Server {
+    /// Binds the configured listeners.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Config`] when no listener is configured,
+    /// [`ServeError::Bind`] when an endpoint cannot be bound.
+    pub fn bind(cfg: ServeConfig) -> Result<Server, ServeError> {
+        if cfg.tcp.is_none() && cfg.uds.is_none() {
+            return Err(ServeError::Config(
+                "at least one of tcp/uds must be configured".into(),
+            ));
+        }
+        if cfg.credits == 0 {
+            return Err(ServeError::Config("credits must be at least 1".into()));
+        }
+        let tcp = match &cfg.tcp {
+            Some(addr) => {
+                let l = TcpListener::bind(addr).map_err(|source| ServeError::Bind {
+                    endpoint: format!("tcp:{addr}"),
+                    source,
+                })?;
+                l.set_nonblocking(true)?;
+                Some(l)
+            }
+            None => None,
+        };
+        let uds = match &cfg.uds {
+            Some(path) => {
+                // A stale socket file from a previous run blocks bind.
+                let _ = std::fs::remove_file(path);
+                let l = UnixListener::bind(path).map_err(|source| ServeError::Bind {
+                    endpoint: format!("uds:{}", path.display()),
+                    source,
+                })?;
+                l.set_nonblocking(true)?;
+                Some(l)
+            }
+            None => None,
+        };
+        let local_addr = tcp.as_ref().and_then(|l| l.local_addr().ok());
+        let uds_path = cfg.uds.clone();
+        let shared = Arc::new(Shared {
+            admission: Admission::new(cfg.max_inflight, cfg.tenant_pending),
+            cfg,
+            stats: Stats::default(),
+            draining: AtomicBool::new(false),
+            shutdown: AtomicBool::new(false),
+            connections: AtomicUsize::new(0),
+            pending: AtomicUsize::new(0),
+            conn_streams: Mutex::new(BTreeMap::new()),
+            next_conn: AtomicU64::new(1),
+        });
+        Ok(Server {
+            shared,
+            tcp,
+            uds,
+            uds_path,
+            local_addr,
+        })
+    }
+
+    /// The bound TCP address (with the OS-assigned port when the config
+    /// asked for port 0).
+    pub fn local_addr(&self) -> Option<SocketAddr> {
+        self.local_addr
+    }
+
+    /// A clonable control handle.
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            shared: self.shared.clone(),
+        }
+    }
+
+    /// Runs the accept loop until a graceful drain completes (triggered
+    /// by SIGTERM/SIGINT or [`ServerHandle::begin_drain`]).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError`] only for lifecycle-level failures; per-connection
+    /// and per-request errors are handled on the wire.
+    pub fn run(self) -> Result<DrainSummary, ServeError> {
+        let shared = self.shared.clone();
+        let metrics = ta_telemetry::metrics();
+        let conn_gauge = metrics.gauge("ta_serve_connections");
+        let mut threads: Vec<thread::JoinHandle<()>> = Vec::new();
+
+        loop {
+            if signal::term_requested() {
+                shared.draining.store(true, Ordering::SeqCst);
+            }
+            if shared.draining.load(Ordering::SeqCst) {
+                break;
+            }
+            let mut accepted_any = false;
+            if let Some(l) = &self.tcp {
+                while let Ok((s, _peer)) = l.accept() {
+                    accepted_any = true;
+                    Self::admit_connection(&shared, Stream::Tcp(s), &mut threads);
+                }
+            }
+            if let Some(l) = &self.uds {
+                while let Ok((s, _peer)) = l.accept() {
+                    accepted_any = true;
+                    Self::admit_connection(&shared, Stream::Unix(s), &mut threads);
+                }
+            }
+            conn_gauge.set(shared.connections.load(Ordering::SeqCst) as f64);
+            reap_finished(&mut threads);
+            if !accepted_any {
+                thread::sleep(ACCEPT_POLL);
+            }
+        }
+
+        // --- drain ---------------------------------------------------
+        let connections_at_drain = shared.connections.load(Ordering::SeqCst);
+        tracer_event("serve.drain_begin", connections_at_drain, 0);
+
+        // New connections during drain get an immediate Busy and close.
+        // Keep polling the listeners so clients are told, not ignored.
+        let drain_deadline_check = |shared: &Shared| shared.pending.load(Ordering::SeqCst) == 0;
+        while !drain_deadline_check(&shared) {
+            self.shed_new_connections(&shared);
+            thread::sleep(ACCEPT_POLL);
+        }
+
+        // Every pre-drain frame is answered; tell connections to say Bye.
+        shared.shutdown.store(true, Ordering::SeqCst);
+        let grace_end = Instant::now() + DRAIN_GOODBYE_GRACE;
+        while shared.connections.load(Ordering::SeqCst) > 0 && Instant::now() < grace_end {
+            self.shed_new_connections(&shared);
+            thread::sleep(ACCEPT_POLL);
+        }
+
+        // Force-close stragglers (clients that never read their Bye).
+        let mut forced = 0;
+        {
+            let streams = shared
+                .conn_streams
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            for s in streams.values() {
+                s.shutdown();
+                forced += 1;
+            }
+        }
+        for t in threads {
+            let _ = t.join();
+        }
+        if let Some(path) = &self.uds_path {
+            let _ = std::fs::remove_file(path);
+        }
+        conn_gauge.set(0.0);
+        let summary = DrainSummary {
+            connections_at_drain,
+            completed: shared.stats.completed.load(Ordering::Relaxed),
+            shed: shared.stats.shed.load(Ordering::Relaxed),
+            failed: shared.stats.failed.load(Ordering::Relaxed),
+            forced_closes: forced,
+        };
+        tracer_event("serve.drain_complete", summary.completed as usize, forced);
+        Ok(summary)
+    }
+
+    /// Answers (and closes) connections arriving while draining.
+    fn shed_new_connections(&self, shared: &Arc<Shared>) {
+        for stream in self.poll_accepts() {
+            shared.count_shed(ShedReason::Draining);
+            let mut stream = stream;
+            let rsp = Response::Busy {
+                id: 0,
+                reason: ShedReason::Draining,
+                retry_after_ms: retry_hint_ms(ShedReason::Draining),
+            };
+            let _ = crate::wire::write_frame(&mut stream, &rsp.encode());
+            stream.shutdown();
+        }
+    }
+
+    fn poll_accepts(&self) -> Vec<Stream> {
+        let mut out = Vec::new();
+        if let Some(l) = &self.tcp {
+            while let Ok((s, _)) = l.accept() {
+                out.push(Stream::Tcp(s));
+            }
+        }
+        if let Some(l) = &self.uds {
+            while let Ok((s, _)) = l.accept() {
+                out.push(Stream::Unix(s));
+            }
+        }
+        out
+    }
+
+    fn admit_connection(
+        shared: &Arc<Shared>,
+        mut stream: Stream,
+        threads: &mut Vec<thread::JoinHandle<()>>,
+    ) {
+        if shared.connections.load(Ordering::SeqCst) >= shared.cfg.max_connections {
+            shared.count_shed(ShedReason::ConnectionLimit);
+            let rsp = Response::Busy {
+                id: 0,
+                reason: ShedReason::ConnectionLimit,
+                retry_after_ms: retry_hint_ms(ShedReason::ConnectionLimit),
+            };
+            let _ = crate::wire::write_frame(&mut stream, &rsp.encode());
+            stream.shutdown();
+            return;
+        }
+        let id = shared.next_conn.fetch_add(1, Ordering::Relaxed);
+        shared.connections.fetch_add(1, Ordering::SeqCst);
+        if let Ok(clone) = stream.try_clone() {
+            shared
+                .conn_streams
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .insert(id, clone);
+        }
+        let conn_shared = shared.clone();
+        let spawned = thread::Builder::new()
+            .name(format!("ta-serve-conn-{id}"))
+            .spawn(move || {
+                Connection::new(id, conn_shared.clone()).run(stream);
+                conn_shared
+                    .conn_streams
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .remove(&id);
+                conn_shared.connections.fetch_sub(1, Ordering::SeqCst);
+            });
+        match spawned {
+            Ok(t) => threads.push(t),
+            Err(_) => {
+                // Thread exhaustion: undo the registration and shed.
+                shared
+                    .conn_streams
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .remove(&id);
+                shared.connections.fetch_sub(1, Ordering::SeqCst);
+                shared.count_shed(ShedReason::Overloaded);
+            }
+        }
+    }
+}
+
+fn reap_finished(threads: &mut Vec<thread::JoinHandle<()>>) {
+    let mut i = 0;
+    while i < threads.len() {
+        if threads[i].is_finished() {
+            let t = threads.swap_remove(i);
+            let _ = t.join();
+        } else {
+            i += 1;
+        }
+    }
+}
+
+fn tracer_event(name: &'static str, a: usize, b: usize) {
+    ta_telemetry::tracer().event(
+        name,
+        vec![
+            ("a", FieldValue::from(a as u64)),
+            ("b", FieldValue::from(b as u64)),
+        ],
+    );
+}
+
+// ---------------------------------------------------------------------
+// Per-connection machinery
+// ---------------------------------------------------------------------
+
+/// What the reader thread hands the executor.
+enum ConnEvent {
+    /// A decoded message, with receive-time admission verdicts.
+    Msg {
+        req: Request,
+        received: Instant,
+        /// `Some` when the reader already decided to shed this submission
+        /// (credit overrun, drain cutoff).
+        shed: Option<ShedReason>,
+    },
+    /// The payload or framing violated the protocol. `fatal` means the
+    /// byte stream is desynchronised and the connection must close.
+    Bad { err: ProtocolError, fatal: bool },
+    /// No traffic for the idle window.
+    Idle,
+    /// Clean end of stream.
+    Eof,
+    /// Transport failure.
+    Io,
+    /// Graceful shutdown: say Bye and close.
+    Shutdown,
+}
+
+struct Connection {
+    id: u64,
+    shared: Arc<Shared>,
+    /// Incremented once per answered submission; the reader subtracts it
+    /// from its own receive count to enforce the credit window.
+    responded: Arc<AtomicU64>,
+}
+
+impl Connection {
+    fn new(id: u64, shared: Arc<Shared>) -> Self {
+        Connection {
+            id,
+            shared,
+            responded: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    fn run(&self, stream: Stream) {
+        let reader_stream = match stream.try_clone() {
+            Ok(s) => s,
+            Err(_) => {
+                stream.shutdown();
+                return;
+            }
+        };
+        let (tx, rx) = mpsc::channel();
+        let reader = {
+            let shared = self.shared.clone();
+            let responded = self.responded.clone();
+            let id = self.id;
+            thread::Builder::new()
+                .name(format!("ta-serve-read-{id}"))
+                .spawn(move || reader_loop(reader_stream, shared, responded, tx))
+        };
+        let reader = match reader {
+            Ok(t) => t,
+            Err(_) => {
+                stream.shutdown();
+                return;
+            }
+        };
+        self.executor_loop(stream, rx);
+        let _ = reader.join();
+    }
+
+    /// Serial event processing; owns the write half.
+    fn executor_loop(&self, mut stream: Stream, rx: Receiver<ConnEvent>) {
+        let cfg = &self.shared.cfg;
+        let mut cache = PlanCache::new(cfg.plan_cache);
+        let mut tenant: Option<String> = None;
+        let mut strikes_left = cfg.strikes;
+        // Once false, the socket is closed: keep consuming events for
+        // accounting (pending decrements) but write nothing.
+        let mut open = true;
+
+        for ev in rx {
+            match ev {
+                ConnEvent::Msg {
+                    req,
+                    received,
+                    shed,
+                } => {
+                    match req {
+                        Request::Hello { proto, tenant: raw } => {
+                            if tenant.is_some() || proto != PROTO_VERSION {
+                                let why = if tenant.is_some() {
+                                    "handshake repeated".to_string()
+                                } else {
+                                    format!("protocol version {proto} not supported (want {PROTO_VERSION})")
+                                };
+                                open &= self.send(
+                                    &mut stream,
+                                    &Response::Error {
+                                        id: 0,
+                                        code: ErrorCode::BadHandshake,
+                                        message: why,
+                                    },
+                                );
+                                self.close(&mut stream, &mut open);
+                            } else {
+                                let t = sanitize_tenant(&raw);
+                                ta_telemetry::metrics()
+                                    .labeled_counter("ta_serve_tenant_connects_total", "tenant", &t)
+                                    .inc();
+                                tenant = Some(t);
+                                open &= self.send(
+                                    &mut stream,
+                                    &Response::Welcome {
+                                        proto: PROTO_VERSION,
+                                        credits: cfg.credits,
+                                        max_frame: cfg.max_frame,
+                                        server: SERVER_NAME.to_string(),
+                                    },
+                                );
+                            }
+                        }
+                        Request::Submit(sub) => {
+                            let rsp = self.serve_submit(&mut cache, &tenant, sub, received, shed);
+                            self.responded.fetch_add(1, Ordering::SeqCst);
+                            self.shared.pending.fetch_sub(1, Ordering::SeqCst);
+                            if open {
+                                open &= self.send(&mut stream, &rsp);
+                            }
+                        }
+                        Request::Ping { nonce } => {
+                            open &= self.send(&mut stream, &Response::Pong { nonce });
+                        }
+                        Request::Health => {
+                            open &= self.send(&mut stream, &Response::Health(self.shared.health()));
+                        }
+                        Request::Metrics => {
+                            open &= self.send(
+                                &mut stream,
+                                &Response::Metrics {
+                                    text: ta_telemetry::metrics().to_prometheus(),
+                                },
+                            );
+                        }
+                        Request::Goodbye => {
+                            open &= self.send(&mut stream, &Response::Bye { drained: false });
+                            self.close(&mut stream, &mut open);
+                        }
+                    }
+                }
+                ConnEvent::Bad { err, fatal } => {
+                    self.shared.count_protocol_error(&err);
+                    strikes_left = strikes_left.saturating_sub(1);
+                    if open {
+                        let rsp = Response::ProtocolReject {
+                            code: err.code(),
+                            message: err.to_string(),
+                            strikes_left,
+                        };
+                        open &= self.send(&mut stream, &rsp);
+                    }
+                    if fatal || strikes_left == 0 {
+                        ta_telemetry::metrics()
+                            .counter("ta_serve_quarantined_total")
+                            .inc();
+                        self.close(&mut stream, &mut open);
+                    }
+                }
+                ConnEvent::Idle => {
+                    ta_telemetry::metrics()
+                        .counter("ta_serve_idle_closed_total")
+                        .inc();
+                    open &= self.send(&mut stream, &Response::Bye { drained: false });
+                    self.close(&mut stream, &mut open);
+                }
+                ConnEvent::Eof | ConnEvent::Io => {
+                    self.close(&mut stream, &mut open);
+                }
+                ConnEvent::Shutdown => {
+                    open &= self.send(&mut stream, &Response::Bye { drained: true });
+                    self.close(&mut stream, &mut open);
+                }
+            }
+        }
+        if open {
+            stream.shutdown();
+        }
+    }
+
+    /// Executes (or sheds) one submission and builds its response.
+    /// Exactly one response per submission, on every path.
+    fn serve_submit(
+        &self,
+        cache: &mut PlanCache,
+        tenant: &Option<String>,
+        sub: Submit,
+        received: Instant,
+        shed: Option<ShedReason>,
+    ) -> Response {
+        let cfg = &self.shared.cfg;
+        self.shared.stats.accepted.fetch_add(1, Ordering::Relaxed);
+        let metrics = ta_telemetry::metrics();
+        metrics.counter("ta_serve_submits_total").inc();
+
+        let tenant = match tenant {
+            Some(t) => t.clone(),
+            None => {
+                return Response::Error {
+                    id: sub.id,
+                    code: ErrorCode::BadHandshake,
+                    message: "Hello required before Submit".into(),
+                }
+            }
+        };
+        if let Some(reason) = shed {
+            self.shared.count_shed(reason);
+            return Response::Busy {
+                id: sub.id,
+                reason,
+                retry_after_ms: retry_hint_ms(reason),
+            };
+        }
+
+        // Deadline bookkeeping starts at receive time, so queueing delay
+        // behind earlier frames on this connection counts against it.
+        let deadline = if sub.deadline_ms == 0 {
+            cfg.default_deadline
+        } else {
+            Duration::from_millis(u64::from(sub.deadline_ms))
+        };
+        let elapsed = received.elapsed();
+        if elapsed >= deadline {
+            self.shared.count_shed(ShedReason::Expired);
+            return Response::Busy {
+                id: sub.id,
+                reason: ShedReason::Expired,
+                retry_after_ms: retry_hint_ms(ShedReason::Expired),
+            };
+        }
+        let remaining = deadline - elapsed;
+
+        let _permit: Permit = match self.shared.admission.admit(&tenant) {
+            Ok(p) => p,
+            Err(reason) => {
+                self.shared.count_shed(reason);
+                return Response::Busy {
+                    id: sub.id,
+                    reason,
+                    retry_after_ms: retry_hint_ms(reason),
+                };
+            }
+        };
+        metrics
+            .labeled_counter("ta_serve_tenant_admitted_total", "tenant", &tenant)
+            .inc();
+
+        if sub.chaos != Chaos::None && !cfg.chaos_enabled {
+            return Response::Error {
+                id: sub.id,
+                code: ErrorCode::ChaosDisabled,
+                message: "server started without --chaos".into(),
+            };
+        }
+
+        let before = cache.stats();
+        let compiled = match cache.get(&sub.spec, sub.width, sub.height) {
+            Ok(c) => c,
+            Err(e) => {
+                return Response::Error {
+                    id: sub.id,
+                    code: ErrorCode::BadSpec,
+                    message: e.to_string(),
+                }
+            }
+        };
+        let after = cache.stats();
+        metrics
+            .counter("ta_serve_plan_hits_total")
+            .add(after.0 - before.0);
+        metrics
+            .counter("ta_serve_plan_misses_total")
+            .add(after.1 - before.1);
+        metrics
+            .counter("ta_serve_plan_evictions_total")
+            .add(after.2 - before.2);
+
+        let image = match Image::from_pixels(sub.width as usize, sub.height as usize, sub.pixels) {
+            Ok(i) => i,
+            Err(e) => {
+                return Response::Error {
+                    id: sub.id,
+                    code: ErrorCode::DimensionMismatch,
+                    message: e.to_string(),
+                }
+            }
+        };
+
+        let engine = if sub.chaos == Chaos::None {
+            compiled.engine.clone()
+        } else {
+            Arc::new(ChaosEngine::new(compiled.engine.clone(), sub.chaos)) as _
+        };
+
+        // The remaining deadline is split across the retry ladder so the
+        // watchdog can abandon a wedged attempt while a later attempt (or
+        // the fallback) still has budget to answer within the deadline.
+        let attempt_budget =
+            (remaining / (cfg.policy.max_retries + 1)).max(Duration::from_millis(1));
+        let supervisor = compiled.supervisor(&cfg.policy, sub.seed, Some(attempt_budget));
+
+        let started = Instant::now();
+        // Frames on one connection are serial by construction; the worker
+        // guard keeps nested pool use inline and deterministic.
+        let _worker = ta_pool::enter_worker();
+        let run = supervisor.run_one(&engine, &image, 0, sub.seed);
+        let latency = started.elapsed();
+        drop(_worker);
+
+        let (outputs, report) = match run {
+            Ok(pair) => pair,
+            Err(e) => {
+                self.shared.stats.failed.fetch_add(1, Ordering::Relaxed);
+                return Response::Error {
+                    id: sub.id,
+                    code: ErrorCode::Internal,
+                    message: e.to_string(),
+                };
+            }
+        };
+
+        match outputs {
+            Some(planes) if !report.status.is_failed() => {
+                let (degraded, fallback) = match &report.status {
+                    FrameStatus::Degraded { fallback, .. } => (true, fallback.clone()),
+                    _ => (false, String::new()),
+                };
+                self.shared.stats.completed.fetch_add(1, Ordering::Relaxed);
+                metrics.counter("ta_serve_completed_total").inc();
+                if degraded {
+                    self.shared.stats.degraded.fetch_add(1, Ordering::Relaxed);
+                    metrics.counter("ta_serve_degraded_total").inc();
+                }
+                let checksum = output_checksum(planes.iter().map(|p| p.pixels()));
+                let outputs = if sub.want_outputs {
+                    planes
+                        .iter()
+                        .map(|p| OutputPlane {
+                            width: p.width() as u32,
+                            height: p.height() as u32,
+                            pixels: p.pixels().to_vec(),
+                        })
+                        .collect()
+                } else {
+                    Vec::new()
+                };
+                Response::Done {
+                    id: sub.id,
+                    degraded,
+                    fallback,
+                    attempts: report.attempts,
+                    latency_us: latency.as_micros() as u64,
+                    checksum,
+                    outputs,
+                }
+            }
+            _ => {
+                // Exhausted budget with no usable output. A log that is
+                // all watchdog timeouts means the deadline (split across
+                // attempts) is what killed the frame.
+                let timed_out =
+                    !report.log.is_empty() && report.log.iter().all(|l| l.contains("timeout"));
+                self.shared.stats.failed.fetch_add(1, Ordering::Relaxed);
+                metrics.counter("ta_serve_failed_total").inc();
+                Response::Error {
+                    id: sub.id,
+                    code: if timed_out {
+                        ErrorCode::DeadlineExceeded
+                    } else {
+                        ErrorCode::FrameFailed
+                    },
+                    message: report.status.to_string(),
+                }
+            }
+        }
+    }
+
+    fn send(&self, stream: &mut Stream, rsp: &Response) -> bool {
+        crate::wire::write_frame(stream, &rsp.encode()).is_ok()
+    }
+
+    fn close(&self, stream: &mut Stream, open: &mut bool) {
+        if *open {
+            let _ = stream.flush();
+        }
+        stream.shutdown();
+        *open = false;
+    }
+}
+
+/// The receive half: deframe in timeout slices, decode, stamp
+/// receive-time verdicts, forward. Exits on EOF/fatal error/shutdown.
+fn reader_loop(
+    mut stream: Stream,
+    shared: Arc<Shared>,
+    responded: Arc<AtomicU64>,
+    tx: Sender<ConnEvent>,
+) {
+    if stream.set_read_timeout(Some(READ_SLICE)).is_err() {
+        let _ = tx.send(ConnEvent::Io);
+        return;
+    }
+    let cfg = &shared.cfg;
+    let mut submits_seen: u64 = 0;
+    let mut last_activity = Instant::now();
+
+    loop {
+        match read_frame_sliced(
+            &mut stream,
+            cfg.max_frame,
+            cfg.idle_timeout,
+            cfg.frame_recv_budget,
+            &mut last_activity,
+            &shared,
+        ) {
+            Sliced::Frame(payload) => {
+                let received = Instant::now();
+                match Request::decode(&payload) {
+                    Ok(req) => {
+                        let mut shed = None;
+                        if let Request::Submit(_) = &req {
+                            submits_seen += 1;
+                            let outstanding =
+                                submits_seen.saturating_sub(responded.load(Ordering::SeqCst));
+                            if outstanding > u64::from(cfg.credits) {
+                                shed = Some(ShedReason::CreditOverrun);
+                            } else if shared.draining.load(Ordering::SeqCst) {
+                                shed = Some(ShedReason::Draining);
+                            }
+                            shared.pending.fetch_add(1, Ordering::SeqCst);
+                        }
+                        if tx
+                            .send(ConnEvent::Msg {
+                                req,
+                                received,
+                                shed,
+                            })
+                            .is_err()
+                        {
+                            return;
+                        }
+                    }
+                    Err(err) => {
+                        // Payload-level: the stream itself is still in
+                        // sync — recoverable, strikes permitting.
+                        if tx.send(ConnEvent::Bad { err, fatal: false }).is_err() {
+                            return;
+                        }
+                    }
+                }
+            }
+            Sliced::Bad(err) => {
+                // Framing-level: desynchronised; the connection must die.
+                let _ = tx.send(ConnEvent::Bad { err, fatal: true });
+                return;
+            }
+            Sliced::Idle => {
+                let _ = tx.send(ConnEvent::Idle);
+                return;
+            }
+            Sliced::Eof => {
+                let _ = tx.send(ConnEvent::Eof);
+                return;
+            }
+            Sliced::Io => {
+                let _ = tx.send(ConnEvent::Io);
+                return;
+            }
+            Sliced::Shutdown => {
+                let _ = tx.send(ConnEvent::Shutdown);
+                return;
+            }
+        }
+    }
+}
+
+enum Sliced {
+    Frame(Vec<u8>),
+    /// Framing violation (bad magic, oversized, mid-frame EOF, slow frame).
+    Bad(ProtocolError),
+    Idle,
+    Eof,
+    Io,
+    Shutdown,
+}
+
+/// Reads one frame in [`READ_SLICE`] quanta, watching for idle timeout
+/// (between frames), receive budget (within a frame — slow-loris), and
+/// server shutdown.
+fn read_frame_sliced(
+    stream: &mut Stream,
+    max_len: u32,
+    idle_timeout: Duration,
+    recv_budget: Duration,
+    last_activity: &mut Instant,
+    shared: &Shared,
+) -> Sliced {
+    use std::io::Read;
+
+    let mut header = [0u8; 6];
+    let mut filled = 0usize;
+    let mut frame_started: Option<Instant> = None;
+    let mut payload: Option<(Vec<u8>, usize)> = None; // (buf, got)
+
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return Sliced::Shutdown;
+        }
+        let r = match &mut payload {
+            None => stream.read(&mut header[filled..]),
+            Some((buf, got)) => stream.read(&mut buf[*got..]),
+        };
+        match r {
+            Ok(0) => {
+                return if filled == 0 && payload.is_none() {
+                    Sliced::Eof
+                } else {
+                    Sliced::Bad(ProtocolError::Truncated {
+                        field: if payload.is_none() {
+                            "frame.header"
+                        } else {
+                            "frame.payload"
+                        },
+                        needed: payload.as_ref().map_or(header.len(), |(b, _)| b.len()),
+                        got: payload.as_ref().map_or(filled, |(_, g)| *g),
+                    })
+                };
+            }
+            Ok(n) => {
+                *last_activity = Instant::now();
+                frame_started.get_or_insert_with(Instant::now);
+                match &mut payload {
+                    None => {
+                        filled += n;
+                        if filled == header.len() {
+                            let len = match parse_header(&header, max_len) {
+                                Ok(len) => len as usize,
+                                Err(e) => return Sliced::Bad(e),
+                            };
+                            if len == 0 {
+                                return Sliced::Frame(Vec::new());
+                            }
+                            payload = Some((vec![0u8; len], 0));
+                        }
+                    }
+                    Some((buf, got)) => {
+                        *got += n;
+                        if *got == buf.len() {
+                            let (buf, _) = match payload.take() {
+                                Some(p) => p,
+                                None => unreachable!("payload just matched Some"),
+                            };
+                            return Sliced::Frame(buf);
+                        }
+                    }
+                }
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                match frame_started {
+                    // Mid-frame: the sender is trickling bytes.
+                    Some(started) if started.elapsed() > recv_budget => {
+                        return Sliced::Bad(ProtocolError::SlowFrame {
+                            budget_ms: recv_budget.as_millis() as u64,
+                        });
+                    }
+                    // Between frames: plain idleness.
+                    None if last_activity.elapsed() > idle_timeout => return Sliced::Idle,
+                    _ => {}
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => return Sliced::Io,
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! Minimal SIGTERM/SIGINT latching without a libc dependency.
+//!
+//! The handler only sets a static atomic flag — the single
+//! async-signal-safe operation we need — and the accept loop polls it.
+//! This is the one module in the crate that needs `unsafe`: registering
+//! the handler through the C `signal` entry point.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static TERM_REQUESTED: AtomicBool = AtomicBool::new(false);
+
+const SIGINT: i32 = 2;
+const SIGTERM: i32 = 15;
+
+#[allow(unsafe_code)]
+mod ffi {
+    unsafe extern "C" {
+        pub fn signal(signum: i32, handler: usize) -> usize;
+    }
+}
+
+extern "C" fn on_term(_signum: i32) {
+    TERM_REQUESTED.store(true, Ordering::SeqCst);
+}
+
+/// Installs the SIGTERM/SIGINT latch. Idempotent; later installs simply
+/// re-register the same handler.
+#[allow(unsafe_code)]
+pub fn install_term_handler() {
+    // SAFETY: `on_term` only performs an atomic store, which is
+    // async-signal-safe; the handler address is a valid
+    // `extern "C" fn(i32)` for the lifetime of the program.
+    unsafe {
+        ffi::signal(SIGTERM, on_term as *const () as usize);
+        ffi::signal(SIGINT, on_term as *const () as usize);
+    }
+}
+
+/// True once SIGTERM/SIGINT has been received (sticky).
+pub fn term_requested() -> bool {
+    TERM_REQUESTED.load(Ordering::SeqCst)
+}
+
+/// Test hook: force or clear the latch as if a signal had (not) arrived.
+pub fn set_term_requested(v: bool) {
+    TERM_REQUESTED.store(v, Ordering::SeqCst);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latch_is_sticky_and_settable() {
+        set_term_requested(false);
+        assert!(!term_requested());
+        set_term_requested(true);
+        assert!(term_requested());
+        assert!(term_requested());
+        set_term_requested(false);
+    }
+}

@@ -1,0 +1,286 @@
+//! Compiling a wire-level [`ArchSpec`] into an executable architecture:
+//! kernels, the compiled `Architecture` (whose construction bakes the
+//! `FramePlan`), the engine, and the trusted digital reference for
+//! fallback.
+
+use std::fmt;
+use std::sync::Arc;
+use std::time::Duration;
+
+use ta_baseline::digital::DigitalModel;
+use ta_baseline::DigitalReference;
+use ta_circuits::UnitScale;
+use ta_core::{ArchConfig, Architecture, ArithmeticMode, FaultModel, SystemDescription};
+use ta_image::Kernel;
+use ta_runtime::{
+    Engine, Fallback, FaultyTemporalEngine, RetryPolicy, Supervisor, SupervisorConfig,
+    TemporalEngine, ValidationPolicy,
+};
+
+use crate::wire::{ArchSpec, MODE_APPROX, MODE_EXACT, MODE_IMPORTANCE, MODE_NOISY};
+
+/// Fault-stream decorrelation seed for server-side faulty engines; the
+/// per-request seed still mixes in at `run_frame` time, so two requests
+/// with different seeds draw different fault maps while the engine stays
+/// cacheable.
+const SERVE_FAULT_SEED: u64 = 0xFA17;
+
+/// Why an [`ArchSpec`] failed to compile. Travels back to the client as a
+/// `BadSpec` error response.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum SpecError {
+    /// No built-in kernel set by that name.
+    UnknownKernel(String),
+    /// No arithmetic mode with that discriminant.
+    UnknownMode(u8),
+    /// A parameter is out of range.
+    InvalidConfig(String),
+    /// The architecture itself would not compile.
+    System(ta_core::SystemError),
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::UnknownKernel(k) => write!(
+                f,
+                "unknown kernel {k:?}; try: sobel pyrdown gauss laplacian sharpen emboss box3"
+            ),
+            SpecError::UnknownMode(m) => write!(f, "unknown mode discriminant {m}"),
+            SpecError::InvalidConfig(why) => f.write_str(why),
+            SpecError::System(e) => write!(f, "architecture: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+/// Resolves a kernel-set name to its kernels and stride (the same set the
+/// CLI exposes).
+///
+/// # Errors
+///
+/// [`SpecError::UnknownKernel`] for an unknown name.
+pub fn kernel_set(name: &str) -> Result<(Vec<Kernel>, usize), SpecError> {
+    Ok(match name {
+        "sobel" => (vec![Kernel::sobel_x(), Kernel::sobel_y()], 1),
+        "pyrdown" => (vec![Kernel::pyr_down_5x5()], 2),
+        "gauss" => (vec![Kernel::gaussian(7, 0.0)], 1),
+        "laplacian" => (vec![Kernel::laplacian()], 1),
+        "sharpen" => (vec![Kernel::sharpen()], 1),
+        "emboss" => (vec![Kernel::emboss()], 1),
+        "box3" => (vec![Kernel::box_filter(3)], 1),
+        other => return Err(SpecError::UnknownKernel(other.to_string())),
+    })
+}
+
+/// Maps a wire mode discriminant to the engine's [`ArithmeticMode`].
+///
+/// # Errors
+///
+/// [`SpecError::UnknownMode`] for an unknown discriminant.
+pub fn mode_of(mode: u8) -> Result<ArithmeticMode, SpecError> {
+    Ok(match mode {
+        MODE_IMPORTANCE => ArithmeticMode::ImportanceExact,
+        MODE_EXACT => ArithmeticMode::DelayExact,
+        MODE_APPROX => ArithmeticMode::DelayApprox,
+        MODE_NOISY => ArithmeticMode::DelayApproxNoisy,
+        other => return Err(SpecError::UnknownMode(other)),
+    })
+}
+
+/// Retry/backoff shape applied to every served frame; kept small so a
+/// flapping engine burns milliseconds, not request deadlines.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExecPolicy {
+    /// Retries after the first attempt.
+    pub max_retries: u32,
+    /// First-retry backoff.
+    pub base_backoff: Duration,
+    /// Backoff cap.
+    pub max_backoff: Duration,
+    /// Relative jitter amplitude.
+    pub jitter: f64,
+}
+
+impl Default for ExecPolicy {
+    fn default() -> Self {
+        ExecPolicy {
+            max_retries: 2,
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(20),
+            jitter: 0.5,
+        }
+    }
+}
+
+/// One compiled, cacheable execution target: the architecture (with its
+/// baked `FramePlan`), the engine, and the digital reference. Keyed in
+/// the per-connection cache by [`ArchSpec::arch_hash`].
+pub struct CompiledArch {
+    /// The cache key this entry was compiled under.
+    pub hash: u64,
+    /// Frame width the plan was compiled for.
+    pub width: u32,
+    /// Frame height the plan was compiled for.
+    pub height: u32,
+    /// The compiled architecture.
+    pub arch: Architecture,
+    /// The arithmetic mode frames run in.
+    pub mode: ArithmeticMode,
+    /// The engine every request on this spec executes through.
+    pub engine: Arc<dyn Engine>,
+    /// The trusted digital reference (graceful-degradation fallback).
+    pub reference: Arc<DigitalReference>,
+}
+
+impl CompiledArch {
+    /// Compiles `spec` for `width`×`height` frames.
+    ///
+    /// # Errors
+    ///
+    /// [`SpecError`] when the spec names unknown kernels/modes or the
+    /// architecture rejects the configuration.
+    pub fn compile(spec: &ArchSpec, width: u32, height: u32) -> Result<CompiledArch, SpecError> {
+        let (kernels, stride) = kernel_set(&spec.kernel)?;
+        let mode = mode_of(spec.mode)?;
+        if !spec.unit_ns.is_finite() || spec.unit_ns <= 0.0 {
+            return Err(SpecError::InvalidConfig("unit_ns must be positive".into()));
+        }
+        if spec.nlse_terms == 0 || spec.nlde_terms == 0 {
+            return Err(SpecError::InvalidConfig(
+                "nlse_terms/nlde_terms must be positive".into(),
+            ));
+        }
+        let cfg = ArchConfig::new(
+            UnitScale::new(spec.unit_ns, 50.0),
+            spec.nlse_terms as usize,
+            spec.nlde_terms as usize,
+        );
+        let desc = SystemDescription::new(width as usize, height as usize, kernels.clone(), stride)
+            .map_err(SpecError::System)?;
+        let arch = Architecture::new(desc, cfg).map_err(SpecError::System)?;
+
+        let engine: Arc<dyn Engine> = if spec.fault_rate > 0.0 {
+            let model = FaultModel::with_rate(spec.fault_rate)
+                .map_err(|e| SpecError::InvalidConfig(e.to_string()))?;
+            Arc::new(FaultyTemporalEngine::new(
+                arch.clone(),
+                mode,
+                model,
+                SERVE_FAULT_SEED,
+            ))
+        } else {
+            Arc::new(TemporalEngine::new(arch.clone(), mode))
+        };
+
+        let reference = Arc::new(
+            DigitalReference::new(DigitalModel::conventional_65nm(), kernels, stride)
+                .with_pixel_floor((-arch.vtc().max_delay_units()).exp()),
+        );
+
+        Ok(CompiledArch {
+            hash: spec.arch_hash(width, height),
+            width,
+            height,
+            arch,
+            mode,
+            engine,
+            reference,
+        })
+    }
+
+    /// Builds the per-request supervisor: finite-only validation, the
+    /// shared retry policy, the request's seed, the request's remaining
+    /// deadline as the per-attempt watchdog budget, and the digital
+    /// reference as graceful-degradation fallback.
+    ///
+    /// The supervised outputs are a pure function of
+    /// `(spec, seed, pixels, policy)` — the bit-identity contract the
+    /// chaos suite pins against serial re-execution.
+    pub fn supervisor(
+        &self,
+        policy: &ExecPolicy,
+        seed: u64,
+        attempt_budget: Option<Duration>,
+    ) -> Supervisor {
+        Supervisor::new(SupervisorConfig {
+            validation: ValidationPolicy {
+                require_finite: true,
+                nrmse_tolerance: None,
+            },
+            timeout: attempt_budget,
+            retry: RetryPolicy {
+                max_retries: policy.max_retries,
+                base_backoff: policy.base_backoff,
+                max_backoff: policy.max_backoff,
+                jitter: policy.jitter,
+            },
+            workers: 1,
+            seed,
+        })
+        .with_reference(self.reference.clone())
+        .with_fallback(Fallback::Reference)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
+    use super::*;
+    use crate::wire::MODE_EXACT;
+
+    fn spec() -> ArchSpec {
+        ArchSpec {
+            kernel: "box3".into(),
+            mode: MODE_EXACT,
+            unit_ns: 1.0,
+            nlse_terms: 7,
+            nlde_terms: 20,
+            fault_rate: 0.0,
+        }
+    }
+
+    #[test]
+    fn compiles_and_hash_matches_key() {
+        let c = CompiledArch::compile(&spec(), 12, 12).unwrap();
+        assert_eq!(c.hash, spec().arch_hash(12, 12));
+        assert_eq!((c.width, c.height), (12, 12));
+        assert_eq!(c.engine.name(), "temporal");
+    }
+
+    #[test]
+    fn faulty_rate_selects_the_faulty_engine() {
+        let mut s = spec();
+        s.fault_rate = 0.05;
+        let c = CompiledArch::compile(&s, 12, 12).unwrap();
+        assert_eq!(c.engine.name(), "temporal+faults");
+    }
+
+    #[test]
+    fn bad_specs_are_typed() {
+        let mut s = spec();
+        s.kernel = "nope".into();
+        assert!(matches!(
+            CompiledArch::compile(&s, 12, 12),
+            Err(SpecError::UnknownKernel(_))
+        ));
+        let mut s = spec();
+        s.mode = 9;
+        assert!(matches!(
+            CompiledArch::compile(&s, 12, 12),
+            Err(SpecError::UnknownMode(9))
+        ));
+        let mut s = spec();
+        s.nlse_terms = 0;
+        assert!(matches!(
+            CompiledArch::compile(&s, 12, 12),
+            Err(SpecError::InvalidConfig(_))
+        ));
+        let mut s = spec();
+        s.fault_rate = 2.0;
+        assert!(CompiledArch::compile(&s, 12, 12).is_err());
+    }
+}

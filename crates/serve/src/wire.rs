@@ -1,0 +1,1434 @@
+//! The length-prefixed binary wire protocol (DESIGN.md §5.12).
+//!
+//! Every message travels as one *frame*:
+//!
+//! ```text
+//! [0x54 0x41]  [u32 LE payload length]  [payload]
+//!  magic "TA"   counts the payload only
+//! ```
+//!
+//! The payload's first byte is the message tag; the rest is a flat
+//! little-endian field encoding with no padding. Strings are
+//! `u16 length + UTF-8` (≤ 256 bytes); pixel planes are
+//! `u32 count + f64 × count`. The codec is hand-rolled (the workspace is
+//! vendored-only) and *total*: every decoder path returns a typed
+//! [`ProtocolError`] — never a panic, never a silent misparse — which the
+//! `codec_roundtrip` proptest suite enforces against mutated and
+//! truncated byte streams.
+//!
+//! Robustness rules baked into the format:
+//!
+//! * the magic catches stream desynchronisation and plain garbage before
+//!   a length field can demand a huge allocation;
+//! * the length prefix is bounds-checked against the connection's
+//!   configured maximum *before* any allocation ([`ProtocolError::Oversized`]);
+//! * counts inside the payload (strings, pixel planes, output lists) are
+//!   re-checked against the bytes actually present, so a forged count
+//!   yields [`ProtocolError::Truncated`], not an over-read;
+//! * decoders must consume the payload exactly — trailing bytes are a
+//!   [`ProtocolError::TrailingBytes`] violation.
+
+use std::fmt;
+use std::io::{self, Read, Write};
+
+/// Protocol revision spoken by this build. A [`Request::Hello`] carrying
+/// a different major version is rejected with a typed error response.
+pub const PROTO_VERSION: u32 = 1;
+
+/// Two-byte frame magic ("TA").
+pub const MAGIC: [u8; 2] = [0x54, 0x41];
+
+/// Absolute ceiling on a frame payload, independent of configuration —
+/// a second line of defence against allocation bombs.
+pub const HARD_MAX_FRAME: u32 = 256 * 1024 * 1024;
+
+/// Largest encodable string field in bytes.
+pub const MAX_STR: usize = 256;
+
+/// Largest image edge accepted on the wire.
+pub const MAX_DIM: u32 = 16_384;
+
+/// Every way a byte stream can violate the protocol. The taxonomy is the
+/// contract chaos tests pin: malformed input of any shape maps onto
+/// exactly one of these, and the server's quarantine policy counts them.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ProtocolError {
+    /// The frame did not start with [`MAGIC`] — garbage or a
+    /// desynchronised stream.
+    BadMagic {
+        /// The two bytes actually seen.
+        got: [u8; 2],
+    },
+    /// The length prefix exceeds the connection's configured maximum.
+    Oversized {
+        /// Declared payload length.
+        len: u32,
+        /// The maximum this connection accepts.
+        max: u32,
+    },
+    /// The stream ended (or a count pointed) past the available bytes.
+    Truncated {
+        /// Which field was being decoded.
+        field: &'static str,
+        /// Bytes the field needed.
+        needed: usize,
+        /// Bytes that were available.
+        got: usize,
+    },
+    /// The payload's message tag is not one this protocol version knows.
+    UnknownTag {
+        /// The offending tag byte.
+        tag: u8,
+    },
+    /// A discriminant byte named no known variant.
+    BadEnum {
+        /// Which field was being decoded.
+        field: &'static str,
+        /// The offending value.
+        value: u8,
+    },
+    /// A string field was not valid UTF-8.
+    BadUtf8 {
+        /// Which field was being decoded.
+        field: &'static str,
+    },
+    /// A count or dimension field exceeded its hard bound.
+    BadCount {
+        /// Which field was being decoded.
+        field: &'static str,
+        /// The declared count.
+        count: u64,
+        /// The maximum the protocol accepts.
+        max: u64,
+    },
+    /// A numeric field held a non-finite or out-of-domain value.
+    BadValue {
+        /// Which field was being decoded.
+        field: &'static str,
+    },
+    /// The decoder finished but bytes remained in the payload.
+    TrailingBytes {
+        /// Leftover byte count.
+        extra: usize,
+    },
+    /// A frame's bytes stopped arriving before its declared length within
+    /// the read deadline (slow-loris defence).
+    SlowFrame {
+        /// The per-frame receive budget that was exceeded, in ms.
+        budget_ms: u64,
+    },
+}
+
+impl ProtocolError {
+    /// Stable numeric code for the wire (`ProtocolReject` responses) and
+    /// for telemetry labels.
+    pub fn code(&self) -> u8 {
+        match self {
+            ProtocolError::BadMagic { .. } => 1,
+            ProtocolError::Oversized { .. } => 2,
+            ProtocolError::Truncated { .. } => 3,
+            ProtocolError::UnknownTag { .. } => 4,
+            ProtocolError::BadEnum { .. } => 5,
+            ProtocolError::BadUtf8 { .. } => 6,
+            ProtocolError::BadCount { .. } => 7,
+            ProtocolError::BadValue { .. } => 8,
+            ProtocolError::TrailingBytes { .. } => 9,
+            ProtocolError::SlowFrame { .. } => 10,
+        }
+    }
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolError::BadMagic { got } => {
+                write!(f, "bad frame magic {:02x}{:02x}", got[0], got[1])
+            }
+            ProtocolError::Oversized { len, max } => {
+                write!(f, "frame of {len} bytes exceeds the {max}-byte limit")
+            }
+            ProtocolError::Truncated { field, needed, got } => {
+                write!(f, "truncated at {field}: needed {needed} bytes, got {got}")
+            }
+            ProtocolError::UnknownTag { tag } => write!(f, "unknown message tag {tag:#04x}"),
+            ProtocolError::BadEnum { field, value } => {
+                write!(f, "{field}: no variant {value}")
+            }
+            ProtocolError::BadUtf8 { field } => write!(f, "{field}: invalid UTF-8"),
+            ProtocolError::BadCount { field, count, max } => {
+                write!(f, "{field}: count {count} exceeds limit {max}")
+            }
+            ProtocolError::BadValue { field } => write!(f, "{field}: value out of domain"),
+            ProtocolError::TrailingBytes { extra } => {
+                write!(f, "{extra} trailing byte(s) after message")
+            }
+            ProtocolError::SlowFrame { budget_ms } => {
+                write!(f, "frame not completed within {budget_ms} ms")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+// ---------------------------------------------------------------------
+// Message model
+// ---------------------------------------------------------------------
+
+/// The architecture a client wants its frames executed on. Compiled
+/// server-side into an `Architecture` + engine + supervisor and cached
+/// per connection keyed by [`ArchSpec::arch_hash`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArchSpec {
+    /// Built-in kernel-set name (`sobel`, `box3`, …).
+    pub kernel: String,
+    /// Arithmetic mode discriminant (see [`ArchSpec::mode_name`]).
+    pub mode: u8,
+    /// Unit scale in ns per delay unit.
+    pub unit_ns: f64,
+    /// nLSE max-approximation terms.
+    pub nlse_terms: u32,
+    /// nLDE inhibit terms.
+    pub nlde_terms: u32,
+    /// Per-site transient fault rate (0 = clean engine).
+    pub fault_rate: f64,
+}
+
+/// Mode discriminants on the wire.
+pub const MODE_IMPORTANCE: u8 = 0;
+/// `DelayExact`.
+pub const MODE_EXACT: u8 = 1;
+/// `DelayApprox`.
+pub const MODE_APPROX: u8 = 2;
+/// `DelayApproxNoisy`.
+pub const MODE_NOISY: u8 = 3;
+
+impl ArchSpec {
+    /// Human-readable mode name (diagnostics only).
+    pub fn mode_name(&self) -> &'static str {
+        match self.mode {
+            MODE_IMPORTANCE => "importance",
+            MODE_EXACT => "exact",
+            MODE_APPROX => "approx",
+            MODE_NOISY => "noisy",
+            _ => "?",
+        }
+    }
+
+    /// FNV-1a hash over the spec's canonical encoding plus the frame
+    /// geometry — the key of the per-connection rolling plan cache. Two
+    /// submissions share a compiled `FramePlan` iff their hashes agree.
+    pub fn arch_hash(&self, width: u32, height: u32) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        eat(self.kernel.as_bytes());
+        eat(&[0xff, self.mode]);
+        eat(&self.unit_ns.to_bits().to_le_bytes());
+        eat(&self.nlse_terms.to_le_bytes());
+        eat(&self.nlde_terms.to_le_bytes());
+        eat(&self.fault_rate.to_bits().to_le_bytes());
+        eat(&width.to_le_bytes());
+        eat(&height.to_le_bytes());
+        h
+    }
+}
+
+/// Chaos directives a client may attach to a submission. Honoured only
+/// when the server runs with chaos enabled; otherwise rejected with a
+/// typed error. They exercise the supervision machinery end to end
+/// (panic isolation, watchdog, retry) without a special build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Chaos {
+    /// No injection.
+    None,
+    /// Panic inside the engine on attempts `< n`.
+    PanicAttempts {
+        /// Attempts that panic before one succeeds.
+        n: u32,
+    },
+    /// Stall the engine for `ms` on attempts `< n` (drives the watchdog).
+    StallAttempts {
+        /// Attempts that stall.
+        n: u32,
+        /// Stall duration per attempt, ms.
+        ms: u32,
+    },
+}
+
+/// One frame-execution request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Submit {
+    /// Client-chosen correlation id, echoed in every response.
+    pub id: u64,
+    /// Architecture to execute on.
+    pub spec: ArchSpec,
+    /// Batch seed: outputs are a pure function of `(spec, seed, pixels)`.
+    pub seed: u64,
+    /// Per-request deadline in ms (0 = server default). Propagates into
+    /// the supervisor watchdog.
+    pub deadline_ms: u32,
+    /// True to receive full output planes; false for checksum-only
+    /// responses (high-throughput load generation).
+    pub want_outputs: bool,
+    /// Chaos directive (server must be started with chaos enabled).
+    pub chaos: Chaos,
+    /// Frame width in pixels.
+    pub width: u32,
+    /// Frame height in pixels.
+    pub height: u32,
+    /// Row-major pixel plane, `width × height` values.
+    pub pixels: Vec<f64>,
+}
+
+/// Client → server messages.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Opens the session: protocol version + tenant identity.
+    Hello {
+        /// Client's [`PROTO_VERSION`].
+        proto: u32,
+        /// Tenant name for admission control and per-tenant metrics.
+        tenant: String,
+    },
+    /// Execute one frame.
+    Submit(Submit),
+    /// Liveness probe; echoed back as [`Response::Pong`].
+    Ping {
+        /// Opaque echo value.
+        nonce: u64,
+    },
+    /// Readiness/health snapshot request.
+    Health,
+    /// Prometheus-text metrics scrape.
+    Metrics,
+    /// Polite close; server replies [`Response::Bye`] and closes.
+    Goodbye,
+}
+
+/// Why a request was shed instead of executed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ShedReason {
+    /// The server is at its connection limit.
+    ConnectionLimit,
+    /// This tenant's pending-work bound is full.
+    TenantQueueFull,
+    /// The server-wide pending-work bound is full.
+    Overloaded,
+    /// The client pipelined past its granted credits.
+    CreditOverrun,
+    /// The server is draining and accepts no new work.
+    Draining,
+    /// The request's deadline expired while it waited in queue.
+    Expired,
+}
+
+impl ShedReason {
+    fn to_u8(self) -> u8 {
+        match self {
+            ShedReason::ConnectionLimit => 1,
+            ShedReason::TenantQueueFull => 2,
+            ShedReason::Overloaded => 3,
+            ShedReason::CreditOverrun => 4,
+            ShedReason::Draining => 5,
+            ShedReason::Expired => 6,
+        }
+    }
+
+    fn from_u8(v: u8) -> Result<Self, ProtocolError> {
+        Ok(match v {
+            1 => ShedReason::ConnectionLimit,
+            2 => ShedReason::TenantQueueFull,
+            3 => ShedReason::Overloaded,
+            4 => ShedReason::CreditOverrun,
+            5 => ShedReason::Draining,
+            6 => ShedReason::Expired,
+            value => {
+                return Err(ProtocolError::BadEnum {
+                    field: "shed_reason",
+                    value,
+                })
+            }
+        })
+    }
+
+    /// Telemetry label for this shed class.
+    pub fn label(self) -> &'static str {
+        match self {
+            ShedReason::ConnectionLimit => "connection_limit",
+            ShedReason::TenantQueueFull => "tenant_queue_full",
+            ShedReason::Overloaded => "overloaded",
+            ShedReason::CreditOverrun => "credit_overrun",
+            ShedReason::Draining => "draining",
+            ShedReason::Expired => "expired",
+        }
+    }
+}
+
+impl fmt::Display for ShedReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Request-level (not protocol-level) failure classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ErrorCode {
+    /// The [`ArchSpec`] could not be compiled.
+    BadSpec,
+    /// Pixel plane does not match the declared geometry.
+    DimensionMismatch,
+    /// A [`Request::Hello`] was required (or repeated, or incompatible).
+    BadHandshake,
+    /// Chaos directive received but the server runs without `--chaos`.
+    ChaosDisabled,
+    /// The supervisor exhausted its budget and no fallback produced
+    /// usable output.
+    FrameFailed,
+    /// The frame missed its deadline (watchdog fired on every attempt).
+    DeadlineExceeded,
+    /// Unclassified server-side failure.
+    Internal,
+}
+
+impl ErrorCode {
+    fn to_u8(self) -> u8 {
+        match self {
+            ErrorCode::BadSpec => 1,
+            ErrorCode::DimensionMismatch => 2,
+            ErrorCode::BadHandshake => 3,
+            ErrorCode::ChaosDisabled => 4,
+            ErrorCode::FrameFailed => 5,
+            ErrorCode::DeadlineExceeded => 6,
+            ErrorCode::Internal => 7,
+        }
+    }
+
+    fn from_u8(v: u8) -> Result<Self, ProtocolError> {
+        Ok(match v {
+            1 => ErrorCode::BadSpec,
+            2 => ErrorCode::DimensionMismatch,
+            3 => ErrorCode::BadHandshake,
+            4 => ErrorCode::ChaosDisabled,
+            5 => ErrorCode::FrameFailed,
+            6 => ErrorCode::DeadlineExceeded,
+            7 => ErrorCode::Internal,
+            value => {
+                return Err(ProtocolError::BadEnum {
+                    field: "error_code",
+                    value,
+                })
+            }
+        })
+    }
+}
+
+/// One output plane in a [`Response::Done`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct OutputPlane {
+    /// Plane width.
+    pub width: u32,
+    /// Plane height.
+    pub height: u32,
+    /// Row-major values.
+    pub pixels: Vec<f64>,
+}
+
+/// Readiness/liveness snapshot, built on the runtime's health machinery.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HealthSnapshot {
+    /// True when the server accepts new work (live and not draining).
+    pub ready: bool,
+    /// True once drain has begun.
+    pub draining: bool,
+    /// Open connections (including the one answering this probe).
+    pub connections: u32,
+    /// Frames currently queued or executing.
+    pub in_flight: u32,
+    /// Submissions admitted since startup.
+    pub accepted: u64,
+    /// Frames completed with usable output (ok + degraded).
+    pub completed: u64,
+    /// Frames served by a fallback engine.
+    pub degraded: u64,
+    /// Requests shed (all [`ShedReason`] classes).
+    pub shed: u64,
+    /// Frames with no usable output.
+    pub failed: u64,
+    /// Protocol violations observed.
+    pub protocol_errors: u64,
+}
+
+/// Server → client messages.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Handshake accepted.
+    Welcome {
+        /// Server's [`PROTO_VERSION`].
+        proto: u32,
+        /// Flow-control credits: the maximum submissions the client may
+        /// have outstanding on this connection.
+        credits: u32,
+        /// Largest frame payload this connection accepts.
+        max_frame: u32,
+        /// Server build name.
+        server: String,
+    },
+    /// Frame executed; outputs attached or checksummed.
+    Done {
+        /// Echoed correlation id.
+        id: u64,
+        /// True when a fallback engine produced the outputs.
+        degraded: bool,
+        /// Name of the fallback that served the frame (empty when not
+        /// degraded).
+        fallback: String,
+        /// Supervisor attempts consumed.
+        attempts: u32,
+        /// Server-side latency in microseconds.
+        latency_us: u64,
+        /// FNV-1a over every output plane's f64 bit patterns, in order —
+        /// lets checksum-only clients verify bit-identity.
+        checksum: u64,
+        /// Output planes (empty unless `want_outputs`).
+        outputs: Vec<OutputPlane>,
+    },
+    /// Request shed; retry after the hinted delay.
+    Busy {
+        /// Echoed correlation id (0 for connection-level shedding).
+        id: u64,
+        /// Why the request was shed.
+        reason: ShedReason,
+        /// Client backoff hint, ms.
+        retry_after_ms: u32,
+    },
+    /// Request failed for a request-level reason.
+    Error {
+        /// Echoed correlation id.
+        id: u64,
+        /// Failure class.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+    /// The previous frame violated the protocol. After
+    /// `strikes_left == 0` the connection is quarantined (closed).
+    ProtocolReject {
+        /// [`ProtocolError::code`] of the violation.
+        code: u8,
+        /// Rendered violation.
+        message: String,
+        /// Violations remaining before quarantine.
+        strikes_left: u32,
+    },
+    /// Liveness echo.
+    Pong {
+        /// Echoed nonce.
+        nonce: u64,
+    },
+    /// Readiness/health snapshot.
+    Health(HealthSnapshot),
+    /// Prometheus exposition text.
+    Metrics {
+        /// The rendered snapshot.
+        text: String,
+    },
+    /// Connection closing. `drained` is true when the close follows a
+    /// graceful drain with every in-flight frame answered.
+    Bye {
+        /// Whether in-flight work was fully drained.
+        drained: bool,
+    },
+}
+
+// ---------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------
+
+struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    fn new(tag: u8) -> Self {
+        Enc { buf: vec![tag] }
+    }
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+    fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+    fn str(&mut self, s: &str) {
+        let bytes = s.as_bytes();
+        let take = bytes.len().min(MAX_STR);
+        // Truncation at a char boundary: back off until valid.
+        let mut end = take;
+        while end > 0 && !s.is_char_boundary(end) {
+            end -= 1;
+        }
+        self.u16(end as u16);
+        self.buf.extend_from_slice(&bytes[..end]);
+    }
+    fn plane(&mut self, pixels: &[f64]) {
+        self.u32(pixels.len() as u32);
+        for &p in pixels {
+            self.f64(p);
+        }
+    }
+}
+
+struct Dec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Dec { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize, field: &'static str) -> Result<&'a [u8], ProtocolError> {
+        let got = self.buf.len() - self.pos;
+        if got < n {
+            return Err(ProtocolError::Truncated {
+                field,
+                needed: n,
+                got,
+            });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self, field: &'static str) -> Result<u8, ProtocolError> {
+        Ok(self.take(1, field)?[0])
+    }
+    fn u16(&mut self, field: &'static str) -> Result<u16, ProtocolError> {
+        let b = self.take(2, field)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+    fn u32(&mut self, field: &'static str) -> Result<u32, ProtocolError> {
+        let b = self.take(4, field)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+    fn u64(&mut self, field: &'static str) -> Result<u64, ProtocolError> {
+        let b = self.take(8, field)?;
+        let mut a = [0u8; 8];
+        a.copy_from_slice(b);
+        Ok(u64::from_le_bytes(a))
+    }
+    fn f64(&mut self, field: &'static str) -> Result<f64, ProtocolError> {
+        Ok(f64::from_bits(self.u64(field)?))
+    }
+    fn bool(&mut self, field: &'static str) -> Result<bool, ProtocolError> {
+        match self.u8(field)? {
+            0 => Ok(false),
+            1 => Ok(true),
+            value => Err(ProtocolError::BadEnum { field, value }),
+        }
+    }
+    fn str(&mut self, field: &'static str) -> Result<String, ProtocolError> {
+        let len = usize::from(self.u16(field)?);
+        if len > MAX_STR {
+            return Err(ProtocolError::BadCount {
+                field,
+                count: len as u64,
+                max: MAX_STR as u64,
+            });
+        }
+        let bytes = self.take(len, field)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| ProtocolError::BadUtf8 { field })
+    }
+    fn plane(&mut self, field: &'static str, max: u64) -> Result<Vec<f64>, ProtocolError> {
+        let count = u64::from(self.u32(field)?);
+        if count > max {
+            return Err(ProtocolError::BadCount { field, count, max });
+        }
+        // The byte-availability check bounds allocation before reserving.
+        let bytes = self.take((count as usize) * 8, field)?;
+        Ok(bytes
+            .chunks_exact(8)
+            .map(|c| {
+                let mut a = [0u8; 8];
+                a.copy_from_slice(c);
+                f64::from_bits(u64::from_le_bytes(a))
+            })
+            .collect())
+    }
+    fn finish(self) -> Result<(), ProtocolError> {
+        let extra = self.buf.len() - self.pos;
+        if extra != 0 {
+            return Err(ProtocolError::TrailingBytes { extra });
+        }
+        Ok(())
+    }
+}
+
+const TAG_HELLO: u8 = 0x01;
+const TAG_SUBMIT: u8 = 0x02;
+const TAG_PING: u8 = 0x03;
+const TAG_HEALTH: u8 = 0x04;
+const TAG_METRICS: u8 = 0x05;
+const TAG_GOODBYE: u8 = 0x06;
+
+const TAG_WELCOME: u8 = 0x81;
+const TAG_DONE: u8 = 0x82;
+const TAG_BUSY: u8 = 0x83;
+const TAG_ERROR: u8 = 0x84;
+const TAG_PROTO_REJECT: u8 = 0x85;
+const TAG_PONG: u8 = 0x86;
+const TAG_HEALTH_RSP: u8 = 0x87;
+const TAG_METRICS_RSP: u8 = 0x88;
+const TAG_BYE: u8 = 0x89;
+
+fn enc_spec(e: &mut Enc, s: &ArchSpec) {
+    e.str(&s.kernel);
+    e.u8(s.mode);
+    e.f64(s.unit_ns);
+    e.u32(s.nlse_terms);
+    e.u32(s.nlde_terms);
+    e.f64(s.fault_rate);
+}
+
+fn dec_spec(d: &mut Dec<'_>) -> Result<ArchSpec, ProtocolError> {
+    let kernel = d.str("spec.kernel")?;
+    let mode = d.u8("spec.mode")?;
+    if mode > MODE_NOISY {
+        return Err(ProtocolError::BadEnum {
+            field: "spec.mode",
+            value: mode,
+        });
+    }
+    let unit_ns = d.f64("spec.unit_ns")?;
+    if !unit_ns.is_finite() || unit_ns <= 0.0 {
+        return Err(ProtocolError::BadValue {
+            field: "spec.unit_ns",
+        });
+    }
+    let nlse_terms = d.u32("spec.nlse_terms")?;
+    let nlde_terms = d.u32("spec.nlde_terms")?;
+    let fault_rate = d.f64("spec.fault_rate")?;
+    if !fault_rate.is_finite() || !(0.0..=1.0).contains(&fault_rate) {
+        return Err(ProtocolError::BadValue {
+            field: "spec.fault_rate",
+        });
+    }
+    Ok(ArchSpec {
+        kernel,
+        mode,
+        unit_ns,
+        nlse_terms,
+        nlde_terms,
+        fault_rate,
+    })
+}
+
+impl Request {
+    /// Encodes the message payload (tag + body, no frame header).
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            Request::Hello { proto, tenant } => {
+                let mut e = Enc::new(TAG_HELLO);
+                e.u32(*proto);
+                e.str(tenant);
+                e.buf
+            }
+            Request::Submit(s) => {
+                let mut e = Enc::new(TAG_SUBMIT);
+                e.u64(s.id);
+                enc_spec(&mut e, &s.spec);
+                e.u64(s.seed);
+                e.u32(s.deadline_ms);
+                e.u8(u8::from(s.want_outputs));
+                match s.chaos {
+                    Chaos::None => {
+                        e.u8(0);
+                        e.u32(0);
+                        e.u32(0);
+                    }
+                    Chaos::PanicAttempts { n } => {
+                        e.u8(1);
+                        e.u32(n);
+                        e.u32(0);
+                    }
+                    Chaos::StallAttempts { n, ms } => {
+                        e.u8(2);
+                        e.u32(n);
+                        e.u32(ms);
+                    }
+                }
+                e.u32(s.width);
+                e.u32(s.height);
+                e.plane(&s.pixels);
+                e.buf
+            }
+            Request::Ping { nonce } => {
+                let mut e = Enc::new(TAG_PING);
+                e.u64(*nonce);
+                e.buf
+            }
+            Request::Health => Enc::new(TAG_HEALTH).buf,
+            Request::Metrics => Enc::new(TAG_METRICS).buf,
+            Request::Goodbye => Enc::new(TAG_GOODBYE).buf,
+        }
+    }
+
+    /// Decodes one payload.
+    ///
+    /// # Errors
+    ///
+    /// A typed [`ProtocolError`] for any malformed byte stream.
+    pub fn decode(payload: &[u8]) -> Result<Request, ProtocolError> {
+        let mut d = Dec::new(payload);
+        let tag = d.u8("tag")?;
+        let msg = match tag {
+            TAG_HELLO => {
+                let proto = d.u32("hello.proto")?;
+                let tenant = d.str("hello.tenant")?;
+                Request::Hello { proto, tenant }
+            }
+            TAG_SUBMIT => {
+                let id = d.u64("submit.id")?;
+                let spec = dec_spec(&mut d)?;
+                let seed = d.u64("submit.seed")?;
+                let deadline_ms = d.u32("submit.deadline_ms")?;
+                let want_outputs = d.bool("submit.want_outputs")?;
+                let chaos_kind = d.u8("submit.chaos")?;
+                let chaos_n = d.u32("submit.chaos_n")?;
+                let chaos_ms = d.u32("submit.chaos_ms")?;
+                let chaos = match chaos_kind {
+                    0 => Chaos::None,
+                    1 => Chaos::PanicAttempts { n: chaos_n },
+                    2 => Chaos::StallAttempts {
+                        n: chaos_n,
+                        ms: chaos_ms,
+                    },
+                    value => {
+                        return Err(ProtocolError::BadEnum {
+                            field: "submit.chaos",
+                            value,
+                        })
+                    }
+                };
+                let width = d.u32("submit.width")?;
+                let height = d.u32("submit.height")?;
+                for (field, v) in [("submit.width", width), ("submit.height", height)] {
+                    if v == 0 || v > MAX_DIM {
+                        return Err(ProtocolError::BadCount {
+                            field,
+                            count: u64::from(v),
+                            max: u64::from(MAX_DIM),
+                        });
+                    }
+                }
+                let expected = u64::from(width) * u64::from(height);
+                let pixels = d.plane("submit.pixels", expected)?;
+                if pixels.len() as u64 != expected {
+                    return Err(ProtocolError::BadCount {
+                        field: "submit.pixels",
+                        count: pixels.len() as u64,
+                        max: expected,
+                    });
+                }
+                Request::Submit(Submit {
+                    id,
+                    spec,
+                    seed,
+                    deadline_ms,
+                    want_outputs,
+                    chaos,
+                    width,
+                    height,
+                    pixels,
+                })
+            }
+            TAG_PING => Request::Ping {
+                nonce: d.u64("ping.nonce")?,
+            },
+            TAG_HEALTH => Request::Health,
+            TAG_METRICS => Request::Metrics,
+            TAG_GOODBYE => Request::Goodbye,
+            tag => return Err(ProtocolError::UnknownTag { tag }),
+        };
+        d.finish()?;
+        Ok(msg)
+    }
+}
+
+impl Response {
+    /// Encodes the message payload (tag + body, no frame header).
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            Response::Welcome {
+                proto,
+                credits,
+                max_frame,
+                server,
+            } => {
+                let mut e = Enc::new(TAG_WELCOME);
+                e.u32(*proto);
+                e.u32(*credits);
+                e.u32(*max_frame);
+                e.str(server);
+                e.buf
+            }
+            Response::Done {
+                id,
+                degraded,
+                fallback,
+                attempts,
+                latency_us,
+                checksum,
+                outputs,
+            } => {
+                let mut e = Enc::new(TAG_DONE);
+                e.u64(*id);
+                e.u8(u8::from(*degraded));
+                e.str(fallback);
+                e.u32(*attempts);
+                e.u64(*latency_us);
+                e.u64(*checksum);
+                e.u16(outputs.len() as u16);
+                for plane in outputs {
+                    e.u32(plane.width);
+                    e.u32(plane.height);
+                    e.plane(&plane.pixels);
+                }
+                e.buf
+            }
+            Response::Busy {
+                id,
+                reason,
+                retry_after_ms,
+            } => {
+                let mut e = Enc::new(TAG_BUSY);
+                e.u64(*id);
+                e.u8(reason.to_u8());
+                e.u32(*retry_after_ms);
+                e.buf
+            }
+            Response::Error { id, code, message } => {
+                let mut e = Enc::new(TAG_ERROR);
+                e.u64(*id);
+                e.u8(code.to_u8());
+                e.str(message);
+                e.buf
+            }
+            Response::ProtocolReject {
+                code,
+                message,
+                strikes_left,
+            } => {
+                let mut e = Enc::new(TAG_PROTO_REJECT);
+                e.u8(*code);
+                e.str(message);
+                e.u32(*strikes_left);
+                e.buf
+            }
+            Response::Pong { nonce } => {
+                let mut e = Enc::new(TAG_PONG);
+                e.u64(*nonce);
+                e.buf
+            }
+            Response::Health(h) => {
+                let mut e = Enc::new(TAG_HEALTH_RSP);
+                e.u8(u8::from(h.ready));
+                e.u8(u8::from(h.draining));
+                e.u32(h.connections);
+                e.u32(h.in_flight);
+                e.u64(h.accepted);
+                e.u64(h.completed);
+                e.u64(h.degraded);
+                e.u64(h.shed);
+                e.u64(h.failed);
+                e.u64(h.protocol_errors);
+                e.buf
+            }
+            Response::Metrics { text } => {
+                let mut e = Enc::new(TAG_METRICS_RSP);
+                let bytes = text.as_bytes();
+                e.u32(bytes.len() as u32);
+                e.buf.extend_from_slice(bytes);
+                e.buf
+            }
+            Response::Bye { drained } => {
+                let mut e = Enc::new(TAG_BYE);
+                e.u8(u8::from(*drained));
+                e.buf
+            }
+        }
+    }
+
+    /// Decodes one payload.
+    ///
+    /// # Errors
+    ///
+    /// A typed [`ProtocolError`] for any malformed byte stream.
+    pub fn decode(payload: &[u8]) -> Result<Response, ProtocolError> {
+        let mut d = Dec::new(payload);
+        let tag = d.u8("tag")?;
+        let msg = match tag {
+            TAG_WELCOME => Response::Welcome {
+                proto: d.u32("welcome.proto")?,
+                credits: d.u32("welcome.credits")?,
+                max_frame: d.u32("welcome.max_frame")?,
+                server: d.str("welcome.server")?,
+            },
+            TAG_DONE => {
+                let id = d.u64("done.id")?;
+                let degraded = d.bool("done.degraded")?;
+                let fallback = d.str("done.fallback")?;
+                let attempts = d.u32("done.attempts")?;
+                let latency_us = d.u64("done.latency_us")?;
+                let checksum = d.u64("done.checksum")?;
+                let count = usize::from(d.u16("done.outputs")?);
+                let mut outputs = Vec::with_capacity(count.min(64));
+                for _ in 0..count {
+                    let width = d.u32("done.plane.width")?;
+                    let height = d.u32("done.plane.height")?;
+                    for (field, v) in [("done.plane.width", width), ("done.plane.height", height)] {
+                        if v == 0 || v > MAX_DIM {
+                            return Err(ProtocolError::BadCount {
+                                field,
+                                count: u64::from(v),
+                                max: u64::from(MAX_DIM),
+                            });
+                        }
+                    }
+                    let expected = u64::from(width) * u64::from(height);
+                    let pixels = d.plane("done.plane.pixels", expected)?;
+                    if pixels.len() as u64 != expected {
+                        return Err(ProtocolError::BadCount {
+                            field: "done.plane.pixels",
+                            count: pixels.len() as u64,
+                            max: expected,
+                        });
+                    }
+                    outputs.push(OutputPlane {
+                        width,
+                        height,
+                        pixels,
+                    });
+                }
+                Response::Done {
+                    id,
+                    degraded,
+                    fallback,
+                    attempts,
+                    latency_us,
+                    checksum,
+                    outputs,
+                }
+            }
+            TAG_BUSY => Response::Busy {
+                id: d.u64("busy.id")?,
+                reason: ShedReason::from_u8(d.u8("busy.reason")?)?,
+                retry_after_ms: d.u32("busy.retry_after_ms")?,
+            },
+            TAG_ERROR => Response::Error {
+                id: d.u64("error.id")?,
+                code: ErrorCode::from_u8(d.u8("error.code")?)?,
+                message: d.str("error.message")?,
+            },
+            TAG_PROTO_REJECT => Response::ProtocolReject {
+                code: d.u8("reject.code")?,
+                message: d.str("reject.message")?,
+                strikes_left: d.u32("reject.strikes_left")?,
+            },
+            TAG_PONG => Response::Pong {
+                nonce: d.u64("pong.nonce")?,
+            },
+            TAG_HEALTH_RSP => Response::Health(HealthSnapshot {
+                ready: d.bool("health.ready")?,
+                draining: d.bool("health.draining")?,
+                connections: d.u32("health.connections")?,
+                in_flight: d.u32("health.in_flight")?,
+                accepted: d.u64("health.accepted")?,
+                completed: d.u64("health.completed")?,
+                degraded: d.u64("health.degraded")?,
+                shed: d.u64("health.shed")?,
+                failed: d.u64("health.failed")?,
+                protocol_errors: d.u64("health.protocol_errors")?,
+            }),
+            TAG_METRICS_RSP => {
+                let len = d.u32("metrics.len")? as usize;
+                let bytes = d.take(len, "metrics.text")?;
+                Response::Metrics {
+                    text: String::from_utf8(bytes.to_vec()).map_err(|_| {
+                        ProtocolError::BadUtf8 {
+                            field: "metrics.text",
+                        }
+                    })?,
+                }
+            }
+            TAG_BYE => Response::Bye {
+                drained: d.bool("bye.drained")?,
+            },
+            tag => return Err(ProtocolError::UnknownTag { tag }),
+        };
+        d.finish()?;
+        Ok(msg)
+    }
+}
+
+/// FNV-1a over output planes' f64 bit patterns, in plane order — the
+/// checksum carried by [`Response::Done`].
+pub fn output_checksum<'a>(planes: impl IntoIterator<Item = &'a [f64]>) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for plane in planes {
+        for &p in plane {
+            for b in p.to_bits().to_le_bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        }
+    }
+    h
+}
+
+// ---------------------------------------------------------------------
+// Frame I/O
+// ---------------------------------------------------------------------
+
+/// Writes one frame (header + payload) with a single `write_all`, so
+/// concurrent writers serialised by a mutex never interleave frames.
+///
+/// # Errors
+///
+/// Any I/O error from the underlying stream.
+pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> io::Result<()> {
+    let mut frame = Vec::with_capacity(6 + payload.len());
+    frame.extend_from_slice(&MAGIC);
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(payload);
+    w.write_all(&frame)?;
+    w.flush()
+}
+
+/// How [`read_frame`] can fail.
+#[derive(Debug)]
+pub enum ReadError {
+    /// Clean end of stream before any byte of a frame.
+    Eof,
+    /// The stream violated the protocol (bad magic, oversized frame,
+    /// mid-frame EOF → [`ProtocolError::Truncated`]).
+    Protocol(ProtocolError),
+    /// Transport-level failure.
+    Io(io::Error),
+}
+
+impl fmt::Display for ReadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReadError::Eof => f.write_str("end of stream"),
+            ReadError::Protocol(e) => write!(f, "protocol: {e}"),
+            ReadError::Io(e) => write!(f, "i/o: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ReadError {}
+
+/// Reads one frame from a blocking stream: magic, bounded length,
+/// payload. EOF before the first header byte is a clean [`ReadError::Eof`];
+/// EOF anywhere later is a typed truncation.
+///
+/// # Errors
+///
+/// [`ReadError`] as described above.
+pub fn read_frame<R: Read>(r: &mut R, max_len: u32) -> Result<Vec<u8>, ReadError> {
+    let mut header = [0u8; 6];
+    let mut filled = 0;
+    while filled < header.len() {
+        match r.read(&mut header[filled..]) {
+            Ok(0) => {
+                return if filled == 0 {
+                    Err(ReadError::Eof)
+                } else {
+                    Err(ReadError::Protocol(ProtocolError::Truncated {
+                        field: "frame.header",
+                        needed: header.len(),
+                        got: filled,
+                    }))
+                };
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(ReadError::Io(e)),
+        }
+    }
+    parse_header(&header, max_len).map_err(ReadError::Protocol)?;
+    let len = u32::from_le_bytes([header[2], header[3], header[4], header[5]]) as usize;
+    let mut payload = vec![0u8; len];
+    let mut got = 0;
+    while got < len {
+        match r.read(&mut payload[got..]) {
+            Ok(0) => {
+                return Err(ReadError::Protocol(ProtocolError::Truncated {
+                    field: "frame.payload",
+                    needed: len,
+                    got,
+                }))
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(ReadError::Io(e)),
+        }
+    }
+    Ok(payload)
+}
+
+/// Validates a 6-byte frame header, returning the payload length.
+///
+/// # Errors
+///
+/// [`ProtocolError::BadMagic`] / [`ProtocolError::Oversized`].
+pub fn parse_header(header: &[u8; 6], max_len: u32) -> Result<u32, ProtocolError> {
+    if header[0..2] != MAGIC {
+        return Err(ProtocolError::BadMagic {
+            got: [header[0], header[1]],
+        });
+    }
+    let len = u32::from_le_bytes([header[2], header[3], header[4], header[5]]);
+    let cap = max_len.min(HARD_MAX_FRAME);
+    if len > cap {
+        return Err(ProtocolError::Oversized { len, max: cap });
+    }
+    Ok(len)
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
+    use super::*;
+
+    fn roundtrip_req(r: &Request) {
+        let bytes = r.encode();
+        assert_eq!(&Request::decode(&bytes).unwrap(), r);
+    }
+
+    fn roundtrip_rsp(r: &Response) {
+        let bytes = r.encode();
+        assert_eq!(&Response::decode(&bytes).unwrap(), r);
+    }
+
+    fn spec() -> ArchSpec {
+        ArchSpec {
+            kernel: "sobel".into(),
+            mode: MODE_NOISY,
+            unit_ns: 1.0,
+            nlse_terms: 7,
+            nlde_terms: 20,
+            fault_rate: 0.0,
+        }
+    }
+
+    #[test]
+    fn request_roundtrips() {
+        roundtrip_req(&Request::Hello {
+            proto: PROTO_VERSION,
+            tenant: "acme".into(),
+        });
+        roundtrip_req(&Request::Ping { nonce: 0xdead_beef });
+        roundtrip_req(&Request::Health);
+        roundtrip_req(&Request::Metrics);
+        roundtrip_req(&Request::Goodbye);
+        roundtrip_req(&Request::Submit(Submit {
+            id: 42,
+            spec: spec(),
+            seed: 7,
+            deadline_ms: 250,
+            want_outputs: true,
+            chaos: Chaos::StallAttempts { n: 1, ms: 30 },
+            width: 2,
+            height: 3,
+            pixels: vec![0.0, 0.25, 0.5, 0.75, 1.0, 0.125],
+        }));
+    }
+
+    #[test]
+    fn response_roundtrips() {
+        roundtrip_rsp(&Response::Welcome {
+            proto: 1,
+            credits: 4,
+            max_frame: 1 << 20,
+            server: "ta-serve".into(),
+        });
+        roundtrip_rsp(&Response::Done {
+            id: 9,
+            degraded: true,
+            fallback: "digital".into(),
+            attempts: 3,
+            latency_us: 1234,
+            checksum: 0xfeed,
+            outputs: vec![OutputPlane {
+                width: 2,
+                height: 1,
+                pixels: vec![1.5, -2.5],
+            }],
+        });
+        roundtrip_rsp(&Response::Busy {
+            id: 1,
+            reason: ShedReason::Overloaded,
+            retry_after_ms: 50,
+        });
+        roundtrip_rsp(&Response::Error {
+            id: 2,
+            code: ErrorCode::BadSpec,
+            message: "no such kernel".into(),
+        });
+        roundtrip_rsp(&Response::ProtocolReject {
+            code: 3,
+            message: "truncated".into(),
+            strikes_left: 2,
+        });
+        roundtrip_rsp(&Response::Pong { nonce: 5 });
+        roundtrip_rsp(&Response::Health(HealthSnapshot {
+            ready: true,
+            draining: false,
+            connections: 3,
+            in_flight: 2,
+            accepted: 100,
+            completed: 97,
+            degraded: 1,
+            shed: 2,
+            failed: 1,
+            protocol_errors: 4,
+        }));
+        roundtrip_rsp(&Response::Metrics {
+            text: "# TYPE x counter\nx 1\n".into(),
+        });
+        roundtrip_rsp(&Response::Bye { drained: true });
+    }
+
+    #[test]
+    fn frame_io_roundtrips_and_rejects_garbage() {
+        let payload = Request::Ping { nonce: 1 }.encode();
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &payload).unwrap();
+        let got = read_frame(&mut buf.as_slice(), 1 << 16).unwrap();
+        assert_eq!(got, payload);
+
+        // Garbage magic.
+        let mut bad = buf.clone();
+        bad[0] = 0x00;
+        assert!(matches!(
+            read_frame(&mut bad.as_slice(), 1 << 16),
+            Err(ReadError::Protocol(ProtocolError::BadMagic { .. }))
+        ));
+
+        // Oversized length.
+        let mut big = buf.clone();
+        big[2..6].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            read_frame(&mut big.as_slice(), 1 << 16),
+            Err(ReadError::Protocol(ProtocolError::Oversized { .. }))
+        ));
+
+        // Truncated payload (mid-frame EOF).
+        let cut = &buf[..buf.len() - 2];
+        assert!(matches!(
+            read_frame(&mut &cut[..], 1 << 16),
+            Err(ReadError::Protocol(ProtocolError::Truncated { .. }))
+        ));
+
+        // Clean EOF before any byte.
+        assert!(matches!(
+            read_frame(&mut &[][..], 1 << 16),
+            Err(ReadError::Eof)
+        ));
+    }
+
+    #[test]
+    fn pixel_count_must_match_geometry() {
+        let mut sub = Submit {
+            id: 1,
+            spec: spec(),
+            seed: 0,
+            deadline_ms: 0,
+            want_outputs: false,
+            chaos: Chaos::None,
+            width: 2,
+            height: 2,
+            pixels: vec![0.0; 4],
+        };
+        roundtrip_req(&Request::Submit(sub.clone()));
+        sub.pixels.pop();
+        let bytes = Request::Submit(sub).encode();
+        assert!(matches!(
+            Request::decode(&bytes),
+            Err(ProtocolError::BadCount { .. }) | Err(ProtocolError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut bytes = Request::Goodbye.encode();
+        bytes.push(0);
+        assert_eq!(
+            Request::decode(&bytes),
+            Err(ProtocolError::TrailingBytes { extra: 1 })
+        );
+    }
+
+    #[test]
+    fn arch_hash_separates_specs_and_geometries() {
+        let a = spec();
+        let mut b = spec();
+        b.nlse_terms = 8;
+        assert_ne!(a.arch_hash(8, 8), b.arch_hash(8, 8));
+        assert_ne!(a.arch_hash(8, 8), a.arch_hash(8, 9));
+        assert_eq!(a.arch_hash(8, 8), spec().arch_hash(8, 8));
+    }
+
+    #[test]
+    fn every_error_variant_displays_and_codes() {
+        let errs = [
+            ProtocolError::BadMagic { got: [0, 1] },
+            ProtocolError::Oversized { len: 9, max: 8 },
+            ProtocolError::Truncated {
+                field: "x",
+                needed: 4,
+                got: 2,
+            },
+            ProtocolError::UnknownTag { tag: 0x7f },
+            ProtocolError::BadEnum {
+                field: "x",
+                value: 9,
+            },
+            ProtocolError::BadUtf8 { field: "x" },
+            ProtocolError::BadCount {
+                field: "x",
+                count: 5,
+                max: 4,
+            },
+            ProtocolError::BadValue { field: "x" },
+            ProtocolError::TrailingBytes { extra: 1 },
+            ProtocolError::SlowFrame { budget_ms: 5 },
+        ];
+        let mut seen = std::collections::BTreeSet::new();
+        for e in &errs {
+            assert!(!e.to_string().is_empty());
+            assert!(seen.insert(e.code()), "duplicate code for {e:?}");
+        }
+    }
+}

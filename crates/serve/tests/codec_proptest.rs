@@ -1,0 +1,233 @@
+//! Property tests for the wire codec: round-trips are exact, and *any*
+//! byte stream — mutated, truncated, or pure noise — decodes to a typed
+//! `ProtocolError`, never a panic or a silent misparse.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use proptest::prelude::*;
+
+use ta_serve::wire::{
+    parse_header, ArchSpec, Chaos, ErrorCode, HealthSnapshot, OutputPlane, Request, Response,
+    ShedReason, Submit, MODE_NOISY,
+};
+
+fn arb_u64() -> impl Strategy<Value = u64> {
+    0u64..=u64::MAX
+}
+
+fn arb_bool() -> impl Strategy<Value = bool> {
+    (0u8..2).prop_map(|b| b == 1)
+}
+
+fn arb_string(max_len: usize) -> impl Strategy<Value = String> {
+    const CHARSET: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789_-./ ";
+    prop::collection::vec(0usize..CHARSET.len(), 0..max_len)
+        .prop_map(|ix| ix.iter().map(|&i| CHARSET[i] as char).collect())
+}
+
+fn arb_spec() -> impl Strategy<Value = ArchSpec> {
+    (
+        arb_string(12),
+        0u8..=MODE_NOISY,
+        1u32..1000,
+        1u32..64,
+        1u32..64,
+        0u32..=100,
+    )
+        .prop_map(|(kernel, mode, unit_q, nlse, nlde, fr)| ArchSpec {
+            kernel,
+            mode,
+            unit_ns: f64::from(unit_q) * 0.25,
+            nlse_terms: nlse,
+            nlde_terms: nlde,
+            fault_rate: f64::from(fr) / 100.0,
+        })
+}
+
+fn arb_chaos() -> impl Strategy<Value = Chaos> {
+    prop_oneof![
+        Just(Chaos::None),
+        (0u32..5).prop_map(|n| Chaos::PanicAttempts { n }),
+        (0u32..5, 0u32..50).prop_map(|(n, ms)| Chaos::StallAttempts { n, ms }),
+    ]
+}
+
+fn arb_submit() -> impl Strategy<Value = Submit> {
+    (
+        (arb_u64(), arb_spec(), arb_u64()),
+        (0u32..10_000, arb_bool(), arb_chaos(), 1u32..5, 1u32..5),
+    )
+        .prop_flat_map(
+            |((id, spec, seed), (deadline_ms, want_outputs, chaos, w, h))| {
+                let n = (w * h) as usize;
+                prop::collection::vec(-1e3f64..1e3, n..n + 1).prop_map(move |pixels| Submit {
+                    id,
+                    spec: spec.clone(),
+                    seed,
+                    deadline_ms,
+                    want_outputs,
+                    chaos,
+                    width: w,
+                    height: h,
+                    pixels,
+                })
+            },
+        )
+}
+
+fn arb_request() -> impl Strategy<Value = Request> {
+    prop_oneof![
+        (0u32..10, arb_string(16)).prop_map(|(proto, tenant)| Request::Hello { proto, tenant }),
+        arb_submit().prop_map(Request::Submit),
+        arb_u64().prop_map(|nonce| Request::Ping { nonce }),
+        Just(Request::Health),
+        Just(Request::Metrics),
+        Just(Request::Goodbye),
+    ]
+}
+
+fn arb_plane() -> impl Strategy<Value = OutputPlane> {
+    (1u32..4, 1u32..4).prop_flat_map(|(w, h)| {
+        let n = (w * h) as usize;
+        prop::collection::vec(-1e3f64..1e3, n..n + 1).prop_map(move |pixels| OutputPlane {
+            width: w,
+            height: h,
+            pixels,
+        })
+    })
+}
+
+fn arb_response() -> impl Strategy<Value = Response> {
+    prop_oneof![
+        (0u32..10, 0u32..100, 0u32..(1 << 24), arb_string(16)).prop_map(
+            |(proto, credits, max_frame, server)| Response::Welcome {
+                proto,
+                credits,
+                max_frame,
+                server
+            }
+        ),
+        (
+            (arb_u64(), arb_bool(), arb_string(8)),
+            (0u32..10, arb_u64(), arb_u64()),
+            prop::collection::vec(arb_plane(), 0..3),
+        )
+            .prop_map(
+                |((id, degraded, fallback), (attempts, latency_us, checksum), outputs)| {
+                    Response::Done {
+                        id,
+                        degraded,
+                        fallback,
+                        attempts,
+                        latency_us,
+                        checksum,
+                        outputs,
+                    }
+                }
+            ),
+        (arb_u64(), 0u32..10_000).prop_map(|(id, retry_after_ms)| Response::Busy {
+            id,
+            reason: ShedReason::Overloaded,
+            retry_after_ms
+        }),
+        (arb_u64(), arb_string(32)).prop_map(|(id, message)| Response::Error {
+            id,
+            code: ErrorCode::FrameFailed,
+            message
+        }),
+        (0u8..=255, arb_string(32), 0u32..10).prop_map(|(code, message, strikes_left)| {
+            Response::ProtocolReject {
+                code,
+                message,
+                strikes_left,
+            }
+        }),
+        arb_u64().prop_map(|nonce| Response::Pong { nonce }),
+        (arb_bool(), arb_bool(), 0u32..100, 0u32..100, arb_u64()).prop_map(
+            |(ready, draining, connections, in_flight, accepted)| {
+                Response::Health(HealthSnapshot {
+                    ready,
+                    draining,
+                    connections,
+                    in_flight,
+                    accepted,
+                    completed: accepted / 2,
+                    degraded: 1,
+                    shed: 2,
+                    failed: 3,
+                    protocol_errors: 4,
+                })
+            }
+        ),
+        arb_string(64).prop_map(|text| Response::Metrics { text }),
+        arb_bool().prop_map(|drained| Response::Bye { drained }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn request_roundtrip_is_exact(req in arb_request()) {
+        let bytes = req.encode();
+        prop_assert_eq!(Request::decode(&bytes).unwrap(), req);
+    }
+
+    #[test]
+    fn response_roundtrip_is_exact(rsp in arb_response()) {
+        let bytes = rsp.encode();
+        prop_assert_eq!(Response::decode(&bytes).unwrap(), rsp);
+    }
+
+    #[test]
+    fn truncation_yields_typed_error(req in arb_request(), cut_seed in 0usize..4096) {
+        // Any strict prefix of a valid encoding is a typed error — the
+        // decoder never accepts a cut-off message.
+        let bytes = req.encode();
+        let cut = cut_seed % bytes.len();
+        prop_assert!(Request::decode(&bytes[..cut]).is_err());
+    }
+
+    #[test]
+    fn single_byte_mutation_never_panics(
+        req in arb_request(),
+        pos_seed in 0usize..65536,
+        xor in 1u8..=255,
+    ) {
+        // Flipping any single byte never panics: the result is either a
+        // clean decode (the flip landed in a don't-care bit pattern such
+        // as a pixel) or a typed error.
+        let mut bytes = req.encode();
+        let i = pos_seed % bytes.len();
+        bytes[i] ^= xor;
+        let _ = Request::decode(&bytes); // must return, not panic
+    }
+
+    #[test]
+    fn random_bytes_never_panic(bytes in prop::collection::vec(0u8..=255, 0..512)) {
+        // Pure noise decodes to a typed error (or, vanishingly rarely, a
+        // valid message) — never a panic.
+        let _ = Request::decode(&bytes);
+        let _ = Response::decode(&bytes);
+    }
+
+    #[test]
+    fn arbitrary_headers_never_panic(
+        hdr in (0u8..=255, 0u8..=255, 0u8..=255, 0u8..=255, 0u8..=255, 0u8..=255),
+        max in 0u32..1_000_000,
+    ) {
+        // Header validation is total over all 6-byte patterns.
+        let header = [hdr.0, hdr.1, hdr.2, hdr.3, hdr.4, hdr.5];
+        if let Ok(len) = parse_header(&header, max) {
+            prop_assert!(header[0] == 0x54 && header[1] == 0x41);
+            prop_assert!(len <= max);
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_always_rejected(req in arb_request(), extra in 1usize..8) {
+        let mut bytes = req.encode();
+        bytes.extend(vec![0u8; extra]);
+        prop_assert!(Request::decode(&bytes).is_err());
+    }
+}

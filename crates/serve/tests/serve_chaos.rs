@@ -1,0 +1,581 @@
+//! Chaos suite for `ta-serve`: malformed bytes, mid-request disconnects,
+//! injected engine panics and stalls, overload, and graceful drain. The
+//! server must never wedge, never leak capacity, and never return a
+//! bit-wrong frame — every completed frame is bit-identical to a serial
+//! supervised run of the same `(spec, seed, pixels)`.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use ta_serve::client::{Client, ClientError};
+use ta_serve::spec::CompiledArch;
+use ta_serve::wire::{
+    output_checksum, ArchSpec, Chaos, ErrorCode, Request, Response, ShedReason, Submit, MODE_EXACT,
+};
+use ta_serve::{ServeConfig, Server, ServerHandle};
+
+const W: u32 = 12;
+const H: u32 = 12;
+
+fn spec() -> ArchSpec {
+    ArchSpec {
+        kernel: "box3".into(),
+        mode: MODE_EXACT,
+        unit_ns: 1.0,
+        nlse_terms: 7,
+        nlde_terms: 20,
+        fault_rate: 0.0,
+    }
+}
+
+fn pixels(seed: u64) -> Vec<f64> {
+    ta_image::synth::natural_image(W as usize, H as usize, seed)
+        .pixels()
+        .to_vec()
+}
+
+fn submit(id: u64, seed: u64, chaos: Chaos, want_outputs: bool) -> Submit {
+    Submit {
+        id,
+        spec: spec(),
+        seed,
+        deadline_ms: 0,
+        want_outputs,
+        chaos,
+        width: W,
+        height: H,
+        pixels: pixels(seed),
+    }
+}
+
+/// Starts a chaos-enabled server on an ephemeral port; returns the
+/// address, control handle, and the runner thread (joined by `drain`).
+fn start_server(
+    cfg: ServeConfig,
+) -> (
+    String,
+    ServerHandle,
+    thread::JoinHandle<ta_serve::DrainSummary>,
+) {
+    let server = Server::bind(cfg).unwrap();
+    let addr = server.local_addr().unwrap().to_string();
+    let handle = server.handle();
+    let runner = thread::spawn(move || server.run().unwrap());
+    (addr, handle, runner)
+}
+
+fn chaos_cfg() -> ServeConfig {
+    ServeConfig {
+        chaos_enabled: true,
+        idle_timeout: Duration::from_secs(5),
+        ..ServeConfig::default()
+    }
+}
+
+fn drain(
+    handle: &ServerHandle,
+    runner: thread::JoinHandle<ta_serve::DrainSummary>,
+) -> ta_serve::DrainSummary {
+    handle.begin_drain();
+    runner.join().unwrap()
+}
+
+/// The serial reference the acceptance contract names: same spec, seed,
+/// pixels, retry policy, chaos — run locally through the supervisor.
+fn serial_reference(sub: &Submit) -> (Vec<Vec<f64>>, u64) {
+    let compiled = CompiledArch::compile(&sub.spec, sub.width, sub.height).unwrap();
+    let engine: Arc<dyn ta_runtime::Engine> = if sub.chaos == Chaos::None {
+        compiled.engine.clone()
+    } else {
+        Arc::new(ta_serve::chaos::ChaosEngine::new(
+            compiled.engine.clone(),
+            sub.chaos,
+        ))
+    };
+    let supervisor = compiled.supervisor(&ta_serve::ExecPolicy::default(), sub.seed, None);
+    let image =
+        ta_image::Image::from_pixels(sub.width as usize, sub.height as usize, sub.pixels.clone())
+            .unwrap();
+    let (outputs, report) = supervisor.run_one(&engine, &image, 0, sub.seed).unwrap();
+    assert!(
+        !report.status.is_failed(),
+        "reference run failed: {:?}",
+        report.log
+    );
+    let planes = outputs.unwrap();
+    let checksum = output_checksum(planes.iter().map(|p| p.pixels()));
+    (
+        planes.iter().map(|p| p.pixels().to_vec()).collect(),
+        checksum,
+    )
+}
+
+#[test]
+fn clean_submit_is_bit_identical_to_serial_reference() {
+    let (addr, handle, runner) = start_server(chaos_cfg());
+    let mut client = Client::connect_tcp(&addr, "acme").unwrap();
+    let sub = submit(1, 42, Chaos::None, true);
+    let (want_planes, want_checksum) = serial_reference(&sub);
+
+    match client.submit(sub).unwrap() {
+        Response::Done {
+            id,
+            degraded,
+            checksum,
+            outputs,
+            ..
+        } => {
+            assert_eq!(id, 1);
+            assert!(!degraded);
+            assert_eq!(checksum, want_checksum);
+            let got: Vec<Vec<f64>> = outputs.iter().map(|p| p.pixels.clone()).collect();
+            assert_eq!(got, want_planes, "wire outputs must be bit-identical");
+        }
+        other => panic!("expected Done, got {other:?}"),
+    }
+    let _ = client.goodbye();
+    drain(&handle, runner);
+}
+
+#[test]
+fn chaos_panic_is_retried_and_stays_bit_identical() {
+    let (addr, handle, runner) = start_server(chaos_cfg());
+    let mut client = Client::connect_tcp(&addr, "acme").unwrap();
+    let sub = submit(2, 7, Chaos::PanicAttempts { n: 1 }, true);
+    let (want_planes, want_checksum) = serial_reference(&sub);
+
+    match client.submit(sub).unwrap() {
+        Response::Done {
+            degraded,
+            attempts,
+            checksum,
+            outputs,
+            ..
+        } => {
+            assert!(!degraded, "retry should recover without fallback");
+            assert!(attempts >= 2, "the injected panic must cost an attempt");
+            assert_eq!(checksum, want_checksum);
+            let got: Vec<Vec<f64>> = outputs.iter().map(|p| p.pixels.clone()).collect();
+            assert_eq!(got, want_planes);
+        }
+        other => panic!("expected Done, got {other:?}"),
+    }
+    let _ = client.goodbye();
+    drain(&handle, runner);
+}
+
+#[test]
+fn engine_panics_on_every_attempt_degrade_to_reference() {
+    let (addr, handle, runner) = start_server(chaos_cfg());
+    let mut client = Client::connect_tcp(&addr, "acme").unwrap();
+    // Default policy retries twice → 3 attempts, all panicking.
+    let sub = submit(3, 5, Chaos::PanicAttempts { n: 10 }, true);
+
+    match client.submit(sub).unwrap() {
+        Response::Done {
+            degraded,
+            fallback,
+            outputs,
+            ..
+        } => {
+            assert!(degraded, "exhausted retries must degrade, not fail");
+            assert!(!fallback.is_empty());
+            assert!(!outputs.is_empty());
+        }
+        other => panic!("expected degraded Done, got {other:?}"),
+    }
+    let _ = client.goodbye();
+    drain(&handle, runner);
+}
+
+#[test]
+fn garbage_bytes_are_rejected_and_connection_quarantined() {
+    let (addr, handle, runner) = start_server(chaos_cfg());
+    let mut client = Client::connect_tcp(&addr, "acme").unwrap();
+    client
+        .send_raw(b"this is not a TA frame at all...")
+        .unwrap();
+    match client.recv().unwrap() {
+        Response::ProtocolReject { code, .. } => assert_eq!(code, 1, "BadMagic"),
+        other => panic!("expected ProtocolReject, got {other:?}"),
+    }
+    // Framing desync is fatal: the connection must now be closed.
+    assert!(matches!(
+        client.recv(),
+        Err(ClientError::Closed) | Err(ClientError::Io(_))
+    ));
+    // And the server still serves fresh connections.
+    let mut again = Client::connect_tcp(&addr, "acme").unwrap();
+    assert!(matches!(
+        again.call(&Request::Ping { nonce: 9 }).unwrap(),
+        Response::Pong { nonce: 9 }
+    ));
+    let _ = again.goodbye();
+    drain(&handle, runner);
+}
+
+#[test]
+fn oversized_frame_is_rejected_before_allocation() {
+    let (addr, handle, runner) = start_server(chaos_cfg());
+    let mut client = Client::connect_tcp(&addr, "acme").unwrap();
+    let mut evil = Vec::from(*b"TA");
+    evil.extend_from_slice(&u32::MAX.to_le_bytes());
+    client.send_raw(&evil).unwrap();
+    match client.recv().unwrap() {
+        Response::ProtocolReject { code, .. } => assert_eq!(code, 2, "Oversized"),
+        other => panic!("expected ProtocolReject, got {other:?}"),
+    }
+    drain(&handle, runner);
+}
+
+#[test]
+fn truncated_frame_then_disconnect_does_not_wedge_the_server() {
+    let (addr, handle, runner) = start_server(chaos_cfg());
+    let mut client = Client::connect_tcp(&addr, "acme").unwrap();
+    // Declare 100 payload bytes, deliver 3, vanish.
+    let mut partial = Vec::from(*b"TA");
+    partial.extend_from_slice(&100u32.to_le_bytes());
+    partial.extend_from_slice(&[1, 2, 3]);
+    client.send_raw(&partial).unwrap();
+    client.abort();
+
+    // The server noticed the truncation (or EOF) and fully recovered.
+    let mut again = Client::connect_tcp(&addr, "acme").unwrap();
+    let sub = submit(4, 11, Chaos::None, false);
+    let (_, want_checksum) = serial_reference(&sub);
+    match again.submit(sub).unwrap() {
+        Response::Done { checksum, .. } => assert_eq!(checksum, want_checksum),
+        other => panic!("expected Done, got {other:?}"),
+    }
+    let _ = again.goodbye();
+    drain(&handle, runner);
+}
+
+#[test]
+fn payload_decode_errors_strike_then_quarantine() {
+    let cfg = ServeConfig {
+        strikes: 2,
+        ..chaos_cfg()
+    };
+    let (addr, handle, runner) = start_server(cfg);
+    let mut client = Client::connect_tcp(&addr, "acme").unwrap();
+
+    // Well-framed, bad payload (unknown tag): recoverable, costs a strike.
+    let mut frame = Vec::from(*b"TA");
+    frame.extend_from_slice(&1u32.to_le_bytes());
+    frame.push(0x7f);
+    client.send_raw(&frame).unwrap();
+    match client.recv().unwrap() {
+        Response::ProtocolReject {
+            code, strikes_left, ..
+        } => {
+            assert_eq!(code, 4, "UnknownTag");
+            assert_eq!(strikes_left, 1);
+        }
+        other => panic!("expected ProtocolReject, got {other:?}"),
+    }
+    // The connection survives the first strike...
+    assert!(matches!(
+        client.call(&Request::Ping { nonce: 1 }).unwrap(),
+        Response::Pong { nonce: 1 }
+    ));
+    // ...but the second exhausts the allowance and quarantines.
+    client.send_raw(&frame).unwrap();
+    match client.recv().unwrap() {
+        Response::ProtocolReject { strikes_left, .. } => assert_eq!(strikes_left, 0),
+        other => panic!("expected ProtocolReject, got {other:?}"),
+    }
+    assert!(matches!(
+        client.recv(),
+        Err(ClientError::Closed) | Err(ClientError::Io(_))
+    ));
+    drain(&handle, runner);
+}
+
+#[test]
+fn submit_without_hello_is_a_handshake_error() {
+    let (addr, handle, runner) = start_server(chaos_cfg());
+    // Bypass Client (which handshakes) with a raw TCP stream.
+    use std::net::TcpStream;
+    let mut raw = TcpStream::connect(&addr).unwrap();
+    ta_serve::wire::write_frame(
+        &mut raw,
+        &Request::Submit(submit(9, 1, Chaos::None, false)).encode(),
+    )
+    .unwrap();
+    let payload = ta_serve::wire::read_frame(&mut raw, u32::MAX).unwrap();
+    match Response::decode(&payload).unwrap() {
+        Response::Error { code, .. } => assert_eq!(code, ErrorCode::BadHandshake),
+        other => panic!("expected BadHandshake error, got {other:?}"),
+    }
+    drain(&handle, runner);
+}
+
+#[test]
+fn chaos_directive_is_refused_when_chaos_disabled() {
+    let cfg = ServeConfig {
+        chaos_enabled: false,
+        ..chaos_cfg()
+    };
+    let (addr, handle, runner) = start_server(cfg);
+    let mut client = Client::connect_tcp(&addr, "acme").unwrap();
+    match client
+        .submit(submit(5, 1, Chaos::PanicAttempts { n: 1 }, false))
+        .unwrap()
+    {
+        Response::Error { code, .. } => assert_eq!(code, ErrorCode::ChaosDisabled),
+        other => panic!("expected ChaosDisabled, got {other:?}"),
+    }
+    let _ = client.goodbye();
+    drain(&handle, runner);
+}
+
+#[test]
+fn pipelining_past_credits_sheds_with_credit_overrun() {
+    let cfg = ServeConfig {
+        credits: 1,
+        ..chaos_cfg()
+    };
+    let (addr, handle, runner) = start_server(cfg);
+    let mut client = Client::connect_tcp(&addr, "acme").unwrap();
+    assert_eq!(client.credits, 1);
+
+    // First submission stalls the executor; everything pipelined behind
+    // it overruns the 1-credit window at receive time.
+    let stall = submit(10, 1, Chaos::StallAttempts { n: 1, ms: 300 }, false);
+    client.send(&Request::Submit(stall)).unwrap();
+    thread::sleep(Duration::from_millis(50)); // let the executor pick it up
+    for id in 11..14 {
+        client
+            .send(&Request::Submit(submit(id, id, Chaos::None, false)))
+            .unwrap();
+    }
+    let mut done = 0;
+    let mut overrun = 0;
+    for _ in 0..4 {
+        match client.recv().unwrap() {
+            Response::Done { .. } => done += 1,
+            Response::Busy {
+                reason: ShedReason::CreditOverrun,
+                ..
+            } => overrun += 1,
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+    assert!(done >= 1, "the stalled frame itself must complete");
+    assert!(overrun >= 1, "pipelining past the window must shed");
+    let _ = client.goodbye();
+    drain(&handle, runner);
+}
+
+#[test]
+fn queued_frame_whose_deadline_lapsed_is_shed_expired() {
+    let (addr, handle, runner) = start_server(chaos_cfg());
+    let mut client = Client::connect_tcp(&addr, "acme").unwrap();
+    // Occupy the executor for ~300 ms, then queue a 1 ms-deadline frame
+    // behind it: by execution time the deadline has long lapsed.
+    client
+        .send(&Request::Submit(submit(
+            20,
+            1,
+            Chaos::StallAttempts { n: 1, ms: 300 },
+            false,
+        )))
+        .unwrap();
+    let mut expired = submit(21, 2, Chaos::None, false);
+    expired.deadline_ms = 1;
+    client.send(&Request::Submit(expired)).unwrap();
+
+    let mut saw_expired = false;
+    for _ in 0..2 {
+        if let Response::Busy {
+            id: 21,
+            reason: ShedReason::Expired,
+            ..
+        } = client.recv().unwrap()
+        {
+            saw_expired = true;
+        }
+    }
+    assert!(
+        saw_expired,
+        "the lapsed-deadline frame must be shed Expired"
+    );
+    let _ = client.goodbye();
+    drain(&handle, runner);
+}
+
+#[test]
+fn mid_request_disconnect_leaks_nothing() {
+    let (addr, handle, runner) = start_server(chaos_cfg());
+    for round in 0..3 {
+        let mut client = Client::connect_tcp(&addr, "ghost").unwrap();
+        client
+            .send(&Request::Submit(submit(
+                round,
+                round,
+                Chaos::StallAttempts { n: 1, ms: 100 },
+                false,
+            )))
+            .unwrap();
+        client.abort(); // vanish mid-request, never read the response
+    }
+    // Capacity must return: wait for in-flight to hit zero, then a
+    // normal client still gets served.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while handle.health().in_flight > 0 && Instant::now() < deadline {
+        thread::sleep(Duration::from_millis(10));
+    }
+    assert_eq!(
+        handle.health().in_flight,
+        0,
+        "abandoned frames must not leak permits"
+    );
+
+    let mut client = Client::connect_tcp(&addr, "acme").unwrap();
+    assert!(matches!(
+        client.submit(submit(99, 3, Chaos::None, false)).unwrap(),
+        Response::Done { .. }
+    ));
+    let _ = client.goodbye();
+    drain(&handle, runner);
+}
+
+#[test]
+fn health_ping_and_metrics_answer_over_the_wire() {
+    let (addr, handle, runner) = start_server(chaos_cfg());
+    let mut client = Client::connect_tcp(&addr, "probe").unwrap();
+    match client.call(&Request::Health).unwrap() {
+        Response::Health(h) => {
+            assert!(h.ready);
+            assert!(!h.draining);
+            assert_eq!(h.connections, 1);
+        }
+        other => panic!("expected Health, got {other:?}"),
+    }
+    let _ = client.submit(submit(1, 1, Chaos::None, false)).unwrap();
+    match client.call(&Request::Metrics).unwrap() {
+        Response::Metrics { text } => {
+            assert!(text.contains("ta_serve_submits_total"), "metrics: {text}");
+            assert!(text.contains("ta_serve_tenant_admitted_total{tenant=\"probe\"}"));
+        }
+        other => panic!("expected Metrics, got {other:?}"),
+    }
+    let _ = client.goodbye();
+    drain(&handle, runner);
+}
+
+#[test]
+fn uds_transport_serves_frames_too() {
+    let dir = std::env::temp_dir().join(format!("ta-serve-uds-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let sock = dir.join("serve.sock");
+    let cfg = ServeConfig {
+        uds: Some(sock.clone()),
+        ..chaos_cfg()
+    };
+    let (_, handle, runner) = start_server(cfg);
+
+    let mut client = Client::connect_uds(&sock, "unix-tenant").unwrap();
+    let sub = submit(7, 13, Chaos::None, false);
+    let (_, want_checksum) = serial_reference(&sub);
+    match client.submit(sub).unwrap() {
+        Response::Done { checksum, .. } => assert_eq!(checksum, want_checksum),
+        other => panic!("expected Done, got {other:?}"),
+    }
+    let _ = client.goodbye();
+    drain(&handle, runner);
+    assert!(!sock.exists(), "drain must remove the socket file");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn drain_finishes_in_flight_work_and_sheds_new_connections() {
+    let (addr, handle, runner) = start_server(chaos_cfg());
+    let mut client = Client::connect_tcp(&addr, "acme").unwrap();
+    let sub = submit(30, 21, Chaos::StallAttempts { n: 1, ms: 400 }, false);
+    let (_, want_checksum) = serial_reference(&sub);
+    client.send(&Request::Submit(sub)).unwrap();
+    thread::sleep(Duration::from_millis(100)); // frame is now in flight
+
+    handle.begin_drain();
+
+    // A connection arriving during the drain is told to go away, typed.
+    thread::sleep(Duration::from_millis(50));
+    use std::net::TcpStream;
+    if let Ok(mut late) = TcpStream::connect(&addr) {
+        if let Ok(payload) = ta_serve::wire::read_frame(&mut late, u32::MAX) {
+            match Response::decode(&payload).unwrap() {
+                Response::Busy {
+                    reason: ShedReason::Draining,
+                    ..
+                } => {}
+                other => panic!("late connection expected Draining, got {other:?}"),
+            }
+        }
+    }
+
+    // The in-flight frame completes — bit-correct — then the server says
+    // a drained goodbye.
+    match client.recv().unwrap() {
+        Response::Done {
+            id: 30, checksum, ..
+        } => assert_eq!(checksum, want_checksum),
+        other => panic!("in-flight frame must complete, got {other:?}"),
+    }
+    match client.recv().unwrap() {
+        Response::Bye { drained } => assert!(drained, "drain goodbye must report drained"),
+        other => panic!("expected Bye, got {other:?}"),
+    }
+
+    let summary = runner.join().unwrap();
+    assert!(summary.completed >= 1);
+    assert_eq!(summary.connections_at_drain, 1);
+}
+
+#[test]
+fn submits_during_drain_are_shed_but_answered() {
+    let (addr, handle, runner) = start_server(chaos_cfg());
+    let mut client = Client::connect_tcp(&addr, "acme").unwrap();
+    // Keep the drain window open with a slow in-flight frame, then submit
+    // again after drain begins: the late frame must be shed Draining (not
+    // silently dropped), while the early one completes.
+    client
+        .send(&Request::Submit(submit(
+            40,
+            1,
+            Chaos::StallAttempts { n: 1, ms: 400 },
+            false,
+        )))
+        .unwrap();
+    thread::sleep(Duration::from_millis(100));
+    handle.begin_drain();
+    thread::sleep(Duration::from_millis(30)); // let the reader observe the flag
+    client
+        .send(&Request::Submit(submit(41, 2, Chaos::None, false)))
+        .unwrap();
+
+    let mut saw_done = false;
+    let mut saw_shed = false;
+    for _ in 0..2 {
+        match client.recv().unwrap() {
+            Response::Done { id: 40, .. } => saw_done = true,
+            Response::Busy {
+                id: 41,
+                reason: ShedReason::Draining,
+                ..
+            } => saw_shed = true,
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+    assert!(saw_done, "the pre-drain frame must complete");
+    assert!(saw_shed, "the post-drain frame must be shed Draining");
+    match client.recv().unwrap() {
+        Response::Bye { drained } => assert!(drained),
+        other => panic!("expected Bye, got {other:?}"),
+    }
+    runner.join().unwrap();
+}

@@ -99,6 +99,22 @@ impl Registry {
             .clone()
     }
 
+    /// Gets or creates the counter `family{label="value"}` — one series
+    /// per label value under a shared family (Prometheus dimensioned
+    /// metrics, e.g. per-tenant or per-shed-reason counts). The label
+    /// value is escaped for the exposition format; callers are expected
+    /// to bound its cardinality (`ta-serve` sanitises tenant names and
+    /// caps the distinct set).
+    pub fn labeled_counter(&self, family: &str, label: &str, value: &str) -> Arc<Counter> {
+        self.counter(&labeled_name(family, label, value))
+    }
+
+    /// Gets or creates the gauge `family{label="value"}`; see
+    /// [`Registry::labeled_counter`].
+    pub fn labeled_gauge(&self, family: &str, label: &str, value: &str) -> Arc<Gauge> {
+        self.gauge(&labeled_name(family, label, value))
+    }
+
     /// Gets or creates the gauge `name`.
     pub fn gauge(&self, name: &str) -> Arc<Gauge> {
         lock_clean(&self.gauges)
@@ -131,13 +147,31 @@ impl Registry {
     }
 
     /// Renders the registry in the Prometheus text exposition format.
+    ///
+    /// Labeled series (created via [`Registry::labeled_counter`]) share
+    /// one `# TYPE` line per family: the `BTreeMap` key order places the
+    /// bare family name (if any) and all its `family{…}` series
+    /// contiguously, so the renderer emits the header on each family
+    /// transition only.
     pub fn to_prometheus(&self) -> String {
         let mut out = String::new();
+        let mut last_family = String::new();
         for (name, c) in lock_clean(&self.counters).iter() {
-            out.push_str(&format!("# TYPE {name} counter\n{name} {}\n", c.get()));
+            let family = family_of(name);
+            if family != last_family {
+                out.push_str(&format!("# TYPE {family} counter\n"));
+                last_family = family.to_string();
+            }
+            out.push_str(&format!("{name} {}\n", c.get()));
         }
+        last_family.clear();
         for (name, g) in lock_clean(&self.gauges).iter() {
-            out.push_str(&format!("# TYPE {name} gauge\n{name} {}\n", g.get()));
+            let family = family_of(name);
+            if family != last_family {
+                out.push_str(&format!("# TYPE {family} gauge\n"));
+                last_family = family.to_string();
+            }
+            out.push_str(&format!("{name} {}\n", g.get()));
         }
         for (name, h) in lock_clean(&self.histograms).iter() {
             let snap = h.snapshot();
@@ -207,6 +241,27 @@ impl Registry {
     }
 }
 
+/// The metric family of a (possibly labeled) series name: everything
+/// before the first `{`.
+fn family_of(name: &str) -> &str {
+    name.split('{').next().unwrap_or(name)
+}
+
+/// Builds the canonical `family{label="value"}` series name, escaping the
+/// label value for the Prometheus exposition format.
+fn labeled_name(family: &str, label: &str, value: &str) -> String {
+    let mut escaped = String::with_capacity(value.len());
+    for ch in value.chars() {
+        match ch {
+            '\\' => escaped.push_str("\\\\"),
+            '"' => escaped.push_str("\\\""),
+            '\n' => escaped.push_str("\\n"),
+            other => escaped.push(other),
+        }
+    }
+    format!("{family}{{{label}=\"{escaped}\"}}")
+}
+
 #[cfg(test)]
 mod tests {
     #![allow(clippy::unwrap_used, clippy::expect_used)]
@@ -262,6 +317,46 @@ mod tests {
         for line in text.lines().filter(|l| !l.starts_with('#')) {
             assert_eq!(line.split_whitespace().count(), 2, "bad line: {line}");
         }
+    }
+
+    #[test]
+    fn labeled_series_group_under_one_type_header() {
+        let r = Registry::new();
+        r.counter("shed_total").add(5);
+        r.labeled_counter("shed_total", "reason", "overloaded")
+            .add(3);
+        r.labeled_counter("shed_total", "reason", "draining").add(2);
+        r.labeled_counter("tenant_frames_total", "tenant", "acme")
+            .inc();
+        r.labeled_gauge("depth", "queue", "a").set(2.0);
+        let text = r.to_prometheus();
+        assert_eq!(
+            text.matches("# TYPE shed_total counter").count(),
+            1,
+            "one TYPE header per family:\n{text}"
+        );
+        assert!(text.contains("shed_total 5\n"));
+        assert!(text.contains("shed_total{reason=\"overloaded\"} 3\n"));
+        assert!(text.contains("shed_total{reason=\"draining\"} 2\n"));
+        assert!(text.contains("# TYPE tenant_frames_total counter\n"));
+        assert!(text.contains("tenant_frames_total{tenant=\"acme\"} 1\n"));
+        assert!(text.contains("depth{queue=\"a\"} 2\n"));
+        // The bare series precedes its labeled siblings, directly after
+        // the family header.
+        let bare = text.find("shed_total 5").unwrap();
+        let labeled = text.find("shed_total{").unwrap();
+        assert!(bare < labeled);
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let r = Registry::new();
+        r.labeled_counter("x_total", "k", "a\"b\\c\nd").inc();
+        let text = r.to_prometheus();
+        assert!(
+            text.contains("x_total{k=\"a\\\"b\\\\c\\nd\"} 1\n"),
+            "{text}"
+        );
     }
 
     #[test]
