@@ -85,6 +85,9 @@ pub enum CliError {
     Telemetry(std::io::Error),
     /// The streaming service could not bind or run.
     Serve(ta_serve::ServeError),
+    /// The write-ahead journal could not be created, resumed, or
+    /// written (`--journal` / `--resume`).
+    Journal(String),
     /// `profile` found a dynamic op count that disagrees with the static
     /// census — the simulator and the energy model have diverged.
     ProfileMismatch {
@@ -121,6 +124,7 @@ impl CliError {
             CliError::Telemetry(_) => 16,
             CliError::ProfileMismatch { .. } => 17,
             CliError::Serve(_) => 18,
+            CliError::Journal(_) => 19,
         }
     }
 }
@@ -158,6 +162,7 @@ impl fmt::Display for CliError {
             }
             CliError::Telemetry(e) => write!(f, "telemetry output: {e}"),
             CliError::Serve(e) => write!(f, "serve: {e}"),
+            CliError::Journal(why) => write!(f, "journal: {why}"),
             CliError::ProfileMismatch {
                 what,
                 dynamic,
@@ -238,6 +243,7 @@ USAGE:
   tconv faults [--kernel sobel] [--size 24] [options]
   tconv batch --input-dir frames/ [--output-dir out/] [options]
   tconv batch --demo [--frames 8] [options]
+  tconv batch ... --journal batch.wal [--resume] [--fsync batch]
   tconv profile --demo [--kernel sobel] [--vcd wave.vcd] [options]
   tconv serve [--tcp 127.0.0.1:0] [--uds /run/tconv.sock] [--chaos]
   tconv kernels
@@ -280,6 +286,14 @@ OPTIONS (batch — supervised runtime):
   --fault-rate F    inject transient faults at this per-site rate [default: 0]
   --workers N       worker threads (0 = one per core)      [default: 0]
 
+DURABILITY (batch — checkpoint/resume):
+  --journal PATH    write-ahead journal: checkpoint every completed frame
+  --resume          replay PATH's checkpoints (same inputs/config/seed
+                    required) and execute only the unfinished frames;
+                    resumed results are bit-identical to an
+                    uninterrupted run
+  --fsync POLICY    always | batch | never                 [default: batch]
+
 OPTIONS (serve — fault-tolerant streaming convolution service):
   --tcp ADDR        TCP listen address, or `none`          [default: 127.0.0.1:0]
   --uds PATH        also listen on a Unix-domain socket
@@ -292,6 +306,13 @@ OPTIONS (serve — fault-tolerant streaming convolution service):
   --strikes N       protocol violations before quarantine  [default: 3]
   --plan-cache N    compiled plans cached per connection   [default: 4]
   --chaos           honour chaos directives in submissions (testing only)
+  --journal PATH    write-ahead journal of accepted requests and replies;
+                    on restart, in-flight frames are recovered (or shed)
+                    and client retries are answered idempotently from
+                    the journal's completion index
+  --fsync POLICY    always | batch | never                 [default: batch]
+  --recovery MODE   recover | shed — what to do with journaled in-flight
+                    frames at startup                      [default: recover]
   Prints `listening on ADDR` as soon as each endpoint is bound. SIGTERM
   or SIGINT drains gracefully: in-flight frames finish, new work is shed
   with busy(draining), connected clients get a goodbye, and the process
@@ -308,6 +329,7 @@ EXIT CODES:
   14 runtime misconfigured   15 batch left failed frames
   16 telemetry write failed  17 profile census mismatch
   18 serve failed to bind or run
+  19 journal create/resume/write failed
 ";
 
 /// Parsed `--key value` flags plus the subcommand.
@@ -332,7 +354,7 @@ impl Args {
             command: raw.first().cloned().unwrap_or_default(),
             ..Args::default()
         };
-        let switches = ["--demo", "--help", "--chaos"];
+        let switches = ["--demo", "--help", "--chaos", "--resume"];
         let mut i = 1;
         while i < raw.len() {
             let key = &raw[i];
@@ -413,6 +435,14 @@ fn config_of(args: &Args) -> Result<ArchConfig, CliError> {
         ));
     }
     Ok(ArchConfig::new(UnitScale::new(unit, 50.0), nlse, nlde))
+}
+
+/// Parses `--fsync always|batch|never` (default: batch).
+fn fsync_of(args: &Args) -> Result<ta_journal::FsyncPolicy, CliError> {
+    let name = args.get("--fsync").unwrap_or("batch");
+    ta_journal::FsyncPolicy::parse(name).ok_or_else(|| {
+        CliError::InvalidConfig(format!("unknown --fsync {name:?}; try: always batch never"))
+    })
 }
 
 /// Entry point shared by the binary and the tests: runs a parsed command
@@ -735,13 +765,69 @@ fn cmd_batch(args: &Args) -> Result<String, CliError> {
         }
     };
 
-    let batch = supervisor.run_batch(&engine, &images, seed)?;
+    if args.has("--resume") && args.get("--journal").is_none() {
+        return Err(CliError::InvalidConfig(
+            "--resume needs --journal PATH (the journal to replay)".into(),
+        ));
+    }
+    let (batch, replayed) = match args.get("--journal") {
+        None => (supervisor.run_batch(&engine, &images, seed)?, None),
+        Some(path) => {
+            use ta_runtime::{hash_images, BatchJournal, BatchMeta, Fingerprint};
+            let fsync = fsync_of(args)?;
+            // Campaign identity: everything that steers the outputs.
+            // Worker/thread counts are deliberately excluded — results
+            // are bit-identical at any parallelism.
+            let config_hash = Fingerprint::new()
+                .str(args.get("--kernel").unwrap_or("sobel"))
+                .str(&mode.to_string())
+                .u64(w as u64)
+                .u64(h as u64)
+                .f64(args.num("--unit", 1.0)?)
+                .u64(args.num("--nlse", 7u64)?)
+                .u64(args.num("--nlde", 20u64)?)
+                .f64(fault_rate)
+                .f64(tolerance.unwrap_or(-1.0))
+                .u64(timeout_ms)
+                .u64(u64::from(args.num("--retries", 2u32)?))
+                .str(fallback_name)
+                .finish();
+            let meta = BatchMeta {
+                batch_seed: seed,
+                frames: images.len() as u32,
+                config_hash,
+                images_hash: hash_images(&images),
+            };
+            let path = std::path::Path::new(path);
+            let journal = if args.has("--resume") {
+                BatchJournal::resume(path, fsync, &meta)
+            } else {
+                BatchJournal::create(path, fsync, &meta)
+            }
+            .map_err(|e| CliError::Journal(e.to_string()))?;
+            let replayed = journal.recovered().len();
+            let batch = supervisor
+                .run_batch_journaled(&engine, &images, seed, &journal)
+                .map_err(|e| match e {
+                    ta_runtime::RuntimeError::Journal(why) => CliError::Journal(why),
+                    other => CliError::Runtime(other),
+                })?;
+            (batch, Some(replayed))
+        }
+    };
 
     let mut out = format!(
         "supervised batch: {} frame(s) of {w}×{h} through {} ({mode} mode)\n",
         images.len(),
         engine.name(),
     );
+    if let Some(replayed) = replayed {
+        out.push_str(&format!(
+            "journal: replayed {replayed} of {} frame(s), executed {}\n",
+            images.len(),
+            images.len() - replayed,
+        ));
+    }
     for (name, report) in names.iter().zip(&batch.reports) {
         out.push_str(&format!(
             "  {:<16} {:<9} attempts {} latency {:.2} ms\n",
@@ -1006,6 +1092,14 @@ fn cmd_serve(args: &Args) -> Result<String, CliError> {
         strikes: args.num("--strikes", defaults.strikes)?,
         chaos_enabled: args.has("--chaos"),
         plan_cache: args.num("--plan-cache", defaults.plan_cache)?,
+        journal: args.get("--journal").map(std::path::PathBuf::from),
+        journal_fsync: fsync_of(args)?,
+        recovery: {
+            let name = args.get("--recovery").unwrap_or("recover");
+            ta_serve::RecoveryPolicy::parse(name).ok_or_else(|| {
+                CliError::InvalidConfig(format!("unknown --recovery {name:?}; try: recover shed"))
+            })?
+        },
         ..defaults
     };
 

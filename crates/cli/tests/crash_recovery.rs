@@ -1,0 +1,266 @@
+//! Kill -9 crash recovery against the real `tconv` binary.
+//!
+//! Each test runs a never-killed control, then SIGKILLs a journaled run
+//! mid-flight, restarts it, and asserts the recovered artifacts are
+//! byte-identical to the control — durability is replay, not
+//! approximation. Recovered-vs-control artifacts are left under
+//! `target/crash-artifacts/` for CI to upload on failure.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use std::io::{BufRead, BufReader};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use ta_serve::wire::{ArchSpec, Chaos, Response, Submit, MODE_EXACT};
+use ta_serve::Client;
+
+const TCONV: &str = env!("CARGO_BIN_EXE_tconv");
+
+/// The workspace `target/` directory, derived from the binary path.
+fn target_dir() -> PathBuf {
+    Path::new(TCONV)
+        .parent()
+        .and_then(Path::parent)
+        .expect("binary lives under target/<profile>/")
+        .to_path_buf()
+}
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = target_dir()
+        .join("crash-artifacts")
+        .join(format!("{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn wait_for_file_size(path: &Path, min: u64, timeout: Duration) -> bool {
+    let start = Instant::now();
+    while start.elapsed() < timeout {
+        if std::fs::metadata(path).map(|m| m.len()).unwrap_or(0) >= min {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    false
+}
+
+/// Byte-compares every file in `control` against `recovered`.
+fn assert_dirs_identical(control: &Path, recovered: &Path) {
+    let mut names: Vec<String> = std::fs::read_dir(control)
+        .unwrap()
+        .filter_map(Result::ok)
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .collect();
+    names.sort();
+    assert!(!names.is_empty(), "control produced no artifacts");
+    for name in names {
+        let want = std::fs::read(control.join(&name)).unwrap();
+        let got = std::fs::read(recovered.join(&name))
+            .unwrap_or_else(|e| panic!("recovered artifact {name} missing: {e}"));
+        assert_eq!(got, want, "artifact {name} differs from control");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Batch: SIGKILL mid-campaign, --resume, byte-identical PGMs
+// ---------------------------------------------------------------------
+
+fn batch_args(dir: &Path, out: &str) -> Vec<String> {
+    [
+        "batch",
+        "--demo",
+        "--frames",
+        "8",
+        "--size",
+        "48",
+        "--seed",
+        "5",
+        "--workers",
+        "1",
+        "--output-dir",
+    ]
+    .iter()
+    .map(ToString::to_string)
+    .chain([dir.join(out).to_string_lossy().into_owned()])
+    .collect()
+}
+
+#[test]
+fn batch_killed_mid_campaign_resumes_bit_identical() {
+    let dir = scratch("batch");
+    let journal = dir.join("batch.wal");
+
+    // Control: the same campaign, never interrupted, no journal.
+    let control = Command::new(TCONV)
+        .args(batch_args(&dir, "control"))
+        .output()
+        .unwrap();
+    assert!(control.status.success(), "control run failed");
+
+    // Crashed run: journal on, SIGKILL once at least one 48×48 frame
+    // checkpoint (two planes ≈ 37 KiB) is durable.
+    let mut child = Command::new(TCONV)
+        .args(batch_args(&dir, "crashed"))
+        .args(["--journal", &journal.to_string_lossy(), "--fsync", "always"])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .unwrap();
+    let saw_checkpoint = wait_for_file_size(&journal, 40_000, Duration::from_secs(60));
+    child.kill().unwrap(); // SIGKILL — no drop handlers, no flush
+    let _ = child.wait();
+    assert!(saw_checkpoint, "no checkpoint became durable before kill");
+
+    // Resume: replays the checkpoints, executes the rest.
+    let resumed = Command::new(TCONV)
+        .args(batch_args(&dir, "recovered"))
+        .args([
+            "--journal",
+            &journal.to_string_lossy(),
+            "--resume",
+            "--fsync",
+            "always",
+        ])
+        .output()
+        .unwrap();
+    let stdout = String::from_utf8_lossy(&resumed.stdout);
+    assert!(resumed.status.success(), "resume failed: {stdout}");
+    assert!(
+        stdout.contains("journal: replayed"),
+        "resume did not report replay: {stdout}"
+    );
+
+    assert_dirs_identical(&dir.join("control"), &dir.join("recovered"));
+}
+
+// ---------------------------------------------------------------------
+// Serve: SIGKILL with a request in flight, restart, retry is answered
+// with the control checksum
+// ---------------------------------------------------------------------
+
+const W: u32 = 24;
+const H: u32 = 24;
+
+fn serve_submit(chaos: Chaos) -> Submit {
+    Submit {
+        id: 1,
+        spec: ArchSpec {
+            kernel: "box3".into(),
+            // Exact mode: the output is seed-independent, so the
+            // recovered answer must match the control bit-for-bit even
+            // though recovery re-executes with different attempt timing.
+            mode: MODE_EXACT,
+            unit_ns: 1.0,
+            nlse_terms: 7,
+            nlde_terms: 20,
+            fault_rate: 0.0,
+        },
+        seed: 7,
+        deadline_ms: 20_000,
+        want_outputs: false,
+        chaos,
+        width: W,
+        height: H,
+        pixels: ta_image::synth::natural_image(W as usize, H as usize, 7)
+            .pixels()
+            .to_vec(),
+    }
+}
+
+/// Spawns `tconv serve` and reads its announced TCP address.
+fn spawn_serve(extra: &[&str]) -> (Child, String) {
+    let mut child = Command::new(TCONV)
+        .args(["serve", "--tcp", "127.0.0.1:0"])
+        .args(extra)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .unwrap();
+    let stdout = child.stdout.take().unwrap();
+    let mut lines = BufReader::new(stdout).lines();
+    let addr = loop {
+        let line = lines.next().expect("serve exited early").unwrap();
+        if let Some(addr) = line.strip_prefix("listening on ") {
+            break addr.to_string();
+        }
+    };
+    // Keep draining stdout so the child never blocks on a full pipe.
+    std::thread::spawn(move || for _ in lines {});
+    (child, addr)
+}
+
+#[test]
+fn serve_killed_with_request_in_flight_recovers_the_answer() {
+    let dir = scratch("serve");
+    let journal = dir.join("serve.wal");
+    let journal_arg = journal.to_string_lossy().into_owned();
+
+    // Control: a never-killed, journal-less server computes the answer.
+    let (mut control, addr) = spawn_serve(&[]);
+    let mut client = Client::connect_tcp(&addr, "acme").unwrap();
+    let want = match client.submit(serve_submit(Chaos::None)).unwrap() {
+        Response::Done { checksum, .. } => checksum,
+        other => panic!("control expected Done, got {other:?}"),
+    };
+    drop(client);
+    control.kill().unwrap();
+    let _ = control.wait();
+
+    // Crashed server: chaos stalls the engine so the request is still
+    // executing — accepted in the journal, no completion — when SIGKILL
+    // lands.
+    let (mut crashed, addr) =
+        spawn_serve(&["--journal", &journal_arg, "--fsync", "always", "--chaos"]);
+    let stall = serve_submit(Chaos::StallAttempts { n: 1, ms: 8_000 });
+    let pixels_bytes = u64::from(W * H) * 8;
+    let submitter = std::thread::spawn({
+        let addr = addr.clone();
+        move || {
+            let mut client = Client::connect_tcp(&addr, "acme").unwrap();
+            // The server dies mid-request; any outcome is acceptable here.
+            let _ = client.submit(stall);
+        }
+    });
+    assert!(
+        wait_for_file_size(&journal, pixels_bytes, Duration::from_secs(30)),
+        "accepted record never became durable"
+    );
+    crashed.kill().unwrap(); // SIGKILL mid-stall: the request is in flight
+    let _ = crashed.wait();
+    let _ = submitter.join();
+
+    // Restart (chaos still enabled so the stalling request is
+    // recoverable): recovery re-executes it before serving, and the
+    // retrying client is answered from the journal — byte-identical to
+    // the control, with nothing recomputed for the retry itself.
+    let (mut restarted, addr) = spawn_serve(&["--journal", &journal_arg, "--chaos"]);
+    let mut client = Client::connect_tcp(&addr, "acme").unwrap();
+    let mut retry = serve_submit(Chaos::None);
+    retry.want_outputs = true;
+    match client.submit(retry).unwrap() {
+        Response::Done {
+            checksum,
+            latency_us,
+            outputs,
+            ..
+        } => {
+            assert_eq!(checksum, want, "recovered answer differs from control");
+            assert_eq!(latency_us, 0, "retry must be served from the journal");
+            assert!(outputs.is_empty(), "the index holds identity, not planes");
+        }
+        other => panic!("expected recovered Done, got {other:?}"),
+    }
+    drop(client);
+    restarted.kill().unwrap();
+    let _ = restarted.wait();
+
+    // Leave the checksums behind as CI artifacts.
+    std::fs::write(
+        dir.join("checksums.txt"),
+        format!("control {want:#018x}\nrecovered {want:#018x}\n"),
+    )
+    .unwrap();
+}

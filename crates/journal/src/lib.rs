@@ -1,0 +1,681 @@
+//! Append-only write-ahead journal with CRC-framed records.
+//!
+//! This crate is the durability primitive under `tconv batch --journal`
+//! checkpoint/resume and `tconv serve` crash recovery (DESIGN.md §5.13).
+//! It is deliberately small and std-only:
+//!
+//! * **Append-only framing** — every record is an opaque byte payload
+//!   wrapped in a fixed header (`magic | u32 length | u32 CRC-32`). The
+//!   journal never interprets payloads; layering record semantics on top
+//!   is the caller's job.
+//! * **Torn-tail truncation** — [`Journal::open`] scans the file front to
+//!   back and accepts the longest valid prefix of records. The first
+//!   frame that fails its magic, length bound, or CRC marks the torn
+//!   tail: everything from that offset on is discarded and the file is
+//!   truncated there, so a crash mid-append (the only write this crate
+//!   ever does) recovers to exactly the records whose appends completed.
+//!   Corruption is therefore not an open error — it is the expected
+//!   crash artifact the format is designed to shed. A corrupt *file
+//!   header* is different: that means the path is not (or is no longer)
+//!   a journal we wrote, and opening fails loud with a typed error.
+//! * **Fsync policy** — [`FsyncPolicy`] picks the durability/latency
+//!   trade: `Always` fsyncs every append, `Batch` fsyncs every
+//!   [`BATCH_SYNC_EVERY`] appends (and on [`Journal::sync`]/compaction),
+//!   `Never` leaves flushing to the OS. Callers at a consistency barrier
+//!   call [`Journal::sync`] explicitly.
+//! * **Snapshot/compaction** — [`Journal::compact`] rewrites the journal
+//!   to a caller-provided record set via write-to-temp + fsync + atomic
+//!   rename, so a crash during compaction leaves either the old journal
+//!   or the new one, never a hybrid.
+//!
+//! Format versioning fails loud: a journal whose header carries a newer
+//! format version than this build understands opens with
+//! [`JournalError::VersionMismatch`] instead of guessing at the framing.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// Journal file-format version written into the header.
+pub const FORMAT_VERSION: u16 = 1;
+
+/// File header magic: identifies a file as a ta-journal.
+pub const FILE_MAGIC: [u8; 4] = *b"TAJL";
+
+/// Per-record frame magic.
+pub const RECORD_MAGIC: [u8; 2] = [0xA5, 0x5A];
+
+/// File header length in bytes: magic + u16 version + u16 reserved.
+pub const HEADER_LEN: u64 = 8;
+
+/// Record frame overhead: magic + u32 payload length + u32 CRC-32.
+pub const RECORD_OVERHEAD: u64 = 10;
+
+/// Hard bound on a single record payload. A corrupt length field cannot
+/// make the scanner allocate past this.
+pub const MAX_RECORD: u32 = 64 * 1024 * 1024;
+
+/// Appends between fsyncs under [`FsyncPolicy::Batch`].
+pub const BATCH_SYNC_EVERY: u32 = 8;
+
+/// When the journal forces bytes to stable storage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// fsync after every append: a completed append survives power loss.
+    Always,
+    /// fsync every [`BATCH_SYNC_EVERY`] appends and at explicit barriers
+    /// ([`Journal::sync`], compaction). The recommended default: bounded
+    /// loss window, near-`Never` latency.
+    Batch,
+    /// Never fsync; the OS flushes on its own schedule. Survives process
+    /// death (kill -9) but not power loss.
+    Never,
+}
+
+impl FsyncPolicy {
+    /// Parses the CLI spelling (`always` | `batch` | `never`).
+    pub fn parse(s: &str) -> Option<FsyncPolicy> {
+        match s {
+            "always" => Some(FsyncPolicy::Always),
+            "batch" => Some(FsyncPolicy::Batch),
+            "never" => Some(FsyncPolicy::Never),
+            _ => None,
+        }
+    }
+
+    /// The CLI spelling.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FsyncPolicy::Always => "always",
+            FsyncPolicy::Batch => "batch",
+            FsyncPolicy::Never => "never",
+        }
+    }
+}
+
+impl fmt::Display for FsyncPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Every way the journal layer can fail.
+///
+/// Note what is *not* here: record-level corruption. Torn or corrupt
+/// record tails are recovered by truncation at open, reported through
+/// [`Recovery::truncated_bytes`], and never error.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum JournalError {
+    /// An underlying filesystem operation failed.
+    Io {
+        /// What the journal was doing.
+        op: &'static str,
+        /// The OS error.
+        source: std::io::Error,
+    },
+    /// The file exists but does not start with a ta-journal header —
+    /// refusing to truncate what we did not write.
+    NotAJournal {
+        /// The offending path.
+        path: PathBuf,
+    },
+    /// The file header carries a format version this build does not
+    /// understand. Version bumps fail loud instead of misframing.
+    VersionMismatch {
+        /// Version found in the header.
+        got: u16,
+        /// Version this build writes.
+        want: u16,
+    },
+    /// An append payload exceeds [`MAX_RECORD`].
+    RecordTooLarge {
+        /// The payload length.
+        len: usize,
+        /// The bound.
+        max: u32,
+    },
+}
+
+impl fmt::Display for JournalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JournalError::Io { op, source } => write!(f, "journal {op}: {source}"),
+            JournalError::NotAJournal { path } => {
+                write!(f, "{} is not a ta-journal file", path.display())
+            }
+            JournalError::VersionMismatch { got, want } => {
+                write!(f, "journal format version {got} (this build reads {want})")
+            }
+            JournalError::RecordTooLarge { len, max } => {
+                write!(f, "record of {len} bytes exceeds the {max}-byte limit")
+            }
+        }
+    }
+}
+
+impl std::error::Error for JournalError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            JournalError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+fn io_err(op: &'static str) -> impl FnOnce(std::io::Error) -> JournalError {
+    move |source| JournalError::Io { op, source }
+}
+
+// ---------------------------------------------------------------------
+// CRC-32 (IEEE 802.3, reflected), table-driven.
+// ---------------------------------------------------------------------
+
+const fn crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC_TABLE: [u32; 256] = crc_table();
+
+/// CRC-32 (IEEE) over `bytes` — the per-record checksum.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC_TABLE[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+// ---------------------------------------------------------------------
+// Journal
+// ---------------------------------------------------------------------
+
+/// What [`Journal::open`] found on disk.
+#[derive(Debug)]
+pub struct Recovery {
+    /// Every valid record payload, in append order.
+    pub records: Vec<Vec<u8>>,
+    /// Bytes discarded from the torn tail (0 for a clean file).
+    pub truncated_bytes: u64,
+    /// True if the file did not exist (or was empty) and a fresh header
+    /// was written.
+    pub created: bool,
+}
+
+/// Cumulative size counters for telemetry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JournalStats {
+    /// Records currently in the file (recovered + appended − compacted
+    /// away).
+    pub records: u64,
+    /// File length in bytes, including the header.
+    pub bytes: u64,
+}
+
+/// An open write-ahead journal. See the crate docs for the format and
+/// the recovery contract.
+#[derive(Debug)]
+pub struct Journal {
+    file: File,
+    path: PathBuf,
+    policy: FsyncPolicy,
+    records: u64,
+    bytes: u64,
+    unsynced_appends: u32,
+}
+
+impl Journal {
+    /// Opens (or creates) the journal at `path`, recovering every intact
+    /// record and truncating the torn tail, then positions for append.
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError::Io`] on filesystem failure,
+    /// [`JournalError::NotAJournal`] when the file exists but is not a
+    /// journal, and [`JournalError::VersionMismatch`] when its format
+    /// version is newer than this build.
+    pub fn open(path: &Path, policy: FsyncPolicy) -> Result<(Journal, Recovery), JournalError> {
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)
+            .map_err(io_err("open"))?;
+        let mut buf = Vec::new();
+        file.read_to_end(&mut buf).map_err(io_err("read"))?;
+
+        let mut created = false;
+        if buf.is_empty() {
+            let mut header = Vec::with_capacity(HEADER_LEN as usize);
+            header.extend_from_slice(&FILE_MAGIC);
+            header.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+            header.extend_from_slice(&[0, 0]);
+            file.write_all(&header).map_err(io_err("write header"))?;
+            if policy != FsyncPolicy::Never {
+                file.sync_data().map_err(io_err("fsync header"))?;
+            }
+            created = true;
+            buf = header;
+        } else {
+            if buf.len() < HEADER_LEN as usize || buf[..4] != FILE_MAGIC {
+                return Err(JournalError::NotAJournal {
+                    path: path.to_path_buf(),
+                });
+            }
+            let got = u16::from_le_bytes([buf[4], buf[5]]);
+            if got != FORMAT_VERSION {
+                return Err(JournalError::VersionMismatch {
+                    got,
+                    want: FORMAT_VERSION,
+                });
+            }
+        }
+
+        // Scan records; `off` always points at the start of the next
+        // candidate frame. The first invalid frame is the torn tail.
+        let mut records = Vec::new();
+        let mut off = HEADER_LEN as usize;
+        loop {
+            let rest = buf.len() - off;
+            if rest == 0 {
+                break;
+            }
+            if rest < RECORD_OVERHEAD as usize {
+                break; // torn mid-header
+            }
+            if buf[off..off + 2] != RECORD_MAGIC {
+                break; // torn or overwritten frame start
+            }
+            let len = u32::from_le_bytes([buf[off + 2], buf[off + 3], buf[off + 4], buf[off + 5]]);
+            let crc = u32::from_le_bytes([buf[off + 6], buf[off + 7], buf[off + 8], buf[off + 9]]);
+            if len > MAX_RECORD {
+                break; // corrupt length
+            }
+            let body_start = off + RECORD_OVERHEAD as usize;
+            let body_end = body_start + len as usize;
+            if body_end > buf.len() {
+                break; // torn mid-payload
+            }
+            let payload = &buf[body_start..body_end];
+            if crc32(payload) != crc {
+                break; // bit rot or torn write inside the payload
+            }
+            records.push(payload.to_vec());
+            off = body_end;
+        }
+
+        let truncated_bytes = (buf.len() - off) as u64;
+        if truncated_bytes > 0 {
+            file.set_len(off as u64).map_err(io_err("truncate tail"))?;
+            if policy != FsyncPolicy::Never {
+                file.sync_data().map_err(io_err("fsync truncate"))?;
+            }
+        }
+        file.seek(SeekFrom::Start(off as u64))
+            .map_err(io_err("seek"))?;
+
+        let journal = Journal {
+            file,
+            path: path.to_path_buf(),
+            policy,
+            records: records.len() as u64,
+            bytes: off as u64,
+            unsynced_appends: 0,
+        };
+        Ok((
+            journal,
+            Recovery {
+                records,
+                truncated_bytes,
+                created,
+            },
+        ))
+    }
+
+    /// Appends one record. The payload is on disk (in the OS cache) when
+    /// this returns; whether it is on stable storage depends on the
+    /// [`FsyncPolicy`].
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError::RecordTooLarge`] past [`MAX_RECORD`], otherwise
+    /// [`JournalError::Io`].
+    pub fn append(&mut self, payload: &[u8]) -> Result<(), JournalError> {
+        if payload.len() > MAX_RECORD as usize {
+            return Err(JournalError::RecordTooLarge {
+                len: payload.len(),
+                max: MAX_RECORD,
+            });
+        }
+        // One contiguous write per record keeps the torn-tail window to a
+        // single frame: either the whole record lands or the scanner
+        // truncates at its start.
+        let mut frame = Vec::with_capacity(RECORD_OVERHEAD as usize + payload.len());
+        frame.extend_from_slice(&RECORD_MAGIC);
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&crc32(payload).to_le_bytes());
+        frame.extend_from_slice(payload);
+        self.file.write_all(&frame).map_err(io_err("append"))?;
+        self.records += 1;
+        self.bytes += frame.len() as u64;
+        self.unsynced_appends += 1;
+        match self.policy {
+            FsyncPolicy::Always => self.sync()?,
+            FsyncPolicy::Batch => {
+                if self.unsynced_appends >= BATCH_SYNC_EVERY {
+                    self.sync()?;
+                }
+            }
+            FsyncPolicy::Never => {}
+        }
+        Ok(())
+    }
+
+    /// Forces every appended byte to stable storage regardless of policy
+    /// — the explicit consistency barrier.
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError::Io`] when fsync fails.
+    pub fn sync(&mut self) -> Result<(), JournalError> {
+        self.file.sync_data().map_err(io_err("fsync"))?;
+        self.unsynced_appends = 0;
+        Ok(())
+    }
+
+    /// Rewrites the journal to contain exactly `records` (a snapshot),
+    /// atomically: the new content is written to a temp file, fsynced,
+    /// and renamed over the old journal. A crash at any point leaves
+    /// either the complete old journal or the complete new one.
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError::RecordTooLarge`] or [`JournalError::Io`].
+    pub fn compact<'a, I>(&mut self, records: I) -> Result<(), JournalError>
+    where
+        I: IntoIterator<Item = &'a [u8]>,
+    {
+        let mut tmp_path = self.path.clone().into_os_string();
+        tmp_path.push(".tmp");
+        let tmp_path = PathBuf::from(tmp_path);
+
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&FILE_MAGIC);
+        buf.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        buf.extend_from_slice(&[0, 0]);
+        let mut count = 0u64;
+        for payload in records {
+            if payload.len() > MAX_RECORD as usize {
+                return Err(JournalError::RecordTooLarge {
+                    len: payload.len(),
+                    max: MAX_RECORD,
+                });
+            }
+            buf.extend_from_slice(&RECORD_MAGIC);
+            buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+            buf.extend_from_slice(&crc32(payload).to_le_bytes());
+            buf.extend_from_slice(payload);
+            count += 1;
+        }
+
+        let mut tmp = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&tmp_path)
+            .map_err(io_err("create snapshot"))?;
+        tmp.write_all(&buf).map_err(io_err("write snapshot"))?;
+        tmp.sync_data().map_err(io_err("fsync snapshot"))?;
+        drop(tmp);
+        std::fs::rename(&tmp_path, &self.path).map_err(io_err("rename snapshot"))?;
+
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(&self.path)
+            .map_err(io_err("reopen"))?;
+        file.seek(SeekFrom::End(0)).map_err(io_err("seek"))?;
+        if self.policy != FsyncPolicy::Never {
+            file.sync_data().map_err(io_err("fsync reopened"))?;
+        }
+        self.file = file;
+        self.records = count;
+        self.bytes = buf.len() as u64;
+        self.unsynced_appends = 0;
+        Ok(())
+    }
+
+    /// Current record/byte counters for telemetry.
+    pub fn stats(&self) -> JournalStats {
+        JournalStats {
+            records: self.records,
+            bytes: self.bytes,
+        }
+    }
+
+    /// The journal's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The active fsync policy.
+    pub fn policy(&self) -> FsyncPolicy {
+        self.policy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("ta-journal-test-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Standard IEEE check values.
+        assert_eq!(crc32(b""), 0x0000_0000);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn roundtrip_and_reopen() {
+        let dir = tmp_dir("roundtrip");
+        let path = dir.join("j.wal");
+        let _ = std::fs::remove_file(&path);
+        let (mut j, rec) = Journal::open(&path, FsyncPolicy::Batch).unwrap();
+        assert!(rec.created);
+        assert!(rec.records.is_empty());
+        j.append(b"alpha").unwrap();
+        j.append(b"").unwrap();
+        j.append(&[0xFFu8; 1000]).unwrap();
+        j.sync().unwrap();
+        assert_eq!(j.stats().records, 3);
+        drop(j);
+
+        let (j2, rec2) = Journal::open(&path, FsyncPolicy::Batch).unwrap();
+        assert!(!rec2.created);
+        assert_eq!(rec2.truncated_bytes, 0);
+        assert_eq!(rec2.records.len(), 3);
+        assert_eq!(rec2.records[0], b"alpha");
+        assert_eq!(rec2.records[1], b"");
+        assert_eq!(rec2.records[2], vec![0xFFu8; 1000]);
+        assert_eq!(j2.stats().records, 3);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated() {
+        let dir = tmp_dir("torn");
+        let path = dir.join("j.wal");
+        let _ = std::fs::remove_file(&path);
+        let (mut j, _) = Journal::open(&path, FsyncPolicy::Never).unwrap();
+        j.append(b"keep me").unwrap();
+        j.append(b"also keep").unwrap();
+        let good_len = j.stats().bytes;
+        j.append(b"torn record body").unwrap();
+        drop(j);
+
+        // Chop the last record mid-payload.
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 5]).unwrap();
+
+        let (j2, rec) = Journal::open(&path, FsyncPolicy::Never).unwrap();
+        assert_eq!(rec.records.len(), 2);
+        assert!(rec.truncated_bytes > 0);
+        assert_eq!(j2.stats().bytes, good_len);
+        // The file itself shrank back to the good prefix.
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), good_len);
+    }
+
+    #[test]
+    fn append_after_recovery_continues_the_log() {
+        let dir = tmp_dir("continue");
+        let path = dir.join("j.wal");
+        let _ = std::fs::remove_file(&path);
+        let (mut j, _) = Journal::open(&path, FsyncPolicy::Never).unwrap();
+        j.append(b"one").unwrap();
+        drop(j);
+        // Corrupt tail: half a record header.
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.extend_from_slice(&RECORD_MAGIC);
+        bytes.push(9);
+        std::fs::write(&path, &bytes).unwrap();
+
+        let (mut j2, rec) = Journal::open(&path, FsyncPolicy::Never).unwrap();
+        assert_eq!(rec.records.len(), 1);
+        j2.append(b"two").unwrap();
+        drop(j2);
+
+        let (_, rec3) = Journal::open(&path, FsyncPolicy::Never).unwrap();
+        assert_eq!(rec3.records, vec![b"one".to_vec(), b"two".to_vec()]);
+    }
+
+    #[test]
+    fn future_format_version_fails_loud() {
+        let dir = tmp_dir("version");
+        let path = dir.join("j.wal");
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&FILE_MAGIC);
+        bytes.extend_from_slice(&99u16.to_le_bytes());
+        bytes.extend_from_slice(&[0, 0]);
+        std::fs::write(&path, &bytes).unwrap();
+        match Journal::open(&path, FsyncPolicy::Batch) {
+            Err(JournalError::VersionMismatch { got: 99, want }) => {
+                assert_eq!(want, FORMAT_VERSION)
+            }
+            other => panic!("expected VersionMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn non_journal_file_is_refused() {
+        let dir = tmp_dir("notajournal");
+        let path = dir.join("j.wal");
+        std::fs::write(&path, b"PGM or something else entirely").unwrap();
+        assert!(matches!(
+            Journal::open(&path, FsyncPolicy::Batch),
+            Err(JournalError::NotAJournal { .. })
+        ));
+    }
+
+    #[test]
+    fn oversized_append_is_typed() {
+        let dir = tmp_dir("oversize");
+        let path = dir.join("j.wal");
+        let _ = std::fs::remove_file(&path);
+        let (mut j, _) = Journal::open(&path, FsyncPolicy::Never).unwrap();
+        // Don't allocate 64 MiB in a unit test: the length check happens
+        // before any framing, so a zero-length slice with a fake length
+        // is not constructible — use a just-over-bound vec instead.
+        let big = vec![0u8; MAX_RECORD as usize + 1];
+        assert!(matches!(
+            j.append(&big),
+            Err(JournalError::RecordTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn compaction_is_atomic_and_reopenable() {
+        let dir = tmp_dir("compact");
+        let path = dir.join("j.wal");
+        let _ = std::fs::remove_file(&path);
+        let (mut j, _) = Journal::open(&path, FsyncPolicy::Batch).unwrap();
+        for i in 0..20u8 {
+            j.append(&[i; 100]).unwrap();
+        }
+        let before = j.stats().bytes;
+        let keep: Vec<Vec<u8>> = vec![b"snapshot".to_vec(), b"cursor".to_vec()];
+        j.compact(keep.iter().map(Vec::as_slice)).unwrap();
+        assert_eq!(j.stats().records, 2);
+        assert!(j.stats().bytes < before);
+        // The journal stays appendable after compaction.
+        j.append(b"post-compact").unwrap();
+        drop(j);
+
+        let (_, rec) = Journal::open(&path, FsyncPolicy::Batch).unwrap();
+        assert_eq!(
+            rec.records,
+            vec![
+                b"snapshot".to_vec(),
+                b"cursor".to_vec(),
+                b"post-compact".to_vec()
+            ]
+        );
+    }
+
+    #[test]
+    fn corrupt_crc_truncates_from_that_record() {
+        let dir = tmp_dir("crc");
+        let path = dir.join("j.wal");
+        let _ = std::fs::remove_file(&path);
+        let (mut j, _) = Journal::open(&path, FsyncPolicy::Never).unwrap();
+        j.append(b"good one").unwrap();
+        let keep_until = j.stats().bytes;
+        j.append(b"will be corrupted").unwrap();
+        j.append(b"shadowed by the corruption").unwrap();
+        drop(j);
+
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Flip a payload bit inside the second record.
+        let idx = keep_until as usize + RECORD_OVERHEAD as usize + 3;
+        bytes[idx] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let (_, rec) = Journal::open(&path, FsyncPolicy::Never).unwrap();
+        // Truncation is prefix-wise: the third (intact) record is behind
+        // the corrupt one and is discarded with it.
+        assert_eq!(rec.records, vec![b"good one".to_vec()]);
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), keep_until);
+    }
+}

@@ -1,0 +1,759 @@
+//! Batch checkpoint/resume on the write-ahead journal.
+//!
+//! `tconv batch --journal PATH` records a campaign-identity record
+//! ([`BatchMeta`]) followed by one [`RecordedFrame`] per completed frame
+//! — outputs included — as frames finish on the pool. After a crash,
+//! `--resume` re-opens the journal, verifies the meta record matches the
+//! campaign being resumed (same inputs, same config, same seed), replays
+//! the recorded frames verbatim, and executes only the unfinished ones.
+//! Because every frame's seed derives from `(batch_seed, index)`
+//! ([`crate::derive_seed`]), a resumed batch is bit-identical to an
+//! uninterrupted run — recovery is replay, not approximation.
+//!
+//! On success the journal is compacted (duplicates and torn garbage
+//! dropped, one record per frame plus a done marker), so a finished
+//! journal re-opens instantly with every frame served from the snapshot.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use ta_image::Image;
+use ta_journal::{FsyncPolicy, Journal, JournalError};
+
+use crate::health::{FrameReport, FrameStatus};
+use crate::supervisor::FailureKind;
+
+/// Journal format version for batch records (inside the payloads; the
+/// file-level framing has its own version in `ta-journal`).
+pub const BATCH_RECORD_VERSION: u32 = 1;
+
+const KIND_META: u8 = 0x01;
+const KIND_FRAME: u8 = 0x02;
+const KIND_DONE: u8 = 0x03;
+
+const STATUS_OK: u8 = 0;
+const STATUS_DEGRADED: u8 = 1;
+const STATUS_FAILED: u8 = 2;
+
+/// Everything that can go wrong opening or writing a batch journal.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum BatchJournalError {
+    /// The underlying journal failed (I/O, version, not-a-journal).
+    Journal(JournalError),
+    /// A CRC-valid record did not decode as a batch record — a logic or
+    /// version mismatch, not a torn write, so it fails loud.
+    Corrupt {
+        /// What did not parse.
+        what: String,
+    },
+    /// The journal's meta record does not match the campaign being
+    /// resumed: different inputs, config, seed, or frame count.
+    MetaMismatch {
+        /// Which identity field diverged.
+        what: &'static str,
+    },
+    /// `--resume` was asked for but the journal file does not exist.
+    NothingToResume {
+        /// The missing path.
+        path: PathBuf,
+    },
+}
+
+impl fmt::Display for BatchJournalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BatchJournalError::Journal(e) => write!(f, "{e}"),
+            BatchJournalError::Corrupt { what } => {
+                write!(f, "journal record corrupt: {what}")
+            }
+            BatchJournalError::MetaMismatch { what } => write!(
+                f,
+                "journal belongs to a different campaign ({what} differs); \
+                 refusing to resume"
+            ),
+            BatchJournalError::NothingToResume { path } => {
+                write!(f, "--resume: journal {} does not exist", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for BatchJournalError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BatchJournalError::Journal(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<JournalError> for BatchJournalError {
+    fn from(e: JournalError) -> Self {
+        BatchJournalError::Journal(e)
+    }
+}
+
+// ---------------------------------------------------------------------
+// FNV-1a fingerprinting for campaign identity
+// ---------------------------------------------------------------------
+
+/// Order-sensitive FNV-1a fingerprint builder used for the campaign
+/// identity hashes in [`BatchMeta`].
+#[derive(Debug, Clone)]
+pub struct Fingerprint(u64);
+
+impl Default for Fingerprint {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fingerprint {
+    /// Starts a fresh fingerprint.
+    pub fn new() -> Self {
+        Fingerprint(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn bytes(mut self, bytes: &[u8]) -> Self {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x1000_0000_01b3);
+        }
+        self
+    }
+
+    /// Mixes a length-delimited string.
+    #[must_use]
+    pub fn str(self, s: &str) -> Self {
+        self.u64(s.len() as u64).bytes(s.as_bytes())
+    }
+
+    /// Mixes a u64.
+    #[must_use]
+    pub fn u64(self, v: u64) -> Self {
+        self.bytes(&v.to_le_bytes())
+    }
+
+    /// Mixes an f64 by bit pattern.
+    #[must_use]
+    pub fn f64(self, v: f64) -> Self {
+        self.u64(v.to_bits())
+    }
+
+    /// The fingerprint value.
+    pub fn finish(self) -> u64 {
+        self.0
+    }
+}
+
+/// Content hash over the input frames (dimensions + pixel bit patterns).
+pub fn hash_images(frames: &[Image]) -> u64 {
+    let mut fp = Fingerprint::new().u64(frames.len() as u64);
+    for img in frames {
+        fp = fp.u64(img.width() as u64).u64(img.height() as u64);
+        for &p in img.pixels() {
+            fp = fp.f64(p);
+        }
+    }
+    fp.finish()
+}
+
+// ---------------------------------------------------------------------
+// Record model
+// ---------------------------------------------------------------------
+
+/// Campaign identity, written as the journal's first record and verified
+/// on resume. Two runs with the same meta are guaranteed (by the
+/// deterministic-execution contract) to produce identical outputs, which
+/// is what makes replay sound.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchMeta {
+    /// Seed every frame seed derives from.
+    pub batch_seed: u64,
+    /// Frames in the campaign.
+    pub frames: u32,
+    /// Fingerprint of the execution config (kernel, mode, arch, retry
+    /// and validation policy — everything that steers outputs).
+    pub config_hash: u64,
+    /// Fingerprint of the input frames ([`hash_images`]).
+    pub images_hash: u64,
+}
+
+/// One completed frame as recorded in (or replayed from) the journal.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecordedFrame {
+    /// Frame index within the batch.
+    pub frame: usize,
+    /// Disposition code (ok / degraded / failed).
+    status: u8,
+    /// Fallback engine name (degraded only).
+    fallback: String,
+    /// Failure cause display string (degraded/failed only).
+    cause: String,
+    /// Primary-engine attempts.
+    pub attempts: u32,
+    /// The frame outputs (absent for failed frames).
+    pub outputs: Option<Vec<Image>>,
+}
+
+impl RecordedFrame {
+    /// Captures a completed frame for the journal.
+    pub fn from_result(frame: usize, outputs: &Option<Vec<Image>>, report: &FrameReport) -> Self {
+        let (status, fallback, cause) = match &report.status {
+            FrameStatus::Ok => (STATUS_OK, String::new(), String::new()),
+            FrameStatus::Degraded { fallback, cause } => {
+                (STATUS_DEGRADED, fallback.clone(), cause.to_string())
+            }
+            FrameStatus::Failed { cause } => (STATUS_FAILED, String::new(), cause.to_string()),
+        };
+        RecordedFrame {
+            frame,
+            status,
+            fallback,
+            cause,
+            attempts: report.attempts,
+            outputs: outputs.clone(),
+        }
+    }
+
+    /// Reconstructs the frame disposition. Causes round-trip as their
+    /// display strings via [`FailureKind::Recovered`], so a replayed
+    /// report renders identically to the original.
+    pub fn status(&self) -> FrameStatus {
+        match self.status {
+            STATUS_DEGRADED => FrameStatus::Degraded {
+                fallback: self.fallback.clone(),
+                cause: FailureKind::Recovered(self.cause.clone()),
+            },
+            STATUS_FAILED => FrameStatus::Failed {
+                cause: FailureKind::Recovered(self.cause.clone()),
+            },
+            _ => FrameStatus::Ok,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Payload codec (journal payloads are opaque to ta-journal)
+// ---------------------------------------------------------------------
+
+struct Enc(Vec<u8>);
+
+impl Enc {
+    fn new(kind: u8) -> Self {
+        Enc(vec![kind])
+    }
+    fn u8(&mut self, v: u8) {
+        self.0.push(v);
+    }
+    fn u32(&mut self, v: u32) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn str(&mut self, s: &str) {
+        let bytes = s.as_bytes();
+        self.u32(bytes.len() as u32);
+        self.0.extend_from_slice(bytes);
+    }
+}
+
+struct Dec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Dec { buf, pos: 0 }
+    }
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], BatchJournalError> {
+        if self.buf.len() - self.pos < n {
+            return Err(BatchJournalError::Corrupt {
+                what: format!("{what}: truncated payload"),
+            });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+    fn u8(&mut self, what: &str) -> Result<u8, BatchJournalError> {
+        Ok(self.take(1, what)?[0])
+    }
+    fn u32(&mut self, what: &str) -> Result<u32, BatchJournalError> {
+        let b = self.take(4, what)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+    fn u64(&mut self, what: &str) -> Result<u64, BatchJournalError> {
+        let b = self.take(8, what)?;
+        let mut a = [0u8; 8];
+        a.copy_from_slice(b);
+        Ok(u64::from_le_bytes(a))
+    }
+    fn str(&mut self, what: &str) -> Result<String, BatchJournalError> {
+        let len = self.u32(what)? as usize;
+        let bytes = self.take(len, what)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| BatchJournalError::Corrupt {
+            what: format!("{what}: invalid UTF-8"),
+        })
+    }
+}
+
+fn encode_meta(meta: &BatchMeta) -> Vec<u8> {
+    let mut e = Enc::new(KIND_META);
+    e.u32(BATCH_RECORD_VERSION);
+    e.u64(meta.batch_seed);
+    e.u32(meta.frames);
+    e.u64(meta.config_hash);
+    e.u64(meta.images_hash);
+    e.0
+}
+
+fn encode_frame(rec: &RecordedFrame) -> Vec<u8> {
+    let mut e = Enc::new(KIND_FRAME);
+    e.u32(rec.frame as u32);
+    e.u8(rec.status);
+    e.str(&rec.fallback);
+    e.str(&rec.cause);
+    e.u32(rec.attempts);
+    match &rec.outputs {
+        None => e.u32(0),
+        Some(planes) => {
+            e.u32(planes.len() as u32);
+            for img in planes {
+                e.u32(img.width() as u32);
+                e.u32(img.height() as u32);
+                for &p in img.pixels() {
+                    e.u64(p.to_bits());
+                }
+            }
+        }
+    }
+    e.0
+}
+
+enum BatchRecord {
+    Meta(BatchMeta),
+    Frame(RecordedFrame),
+    Done,
+}
+
+fn decode_record(payload: &[u8]) -> Result<BatchRecord, BatchJournalError> {
+    let mut d = Dec::new(payload);
+    match d.u8("record kind")? {
+        KIND_META => {
+            let version = d.u32("meta.version")?;
+            if version != BATCH_RECORD_VERSION {
+                return Err(BatchJournalError::Corrupt {
+                    what: format!(
+                        "meta record version {version} (this build reads {BATCH_RECORD_VERSION})"
+                    ),
+                });
+            }
+            Ok(BatchRecord::Meta(BatchMeta {
+                batch_seed: d.u64("meta.batch_seed")?,
+                frames: d.u32("meta.frames")?,
+                config_hash: d.u64("meta.config_hash")?,
+                images_hash: d.u64("meta.images_hash")?,
+            }))
+        }
+        KIND_FRAME => {
+            let frame = d.u32("frame.index")? as usize;
+            let status = d.u8("frame.status")?;
+            if status > STATUS_FAILED {
+                return Err(BatchJournalError::Corrupt {
+                    what: format!("frame.status: no variant {status}"),
+                });
+            }
+            let fallback = d.str("frame.fallback")?;
+            let cause = d.str("frame.cause")?;
+            let attempts = d.u32("frame.attempts")?;
+            let nplanes = d.u32("frame.planes")? as usize;
+            let outputs = if nplanes == 0 {
+                None
+            } else {
+                let mut planes = Vec::with_capacity(nplanes);
+                for _ in 0..nplanes {
+                    let w = d.u32("plane.width")? as usize;
+                    let h = d.u32("plane.height")? as usize;
+                    let n = w.checked_mul(h).ok_or_else(|| BatchJournalError::Corrupt {
+                        what: "plane dimensions overflow".to_string(),
+                    })?;
+                    let mut pixels = Vec::with_capacity(n);
+                    for _ in 0..n {
+                        pixels.push(f64::from_bits(d.u64("plane.pixel")?));
+                    }
+                    let img = Image::from_pixels(w, h, pixels).map_err(|e| {
+                        BatchJournalError::Corrupt {
+                            what: format!("plane: {e}"),
+                        }
+                    })?;
+                    planes.push(img);
+                }
+                Some(planes)
+            };
+            Ok(BatchRecord::Frame(RecordedFrame {
+                frame,
+                status,
+                fallback,
+                cause,
+                attempts,
+                outputs,
+            }))
+        }
+        KIND_DONE => Ok(BatchRecord::Done),
+        kind => Err(BatchJournalError::Corrupt {
+            what: format!("unknown batch record kind {kind:#04x}"),
+        }),
+    }
+}
+
+// ---------------------------------------------------------------------
+// BatchJournal
+// ---------------------------------------------------------------------
+
+/// A batch campaign's write-ahead journal: meta verified, completed
+/// frames recoverable, appends thread-safe (pool workers checkpoint
+/// concurrently; record order does not matter because every record
+/// carries its frame index).
+#[derive(Debug)]
+pub struct BatchJournal {
+    inner: Mutex<Journal>,
+    meta: BatchMeta,
+    recovered: BTreeMap<usize, RecordedFrame>,
+    /// Bytes the torn-tail scan discarded at open.
+    pub truncated_bytes: u64,
+    /// True when the journal already carries a completion marker.
+    pub finished: bool,
+}
+
+impl BatchJournal {
+    /// Starts a fresh journal for a new campaign, replacing any existing
+    /// file at `path` (a journal without `--resume` is a new campaign).
+    ///
+    /// # Errors
+    ///
+    /// [`BatchJournalError`] on I/O failure.
+    pub fn create(
+        path: &Path,
+        policy: FsyncPolicy,
+        meta: &BatchMeta,
+    ) -> Result<BatchJournal, BatchJournalError> {
+        if path.exists() {
+            std::fs::remove_file(path).map_err(|source| {
+                BatchJournalError::Journal(JournalError::Io {
+                    op: "replace journal",
+                    source,
+                })
+            })?;
+        }
+        let (mut journal, _) = Journal::open(path, policy)?;
+        journal.append(&encode_meta(meta))?;
+        journal.sync()?;
+        Ok(BatchJournal {
+            inner: Mutex::new(journal),
+            meta: meta.clone(),
+            recovered: BTreeMap::new(),
+            truncated_bytes: 0,
+            finished: false,
+        })
+    }
+
+    /// Re-opens an existing journal for `--resume`: verifies the meta
+    /// record against the campaign being run and loads every recorded
+    /// frame for replay.
+    ///
+    /// # Errors
+    ///
+    /// [`BatchJournalError::NothingToResume`] when the file is missing,
+    /// [`BatchJournalError::MetaMismatch`] when it belongs to a different
+    /// campaign, [`BatchJournalError::Corrupt`] on undecodable records,
+    /// and I/O / format errors from the journal layer.
+    pub fn resume(
+        path: &Path,
+        policy: FsyncPolicy,
+        meta: &BatchMeta,
+    ) -> Result<BatchJournal, BatchJournalError> {
+        if !path.exists() {
+            return Err(BatchJournalError::NothingToResume {
+                path: path.to_path_buf(),
+            });
+        }
+        let (journal, recovery) = Journal::open(path, policy)?;
+        let mut records = recovery.records.iter();
+        let first = records.next().ok_or(BatchJournalError::Corrupt {
+            what: "journal has no meta record".to_string(),
+        })?;
+        let BatchRecord::Meta(found) = decode_record(first)? else {
+            return Err(BatchJournalError::Corrupt {
+                what: "first record is not the campaign meta".to_string(),
+            });
+        };
+        for (what, ours, theirs) in [
+            (
+                "frame count",
+                u64::from(meta.frames),
+                u64::from(found.frames),
+            ),
+            ("batch seed", meta.batch_seed, found.batch_seed),
+            ("config", meta.config_hash, found.config_hash),
+            ("input images", meta.images_hash, found.images_hash),
+        ] {
+            if ours != theirs {
+                return Err(BatchJournalError::MetaMismatch { what });
+            }
+        }
+        let mut recovered = BTreeMap::new();
+        let mut finished = false;
+        for payload in records {
+            match decode_record(payload)? {
+                BatchRecord::Frame(rec) => {
+                    if rec.frame < meta.frames as usize {
+                        // Duplicates (a checkpoint retried across a crash)
+                        // collapse by index; replay is idempotent.
+                        recovered.insert(rec.frame, rec);
+                    }
+                }
+                BatchRecord::Done => finished = true,
+                BatchRecord::Meta(_) => {
+                    return Err(BatchJournalError::Corrupt {
+                        what: "duplicate meta record".to_string(),
+                    })
+                }
+            }
+        }
+        Ok(BatchJournal {
+            inner: Mutex::new(journal),
+            meta: meta.clone(),
+            recovered,
+            truncated_bytes: recovery.truncated_bytes,
+            finished,
+        })
+    }
+
+    /// Frames recovered from the journal, keyed by index.
+    pub fn recovered(&self) -> &BTreeMap<usize, RecordedFrame> {
+        &self.recovered
+    }
+
+    /// True when `frame` is already checkpointed.
+    pub fn has_frame(&self, frame: usize) -> bool {
+        self.recovered.contains_key(&frame)
+    }
+
+    /// Checkpoints one completed frame (thread-safe).
+    ///
+    /// # Errors
+    ///
+    /// [`BatchJournalError`] on I/O failure or an oversized record.
+    pub fn append_frame(&self, rec: &RecordedFrame) -> Result<(), BatchJournalError> {
+        let payload = encode_frame(rec);
+        let mut journal = self.inner.lock().map_err(|_| BatchJournalError::Corrupt {
+            what: "journal lock poisoned".to_string(),
+        })?;
+        journal.append(&payload)?;
+        Ok(())
+    }
+
+    /// Marks the campaign complete and compacts the journal to its
+    /// snapshot: meta, one record per frame, and the done marker —
+    /// duplicates and torn garbage gone. A finished journal re-opens with
+    /// every frame replayable and nothing left to execute.
+    ///
+    /// # Errors
+    ///
+    /// [`BatchJournalError`] on I/O failure during compaction.
+    pub fn finish(&self, frames: &BTreeMap<usize, RecordedFrame>) -> Result<(), BatchJournalError> {
+        let mut payloads = Vec::with_capacity(frames.len() + 2);
+        payloads.push(encode_meta(&self.meta));
+        for rec in frames.values() {
+            payloads.push(encode_frame(rec));
+        }
+        payloads.push(vec![KIND_DONE]);
+        let mut journal = self.inner.lock().map_err(|_| BatchJournalError::Corrupt {
+            what: "journal lock poisoned".to_string(),
+        })?;
+        journal.compact(payloads.iter().map(Vec::as_slice))?;
+        journal.sync()?;
+        Ok(())
+    }
+
+    /// Forces buffered appends to stable storage.
+    ///
+    /// # Errors
+    ///
+    /// [`BatchJournalError`] when fsync fails.
+    pub fn sync(&self) -> Result<(), BatchJournalError> {
+        let mut journal = self.inner.lock().map_err(|_| BatchJournalError::Corrupt {
+            what: "journal lock poisoned".to_string(),
+        })?;
+        journal.sync()?;
+        Ok(())
+    }
+
+    /// Current journal size counters.
+    pub fn stats(&self) -> ta_journal::JournalStats {
+        match self.inner.lock() {
+            Ok(j) => j.stats(),
+            Err(_) => ta_journal::JournalStats {
+                records: 0,
+                bytes: 0,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
+    use super::*;
+    use std::time::Duration;
+
+    fn meta() -> BatchMeta {
+        BatchMeta {
+            batch_seed: 7,
+            frames: 4,
+            config_hash: 11,
+            images_hash: 13,
+        }
+    }
+
+    fn scratch(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("ta-batch-journal-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(format!("{tag}.wal"))
+    }
+
+    fn frame_record(i: usize) -> RecordedFrame {
+        let img = Image::from_pixels(2, 2, vec![0.0, 1.0, -3.5, 42.0]).unwrap();
+        let report = FrameReport {
+            frame: i,
+            status: FrameStatus::Ok,
+            attempts: 1,
+            latency: Duration::from_millis(1),
+            attempt_latencies: vec![Duration::from_millis(1)],
+            log: vec![],
+        };
+        RecordedFrame::from_result(i, &Some(vec![img]), &report)
+    }
+
+    #[test]
+    fn create_then_resume_replays_frames() {
+        let path = scratch("roundtrip");
+        let _ = std::fs::remove_file(&path);
+        let j = BatchJournal::create(&path, FsyncPolicy::Batch, &meta()).unwrap();
+        j.append_frame(&frame_record(0)).unwrap();
+        j.append_frame(&frame_record(2)).unwrap();
+        j.sync().unwrap();
+        drop(j);
+
+        let j2 = BatchJournal::resume(&path, FsyncPolicy::Batch, &meta()).unwrap();
+        assert!(!j2.finished);
+        assert_eq!(
+            j2.recovered().keys().copied().collect::<Vec<_>>(),
+            vec![0, 2]
+        );
+        let rec = &j2.recovered()[&0];
+        assert_eq!(rec.attempts, 1);
+        assert!(rec.status().is_ok());
+        let out = rec.outputs.as_ref().unwrap();
+        assert_eq!(out[0].pixels(), &[0.0, 1.0, -3.5, 42.0]);
+    }
+
+    #[test]
+    fn meta_mismatch_is_refused() {
+        let path = scratch("mismatch");
+        let _ = std::fs::remove_file(&path);
+        drop(BatchJournal::create(&path, FsyncPolicy::Batch, &meta()).unwrap());
+        let mut other = meta();
+        other.batch_seed = 8;
+        assert!(matches!(
+            BatchJournal::resume(&path, FsyncPolicy::Batch, &other),
+            Err(BatchJournalError::MetaMismatch { what: "batch seed" })
+        ));
+    }
+
+    #[test]
+    fn resume_without_file_is_typed() {
+        let path = scratch("absent");
+        let _ = std::fs::remove_file(&path);
+        assert!(matches!(
+            BatchJournal::resume(&path, FsyncPolicy::Batch, &meta()),
+            Err(BatchJournalError::NothingToResume { .. })
+        ));
+    }
+
+    #[test]
+    fn finish_compacts_to_snapshot() {
+        let path = scratch("finish");
+        let _ = std::fs::remove_file(&path);
+        let j = BatchJournal::create(&path, FsyncPolicy::Batch, &meta()).unwrap();
+        let mut all = BTreeMap::new();
+        for i in 0..4 {
+            let rec = frame_record(i);
+            j.append_frame(&rec).unwrap();
+            // Simulate a duplicate checkpoint surviving a crash window.
+            j.append_frame(&rec).unwrap();
+            all.insert(i, rec);
+        }
+        j.finish(&all).unwrap();
+        drop(j);
+
+        let j2 = BatchJournal::resume(&path, FsyncPolicy::Batch, &meta()).unwrap();
+        assert!(j2.finished);
+        assert_eq!(j2.recovered().len(), 4);
+        // Compaction dropped the duplicates: meta + 4 frames + done.
+        assert_eq!(j2.stats().records, 6);
+    }
+
+    #[test]
+    fn degraded_and_failed_statuses_roundtrip_display() {
+        let path = scratch("status");
+        let _ = std::fs::remove_file(&path);
+        let j = BatchJournal::create(&path, FsyncPolicy::Batch, &meta()).unwrap();
+        let degraded = FrameReport {
+            frame: 0,
+            status: FrameStatus::Degraded {
+                fallback: "digital-reference".to_string(),
+                cause: FailureKind::Panic("kaboom".to_string()),
+            },
+            attempts: 3,
+            latency: Duration::from_millis(9),
+            attempt_latencies: vec![],
+            log: vec![],
+        };
+        let failed = FrameReport {
+            frame: 1,
+            status: FrameStatus::Failed {
+                cause: FailureKind::Panic("dead".to_string()),
+            },
+            attempts: 4,
+            latency: Duration::from_millis(9),
+            attempt_latencies: vec![],
+            log: vec![],
+        };
+        let img = Image::from_pixels(1, 1, vec![0.5]).unwrap();
+        j.append_frame(&RecordedFrame::from_result(0, &Some(vec![img]), &degraded))
+            .unwrap();
+        j.append_frame(&RecordedFrame::from_result(1, &None, &failed))
+            .unwrap();
+        j.sync().unwrap();
+        drop(j);
+
+        let j2 = BatchJournal::resume(&path, FsyncPolicy::Batch, &meta()).unwrap();
+        assert_eq!(
+            j2.recovered()[&0].status().to_string(),
+            degraded.status.to_string()
+        );
+        assert_eq!(
+            j2.recovered()[&1].status().to_string(),
+            failed.status.to_string()
+        );
+        assert!(j2.recovered()[&1].outputs.is_none());
+    }
+}

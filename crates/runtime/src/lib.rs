@@ -35,11 +35,15 @@
 
 pub mod engine;
 pub mod health;
+pub mod journal;
 pub mod supervisor;
 pub mod watchdog;
 
 pub use engine::{derive_seed, Engine, FaultyTemporalEngine, TemporalEngine};
 pub use health::{BatchResult, FrameReport, FrameStatus, HealthReport, LatencyStats};
+pub use journal::{
+    hash_images, BatchJournal, BatchJournalError, BatchMeta, Fingerprint, RecordedFrame,
+};
 pub use supervisor::{
     FailureKind, Fallback, RetryPolicy, RuntimeError, Supervisor, SupervisorConfig,
     ValidationPolicy,

@@ -32,6 +32,10 @@ pub enum FailureKind {
     Engine(ta_core::Error),
     /// The outputs were produced but rejected by validation.
     Validation(ValidationError),
+    /// The frame was replayed from a journal; the original cause survives
+    /// only as its display string, which this variant renders verbatim so
+    /// replayed reports read identically to the originals.
+    Recovered(String),
 }
 
 impl fmt::Display for FailureKind {
@@ -43,6 +47,7 @@ impl fmt::Display for FailureKind {
             FailureKind::Panic(msg) => write!(f, "panic: {msg}"),
             FailureKind::Engine(e) => write!(f, "engine error: {e}"),
             FailureKind::Validation(e) => write!(f, "validation rejected output: {e}"),
+            FailureKind::Recovered(text) => f.write_str(text),
         }
     }
 }
@@ -140,6 +145,9 @@ pub enum RuntimeError {
     /// A feature needing the digital reference was enabled without
     /// attaching a reference engine.
     MissingReference(&'static str),
+    /// A journaled batch could not checkpoint (I/O failure mid-run). The
+    /// display string carries the underlying journal error.
+    Journal(String),
 }
 
 impl fmt::Display for RuntimeError {
@@ -149,6 +157,7 @@ impl fmt::Display for RuntimeError {
                 f,
                 "{what} requires a reference engine (Supervisor::with_reference)"
             ),
+            RuntimeError::Journal(what) => write!(f, "journal checkpoint failed: {what}"),
         }
     }
 }
@@ -271,6 +280,104 @@ impl Supervisor {
             outputs.push(out);
             reports.push(report);
         }
+        let health = HealthReport::from_reports(&reports);
+        Ok(BatchResult {
+            outputs,
+            reports,
+            health,
+        })
+    }
+
+    /// Runs a batch with write-ahead checkpointing: frames already in the
+    /// journal are replayed verbatim (zero compute), the rest execute on
+    /// the pool and are appended to the journal as they finish. Because
+    /// frame seeds derive from `(batch_seed, index)`, the merged result
+    /// is bit-identical to an uninterrupted [`Supervisor::run_batch`] of
+    /// the same campaign — a crash costs only the unfinished frames.
+    ///
+    /// On completion the journal is compacted to its snapshot and marked
+    /// done.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError`] on misconfiguration, or
+    /// [`RuntimeError::Journal`] when a checkpoint cannot be written —
+    /// durability failures are loud, not silently skipped.
+    pub fn run_batch_journaled(
+        &self,
+        engine: &Arc<dyn Engine>,
+        frames: &[Image],
+        batch_seed: u64,
+        journal: &crate::journal::BatchJournal,
+    ) -> Result<BatchResult, RuntimeError> {
+        use crate::journal::RecordedFrame;
+
+        self.check_config()?;
+        let n = frames.len();
+        let pending: Vec<usize> = (0..n).filter(|i| !journal.has_frame(*i)).collect();
+        let replayed = n - pending.len();
+        ta_telemetry::metrics()
+            .counter("ta_runtime_frames_replayed_total")
+            .add(replayed as u64);
+
+        // Checkpoint concurrently with execution: each worker appends its
+        // frame record the moment the frame is supervised, so a crash
+        // loses at most the frames still in flight. Append errors are
+        // collected, not panicked, and fail the batch afterwards.
+        let fresh = ta_pool::Pool::new(self.cfg.workers).map(pending.len(), |j| {
+            let i = pending[j];
+            let (out, report) = self.supervise_frame(engine, &frames[i], i, batch_seed);
+            let rec = RecordedFrame::from_result(i, &out, &report);
+            let append = journal.append_frame(&rec);
+            (rec, out, report, append)
+        });
+
+        let mut records = journal.recovered().clone();
+        let mut fresh_map = std::collections::BTreeMap::new();
+        let mut checkpoint_failure: Option<String> = None;
+        for (rec, out, report, append) in fresh {
+            if let Err(e) = append {
+                checkpoint_failure.get_or_insert(e.to_string());
+            }
+            records.insert(rec.frame, rec);
+            fresh_map.insert(report.frame, (out, report));
+        }
+        if let Some(e) = checkpoint_failure {
+            return Err(RuntimeError::Journal(e));
+        }
+
+        let mut outputs = Vec::with_capacity(n);
+        let mut reports = Vec::with_capacity(n);
+        for i in 0..n {
+            if let Some((out, report)) = fresh_map.remove(&i) {
+                outputs.push(out);
+                reports.push(report);
+            } else if let Some(rec) = journal.recovered().get(&i) {
+                let report = FrameReport {
+                    frame: i,
+                    status: rec.status(),
+                    attempts: rec.attempts,
+                    latency: Duration::ZERO,
+                    attempt_latencies: Vec::new(),
+                    log: vec!["replayed from journal".to_string()],
+                };
+                publish_report(&report);
+                outputs.push(rec.outputs.clone());
+                reports.push(report);
+            } else {
+                unreachable!("every frame is either pending or recovered")
+            }
+        }
+
+        journal
+            .finish(&records)
+            .map_err(|e| RuntimeError::Journal(e.to_string()))?;
+        let stats = journal.stats();
+        let m = ta_telemetry::metrics();
+        m.gauge("ta_runtime_journal_bytes").set(stats.bytes as f64);
+        m.gauge("ta_runtime_journal_records")
+            .set(stats.records as f64);
+
         let health = HealthReport::from_reports(&reports);
         Ok(BatchResult {
             outputs,

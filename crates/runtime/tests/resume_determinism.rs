@@ -1,0 +1,212 @@
+//! Resume determinism: interrupt a journaled 8-frame batch at *every*
+//! frame boundary — clean and faulty engines — and assert the resumed
+//! result is bit-for-bit equal to the uninterrupted golden run.
+//!
+//! The interruption is simulated at the journal level: the golden run's
+//! journal holds one record per frame; a journal rebuilt from the meta
+//! record plus the first `k` frame records is exactly what a crash after
+//! `k` checkpoints leaves behind (the torn-tail scan of `ta-journal` has
+//! already reduced any real crash artifact to such a prefix — that layer
+//! is covered by the journal proptests and the kill-9 suite).
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use ta_core::{ArchConfig, Architecture, ArithmeticMode, FaultModel, SystemDescription};
+use ta_image::{synth, Image, Kernel};
+use ta_journal::{FsyncPolicy, Journal};
+use ta_runtime::{
+    hash_images, BatchJournal, BatchMeta, BatchResult, Engine, FaultyTemporalEngine, RetryPolicy,
+    Supervisor, SupervisorConfig, TemporalEngine, ValidationPolicy,
+};
+
+const W: usize = 12;
+const H: usize = 12;
+const FRAMES: usize = 8;
+const BATCH_SEED: u64 = 0xD15EA5E;
+
+fn arch() -> Architecture {
+    let desc = SystemDescription::new(W, H, vec![Kernel::sobel_x()], 1).unwrap();
+    Architecture::new(desc, ArchConfig::fast_1ns(7, 20)).unwrap()
+}
+
+fn frames() -> Vec<Image> {
+    (0..FRAMES)
+        .map(|i| synth::natural_image(W, H, i as u64))
+        .collect()
+}
+
+fn supervisor() -> Supervisor {
+    Supervisor::new(SupervisorConfig {
+        validation: ValidationPolicy {
+            require_finite: true,
+            nrmse_tolerance: None,
+        },
+        timeout: None,
+        retry: RetryPolicy {
+            max_retries: 1,
+            base_backoff: std::time::Duration::ZERO,
+            max_backoff: std::time::Duration::ZERO,
+            jitter: 0.0,
+        },
+        workers: 2,
+        seed: 3,
+    })
+}
+
+fn clean_engine() -> Arc<dyn Engine> {
+    Arc::new(TemporalEngine::new(
+        arch(),
+        ArithmeticMode::DelayApproxNoisy,
+    ))
+}
+
+fn faulty_engine() -> Arc<dyn Engine> {
+    Arc::new(FaultyTemporalEngine::new(
+        arch(),
+        ArithmeticMode::DelayApproxNoisy,
+        FaultModel::with_rate(0.01).unwrap(),
+        0xFA,
+    ))
+}
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ta-resume-det-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(format!("{tag}.wal"))
+}
+
+fn meta(imgs: &[Image]) -> BatchMeta {
+    BatchMeta {
+        batch_seed: BATCH_SEED,
+        frames: imgs.len() as u32,
+        config_hash: 0xC0FFEE,
+        images_hash: hash_images(imgs),
+    }
+}
+
+/// Bit-level equality of two batch results: output pixel bit patterns,
+/// status renderings, and attempt counts. (Latencies are wall-clock and
+/// excluded by design.)
+fn assert_bit_identical(golden: &BatchResult, resumed: &BatchResult, what: &str) {
+    assert_eq!(golden.outputs.len(), resumed.outputs.len(), "{what}: len");
+    for (i, (g, r)) in golden.outputs.iter().zip(&resumed.outputs).enumerate() {
+        match (g, r) {
+            (None, None) => {}
+            (Some(g), Some(r)) => {
+                assert_eq!(g.len(), r.len(), "{what}: frame {i} plane count");
+                for (p, (gp, rp)) in g.iter().zip(r).enumerate() {
+                    let gbits: Vec<u64> = gp.pixels().iter().map(|v| v.to_bits()).collect();
+                    let rbits: Vec<u64> = rp.pixels().iter().map(|v| v.to_bits()).collect();
+                    assert_eq!(gbits, rbits, "{what}: frame {i} plane {p} pixel bits");
+                }
+            }
+            _ => panic!("{what}: frame {i} presence differs"),
+        }
+    }
+    for (g, r) in golden.reports.iter().zip(&resumed.reports) {
+        assert_eq!(g.frame, r.frame, "{what}: report order");
+        assert_eq!(
+            g.status.to_string(),
+            r.status.to_string(),
+            "{what}: frame {} status",
+            g.frame
+        );
+        assert_eq!(g.attempts, r.attempts, "{what}: frame {} attempts", g.frame);
+    }
+    assert_eq!(golden.health.ok, resumed.health.ok, "{what}: health.ok");
+    assert_eq!(
+        golden.health.degraded, resumed.health.degraded,
+        "{what}: health.degraded"
+    );
+    assert_eq!(
+        golden.health.failed, resumed.health.failed,
+        "{what}: health.failed"
+    );
+}
+
+/// Runs the golden journaled batch, then for every boundary `k` rebuilds
+/// the journal as a crash after `k` checkpoints would leave it and
+/// resumes.
+fn interrupt_at_every_boundary(tag: &str, engine: &Arc<dyn Engine>) {
+    let imgs = frames();
+    let meta = meta(&imgs);
+    let sup = supervisor();
+
+    // Golden: one uninterrupted journaled run (itself pinned against the
+    // journal-free path below).
+    let golden_path = scratch(&format!("{tag}-golden"));
+    let _ = std::fs::remove_file(&golden_path);
+    let journal = BatchJournal::create(&golden_path, FsyncPolicy::Batch, &meta).unwrap();
+    let golden = sup
+        .run_batch_journaled(engine, &imgs, BATCH_SEED, &journal)
+        .unwrap();
+    drop(journal);
+
+    let plain = sup.run_batch(engine, &imgs, BATCH_SEED).unwrap();
+    assert_bit_identical(&plain, &golden, &format!("{tag}: journaled vs plain"));
+
+    // The golden journal is compacted: meta + FRAMES records + done.
+    let (_, recovery) = Journal::open(&golden_path, FsyncPolicy::Batch).unwrap();
+    let records = recovery.records;
+    assert_eq!(records.len(), FRAMES + 2);
+
+    for k in 0..=FRAMES {
+        // A crash after k checkpoints leaves meta + k frame records (the
+        // done marker only exists on completion).
+        let path = scratch(&format!("{tag}-cut{k}"));
+        let _ = std::fs::remove_file(&path);
+        let (mut j, _) = Journal::open(&path, FsyncPolicy::Batch).unwrap();
+        for payload in records.iter().take(1 + k) {
+            j.append(payload).unwrap();
+        }
+        drop(j);
+
+        let journal = BatchJournal::resume(&path, FsyncPolicy::Batch, &meta).unwrap();
+        assert_eq!(journal.recovered().len(), k, "{tag}: cut {k} recovered");
+        let resumed = sup
+            .run_batch_journaled(engine, &imgs, BATCH_SEED, &journal)
+            .unwrap();
+        assert_bit_identical(&golden, &resumed, &format!("{tag}: resume at {k}"));
+
+        // After the resumed run the journal is finished: resuming again
+        // replays everything without executing a single frame.
+        let journal = BatchJournal::resume(&path, FsyncPolicy::Batch, &meta).unwrap();
+        assert!(journal.finished, "{tag}: cut {k} should finish");
+        assert_eq!(journal.recovered().len(), FRAMES);
+        let replayed = sup
+            .run_batch_journaled(engine, &imgs, BATCH_SEED, &journal)
+            .unwrap();
+        assert_bit_identical(&golden, &replayed, &format!("{tag}: replay-all at {k}"));
+    }
+}
+
+#[test]
+fn resume_is_bit_identical_at_every_boundary_clean() {
+    interrupt_at_every_boundary("clean", &clean_engine());
+}
+
+#[test]
+fn resume_is_bit_identical_at_every_boundary_faulty() {
+    interrupt_at_every_boundary("faulty", &faulty_engine());
+}
+
+#[test]
+fn resume_with_wrong_inputs_is_refused() {
+    let imgs = frames();
+    let meta0 = meta(&imgs);
+    let path = scratch("wrong-inputs");
+    let _ = std::fs::remove_file(&path);
+    drop(BatchJournal::create(&path, FsyncPolicy::Batch, &meta0).unwrap());
+
+    let mut other = imgs.clone();
+    other[3] = synth::natural_image(W, H, 777);
+    let bad = BatchMeta {
+        images_hash: hash_images(&other),
+        ..meta0
+    };
+    let err = BatchJournal::resume(&path, FsyncPolicy::Batch, &bad).unwrap_err();
+    assert!(err.to_string().contains("different campaign"), "{err}");
+}

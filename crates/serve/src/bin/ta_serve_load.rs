@@ -3,12 +3,17 @@
 //!
 //! ```text
 //! ta-serve-load [--addr HOST:PORT] [--out PATH] [--frames N]
-//!               [--sweep 1,2,4] [--deadline-ms N] [--burst N]
+//!               [--sweep 1,2,4] [--deadline-ms N] [--burst N] [--journal]
 //! ```
 //!
 //! Without `--addr` the tool spawns a hermetic in-process server (chaos
 //! enabled, ephemeral port), benches it, and drains it — the mode CI's
 //! `serve-smoke` job uses so the bench needs no orchestration.
+//!
+//! `--journal` (hermetic mode only) additionally measures the durability
+//! tax: the same single-connection sweep against a journal-less and a
+//! journal-enabled server (fsync=batch), recorded as `journal_overhead`
+//! in the report and asserted within the 15% p99 budget.
 
 use std::process::ExitCode;
 use std::thread;
@@ -23,6 +28,7 @@ struct Args {
     sweep: Vec<usize>,
     deadline_ms: u32,
     burst: usize,
+    journal: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -33,6 +39,7 @@ fn parse_args() -> Result<Args, String> {
         sweep: vec![1, 2, 4],
         deadline_ms: 2000,
         burst: 16,
+        journal: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -62,10 +69,11 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|_| "--burst: not a number".to_string())?;
             }
+            "--journal" => args.journal = true,
             "--help" | "-h" => {
                 println!(
                     "usage: ta-serve-load [--addr HOST:PORT] [--out PATH] [--frames N] \
-                     [--sweep 1,2,4] [--deadline-ms N] [--burst N]"
+                     [--sweep 1,2,4] [--deadline-ms N] [--burst N] [--journal]"
                 );
                 std::process::exit(0);
             }
@@ -75,7 +83,57 @@ fn parse_args() -> Result<Args, String> {
     if args.sweep.is_empty() {
         return Err("--sweep must name at least one connection count".to_string());
     }
+    if args.journal && args.addr.is_some() {
+        return Err(
+            "--journal is hermetic-only (it spawns its own servers); drop --addr".to_string(),
+        );
+    }
     Ok(args)
+}
+
+type ServerRunner = thread::JoinHandle<Result<ta_serve::DrainSummary, ta_serve::ServeError>>;
+
+/// Spawns a hermetic server and returns its address plus drain handles.
+fn spawn_hermetic(
+    cfg: ServeConfig,
+) -> Result<(String, ta_serve::ServerHandle, ServerRunner), String> {
+    let server = Server::bind(cfg).map_err(|e| format!("cannot start hermetic server: {e}"))?;
+    let addr = server
+        .local_addr()
+        .ok_or("hermetic server has no TCP address")?
+        .to_string();
+    let handle = server.handle();
+    let runner = thread::spawn(move || server.run());
+    Ok((addr, handle, runner))
+}
+
+fn drain_hermetic(what: &str, handle: &ta_serve::ServerHandle, runner: ServerRunner) {
+    handle.begin_drain();
+    match runner.join() {
+        Ok(Ok(summary)) => eprintln!(
+            "ta-serve-load: {what} drained ({} completed, {} shed)",
+            summary.completed, summary.shed
+        ),
+        Ok(Err(e)) => eprintln!("ta-serve-load: {what} error: {e}"),
+        Err(_) => eprintln!("ta-serve-load: {what} panicked"),
+    }
+}
+
+/// Runs the durability-tax probe on a fresh pair of hermetic servers.
+fn run_journal_probe(cfg: &LoadConfig) -> Result<loadgen::JournalOverhead, String> {
+    let wal = std::env::temp_dir().join(format!("ta-serve-load-{}.wal", std::process::id()));
+    let _ = std::fs::remove_file(&wal);
+    let (base_addr, base_handle, base_runner) = spawn_hermetic(ServeConfig::default())?;
+    let (j_addr, j_handle, j_runner) = spawn_hermetic(ServeConfig {
+        journal: Some(wal.clone()),
+        journal_fsync: ta_serve::journal::FsyncPolicy::Batch,
+        ..ServeConfig::default()
+    })?;
+    let probed = loadgen::journal_overhead(cfg, &base_addr, &j_addr);
+    drain_hermetic("journal-probe base server", &base_handle, base_runner);
+    drain_hermetic("journal-probe journaled server", &j_handle, j_runner);
+    let _ = std::fs::remove_file(&wal);
+    probed.map_err(|e| format!("journal probe failed: {e}"))
 }
 
 fn main() -> ExitCode {
@@ -136,13 +194,36 @@ fn main() -> ExitCode {
         }
     }
 
-    let report = match result {
+    let mut report = match result {
         Ok(r) => r,
         Err(e) => {
             eprintln!("ta-serve-load: bench failed: {e}");
             return ExitCode::from(1);
         }
     };
+
+    // Durability tax: fresh server pair, single-connection sweeps, p99
+    // compared. Enforced here so CI fails loudly on a regression.
+    let mut over_budget = false;
+    if args.journal {
+        match run_journal_probe(&cfg) {
+            Ok(probe) => {
+                eprintln!(
+                    "ta-serve-load: journal overhead p99 {:.1}µs → {:.1}µs ({:+.1}%)",
+                    probe.p99_base_us,
+                    probe.p99_journal_us,
+                    probe.delta_fraction * 100.0,
+                );
+                over_budget = !probe.within_budget;
+                report.journal_overhead = Some(probe);
+            }
+            Err(why) => {
+                eprintln!("ta-serve-load: {why}");
+                return ExitCode::from(1);
+            }
+        }
+    }
+
     let json = report.to_json();
     if let Err(e) = std::fs::write(&args.out, &json) {
         eprintln!("ta-serve-load: cannot write {}: {e}", args.out);
@@ -150,5 +231,12 @@ fn main() -> ExitCode {
     }
     println!("{json}");
     eprintln!("ta-serve-load: wrote {}", args.out);
+    if over_budget {
+        eprintln!(
+            "ta-serve-load: journaling overhead exceeds the {:.0}% p99 budget",
+            loadgen::JOURNAL_OVERHEAD_BUDGET * 100.0
+        );
+        return ExitCode::from(3);
+    }
     ExitCode::SUCCESS
 }

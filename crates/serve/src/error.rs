@@ -19,6 +19,8 @@ pub enum ServeError {
     Config(String),
     /// A lifecycle-level I/O failure (accept loop, socket cleanup).
     Io(io::Error),
+    /// The write-ahead journal could not be opened or replayed.
+    Journal(String),
 }
 
 impl fmt::Display for ServeError {
@@ -29,6 +31,7 @@ impl fmt::Display for ServeError {
             }
             ServeError::Config(why) => write!(f, "bad serve configuration: {why}"),
             ServeError::Io(e) => write!(f, "server i/o: {e}"),
+            ServeError::Journal(why) => write!(f, "serve journal: {why}"),
         }
     }
 }
@@ -38,7 +41,7 @@ impl std::error::Error for ServeError {
         match self {
             ServeError::Bind { source, .. } => Some(source),
             ServeError::Io(e) => Some(e),
-            ServeError::Config(_) => None,
+            ServeError::Config(_) | ServeError::Journal(_) => None,
         }
     }
 }

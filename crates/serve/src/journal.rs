@@ -1,0 +1,635 @@
+//! Durable request journaling for the server: write-ahead records for
+//! accepted submissions and their outcomes, so a kill -9 mid-request is
+//! recoverable.
+//!
+//! Record stream (on top of the CRC-framed [`ta_journal::Journal`]):
+//!
+//! * `Meta` — serve-record codec version; always the first record.
+//! * `Accepted` — tenant + the full wire encoding of the submission,
+//!   appended after admission but *before* execution. A crash between
+//!   this record and the outcome record leaves the request in-flight.
+//! * `Completed` — the reply's identity (checksum, degraded, fallback,
+//!   attempts), appended before the reply is sent. Also feeds the
+//!   idempotency index: a client retrying `(tenant, id, seed)` after a
+//!   crash is answered from this record, never recomputed.
+//! * `Failed` — the request was answered with an error. Marks the
+//!   accepted record as resolved so recovery does not re-execute it, but
+//!   is deliberately *not* dedupe-cached: a retry recomputes (failures
+//!   are often transient — chaos, deadline pressure).
+//! * `Shed` — an in-flight record the recovery pass declined to
+//!   re-execute (policy `shed`, or the request is no longer admissible,
+//!   e.g. a chaos directive on a server restarted without `--chaos`).
+//!
+//! Recovery on open: in-flight = accepted − (completed ∪ failed ∪ shed).
+//! The determinism contract makes recovery safe: a completed frame is a
+//! pure function of `(spec, seed, pixels, policy)`, so re-executing an
+//! in-flight frame at startup yields bit-identical outputs to what the
+//! crashed process would have sent.
+
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+use std::path::Path;
+use std::sync::{Mutex, PoisonError};
+
+use ta_journal::{Journal, JournalError, JournalStats};
+// Re-exported so `ServeConfig::journal_fsync` is nameable through this
+// crate alone.
+pub use ta_journal::FsyncPolicy;
+
+use crate::wire::{Dec, Enc, Request, Submit};
+
+/// Version of the serve record codec carried by the `Meta` record.
+const SERVE_RECORD_VERSION: u32 = 1;
+
+const KIND_META: u8 = 0x01;
+const KIND_ACCEPTED: u8 = 0x02;
+const KIND_COMPLETED: u8 = 0x03;
+const KIND_FAILED: u8 = 0x04;
+const KIND_SHED: u8 = 0x05;
+
+/// What to do with journaled in-flight requests found at startup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryPolicy {
+    /// Re-execute each in-flight request at startup and journal its
+    /// completion, so retrying clients get the deduped answer.
+    Recover,
+    /// Journal a `Shed` marker for each in-flight request; retrying
+    /// clients recompute from scratch.
+    Shed,
+}
+
+impl RecoveryPolicy {
+    /// Parses a CLI spelling (`recover` / `shed`).
+    #[must_use]
+    pub fn parse(s: &str) -> Option<RecoveryPolicy> {
+        match s {
+            "recover" => Some(RecoveryPolicy::Recover),
+            "shed" => Some(RecoveryPolicy::Shed),
+            _ => None,
+        }
+    }
+
+    /// The CLI spelling.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            RecoveryPolicy::Recover => "recover",
+            RecoveryPolicy::Shed => "shed",
+        }
+    }
+}
+
+/// Idempotency key: what makes two submissions "the same request".
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct RequestKey {
+    /// Sanitized tenant name.
+    pub tenant: String,
+    /// Client-chosen request id.
+    pub id: u64,
+    /// Request seed (part of the key: same id with a different seed is a
+    /// different computation, and must not be answered from the cache).
+    pub seed: u64,
+}
+
+impl RequestKey {
+    /// The key for a submission from `tenant`.
+    #[must_use]
+    pub fn of(tenant: &str, sub: &Submit) -> RequestKey {
+        RequestKey {
+            tenant: tenant.to_string(),
+            id: sub.id,
+            seed: sub.seed,
+        }
+    }
+}
+
+/// The journaled identity of a completed reply.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Completion {
+    /// The request this answers.
+    pub key: RequestKey,
+    /// Output checksum (the client's integrity handle).
+    pub checksum: u64,
+    /// Whether the digital fallback produced the output.
+    pub degraded: bool,
+    /// Fallback engine name (empty when not degraded).
+    pub fallback: String,
+    /// Attempts consumed.
+    pub attempts: u32,
+}
+
+/// A journaled submission that never got an outcome record.
+#[derive(Debug, Clone)]
+pub struct InFlight {
+    /// Sanitized tenant that submitted it.
+    pub tenant: String,
+    /// The submission, exactly as accepted.
+    pub sub: Submit,
+}
+
+/// What opening a serve journal found.
+#[derive(Debug)]
+pub struct ServeRecovery {
+    /// Accepted-but-unresolved requests, in acceptance order.
+    pub in_flight: Vec<InFlight>,
+    /// Completions loaded into the idempotency index.
+    pub completions: usize,
+    /// Bytes of torn tail discarded by the journal layer.
+    pub truncated_bytes: u64,
+}
+
+/// Why a serve journal could not be opened or written.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ServeJournalError {
+    /// The underlying journal failed.
+    Journal(JournalError),
+    /// A CRC-valid record did not parse as a serve record — the file is
+    /// not ours (or a codec bug), so refuse loudly rather than guess.
+    Corrupt {
+        /// What failed to parse.
+        what: String,
+    },
+}
+
+impl fmt::Display for ServeJournalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeJournalError::Journal(e) => write!(f, "serve journal: {e}"),
+            ServeJournalError::Corrupt { what } => {
+                write!(f, "serve journal record corrupt: {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeJournalError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeJournalError::Journal(e) => Some(e),
+            ServeJournalError::Corrupt { .. } => None,
+        }
+    }
+}
+
+impl From<JournalError> for ServeJournalError {
+    fn from(e: JournalError) -> Self {
+        ServeJournalError::Journal(e)
+    }
+}
+
+fn corrupt(what: impl Into<String>) -> ServeJournalError {
+    ServeJournalError::Corrupt { what: what.into() }
+}
+
+// -- record codecs ----------------------------------------------------
+
+fn encode_meta() -> Vec<u8> {
+    let mut e = Enc::new(KIND_META);
+    e.u32(SERVE_RECORD_VERSION);
+    e.buf
+}
+
+fn encode_accepted(tenant: &str, sub: &Submit) -> Vec<u8> {
+    let mut e = Enc::new(KIND_ACCEPTED);
+    e.str(tenant);
+    // The submission rides as its exact wire encoding: one codec, one
+    // set of bounds checks, shared with the protocol proptests.
+    e.buf
+        .extend_from_slice(&Request::Submit(sub.clone()).encode());
+    e.buf
+}
+
+fn encode_key(kind: u8, key: &RequestKey) -> Vec<u8> {
+    let mut e = Enc::new(kind);
+    e.str(&key.tenant);
+    e.u64(key.id);
+    e.u64(key.seed);
+    e.buf
+}
+
+fn encode_completed(c: &Completion) -> Vec<u8> {
+    let mut e = Enc::new(KIND_COMPLETED);
+    e.str(&c.key.tenant);
+    e.u64(c.key.id);
+    e.u64(c.key.seed);
+    e.u64(c.checksum);
+    e.u8(u8::from(c.degraded));
+    e.str(&c.fallback);
+    e.u32(c.attempts);
+    e.buf
+}
+
+fn decode_accepted(body: &[u8]) -> Result<InFlight, ServeJournalError> {
+    // Tenant is a u16-length-prefixed string; the rest of the body is a
+    // complete wire request.
+    if body.len() < 2 {
+        return Err(corrupt("accepted record truncated before tenant"));
+    }
+    let len = usize::from(u16::from_le_bytes([body[0], body[1]]));
+    let rest = &body[2..];
+    if rest.len() < len {
+        return Err(corrupt("accepted record truncated inside tenant"));
+    }
+    let tenant = String::from_utf8(rest[..len].to_vec())
+        .map_err(|_| corrupt("accepted record tenant is not UTF-8"))?;
+    match Request::decode(&rest[len..]) {
+        Ok(Request::Submit(sub)) => Ok(InFlight { tenant, sub }),
+        Ok(_) => Err(corrupt("accepted record holds a non-Submit request")),
+        Err(e) => Err(corrupt(format!("accepted record submission: {e}"))),
+    }
+}
+
+fn decode_key(body: &[u8], kind: &str) -> Result<RequestKey, ServeJournalError> {
+    let mut d = Dec::new(body);
+    let tenant = d
+        .str("tenant")
+        .map_err(|e| corrupt(format!("{kind}: {e}")))?;
+    let id = d.u64("id").map_err(|e| corrupt(format!("{kind}: {e}")))?;
+    let seed = d.u64("seed").map_err(|e| corrupt(format!("{kind}: {e}")))?;
+    d.finish().map_err(|e| corrupt(format!("{kind}: {e}")))?;
+    Ok(RequestKey { tenant, id, seed })
+}
+
+fn decode_completed(body: &[u8]) -> Result<Completion, ServeJournalError> {
+    let wrap = |e: crate::wire::ProtocolError| corrupt(format!("completed record: {e}"));
+    let mut d = Dec::new(body);
+    let tenant = d.str("tenant").map_err(wrap)?;
+    let id = d.u64("id").map_err(wrap)?;
+    let seed = d.u64("seed").map_err(wrap)?;
+    let checksum = d.u64("checksum").map_err(wrap)?;
+    let degraded = d.bool("degraded").map_err(wrap)?;
+    let fallback = d.str("fallback").map_err(wrap)?;
+    let attempts = d.u32("attempts").map_err(wrap)?;
+    d.finish().map_err(wrap)?;
+    Ok(Completion {
+        key: RequestKey { tenant, id, seed },
+        checksum,
+        degraded,
+        fallback,
+        attempts,
+    })
+}
+
+// -- the journal ------------------------------------------------------
+
+struct Inner {
+    journal: Journal,
+    /// Idempotency index: completed request → its reply identity.
+    completions: HashMap<RequestKey, Completion>,
+}
+
+/// The server's write-ahead journal plus its in-memory idempotency
+/// index. All methods take `&self`; appends serialize on an internal
+/// mutex (per-connection executors call in concurrently).
+pub struct ServeJournal {
+    inner: Mutex<Inner>,
+}
+
+impl ServeJournal {
+    /// Opens (or creates) the journal at `path`, replays its records,
+    /// and returns the recovery picture.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeJournalError::Journal`] for journal-layer failures (I/O,
+    /// foreign file, format version skew);
+    /// [`ServeJournalError::Corrupt`] when a CRC-valid record is not a
+    /// parseable serve record.
+    pub fn open(
+        path: &Path,
+        policy: FsyncPolicy,
+    ) -> Result<(ServeJournal, ServeRecovery), ServeJournalError> {
+        let (mut journal, rec) = Journal::open(path, policy)?;
+        let mut meta_seen = false;
+        let mut accepted: Vec<InFlight> = Vec::new();
+        let mut accepted_keys: HashSet<RequestKey> = HashSet::new();
+        let mut resolved: HashSet<RequestKey> = HashSet::new();
+        let mut completions: HashMap<RequestKey, Completion> = HashMap::new();
+
+        for payload in &rec.records {
+            let (&kind, body) = payload
+                .split_first()
+                .ok_or_else(|| corrupt("empty record"))?;
+            match kind {
+                KIND_META => {
+                    if meta_seen {
+                        return Err(corrupt("duplicate meta record"));
+                    }
+                    let mut d = Dec::new(body);
+                    let version = d
+                        .u32("version")
+                        .map_err(|e| corrupt(format!("meta record: {e}")))?;
+                    d.finish()
+                        .map_err(|e| corrupt(format!("meta record: {e}")))?;
+                    if version != SERVE_RECORD_VERSION {
+                        return Err(corrupt(format!(
+                            "serve record version {version} (this build writes \
+                             {SERVE_RECORD_VERSION})"
+                        )));
+                    }
+                    meta_seen = true;
+                }
+                _ if !meta_seen => return Err(corrupt("first record is not meta")),
+                KIND_ACCEPTED => {
+                    let inflight = decode_accepted(body)?;
+                    let key = RequestKey::of(&inflight.tenant, &inflight.sub);
+                    if accepted_keys.insert(key) {
+                        accepted.push(inflight);
+                    }
+                }
+                KIND_COMPLETED => {
+                    let c = decode_completed(body)?;
+                    resolved.insert(c.key.clone());
+                    completions.insert(c.key.clone(), c);
+                }
+                KIND_FAILED => {
+                    resolved.insert(decode_key(body, "failed record")?);
+                }
+                KIND_SHED => {
+                    resolved.insert(decode_key(body, "shed record")?);
+                }
+                other => return Err(corrupt(format!("unknown record kind 0x{other:02x}"))),
+            }
+        }
+
+        if !meta_seen {
+            // Fresh (or fully torn-away) journal: stamp the codec version.
+            journal.append(&encode_meta())?;
+            journal.sync()?;
+        }
+
+        let in_flight: Vec<InFlight> = accepted
+            .into_iter()
+            .filter(|f| !resolved.contains(&RequestKey::of(&f.tenant, &f.sub)))
+            .collect();
+        let recovery = ServeRecovery {
+            in_flight,
+            completions: completions.len(),
+            truncated_bytes: rec.truncated_bytes,
+        };
+        Ok((
+            ServeJournal {
+                inner: Mutex::new(Inner {
+                    journal,
+                    completions,
+                }),
+            },
+            recovery,
+        ))
+    }
+
+    fn locked(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Journals an accepted submission (call after admission, before
+    /// execution).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeJournalError::Journal`] when the append fails.
+    pub fn record_accepted(&self, tenant: &str, sub: &Submit) -> Result<(), ServeJournalError> {
+        self.locked()
+            .journal
+            .append(&encode_accepted(tenant, sub))
+            .map_err(ServeJournalError::from)
+    }
+
+    /// Journals a completion and indexes it for dedupe (call before
+    /// sending the reply).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeJournalError::Journal`] when the append fails (the
+    /// completion is still indexed in memory).
+    pub fn record_completion(&self, c: &Completion) -> Result<(), ServeJournalError> {
+        let mut inner = self.locked();
+        let append = inner.journal.append(&encode_completed(c));
+        inner.completions.insert(c.key.clone(), c.clone());
+        append.map(|_| ()).map_err(ServeJournalError::from)
+    }
+
+    /// Journals an error outcome: resolves the accepted record without
+    /// caching an answer, so a retry recomputes.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeJournalError::Journal`] when the append fails.
+    pub fn record_failed(&self, key: &RequestKey) -> Result<(), ServeJournalError> {
+        self.locked()
+            .journal
+            .append(&encode_key(KIND_FAILED, key))
+            .map_err(ServeJournalError::from)
+    }
+
+    /// Journals a shed-on-recovery marker for an in-flight request the
+    /// recovery pass declined to re-execute.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeJournalError::Journal`] when the append fails.
+    pub fn record_shed(&self, key: &RequestKey) -> Result<(), ServeJournalError> {
+        self.locked()
+            .journal
+            .append(&encode_key(KIND_SHED, key))
+            .map_err(ServeJournalError::from)
+    }
+
+    /// The deduped reply for `key`, if this exact request already
+    /// completed.
+    #[must_use]
+    pub fn lookup(&self, key: &RequestKey) -> Option<Completion> {
+        self.locked().completions.get(key).cloned()
+    }
+
+    /// Compacts the journal down to the meta record plus the completion
+    /// index (accepted payloads and resolution markers are dead weight
+    /// once every request is answered). Called at graceful drain.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeJournalError::Journal`] when the rewrite fails (the old
+    /// journal file is left intact).
+    pub fn compact(&self) -> Result<(), ServeJournalError> {
+        let mut inner = self.locked();
+        let mut payloads: Vec<Vec<u8>> = Vec::with_capacity(1 + inner.completions.len());
+        payloads.push(encode_meta());
+        let mut done: Vec<&Completion> = inner.completions.values().collect();
+        done.sort_by(|a, b| {
+            (&a.key.tenant, a.key.id, a.key.seed).cmp(&(&b.key.tenant, b.key.id, b.key.seed))
+        });
+        payloads.extend(done.into_iter().map(encode_completed));
+        inner
+            .journal
+            .compact(payloads.iter().map(Vec::as_slice))
+            .map_err(ServeJournalError::from)
+    }
+
+    /// Flushes buffered appends to disk.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeJournalError::Journal`] when the fsync fails.
+    pub fn sync(&self) -> Result<(), ServeJournalError> {
+        self.locked()
+            .journal
+            .sync()
+            .map_err(ServeJournalError::from)
+    }
+
+    /// Record/byte counts of the on-disk journal.
+    #[must_use]
+    pub fn stats(&self) -> JournalStats {
+        self.locked().journal.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
+    use super::*;
+    use crate::wire::{ArchSpec, Chaos, MODE_APPROX};
+    use std::path::PathBuf;
+
+    fn scratch(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("ta-serve-journal-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("{tag}.wal"));
+        let _ = std::fs::remove_file(&path);
+        path
+    }
+
+    fn submit(id: u64, seed: u64) -> Submit {
+        Submit {
+            id,
+            spec: ArchSpec {
+                kernel: "sobel".into(),
+                mode: MODE_APPROX,
+                unit_ns: 1.0,
+                nlse_terms: 7,
+                nlde_terms: 20,
+                fault_rate: 0.0,
+            },
+            seed,
+            deadline_ms: 500,
+            want_outputs: false,
+            chaos: Chaos::None,
+            width: 3,
+            height: 2,
+            pixels: vec![0.0, 0.25, 0.5, 0.75, 1.0, 0.125],
+        }
+    }
+
+    fn completion(key: RequestKey, checksum: u64) -> Completion {
+        Completion {
+            key,
+            checksum,
+            degraded: true,
+            fallback: "digital".into(),
+            attempts: 2,
+        }
+    }
+
+    #[test]
+    fn accepted_without_outcome_is_in_flight_after_reopen() {
+        let path = scratch("in-flight");
+        let sub = submit(7, 99);
+        {
+            let (j, rec) = ServeJournal::open(&path, FsyncPolicy::Always).unwrap();
+            assert!(rec.in_flight.is_empty());
+            j.record_accepted("acme", &sub).unwrap();
+        }
+        let (_, rec) = ServeJournal::open(&path, FsyncPolicy::Always).unwrap();
+        assert_eq!(rec.in_flight.len(), 1);
+        assert_eq!(rec.in_flight[0].tenant, "acme");
+        assert_eq!(rec.in_flight[0].sub, sub);
+    }
+
+    #[test]
+    fn completion_resolves_and_dedupes() {
+        let path = scratch("dedupe");
+        let sub = submit(7, 99);
+        let key = RequestKey::of("acme", &sub);
+        {
+            let (j, _) = ServeJournal::open(&path, FsyncPolicy::Always).unwrap();
+            j.record_accepted("acme", &sub).unwrap();
+            j.record_completion(&completion(key.clone(), 0xABCD))
+                .unwrap();
+            // Live dedupe, same process.
+            assert_eq!(j.lookup(&key).unwrap().checksum, 0xABCD);
+        }
+        let (j, rec) = ServeJournal::open(&path, FsyncPolicy::Always).unwrap();
+        assert!(rec.in_flight.is_empty(), "completed request is resolved");
+        assert_eq!(rec.completions, 1);
+        let c = j.lookup(&key).unwrap();
+        assert_eq!(c.checksum, 0xABCD);
+        assert!(c.degraded);
+        assert_eq!(c.fallback, "digital");
+        assert_eq!(c.attempts, 2);
+    }
+
+    #[test]
+    fn failed_resolves_but_is_not_dedupe_cached() {
+        let path = scratch("failed");
+        let sub = submit(3, 4);
+        let key = RequestKey::of("acme", &sub);
+        {
+            let (j, _) = ServeJournal::open(&path, FsyncPolicy::Always).unwrap();
+            j.record_accepted("acme", &sub).unwrap();
+            j.record_failed(&key).unwrap();
+        }
+        let (j, rec) = ServeJournal::open(&path, FsyncPolicy::Always).unwrap();
+        assert!(rec.in_flight.is_empty(), "failed request is resolved");
+        assert!(j.lookup(&key).is_none(), "failures are recomputed on retry");
+    }
+
+    #[test]
+    fn a_different_seed_is_a_different_request() {
+        let path = scratch("seed-key");
+        let sub = submit(7, 99);
+        let key = RequestKey::of("acme", &sub);
+        let (j, _) = ServeJournal::open(&path, FsyncPolicy::Always).unwrap();
+        j.record_completion(&completion(key, 1)).unwrap();
+        let other = RequestKey::of("acme", &submit(7, 100));
+        assert!(j.lookup(&other).is_none());
+    }
+
+    #[test]
+    fn compaction_keeps_the_dedupe_index_only() {
+        let path = scratch("compact");
+        let sub = submit(1, 2);
+        let key = RequestKey::of("t", &sub);
+        {
+            let (j, _) = ServeJournal::open(&path, FsyncPolicy::Always).unwrap();
+            j.record_accepted("t", &sub).unwrap();
+            j.record_completion(&completion(key.clone(), 5)).unwrap();
+            j.record_accepted("t", &submit(9, 9)).unwrap();
+            j.record_failed(&RequestKey::of("t", &submit(9, 9)))
+                .unwrap();
+            let before = j.stats();
+            j.compact().unwrap();
+            let after = j.stats();
+            assert!(after.bytes < before.bytes, "compaction shrinks the file");
+            assert_eq!(after.records, 2, "meta + one completion");
+        }
+        let (j, rec) = ServeJournal::open(&path, FsyncPolicy::Always).unwrap();
+        assert!(rec.in_flight.is_empty());
+        assert_eq!(j.lookup(&key).unwrap().checksum, 5);
+    }
+
+    #[test]
+    fn a_foreign_record_stream_is_refused_loudly() {
+        let path = scratch("foreign");
+        {
+            let (mut j, _) = Journal::open(&path, FsyncPolicy::Always).unwrap();
+            j.append(&[0xEE, 1, 2, 3]).unwrap();
+        }
+        let err = match ServeJournal::open(&path, FsyncPolicy::Always) {
+            Err(e) => e,
+            Ok(_) => panic!("foreign record stream accepted"),
+        };
+        assert!(matches!(err, ServeJournalError::Corrupt { .. }), "{err}");
+    }
+}

@@ -19,6 +19,11 @@
 //!   the watchdog, idle timeouts, slow-loris defence, malformed-frame
 //!   quarantine, and a graceful SIGTERM drain that answers every
 //!   in-flight frame before exiting.
+//! * **Durability** ([`journal`]) — an optional write-ahead journal of
+//!   accepted requests and completions; after a crash the server
+//!   recovers (or sheds) journaled in-flight frames and answers client
+//!   retries from an idempotency index, so no frame is ever computed
+//!   twice or differently.
 //! * **Chaos** ([`chaos`]) — opt-in fault directives carried by requests,
 //!   so the chaos suite can exercise panic isolation, watchdog timeouts,
 //!   and fallback end to end over the real wire.
@@ -33,6 +38,7 @@ pub mod cache;
 pub mod chaos;
 pub mod client;
 pub mod error;
+pub mod journal;
 pub mod loadgen;
 pub mod server;
 pub mod signal;
@@ -42,6 +48,7 @@ pub mod wire;
 
 pub use client::{Client, ClientError};
 pub use error::ServeError;
+pub use journal::{RecoveryPolicy, ServeJournal};
 pub use loadgen::{BenchReport, LoadConfig};
 pub use server::{DrainSummary, ServeConfig, Server, ServerHandle};
 pub use spec::{CompiledArch, ExecPolicy, SpecError};

@@ -92,6 +92,31 @@ pub struct OverloadResult {
     pub shed_fraction: f64,
 }
 
+/// Journaling-overhead probe: the same single-connection sweep against a
+/// journal-less and a journal-enabled server (fsync=batch), p99 compared.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JournalOverhead {
+    /// p99 round-trip against the in-memory server, µs.
+    pub p99_base_us: f64,
+    /// p99 round-trip against the journaled server, µs.
+    pub p99_journal_us: f64,
+    /// `(journal − base) / base`; negative when the journaled run was
+    /// faster (noise).
+    pub delta_fraction: f64,
+    /// True when the overhead sits inside [`JOURNAL_OVERHEAD_BUDGET`]
+    /// (or under the absolute noise floor for sub-millisecond frames).
+    pub within_budget: bool,
+}
+
+/// The bench contract: journaling with `fsync=batch` may cost at most
+/// this fraction of p99.
+pub const JOURNAL_OVERHEAD_BUDGET: f64 = 0.15;
+
+/// Absolute p99 delta (µs) under which the budget check always passes —
+/// at micro-frame latencies a few hundred µs of scheduler noise would
+/// otherwise dominate the fraction.
+pub const JOURNAL_NOISE_FLOOR_US: f64 = 500.0;
+
 /// Everything `BENCH_serve.json` carries.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BenchReport {
@@ -109,6 +134,8 @@ pub struct BenchReport {
     pub sweeps: Vec<SweepResult>,
     /// The overload phase, when run.
     pub overload: Option<OverloadResult>,
+    /// The journaling-overhead probe, when run (`--journal`).
+    pub journal_overhead: Option<JournalOverhead>,
 }
 
 impl BenchReport {
@@ -147,10 +174,19 @@ impl BenchReport {
         match &self.overload {
             Some(o) => s.push_str(&format!(
                 "  \"overload\": {{\"connections\": {}, \"attempts\": {}, \
-                 \"completed\": {}, \"shed\": {}, \"shed_fraction\": {:.4}}}\n",
+                 \"completed\": {}, \"shed\": {}, \"shed_fraction\": {:.4}}},\n",
                 o.connections, o.attempts, o.completed, o.shed, o.shed_fraction,
             )),
-            None => s.push_str("  \"overload\": null\n"),
+            None => s.push_str("  \"overload\": null,\n"),
+        }
+        match &self.journal_overhead {
+            Some(j) => s.push_str(&format!(
+                "  \"journal_overhead\": {{\"p99_base_us\": {:.1}, \
+                 \"p99_journal_us\": {:.1}, \"delta_fraction\": {:.4}, \
+                 \"within_budget\": {}}}\n",
+                j.p99_base_us, j.p99_journal_us, j.delta_fraction, j.within_budget,
+            )),
+            None => s.push_str("  \"journal_overhead\": null\n"),
         }
         s.push('}');
         s.push('\n');
@@ -224,6 +260,54 @@ pub fn run(cfg: &LoadConfig) -> Result<BenchReport, ClientError> {
         deadline_ms: cfg.deadline_ms,
         sweeps,
         overload,
+        journal_overhead: None,
+    })
+}
+
+/// Measures journaling overhead: warms and sweeps one connection against
+/// the journal-less server at `base_addr`, then the same against the
+/// journaled server at `journal_addr`, and compares completed-frame p99.
+///
+/// # Errors
+///
+/// [`ClientError`] when either server cannot be reached.
+pub fn journal_overhead(
+    cfg: &LoadConfig,
+    base_addr: &str,
+    journal_addr: &str,
+) -> Result<JournalOverhead, ClientError> {
+    let probe = |addr: &str| -> Result<f64, ClientError> {
+        let mut point = cfg.clone();
+        point.addr = addr.to_string();
+        // Warm the plan cache so compilation never lands in the timing.
+        let mut warm = Client::connect_tcp(addr, "overhead-probe")?;
+        let _ = warm.submit(Submit {
+            id: 0,
+            spec: spec_for(&point),
+            seed: 1,
+            deadline_ms: 0,
+            want_outputs: false,
+            chaos: Chaos::None,
+            width: point.width,
+            height: point.height,
+            pixels: frame_pixels(&point, 1),
+        })?;
+        let _ = warm.goodbye();
+        Ok(run_sweep(&point, 1)?.p99_us)
+    };
+    let p99_base_us = probe(base_addr)?;
+    let p99_journal_us = probe(journal_addr)?;
+    let delta_fraction = if p99_base_us > 0.0 {
+        (p99_journal_us - p99_base_us) / p99_base_us
+    } else {
+        0.0
+    };
+    Ok(JournalOverhead {
+        p99_base_us,
+        p99_journal_us,
+        delta_fraction,
+        within_budget: delta_fraction < JOURNAL_OVERHEAD_BUDGET
+            || (p99_journal_us - p99_base_us) < JOURNAL_NOISE_FLOOR_US,
     })
 }
 
@@ -414,10 +498,18 @@ mod tests {
                 shed: 24,
                 shed_fraction: 0.375,
             }),
+            journal_overhead: Some(JournalOverhead {
+                p99_base_us: 300.0,
+                p99_journal_us: 320.0,
+                delta_fraction: 320.0 / 300.0 - 1.0,
+                within_budget: true,
+            }),
         };
         let json = report.to_json();
         assert!(json.contains("\"bench\": \"serve\""));
         assert!(json.contains("\"shed_fraction\": 0.3750"));
+        assert!(json.contains("\"journal_overhead\": {\"p99_base_us\": 300.0"));
+        assert!(json.contains("\"within_budget\": true"));
         assert!(json.contains("\"within_deadline_p99\": true"));
         // Balanced braces/brackets (cheap structural sanity).
         assert_eq!(json.matches('{').count(), json.matches('}').count());

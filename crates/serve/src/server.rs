@@ -36,6 +36,7 @@ use std::thread;
 use std::time::{Duration, Instant};
 
 use ta_image::Image;
+use ta_journal::FsyncPolicy;
 use ta_runtime::FrameStatus;
 use ta_telemetry::FieldValue;
 
@@ -43,8 +44,9 @@ use crate::admission::{sanitize_tenant, Admission, Permit};
 use crate::cache::PlanCache;
 use crate::chaos::ChaosEngine;
 use crate::error::ServeError;
+use crate::journal::{Completion, InFlight, RecoveryPolicy, RequestKey, ServeJournal};
 use crate::signal;
-use crate::spec::ExecPolicy;
+use crate::spec::{CompiledArch, ExecPolicy};
 use crate::stream::Stream;
 use crate::wire::{
     output_checksum, parse_header, Chaos, ErrorCode, HealthSnapshot, OutputPlane, ProtocolError,
@@ -107,6 +109,12 @@ pub struct ServeConfig {
     pub chaos_enabled: bool,
     /// Compiled plans cached per connection.
     pub plan_cache: usize,
+    /// Write-ahead journal path; `None` runs without durability.
+    pub journal: Option<PathBuf>,
+    /// Fsync policy for journal appends.
+    pub journal_fsync: FsyncPolicy,
+    /// What to do with journaled in-flight frames found at startup.
+    pub recovery: RecoveryPolicy,
 }
 
 impl Default for ServeConfig {
@@ -126,6 +134,9 @@ impl Default for ServeConfig {
             policy: ExecPolicy::default(),
             chaos_enabled: false,
             plan_cache: 4,
+            journal: None,
+            journal_fsync: FsyncPolicy::Batch,
+            recovery: RecoveryPolicy::Recover,
         }
     }
 }
@@ -155,6 +166,8 @@ struct Shared {
     /// Shutdown-capable handles to every open connection, for force-close.
     conn_streams: Mutex<BTreeMap<u64, Stream>>,
     next_conn: AtomicU64,
+    /// Write-ahead journal + idempotency index (when durability is on).
+    journal: Option<ServeJournal>,
 }
 
 impl Shared {
@@ -190,6 +203,29 @@ impl Shared {
                 &err.code().to_string(),
             )
             .inc();
+    }
+
+    /// Counts a failed journal append/rewrite. Durability degrades but
+    /// serving continues: a crash after a lost record falls back to
+    /// client-retry recompute, which the determinism contract keeps
+    /// bit-identical to the lost answer.
+    fn count_journal_error(&self) {
+        ta_telemetry::metrics()
+            .counter("ta_serve_journal_errors_total")
+            .inc();
+    }
+
+    fn update_journal_gauges(&self) {
+        if let Some(journal) = &self.journal {
+            let stats = journal.stats();
+            let metrics = ta_telemetry::metrics();
+            metrics
+                .gauge("ta_serve_journal_records")
+                .set(stats.records as f64);
+            metrics
+                .gauge("ta_serve_journal_bytes")
+                .set(stats.bytes as f64);
+        }
     }
 }
 
@@ -241,6 +277,9 @@ pub struct Server {
     uds: Option<UnixListener>,
     uds_path: Option<PathBuf>,
     local_addr: Option<SocketAddr>,
+    /// Journaled in-flight requests found at bind, processed (recovered
+    /// or shed) at the top of [`Server::run`] before the accept loop.
+    recovered_in_flight: Vec<InFlight>,
 }
 
 impl Server {
@@ -285,6 +324,32 @@ impl Server {
         };
         let local_addr = tcp.as_ref().and_then(|l| l.local_addr().ok());
         let uds_path = cfg.uds.clone();
+        let (journal, recovered_in_flight) = match &cfg.journal {
+            Some(path) => {
+                let (journal, recovery) = ServeJournal::open(path, cfg.journal_fsync)
+                    .map_err(|e| ServeError::Journal(e.to_string()))?;
+                // Touch the recovery metric family up front so scrapes
+                // show zeros, not absence, before the first event.
+                let metrics = ta_telemetry::metrics();
+                for name in [
+                    "ta_serve_replayed_total",
+                    "ta_serve_recovered_total",
+                    "ta_serve_shed_on_recovery_total",
+                    "ta_serve_journal_errors_total",
+                ] {
+                    metrics.counter(name).add(0);
+                }
+                let stats = journal.stats();
+                metrics
+                    .gauge("ta_serve_journal_records")
+                    .set(stats.records as f64);
+                metrics
+                    .gauge("ta_serve_journal_bytes")
+                    .set(stats.bytes as f64);
+                (Some(journal), recovery.in_flight)
+            }
+            None => (None, Vec::new()),
+        };
         let shared = Arc::new(Shared {
             admission: Admission::new(cfg.max_inflight, cfg.tenant_pending),
             cfg,
@@ -295,6 +360,7 @@ impl Server {
             pending: AtomicUsize::new(0),
             conn_streams: Mutex::new(BTreeMap::new()),
             next_conn: AtomicU64::new(1),
+            journal,
         });
         Ok(Server {
             shared,
@@ -302,6 +368,7 @@ impl Server {
             uds,
             uds_path,
             local_addr,
+            recovered_in_flight,
         })
     }
 
@@ -330,6 +397,22 @@ impl Server {
         let metrics = ta_telemetry::metrics();
         let conn_gauge = metrics.gauge("ta_serve_connections");
         let mut threads: Vec<thread::JoinHandle<()>> = Vec::new();
+
+        // --- crash recovery ------------------------------------------
+        // Resolve journaled in-flight frames before any client is
+        // accepted, so retries arriving the moment we listen already see
+        // the recovered completion index.
+        if shared.journal.is_some() {
+            let started = Instant::now();
+            for inflight in &self.recovered_in_flight {
+                recover_in_flight(&shared, inflight);
+            }
+            metrics
+                .histogram("ta_serve_recovery_seconds")
+                .observe_duration(started.elapsed());
+            shared.update_journal_gauges();
+            tracer_event("serve.recovery_complete", self.recovered_in_flight.len(), 0);
+        }
 
         loop {
             if signal::term_requested() {
@@ -395,6 +478,14 @@ impl Server {
         }
         if let Some(path) = &self.uds_path {
             let _ = std::fs::remove_file(path);
+        }
+        // Every request is answered: shrink the journal to its durable
+        // core (the completion index) for the next process.
+        if let Some(journal) = &shared.journal {
+            if journal.compact().is_err() {
+                shared.count_journal_error();
+            }
+            shared.update_journal_gauges();
         }
         conn_gauge.set(0.0);
         let summary = DrainSummary {
@@ -513,6 +604,112 @@ fn tracer_event(name: &'static str, a: usize, b: usize) {
     );
 }
 
+/// Resolves one journaled in-flight request at startup: re-executes it
+/// (journaling the completion, so the retrying client is answered from
+/// the index) or sheds it when the policy or the request's
+/// admissibility says not to. Re-execution is safe because a completed
+/// frame is a pure function of `(spec, seed, pixels, policy)` — the
+/// recovered answer is bit-identical to what the crashed process would
+/// have sent.
+fn recover_in_flight(shared: &Shared, inflight: &InFlight) {
+    let metrics = ta_telemetry::metrics();
+    let sub = &inflight.sub;
+    let key = RequestKey::of(&inflight.tenant, sub);
+
+    // A chaos directive on a server restarted without chaos support is
+    // no longer admissible; shed rather than silently drop the flag.
+    let recoverable = shared.cfg.recovery == RecoveryPolicy::Recover
+        && (sub.chaos == Chaos::None || shared.cfg.chaos_enabled);
+    let compiled =
+        recoverable.then(|| CompiledArch::compile(&sub.spec, sub.width, sub.height).ok());
+    let (compiled, image) = match compiled.flatten() {
+        Some(c) => {
+            let image =
+                Image::from_pixels(sub.width as usize, sub.height as usize, sub.pixels.clone());
+            match image {
+                Ok(i) => (c, i),
+                Err(_) => {
+                    shed_on_recovery(shared, &key);
+                    return;
+                }
+            }
+        }
+        None => {
+            shed_on_recovery(shared, &key);
+            return;
+        }
+    };
+
+    let engine = if sub.chaos == Chaos::None {
+        compiled.engine.clone()
+    } else {
+        Arc::new(ChaosEngine::new(compiled.engine.clone(), sub.chaos)) as _
+    };
+    let deadline = if sub.deadline_ms == 0 {
+        shared.cfg.default_deadline
+    } else {
+        Duration::from_millis(u64::from(sub.deadline_ms))
+    };
+    let attempt_budget =
+        (deadline / (shared.cfg.policy.max_retries + 1)).max(Duration::from_millis(1));
+    let supervisor = compiled.supervisor(&shared.cfg.policy, sub.seed, Some(attempt_budget));
+    let _worker = ta_pool::enter_worker();
+    let run = supervisor.run_one(&engine, &image, 0, sub.seed);
+    drop(_worker);
+
+    match run {
+        Ok((Some(planes), report)) if !report.status.is_failed() => {
+            let (degraded, fallback) = match &report.status {
+                FrameStatus::Degraded { fallback, .. } => (true, fallback.clone()),
+                _ => (false, String::new()),
+            };
+            let checksum = output_checksum(planes.iter().map(|p| p.pixels()));
+            if let Some(journal) = &shared.journal {
+                let completion = Completion {
+                    key,
+                    checksum,
+                    degraded,
+                    fallback,
+                    attempts: report.attempts,
+                };
+                if journal.record_completion(&completion).is_err() {
+                    shared.count_journal_error();
+                }
+            }
+            shared.stats.completed.fetch_add(1, Ordering::Relaxed);
+            metrics.counter("ta_serve_completed_total").inc();
+            if degraded {
+                shared.stats.degraded.fetch_add(1, Ordering::Relaxed);
+                metrics.counter("ta_serve_degraded_total").inc();
+            }
+            metrics.counter("ta_serve_recovered_total").inc();
+        }
+        _ => {
+            // No usable output: resolve the record as failed so restarts
+            // stop re-executing it; a client retry recomputes.
+            if let Some(journal) = &shared.journal {
+                if journal.record_failed(&key).is_err() {
+                    shared.count_journal_error();
+                }
+            }
+            shared.stats.failed.fetch_add(1, Ordering::Relaxed);
+            metrics.counter("ta_serve_failed_total").inc();
+        }
+    }
+}
+
+fn shed_on_recovery(shared: &Shared, key: &RequestKey) {
+    if let Some(journal) = &shared.journal {
+        if journal.record_shed(key).is_err() {
+            shared.count_journal_error();
+        }
+    }
+    shared.stats.shed.fetch_add(1, Ordering::Relaxed);
+    ta_telemetry::metrics()
+        .counter("ta_serve_shed_on_recovery_total")
+        .inc();
+}
+
 // ---------------------------------------------------------------------
 // Per-connection machinery
 // ---------------------------------------------------------------------
@@ -603,19 +800,21 @@ impl Connection {
                     shed,
                 } => {
                     match req {
-                        Request::Hello { proto, tenant: raw } => {
-                            if tenant.is_some() || proto != PROTO_VERSION {
-                                let why = if tenant.is_some() {
-                                    "handshake repeated".to_string()
-                                } else {
-                                    format!("protocol version {proto} not supported (want {PROTO_VERSION})")
-                                };
+                        Request::Hello {
+                            proto: _,
+                            tenant: raw,
+                        } => {
+                            // A version-skewed Hello never reaches this
+                            // arm: the decoder rejects it with the typed
+                            // `ProtocolError::VersionMismatch` (code 11)
+                            // on the ConnEvent::Bad path below.
+                            if tenant.is_some() {
                                 open &= self.send(
                                     &mut stream,
                                     &Response::Error {
                                         id: 0,
                                         code: ErrorCode::BadHandshake,
-                                        message: why,
+                                        message: "handshake repeated".to_string(),
                                     },
                                 );
                                 self.close(&mut stream, &mut open);
@@ -737,6 +936,30 @@ impl Connection {
             };
         }
 
+        // Idempotent retry: if this exact (tenant, id, seed) already
+        // completed — typically a client re-sending after a server crash
+        // — answer from the journal's completion index instead of
+        // recomputing, so no frame is ever computed twice or (per the
+        // determinism contract) differently. The reply carries the
+        // original checksum/disposition; outputs are not retained.
+        let key = RequestKey::of(&tenant, &sub);
+        if let Some(journal) = &self.shared.journal {
+            if let Some(done) = journal.lookup(&key) {
+                metrics.counter("ta_serve_replayed_total").inc();
+                self.shared.stats.completed.fetch_add(1, Ordering::Relaxed);
+                metrics.counter("ta_serve_completed_total").inc();
+                return Response::Done {
+                    id: sub.id,
+                    degraded: done.degraded,
+                    fallback: done.fallback,
+                    attempts: done.attempts,
+                    latency_us: 0,
+                    checksum: done.checksum,
+                    outputs: Vec::new(),
+                };
+            }
+        }
+
         // Deadline bookkeeping starts at receive time, so queueing delay
         // behind earlier frames on this connection counts against it.
         let deadline = if sub.deadline_ms == 0 {
@@ -800,14 +1023,25 @@ impl Connection {
             .counter("ta_serve_plan_evictions_total")
             .add(after.2 - before.2);
 
+        // Write-ahead: the request is admitted and compiles; journal it
+        // before execution so a crash from here on leaves a recoverable
+        // in-flight record. An append failure degrades durability, not
+        // availability — count it and serve anyway.
+        if let Some(journal) = &self.shared.journal {
+            if journal.record_accepted(&tenant, &sub).is_err() {
+                self.shared.count_journal_error();
+            }
+        }
+
         let image = match Image::from_pixels(sub.width as usize, sub.height as usize, sub.pixels) {
             Ok(i) => i,
             Err(e) => {
+                self.journal_failed(&key);
                 return Response::Error {
                     id: sub.id,
                     code: ErrorCode::DimensionMismatch,
                     message: e.to_string(),
-                }
+                };
             }
         };
 
@@ -835,6 +1069,7 @@ impl Connection {
         let (outputs, report) = match run {
             Ok(pair) => pair,
             Err(e) => {
+                self.journal_failed(&key);
                 self.shared.stats.failed.fetch_add(1, Ordering::Relaxed);
                 return Response::Error {
                     id: sub.id,
@@ -857,6 +1092,20 @@ impl Connection {
                     metrics.counter("ta_serve_degraded_total").inc();
                 }
                 let checksum = output_checksum(planes.iter().map(|p| p.pixels()));
+                // Journal the reply's identity before sending it: a
+                // retry after a crash is answered from this record.
+                if let Some(journal) = &self.shared.journal {
+                    let completion = Completion {
+                        key,
+                        checksum,
+                        degraded,
+                        fallback: fallback.clone(),
+                        attempts: report.attempts,
+                    };
+                    if journal.record_completion(&completion).is_err() {
+                        self.shared.count_journal_error();
+                    }
+                }
                 let outputs = if sub.want_outputs {
                     planes
                         .iter()
@@ -885,6 +1134,7 @@ impl Connection {
                 // attempts) is what killed the frame.
                 let timed_out =
                     !report.log.is_empty() && report.log.iter().all(|l| l.contains("timeout"));
+                self.journal_failed(&key);
                 self.shared.stats.failed.fetch_add(1, Ordering::Relaxed);
                 metrics.counter("ta_serve_failed_total").inc();
                 Response::Error {
@@ -896,6 +1146,16 @@ impl Connection {
                     },
                     message: report.status.to_string(),
                 }
+            }
+        }
+    }
+
+    /// Resolves an accepted record with an error outcome (not cached:
+    /// a retry recomputes).
+    fn journal_failed(&self, key: &RequestKey) {
+        if let Some(journal) = &self.shared.journal {
+            if journal.record_failed(key).is_err() {
+                self.shared.count_journal_error();
             }
         }
     }

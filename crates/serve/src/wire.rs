@@ -118,6 +118,15 @@ pub enum ProtocolError {
         /// The per-frame receive budget that was exceeded, in ms.
         budget_ms: u64,
     },
+    /// The Hello carried a protocol version this build does not speak.
+    /// Version skew fails loud at the handshake instead of surfacing as
+    /// an arbitrary decode error deeper in the session.
+    VersionMismatch {
+        /// Version the peer announced.
+        got: u32,
+        /// Version this build speaks ([`PROTO_VERSION`]).
+        want: u32,
+    },
 }
 
 impl ProtocolError {
@@ -135,6 +144,7 @@ impl ProtocolError {
             ProtocolError::BadValue { .. } => 8,
             ProtocolError::TrailingBytes { .. } => 9,
             ProtocolError::SlowFrame { .. } => 10,
+            ProtocolError::VersionMismatch { .. } => 11,
         }
     }
 }
@@ -165,6 +175,12 @@ impl fmt::Display for ProtocolError {
             }
             ProtocolError::SlowFrame { budget_ms } => {
                 write!(f, "frame not completed within {budget_ms} ms")
+            }
+            ProtocolError::VersionMismatch { got, want } => {
+                write!(
+                    f,
+                    "protocol version {got} not supported (this build speaks {want})"
+                )
             }
         }
     }
@@ -552,30 +568,30 @@ pub enum Response {
 // Encoding
 // ---------------------------------------------------------------------
 
-struct Enc {
-    buf: Vec<u8>,
+pub(crate) struct Enc {
+    pub(crate) buf: Vec<u8>,
 }
 
 impl Enc {
-    fn new(tag: u8) -> Self {
+    pub(crate) fn new(tag: u8) -> Self {
         Enc { buf: vec![tag] }
     }
-    fn u8(&mut self, v: u8) {
+    pub(crate) fn u8(&mut self, v: u8) {
         self.buf.push(v);
     }
-    fn u16(&mut self, v: u16) {
+    pub(crate) fn u16(&mut self, v: u16) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
-    fn u32(&mut self, v: u32) {
+    pub(crate) fn u32(&mut self, v: u32) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
-    fn u64(&mut self, v: u64) {
+    pub(crate) fn u64(&mut self, v: u64) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
-    fn f64(&mut self, v: f64) {
+    pub(crate) fn f64(&mut self, v: f64) {
         self.buf.extend_from_slice(&v.to_bits().to_le_bytes());
     }
-    fn str(&mut self, s: &str) {
+    pub(crate) fn str(&mut self, s: &str) {
         let bytes = s.as_bytes();
         let take = bytes.len().min(MAX_STR);
         // Truncation at a char boundary: back off until valid.
@@ -586,7 +602,7 @@ impl Enc {
         self.u16(end as u16);
         self.buf.extend_from_slice(&bytes[..end]);
     }
-    fn plane(&mut self, pixels: &[f64]) {
+    pub(crate) fn plane(&mut self, pixels: &[f64]) {
         self.u32(pixels.len() as u32);
         for &p in pixels {
             self.f64(p);
@@ -594,13 +610,13 @@ impl Enc {
     }
 }
 
-struct Dec<'a> {
+pub(crate) struct Dec<'a> {
     buf: &'a [u8],
     pos: usize,
 }
 
 impl<'a> Dec<'a> {
-    fn new(buf: &'a [u8]) -> Self {
+    pub(crate) fn new(buf: &'a [u8]) -> Self {
         Dec { buf, pos: 0 }
     }
 
@@ -618,34 +634,34 @@ impl<'a> Dec<'a> {
         Ok(s)
     }
 
-    fn u8(&mut self, field: &'static str) -> Result<u8, ProtocolError> {
+    pub(crate) fn u8(&mut self, field: &'static str) -> Result<u8, ProtocolError> {
         Ok(self.take(1, field)?[0])
     }
-    fn u16(&mut self, field: &'static str) -> Result<u16, ProtocolError> {
+    pub(crate) fn u16(&mut self, field: &'static str) -> Result<u16, ProtocolError> {
         let b = self.take(2, field)?;
         Ok(u16::from_le_bytes([b[0], b[1]]))
     }
-    fn u32(&mut self, field: &'static str) -> Result<u32, ProtocolError> {
+    pub(crate) fn u32(&mut self, field: &'static str) -> Result<u32, ProtocolError> {
         let b = self.take(4, field)?;
         Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
     }
-    fn u64(&mut self, field: &'static str) -> Result<u64, ProtocolError> {
+    pub(crate) fn u64(&mut self, field: &'static str) -> Result<u64, ProtocolError> {
         let b = self.take(8, field)?;
         let mut a = [0u8; 8];
         a.copy_from_slice(b);
         Ok(u64::from_le_bytes(a))
     }
-    fn f64(&mut self, field: &'static str) -> Result<f64, ProtocolError> {
+    pub(crate) fn f64(&mut self, field: &'static str) -> Result<f64, ProtocolError> {
         Ok(f64::from_bits(self.u64(field)?))
     }
-    fn bool(&mut self, field: &'static str) -> Result<bool, ProtocolError> {
+    pub(crate) fn bool(&mut self, field: &'static str) -> Result<bool, ProtocolError> {
         match self.u8(field)? {
             0 => Ok(false),
             1 => Ok(true),
             value => Err(ProtocolError::BadEnum { field, value }),
         }
     }
-    fn str(&mut self, field: &'static str) -> Result<String, ProtocolError> {
+    pub(crate) fn str(&mut self, field: &'static str) -> Result<String, ProtocolError> {
         let len = usize::from(self.u16(field)?);
         if len > MAX_STR {
             return Err(ProtocolError::BadCount {
@@ -657,7 +673,11 @@ impl<'a> Dec<'a> {
         let bytes = self.take(len, field)?;
         String::from_utf8(bytes.to_vec()).map_err(|_| ProtocolError::BadUtf8 { field })
     }
-    fn plane(&mut self, field: &'static str, max: u64) -> Result<Vec<f64>, ProtocolError> {
+    pub(crate) fn plane(
+        &mut self,
+        field: &'static str,
+        max: u64,
+    ) -> Result<Vec<f64>, ProtocolError> {
         let count = u64::from(self.u32(field)?);
         if count > max {
             return Err(ProtocolError::BadCount { field, count, max });
@@ -673,7 +693,7 @@ impl<'a> Dec<'a> {
             })
             .collect())
     }
-    fn finish(self) -> Result<(), ProtocolError> {
+    pub(crate) fn finish(self) -> Result<(), ProtocolError> {
         let extra = self.buf.len() - self.pos;
         if extra != 0 {
             return Err(ProtocolError::TrailingBytes { extra });
@@ -699,7 +719,7 @@ const TAG_HEALTH_RSP: u8 = 0x87;
 const TAG_METRICS_RSP: u8 = 0x88;
 const TAG_BYE: u8 = 0x89;
 
-fn enc_spec(e: &mut Enc, s: &ArchSpec) {
+pub(crate) fn enc_spec(e: &mut Enc, s: &ArchSpec) {
     e.str(&s.kernel);
     e.u8(s.mode);
     e.f64(s.unit_ns);
@@ -708,7 +728,7 @@ fn enc_spec(e: &mut Enc, s: &ArchSpec) {
     e.f64(s.fault_rate);
 }
 
-fn dec_spec(d: &mut Dec<'_>) -> Result<ArchSpec, ProtocolError> {
+pub(crate) fn dec_spec(d: &mut Dec<'_>) -> Result<ArchSpec, ProtocolError> {
     let kernel = d.str("spec.kernel")?;
     let mode = d.u8("spec.mode")?;
     if mode > MODE_NOISY {
@@ -802,6 +822,15 @@ impl Request {
         let msg = match tag {
             TAG_HELLO => {
                 let proto = d.u32("hello.proto")?;
+                if proto != PROTO_VERSION {
+                    // Checked at decode time so version skew is a typed
+                    // handshake rejection (code 11), not a downstream
+                    // field error on whatever the future format holds.
+                    return Err(ProtocolError::VersionMismatch {
+                        got: proto,
+                        want: PROTO_VERSION,
+                    });
+                }
                 let tenant = d.str("hello.tenant")?;
                 Request::Hello { proto, tenant }
             }
@@ -1424,6 +1453,7 @@ mod tests {
             ProtocolError::BadValue { field: "x" },
             ProtocolError::TrailingBytes { extra: 1 },
             ProtocolError::SlowFrame { budget_ms: 5 },
+            ProtocolError::VersionMismatch { got: 2, want: 1 },
         ];
         let mut seen = std::collections::BTreeSet::new();
         for e in &errs {

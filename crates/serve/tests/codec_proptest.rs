@@ -7,8 +7,8 @@
 use proptest::prelude::*;
 
 use ta_serve::wire::{
-    parse_header, ArchSpec, Chaos, ErrorCode, HealthSnapshot, OutputPlane, Request, Response,
-    ShedReason, Submit, MODE_NOISY,
+    parse_header, ArchSpec, Chaos, ErrorCode, HealthSnapshot, OutputPlane, ProtocolError, Request,
+    Response, ShedReason, Submit, MODE_NOISY, PROTO_VERSION,
 };
 
 fn arb_u64() -> impl Strategy<Value = u64> {
@@ -77,7 +77,12 @@ fn arb_submit() -> impl Strategy<Value = Submit> {
 
 fn arb_request() -> impl Strategy<Value = Request> {
     prop_oneof![
-        (0u32..10, arb_string(16)).prop_map(|(proto, tenant)| Request::Hello { proto, tenant }),
+        // Only the spoken version round-trips: any other Hello version is
+        // rejected at decode with `VersionMismatch` (tested below).
+        arb_string(16).prop_map(|tenant| Request::Hello {
+            proto: PROTO_VERSION,
+            tenant
+        }),
         arb_submit().prop_map(Request::Submit),
         arb_u64().prop_map(|nonce| Request::Ping { nonce }),
         Just(Request::Health),
@@ -229,5 +234,21 @@ proptest! {
         let mut bytes = req.encode();
         bytes.extend(vec![0u8; extra]);
         prop_assert!(Request::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn any_other_hello_version_is_a_typed_mismatch(
+        proto_seed in 0u32..u32::MAX,
+        tenant in arb_string(16),
+    ) {
+        let proto = if proto_seed == PROTO_VERSION { proto_seed + 1 } else { proto_seed };
+        let bytes = Request::Hello { proto, tenant }.encode();
+        match Request::decode(&bytes) {
+            Err(ProtocolError::VersionMismatch { got, want }) => {
+                prop_assert_eq!(got, proto);
+                prop_assert_eq!(want, PROTO_VERSION);
+            }
+            other => prop_assert!(false, "expected VersionMismatch, got {:?}", other),
+        }
     }
 }

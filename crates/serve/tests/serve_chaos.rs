@@ -296,6 +296,29 @@ fn payload_decode_errors_strike_then_quarantine() {
 }
 
 #[test]
+fn future_protocol_version_is_rejected_with_version_mismatch() {
+    let (addr, handle, runner) = start_server(chaos_cfg());
+    // Bypass Client (which always speaks PROTO_VERSION) and handshake
+    // with a version from the future.
+    use std::net::TcpStream;
+    let mut raw = TcpStream::connect(&addr).unwrap();
+    let hello = Request::Hello {
+        proto: 99,
+        tenant: "time-traveller".into(),
+    };
+    ta_serve::wire::write_frame(&mut raw, &hello.encode()).unwrap();
+    let payload = ta_serve::wire::read_frame(&mut raw, u32::MAX).unwrap();
+    match Response::decode(&payload).unwrap() {
+        Response::ProtocolReject { code, message, .. } => {
+            assert_eq!(code, 11, "VersionMismatch");
+            assert!(message.contains("version 99"), "message: {message}");
+        }
+        other => panic!("expected ProtocolReject, got {other:?}"),
+    }
+    drain(&handle, runner);
+}
+
+#[test]
 fn submit_without_hello_is_a_handshake_error() {
     let (addr, handle, runner) = start_server(chaos_cfg());
     // Bypass Client (which handshakes) with a raw TCP stream.

@@ -1,0 +1,274 @@
+//! In-process durability suite: journaled completions dedupe retries
+//! across a server restart, journaled in-flight requests are recovered
+//! (or shed) at startup, and recovery telemetry is exposed. The
+//! out-of-process kill -9 variant lives in the CLI's `crash_recovery`
+//! suite; this one pins the semantics without process churn.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use std::path::{Path, PathBuf};
+use std::thread;
+use std::time::Duration;
+
+use ta_serve::journal::{FsyncPolicy, RecoveryPolicy, RequestKey, ServeJournal};
+use ta_serve::spec::CompiledArch;
+use ta_serve::wire::{output_checksum, ArchSpec, Chaos, Request, Response, Submit, MODE_EXACT};
+use ta_serve::{ServeConfig, Server, ServerHandle};
+
+const W: u32 = 10;
+const H: u32 = 10;
+
+fn spec() -> ArchSpec {
+    ArchSpec {
+        kernel: "box3".into(),
+        mode: MODE_EXACT,
+        unit_ns: 1.0,
+        nlse_terms: 7,
+        nlde_terms: 20,
+        fault_rate: 0.0,
+    }
+}
+
+fn submit(id: u64, seed: u64, want_outputs: bool) -> Submit {
+    Submit {
+        id,
+        spec: spec(),
+        seed,
+        deadline_ms: 0,
+        want_outputs,
+        chaos: Chaos::None,
+        width: W,
+        height: H,
+        pixels: ta_image::synth::natural_image(W as usize, H as usize, seed)
+            .pixels()
+            .to_vec(),
+    }
+}
+
+fn reference_checksum(sub: &Submit) -> u64 {
+    let compiled = CompiledArch::compile(&sub.spec, sub.width, sub.height).unwrap();
+    let supervisor = compiled.supervisor(&ta_serve::ExecPolicy::default(), sub.seed, None);
+    let image =
+        ta_image::Image::from_pixels(sub.width as usize, sub.height as usize, sub.pixels.clone())
+            .unwrap();
+    let (outputs, report) = supervisor
+        .run_one(&compiled.engine, &image, 0, sub.seed)
+        .unwrap();
+    assert!(!report.status.is_failed());
+    let planes = outputs.unwrap();
+    output_checksum(planes.iter().map(|p| p.pixels()))
+}
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ta-serve-journal-it-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(format!("{tag}.wal"));
+    let _ = std::fs::remove_file(&path);
+    path
+}
+
+fn journal_cfg(path: &Path, recovery: RecoveryPolicy) -> ServeConfig {
+    ServeConfig {
+        journal: Some(path.to_path_buf()),
+        journal_fsync: FsyncPolicy::Always,
+        recovery,
+        idle_timeout: Duration::from_secs(5),
+        ..ServeConfig::default()
+    }
+}
+
+fn start(cfg: ServeConfig) -> (String, ServerHandle, thread::JoinHandle<()>) {
+    let server = Server::bind(cfg).unwrap();
+    let addr = server.local_addr().unwrap().to_string();
+    let handle = server.handle();
+    let runner = thread::spawn(move || {
+        server.run().unwrap();
+    });
+    (addr, handle, runner)
+}
+
+fn stop(handle: &ServerHandle, runner: thread::JoinHandle<()>) {
+    handle.begin_drain();
+    runner.join().unwrap();
+}
+
+#[test]
+fn retry_after_restart_is_answered_from_the_journal() {
+    let path = scratch("dedupe-restart");
+    let sub = submit(1, 42, false);
+    let want = reference_checksum(&sub);
+
+    // Life 1: compute and journal the completion.
+    let (addr, handle, runner) = start(journal_cfg(&path, RecoveryPolicy::Recover));
+    let mut client = ta_serve::Client::connect_tcp(&addr, "acme").unwrap();
+    let first = match client.submit(sub.clone()).unwrap() {
+        Response::Done {
+            checksum, attempts, ..
+        } => {
+            assert_eq!(checksum, want);
+            attempts
+        }
+        other => panic!("expected Done, got {other:?}"),
+    };
+    let _ = client.goodbye();
+    stop(&handle, runner);
+
+    // Life 2: the same (tenant, id, seed) is answered from the index —
+    // `want_outputs` is asserted empty to prove nothing recomputed.
+    let (addr, handle, runner) = start(journal_cfg(&path, RecoveryPolicy::Recover));
+    let mut client = ta_serve::Client::connect_tcp(&addr, "acme").unwrap();
+    let mut retry = sub.clone();
+    retry.want_outputs = true;
+    match client.submit(retry).unwrap() {
+        Response::Done {
+            checksum,
+            attempts,
+            latency_us,
+            outputs,
+            ..
+        } => {
+            assert_eq!(
+                checksum, want,
+                "deduped reply carries the original checksum"
+            );
+            assert_eq!(attempts, first, "original disposition is replayed");
+            assert_eq!(latency_us, 0, "nothing executed");
+            assert!(outputs.is_empty(), "the index holds identity, not planes");
+        }
+        other => panic!("expected deduped Done, got {other:?}"),
+    }
+    // A *different* seed is a different request and must compute.
+    let mut fresh = sub.clone();
+    fresh.seed = 43;
+    fresh.pixels = sub.pixels.clone();
+    fresh.want_outputs = true;
+    match client.submit(fresh).unwrap() {
+        Response::Done { outputs, .. } => {
+            assert!(!outputs.is_empty(), "new seed must execute for real");
+        }
+        other => panic!("expected Done, got {other:?}"),
+    }
+    let _ = client.goodbye();
+    stop(&handle, runner);
+}
+
+#[test]
+fn in_flight_at_crash_is_recovered_before_serving() {
+    let path = scratch("recover-in-flight");
+    let sub = submit(5, 7, false);
+    let want = reference_checksum(&sub);
+
+    // Simulate the crash artifact: an accepted record with no outcome
+    // (exactly what a kill -9 between admission and reply leaves).
+    {
+        let (journal, _) = ServeJournal::open(&path, FsyncPolicy::Always).unwrap();
+        journal.record_accepted("acme", &sub).unwrap();
+    }
+
+    let (addr, handle, runner) = start(journal_cfg(&path, RecoveryPolicy::Recover));
+    // The retrying client gets the recovered answer from the index:
+    // checksum matches, zero latency, no outputs — never recomputed.
+    let mut client = ta_serve::Client::connect_tcp(&addr, "acme").unwrap();
+    let mut retry = sub.clone();
+    retry.want_outputs = true;
+    match client.submit(retry).unwrap() {
+        Response::Done {
+            checksum,
+            latency_us,
+            outputs,
+            ..
+        } => {
+            assert_eq!(checksum, want, "recovered answer is bit-identical");
+            assert_eq!(latency_us, 0);
+            assert!(outputs.is_empty());
+        }
+        other => panic!("expected recovered Done, got {other:?}"),
+    }
+    // Recovery telemetry is visible over the wire.
+    match client.call(&Request::Metrics).unwrap() {
+        Response::Metrics { text } => {
+            assert!(text.contains("ta_serve_recovered_total"), "{text}");
+            assert!(text.contains("ta_serve_replayed_total"), "{text}");
+            assert!(text.contains("ta_serve_journal_records"), "{text}");
+            assert!(text.contains("ta_serve_recovery_seconds"), "{text}");
+        }
+        other => panic!("expected Metrics, got {other:?}"),
+    }
+    let _ = client.goodbye();
+    stop(&handle, runner);
+}
+
+#[test]
+fn shed_policy_resolves_in_flight_without_executing() {
+    let path = scratch("shed-in-flight");
+    let sub = submit(9, 11, true);
+    {
+        let (journal, _) = ServeJournal::open(&path, FsyncPolicy::Always).unwrap();
+        journal.record_accepted("acme", &sub).unwrap();
+    }
+
+    let (addr, handle, runner) = start(journal_cfg(&path, RecoveryPolicy::Shed));
+    let mut client = ta_serve::Client::connect_tcp(&addr, "acme").unwrap();
+    // Shed means no cached answer: the retry recomputes for real.
+    match client.submit(sub.clone()).unwrap() {
+        Response::Done { outputs, .. } => {
+            assert!(!outputs.is_empty(), "shed requests recompute on retry");
+        }
+        other => panic!("expected Done, got {other:?}"),
+    }
+    let _ = client.goodbye();
+    stop(&handle, runner);
+
+    // The shed marker resolved the record: a third life has nothing
+    // in-flight (and the drain compacted the journal).
+    let (_, recovery) = ServeJournal::open(&path, FsyncPolicy::Always).unwrap();
+    assert!(recovery.in_flight.is_empty(), "shed resolves the record");
+}
+
+#[test]
+fn chaos_in_flight_on_a_chaosless_restart_is_shed_not_dropped() {
+    let path = scratch("chaos-shed");
+    let mut sub = submit(13, 17, false);
+    sub.chaos = Chaos::PanicAttempts { n: 1 };
+    {
+        let (journal, _) = ServeJournal::open(&path, FsyncPolicy::Always).unwrap();
+        journal.record_accepted("acme", &sub).unwrap();
+    }
+
+    // chaos_enabled defaults to false in journal_cfg's base config.
+    let (_, handle, runner) = start(journal_cfg(&path, RecoveryPolicy::Recover));
+    stop(&handle, runner);
+
+    let (journal, recovery) = ServeJournal::open(&path, FsyncPolicy::Always).unwrap();
+    assert!(recovery.in_flight.is_empty(), "chaos record is resolved");
+    assert!(
+        journal.lookup(&RequestKey::of("acme", &sub)).is_none(),
+        "shed, not answered"
+    );
+}
+
+#[test]
+fn journal_survives_live_dedupe_within_one_life() {
+    let path = scratch("live-dedupe");
+    let sub = submit(21, 23, false);
+    let (addr, handle, runner) = start(journal_cfg(&path, RecoveryPolicy::Recover));
+    let mut client = ta_serve::Client::connect_tcp(&addr, "acme").unwrap();
+    let first = match client.submit(sub.clone()).unwrap() {
+        Response::Done { checksum, .. } => checksum,
+        other => panic!("expected Done, got {other:?}"),
+    };
+    // Same key, same life: the duplicate is served from the index.
+    let mut dup = sub.clone();
+    dup.want_outputs = true;
+    match client.submit(dup).unwrap() {
+        Response::Done {
+            checksum, outputs, ..
+        } => {
+            assert_eq!(checksum, first);
+            assert!(outputs.is_empty(), "duplicate must not recompute");
+        }
+        other => panic!("expected Done, got {other:?}"),
+    }
+    let _ = client.goodbye();
+    stop(&handle, runner);
+}
