@@ -98,6 +98,11 @@ pub enum CliError {
         /// The count the energy model expected.
         expected: u64,
     },
+    /// `top` could not connect to, scrape, or parse the server's metrics.
+    Top(String),
+    /// `inspect-bundle` could not read the file, or the bundle failed its
+    /// schema check.
+    Bundle(String),
 }
 
 impl CliError {
@@ -125,6 +130,8 @@ impl CliError {
             CliError::ProfileMismatch { .. } => 17,
             CliError::Serve(_) => 18,
             CliError::Journal(_) => 19,
+            CliError::Top(_) => 20,
+            CliError::Bundle(_) => 21,
         }
     }
 }
@@ -163,6 +170,8 @@ impl fmt::Display for CliError {
             CliError::Telemetry(e) => write!(f, "telemetry output: {e}"),
             CliError::Serve(e) => write!(f, "serve: {e}"),
             CliError::Journal(why) => write!(f, "journal: {why}"),
+            CliError::Top(why) => write!(f, "top: {why}"),
+            CliError::Bundle(why) => write!(f, "inspect-bundle: {why}"),
             CliError::ProfileMismatch {
                 what,
                 dynamic,
@@ -246,6 +255,8 @@ USAGE:
   tconv batch ... --journal batch.wal [--resume] [--fsync batch]
   tconv profile --demo [--kernel sobel] [--vcd wave.vcd] [options]
   tconv serve [--tcp 127.0.0.1:0] [--uds /run/tconv.sock] [--chaos]
+  tconv top --addr HOST:PORT [--interval-ms 2000] [--once]
+  tconv inspect-bundle FILE
   tconv kernels
 
 OPTIONS (run/describe/explore/faults):
@@ -313,10 +324,30 @@ OPTIONS (serve — fault-tolerant streaming convolution service):
   --fsync POLICY    always | batch | never                 [default: batch]
   --recovery MODE   recover | shed — what to do with journaled in-flight
                     frames at startup                      [default: recover]
+  --slo-ms N        per-request latency objective; replies past it burn
+                    the tenant's SLO error budget          [default: 250]
+  --bundle-dir DIR  arm the flight recorder: on any anomaly (watchdog
+                    timeout, degraded/failed frame, panic, journal error,
+                    quarantine, shed burst) dump a JSONL diagnostics
+                    bundle — recent traced spans/events, the in-flight
+                    request contexts with their op/energy census, and a
+                    full metrics snapshot — into DIR
   Prints `listening on ADDR` as soon as each endpoint is bound. SIGTERM
   or SIGINT drains gracefully: in-flight frames finish, new work is shed
   with busy(draining), connected clients get a goodbye, and the process
   exits 0.
+
+OBSERVABILITY (top / inspect-bundle):
+  tconv top polls a running server's Metrics wire request and renders a
+  live dashboard: request/shed rates, latency percentiles, per-tenant
+  SLO burn, journal size, and anomaly counts.
+  --addr HOST:PORT  the server's TCP endpoint (required)
+  --interval-ms N   refresh period                         [default: 2000]
+  --once            print one snapshot and exit (no screen clearing)
+  tconv inspect-bundle FILE schema-checks a flight-recorder bundle and
+  prints its story: the anomaly, the offending trace's event timeline,
+  and the in-flight requests at dump time. Exits non-zero if the file is
+  not a valid bundle.
 
 EXIT CODES:
   0 success; 1 unused (generic abort)
@@ -330,6 +361,8 @@ EXIT CODES:
   16 telemetry write failed  17 profile census mismatch
   18 serve failed to bind or run
   19 journal create/resume/write failed
+  20 top could not connect or scrape
+  21 bundle file invalid
 ";
 
 /// Parsed `--key value` flags plus the subcommand.
@@ -354,11 +387,18 @@ impl Args {
             command: raw.first().cloned().unwrap_or_default(),
             ..Args::default()
         };
-        let switches = ["--demo", "--help", "--chaos", "--resume"];
+        let switches = ["--demo", "--help", "--chaos", "--resume", "--once"];
         let mut i = 1;
         while i < raw.len() {
             let key = &raw[i];
             if !key.starts_with("--") {
+                // `inspect-bundle FILE` takes its one positional argument;
+                // everywhere else a stray word is an error.
+                if args.command == "inspect-bundle" && args.get("--file").is_none() {
+                    args.flags.push(("--file".to_string(), key.clone()));
+                    i += 1;
+                    continue;
+                }
                 return Err(CliError::UnexpectedArgument(key.clone()));
             }
             if switches.contains(&key.as_str()) {
@@ -475,6 +515,8 @@ pub fn dispatch(args: &Args) -> Result<String, CliError> {
         "batch" => cmd_batch(args),
         "profile" => cmd_profile(args),
         "serve" => cmd_serve(args),
+        "top" => cmd_top(args),
+        "inspect-bundle" => cmd_inspect_bundle(args),
         "kernels" => Ok(cmd_kernels()),
         other => Err(CliError::UnknownCommand(other.to_string())),
     };
@@ -806,12 +848,27 @@ fn cmd_batch(args: &Args) -> Result<String, CliError> {
             }
             .map_err(|e| CliError::Journal(e.to_string()))?;
             let replayed = journal.recovered().len();
-            let batch = supervisor
-                .run_batch_journaled(&engine, &images, seed, &journal)
-                .map_err(|e| match e {
-                    ta_runtime::RuntimeError::Journal(why) => CliError::Journal(why),
-                    other => CliError::Runtime(other),
-                })?;
+            let run = supervisor.run_batch_journaled(&engine, &images, seed, &journal);
+            // Export the journal gauges the way serve mode does — from the
+            // journal itself, even when the run errors out, so a `--metrics`
+            // snapshot always reflects what is on disk.
+            let stats = journal.stats();
+            let m = ta_telemetry::metrics();
+            m.describe(
+                "ta_runtime_journal_records",
+                "Records in the batch write-ahead journal",
+            );
+            m.describe(
+                "ta_runtime_journal_bytes",
+                "Bytes in the batch write-ahead journal",
+            );
+            m.gauge("ta_runtime_journal_records")
+                .set(stats.records as f64);
+            m.gauge("ta_runtime_journal_bytes").set(stats.bytes as f64);
+            let batch = run.map_err(|e| match e {
+                ta_runtime::RuntimeError::Journal(why) => CliError::Journal(why),
+                other => CliError::Runtime(other),
+            })?;
             (batch, Some(replayed))
         }
     };
@@ -1094,6 +1151,8 @@ fn cmd_serve(args: &Args) -> Result<String, CliError> {
         plan_cache: args.num("--plan-cache", defaults.plan_cache)?,
         journal: args.get("--journal").map(std::path::PathBuf::from),
         journal_fsync: fsync_of(args)?,
+        slo: Duration::from_millis(args.num("--slo-ms", defaults.slo.as_millis() as u64)?),
+        bundle_dir: args.get("--bundle-dir").map(std::path::PathBuf::from),
         recovery: {
             let name = args.get("--recovery").unwrap_or("recover");
             ta_serve::RecoveryPolicy::parse(name).ok_or_else(|| {
@@ -1127,6 +1186,233 @@ fn cmd_serve(args: &Args) -> Result<String, CliError> {
         summary.failed,
         summary.forced_closes,
     ))
+}
+
+/// `tconv top` — a live dashboard over a running server's Metrics wire
+/// request: request/shed rates, latency percentiles, per-tenant SLO
+/// burn, journal size, and anomaly counts. `--once` prints a single
+/// snapshot (no screen clearing) and exits, for scripts and smoke tests.
+fn cmd_top(args: &Args) -> Result<String, CliError> {
+    use std::io::Write as _;
+    use std::time::{Duration, Instant};
+    use ta_serve::{Request, Response};
+
+    let addr = args
+        .get("--addr")
+        .ok_or_else(|| CliError::InvalidConfig("top needs --addr HOST:PORT".into()))?;
+    let interval = Duration::from_millis(args.num("--interval-ms", 2_000u64)?);
+    let once = args.has("--once");
+
+    let mut client = ta_serve::Client::connect_tcp(addr, "tconv-top")
+        .map_err(|e| CliError::Top(e.to_string()))?;
+    let mut prev: Option<(Instant, ta_telemetry::promtext::Scrape)> = None;
+    loop {
+        let text = match client
+            .call(&Request::Metrics)
+            .map_err(|e| CliError::Top(e.to_string()))?
+        {
+            Response::Metrics { text } => text,
+            other => return Err(CliError::Top(format!("expected Metrics, got {other:?}"))),
+        };
+        let now = Instant::now();
+        let scrape = ta_telemetry::promtext::parse(&text)
+            .map_err(|e| CliError::Top(format!("metrics snapshot unparsable: {e}")))?;
+        let frame = render_top(
+            addr,
+            &scrape,
+            prev.as_ref().map(|(t, s)| (now.duration_since(*t), s)),
+        );
+        if once {
+            return Ok(frame);
+        }
+        // Clear and repaint; stdout errors (e.g. a closed pipe) end the
+        // dashboard cleanly rather than looping blind.
+        let mut stdout = std::io::stdout();
+        if write!(stdout, "\x1b[2J\x1b[H{frame}")
+            .and_then(|()| stdout.flush())
+            .is_err()
+        {
+            return Ok(String::new());
+        }
+        prev = Some((now, scrape));
+        std::thread::sleep(interval);
+    }
+}
+
+/// One rendered `tconv top` frame. `prev` (the previous scrape and the
+/// time since it) turns cumulative counters into per-second rates.
+fn render_top(
+    addr: &str,
+    scrape: &ta_telemetry::promtext::Scrape,
+    prev: Option<(std::time::Duration, &ta_telemetry::promtext::Scrape)>,
+) -> String {
+    let total = |name: &str| scrape.sum(name);
+    let rate = |name: &str| -> Option<f64> {
+        let (dt, old) = prev.as_ref()?;
+        let secs = dt.as_secs_f64();
+        (secs > 0.0).then(|| (scrape.sum(name) - old.sum(name)).max(0.0) / secs)
+    };
+    let fmt_rate = |name: &str| match rate(name) {
+        Some(r) => format!("{r:8.1}/s"),
+        None => "       —  ".to_string(),
+    };
+
+    let submits = total("ta_serve_submits_total");
+    let shed = total("ta_serve_shed_total");
+    let shed_frac = if submits > 0.0 { shed / submits } else { 0.0 };
+
+    let mut out = format!("tconv top — {addr}\n\n");
+    out.push_str("  requests            total       rate\n");
+    for (label, family) in [
+        ("submits", "ta_serve_submits_total"),
+        ("completed", "ta_serve_completed_total"),
+        ("degraded", "ta_serve_degraded_total"),
+        ("failed", "ta_serve_failed_total"),
+        ("shed", "ta_serve_shed_total"),
+    ] {
+        out.push_str(&format!(
+            "    {label:<12} {:>10} {}\n",
+            total(family),
+            fmt_rate(family)
+        ));
+    }
+    out.push_str(&format!("    shed fraction {shed_frac:>9.3}\n"));
+
+    // Latency percentiles from the cumulative histogram buckets.
+    let buckets = scrape.family("ta_serve_latency_seconds_bucket");
+    let mut cum: Vec<(f64, f64)> = buckets
+        .iter()
+        .filter_map(|s| {
+            let le = s.label("le")?;
+            let bound = if le == "+Inf" {
+                f64::INFINITY
+            } else {
+                le.parse().ok()?
+            };
+            Some((bound, s.value))
+        })
+        .collect();
+    cum.sort_by(|a, b| a.0.total_cmp(&b.0));
+    let count = cum.last().map_or(0.0, |&(_, c)| c);
+    if count > 0.0 {
+        out.push_str("\n  latency    p50        p90        p99\n         ");
+        for q in [0.50, 0.90, 0.99] {
+            let target = q * count;
+            let bound = cum
+                .iter()
+                .find(|&&(_, c)| c >= target)
+                .map_or(f64::INFINITY, |&(b, _)| b);
+            if bound.is_finite() {
+                out.push_str(&format!(" ≤{:>7.1}ms", bound * 1e3));
+            } else {
+                out.push_str("     >last ");
+            }
+        }
+        out.push('\n');
+    }
+
+    // Per-tenant SLO burn (breaches / requests, cumulative).
+    let burns = scrape.family("ta_serve_slo_burn");
+    if !burns.is_empty() {
+        out.push_str("\n  slo burn (breaches/requests)\n");
+        for s in burns {
+            let tenant = s.label("tenant").unwrap_or("?");
+            let requests = scrape
+                .get("ta_serve_slo_requests_total", &[("tenant", tenant)])
+                .unwrap_or(0.0);
+            out.push_str(&format!(
+                "    {tenant:<16} {:>6.3}  ({requests} requests)\n",
+                s.value
+            ));
+        }
+    }
+
+    // Journal size (present only when the server journals).
+    if let (Some(records), Some(bytes)) = (
+        scrape.value("ta_serve_journal_records"),
+        scrape.value("ta_serve_journal_bytes"),
+    ) {
+        out.push_str(&format!(
+            "\n  journal    {records} record(s), {bytes} byte(s)\n"
+        ));
+    }
+
+    // Anomalies by kind, plus bundles dumped.
+    let anomalies = scrape.family("ta_anomalies_total");
+    if !anomalies.is_empty() {
+        out.push_str("\n  anomalies\n");
+        for s in anomalies {
+            out.push_str(&format!(
+                "    {:<18} {:>8}\n",
+                s.label("kind").unwrap_or("?"),
+                s.value
+            ));
+        }
+    }
+    if let Some(bundles) = scrape.value("ta_serve_bundles_written_total") {
+        out.push_str(&format!("    bundles written    {bundles:>8}\n"));
+    }
+    out
+}
+
+/// `tconv inspect-bundle FILE` — schema-check a flight-recorder bundle
+/// and print its story for triage. A file that fails the check exits
+/// non-zero, so scripts can assert bundle validity.
+fn cmd_inspect_bundle(args: &Args) -> Result<String, CliError> {
+    let path = args
+        .get("--file")
+        .ok_or_else(|| CliError::InvalidConfig("inspect-bundle needs a bundle FILE".into()))?;
+    let text =
+        std::fs::read_to_string(path).map_err(|e| CliError::Bundle(format!("{path}: {e}")))?;
+    let summary =
+        ta_serve::BundleSummary::parse(&text).map_err(|e| CliError::Bundle(e.to_string()))?;
+
+    let mut out = format!("bundle: {path}\n  anomaly: {}\n", summary.kind);
+    if summary.trace.is_empty() {
+        out.push_str("  trace:   (untraced anomaly)\n");
+    } else {
+        out.push_str(&format!("  trace:   {}\n", summary.trace));
+    }
+    let count = |kind: &str| summary.lines.iter().filter(|l| l.kind == kind).count();
+    out.push_str(&format!(
+        "  lines:   {} ({} request context(s), {} span(s), {} event(s))\n",
+        summary.lines.len(),
+        count("request"),
+        count("span"),
+        count("event"),
+    ));
+
+    // The offending request's timeline, in ring order.
+    if !summary.trace.is_empty() {
+        let ours = summary.lines_for_trace(&summary.trace);
+        out.push_str(&format!("  timeline for trace {}:\n", summary.trace));
+        for i in ours {
+            let line = &summary.lines[i];
+            out.push_str(&format!(
+                "    {:<8} {}\n",
+                line.kind,
+                line.name.as_deref().unwrap_or("(request context)")
+            ));
+        }
+    }
+
+    // Other traces captured in the ring, deduplicated.
+    let mut others: Vec<&str> = summary
+        .lines
+        .iter()
+        .filter_map(|l| l.trace.as_deref())
+        .filter(|t| *t != summary.trace)
+        .collect();
+    others.sort_unstable();
+    others.dedup();
+    if !others.is_empty() {
+        out.push_str(&format!(
+            "  {} other trace(s) in the ring: {}\n",
+            others.len(),
+            others.join(", ")
+        ));
+    }
+    Ok(out)
 }
 
 fn cmd_kernels() -> String {
@@ -1379,6 +1665,152 @@ mod tests {
             .all(|l| l.starts_with('{') && l.ends_with('}')));
         std::fs::remove_file(metrics).ok();
         std::fs::remove_file(trace).ok();
+    }
+
+    #[test]
+    fn batch_metrics_include_journal_gauges() {
+        // Regression: a journaled batch's `--metrics` snapshot must carry
+        // the journal record/byte gauges (with HELP), matching what serve
+        // mode exports for its own journal.
+        let dir = std::env::temp_dir();
+        let journal = dir.join(format!("tconv_test_batch_{}.wal", std::process::id()));
+        let metrics = dir.join(format!("tconv_test_batch_{}.prom", std::process::id()));
+        std::fs::remove_file(&journal).ok();
+        dispatch(&argv(&[
+            "batch",
+            "--demo",
+            "--frames",
+            "2",
+            "--size",
+            "16",
+            "--kernel",
+            "box3",
+            "--journal",
+            journal.to_str().unwrap(),
+            "--metrics",
+            metrics.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let prom = std::fs::read_to_string(&metrics).unwrap();
+        for needle in [
+            "# HELP ta_runtime_journal_records",
+            "# HELP ta_runtime_journal_bytes",
+            "ta_runtime_journal_records",
+            "ta_runtime_journal_bytes",
+        ] {
+            assert!(prom.contains(needle), "metrics lack {needle:?}:\n{prom}");
+        }
+        // The gauges reflect a real on-disk journal, not zeros.
+        let records_line = prom
+            .lines()
+            .find(|l| l.starts_with("ta_runtime_journal_records "))
+            .unwrap();
+        let records: f64 = records_line
+            .split_whitespace()
+            .nth(1)
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!(
+            records >= 2.0,
+            "2 frames must leave >= 2 records: {records_line}"
+        );
+        std::fs::remove_file(journal).ok();
+        std::fs::remove_file(metrics).ok();
+    }
+
+    #[test]
+    fn top_once_renders_dashboard_from_live_server() {
+        use std::time::Duration;
+        let server = ta_serve::Server::bind(ta_serve::ServeConfig {
+            idle_timeout: Duration::from_secs(5),
+            ..ta_serve::ServeConfig::default()
+        })
+        .unwrap();
+        let addr = server.local_addr().unwrap().to_string();
+        let handle = server.handle();
+        let runner = std::thread::spawn(move || server.run().unwrap());
+
+        // One served frame so the dashboard has traffic to show.
+        let mut client = ta_serve::Client::connect_tcp(&addr, "dash").unwrap();
+        let sub = ta_serve::Submit {
+            id: 1,
+            spec: ta_serve::wire::ArchSpec {
+                kernel: "box3".into(),
+                mode: ta_serve::wire::MODE_EXACT,
+                unit_ns: 1.0,
+                nlse_terms: 7,
+                nlde_terms: 20,
+                fault_rate: 0.0,
+            },
+            seed: 3,
+            deadline_ms: 0,
+            want_outputs: false,
+            chaos: ta_serve::wire::Chaos::None,
+            width: 12,
+            height: 12,
+            pixels: ta_image::synth::natural_image(12, 12, 3).pixels().to_vec(),
+            trace: ta_telemetry::TraceId::ZERO,
+        };
+        assert!(matches!(
+            client.submit(sub).unwrap(),
+            ta_serve::Response::Done { .. }
+        ));
+
+        let out = dispatch(&argv(&["top", "--addr", &addr, "--once"])).unwrap();
+        assert!(out.contains("tconv top"), "{out}");
+        assert!(out.contains("submits"), "{out}");
+        assert!(out.contains("shed fraction"), "{out}");
+        assert!(out.contains("slo burn"), "{out}");
+        assert!(
+            out.contains("dash"),
+            "the serving tenant must appear: {out}"
+        );
+
+        let _ = client.goodbye();
+        handle.begin_drain();
+        runner.join().unwrap();
+    }
+
+    #[test]
+    fn top_without_server_fails_with_top_error() {
+        // A port nobody listens on: connect must fail as CliError::Top.
+        let err = dispatch(&argv(&["top", "--addr", "127.0.0.1:1", "--once"])).unwrap_err();
+        assert!(matches!(err, CliError::Top(_)), "{err:?}");
+        assert_eq!(err.exit_code(), 20);
+    }
+
+    #[test]
+    fn inspect_bundle_accepts_valid_and_rejects_invalid() {
+        let dir = std::env::temp_dir();
+        let good = dir.join(format!("tconv_test_bundle_{}.jsonl", std::process::id()));
+        std::fs::write(
+            &good,
+            concat!(
+                "{\"type\":\"bundle\",\"version\":1,\"kind\":\"watchdog_timeout\",\"trace\":\"ab12\"}\n",
+                "{\"type\":\"request\",\"trace\":\"ab12\",\"tenant\":\"acme\",\"id\":7}\n",
+                "{\"type\":\"event\",\"seq\":1,\"name\":\"serve.admitted\",\"trace\":\"ab12\"}\n",
+                "{\"type\":\"event\",\"seq\":2,\"name\":\"anomaly\",\"trace\":\"ab12\"}\n",
+                "{\"type\":\"metrics\",\"snapshot\":{}}\n",
+            ),
+        )
+        .unwrap();
+        let out = dispatch(&argv(&["inspect-bundle", good.to_str().unwrap()])).unwrap();
+        assert!(out.contains("watchdog_timeout"), "{out}");
+        assert!(out.contains("ab12"), "{out}");
+        assert!(out.contains("serve.admitted"), "{out}");
+
+        let bad = dir.join(format!("tconv_test_badbundle_{}.jsonl", std::process::id()));
+        std::fs::write(&bad, "{\"type\":\"event\"}\nnot json\n").unwrap();
+        let err = dispatch(&argv(&["inspect-bundle", bad.to_str().unwrap()])).unwrap_err();
+        assert!(matches!(err, CliError::Bundle(_)), "{err:?}");
+        assert_eq!(err.exit_code(), 21);
+
+        // Missing file is also a Bundle error, not a panic.
+        let err = dispatch(&argv(&["inspect-bundle", "/nonexistent/b.jsonl"])).unwrap_err();
+        assert!(matches!(err, CliError::Bundle(_)), "{err:?}");
+        std::fs::remove_file(good).ok();
+        std::fs::remove_file(bad).ok();
     }
 
     #[test]

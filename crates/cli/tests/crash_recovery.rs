@@ -15,6 +15,7 @@ use std::time::{Duration, Instant};
 
 use ta_serve::wire::{ArchSpec, Chaos, Response, Submit, MODE_EXACT};
 use ta_serve::Client;
+use ta_telemetry::TraceId;
 
 const TCONV: &str = env!("CARGO_BIN_EXE_tconv");
 
@@ -167,6 +168,7 @@ fn serve_submit(chaos: Chaos) -> Submit {
         pixels: ta_image::synth::natural_image(W as usize, H as usize, 7)
             .pixels()
             .to_vec(),
+        trace: TraceId::ZERO,
     }
 }
 

@@ -10,6 +10,7 @@ use std::time::{Duration, Instant};
 
 use ta_serve::wire::{ArchSpec, Chaos, Request, Response, Submit, MODE_EXACT};
 use ta_serve::Client;
+use ta_telemetry::TraceId;
 
 fn demo_submit(id: u64) -> Submit {
     let (w, h) = (8u32, 8u32);
@@ -33,6 +34,7 @@ fn demo_submit(id: u64) -> Submit {
         pixels: (0..n)
             .map(|i| 0.05 + 0.9 * (i as f64) / (n as f64))
             .collect(),
+        trace: TraceId::ZERO,
     }
 }
 

@@ -451,10 +451,44 @@ impl Supervisor {
                 },
                 Err(f) => f,
             };
-            if matches!(failure, FailureKind::Timeout { .. }) {
-                ta_telemetry::metrics()
-                    .counter("ta_runtime_timeouts_total")
-                    .inc();
+            // Failure paths are rare by construction, so they can afford
+            // a trace event (carrying the current trace scope, so a
+            // flight-recorder bundle ties the attempt to its request)
+            // and an anomaly report.
+            ta_telemetry::tracer().event(
+                "supervisor.attempt_failed",
+                vec![
+                    ("frame", frame.into()),
+                    ("attempt", u64::from(attempt).into()),
+                    (
+                        "failure",
+                        ta_telemetry::FieldValue::Str(failure.to_string()),
+                    ),
+                ],
+            );
+            match &failure {
+                FailureKind::Timeout { .. } => {
+                    ta_telemetry::metrics()
+                        .counter("ta_runtime_timeouts_total")
+                        .inc();
+                    ta_telemetry::report_anomaly(
+                        ta_telemetry::AnomalyKind::WatchdogTimeout,
+                        vec![
+                            ("frame", frame.into()),
+                            ("attempt", u64::from(attempt).into()),
+                        ],
+                    );
+                }
+                FailureKind::Panic(_) => {
+                    ta_telemetry::report_anomaly(
+                        ta_telemetry::AnomalyKind::Panic,
+                        vec![
+                            ("frame", frame.into()),
+                            ("attempt", u64::from(attempt).into()),
+                        ],
+                    );
+                }
+                _ => {}
             }
             log.push(format!("attempt {attempt}: {failure}"));
             last_failure = Some(failure);
@@ -672,8 +706,26 @@ fn publish_report(report: &FrameReport) {
     }
     match &report.status {
         FrameStatus::Ok => {}
-        FrameStatus::Degraded { .. } => m.counter("ta_runtime_degraded_total").inc(),
-        FrameStatus::Failed { .. } => m.counter("ta_runtime_failed_total").inc(),
+        FrameStatus::Degraded { .. } => {
+            m.counter("ta_runtime_degraded_total").inc();
+            ta_telemetry::report_anomaly(
+                ta_telemetry::AnomalyKind::DegradedFrame,
+                vec![
+                    ("frame", report.frame.into()),
+                    ("attempts", u64::from(report.attempts).into()),
+                ],
+            );
+        }
+        FrameStatus::Failed { .. } => {
+            m.counter("ta_runtime_failed_total").inc();
+            ta_telemetry::report_anomaly(
+                ta_telemetry::AnomalyKind::FailedFrame,
+                vec![
+                    ("frame", report.frame.into()),
+                    ("attempts", u64::from(report.attempts).into()),
+                ],
+            );
+        }
     }
     let attempt_hist = m.histogram("ta_runtime_attempt_seconds");
     for &took in &report.attempt_latencies {

@@ -4,6 +4,7 @@
 //! ```text
 //! ta-serve-load [--addr HOST:PORT] [--out PATH] [--frames N]
 //!               [--sweep 1,2,4] [--deadline-ms N] [--burst N] [--journal]
+//!               [--anomaly]
 //! ```
 //!
 //! Without `--addr` the tool spawns a hermetic in-process server (chaos
@@ -14,6 +15,12 @@
 //! tax: the same single-connection sweep against a journal-less and a
 //! journal-enabled server (fsync=batch), recorded as `journal_overhead`
 //! in the report and asserted within the 15% p99 budget.
+//!
+//! `--anomaly` (requires `--addr`) skips the bench entirely and instead
+//! sends one chaos-stalled submit whose deadline must blow, tripping the
+//! server's watchdog so its flight recorder dumps a diagnostics bundle.
+//! The probe prints `anomaly probe trace <hex>` so the caller (CI's
+//! `observability-smoke` job) can join the reply against the bundle.
 
 use std::process::ExitCode;
 use std::thread;
@@ -29,6 +36,7 @@ struct Args {
     deadline_ms: u32,
     burst: usize,
     journal: bool,
+    anomaly: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -40,6 +48,7 @@ fn parse_args() -> Result<Args, String> {
         deadline_ms: 2000,
         burst: 16,
         journal: false,
+        anomaly: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -70,10 +79,11 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|_| "--burst: not a number".to_string())?;
             }
             "--journal" => args.journal = true,
+            "--anomaly" => args.anomaly = true,
             "--help" | "-h" => {
                 println!(
                     "usage: ta-serve-load [--addr HOST:PORT] [--out PATH] [--frames N] \
-                     [--sweep 1,2,4] [--deadline-ms N] [--burst N] [--journal]"
+                     [--sweep 1,2,4] [--deadline-ms N] [--burst N] [--journal] [--anomaly]"
                 );
                 std::process::exit(0);
             }
@@ -87,6 +97,9 @@ fn parse_args() -> Result<Args, String> {
         return Err(
             "--journal is hermetic-only (it spawns its own servers); drop --addr".to_string(),
         );
+    }
+    if args.anomaly && args.addr.is_none() {
+        return Err("--anomaly probes a running server; it needs --addr".to_string());
     }
     Ok(args)
 }
@@ -119,6 +132,77 @@ fn drain_hermetic(what: &str, handle: &ta_serve::ServerHandle, runner: ServerRun
     }
 }
 
+/// Sends one chaos-stalled submit that blows its deadline, so the target
+/// server's watchdog anomaly path fires and dumps a diagnostics bundle.
+/// Prints the probe's trace ID for the caller to join against the bundle.
+/// Requires the server to run with `--chaos`.
+fn run_anomaly_probe(addr: &str) -> Result<(), String> {
+    use ta_serve::wire::{ArchSpec, Chaos, Response, Submit, MODE_EXACT};
+
+    let mut client = ta_serve::client::Client::connect_tcp(addr, "anomaly-probe")
+        .map_err(|e| format!("connect {addr}: {e}"))?;
+    let trace = ta_telemetry::TraceId::generate();
+    // Every attempt stalls for 400 ms against a 150 ms deadline: the
+    // watchdog must fire, and the first firing dumps the bundle.
+    let sub = Submit {
+        id: 1,
+        spec: ArchSpec {
+            kernel: "box3".into(),
+            mode: MODE_EXACT,
+            unit_ns: 1.0,
+            nlse_terms: 7,
+            nlde_terms: 20,
+            fault_rate: 0.0,
+        },
+        seed: 3,
+        deadline_ms: 150,
+        want_outputs: false,
+        chaos: Chaos::StallAttempts { n: 10, ms: 400 },
+        width: 12,
+        height: 12,
+        pixels: ta_image::synth::natural_image(12, 12, 3).pixels().to_vec(),
+        trace,
+    };
+    println!("anomaly probe trace {}", trace.to_hex());
+    let echoed = match client.submit(sub).map_err(|e| format!("submit: {e}"))? {
+        Response::Error { code, trace, .. } => {
+            eprintln!("ta-serve-load: probe rejected as expected ({code:?})");
+            trace
+        }
+        Response::Busy { .. } => {
+            return Err("probe shed (server busy) — no anomaly induced".to_string());
+        }
+        // The supervisor may absorb the timeouts and finish degraded; the
+        // watchdog still fired, which is all the probe needs. A clean
+        // single-attempt Done means no anomaly — likely --chaos is off.
+        Response::Done {
+            degraded,
+            attempts,
+            trace,
+            ..
+        } if degraded || attempts > 1 => {
+            eprintln!("ta-serve-load: probe finished degraded after {attempts} attempt(s)");
+            trace
+        }
+        Response::Done { trace, .. } => {
+            return Err(format!(
+                "probe completed clean despite the stall — is --chaos on? (trace {})",
+                trace.to_hex()
+            ));
+        }
+        other => return Err(format!("unexpected probe reply {other:?}")),
+    };
+    if echoed != trace {
+        return Err(format!(
+            "reply trace {} does not echo the probe's {}",
+            echoed.to_hex(),
+            trace.to_hex()
+        ));
+    }
+    let _ = client.goodbye();
+    Ok(())
+}
+
 /// Runs the durability-tax probe on a fresh pair of hermetic servers.
 fn run_journal_probe(cfg: &LoadConfig) -> Result<loadgen::JournalOverhead, String> {
     let wal = std::env::temp_dir().join(format!("ta-serve-load-{}.wal", std::process::id()));
@@ -144,6 +228,19 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+
+    if args.anomaly {
+        // Anomaly-probe mode: no bench, no report — just trip the target
+        // server's watchdog and exit.
+        return match args.addr.as_deref().map(run_anomaly_probe) {
+            Some(Ok(())) => ExitCode::SUCCESS,
+            Some(Err(why)) => {
+                eprintln!("ta-serve-load: anomaly probe: {why}");
+                ExitCode::from(1)
+            }
+            None => ExitCode::from(2), // unreachable: parse_args requires --addr
+        };
+    }
 
     // Hermetic mode: no --addr → run our own server for the bench.
     let (addr, hermetic) = match &args.addr {

@@ -1,0 +1,658 @@
+//! Diagnostics bundles: when an anomaly fires, the server dumps the
+//! flight recorder's ring, the metrics registry, and the in-flight
+//! request context to one self-contained JSONL file (DESIGN.md §5.14).
+//!
+//! Bundle layout (one JSON object per line):
+//!
+//! 1. `{"type":"bundle", ...}` — header: schema version, the anomaly
+//!    kind that triggered the dump, its trace ID, and the reporter's
+//!    context fields.
+//! 2. `{"type":"request", ...}` — one line per in-flight request at dump
+//!    time: identity, geometry, deadline, and the compiled plan's static
+//!    op census and per-stage energy attribution.
+//! 3. `{"type":"span"|"event", ...}` — the flight recorder's ring in
+//!    capture order (the tail of recent activity leading to the anomaly).
+//! 4. `{"type":"metrics", ...}` — the full registry snapshot.
+//!
+//! Dumps are rate-limited (one per [`BundleWriter::MIN_INTERVAL`]) so an
+//! anomaly storm produces one representative bundle, not a disk full of
+//! near-identical ones.
+
+use std::collections::HashMap;
+use std::io::Write;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+use ta_core::{OpCounts, StageEnergy};
+use ta_telemetry::{Anomaly, FlightRecorder, TraceId};
+
+/// Bundle schema version (the `version` field of the header line).
+pub const BUNDLE_VERSION: u32 = 1;
+
+/// What the server knows about one in-flight request, captured at
+/// admission so an anomaly mid-execution can attribute blame.
+#[derive(Debug, Clone)]
+pub struct RequestCtx {
+    /// Sanitized tenant.
+    pub tenant: String,
+    /// Client-chosen request id.
+    pub id: u64,
+    /// Request seed.
+    pub seed: u64,
+    /// Kernel-set name from the spec.
+    pub kernel: String,
+    /// Wire mode discriminant.
+    pub mode: u8,
+    /// Frame width.
+    pub width: u32,
+    /// Frame height.
+    pub height: u32,
+    /// Effective deadline in milliseconds.
+    pub deadline_ms: u64,
+    /// Static per-frame op census of the compiled plan.
+    pub census: OpCounts,
+    /// Per-stage energy attribution of the compiled plan.
+    pub energy: StageEnergy,
+}
+
+impl RequestCtx {
+    fn to_json(&self, trace_hex: &str) -> String {
+        let c = &self.census;
+        let e = &self.energy;
+        format!(
+            "{{\"type\":\"request\",\"trace\":{},\"tenant\":{},\"id\":{},\"seed\":{},\
+             \"kernel\":{},\"mode\":{},\"width\":{},\"height\":{},\"deadline_ms\":{},\
+             \"census\":{{\"vtc\":{},\"tdc\":{},\"nlse\":{},\"nlde\":{}}},\
+             \"energy_pj\":{{\"vtc\":{:.6},\"tdc\":{:.6},\"weight_matrix\":{:.6},\
+             \"nlse_tree\":{:.6},\"loop\":{:.6},\"nlde\":{:.6},\"total\":{:.6}}}}}",
+            json_str(trace_hex),
+            json_str(&self.tenant),
+            self.id,
+            self.seed,
+            json_str(&self.kernel),
+            self.mode,
+            self.width,
+            self.height,
+            self.deadline_ms,
+            c.vtc_conversions,
+            c.tdc_conversions,
+            c.nlse_ops,
+            c.nlde_ops,
+            e.vtc_pj,
+            e.tdc_pj,
+            e.weight_matrix_pj,
+            e.nlse_tree_pj,
+            e.loop_pj,
+            e.nlde_pj,
+            e.total_pj(),
+        )
+    }
+}
+
+/// The map of in-flight requests shared between the connection executors
+/// (insert/remove) and the anomaly hook (snapshot at dump time).
+pub type InFlightCtx = Arc<Mutex<HashMap<TraceId, RequestCtx>>>;
+
+/// Writes anomaly bundles into a directory, rate-limited.
+pub struct BundleWriter {
+    dir: PathBuf,
+    recorder: Arc<FlightRecorder>,
+    contexts: InFlightCtx,
+    seq: AtomicU64,
+    last_dump: Mutex<Option<Instant>>,
+    min_interval: Duration,
+}
+
+impl std::fmt::Debug for BundleWriter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BundleWriter")
+            .field("dir", &self.dir)
+            .field("seq", &self.seq.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
+impl BundleWriter {
+    /// Default floor between two dumps.
+    pub const MIN_INTERVAL: Duration = Duration::from_secs(1);
+
+    /// A writer dumping into `dir` (created if missing), reading the ring
+    /// from `recorder` and request context from `contexts`.
+    pub fn new(dir: PathBuf, recorder: Arc<FlightRecorder>, contexts: InFlightCtx) -> BundleWriter {
+        BundleWriter {
+            dir,
+            recorder,
+            contexts,
+            seq: AtomicU64::new(0),
+            last_dump: Mutex::new(None),
+            min_interval: Self::MIN_INTERVAL,
+        }
+    }
+
+    /// Overrides the rate-limit floor (tests use zero).
+    #[must_use]
+    pub fn with_min_interval(mut self, min_interval: Duration) -> BundleWriter {
+        self.min_interval = min_interval;
+        self
+    }
+
+    /// Dumps one bundle for `anomaly`, unless rate-limited. Returns the
+    /// bundle path on success; `None` when skipped or the write failed
+    /// (a diagnostics failure must never take the server down — the
+    /// failure is counted under `ta_serve_bundle_errors_total`).
+    pub fn dump(&self, anomaly: &Anomaly) -> Option<PathBuf> {
+        {
+            let mut last = self
+                .last_dump
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            if let Some(at) = *last {
+                if at.elapsed() < self.min_interval {
+                    ta_telemetry::metrics()
+                        .counter("ta_serve_bundle_rate_limited_total")
+                        .inc();
+                    return None;
+                }
+            }
+            *last = Some(Instant::now());
+        }
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        match self.write_bundle(anomaly, seq) {
+            Ok(path) => {
+                ta_telemetry::metrics()
+                    .counter("ta_serve_bundles_written_total")
+                    .inc();
+                Some(path)
+            }
+            Err(_) => {
+                ta_telemetry::metrics()
+                    .counter("ta_serve_bundle_errors_total")
+                    .inc();
+                None
+            }
+        }
+    }
+
+    fn write_bundle(&self, anomaly: &Anomaly, seq: u64) -> std::io::Result<PathBuf> {
+        std::fs::create_dir_all(&self.dir)?;
+        let name = format!(
+            "bundle-{}-{:04}-{}.jsonl",
+            std::process::id(),
+            seq,
+            anomaly.kind.label()
+        );
+        let path = self.dir.join(name);
+        let tmp = path.with_extension("jsonl.tmp");
+        {
+            let mut f = std::io::BufWriter::new(std::fs::File::create(&tmp)?);
+            let mut fields = String::new();
+            for (k, v) in &anomaly.fields {
+                fields.push_str(&format!(",{}:{}", json_str(k), v.to_json()));
+            }
+            writeln!(
+                f,
+                "{{\"type\":\"bundle\",\"version\":{},\"kind\":{},\"trace\":{}{}}}",
+                BUNDLE_VERSION,
+                json_str(anomaly.kind.label()),
+                json_str(&anomaly.trace_hex),
+                fields
+            )?;
+            {
+                let contexts = self.contexts.lock().unwrap_or_else(PoisonError::into_inner);
+                let mut traces: Vec<&TraceId> = contexts.keys().collect();
+                traces.sort_by_key(|t| t.0);
+                for trace in traces {
+                    if let Some(ctx) = contexts.get(trace) {
+                        writeln!(f, "{}", ctx.to_json(&trace.to_hex()))?;
+                    }
+                }
+            }
+            for record in self.recorder.snapshot() {
+                writeln!(f, "{}", record.to_json())?;
+            }
+            writeln!(
+                f,
+                "{{\"type\":\"metrics\",\"snapshot\":{}}}",
+                ta_telemetry::metrics().to_json()
+            )?;
+            f.flush()?;
+        }
+        std::fs::rename(&tmp, &path)?;
+        Ok(path)
+    }
+}
+
+fn json_str(s: &str) -> String {
+    ta_telemetry::sink::json_string(s)
+}
+
+// ---------------------------------------------------------------------
+// Reading bundles back (tconv inspect-bundle, the smoke test)
+// ---------------------------------------------------------------------
+
+/// Why a bundle file failed inspection.
+#[derive(Debug)]
+pub struct BundleError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What was wrong.
+    pub what: String,
+}
+
+impl std::fmt::Display for BundleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "bundle line {}: {}", self.line, self.what)
+    }
+}
+
+impl std::error::Error for BundleError {}
+
+/// One parsed bundle line, reduced to what triage needs.
+#[derive(Debug, Clone)]
+pub struct BundleLine {
+    /// The line's `type` field (`bundle`, `request`, `span`, `event`,
+    /// `metrics`).
+    pub kind: String,
+    /// The line's `name` field, when present (spans/events).
+    pub name: Option<String>,
+    /// The line's `trace` field, when present and non-empty.
+    pub trace: Option<String>,
+}
+
+/// A schema-checked bundle.
+#[derive(Debug)]
+pub struct BundleSummary {
+    /// Every line, in file order.
+    pub lines: Vec<BundleLine>,
+    /// The header's anomaly kind.
+    pub kind: String,
+    /// The header's trace (empty when the anomaly was untraced).
+    pub trace: String,
+}
+
+impl BundleSummary {
+    /// Parses and schema-checks `text` (a bundle file's contents): every
+    /// line must be a syntactically valid JSON object with a string
+    /// `type`, the first line must be a `bundle` header carrying
+    /// `version`, `kind`, and `trace`, and the last a `metrics` snapshot.
+    ///
+    /// # Errors
+    ///
+    /// [`BundleError`] pointing at the first offending line.
+    pub fn parse(text: &str) -> Result<BundleSummary, BundleError> {
+        let mut lines = Vec::new();
+        for (i, raw) in text.lines().enumerate() {
+            let line = i + 1;
+            if raw.trim().is_empty() {
+                continue;
+            }
+            validate_json(raw).map_err(|what| BundleError { line, what })?;
+            let kind = extract_string(raw, "type").ok_or_else(|| BundleError {
+                line,
+                what: "missing string \"type\" field".into(),
+            })?;
+            lines.push(BundleLine {
+                kind,
+                name: extract_string(raw, "name"),
+                trace: extract_string(raw, "trace").filter(|t| !t.is_empty()),
+            });
+        }
+        let first = lines.first().ok_or(BundleError {
+            line: 1,
+            what: "empty bundle".into(),
+        })?;
+        if first.kind != "bundle" {
+            return Err(BundleError {
+                line: 1,
+                what: format!("first line is {:?}, not the bundle header", first.kind),
+            });
+        }
+        let header = text.lines().next().unwrap_or_default();
+        let kind = extract_string(header, "kind").ok_or(BundleError {
+            line: 1,
+            what: "header missing \"kind\"".into(),
+        })?;
+        if extract_string(header, "version").is_some() {
+            return Err(BundleError {
+                line: 1,
+                what: "header \"version\" must be a number".into(),
+            });
+        }
+        if !header.contains("\"version\":") {
+            return Err(BundleError {
+                line: 1,
+                what: "header missing \"version\"".into(),
+            });
+        }
+        let trace = extract_string(header, "trace").unwrap_or_default();
+        match lines.last() {
+            Some(l) if l.kind == "metrics" => {}
+            _ => {
+                return Err(BundleError {
+                    line: lines.len(),
+                    what: "last line is not the metrics snapshot".into(),
+                })
+            }
+        }
+        Ok(BundleSummary { lines, kind, trace })
+    }
+
+    /// Positions (0-based line indexes) of lines whose `trace` equals
+    /// `trace_hex`.
+    #[must_use]
+    pub fn lines_for_trace(&self, trace_hex: &str) -> Vec<usize> {
+        self.lines
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| l.trace.as_deref() == Some(trace_hex))
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+/// Extracts the string value of a top-level-looking `"key":"value"` pair.
+/// Good enough for bundle lines, whose writers never nest the keys this
+/// reader asks for inside other strings.
+fn extract_string(line: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\":\"");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let mut out = String::new();
+    let mut chars = rest.chars();
+    loop {
+        match chars.next()? {
+            '"' => return Some(out),
+            '\\' => match chars.next()? {
+                'n' => out.push('\n'),
+                't' => out.push('\t'),
+                'r' => out.push('\r'),
+                'u' => {
+                    let hex: String = chars.by_ref().take(4).collect();
+                    let code = u32::from_str_radix(&hex, 16).ok()?;
+                    out.push(char::from_u32(code)?);
+                }
+                c => out.push(c),
+            },
+            c => out.push(c),
+        }
+    }
+}
+
+/// Validates that `s` is one complete JSON value (the bundle writers emit
+/// one object per line). A tiny recursive-descent scanner — no values are
+/// built, so arbitrarily large metrics snapshots validate cheaply.
+///
+/// # Errors
+///
+/// A human-readable description of the first syntax error.
+pub fn validate_json(s: &str) -> Result<(), String> {
+    let bytes = s.as_bytes();
+    let mut pos = 0usize;
+    skip_ws(bytes, &mut pos);
+    parse_value(bytes, &mut pos, 0)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing bytes at offset {pos}"));
+    }
+    Ok(())
+}
+
+const MAX_DEPTH: usize = 64;
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize, depth: usize) -> Result<(), String> {
+    if depth > MAX_DEPTH {
+        return Err("nesting too deep".into());
+    }
+    match b.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'{') => {
+            *pos += 1;
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(());
+            }
+            loop {
+                skip_ws(b, pos);
+                parse_string(b, pos)?;
+                skip_ws(b, pos);
+                if b.get(*pos) != Some(&b':') {
+                    return Err(format!("expected ':' at offset {pos}"));
+                }
+                *pos += 1;
+                skip_ws(b, pos);
+                parse_value(b, pos, depth + 1)?;
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(());
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at offset {pos}")),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(());
+            }
+            loop {
+                skip_ws(b, pos);
+                parse_value(b, pos, depth + 1)?;
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(());
+                    }
+                    _ => return Err(format!("expected ',' or ']' at offset {pos}")),
+                }
+            }
+        }
+        Some(b'"') => parse_string(b, pos),
+        Some(b't') => parse_lit(b, pos, "true"),
+        Some(b'f') => parse_lit(b, pos, "false"),
+        Some(b'n') => parse_lit(b, pos, "null"),
+        Some(_) => parse_number(b, pos),
+    }
+}
+
+fn parse_lit(b: &[u8], pos: &mut usize, lit: &str) -> Result<(), String> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(format!("invalid literal at offset {pos}"))
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    if b.get(*pos) != Some(&b'"') {
+        return Err(format!("expected string at offset {pos}"));
+    }
+    *pos += 1;
+    while let Some(&c) = b.get(*pos) {
+        match c {
+            b'"' => {
+                *pos += 1;
+                return Ok(());
+            }
+            b'\\' => {
+                let esc = b.get(*pos + 1).ok_or("unterminated escape")?;
+                match esc {
+                    b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't' => *pos += 2,
+                    b'u' => {
+                        let hex = b.get(*pos + 2..*pos + 6).ok_or("truncated \\u escape")?;
+                        if !hex.iter().all(u8::is_ascii_hexdigit) {
+                            return Err(format!("bad \\u escape at offset {pos}"));
+                        }
+                        *pos += 6;
+                    }
+                    _ => return Err(format!("bad escape at offset {pos}")),
+                }
+            }
+            0x00..=0x1F => return Err(format!("raw control byte in string at offset {pos}")),
+            _ => *pos += 1,
+        }
+    }
+    Err("unterminated string".into())
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let digits = |b: &[u8], pos: &mut usize| {
+        let s = *pos;
+        while b.get(*pos).is_some_and(u8::is_ascii_digit) {
+            *pos += 1;
+        }
+        *pos > s
+    };
+    if !digits(b, pos) {
+        return Err(format!("expected number at offset {start}"));
+    }
+    if b.get(*pos) == Some(&b'.') {
+        *pos += 1;
+        if !digits(b, pos) {
+            return Err(format!("expected fraction digits at offset {pos}"));
+        }
+    }
+    if matches!(b.get(*pos), Some(b'e' | b'E')) {
+        *pos += 1;
+        if matches!(b.get(*pos), Some(b'+' | b'-')) {
+            *pos += 1;
+        }
+        if !digits(b, pos) {
+            return Err(format!("expected exponent digits at offset {pos}"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
+    use super::*;
+    use ta_telemetry::{AnomalyKind, NullSink};
+
+    #[test]
+    fn json_validator_accepts_and_rejects() {
+        for ok in [
+            "{}",
+            "{\"a\":1}",
+            "{\"a\":[1,2.5,-3e4],\"b\":{\"c\":null,\"d\":\"x\\n\\u00e9\"}}",
+            "[true,false,null]",
+            "\"lone string\"",
+            "-0.5e-2",
+        ] {
+            assert!(validate_json(ok).is_ok(), "{ok}");
+        }
+        for bad in [
+            "",
+            "{",
+            "{\"a\":}",
+            "{\"a\":1,}",
+            "{'a':1}",
+            "{\"a\":01x}",
+            "{\"a\":\"unterminated}",
+            "{\"a\":1} trailing",
+            "{\"a\":nul}",
+        ] {
+            assert!(validate_json(bad).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn dump_writes_a_parseable_bundle_with_request_context() {
+        let dir = std::env::temp_dir().join(format!("ta-bundle-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let recorder = Arc::new(FlightRecorder::new(16, 1, Arc::new(NullSink)));
+        use ta_telemetry::sink::{EventRecord, TraceSink};
+        let trace = TraceId::generate();
+        recorder.record_event(&EventRecord {
+            name: "serve.admitted",
+            at: Duration::from_micros(1),
+            fields: vec![("trace", trace.to_hex().into())],
+        });
+        let contexts: InFlightCtx = Arc::new(Mutex::new(HashMap::new()));
+        contexts.lock().unwrap().insert(
+            trace,
+            RequestCtx {
+                tenant: "acme".into(),
+                id: 7,
+                seed: 9,
+                kernel: "box3".into(),
+                mode: 1,
+                width: 12,
+                height: 12,
+                deadline_ms: 250,
+                census: OpCounts::default(),
+                energy: StageEnergy::default(),
+            },
+        );
+        let writer =
+            BundleWriter::new(dir.clone(), recorder, contexts).with_min_interval(Duration::ZERO);
+        let anomaly = Anomaly {
+            kind: AnomalyKind::WatchdogTimeout,
+            trace_hex: trace.to_hex(),
+            fields: vec![("frame", 0u64.into())],
+        };
+        let path = writer.dump(&anomaly).expect("bundle written");
+        let text = std::fs::read_to_string(&path).unwrap();
+        let summary = BundleSummary::parse(&text).unwrap();
+        assert_eq!(summary.kind, "watchdog_timeout");
+        assert_eq!(summary.trace, trace.to_hex());
+        let kinds: Vec<&str> = summary.lines.iter().map(|l| l.kind.as_str()).collect();
+        assert_eq!(kinds, vec!["bundle", "request", "event", "metrics"]);
+        assert_eq!(summary.lines_for_trace(&trace.to_hex()).len(), 3);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rate_limit_swallows_back_to_back_dumps() {
+        let dir = std::env::temp_dir().join(format!("ta-bundle-rl-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let recorder = Arc::new(FlightRecorder::new(4, 1, Arc::new(NullSink)));
+        let contexts: InFlightCtx = Arc::new(Mutex::new(HashMap::new()));
+        let writer = BundleWriter::new(dir.clone(), recorder, contexts);
+        let anomaly = Anomaly {
+            kind: AnomalyKind::JournalError,
+            trace_hex: String::new(),
+            fields: vec![],
+        };
+        assert!(writer.dump(&anomaly).is_some());
+        assert!(writer.dump(&anomaly).is_none(), "second dump rate-limited");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn malformed_bundles_are_refused() {
+        assert!(BundleSummary::parse("").is_err());
+        assert!(
+            BundleSummary::parse("{\"type\":\"span\"}").is_err(),
+            "no header"
+        );
+        let no_metrics = "{\"type\":\"bundle\",\"version\":1,\"kind\":\"panic\",\"trace\":\"\"}";
+        assert!(BundleSummary::parse(no_metrics).is_err(), "no metrics tail");
+        let ok = format!("{no_metrics}\n{{\"type\":\"metrics\",\"snapshot\":{{}}}}");
+        let summary = BundleSummary::parse(&ok).unwrap();
+        assert_eq!(summary.kind, "panic");
+        assert!(summary.trace.is_empty());
+    }
+}

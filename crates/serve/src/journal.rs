@@ -492,6 +492,7 @@ mod tests {
     use super::*;
     use crate::wire::{ArchSpec, Chaos, MODE_APPROX};
     use std::path::PathBuf;
+    use ta_telemetry::TraceId;
 
     fn scratch(tag: &str) -> PathBuf {
         let dir = std::env::temp_dir().join(format!("ta-serve-journal-{}", std::process::id()));
@@ -519,6 +520,7 @@ mod tests {
             width: 3,
             height: 2,
             pixels: vec![0.0, 0.25, 0.5, 0.75, 1.0, 0.125],
+            trace: TraceId::ZERO,
         }
     }
 

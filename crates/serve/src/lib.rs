@@ -27,6 +27,12 @@
 //! * **Chaos** ([`chaos`]) — opt-in fault directives carried by requests,
 //!   so the chaos suite can exercise panic isolation, watchdog timeouts,
 //!   and fallback end to end over the real wire.
+//! * **Observability** ([`bundle`], [`slo`]) — wire-propagated trace IDs
+//!   echoed in every reply, an anomaly-triggered flight recorder that
+//!   dumps JSONL diagnostics bundles ([`BundleWriter`], parsed back by
+//!   [`BundleSummary`] and `tconv inspect-bundle`), and per-tenant SLO
+//!   burn plus energy/op census gauges ([`SloTracker`]) exported through
+//!   the Metrics wire request for `tconv top`.
 //!
 //! Determinism contract: a completed frame's outputs are a pure function
 //! of `(spec, seed, pixels, retry policy)` — bit-identical to a serial
@@ -34,6 +40,7 @@
 //! of connection interleaving or injected chaos.
 
 pub mod admission;
+pub mod bundle;
 pub mod cache;
 pub mod chaos;
 pub mod client;
@@ -42,14 +49,17 @@ pub mod journal;
 pub mod loadgen;
 pub mod server;
 pub mod signal;
+pub mod slo;
 pub mod spec;
 pub mod stream;
 pub mod wire;
 
+pub use bundle::{BundleSummary, BundleWriter};
 pub use client::{Client, ClientError};
 pub use error::ServeError;
 pub use journal::{RecoveryPolicy, ServeJournal};
 pub use loadgen::{BenchReport, LoadConfig};
 pub use server::{DrainSummary, ServeConfig, Server, ServerHandle};
+pub use slo::SloTracker;
 pub use spec::{CompiledArch, ExecPolicy, SpecError};
 pub use wire::{ProtocolError, Request, Response, Submit};

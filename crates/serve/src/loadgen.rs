@@ -6,7 +6,7 @@ use std::sync::Mutex;
 use std::thread;
 use std::time::{Duration, Instant};
 
-use ta_telemetry::ExactHistogram;
+use ta_telemetry::{ExactHistogram, TraceId};
 
 use crate::client::{Client, ClientError};
 use crate::wire::{ArchSpec, Chaos, Request, Response, Submit, MODE_EXACT};
@@ -239,6 +239,7 @@ pub fn run(cfg: &LoadConfig) -> Result<BenchReport, ClientError> {
         width: cfg.width,
         height: cfg.height,
         pixels: frame_pixels(cfg, 1),
+        trace: TraceId::ZERO,
     };
     let _ = probe.submit(warm)?;
     let _ = probe.goodbye();
@@ -291,6 +292,7 @@ pub fn journal_overhead(
             width: point.width,
             height: point.height,
             pixels: frame_pixels(&point, 1),
+            trace: TraceId::ZERO,
         })?;
         let _ = warm.goodbye();
         Ok(run_sweep(&point, 1)?.p99_us)
@@ -339,6 +341,7 @@ fn run_sweep(cfg: &LoadConfig, conns: usize) -> Result<SweepResult, ClientError>
                             width: cfg.width,
                             height: cfg.height,
                             pixels: frame_pixels(cfg, seed),
+                            trace: TraceId::ZERO,
                         };
                         let t0 = Instant::now();
                         match client.submit(sub) {
@@ -423,6 +426,7 @@ fn run_overload(cfg: &LoadConfig) -> Result<OverloadResult, ClientError> {
                             width: cfg.width,
                             height: cfg.height,
                             pixels: frame_pixels(cfg, seed),
+                            trace: TraceId::ZERO,
                         };
                         if client.send(&Request::Submit(sub)).is_ok() {
                             attempts += 1;

@@ -24,7 +24,7 @@
 //! before the cutoff, then send each client [`Response::Bye`] with
 //! `drained = true` and exit cleanly.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::io::Write;
 use std::net::{SocketAddr, TcpListener};
 use std::os::unix::net::UnixListener;
@@ -38,14 +38,16 @@ use std::time::{Duration, Instant};
 use ta_image::Image;
 use ta_journal::FsyncPolicy;
 use ta_runtime::FrameStatus;
-use ta_telemetry::FieldValue;
+use ta_telemetry::{report_anomaly, AnomalyKind, FieldValue, FlightRecorder, TraceId, TraceScope};
 
 use crate::admission::{sanitize_tenant, Admission, Permit};
+use crate::bundle::{BundleWriter, InFlightCtx, RequestCtx};
 use crate::cache::PlanCache;
 use crate::chaos::ChaosEngine;
 use crate::error::ServeError;
 use crate::journal::{Completion, InFlight, RecoveryPolicy, RequestKey, ServeJournal};
 use crate::signal;
+use crate::slo::SloTracker;
 use crate::spec::{CompiledArch, ExecPolicy};
 use crate::stream::Stream;
 use crate::wire::{
@@ -115,6 +117,20 @@ pub struct ServeConfig {
     pub journal_fsync: FsyncPolicy,
     /// What to do with journaled in-flight frames found at startup.
     pub recovery: RecoveryPolicy,
+    /// Latency objective every answered submission is judged against
+    /// (per-tenant SLO burn tracking).
+    pub slo: Duration,
+    /// Directory for anomaly-triggered flight-recorder bundles; `None`
+    /// disables the recorder and bundle dumps entirely.
+    pub bundle_dir: Option<PathBuf>,
+    /// Flight-recorder ring capacity (records), when bundles are on.
+    pub recorder_capacity: usize,
+    /// Head-sampling rate for forwarding traced records to the
+    /// operator's own sink: 1 in `recorder_sample` traces (0/1 = all).
+    pub recorder_sample: u64,
+    /// Sheds within one second that count as a shed *burst* anomaly;
+    /// 0 disables the burst detector.
+    pub shed_burst: u64,
 }
 
 impl Default for ServeConfig {
@@ -137,6 +153,11 @@ impl Default for ServeConfig {
             journal: None,
             journal_fsync: FsyncPolicy::Batch,
             recovery: RecoveryPolicy::Recover,
+            slo: Duration::from_millis(250),
+            bundle_dir: None,
+            recorder_capacity: 256,
+            recorder_sample: 1,
+            shed_burst: 32,
         }
     }
 }
@@ -168,6 +189,14 @@ struct Shared {
     next_conn: AtomicU64,
     /// Write-ahead journal + idempotency index (when durability is on).
     journal: Option<ServeJournal>,
+    /// Per-tenant latency-objective burn tracking.
+    slo: SloTracker,
+    /// In-flight request context, keyed by trace ID: census/energy
+    /// attribution for SLO settling, and the victim record bundle dumps
+    /// name. Bounded by the in-flight cap.
+    inflight_ctx: InFlightCtx,
+    /// Shed-burst detector: (window start, sheds in window).
+    shed_window: Mutex<(Instant, u64)>,
 }
 
 impl Shared {
@@ -192,6 +221,31 @@ impl Shared {
         ta_telemetry::metrics()
             .labeled_counter("ta_serve_shed_total", "reason", reason.label())
             .inc();
+        if self.cfg.shed_burst == 0 {
+            return;
+        }
+        // Burst detection: crossing the threshold within a one-second
+        // window is an anomaly (exactly once per window).
+        let now = Instant::now();
+        let mut window = self
+            .shed_window
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        if now.duration_since(window.0) > Duration::from_secs(1) {
+            *window = (now, 0);
+        }
+        window.1 += 1;
+        if window.1 == self.cfg.shed_burst {
+            let count = window.1;
+            drop(window);
+            report_anomaly(
+                AnomalyKind::ShedBurst,
+                vec![
+                    ("count", count.into()),
+                    ("reason", FieldValue::Str(reason.label().to_string())),
+                ],
+            );
+        }
     }
 
     fn count_protocol_error(&self, err: &ProtocolError) {
@@ -213,6 +267,7 @@ impl Shared {
         ta_telemetry::metrics()
             .counter("ta_serve_journal_errors_total")
             .inc();
+        report_anomaly(AnomalyKind::JournalError, vec![]);
     }
 
     fn update_journal_gauges(&self) {
@@ -350,8 +405,42 @@ impl Server {
             }
             None => (None, Vec::new()),
         };
+        describe_serve_metrics();
+        let inflight_ctx: InFlightCtx = Arc::new(Mutex::new(HashMap::new()));
+        // Bundles on: wrap whatever sink the operator installed in the
+        // flight recorder (ring + head-sampled forwarding) and install
+        // the anomaly hook that dumps the ring on trouble.
+        if let Some(dir) = cfg.bundle_dir.as_ref() {
+            let tracer = ta_telemetry::tracer();
+            let recorder = Arc::new(FlightRecorder::new(
+                cfg.recorder_capacity,
+                cfg.recorder_sample,
+                tracer.current_sink(),
+            ));
+            tracer.install(recorder.clone());
+            let writer = BundleWriter::new(dir.clone(), recorder.clone(), inflight_ctx.clone());
+            let contexts = inflight_ctx.clone();
+            ta_telemetry::set_anomaly_hook(Arc::new(move |anomaly| {
+                // Dump only anomalies that are plausibly ours: untraced
+                // (server-level trouble) or traced to a request this
+                // server currently has in flight. Keeps concurrent
+                // servers in one process (tests) out of each other's
+                // bundle directories.
+                let ours = anomaly.trace_hex.is_empty()
+                    || TraceId::from_hex(&anomaly.trace_hex).is_some_and(|t| {
+                        contexts
+                            .lock()
+                            .unwrap_or_else(PoisonError::into_inner)
+                            .contains_key(&t)
+                    });
+                if ours {
+                    writer.dump(anomaly);
+                }
+            }));
+        }
         let shared = Arc::new(Shared {
             admission: Admission::new(cfg.max_inflight, cfg.tenant_pending),
+            slo: SloTracker::new(cfg.slo),
             cfg,
             stats: Stats::default(),
             draining: AtomicBool::new(false),
@@ -361,6 +450,8 @@ impl Server {
             conn_streams: Mutex::new(BTreeMap::new()),
             next_conn: AtomicU64::new(1),
             journal,
+            inflight_ctx,
+            shed_window: Mutex::new((Instant::now(), 0)),
         });
         Ok(Server {
             shared,
@@ -508,6 +599,7 @@ impl Server {
                 id: 0,
                 reason: ShedReason::Draining,
                 retry_after_ms: retry_hint_ms(ShedReason::Draining),
+                trace: TraceId::ZERO,
             };
             let _ = crate::wire::write_frame(&mut stream, &rsp.encode());
             stream.shutdown();
@@ -540,6 +632,7 @@ impl Server {
                 id: 0,
                 reason: ShedReason::ConnectionLimit,
                 retry_after_ms: retry_hint_ms(ShedReason::ConnectionLimit),
+                trace: TraceId::ZERO,
             };
             let _ = crate::wire::write_frame(&mut stream, &rsp.encode());
             stream.shutdown();
@@ -594,6 +687,61 @@ fn reap_finished(threads: &mut Vec<thread::JoinHandle<()>>) {
     }
 }
 
+/// Registers help text for the serve metric families, so a Prometheus
+/// scrape (or `tconv top`) renders them self-describing.
+fn describe_serve_metrics() {
+    let m = ta_telemetry::metrics();
+    for (family, help) in [
+        ("ta_serve_submits_total", "Submissions received"),
+        (
+            "ta_serve_completed_total",
+            "Frames answered with usable output",
+        ),
+        (
+            "ta_serve_degraded_total",
+            "Frames served by the digital fallback",
+        ),
+        (
+            "ta_serve_failed_total",
+            "Frames that produced no usable output",
+        ),
+        (
+            "ta_serve_shed_total",
+            "Requests shed, by overload-protection reason",
+        ),
+        ("ta_serve_latency_seconds", "Submit-to-response latency"),
+        ("ta_serve_connections", "Connections currently open"),
+        (
+            "ta_serve_journal_records",
+            "Records in the write-ahead journal",
+        ),
+        ("ta_serve_journal_bytes", "Bytes in the write-ahead journal"),
+        (
+            "ta_serve_journal_errors_total",
+            "Journal appends/rewrites that failed",
+        ),
+        (
+            "ta_serve_quarantined_total",
+            "Connections closed for repeated protocol violations",
+        ),
+        ("ta_anomalies_total", "Anomalies reported, by kind"),
+        (
+            "ta_serve_bundles_written_total",
+            "Flight-recorder bundles dumped",
+        ),
+        (
+            "ta_serve_bundle_errors_total",
+            "Bundle dumps that failed to write",
+        ),
+        (
+            "ta_serve_bundle_rate_limited_total",
+            "Bundle dumps skipped by the rate limiter",
+        ),
+    ] {
+        m.describe(family, help);
+    }
+}
+
 fn tracer_event(name: &'static str, a: usize, b: usize) {
     ta_telemetry::tracer().event(
         name,
@@ -615,6 +763,9 @@ fn recover_in_flight(shared: &Shared, inflight: &InFlight) {
     let metrics = ta_telemetry::metrics();
     let sub = &inflight.sub;
     let key = RequestKey::of(&inflight.tenant, sub);
+    // Recovery runs under the journaled request's trace, so its spans and
+    // any anomalies tie back to the original submission.
+    let _scope = TraceScope::enter(sub.trace);
 
     // A chaos directive on a server restarted without chaos support is
     // no longer admissible; shed rather than silently drop the flag.
@@ -815,6 +966,7 @@ impl Connection {
                                         id: 0,
                                         code: ErrorCode::BadHandshake,
                                         message: "handshake repeated".to_string(),
+                                        trace: TraceId::ZERO,
                                     },
                                 );
                                 self.close(&mut stream, &mut open);
@@ -878,6 +1030,13 @@ impl Connection {
                         ta_telemetry::metrics()
                             .counter("ta_serve_quarantined_total")
                             .inc();
+                        report_anomaly(
+                            AnomalyKind::Quarantine,
+                            vec![
+                                ("conn", self.id.into()),
+                                ("code", u64::from(err.code()).into()),
+                            ],
+                        );
                         self.close(&mut stream, &mut open);
                     }
                 }
@@ -904,7 +1063,52 @@ impl Connection {
 
     /// Executes (or sheds) one submission and builds its response.
     /// Exactly one response per submission, on every path.
+    ///
+    /// This wrapper owns the request's observability: it assigns a trace
+    /// ID when the client sent none, scopes the thread to it (so every
+    /// span and anomaly down the stack carries it), times the request
+    /// into `ta_serve_latency_seconds`, and settles the tenant's SLO
+    /// accounting from the response kind.
     fn serve_submit(
+        &self,
+        cache: &mut PlanCache,
+        tenant: &Option<String>,
+        mut sub: Submit,
+        received: Instant,
+        shed: Option<ShedReason>,
+    ) -> Response {
+        if sub.trace.is_zero() {
+            sub.trace = TraceId::generate();
+        }
+        let trace = sub.trace;
+        let _scope = TraceScope::enter(trace);
+        let started = Instant::now();
+        let rsp = self.execute_submit(cache, tenant, sub, received, shed);
+        let latency = started.elapsed();
+        ta_telemetry::metrics()
+            .histogram("ta_serve_latency_seconds")
+            .observe_duration(latency);
+        // The in-flight context (inserted once the plan compiled) holds
+        // the census/energy attribution the SLO tracker charges.
+        let ctx = self
+            .shared
+            .inflight_ctx
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .remove(&trace);
+        if let Some(tenant) = tenant {
+            let census = ctx.as_ref().map(|c| (&c.census, &c.energy));
+            match &rsp {
+                Response::Done { .. } => self.shared.slo.observe(tenant, latency, true, census),
+                Response::Error { .. } => self.shared.slo.observe(tenant, latency, false, census),
+                Response::Busy { .. } => self.shared.slo.observe_shed(tenant),
+                _ => {}
+            }
+        }
+        rsp
+    }
+
+    fn execute_submit(
         &self,
         cache: &mut PlanCache,
         tenant: &Option<String>,
@@ -913,6 +1117,7 @@ impl Connection {
         shed: Option<ShedReason>,
     ) -> Response {
         let cfg = &self.shared.cfg;
+        let trace = sub.trace;
         self.shared.stats.accepted.fetch_add(1, Ordering::Relaxed);
         let metrics = ta_telemetry::metrics();
         metrics.counter("ta_serve_submits_total").inc();
@@ -924,6 +1129,7 @@ impl Connection {
                     id: sub.id,
                     code: ErrorCode::BadHandshake,
                     message: "Hello required before Submit".into(),
+                    trace,
                 }
             }
         };
@@ -933,6 +1139,7 @@ impl Connection {
                 id: sub.id,
                 reason,
                 retry_after_ms: retry_hint_ms(reason),
+                trace,
             };
         }
 
@@ -956,6 +1163,7 @@ impl Connection {
                     latency_us: 0,
                     checksum: done.checksum,
                     outputs: Vec::new(),
+                    trace,
                 };
             }
         }
@@ -974,6 +1182,7 @@ impl Connection {
                 id: sub.id,
                 reason: ShedReason::Expired,
                 retry_after_ms: retry_hint_ms(ShedReason::Expired),
+                trace,
             };
         }
         let remaining = deadline - elapsed;
@@ -986,18 +1195,27 @@ impl Connection {
                     id: sub.id,
                     reason,
                     retry_after_ms: retry_hint_ms(reason),
+                    trace,
                 };
             }
         };
         metrics
             .labeled_counter("ta_serve_tenant_admitted_total", "tenant", &tenant)
             .inc();
+        ta_telemetry::tracer().event(
+            "serve.admitted",
+            vec![
+                ("id", sub.id.into()),
+                ("tenant", FieldValue::Str(tenant.clone())),
+            ],
+        );
 
         if sub.chaos != Chaos::None && !cfg.chaos_enabled {
             return Response::Error {
                 id: sub.id,
                 code: ErrorCode::ChaosDisabled,
                 message: "server started without --chaos".into(),
+                trace,
             };
         }
 
@@ -1009,6 +1227,7 @@ impl Connection {
                     id: sub.id,
                     code: ErrorCode::BadSpec,
                     message: e.to_string(),
+                    trace,
                 }
             }
         };
@@ -1022,6 +1241,30 @@ impl Connection {
         metrics
             .counter("ta_serve_plan_evictions_total")
             .add(after.2 - before.2);
+
+        // File the request's context (identity plus the compiled plan's
+        // static census and energy attribution): the SLO tracker charges
+        // the census at settle time, and an anomaly mid-execution names
+        // its victim from the same record. Bounded by the in-flight cap.
+        {
+            let ctx = RequestCtx {
+                tenant: tenant.clone(),
+                id: sub.id,
+                seed: sub.seed,
+                kernel: sub.spec.kernel.clone(),
+                mode: sub.spec.mode,
+                width: sub.width,
+                height: sub.height,
+                deadline_ms: deadline.as_millis() as u64,
+                census: compiled.arch.op_census(),
+                energy: compiled.arch.stage_energy(),
+            };
+            self.shared
+                .inflight_ctx
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .insert(trace, ctx);
+        }
 
         // Write-ahead: the request is admitted and compiles; journal it
         // before execution so a crash from here on leaves a recoverable
@@ -1041,6 +1284,7 @@ impl Connection {
                     id: sub.id,
                     code: ErrorCode::DimensionMismatch,
                     message: e.to_string(),
+                    trace,
                 };
             }
         };
@@ -1075,6 +1319,7 @@ impl Connection {
                     id: sub.id,
                     code: ErrorCode::Internal,
                     message: e.to_string(),
+                    trace,
                 };
             }
         };
@@ -1126,6 +1371,7 @@ impl Connection {
                     latency_us: latency.as_micros() as u64,
                     checksum,
                     outputs,
+                    trace,
                 }
             }
             _ => {
@@ -1145,6 +1391,7 @@ impl Connection {
                         ErrorCode::FrameFailed
                     },
                     message: report.status.to_string(),
+                    trace,
                 }
             }
         }

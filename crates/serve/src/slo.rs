@@ -1,0 +1,194 @@
+//! Per-tenant SLO tracking: latency-objective burn-rate counters plus
+//! energy/op-census attribution, exported through the process metrics
+//! registry (DESIGN.md §5.14).
+//!
+//! Semantics: every answered submission is an SLO *request*. A request
+//! **breaches** when it misses its latency objective or fails outright;
+//! shed requests are counted separately (`ta_serve_slo_shed_total`) and
+//! burn no error budget — shedding is the server protecting the
+//! objective, not violating it. The burn gauge is the cumulative breach
+//! fraction `breaches / requests`, i.e. how fast the tenant's error
+//! budget is being consumed (1.0 = every request breaches).
+
+use std::collections::HashMap;
+use std::sync::{Mutex, PoisonError};
+use std::time::Duration;
+
+use ta_core::{OpCounts, StageEnergy};
+
+/// Per-tenant running totals behind the exported gauges.
+#[derive(Debug, Default, Clone, Copy)]
+struct TenantSlo {
+    requests: u64,
+    breaches: u64,
+    energy_pj: f64,
+    ops: u64,
+}
+
+/// Tracks one server's latency objective across tenants and keeps the
+/// registry's per-tenant families current.
+#[derive(Debug)]
+pub struct SloTracker {
+    /// The latency objective every completed request is judged against.
+    objective: Duration,
+    tenants: Mutex<HashMap<String, TenantSlo>>,
+}
+
+impl SloTracker {
+    /// A tracker judging requests against `objective`.
+    #[must_use]
+    pub fn new(objective: Duration) -> SloTracker {
+        let metrics = ta_telemetry::metrics();
+        metrics.describe(
+            "ta_serve_slo_requests_total",
+            "Answered submissions judged against the latency objective, per tenant",
+        );
+        metrics.describe(
+            "ta_serve_slo_breaches_total",
+            "Submissions that missed the latency objective or failed, per tenant",
+        );
+        metrics.describe(
+            "ta_serve_slo_burn",
+            "Cumulative error-budget burn rate (breaches / requests), per tenant",
+        );
+        metrics.describe(
+            "ta_serve_tenant_energy_pj_total",
+            "Modelled temporal-arithmetic energy served, picojoules per tenant",
+        );
+        metrics.describe(
+            "ta_serve_tenant_ops_total",
+            "Temporal-arithmetic operations served (op census), per tenant",
+        );
+        SloTracker {
+            objective,
+            tenants: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The configured latency objective.
+    #[must_use]
+    pub fn objective(&self) -> Duration {
+        self.objective
+    }
+
+    /// Records one answered submission: `latency` against the objective,
+    /// `ok` whether the reply carried usable output, and (when the frame
+    /// executed) the compiled architecture's census/energy attribution.
+    pub fn observe(
+        &self,
+        tenant: &str,
+        latency: Duration,
+        ok: bool,
+        census: Option<(&OpCounts, &StageEnergy)>,
+    ) {
+        let breached = !ok || latency > self.objective;
+        let (requests, breaches) = {
+            let mut tenants = self.tenants.lock().unwrap_or_else(PoisonError::into_inner);
+            let slot = tenants.entry(tenant.to_string()).or_default();
+            slot.requests += 1;
+            if breached {
+                slot.breaches += 1;
+            }
+            if let Some((ops, energy)) = census {
+                slot.energy_pj += energy.total_pj();
+                slot.ops += ops.vtc_conversions + ops.tdc_conversions + ops.nlse_ops + ops.nlde_ops;
+            }
+            (slot.requests, slot.breaches)
+        };
+        let metrics = ta_telemetry::metrics();
+        metrics
+            .labeled_counter("ta_serve_slo_requests_total", "tenant", tenant)
+            .inc();
+        if breached {
+            metrics
+                .labeled_counter("ta_serve_slo_breaches_total", "tenant", tenant)
+                .inc();
+        }
+        metrics
+            .labeled_gauge("ta_serve_slo_burn", "tenant", tenant)
+            .set(breaches as f64 / requests as f64);
+        if let Some((ops, energy)) = census {
+            metrics
+                .labeled_gauge("ta_serve_tenant_energy_pj_total", "tenant", tenant)
+                .add(energy.total_pj());
+            metrics
+                .labeled_counter("ta_serve_tenant_ops_total", "tenant", tenant)
+                .add(ops.vtc_conversions + ops.tdc_conversions + ops.nlse_ops + ops.nlde_ops);
+        }
+    }
+
+    /// Records one shed submission (counted, but burns no error budget).
+    pub fn observe_shed(&self, tenant: &str) {
+        ta_telemetry::metrics()
+            .labeled_counter("ta_serve_slo_shed_total", "tenant", tenant)
+            .inc();
+    }
+
+    /// The cumulative burn rate for `tenant` (0.0 when unseen).
+    #[must_use]
+    pub fn burn(&self, tenant: &str) -> f64 {
+        let tenants = self.tenants.lock().unwrap_or_else(PoisonError::into_inner);
+        tenants.get(tenant).map_or(0.0, |s| {
+            if s.requests == 0 {
+                0.0
+            } else {
+                s.breaches as f64 / s.requests as f64
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
+    use super::*;
+
+    #[test]
+    fn burn_tracks_breach_fraction_and_sheds_burn_nothing() {
+        let slo = SloTracker::new(Duration::from_millis(10));
+        slo.observe("acme", Duration::from_millis(1), true, None);
+        slo.observe("acme", Duration::from_millis(50), true, None); // late
+        slo.observe("acme", Duration::from_millis(1), false, None); // failed
+        slo.observe_shed("acme");
+        assert!((slo.burn("acme") - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(slo.burn("ghost"), 0.0);
+        let text = ta_telemetry::metrics().to_prometheus();
+        assert!(
+            text.contains("ta_serve_slo_requests_total{tenant=\"acme\"} 3"),
+            "{text}"
+        );
+        assert!(
+            text.contains("ta_serve_slo_breaches_total{tenant=\"acme\"} 2"),
+            "{text}"
+        );
+        assert!(
+            text.contains("ta_serve_slo_shed_total{tenant=\"acme\"} 1"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn census_attribution_accumulates_energy_and_ops() {
+        let slo = SloTracker::new(Duration::from_millis(100));
+        let ops = OpCounts {
+            vtc_conversions: 10,
+            tdc_conversions: 0,
+            edge_events: 0,
+            nlse_ops: 30,
+            nlde_ops: 2,
+        };
+        let energy = StageEnergy {
+            vtc_pj: 1.5,
+            ..StageEnergy::default()
+        };
+        slo.observe("t", Duration::from_millis(1), true, Some((&ops, &energy)));
+        slo.observe("t", Duration::from_millis(1), true, Some((&ops, &energy)));
+        let text = ta_telemetry::metrics().to_prometheus();
+        assert!(
+            text.contains("ta_serve_tenant_ops_total{tenant=\"t\"} 84"),
+            "{text}"
+        );
+        assert!(text.contains("ta_serve_tenant_energy_pj_total{tenant=\"t\"} 3"));
+    }
+}

@@ -31,6 +31,8 @@
 use std::fmt;
 use std::io::{self, Read, Write};
 
+use ta_telemetry::TraceId;
+
 /// Protocol revision spoken by this build. A [`Request::Hello`] carrying
 /// a different major version is rejected with a typed error response.
 pub const PROTO_VERSION: u32 = 1;
@@ -300,6 +302,11 @@ pub struct Submit {
     pub height: u32,
     /// Row-major pixel plane, `width × height` values.
     pub pixels: Vec<f64>,
+    /// Request trace context (16 raw bytes on the wire, appended only
+    /// when non-zero so pre-trace frames decode unchanged). Zero means
+    /// "none": the server generates one at admission and echoes it in
+    /// every response and journal record for this request.
+    pub trace: TraceId,
 }
 
 /// Client → server messages.
@@ -515,6 +522,9 @@ pub enum Response {
         checksum: u64,
         /// Output planes (empty unless `want_outputs`).
         outputs: Vec<OutputPlane>,
+        /// Echoed request trace (zero when the request carried none and
+        /// the server generated none).
+        trace: TraceId,
     },
     /// Request shed; retry after the hinted delay.
     Busy {
@@ -524,6 +534,9 @@ pub enum Response {
         reason: ShedReason,
         /// Client backoff hint, ms.
         retry_after_ms: u32,
+        /// Echoed request trace (zero for connection-level shedding of
+        /// untraced requests).
+        trace: TraceId,
     },
     /// Request failed for a request-level reason.
     Error {
@@ -533,6 +546,8 @@ pub enum Response {
         code: ErrorCode,
         /// Human-readable detail.
         message: String,
+        /// Echoed request trace (zero when unknown).
+        trace: TraceId,
     },
     /// The previous frame violated the protocol. After
     /// `strikes_left == 0` the connection is quarantined (closed).
@@ -693,6 +708,9 @@ impl<'a> Dec<'a> {
             })
             .collect())
     }
+    pub(crate) fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
     pub(crate) fn finish(self) -> Result<(), ProtocolError> {
         let extra = self.buf.len() - self.pos;
         if extra != 0 {
@@ -700,6 +718,28 @@ impl<'a> Dec<'a> {
         }
         Ok(())
     }
+}
+
+/// Appends a trace ID as 16 raw bytes — only when non-zero, keeping
+/// traceless frames byte-identical to the pre-trace encoding.
+pub(crate) fn enc_trace(e: &mut Enc, trace: &TraceId) {
+    if !trace.is_zero() {
+        e.buf.extend_from_slice(&trace.0);
+    }
+}
+
+/// Reads the optional trailing trace ID: present iff exactly 16 bytes
+/// remain at this point (every enclosing message ends with this field,
+/// so any other remainder falls through to `finish`'s trailing-bytes
+/// check). Pre-trace frames therefore decode to [`TraceId::ZERO`].
+pub(crate) fn dec_trace(d: &mut Dec<'_>) -> Result<TraceId, ProtocolError> {
+    if d.remaining() != 16 {
+        return Ok(TraceId::ZERO);
+    }
+    let bytes = d.take(16, "trace")?;
+    let mut raw = [0u8; 16];
+    raw.copy_from_slice(bytes);
+    Ok(TraceId(raw))
 }
 
 const TAG_HELLO: u8 = 0x01;
@@ -798,6 +838,7 @@ impl Request {
                 e.u32(s.width);
                 e.u32(s.height);
                 e.plane(&s.pixels);
+                enc_trace(&mut e, &s.trace);
                 e.buf
             }
             Request::Ping { nonce } => {
@@ -877,6 +918,7 @@ impl Request {
                         max: expected,
                     });
                 }
+                let trace = dec_trace(&mut d)?;
                 Request::Submit(Submit {
                     id,
                     spec,
@@ -887,6 +929,7 @@ impl Request {
                     width,
                     height,
                     pixels,
+                    trace,
                 })
             }
             TAG_PING => Request::Ping {
@@ -927,6 +970,7 @@ impl Response {
                 latency_us,
                 checksum,
                 outputs,
+                trace,
             } => {
                 let mut e = Enc::new(TAG_DONE);
                 e.u64(*id);
@@ -941,24 +985,33 @@ impl Response {
                     e.u32(plane.height);
                     e.plane(&plane.pixels);
                 }
+                enc_trace(&mut e, trace);
                 e.buf
             }
             Response::Busy {
                 id,
                 reason,
                 retry_after_ms,
+                trace,
             } => {
                 let mut e = Enc::new(TAG_BUSY);
                 e.u64(*id);
                 e.u8(reason.to_u8());
                 e.u32(*retry_after_ms);
+                enc_trace(&mut e, trace);
                 e.buf
             }
-            Response::Error { id, code, message } => {
+            Response::Error {
+                id,
+                code,
+                message,
+                trace,
+            } => {
                 let mut e = Enc::new(TAG_ERROR);
                 e.u64(*id);
                 e.u8(code.to_u8());
                 e.str(message);
+                enc_trace(&mut e, trace);
                 e.buf
             }
             Response::ProtocolReject {
@@ -1057,6 +1110,7 @@ impl Response {
                         pixels,
                     });
                 }
+                let trace = dec_trace(&mut d)?;
                 Response::Done {
                     id,
                     degraded,
@@ -1065,18 +1119,33 @@ impl Response {
                     latency_us,
                     checksum,
                     outputs,
+                    trace,
                 }
             }
-            TAG_BUSY => Response::Busy {
-                id: d.u64("busy.id")?,
-                reason: ShedReason::from_u8(d.u8("busy.reason")?)?,
-                retry_after_ms: d.u32("busy.retry_after_ms")?,
-            },
-            TAG_ERROR => Response::Error {
-                id: d.u64("error.id")?,
-                code: ErrorCode::from_u8(d.u8("error.code")?)?,
-                message: d.str("error.message")?,
-            },
+            TAG_BUSY => {
+                let id = d.u64("busy.id")?;
+                let reason = ShedReason::from_u8(d.u8("busy.reason")?)?;
+                let retry_after_ms = d.u32("busy.retry_after_ms")?;
+                let trace = dec_trace(&mut d)?;
+                Response::Busy {
+                    id,
+                    reason,
+                    retry_after_ms,
+                    trace,
+                }
+            }
+            TAG_ERROR => {
+                let id = d.u64("error.id")?;
+                let code = ErrorCode::from_u8(d.u8("error.code")?)?;
+                let message = d.str("error.message")?;
+                let trace = dec_trace(&mut d)?;
+                Response::Error {
+                    id,
+                    code,
+                    message,
+                    trace,
+                }
+            }
             TAG_PROTO_REJECT => Response::ProtocolReject {
                 code: d.u8("reject.code")?,
                 message: d.str("reject.message")?,
@@ -1291,6 +1360,19 @@ mod tests {
             width: 2,
             height: 3,
             pixels: vec![0.0, 0.25, 0.5, 0.75, 1.0, 0.125],
+            trace: TraceId::ZERO,
+        }));
+        roundtrip_req(&Request::Submit(Submit {
+            id: 43,
+            spec: spec(),
+            seed: 7,
+            deadline_ms: 0,
+            want_outputs: false,
+            chaos: Chaos::None,
+            width: 1,
+            height: 1,
+            pixels: vec![0.5],
+            trace: TraceId::generate(),
         }));
     }
 
@@ -1314,16 +1396,19 @@ mod tests {
                 height: 1,
                 pixels: vec![1.5, -2.5],
             }],
+            trace: TraceId::generate(),
         });
         roundtrip_rsp(&Response::Busy {
             id: 1,
             reason: ShedReason::Overloaded,
             retry_after_ms: 50,
+            trace: TraceId::generate(),
         });
         roundtrip_rsp(&Response::Error {
             id: 2,
             code: ErrorCode::BadSpec,
             message: "no such kernel".into(),
+            trace: TraceId::ZERO,
         });
         roundtrip_rsp(&Response::ProtocolReject {
             code: 3,
@@ -1388,6 +1473,75 @@ mod tests {
     }
 
     #[test]
+    fn traceless_frames_encode_without_the_trace_tail() {
+        // Byte-identical to the pre-trace (PR ≤7) encoding: a zero trace
+        // adds nothing, a real trace adds exactly its 16 raw bytes.
+        let mut sub = Submit {
+            id: 1,
+            spec: spec(),
+            seed: 0,
+            deadline_ms: 0,
+            want_outputs: false,
+            chaos: Chaos::None,
+            width: 1,
+            height: 1,
+            pixels: vec![0.25],
+            trace: TraceId::ZERO,
+        };
+        let bare = Request::Submit(sub.clone()).encode();
+        sub.trace = TraceId::generate();
+        let traced = Request::Submit(sub.clone()).encode();
+        assert_eq!(traced.len(), bare.len() + 16);
+        assert_eq!(&traced[..bare.len()], &bare[..]);
+        assert_eq!(&traced[bare.len()..], &sub.trace.0);
+        // A pre-trace frame (no tail) decodes with a zero trace.
+        match Request::decode(&bare).unwrap() {
+            Request::Submit(s) => assert!(s.trace.is_zero()),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn trace_tail_rides_every_reply_kind() {
+        let trace = TraceId::generate();
+        for rsp in [
+            Response::Done {
+                id: 1,
+                degraded: false,
+                fallback: String::new(),
+                attempts: 1,
+                latency_us: 10,
+                checksum: 0,
+                outputs: vec![],
+                trace,
+            },
+            Response::Busy {
+                id: 1,
+                reason: ShedReason::Draining,
+                retry_after_ms: 5,
+                trace,
+            },
+            Response::Error {
+                id: 1,
+                code: ErrorCode::Internal,
+                message: "x".into(),
+                trace,
+            },
+        ] {
+            let bytes = rsp.encode();
+            let got = Response::decode(&bytes).unwrap();
+            assert_eq!(got, rsp);
+            let echoed = match got {
+                Response::Done { trace, .. }
+                | Response::Busy { trace, .. }
+                | Response::Error { trace, .. } => trace,
+                other => panic!("{other:?}"),
+            };
+            assert_eq!(echoed, trace);
+        }
+    }
+
+    #[test]
     fn pixel_count_must_match_geometry() {
         let mut sub = Submit {
             id: 1,
@@ -1399,6 +1553,7 @@ mod tests {
             width: 2,
             height: 2,
             pixels: vec![0.0; 4],
+            trace: TraceId::ZERO,
         };
         roundtrip_req(&Request::Submit(sub.clone()));
         sub.pixels.pop();

@@ -10,6 +10,21 @@ use ta_serve::wire::{
     parse_header, ArchSpec, Chaos, ErrorCode, HealthSnapshot, OutputPlane, ProtocolError, Request,
     Response, ShedReason, Submit, MODE_NOISY, PROTO_VERSION,
 };
+use ta_telemetry::TraceId;
+
+/// Either the absent (all-zero) trace or an arbitrary non-zero one. The
+/// non-zero branch forces a bit on so it can never alias "absent".
+fn arb_trace() -> impl Strategy<Value = TraceId> {
+    prop_oneof![
+        Just(TraceId::ZERO),
+        prop::collection::vec(0u8..=255, 16..17).prop_map(|v| {
+            let mut b = [0u8; 16];
+            b.copy_from_slice(&v);
+            b[0] |= 1;
+            TraceId(b)
+        }),
+    ]
+}
 
 fn arb_u64() -> impl Strategy<Value = u64> {
     0u64..=u64::MAX
@@ -56,9 +71,10 @@ fn arb_submit() -> impl Strategy<Value = Submit> {
     (
         (arb_u64(), arb_spec(), arb_u64()),
         (0u32..10_000, arb_bool(), arb_chaos(), 1u32..5, 1u32..5),
+        arb_trace(),
     )
         .prop_flat_map(
-            |((id, spec, seed), (deadline_ms, want_outputs, chaos, w, h))| {
+            |((id, spec, seed), (deadline_ms, want_outputs, chaos, w, h), trace)| {
                 let n = (w * h) as usize;
                 prop::collection::vec(-1e3f64..1e3, n..n + 1).prop_map(move |pixels| Submit {
                     id,
@@ -70,6 +86,7 @@ fn arb_submit() -> impl Strategy<Value = Submit> {
                     width: w,
                     height: h,
                     pixels,
+                    trace,
                 })
             },
         )
@@ -116,9 +133,10 @@ fn arb_response() -> impl Strategy<Value = Response> {
             (arb_u64(), arb_bool(), arb_string(8)),
             (0u32..10, arb_u64(), arb_u64()),
             prop::collection::vec(arb_plane(), 0..3),
+            arb_trace(),
         )
             .prop_map(
-                |((id, degraded, fallback), (attempts, latency_us, checksum), outputs)| {
+                |((id, degraded, fallback), (attempts, latency_us, checksum), outputs, trace)| {
                     Response::Done {
                         id,
                         degraded,
@@ -127,18 +145,25 @@ fn arb_response() -> impl Strategy<Value = Response> {
                         latency_us,
                         checksum,
                         outputs,
+                        trace,
                     }
                 }
             ),
-        (arb_u64(), 0u32..10_000).prop_map(|(id, retry_after_ms)| Response::Busy {
-            id,
-            reason: ShedReason::Overloaded,
-            retry_after_ms
+        (arb_u64(), 0u32..10_000, arb_trace()).prop_map(|(id, retry_after_ms, trace)| {
+            Response::Busy {
+                id,
+                reason: ShedReason::Overloaded,
+                retry_after_ms,
+                trace,
+            }
         }),
-        (arb_u64(), arb_string(32)).prop_map(|(id, message)| Response::Error {
-            id,
-            code: ErrorCode::FrameFailed,
-            message
+        (arb_u64(), arb_string(32), arb_trace()).prop_map(|(id, message, trace)| {
+            Response::Error {
+                id,
+                code: ErrorCode::FrameFailed,
+                message,
+                trace,
+            }
         }),
         (0u8..=255, arb_string(32), 0u32..10).prop_map(|(code, message, strikes_left)| {
             Response::ProtocolReject {
@@ -186,11 +211,33 @@ proptest! {
 
     #[test]
     fn truncation_yields_typed_error(req in arb_request(), cut_seed in 0usize..4096) {
-        // Any strict prefix of a valid encoding is a typed error — the
-        // decoder never accepts a cut-off message.
+        // Any strict prefix of a valid encoding is a typed error, with
+        // exactly one documented exception: a traced frame cut at the
+        // 16-byte trace-tail boundary IS the valid traceless (v1-compat)
+        // encoding of the same message, so that cut decodes cleanly to
+        // the same request with the trace zeroed.
         let bytes = req.encode();
         let cut = cut_seed % bytes.len();
-        prop_assert!(Request::decode(&bytes[..cut]).is_err());
+        match Request::decode(&bytes[..cut]) {
+            Err(_) => {}
+            Ok(decoded) => {
+                let traced = matches!(
+                    &req,
+                    Request::Submit(sub) if !sub.trace.is_zero()
+                );
+                prop_assert!(
+                    traced && cut == bytes.len() - 16,
+                    "prefix of len {} of a {}-byte frame decoded cleanly",
+                    cut,
+                    bytes.len(),
+                );
+                let mut traceless = req.clone();
+                if let Request::Submit(sub) = &mut traceless {
+                    sub.trace = TraceId::ZERO;
+                }
+                prop_assert_eq!(decoded, traceless);
+            }
+        }
     }
 
     #[test]
@@ -234,6 +281,63 @@ proptest! {
         let mut bytes = req.encode();
         bytes.extend(vec![0u8; extra]);
         prop_assert!(Request::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn traced_submit_roundtrip_preserves_trace(sub in arb_submit()) {
+        // The trace ID (zero or not) survives the wire byte-for-byte, on
+        // both the request and every reply shape that echoes it.
+        let trace = sub.trace;
+        let id = sub.id;
+        let req = Request::Submit(sub);
+        match Request::decode(&req.encode()).unwrap() {
+            Request::Submit(back) => prop_assert_eq!(back.trace, trace),
+            other => prop_assert!(false, "expected Submit, got {:?}", other),
+        }
+        let busy = Response::Busy {
+            id,
+            reason: ShedReason::Overloaded,
+            retry_after_ms: 5,
+            trace,
+        };
+        prop_assert_eq!(Response::decode(&busy.encode()).unwrap(), busy);
+    }
+
+    #[test]
+    fn traceless_frames_encode_without_tail(sub in arb_submit()) {
+        // v1 compatibility: a zero trace adds zero bytes, so traceless
+        // frames are byte-identical to the pre-trace protocol and old
+        // decoders keep working. A non-zero trace costs exactly 16 bytes.
+        let mut traceless = sub.clone();
+        traceless.trace = TraceId::ZERO;
+        let base = Request::Submit(traceless.clone()).encode();
+        let traced_len = Request::Submit(sub.clone()).encode().len();
+        if sub.trace.is_zero() {
+            prop_assert_eq!(traced_len, base.len());
+        } else {
+            prop_assert_eq!(traced_len, base.len() + 16);
+        }
+        // And the traceless encoding always decodes with trace == ZERO.
+        match Request::decode(&base).unwrap() {
+            Request::Submit(back) => {
+                prop_assert!(back.trace.is_zero());
+                prop_assert_eq!(back, traceless);
+            }
+            other => prop_assert!(false, "expected Submit, got {:?}", other),
+        }
+    }
+
+    #[test]
+    fn trace_tail_truncation_rejected(sub in arb_submit(), cut in 1usize..16) {
+        // Cutting strictly inside the 16-byte trace tail leaves a frame
+        // with 1..=15 trailing bytes — never a valid trace, always a
+        // typed error.
+        let mut traced = sub;
+        if traced.trace.is_zero() {
+            traced.trace = TraceId([0xAB; 16]);
+        }
+        let bytes = Request::Submit(traced).encode();
+        prop_assert!(Request::decode(&bytes[..bytes.len() - cut]).is_err());
     }
 
     #[test]

@@ -1,0 +1,233 @@
+//! End-to-end observability acceptance: wire-propagated trace IDs, the
+//! anomaly-triggered flight recorder, and per-tenant SLO export. The
+//! headline contract (ISSUE §acceptance): a watchdog timeout must dump a
+//! schema-valid diagnostics bundle containing the offending request's
+//! trace with its admission, attempt, and dump events in order.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use std::path::PathBuf;
+use std::sync::Mutex;
+use std::thread;
+use std::time::Duration;
+
+use ta_serve::client::Client;
+use ta_serve::wire::{ArchSpec, Chaos, ErrorCode, Request, Response, Submit, MODE_EXACT};
+use ta_serve::{BundleSummary, ServeConfig, Server, ServerHandle};
+use ta_telemetry::TraceId;
+
+const W: u32 = 12;
+const H: u32 = 12;
+
+/// The flight recorder installs itself as the process-global trace sink,
+/// so tests that stand up a bundle-enabled server must not overlap.
+static RECORDER_LOCK: Mutex<()> = Mutex::new(());
+
+fn spec() -> ArchSpec {
+    ArchSpec {
+        kernel: "box3".into(),
+        mode: MODE_EXACT,
+        unit_ns: 1.0,
+        nlse_terms: 7,
+        nlde_terms: 20,
+        fault_rate: 0.0,
+    }
+}
+
+fn submit(id: u64, seed: u64, chaos: Chaos) -> Submit {
+    Submit {
+        id,
+        spec: spec(),
+        seed,
+        deadline_ms: 0,
+        want_outputs: false,
+        chaos,
+        width: W,
+        height: H,
+        pixels: ta_image::synth::natural_image(W as usize, H as usize, seed)
+            .pixels()
+            .to_vec(),
+        trace: TraceId::ZERO,
+    }
+}
+
+fn start_server(
+    cfg: ServeConfig,
+) -> (
+    String,
+    ServerHandle,
+    thread::JoinHandle<ta_serve::DrainSummary>,
+) {
+    let server = Server::bind(cfg).unwrap();
+    let addr = server.local_addr().unwrap().to_string();
+    let handle = server.handle();
+    let runner = thread::spawn(move || server.run().unwrap());
+    (addr, handle, runner)
+}
+
+fn drain(handle: &ServerHandle, runner: thread::JoinHandle<ta_serve::DrainSummary>) {
+    handle.begin_drain();
+    runner.join().unwrap();
+}
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ta-obsv-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn bundle_files(dir: &PathBuf) -> Vec<PathBuf> {
+    let mut out: Vec<PathBuf> = std::fs::read_dir(dir)
+        .unwrap()
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("bundle-") && n.ends_with(".jsonl"))
+        })
+        .collect();
+    out.sort();
+    out
+}
+
+/// ISSUE acceptance test: a chaos-stalled frame blows its deadline, the
+/// watchdog anomaly dumps a bundle, and the bundle tells the request's
+/// whole story — admission, failed attempt, anomaly — in order, keyed by
+/// the trace ID the client sent on the wire.
+#[test]
+fn watchdog_timeout_dumps_bundle_with_request_trace_story() {
+    let _guard = RECORDER_LOCK
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    let dir = fresh_dir("watchdog");
+    let cfg = ServeConfig {
+        chaos_enabled: true,
+        bundle_dir: Some(dir.clone()),
+        idle_timeout: Duration::from_secs(5),
+        ..ServeConfig::default()
+    };
+    let (addr, handle, runner) = start_server(cfg);
+    let mut client = Client::connect_tcp(&addr, "acme").unwrap();
+
+    // Every attempt stalls for 400 ms against a 150 ms deadline: the
+    // watchdog must fire, and the first firing dumps the bundle.
+    let mut sub = submit(50, 3, Chaos::StallAttempts { n: 10, ms: 400 });
+    sub.deadline_ms = 150;
+    sub.trace = TraceId([0x5A; 16]);
+    let trace_hex = sub.trace.to_hex();
+
+    let rsp = client.submit(sub).unwrap();
+    let echoed = match rsp {
+        Response::Error { code, trace, .. } => {
+            assert!(
+                matches!(code, ErrorCode::DeadlineExceeded | ErrorCode::FrameFailed),
+                "expected a deadline/frame failure, got {code:?}"
+            );
+            trace
+        }
+        Response::Done { trace, .. } | Response::Busy { trace, .. } => trace,
+        other => panic!("unexpected response {other:?}"),
+    };
+    assert_eq!(echoed.to_hex(), trace_hex, "reply must echo the wire trace");
+
+    let _ = client.goodbye();
+    drain(&handle, runner);
+
+    let files = bundle_files(&dir);
+    assert!(!files.is_empty(), "anomaly must have dumped a bundle");
+    let text = std::fs::read_to_string(&files[0]).unwrap();
+    let summary = BundleSummary::parse(&text).unwrap();
+    assert_eq!(summary.kind, "watchdog_timeout");
+    assert_eq!(summary.trace, trace_hex, "bundle header names the request");
+
+    // The request's story, in order: admission, the failed attempt, the
+    // anomaly dump marker. All stamped with the same trace.
+    let ours = summary.lines_for_trace(&trace_hex);
+    assert!(!ours.is_empty(), "bundle has no lines for our trace");
+    let names: Vec<&str> = ours
+        .iter()
+        .filter_map(|&i| summary.lines[i].name.as_deref())
+        .collect();
+    let pos = |what: &str| {
+        names
+            .iter()
+            .position(|n| *n == what)
+            .unwrap_or_else(|| panic!("bundle lacks {what:?} for trace; got {names:?}"))
+    };
+    let admitted = pos("serve.admitted");
+    let attempt = pos("supervisor.attempt_failed");
+    let anomaly = pos("anomaly");
+    assert!(
+        admitted < attempt && attempt < anomaly,
+        "events out of order: {names:?}"
+    );
+    // The in-flight request context rode along for triage.
+    assert!(
+        summary
+            .lines
+            .iter()
+            .any(|l| l.kind == "request" && l.trace.as_deref() == Some(trace_hex.as_str())),
+        "bundle must carry the request context line"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A client that sends no trace still gets one: the server generates an
+/// ID at admission and echoes it, so every reply is attributable.
+#[test]
+fn server_generates_and_echoes_trace_for_traceless_clients() {
+    let (addr, handle, runner) = start_server(ServeConfig {
+        idle_timeout: Duration::from_secs(5),
+        ..ServeConfig::default()
+    });
+    let mut client = Client::connect_tcp(&addr, "acme").unwrap();
+    match client.submit(submit(1, 7, Chaos::None)).unwrap() {
+        Response::Done { trace, .. } => {
+            assert!(!trace.is_zero(), "server must mint a trace when absent");
+        }
+        other => panic!("expected Done, got {other:?}"),
+    }
+    let _ = client.goodbye();
+    drain(&handle, runner);
+}
+
+/// SLO accounting is visible over the wire: per-tenant request counters,
+/// burn gauge, energy/op census, and the latency histogram — with HELP
+/// metadata — all appear in the Metrics reply.
+#[test]
+fn slo_and_census_metrics_export_over_the_wire() {
+    let (addr, handle, runner) = start_server(ServeConfig {
+        slo: Duration::from_secs(30), // generous: this request must not breach
+        idle_timeout: Duration::from_secs(5),
+        ..ServeConfig::default()
+    });
+    let mut client = Client::connect_tcp(&addr, "slo-tenant").unwrap();
+    assert!(matches!(
+        client.submit(submit(2, 9, Chaos::None)).unwrap(),
+        Response::Done { .. }
+    ));
+    let text = match client.call(&Request::Metrics).unwrap() {
+        Response::Metrics { text } => text,
+        other => panic!("expected Metrics, got {other:?}"),
+    };
+    for needle in [
+        "ta_serve_slo_requests_total{tenant=\"slo-tenant\"} 1",
+        "ta_serve_slo_burn{tenant=\"slo-tenant\"} 0",
+        "ta_serve_tenant_energy_pj_total{tenant=\"slo-tenant\"}",
+        "ta_serve_tenant_ops_total{tenant=\"slo-tenant\"}",
+        "ta_serve_latency_seconds_bucket",
+        "# HELP ta_serve_slo_burn",
+    ] {
+        assert!(text.contains(needle), "metrics lack {needle:?}:\n{text}");
+    }
+    // And the exposition parses under a strict Prometheus text grammar.
+    let scrape = ta_telemetry::promtext::parse(&text).unwrap();
+    assert!(scrape
+        .samples
+        .iter()
+        .any(|s| s.name == "ta_serve_slo_requests_total"));
+    let _ = client.goodbye();
+    drain(&handle, runner);
+}

@@ -16,6 +16,7 @@ use ta_serve::wire::{
     output_checksum, ArchSpec, Chaos, ErrorCode, Request, Response, ShedReason, Submit, MODE_EXACT,
 };
 use ta_serve::{ServeConfig, Server, ServerHandle};
+use ta_telemetry::TraceId;
 
 const W: u32 = 12;
 const H: u32 = 12;
@@ -48,6 +49,7 @@ fn submit(id: u64, seed: u64, chaos: Chaos, want_outputs: bool) -> Submit {
         width: W,
         height: H,
         pixels: pixels(seed),
+        trace: TraceId::ZERO,
     }
 }
 

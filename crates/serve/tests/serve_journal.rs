@@ -14,6 +14,7 @@ use ta_serve::journal::{FsyncPolicy, RecoveryPolicy, RequestKey, ServeJournal};
 use ta_serve::spec::CompiledArch;
 use ta_serve::wire::{output_checksum, ArchSpec, Chaos, Request, Response, Submit, MODE_EXACT};
 use ta_serve::{ServeConfig, Server, ServerHandle};
+use ta_telemetry::TraceId;
 
 const W: u32 = 10;
 const H: u32 = 10;
@@ -42,6 +43,7 @@ fn submit(id: u64, seed: u64, want_outputs: bool) -> Submit {
         pixels: ta_image::synth::natural_image(W as usize, H as usize, seed)
             .pixels()
             .to_vec(),
+        trace: TraceId::ZERO,
     }
 }
 

@@ -1,0 +1,169 @@
+//! Anomaly reporting: a process-global hook that turns "something went
+//! wrong" signals from any layer into counters, trace events, and (when
+//! a server installs one) flight-recorder bundle dumps.
+//!
+//! The runtime and the server report anomalies through [`report`]; they
+//! never know who is listening. Reporting is rare-path by construction —
+//! every kind corresponds to a failure or a defensive action — so the
+//! cost of the hook lookup is irrelevant.
+
+use std::sync::{Arc, OnceLock, RwLock};
+
+use crate::sink::FieldValue;
+use crate::trace_id::current_trace;
+
+/// The kinds of anomaly the stack reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum AnomalyKind {
+    /// A supervised attempt blew its watchdog budget.
+    WatchdogTimeout,
+    /// A supervised attempt panicked (isolated by the supervisor).
+    Panic,
+    /// A frame completed only via fallback (degraded output).
+    DegradedFrame,
+    /// A frame produced no usable output.
+    FailedFrame,
+    /// A journal write or recovery step failed.
+    JournalError,
+    /// A connection was quarantined for repeated protocol violations.
+    Quarantine,
+    /// Load shedding crossed the burst threshold.
+    ShedBurst,
+}
+
+impl AnomalyKind {
+    /// Stable lowercase label, used in metrics and bundle files.
+    pub fn label(&self) -> &'static str {
+        match self {
+            AnomalyKind::WatchdogTimeout => "watchdog_timeout",
+            AnomalyKind::Panic => "panic",
+            AnomalyKind::DegradedFrame => "degraded_frame",
+            AnomalyKind::FailedFrame => "failed_frame",
+            AnomalyKind::JournalError => "journal_error",
+            AnomalyKind::Quarantine => "quarantine",
+            AnomalyKind::ShedBurst => "shed_burst",
+        }
+    }
+}
+
+/// One reported anomaly, handed to the installed hook.
+#[derive(Debug, Clone)]
+pub struct Anomaly {
+    /// What went wrong.
+    pub kind: AnomalyKind,
+    /// The trace active on the reporting thread (zero when none).
+    pub trace_hex: String,
+    /// Reporter-supplied context fields.
+    pub fields: Vec<(&'static str, FieldValue)>,
+}
+
+type Hook = Arc<dyn Fn(&Anomaly) + Send + Sync>;
+
+fn hook_slot() -> &'static RwLock<Option<Hook>> {
+    static SLOT: OnceLock<RwLock<Option<Hook>>> = OnceLock::new();
+    SLOT.get_or_init(|| RwLock::new(None))
+}
+
+/// Installs the process-global anomaly hook (replacing any previous
+/// one). The serve layer installs a bundle-dumping hook at startup.
+pub fn set_anomaly_hook(hook: Arc<dyn Fn(&Anomaly) + Send + Sync>) {
+    let mut slot = match hook_slot().write() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    *slot = Some(hook);
+}
+
+/// Removes the anomaly hook (counters and events still fire).
+pub fn clear_anomaly_hook() {
+    let mut slot = match hook_slot().write() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    *slot = None;
+}
+
+/// Reports one anomaly: bumps `ta_anomalies_total{kind=...}`, emits an
+/// `anomaly` trace event carrying `fields`, and invokes the installed
+/// hook (if any) with the current thread's trace attached.
+pub fn report(kind: AnomalyKind, fields: Vec<(&'static str, FieldValue)>) {
+    crate::metrics()
+        .labeled_counter("ta_anomalies_total", "kind", kind.label())
+        .inc();
+    let mut event_fields = vec![("kind", FieldValue::Str(kind.label().to_string()))];
+    event_fields.extend(fields.iter().cloned());
+    crate::tracer().event("anomaly", event_fields);
+    let hook = {
+        let slot = match hook_slot().read() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        slot.clone()
+    };
+    if let Some(hook) = hook {
+        let trace = current_trace();
+        hook(&Anomaly {
+            kind,
+            trace_hex: if trace.is_zero() {
+                String::new()
+            } else {
+                trace.to_hex()
+            },
+            fields,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
+    use super::*;
+    use std::sync::Mutex;
+
+    #[test]
+    fn labels_are_stable_and_distinct() {
+        let kinds = [
+            AnomalyKind::WatchdogTimeout,
+            AnomalyKind::Panic,
+            AnomalyKind::DegradedFrame,
+            AnomalyKind::FailedFrame,
+            AnomalyKind::JournalError,
+            AnomalyKind::Quarantine,
+            AnomalyKind::ShedBurst,
+        ];
+        let labels: std::collections::BTreeSet<&str> =
+            kinds.iter().map(AnomalyKind::label).collect();
+        assert_eq!(labels.len(), kinds.len());
+    }
+
+    #[test]
+    fn report_invokes_hook_with_trace_and_bumps_counter() {
+        use crate::trace_id::{TraceId, TraceScope};
+        let seen: Arc<Mutex<Vec<Anomaly>>> = Arc::new(Mutex::new(Vec::new()));
+        let seen2 = seen.clone();
+        set_anomaly_hook(Arc::new(move |a: &Anomaly| {
+            seen2.lock().unwrap().push(a.clone());
+        }));
+        let id = TraceId::generate();
+        {
+            let _scope = TraceScope::enter(id);
+            report(AnomalyKind::Quarantine, vec![("strikes", 3u64.into())]);
+        }
+        report(AnomalyKind::JournalError, vec![]);
+        clear_anomaly_hook();
+        report(AnomalyKind::Panic, vec![]); // must not reach the hook
+        let seen = seen.lock().unwrap();
+        assert_eq!(seen.len(), 2);
+        assert_eq!(seen[0].kind, AnomalyKind::Quarantine);
+        assert_eq!(seen[0].trace_hex, id.to_hex());
+        assert_eq!(seen[0].fields, vec![("strikes", FieldValue::U64(3))]);
+        assert!(seen[1].trace_hex.is_empty());
+        let snapshot = crate::metrics().to_prometheus();
+        assert!(
+            snapshot.contains("ta_anomalies_total{kind=\"quarantine\"}"),
+            "{snapshot}"
+        );
+    }
+}

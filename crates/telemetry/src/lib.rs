@@ -27,17 +27,26 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod anomaly;
 pub mod histogram;
 pub mod metrics;
+pub mod promtext;
+pub mod recorder;
 pub mod sink;
+pub mod trace_id;
 pub mod tracer;
 pub mod vcd;
 
+pub use anomaly::{
+    clear_anomaly_hook, report as report_anomaly, set_anomaly_hook, Anomaly, AnomalyKind,
+};
 pub use histogram::{ExactHistogram, Histogram, HistogramSnapshot};
 pub use metrics::{Counter, Gauge, Registry};
+pub use recorder::{FlightRecord, FlightRecordKind, FlightRecorder};
 pub use sink::{
     EventRecord, FieldValue, JsonlSink, NullSink, RingSink, SpanRecord, StderrSink, TraceSink,
 };
+pub use trace_id::{current_trace, TraceId, TraceScope};
 pub use tracer::{SpanGuard, Tracer};
 pub use vcd::VcdBuilder;
 

@@ -76,6 +76,8 @@ pub struct Registry {
     counters: Mutex<BTreeMap<String, Arc<Counter>>>,
     gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
     histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+    /// Per-family `# HELP` text, registered via [`Registry::describe`].
+    help: Mutex<BTreeMap<String, String>>,
 }
 
 /// Default latency-histogram bounds: 1 µs to ~65 s, geometric ×2.
@@ -146,6 +148,15 @@ impl Registry {
         self.histogram(name).observe_duration(d);
     }
 
+    /// Registers `# HELP` text for metric family `family` (the bare name,
+    /// without labels). First registration wins; the exposition emits a
+    /// generic fallback for families never described.
+    pub fn describe(&self, family: &str, help: &str) {
+        lock_clean(&self.help)
+            .entry(family.to_string())
+            .or_insert_with(|| help.to_string());
+    }
+
     /// Renders the registry in the Prometheus text exposition format.
     ///
     /// Labeled series (created via [`Registry::labeled_counter`]) share
@@ -154,12 +165,21 @@ impl Registry {
     /// contiguously, so the renderer emits the header on each family
     /// transition only.
     pub fn to_prometheus(&self) -> String {
+        let help: BTreeMap<String, String> = lock_clean(&self.help).clone();
+        let header = |out: &mut String, family: &str, kind: &str| {
+            let text = help
+                .get(family)
+                .map(String::as_str)
+                .unwrap_or("(no help registered)");
+            out.push_str(&format!("# HELP {family} {}\n", escape_help(text)));
+            out.push_str(&format!("# TYPE {family} {kind}\n"));
+        };
         let mut out = String::new();
         let mut last_family = String::new();
         for (name, c) in lock_clean(&self.counters).iter() {
             let family = family_of(name);
             if family != last_family {
-                out.push_str(&format!("# TYPE {family} counter\n"));
+                header(&mut out, family, "counter");
                 last_family = family.to_string();
             }
             out.push_str(&format!("{name} {}\n", c.get()));
@@ -168,14 +188,14 @@ impl Registry {
         for (name, g) in lock_clean(&self.gauges).iter() {
             let family = family_of(name);
             if family != last_family {
-                out.push_str(&format!("# TYPE {family} gauge\n"));
+                header(&mut out, family, "gauge");
                 last_family = family.to_string();
             }
             out.push_str(&format!("{name} {}\n", g.get()));
         }
         for (name, h) in lock_clean(&self.histograms).iter() {
             let snap = h.snapshot();
-            out.push_str(&format!("# TYPE {name} histogram\n"));
+            header(&mut out, name, "histogram");
             let mut cumulative = 0u64;
             for (i, bound) in snap.bounds.iter().enumerate() {
                 cumulative += snap.counts[i];
@@ -245,6 +265,19 @@ impl Registry {
 /// before the first `{`.
 fn family_of(name: &str) -> &str {
     name.split('{').next().unwrap_or(name)
+}
+
+/// Escapes `# HELP` text for the exposition format (`\` and newline).
+fn escape_help(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for ch in text.chars() {
+        match ch {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
+        }
+    }
+    out
 }
 
 /// Builds the canonical `family{label="value"}` series name, escaping the
@@ -346,6 +379,48 @@ mod tests {
         let bare = text.find("shed_total 5").unwrap();
         let labeled = text.find("shed_total{").unwrap();
         assert!(bare < labeled);
+    }
+
+    #[test]
+    fn help_lines_precede_type_lines() {
+        let r = Registry::new();
+        r.describe("frames_total", "Frames processed end to end.");
+        r.counter("frames_total").inc();
+        r.labeled_counter("shed_total", "reason", "overloaded")
+            .inc();
+        r.gauge("depth").set(1.0);
+        r.histogram_with("lat", &[0.1]).observe(0.05);
+        let text = r.to_prometheus();
+        assert!(
+            text.contains(
+                "# HELP frames_total Frames processed end to end.\n# TYPE frames_total counter\n"
+            ),
+            "{text}"
+        );
+        // Families never described still get a HELP line.
+        for family in ["shed_total", "depth", "lat"] {
+            assert!(
+                text.contains(&format!("# HELP {family} ")),
+                "missing HELP for {family}:\n{text}"
+            );
+        }
+        // Exactly one HELP per TYPE, always adjacent.
+        let helps = text.matches("# HELP ").count();
+        let types = text.matches("# TYPE ").count();
+        assert_eq!(helps, types, "{text}");
+    }
+
+    #[test]
+    fn help_text_is_escaped_and_first_registration_wins() {
+        let r = Registry::new();
+        r.describe("x_total", "line\nbreak \\ slash");
+        r.describe("x_total", "second registration loses");
+        r.counter("x_total").inc();
+        let text = r.to_prometheus();
+        assert!(
+            text.contains("# HELP x_total line\\nbreak \\\\ slash\n"),
+            "{text}"
+        );
     }
 
     #[test]

@@ -1,0 +1,385 @@
+//! A strict parser for the Prometheus text exposition format (version
+//! 0.0.4) — the grammar a real Prometheus scraper applies to
+//! [`crate::Registry::to_prometheus`] output.
+//!
+//! Two consumers: the parse-back tests (every snapshot the registry
+//! renders must be accepted verbatim), and `tconv top` (which scrapes a
+//! running server's Metrics wire reply and needs the samples back as
+//! numbers). The parser is strict on purpose: a malformed name, a bad
+//! escape, or a dangling label brace is an error, not a best-effort
+//! skip, so exporter regressions surface as test failures.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// One sample line: `name{labels} value`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// The metric name (family plus any `_bucket`/`_sum`/`_count`
+    /// suffix).
+    pub name: String,
+    /// Label pairs in appearance order.
+    pub labels: Vec<(String, String)>,
+    /// The sample value (`+Inf`/`-Inf`/`NaN` are valid).
+    pub value: f64,
+}
+
+impl Sample {
+    /// The value of label `key`, if present.
+    pub fn label(&self, key: &str) -> Option<&str> {
+        self.labels
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// A parsed exposition: samples plus the `# HELP`/`# TYPE` metadata.
+#[derive(Debug, Clone, Default)]
+pub struct Scrape {
+    /// All samples in document order.
+    pub samples: Vec<Sample>,
+    /// `# HELP` text per family.
+    pub help: BTreeMap<String, String>,
+    /// `# TYPE` per family (`counter` | `gauge` | `histogram` | …).
+    pub types: BTreeMap<String, String>,
+}
+
+impl Scrape {
+    /// The value of the exactly-named series with exactly these labels
+    /// (order-insensitive).
+    pub fn get(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+        self.samples
+            .iter()
+            .find(|s| {
+                s.name == name
+                    && s.labels.len() == labels.len()
+                    && labels.iter().all(|(k, v)| s.label(k) == Some(v))
+            })
+            .map(|s| s.value)
+    }
+
+    /// The value of the unlabeled series `name`.
+    pub fn value(&self, name: &str) -> Option<f64> {
+        self.get(name, &[])
+    }
+
+    /// Sum over every series of family `name` (all label combinations).
+    /// An absent family sums to positive zero (`Iterator::sum` on an
+    /// empty `f64` iterator yields `-0.0`, which renders as `-0`).
+    pub fn sum(&self, name: &str) -> f64 {
+        self.samples
+            .iter()
+            .filter(|s| s.name == name)
+            .fold(0.0, |acc, s| acc + s.value)
+    }
+
+    /// All samples of family `name`.
+    pub fn family(&self, name: &str) -> Vec<&Sample> {
+        self.samples.iter().filter(|s| s.name == name).collect()
+    }
+}
+
+/// Why a document was rejected; carries the 1-based line number.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// 1-based line of the offending text.
+    pub line: usize,
+    /// What the parser expected or found.
+    pub what: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "prometheus text line {}: {}", self.line, self.what)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err<T>(line: usize, what: impl Into<String>) -> Result<T, ParseError> {
+    Err(ParseError {
+        line,
+        what: what.into(),
+    })
+}
+
+fn is_name_start(c: char) -> bool {
+    c.is_ascii_alphabetic() || c == '_' || c == ':'
+}
+
+fn is_name_char(c: char) -> bool {
+    is_name_start(c) || c.is_ascii_digit()
+}
+
+fn valid_metric_name(s: &str) -> bool {
+    let mut chars = s.chars();
+    matches!(chars.next(), Some(c) if is_name_start(c)) && chars.all(is_name_char)
+}
+
+fn valid_label_name(s: &str) -> bool {
+    let mut chars = s.chars();
+    matches!(chars.next(), Some(c) if c.is_ascii_alphabetic() || c == '_')
+        && chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// Parses a float the way Prometheus does (`+Inf`, `-Inf`, `NaN`
+/// accepted case-insensitively alongside ordinary decimals).
+fn parse_value(tok: &str) -> Option<f64> {
+    match tok.to_ascii_lowercase().as_str() {
+        "+inf" | "inf" => Some(f64::INFINITY),
+        "-inf" => Some(f64::NEG_INFINITY),
+        "nan" => Some(f64::NAN),
+        _ => tok.parse().ok(),
+    }
+}
+
+/// Parses a full exposition document.
+///
+/// # Errors
+///
+/// Returns the first grammar violation with its line number.
+pub fn parse(text: &str) -> Result<Scrape, ParseError> {
+    let mut scrape = Scrape::default();
+    for (i, raw) in text.lines().enumerate() {
+        let lineno = i + 1;
+        let line = raw.trim_end_matches('\r');
+        if line.trim().is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('#') {
+            let comment = comment.trim_start();
+            if let Some(rest) = comment.strip_prefix("HELP ") {
+                let (name, help) = match rest.split_once(' ') {
+                    Some((n, h)) => (n, h),
+                    None => (rest, ""),
+                };
+                if !valid_metric_name(name) {
+                    return err(lineno, format!("bad metric name in HELP: {name:?}"));
+                }
+                scrape.help.insert(name.to_string(), help.to_string());
+            } else if let Some(rest) = comment.strip_prefix("TYPE ") {
+                let Some((name, kind)) = rest.split_once(' ') else {
+                    return err(lineno, "TYPE needs a name and a type");
+                };
+                if !valid_metric_name(name) {
+                    return err(lineno, format!("bad metric name in TYPE: {name:?}"));
+                }
+                let kind = kind.trim();
+                if !matches!(
+                    kind,
+                    "counter" | "gauge" | "histogram" | "summary" | "untyped"
+                ) {
+                    return err(lineno, format!("unknown metric type {kind:?}"));
+                }
+                if scrape.types.contains_key(name) {
+                    return err(lineno, format!("duplicate TYPE for {name}"));
+                }
+                scrape.types.insert(name.to_string(), kind.to_string());
+            }
+            // Other comments are legal and ignored.
+            continue;
+        }
+        scrape.samples.push(parse_sample(line, lineno)?);
+    }
+    Ok(scrape)
+}
+
+fn parse_sample(line: &str, lineno: usize) -> Result<Sample, ParseError> {
+    let mut chars = line.char_indices().peekable();
+    // Metric name.
+    let name_end = chars
+        .find(|&(_, c)| !is_name_char(c))
+        .map_or(line.len(), |(i, _)| i);
+    let name = &line[..name_end];
+    if !valid_metric_name(name) {
+        return err(lineno, format!("bad metric name: {name:?}"));
+    }
+    let rest = &line[name_end..];
+    let (labels, rest) = if let Some(body) = rest.strip_prefix('{') {
+        let (labels, consumed) = parse_labels(body, lineno)?;
+        (labels, &body[consumed..])
+    } else {
+        (Vec::new(), rest)
+    };
+    // Value, optionally followed by a timestamp.
+    let mut toks = rest.split_whitespace();
+    let Some(value_tok) = toks.next() else {
+        return err(lineno, "sample line has no value");
+    };
+    let Some(value) = parse_value(value_tok) else {
+        return err(lineno, format!("bad sample value: {value_tok:?}"));
+    };
+    if let Some(ts) = toks.next() {
+        if ts.parse::<i64>().is_err() {
+            return err(lineno, format!("bad timestamp: {ts:?}"));
+        }
+    }
+    if toks.next().is_some() {
+        return err(lineno, "trailing tokens after value/timestamp");
+    }
+    Ok(Sample {
+        name: name.to_string(),
+        labels,
+        value,
+    })
+}
+
+/// Parses `name="value",…}` starting just past the opening `{`; returns
+/// the labels and the byte offset just past the closing `}`.
+#[allow(clippy::type_complexity)]
+fn parse_labels(body: &str, lineno: usize) -> Result<(Vec<(String, String)>, usize), ParseError> {
+    let mut labels = Vec::new();
+    let bytes = body.as_bytes();
+    let mut i = 0usize;
+    loop {
+        if i >= bytes.len() {
+            return err(lineno, "unterminated label set");
+        }
+        if bytes[i] == b'}' {
+            return Ok((labels, i + 1));
+        }
+        // Label name.
+        let start = i;
+        while i < bytes.len() && bytes[i] != b'=' {
+            i += 1;
+        }
+        if i >= bytes.len() {
+            return err(lineno, "label missing '='");
+        }
+        let lname = &body[start..i];
+        if !valid_label_name(lname) {
+            return err(lineno, format!("bad label name: {lname:?}"));
+        }
+        i += 1; // past '='
+        if i >= bytes.len() || bytes[i] != b'"' {
+            return err(lineno, "label value must be quoted");
+        }
+        i += 1; // past opening quote
+        let mut value = String::new();
+        loop {
+            if i >= bytes.len() {
+                return err(lineno, "unterminated label value");
+            }
+            match bytes[i] {
+                b'"' => {
+                    i += 1;
+                    break;
+                }
+                b'\\' => {
+                    i += 1;
+                    match bytes.get(i) {
+                        Some(b'\\') => value.push('\\'),
+                        Some(b'"') => value.push('"'),
+                        Some(b'n') => value.push('\n'),
+                        other => {
+                            return err(
+                                lineno,
+                                format!("bad escape \\{:?}", other.map(|&b| b as char)),
+                            )
+                        }
+                    }
+                    i += 1;
+                }
+                _ => {
+                    // Copy the full UTF-8 character, not one byte.
+                    let ch = body[i..].chars().next().unwrap_or('\u{FFFD}');
+                    value.push(ch);
+                    i += ch.len_utf8();
+                }
+            }
+        }
+        labels.push((lname.to_string(), value));
+        match bytes.get(i) {
+            Some(b',') => i += 1,
+            Some(b'}') => {}
+            _ => return err(lineno, "expected ',' or '}' after label"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
+    use super::*;
+
+    #[test]
+    fn parses_samples_labels_and_metadata() {
+        let text = "\
+# HELP req_total Requests served.
+# TYPE req_total counter
+req_total 41
+req_total{tenant=\"acme\",zone=\"eu\"} 7
+# TYPE lat histogram
+lat_bucket{le=\"0.1\"} 2
+lat_bucket{le=\"+Inf\"} 3
+lat_sum 0.42
+lat_count 3
+";
+        let s = parse(text).unwrap();
+        assert_eq!(s.value("req_total"), Some(41.0));
+        assert_eq!(
+            s.get("req_total", &[("tenant", "acme"), ("zone", "eu")]),
+            Some(7.0)
+        );
+        assert_eq!(s.sum("req_total"), 48.0);
+        assert_eq!(s.help["req_total"], "Requests served.");
+        assert_eq!(s.types["lat"], "histogram");
+        let inf = s.family("lat_bucket");
+        assert_eq!(inf.len(), 2);
+        assert_eq!(inf[1].label("le"), Some("+Inf"));
+        assert_eq!(inf[1].value, 3.0);
+    }
+
+    #[test]
+    fn unescapes_label_values() {
+        let s = parse("x{k=\"a\\\"b\\\\c\\nd\"} 1\n").unwrap();
+        assert_eq!(s.samples[0].label("k"), Some("a\"b\\c\nd"));
+    }
+
+    #[test]
+    fn accepts_special_values_and_timestamps() {
+        let s = parse("a +Inf 1700000000\nb -Inf\nc NaN\n").unwrap();
+        assert_eq!(s.value("a"), Some(f64::INFINITY));
+        assert_eq!(s.value("b"), Some(f64::NEG_INFINITY));
+        assert!(s.value("c").unwrap().is_nan());
+    }
+
+    #[test]
+    fn rejects_grammar_violations() {
+        for (bad, why) in [
+            ("1leading_digit 3\n", "name starts with digit"),
+            ("name-with-dash 3\n", "dash in name"),
+            ("x{9bad=\"v\"} 1\n", "label starts with digit"),
+            ("x{k=\"v\" 1\n", "unterminated label set"),
+            ("x{k=\"v\\q\"} 1\n", "bad escape"),
+            ("x{k=unquoted} 1\n", "unquoted label value"),
+            ("x\n", "no value"),
+            ("x notanumber\n", "bad value"),
+            ("x 1 2 3\n", "trailing tokens"),
+            ("# TYPE x rainbow\n", "unknown type"),
+            ("# TYPE x counter\n# TYPE x counter\n", "duplicate TYPE"),
+        ] {
+            assert!(parse(bad).is_err(), "should reject: {why}");
+        }
+    }
+
+    #[test]
+    fn registry_snapshot_parses_back() {
+        let r = crate::Registry::new();
+        r.describe("f_total", "Frames.");
+        r.counter("f_total").add(2);
+        r.labeled_counter("f_total", "tenant", "a\"b\\c\nd").inc();
+        r.gauge("energy_pj").set(1.25);
+        let h = r.histogram_with("lat_seconds", &[0.01, 0.1]);
+        h.observe(0.05);
+        let s = parse(&r.to_prometheus()).unwrap();
+        assert_eq!(s.value("f_total"), Some(2.0));
+        assert_eq!(s.get("f_total", &[("tenant", "a\"b\\c\nd")]), Some(1.0));
+        assert_eq!(s.value("energy_pj"), Some(1.25));
+        assert_eq!(s.get("lat_seconds_bucket", &[("le", "+Inf")]), Some(1.0));
+        assert_eq!(s.help["f_total"], "Frames.");
+        assert_eq!(s.types["lat_seconds"], "histogram");
+    }
+}

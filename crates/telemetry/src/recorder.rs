@@ -1,0 +1,311 @@
+//! The black-box flight recorder (DESIGN.md §5.14): a fixed-size ring of
+//! the most recent trace records, kept cheap enough to run always-on in
+//! a server, plus head-sampled forwarding to an inner sink.
+//!
+//! Capture policy:
+//!
+//! * **Ring (tail-based)**: every record lands in the ring, overwriting
+//!   the oldest. The ring is only read when an anomaly fires, so the
+//!   common case pays one atomic fetch-add and one uncontended per-slot
+//!   mutex — writers on different slots never serialize.
+//! * **Forwarding (head-sampled)**: records are passed through to the
+//!   wrapped inner sink (the operator's `--trace` file) for 1 in
+//!   `sample_every` traces, chosen by a hash of the trace ID so a kept
+//!   trace is kept *whole*. Records without a trace ID always forward.
+//!
+//! [`FlightRecorder::snapshot`] returns the ring contents in capture
+//! order for the diagnostics bundle.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::sink::{lock_clean, EventRecord, FieldValue, SpanRecord, TraceSink};
+
+/// One captured record with its global sequence number.
+#[derive(Debug, Clone)]
+pub struct FlightRecord {
+    /// Monotonic capture sequence (process order across threads).
+    pub seq: u64,
+    /// The span or event as it reached the sink.
+    pub record: FlightRecordKind,
+}
+
+/// A captured span or event.
+#[derive(Debug, Clone)]
+pub enum FlightRecordKind {
+    /// A completed span.
+    Span(SpanRecord),
+    /// A one-shot event.
+    Event(EventRecord),
+}
+
+impl FlightRecord {
+    /// The record's name (span or event).
+    pub fn name(&self) -> &'static str {
+        match &self.record {
+            FlightRecordKind::Span(s) => s.name,
+            FlightRecordKind::Event(e) => e.name,
+        }
+    }
+
+    /// The record's `trace` field, if stamped.
+    pub fn trace_hex(&self) -> Option<&str> {
+        let fields = match &self.record {
+            FlightRecordKind::Span(s) => &s.fields,
+            FlightRecordKind::Event(e) => &e.fields,
+        };
+        fields.iter().find_map(|(k, v)| match (k, v) {
+            (&"trace", FieldValue::Str(hex)) => Some(hex.as_str()),
+            _ => None,
+        })
+    }
+
+    /// Renders the record as one JSONL bundle line.
+    pub fn to_json(&self) -> String {
+        let mut line = format!("{{\"seq\":{}", self.seq);
+        match &self.record {
+            FlightRecordKind::Span(s) => {
+                line.push_str(&format!(
+                    ",\"type\":\"span\",\"name\":{},\"start_us\":{},\"duration_us\":{}",
+                    crate::sink::json_string(s.name),
+                    s.start.as_micros(),
+                    s.duration.as_micros()
+                ));
+                for (k, v) in &s.fields {
+                    line.push_str(&format!(",{}:{}", crate::sink::json_string(k), v.to_json()));
+                }
+            }
+            FlightRecordKind::Event(e) => {
+                line.push_str(&format!(
+                    ",\"type\":\"event\",\"name\":{},\"at_us\":{}",
+                    crate::sink::json_string(e.name),
+                    e.at.as_micros()
+                ));
+                for (k, v) in &e.fields {
+                    line.push_str(&format!(",{}:{}", crate::sink::json_string(k), v.to_json()));
+                }
+            }
+        }
+        line.push('}');
+        line
+    }
+}
+
+/// Always-on ring sink with head-sampled pass-through (see module docs).
+pub struct FlightRecorder {
+    slots: Vec<Mutex<Option<FlightRecord>>>,
+    cursor: AtomicU64,
+    /// Forward 1 in `sample_every` traces to `inner` (0 or 1 = all).
+    sample_every: u64,
+    inner: Arc<dyn TraceSink>,
+    /// Whether `inner` is a real sink worth forwarding to.
+    inner_live: bool,
+}
+
+impl std::fmt::Debug for FlightRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FlightRecorder")
+            .field("capacity", &self.slots.len())
+            .field("captured", &self.cursor.load(Ordering::Relaxed))
+            .field("sample_every", &self.sample_every)
+            .finish_non_exhaustive()
+    }
+}
+
+impl FlightRecorder {
+    /// A recorder holding the `capacity` most recent records, wrapping
+    /// `inner` (forward head-sampled records there). `sample_every` of 0
+    /// or 1 forwards everything.
+    pub fn new(capacity: usize, sample_every: u64, inner: Arc<dyn TraceSink>) -> Self {
+        let capacity = capacity.max(1);
+        let inner_live = inner.wants_records();
+        FlightRecorder {
+            slots: (0..capacity).map(|_| Mutex::new(None)).collect(),
+            cursor: AtomicU64::new(0),
+            sample_every,
+            inner,
+            inner_live,
+        }
+    }
+
+    /// Total records captured since construction (not bounded by the
+    /// ring's capacity).
+    pub fn captured(&self) -> u64 {
+        self.cursor.load(Ordering::Relaxed)
+    }
+
+    fn push(&self, record: FlightRecordKind) {
+        let seq = self.cursor.fetch_add(1, Ordering::Relaxed);
+        let slot = (seq % self.slots.len() as u64) as usize;
+        *lock_clean(&self.slots[slot]) = Some(FlightRecord { seq, record });
+    }
+
+    /// Head-sampling decision: keep whole traces (hash of the ID), keep
+    /// everything that has no trace ID.
+    fn forwards(&self, fields: &[(&'static str, FieldValue)]) -> bool {
+        if !self.inner_live {
+            return false;
+        }
+        if self.sample_every <= 1 {
+            return true;
+        }
+        let hex = fields.iter().find_map(|(k, v)| match (k, v) {
+            (&"trace", FieldValue::Str(hex)) => Some(hex.as_str()),
+            _ => None,
+        });
+        match hex {
+            None => true,
+            Some(hex) => fnv1a(hex.as_bytes()).is_multiple_of(self.sample_every),
+        }
+    }
+
+    /// The ring contents in capture order (oldest surviving record
+    /// first).
+    pub fn snapshot(&self) -> Vec<FlightRecord> {
+        let mut records: Vec<FlightRecord> = self
+            .slots
+            .iter()
+            .filter_map(|s| lock_clean(s).clone())
+            .collect();
+        records.sort_by_key(|r| r.seq);
+        records
+    }
+}
+
+impl TraceSink for FlightRecorder {
+    fn record_span(&self, span: &SpanRecord) {
+        if self.forwards(&span.fields) {
+            self.inner.record_span(span);
+        }
+        self.push(FlightRecordKind::Span(span.clone()));
+    }
+
+    fn record_event(&self, event: &EventRecord) {
+        if self.forwards(&event.fields) {
+            self.inner.record_event(event);
+        }
+        self.push(FlightRecordKind::Event(event.clone()));
+    }
+
+    fn flush(&self) {
+        self.inner.flush();
+    }
+}
+
+/// FNV-1a over `bytes` — the same cheap stable hash the serve checksum
+/// uses, good enough to spread trace IDs across sampling buckets.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x1000_0000_01b3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
+    use super::*;
+    use crate::sink::{NullSink, RingSink};
+    use std::time::Duration;
+
+    fn span(name: &'static str, fields: Vec<(&'static str, FieldValue)>) -> SpanRecord {
+        SpanRecord {
+            name,
+            start: Duration::ZERO,
+            duration: Duration::from_micros(5),
+            fields,
+        }
+    }
+
+    #[test]
+    fn ring_keeps_most_recent_in_order() {
+        let rec = FlightRecorder::new(4, 1, Arc::new(NullSink));
+        for i in 0..10u64 {
+            rec.record_event(&EventRecord {
+                name: "e",
+                at: Duration::from_micros(i),
+                fields: vec![("i", i.into())],
+            });
+        }
+        let snap = rec.snapshot();
+        assert_eq!(snap.len(), 4);
+        let seqs: Vec<u64> = snap.iter().map(|r| r.seq).collect();
+        assert_eq!(seqs, vec![6, 7, 8, 9]);
+        assert_eq!(rec.captured(), 10);
+    }
+
+    #[test]
+    fn forwards_everything_at_sample_one() {
+        let inner = Arc::new(RingSink::new(32));
+        let rec = FlightRecorder::new(8, 1, inner.clone());
+        rec.record_span(&span("s", vec![("trace", "ab".into())]));
+        rec.record_event(&EventRecord {
+            name: "e",
+            at: Duration::ZERO,
+            fields: vec![],
+        });
+        assert_eq!(inner.spans().len(), 1);
+        assert_eq!(inner.events().len(), 1);
+    }
+
+    #[test]
+    fn head_sampling_keeps_whole_traces_and_all_untraced() {
+        let inner = Arc::new(RingSink::new(1024));
+        let rec = FlightRecorder::new(8, 4, inner.clone());
+        // Untraced records always forward.
+        rec.record_span(&span("untraced", vec![]));
+        assert_eq!(inner.spans().len(), 1);
+        // A given trace is either fully kept or fully dropped.
+        for t in 0..32u64 {
+            let hex = format!("{t:032x}");
+            let before = inner.spans().len();
+            rec.record_span(&span("a", vec![("trace", hex.clone().into())]));
+            rec.record_span(&span("b", vec![("trace", hex.into())]));
+            let kept = inner.spans().len() - before;
+            assert!(kept == 0 || kept == 2, "trace {t}: kept {kept} of 2");
+        }
+        // Roughly 1 in 4 traces survive; with 32 traces expect some of
+        // each (the hash is deterministic, so this cannot flake).
+        let total = inner.spans().len() - 1;
+        assert!(total > 0 && total < 64, "kept {total} spans");
+    }
+
+    #[test]
+    fn snapshot_survives_concurrent_writers() {
+        let rec = Arc::new(FlightRecorder::new(64, 1, Arc::new(NullSink)));
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let rec = rec.clone();
+                scope.spawn(move || {
+                    for i in 0..100u64 {
+                        rec.record_event(&EventRecord {
+                            name: "w",
+                            at: Duration::ZERO,
+                            fields: vec![("i", i.into())],
+                        });
+                    }
+                });
+            }
+        });
+        assert_eq!(rec.captured(), 400);
+        let snap = rec.snapshot();
+        assert_eq!(snap.len(), 64);
+        assert!(snap.windows(2).all(|w| w[0].seq < w[1].seq));
+    }
+
+    #[test]
+    fn records_render_as_json_and_expose_trace() {
+        let rec = FlightRecorder::new(4, 1, Arc::new(NullSink));
+        rec.record_span(&span("exec.run", vec![("trace", "00ff".into())]));
+        let snap = rec.snapshot();
+        assert_eq!(snap[0].name(), "exec.run");
+        assert_eq!(snap[0].trace_hex(), Some("00ff"));
+        let json = snap[0].to_json();
+        assert!(json.starts_with("{\"seq\":0"), "{json}");
+        assert!(json.contains("\"trace\":\"00ff\""), "{json}");
+        assert!(json.ends_with('}'), "{json}");
+    }
+}

@@ -1,0 +1,177 @@
+//! Request trace identity: a 16-byte ID carried on the wire, echoed in
+//! replies and journal records, and attached to every span/event emitted
+//! while the request is being served (DESIGN.md §5.14).
+//!
+//! The ID is opaque: the all-zero value means "absent" (a client that
+//! does not care), anything else names one request end to end. Server
+//! code propagates the ID through threads with [`TraceScope`], a
+//! thread-local RAII scope; the tracer stamps the current scope's ID
+//! onto every record it emits, so a flight-recorder dump can be filtered
+//! to one request after the fact.
+
+use std::cell::Cell;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A 16-byte request trace identifier. All-zero means "no trace".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct TraceId(pub [u8; 16]);
+
+impl TraceId {
+    /// The absent trace ID (all zero bytes).
+    pub const ZERO: TraceId = TraceId([0; 16]);
+
+    /// True when this is the absent (all-zero) ID.
+    pub fn is_zero(&self) -> bool {
+        self.0 == [0; 16]
+    }
+
+    /// Generates a fresh, effectively-unique ID without an RNG
+    /// dependency: wall clock, process ID, and a process-global counter
+    /// mixed through two rounds of splitmix64. Collision within one
+    /// deployment would need the same nanosecond, pid, and counter value.
+    pub fn generate() -> TraceId {
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0);
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let hi = splitmix64(nanos ^ u64::from(std::process::id()).rotate_left(32));
+        let lo = splitmix64(hi ^ n.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut bytes = [0u8; 16];
+        bytes[..8].copy_from_slice(&hi.to_be_bytes());
+        bytes[8..].copy_from_slice(&lo.to_be_bytes());
+        // An astronomically unlucky all-zero draw must not alias "absent".
+        if bytes == [0; 16] {
+            bytes[15] = 1;
+        }
+        TraceId(bytes)
+    }
+
+    /// Renders the ID as 32 lowercase hex characters.
+    pub fn to_hex(&self) -> String {
+        let mut out = String::with_capacity(32);
+        for b in self.0 {
+            out.push_str(&format!("{b:02x}"));
+        }
+        out
+    }
+
+    /// Parses 32 hex characters back into an ID. Returns `None` for any
+    /// other shape.
+    pub fn from_hex(s: &str) -> Option<TraceId> {
+        if s.len() != 32 || !s.is_ascii() {
+            return None;
+        }
+        let mut bytes = [0u8; 16];
+        for (i, chunk) in s.as_bytes().chunks(2).enumerate() {
+            let hex = std::str::from_utf8(chunk).ok()?;
+            bytes[i] = u8::from_str_radix(hex, 16).ok()?;
+        }
+        Some(TraceId(bytes))
+    }
+}
+
+impl fmt::Display for TraceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_hex())
+    }
+}
+
+/// The classic splitmix64 finalizer: a cheap, well-mixed 64-bit hash.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+thread_local! {
+    static CURRENT: Cell<TraceId> = const { Cell::new(TraceId::ZERO) };
+}
+
+/// The trace ID active on this thread ([`TraceId::ZERO`] when none).
+pub fn current_trace() -> TraceId {
+    CURRENT.with(Cell::get)
+}
+
+/// RAII scope that makes `id` the current trace on this thread and
+/// restores the previous one on drop. Scopes nest.
+#[derive(Debug)]
+pub struct TraceScope {
+    previous: TraceId,
+}
+
+impl TraceScope {
+    /// Enters `id` as the current trace on this thread.
+    pub fn enter(id: TraceId) -> TraceScope {
+        let previous = CURRENT.with(|c| c.replace(id));
+        TraceScope { previous }
+    }
+}
+
+impl Drop for TraceScope {
+    fn drop(&mut self) {
+        CURRENT.with(|c| c.set(self.previous));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
+    use super::*;
+
+    #[test]
+    fn zero_is_absent() {
+        assert!(TraceId::ZERO.is_zero());
+        assert!(TraceId::default().is_zero());
+        assert!(!TraceId::generate().is_zero());
+    }
+
+    #[test]
+    fn generated_ids_are_distinct() {
+        let a = TraceId::generate();
+        let b = TraceId::generate();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn hex_round_trips() {
+        let id = TraceId::generate();
+        let hex = id.to_hex();
+        assert_eq!(hex.len(), 32);
+        assert!(hex.chars().all(|c| c.is_ascii_hexdigit()));
+        assert_eq!(TraceId::from_hex(&hex), Some(id));
+        assert_eq!(TraceId::from_hex("short"), None);
+        assert_eq!(TraceId::from_hex(&"g".repeat(32)), None);
+    }
+
+    #[test]
+    fn scopes_nest_and_restore() {
+        assert!(current_trace().is_zero());
+        let a = TraceId::generate();
+        let b = TraceId::generate();
+        {
+            let _outer = TraceScope::enter(a);
+            assert_eq!(current_trace(), a);
+            {
+                let _inner = TraceScope::enter(b);
+                assert_eq!(current_trace(), b);
+            }
+            assert_eq!(current_trace(), a);
+        }
+        assert!(current_trace().is_zero());
+    }
+
+    #[test]
+    fn scope_is_thread_local() {
+        let id = TraceId::generate();
+        let _scope = TraceScope::enter(id);
+        std::thread::spawn(|| assert!(current_trace().is_zero()))
+            .join()
+            .unwrap();
+        assert_eq!(current_trace(), id);
+    }
+}

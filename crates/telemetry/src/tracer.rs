@@ -6,6 +6,17 @@ use std::sync::{Arc, RwLock};
 use std::time::{Duration, Instant};
 
 use crate::sink::{EventRecord, FieldValue, NullSink, SpanRecord, TraceSink};
+use crate::trace_id::current_trace;
+
+/// Appends the current thread's trace ID to `fields` (as a `trace` hex
+/// string) when a [`crate::trace_id::TraceScope`] is active. Called only
+/// on the already-active paths, so the disabled-tracer budget holds.
+fn stamp_trace(fields: &mut Vec<(&'static str, FieldValue)>) {
+    let id = current_trace();
+    if !id.is_zero() {
+        fields.push(("trace", FieldValue::Str(id.to_hex())));
+    }
+}
 
 /// Thread-safe span/event collector.
 ///
@@ -96,6 +107,17 @@ impl Tracer {
         f(slot.as_ref());
     }
 
+    /// A handle to the currently installed sink. Lets a wrapper (the
+    /// serve-mode flight recorder) capture and forward to whatever sink
+    /// the operator installed first.
+    pub fn current_sink(&self) -> Arc<dyn TraceSink> {
+        let slot = match self.sink.read() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        Arc::clone(&slot)
+    }
+
     /// Opens an RAII span. When the tracer is inactive the guard is inert
     /// (no clock read, drops for free).
     pub fn span(&self, name: &'static str) -> SpanGuard<'_> {
@@ -114,11 +136,12 @@ impl Tracer {
         &self,
         name: &'static str,
         duration: Duration,
-        fields: Vec<(&'static str, FieldValue)>,
+        mut fields: Vec<(&'static str, FieldValue)>,
     ) {
         if !self.active() {
             return;
         }
+        stamp_trace(&mut fields);
         let end = Instant::now();
         let start = self.offset(end).saturating_sub(duration);
         let record = SpanRecord {
@@ -131,10 +154,11 @@ impl Tracer {
     }
 
     /// Records a one-shot event.
-    pub fn event(&self, name: &'static str, fields: Vec<(&'static str, FieldValue)>) {
+    pub fn event(&self, name: &'static str, mut fields: Vec<(&'static str, FieldValue)>) {
         if !self.active() {
             return;
         }
+        stamp_trace(&mut fields);
         let record = EventRecord {
             name,
             at: self.offset(Instant::now()),
@@ -177,11 +201,13 @@ impl SpanGuard<'_> {
 impl Drop for SpanGuard<'_> {
     fn drop(&mut self) {
         let Some(start) = self.start else { return };
+        let mut fields = std::mem::take(&mut self.fields);
+        stamp_trace(&mut fields);
         let record = SpanRecord {
             name: self.name,
             start: self.tracer.offset(start),
             duration: start.elapsed(),
-            fields: std::mem::take(&mut self.fields),
+            fields,
         };
         self.tracer.with_sink(|s| s.record_span(&record));
     }
@@ -248,6 +274,42 @@ mod tests {
         tracer.set_enabled(true);
         drop(tracer.span("on"));
         assert_eq!(ring.spans().len(), 1);
+    }
+
+    #[test]
+    fn records_carry_the_current_trace_scope() {
+        use crate::trace_id::{TraceId, TraceScope};
+        let tracer = Tracer::new();
+        let ring = Arc::new(RingSink::new(8));
+        tracer.install(ring.clone());
+        let id = TraceId::generate();
+        {
+            let _scope = TraceScope::enter(id);
+            drop(tracer.span("scoped"));
+            tracer.event("scoped_event", vec![]);
+            tracer.record_span("scoped_agg", Duration::from_millis(1), vec![]);
+        }
+        drop(tracer.span("unscoped"));
+        let spans = ring.spans();
+        let hex = FieldValue::Str(id.to_hex());
+        assert!(spans[0].fields.contains(&("trace", hex.clone())));
+        assert!(spans[1].fields.contains(&("trace", hex.clone())));
+        assert!(spans[2].fields.is_empty(), "{:?}", spans[2]);
+        assert!(ring.events()[0].fields.contains(&("trace", hex)));
+    }
+
+    #[test]
+    fn current_sink_returns_the_installed_sink() {
+        let tracer = Tracer::new();
+        assert!(!tracer.current_sink().wants_records());
+        let ring = Arc::new(RingSink::new(8));
+        tracer.install(ring.clone());
+        tracer.current_sink().record_event(&EventRecord {
+            name: "direct",
+            at: Duration::ZERO,
+            fields: vec![],
+        });
+        assert_eq!(ring.events().len(), 1);
     }
 
     #[test]
