@@ -91,6 +91,41 @@ impl NlseApprox {
         best
     }
 
+    /// Batch [`eval`] over rows of raw delays, dispatched through the
+    /// SIMD tiers of `ta-simd`.
+    ///
+    /// Computes `out[i] = eval(a[i] ⊕ au, b[i] ⊕ bu) + k`, where `⊕` is
+    /// the tree balance add (skipped when the unit count is exactly
+    /// `0.0`, preserving `-0.0`) and `k` is an unconditional latency add
+    /// (the `NlseUnit::eval_ideal` completion-detect shift; pass `0.0`
+    /// for plain `eval`). Bit-for-bit identical to the scalar
+    /// composition on every tier — including the inherent
+    /// `first_arrival`/`last_arrival` tie semantics and the never
+    /// pass-through, which need no special casing because `+∞`
+    /// propagates identically through the selects.
+    ///
+    /// [`eval`]: NlseApprox::eval
+    ///
+    /// # Panics
+    ///
+    /// If `a`, `b` and `out` differ in length.
+    pub fn eval_rows(&self, a: &[f64], au: f64, b: &[f64], bu: f64, k: f64, out: &mut [f64]) {
+        ta_simd::nlse_approx_rows(a, au, b, bu, &self.terms, k, out);
+    }
+
+    /// In-place accumulate form of [`eval_rows`]: `acc[i] =
+    /// eval(x[i] ⊕ xu, acc[i] ⊕ acc_units) + k` — the planned executor's
+    /// spine combine step.
+    ///
+    /// [`eval_rows`]: NlseApprox::eval_rows
+    ///
+    /// # Panics
+    ///
+    /// If `x` and `acc` differ in length.
+    pub fn eval_rows_inplace(&self, x: &[f64], xu: f64, acc: &mut [f64], acc_units: f64, k: f64) {
+        ta_simd::nlse_approx_rows_inplace(x, xu, acc, acc_units, &self.terms, k);
+    }
+
     /// Evaluates the one-input representative slice `Ã(t) ≈ nLSE(t, -t)`
     /// (symmetric in `t`).
     pub fn eval_slice(&self, t: f64) -> f64 {
@@ -348,5 +383,69 @@ mod tests {
     #[test]
     fn display_is_nonempty() {
         assert!(!format!("{}", NlseApprox::fit(2)).is_empty());
+    }
+
+    #[test]
+    fn eval_rows_bitwise_matches_scalar_composition() {
+        // The batch path must be bit-for-bit the scalar engine composition
+        // balance → eval → delayed(k), including signed-zero delays (an
+        // importance of exactly 1 encodes to -0.0) and never operands.
+        let a = NlseApprox::fit(5);
+        let delays = [
+            0.7,
+            -0.9,
+            0.0,
+            -0.0,
+            f64::INFINITY,
+            3.25,
+            -0.0,
+            f64::INFINITY,
+            1e-300,
+            42.0,
+        ];
+        let partners = [
+            -0.9,
+            0.7,
+            -0.0,
+            0.0,
+            f64::INFINITY,
+            -3.25,
+            1.0,
+            0.5,
+            2e-300,
+            f64::INFINITY,
+        ];
+        for &(au, bu, k) in &[(0.0, 0.0, 0.0), (0.5, 0.0, 0.25), (1.5, 2.5, 0.0)] {
+            let balance = |v: DelayValue, units: f64| {
+                if units == 0.0 || v.is_never() {
+                    v
+                } else {
+                    v.delayed(units)
+                }
+            };
+            let want: Vec<f64> = delays
+                .iter()
+                .zip(&partners)
+                .map(|(&x, &y)| {
+                    let x = balance(DelayValue::from_delay(x), au);
+                    let y = balance(DelayValue::from_delay(y), bu);
+                    a.eval(x, y).delayed(k).delay()
+                })
+                .collect();
+            let mut got = vec![0.0; delays.len()];
+            a.eval_rows(&delays, au, &partners, bu, k, &mut got);
+            for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+                assert_eq!(
+                    g.to_bits(),
+                    w.to_bits(),
+                    "au={au} bu={bu} k={k} idx {i}: {g} vs {w}"
+                );
+            }
+            let mut acc = partners.to_vec();
+            a.eval_rows_inplace(&delays, au, &mut acc, bu, k);
+            for (i, (g, w)) in acc.iter().zip(&want).enumerate() {
+                assert_eq!(g.to_bits(), w.to_bits(), "inplace idx {i}");
+            }
+        }
     }
 }

@@ -109,7 +109,21 @@ fn bench(c: &mut Criterion) {
     ta_pool::set_threads(0);
 
     let (bare_s, pool_s) = dispatch_overhead(if full || smoke { 256 } else { 16 }, rounds.max(3));
-    let overhead_pct = (pool_s / bare_s - 1.0) * 100.0;
+    let overhead_raw_pct = (pool_s / bare_s - 1.0) * 100.0;
+    // Readings below this magnitude are indistinguishable from timer
+    // noise on the harness (best-of-N over ~ms-scale loops routinely
+    // jitters by about a percent), and a *negative* overhead — the
+    // pooled path beating the bare serial loop it wraps — is noise by
+    // construction at any magnitude. The recorded headline is clamped to
+    // zero below the floor so the <5% CI gate reads a physical quantity
+    // instead of crediting noise; the raw signed reading is preserved
+    // alongside it.
+    const OVERHEAD_NOISE_FLOOR_PCT: f64 = 1.0;
+    let overhead_pct = if overhead_raw_pct < OVERHEAD_NOISE_FLOOR_PCT {
+        0.0
+    } else {
+        overhead_raw_pct
+    };
     let cores = std::thread::available_parallelism().map_or(1, usize::from);
 
     ta_bench::print_experiment(
@@ -119,7 +133,8 @@ fn bench(c: &mut Criterion) {
              1 thread   {:9.3} ms/frame\n\
              2 threads  {:9.3} ms/frame  ({:.2}×)\n\
              4 threads  {:9.3} ms/frame  ({:.2}×)\n\
-             pool dispatch overhead at 1 thread: {overhead_pct:+.2}% (budget 5%)\n",
+             pool dispatch overhead at 1 thread: {overhead_pct:.2}% \
+             (raw {overhead_raw_pct:+.2}%, noise floor {OVERHEAD_NOISE_FLOOR_PCT}%, budget 5%)\n",
             t1 * 1e3,
             t2 * 1e3,
             t1 / t2,
@@ -164,7 +179,11 @@ fn bench(c: &mut Criterion) {
              \"host_cores\": {cores},\n  \"smoke\": {smoke},\n  \
              \"ms_per_frame\": {{\"1\": {:.6}, \"2\": {:.6}, \"4\": {:.6}}},\n  \
              \"speedup\": {speedup},\n  \
-             \"pool_overhead_1thread_pct\": {overhead_pct:.4}{note}\n}}\n",
+             \"pool_overhead_1thread_pct\": {overhead_pct:.4},\n  \
+             \"pool_overhead_1thread_pct_raw\": {overhead_raw_pct:.4},\n  \
+             \"overhead_note\": \"readings below the {OVERHEAD_NOISE_FLOOR_PCT}% noise floor \
+             (including negative ones, which are physically impossible) are clamped to 0; \
+             the raw field keeps the signed measurement\"{note}\n}}\n",
             t1 * 1e3,
             t2 * 1e3,
             t4 * 1e3,
@@ -172,10 +191,14 @@ fn bench(c: &mut Criterion) {
         let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_parallel.json");
         std::fs::write(path, json).expect("write BENCH_parallel.json");
         // The 1-thread contract is host-independent; the speedups are
-        // not, so they are recorded above rather than asserted here.
+        // not, so they are recorded above rather than asserted here. The
+        // gate reads the raw measurement: the clamp exists so the
+        // *artifact* cannot under-report overhead as a negative number,
+        // not to loosen the assertion.
         assert!(
-            overhead_pct < 5.0,
-            "1-thread pool path must stay within 5% of the bare serial loop, got {overhead_pct:.2}%"
+            overhead_raw_pct < 5.0,
+            "1-thread pool path must stay within 5% of the bare serial loop, \
+             got {overhead_raw_pct:.2}%"
         );
     }
 

@@ -14,13 +14,17 @@
 //! * `TA_BENCH_SMOKE=1`: CI smoke mode — 64×64 frames and fewer rounds,
 //!   still writing the JSON artifact so the job can upload it.
 //!
-//! Two hard assertions whenever the artifact is written:
+//! Three hard assertions whenever the artifact is written:
 //!
-//! * the two engines are bit-identical on the benched frame (a perf win
-//!   bought with different bits would be a bug, not an optimisation);
+//! * the engines are bit-identical on the benched frame — including the
+//!   SIMD identical-mode leg (a perf win bought with different bits
+//!   would be a bug, not an optimisation);
 //! * the planned path is no slower than the reference (>= 1.0× in full
 //!   mode, >= 0.9× in smoke mode where frames are small enough for timer
-//!   noise to matter).
+//!   noise to matter);
+//! * the SIMD identical-mode leg is no slower than the forced-scalar
+//!   planned leg (>= 1.0×; the measured ratio lands in the artifact as
+//!   `simd_speedup`).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
@@ -43,9 +47,16 @@ fn arch_for(size: usize) -> Architecture {
     Architecture::new(desc, ArchConfig::fast_1ns(7, 20)).expect("feasible schedule")
 }
 
-/// Best-of-`rounds` seconds per frame for the planned executor at 1 worker.
-fn planned_seconds(arch: &Architecture, img: &Image, rounds: usize) -> f64 {
+/// Best-of-`rounds` seconds per frame for the planned executor at 1
+/// worker, under the given SIMD dispatch mode.
+fn planned_seconds(
+    arch: &Architecture,
+    img: &Image,
+    rounds: usize,
+    simd: ta_simd::SimdMode,
+) -> f64 {
     ta_pool::set_threads(1);
+    ta_simd::set_mode(simd);
     black_box(exec::run(arch, img, ArithmeticMode::DelayApprox, 0).expect("clean run"));
     let mut best = f64::INFINITY;
     for _ in 0..rounds {
@@ -75,9 +86,11 @@ fn reference_seconds(arch: &Architecture, img: &Image, rounds: usize) -> f64 {
     best
 }
 
-/// Bitwise comparison of the two engines' outputs on the benched frame.
+/// Bitwise comparison of the two engines' outputs on the benched frame,
+/// with the SIMD identical mode active on the planned side.
 fn bit_identical(arch: &Architecture, img: &Image) -> bool {
     ta_pool::set_threads(1);
+    ta_simd::set_mode(ta_simd::SimdMode::Identical);
     let planned = exec::run(arch, img, ArithmeticMode::DelayApprox, 0).expect("planned run");
     let oracle = reference::run_frame(arch, img, ArithmeticMode::DelayApprox, 0, &FaultMap::new())
         .expect("reference run");
@@ -105,19 +118,25 @@ fn bench(c: &mut Criterion) {
 
     let identical = bit_identical(&arch, &img);
     let ref_s = reference_seconds(&arch, &img, rounds);
-    let plan_s = planned_seconds(&arch, &img, rounds);
+    let scalar_s = planned_seconds(&arch, &img, rounds, ta_simd::SimdMode::Off);
+    let simd_s = planned_seconds(&arch, &img, rounds, ta_simd::SimdMode::Identical);
     ta_pool::set_threads(0);
-    let speedup = ref_s / plan_s;
+    let simd_tier = ta_simd::active_tier().as_str();
+    let speedup = ref_s / simd_s;
+    let simd_speedup = scalar_s / simd_s;
 
     ta_bench::print_experiment(
         "Sequential plan-executor throughput",
         &format!(
             "sobel-x approx {size}×{size}, 1 worker, best of {rounds} rounds\n\
-             recursive reference  {:9.3} ms/frame\n\
-             planned + row reuse  {:9.3} ms/frame  ({speedup:.2}×)\n\
+             recursive reference   {:9.3} ms/frame\n\
+             planned, SIMD off     {:9.3} ms/frame\n\
+             planned, SIMD {simd_tier:<7} {:9.3} ms/frame  ({speedup:.2}× vs reference, \
+             {simd_speedup:.2}× vs scalar)\n\
              bit-identical outputs: {identical}\n",
             ref_s * 1e3,
-            plan_s * 1e3,
+            scalar_s * 1e3,
+            simd_s * 1e3,
         ),
     );
 
@@ -126,10 +145,14 @@ fn bench(c: &mut Criterion) {
             "{{\n  \"bench\": \"sequential_plan\",\n  \"kernel\": \"sobel_x\",\n  \
              \"mode\": \"DelayApprox\",\n  \"frame\": {size},\n  \"rounds\": {rounds},\n  \
              \"host_cores\": {cores},\n  \"smoke\": {smoke},\n  \
-             \"ms_per_frame\": {{\"reference\": {:.6}, \"planned\": {:.6}}},\n  \
-             \"speedup\": {speedup:.4},\n  \"bit_identical\": {identical}\n}}\n",
+             \"simd_tier\": \"{simd_tier}\",\n  \
+             \"ms_per_frame\": {{\"reference\": {:.6}, \"planned_scalar\": {:.6}, \
+             \"planned_simd\": {:.6}}},\n  \
+             \"speedup\": {speedup:.4},\n  \"simd_speedup\": {simd_speedup:.4},\n  \
+             \"bit_identical\": {identical}\n}}\n",
             ref_s * 1e3,
-            plan_s * 1e3,
+            scalar_s * 1e3,
+            simd_s * 1e3,
         );
         let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_core.json");
         std::fs::write(path, json).expect("write BENCH_core.json");
@@ -144,6 +167,14 @@ fn bench(c: &mut Criterion) {
         assert!(
             speedup >= floor,
             "planned executor regressed vs reference: {speedup:.3}x (floor {floor}x)"
+        );
+        // The identical-mode SIMD path must never lose to forced-scalar
+        // dispatch: same bits, so any regression is pure overhead. The
+        // full-size run is expected well above this floor (the measured
+        // value is what the artifact records).
+        assert!(
+            simd_speedup >= 1.0,
+            "SIMD identical mode regressed vs forced scalar: {simd_speedup:.3}x"
         );
     }
 

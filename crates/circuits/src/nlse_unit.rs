@@ -102,6 +102,36 @@ impl NlseUnit {
         self.approx.eval(x, y).delayed(self.k_units)
     }
 
+    /// Batch [`eval_ideal`] over rows of raw delays with tree balance
+    /// units, dispatched through the SIMD tiers of `ta-simd`:
+    /// `out[i] = eval(x[i] ⊕ xu, y[i] ⊕ yu) + K` with `⊕` the balance add
+    /// (skipped when the unit count is exactly `0.0`). Bit-for-bit
+    /// identical to the scalar `TreeOps::balance` + [`eval_ideal`]
+    /// composition on every tier.
+    ///
+    /// [`eval_ideal`]: NlseUnit::eval_ideal
+    ///
+    /// # Panics
+    ///
+    /// If `x`, `y` and `out` differ in length.
+    pub fn eval_ideal_rows(&self, x: &[f64], xu: f64, y: &[f64], yu: f64, out: &mut [f64]) {
+        self.approx.eval_rows(x, xu, y, yu, self.k_units, out);
+    }
+
+    /// In-place accumulate form of [`eval_ideal_rows`]:
+    /// `acc[i] = eval(x[i] ⊕ xu, acc[i] ⊕ acc_units) + K` — the planned
+    /// executor's spine combine step.
+    ///
+    /// [`eval_ideal_rows`]: NlseUnit::eval_ideal_rows
+    ///
+    /// # Panics
+    ///
+    /// If `x` and `acc` differ in length.
+    pub fn eval_ideal_rows_inplace(&self, x: &[f64], xu: f64, acc: &mut [f64], acc_units: f64) {
+        self.approx
+            .eval_rows_inplace(x, xu, acc, acc_units, self.k_units);
+    }
+
     /// Noisy evaluation: every chain segment's delay is perturbed through
     /// the given [`NoiseRealization`].
     pub fn eval_noisy<R: Rng>(

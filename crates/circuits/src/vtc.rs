@@ -85,8 +85,33 @@ impl VtcModel {
     ///
     /// Panics if `pixel` is not finite.
     pub fn convert<R: Rng>(&self, pixel: f64, rng: &mut R) -> DelayValue {
-        assert!(pixel.is_finite(), "pixel must be finite");
         let mut sampler = NormalSampler::new();
+        self.convert_with(pixel, rng, &mut sampler)
+    }
+
+    /// [`convert`] with a caller-provided sampler, for hot loops that
+    /// hoist the sampler out of a per-pixel closure instead of
+    /// constructing one per pixel.
+    ///
+    /// The sampler's cached spare is discarded at entry, which is what
+    /// makes this bit-identical to [`convert`] under any interleaving:
+    /// with both noise sources active the polar method's spare deviate
+    /// would otherwise carry across pixels, consume one fewer `rng` draw,
+    /// and shift every subsequent stream value.
+    ///
+    /// [`convert`]: VtcModel::convert
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pixel` is not finite.
+    pub fn convert_with<R: Rng>(
+        &self,
+        pixel: f64,
+        rng: &mut R,
+        sampler: &mut NormalSampler,
+    ) -> DelayValue {
+        assert!(pixel.is_finite(), "pixel must be finite");
+        sampler.reset();
         let mut v = pixel;
         if self.pre_noise_frac > 0.0 {
             v += self.pre_noise_frac * sampler.sample(rng);
@@ -104,6 +129,29 @@ impl VtcModel {
         assert!(pixel.is_finite(), "pixel must be finite");
         let v = pixel.clamp(0.0, 1.0).max(self.min_pixel);
         DelayValue::from_delay(-v.ln())
+    }
+
+    /// Batch noiseless conversion of a pixel row.
+    ///
+    /// With `tolerant = false` this is an elementwise [`convert_ideal`]
+    /// loop (libm `ln`, bit-identical to the scalar path). With
+    /// `tolerant = true` the clamp-and-`-ln` transfer dispatches through
+    /// the SIMD tiers of `ta-simd` with polynomial `ln` lanes — a few ulp
+    /// from libm, pinned by tolerance tests.
+    ///
+    /// [`convert_ideal`]: VtcModel::convert_ideal
+    ///
+    /// # Panics
+    ///
+    /// Panics if any pixel is not finite.
+    pub fn convert_ideal_row(&self, pixels: &[f64], tolerant: bool) -> Vec<DelayValue> {
+        if tolerant {
+            let mut out = vec![0.0_f64; pixels.len()];
+            ta_simd::vtc_encode_rows(pixels, self.min_pixel, &mut out);
+            out.into_iter().map(DelayValue::from_delay).collect()
+        } else {
+            pixels.iter().map(|&p| self.convert_ideal(p)).collect()
+        }
     }
 }
 
@@ -288,6 +336,73 @@ mod tests {
             let d = si.convert_ideal(i as f64 / 50.0).delay();
             assert!(d <= prev + 1e-12);
             prev = d;
+        }
+    }
+
+    #[test]
+    fn convert_with_hoisted_sampler_is_bit_identical() {
+        // Regression for the per-pixel sampler hoist: a single sampler
+        // shared across a whole stream (reset at each pixel entry) must
+        // reproduce the fresh-sampler-per-pixel golden stream bit for bit
+        // in every noise configuration — including both-sources, where a
+        // carried polar spare would shift the rng draw order.
+        let configs = [(0.0, 0.0), (0.05, 0.0), (0.0, 0.1), (0.05, 0.1)];
+        for &(pre, post) in &configs {
+            let vtc = VtcModel::ideal(scale()).with_noise(pre, post);
+            let pixels: Vec<f64> = (0..257).map(|i| f64::from(i) / 256.0).collect();
+
+            let mut golden_rng = SmallRng::seed_from_u64(0xD1CE);
+            let golden: Vec<u64> = pixels
+                .iter()
+                .map(|&p| vtc.convert(p, &mut golden_rng).delay().to_bits())
+                .collect();
+
+            let mut rng = SmallRng::seed_from_u64(0xD1CE);
+            let mut sampler = NormalSampler::new();
+            let hoisted: Vec<u64> = pixels
+                .iter()
+                .map(|&p| {
+                    vtc.convert_with(p, &mut rng, &mut sampler)
+                        .delay()
+                        .to_bits()
+                })
+                .collect();
+
+            assert_eq!(golden, hoisted, "pre={pre} post={post}");
+        }
+    }
+
+    #[test]
+    fn convert_ideal_row_identical_mode_is_bitwise() {
+        let vtc = VtcModel::ideal(scale());
+        let pixels: Vec<f64> = (0..100).map(|i| f64::from(i) / 99.0).collect();
+        let want: Vec<u64> = pixels
+            .iter()
+            .map(|&p| vtc.convert_ideal(p).delay().to_bits())
+            .collect();
+        let got: Vec<u64> = vtc
+            .convert_ideal_row(&pixels, false)
+            .iter()
+            .map(|v| v.delay().to_bits())
+            .collect();
+        assert_eq!(want, got);
+    }
+
+    #[test]
+    fn convert_ideal_row_tolerant_mode_is_close() {
+        let vtc = VtcModel::ideal(scale());
+        // Include the boundary pixels: exactly 0, exactly 1 (delay -0.0
+        // flattening is allowed in tolerant mode), below the floor.
+        let mut pixels: Vec<f64> = (0..100).map(|i| f64::from(i) / 99.0).collect();
+        pixels.extend_from_slice(&[0.0, 1.0, 1e-9, 0.5]);
+        let got = vtc.convert_ideal_row(&pixels, true);
+        for (i, (&p, g)) in pixels.iter().zip(&got).enumerate() {
+            let want = vtc.convert_ideal(p).delay();
+            assert!(
+                (g.delay() - want).abs() < 1e-12 * want.abs().max(1.0),
+                "idx {i}: pixel {p} gave {} want {want}",
+                g.delay()
+            );
         }
     }
 

@@ -288,6 +288,14 @@ PARALLELISM (any command):
                     (0 = one per core; results are bit-identical at any
                     thread count)                          [default: 0]
 
+SIMD (any command):
+  --simd MODE       off | identical | tolerant             [default: identical]
+                    identical: vectorized kernels, bit-for-bit equal to
+                    the scalar engine; tolerant: polynomial exp/ln lanes,
+                    a few ulp from libm; off: scalar golden path
+  --simd-tier TIER  scalar | sse2 | avx2 | neon — pin the ISA tier
+                    (default: widest available; errors if unavailable)
+
 OPTIONS (batch — supervised runtime):
   --frames N        synthetic frames with --demo           [default: 8]
   --tolerance F     reject outputs beyond F nRMSE vs the digital reference
@@ -503,6 +511,22 @@ pub fn dispatch(args: &Args) -> Result<String, CliError> {
         return Ok(USAGE.to_string());
     }
     ta_pool::set_threads(args.num("--threads", 0usize)?);
+    if let Some(name) = args.get("--simd") {
+        let mode: ta_simd::SimdMode = name.parse().map_err(|_| {
+            CliError::InvalidConfig(format!(
+                "unknown --simd {name:?}; try: off identical tolerant"
+            ))
+        })?;
+        ta_simd::set_mode(mode);
+    }
+    if let Some(name) = args.get("--simd-tier") {
+        let tier: ta_simd::SimdTier = name.parse().map_err(|_| {
+            CliError::InvalidConfig(format!(
+                "unknown --simd-tier {name:?}; try: scalar sse2 avx2 neon"
+            ))
+        })?;
+        ta_simd::force_tier(Some(tier)).map_err(|e| CliError::InvalidConfig(e.to_string()))?;
+    }
     if let Some(path) = args.get("--trace") {
         let sink = ta_telemetry::JsonlSink::create(path).map_err(CliError::Telemetry)?;
         ta_telemetry::tracer().install(std::sync::Arc::new(sink));

@@ -8,10 +8,11 @@ use std::time::{Duration, Instant};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
-use ta_circuits::{NlseUnit, NoiseRealization};
+use ta_circuits::{NldeUnit, NlseUnit, NoiseRealization};
 use ta_delay_space::{ops, DelayValue};
 use ta_image::Image;
-use ta_race_logic::FaultObservation;
+use ta_race_logic::{FaultObservation, NormalSampler};
+use ta_simd::SimdMode;
 
 use crate::census::{self, OpCounts, StageProfile};
 use crate::fault::{FaultError, FaultKind, FaultMap, FaultStats};
@@ -355,6 +356,7 @@ fn run_delay<const PROF: bool>(
     let vtc = arch.vtc();
     let img_w = image.width();
     let img_h = image.height();
+    let simd = ta_simd::mode();
     let mut pixel_delays: Vec<DelayValue> = vec![DelayValue::ZERO; img_w * img_h];
     for (acc_rows, acc_stats, busy) in pool.run(
         img_h,
@@ -362,27 +364,31 @@ fn run_delay<const PROF: bool>(
         |y, (acc_rows, acc_stats, busy): &mut (Vec<(usize, Vec<DelayValue>)>, _, _)| {
             let t_vtc = stage_clock();
             let mut rng = SmallRng::seed_from_u64(derive_seed(seed, Domain::VtcRow, y as u64));
-            let row: Vec<DelayValue> = image
-                .row(y)
-                .iter()
-                .enumerate()
-                .map(|(x, &p)| {
-                    let v = if noisy {
-                        vtc.convert(p, &mut rng)
-                    } else {
-                        vtc.convert_ideal(p)
-                    };
-                    match faults.pixel_fault(x, y) {
-                        None => v,
-                        Some(fault) => {
-                            let mut obs = FaultObservation::default();
-                            let v = fault.apply(v, &mut obs);
-                            acc_stats.absorb_observation(obs);
-                            v
-                        }
-                    }
-                })
-                .collect();
+            let pixels = image.row(y);
+            let mut row: Vec<DelayValue> = if noisy {
+                // One sampler per row, reset inside `convert_with` at
+                // each pixel: identical RNG draw order to the old
+                // sampler-per-pixel construction, without the per-pixel
+                // setup.
+                let mut sampler = NormalSampler::new();
+                pixels
+                    .iter()
+                    .map(|&p| vtc.convert_with(p, &mut rng, &mut sampler))
+                    .collect()
+            } else if simd == SimdMode::Tolerant && pixels.iter().all(|p| p.is_finite()) {
+                // Vectorized encode (polynomial `ln`); the identical
+                // mode keeps the scalar libm path below, bit-for-bit.
+                vtc.convert_ideal_row(pixels, true)
+            } else {
+                pixels.iter().map(|&p| vtc.convert_ideal(p)).collect()
+            };
+            for (x, v) in row.iter_mut().enumerate() {
+                if let Some(fault) = faults.pixel_fault(x, y) {
+                    let mut obs = FaultObservation::default();
+                    *v = fault.apply(*v, &mut obs);
+                    acc_stats.absorb_observation(obs);
+                }
+            }
             acc_rows.push((y, row));
             if let Some(t) = t_vtc {
                 *busy += t.elapsed();
@@ -432,8 +438,11 @@ fn run_delay<const PROF: bool>(
     let plan = arch.plan();
     let n_spine = plan.tree.spine.len();
     let delay_kernels = arch.delay_kernels();
-    let shifts: Vec<f64> = (0..delay_kernels.len())
-        .map(|k_idx| arch.output_shift_units(k_idx, approximate))
+    // Decoder exponentials, one pair per kernel per frame (the shift is
+    // row-invariant; recomputing `exp(shift)` per output pixel was pure
+    // waste).
+    let shift_exps: Vec<ShiftExps> = (0..delay_kernels.len())
+        .map(|k_idx| ShiftExps::new(arch, arch.output_shift_units(k_idx, approximate)))
         .collect();
     // Per-work-item stream seeds, precomputed once per frame.
     let tree_seeds: Vec<u64> = (0..delay_kernels.len() * oh)
@@ -500,13 +509,14 @@ fn run_delay<const PROF: bool>(
         img_h,
         ow,
         stride,
+        simd,
     };
 
     let row_accs = pool.run(delay_kernels.len() * oh, RowAcc::new, |item, acc| {
         let k_idx = item / oh;
         let oy = item % oh;
         let kp = &plan.kernels[k_idx];
-        let shift = shifts[k_idx];
+        let sx = &shift_exps[k_idx];
         let mut rng = SmallRng::seed_from_u64(tree_seeds[item]);
         // The per-leaf/per-cycle counters live in scalar locals (not
         // `acc.counts` fields) so they stay in registers across the
@@ -523,7 +533,30 @@ fn run_delay<const PROF: bool>(
             let drift_saturates =
                 mode != ArithmeticMode::DelayExact && tree_drift.is_some_and(|f| 1.0 + f < 0.0);
             let loop_drift = faults.loop_drift(k_idx, rp.rail);
-            let mut partials = vec![DelayValue::ZERO; ow]; // no edges yet
+            // Batched spine pass: each spine step's inputs are one
+            // contiguous row of the cell, so the whole recurrence streams
+            // through the SIMD kernels. Qualifies only when nothing in
+            // the rail draws from the stream or perturbs per column —
+            // no noise (clean cells carry no realization), no tree or
+            // loop drift — and never on the profiling twin (per-column
+            // clocks and counters).
+            let spine_batch = !PROF
+                && simd != SimdMode::Off
+                && !noisy
+                && tree_drift.is_none()
+                && loop_drift.is_none();
+            let exact = mode == ArithmeticMode::DelayExact;
+            let tolerant = simd == SimdMode::Tolerant;
+            let mut partials: Vec<DelayValue> = if spine_batch {
+                Vec::new()
+            } else {
+                vec![DelayValue::ZERO; ow] // no edges yet
+            };
+            let mut partials_f: Vec<f64> = if spine_batch {
+                vec![f64::INFINITY; ow]
+            } else {
+                Vec::new()
+            };
             for ky in 0..kh {
                 let r = oy * stride + ky;
                 let overlay = fault_rows
@@ -581,6 +614,43 @@ fn run_delay<const PROF: bool>(
                     nlse_ops += (plan.tree.row_nodes.len() + n_spine) as u64 * ow as u64;
                 }
                 let t_tree = stage_clock();
+                if spine_batch {
+                    // Balanced accumulate, one spine step across every
+                    // output column: `combine(cell_row, balance(acc,
+                    // units))`, identical operand order to the scalar
+                    // loop below.
+                    for (s_i, step) in plan.tree.spine.iter().enumerate() {
+                        let row = &cell.vals[s_i * ow..(s_i + 1) * ow];
+                        let bal = lvl_units[step.spine_bal as usize];
+                        if exact {
+                            ta_simd::nlse_exact_rows_inplace(
+                                row,
+                                0.0,
+                                &mut partials_f,
+                                bal,
+                                tolerant,
+                            );
+                        } else {
+                            arch.nlse_unit().eval_ideal_rows_inplace(
+                                row,
+                                0.0,
+                                &mut partials_f,
+                                bal,
+                            );
+                        }
+                    }
+                    if ky + 1 < kh {
+                        // Loop back: jitter is zero on the clean path, so
+                        // only the reference-frame cancellation of the
+                        // tree latency remains (`+∞` rides through the
+                        // add unchanged, like the scalar never-guard).
+                        ta_simd::add_units(&mut partials_f, 0.0 - k_tree);
+                    }
+                    if let Some(t) = t_tree {
+                        acc.stage.nlse_tree += t.elapsed();
+                    }
+                    continue;
+                }
                 for (ox, partial) in partials.iter_mut().enumerate() {
                     if drift_saturates {
                         acc.stats.saturations += 1;
@@ -591,7 +661,11 @@ fn run_delay<const PROF: bool>(
                     }
                     for (s_i, step) in plan.tree.spine.iter().enumerate() {
                         s = ops.balance(s, lvl_units[step.spine_bal as usize], &mut rng);
-                        s = ops.combine(cell.vals[ox * n_spine + s_i], s, &mut rng);
+                        s = ops.combine(
+                            DelayValue::from_delay(cell.vals[s_i * ow + ox]),
+                            s,
+                            &mut rng,
+                        );
                     }
                     let raw = s;
                     if ky + 1 < kh {
@@ -638,7 +712,13 @@ fn run_delay<const PROF: bool>(
                     acc.stage.nlse_tree += t.elapsed();
                 }
             }
-            rail_vals[rail_i] = partials;
+            rail_vals[rail_i] = if spine_batch {
+                // Back to the newtype for rail renormalisation (non-NaN
+                // by construction, so the round-trip is lossless).
+                partials_f.into_iter().map(DelayValue::from_delay).collect()
+            } else {
+                partials
+            };
         }
 
         let t_renorm = stage_clock();
@@ -659,7 +739,7 @@ fn run_delay<const PROF: bool>(
                 rails,
                 rail_raw,
                 mode,
-                shift,
+                sx,
                 faults,
                 &mut acc.stats,
                 &mut acc.counts,
@@ -704,8 +784,13 @@ fn run_delay<const PROF: bool>(
 /// counters — everything an output row consumes from the shareable part
 /// of a cycle.
 struct RowCell {
-    /// `ow × spine_len` balanced spine inputs, output-column major.
-    vals: Vec<DelayValue>,
+    /// `spine_len × ow` balanced spine inputs as raw delays, spine-step
+    /// major: `vals[s_i * ow + ox]`. Step-major rows keep each spine
+    /// step's inputs contiguous so the batched spine pass streams them
+    /// through the SIMD kernels; the scalar path re-wraps single
+    /// elements through [`DelayValue::from_delay`] (the engine
+    /// guarantees non-NaN, so the round-trip is free and lossless).
+    vals: Vec<f64>,
     /// The cycle's common-mode noise realization (noisy mode only); the
     /// spine pass and loop line of every consuming output row see the
     /// same supply excursion the row's weight lines saw.
@@ -730,6 +815,9 @@ struct CellCtx<'a> {
     img_h: usize,
     ow: usize,
     stride: usize,
+    /// The session's SIMD dispatch mode; `Off` pins every cell to the
+    /// scalar golden path.
+    simd: SimdMode,
 }
 
 /// Selects the tree-node arithmetic for one cycle: mode × tree-chain
@@ -800,7 +888,27 @@ fn compute_row_cell<const PROF: bool>(
         realization.as_ref(),
     );
     let n_spine = plan.tree.spine.len();
-    let mut vals = vec![DelayValue::ZERO; ctx.ow * n_spine];
+    let mut vals = vec![f64::INFINITY; ctx.ow * n_spine];
+
+    // Batched cell evaluation: whole output-column rows stream through
+    // the `ta-simd` kernels instead of one column at a time. Only pure
+    // cycles qualify — no noise realization (nothing draws from `rng`
+    // in the Exact/Approx ops, so skipping the column loop cannot shift
+    // a stream), no weight-fault overlay, no tree-chain drift — and the
+    // profiling twin keeps the scalar loop for its per-column clocks
+    // and edge counters. In identical mode the kernels replicate the
+    // scalar engine f64-op for f64-op; the tolerant mode swaps libm
+    // transcendentals for the polynomial lanes.
+    if !PROF && ctx.simd != SimdMode::Off && !ctx.noisy && overlay.is_none() && tree_drift.is_none()
+    {
+        compute_row_cell_batch(ctx, rp, ky, r, &mut vals);
+        return RowCell {
+            vals,
+            realization,
+            edges: 0,
+        };
+    }
+
     let mut leaves = vec![DelayValue::ZERO; ctx.kw];
     let mut nodes = vec![DelayValue::ZERO; plan.tree.row_nodes.len()];
     let mut edges: u64 = 0;
@@ -869,11 +977,13 @@ fn compute_row_cell<const PROF: bool>(
             nodes[n_i] = ops.combine(a, b, &mut rng);
         }
         for (s_i, step) in plan.tree.spine.iter().enumerate() {
-            vals[ox * n_spine + s_i] = ops.balance(
-                fetch(step.input, &leaves, &nodes),
-                ctx.lvl_units[step.input_bal as usize],
-                &mut rng,
-            );
+            vals[s_i * ctx.ow + ox] = ops
+                .balance(
+                    fetch(step.input, &leaves, &nodes),
+                    ctx.lvl_units[step.input_bal as usize],
+                    &mut rng,
+                )
+                .delay();
         }
         if let Some(t) = t_tree {
             acc.stage.nlse_tree += t.elapsed();
@@ -886,6 +996,110 @@ fn compute_row_cell<const PROF: bool>(
     }
 }
 
+/// Resolves a tree-program operand to its batched output-column row.
+#[inline]
+fn fetch_row<'a>(src: Src, leaves: &'a [f64], nodes: &'a [f64], ow: usize) -> &'a [f64] {
+    match src {
+        Src::Leaf(i) => &leaves[i as usize * ow..(i as usize + 1) * ow],
+        Src::Node(i) => &nodes[i as usize * ow..(i as usize + 1) * ow],
+    }
+}
+
+/// Batched twin of the column loop in [`compute_row_cell`]: evaluates the
+/// cycle one whole output-column row per tree operand, through the
+/// `ta-simd` kernels. Callers guarantee a pure cycle (no noise, no
+/// overlay, no drift), so this is the `TreeOps::Exact` / `TreeOps::Approx`
+/// arithmetic only. In identical mode every kernel replicates the scalar
+/// engine bit-for-bit (same comparator flavors, same balance
+/// short-circuit, libm transcendentals in the exact mode); the tolerant
+/// mode vectorizes the exact mode's `exp`/`ln_1p` with the polynomial
+/// lanes.
+fn compute_row_cell_batch(ctx: &CellCtx<'_>, rp: &RailPlan, ky: usize, r: usize, vals: &mut [f64]) {
+    let plan = ctx.arch.plan();
+    let unit = ctx.arch.nlse_unit();
+    let exact = ctx.mode == ArithmeticMode::DelayExact;
+    let tolerant = ctx.simd == SimdMode::Tolerant;
+    let ow = ctx.ow;
+    let taps = &rp.taps[ky];
+
+    // Raw delays of the input row (NaN-free: `DelayValue` guarantees it).
+    let px: Vec<f64> = ctx.pixel_delays[r * ctx.img_w..(r + 1) * ctx.img_w]
+        .iter()
+        .map(|v| v.delay())
+        .collect();
+
+    // Weighted, truncated leaves: one contiguous row per tap position;
+    // positions without a finite tap stay never for every column.
+    let mut leaf_rows = vec![f64::INFINITY; ctx.kw * ow];
+    for &(kx, w_units) in &taps.finite {
+        let kx = kx as usize;
+        ta_simd::weighted_leaves(
+            &px[kx..],
+            ctx.stride,
+            w_units,
+            ctx.truncate_at,
+            &mut leaf_rows[kx * ow..(kx + 1) * ow],
+        );
+    }
+
+    // Row-node reductions. Nodes are emitted bottom-up (a node only
+    // references earlier nodes), so `split_at_mut` yields the output row
+    // disjoint from every operand row.
+    let mut node_rows = vec![0.0_f64; plan.tree.row_nodes.len() * ow];
+    for n_i in 0..plan.tree.row_nodes.len() {
+        let node = plan.tree.row_nodes[n_i];
+        let (prev, rest) = node_rows.split_at_mut(n_i * ow);
+        let out = &mut rest[..ow];
+        let a = fetch_row(node.left, &leaf_rows, prev, ow);
+        let b = fetch_row(node.right, &leaf_rows, prev, ow);
+        let au = ctx.lvl_units[node.left_bal as usize];
+        let bu = ctx.lvl_units[node.right_bal as usize];
+        if exact {
+            ta_simd::nlse_exact_rows(a, au, b, bu, tolerant, out);
+        } else {
+            unit.eval_ideal_rows(a, au, b, bu, out);
+        }
+    }
+
+    // Balanced spine exports: copy, then add the balance units unless
+    // the count is exactly `0.0` (the balance short-circuit preserving
+    // `-0.0`, uniform across the row).
+    for (s_i, step) in plan.tree.spine.iter().enumerate() {
+        let out = &mut vals[s_i * ow..(s_i + 1) * ow];
+        out.copy_from_slice(fetch_row(step.input, &leaf_rows, &node_rows, ow));
+        let units = ctx.lvl_units[step.input_bal as usize];
+        if units != 0.0 {
+            ta_simd::add_units(out, units);
+        }
+    }
+}
+
+/// One kernel's decoder scale factors, hoisted out of the per-pixel
+/// decode: the reference-frame shift is invariant per (kernel, frame), so
+/// `exp(shift)` — and the approximate modes' `exp(shift + K_nlde)`, where
+/// the readout adds the subtraction unit's nominal latency — need one
+/// `exp` each per kernel instead of one per output pixel. The memoized
+/// values are the very same `f64::exp` results the per-pixel form
+/// produced, so decoding is bit-identical by construction.
+pub(crate) struct ShiftExps {
+    /// `exp(shift)` — exact mode and single-rail decode.
+    exp_shift: f64,
+    /// `exp(shift + K_nlde)` — split-rail decode in the approximate
+    /// modes (equals `exp_shift` for architectures without an nLDE unit,
+    /// which never take that path).
+    exp_shift_lat: f64,
+}
+
+impl ShiftExps {
+    pub(crate) fn new(arch: &Architecture, shift: f64) -> Self {
+        let lat = arch.nlde_unit().map_or(0.0, NldeUnit::latency_units);
+        ShiftExps {
+            exp_shift: shift.exp(),
+            exp_shift_lat: (shift + lat).exp(),
+        }
+    }
+}
+
 /// Renormalises the split rails through the subtraction unit and decodes
 /// to a signed importance-space value.
 #[allow(clippy::too_many_arguments)]
@@ -895,7 +1109,7 @@ pub(crate) fn combine_rails<const PROF: bool>(
     rails: &[Rail],
     rail_raw: [DelayValue; 2],
     mode: ArithmeticMode,
-    shift: f64,
+    sx: &ShiftExps,
     faults: &FaultMap,
     stats: &mut FaultStats,
     counts: &mut OpCounts,
@@ -917,18 +1131,21 @@ pub(crate) fn combine_rails<const PROF: bool>(
             counts.tdc_conversions += 1;
         }
     }
-    let decode = |edge: DelayValue, total_shift: f64| -> f64 {
+    // `exp_total_shift` is the memoized `exp()` of the decoder's total
+    // shift (`sx.exp_shift` or `sx.exp_shift_lat`), computed once per
+    // kernel per frame instead of once per output pixel.
+    let decode = |edge: DelayValue, exp_total_shift: f64| -> f64 {
         let edge = match (cfg.tdc, mode) {
             (Some(tdc), ArithmeticMode::DelayApprox | ArithmeticMode::DelayApproxNoisy) => {
                 tdc.quantize(edge, cfg.unit)
             }
             _ => edge,
         };
-        edge.decode() * total_shift.exp()
+        edge.decode() * exp_total_shift
     };
 
     if rails.len() == 1 {
-        return decode(rail_raw[0], shift);
+        return decode(rail_raw[0], sx.exp_shift);
     }
 
     // Split representation: route the dominant rail's difference out.
@@ -946,7 +1163,7 @@ pub(crate) fn combine_rails<const PROF: bool>(
             // ever broke, saturating to "never" mirrors the hardware
             // (a missing edge, not a crash).
             let diff = ops::nlde(minuend, subtrahend).unwrap_or(DelayValue::ZERO);
-            sign * decode(diff, shift)
+            sign * decode(diff, sx.exp_shift)
         }
         ArithmeticMode::DelayApprox => {
             let Some(unit) = arch.nlde_unit() else {
@@ -964,7 +1181,7 @@ pub(crate) fn combine_rails<const PROF: bool>(
             // The decoder's shift stays nominal: the fixed readout cannot
             // know the chains drifted, which is exactly how drift becomes
             // output error.
-            sign * decode(diff, shift + unit.latency_units())
+            sign * decode(diff, sx.exp_shift_lat)
         }
         ArithmeticMode::DelayApproxNoisy => {
             let Some(unit) = arch.nlde_unit() else {
@@ -980,7 +1197,7 @@ pub(crate) fn combine_rails<const PROF: bool>(
                     unit.eval_noisy_drifted(minuend, subtrahend, &realization, rng, f)
                 }
             };
-            sign * decode(diff, shift + unit.latency_units())
+            sign * decode(diff, sx.exp_shift_lat)
         }
         ArithmeticMode::ImportanceExact => unreachable!("handled in run_importance"),
     }

@@ -229,11 +229,15 @@ impl GateEngine {
         let mut nlde_evals: u64 = 0;
         let mut rng = SmallRng::seed_from_u64(seed ^ 0x6a7e_0e19);
 
-        // Pixel readout once per frame, with VTC noise.
+        // Pixel readout once per frame, with VTC noise. One sampler,
+        // reset inside `convert_with` per pixel, replaces the
+        // per-pixel `NormalSampler` construction without perturbing the
+        // RNG draw order.
+        let mut sampler = ta_race_logic::NormalSampler::new();
         let pixel_delays: Vec<DelayValue> = image
             .pixels()
             .iter()
-            .map(|&p| vtc.convert(p, &mut rng))
+            .map(|&p| vtc.convert_with(p, &mut rng, &mut sampler))
             .collect();
         let pixel_at = |x: usize, y: usize| -> DelayValue { pixel_delays[y * image.width() + x] };
 

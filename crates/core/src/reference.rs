@@ -22,10 +22,10 @@ use rand::SeedableRng;
 
 use ta_delay_space::DelayValue;
 use ta_image::Image;
-use ta_race_logic::FaultObservation;
+use ta_race_logic::{FaultObservation, NormalSampler};
 
 use crate::census::{self, OpCounts};
-use crate::exec::{combine_rails, run_importance, tree_mode_ops, ExecError};
+use crate::exec::{combine_rails, run_importance, tree_mode_ops, ExecError, ShiftExps};
 use crate::fault::{FaultError, FaultKind, FaultMap, FaultStats};
 use crate::seed::{derive_seed, Domain};
 use crate::transform::{DelayKernel, Rail};
@@ -175,11 +175,12 @@ pub fn run_frame(
     let img_w = image.width();
     let img_h = image.height();
     let mut pixel_delays: Vec<DelayValue> = Vec::with_capacity(img_w * img_h);
+    let mut sampler = NormalSampler::new();
     for y in 0..img_h {
         let mut rng = SmallRng::seed_from_u64(derive_seed(seed, Domain::VtcRow, y as u64));
         for (x, &p) in image.row(y).iter().enumerate() {
             let v = if noisy {
-                vtc.convert(p, &mut rng)
+                vtc.convert_with(p, &mut rng, &mut sampler)
             } else {
                 vtc.convert_ideal(p)
             };
@@ -240,7 +241,7 @@ pub fn run_frame(
         let k_idx = item / oh;
         let oy = item % oh;
         let dk = &delay_kernels[k_idx];
-        let shift = arch.output_shift_units(k_idx, approximate);
+        let shift_exps = ShiftExps::new(arch, arch.output_shift_units(k_idx, approximate));
         let mut rng = SmallRng::seed_from_u64(derive_seed(seed, Domain::TreeRow, item as u64));
         let mut rail_vals: [Vec<DelayValue>; 2] = [Vec::new(), Vec::new()];
 
@@ -372,7 +373,7 @@ pub fn run_frame(
                 dk.rails(),
                 rail_raw,
                 mode,
-                shift,
+                &shift_exps,
                 faults,
                 &mut stats,
                 &mut counts,

@@ -85,6 +85,18 @@ pub mod normal {
             NormalSampler { spare: None }
         }
 
+        /// Discards the cached spare value, returning the sampler to its
+        /// freshly-constructed state.
+        ///
+        /// Hot paths hoist one sampler out of a per-pixel loop instead of
+        /// constructing one per pixel; calling `reset` at each pixel
+        /// boundary reproduces the fresh-sampler RNG draw order exactly
+        /// (a carried spare would consume one fewer `rng` draw and shift
+        /// every subsequent sample).
+        pub fn reset(&mut self) {
+            self.spare = None;
+        }
+
         /// Draws one standard-normal sample using `rng`.
         pub fn sample<R: rand::Rng>(&mut self, rng: &mut R) -> f64 {
             if let Some(s) = self.spare.take() {
