@@ -1,0 +1,202 @@
+//! Gate-level netlist-optimizer bench (DESIGN.md §5.16): ms/frame of the
+//! unoptimized full-sweep [`ta_core::GateEngine`] against the optimized
+//! engine — constant folding, hash-consing, dead-gate elimination, and
+//! event-driven evaluation — on the split-rail Sobel netlists.
+//!
+//! Event-driven evaluation is activity-dependent, so the bench times two
+//! frames: the headline `speedup` uses [`Scene::VerticalBars`] — the
+//! repo's "drives Sobel-x hard" scene, whose piecewise-constant columns
+//! give the rolling-shutter scan the input coherence the evaluator is
+//! built to exploit — and `speedup_natural` reports the same ratio on the
+//! multi-octave natural-statistics image (every pixel distinct; the
+//! worst case, where the win comes from gate elimination alone).
+//!
+//! Results land in `BENCH_gates.json` at the repository root. Knobs match
+//! `sequential.rs`:
+//!
+//! * `--bench` (criterion's own flag): full-size frames and the JSON
+//!   artifact; without it (plain `cargo test`) everything shrinks to a
+//!   single smoke iteration and no file is written.
+//! * `TA_BENCH_SMOKE=1`: CI smoke mode — small frames and fewer rounds,
+//!   still writing the JSON artifact so the job can upload it.
+//!
+//! Three hard assertions whenever the artifact is written:
+//!
+//! * the optimized engine is bit-identical to the full-sweep golden
+//!   engine on both benched frames — a perf win bought with different
+//!   bits would be a bug, not an optimisation;
+//! * the optimized engine is no slower than the sweep on either frame
+//!   (>= 1.0×; the acceptance target at bench geometry is >= 5× on the
+//!   coherent frame, and the measured ratios land in the artifact as
+//!   `speedup` / `speedup_natural`);
+//! * the optimizer eliminates at least 30% of Sobel's gates (the
+//!   zero-weight column folds a third of every weight-matrix row away).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
+use ta_core::{ArchConfig, Architecture, GateEngine, SystemDescription};
+use ta_image::synth::Scene;
+use ta_image::{synth, Image, Kernel};
+
+fn bench_mode() -> bool {
+    std::env::args().any(|a| a == "--bench")
+}
+
+fn smoke_mode() -> bool {
+    std::env::var("TA_BENCH_SMOKE").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+fn arch_for(size: usize) -> Architecture {
+    let desc = SystemDescription::new(size, size, vec![Kernel::sobel_x()], 1)
+        .expect("sobel fits the frame");
+    Architecture::new(desc, ArchConfig::fast_1ns(7, 20)).expect("feasible schedule")
+}
+
+/// Best-of-`rounds` seconds per frame plus the gate evaluations of one
+/// frame for either engine flavour.
+fn engine_seconds(
+    engine: &GateEngine,
+    arch: &Architecture,
+    img: &Image,
+    rounds: usize,
+) -> (f64, u64) {
+    let (_, stats) = engine.run_counted(arch, img).expect("gate run");
+    let mut best = f64::INFINITY;
+    for _ in 0..rounds {
+        let start = Instant::now();
+        black_box(engine.run_counted(arch, black_box(img)).expect("gate run"));
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    (best, stats.gate_evals)
+}
+
+fn bit_identical(
+    optimized: &GateEngine,
+    golden: &GateEngine,
+    arch: &Architecture,
+    img: &Image,
+) -> bool {
+    let opt = optimized.run(arch, img).expect("optimized run");
+    let swp = golden.run(arch, img).expect("sweep run");
+    opt.iter().zip(&swp).all(|(a, b)| {
+        a.pixels()
+            .iter()
+            .zip(b.pixels())
+            .all(|(pa, pb)| pa.to_bits() == pb.to_bits())
+    })
+}
+
+fn bench(c: &mut Criterion) {
+    let full = bench_mode();
+    let smoke = smoke_mode();
+    let (size, rounds) = match (full, smoke) {
+        (_, true) => (48, 3),
+        (true, false) => (96, 5),
+        (false, false) => (16, 1),
+    };
+    let arch = arch_for(size);
+    let bars = synth::scene(Scene::VerticalBars { period: 8 }, size, size, 1);
+    let natural = synth::natural_image(size, size, 1);
+    let cores = std::thread::available_parallelism().map_or(1, usize::from);
+
+    let optimized = GateEngine::compile(&arch);
+    let golden = GateEngine::compile_unoptimized(&arch);
+    let summary = optimized.opt_summary().expect("compile() optimizes");
+    let identical = bit_identical(&optimized, &golden, &arch, &bars)
+        && bit_identical(&optimized, &golden, &arch, &natural);
+    let (sweep_s, sweep_evals) = engine_seconds(&golden, &arch, &bars, rounds);
+    let (opt_s, opt_evals) = engine_seconds(&optimized, &arch, &bars, rounds);
+    let (nat_sweep_s, _) = engine_seconds(&golden, &arch, &natural, rounds);
+    let (nat_opt_s, nat_opt_evals) = engine_seconds(&optimized, &arch, &natural, rounds);
+    let speedup = sweep_s / opt_s;
+    let speedup_natural = nat_sweep_s / nat_opt_s;
+    let reduction = summary.reduction();
+    let skipped = 1.0 - opt_evals as f64 / sweep_evals as f64;
+
+    ta_bench::print_experiment(
+        "Gate-level netlist optimizer + event-driven evaluation",
+        &format!(
+            "sobel-x gate engine {size}×{size}, best of {rounds} rounds\n\
+             full-sweep golden     {:9.3} ms/frame  ({sweep_evals} gate evals)\n\
+             optimized (bars)      {:9.3} ms/frame  ({opt_evals} gate evals, \
+             {:.1}% skipped; {speedup:.2}×)\n\
+             optimized (natural)   {:9.3} ms/frame  ({nat_opt_evals} gate evals; \
+             {speedup_natural:.2}×)\n\
+             netlists: {} -> {} gates ({:.1}% eliminated; {} folded, {} shared, \
+             {} dead), {} deduped of {}\n\
+             bit-identical outputs: {identical}\n",
+            sweep_s * 1e3,
+            opt_s * 1e3,
+            skipped * 100.0,
+            nat_opt_s * 1e3,
+            summary.gates_pre,
+            summary.gates_post,
+            reduction * 100.0,
+            summary.folded,
+            summary.shared,
+            summary.dead,
+            summary.netlists_deduped,
+            summary.netlists,
+        ),
+    );
+
+    if full || smoke {
+        let json = format!(
+            "{{\n  \"bench\": \"gate_opt\",\n  \"kernel\": \"sobel_x\",\n  \
+             \"scene\": \"vertical_bars_p8\",\n  \
+             \"frame\": {size},\n  \"rounds\": {rounds},\n  \
+             \"host_cores\": {cores},\n  \"smoke\": {smoke},\n  \
+             \"gates\": {{\"pre\": {}, \"post\": {}, \"reduction\": {reduction:.4}, \
+             \"folded\": {}, \"shared\": {}, \"dead\": {}}},\n  \
+             \"netlists\": {{\"total\": {}, \"deduped\": {}}},\n  \
+             \"gate_evals\": {{\"full_sweep\": {sweep_evals}, \
+             \"event_driven\": {opt_evals}, \"event_driven_natural\": {nat_opt_evals}, \
+             \"skipped_frac\": {skipped:.4}}},\n  \
+             \"ms_per_frame\": {{\"full_sweep\": {:.6}, \"optimized\": {:.6}, \
+             \"full_sweep_natural\": {:.6}, \"optimized_natural\": {:.6}}},\n  \
+             \"speedup\": {speedup:.4},\n  \"speedup_natural\": {speedup_natural:.4},\n  \
+             \"bit_identical\": {identical}\n}}\n",
+            summary.gates_pre,
+            summary.gates_post,
+            summary.folded,
+            summary.shared,
+            summary.dead,
+            summary.netlists,
+            summary.netlists_deduped,
+            sweep_s * 1e3,
+            opt_s * 1e3,
+            nat_sweep_s * 1e3,
+            nat_opt_s * 1e3,
+        );
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_gates.json");
+        std::fs::write(path, json).expect("write BENCH_gates.json");
+        assert!(
+            identical,
+            "optimized gate engine must match the sweep bit-for-bit"
+        );
+        assert!(
+            speedup >= 1.0,
+            "optimized gate engine regressed vs full sweep: {speedup:.3}x"
+        );
+        assert!(
+            speedup_natural >= 1.0,
+            "optimized gate engine regressed on the natural frame: {speedup_natural:.3}x"
+        );
+        assert!(
+            reduction >= 0.30,
+            "optimizer eliminated only {:.1}% of Sobel's gates (floor 30%)",
+            reduction * 100.0
+        );
+    }
+
+    c.bench_function(&format!("gates/optimized_{size}x{size}"), |b| {
+        b.iter(|| optimized.run(&arch, black_box(&bars)));
+    });
+    c.bench_function(&format!("gates/full_sweep_{size}x{size}"), |b| {
+        b.iter(|| golden.run(&arch, black_box(&bars)));
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

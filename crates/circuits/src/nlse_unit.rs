@@ -7,6 +7,13 @@
 //! `ta_race_logic::blocks` compute (a cross-check test asserts this), but
 //! without building a netlist per evaluation, and they know their own
 //! energy and area.
+//!
+//! The netlists compiled from these blocks are not evaluated as built:
+//! `ta_race_logic::opt` folds constant delays, hash-conses identical
+//! subcircuits and drops dead gates before evaluation (DESIGN.md §5.16),
+//! so the gate counts reported next to this crate's energy/area figures
+//! (Table 2's "Gates" column) are the post-optimization counts. The
+//! functional models here are unaffected — they never build the netlist.
 
 use rand::Rng;
 use ta_approx::{NldeApprox, NlseApprox};

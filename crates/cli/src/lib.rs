@@ -31,7 +31,8 @@ use std::fmt;
 use ta_circuits::UnitScale;
 use ta_core::campaign::{self, CampaignConfig};
 use ta_core::{
-    exec, ArchConfig, Architecture, ArithmeticMode, FaultError, SystemDescription, SystemError,
+    exec, ArchConfig, Architecture, ArithmeticMode, FaultError, GateEngine, SystemDescription,
+    SystemError,
 };
 use ta_image::pgm::PgmError;
 use ta_image::{conv, metrics, pgm, synth, Image, Kernel};
@@ -277,6 +278,10 @@ OPTIONS (faults):
 
 OPTIONS (profile — per-stage time/energy/op breakdown):
   --vcd PATH        dump a first-cycle netlist waveform as VCD (GTKWave)
+  --gate-opt MODE   on | off — netlist optimizer (constant folding,
+                    hash-consing, dead-gate elimination) + event-driven
+                    evaluation for the gate-level report   [default: on]
+                    off compiles the unoptimized full-sweep engine
   (profile also accepts the run options above; default mode: approx)
 
 TELEMETRY (any command):
@@ -973,6 +978,15 @@ fn cmd_profile(args: &Args) -> Result<String, CliError> {
             "profile needs a delay-space mode: exact | approx | noisy".into(),
         ));
     }
+    let gate_opt = match args.get("--gate-opt").unwrap_or("on") {
+        "on" => true,
+        "off" => false,
+        other => {
+            return Err(CliError::InvalidConfig(format!(
+                "unknown --gate-opt {other:?}; try: on off"
+            )))
+        }
+    };
     let desc = SystemDescription::new(image.width(), image.height(), kernels.clone(), stride)?;
     let arch = Architecture::new(desc, config_of(args)?)?;
 
@@ -1086,6 +1100,34 @@ fn cmd_profile(args: &Args) -> Result<String, CliError> {
     };
     out.push_str(&format!(
         "plan cache: {rows_computed} row cells computed, {rows_reused} reused ({hit_pct:.1}% of {uses} uses)\n"
+    ));
+
+    // Gate-level pass: compile the race-logic netlists (optimized unless
+    // --gate-opt off) and run the frame through the gate engine so the
+    // report shows what the netlist optimizer bought on this geometry.
+    let engine = if gate_opt {
+        GateEngine::compile(&arch)
+    } else {
+        GateEngine::compile_unoptimized(&arch)
+    };
+    let (_gate_outs, gate_stats) = engine.run_counted(&arch, &image)?;
+    match engine.opt_summary() {
+        Some(s) => out.push_str(&format!(
+            "gate opt: {} -> {} gates ({:.1}% eliminated; {} folded, {} shared, {} dead), {} netlists ({} deduped)\n",
+            s.gates_pre,
+            s.gates_post,
+            s.reduction() * 100.0,
+            s.folded,
+            s.shared,
+            s.dead,
+            s.netlists,
+            s.netlists_deduped,
+        )),
+        None => out.push_str("gate opt: off (full-sweep golden engine)\n"),
+    }
+    out.push_str(&format!(
+        "gate events: {} gate evaluations across {} netlist evals\n",
+        gate_stats.gate_evals, gate_stats.cycle_evals,
     ));
 
     if let Some(path) = args.get("--vcd") {
@@ -1613,6 +1655,46 @@ mod tests {
         );
         // 20×20 input → 400 VTC conversions, whatever the kernel.
         assert!(out.contains("400 conversions"), "{out}");
+        // The optimizer is on by default and Sobel's zero-weight column
+        // gives it something to fold, so the gate report shows a shrink.
+        assert!(out.contains("gate opt:"), "{out}");
+        assert!(out.contains("-> "), "{out}");
+        assert!(out.contains("gate events:"), "{out}");
+        assert!(!out.contains("gate opt: off"), "{out}");
+    }
+
+    #[test]
+    fn profile_gate_opt_off_uses_the_sweep_engine() {
+        let out = dispatch(&argv(&[
+            "profile",
+            "--demo",
+            "--size",
+            "16",
+            "--kernel",
+            "box3",
+            "--gate-opt",
+            "off",
+        ]))
+        .unwrap();
+        assert!(
+            out.contains("gate opt: off (full-sweep golden engine)"),
+            "{out}"
+        );
+        assert!(out.contains("gate events:"), "{out}");
+    }
+
+    #[test]
+    fn profile_rejects_unknown_gate_opt_mode() {
+        let e = dispatch(&argv(&[
+            "profile",
+            "--demo",
+            "--size",
+            "16",
+            "--gate-opt",
+            "sideways",
+        ]))
+        .unwrap_err();
+        assert!(e.to_string().contains("--gate-opt"), "{e}");
     }
 
     #[test]

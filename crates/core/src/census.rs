@@ -251,6 +251,31 @@ pub(crate) fn publish_gate(cycle_evals: u64, nlde_evals: u64) {
     m.counter("ta_core_gate_nlde_evals_total").add(nlde_evals);
 }
 
+/// Publishes one netlist-optimizer compilation (DESIGN.md §5.16): gate
+/// totals before and after the pass pipeline, plus the eliminated count
+/// as its own series so dashboards can plot the reduction directly.
+pub(crate) fn publish_gate_opt_compile(gates_pre: u64, gates_post: u64) {
+    let m = ta_telemetry::metrics();
+    m.describe(
+        "ta_gate_gates_total",
+        "Gate counts compiled by the netlist optimizer, by phase (pre/post).",
+    );
+    m.labeled_counter("ta_gate_gates_total", "phase", "pre")
+        .add(gates_pre);
+    m.labeled_counter("ta_gate_gates_total", "phase", "post")
+        .add(gates_post);
+    m.counter("ta_gate_gates_eliminated_total")
+        .add(gates_pre.saturating_sub(gates_post));
+}
+
+/// Publishes one event-driven gate run's event total: gate evaluations
+/// actually performed (a full sweep would perform `gates × evaluations`).
+pub(crate) fn publish_gate_events(events: u64) {
+    ta_telemetry::metrics()
+        .counter("ta_gate_events_total")
+        .add(events);
+}
+
 #[cfg(test)]
 mod tests {
     #![allow(clippy::unwrap_used, clippy::expect_used)]

@@ -26,6 +26,7 @@
 use ta_delay_space::DelayValue;
 use ta_image::Image;
 use ta_race_logic::blocks::{self, TermPair};
+use ta_race_logic::opt::{optimize, EventSim, Optimized};
 use ta_race_logic::{Circuit, CircuitBuilder, FaultObservation, FaultPlan, NoNoise};
 
 use crate::exec::ExecError;
@@ -48,25 +49,100 @@ struct CycleCircuit {
     weight_nodes: Vec<Option<usize>>,
 }
 
+/// The optimizer side of a compiled engine: one optimized netlist per
+/// cycle slot (each carrying the sharing map back to the unoptimized
+/// [`CycleCircuit`] it was compiled from), plus the static census of the
+/// pass pipeline.
+#[derive(Debug, Clone)]
+struct GateOptInfo {
+    /// `slots[kernel][rail][ky]`, parallel to `GateEngine::cycles`.
+    slots: Vec<Vec<Vec<Optimized>>>,
+    summary: GateOptSummary,
+}
+
+/// Static optimizer census for one compiled engine (DESIGN.md §5.16).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GateOptSummary {
+    /// Gates across all unoptimized cycle netlists.
+    pub gates_pre: usize,
+    /// Gates across the optimized netlists, counting structurally
+    /// identical (deduplicated) netlists once.
+    pub gates_post: usize,
+    /// Gates folded to constants or collapsed onto surviving wires.
+    pub folded: usize,
+    /// Gates merged into an identical gate by hash-consing.
+    pub shared: usize,
+    /// Gates dropped as unreachable from the output.
+    pub dead: usize,
+    /// Cycle netlists compiled.
+    pub netlists: usize,
+    /// Netlists that deduplicated onto an earlier identical one.
+    pub netlists_deduped: usize,
+}
+
+impl GateOptSummary {
+    /// Fraction of gates removed by the pipeline, `0.0..=1.0`.
+    pub fn reduction(&self) -> f64 {
+        if self.gates_pre == 0 {
+            return 0.0;
+        }
+        1.0 - (self.gates_post as f64 / self.gates_pre as f64)
+    }
+}
+
+/// Dynamic evaluation counters for one frame run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GateRunStats {
+    /// Cycle-netlist evaluations (windows × rows × rails).
+    pub cycle_evals: u64,
+    /// Individual gate evaluations performed. The event-driven path
+    /// counts only gates whose fan-in changed; the full sweep counts
+    /// every gate of every evaluation.
+    pub gate_evals: u64,
+}
+
 /// The gate-level engine compiled from an [`Architecture`].
 #[derive(Debug, Clone)]
 pub struct GateEngine {
     /// `cycles[kernel][rail][ky]` — one netlist per kernel row per rail.
+    /// Always compiled, optimizer or not: the unoptimized netlists are
+    /// the golden reference and carry the node indices fault maps use.
     cycles: Vec<Vec<Vec<CycleCircuit>>>,
     /// The subtraction netlist, if any kernel is split.
     nlde: Option<(Circuit, f64)>,
     /// Rails per kernel, mirroring the delay kernels.
     rails: Vec<Vec<Rail>>,
+    /// Optimized netlists + event-driven evaluation, when enabled.
+    opt: Option<GateOptInfo>,
 }
 
 impl GateEngine {
-    /// Compiles every cycle datapath of `arch` into race-logic netlists.
+    /// Compiles every cycle datapath of `arch` into race-logic netlists,
+    /// runs the optimizer pass pipeline over them, and sets up
+    /// event-driven evaluation. Output values are bit-identical to
+    /// [`GateEngine::compile_unoptimized`] in every mode, clean and
+    /// faulty.
     ///
     /// # Panics
     ///
     /// Panics only on internal invariant violations (the architecture was
     /// already validated at construction).
     pub fn compile(arch: &Architecture) -> Self {
+        Self::compile_with(arch, true)
+    }
+
+    /// Compiles without the optimizer: every netlist keeps its built
+    /// structure and every evaluation is a full sweep. The golden
+    /// reference the optimized engine is pinned against.
+    ///
+    /// # Panics
+    ///
+    /// Panics only on internal invariant violations.
+    pub fn compile_unoptimized(arch: &Architecture) -> Self {
+        Self::compile_with(arch, false)
+    }
+
+    fn compile_with(arch: &Architecture, optimizer: bool) -> Self {
         let terms: Vec<TermPair> = arch.nlse_unit().approx().terms().to_vec();
         let k = arch.nlse_unit().latency_units();
         let kw = arch.desc().kernel_width();
@@ -93,22 +169,57 @@ impl GateEngine {
             (c, nk)
         });
 
+        let truncate_at = arch.schedule().cycle_units;
+        let opt = optimizer.then(|| build_opt(&cycles, truncate_at));
+        if let Some(info) = &opt {
+            crate::census::publish_gate_opt_compile(
+                info.summary.gates_pre as u64,
+                info.summary.gates_post as u64,
+            );
+        }
+
         GateEngine {
             cycles,
             nlde,
             rails,
+            opt,
         }
+    }
+
+    /// The optimizer's static census, if this engine was compiled with
+    /// the pass pipeline enabled.
+    pub fn opt_summary(&self) -> Option<GateOptSummary> {
+        self.opt.as_ref().map(|o| o.summary)
     }
 
     /// Executes one frame through the compiled netlists (ideal delay
     /// elements), producing decoded importance-space outputs — the
     /// gate-level equivalent of `exec::run` in `DelayApprox` mode.
     ///
+    /// With the optimizer enabled (the [`GateEngine::compile`] default)
+    /// this takes the event-driven path; the outputs are bit-identical to
+    /// the full-sweep path either way.
+    ///
     /// # Errors
     ///
     /// Returns [`ExecError::DimensionMismatch`] if the image does not
     /// match the compiled geometry.
     pub fn run(&self, arch: &Architecture, image: &Image) -> Result<Vec<Image>, ExecError> {
+        Ok(self.run_counted(arch, image)?.0)
+    }
+
+    /// [`GateEngine::run`], also returning the frame's evaluation
+    /// counters — the instrumented entry point benches and profiling use.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError::DimensionMismatch`] if the image does not
+    /// match the compiled geometry.
+    pub fn run_counted(
+        &self,
+        arch: &Architecture,
+        image: &Image,
+    ) -> Result<(Vec<Image>, GateRunStats), ExecError> {
         let desc = arch.desc();
         if (image.width(), image.height()) != (desc.image_width(), desc.image_height()) {
             return Err(ExecError::DimensionMismatch {
@@ -116,6 +227,19 @@ impl GateEngine {
                 got: (image.width(), image.height()),
             });
         }
+        match &self.opt {
+            Some(info) => self.run_optimized(arch, image, info),
+            None => self.run_sweep(arch, image),
+        }
+    }
+
+    /// The unoptimized full-sweep frame run — the golden reference path.
+    fn run_sweep(
+        &self,
+        arch: &Architecture,
+        image: &Image,
+    ) -> Result<(Vec<Image>, GateRunStats), ExecError> {
+        let desc = arch.desc();
         let stride = desc.stride();
         let (ow, oh) = desc.output_dims();
         let kw = desc.kernel_width();
@@ -125,6 +249,7 @@ impl GateEngine {
         let mut span = ta_telemetry::tracer().span("gate_engine.run");
         let mut cycle_evals: u64 = 0;
         let mut nlde_evals: u64 = 0;
+        let mut gate_evals: u64 = 0;
 
         let mut outputs = Vec::with_capacity(self.cycles.len());
         for (k_idx, per_rail) in self.cycles.iter().enumerate() {
@@ -151,6 +276,8 @@ impl GateEngine {
                             inputs.push(DelayValue::ZERO);
                             inputs.push(DelayValue::from_delay(truncate_at + 1e-9));
                             cycle_evals += 1;
+                            gate_evals +=
+                                (cycle.circuit.node_count() - cycle.circuit.input_count()) as u64;
                             let raw = cycle
                                 .circuit
                                 .evaluate(&inputs)
@@ -182,7 +309,147 @@ impl GateEngine {
         span.add_field("nlde_evals", nlde_evals);
         drop(span);
         crate::census::publish_gate(cycle_evals, nlde_evals);
-        Ok(outputs)
+        Ok((
+            outputs,
+            GateRunStats {
+                cycle_evals,
+                gate_evals,
+            },
+        ))
+    }
+
+    /// The event-driven frame run over the optimized netlists. Pixel
+    /// readout is hoisted to once per frame (`convert_ideal` is pure, so
+    /// sharing the converted edge across windows is bit-identical to the
+    /// sweep path's per-window readout), each cycle slot keeps a
+    /// persistent [`EventSim`] so only gates whose fan-in changed since
+    /// the previous window re-evaluate, and the per-pixel nLDE renorm
+    /// runs through a persistent [`EventSim`] as well (with the decode
+    /// scale factors hoisted out of the scan — `exp` is deterministic, so
+    /// computing each scale once per kernel is bit-identical to once per
+    /// pixel).
+    fn run_optimized(
+        &self,
+        arch: &Architecture,
+        image: &Image,
+        info: &GateOptInfo,
+    ) -> Result<(Vec<Image>, GateRunStats), ExecError> {
+        let desc = arch.desc();
+        let stride = desc.stride();
+        let (ow, oh) = desc.output_dims();
+        let kw = desc.kernel_width();
+        let kh = desc.kernel_height();
+        let truncate_at = arch.schedule().cycle_units;
+        let vtc = arch.vtc();
+        let mut span = ta_telemetry::tracer().span("gate_engine.run_opt");
+        let mut cycle_evals: u64 = 0;
+        let mut nlde_evals: u64 = 0;
+
+        let img_w = image.width();
+        let pixel_delays: Vec<DelayValue> = image
+            .pixels()
+            .iter()
+            .map(|&p| vtc.convert_ideal(p))
+            .collect();
+
+        let never = DelayValue::ZERO;
+        let boundary = DelayValue::from_delay(truncate_at + 1e-9);
+        let mut sims: Vec<Vec<Vec<EventSim>>> = info
+            .slots
+            .iter()
+            .map(|per_rail| {
+                per_rail
+                    .iter()
+                    .map(|rows| rows.iter().map(Optimized::event_sim).collect())
+                    .collect()
+            })
+            .collect();
+        let mut nlde_sim = self.nlde.as_ref().map(|(c, _)| EventSim::new(c));
+        let mut inputs: Vec<DelayValue> = vec![never; kw + 3];
+        inputs[kw + 2] = boundary;
+
+        let mut outputs = Vec::with_capacity(self.cycles.len());
+        for (k_idx, per_rail) in info.slots.iter().enumerate() {
+            let shift = arch.output_shift_units(k_idx, true);
+            let decode_scale = shift.exp();
+            let nlde_scale = self.nlde.as_ref().map(|(_, nk)| (shift + nk).exp());
+            let single_rail = self.rails[k_idx].len() == 1;
+            let mut out = Image::zeros(ow, oh);
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut rail_raw = [DelayValue::ZERO; 2];
+                    let sims_k = &mut sims[k_idx];
+                    for (r_i, per_row) in per_rail.iter().enumerate() {
+                        let row_cycles = &self.cycles[k_idx][r_i];
+                        let sims_r = &mut sims_k[r_i];
+                        let mut partial = DelayValue::ZERO;
+                        for (ky, slot) in per_row.iter().enumerate() {
+                            let row = (oy * stride + ky) * img_w + ox * stride;
+                            inputs[..kw].copy_from_slice(&pixel_delays[row..row + kw]);
+                            inputs[kw] = partial;
+                            cycle_evals += 1;
+                            let raw = match slot.const_output(0) {
+                                Some(v) => v,
+                                None => sims_r[ky]
+                                    .eval_one(&inputs)
+                                    .expect("compiled arity matches"),
+                            };
+                            let tree_shift = row_cycles[ky].tree_shift;
+                            partial = if ky + 1 < kh {
+                                if raw.is_never() {
+                                    raw
+                                } else {
+                                    raw.delayed(-tree_shift)
+                                }
+                            } else {
+                                raw
+                            };
+                        }
+                        rail_raw[r_i] = partial;
+                    }
+                    let value = if single_rail {
+                        rail_raw[0].decode() * decode_scale
+                    } else {
+                        nlde_evals += 1;
+                        let sim = nlde_sim
+                            .as_mut()
+                            .expect("split kernels carry an nLDE netlist");
+                        let (pos, neg) = (rail_raw[0], rail_raw[1]);
+                        let (minuend, subtrahend, sign) = if pos <= neg {
+                            (pos, neg, 1.0)
+                        } else {
+                            (neg, pos, -1.0)
+                        };
+                        let diff = sim
+                            .eval_one(&[minuend, subtrahend])
+                            .expect("two-input netlist");
+                        sign * diff.decode()
+                            * nlde_scale.expect("split kernels carry an nLDE netlist")
+                    };
+                    out.set(ox, oy, value);
+                }
+            }
+            outputs.push(out);
+        }
+        let gate_evals: u64 = sims
+            .iter()
+            .flatten()
+            .flatten()
+            .map(|sim| sim.events())
+            .sum();
+        span.add_field("cycle_evals", cycle_evals);
+        span.add_field("nlde_evals", nlde_evals);
+        span.add_field("gate_evals", gate_evals);
+        drop(span);
+        crate::census::publish_gate(cycle_evals, nlde_evals);
+        crate::census::publish_gate_events(gate_evals);
+        Ok((
+            outputs,
+            GateRunStats {
+                cycle_evals,
+                gate_evals,
+            },
+        ))
     }
 
     /// Executes one frame with *noisy* delay elements: every delay gate in
@@ -330,6 +597,214 @@ impl GateEngine {
                 got: (image.width(), image.height()),
             });
         }
+        if let Some(info) = &self.opt {
+            // Lower each slot's plan through its sharing map. Engine
+            // fault classes always lower cleanly (weight lines survive
+            // as physical gates, drift on folded never-paths drops); the
+            // sweep fallback is defensive, for plans the map rejects.
+            if let Some(lowered) = self.lower_all(info, faults) {
+                return self.run_faulty_opt(arch, image, faults, info, &lowered);
+            }
+        }
+        self.run_faulty_sweep(arch, image, faults)
+    }
+
+    /// Lowers the fault map onto every optimized slot, or `None` if any
+    /// slot's sharing map rejects its plan.
+    fn lower_all(&self, info: &GateOptInfo, faults: &FaultMap) -> Option<Vec<Vec<Vec<FaultPlan>>>> {
+        let mut all = Vec::with_capacity(self.cycles.len());
+        for (k_idx, per_rail) in self.cycles.iter().enumerate() {
+            let mut rails_v = Vec::with_capacity(per_rail.len());
+            for (r_i, per_row) in per_rail.iter().enumerate() {
+                let rail = self.rails[k_idx][r_i];
+                let mut rows_v = Vec::with_capacity(per_row.len());
+                for (ky, cycle) in per_row.iter().enumerate() {
+                    let plan = cycle_plan(cycle, faults, k_idx, rail, ky);
+                    let lowered = info.slots[k_idx][r_i][ky].map().lower_plan(&plan).ok()?;
+                    rows_v.push(lowered);
+                }
+                rails_v.push(rows_v);
+            }
+            all.push(rails_v);
+        }
+        Some(all)
+    }
+
+    /// Event-driven faulty run: like [`GateEngine::run_optimized`], with
+    /// the lowered plans baked into each slot's [`EventSim`]. Output
+    /// values are bit-identical to the sweep path; the stats *counters*
+    /// tally fault applications actually performed, which event skipping
+    /// makes ≤ the sweep path's per-evaluation totals (an empty map still
+    /// observes exactly nothing).
+    #[allow(clippy::too_many_lines)]
+    fn run_faulty_opt(
+        &self,
+        arch: &Architecture,
+        image: &Image,
+        faults: &FaultMap,
+        info: &GateOptInfo,
+        lowered: &[Vec<Vec<FaultPlan>>],
+    ) -> Result<(Vec<Image>, FaultStats), ExecError> {
+        let desc = arch.desc();
+        let stride = desc.stride();
+        let (ow, oh) = desc.output_dims();
+        let kw = desc.kernel_width();
+        let kh = desc.kernel_height();
+        let truncate_at = arch.schedule().cycle_units;
+        let loop_delay = arch.schedule().loop_delay_units;
+        let vtc = arch.vtc();
+        let mut span = ta_telemetry::tracer().span("gate_engine.run_faulty_opt");
+        let mut cycle_evals: u64 = 0;
+        let mut nlde_evals: u64 = 0;
+        let mut stats = FaultStats {
+            sites_injected: faults.len(),
+            ..FaultStats::default()
+        };
+
+        // Pixel readout once per frame: the faulted VTC edge is shared by
+        // every window reading the pixel, as in the functional engine.
+        let img_w = image.width();
+        let pixel_delays: Vec<DelayValue> = image
+            .pixels()
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| {
+                let v = vtc.convert_ideal(p);
+                match faults.pixel_fault(i % img_w, i / img_w) {
+                    None => v,
+                    Some(fault) => {
+                        let mut obs = FaultObservation::default();
+                        let v = fault.apply(v, &mut obs);
+                        stats.absorb_observation(obs);
+                        v
+                    }
+                }
+            })
+            .collect();
+
+        let nlde_plans: Vec<Option<FaultPlan>> = self
+            .cycles
+            .iter()
+            .enumerate()
+            .map(|(k_idx, _)| {
+                let fraction = faults.nlde_drift(k_idx)?;
+                let (circuit, _) = self.nlde.as_ref()?;
+                let mut plan = FaultPlan::new();
+                for (idx, _) in circuit.delay_elements() {
+                    plan.set_delay_drift(idx, fraction);
+                }
+                Some(plan)
+            })
+            .collect();
+
+        let never = DelayValue::ZERO;
+        let boundary = DelayValue::from_delay(truncate_at + 1e-9);
+        let mut sims: Vec<Vec<Vec<EventSim>>> = info
+            .slots
+            .iter()
+            .enumerate()
+            .map(|(k_idx, per_rail)| {
+                per_rail
+                    .iter()
+                    .enumerate()
+                    .map(|(r_i, rows)| {
+                        rows.iter()
+                            .enumerate()
+                            .map(|(ky, s)| {
+                                EventSim::with_plan(s.circuit(), &lowered[k_idx][r_i][ky])
+                            })
+                            .collect()
+                    })
+                    .collect()
+            })
+            .collect();
+        let mut inputs: Vec<DelayValue> = Vec::with_capacity(kw + 3);
+
+        let mut outputs = Vec::with_capacity(self.cycles.len());
+        for (k_idx, per_rail) in info.slots.iter().enumerate() {
+            let shift = arch.output_shift_units(k_idx, true);
+            let mut out = Image::zeros(ow, oh);
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut rail_raw = [DelayValue::ZERO; 2];
+                    for (r_i, per_row) in per_rail.iter().enumerate() {
+                        let rail = self.rails[k_idx][r_i];
+                        let mut partial = DelayValue::ZERO;
+                        for (ky, slot) in per_row.iter().enumerate() {
+                            inputs.clear();
+                            let row = (oy * stride + ky) * img_w + ox * stride;
+                            inputs.extend_from_slice(&pixel_delays[row..row + kw]);
+                            inputs.push(partial);
+                            inputs.push(never);
+                            inputs.push(boundary);
+                            cycle_evals += 1;
+                            let raw = match slot.const_output(0) {
+                                Some(v) => v,
+                                None => sims[k_idx][r_i][ky]
+                                    .eval(&inputs)
+                                    .expect("compiled arity matches")[0],
+                            };
+                            let tree_shift = self.cycles[k_idx][r_i][ky].tree_shift;
+                            partial = if ky + 1 < kh {
+                                if raw.is_never() {
+                                    raw
+                                } else {
+                                    match faults.loop_drift(k_idx, rail) {
+                                        None => raw.delayed(-tree_shift),
+                                        Some(fraction) => {
+                                            let excess = if 1.0 + fraction < 0.0 {
+                                                stats.saturations += 1;
+                                                -loop_delay
+                                            } else {
+                                                loop_delay * fraction
+                                            };
+                                            raw.delayed(excess - tree_shift)
+                                        }
+                                    }
+                                }
+                            } else {
+                                raw
+                            };
+                        }
+                        rail_raw[r_i] = partial;
+                    }
+                    if self.rails[k_idx].len() == 2 {
+                        nlde_evals += 1;
+                    }
+                    let value = self.combine_faulty(
+                        &self.rails[k_idx],
+                        rail_raw,
+                        shift,
+                        nlde_plans[k_idx].as_ref(),
+                        &mut stats,
+                    );
+                    out.set(ox, oy, value);
+                }
+            }
+            outputs.push(out);
+        }
+        let mut gate_evals: u64 = 0;
+        for sim in sims.iter_mut().flatten().flatten() {
+            gate_evals += sim.events();
+            stats.absorb_observation(sim.take_observation());
+        }
+        span.add_field("cycle_evals", cycle_evals);
+        span.add_field("gate_evals", gate_evals);
+        span.add_field("edges_faulted", stats.edges_faulted);
+        drop(span);
+        crate::census::publish_gate(cycle_evals, nlde_evals);
+        crate::census::publish_gate_events(gate_evals);
+        Ok((outputs, stats))
+    }
+
+    /// The unoptimized full-sweep faulty run — the golden reference path.
+    fn run_faulty_sweep(
+        &self,
+        arch: &Architecture,
+        image: &Image,
+        faults: &FaultMap,
+    ) -> Result<(Vec<Image>, FaultStats), ExecError> {
+        let desc = arch.desc();
         let stride = desc.stride();
         let (ow, oh) = desc.output_dims();
         let kw = desc.kernel_width();
@@ -556,6 +1031,53 @@ impl ta_race_logic::DelayPerturb for PerturbHook<'_> {
     }
 }
 
+/// Runs the optimizer pass pipeline over every compiled cycle netlist,
+/// declaring the two constant feeds (the always-never input and the
+/// frame-boundary reference edge) so folding can propagate them, and
+/// dedupes structurally identical optimized netlists across slots —
+/// repeated kernel rows are one piece of physical hardware, so the area
+/// census counts them once.
+fn build_opt(cycles: &[Vec<Vec<CycleCircuit>>], truncate_at: f64) -> GateOptInfo {
+    let boundary = DelayValue::from_delay(truncate_at + 1e-9);
+    let mut summary = GateOptSummary::default();
+    let mut reps: Vec<(u64, Optimized)> = Vec::new();
+    let mut slots = Vec::with_capacity(cycles.len());
+    for per_rail in cycles {
+        let mut rails_v = Vec::with_capacity(per_rail.len());
+        for per_row in per_rail {
+            let mut rows_v = Vec::with_capacity(per_row.len());
+            for cycle in per_row {
+                let n_inputs = cycle.circuit.input_count();
+                let mut consts = vec![None; n_inputs];
+                consts[n_inputs - 2] = Some(DelayValue::ZERO);
+                consts[n_inputs - 1] = Some(boundary);
+                let optimized =
+                    optimize(&cycle.circuit, &consts).expect("compiled netlists optimize cleanly");
+                let st = optimized.stats();
+                summary.gates_pre += st.gates_pre;
+                summary.folded += st.folded;
+                summary.shared += st.shared;
+                summary.dead += st.dead;
+                summary.netlists += 1;
+                let fp = optimized.fingerprint();
+                let is_dup = reps
+                    .iter()
+                    .any(|(f, rep)| *f == fp && rep.structurally_equal(&optimized));
+                if is_dup {
+                    summary.netlists_deduped += 1;
+                } else {
+                    summary.gates_post += st.gates_post;
+                    reps.push((fp, optimized.clone()));
+                }
+                rows_v.push(optimized);
+            }
+            rails_v.push(rows_v);
+        }
+        slots.push(rails_v);
+    }
+    GateOptInfo { slots, summary }
+}
+
 /// Builds one cycle's netlist: weight delays on the firing columns feed a
 /// path-balanced nLSE tree together with the recurrent partial. Each
 /// weighted leaf is gated by an inhibit cell against the frame-boundary
@@ -640,9 +1162,11 @@ fn cycle_plan(
 
 #[cfg(test)]
 mod tests {
+
     #![allow(clippy::unwrap_used, clippy::expect_used)]
 
     use super::*;
+
     use crate::fault::{FaultModel, FaultSite};
     use crate::{exec, ArchConfig, ArithmeticMode, SystemDescription};
     use ta_image::{metrics, synth, Kernel};

@@ -64,7 +64,7 @@ pub use error::Error;
 pub use fault::{
     enumerate_sites, FaultError, FaultKind, FaultMap, FaultModel, FaultSite, FaultStats,
 };
-pub use gate_engine::GateEngine;
+pub use gate_engine::{GateEngine, GateOptSummary, GateRunStats};
 pub use modes::ArithmeticMode;
 pub use plan::{FramePlan, PlanCacheStats};
 pub use report::{RunResult, TimingReport, ValidationError};

@@ -1,0 +1,311 @@
+//! Golden equivalence for the netlist optimizer + event-driven gate
+//! engine (ISSUE 10 acceptance gate, DESIGN.md §5.16): the optimized
+//! [`GateEngine`] — constant folding, hash-consing, dead-gate
+//! elimination, event-queue evaluation — must be *bit-identical* to the
+//! unoptimized full-sweep engine on every geometry the compiler can
+//! produce, clean and under fault injection, and must keep tracking the
+//! functional simulator in every [`ArithmeticMode`] exactly as the
+//! unoptimized engine does.
+//!
+//! Edge geometries from the satellite checklist: 1×1 kernels (the tree
+//! degenerates to a single leaf), single-rail architectures (no nLDE),
+//! all-zero weight rows (a whole cycle netlist folds to the recurrent
+//! partial), and fault injection whose sites resolve through the sharing
+//! map onto merged gates.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use ta_core::fault::{FaultKind, FaultMap, FaultModel, FaultSite};
+use ta_core::transform::Rail;
+use ta_core::{exec, ArchConfig, Architecture, ArithmeticMode, GateEngine, SystemDescription};
+use ta_image::{metrics, synth, Image, Kernel};
+
+fn assert_images_bit_identical(a: &[Image], b: &[Image], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: kernel count");
+    for (k, (ia, ib)) in a.iter().zip(b).enumerate() {
+        for (i, (pa, pb)) in ia.pixels().iter().zip(ib.pixels()).enumerate() {
+            assert_eq!(
+                pa.to_bits(),
+                pb.to_bits(),
+                "{what}: kernel {k} pixel {i}: {pa} vs {pb}"
+            );
+        }
+    }
+}
+
+/// The geometry sweep: every named case compiles both engines and must
+/// agree bit-for-bit. The bool marks cases with zero-weight columns or
+/// rows, where never-leaf folding must strictly shrink the netlists;
+/// dense kernels (box, pyramid, full 1×1) have nothing to fold and only
+/// dedup/event wins apply.
+fn cases() -> Vec<(&'static str, Vec<Kernel>, usize, usize, bool)> {
+    vec![
+        ("sobel_split_rail", vec![Kernel::sobel_x()], 1, 10, true),
+        ("single_rail_box", vec![Kernel::box_filter(3)], 1, 12, false),
+        (
+            "one_by_one",
+            vec![Kernel::new("identity_gain", 1, 1, vec![0.8])],
+            1,
+            8,
+            false,
+        ),
+        (
+            "all_zero_weight_row",
+            vec![Kernel::new(
+                "gap_row",
+                3,
+                3,
+                vec![0.5, 1.0, 0.5, 0.0, 0.0, 0.0, 0.5, 1.0, 0.5],
+            )],
+            1,
+            10,
+            true,
+        ),
+        (
+            "multi_kernel_stride2",
+            vec![Kernel::sobel_x(), Kernel::sobel_y()],
+            1,
+            9,
+            true,
+        ),
+        (
+            "pyramid_stride2",
+            vec![Kernel::pyr_down_5x5()],
+            2,
+            13,
+            false,
+        ),
+    ]
+}
+
+#[test]
+fn optimized_engine_is_bit_identical_clean() {
+    for (name, kernels, stride, size, expect_reduction) in cases() {
+        let desc = SystemDescription::new(size, size, kernels, stride).unwrap();
+        let arch = Architecture::new(desc, ArchConfig::fast_1ns(4, 8)).unwrap();
+        let optimized = GateEngine::compile(&arch);
+        let golden = GateEngine::compile_unoptimized(&arch);
+        let img = synth::natural_image(size, size, 11);
+
+        let (opt_outs, opt_stats) = optimized.run_counted(&arch, &img).unwrap();
+        let (ref_outs, ref_stats) = golden.run_counted(&arch, &img).unwrap();
+        assert_images_bit_identical(&opt_outs, &ref_outs, name);
+
+        // The optimizer must actually shrink the netlists, and the event
+        // queue must evaluate no more gates than the full sweep.
+        let summary = optimized
+            .opt_summary()
+            .expect("compile() enables the optimizer");
+        assert!(golden.opt_summary().is_none());
+        assert!(
+            summary.gates_post <= summary.gates_pre,
+            "{name}: {summary:?}"
+        );
+        assert_eq!(opt_stats.cycle_evals, ref_stats.cycle_evals, "{name}");
+        assert!(
+            opt_stats.gate_evals <= ref_stats.gate_evals,
+            "{name}: events {} above sweep {}",
+            opt_stats.gate_evals,
+            ref_stats.gate_evals
+        );
+        if expect_reduction {
+            assert!(
+                summary.gates_post < summary.gates_pre,
+                "{name}: no reduction: {summary:?}"
+            );
+            assert!(
+                opt_stats.gate_evals < ref_stats.gate_evals,
+                "{name}: events {} not below sweep {}",
+                opt_stats.gate_evals,
+                ref_stats.gate_evals
+            );
+        }
+    }
+}
+
+#[test]
+fn optimized_engine_tracks_functional_in_every_mode() {
+    // The unoptimized engine is pinned to the functional simulator's
+    // DelayApprox mode at 1e-9 rmse; the optimized engine, being
+    // bit-identical to it, must hold the same bound — and the remaining
+    // modes bracket it exactly as they bracket the unoptimized engine
+    // (identical outputs make the comparisons interchangeable).
+    for (name, kernels, stride, size, _) in cases() {
+        let desc = SystemDescription::new(size, size, kernels, stride).unwrap();
+        let arch = Architecture::new(desc, ArchConfig::fast_1ns(4, 8)).unwrap();
+        let engine = GateEngine::compile(&arch);
+        let img = synth::natural_image(size, size, 12);
+        let gate_outs = engine.run(&arch, &img).unwrap();
+        for mode in ArithmeticMode::ALL {
+            let functional = exec::run(&arch, &img, mode, 5).unwrap();
+            for (g, f) in gate_outs.iter().zip(&functional.outputs) {
+                let rmse = metrics::rmse(g, f);
+                match mode {
+                    ArithmeticMode::DelayApprox => assert!(
+                        rmse < 1e-9,
+                        "{name}/{mode:?}: optimized gate engine diverges: rmse {rmse}"
+                    ),
+                    // The exact modes differ from the gate engine only by
+                    // the nLSE/nLDE approximation error; the noisy mode
+                    // adds bounded jitter on top. Loose sanity bands —
+                    // the tight pin is DelayApprox above.
+                    _ => assert!(rmse.is_finite(), "{name}/{mode:?}: non-finite divergence"),
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn optimized_engine_is_bit_identical_under_directed_faults() {
+    // One instance of every fault class on the split-rail Sobel netlist,
+    // including sites that land on gates the optimizer touched: weight
+    // lines whose row-mates folded away, and a tree-chain drift that
+    // resolves through the sharing map onto the merged tree hardware.
+    let desc = SystemDescription::new(10, 10, vec![Kernel::sobel_x()], 1).unwrap();
+    let arch = Architecture::new(desc, ArchConfig::fast_1ns(4, 8)).unwrap();
+    let optimized = GateEngine::compile(&arch);
+    let golden = GateEngine::compile_unoptimized(&arch);
+    let img = synth::natural_image(10, 10, 13);
+
+    let mut map = FaultMap::new();
+    map.insert(
+        FaultSite::WeightLine {
+            kernel: 0,
+            rail: Rail::Pos,
+            ky: 0,
+            kx: 2,
+        },
+        FaultKind::StuckAtNever,
+    )
+    .unwrap();
+    map.insert(
+        FaultSite::WeightLine {
+            kernel: 0,
+            rail: Rail::Neg,
+            ky: 1,
+            kx: 0,
+        },
+        FaultKind::DelayDrift { fraction: 0.3 },
+    )
+    .unwrap();
+    map.insert(
+        FaultSite::WeightLine {
+            kernel: 0,
+            rail: Rail::Pos,
+            ky: 2,
+            kx: 2,
+        },
+        FaultKind::SpuriousEarly { advance_units: 0.4 },
+    )
+    .unwrap();
+    map.insert(FaultSite::Pixel { x: 4, y: 5 }, FaultKind::StuckAtZero)
+        .unwrap();
+    map.insert(FaultSite::Pixel { x: 2, y: 7 }, FaultKind::DropEvent)
+        .unwrap();
+    map.insert(
+        FaultSite::TreeChain {
+            kernel: 0,
+            rail: Rail::Pos,
+        },
+        FaultKind::DelayDrift { fraction: -0.2 },
+    )
+    .unwrap();
+    map.insert(
+        FaultSite::LoopLine {
+            kernel: 0,
+            rail: Rail::Neg,
+        },
+        FaultKind::DelayDrift { fraction: 0.15 },
+    )
+    .unwrap();
+    map.insert(
+        FaultSite::NldeChain { kernel: 0 },
+        FaultKind::DelayDrift { fraction: 0.25 },
+    )
+    .unwrap();
+
+    let (opt_outs, opt_stats) = optimized.run_faulty(&arch, &img, &map).unwrap();
+    let (ref_outs, ref_stats) = golden.run_faulty(&arch, &img, &map).unwrap();
+    assert_images_bit_identical(&opt_outs, &ref_outs, "directed faults");
+    // Counters tally applications performed, so event skipping makes the
+    // optimized totals ≤ the sweep's — but never zero under real faults.
+    assert!(opt_stats.edges_faulted > 0);
+    assert!(opt_stats.edges_faulted <= ref_stats.edges_faulted);
+    assert_eq!(opt_stats.sites_injected, ref_stats.sites_injected);
+
+    // Both engines must also still agree with the functional simulator.
+    let functional = exec::run_faulty(&arch, &img, ArithmeticMode::DelayApprox, 0, &map).unwrap();
+    for (g, f) in opt_outs.iter().zip(&functional.outputs) {
+        assert!(metrics::rmse(g, f) < 1e-9);
+    }
+}
+
+#[test]
+fn optimized_engine_is_bit_identical_under_sampled_campaigns() {
+    for (name, kernels, stride, size, _) in cases() {
+        let desc = SystemDescription::new(size, size, kernels, stride).unwrap();
+        let arch = Architecture::new(desc, ArchConfig::fast_1ns(4, 8)).unwrap();
+        let optimized = GateEngine::compile(&arch);
+        let golden = GateEngine::compile_unoptimized(&arch);
+        let img = synth::natural_image(size, size, 14);
+        for seed in 0..3 {
+            let map = FaultModel::with_rate(0.15).unwrap().sample(&arch, seed);
+            let (opt_outs, _) = optimized.run_faulty(&arch, &img, &map).unwrap();
+            let (ref_outs, _) = golden.run_faulty(&arch, &img, &map).unwrap();
+            assert_images_bit_identical(
+                &opt_outs,
+                &ref_outs,
+                &format!("{name} campaign seed {seed}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn noisy_mode_is_unaffected_by_the_optimizer() {
+    // Noisy evaluation consumes one RNG draw per delay element per sweep,
+    // so it must stay on the unoptimized netlists; both engines share
+    // them, making the noisy outputs literally identical.
+    let desc = SystemDescription::new(12, 12, vec![Kernel::box_filter(3)], 1).unwrap();
+    let arch = Architecture::new(desc, ArchConfig::fast_1ns(4, 8)).unwrap();
+    let optimized = GateEngine::compile(&arch);
+    let golden = GateEngine::compile_unoptimized(&arch);
+    let img = synth::natural_image(12, 12, 15);
+    let a = optimized.run_noisy(&arch, &img, 42).unwrap();
+    let b = golden.run_noisy(&arch, &img, 42).unwrap();
+    assert_images_bit_identical(&a, &b, "noisy");
+}
+
+#[test]
+fn empty_fault_map_through_optimizer_observes_nothing() {
+    // The fault-rate-zero invariant must survive the optimizer: an empty
+    // map takes the event-driven path and still reports a default stats
+    // block, bit-identical to the clean run.
+    let desc = SystemDescription::new(10, 10, vec![Kernel::sobel_x()], 1).unwrap();
+    let arch = Architecture::new(desc, ArchConfig::fast_1ns(4, 8)).unwrap();
+    let engine = GateEngine::compile(&arch);
+    let img = synth::natural_image(10, 10, 16);
+    let clean = engine.run(&arch, &img).unwrap();
+    let (faulty, stats) = engine.run_faulty(&arch, &img, &FaultMap::new()).unwrap();
+    assert_images_bit_identical(&clean, &faulty, "empty map");
+    assert_eq!(stats, ta_core::fault::FaultStats::default());
+}
+
+#[test]
+fn sobel_reduction_meets_the_energy_table_floor() {
+    // The acceptance criterion feeding the energy/area tables: ≥ 30%
+    // gate-count reduction on the Sobel netlist (never-leaf folding of
+    // absent weight columns plus cross-row dedup of identical rows).
+    let desc = SystemDescription::new(16, 16, vec![Kernel::sobel_x()], 1).unwrap();
+    let arch = Architecture::new(desc, ArchConfig::fast_1ns(4, 8)).unwrap();
+    let engine = GateEngine::compile(&arch);
+    let summary = engine.opt_summary().unwrap();
+    assert!(
+        summary.reduction() >= 0.30,
+        "sobel reduction {:.3} below floor: {summary:?}",
+        summary.reduction()
+    );
+    // Sobel's rows 0 and 2 are identical per rail: dedup must fire.
+    assert!(summary.netlists_deduped >= 2, "{summary:?}");
+}

@@ -2,7 +2,7 @@
 //! the three benchmarks under the three Pareto-frontier configurations.
 
 use ta_circuits::UnitScale;
-use ta_core::{exec, ArchConfig, Architecture, ArithmeticMode, SystemDescription};
+use ta_core::{exec, ArchConfig, Architecture, ArithmeticMode, GateEngine, SystemDescription};
 use ta_image::{conv, metrics, synth, Image};
 
 use crate::table1;
@@ -42,6 +42,11 @@ pub struct Table2Row {
     pub throughput_mfps: f64,
     /// Pooled range-normalised RMSE over the evaluation images.
     pub rmse: f64,
+    /// Race-logic gate count before netlist optimization (DESIGN.md §5.16).
+    pub gates_pre: usize,
+    /// Gate count after constant folding, hash-consing and dead-gate
+    /// elimination — the count the area/energy silicon actually needs.
+    pub gates_post: usize,
 }
 
 /// Measures every benchmark × configuration on `n_images` synthetic
@@ -77,6 +82,9 @@ pub fn compute(size: usize, n_images: usize, seed: u64) -> Vec<Table2Row> {
                 .expect("geometry matches");
                 per_image.push(run.pooled_rmse(&refs));
             }
+            let opt = GateEngine::compile(&arch)
+                .opt_summary()
+                .expect("compile() optimizes");
             rows.push(Table2Row {
                 function: bench.name.to_string(),
                 config: (unit_ns, nlse, nlde),
@@ -84,6 +92,8 @@ pub fn compute(size: usize, n_images: usize, seed: u64) -> Vec<Table2Row> {
                 energy_uj: arch.energy_per_frame().total_uj(),
                 throughput_mfps: arch.timing().max_throughput_mfps(),
                 rmse: metrics::pool_rmse(&per_image),
+                gates_pre: opt.gates_pre,
+                gates_post: opt.gates_post,
             });
         }
     }
@@ -105,6 +115,12 @@ pub fn render(rows: &[Table2Row]) -> String {
                 format!("{:.1} / {:.1}", r.energy_uj, p_e),
                 format!("{:.0} / {:.0}", r.throughput_mfps, p_t),
                 format!("{:.3} / {:.3}", r.rmse, p_r),
+                format!(
+                    "{} -> {} (-{:.0}%)",
+                    r.gates_pre,
+                    r.gates_post,
+                    (1.0 - r.gates_post as f64 / r.gates_pre as f64) * 100.0
+                ),
             ]
         })
         .collect();
@@ -117,6 +133,7 @@ pub fn render(rows: &[Table2Row]) -> String {
             "Energy (µJ/frame)",
             "Max T'put (Mfps)",
             "Acc. (RMSE)",
+            "Gates (pre -> post)",
         ],
         &table,
     ));
@@ -146,6 +163,11 @@ mod tests {
             (rows[3].throughput_mfps - rows[6].throughput_mfps).abs() / rows[3].throughput_mfps
                 < 1e-9
         );
+        // The optimizer always removes gates on these benchmarks (every
+        // kernel has zero or repeated weights to fold or share).
+        for r in &rows {
+            assert!(r.gates_post < r.gates_pre, "{}: {:?}", r.function, r);
+        }
     }
 
     #[test]

@@ -3,6 +3,7 @@
 use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
+use std::sync::Arc;
 
 use ta_delay_space::DelayValue;
 
@@ -22,7 +23,7 @@ impl NodeId {
 }
 
 #[derive(Debug, Clone)]
-enum Node {
+pub(crate) enum Node {
     Input { name: String },
     Gate(Gate),
 }
@@ -174,10 +175,30 @@ impl CircuitBuilder {
         if let Some(e) = self.error {
             return Err(e);
         }
+        // Trace labels are interned once here so the traced evaluation
+        // path clones an `Arc` per node instead of formatting and
+        // allocating a fresh `String` on every call.
+        let labels = self
+            .nodes
+            .iter()
+            .enumerate()
+            .map(|(idx, node)| -> Arc<str> {
+                match node {
+                    Node::Input { name } => name.as_str().into(),
+                    Node::Gate(Gate::FirstArrival(_)) => format!("fa#{idx}").into(),
+                    Node::Gate(Gate::LastArrival(_)) => format!("la#{idx}").into(),
+                    Node::Gate(Gate::Inhibit { .. }) => format!("inh#{idx}").into(),
+                    Node::Gate(Gate::Delay { delta, .. }) => {
+                        format!("dly#{idx}(+{delta:.2})").into()
+                    }
+                }
+            })
+            .collect();
         Ok(Circuit {
             nodes: self.nodes,
             outputs: self.outputs,
             inputs: self.inputs,
+            labels,
         })
     }
 }
@@ -207,9 +228,26 @@ pub struct Circuit {
     nodes: Vec<Node>,
     outputs: Vec<(String, NodeId)>,
     inputs: Vec<NodeId>,
+    /// Interned per-node trace labels, built once at construction.
+    labels: Vec<Arc<str>>,
 }
 
 impl Circuit {
+    /// The node array in topological order (construction order).
+    pub(crate) fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// The named outputs in declaration order.
+    pub(crate) fn outputs_raw(&self) -> &[(String, NodeId)] {
+        &self.outputs
+    }
+
+    /// The primary-input node ids in declaration order.
+    pub(crate) fn inputs_raw(&self) -> &[NodeId] {
+        &self.inputs
+    }
+
     /// Number of primary inputs, in declaration order.
     pub fn input_count(&self) -> usize {
         self.inputs.len()
@@ -483,48 +521,47 @@ impl Circuit {
         let mut entries = Vec::with_capacity(self.nodes.len());
         let mut next_input = 0;
         for (idx, node) in self.nodes.iter().enumerate() {
-            let (time, label) = match node {
-                Node::Input { name } => {
+            let time = match node {
+                Node::Input { .. } => {
                     let v = inputs[next_input];
                     next_input += 1;
-                    (v, name.clone())
+                    v
                 }
-                Node::Gate(Gate::FirstArrival(ins)) => (
-                    ins.iter()
-                        .map(|n| times[n.0])
-                        .min()
-                        .unwrap_or(DelayValue::ZERO),
-                    format!("fa#{idx}"),
-                ),
-                Node::Gate(Gate::LastArrival(ins)) => (
-                    ins.iter()
-                        .map(|n| times[n.0])
-                        .max()
-                        .unwrap_or(DelayValue::ZERO),
-                    format!("la#{idx}"),
-                ),
-                Node::Gate(Gate::Inhibit { data, inhibitor }) => (
-                    times[data.0].inhibited_by(times[inhibitor.0]),
-                    format!("inh#{idx}"),
-                ),
+                Node::Gate(Gate::FirstArrival(ins)) => ins
+                    .iter()
+                    .map(|n| times[n.0])
+                    .min()
+                    .unwrap_or(DelayValue::ZERO),
+                Node::Gate(Gate::LastArrival(ins)) => ins
+                    .iter()
+                    .map(|n| times[n.0])
+                    .max()
+                    .unwrap_or(DelayValue::ZERO),
+                Node::Gate(Gate::Inhibit { data, inhibitor }) => {
+                    times[data.0].inhibited_by(times[inhibitor.0])
+                }
                 Node::Gate(Gate::Delay { input, delta }) => {
                     let in_t = times[input.0];
-                    let t = if in_t.is_never() {
+                    if in_t.is_never() {
                         in_t
                     } else {
                         in_t.delayed(*delta)
-                    };
-                    (t, format!("dly#{idx}(+{delta:.2})"))
+                    }
                 }
             };
             times[idx] = time;
-            entries.push(crate::trace::TraceEntry { label, time });
+            entries.push(crate::trace::TraceEntry {
+                label: Arc::clone(&self.labels[idx]),
+                time,
+            });
         }
         let outs = self.outputs.iter().map(|(_, n)| times[n.0]).collect();
         Ok((outs, crate::Trace::new(entries)))
     }
 
-    /// Evaluates and returns outputs keyed by name.
+    /// Evaluates and returns outputs keyed by name. Keys borrow from the
+    /// circuit's own output table, so no per-call `String` allocation
+    /// happens — lookups like `map["out"]` behave exactly as before.
     ///
     /// # Errors
     ///
@@ -532,12 +569,12 @@ impl Circuit {
     pub fn evaluate_named(
         &self,
         inputs: &[DelayValue],
-    ) -> Result<HashMap<String, DelayValue>, CircuitError> {
+    ) -> Result<HashMap<&str, DelayValue>, CircuitError> {
         let vals = self.evaluate(inputs)?;
         Ok(self
             .outputs
             .iter()
-            .map(|(n, _)| n.clone())
+            .map(|(n, _)| n.as_str())
             .zip(vals)
             .collect())
     }
@@ -762,5 +799,43 @@ mod tests {
         let c = b.build().unwrap();
         let m = c.evaluate_named(&[dv(4.0)]).unwrap();
         assert_eq!(m["echo"], dv(4.0));
+    }
+
+    /// Regression for the interned named-wire paths: the observable API
+    /// behavior (label text, named lookup, values) is unchanged, and the
+    /// traced path no longer allocates a fresh label per evaluation — two
+    /// traces of one circuit share the same label allocations.
+    #[test]
+    fn named_wire_paths_are_interned_with_unchanged_behavior() {
+        let mut b = CircuitBuilder::new();
+        let x = b.input("x");
+        let y = b.input("y");
+        let f = b.first_arrival(&[x, y]);
+        let l = b.last_arrival(&[x, y]);
+        let d = b.delay(f, 2.0);
+        let i = b.inhibit(d, l);
+        b.output("near", f);
+        b.output("far", i);
+        let c = b.build().unwrap();
+        let ins = [dv(1.0), dv(5.0)];
+
+        // Named lookup behaves exactly as before the interning change.
+        let m = c.evaluate_named(&ins).unwrap();
+        assert_eq!(m["near"], dv(1.0));
+        assert_eq!(m["far"], dv(3.0));
+        assert_eq!(m.len(), 2);
+
+        // Trace labels carry the documented text...
+        let (outs, t1) = c.evaluate_traced(&ins).unwrap();
+        assert_eq!(outs, c.evaluate(&ins).unwrap());
+        let labels: Vec<&str> = t1.entries().iter().map(|e| e.label.as_ref()).collect();
+        assert_eq!(labels, ["x", "y", "fa#2", "la#3", "dly#4(+2.00)", "inh#5"]);
+
+        // ...and are interned: a second traced evaluation hands back the
+        // very same allocations instead of re-formatting them.
+        let (_, t2) = c.evaluate_traced(&ins).unwrap();
+        for (a, b) in t1.entries().iter().zip(t2.entries()) {
+            assert!(std::sync::Arc::ptr_eq(&a.label, &b.label));
+        }
     }
 }

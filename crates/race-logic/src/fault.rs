@@ -116,6 +116,19 @@ impl FaultPlan {
     pub fn len(&self) -> usize {
         self.edge_faults.len() + self.delay_drift.len()
     }
+
+    /// Iterates all edge faults as `(node_index, fault)` pairs, in
+    /// unspecified order — used by the optimizer's sharing map to re-key
+    /// plans onto optimized netlists.
+    pub fn edge_faults(&self) -> impl Iterator<Item = (usize, EdgeFault)> + '_ {
+        self.edge_faults.iter().map(|(&n, &f)| (n, f))
+    }
+
+    /// Iterates all delay drifts as `(node_index, fraction)` pairs, in
+    /// unspecified order.
+    pub fn delay_drifts(&self) -> impl Iterator<Item = (usize, f64)> + '_ {
+        self.delay_drift.iter().map(|(&n, &f)| (n, f))
+    }
 }
 
 /// Counters of fault effects observed during one evaluation.

@@ -46,6 +46,7 @@ mod comparator;
 mod fault;
 mod gate;
 mod noise;
+pub mod opt;
 mod trace;
 
 pub use circuit::{Circuit, CircuitBuilder, CircuitError, CircuitStats, NodeId};
@@ -53,4 +54,5 @@ pub use comparator::sort_edges;
 pub use fault::{EdgeFault, FaultObservation, FaultPlan};
 pub use gate::Gate;
 pub use noise::{DelayPerturb, GaussianJitter, NoNoise, NormalSampler};
+pub use opt::{optimize, EventSim, OptError, OptStats, Optimized, Resolution, SharingMap};
 pub use trace::{Trace, TraceEntry};

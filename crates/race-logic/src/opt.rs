@@ -1,0 +1,1952 @@
+//! Netlist optimizer and event-driven evaluator (DESIGN.md §5.16).
+//!
+//! Temporal netlists built structurally from the Fig 6a/6b blocks carry a
+//! lot of dead weight: rails whose kernel row has absent (zero-weight)
+//! columns feed `never` leaves into full comparator trees, and per-row
+//! trees repeat identical sub-DAGs. This module simplifies a built
+//! [`Circuit`] with three fused passes and then evaluates the result
+//! incrementally:
+//!
+//! 1. **Constant delay folding** — caller-declared constant inputs (the
+//!    always-`never` feed, the frame-boundary reference edge) propagate
+//!    through `fa`/`la`/`inhibit`/`delay` gates. Every rule is bit-exact:
+//!    [`DelayValue`] orders by `total_cmp`, so value-equality implies
+//!    bit-equality, and the only non-finite constant (`never`, `+∞`) has a
+//!    single canonical bit pattern. Delay chains are *never* re-associated
+//!    (floating-point addition order is part of the contract), and
+//!    zero-delta delay elements are kept (eliding them would map a `-0.0`
+//!    input to `-0.0` where the element yields `+0.0`).
+//! 2. **Common-subcircuit sharing** — structural hash-consing: gates with
+//!    the same kind, fan-in (order-normalised for the commutative
+//!    `fa`/`la`) and bit-exact delta merge into one physical gate. The
+//!    [`SharingMap`] records every logical site's physical home so fault
+//!    injection still lands on real hardware.
+//! 3. **Dead-gate elimination** — gates unreachable from any declared
+//!    output are dropped.
+//!
+//! Primary inputs are always preserved, in declaration order, so the
+//! optimized circuit keeps the original evaluation arity. Outputs that
+//! fold to compile-time constants are carried out-of-band (see
+//! [`Optimized::const_output`]) because a [`Circuit`] node cannot encode
+//! a constant edge.
+//!
+//! [`EventSim`] is the compiled incremental evaluator: it keeps per-node
+//! edge times across evaluations and re-computes only gates whose fan-in
+//! changed bit-wise since the previous evaluation — the event-queue
+//! discipline `GateEngine` uses per pixel/cycle. It is valid for clean
+//! and deterministic-fault evaluation; *noisy* evaluation consumes one
+//! RNG draw per delay element per sweep, so skipping work would change
+//! the stream — noisy paths must keep the full-sweep evaluator.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use ta_delay_space::DelayValue;
+
+use crate::circuit::{Circuit, CircuitBuilder, CircuitError, Node, NodeId};
+use crate::fault::{EdgeFault, FaultObservation, FaultPlan};
+use crate::gate::Gate;
+
+/// Where a logical (pre-optimization) node ended up.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Resolution {
+    /// Materialised at this node index of the optimized circuit —
+    /// possibly shared with other logical sites (see
+    /// [`SharingMap::siblings`]).
+    Gate(usize),
+    /// Folded into a compile-time constant edge; consumers baked the
+    /// value in, so the site no longer exists as hardware.
+    Const(DelayValue),
+    /// Unreachable from every declared output; dropped.
+    Dead,
+}
+
+/// Maps every node of the original circuit to its fate in the optimized
+/// one, and lowers node-addressed [`FaultPlan`]s accordingly.
+#[derive(Debug, Clone)]
+pub struct SharingMap {
+    resolutions: Vec<Resolution>,
+}
+
+/// Errors raised while lowering fault plans through a [`SharingMap`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum OptError {
+    /// The plan addressed a logical site that constant-folding removed;
+    /// its value was baked into consumers, so no physical gate exists to
+    /// fault.
+    FaultOnFolded(usize),
+    /// Two logical sites sharing one physical gate were given different
+    /// faults — one gate cannot exhibit both.
+    FaultConflict(usize),
+}
+
+impl fmt::Display for OptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OptError::FaultOnFolded(n) => {
+                write!(f, "fault addresses node {n}, which folded to a constant")
+            }
+            OptError::FaultConflict(n) => {
+                write!(f, "conflicting faults merge onto physical gate {n}")
+            }
+        }
+    }
+}
+
+impl Error for OptError {}
+
+impl SharingMap {
+    /// The fate of original node `old`.
+    pub fn resolve(&self, old: usize) -> Resolution {
+        self.resolutions
+            .get(old)
+            .copied()
+            .unwrap_or(Resolution::Dead)
+    }
+
+    /// The optimized-circuit node index hosting original node `old`, if
+    /// it survived as hardware.
+    pub fn gate(&self, old: usize) -> Option<usize> {
+        match self.resolve(old) {
+            Resolution::Gate(n) => Some(n),
+            _ => None,
+        }
+    }
+
+    /// All original nodes that share `old`'s physical gate (including
+    /// `old` itself). Sites merged by hash-consing — or collapsed onto a
+    /// surviving wire by folding — resolve to one gate; a fault on that
+    /// gate is a fault on every one of them.
+    pub fn siblings(&self, old: usize) -> Vec<usize> {
+        match self.resolve(old) {
+            Resolution::Gate(target) => self
+                .resolutions
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| matches!(r, Resolution::Gate(t) if *t == target))
+                .map(|(i, _)| i)
+                .collect(),
+            _ => vec![old],
+        }
+    }
+
+    /// Re-keys a plan addressed at the *original* circuit onto the
+    /// optimized circuit's node indices.
+    ///
+    /// Faults on [`Resolution::Dead`] sites are dropped (they could never
+    /// reach an output). Drift on a site folded to `never` is dropped too
+    /// (a delay line feeding or carrying a never edge cannot move it).
+    ///
+    /// # Errors
+    ///
+    /// [`OptError::FaultOnFolded`] if an edge fault (or a drift on a
+    /// finite-constant site) addresses folded-away hardware, and
+    /// [`OptError::FaultConflict`] if two merged sites carry different
+    /// faults.
+    pub fn lower_plan(&self, plan: &FaultPlan) -> Result<FaultPlan, OptError> {
+        let mut lowered = FaultPlan::new();
+        for (old, fault) in plan.edge_faults() {
+            match self.resolve(old) {
+                Resolution::Gate(n) => {
+                    if let Some(existing) = lowered.edge_fault(n) {
+                        if existing != fault {
+                            return Err(OptError::FaultConflict(n));
+                        }
+                    }
+                    lowered.set_edge_fault(n, fault);
+                }
+                Resolution::Const(_) => return Err(OptError::FaultOnFolded(old)),
+                Resolution::Dead => {}
+            }
+        }
+        for (old, fraction) in plan.delay_drifts() {
+            match self.resolve(old) {
+                Resolution::Gate(n) => {
+                    if let Some(existing) = lowered.delay_drift(n) {
+                        if existing.to_bits() != fraction.to_bits() {
+                            return Err(OptError::FaultConflict(n));
+                        }
+                    }
+                    lowered.set_delay_drift(n, fraction);
+                }
+                Resolution::Const(v) if v.is_never() => {}
+                Resolution::Const(_) => return Err(OptError::FaultOnFolded(old)),
+                Resolution::Dead => {}
+            }
+        }
+        Ok(lowered)
+    }
+
+    /// Expands a plan into the *original* circuit's golden-reference
+    /// form: a fault on a shared physical gate is mirrored onto every
+    /// logical sibling, so the unoptimized evaluator models the same
+    /// hardware failure the optimized one does.
+    ///
+    /// When one sibling feeds another through a folded wire (an alias
+    /// chain rather than parallel hash-consed copies), the fault is
+    /// applied only at the most-upstream sibling of each chain — the
+    /// downstream identity wires then propagate the already-faulted edge,
+    /// matching the single application the physical gate performs.
+    pub fn mirror_plan(&self, original: &Circuit, plan: &FaultPlan) -> FaultPlan {
+        let mut mirrored = FaultPlan::new();
+        for (old, fault) in plan.edge_faults() {
+            for site in self.mirror_sites(original, old) {
+                mirrored.set_edge_fault(site, fault);
+            }
+        }
+        for (old, fraction) in plan.delay_drifts() {
+            for site in self.mirror_sites(original, old) {
+                mirrored.set_delay_drift(site, fraction);
+            }
+        }
+        mirrored
+    }
+
+    /// The sibling set of `old`, filtered so no chosen site is downstream
+    /// of another chosen site in `original`.
+    fn mirror_sites(&self, original: &Circuit, old: usize) -> Vec<usize> {
+        let siblings = self.siblings(old);
+        let mut chosen: Vec<usize> = Vec::with_capacity(siblings.len());
+        for &s in &siblings {
+            // Siblings come out in ascending (topological) order, so any
+            // ancestor of `s` among them is already in `chosen`.
+            if !chosen.iter().any(|&c| is_ancestor(original, c, s)) {
+                chosen.push(s);
+            }
+        }
+        chosen
+    }
+}
+
+/// Whether node `anc` is a (strict) ancestor of node `node` in the
+/// circuit's DAG.
+fn is_ancestor(circuit: &Circuit, anc: usize, node: usize) -> bool {
+    if anc >= node {
+        return false;
+    }
+    let mut stack = vec![node];
+    let mut seen = vec![false; node + 1];
+    while let Some(n) = stack.pop() {
+        for op in operand_indices(&circuit.nodes()[n]) {
+            if op == anc {
+                return true;
+            }
+            if op > anc && !seen[op] {
+                seen[op] = true;
+                stack.push(op);
+            }
+        }
+    }
+    false
+}
+
+fn operand_indices(node: &Node) -> Vec<usize> {
+    match node {
+        Node::Input { .. } => Vec::new(),
+        Node::Gate(Gate::FirstArrival(ins)) | Node::Gate(Gate::LastArrival(ins)) => {
+            ins.iter().map(|n| n.index()).collect()
+        }
+        Node::Gate(Gate::Inhibit { data, inhibitor }) => vec![data.index(), inhibitor.index()],
+        Node::Gate(Gate::Delay { input, .. }) => vec![input.index()],
+    }
+}
+
+/// Static counters reported by [`optimize`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OptStats {
+    /// Gates (non-input nodes) in the original circuit.
+    pub gates_pre: usize,
+    /// Gates in the optimized circuit.
+    pub gates_post: usize,
+    /// Original gates folded to constants or collapsed onto a surviving
+    /// wire.
+    pub folded: usize,
+    /// Original gates merged into an already-materialised identical gate.
+    pub shared: usize,
+    /// Original gates dropped as unreachable from every output.
+    pub dead: usize,
+}
+
+/// The result of [`optimize`]: the simplified circuit, the sharing map
+/// back to the original, constant-folded outputs, and pass statistics.
+#[derive(Debug, Clone)]
+pub struct Optimized {
+    circuit: Circuit,
+    const_outputs: Vec<Option<DelayValue>>,
+    map: SharingMap,
+    stats: OptStats,
+}
+
+impl Optimized {
+    /// The optimized netlist. Same input arity and order as the original;
+    /// outputs keep their declaration order but skip constant-folded ones
+    /// (use [`Optimized::evaluate`] or [`Optimized::splice_outputs`] to
+    /// recover the full output vector).
+    pub fn circuit(&self) -> &Circuit {
+        &self.circuit
+    }
+
+    /// The sharing map from original node indices to optimized ones.
+    pub fn map(&self) -> &SharingMap {
+        &self.map
+    }
+
+    /// Pass statistics.
+    pub fn stats(&self) -> OptStats {
+        self.stats
+    }
+
+    /// The compile-time constant value of output `i` (declaration order),
+    /// if folding reduced it to one.
+    pub fn const_output(&self, i: usize) -> Option<DelayValue> {
+        self.const_outputs.get(i).copied().flatten()
+    }
+
+    /// Splices constant-folded outputs back into a dynamic-output vector
+    /// produced by evaluating [`Optimized::circuit`], restoring the
+    /// original circuit's output arity and order.
+    pub fn splice_outputs(&self, dynamic: &[DelayValue]) -> Vec<DelayValue> {
+        let mut dyn_iter = dynamic.iter().copied();
+        self.const_outputs
+            .iter()
+            .map(|c| match c {
+                Some(v) => *v,
+                None => dyn_iter.next().unwrap_or(DelayValue::ZERO),
+            })
+            .collect()
+    }
+
+    /// Evaluates the optimized circuit, returning outputs in the
+    /// *original* declaration order (constants spliced in). Bit-identical
+    /// to evaluating the original circuit with the declared constant
+    /// inputs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::InputArity`] on input-count mismatch.
+    pub fn evaluate(&self, inputs: &[DelayValue]) -> Result<Vec<DelayValue>, CircuitError> {
+        let dynamic = self.circuit.evaluate(inputs)?;
+        Ok(self.splice_outputs(&dynamic))
+    }
+
+    /// Builds an incremental evaluator for the optimized circuit.
+    pub fn event_sim(&self) -> EventSim {
+        EventSim::new(&self.circuit)
+    }
+
+    /// Builds an incremental evaluator with `plan` (addressed at the
+    /// *original* circuit) lowered through the sharing map and baked in.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SharingMap::lower_plan`] errors.
+    pub fn event_sim_with_plan(&self, plan: &FaultPlan) -> Result<EventSim, OptError> {
+        let lowered = self.map.lower_plan(plan)?;
+        Ok(EventSim::with_plan(&self.circuit, &lowered))
+    }
+
+    /// A structural fingerprint: equal fingerprints are a fast necessary
+    /// condition for [`Optimized::structurally_equal`].
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = Fnv::new();
+        for node in self.circuit.nodes() {
+            match node {
+                Node::Input { .. } => h.byte(0),
+                Node::Gate(Gate::FirstArrival(ins)) => {
+                    h.byte(1);
+                    h.usize(ins.len());
+                    for n in ins {
+                        h.usize(n.index());
+                    }
+                }
+                Node::Gate(Gate::LastArrival(ins)) => {
+                    h.byte(2);
+                    h.usize(ins.len());
+                    for n in ins {
+                        h.usize(n.index());
+                    }
+                }
+                Node::Gate(Gate::Inhibit { data, inhibitor }) => {
+                    h.byte(3);
+                    h.usize(data.index());
+                    h.usize(inhibitor.index());
+                }
+                Node::Gate(Gate::Delay { input, delta }) => {
+                    h.byte(4);
+                    h.usize(input.index());
+                    h.u64(delta.to_bits());
+                }
+            }
+        }
+        h.byte(5);
+        for (_, n) in self.circuit.outputs_raw() {
+            h.usize(n.index());
+        }
+        h.byte(6);
+        for c in &self.const_outputs {
+            match c {
+                None => h.byte(0),
+                Some(v) => {
+                    h.byte(1);
+                    h.u64(v.delay().to_bits());
+                }
+            }
+        }
+        h.finish()
+    }
+
+    /// Whether two optimized circuits are structurally identical —
+    /// node-for-node with bit-exact deltas, the same output wiring, and
+    /// the same constant outputs. Structurally identical circuits share
+    /// node indices, so a plan lowered through either sharing map applies
+    /// to both. Higher layers use this to count physical hardware once
+    /// across repeated kernel rows.
+    pub fn structurally_equal(&self, other: &Optimized) -> bool {
+        let (a, b) = (&self.circuit, &other.circuit);
+        if a.nodes().len() != b.nodes().len()
+            || a.outputs_raw().len() != b.outputs_raw().len()
+            || self.const_outputs.len() != other.const_outputs.len()
+        {
+            return false;
+        }
+        let same_node = |x: &Node, y: &Node| -> bool {
+            match (x, y) {
+                (Node::Input { .. }, Node::Input { .. }) => true,
+                (Node::Gate(Gate::FirstArrival(i)), Node::Gate(Gate::FirstArrival(j)))
+                | (Node::Gate(Gate::LastArrival(i)), Node::Gate(Gate::LastArrival(j))) => i == j,
+                (
+                    Node::Gate(Gate::Inhibit {
+                        data: d1,
+                        inhibitor: i1,
+                    }),
+                    Node::Gate(Gate::Inhibit {
+                        data: d2,
+                        inhibitor: i2,
+                    }),
+                ) => d1 == d2 && i1 == i2,
+                (
+                    Node::Gate(Gate::Delay {
+                        input: p1,
+                        delta: q1,
+                    }),
+                    Node::Gate(Gate::Delay {
+                        input: p2,
+                        delta: q2,
+                    }),
+                ) => p1 == p2 && q1.to_bits() == q2.to_bits(),
+                _ => false,
+            }
+        };
+        a.nodes()
+            .iter()
+            .zip(b.nodes())
+            .all(|(x, y)| same_node(x, y))
+            && a.outputs_raw()
+                .iter()
+                .zip(b.outputs_raw())
+                .all(|((_, x), (_, y))| x == y)
+            && self
+                .const_outputs
+                .iter()
+                .zip(&other.const_outputs)
+                .all(|(x, y)| match (x, y) {
+                    (None, None) => true,
+                    (Some(u), Some(v)) => u.delay().to_bits() == v.delay().to_bits(),
+                    _ => false,
+                })
+    }
+}
+
+/// FNV-1a, enough for structural fingerprints.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+    fn byte(&mut self, b: u8) {
+        self.0 ^= u64::from(b);
+        self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    fn u64(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.byte(b);
+        }
+    }
+    fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// A node's value during folding: known at compile time, or dynamic and
+/// materialised at a physical node.
+#[derive(Clone, Copy)]
+enum Val {
+    Known(DelayValue),
+    Dyn(usize),
+}
+
+/// Structural signature for hash-consing.
+#[derive(PartialEq, Eq, Hash)]
+enum Sig {
+    Fa(Vec<usize>),
+    La(Vec<usize>),
+    Inh(usize, usize),
+    Dly(usize, u64),
+}
+
+/// Physical nodes accumulated during folding, before dead-gate sweep.
+enum PhysOp {
+    Input(String),
+    Fa(Vec<usize>),
+    La(Vec<usize>),
+    Inh(usize, usize),
+    Dly(usize, f64),
+}
+
+/// Optimizes `circuit` under the declared constant inputs (one entry per
+/// primary input, declaration order; `None` = dynamic). See the module
+/// docs for the passes and their bit-exactness argument.
+///
+/// # Errors
+///
+/// Returns [`CircuitError::InputArity`] if `const_inputs` does not match
+/// the circuit's input count.
+///
+/// # Panics
+///
+/// Panics only on internal invariant violations (the rebuilt netlist is
+/// derived from an already-validated circuit).
+#[allow(clippy::too_many_lines, clippy::expect_used)]
+pub fn optimize(
+    circuit: &Circuit,
+    const_inputs: &[Option<DelayValue>],
+) -> Result<Optimized, CircuitError> {
+    if const_inputs.len() != circuit.inputs_raw().len() {
+        return Err(CircuitError::InputArity {
+            expected: circuit.inputs_raw().len(),
+            got: const_inputs.len(),
+        });
+    }
+    let nodes = circuit.nodes();
+    let n = nodes.len();
+
+    let mut phys: Vec<PhysOp> = Vec::with_capacity(n);
+    let mut vals: Vec<Val> = Vec::with_capacity(n);
+    let mut res: Vec<Resolution> = Vec::with_capacity(n);
+    // Physical home of each old node, when one exists (inputs always;
+    // gates once materialised) — also the memo for `materialize`.
+    let mut homes: Vec<Option<usize>> = vec![None; n];
+    let mut cons: HashMap<Sig, usize> = HashMap::new();
+    let mut stats = OptStats::default();
+
+    // Materialises the value of old node `old` as a physical node. Only
+    // called for nodes whose value is `Known` but needed by a dynamic
+    // consumer; rebuilds the original (constant) cone unchanged, so the
+    // consumer sees bit-identical edges.
+    fn materialize(
+        old: usize,
+        nodes: &[Node],
+        phys: &mut Vec<PhysOp>,
+        homes: &mut Vec<Option<usize>>,
+        cons: &mut HashMap<Sig, usize>,
+    ) -> usize {
+        if let Some(p) = homes[old] {
+            return p;
+        }
+        let op = match &nodes[old] {
+            Node::Input { name } => PhysOp::Input(name.clone()),
+            Node::Gate(Gate::FirstArrival(ins)) => PhysOp::Fa(
+                ins.iter()
+                    .map(|i| materialize(i.index(), nodes, phys, homes, cons))
+                    .collect(),
+            ),
+            Node::Gate(Gate::LastArrival(ins)) => PhysOp::La(
+                ins.iter()
+                    .map(|i| materialize(i.index(), nodes, phys, homes, cons))
+                    .collect(),
+            ),
+            Node::Gate(Gate::Inhibit { data, inhibitor }) => {
+                let d = materialize(data.index(), nodes, phys, homes, cons);
+                let i = materialize(inhibitor.index(), nodes, phys, homes, cons);
+                PhysOp::Inh(d, i)
+            }
+            Node::Gate(Gate::Delay { input, delta }) => {
+                let p = materialize(input.index(), nodes, phys, homes, cons);
+                PhysOp::Dly(p, *delta)
+            }
+        };
+        let pid = push_consed(op, phys, cons);
+        homes[old] = Some(pid);
+        pid
+    }
+
+    /// Pushes a physical gate through the cons table (inputs bypass it).
+    fn push_consed(op: PhysOp, phys: &mut Vec<PhysOp>, cons: &mut HashMap<Sig, usize>) -> usize {
+        let sig = match &op {
+            PhysOp::Input(_) => None,
+            PhysOp::Fa(ins) => Some(Sig::Fa(ins.clone())),
+            PhysOp::La(ins) => Some(Sig::La(ins.clone())),
+            PhysOp::Inh(d, i) => Some(Sig::Inh(*d, *i)),
+            PhysOp::Dly(p, d) => Some(Sig::Dly(*p, d.to_bits())),
+        };
+        if let Some(sig) = sig {
+            if let Some(&pid) = cons.get(&sig) {
+                return pid;
+            }
+            let pid = phys.len();
+            phys.push(op);
+            cons.insert(sig, pid);
+            pid
+        } else {
+            let pid = phys.len();
+            phys.push(op);
+            pid
+        }
+    }
+
+    let mut next_input = 0usize;
+    for (idx, node) in nodes.iter().enumerate() {
+        let (val, resolution) = match node {
+            Node::Input { name } => {
+                // Inputs are always materialised, preserving arity and
+                // order, even when their value is constant.
+                let pid = phys.len();
+                phys.push(PhysOp::Input(name.clone()));
+                homes[idx] = Some(pid);
+                let c = const_inputs[next_input];
+                next_input += 1;
+                match c {
+                    Some(v) => (Val::Known(v), Resolution::Const(v)),
+                    None => (Val::Dyn(pid), Resolution::Gate(pid)),
+                }
+            }
+            Node::Gate(gate) => {
+                stats.gates_pre += 1;
+                match fold_gate(gate, &vals) {
+                    Folded::Known(v) => {
+                        stats.folded += 1;
+                        (Val::Known(v), Resolution::Const(v))
+                    }
+                    Folded::Alias(old_or_pid) => {
+                        stats.folded += 1;
+                        let pid = match old_or_pid {
+                            AliasTarget::Phys(p) => p,
+                            AliasTarget::KnownOperand(o) => {
+                                materialize(o, nodes, &mut phys, &mut homes, &mut cons)
+                            }
+                        };
+                        (Val::Dyn(pid), Resolution::Gate(pid))
+                    }
+                    Folded::Build(op) => {
+                        let op = realise(op, nodes, &mut phys, &mut homes, &mut cons);
+                        let before = phys.len();
+                        let pid = push_consed(op, &mut phys, &mut cons);
+                        if phys.len() == before {
+                            stats.shared += 1;
+                        }
+                        homes[idx] = Some(pid);
+                        (Val::Dyn(pid), Resolution::Gate(pid))
+                    }
+                }
+            }
+        };
+        vals.push(val);
+        res.push(resolution);
+    }
+
+    // Dead-gate sweep: keep all inputs plus everything reachable from a
+    // dynamic output.
+    let mut live = vec![false; phys.len()];
+    for (i, op) in phys.iter().enumerate() {
+        if matches!(op, PhysOp::Input(_)) {
+            live[i] = true;
+        }
+    }
+    let mut stack: Vec<usize> = Vec::new();
+    for (_, out) in circuit.outputs_raw() {
+        if let Resolution::Gate(pid) = res[out.index()] {
+            stack.push(pid);
+        }
+    }
+    while let Some(p) = stack.pop() {
+        if live[p] {
+            continue;
+        }
+        live[p] = true;
+        match &phys[p] {
+            PhysOp::Input(_) => {}
+            PhysOp::Fa(ins) | PhysOp::La(ins) => stack.extend(ins.iter().copied()),
+            PhysOp::Inh(d, i) => {
+                stack.push(*d);
+                stack.push(*i);
+            }
+            PhysOp::Dly(q, _) => stack.push(*q),
+        }
+    }
+
+    // Rebuild the surviving physical nodes through the ordinary builder;
+    // physical ids were issued in topological order, so translation is a
+    // single forward pass.
+    let mut b = CircuitBuilder::new();
+    let mut final_ids: Vec<Option<NodeId>> = vec![None; phys.len()];
+    for (p, op) in phys.iter().enumerate() {
+        if !live[p] {
+            continue;
+        }
+        let tr = |q: usize, final_ids: &[Option<NodeId>]| -> NodeId {
+            final_ids[q].expect("operands of live gates are live")
+        };
+        let id = match op {
+            PhysOp::Input(name) => b.input(name.clone()),
+            PhysOp::Fa(ins) => {
+                let ins: Vec<NodeId> = ins.iter().map(|&q| tr(q, &final_ids)).collect();
+                b.first_arrival(&ins)
+            }
+            PhysOp::La(ins) => {
+                let ins: Vec<NodeId> = ins.iter().map(|&q| tr(q, &final_ids)).collect();
+                b.last_arrival(&ins)
+            }
+            PhysOp::Inh(d, i) => {
+                let (d, i) = (tr(*d, &final_ids), tr(*i, &final_ids));
+                b.inhibit(d, i)
+            }
+            PhysOp::Dly(q, delta) => {
+                let q = tr(*q, &final_ids);
+                b.delay(q, *delta)
+            }
+        };
+        final_ids[p] = Some(id);
+    }
+    let mut const_outputs = Vec::with_capacity(circuit.outputs_raw().len());
+    for (name, out) in circuit.outputs_raw() {
+        match res[out.index()] {
+            Resolution::Gate(pid) => {
+                b.output(
+                    name.clone(),
+                    final_ids[pid].expect("output targets are live"),
+                );
+                const_outputs.push(None);
+            }
+            Resolution::Const(v) => const_outputs.push(Some(v)),
+            Resolution::Dead => unreachable!("outputs seed liveness"),
+        }
+    }
+    let optimized = b.build().expect("rebuilt from a validated circuit");
+
+    // Final resolutions: translate physical ids to optimized node
+    // indices; gates whose physical home died resolve Dead.
+    let resolutions: Vec<Resolution> = res
+        .iter()
+        .map(|r| match r {
+            Resolution::Gate(pid) => match final_ids[*pid] {
+                Some(id) => Resolution::Gate(id.index()),
+                None => Resolution::Dead,
+            },
+            other => *other,
+        })
+        .collect();
+    for (i, r) in resolutions.iter().enumerate() {
+        if matches!(r, Resolution::Dead) && matches!(nodes[i], Node::Gate(_)) {
+            stats.dead += 1;
+        }
+    }
+    stats.gates_post = optimized.node_count() - optimized.input_count();
+
+    Ok(Optimized {
+        circuit: optimized,
+        const_outputs,
+        map: SharingMap { resolutions },
+        stats,
+    })
+}
+
+/// Fold decision for one gate, before physical realisation.
+enum Folded {
+    Known(DelayValue),
+    Alias(AliasTarget),
+    Build(ProtoOp),
+}
+
+enum AliasTarget {
+    Phys(usize),
+    /// Alias to an operand whose value is known but not yet materialised
+    /// (e.g. the single finite-known survivor of an `fa`).
+    KnownOperand(usize),
+}
+
+/// A gate to build, with operands as either physical ids or old-node
+/// indices still needing materialisation.
+enum ProtoOp {
+    Fa(Vec<Operand>),
+    La(Vec<Operand>),
+    Inh(Operand, Operand),
+    Dly(Operand, f64),
+}
+
+#[derive(Clone, Copy)]
+enum Operand {
+    Phys(usize),
+    Old(usize),
+}
+
+fn realise(
+    op: ProtoOp,
+    nodes: &[Node],
+    phys: &mut Vec<PhysOp>,
+    homes: &mut Vec<Option<usize>>,
+    cons: &mut HashMap<Sig, usize>,
+) -> PhysOp {
+    // Re-declared here because nested fns cannot capture: resolve an
+    // operand to a physical id, materialising known cones on demand.
+    fn pid(
+        o: Operand,
+        nodes: &[Node],
+        phys: &mut Vec<PhysOp>,
+        homes: &mut Vec<Option<usize>>,
+        cons: &mut HashMap<Sig, usize>,
+    ) -> usize {
+        match o {
+            Operand::Phys(p) => p,
+            Operand::Old(old) => mat(old, nodes, phys, homes, cons),
+        }
+    }
+    fn mat(
+        old: usize,
+        nodes: &[Node],
+        phys: &mut Vec<PhysOp>,
+        homes: &mut Vec<Option<usize>>,
+        cons: &mut HashMap<Sig, usize>,
+    ) -> usize {
+        if let Some(p) = homes[old] {
+            return p;
+        }
+        let op = match &nodes[old] {
+            Node::Input { name } => PhysOp::Input(name.clone()),
+            Node::Gate(Gate::FirstArrival(ins)) => PhysOp::Fa(
+                ins.iter()
+                    .map(|i| mat(i.index(), nodes, phys, homes, cons))
+                    .collect(),
+            ),
+            Node::Gate(Gate::LastArrival(ins)) => PhysOp::La(
+                ins.iter()
+                    .map(|i| mat(i.index(), nodes, phys, homes, cons))
+                    .collect(),
+            ),
+            Node::Gate(Gate::Inhibit { data, inhibitor }) => {
+                let d = mat(data.index(), nodes, phys, homes, cons);
+                let i = mat(inhibitor.index(), nodes, phys, homes, cons);
+                PhysOp::Inh(d, i)
+            }
+            Node::Gate(Gate::Delay { input, delta }) => {
+                let p = mat(input.index(), nodes, phys, homes, cons);
+                PhysOp::Dly(p, *delta)
+            }
+        };
+        let sig = match &op {
+            PhysOp::Input(_) => None,
+            PhysOp::Fa(ins) => Some(Sig::Fa(ins.clone())),
+            PhysOp::La(ins) => Some(Sig::La(ins.clone())),
+            PhysOp::Inh(d, i) => Some(Sig::Inh(*d, *i)),
+            PhysOp::Dly(p, d) => Some(Sig::Dly(*p, d.to_bits())),
+        };
+        let id = if let Some(sig) = sig {
+            if let Some(&hit) = cons.get(&sig) {
+                hit
+            } else {
+                let id = phys.len();
+                phys.push(op);
+                cons.insert(sig, id);
+                id
+            }
+        } else {
+            let id = phys.len();
+            phys.push(op);
+            id
+        };
+        homes[old] = Some(id);
+        id
+    }
+
+    match op {
+        ProtoOp::Fa(ins) => {
+            let mut ids: Vec<usize> = ins
+                .into_iter()
+                .map(|o| pid(o, nodes, phys, homes, cons))
+                .collect();
+            // `min` is order- and multiplicity-insensitive under
+            // `total_cmp` (bit-equal ties), so normalising the fan-in is
+            // bit-safe and maximises sharing.
+            ids.sort_unstable();
+            ids.dedup();
+            PhysOp::Fa(ids)
+        }
+        ProtoOp::La(ins) => {
+            let mut ids: Vec<usize> = ins
+                .into_iter()
+                .map(|o| pid(o, nodes, phys, homes, cons))
+                .collect();
+            ids.sort_unstable();
+            ids.dedup();
+            PhysOp::La(ids)
+        }
+        ProtoOp::Inh(d, i) => {
+            let d = pid(d, nodes, phys, homes, cons);
+            let i = pid(i, nodes, phys, homes, cons);
+            PhysOp::Inh(d, i)
+        }
+        ProtoOp::Dly(p, delta) => {
+            let p = pid(p, nodes, phys, homes, cons);
+            PhysOp::Dly(p, delta)
+        }
+    }
+}
+
+/// The constant-folding rules. Each is bit-exact against the reference
+/// evaluator (`Circuit::evaluate`); see the module docs.
+fn fold_gate(gate: &Gate, vals: &[Val]) -> Folded {
+    match gate {
+        Gate::FirstArrival(ins) => {
+            let mut known_min: Option<(DelayValue, usize)> = None;
+            let mut phys_ids: Vec<usize> = Vec::with_capacity(ins.len());
+            for i in ins {
+                match vals[i.index()] {
+                    Val::Known(v) if v.is_never() => {}
+                    Val::Known(v) => match known_min {
+                        Some((m, _)) if m <= v => {}
+                        _ => known_min = Some((v, i.index())),
+                    },
+                    Val::Dyn(p) => phys_ids.push(p),
+                }
+            }
+            // `min` is multiplicity-insensitive (bit-equal ties under
+            // `total_cmp`), so duplicate physical fan-ins collapse.
+            phys_ids.sort_unstable();
+            phys_ids.dedup();
+            if phys_ids.is_empty() {
+                return Folded::Known(known_min.map_or(DelayValue::ZERO, |(v, _)| v));
+            }
+            let mut dynamic: Vec<Operand> = phys_ids.into_iter().map(Operand::Phys).collect();
+            if let Some((_, achiever)) = known_min {
+                dynamic.push(Operand::Old(achiever));
+            }
+            if dynamic.len() == 1 {
+                return Folded::Alias(match dynamic[0] {
+                    Operand::Phys(p) => AliasTarget::Phys(p),
+                    Operand::Old(o) => AliasTarget::KnownOperand(o),
+                });
+            }
+            Folded::Build(ProtoOp::Fa(dynamic))
+        }
+        Gate::LastArrival(ins) => {
+            let mut known_max: Option<(DelayValue, usize)> = None;
+            let mut phys_ids: Vec<usize> = Vec::with_capacity(ins.len());
+            for i in ins {
+                match vals[i.index()] {
+                    Val::Known(v) if v.is_never() => {
+                        // One never fan-in pins the max at never — the
+                        // canonical `+∞` bits the reference would return.
+                        return Folded::Known(DelayValue::ZERO);
+                    }
+                    Val::Known(v) => match known_max {
+                        Some((m, _)) if m >= v => {}
+                        _ => known_max = Some((v, i.index())),
+                    },
+                    Val::Dyn(p) => phys_ids.push(p),
+                }
+            }
+            phys_ids.sort_unstable();
+            phys_ids.dedup();
+            if phys_ids.is_empty() {
+                // Non-empty fan-in with no dynamics and no nevers means
+                // known_max is set.
+                return Folded::Known(known_max.map_or(DelayValue::ZERO, |(v, _)| v));
+            }
+            let mut dynamic: Vec<Operand> = phys_ids.into_iter().map(Operand::Phys).collect();
+            if let Some((_, achiever)) = known_max {
+                dynamic.push(Operand::Old(achiever));
+            }
+            if dynamic.len() == 1 {
+                return Folded::Alias(match dynamic[0] {
+                    Operand::Phys(p) => AliasTarget::Phys(p),
+                    Operand::Old(o) => AliasTarget::KnownOperand(o),
+                });
+            }
+            Folded::Build(ProtoOp::La(dynamic))
+        }
+        Gate::Inhibit { data, inhibitor } => {
+            let d = vals[data.index()];
+            let i = vals[inhibitor.index()];
+            match (d, i) {
+                (Val::Known(dv), Val::Known(iv)) => Folded::Known(dv.inhibited_by(iv)),
+                (Val::Known(dv), _) if dv.is_never() => Folded::Known(DelayValue::ZERO),
+                (Val::Dyn(p), Val::Known(iv)) if iv.is_never() => {
+                    // A never inhibitor can never win the race: the data
+                    // edge always passes (a never data edge passes as its
+                    // own canonical bits).
+                    Folded::Alias(AliasTarget::Phys(p))
+                }
+                (Val::Dyn(p), Val::Known(_)) => Folded::Build(ProtoOp::Inh(
+                    Operand::Phys(p),
+                    Operand::Old(inhibitor.index()),
+                )),
+                (Val::Known(_), Val::Dyn(q)) => {
+                    Folded::Build(ProtoOp::Inh(Operand::Old(data.index()), Operand::Phys(q)))
+                }
+                (Val::Dyn(p), Val::Dyn(q)) => {
+                    Folded::Build(ProtoOp::Inh(Operand::Phys(p), Operand::Phys(q)))
+                }
+            }
+        }
+        Gate::Delay { input, delta } => match vals[input.index()] {
+            Val::Known(v) if v.is_never() => Folded::Known(v),
+            // Matches the evaluator's `perturb(delta).max(0.0)` exactly
+            // (NoNoise returns the nominal unchanged).
+            Val::Known(v) => Folded::Known(v.delayed(delta.max(0.0))),
+            Val::Dyn(p) => Folded::Build(ProtoOp::Dly(Operand::Phys(p), *delta)),
+        },
+    }
+}
+
+/// Compiled incremental evaluator over one [`Circuit`].
+///
+/// State persists across [`EventSim::eval`] calls: the first call sweeps
+/// the whole netlist; later calls seed a dirty set with the inputs whose
+/// bits changed and re-compute only gates with a dirty fan-in, cutting
+/// propagation where a recomputed edge is bit-identical to the stored
+/// one. Every recomputation counts as one *event*
+/// ([`EventSim::events`]).
+///
+/// Fault-free, non-output delay elements are *fused* at compile time:
+/// instead of holding an evaluator node of their own, their (drift-
+/// adjusted) deltas ride along the fan-in reference of each consumer,
+/// which applies them as a chain of additions when it reads the operand.
+/// Bit-exactness: a delay element computes `t.delayed(d)` for a finite
+/// `t` and passes a never edge unchanged, and IEEE-754 addition absorbs
+/// `+inf` (the never encoding), so applying the chain left-to-right on
+/// the source edge reproduces every intermediate node's output exactly —
+/// including mid-chain saturation to never. Delay gates that carry an
+/// edge fault or a saturating drift (both observable per evaluation) and
+/// delay gates that drive a circuit output keep their own node.
+///
+/// Invariants (DESIGN.md §5.16): nodes are processed in topological
+/// (index) order; a gate is re-evaluated iff at least one fan-in changed
+/// bit-wise; gate functions and baked fault applications are
+/// deterministic pure functions, so skipped gates hold exactly the value
+/// a full sweep would produce. Deterministic [`FaultPlan`]s may be baked
+/// in ([`EventSim::with_plan`]); noisy evaluation must not use this
+/// evaluator (RNG draws are per-element per-sweep).
+#[derive(Debug, Clone)]
+pub struct EventSim {
+    kind: Vec<u8>,
+    input_pos: Vec<u32>,
+    fan_start: Vec<u32>,
+    fan_src: Vec<u32>,
+    fan_chain_lo: Vec<u32>,
+    fan_chain_len: Vec<u32>,
+    chain_deltas: Vec<f64>,
+    fanout_start: Vec<u32>,
+    fanout: Vec<u32>,
+    eff_delta: Vec<f64>,
+    saturating: Vec<bool>,
+    fault: Vec<Option<EdgeFault>>,
+    input_nodes: Vec<u32>,
+    identity_seed: bool,
+    out_nodes: Vec<u32>,
+    sweep: Vec<u32>,
+    times: Vec<DelayValue>,
+    pend: Vec<u64>,
+    epoch: u64,
+    primed: bool,
+    events: u64,
+    obs: FaultObservation,
+    out_buf: Vec<DelayValue>,
+}
+
+const K_INPUT: u8 = 0;
+const K_FA: u8 = 1;
+const K_LA: u8 = 2;
+const K_INH: u8 = 3;
+const K_DLY: u8 = 4;
+const K_FUSED: u8 = 5;
+
+impl EventSim {
+    /// Compiles a clean (fault-free) evaluator.
+    pub fn new(circuit: &Circuit) -> Self {
+        Self::with_plan(circuit, &FaultPlan::new())
+    }
+
+    /// Compiles an evaluator with `plan` (addressed at `circuit`'s own
+    /// node indices) baked in: drifted delay elements get their effective
+    /// delta precomputed, edge faults apply after each affected node
+    /// computes — exactly as `Circuit::evaluate_faulty` does.
+    #[allow(clippy::too_many_lines)]
+    pub fn with_plan(circuit: &Circuit, plan: &FaultPlan) -> Self {
+        let nodes = circuit.nodes();
+        let n = nodes.len();
+        let mut kind = vec![K_INPUT; n];
+        let mut input_pos = vec![0u32; n];
+        let mut orig_fans: Vec<Vec<u32>> = vec![Vec::new(); n];
+        let mut eff_delta = vec![0.0f64; n];
+        let mut saturating = vec![false; n];
+        let mut fault = vec![None; n];
+        let mut input_nodes = Vec::new();
+
+        let out_nodes: Vec<u32> = circuit
+            .outputs_raw()
+            .iter()
+            .map(|(_, id)| id.index() as u32)
+            .collect();
+        let mut is_output = vec![false; n];
+        for &o in &out_nodes {
+            is_output[o as usize] = true;
+        }
+
+        let mut next_input = 0u32;
+        for (idx, node) in nodes.iter().enumerate() {
+            fault[idx] = plan.edge_fault(idx);
+            match node {
+                Node::Input { .. } => {
+                    kind[idx] = K_INPUT;
+                    input_pos[idx] = next_input;
+                    next_input += 1;
+                    input_nodes.push(idx as u32);
+                }
+                Node::Gate(Gate::FirstArrival(ins)) => {
+                    kind[idx] = K_FA;
+                    orig_fans[idx].extend(ins.iter().map(|i| i.index() as u32));
+                }
+                Node::Gate(Gate::LastArrival(ins)) => {
+                    kind[idx] = K_LA;
+                    orig_fans[idx].extend(ins.iter().map(|i| i.index() as u32));
+                }
+                Node::Gate(Gate::Inhibit { data, inhibitor }) => {
+                    kind[idx] = K_INH;
+                    orig_fans[idx].push(data.index() as u32);
+                    orig_fans[idx].push(inhibitor.index() as u32);
+                }
+                Node::Gate(Gate::Delay { input, delta }) => {
+                    kind[idx] = K_DLY;
+                    orig_fans[idx].push(input.index() as u32);
+                    match plan.delay_drift(idx) {
+                        None => eff_delta[idx] = delta.max(0.0),
+                        Some(fraction) => {
+                            let factor = 1.0 + fraction;
+                            if factor < 0.0 {
+                                eff_delta[idx] = 0.0;
+                                saturating[idx] = true;
+                            } else {
+                                eff_delta[idx] = (delta * factor).max(0.0);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // Delay-chain fusion (topological resolution): each fused delay
+        // resolves to (ultimate kept source, ordered delta chain); every
+        // kept node's fan-in reference resolves through fused delays.
+        let fused: Vec<bool> = (0..n)
+            .map(|idx| {
+                kind[idx] == K_DLY && fault[idx].is_none() && !saturating[idx] && !is_output[idx]
+            })
+            .collect();
+        let mut res_src = vec![0u32; n];
+        let mut res_chain: Vec<Vec<f64>> = vec![Vec::new(); n];
+        let mut fan_start = Vec::with_capacity(n + 1);
+        let mut fan_src: Vec<u32> = Vec::new();
+        let mut fan_chain_lo: Vec<u32> = Vec::new();
+        let mut fan_chain_len: Vec<u32> = Vec::new();
+        let mut chain_deltas: Vec<f64> = Vec::new();
+        let mut fanouts: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for idx in 0..n {
+            fan_start.push(fan_src.len() as u32);
+            if fused[idx] {
+                let f = orig_fans[idx][0] as usize;
+                if fused[f] {
+                    res_src[idx] = res_src[f];
+                    let mut chain = res_chain[f].clone();
+                    chain.push(eff_delta[idx]);
+                    res_chain[idx] = chain;
+                } else {
+                    res_src[idx] = f as u32;
+                    res_chain[idx] = vec![eff_delta[idx]];
+                }
+                continue;
+            }
+            for &f in &orig_fans[idx] {
+                let f = f as usize;
+                let (src, chain): (u32, &[f64]) = if fused[f] {
+                    (res_src[f], &res_chain[f])
+                } else {
+                    (f as u32, &[])
+                };
+                fan_src.push(src);
+                fan_chain_lo.push(chain_deltas.len() as u32);
+                fan_chain_len.push(chain.len() as u32);
+                chain_deltas.extend_from_slice(chain);
+                fanouts[src as usize].push(idx as u32);
+            }
+        }
+        fan_start.push(fan_src.len() as u32);
+        let kind: Vec<u8> = kind
+            .into_iter()
+            .enumerate()
+            .map(|(idx, k)| if fused[idx] { K_FUSED } else { k })
+            .collect();
+
+        let mut fanout_start = Vec::with_capacity(n + 1);
+        let mut fanout: Vec<u32> = Vec::new();
+        for f in &mut fanouts {
+            fanout_start.push(fanout.len() as u32);
+            f.dedup();
+            fanout.append(f);
+        }
+        fanout_start.push(fanout.len() as u32);
+
+        // Builder circuits declare inputs first and in order, so seeding
+        // usually reduces to comparing the input slice against the times
+        // prefix; the general path handles interleaved or faulted inputs.
+        let identity_seed = input_nodes
+            .iter()
+            .enumerate()
+            .all(|(i, &idx)| idx as usize == i && fault[i].is_none());
+
+        // Topological order over the nodes the evaluator computes — the
+        // incremental pass walks this instead of every original node.
+        let sweep: Vec<u32> = kind
+            .iter()
+            .enumerate()
+            .filter(|&(_, &k)| k != K_INPUT && k != K_FUSED)
+            .map(|(idx, _)| idx as u32)
+            .collect();
+
+        EventSim {
+            kind,
+            input_pos,
+            fan_start,
+            fan_src,
+            fan_chain_lo,
+            fan_chain_len,
+            chain_deltas,
+            fanout_start,
+            fanout,
+            eff_delta,
+            saturating,
+            fault,
+            input_nodes,
+            identity_seed,
+            out_nodes,
+            sweep,
+            times: vec![DelayValue::ZERO; n],
+            pend: vec![0; n],
+            epoch: 0,
+            primed: false,
+            events: 0,
+            obs: FaultObservation::default(),
+            out_buf: Vec::new(),
+        }
+    }
+
+    /// Gates the evaluator actually computes: non-input nodes minus the
+    /// fused delay elements riding along their consumers' fan-ins.
+    pub fn gate_count(&self) -> usize {
+        self.kind
+            .iter()
+            .filter(|&&k| k != K_INPUT && k != K_FUSED)
+            .count()
+    }
+
+    /// Cumulative gate evaluations performed so far — the event count.
+    /// Fused delay elements never count: their additions are absorbed
+    /// into the consuming gate's single evaluation.
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// Drains the accumulated fault observation. Event-driven evaluation
+    /// applies baked faults only when the affected node re-computes, so
+    /// these counters tally *applications performed*, not the per-sweep
+    /// totals a full-netlist evaluator reports; the output edges are
+    /// bit-identical either way, and an empty plan observes nothing.
+    pub fn take_observation(&mut self) -> FaultObservation {
+        std::mem::take(&mut self.obs)
+    }
+
+    /// Clears persistent state: the next [`EventSim::eval`] performs a
+    /// full sweep again.
+    pub fn reset(&mut self) {
+        self.primed = false;
+        self.epoch = 0;
+        self.events = 0;
+        self.pend.iter_mut().for_each(|p| *p = 0);
+        self.times.iter_mut().for_each(|t| *t = DelayValue::ZERO);
+    }
+
+    /// Reads fan-in slot `f`: the kept source edge with the fused delay
+    /// chain applied in element order. A never source passes unchanged
+    /// (and `+inf + d = +inf` keeps any further additions exact).
+    #[inline]
+    fn operand(&self, f: usize) -> DelayValue {
+        let t = self.times[self.fan_src[f] as usize];
+        let len = self.fan_chain_len[f] as usize;
+        if len == 0 || t.is_never() {
+            return t;
+        }
+        let lo = self.fan_chain_lo[f] as usize;
+        let mut t = t;
+        for &d in &self.chain_deltas[lo..lo + len] {
+            t = t.delayed(d);
+        }
+        t
+    }
+
+    #[inline]
+    fn compute(&mut self, idx: usize) -> DelayValue {
+        let lo = self.fan_start[idx] as usize;
+        let hi = self.fan_start[idx + 1] as usize;
+        let v = match self.kind[idx] {
+            K_FA => {
+                let mut m = DelayValue::ZERO;
+                for f in lo..hi {
+                    let t = self.operand(f);
+                    if t < m {
+                        m = t;
+                    }
+                }
+                m
+            }
+            K_LA => {
+                let mut m = DelayValue::ZERO;
+                let mut first = true;
+                for f in lo..hi {
+                    let t = self.operand(f);
+                    if first || t > m {
+                        m = t;
+                        first = false;
+                    }
+                }
+                m
+            }
+            K_INH => {
+                let d = self.operand(lo);
+                let i = self.operand(lo + 1);
+                d.inhibited_by(i)
+            }
+            K_DLY => {
+                let in_t = self.operand(lo);
+                if in_t.is_never() {
+                    in_t
+                } else {
+                    if self.saturating[idx] {
+                        self.obs.saturations += 1;
+                    }
+                    in_t.delayed(self.eff_delta[idx])
+                }
+            }
+            _ => unreachable!("inputs and fused delays are not computed"),
+        };
+        match self.fault[idx] {
+            None => v,
+            Some(f) => f.apply(v, &mut self.obs),
+        }
+    }
+
+    fn eval_inner(&mut self, inputs: &[DelayValue]) -> Result<(), CircuitError> {
+        if inputs.len() != self.input_nodes.len() {
+            return Err(CircuitError::InputArity {
+                expected: self.input_nodes.len(),
+                got: inputs.len(),
+            });
+        }
+        if !self.primed {
+            for idx in 0..self.kind.len() {
+                let v = match self.kind[idx] {
+                    K_INPUT => {
+                        let raw = inputs[self.input_pos[idx] as usize];
+                        match self.fault[idx] {
+                            None => raw,
+                            Some(f) => f.apply(raw, &mut self.obs),
+                        }
+                    }
+                    K_FUSED => continue,
+                    _ => {
+                        self.events += 1;
+                        self.compute(idx)
+                    }
+                };
+                self.times[idx] = v;
+            }
+            self.primed = true;
+        } else {
+            self.epoch += 1;
+            let epoch = self.epoch;
+            let mut dirty = false;
+            if self.identity_seed {
+                for (i, &raw) in inputs.iter().enumerate() {
+                    if raw.delay().to_bits() != self.times[i].delay().to_bits() {
+                        self.times[i] = raw;
+                        dirty = true;
+                        let lo = self.fanout_start[i] as usize;
+                        let hi = self.fanout_start[i + 1] as usize;
+                        for f in lo..hi {
+                            self.pend[self.fanout[f] as usize] = epoch;
+                        }
+                    }
+                }
+            } else {
+                for i in 0..self.input_nodes.len() {
+                    let idx = self.input_nodes[i] as usize;
+                    let raw = inputs[self.input_pos[idx] as usize];
+                    let v = match self.fault[idx] {
+                        None => raw,
+                        Some(f) => f.apply(raw, &mut self.obs),
+                    };
+                    if v.delay().to_bits() != self.times[idx].delay().to_bits() {
+                        self.times[idx] = v;
+                        dirty = true;
+                        let lo = self.fanout_start[idx] as usize;
+                        let hi = self.fanout_start[idx + 1] as usize;
+                        for f in lo..hi {
+                            self.pend[self.fanout[f] as usize] = epoch;
+                        }
+                    }
+                }
+            }
+            if !dirty {
+                return Ok(());
+            }
+            for s in 0..self.sweep.len() {
+                let idx = self.sweep[s] as usize;
+                if self.pend[idx] != epoch {
+                    continue;
+                }
+                self.events += 1;
+                let v = self.compute(idx);
+                if v.delay().to_bits() != self.times[idx].delay().to_bits() {
+                    self.times[idx] = v;
+                    let lo = self.fanout_start[idx] as usize;
+                    let hi = self.fanout_start[idx + 1] as usize;
+                    for f in lo..hi {
+                        self.pend[self.fanout[f] as usize] = epoch;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Evaluates the circuit with the given primary inputs (declaration
+    /// order). Returns the output edges, declaration order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::InputArity`] on input-count mismatch.
+    pub fn eval(&mut self, inputs: &[DelayValue]) -> Result<&[DelayValue], CircuitError> {
+        self.eval_inner(inputs)?;
+        self.out_buf.clear();
+        self.out_buf
+            .extend(self.out_nodes.iter().map(|&o| self.times[o as usize]));
+        Ok(&self.out_buf)
+    }
+
+    /// Like [`EventSim::eval`] but returns only the first declared output
+    /// edge — the allocation- and indirection-free path for the
+    /// single-output cycle netlists the gate engine compiles.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::InputArity`] on input-count mismatch.
+    #[inline]
+    pub fn eval_one(&mut self, inputs: &[DelayValue]) -> Result<DelayValue, CircuitError> {
+        self.eval_inner(inputs)?;
+        Ok(self.times[self.out_nodes[0] as usize])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blocks;
+    use crate::{CircuitBuilder, NodeId};
+
+    fn dv(t: f64) -> DelayValue {
+        DelayValue::from_delay(t)
+    }
+
+    /// Exact bit comparison of two edge vectors.
+    fn assert_bits(a: &[DelayValue], b: &[DelayValue]) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert_eq!(
+                x.delay().to_bits(),
+                y.delay().to_bits(),
+                "output {i} differs: {x:?} vs {y:?}"
+            );
+        }
+    }
+
+    /// A small nLSE-tree-shaped circuit with a never leaf and a shared
+    /// sub-DAG, mirroring what `GateEngine` compiles per rail-row.
+    fn tree_with_never() -> (Circuit, Vec<Option<DelayValue>>) {
+        let mut b = CircuitBuilder::new();
+        let px0 = b.input("px0");
+        let px1 = b.input("px1");
+        let never = b.input("never");
+        let w0 = b.delay(px0, 1.5);
+        let w1 = b.delay(px1, 0.75);
+        // Absent weight column: comparator stage against a never leaf.
+        let stage0 = b.first_arrival(&[w0, never]);
+        let cap0 = b.last_arrival(&[stage0, never]);
+        let stage1 = b.first_arrival(&[w1, cap0]);
+        let out = b.delay(stage1, 0.25);
+        b.output("out", out);
+        let c = b.build().unwrap();
+        let consts = vec![None, None, Some(DelayValue::ZERO)];
+        (c, consts)
+    }
+
+    #[test]
+    fn never_feeds_fold_through_the_tree() {
+        let (c, consts) = tree_with_never();
+        let opt = optimize(&c, &consts).unwrap();
+        // cap0 = la(stage0, never) = never; stage0 dies with it; stage1 =
+        // fa(w1, never) = w1 (alias). Survivors: w1 and the final delay —
+        // w0 becomes dead.
+        assert!(opt.stats().gates_post < opt.stats().gates_pre);
+        assert!(opt.stats().folded > 0, "{:?}", opt.stats());
+        for trial in [[0.3, 0.9], [2.0, 0.0], [5.5, 5.5]] {
+            let ins = [dv(trial[0]), dv(trial[1]), DelayValue::ZERO];
+            let golden = c.evaluate(&ins).unwrap();
+            let got = opt.evaluate(&ins).unwrap();
+            assert_bits(&golden, &got);
+        }
+    }
+
+    #[test]
+    fn optimize_rejects_wrong_const_arity() {
+        let (c, _) = tree_with_never();
+        let err = optimize(&c, &[None, None]).unwrap_err();
+        assert!(matches!(
+            err,
+            CircuitError::InputArity {
+                expected: 3,
+                got: 2
+            }
+        ));
+    }
+
+    #[test]
+    fn hash_consing_merges_identical_subcircuits() {
+        let mut b = CircuitBuilder::new();
+        let x = b.input("x");
+        let y = b.input("y");
+        // Two structurally identical cones feeding different outputs.
+        let d1 = b.delay(x, 2.0);
+        let f1 = b.first_arrival(&[d1, y]);
+        let d2 = b.delay(x, 2.0);
+        let f2 = b.first_arrival(&[d2, y]);
+        let o1 = b.delay(f1, 0.5);
+        let o2 = b.delay(f2, 1.5);
+        b.output("a", o1);
+        b.output("b", o2);
+        let c = b.build().unwrap();
+        let opt = optimize(&c, &[None, None]).unwrap();
+        assert!(opt.stats().shared >= 2, "{:?}", opt.stats());
+        // d1/d2 and f1/f2 each share one physical gate.
+        assert_eq!(opt.map().gate(d1.index()), opt.map().gate(d2.index()));
+        assert_eq!(opt.map().gate(f1.index()), opt.map().gate(f2.index()));
+        let sibs = opt.map().siblings(f1.index());
+        assert!(sibs.contains(&f1.index()) && sibs.contains(&f2.index()));
+        let ins = [dv(1.0), dv(2.25)];
+        assert_bits(&c.evaluate(&ins).unwrap(), &opt.evaluate(&ins).unwrap());
+    }
+
+    #[test]
+    fn commutative_fanin_order_still_merges() {
+        let mut b = CircuitBuilder::new();
+        let x = b.input("x");
+        let y = b.input("y");
+        let f1 = b.first_arrival(&[x, y]);
+        let f2 = b.first_arrival(&[y, x]);
+        let o = b.last_arrival(&[f1, f2]);
+        b.output("o", o);
+        let c = b.build().unwrap();
+        let opt = optimize(&c, &[None, None]).unwrap();
+        assert_eq!(opt.map().gate(f1.index()), opt.map().gate(f2.index()));
+        // la over one merged gate collapses to an alias of it.
+        assert_eq!(opt.map().gate(o.index()), opt.map().gate(f1.index()));
+        let ins = [dv(0.25), dv(3.0)];
+        assert_bits(&c.evaluate(&ins).unwrap(), &opt.evaluate(&ins).unwrap());
+    }
+
+    #[test]
+    fn dead_gates_are_eliminated() {
+        let mut b = CircuitBuilder::new();
+        let x = b.input("x");
+        let used = b.delay(x, 1.0);
+        let dead = b.delay(x, 9.0);
+        let _deader = b.first_arrival(&[dead, x]);
+        b.output("o", used);
+        let c = b.build().unwrap();
+        let opt = optimize(&c, &[None]).unwrap();
+        assert_eq!(opt.stats().dead, 2, "{:?}", opt.stats());
+        assert_eq!(opt.stats().gates_post, 1);
+        assert!(matches!(opt.map().resolve(dead.index()), Resolution::Dead));
+    }
+
+    #[test]
+    fn const_outputs_are_spliced_in_order() {
+        let mut b = CircuitBuilder::new();
+        let x = b.input("x");
+        let k = b.input("k");
+        let kd = b.delay(k, 1.0);
+        let xd = b.delay(x, 0.5);
+        b.output("konst", kd);
+        b.output("dyn", xd);
+        b.output("konst2", kd);
+        let c = b.build().unwrap();
+        let consts = vec![None, Some(dv(2.0))];
+        let opt = optimize(&c, &consts).unwrap();
+        assert_eq!(opt.const_output(0), Some(dv(3.0)));
+        assert_eq!(opt.const_output(1), None);
+        assert_eq!(opt.const_output(2), Some(dv(3.0)));
+        let ins = [dv(4.0), dv(2.0)];
+        assert_bits(&c.evaluate(&ins).unwrap(), &opt.evaluate(&ins).unwrap());
+    }
+
+    #[test]
+    fn known_finite_operand_is_materialized_for_dynamic_consumer() {
+        let mut b = CircuitBuilder::new();
+        let x = b.input("x");
+        let boundary = b.input("boundary");
+        let bd = b.delay(boundary, 0.5);
+        // inhibit(dyn, known-finite): the known cone must survive as
+        // hardware so the consumer sees the same edge.
+        let g = b.inhibit(x, bd);
+        b.output("o", g);
+        let c = b.build().unwrap();
+        let opt = optimize(&c, &[None, Some(dv(3.0))]).unwrap();
+        for t in [1.0, 3.4999, 3.5, 6.0] {
+            let ins = [dv(t), dv(3.0)];
+            assert_bits(&c.evaluate(&ins).unwrap(), &opt.evaluate(&ins).unwrap());
+        }
+    }
+
+    #[test]
+    fn zero_delta_delay_is_preserved_for_negative_zero() {
+        let mut b = CircuitBuilder::new();
+        let x = b.input("x");
+        let d = b.delay(x, 0.0);
+        b.output("o", d);
+        let c = b.build().unwrap();
+        let opt = optimize(&c, &[None]).unwrap();
+        // -0.0 + 0.0 = +0.0: the element is not an identity wire under
+        // total_cmp, so it must survive.
+        assert_eq!(opt.stats().gates_post, 1);
+        let ins = [dv(-0.0)];
+        assert_bits(&c.evaluate(&ins).unwrap(), &opt.evaluate(&ins).unwrap());
+    }
+
+    #[test]
+    fn lower_plan_rekeys_faults_onto_shared_gates() {
+        let mut b = CircuitBuilder::new();
+        let x = b.input("x");
+        let y = b.input("y");
+        let d1 = b.delay(x, 2.0);
+        let d2 = b.delay(x, 2.0);
+        let f = b.first_arrival(&[d1, y]);
+        let g = b.last_arrival(&[d2, y]);
+        b.output("f", f);
+        b.output("g", g);
+        let c = b.build().unwrap();
+        let opt = optimize(&c, &[None, None]).unwrap();
+        let shared = opt.map().gate(d1.index()).unwrap();
+        assert_eq!(opt.map().gate(d2.index()), Some(shared));
+
+        let mut plan = FaultPlan::new();
+        plan.set_edge_fault(d1.index(), EdgeFault::StuckAtZero);
+        let lowered = opt.map().lower_plan(&plan).unwrap();
+        assert_eq!(lowered.edge_fault(shared), Some(EdgeFault::StuckAtZero));
+
+        // Same fault via the other sibling: idempotent.
+        plan.set_edge_fault(d2.index(), EdgeFault::StuckAtZero);
+        assert!(opt.map().lower_plan(&plan).is_ok());
+
+        // Conflicting fault on the shared gate: rejected.
+        plan.set_edge_fault(d2.index(), EdgeFault::StuckAtNever);
+        assert_eq!(
+            opt.map().lower_plan(&plan).unwrap_err(),
+            OptError::FaultConflict(shared)
+        );
+    }
+
+    #[test]
+    fn lower_plan_rejects_faults_on_folded_gates_and_drops_dead_ones() {
+        let (c, consts) = tree_with_never();
+        let opt = optimize(&c, &consts).unwrap();
+        // Find a node that folded to a constant (cap0 = la(..never) at
+        // index 6 in construction order) and one that died.
+        let folded = (0..c.node_count())
+            .find(|&i| matches!(opt.map().resolve(i), Resolution::Const(_)))
+            .unwrap();
+        let dead = (0..c.node_count())
+            .find(|&i| matches!(opt.map().resolve(i), Resolution::Dead))
+            .unwrap();
+
+        let mut plan = FaultPlan::new();
+        plan.set_edge_fault(folded, EdgeFault::StuckAtZero);
+        assert_eq!(
+            opt.map().lower_plan(&plan).unwrap_err(),
+            OptError::FaultOnFolded(folded)
+        );
+
+        let mut plan = FaultPlan::new();
+        plan.set_edge_fault(dead, EdgeFault::StuckAtNever);
+        let lowered = opt.map().lower_plan(&plan).unwrap();
+        assert!(lowered.is_empty());
+
+        // Drift on a never-folded site is physically meaningless: safe
+        // drop rather than error.
+        let mut plan = FaultPlan::new();
+        plan.set_delay_drift(folded, 0.5);
+        if let Resolution::Const(v) = opt.map().resolve(folded) {
+            if v.is_never() {
+                assert!(opt.map().lower_plan(&plan).unwrap().is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn shared_gate_fault_matches_mirrored_golden_reference() {
+        let mut b = CircuitBuilder::new();
+        let x = b.input("x");
+        let y = b.input("y");
+        let d1 = b.delay(x, 2.0);
+        let d2 = b.delay(x, 2.0);
+        let f = b.first_arrival(&[d1, y]);
+        let g = b.last_arrival(&[d2, y]);
+        let o1 = b.delay(f, 0.25);
+        let o2 = b.delay(g, 0.75);
+        b.output("f", o1);
+        b.output("g", o2);
+        let c = b.build().unwrap();
+        let opt = optimize(&c, &[None, None]).unwrap();
+
+        for fault in [
+            EdgeFault::StuckAtNever,
+            EdgeFault::StuckAtZero,
+            EdgeFault::DropEvent,
+            EdgeFault::SpuriousEarly(0.5),
+        ] {
+            let mut plan = FaultPlan::new();
+            plan.set_edge_fault(d1.index(), fault);
+            plan.set_delay_drift(o1.index(), 0.25);
+            // The physical gate is shared: the golden reference must
+            // fault every logical copy.
+            let mirrored = opt.map().mirror_plan(&c, &plan);
+            assert!(mirrored.edge_fault(d2.index()).is_some());
+            let lowered = opt.map().lower_plan(&plan).unwrap();
+            for trial in [[0.5, 1.0], [3.0, 0.1], [2.0, 2.0]] {
+                let ins = [dv(trial[0]), dv(trial[1])];
+                let (golden, _) = c
+                    .evaluate_faulty(&ins, &mut crate::NoNoise, &mirrored)
+                    .unwrap();
+                let (got, _) = opt
+                    .circuit()
+                    .evaluate_faulty(&ins, &mut crate::NoNoise, &lowered)
+                    .unwrap();
+                assert_bits(&golden, &opt.splice_outputs(&got));
+            }
+        }
+    }
+
+    #[test]
+    fn mirror_plan_applies_once_along_alias_chains() {
+        // fa(x, never) aliases x's delay; faulting the aliased site must
+        // not double-apply a non-idempotent fault through the chain.
+        let mut b = CircuitBuilder::new();
+        let x = b.input("x");
+        let never = b.input("never");
+        let d = b.delay(x, 1.0);
+        let alias = b.first_arrival(&[d, never]);
+        let out = b.delay(alias, 0.5);
+        b.output("o", out);
+        let c = b.build().unwrap();
+        let opt = optimize(&c, &[None, Some(DelayValue::ZERO)]).unwrap();
+        // d and alias share one physical gate.
+        assert_eq!(opt.map().gate(d.index()), opt.map().gate(alias.index()));
+
+        let mut plan = FaultPlan::new();
+        plan.set_edge_fault(alias.index(), EdgeFault::SpuriousEarly(0.4));
+        let mirrored = opt.map().mirror_plan(&c, &plan);
+        // Only the upstream sibling carries the fault.
+        assert_eq!(
+            mirrored.edge_fault(d.index()),
+            Some(EdgeFault::SpuriousEarly(0.4))
+        );
+        assert_eq!(mirrored.edge_fault(alias.index()), None);
+
+        let lowered = opt.map().lower_plan(&plan).unwrap();
+        let ins = [dv(2.0), DelayValue::ZERO];
+        let (golden, _) = c
+            .evaluate_faulty(&ins, &mut crate::NoNoise, &mirrored)
+            .unwrap();
+        let (got, _) = opt
+            .circuit()
+            .evaluate_faulty(&ins, &mut crate::NoNoise, &lowered)
+            .unwrap();
+        assert_bits(&golden, &opt.splice_outputs(&got));
+    }
+
+    #[test]
+    fn event_sim_matches_full_sweep_bit_for_bit() {
+        let (c, consts) = tree_with_never();
+        let opt = optimize(&c, &consts).unwrap();
+        let mut sim = opt.event_sim();
+        // A pixel stream with heavy locality (repeated values) and a few
+        // jumps, as a rolling shutter produces.
+        let stream = [
+            [0.5, 0.5],
+            [0.5, 0.5],
+            [0.5, 0.9],
+            [0.5, 0.9],
+            [3.0, 0.9],
+            [3.0, 0.9],
+            [3.0, 0.9],
+        ];
+        for px in stream {
+            let ins = [dv(px[0]), dv(px[1]), DelayValue::ZERO];
+            let golden = c.evaluate(&ins).unwrap();
+            let got = opt.splice_outputs(sim.eval(&ins).unwrap());
+            assert_bits(&golden, &got);
+        }
+        // Locality means far fewer events than gates × evaluations.
+        let full_sweep = (sim.gate_count() as u64) * (stream.len() as u64);
+        assert!(
+            sim.events() < full_sweep,
+            "events {} vs full sweep {}",
+            sim.events(),
+            full_sweep
+        );
+    }
+
+    #[test]
+    fn event_sim_with_plan_matches_faulty_sweep() {
+        let mut b = CircuitBuilder::new();
+        let x = b.input("x");
+        let y = b.input("y");
+        let d = b.delay(x, 2.0);
+        let f = b.first_arrival(&[d, y]);
+        let i = b.inhibit(f, y);
+        let o = b.delay(i, 0.5);
+        b.output("o", o);
+        let c = b.build().unwrap();
+
+        let mut plan = FaultPlan::new();
+        plan.set_edge_fault(d.index(), EdgeFault::SpuriousEarly(0.3));
+        plan.set_edge_fault(x.index(), EdgeFault::StuckAtZero);
+        plan.set_delay_drift(o.index(), -2.0); // saturating drift
+
+        let mut sim = EventSim::with_plan(&c, &plan);
+        for trial in [[1.0, 4.0], [1.0, 4.0], [0.2, 0.1], [5.0, 5.0]] {
+            let ins = [dv(trial[0]), dv(trial[1])];
+            let (golden, _) = c.evaluate_faulty(&ins, &mut crate::NoNoise, &plan).unwrap();
+            let got = sim.eval(&ins).unwrap().to_vec();
+            assert_bits(&golden, &got);
+        }
+        // Faults were applied at least once.
+        let obs = sim.take_observation();
+        assert!(obs.edges_faulted > 0);
+        assert!(obs.saturations > 0);
+        // Drained.
+        assert_eq!(sim.take_observation(), FaultObservation::default());
+    }
+
+    #[test]
+    fn event_sim_reset_reprimes() {
+        let (c, consts) = tree_with_never();
+        let opt = optimize(&c, &consts).unwrap();
+        let mut sim = opt.event_sim();
+        let ins = [dv(1.0), dv(2.0), DelayValue::ZERO];
+        let first = opt.splice_outputs(sim.eval(&ins).unwrap());
+        sim.reset();
+        assert_eq!(sim.events(), 0);
+        let again = opt.splice_outputs(sim.eval(&ins).unwrap());
+        assert_bits(&first, &again);
+    }
+
+    #[test]
+    fn event_sim_rejects_wrong_arity() {
+        let (c, consts) = tree_with_never();
+        let opt = optimize(&c, &consts).unwrap();
+        let mut sim = opt.event_sim();
+        assert!(matches!(
+            sim.eval(&[dv(1.0)]),
+            Err(CircuitError::InputArity {
+                expected: 3,
+                got: 1
+            })
+        ));
+    }
+
+    #[test]
+    fn nlse_tree_block_optimizes_and_stays_exact() {
+        // The real Fig 6a building block, as GateEngine compiles it.
+        let mut b = CircuitBuilder::new();
+        let leaves: Vec<NodeId> = (0..4).map(|i| b.input(format!("in{i}"))).collect();
+        let never = b.input("never");
+        let terms: &[blocks::TermPair] = &[(0.0, 0.0), (1.0, 1.0)];
+        let k = blocks::required_shift(terms);
+        let tree =
+            blocks::build_nlse_tree(&mut b, &[leaves[0], never, leaves[1], leaves[2]], terms, k);
+        b.output("out", tree.node);
+        let c = b.build().unwrap();
+        let mut consts = vec![None; 5];
+        consts[4] = Some(DelayValue::ZERO);
+        let opt = optimize(&c, &consts).unwrap();
+        assert!(
+            opt.stats().gates_post < opt.stats().gates_pre,
+            "{:?}",
+            opt.stats()
+        );
+        for trial in [
+            [0.1, 0.2, 0.3, 0.4],
+            [2.0, 2.0, 2.0, 2.0],
+            [0.0, 5.0, 1.0, 0.5],
+        ] {
+            let ins: Vec<DelayValue> = trial
+                .iter()
+                .map(|&t| dv(t))
+                .chain([DelayValue::ZERO])
+                .collect();
+            let golden = c.evaluate(&ins).unwrap();
+            let got = opt.evaluate(&ins).unwrap();
+            assert_bits(&golden, &got);
+        }
+    }
+
+    #[test]
+    fn structural_equality_and_fingerprints_dedup_identical_rows() {
+        let (c1, k1) = tree_with_never();
+        let (c2, k2) = tree_with_never();
+        let o1 = optimize(&c1, &k1).unwrap();
+        let o2 = optimize(&c2, &k2).unwrap();
+        assert_eq!(o1.fingerprint(), o2.fingerprint());
+        assert!(o1.structurally_equal(&o2));
+
+        let mut b = CircuitBuilder::new();
+        let x = b.input("x");
+        let d = b.delay(x, 7.0);
+        b.output("o", d);
+        let c3 = b.build().unwrap();
+        let o3 = optimize(&c3, &[None]).unwrap();
+        assert!(!o1.structurally_equal(&o3));
+    }
+}

@@ -2,6 +2,8 @@
 //! render the result as a text waveform — the temporal equivalent of a
 //! logic-analyzer view, for debugging netlists.
 
+use std::sync::Arc;
+
 use ta_delay_space::DelayValue;
 
 /// The firing record of one evaluation: one entry per node, in
@@ -15,7 +17,9 @@ pub struct Trace {
 #[derive(Debug, Clone, PartialEq)]
 pub struct TraceEntry {
     /// Node label: input name, or `fa#k`/`la#k`/`inh#k`/`dly#k(+Δ)`.
-    pub label: String,
+    /// Interned per circuit — repeated traced evaluations share one
+    /// allocation per node instead of reformatting every label.
+    pub label: Arc<str>,
     /// The node's edge time ([`DelayValue::ZERO`] = never fired).
     pub time: DelayValue,
 }
@@ -122,7 +126,7 @@ mod tests {
             .unwrap();
         assert_eq!(outs.len(), 1);
         assert_eq!(trace.entries().len(), 5);
-        assert_eq!(trace.entries()[0].label, "x");
+        assert_eq!(trace.entries()[0].label.as_ref(), "x");
         assert_eq!(trace.entries()[2].time, DelayValue::from_delay(1.0)); // fa
         assert_eq!(trace.entries()[3].time, DelayValue::from_delay(3.0)); // delay
                                                                           // The horizon is the latest finite edge anywhere — here the `y`

@@ -411,6 +411,26 @@ mod tests {
     }
 
     #[test]
+    fn described_family_with_only_labeled_series_keeps_its_help() {
+        // The shape the gate-optimizer counters use: `describe` on the
+        // bare family name, series created only under labels.
+        let r = Registry::new();
+        r.describe("gates_total", "Gate counts by phase.");
+        r.labeled_counter("gates_total", "phase", "pre").add(444);
+        r.labeled_counter("gates_total", "phase", "post").add(152);
+        let text = r.to_prometheus();
+        assert!(
+            text.contains("# HELP gates_total Gate counts by phase.\n# TYPE gates_total counter\n"),
+            "{text}"
+        );
+        assert_eq!(text.matches("# TYPE gates_total").count(), 1, "{text}");
+        assert!(text.contains("gates_total{phase=\"pre\"} 444\n"));
+        assert!(text.contains("gates_total{phase=\"post\"} 152\n"));
+        // No bare `gates_total` series materialises from describe alone.
+        assert!(!text.contains("\ngates_total "), "{text}");
+    }
+
+    #[test]
     fn help_text_is_escaped_and_first_registration_wins() {
         let r = Registry::new();
         r.describe("x_total", "line\nbreak \\ slash");
